@@ -1,0 +1,703 @@
+(* The benchmark harness: one section per experiment id of DESIGN.md
+   (FIG2, ALG, SCALE-ART, MAINT, SKAT, QRY, PAT, INF).
+
+   The paper (EDBT 2000) carries no quantitative tables; each section
+   regenerates the quantitative backing for one of its qualitative claims,
+   or the worked example itself.  Timings are Bechamel OLS estimates of
+   ns/run on this machine; shape metrics (counts, costs, precision/recall)
+   are computed exactly and deterministically. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark_group tests =
+  let test = Test.make_grouped ~name:"" tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.3) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let pp_time ppf ns =
+  if ns < 1_000.0 then Format.fprintf ppf "%8.1f ns" ns
+  else if ns < 1_000_000.0 then Format.fprintf ppf "%8.2f us" (ns /. 1_000.0)
+  else if ns < 1_000_000_000.0 then Format.fprintf ppf "%8.2f ms" (ns /. 1_000_000.0)
+  else Format.fprintf ppf "%8.2f s " (ns /. 1_000_000_000.0)
+
+let print_timings title tests =
+  let results = benchmark_group tests in
+  Format.printf "  %-46s %12s@." (title ^ " (time/run)") "";
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | _ -> Float.nan
+      in
+      (* Strip the empty group prefix "/". *)
+      let name =
+        match String.index_opt name '/' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      Format.printf "    %-44s %a@." name pp_time estimate)
+    rows
+
+let section id title =
+  Format.printf "@.== %s — %s ==@." id title
+
+let row fmt = Format.printf ("    " ^^ fmt ^^ "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let profile n = { Gen.default_profile with Gen.n_terms = n }
+
+let pair_of_size ?(overlap = 0.2) ?(seed = 42) n =
+  Gen.overlapping_pair ~profile:(profile n) ~overlap ~seed ~left_name:"left"
+    ~right_name:"right" ()
+
+let articulate_pair (p : Gen.pair) =
+  Generator.generate ~articulation_name:"mid" ~left:p.Gen.left
+    ~right:p.Gen.right p.Gen.ground_truth
+
+(* ------------------------------------------------------------------ *)
+(* FIG2 — the paper's worked example                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  section "FIG2" "articulation of carrier and factory (paper fig. 2)";
+  let r = Paper_example.articulation () in
+  let art = r.Generator.articulation in
+  row "articulation terms: %s"
+    (String.concat ", " (Ontology.terms (Articulation.ontology art)));
+  row "bridges: %d (17 expected)" (Articulation.nb_bridges art);
+  let u = Paper_example.unified () in
+  row "unified ontology: %d nodes, %d edges (28/40 expected)"
+    (Digraph.nb_nodes u.Algebra.graph)
+    (Digraph.nb_edges u.Algebra.graph);
+  let d =
+    Algebra.difference ~minuend:r.Generator.updated_left
+      ~subtrahend:r.Generator.updated_right art
+  in
+  row "carrier - factory keeps: %s" (String.concat ", " (Ontology.terms d));
+  print_timings "fig2"
+    [
+      Test.make ~name:"articulate"
+        (Staged.stage (fun () -> Paper_example.articulation ()));
+      Test.make ~name:"union"
+        (Staged.stage (fun () ->
+             Algebra.union ~left:r.Generator.updated_left
+               ~right:r.Generator.updated_right art));
+      Test.make ~name:"intersection"
+        (Staged.stage (fun () -> Algebra.intersection art));
+      Test.make ~name:"difference"
+        (Staged.stage (fun () ->
+             Algebra.difference ~minuend:r.Generator.updated_left
+               ~subtrahend:r.Generator.updated_right art));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* ALG — algebra scaling                                              *)
+(* ------------------------------------------------------------------ *)
+
+let alg () =
+  section "ALG" "union / intersection / difference vs ontology size";
+  let sizes = [ 100; 300; 1000 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let p = pair_of_size n in
+        let r = articulate_pair p in
+        let art = r.Generator.articulation in
+        let left = r.Generator.updated_left in
+        let right = r.Generator.updated_right in
+        row "n=%4d: left %d terms, right %d terms, %d bridges" n
+          (Ontology.nb_terms left) (Ontology.nb_terms right)
+          (Articulation.nb_bridges art);
+        [
+          Test.make ~name:(Printf.sprintf "union        n=%4d" n)
+            (Staged.stage (fun () -> Algebra.union ~left ~right art));
+          Test.make ~name:(Printf.sprintf "intersection n=%4d" n)
+            (Staged.stage (fun () -> Algebra.intersection art));
+          Test.make ~name:(Printf.sprintf "difference   n=%4d" n)
+            (Staged.stage (fun () ->
+                 Algebra.difference ~minuend:left ~subtrahend:right art));
+        ])
+      sizes
+  in
+  print_timings "algebra" tests
+
+(* ------------------------------------------------------------------ *)
+(* SCALE-ART — adding a source: articulation vs global schema          *)
+(* ------------------------------------------------------------------ *)
+
+let scale_art () =
+  section "SCALE-ART"
+    "cost of adding the k-th source: pairwise articulation (against the \
+     composed intersection) vs global-schema re-integration";
+  let n_terms = 150 in
+  let family = Gen.family ~profile:(profile n_terms) ~overlap:0.2 ~n:6 ~seed:7 ~prefix:"src" () in
+  let arr = Array.of_list family in
+  (* Articulation tower: articulate src0/src1, then fold each next source
+     against the previous intersection.  SKAT scan cost approximates the
+     matching effort: |candidate pairs| examined. *)
+  let articulation_scan_cost left right =
+    Ontology.nb_terms left * Ontology.nb_terms right
+  in
+  let rec tower k current_intersection acc =
+    if k >= Array.length arr then List.rev acc
+    else begin
+      let right = arr.(k) in
+      let scan = articulation_scan_cost current_intersection right in
+      let suggestions =
+        Skat.suggest
+          ~config:{ Skat.default_config with Skat.min_score = 0.9 }
+          ~left:current_intersection ~right ()
+      in
+      let rules = List.map (fun (s : Skat.suggestion) -> s.Skat.rule) suggestions in
+      let r =
+        Generator.generate ~articulation_name:(Printf.sprintf "art%d" k)
+          ~left:current_intersection ~right rules
+      in
+      tower (k + 1)
+        (Algebra.intersection r.Generator.articulation)
+        ((k, scan) :: acc)
+    end
+  in
+  let art_costs =
+    let first = articulation_scan_cost arr.(0) arr.(1) in
+    let suggestions =
+      Skat.suggest
+        ~config:{ Skat.default_config with Skat.min_score = 0.9 }
+        ~left:arr.(0) ~right:arr.(1) ()
+    in
+    let rules = List.map (fun (s : Skat.suggestion) -> s.Skat.rule) suggestions in
+    let r =
+      Generator.generate ~articulation_name:"art1" ~left:arr.(0) ~right:arr.(1)
+        rules
+    in
+    (1, first) :: tower 2 (Algebra.intersection r.Generator.articulation) []
+  in
+  row "%-10s %20s %24s %8s" "k-th join" "articulation scan" "global re-integration"
+    "ratio";
+  List.iter
+    (fun (k, art_cost) ->
+      let sources = Array.to_list (Array.sub arr 0 (k + 1)) in
+      let g = Global_schema.integrate ~name:"global" sources in
+      row "%-10d %20d %24d %8.1fx" (k + 1) art_cost g.Global_schema.comparisons
+        (float_of_int g.Global_schema.comparisons /. float_of_int (max 1 art_cost)))
+    art_costs;
+  print_timings "scale"
+    [
+      Test.make ~name:"articulate pair (150 terms)"
+        (Staged.stage (fun () ->
+             let p = pair_of_size n_terms in
+             articulate_pair p));
+      Test.make ~name:"global integrate 2 sources"
+        (Staged.stage (fun () ->
+             Global_schema.integrate ~name:"g" [ arr.(0); arr.(1) ]));
+      Test.make ~name:"global integrate 6 sources"
+        (Staged.stage (fun () ->
+             Global_schema.integrate ~name:"g" family));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* MAINT — maintenance under churn                                    *)
+(* ------------------------------------------------------------------ *)
+
+let maint () =
+  section "MAINT"
+    "source churn: articulation work units vs global re-integration \
+     comparisons (claim: independent-region changes are free)";
+  let p = pair_of_size 200 ~seed:11 in
+  let r = articulate_pair p in
+  let art = r.Generator.articulation in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let n_left = Ontology.nb_terms left in
+  row "%-12s %8s %14s %16s %14s" "churn" "edits" "touched-edits"
+    "articulation-wu" "global-cmps";
+  List.iter
+    (fun pct ->
+      let count = max 1 (n_left * pct / 100) in
+      let script = Change.random_script ~seed:23 ~count left in
+      let report =
+        Maintenance.simulate ~articulation:art ~left ~right ~change_left:script ()
+      in
+      row "%-12s %8d %14d %16d %14d"
+        (Printf.sprintf "%d%%" pct)
+        report.Maintenance.ops
+        report.Maintenance.articulation_touched_ops
+        report.Maintenance.articulation_cost report.Maintenance.global_cost)
+    [ 2; 10; 25; 50 ];
+  (* The free-region claim, isolated: edits confined to the independent
+     region must cost exactly zero articulation work. *)
+  let independent =
+    List.filter
+      (fun term -> Algebra.is_independent ~of_:left ~term art)
+      (Ontology.terms left)
+  in
+  let free_script =
+    Change.script_in_region ~seed:29 ~count:50 ~region:independent left
+  in
+  let free_report =
+    Maintenance.simulate ~articulation:art ~left ~right ~change_left:free_script ()
+  in
+  row "independent-region edits: %d edits -> %d articulation work units (claim: 0)"
+    free_report.Maintenance.ops free_report.Maintenance.articulation_cost;
+  (* Incremental repair (Evolve) versus full regeneration under the same
+     script: both end consistent, the repair touches only affected
+     bridges. *)
+  let script = Change.random_script ~seed:23 ~count:25 left in
+  let repaired, _, repairs = Evolve.apply_script art ~source:left ~other:right script in
+  row "25 random edits: incremental repair emitted %d repair items, %d -> %d bridges"
+    (List.length repairs) (Articulation.nb_bridges art)
+    (Articulation.nb_bridges repaired);
+  let evolved = Change.apply_all left script in
+  print_timings "maintenance"
+    [
+      Test.make ~name:"op cost query"
+        (Staged.stage (fun () ->
+             Maintenance.articulation_op_cost art ~source:left
+               (Change.Remove_term (List.hd (Ontology.terms left)))));
+      Test.make ~name:"difference (independence map)"
+        (Staged.stage (fun () ->
+             Algebra.difference ~minuend:left ~subtrahend:right art));
+      Test.make ~name:"incremental repair (25 edits)"
+        (Staged.stage (fun () ->
+             Evolve.apply_script art ~source:left ~other:right script));
+      Test.make ~name:"full regeneration after edits"
+        (Staged.stage (fun () ->
+             Generator.generate ~articulation_name:"mid" ~left:evolved ~right
+               p.Gen.ground_truth));
+      Test.make ~name:"global re-integration after edits"
+        (Staged.stage (fun () ->
+             Global_schema.integrate ~name:"g" [ evolved; right ]));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* SKAT — suggestion quality and expert effort                        *)
+(* ------------------------------------------------------------------ *)
+
+let skat () =
+  section "SKAT"
+    "suggestion precision/recall vs ground truth; expert effort in the \
+     session loop";
+  row "%-24s %6s %10s %8s %8s %8s %10s" "workload" "shared" "suggested" "prec"
+    "recall" "f1" "decisions";
+  List.iter
+    (fun (overlap, synonym_rate) ->
+      let p =
+        Gen.overlapping_pair ~profile:(profile 120) ~synonym_rate ~overlap
+          ~seed:31 ~left_name:"a" ~right_name:"b" ()
+      in
+      let suggestions = Skat.suggest ~left:p.Gen.left ~right:p.Gen.right () in
+      let suggested_bodies =
+        List.map (fun (s : Skat.suggestion) -> s.Skat.rule.Rule.body) suggestions
+      in
+      let truth_bodies = List.map (fun (r : Rule.t) -> r.Rule.body) p.Gen.ground_truth in
+      let tp =
+        List.length
+          (List.filter
+             (fun b -> List.exists (Rule.equal_body b) truth_bodies)
+             suggested_bodies)
+      in
+      let confusion =
+        {
+          Stats.tp;
+          fp = List.length suggested_bodies - tp;
+          fn = List.length truth_bodies - tp;
+        }
+      in
+      let stats = Expert.new_stats () in
+      let expert =
+        Expert.counted stats (Expert.oracle ~ground_truth:p.Gen.ground_truth)
+      in
+      let _outcome =
+        Session.run ~articulation_name:"mid" ~expert ~left:p.Gen.left
+          ~right:p.Gen.right ()
+      in
+      row "%-24s %6d %10d %8.2f %8.2f %8.2f %10d"
+        (Printf.sprintf "ovl=%.1f syn=%.1f" overlap synonym_rate)
+        p.Gen.shared_concepts
+        (List.length suggestions)
+        (Stats.precision confusion) (Stats.recall confusion) (Stats.f1 confusion)
+        stats.Expert.decisions)
+    [ (0.1, 0.0); (0.1, 0.5); (0.3, 0.0); (0.3, 0.5); (0.3, 1.0) ];
+  let p = Gen.overlapping_pair ~profile:(profile 120) ~overlap:0.3 ~seed:31
+      ~left_name:"a" ~right_name:"b" () in
+  (* Candidate blocking: near-linear scanning at a measured recall cost. *)
+  let recall_of suggs =
+    let truth = List.map (fun (r : Rule.t) -> r.Rule.body) p.Gen.ground_truth in
+    let bodies = List.map (fun (s : Skat.suggestion) -> s.Skat.rule.Rule.body) suggs in
+    let tp =
+      List.length (List.filter (fun b -> List.exists (Rule.equal_body b) truth) bodies)
+    in
+    float_of_int tp /. float_of_int (max 1 (List.length truth))
+  in
+  let blocked_config = { Skat.default_config with Skat.blocking = true } in
+  row "blocking: full scan recall %.2f; blocked recall %.2f"
+    (recall_of (Skat.suggest ~left:p.Gen.left ~right:p.Gen.right ()))
+    (recall_of (Skat.suggest ~config:blocked_config ~left:p.Gen.left ~right:p.Gen.right ()));
+  print_timings "skat"
+    [
+      Test.make ~name:"suggest 120x120 (full scan)"
+        (Staged.stage (fun () -> Skat.suggest ~left:p.Gen.left ~right:p.Gen.right ()));
+      Test.make ~name:"suggest 120x120 (blocking)"
+        (Staged.stage (fun () ->
+             Skat.suggest ~config:blocked_config ~left:p.Gen.left ~right:p.Gen.right ()));
+      Test.make ~name:"oracle session"
+        (Staged.stage (fun () ->
+             Session.run ~articulation_name:"mid"
+               ~expert:(Expert.oracle ~ground_truth:p.Gen.ground_truth)
+               ~left:p.Gen.left ~right:p.Gen.right ()));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* QRY — mediated queries                                             *)
+(* ------------------------------------------------------------------ *)
+
+let qry () =
+  section "QRY" "query reformulation and mediated execution across sources";
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let u = Algebra.union ~left ~right r.Generator.articulation in
+  let tests =
+    List.concat_map
+      (fun per_concept ->
+        let kb1 =
+          Query_gen.instances_for ~seed:3 ~per_concept left ~kb_name:"kb1"
+        in
+        let kb2 =
+          Query_gen.instances_for ~seed:4 ~per_concept right ~kb_name:"kb2"
+        in
+        let env = Mediator.env ~kbs:[ kb1; kb2 ] ~unified:u () in
+        let q = Query.parse_exn "SELECT Price FROM Vehicle WHERE Price < 20000" in
+        (match Mediator.run env q with
+        | Ok report ->
+            row "per-concept=%3d: scanned %d, returned %d tuple(s)" per_concept
+              report.Mediator.scanned
+              (List.length report.Mediator.tuples)
+        | Error m -> row "per-concept=%3d: ERROR %s" per_concept m);
+        [
+          Test.make ~name:(Printf.sprintf "plan  (reformulation)   k=%3d" per_concept)
+            (Staged.stage (fun () ->
+                 Rewrite.plan (Federation.of_unified u) ~conversions:Conversion.builtin q));
+          Test.make ~name:(Printf.sprintf "run   (plan + execute)  k=%3d" per_concept)
+            (Staged.stage (fun () -> Mediator.run env q));
+        ])
+      [ 10; 100 ]
+  in
+  print_timings "query" tests
+
+(* ------------------------------------------------------------------ *)
+(* PAT — pattern matching                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pat () =
+  section "PAT" "pattern matching cost: pattern size x graph size, exact vs fuzzy";
+  let tests =
+    List.concat_map
+      (fun n ->
+        let o = Gen.ontology ~profile:(profile n) ~seed:17 ~name:"g" () in
+        let g = Ontology.graph o in
+        let some_term = List.hd (Ontology.terms o) in
+        let p1 = Pattern.term some_term in
+        let p2 =
+          Pattern_parser.parse_exn "?X -[SubclassOf]-> ?Y"
+        in
+        let p3 =
+          Pattern_parser.parse_exn "?X -[SubclassOf]-> ?Y -[SubclassOf]-> ?Z"
+        in
+        let fuzzy = Fuzzy.with_synonyms Lexicon.builtin in
+        [
+          Test.make ~name:(Printf.sprintf "1-node exact       n=%4d" n)
+            (Staged.stage (fun () -> Matcher.find p1 g));
+          Test.make ~name:(Printf.sprintf "2-node wildcards   n=%4d" n)
+            (Staged.stage (fun () -> Matcher.find ~limit:100 p2 g));
+          Test.make ~name:(Printf.sprintf "3-node chain       n=%4d" n)
+            (Staged.stage (fun () -> Matcher.find ~limit:100 p3 g));
+          Test.make ~name:(Printf.sprintf "1-node fuzzy       n=%4d" n)
+            (Staged.stage (fun () -> Matcher.find ~policy:fuzzy p1 g));
+        ])
+      [ 100; 1000 ]
+  in
+  print_timings "matcher" tests
+
+(* ------------------------------------------------------------------ *)
+(* INF — inference engine                                             *)
+(* ------------------------------------------------------------------ *)
+
+let inf () =
+  section "INF" "Horn-clause inference: closure cost and derived volume";
+  let chain depth =
+    Digraph.of_edges
+      (List.init depth (fun i ->
+           {
+             Digraph.src = Printf.sprintf "n%d" i;
+             label = Rel.subclass_of;
+             dst = Printf.sprintf "n%d" (i + 1);
+           }))
+  in
+  List.iter
+    (fun depth ->
+      let r = Infer.run ~rules:Infer.default_rules (chain depth) in
+      row "chain depth %4d: %6d derived edges in %3d rounds" depth
+        (List.length r.Infer.derived)
+        r.Infer.rounds)
+    [ 25; 50; 100 ];
+  let u = Paper_example.unified () in
+  let r = Infer.run ~rules:Infer.default_rules u.Algebra.graph in
+  row "paper unified graph: %d derived edges in %d rounds"
+    (List.length r.Infer.derived)
+    r.Infer.rounds;
+  let synth = Gen.ontology ~profile:(profile 300) ~seed:19 ~name:"s" () in
+  print_timings "infer"
+    [
+      Test.make ~name:"chain closure depth=50"
+        (Staged.stage (fun () -> Infer.run ~rules:Infer.default_rules (chain 50)));
+      Test.make ~name:"paper unified graph"
+        (Staged.stage (fun () ->
+             Infer.run ~rules:Infer.default_rules u.Algebra.graph));
+      Test.make ~name:"synthetic 300-term ontology"
+        (Staged.stage (fun () ->
+             Infer.run ~rules:Infer.default_rules (Ontology.graph synth)));
+      Test.make ~name:"registry closure (Ontology.closure)"
+        (Staged.stage (fun () -> Ontology.closure synth));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* ABL — ablations of the design choices DESIGN.md calls out           *)
+(* ------------------------------------------------------------------ *)
+
+let abl () =
+  section "ABL" "ablations: inference strategy, matcher ordering, \
+                 suggestion evidence, difference semantics, pushdown";
+  (* 1. Semi-naive vs naive Horn evaluation (same fixpoint). *)
+  let chain depth =
+    Digraph.of_edges
+      (List.init depth (fun i ->
+           {
+             Digraph.src = Printf.sprintf "n%d" i;
+             label = Rel.subclass_of;
+             dst = Printf.sprintf "n%d" (i + 1);
+           }))
+  in
+  let g40 = chain 40 in
+  (* 2. Matcher node ordering. *)
+  let big = Ontology.graph (Gen.ontology ~profile:(profile 600) ~seed:13 ~name:"g" ()) in
+  let hard_pattern =
+    (* Wildcard first in declaration order: the naive order explodes. *)
+    Pattern.create
+      ~nodes:
+        [
+          { Pattern.id = "0/x"; label = None; binder = Some "X" };
+          { Pattern.id = "1/y"; label = Some (List.hd (Digraph.nodes big)); binder = None };
+        ]
+      ~edges:[ { Pattern.src = "0/x"; elabel = None; dst = "1/y" } ]
+      ()
+  in
+  (* 3. SKAT evidence: lexical vs structural vs combined P/R. *)
+  let p =
+    Gen.overlapping_pair ~profile:(profile 80) ~synonym_rate:0.8 ~overlap:0.3
+      ~seed:37 ~left_name:"a" ~right_name:"b" ()
+  in
+  let truth_bodies = List.map (fun (r : Rule.t) -> r.Rule.body) p.Gen.ground_truth in
+  let score name suggs =
+    let bodies = List.map (fun (s : Skat.suggestion) -> s.Skat.rule.Rule.body) suggs in
+    let tp =
+      List.length
+        (List.filter (fun b -> List.exists (Rule.equal_body b) truth_bodies) bodies)
+    in
+    let c = { Stats.tp; fp = List.length bodies - tp; fn = List.length truth_bodies - tp } in
+    row "%-28s suggested %4d  precision %.2f  recall %.2f  f1 %.2f" name
+      (List.length bodies) (Stats.precision c) (Stats.recall c) (Stats.f1 c)
+  in
+  score "evidence: lexical"
+    (Skat.suggest ~left:p.Gen.left ~right:p.Gen.right ());
+  score "evidence: structural"
+    (Skat_structural.suggest
+       ~config:{ Skat_structural.default_config with Skat_structural.min_score = 0.75 }
+       ~left:p.Gen.left ~right:p.Gen.right ());
+  score "evidence: combined"
+    (Skat_structural.combined_suggest ~left:p.Gen.left ~right:p.Gen.right ());
+  (* 4. Difference semantics: all edges vs semantic-only. *)
+  let r = Paper_example.articulation () in
+  let semantic =
+    Traversal.only [ Rel.si_bridge; Rel.semantic_implication; Rel.subclass_of ]
+  in
+  let d_all =
+    Algebra.difference ~minuend:r.Generator.updated_right
+      ~subtrahend:r.Generator.updated_left r.Generator.articulation
+  in
+  let d_sem =
+    Algebra.difference ~follow:semantic ~minuend:r.Generator.updated_right
+      ~subtrahend:r.Generator.updated_left r.Generator.articulation
+  in
+  row "difference (factory-carrier): all-edges keeps %d terms, semantic keeps %d"
+    (Ontology.nb_terms d_all) (Ontology.nb_terms d_sem);
+  (* 5. Predicate pushdown: transferred tuples. *)
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let u = Algebra.union ~left ~right r.Generator.articulation in
+  let kb1 = Query_gen.instances_for ~seed:3 ~per_concept:100 left ~kb_name:"kb1" in
+  let kb2 = Query_gen.instances_for ~seed:4 ~per_concept:100 right ~kb_name:"kb2" in
+  let env = Mediator.env ~kbs:[ kb1; kb2 ] ~unified:u () in
+  let q = Query.parse_exn "SELECT Price FROM Vehicle WHERE Price < 5000" in
+  (match (Mediator.run env q, Mediator.run ~pushdown:true env q) with
+  | Ok plain, Ok pushed ->
+      row "pushdown: scanned %d, transferred %d -> %d (answers identical: %b)"
+        plain.Mediator.scanned plain.Mediator.transferred
+        pushed.Mediator.transferred
+        (List.length plain.Mediator.tuples = List.length pushed.Mediator.tuples)
+  | _ -> row "pushdown: query failed");
+  print_timings "ablations"
+    [
+      Test.make ~name:"infer semi-naive (chain 40)"
+        (Staged.stage (fun () -> Infer.run ~rules:Infer.default_rules g40));
+      Test.make ~name:"infer naive      (chain 40)"
+        (Staged.stage (fun () ->
+             Infer.run ~strategy:`Naive ~rules:Infer.default_rules g40));
+      Test.make ~name:"match constrained-first"
+        (Staged.stage (fun () -> Matcher.find ~limit:50 hard_pattern big));
+      Test.make ~name:"match declaration order"
+        (Staged.stage (fun () ->
+             Matcher.find ~limit:50 ~node_order:`Declaration hard_pattern big));
+      Test.make ~name:"mediate without pushdown"
+        (Staged.stage (fun () -> Mediator.run env q));
+      Test.make ~name:"mediate with pushdown"
+        (Staged.stage (fun () -> Mediator.run ~pushdown:true env q));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* MED — the second worked domain (clinic / insurer)                   *)
+(* ------------------------------------------------------------------ *)
+
+let med () =
+  section "MED" "the clinic/insurer fixture: lexicon-heavy alignment quality \
+                 and the kg/lb mediation";
+  let truth =
+    List.map (fun (r : Rule.t) -> r.Rule.body) Medical_example.ground_truth_alignment
+  in
+  let score name suggs =
+    let bodies = List.map (fun (s : Skat.suggestion) -> s.Skat.rule.Rule.body) suggs in
+    let tp =
+      List.length (List.filter (fun b -> List.exists (Rule.equal_body b) truth) bodies)
+    in
+    let c = { Stats.tp; fp = List.length bodies - tp; fn = List.length truth - tp } in
+    row "%-22s suggested %3d  precision %.2f  recall %.2f" name (List.length bodies)
+      (Stats.precision c) (Stats.recall c)
+  in
+  score "lexical"
+    (Skat.suggest ~left:Medical_example.clinic ~right:Medical_example.insurer ());
+  score "combined"
+    (Skat_structural.combined_suggest ~left:Medical_example.clinic
+       ~right:Medical_example.insurer ());
+  let r = Medical_example.articulation () in
+  row "expert rule set: %d bridges, %d warnings"
+    (Articulation.nb_bridges r.Generator.articulation)
+    (List.length r.Generator.warnings);
+  print_timings "medical"
+    [
+      Test.make ~name:"articulate clinic/insurer"
+        (Staged.stage (fun () -> Medical_example.articulation ()));
+      Test.make ~name:"combined suggest"
+        (Staged.stage (fun () ->
+             Skat_structural.combined_suggest ~left:Medical_example.clinic
+               ~right:Medical_example.insurer ()));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* FED / EXC — federated queries over a tower; instance exchange       *)
+(* ------------------------------------------------------------------ *)
+
+let fed () =
+  section "FED" "three-source federation through a composition tower; \
+                 instance exchange throughput";
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let customs =
+    Ontology.create "customs"
+    |> fun o -> Ontology.add_subclass o ~sub:"ImportedVehicle" ~super:"Import"
+    |> fun o -> Ontology.add_attribute o ~concept:"ImportedVehicle" ~attr:"Duty"
+  in
+  let tower =
+    Compose.compose ~articulation_name:"trade" ~base:r.Generator.articulation
+      ~third:customs
+      [
+        Rule.implies
+          (Term.make ~ontology:"customs" "ImportedVehicle")
+          (Term.make ~ontology:"trade" "TradeVehicle");
+        Rule.implies
+          (Term.make ~ontology:"transport" "Vehicle")
+          (Term.make ~ontology:"trade" "TradeVehicle");
+      ]
+  in
+  let space =
+    Federation.of_parts ~sources:[ left; right; customs ]
+      ~articulations:[ tower.Compose.base; tower.Compose.upper ]
+  in
+  let kbs =
+    [
+      Query_gen.instances_for ~seed:3 ~per_concept:50 left ~kb_name:"kb1";
+      Query_gen.instances_for ~seed:4 ~per_concept:50 right ~kb_name:"kb2";
+      Query_gen.instances_for ~seed:5 ~per_concept:50 customs ~kb_name:"kb3";
+    ]
+  in
+  let env = Mediator.env_federated ~kbs ~space () in
+  let q = Query.parse_exn "SELECT COUNT(*) FROM trade:TradeVehicle" in
+  (match Mediator.run env q with
+  | Ok report ->
+      row "3-source COUNT(*): %d instances from %d scanned"
+        (List.length report.Mediator.tuples)
+        report.Mediator.scanned
+  | Error m -> row "federated query failed: %s" m);
+  (* Exchange throughput: translate every carrier instance into factory
+     vocabulary. *)
+  let kb = Query_gen.instances_for ~seed:6 ~per_concept:100 left ~kb_name:"x" in
+  let pair_space = Federation.of_unified (Algebra.union ~left ~right r.Generator.articulation) in
+  let translate_all () =
+    List.filter_map
+      (fun inst ->
+        Result.to_option
+          (Exchange.translate pair_space ~conversions:Conversion.builtin
+             ~from:"carrier" ~to_:"factory" inst))
+      (Kb.instances kb)
+  in
+  row "exchange: %d of %d instances translate into factory vocabulary"
+    (List.length (translate_all ()))
+    (Kb.size kb);
+  print_timings "federation"
+    [
+      Test.make ~name:"3-source federated query"
+        (Staged.stage (fun () -> Mediator.run env q));
+      Test.make ~name:"exchange 100+ instances"
+        (Staged.stage translate_all);
+    ]
+
+let () =
+  Format.printf "ONION benchmark harness — one section per DESIGN.md experiment id@.";
+  fig2 ();
+  alg ();
+  scale_art ();
+  maint ();
+  skat ();
+  qry ();
+  pat ();
+  inf ();
+  abl ();
+  med ();
+  fed ();
+  Format.printf "@.done.@."

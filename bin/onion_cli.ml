@@ -1,0 +1,656 @@
+(* The onion command-line toolkit: load ontologies (XML / IDL / adjacency),
+   validate them, articulate pairs with rule files, run the algebra, pose
+   mediated queries, and export Graphviz renderings. *)
+
+open Cmdliner
+
+let load_or_die path =
+  match Loader.load_file path with
+  | Ok o -> o
+  | Error m ->
+      Printf.eprintf "error: cannot load %s: %s\n" path m;
+      exit 1
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_rules ~default_ontology path =
+  match Rule_parser.parse ~default_ontology (read_file path) with
+  | Ok rules -> rules
+  | Error errors ->
+      List.iter
+        (fun e -> Printf.eprintf "rule error: %s\n" (Format.asprintf "%a" Rule_parser.pp_error e))
+        errors;
+      exit 1
+
+let write_output path content =
+  match path with
+  | None -> print_string content
+  | Some p ->
+      let oc = open_out_bin p in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc content)
+
+(* ---------------- arguments ---------------- *)
+
+let ontology_arg idx docv =
+  Arg.(required & pos idx (some file) None & info [] ~docv ~doc:"Ontology file.")
+
+let rules_arg idx =
+  Arg.(
+    required
+    & pos idx (some file) None
+    & info [] ~docv:"RULES" ~doc:"Articulation-rule file.")
+
+let name_arg =
+  Arg.(
+    value
+    & opt string "articulation"
+    & info [ "name"; "n" ] ~docv:"NAME" ~doc:"Articulation ontology name.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write output to $(docv).")
+
+(* ---------------- commands ---------------- *)
+
+let validate_cmd =
+  let run path strict =
+    let o = load_or_die path in
+    let issues = Consistency.check ~strict o in
+    Printf.printf "%s:\n%s\n" (Ontology.name o)
+      (Format.asprintf "%a" Metrics.pp (Metrics.compute o));
+    List.iter
+      (fun i -> print_endline (Format.asprintf "%a" Consistency.pp_issue i))
+      issues;
+    if Consistency.errors issues <> [] then exit 1
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Also flag undeclared relationships.")
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Load an ontology and run consistency checks.")
+    Term.(const run $ ontology_arg 0 "ONTOLOGY" $ strict)
+
+let show_cmd =
+  let run path =
+    let o = load_or_die path in
+    print_string (Render.ontology_tree o)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Render an ontology as a subclass tree.")
+    Term.(const run $ ontology_arg 0 "ONTOLOGY")
+
+let dot_cmd =
+  let run path output =
+    let o = load_or_die path in
+    write_output output (Dot.to_dot ~name:(Ontology.name o) (Ontology.graph o))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export an ontology as Graphviz DOT.")
+    Term.(const run $ ontology_arg 0 "ONTOLOGY" $ output_arg)
+
+let articulate_cmd =
+  let run left_path right_path rules_path name dot_out =
+    let left = load_or_die left_path and right = load_or_die right_path in
+    let rules = load_rules ~default_ontology:name rules_path in
+    let r =
+      Generator.generate ~conversions:Conversion.builtin ~articulation_name:name
+        ~left ~right rules
+    in
+    List.iter
+      (fun w -> Printf.eprintf "warning: %s\n" (Format.asprintf "%a" Generator.pp_warning w))
+      r.Generator.warnings;
+    print_string (Render.articulation_summary r.Generator.articulation);
+    let conflicts =
+      Conflict.check ~conversions:Conversion.builtin
+        ~ontologies:[ r.Generator.updated_left; r.Generator.updated_right ]
+        rules
+    in
+    if conflicts <> [] then begin
+      print_endline "conflicts:";
+      print_string (Render.conflicts_listing conflicts)
+    end;
+    match dot_out with
+    | None -> ()
+    | Some p ->
+        let art = r.Generator.articulation in
+        let dot =
+          Dot.clusters_to_dot ~name
+            ~clusters:
+              [
+                {
+                  Dot.cluster_name = Ontology.name left;
+                  graph = Ontology.qualify r.Generator.updated_left;
+                };
+                {
+                  Dot.cluster_name = Ontology.name right;
+                  graph = Ontology.qualify r.Generator.updated_right;
+                };
+                {
+                  Dot.cluster_name = name;
+                  graph = Ontology.qualify (Articulation.ontology art);
+                };
+              ]
+            ~bridge_edges:(Articulation.bridge_edges art) ()
+        in
+        write_output (Some p) dot
+  in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a clustered DOT rendering.")
+  in
+  Cmd.v
+    (Cmd.info "articulate"
+       ~doc:"Articulate two ontologies with an articulation-rule file.")
+    Term.(
+      const run $ ontology_arg 0 "LEFT" $ ontology_arg 1 "RIGHT" $ rules_arg 2
+      $ name_arg $ dot_out)
+
+let suggest_cmd =
+  let run left_path right_path min_score blocking structural =
+    let left = load_or_die left_path and right = load_or_die right_path in
+    let config = { Skat.default_config with Skat.min_score; Skat.blocking } in
+    let suggestions =
+      if structural then
+        Skat_structural.combined_suggest ~lexical:config ~left ~right ()
+      else Skat.suggest ~config ~left ~right ()
+    in
+    print_string (Render.suggestions_table suggestions)
+  in
+  let min_score =
+    Arg.(
+      value
+      & opt float 0.75
+      & info [ "min-score" ] ~docv:"S" ~doc:"Suggestion score threshold.")
+  in
+  let blocking =
+    Arg.(value & flag & info [ "blocking" ] ~doc:"Candidate blocking (near-linear, approximate).")
+  in
+  let structural =
+    Arg.(value & flag & info [ "structural" ] ~doc:"Also run the similarity-flooding matcher.")
+  in
+  Cmd.v
+    (Cmd.info "suggest" ~doc:"Run SKAT and print suggested articulation rules.")
+    Term.(const run $ ontology_arg 0 "LEFT" $ ontology_arg 1 "RIGHT" $ min_score
+          $ blocking $ structural)
+
+let algebra_cmd =
+  let run op left_path right_path rules_path name =
+    let left = load_or_die left_path and right = load_or_die right_path in
+    let rules = load_rules ~default_ontology:name rules_path in
+    let r =
+      Generator.generate ~conversions:Conversion.builtin ~articulation_name:name
+        ~left ~right rules
+    in
+    let art = r.Generator.articulation in
+    let left = r.Generator.updated_left and right = r.Generator.updated_right in
+    match op with
+    | "union" ->
+        let u = Algebra.union ~left ~right art in
+        print_string (Render.unified_overview u)
+    | "intersection" -> print_string (Render.ontology_tree (Algebra.intersection art))
+    | "difference" ->
+        let d = Algebra.difference ~minuend:left ~subtrahend:right art in
+        print_string (Render.ontology_tree d)
+    | other ->
+        Printf.eprintf "error: unknown operator %s (union|intersection|difference)\n" other;
+        exit 1
+  in
+  let op =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP" ~doc:"union, intersection or difference.")
+  in
+  Cmd.v
+    (Cmd.info "algebra" ~doc:"Apply an ontology-algebra operator.")
+    Term.(
+      const run $ op $ ontology_arg 1 "LEFT" $ ontology_arg 2 "RIGHT"
+      $ rules_arg 3 $ name_arg)
+
+let query_cmd =
+  let run left_path right_path rules_path name query_text =
+    let left = load_or_die left_path and right = load_or_die right_path in
+    let rules = load_rules ~default_ontology:name rules_path in
+    let r =
+      Generator.generate ~conversions:Conversion.builtin ~articulation_name:name
+        ~left ~right rules
+    in
+    let left = r.Generator.updated_left and right = r.Generator.updated_right in
+    let u = Algebra.union ~left ~right r.Generator.articulation in
+    let kbs =
+      [
+        Kb.of_ontology_instances ~ontology:left ("kb-" ^ Ontology.name left);
+        Kb.of_ontology_instances ~ontology:right ("kb-" ^ Ontology.name right);
+      ]
+    in
+    let env = Mediator.env ~kbs ~unified:u () in
+    match Mediator.run_text env query_text with
+    | Ok report -> print_endline (Format.asprintf "%a" Mediator.pp_report report)
+    | Error m ->
+        Printf.eprintf "query error: %s\n" m;
+        exit 1
+  in
+  let query_text =
+    Arg.(
+      required
+      & pos 3 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"e.g. 'SELECT Price FROM Vehicle WHERE Price < 5000'.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Articulate two ontologies and run a mediated query over the \
+          instances embedded in them.")
+    Term.(
+      const run $ ontology_arg 0 "LEFT" $ ontology_arg 1 "RIGHT" $ rules_arg 2
+      $ name_arg $ query_text)
+
+(* Interactive articulation session (section 2.2's viewer loop, textual):
+   SKAT proposes, the user rules on suggestions, the generator recompiles,
+   and the result can be queried, saved or exported. *)
+let session_cmd =
+  let run left_path right_path name =
+    let left = ref (load_or_die left_path) in
+    let right = ref (load_or_die right_path) in
+    let accepted = ref [] and rejected = ref [] in
+    let pending = ref [] in
+    let articulation = ref None in
+    let refresh_suggestions () =
+      let config =
+        { Skat.default_config with Skat.exclude = !accepted @ !rejected }
+      in
+      pending := Skat.suggest ~config ~left:!left ~right:!right ()
+    in
+    let regenerate () =
+      let r =
+        Generator.generate ~conversions:Conversion.builtin
+          ~articulation_name:name ~left:!left ~right:!right !accepted
+      in
+      left := r.Generator.updated_left;
+      right := r.Generator.updated_right;
+      articulation := Some r.Generator.articulation;
+      List.iter
+        (fun w -> Printf.printf "warning: %s\n" (Format.asprintf "%a" Generator.pp_warning w))
+        r.Generator.warnings;
+      print_string (Render.articulation_summary r.Generator.articulation)
+    in
+    let show_pending () =
+      List.iteri
+        (fun i s -> Printf.printf "%3d. %s\n" i (Format.asprintf "%a" Skat.pp_suggestion s))
+        !pending
+    in
+    let with_unified k =
+      match !articulation with
+      | None -> print_endline "no articulation yet; run 'gen' first"
+      | Some art -> k (Algebra.union ~left:!left ~right:!right art)
+    in
+    let help () =
+      print_string
+        "commands: suggest | accept <i> | reject <i> | rule <text> | gen | \
+         show left|right|art | conflicts | query <q> | oql <q> | save <file> \
+         | dot <file> | quit\n"
+    in
+    refresh_suggestions ();
+    Printf.printf "onion session: %s / %s -> %s (%d suggestions; 'help' for commands)\n"
+      (Ontology.name !left) (Ontology.name !right) name
+      (List.length !pending);
+    let decide i keep =
+      match List.nth_opt !pending i with
+      | None -> print_endline "no such suggestion"
+      | Some s ->
+          (if keep then accepted := !accepted @ [ s.Skat.rule ]
+           else rejected := !rejected @ [ s.Skat.rule ]);
+          pending := List.filteri (fun j _ -> j <> i) !pending;
+          Printf.printf "%s %s\n" (if keep then "accepted" else "rejected")
+            (Rule.to_string s.Skat.rule)
+    in
+    let rec loop () =
+      print_string "> ";
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line -> (
+          let line = String.trim line in
+          let word, rest =
+            match String.index_opt line ' ' with
+            | Some i ->
+                ( String.sub line 0 i,
+                  String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+            | None -> (line, "")
+          in
+          (match (word, rest) with
+          | "", _ -> ()
+          | "help", _ -> help ()
+          | "suggest", _ ->
+              refresh_suggestions ();
+              show_pending ()
+          | "accept", i -> (
+              match int_of_string_opt i with
+              | Some i -> decide i true
+              | None -> print_endline "usage: accept <index>")
+          | "reject", i -> (
+              match int_of_string_opt i with
+              | Some i -> decide i false
+              | None -> print_endline "usage: reject <index>")
+          | "rule", text -> (
+              match Rule_parser.parse_rule ~default_ontology:name text with
+              | Ok rules ->
+                  accepted := !accepted @ rules;
+                  List.iter (fun r -> Printf.printf "added %s\n" (Rule.to_string r)) rules
+              | Error m -> Printf.printf "rule error: %s\n" m)
+          | "gen", _ -> regenerate ()
+          | "show", "left" -> print_string (Render.ontology_tree !left)
+          | "show", "right" -> print_string (Render.ontology_tree !right)
+          | "show", "art" -> (
+              match !articulation with
+              | Some art -> print_string (Render.articulation_summary art)
+              | None -> print_endline "no articulation yet; run 'gen' first")
+          | "conflicts", _ ->
+              let conflicts =
+                Conflict.check ~conversions:Conversion.builtin
+                  ~ontologies:[ !left; !right ] !accepted
+              in
+              print_string (Render.conflicts_listing conflicts)
+          | "query", q ->
+              with_unified (fun u ->
+                  let kbs =
+                    [
+                      Kb.of_ontology_instances ~ontology:!left "kb-left";
+                      Kb.of_ontology_instances ~ontology:!right "kb-right";
+                    ]
+                  in
+                  let env = Mediator.env ~kbs ~unified:u () in
+                  match Mediator.run_text env q with
+                  | Ok report -> print_endline (Format.asprintf "%a" Mediator.pp_report report)
+                  | Error m -> Printf.printf "query error: %s\n" m)
+          | "oql", q ->
+              with_unified (fun u ->
+                  match Query.parse ~default_ontology:name q with
+                  | Error m -> Printf.printf "query error: %s\n" m
+                  | Ok query -> (
+                      match Rewrite.plan (Federation.of_unified u) ~conversions:Conversion.builtin query with
+                      | Ok plan ->
+                          print_string
+                            (Oql.to_string (Oql.of_plan ~conversions:Conversion.builtin plan))
+                      | Error m -> Printf.printf "plan error: %s\n" m))
+          | "save", path -> (
+              match !articulation with
+              | Some art ->
+                  Articulation_io.save_file art path;
+                  Printf.printf "saved articulation to %s\n" path
+              | None -> print_endline "no articulation yet; run 'gen' first")
+          | "dot", path ->
+              with_unified (fun u ->
+                  write_output (Some path) (Dot.to_dot ~name (Algebra.union_ontology u |> Ontology.graph));
+                  Printf.printf "wrote %s\n" path)
+          | "quit", _ | "exit", _ -> raise Exit
+          | other, _ -> Printf.printf "unknown command %S ('help' lists them)\n" other);
+          loop ())
+    in
+    (try loop () with Exit -> ());
+    print_endline "bye"
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:"Interactive articulation session: SKAT suggests, you decide.")
+    Term.(const run $ ontology_arg 0 "LEFT" $ ontology_arg 1 "RIGHT" $ name_arg)
+
+let oql_cmd =
+  let run left_path right_path rules_path name query_text =
+    let left = load_or_die left_path and right = load_or_die right_path in
+    let rules = load_rules ~default_ontology:name rules_path in
+    let r =
+      Generator.generate ~conversions:Conversion.builtin ~articulation_name:name
+        ~left ~right rules
+    in
+    let u =
+      Algebra.union ~left:r.Generator.updated_left
+        ~right:r.Generator.updated_right r.Generator.articulation
+    in
+    match Query.parse ~default_ontology:name query_text with
+    | Error m ->
+        Printf.eprintf "query error: %s\n" m;
+        exit 1
+    | Ok q -> (
+        match Rewrite.plan (Federation.of_unified u) ~conversions:Conversion.builtin q with
+        | Ok plan ->
+            print_string (Oql.to_string (Oql.of_plan ~conversions:Conversion.builtin plan))
+        | Error m ->
+            Printf.eprintf "plan error: %s\n" m;
+            exit 1)
+  in
+  let query_text =
+    Arg.(
+      required
+      & pos 3 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"Query to derive the mediator for.")
+  in
+  Cmd.v
+    (Cmd.info "oql" ~doc:"Derive the ODMG mediator (per-source OQL) for a query.")
+    Term.(
+      const run $ ontology_arg 0 "LEFT" $ ontology_arg 1 "RIGHT" $ rules_arg 2
+      $ name_arg $ query_text)
+
+let rdf_cmd =
+  let run path output =
+    let o = load_or_die path in
+    write_output output (Ntriples.of_ontology o)
+  in
+  Cmd.v
+    (Cmd.info "rdf" ~doc:"Export an ontology as RDF N-Triples.")
+    Term.(const run $ ontology_arg 0 "ONTOLOGY" $ output_arg)
+
+(* ---------------- workspace commands ---------------- *)
+
+let workspace_arg idx =
+  Arg.(
+    required
+    & pos idx (some string) None
+    & info [] ~docv:"WORKSPACE" ~doc:"Workspace directory.")
+
+let open_workspace_or_die dir =
+  match Workspace.open_ dir with
+  | Ok ws -> ws
+  | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 1
+
+let ws_init_cmd =
+  let run dir =
+    match Workspace.init dir with
+    | Ok _ -> Printf.printf "initialized workspace %s\n" dir
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Create a new onion workspace.")
+    Term.(const run $ workspace_arg 0)
+
+let ws_add_cmd =
+  let run dir path =
+    let ws = open_workspace_or_die dir in
+    match Workspace.add_source ws ~path with
+    | Ok name -> Printf.printf "registered source %s\n" name
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+  in
+  let path =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE" ~doc:"Ontology file.")
+  in
+  Cmd.v
+    (Cmd.info "add" ~doc:"Register an ontology file in the workspace.")
+    Term.(const run $ workspace_arg 0 $ path)
+
+let ws_status_cmd =
+  let run dir = print_string (Workspace.status (open_workspace_or_die dir)) in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Show sources, articulations and staleness.")
+    Term.(const run $ workspace_arg 0)
+
+let ws_articulate_cmd =
+  let run dir left right rules_path name =
+    let ws = open_workspace_or_die dir in
+    let rules = load_rules ~default_ontology:name rules_path in
+    match
+      Workspace.articulate ~conversions:Conversion.builtin ws ~left ~right ~name
+        ~rules
+    with
+    | Ok (articulation, warnings) ->
+        List.iter
+          (fun w ->
+            Printf.eprintf "warning: %s\n" (Format.asprintf "%a" Generator.pp_warning w))
+          warnings;
+        Printf.printf "stored articulation %s (%d bridges)\n"
+          (Articulation.name articulation)
+          (Articulation.nb_bridges articulation)
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+  in
+  let name_pos i docv = Arg.(required & pos i (some string) None & info [] ~docv ~doc:"Source name.") in
+  Cmd.v
+    (Cmd.info "articulate"
+       ~doc:"Articulate two registered sources and store the result.")
+    Term.(
+      const run $ workspace_arg 0 $ name_pos 1 "LEFT" $ name_pos 2 "RIGHT"
+      $ rules_arg 3 $ name_arg)
+
+let ws_query_cmd =
+  let run dir query_text =
+    let ws = open_workspace_or_die dir in
+    match Workspace.space ws with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok space -> (
+        let kbs =
+          match Workspace.load_sources ws with
+          | Ok sources ->
+              List.map
+                (fun o ->
+                  Kb.of_ontology_instances ~ontology:o ("kb-" ^ Ontology.name o))
+                sources
+          | Error _ -> []
+        in
+        let env = Mediator.env_federated ~kbs ~space () in
+        match Mediator.run_text env query_text with
+        | Ok report -> print_endline (Format.asprintf "%a" Mediator.pp_report report)
+        | Error m ->
+            Printf.eprintf "query error: %s\n" m;
+            exit 1)
+  in
+  let query_text =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"Query over the workspace federation.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Run a federated query over every source and articulation.")
+    Term.(const run $ workspace_arg 0 $ query_text)
+
+let workspace_cmd =
+  Cmd.group
+    (Cmd.info "workspace"
+       ~doc:"Manage an on-disk workspace of sources and stored articulations.")
+    [ ws_init_cmd; ws_add_cmd; ws_status_cmd; ws_articulate_cmd; ws_query_cmd ]
+
+let translate_cmd =
+  let run left_path right_path rules_path name from_name to_name instance_id =
+    let left = load_or_die left_path and right = load_or_die right_path in
+    let rules = load_rules ~default_ontology:name rules_path in
+    let r =
+      Generator.generate ~conversions:Conversion.builtin ~articulation_name:name
+        ~left ~right rules
+    in
+    let left = r.Generator.updated_left and right = r.Generator.updated_right in
+    let u = Algebra.union ~left ~right r.Generator.articulation in
+    let space = Federation.of_unified u in
+    let source_ontology =
+      if String.equal from_name (Ontology.name left) then left else right
+    in
+    let kb = Kb.of_ontology_instances ~ontology:source_ontology "kb" in
+    match Kb.get kb ~id:instance_id with
+    | None ->
+        Printf.eprintf "error: no instance %s embedded in %s\n" instance_id from_name;
+        exit 1
+    | Some inst -> (
+        match
+          Exchange.translate space ~conversions:Conversion.builtin
+            ~from:from_name ~to_:to_name inst
+        with
+        | Ok outcome ->
+            Printf.printf "%s (%s:%s) translates to %s:%s\n" instance_id
+              from_name inst.Kb.concept to_name
+              outcome.Exchange.instance.Kb.concept;
+            Printf.printf "  path: %s\n"
+              (String.concat " -> " outcome.Exchange.target_concept_path);
+            List.iter
+              (fun (a, v) ->
+                Printf.printf "  %s = %s\n" a
+                  (Format.asprintf "%a" Conversion.pp_value v))
+              outcome.Exchange.instance.Kb.attrs;
+            if outcome.Exchange.untranslated <> [] then
+              Printf.printf "  untranslated: %s\n"
+                (String.concat ", " outcome.Exchange.untranslated)
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            exit 1)
+  in
+  let opt_name flag_name doc =
+    Arg.(required & opt (some string) None & info [ flag_name ] ~docv:"NAME" ~doc)
+  in
+  let instance_arg =
+    Arg.(
+      required
+      & pos 3 (some string) None
+      & info [] ~docv:"INSTANCE" ~doc:"Instance id embedded in the source ontology.")
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:
+         "Translate an instance from one source's vocabulary into the \
+          other's through the articulation (object exchange).")
+    Term.(
+      const run $ ontology_arg 0 "LEFT" $ ontology_arg 1 "RIGHT" $ rules_arg 2
+      $ name_arg
+      $ opt_name "from" "Source ontology the instance lives in."
+      $ opt_name "to" "Target ontology vocabulary."
+      $ instance_arg)
+
+let demo_cmd =
+  let run () =
+    let r = Paper_example.articulation () in
+    print_string (Render.ontology_tree Paper_example.carrier);
+    print_string (Render.ontology_tree Paper_example.factory);
+    print_string (Render.articulation_summary r.Generator.articulation);
+    let u = Paper_example.unified () in
+    print_string (Render.unified_overview u)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's carrier/factory example end to end.")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "ONION: graph-oriented articulation of ontology interdependencies" in
+  Cmd.group
+    (Cmd.info "onion" ~version:"1.0.0" ~doc)
+    [
+      validate_cmd; show_cmd; dot_cmd; articulate_cmd; suggest_cmd; algebra_cmd;
+      query_cmd; session_cmd; oql_cmd; rdf_cmd; workspace_cmd; translate_cmd;
+      demo_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,121 @@
+(* Source-ontology evolution and articulation maintenance (sections 1 and
+   5.3): "If a change to a source ontology occurs in the difference of O1
+   with other ontologies, no change needs to occur in any of the
+   articulation ontologies."
+
+   This example generates two overlapping catalogs, articulates them, and
+   then replays two change workloads against the left source: one confined
+   to the articulation-independent region (the difference), one aimed at
+   bridged terms.  It reports the maintenance cost of each under both the
+   articulation approach and the global-schema baseline.
+
+   Run with:  dune exec examples/evolution.exe *)
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  section "generated overlapping sources";
+  let pair =
+    Gen.overlapping_pair
+      ~profile:{ Gen.default_profile with Gen.n_terms = 60 }
+      ~overlap:0.25 ~seed:42 ~left_name:"plant" ~right_name:"dealer" ()
+  in
+  Printf.printf "plant: %d terms; dealer: %d terms; %d shared concepts\n"
+    (Ontology.nb_terms pair.Gen.left)
+    (Ontology.nb_terms pair.Gen.right)
+    pair.Gen.shared_concepts;
+
+  section "articulation from the ground-truth alignment";
+  let result =
+    Generator.generate ~articulation_name:"market" ~left:pair.Gen.left
+      ~right:pair.Gen.right pair.Gen.ground_truth
+  in
+  let articulation = result.Generator.articulation in
+  let left = result.Generator.updated_left in
+  let right = result.Generator.updated_right in
+  Printf.printf "articulation %s: %d terms, %d bridges\n"
+    (Articulation.name articulation)
+    (Ontology.nb_terms (Articulation.ontology articulation))
+    (Articulation.nb_bridges articulation);
+
+  section "the independent region (difference)";
+  let independent =
+    Algebra.difference ~minuend:left ~subtrahend:right articulation
+  in
+  let independent_terms =
+    (* The difference identifies candidates; keep only terms the cost model
+       also regards as maintenance-free (unbridged, reaching no bridge). *)
+    List.filter
+      (fun t -> Algebra.is_independent ~of_:left ~term:t articulation)
+      (Ontology.terms independent)
+  in
+  Printf.printf "%d of %d plant terms are independent of dealer\n"
+    (List.length independent_terms)
+    (Ontology.nb_terms left);
+
+  let bridged = Articulation.bridged_terms articulation "plant" in
+  Printf.printf "bridged plant terms: %s\n" (String.concat ", " bridged);
+
+  section "change workload A: edits inside the independent region";
+  let script_a =
+    Change.script_in_region ~seed:7 ~count:30 ~region:independent_terms left
+  in
+  let report_a =
+    Maintenance.simulate ~articulation ~left ~right ~change_left:script_a ()
+  in
+  Format.printf "%a@." Maintenance.pp_cost_report report_a;
+
+  section "change workload B: edits aimed at bridged terms";
+  let script_b =
+    Change.script_in_region ~seed:7 ~count:30 ~region:bridged left
+  in
+  let report_b =
+    Maintenance.simulate ~articulation ~left ~right ~change_left:script_b ()
+  in
+  Format.printf "%a@." Maintenance.pp_cost_report report_b;
+
+  section "takeaway";
+  Printf.printf
+    "independent-region edits required %d articulation work units (claim: 0);\n\
+     bridged-term edits required %d; the global schema re-integration paid\n\
+     %d and %d comparisons respectively — churn outside the intersection is\n\
+     free only under articulation.\n"
+    report_a.Maintenance.articulation_cost report_b.Maintenance.articulation_cost
+    report_a.Maintenance.global_cost report_b.Maintenance.global_cost;
+
+  section "a deletion that does require maintenance";
+  (* Remove a bridged term: the articulation must drop its bridges; the
+     difference identifies this in advance, and the incremental repair
+     performs exactly that work. *)
+  (match bridged with
+  | [] -> print_endline "no bridged terms (empty articulation)"
+  | victim :: _ ->
+      let cost =
+        Maintenance.articulation_op_cost articulation ~source:left
+          (Change.Remove_term victim)
+      in
+      Printf.printf "removing bridged term %s costs %d work unit(s)\n" victim cost;
+      let op = Change.Remove_term victim in
+      let left' = Change.apply left op in
+      let r = Evolve.apply articulation ~source:left' ~other:right op in
+      Printf.printf "incremental repair:\n";
+      List.iter
+        (fun repair -> Format.printf "  %a@." Evolve.pp_repair repair)
+        r.Evolve.repairs;
+      Printf.printf "bridges: %d -> %d after dropping %s\n"
+        (Articulation.nb_bridges articulation)
+        (Articulation.nb_bridges r.Evolve.articulation)
+        victim);
+
+  section "a rename is followed, not re-derived";
+  (match bridged with
+  | first :: _ ->
+      let op = Change.Rename_term { old_name = first; new_name = first ^ "V2" } in
+      let left' = Change.apply left op in
+      let r = Evolve.apply articulation ~source:left' ~other:right op in
+      Printf.printf "renamed %s -> %sV2; %d bridge(s) followed, count unchanged: %b\n"
+        first first
+        (List.length r.Evolve.repairs)
+        (Articulation.nb_bridges r.Evolve.articulation
+        = Articulation.nb_bridges articulation)
+  | [] -> ())

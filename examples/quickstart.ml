@@ -1,0 +1,71 @@
+(* Quickstart: build two tiny ontologies, articulate them with three rules,
+   and run the three binary algebra operators.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Two source ontologies, built programmatically. *)
+  let shop =
+    Ontology.create "shop"
+    |> fun o ->
+    Ontology.add_subclass o ~sub:"Laptop" ~super:"Product" |> fun o ->
+    Ontology.add_subclass o ~sub:"Phone" ~super:"Product" |> fun o ->
+    Ontology.add_attribute o ~concept:"Product" ~attr:"Price" |> fun o ->
+    Ontology.add_attribute o ~concept:"Laptop" ~attr:"Screen"
+  in
+  let vendor =
+    Ontology.create "vendor"
+    |> fun o ->
+    Ontology.add_subclass o ~sub:"Notebook" ~super:"Device" |> fun o ->
+    Ontology.add_subclass o ~sub:"Handset" ~super:"Device" |> fun o ->
+    Ontology.add_attribute o ~concept:"Device" ~attr:"Cost"
+  in
+  print_string (Render.ontology_tree shop);
+  print_string (Render.ontology_tree vendor);
+
+  (* 2. Articulation rules, written in the textual rule language.  The
+     articulation ontology will be called "catalog". *)
+  let rules =
+    Rule_parser.parse_exn ~default_ontology:"catalog"
+      "[m1] shop:Laptop => vendor:Notebook\n\
+       [m2] shop:Phone => vendor:Handset\n\
+       [m3] shop:Product => vendor:Device\n\
+       [m4] USDToEuroFn() : shop:Price => catalog:Price\n\
+       [m5] EuroToUSDFn() : catalog:Price => shop:Price"
+  in
+
+  (* 3. Generate the articulation. *)
+  let result =
+    Generator.generate ~conversions:Conversion.builtin
+      ~articulation_name:"catalog" ~left:shop ~right:vendor rules
+  in
+  let articulation = result.Generator.articulation in
+  print_string (Render.articulation_summary articulation);
+
+  (* 4. The algebra: union, intersection, difference. *)
+  let unified = Algebra.union ~left:shop ~right:vendor articulation in
+  print_string (Render.unified_overview unified);
+
+  let intersection = Algebra.intersection articulation in
+  Printf.printf "intersection terms: %s\n"
+    (String.concat ", " (Ontology.terms intersection));
+
+  let independent =
+    Algebra.difference ~minuend:shop ~subtrahend:vendor articulation
+  in
+  Printf.printf "shop terms independent of vendor: %s\n"
+    (String.concat ", " (Ontology.terms independent));
+
+  (* 5. A mediated query in articulation vocabulary: prices converted from
+     the shop's dollars into catalog euros on the fly. *)
+  let kb =
+    Kb.create ~ontology:shop "shop-db" |> fun kb ->
+    Kb.add kb ~concept:"Laptop" ~id:"mbp14"
+      [ ("Price", Conversion.Num 2200.0); ("Screen", Conversion.Str "14in") ]
+    |> fun kb ->
+    Kb.add kb ~concept:"Phone" ~id:"px9" [ ("Price", Conversion.Num 880.0) ]
+  in
+  let env = Mediator.env ~kbs:[ kb ] ~unified () in
+  match Mediator.run_text env "SELECT Price FROM Notebook" with
+  | Ok report -> Format.printf "%a@." Mediator.pp_report report
+  | Error m -> Format.printf "query failed: %s@." m

@@ -1,0 +1,145 @@
+type repair =
+  | Dropped_bridge of Bridge.t
+  | Renamed_endpoint of { bridge : Bridge.t; now : Bridge.t }
+  | Flagged_rule of string
+  | Suggested of Skat.suggestion
+
+let pp_repair ppf = function
+  | Dropped_bridge b -> Format.fprintf ppf "drop %a" Bridge.pp b
+  | Renamed_endpoint { bridge; now } ->
+      Format.fprintf ppf "rename %a -> %a" Bridge.pp bridge Bridge.pp now
+  | Flagged_rule name -> Format.fprintf ppf "revisit rule %s" name
+  | Suggested s -> Format.fprintf ppf "suggest %a" Skat.pp_suggestion s
+
+type result = {
+  articulation : Articulation.t;
+  repairs : repair list;
+  free : bool;
+}
+
+let bridge_touches source_name term (b : Bridge.t) =
+  let hit (t : Term.t) =
+    String.equal t.Term.ontology source_name && String.equal t.Term.name term
+  in
+  hit b.Bridge.src || hit b.Bridge.dst
+
+(* Drop every bridge with (source_name, term) as an endpoint. *)
+let drop_term articulation source_name term =
+  let victims =
+    List.filter (bridge_touches source_name term) (Articulation.bridges articulation)
+  in
+  let articulation =
+    Articulation.remove_bridges_touching articulation
+      (Term.make ~ontology:source_name term)
+  in
+  let flagged =
+    Articulation.rules articulation
+    |> List.filter_map (fun (r : Rule.t) ->
+           if
+             List.exists
+               (fun (t : Term.t) ->
+                 String.equal t.Term.ontology source_name
+                 && String.equal t.Term.name term)
+               (Rule.terms r)
+           then Some (Flagged_rule r.Rule.name)
+           else None)
+  in
+  (articulation, List.map (fun b -> Dropped_bridge b) victims @ flagged)
+
+let rename_term articulation source_name ~old_name ~new_name =
+  let rename_endpoint (t : Term.t) =
+    if String.equal t.Term.ontology source_name && String.equal t.Term.name old_name
+    then Term.make ~ontology:source_name new_name
+    else t
+  in
+  List.fold_left
+    (fun (articulation, repairs) (b : Bridge.t) ->
+      if bridge_touches source_name old_name b then begin
+        let now =
+          {
+            Bridge.src = rename_endpoint b.Bridge.src;
+            label = b.Bridge.label;
+            dst = rename_endpoint b.Bridge.dst;
+          }
+        in
+        let articulation =
+          Articulation.add_bridge
+            (Articulation.remove_bridges_touching articulation
+               (Term.make ~ontology:source_name old_name))
+            now
+        in
+        (articulation, Renamed_endpoint { bridge = b; now } :: repairs)
+      end
+      else (articulation, repairs))
+    (articulation, [])
+    (Articulation.bridges articulation)
+
+(* SKAT restricted to the touched terms: the scan is focused, so its cost
+   is |touched| x |other|, not |source| x |other|. *)
+let suggest_for ?skat articulation source other touched =
+  if touched = [] then []
+  else begin
+    let config = Option.value skat ~default:Skat.default_config in
+    let source_is_left =
+      String.equal (Ontology.name source) (Articulation.left articulation)
+    in
+    let config =
+      {
+        config with
+        Skat.exclude = Articulation.rules articulation;
+        focus_left = (if source_is_left then Some touched else None);
+        focus_right = (if source_is_left then None else Some touched);
+      }
+    in
+    let left, right = if source_is_left then (source, other) else (other, source) in
+    Skat.suggest ~config ~left ~right () |> List.map (fun s -> Suggested s)
+  end
+
+let apply ?skat articulation ~source ~other op =
+  let source_name = Ontology.name source in
+  match (op : Change.op) with
+  | Change.Remove_term term ->
+      let articulation', repairs = drop_term articulation source_name term in
+      { articulation = articulation'; repairs; free = repairs = [] }
+  | Change.Rename_term { old_name; new_name } ->
+      let articulation', repairs =
+        rename_term articulation source_name ~old_name ~new_name
+      in
+      { articulation = articulation'; repairs; free = repairs = [] }
+  | Change.Add_term _ | Change.Add_attribute _ | Change.Add_subclass _
+  | Change.Remove_rel _ ->
+      let touched =
+        List.filter (Ontology.has_term source) (Change.touched_terms op)
+      in
+      (* Additions inside the independent region need nothing; otherwise
+         scan just the touched vocabulary for fresh bridge candidates. *)
+      let dependent =
+        List.filter
+          (fun t -> not (Algebra.is_independent ~of_:source ~term:t articulation))
+          touched
+      in
+      if dependent = [] && touched <> [] then
+        (* Still propose bridges for genuinely new terms (they are
+           independent by construction but may deserve bridging). *)
+        let fresh =
+          List.filter
+            (fun t ->
+              Articulation.bridged_terms articulation source_name
+              |> List.mem t
+              |> not)
+            touched
+        in
+        let repairs = suggest_for ?skat articulation source other fresh in
+        { articulation; repairs; free = repairs = [] }
+      else begin
+        let repairs = suggest_for ?skat articulation source other touched in
+        { articulation; repairs; free = repairs = [] }
+      end
+
+let apply_script ?skat articulation ~source ~other ops =
+  List.fold_left
+    (fun (articulation, source, repairs) op ->
+      let source' = Change.apply source op in
+      let r = apply ?skat articulation ~source:source' ~other op in
+      (r.articulation, source', repairs @ r.repairs))
+    (articulation, source, []) ops

@@ -1,0 +1,62 @@
+(** Incremental articulation maintenance.
+
+    Section 3 assigns the deletion primitives their role: "Deletion is
+    required while updating the articulation in response to changes in the
+    underlying ontologies."  {!Maintenance} prices that work;
+    this module {e performs} it: given one source edit, it repairs the
+    stored articulation in place of a full regeneration —
+
+    - [Remove_term]: every bridge touching the vanished term is dropped
+      (ED on the unified graph); rules mentioning it are flagged;
+    - [Rename_term]: bridges follow the rename (the concept is unchanged);
+    - [Add_term] / [Add_subclass] / [Add_attribute]: SKAT scans {e only
+      the touched terms} against the other source and returns fresh
+      suggestions for the expert — the incremental counterpart of the
+      full suggestion sweep;
+    - edits touching no bridged or reachable term: no repair at all (the
+      section 5.3 free region).
+
+    The repaired articulation is exact for deletions and renames; for
+    additions the suggestions still await expert confirmation, mirroring
+    the paper's semi-automatic contract. *)
+
+type repair =
+  | Dropped_bridge of Bridge.t
+  | Renamed_endpoint of { bridge : Bridge.t; now : Bridge.t }
+  | Flagged_rule of string
+      (** A stored rule mentions a removed term; the expert must revisit
+          it. *)
+  | Suggested of Skat.suggestion
+      (** A candidate bridge for newly added vocabulary. *)
+
+val pp_repair : Format.formatter -> repair -> unit
+
+type result = {
+  articulation : Articulation.t;  (** Deletions/renames applied. *)
+  repairs : repair list;  (** In application order. *)
+  free : bool;
+      (** The edit lay entirely in the independent region: the returned
+          articulation is physically the input. *)
+}
+
+val apply :
+  ?skat:Skat.config ->
+  Articulation.t ->
+  source:Ontology.t ->
+  other:Ontology.t ->
+  Change.op ->
+  result
+(** Repair after one edit of [source] (which must be one of the
+    articulation's two sources; the edit is assumed {e already applied} to
+    the [source] value passed in). *)
+
+val apply_script :
+  ?skat:Skat.config ->
+  Articulation.t ->
+  source:Ontology.t ->
+  other:Ontology.t ->
+  Change.op list ->
+  Articulation.t * Ontology.t * repair list
+(** Fold {!apply} over an edit script, applying each edit to the source
+    along the way; returns the final articulation, the evolved source and
+    all repairs. *)

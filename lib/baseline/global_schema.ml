@@ -1,0 +1,123 @@
+type t = {
+  schema : Ontology.t;
+  mapping : (Term.t * string) list;
+  comparisons : int;
+}
+
+module Smap = Map.Make (String)
+
+(* Union-find over qualified term keys. *)
+let find parent key =
+  let rec loop k = match Smap.find_opt k !parent with
+    | Some p when not (String.equal p k) -> loop p
+    | _ -> k
+  in
+  loop key
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if not (String.equal ra rb) then
+    (* Smaller label wins as representative to keep names deterministic. *)
+    if String.compare ra rb <= 0 then parent := Smap.add rb ra !parent
+    else parent := Smap.add ra rb !parent
+
+let equivalent lexicon l1 l2 =
+  String.equal (Strsim.normalize_label l1) (Strsim.normalize_label l2)
+  || Lexicon.are_synonyms lexicon l1 l2
+
+let integrate ?(lexicon = Lexicon.builtin) ~name sources =
+  let comparisons = ref 0 in
+  let parent = ref Smap.empty in
+  let all_terms =
+    List.concat_map
+      (fun o ->
+        List.map (fun t -> Term.make ~ontology:(Ontology.name o) t) (Ontology.terms o))
+      sources
+  in
+  List.iter
+    (fun t -> parent := Smap.add (Term.qualified t) (Term.qualified t) !parent)
+    all_terms;
+  (* Pairwise matching across distinct sources: the quadratic phase. *)
+  let rec pairs = function
+    | [] -> ()
+    | o1 :: rest ->
+        List.iter
+          (fun o2 ->
+            List.iter
+              (fun t1 ->
+                List.iter
+                  (fun t2 ->
+                    incr comparisons;
+                    if equivalent lexicon t1 t2 then
+                      union parent
+                        (Ontology.name o1 ^ ":" ^ t1)
+                        (Ontology.name o2 ^ ":" ^ t2))
+                  (Ontology.terms o2))
+              (Ontology.terms o1))
+          rest;
+        pairs rest
+  in
+  pairs sources;
+  (* Global name per class: the local label of the representative; when two
+     distinct classes would get the same global label, suffix with the
+     source name. *)
+  let rep_of t = find parent (Term.qualified t) in
+  let label_of_key key =
+    match Term.of_qualified key with Some t -> t.Term.name | None -> key
+  in
+  let used = Hashtbl.create 64 in
+  let global_names = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      let rep = rep_of t in
+      if not (Hashtbl.mem global_names rep) then begin
+        let base = label_of_key rep in
+        let final =
+          if not (Hashtbl.mem used base) then base
+          else
+            match Term.of_qualified rep with
+            | Some qt -> base ^ "_" ^ qt.Term.ontology
+            | None -> base ^ "_g"
+        in
+        Hashtbl.add used final ();
+        Hashtbl.add global_names rep final
+      end)
+    all_terms;
+  let global_of t = Hashtbl.find global_names (rep_of t) in
+  let schema =
+    List.fold_left
+      (fun schema o ->
+        let oname = Ontology.name o in
+        let g = Ontology.graph o in
+        let schema =
+          List.fold_left
+            (fun s term -> Ontology.add_term s (global_of (Term.make ~ontology:oname term)))
+            schema (Ontology.terms o)
+        in
+        Digraph.fold_edges
+          (fun (e : Digraph.edge) s ->
+            Ontology.add_rel s
+              (global_of (Term.make ~ontology:oname e.src))
+              e.label
+              (global_of (Term.make ~ontology:oname e.dst)))
+          g schema)
+      (Ontology.create name) sources
+  in
+  let mapping =
+    all_terms
+    |> List.map (fun t -> (t, global_of t))
+    |> List.sort (fun (t1, _) (t2, _) -> Term.compare t1 t2)
+  in
+  { schema; mapping; comparisons = !comparisons }
+
+let global_term t term =
+  List.find_map (fun (s, g) -> if Term.equal s term then Some g else None) t.mapping
+
+let source_terms t global =
+  List.filter_map
+    (fun (s, g) -> if String.equal g global then Some s else None)
+    t.mapping
+
+let rebuild ?lexicon t ~changed ~others =
+  let name = Ontology.name t.schema in
+  integrate ?lexicon ~name (changed :: others)

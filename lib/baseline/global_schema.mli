@@ -1,0 +1,41 @@
+(** The baseline ONION argues against: global schema integration.
+
+    "Previous work on information integration and on schema integration
+    has been based on the construction of a unified database schema.
+    However, unification of schemas does not scale well since broad schema
+    integration leads to huge and difficult-to-maintain schemas"
+    (section 1).
+
+    This module builds that global schema: every source is merged into a
+    single ontology, terms judged equivalent (same normalized label, or
+    lexicon synonyms) collapse into one global term, everything else is
+    imported wholesale.  Construction cost is accounted as the number of
+    pairwise term comparisons — quadratic in source count and size, the
+    scaling the benchmarks contrast with pairwise articulation. *)
+
+type t = {
+  schema : Ontology.t;  (** The merged global ontology. *)
+  mapping : (Term.t * string) list;
+      (** Source term -> global term, sorted; total over all source
+          terms. *)
+  comparisons : int;
+      (** Pairwise term comparisons performed during integration. *)
+}
+
+val integrate : ?lexicon:Lexicon.t -> name:string -> Ontology.t list -> t
+(** Merge the sources into one schema named [name].  [lexicon] (default
+    {!Lexicon.builtin}) supplies the synonym test.  Deterministic: the
+    representative of an equivalence class is its lexicographically
+    smallest member label; colliding distinct concepts from different
+    sources are disambiguated by suffixing the source name. *)
+
+val global_term : t -> Term.t -> string option
+(** Where did a source term land? *)
+
+val source_terms : t -> string -> Term.t list
+(** All source terms merged into the given global term. *)
+
+val rebuild : ?lexicon:Lexicon.t -> t -> changed:Ontology.t -> others:Ontology.t list -> t
+(** Re-integrate after one source changed — what a global-schema
+    deployment must do on {e every} source change.  Returns the new schema
+    with its own comparison count (the maintenance cost). *)

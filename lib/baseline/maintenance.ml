@@ -1,0 +1,74 @@
+type cost_report = {
+  ops : int;
+  articulation_touched_ops : int;
+  articulation_cost : int;
+  global_cost : int;
+}
+
+let pp_cost_report ppf r =
+  Format.fprintf ppf
+    "%d edits: articulation touched %d (cost %d work units); global schema \
+     cost %d comparisons"
+    r.ops r.articulation_touched_ops r.articulation_cost r.global_cost
+
+let articulation_op_cost articulation ~source op =
+  let source_name = Ontology.name source in
+  let touched = Change.touched_terms op in
+  let dependent t = not (Algebra.is_independent ~of_:source ~term:t articulation) in
+  let affected = List.filter dependent touched in
+  if affected = [] then 0
+  else begin
+    (* Revisit every bridge touching an affected term, plus every rule
+       mentioning one. *)
+    let bridges =
+      List.filter
+        (fun (b : Bridge.t) ->
+          List.exists
+            (fun t ->
+              let q = Term.make ~ontology:source_name t in
+              Term.equal b.Bridge.src q || Term.equal b.Bridge.dst q)
+            affected)
+        (Articulation.bridges articulation)
+    in
+    let rules =
+      List.filter
+        (fun (r : Rule.t) ->
+          List.exists
+            (fun (t : Term.t) ->
+              String.equal t.Term.ontology source_name
+              && List.mem t.Term.name affected)
+            (Rule.terms r))
+        (Articulation.rules articulation)
+    in
+    (* At minimum one unit of work: the expert looked at the change. *)
+    max 1 (List.length bridges + List.length rules)
+  end
+
+let simulate ?(rebuild_batch = 1) ~articulation ~left ~right ~change_left () =
+  if rebuild_batch < 1 then invalid_arg "Maintenance.simulate: rebuild_batch >= 1";
+  let ops = List.length change_left in
+  let articulation_touched_ops = ref 0 in
+  let articulation_cost = ref 0 in
+  let global_cost = ref 0 in
+  let current = ref left in
+  let since_rebuild = ref 0 in
+  List.iteri
+    (fun i op ->
+      let c = articulation_op_cost articulation ~source:!current op in
+      if c > 0 then incr articulation_touched_ops;
+      articulation_cost := !articulation_cost + c;
+      current := Change.apply !current op;
+      incr since_rebuild;
+      let last = i = ops - 1 in
+      if !since_rebuild >= rebuild_batch || last then begin
+        let merged = Global_schema.integrate ~name:"global" [ !current; right ] in
+        global_cost := !global_cost + merged.Global_schema.comparisons;
+        since_rebuild := 0
+      end)
+    change_left;
+  {
+    ops;
+    articulation_touched_ops = !articulation_touched_ops;
+    articulation_cost = !articulation_cost;
+    global_cost = !global_cost;
+  }

@@ -1,0 +1,42 @@
+(** The maintenance-cost model: articulation versus global schema under
+    source churn (the paper's scalability/maintainability claim, sections
+    1, 4.2 and 5.3).
+
+    Costs are counted in {e work units}:
+
+    - articulation: an edit touching only the independent region (the
+      {!Algebra.difference} side) costs 0; an edit touching a bridged term
+      costs the number of bridges and rules that must be revisited (and,
+      for removals, regenerated);
+    - global schema: every edit invalidates the merge for the changed
+      source, costing the pairwise comparisons of a re-integration of that
+      source against all others (what {!Global_schema.rebuild}
+      performs), amortized per edit when several edits are batched. *)
+
+type cost_report = {
+  ops : int;
+  articulation_touched_ops : int;
+      (** Edits that touched the articulation-relevant region. *)
+  articulation_cost : int;  (** Total bridge/rule revisits. *)
+  global_cost : int;  (** Total comparison count of the rebuilds. *)
+}
+
+val pp_cost_report : Format.formatter -> cost_report -> unit
+
+val articulation_op_cost :
+  Articulation.t -> source:Ontology.t -> Change.op -> int
+(** Work units to absorb one edit into the articulation: 0 when every
+    touched term is independent; otherwise the number of bridges touching
+    the affected terms plus the rules mentioning them. *)
+
+val simulate :
+  ?rebuild_batch:int ->
+  articulation:Articulation.t ->
+  left:Ontology.t ->
+  right:Ontology.t ->
+  change_left:Change.op list ->
+  unit ->
+  cost_report
+(** Apply the edit script to the left source, accounting both approaches.
+    [rebuild_batch] (default 1) batches that many edits per global-schema
+    rebuild — the most charitable reading of the baseline. *)

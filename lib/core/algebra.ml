@@ -1,0 +1,121 @@
+type unified = {
+  graph : Digraph.t;
+  left : Ontology.t;
+  right : Ontology.t;
+  articulation : Articulation.t;
+}
+
+let check_names ~left ~right articulation =
+  let l = Ontology.name left and r = Ontology.name right in
+  if
+    not
+      ((String.equal (Articulation.left articulation) l
+       && String.equal (Articulation.right articulation) r)
+      || (String.equal (Articulation.left articulation) r
+         && String.equal (Articulation.right articulation) l))
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Algebra: articulation links %s and %s, but was applied to %s and %s"
+         (Articulation.left articulation)
+         (Articulation.right articulation)
+         l r)
+
+let union ~left ~right articulation =
+  check_names ~left ~right articulation;
+  let g = Digraph.union (Ontology.qualify left) (Ontology.qualify right) in
+  let g = Digraph.union g (Ontology.qualify (Articulation.ontology articulation)) in
+  let graph =
+    List.fold_left Digraph.add_edge_e g (Articulation.bridge_edges articulation)
+  in
+  { graph; left; right; articulation }
+
+let union_ontology u =
+  let name =
+    String.concat "+"
+      [
+        Ontology.name u.left;
+        Ontology.name u.right;
+        Articulation.name u.articulation;
+      ]
+  in
+  (* '+' is allowed in ontology names; ':' is not, and qualified node
+     labels keep their own prefixes, so we bypass the qualification of
+     this container name by replacing the graph wholesale. *)
+  Ontology.with_graph (Ontology.create name) u.graph
+
+let intersection articulation =
+  (* The articulation ontology is stored with unqualified names and only
+     intra-articulation edges, which is exactly the section 5.2 object:
+     bridges to source terms are not part of it. *)
+  Articulation.ontology articulation
+
+(* Nodes of [g] with a directed path into [targets] (multi-source backward
+   reachability), as a set including the targets themselves. *)
+module Sset = Set.Make (String)
+
+let co_reachable_set ?follow g targets =
+  let reversed =
+    Digraph.fold_edges
+      (fun (e : Digraph.edge) acc -> Digraph.add_edge acc e.dst e.label e.src)
+      g
+      (Digraph.fold_nodes (fun n acc -> Digraph.add_node acc n) g Digraph.empty)
+  in
+  let reach = Traversal.reachable_set ?follow reversed targets in
+  List.fold_left (fun s n -> Sset.add n s) Sset.empty (targets @ reach)
+
+let difference ?(prune_orphans = false) ?follow ~minuend ~subtrahend
+    articulation =
+  check_names ~left:minuend ~right:subtrahend articulation;
+  let u = union ~left:minuend ~right:subtrahend articulation in
+  let sub_name = Ontology.name subtrahend in
+  let min_name = Ontology.name minuend in
+  let qualified_sub =
+    List.map (fun t -> sub_name ^ ":" ^ t) (Ontology.terms subtrahend)
+  in
+  let reaches_sub = co_reachable_set ?follow u.graph qualified_sub in
+  let excluded t =
+    Ontology.has_term subtrahend t
+    || Sset.mem (min_name ^ ":" ^ t) reaches_sub
+  in
+  let survivors = List.filter (fun t -> not (excluded t)) (Ontology.terms minuend) in
+  let survivors =
+    if not prune_orphans then survivors
+    else begin
+      (* Iteratively drop survivors that (a) were reachable from an
+         excluded node in the minuend's own graph and (b) have in-edges
+         only from excluded/dropped nodes. *)
+      let g = Ontology.graph minuend in
+      let excluded_nodes =
+        List.filter excluded (Ontology.terms minuend)
+      in
+      let tainted =
+        List.fold_left
+          (fun s n -> Sset.add n s)
+          Sset.empty
+          (Traversal.reachable_set g excluded_nodes)
+      in
+      let rec fixpoint alive =
+        let alive_set = List.fold_left (fun s n -> Sset.add n s) Sset.empty alive in
+        let keep t =
+          let ins = Digraph.in_edges g t in
+          ins = []
+          || (not (Sset.mem t tainted))
+          || List.exists (fun (e : Digraph.edge) -> Sset.mem e.src alive_set) ins
+        in
+        let alive' = List.filter keep alive in
+        if List.length alive' = List.length alive then alive else fixpoint alive'
+      in
+      fixpoint survivors
+    end
+  in
+  Ontology.restrict minuend survivors
+
+let is_independent ~of_ ~term articulation =
+  let onto_name = Ontology.name of_ in
+  let bridged = Articulation.bridged_terms articulation onto_name in
+  if bridged = [] then true
+  else if List.mem term bridged then false
+  else
+    let reach = Traversal.reachable (Ontology.graph of_) term in
+    not (List.exists (fun b -> List.mem b reach) bridged)

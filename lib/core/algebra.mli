@@ -1,0 +1,76 @@
+(** The ontology algebra (section 5).
+
+    Binary operators take two ontologies {e and the articulation} computed
+    between them, and return structures that can be composed further:
+
+    - {!union} — both source graphs plus the articulation ontology and its
+      bridges, the graph queried when a query plan spans several knowledge
+      bases (section 5.1).  Computed dynamically, never stored.
+    - {!intersection} — the articulation ontology itself: only the nodes
+      the articulation generator introduced and the edges between them;
+      edges dangling into the sources are cut (section 5.2).
+    - {!difference} — the part of the first ontology not determined to
+      exist in the second (section 5.3), with the paper's conservative
+      reachability semantics; the basis of articulation-free maintenance. *)
+
+type unified = {
+  graph : Digraph.t;
+      (** Qualified node labels; contains both source graphs, the
+          articulation ontology graph and the bridge edges. *)
+  left : Ontology.t;
+  right : Ontology.t;
+  articulation : Articulation.t;
+}
+
+val union : left:Ontology.t -> right:Ontology.t -> Articulation.t -> unified
+(** [OU = O1 union_rules O2]: N = N1 ∪ N2 ∪ NA, E = E1 ∪ E2 ∪ EA ∪
+    BridgeEdges.
+    @raise Invalid_argument when the articulation names different
+    sources. *)
+
+val union_ontology : unified -> Ontology.t
+(** The unified graph packaged as an ontology (named
+    ["left+right+articulation"] with [+] as separator), for display and
+    for feeding engines that expect an ontology. *)
+
+val intersection : Articulation.t -> Ontology.t
+(** [OI = O1 inter_rules O2 = OA].  The result is an ordinary ontology and
+    can be articulated against further sources — the paper's scalable
+    composition argument (sections 4.2 and 5.2). *)
+
+val difference :
+  ?prune_orphans:bool ->
+  ?follow:Traversal.label_filter ->
+  minuend:Ontology.t ->
+  subtrahend:Ontology.t ->
+  Articulation.t ->
+  Ontology.t
+(** [difference ~minuend:o1 ~subtrahend:o2 art] keeps a term [n] of [o1]
+    iff
+
+    + no term of [o2] carries the same name (the paper's [n ∉ N2] — the
+      consistent-vocabulary reading), and
+    + there is no directed path from [n] to any node of [o2] in the
+      unified graph (source edges, articulation edges and bridges).
+
+    [follow] restricts which edge labels the paths may use (default: every
+    edge, the paper's formal definition).  Passing e.g.
+    [Traversal.only [Rel.si_bridge; Rel.semantic_implication;
+    Rel.subclass_of]] yields the {e semantic} difference, which ignores
+    attribute and conversion links — the ablation benchmark contrasts the
+    two readings.
+
+    Edges survive iff both endpoints do.  With [prune_orphans] (default
+    [false]) the prose refinement of section 5.3 is also applied: nodes
+    that were reachable from a removed node and are now reachable from no
+    surviving node are removed too ("deletes the node Car ... and all
+    nodes that can be reached by a path from Car, but not by a path from
+    any other node").
+
+    The result keeps the minuend's name: it is a view of [o1]. *)
+
+val is_independent : of_:Ontology.t -> term:string -> Articulation.t -> bool
+(** Does the term lie outside the articulation's reach — i.e. would
+    {!difference} keep it no matter what the other source contains?
+    Equivalent to: the term is not bridged and reaches no bridged term.
+    Changes to independent terms require no articulation maintenance. *)

@@ -1,0 +1,72 @@
+type t = {
+  ontology : Ontology.t;
+  left : string;
+  right : string;
+  bridges : Bridge.t list; (* sorted, unique *)
+  rules : Rule.t list;
+}
+
+let normalize_bridges bridges = List.sort_uniq Bridge.compare bridges
+
+let create ?(rules = []) ~ontology ~left ~right bridges =
+  let art_name = Ontology.name ontology in
+  if String.equal art_name left || String.equal art_name right then
+    invalid_arg
+      "Articulation.create: the articulation ontology must not share a \
+       source's name";
+  let known = [ art_name; left; right ] in
+  List.iter
+    (fun (b : Bridge.t) ->
+      let touches_known =
+        List.exists (Bridge.involves b) known
+      in
+      if not touches_known then
+        invalid_arg
+          (Format.asprintf
+             "Articulation.create: bridge %a touches neither %s, %s nor %s"
+             Bridge.pp b art_name left right))
+    bridges;
+  { ontology; left; right; bridges = normalize_bridges bridges; rules }
+
+let ontology a = a.ontology
+let name a = Ontology.name a.ontology
+let left a = a.left
+let right a = a.right
+let bridges a = a.bridges
+let rules a = a.rules
+
+let bridge_edges a = List.map Bridge.to_edge a.bridges
+
+let bridges_with a onto = List.filter (fun b -> Bridge.involves b onto) a.bridges
+
+let bridged_terms a onto =
+  bridges_with a onto
+  |> List.concat_map (fun (b : Bridge.t) ->
+         List.filter_map
+           (fun (t : Term.t) ->
+             if String.equal t.Term.ontology onto then Some t.Term.name else None)
+           [ b.Bridge.src; b.Bridge.dst ])
+  |> List.sort_uniq String.compare
+
+let add_bridge a b = { a with bridges = normalize_bridges (b :: a.bridges) }
+
+let remove_bridges_touching a term =
+  {
+    a with
+    bridges =
+      List.filter
+        (fun (b : Bridge.t) ->
+          not (Term.equal b.Bridge.src term || Term.equal b.Bridge.dst term))
+        a.bridges;
+  }
+
+let with_ontology a ontology = { a with ontology }
+let with_rules a rules = { a with rules }
+let nb_bridges a = List.length a.bridges
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v2>articulation %s between %s and %s (%d bridges)"
+    (name a) a.left a.right (nb_bridges a);
+  Format.fprintf ppf "@,%a" Ontology.pp a.ontology;
+  List.iter (fun b -> Format.fprintf ppf "@,%a" Bridge.pp b) a.bridges;
+  Format.fprintf ppf "@]"

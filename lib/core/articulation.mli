@@ -1,0 +1,63 @@
+(** The articulation: an articulation ontology together with the semantic
+    bridges linking it to its two underlying source ontologies
+    (section 2, Notational conventions).
+
+    "The source ontologies are independently maintained and the
+    articulation is the only thing that is physically stored."  A value of
+    this type is exactly that stored thing; unions with the sources are
+    computed on demand by {!Algebra}. *)
+
+type t
+
+val create :
+  ?rules:Rule.t list ->
+  ontology:Ontology.t ->
+  left:string ->
+  right:string ->
+  Bridge.t list ->
+  t
+(** [create ~ontology ~left ~right bridges] packages an articulation.
+    [rules] records the articulation rules it was generated from.
+    @raise Invalid_argument if a bridge touches neither the articulation
+    ontology nor one of the named sources, or if the articulation ontology
+    shares its name with a source. *)
+
+val ontology : t -> Ontology.t
+(** The articulation ontology (unqualified term names). *)
+
+val name : t -> string
+(** Name of the articulation ontology. *)
+
+val left : t -> string
+
+val right : t -> string
+
+val bridges : t -> Bridge.t list
+(** Sorted, duplicate-free. *)
+
+val rules : t -> Rule.t list
+
+val bridge_edges : t -> Digraph.edge list
+(** Bridges as qualified-graph edges. *)
+
+val bridges_with : t -> string -> Bridge.t list
+(** Bridges touching the named source ontology. *)
+
+val bridged_terms : t -> string -> string list
+(** Terms of the named source ontology touched by some bridge, sorted —
+    the "intersection-relevant" part of that source.  Changes outside this
+    set never require articulation maintenance (section 5.3). *)
+
+val add_bridge : t -> Bridge.t -> t
+
+val remove_bridges_touching : t -> Term.t -> t
+(** Drop every bridge with the given qualified term as an endpoint (used
+    when a source deletes a term). *)
+
+val with_ontology : t -> Ontology.t -> t
+
+val with_rules : t -> Rule.t list -> t
+
+val nb_bridges : t -> int
+
+val pp : Format.formatter -> t -> unit

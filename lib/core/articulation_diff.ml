@@ -1,0 +1,66 @@
+type t = {
+  added_terms : string list;
+  removed_terms : string list;
+  added_edges : Digraph.edge list;
+  removed_edges : Digraph.edge list;
+  added_bridges : Bridge.t list;
+  removed_bridges : Bridge.t list;
+}
+
+let list_diff ~compare xs ys =
+  (* Elements of xs not in ys; both get sorted first. *)
+  let xs = List.sort_uniq compare xs and ys = List.sort_uniq compare ys in
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], _ -> List.rev acc
+    | xs, [] -> List.rev_append acc xs
+    | x :: xs', y :: ys' ->
+        let c = compare x y in
+        if c = 0 then go xs' ys' acc
+        else if c < 0 then go xs' ys (x :: acc)
+        else go xs ys' acc
+  in
+  go xs ys []
+
+let compare_edge (e1 : Digraph.edge) (e2 : Digraph.edge) = Stdlib.compare e1 e2
+
+let diff ~previous ~current =
+  let pg = Ontology.graph (Articulation.ontology previous) in
+  let cg = Ontology.graph (Articulation.ontology current) in
+  {
+    added_terms =
+      list_diff ~compare:String.compare (Digraph.nodes cg) (Digraph.nodes pg);
+    removed_terms =
+      list_diff ~compare:String.compare (Digraph.nodes pg) (Digraph.nodes cg);
+    added_edges = list_diff ~compare:compare_edge (Digraph.edges cg) (Digraph.edges pg);
+    removed_edges = list_diff ~compare:compare_edge (Digraph.edges pg) (Digraph.edges cg);
+    added_bridges =
+      list_diff ~compare:Bridge.compare
+        (Articulation.bridges current)
+        (Articulation.bridges previous);
+    removed_bridges =
+      list_diff ~compare:Bridge.compare
+        (Articulation.bridges previous)
+        (Articulation.bridges current);
+  }
+
+let size d =
+  List.length d.added_terms + List.length d.removed_terms
+  + List.length d.added_edges + List.length d.removed_edges
+  + List.length d.added_bridges
+  + List.length d.removed_bridges
+
+let is_empty d = size d = 0
+
+let pp ppf d =
+  if is_empty d then Format.fprintf ppf "no articulation changes"
+  else begin
+    Format.fprintf ppf "@[<v>";
+    List.iter (fun t -> Format.fprintf ppf "+ term %s@," t) d.added_terms;
+    List.iter (fun t -> Format.fprintf ppf "- term %s@," t) d.removed_terms;
+    List.iter (fun e -> Format.fprintf ppf "+ edge %a@," Digraph.pp_edge e) d.added_edges;
+    List.iter (fun e -> Format.fprintf ppf "- edge %a@," Digraph.pp_edge e) d.removed_edges;
+    List.iter (fun b -> Format.fprintf ppf "+ bridge %a@," Bridge.pp b) d.added_bridges;
+    List.iter (fun b -> Format.fprintf ppf "- bridge %a@," Bridge.pp b) d.removed_bridges;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,31 @@
+(** Differences between two articulations.
+
+    When a source ontology evolves, the expert regenerates the articulation
+    and needs to see exactly what changed before signing off (the
+    confirmation loop of section 2.4).  This module computes the
+    structural delta between the previous and the regenerated
+    articulation: terms and internal edges of the articulation ontology,
+    and semantic bridges. *)
+
+type t = {
+  added_terms : string list;  (** Sorted. *)
+  removed_terms : string list;
+  added_edges : Digraph.edge list;
+      (** Edges inside the articulation ontology. *)
+  removed_edges : Digraph.edge list;
+  added_bridges : Bridge.t list;
+  removed_bridges : Bridge.t list;
+}
+
+val diff : previous:Articulation.t -> current:Articulation.t -> t
+
+val is_empty : t -> bool
+(** No change — the regeneration confirmed the stored articulation, which
+    is exactly what the section 5.3 independence claim predicts for
+    changes in the difference region. *)
+
+val size : t -> int
+(** Total number of delta items; the expert's review effort. *)
+
+val pp : Format.formatter -> t -> unit
+(** "+ term X", "- bridge a:B =[SIBridge]=> m:C" style listing. *)

@@ -1,0 +1,119 @@
+let ( let* ) = Result.bind
+
+let to_xml articulation =
+  let ontology_xml = Xml_parse.ontology_to_xml (Articulation.ontology articulation) in
+  let bridge_elements =
+    Articulation.bridges articulation
+    |> List.map (fun (b : Bridge.t) ->
+           Xml_parse.Element
+             ( "bridge",
+               [
+                 ("src", Term.qualified b.Bridge.src);
+                 ("label", b.Bridge.label);
+                 ("dst", Term.qualified b.Bridge.dst);
+               ],
+               [] ))
+  in
+  let rules_element =
+    match Articulation.rules articulation with
+    | [] -> []
+    | rules -> [ Xml_parse.Element ("rules", [], [ Xml_parse.Text (Rule_parser.print rules) ]) ]
+  in
+  Xml_parse.Element
+    ( "articulation",
+      [
+        ("name", Articulation.name articulation);
+        ("left", Articulation.left articulation);
+        ("right", Articulation.right articulation);
+      ],
+      (ontology_xml :: bridge_elements) @ rules_element )
+
+let require name = function
+  | Some v when v <> "" -> Ok v
+  | _ -> Error (Printf.sprintf "<articulation>: missing attribute %S" name)
+
+let parse_bridge node =
+  let attr name =
+    match Xml_parse.attr node name with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "<bridge>: missing attribute %S" name)
+  in
+  let* src = attr "src" in
+  let* label = attr "label" in
+  let* dst = attr "dst" in
+  let term_of s =
+    match Term.of_qualified s with
+    | Some t -> Ok t
+    | None -> Error (Printf.sprintf "<bridge>: %S is not a qualified term" s)
+  in
+  let* src = term_of src in
+  let* dst = term_of dst in
+  Ok { Bridge.src; label; dst }
+
+let of_xml root =
+  match root with
+  | Xml_parse.Text _ -> Error "expected an <articulation> element"
+  | Xml_parse.Element (tag, _, children) when String.equal tag "articulation" ->
+      let* name = require "name" (Xml_parse.attr root "name") in
+      let* left = require "left" (Xml_parse.attr root "left") in
+      let* right = require "right" (Xml_parse.attr root "right") in
+      let* ontology =
+        match Xml_parse.children_named root "ontology" with
+        | [ o ] -> Xml_parse.ontology_of_xml o
+        | [] -> Ok (Ontology.create name)
+        | _ -> Error "<articulation>: multiple <ontology> children"
+      in
+      let* () =
+        if String.equal (Ontology.name ontology) name then Ok ()
+        else Error "<articulation>: ontology name differs from articulation name"
+      in
+      let* bridges =
+        List.fold_left
+          (fun acc node ->
+            let* bridges = acc in
+            match node with
+            | Xml_parse.Element ("bridge", _, _) ->
+                let* b = parse_bridge node in
+                Ok (b :: bridges)
+            | _ -> Ok bridges)
+          (Ok []) children
+      in
+      let* rules =
+        match Xml_parse.children_named root "rules" with
+        | [] -> Ok []
+        | [ Xml_parse.Element (_, _, [ Xml_parse.Text text ]) ] -> (
+            match Rule_parser.parse ~default_ontology:name text with
+            | Ok rules -> Ok rules
+            | Error errors ->
+                Error
+                  (Format.asprintf "<rules>: %a" Rule_parser.pp_error
+                     (List.hd errors)))
+        | [ Xml_parse.Element (_, _, []) ] -> Ok []
+        | _ -> Error "<articulation>: malformed <rules>"
+      in
+      (try Ok (Articulation.create ~rules ~ontology ~left ~right (List.rev bridges))
+       with Invalid_argument m -> Error m)
+  | Xml_parse.Element (tag, _, _) ->
+      Error (Printf.sprintf "expected <articulation>, found <%s>" tag)
+
+let to_string articulation = Xml_parse.to_string (to_xml articulation)
+
+let of_string text =
+  match Xml_parse.parse_document text with
+  | Error e -> Error (Format.asprintf "%a" Xml_parse.pp_error e)
+  | Ok root -> of_xml root
+
+let save_file articulation path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string articulation))
+
+let load_file path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string content

@@ -1,0 +1,31 @@
+(** Persistence for articulations.
+
+    "The source ontologies are independently maintained and the articulation
+    is the only thing that is physically stored" (section 2) — this module
+    is that store.  An articulation serializes to an XML document carrying
+    the articulation ontology, the semantic bridges, and the articulation
+    rules (in the {!Rule_parser} language), so a saved articulation can be
+    reloaded and re-composed without regenerating it:
+
+    {v
+    <articulation name="transport" left="carrier" right="factory">
+      <ontology name="transport"> ... </ontology>
+      <bridge src="carrier:Cars" label="SIBridge" dst="transport:Vehicle"/>
+      <rules>[r1] carrier:Cars =&gt; factory:Vehicle ...</rules>
+    </articulation>
+    v} *)
+
+val to_xml : Articulation.t -> Xml_parse.xml
+
+val of_xml : Xml_parse.xml -> (Articulation.t, string) result
+(** Rules that fail to re-parse are reported as an error (the store must
+    be lossless). *)
+
+val to_string : Articulation.t -> string
+
+val of_string : string -> (Articulation.t, string) result
+
+val save_file : Articulation.t -> string -> unit
+
+val load_file : string -> (Articulation.t, string) result
+(** @raise Sys_error if the file cannot be read. *)

@@ -1,0 +1,40 @@
+type t = { src : Term.t; label : string; dst : Term.t }
+
+let si src dst = { src; label = Rel.si_bridge; dst }
+
+let conversion ~fn src dst = { src; label = Rel.conversion_label fn; dst }
+
+let is_conversion b = Rel.is_conversion_label b.label
+
+let to_edge b =
+  { Digraph.src = Term.qualified b.src; label = b.label; dst = Term.qualified b.dst }
+
+let of_edge (e : Digraph.edge) =
+  match (Term.of_qualified e.src, Term.of_qualified e.dst) with
+  | Some src, Some dst -> Some { src; label = e.label; dst }
+  | _ -> None
+
+let involves b onto =
+  String.equal b.src.Term.ontology onto || String.equal b.dst.Term.ontology onto
+
+let other_side b onto =
+  match
+    ( String.equal b.src.Term.ontology onto,
+      String.equal b.dst.Term.ontology onto )
+  with
+  | true, false -> Some b.dst
+  | false, true -> Some b.src
+  | true, true | false, false -> None
+
+let compare b1 b2 =
+  match Term.compare b1.src b2.src with
+  | 0 -> (
+      match String.compare b1.label b2.label with
+      | 0 -> Term.compare b1.dst b2.dst
+      | c -> c)
+  | c -> c
+
+let equal b1 b2 = compare b1 b2 = 0
+
+let pp ppf b =
+  Format.fprintf ppf "%a =[%s]=> %a" Term.pp b.src b.label Term.pp b.dst

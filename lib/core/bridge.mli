@@ -1,0 +1,38 @@
+(** Semantic bridges: the edges that link source ontologies to an
+    articulation ontology (sections 2.1 and 4.1).
+
+    A bridge is a directed, labeled connection between two qualified terms,
+    where at least one side belongs to the articulation ontology.  Its
+    label is either ["SIBridge"] (semantic implication across the gap) or a
+    conversion-function label such as ["DGToEuroFn()"]. *)
+
+type t = { src : Term.t; label : string; dst : Term.t }
+
+val si : Term.t -> Term.t -> t
+(** An [SIBridge]: [src] is a semantic specialization of [dst]. *)
+
+val conversion : fn:string -> Term.t -> Term.t -> t
+(** A functional bridge labeled [fn ^ "()"]. *)
+
+val is_conversion : t -> bool
+
+val to_edge : t -> Digraph.edge
+(** Edge between the qualified term renderings, as placed in a unified
+    graph. *)
+
+val of_edge : Digraph.edge -> t option
+(** Reads back a bridge from a unified-graph edge; [None] when an endpoint
+    is not a qualified term. *)
+
+val involves : t -> string -> bool
+(** Does the bridge touch a term of the named ontology? *)
+
+val other_side : t -> string -> Term.t option
+(** The endpoint {e not} belonging to the named ontology ([None] when both
+    or neither do). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type tower = { base : Articulation.t; upper : Articulation.t }
+
+let compose ?conversions ~articulation_name ~base ~third rules =
+  let base_ontology = Algebra.intersection base in
+  let r =
+    Generator.generate ?conversions ~articulation_name ~left:base_ontology
+      ~right:third rules
+  in
+  { base; upper = r.Generator.articulation }
+
+let compose_session ?config ?conversions ?seed_rules ~articulation_name ~expert
+    ~base ~third () =
+  let base_ontology = Algebra.intersection base in
+  let outcome =
+    Session.run ?config ?conversions ?seed_rules ~articulation_name ~expert
+      ~left:base_ontology ~right:third ()
+  in
+  ({ base; upper = outcome.Session.articulation }, outcome)
+
+let spanning_graph ~left ~right ~third tower =
+  let u = Algebra.union ~left ~right tower.base in
+  let g = Digraph.union u.Algebra.graph (Ontology.qualify third) in
+  let g =
+    Digraph.union g (Ontology.qualify (Articulation.ontology tower.upper))
+  in
+  List.fold_left Digraph.add_edge_e g (Articulation.bridge_edges tower.upper)
+
+let reachable_terms ~left ~right ~third tower ~from =
+  let g = spanning_graph ~left ~right ~third tower in
+  let follow =
+    Traversal.only [ Rel.si_bridge; Rel.semantic_implication; Rel.subclass_of ]
+  in
+  (* Semantic reachability is bidirectional across equivalence bridges;
+     follow edges in both directions. *)
+  let sym =
+    Digraph.fold_edges
+      (fun (e : Digraph.edge) acc ->
+        if
+          List.mem e.label
+            [ Rel.si_bridge; Rel.semantic_implication; Rel.subclass_of ]
+        then Digraph.add_edge acc e.dst e.label e.src
+        else acc)
+      g g
+  in
+  Traversal.reachable ~follow sym (Term.qualified from)
+  |> List.filter_map Term.of_qualified
+  |> List.filter (fun (t : Term.t) ->
+         not (String.equal t.Term.ontology from.Term.ontology))

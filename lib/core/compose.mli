@@ -1,0 +1,54 @@
+(** Composition of articulations (section 4.2): "the articulation ontology
+    of two ontologies can be composed with another source ontology to
+    create a second articulation that spans over all three source
+    ontologies.  This implies that with the addition of new sources, we do
+    not need to restructure existing ontologies or articulations but can
+    reuse them and create a new articulation with minimal effort." *)
+
+type tower = {
+  base : Articulation.t;  (** Between the two original sources. *)
+  upper : Articulation.t;
+      (** Between [intersection base] and the newly added source. *)
+}
+
+val compose :
+  ?conversions:Conversion.t ->
+  articulation_name:string ->
+  base:Articulation.t ->
+  third:Ontology.t ->
+  Rule.t list ->
+  tower
+(** Articulate the base articulation's intersection ontology against a
+    third source using the given rules.  Rules should mention the base
+    articulation ontology by its name (it acts as an ordinary source
+    here). *)
+
+val compose_session :
+  ?config:Skat.config ->
+  ?conversions:Conversion.t ->
+  ?seed_rules:Rule.t list ->
+  articulation_name:string ->
+  expert:Expert.t ->
+  base:Articulation.t ->
+  third:Ontology.t ->
+  unit ->
+  tower * Session.outcome
+(** Same, but through the full SKAT/expert session loop. *)
+
+val spanning_graph :
+  left:Ontology.t -> right:Ontology.t -> third:Ontology.t -> tower -> Digraph.t
+(** The unified graph over all three sources: both source graphs, the
+    third source, both articulation ontologies, and all bridges — the
+    structure a query spanning three knowledge bases runs against. *)
+
+val reachable_terms :
+  left:Ontology.t ->
+  right:Ontology.t ->
+  third:Ontology.t ->
+  tower ->
+  from:Term.t ->
+  Term.t list
+(** Terms of {e other} ontologies semantically reachable from a qualified
+    term through the spanning graph (following [SI], [SIBridge] and
+    [SubclassOf] edges) — the cross-source vocabulary available to query
+    reformulation. *)

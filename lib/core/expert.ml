@@ -1,0 +1,61 @@
+type decision = Accept | Reject | Modify of Rule.t
+
+type t = Skat.suggestion -> decision
+
+let accept_all _ = Accept
+
+let reject_all _ = Reject
+
+let threshold thr (s : Skat.suggestion) = if s.score >= thr then Accept else Reject
+
+let in_ground_truth ground_truth (s : Skat.suggestion) =
+  List.exists
+    (fun (r : Rule.t) -> Rule.equal_body r.Rule.body s.rule.Rule.body)
+    ground_truth
+
+let oracle ~ground_truth s = if in_ground_truth ground_truth s then Accept else Reject
+
+(* Small deterministic PRNG (xorshift) so noisy oracles replay exactly. *)
+let noisy_oracle ~seed ~false_accept ~false_reject ~ground_truth =
+  let state = ref (if seed = 0 then 0x2545F491 else seed) in
+  let next_float () =
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 17) in
+    let x = x lxor (x lsl 5) in
+    state := x land 0x3FFFFFFF;
+    float_of_int !state /. float_of_int 0x3FFFFFFF
+  in
+  fun s ->
+    let right = in_ground_truth ground_truth s in
+    let flip = next_float () in
+    if right then if flip < false_reject then Reject else Accept
+    else if flip < false_accept then Accept
+    else Reject
+
+let scripted decisions =
+  if decisions = [] then invalid_arg "Expert.scripted: empty script";
+  let arr = Array.of_list decisions in
+  let i = ref 0 in
+  fun _ ->
+    let d = arr.(!i mod Array.length arr) in
+    incr i;
+    d
+
+type stats = {
+  mutable decisions : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable modified : int;
+}
+
+let new_stats () = { decisions = 0; accepted = 0; rejected = 0; modified = 0 }
+
+let counted stats expert s =
+  let d = expert s in
+  stats.decisions <- stats.decisions + 1;
+  (match d with
+  | Accept -> stats.accepted <- stats.accepted + 1
+  | Reject -> stats.rejected <- stats.rejected + 1
+  | Modify _ -> stats.modified <- stats.modified + 1);
+  d

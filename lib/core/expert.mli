@@ -1,0 +1,51 @@
+(** Simulated domain experts.
+
+    ONION is semi-automatic: "the expert has the final word on the
+    articulation generation" (section 2.4).  Offline reproduction replaces
+    the human with a decision policy; the oracle variants are seeded with a
+    ground-truth alignment so that SKAT's precision/recall and the
+    expert's residual effort can be measured (experiment SKAT in
+    DESIGN.md). *)
+
+type decision =
+  | Accept
+  | Reject
+  | Modify of Rule.t  (** Accept a corrected rule instead. *)
+
+type t = Skat.suggestion -> decision
+
+val accept_all : t
+
+val reject_all : t
+
+val threshold : float -> t
+(** Accept exactly the suggestions scoring at least the threshold. *)
+
+val oracle : ground_truth:Rule.t list -> t
+(** Accept a suggestion iff its body appears in the ground truth
+    (body equality via {!Rule.equal_body}). *)
+
+val noisy_oracle :
+  seed:int -> false_accept:float -> false_reject:float -> ground_truth:Rule.t list -> t
+(** The oracle with independent decision noise: a truly-wrong suggestion
+    is accepted with probability [false_accept]; a truly-right one
+    rejected with probability [false_reject].  Deterministic for a given
+    [seed] and call sequence. *)
+
+val scripted : decision list -> t
+(** Replay a fixed decision list (cyclically).  For UI-flow tests. *)
+
+(** {1 Effort accounting} *)
+
+type stats = {
+  mutable decisions : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable modified : int;
+}
+
+val new_stats : unit -> stats
+
+val counted : stats -> t -> t
+(** Wrap an expert to tally its decisions — the "work of the domain
+    expert" metric the paper's framework promises to reduce. *)

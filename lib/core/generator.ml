@@ -1,0 +1,436 @@
+type warning = { rule : string; message : string }
+
+let pp_warning ppf w = Format.fprintf ppf "%s: %s" w.rule w.message
+
+type result = {
+  articulation : Articulation.t;
+  updated_left : Ontology.t;
+  updated_right : Ontology.t;
+  ops : Transform.op list;
+  warnings : warning list;
+}
+
+let conj_node_name ~alias members =
+  match alias with
+  | Some a -> a
+  | None -> String.concat "And" (List.map (fun (t : Term.t) -> t.Term.name) members)
+
+let disj_node_name ~alias members =
+  match alias with
+  | Some a -> a
+  | None -> String.concat "Or" (List.map (fun (t : Term.t) -> t.Term.name) members)
+
+(* Mutable generation state, threaded through rule compilation. *)
+type state = {
+  art_name : string;
+  mutable art : Ontology.t;
+  mutable left : Ontology.t;
+  mutable right : Ontology.t;
+  mutable bridges : Bridge.t list;
+  mutable ops : Transform.op list; (* reverse order *)
+  mutable warnings : warning list; (* reverse order *)
+}
+
+type side = Art | Left | Right | Unknown
+
+let classify st (t : Term.t) =
+  if String.equal t.Term.ontology st.art_name then Art
+  else if String.equal t.Term.ontology (Ontology.name st.left) then Left
+  else if String.equal t.Term.ontology (Ontology.name st.right) then Right
+  else Unknown
+
+let warn st rule_name fmt =
+  Format.kasprintf
+    (fun message -> st.warnings <- { rule = rule_name; message } :: st.warnings)
+    fmt
+
+let log_op st op = st.ops <- op :: st.ops
+
+let art_term st local = Term.make ~ontology:st.art_name local
+
+(* Ensure a node exists in the articulation ontology. *)
+let ensure_art_node st local =
+  if not (Ontology.has_term st.art local) then begin
+    st.art <- Ontology.add_term st.art local;
+    log_op st (Transform.Add_node (Term.qualified (art_term st local), []))
+  end
+
+let ensure_source_term st rule_name (t : Term.t) =
+  let check o set =
+    if not (Ontology.has_term o t.Term.name) then begin
+      warn st rule_name "term %s was not present in %s; created" (Term.qualified t)
+        t.Term.ontology;
+      set (Ontology.add_term o t.Term.name);
+      log_op st (Transform.Add_node (Term.qualified t, []))
+    end
+  in
+  match classify st t with
+  | Left -> check st.left (fun o -> st.left <- o)
+  | Right -> check st.right (fun o -> st.right <- o)
+  | Art | Unknown -> ()
+
+let add_bridge st (b : Bridge.t) =
+  if not (List.exists (Bridge.equal b) st.bridges) then begin
+    st.bridges <- b :: st.bridges;
+    log_op st (Transform.Add_edges [ Bridge.to_edge b ])
+  end
+
+(* Add an edge inside the articulation ontology. *)
+let add_art_edge st src label dst =
+  ensure_art_node st src;
+  ensure_art_node st dst;
+  if not (Ontology.has_rel st.art src label dst) then begin
+    st.art <- Ontology.add_rel st.art src label dst;
+    log_op st
+      (Transform.Add_edges
+         [
+           {
+             Digraph.src = Term.qualified (art_term st src);
+             label;
+             dst = Term.qualified (art_term st dst);
+           };
+         ])
+  end
+
+(* Add an SI edge inside a source ontology (intra-source structuring). *)
+let add_source_si st rule_name (a : Term.t) (b : Term.t) =
+  ensure_source_term st rule_name a;
+  ensure_source_term st rule_name b;
+  let update o set =
+    if not (Ontology.has_rel o a.Term.name Rel.semantic_implication b.Term.name)
+    then begin
+      set (Ontology.add_implication o ~specific:a.Term.name ~general:b.Term.name);
+      log_op st
+        (Transform.Add_edges
+           [
+             {
+               Digraph.src = Term.qualified a;
+               label = Rel.semantic_implication;
+               dst = Term.qualified b;
+             };
+           ])
+    end
+  in
+  match classify st a with
+  | Left -> update st.left (fun o -> st.left <- o)
+  | Right -> update st.right (fun o -> st.right <- o)
+  | Art | Unknown -> ()
+
+(* The paper's simple-bridge translation for Term => Term. *)
+let implication_term_term st rule_name (a : Term.t) (b : Term.t) =
+  match (classify st a, classify st b) with
+  | Unknown, _ | _, Unknown ->
+      warn st rule_name
+        "rule mentions unknown ontology (%s or %s); skipped" a.Term.ontology
+        b.Term.ontology
+  | Art, Art ->
+      (* Intra-articulation structuring: Owner => Person becomes a
+         SubclassOf edge in the articulation ontology. *)
+      add_art_edge st a.Term.name Rel.subclass_of b.Term.name
+  | Art, (Left | Right) ->
+      ensure_source_term st rule_name b;
+      ensure_art_node st a.Term.name;
+      add_bridge st (Bridge.si (art_term st a.Term.name) b)
+  | (Left | Right), Art ->
+      ensure_source_term st rule_name a;
+      ensure_art_node st b.Term.name;
+      add_bridge st (Bridge.si a (art_term st b.Term.name))
+  | Left, Left | Right, Right ->
+      (* Intra-source structuring. *)
+      add_source_si st rule_name a b
+  | Left, Right | Right, Left ->
+      (* Cross-source: introduce the articulation term named after the
+         right-hand side, bridge the lhs into it, and establish the
+         equivalence of the rhs with it. *)
+      ensure_source_term st rule_name a;
+      ensure_source_term st rule_name b;
+      ensure_art_node st b.Term.name;
+      let m = art_term st b.Term.name in
+      add_bridge st (Bridge.si a m);
+      add_bridge st (Bridge.si b m);
+      add_bridge st (Bridge.si m b)
+
+(* Bridge [term -> articulation node] or, for articulation terms, a
+   SubclassOf edge within the articulation ontology. *)
+let link_under st rule_name (t : Term.t) art_local =
+  match classify st t with
+  | Art -> add_art_edge st t.Term.name Rel.subclass_of art_local
+  | Left | Right ->
+      ensure_source_term st rule_name t;
+      add_bridge st (Bridge.si t (art_term st art_local))
+  | Unknown -> warn st rule_name "unknown ontology %s; operand skipped" t.Term.ontology
+
+(* Reverse direction: articulation node is a specialization of [t]. *)
+let link_over st rule_name art_local (t : Term.t) =
+  match classify st t with
+  | Art -> add_art_edge st art_local Rel.subclass_of t.Term.name
+  | Left | Right ->
+      ensure_source_term st rule_name t;
+      add_bridge st (Bridge.si (art_term st art_local) t)
+  | Unknown -> warn st rule_name "unknown ontology %s; operand skipped" t.Term.ontology
+
+let source_of_side st = function
+  | Left -> Some st.left
+  | Right -> Some st.right
+  | Art | Unknown -> None
+
+(* Common subclasses of all conjunction members, when every member lives
+   in the same source ontology: "all subclasses of Vehicle that are also
+   subclasses of CargoCarrier, e.g. Truck, are made subclasses of
+   CargoCarrierVehicle". *)
+let conjunction_propagation st rule_name members node_name =
+  match members with
+  | [] -> ()
+  | (first : Term.t) :: _ ->
+      let side = classify st first in
+      if List.for_all (fun m -> classify st m = side) members then
+        match source_of_side st side with
+        | None -> ()
+        | Some o ->
+            let subclass_of_all t =
+              List.for_all
+                (fun (m : Term.t) ->
+                  Ontology.is_subclass o ~sub:t ~super:m.Term.name)
+                members
+            in
+            List.iter
+              (fun t ->
+                if subclass_of_all t then
+                  link_under st rule_name
+                    (Term.make ~ontology:(Ontology.name o) t)
+                    node_name)
+              (Ontology.terms o)
+
+(* Compile a conjunction into its class node; returns the node's local
+   name in the articulation ontology. *)
+let compile_conj st rule_name ~alias members =
+  let node_name = conj_node_name ~alias members in
+  ensure_art_node st node_name;
+  List.iter (fun m -> link_over st rule_name node_name m) members;
+  conjunction_propagation st rule_name members node_name;
+  node_name
+
+let compile_disj st rule_name ~alias members =
+  let node_name = disj_node_name ~alias members in
+  ensure_art_node st node_name;
+  List.iter (fun m -> link_under st rule_name m node_name) members;
+  node_name
+
+(* ------------------------------------------------------------------ *)
+(* Rule normalization                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve pattern operands into the terms matched by the pattern's first
+   node; flatten nested conjunction/disjunction of terms. *)
+let rec resolve_operand st policy rule_name (op : Rule.operand) :
+    (Rule.operand, string) Stdlib.result =
+  match op with
+  | Rule.Term t -> Ok (Rule.Term t)
+  | Rule.Conj ops -> (
+      match resolve_list st policy rule_name ops with
+      | Ok resolved -> Ok (Rule.Conj resolved)
+      | Error _ as e -> e)
+  | Rule.Disj ops -> (
+      match resolve_list st policy rule_name ops with
+      | Ok resolved -> Ok (Rule.Disj resolved)
+      | Error _ as e -> e)
+  | Rule.Patt p -> (
+      let candidates =
+        match Pattern.ontology_hint p with
+        | Some hint ->
+            List.filter
+              (fun o -> String.equal (Ontology.name o) hint)
+              [ st.left; st.right ]
+        | None -> [ st.left; st.right ]
+      in
+      let representative = List.hd (Pattern.nodes p) in
+      let matched =
+        List.concat_map
+          (fun o ->
+            Matcher.find_in_ontology ~policy p o
+            |> List.filter_map (fun (m : Matcher.match_result) ->
+                   List.assoc_opt representative.Pattern.id m.Matcher.assignment)
+            |> List.sort_uniq String.compare
+            |> List.map (fun n -> Term.make ~ontology:(Ontology.name o) n))
+          candidates
+      in
+      match matched with
+      | [] -> Error "pattern operand matched nothing"
+      | [ t ] -> Ok (Rule.Term t)
+      | several -> Ok (Rule.Disj (List.map (fun t -> Rule.Term t) several)))
+
+and resolve_list st policy rule_name ops =
+  List.fold_left
+    (fun acc op ->
+      match acc with
+      | Error _ as e -> e
+      | Ok resolved -> (
+          match resolve_operand st policy rule_name op with
+          | Ok r -> Ok (resolved @ [ r ])
+          | Error _ as e -> e))
+    (Ok []) ops
+
+(* Extract Term leaves; the operand must already be pattern-free. *)
+let rec term_leaves = function
+  | Rule.Term t -> [ t ]
+  | Rule.Conj ops | Rule.Disj ops -> List.concat_map term_leaves ops
+  | Rule.Patt _ -> []
+
+(* Flatten one resolved operand into the canonical shapes the compiler
+   handles.  Conj of Conj flattens; a Disj inside a Conj (or vice versa)
+   is approximated by flattening its leaves, with a warning. *)
+let canonical_members st rule_name ~context op =
+  match op with
+  | Rule.Term t -> [ t ]
+  | Rule.Conj ops | Rule.Disj ops ->
+      let leaves = List.concat_map term_leaves ops in
+      if List.exists (function Rule.Term _ -> false | _ -> true) ops then
+        warn st rule_name
+          "nested connectives in %s flattened to their term leaves" context;
+      leaves
+  | Rule.Patt _ -> []
+
+let compile_implication st policy rule =
+  let rule_name = rule.Rule.name in
+  let alias = rule.Rule.alias in
+  match rule.Rule.body with
+  | Rule.Functional _ | Rule.Disjoint _ -> assert false
+  | Rule.Implication (lhs0, rhs0) -> (
+      match
+        ( resolve_operand st policy rule_name lhs0,
+          resolve_operand st policy rule_name rhs0 )
+      with
+      | Error m, _ | _, Error m -> warn st rule_name "%s; rule skipped" m
+      | Ok lhs, Ok rhs -> (
+          match (lhs, rhs) with
+          (* Disjunctive lhs desugars: (A | B) => C  ==  A => C, B => C. *)
+          | Rule.Disj ops, _ ->
+              List.iter
+                (fun member ->
+                  match member with
+                  | Rule.Term a -> (
+                      match rhs with
+                      | Rule.Term b -> implication_term_term st rule_name a b
+                      | _ ->
+                          let d =
+                            compile_disj st rule_name ~alias
+                              (canonical_members st rule_name ~context:"rhs" rhs)
+                          in
+                          link_under st rule_name a d)
+                  | _ ->
+                      warn st rule_name
+                        "conjunction nested under disjunction unsupported; skipped")
+                ops
+          (* Conjunctive rhs desugars: A => (B & C)  ==  A => B, A => C. *)
+          | Rule.Term a, Rule.Conj ops ->
+              List.iter
+                (fun member ->
+                  match member with
+                  | Rule.Term b -> implication_term_term st rule_name a b
+                  | _ ->
+                      warn st rule_name
+                        "nested connective in conjunctive rhs unsupported; skipped")
+                ops
+          (* Conjunctive rhs under a conjunctive lhs: one class node for the
+             lhs, specialized under every rhs member. *)
+          | Rule.Conj _, Rule.Conj ops ->
+              let n =
+                compile_conj st rule_name ~alias
+                  (canonical_members st rule_name ~context:"lhs" lhs)
+              in
+              List.iter
+                (fun member ->
+                  match member with
+                  | Rule.Term b -> link_over st rule_name n b
+                  | _ ->
+                      warn st rule_name
+                        "nested connective in conjunctive rhs unsupported; skipped")
+                ops
+          | Rule.Term a, Rule.Term b -> implication_term_term st rule_name a b
+          | Rule.Term a, Rule.Disj _ ->
+              let d =
+                compile_disj st rule_name ~alias
+                  (canonical_members st rule_name ~context:"rhs" rhs)
+              in
+              link_under st rule_name a d
+          | Rule.Conj _, Rule.Term b ->
+              let n =
+                compile_conj st rule_name ~alias
+                  (canonical_members st rule_name ~context:"lhs" lhs)
+              in
+              link_over st rule_name n b
+          | Rule.Conj _, Rule.Disj _ ->
+              (* Introduce both class nodes; the conjunction node becomes a
+                 subclass of the disjunction node. *)
+              let n =
+                compile_conj st rule_name ~alias:None
+                  (canonical_members st rule_name ~context:"lhs" lhs)
+              in
+              let d =
+                compile_disj st rule_name ~alias
+                  (canonical_members st rule_name ~context:"rhs" rhs)
+              in
+              add_art_edge st n Rel.subclass_of d
+          | Rule.Patt _, _ | _, Rule.Patt _ ->
+              (* resolve_operand eliminated patterns *)
+              assert false))
+
+let compile_functional st conversions rule =
+  match rule.Rule.body with
+  | Rule.Functional { fn; src; dst } ->
+      let rule_name = rule.Rule.name in
+      (match conversions with
+      | Some registry when not (Conversion.mem registry fn) ->
+          warn st rule_name "conversion function %s is not registered" fn
+      | Some _ | None -> ());
+      let ensure t =
+        match classify st t with
+        | Art -> ensure_art_node st t.Term.name
+        | Left | Right -> ensure_source_term st rule_name t
+        | Unknown -> warn st rule_name "unknown ontology %s" t.Term.ontology
+      in
+      ensure src;
+      ensure dst;
+      let qualify t =
+        match classify st t with Art -> art_term st t.Term.name | _ -> t
+      in
+      if classify st src = Unknown || classify st dst = Unknown then ()
+      else add_bridge st (Bridge.conversion ~fn (qualify src) (qualify dst))
+  | Rule.Implication _ | Rule.Disjoint _ -> assert false
+
+let generate ?conversions ?(policy = Fuzzy.exact) ~articulation_name ~left
+    ~right rules =
+  if
+    String.equal articulation_name (Ontology.name left)
+    || String.equal articulation_name (Ontology.name right)
+  then invalid_arg "Generator.generate: articulation name clashes with a source";
+  let st =
+    {
+      art_name = articulation_name;
+      art = Ontology.create articulation_name;
+      left;
+      right;
+      bridges = [];
+      ops = [];
+      warnings = [];
+    }
+  in
+  List.iter
+    (fun (rule : Rule.t) ->
+      match rule.Rule.body with
+      | Rule.Implication _ -> compile_implication st policy rule
+      | Rule.Functional _ -> compile_functional st conversions rule
+      | Rule.Disjoint _ -> (* no graph effect *) ())
+    rules;
+  let articulation =
+    Articulation.create ~rules ~ontology:st.art
+      ~left:(Ontology.name left) ~right:(Ontology.name right)
+      (List.rev st.bridges)
+  in
+  {
+    articulation;
+    updated_left = st.left;
+    updated_right = st.right;
+    ops = List.rev st.ops;
+    warnings = List.rev st.warnings;
+  }

@@ -1,0 +1,64 @@
+(** The articulation generator (section 4): compiles articulation rules
+    into the articulation ontology and its semantic bridges, exactly
+    following the translations of section 4.1.
+
+    - [carrier:Car => factory:Vehicle] (cross-source) introduces the
+      articulation term [Vehicle], a bridge [carrier:Car -SIBridge->
+      transport:Vehicle], and the two equivalence bridges between
+      [factory:Vehicle] and [transport:Vehicle].
+    - [carrier:Car => transport:PassengerCar] (source to articulation)
+      adds the articulation node and one bridge.
+    - [transport:Owner => transport:Person] (intra-articulation) adds a
+      [SubclassOf] edge inside the articulation ontology.
+    - [carrier:X => carrier:Y] (intra-source) adds an [SI] edge to the
+      (returned copy of the) source ontology.
+    - [(factory:CargoCarrier & factory:Vehicle) => carrier:Trucks]
+      introduces a class node for the conjunction, makes it a
+      specialization of every operand and of the right-hand side, and
+      pushes every common subclass of the operands under it.
+    - [factory:Vehicle => (carrier:Cars | carrier:Trucks)] introduces a
+      class node for the disjunction and makes every operand and the
+      left-hand side a specialization of it.
+    - [DGToEuroFn() : carrier:Price => transport:Euro] adds a
+      conversion-labeled bridge.
+    - [Disjoint] rules have no graph effect; they are retained for
+      {!Conflict}.
+
+    Rules whose operands mix in unknown ontology names, or that reference
+    terms absent from their source, produce warnings ({!warning}); absent
+    terms are created on demand so that rule order does not matter. *)
+
+type warning = { rule : string; message : string }
+
+val pp_warning : Format.formatter -> warning -> unit
+
+type result = {
+  articulation : Articulation.t;
+  updated_left : Ontology.t;
+      (** The left source, possibly extended by intra-source rules. *)
+  updated_right : Ontology.t;
+  ops : Transform.op list;
+      (** The transformation-primitive log on the unified qualified graph,
+          in application order. *)
+  warnings : warning list;
+}
+
+val generate :
+  ?conversions:Conversion.t ->
+  ?policy:Fuzzy.policy ->
+  articulation_name:string ->
+  left:Ontology.t ->
+  right:Ontology.t ->
+  Rule.t list ->
+  result
+(** [conversions] enables converter-existence warnings on functional
+    rules; [policy] is used to resolve pattern operands (default
+    {!Fuzzy.exact}).
+    @raise Invalid_argument if [articulation_name] equals a source name. *)
+
+val conj_node_name : alias:string option -> Term.t list -> string
+(** The label of the class node introduced for a conjunction: the alias
+    when given, otherwise the operand local names joined with ["And"]. *)
+
+val disj_node_name : alias:string option -> Term.t list -> string
+(** Same with ["Or"]. *)

@@ -1,0 +1,92 @@
+let articulation_name = "care"
+
+let clinic =
+  let o = Ontology.create "clinic" in
+  (* Events. *)
+  let o = Ontology.add_subclass o ~sub:"Admission" ~super:"Encounter" in
+  let o = Ontology.add_subclass o ~sub:"Outpatient" ~super:"Encounter" in
+  let o = Ontology.add_attribute o ~concept:"Encounter" ~attr:"Date" in
+  let o = Ontology.add_attribute o ~concept:"Encounter" ~attr:"Diagnosis" in
+  (* People. *)
+  let o = Ontology.add_subclass o ~sub:"Physician" ~super:"Staff" in
+  let o = Ontology.add_subclass o ~sub:"Nurse" ~super:"Staff" in
+  let o = Ontology.add_subclass o ~sub:"Patient" ~super:"Person" in
+  let o = Ontology.add_subclass o ~sub:"Staff" ~super:"Person" in
+  let o = Ontology.add_attribute o ~concept:"Patient" ~attr:"BodyWeight" in
+  let o = Ontology.add_attribute o ~concept:"Patient" ~attr:"Name" in
+  (* Care. *)
+  let o = Ontology.add_subclass o ~sub:"Medication" ~super:"Treatment" in
+  let o = Ontology.add_subclass o ~sub:"Procedure" ~super:"Treatment" in
+  let o = Ontology.add_attribute o ~concept:"Medication" ~attr:"Dose" in
+  let o = Ontology.add_rel o "Encounter" "treatedBy" "Physician" in
+  let o = Ontology.add_rel o "Encounter" "involves" "Treatment" in
+  (* Patient instances with weights in kilograms. *)
+  let o = Ontology.add_instance o ~instance:"p001" ~concept:"Patient" in
+  let o = Ontology.add_rel o "p001" "BodyWeight" "70" in
+  let o = Ontology.add_instance o ~instance:"p002" ~concept:"Patient" in
+  let o = Ontology.add_rel o "p002" "BodyWeight" "92.5" in
+  o
+
+let insurer =
+  let o = Ontology.create "insurer" in
+  let o = Ontology.add_subclass o ~sub:"Hospitalization" ~super:"Claim" in
+  let o = Ontology.add_subclass o ~sub:"OfficeVisit" ~super:"Claim" in
+  let o = Ontology.add_attribute o ~concept:"Claim" ~attr:"Date" in
+  let o = Ontology.add_attribute o ~concept:"Claim" ~attr:"Condition" in
+  let o = Ontology.add_subclass o ~sub:"Provider" ~super:"Party" in
+  let o = Ontology.add_subclass o ~sub:"Member" ~super:"Party" in
+  let o = Ontology.add_attribute o ~concept:"Member" ~attr:"Weight" in
+  let o = Ontology.add_attribute o ~concept:"Member" ~attr:"Name" in
+  let o = Ontology.add_subclass o ~sub:"Drug" ~super:"Service" in
+  let o = Ontology.add_subclass o ~sub:"Operation" ~super:"Service" in
+  let o = Ontology.add_attribute o ~concept:"Drug" ~attr:"Quantity" in
+  let o = Ontology.add_rel o "Claim" "filedBy" "Provider" in
+  let o = Ontology.add_rel o "Claim" "covers" "Service" in
+  o
+
+let rules_text =
+  String.concat "\n"
+    [
+      "# encounters are billed as claims";
+      "[m1] clinic:Encounter => insurer:Claim";
+      "[m2] clinic:Admission => insurer:Hospitalization";
+      "[m3] clinic:Outpatient => insurer:OfficeVisit";
+      "# people";
+      "[m4] clinic:Physician => insurer:Provider";
+      "[m5] clinic:Patient => insurer:Member";
+      "# care items";
+      "[m6] clinic:Medication => insurer:Drug";
+      "[m7] clinic:Procedure => insurer:Operation";
+      "[m8] clinic:Treatment => insurer:Service";
+      "[m9] clinic:Diagnosis => insurer:Condition";
+      "# an articulation-side taxonomy refinement";
+      "[m10] care:Hospitalization => care:Claim";
+      "# weight normalization: the clinic keeps kilograms, the insurer pounds";
+      "[m11] KgToLbFn() : clinic:BodyWeight => care:Weight";
+      "[m12] LbToKgFn() : care:Weight => clinic:BodyWeight";
+      "[m13] insurer:Weight => care:Weight";
+    ]
+
+let rules = Rule_parser.parse_exn ~default_ontology:articulation_name rules_text
+
+let articulation () =
+  Generator.generate ~conversions:Conversion.builtin ~articulation_name
+    ~left:clinic ~right:insurer rules
+
+let ground_truth_alignment =
+  let c n = Term.make ~ontology:"clinic" n in
+  let i n = Term.make ~ontology:"insurer" n in
+  [
+    Rule.implies (c "Encounter") (i "Claim");
+    Rule.implies (c "Admission") (i "Hospitalization");
+    Rule.implies (c "Outpatient") (i "OfficeVisit");
+    Rule.implies (c "Physician") (i "Provider");
+    Rule.implies (c "Patient") (i "Member");
+    Rule.implies (c "Medication") (i "Drug");
+    Rule.implies (c "Procedure") (i "Operation");
+    Rule.implies (c "Treatment") (i "Service");
+    Rule.implies (c "Diagnosis") (i "Condition");
+    Rule.implies (c "BodyWeight") (i "Weight");
+    Rule.implies (c "Name") (i "Name");
+    Rule.implies (c "Date") (i "Date");
+  ]

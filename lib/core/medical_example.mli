@@ -1,0 +1,35 @@
+(** A second worked domain: two clinical vocabularies articulated into a
+    [care] ontology.
+
+    The paper's reference [7] is the UMLS Knowledge Source Server — medical
+    vocabulary interoperation was a flagship application of this research
+    line.  This fixture models a hospital's clinical ontology and an
+    insurer's billing ontology: same underlying events (encounters,
+    procedures, medications), different vocabularies, different units
+    (weight in kg vs lb), and an instance-bearing patient record.
+
+    It exists so tests, benches and examples have a second realistic
+    fixture whose alignment is {e not} mostly exact-label (the hard case
+    for SKAT): most correspondences need the lexicon or structure. *)
+
+val clinic : Ontology.t
+(** Terms include [Encounter], [Admission], [Physician], [Medication],
+    [Dose], [BodyWeight] (kg), [Diagnosis], [Procedure]. *)
+
+val insurer : Ontology.t
+(** Terms include [Claim], [Hospitalization], [Provider], [Drug],
+    [Quantity], [Weight] (lb), [Condition], [Service]. *)
+
+val articulation_name : string
+(** ["care"]. *)
+
+val rules_text : string
+(** The expert rule set in the {!Rule_parser} language, including the
+    kg/lb functional bridge. *)
+
+val rules : Rule.t list
+
+val articulation : unit -> Generator.result
+
+val ground_truth_alignment : Rule.t list
+(** The correct cross-vocabulary implications, for SKAT evaluation. *)

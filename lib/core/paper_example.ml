@@ -1,0 +1,73 @@
+let articulation_name = "transport"
+
+let carrier =
+  let o = Ontology.create "carrier" in
+  (* Taxonomy: Cars and Trucks are kinds of Carrier. *)
+  let o = Ontology.add_subclass o ~sub:"Cars" ~super:"Carrier" in
+  let o = Ontology.add_subclass o ~sub:"Trucks" ~super:"Carrier" in
+  (* Class attributes. *)
+  let o = Ontology.add_attribute o ~concept:"Cars" ~attr:"Price" in
+  let o = Ontology.add_attribute o ~concept:"Cars" ~attr:"Owner" in
+  let o = Ontology.add_attribute o ~concept:"Cars" ~attr:"Model" in
+  let o = Ontology.add_attribute o ~concept:"Cars" ~attr:"Driver" in
+  let o = Ontology.add_attribute o ~concept:"Trucks" ~attr:"Price" in
+  let o = Ontology.add_attribute o ~concept:"Trucks" ~attr:"Owner" in
+  (* People. *)
+  let o = Ontology.add_subclass o ~sub:"Driver" ~super:"Person" in
+  let o = Ontology.add_subclass o ~sub:"Owner" ~super:"Person" in
+  (* The printed instance: MyCar, a car priced 2000 (Dutch guilders). *)
+  let o = Ontology.add_instance o ~instance:"MyCar" ~concept:"Cars" in
+  let o = Ontology.add_rel o "MyCar" "Price" "2000" in
+  o
+
+let factory =
+  let o = Ontology.create "factory" in
+  let o = Ontology.add_subclass o ~sub:"Vehicle" ~super:"Transportation" in
+  let o = Ontology.add_subclass o ~sub:"CargoCarrier" ~super:"Transportation" in
+  (* A goods vehicle is both a vehicle and a cargo carrier. *)
+  let o = Ontology.add_subclass o ~sub:"GoodsVehicle" ~super:"Vehicle" in
+  let o = Ontology.add_subclass o ~sub:"GoodsVehicle" ~super:"CargoCarrier" in
+  let o = Ontology.add_subclass o ~sub:"Truck" ~super:"GoodsVehicle" in
+  let o = Ontology.add_subclass o ~sub:"SUV" ~super:"Vehicle" in
+  let o = Ontology.add_attribute o ~concept:"Vehicle" ~attr:"Price" in
+  let o = Ontology.add_attribute o ~concept:"Vehicle" ~attr:"Weight" in
+  let o = Ontology.add_subclass o ~sub:"Buyer" ~super:"Person" in
+  let o = Ontology.add_attribute o ~concept:"Factory" ~attr:"Buyer" in
+  o
+
+let rules_text =
+  String.concat "\n"
+    [
+      "[r1] carrier:Cars => factory:Vehicle";
+      "[r2] carrier:Cars => transport:PassengerCar => factory:Vehicle";
+      "[r3] transport:Owner => transport:Person";
+      "[r4] (factory:CargoCarrier & factory:Vehicle) => carrier:Trucks as \
+       CargoCarrierVehicle";
+      "[r5] factory:Vehicle => (carrier:Cars | carrier:Trucks) as CarsTrucks";
+      "[r6] DGToEuroFn() : carrier:Price => transport:Price";
+      "[r7] EuroToDGFn() : transport:Price => carrier:Price";
+      "[r8] PSToEuroFn() : factory:Price => transport:Price";
+      "[r9] EuroToPSFn() : transport:Price => factory:Price";
+    ]
+
+let rules = Rule_parser.parse_exn ~default_ontology:articulation_name rules_text
+
+let articulation () =
+  Generator.generate ~conversions:Conversion.builtin
+    ~articulation_name ~left:carrier ~right:factory rules
+
+let unified () =
+  let r = articulation () in
+  Algebra.union ~left:r.Generator.updated_left ~right:r.Generator.updated_right
+    r.Generator.articulation
+
+let ground_truth_alignment =
+  let c name = Term.make ~ontology:"carrier" name in
+  let f name = Term.make ~ontology:"factory" name in
+  [
+    Rule.implies (c "Cars") (f "Vehicle");
+    Rule.implies (c "Trucks") (f "Truck");
+    Rule.implies (c "Price") (f "Price");
+    Rule.implies (c "Person") (f "Person");
+    Rule.implies (c "Owner") (f "Buyer");
+  ]

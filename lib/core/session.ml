@@ -1,0 +1,113 @@
+type event =
+  | Round_started of int
+  | Suggested of Skat.suggestion
+  | Decided of Skat.suggestion * Expert.decision
+  | Generated of { bridges : int; warnings : int }
+
+let pp_event ppf = function
+  | Round_started n -> Format.fprintf ppf "-- round %d" n
+  | Suggested s -> Format.fprintf ppf "suggest %a" Skat.pp_suggestion s
+  | Decided (s, d) ->
+      Format.fprintf ppf "%s  %a"
+        (match d with
+        | Expert.Accept -> "ACCEPT"
+        | Expert.Reject -> "reject"
+        | Expert.Modify _ -> "MODIFY")
+        Rule.pp s.Skat.rule
+  | Generated { bridges; warnings } ->
+      Format.fprintf ppf "generated articulation: %d bridges, %d warning(s)"
+        bridges warnings
+
+type outcome = {
+  articulation : Articulation.t;
+  updated_left : Ontology.t;
+  updated_right : Ontology.t;
+  accepted : Rule.t list;
+  rejected : Rule.t list;
+  rounds : int;
+  expert_stats : Expert.stats;
+  generator_warnings : Generator.warning list;
+  conflicts : Conflict.conflict list;
+  transcript : event list;
+}
+
+let run ?(config = Skat.default_config) ?conversions ?(seed_rules = [])
+    ?(max_rounds = 10) ~articulation_name ~expert ~left ~right () =
+  let stats = Expert.new_stats () in
+  let expert = Expert.counted stats expert in
+  let accepted = ref seed_rules in
+  let rejected = ref [] in
+  let cur_left = ref left and cur_right = ref right in
+  let rounds = ref 0 in
+  let warnings = ref [] in
+  let result = ref None in
+  let transcript = ref [] in
+  let log e = transcript := e :: !transcript in
+  let continue = ref true in
+  while !continue && !rounds < max_rounds do
+    incr rounds;
+    log (Round_started !rounds);
+    let round_config = { config with Skat.exclude = !accepted @ !rejected } in
+    let suggestions =
+      Skat.suggest ~config:round_config ~left:!cur_left ~right:!cur_right ()
+    in
+    let newly_accepted = ref [] in
+    List.iter
+      (fun (s : Skat.suggestion) ->
+        log (Suggested s);
+        let decision = expert s in
+        log (Decided (s, decision));
+        match decision with
+        | Expert.Accept -> newly_accepted := s.Skat.rule :: !newly_accepted
+        | Expert.Reject -> rejected := s.Skat.rule :: !rejected
+        | Expert.Modify rule -> newly_accepted := rule :: !newly_accepted)
+      suggestions;
+    if !newly_accepted = [] && !result <> None then continue := false
+    else begin
+      accepted := !accepted @ List.rev !newly_accepted;
+      let r =
+        Generator.generate ?conversions ~articulation_name ~left:!cur_left
+          ~right:!cur_right !accepted
+      in
+      (* Intra-source rules may have extended the sources; SKAT's next
+         round sees the updated copies, closing the loop of section 2.4. *)
+      cur_left := r.Generator.updated_left;
+      cur_right := r.Generator.updated_right;
+      warnings := !warnings @ r.Generator.warnings;
+      log
+        (Generated
+           {
+             bridges = Articulation.nb_bridges r.Generator.articulation;
+             warnings = List.length r.Generator.warnings;
+           });
+      result := Some r;
+      if !newly_accepted = [] then continue := false
+    end
+  done;
+  let r =
+    match !result with
+    | Some r -> r
+    | None ->
+        Generator.generate ?conversions ~articulation_name ~left ~right !accepted
+  in
+  let conflicts =
+    Conflict.check ?conversions
+      ~ontologies:[ r.Generator.updated_left; r.Generator.updated_right ]
+      !accepted
+  in
+  {
+    articulation = r.Generator.articulation;
+    updated_left = r.Generator.updated_left;
+    updated_right = r.Generator.updated_right;
+    accepted = !accepted;
+    rejected = List.rev !rejected;
+    rounds = !rounds;
+    expert_stats = stats;
+    generator_warnings = !warnings;
+    conflicts;
+    transcript = List.rev !transcript;
+  }
+
+let articulate ?conversions ~articulation_name ~left ~right rules =
+  let r = Generator.generate ?conversions ~articulation_name ~left ~right rules in
+  r.Generator.articulation

@@ -1,0 +1,66 @@
+(** The iterative articulation session of section 2.4.
+
+    "The articulation generator takes the articulation rules and generates
+    the articulation ... which is then forwarded to the expert for
+    confirmation. ... If the expert suggests modifications or new rules,
+    they are forwarded to SKAT for further generation of new articulation
+    rules.  This process is iteratively repeated until the expert is
+    satisfied with the generated articulation."
+
+    Each round: SKAT proposes rules not yet decided; the expert rules on
+    each; accepted rules (plus any seed rules) are compiled by
+    {!Generator}; the inference engine derives consequences that SKAT's
+    next round can build on.  The loop stops when a round accepts nothing
+    new (the expert is "satisfied") or [max_rounds] is reached. *)
+
+type event =
+  | Round_started of int
+  | Suggested of Skat.suggestion
+  | Decided of Skat.suggestion * Expert.decision
+  | Generated of { bridges : int; warnings : int }
+      (** One generator run over the accumulated rule set. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type outcome = {
+  articulation : Articulation.t;
+  updated_left : Ontology.t;
+  updated_right : Ontology.t;
+  accepted : Rule.t list;  (** Seed rules plus accepted suggestions, in order. *)
+  rejected : Rule.t list;
+  rounds : int;
+  expert_stats : Expert.stats;
+  generator_warnings : Generator.warning list;
+  conflicts : Conflict.conflict list;
+      (** Inconsistencies detected in the final rule set, for the expert
+          to correct. *)
+  transcript : event list;
+      (** Chronological session log — what the viewer would have shown;
+          lets the expert's review be replayed and audited. *)
+}
+
+val run :
+  ?config:Skat.config ->
+  ?conversions:Conversion.t ->
+  ?seed_rules:Rule.t list ->
+  ?max_rounds:int ->
+  articulation_name:string ->
+  expert:Expert.t ->
+  left:Ontology.t ->
+  right:Ontology.t ->
+  unit ->
+  outcome
+(** [max_rounds] defaults to 10.  The expert is consulted once per
+    distinct suggestion; [Modify] decisions replace the suggested rule
+    with the expert's. *)
+
+val articulate :
+  ?conversions:Conversion.t ->
+  articulation_name:string ->
+  left:Ontology.t ->
+  right:Ontology.t ->
+  Rule.t list ->
+  Articulation.t
+(** One-shot, fully manual articulation: compile an expert-written rule
+    set with no SKAT involvement (a session whose suggestion stream is
+    empty). *)

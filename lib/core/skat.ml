@@ -1,0 +1,172 @@
+type suggestion = { rule : Rule.t; score : float; evidence : string }
+
+let pp_suggestion ppf s =
+  Format.fprintf ppf "%a  (%.2f; %s)" Rule.pp s.rule s.score s.evidence
+
+type config = {
+  lexicon : Lexicon.t;
+  min_score : float;
+  min_similarity : float;
+  structural_bonus : bool;
+  max_suggestions : int;
+  exclude : Rule.t list;
+  focus_left : string list option;
+  focus_right : string list option;
+  blocking : bool;
+}
+
+let default_config =
+  {
+    lexicon = Lexicon.builtin;
+    min_score = 0.75;
+    min_similarity = 0.90;
+    structural_bonus = true;
+    max_suggestions = 200;
+    exclude = [];
+    focus_left = None;
+    focus_right = None;
+    blocking = false;
+  }
+
+(* Neighbourhood signature of a term: labels of its attributes and direct
+   superclasses, lowercased. *)
+let signature o term =
+  let attrs = Ontology.own_attributes o term in
+  let supers = Ontology.superclasses o term in
+  List.map String.lowercase_ascii (attrs @ supers) |> List.sort_uniq String.compare
+
+let jaccard a b =
+  match (a, b) with
+  | [], [] -> 0.0
+  | _ ->
+      let inter = List.length (List.filter (fun x -> List.mem x b) a) in
+      let union = List.length (List.sort_uniq String.compare (a @ b)) in
+      float_of_int inter /. float_of_int union
+
+(* Lexical evidence for a pair of term labels.  Returns (score, evidence,
+   directional): directional pairs propose [l => r] only. *)
+let lexical_evidence config l r =
+  if String.equal l r then Some (1.0, "identical labels", false)
+  else if Stem.equal_modulo_stem l r then
+    Some (0.95, Printf.sprintf "equal modulo stemming: %s ~ %s" l r, false)
+  else if
+    String.equal (String.lowercase_ascii l) (String.lowercase_ascii r)
+  then Some (0.95, "equal modulo case", false)
+  else if Lexicon.are_synonyms config.lexicon l r then
+    Some (0.90, Printf.sprintf "synonym: %s ~ %s" l r, false)
+  else if Lexicon.is_a config.lexicon ~specific:l ~general:r then
+    let sim = Lexicon.semantic_similarity config.lexicon l r in
+    Some (max 0.70 sim, Printf.sprintf "hypernym: %s is-a %s" l r, true)
+  else
+    let sim = Strsim.combined l r in
+    if sim >= config.min_similarity then
+      Some (0.6 *. sim, Printf.sprintf "string similarity %.2f" sim, false)
+    else None
+
+let score_pair_inner config ~left ~right lt rt =
+  match lexical_evidence config lt rt with
+  | None -> None
+  | Some (base, evidence, directional) ->
+      let score =
+        if not config.structural_bonus then base
+        else
+          let overlap = jaccard (signature left lt) (signature right rt) in
+          min 1.0 (base +. (0.1 *. overlap))
+      in
+      Some (score, evidence, directional)
+
+let score_pair ?(config = default_config) ~left ~right lt rt =
+  Option.map
+    (fun (s, e, _) -> (s, e))
+    (score_pair_inner config ~left ~right lt rt)
+
+(* Term pairs already decided by prior rules. *)
+let decided_pairs rules =
+  List.concat_map
+    (fun (r : Rule.t) ->
+      match r.Rule.body with
+      | Rule.Implication (Rule.Term a, Rule.Term b) ->
+          [ (Term.qualified a, Term.qualified b); (Term.qualified b, Term.qualified a) ]
+      | Rule.Functional { src; dst; _ } ->
+          [ (Term.qualified src, Term.qualified dst) ]
+      | _ -> [])
+    rules
+
+let suggest ?(config = default_config) ~left ~right () =
+  let lname = Ontology.name left and rname = Ontology.name right in
+  let decided = decided_pairs config.exclude in
+  let is_decided lt rt =
+    List.mem (lname ^ ":" ^ lt, rname ^ ":" ^ rt) decided
+  in
+  let scan_terms o = function
+    | None -> Ontology.terms o
+    | Some focus -> List.filter (Ontology.has_term o) focus
+  in
+  let left_terms = scan_terms left config.focus_left in
+  let right_terms = scan_terms right config.focus_right in
+  (* Candidate pairs: full cross product, or key-blocked. *)
+  let pairs =
+    if not config.blocking then
+      List.concat_map (fun lt -> List.map (fun rt -> (lt, rt)) right_terms) left_terms
+    else begin
+      (* Blocking keys of a term: normalized label, stemmed label, every
+         label word, every lexicon synonym (and its stem), every direct
+         hypernym.  Terms sharing any key become a candidate pair. *)
+      let keys term =
+        let base = [ Strsim.normalize_label term; Stem.stem_label term ] in
+        let words = Strsim.split_words term in
+        let syns =
+          Lexicon.synonyms config.lexicon term
+          |> List.concat_map (fun s -> [ Strsim.normalize_label s; Stem.stem_label s ])
+        in
+        let hypers = Lexicon.direct_hypernyms config.lexicon term in
+        List.sort_uniq String.compare (base @ words @ syns @ hypers)
+      in
+      let index = Hashtbl.create 256 in
+      List.iter
+        (fun rt -> List.iter (fun k -> Hashtbl.add index k rt) (keys rt))
+        right_terms;
+      List.concat_map
+        (fun lt ->
+          keys lt
+          |> List.concat_map (fun k -> Hashtbl.find_all index k)
+          |> List.sort_uniq String.compare
+          |> List.map (fun rt -> (lt, rt)))
+        left_terms
+    end
+  in
+  let candidates =
+    List.filter_map
+      (fun (lt, rt) ->
+        if is_decided lt rt then None
+        else
+          score_pair_inner config ~left ~right lt rt
+          |> Option.map (fun (score, evidence, _) -> (lt, rt, score, evidence)))
+      pairs
+  in
+  let above = List.filter (fun (_, _, s, _) -> s >= config.min_score) candidates in
+  (* Keep the best suggestion per left term and per right term pairing;
+     duplicates arise when several measures fire. *)
+  let sorted =
+    List.sort
+      (fun (l1, r1, s1, _) (l2, r2, s2, _) ->
+        match Stdlib.compare s2 s1 with
+        | 0 -> (
+            match String.compare l1 l2 with 0 -> String.compare r1 r2 | c -> c)
+        | c -> c)
+      above
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  sorted
+  |> take config.max_suggestions
+  |> List.map (fun (lt, rt, score, evidence) ->
+         let rule =
+           Rule.implies ~source:Rule.Skat ~confidence:score
+             (Term.make ~ontology:lname lt)
+             (Term.make ~ontology:rname rt)
+         in
+         { rule; score; evidence })

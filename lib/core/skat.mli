@@ -1,0 +1,66 @@
+(** SKAT — the Semantic Knowledge Articulation Tool (section 2.4).
+
+    "Articulation rules are proposed by SKAT using expert rules and other
+    external knowledge sources or semantic lexicons (e.g., Wordnet) and
+    verified by the expert."
+
+    This engine scans the term pairs of two source ontologies and proposes
+    candidate articulation rules, each scored in [(0, 1]] and annotated
+    with the evidence that produced it:
+
+    - exact label equality (score 1.0);
+    - equality modulo stemming / case (0.95);
+    - lexicon synonymy (0.90);
+    - lexicon hypernymy, proposing a {e directional} rule
+      [specific => general] (0.85, decaying with is-a distance);
+    - string similarity above [min_similarity] (0.60 × score);
+    - a structural bonus when the candidate pair's graph neighbourhoods
+      agree (shared attribute / superclass labels).
+
+    Scores below [min_score] are dropped; for each term pair only the
+    best-scoring suggestion survives. *)
+
+type suggestion = {
+  rule : Rule.t;  (** Source is {!Rule.Skat}; confidence is the score. *)
+  score : float;
+  evidence : string;  (** Human-readable justification, e.g. ["synonym: car ~ automobile"]. *)
+}
+
+val pp_suggestion : Format.formatter -> suggestion -> unit
+
+type config = {
+  lexicon : Lexicon.t;
+  min_score : float;  (** Default 0.75. *)
+  min_similarity : float;  (** Similarity floor for the string measure; default 0.90. *)
+  structural_bonus : bool;  (** Default [true]. *)
+  max_suggestions : int;  (** Default 200. *)
+  exclude : Rule.t list;
+      (** Rules already decided (accepted or rejected); their term pairs
+          are not proposed again. *)
+  focus_left : string list option;
+      (** When set, only these left-ontology terms are scanned — the
+          incremental mode used by articulation repair after a source
+          adds vocabulary ([None] scans everything). *)
+  focus_right : string list option;
+  blocking : bool;
+      (** Candidate blocking (default [false]): instead of scoring every
+          term pair, score only pairs that share a {e blocking key} — the
+          normalized label, the stemmed label, a lexicon synset, or a
+          label word.  Near-linear instead of quadratic in ontology size;
+          approximate: pairs whose only evidence is a character-level
+          similarity with no shared word are missed (the ABL benchmark
+          quantifies the trade). *)
+}
+
+val default_config : config
+(** Uses {!Lexicon.builtin}. *)
+
+val suggest : ?config:config -> left:Ontology.t -> right:Ontology.t -> unit -> suggestion list
+(** Candidate rules [left-term => right-term], best first; ties broken
+    lexicographically.  Deterministic. *)
+
+val score_pair :
+  ?config:config -> left:Ontology.t -> right:Ontology.t -> string -> string -> (float * string) option
+(** The score and evidence SKAT would assign to one (left-term,
+    right-term) pair; [None] when below threshold.  Exposed for tests and
+    for the viewer's "why this suggestion?" display. *)

@@ -1,0 +1,180 @@
+type config = {
+  iterations : int;
+  damping : float;
+  lexicon : Lexicon.t;
+  min_score : float;
+  max_suggestions : int;
+}
+
+let default_config =
+  {
+    iterations = 4;
+    damping = 0.6;
+    lexicon = Lexicon.builtin;
+    min_score = 0.5;
+    max_suggestions = 200;
+  }
+
+(* Lexical seed: blended surface similarity, boosted by lexicon synonymy.
+   Low-grade surface similarity between unrelated names (every pair of
+   short identifiers shares a few characters) is cut to zero so that the
+   structural signal, not lexical noise, decides borderline pairs. *)
+let seed_score lexicon a b =
+  if Lexicon.are_synonyms lexicon a b then 1.0
+  else
+    let s = Strsim.combined a b in
+    let hyper = Lexicon.semantic_similarity lexicon a b in
+    let s = if s >= 0.7 then s else 0.0 in
+    Float.max s (0.9 *. hyper)
+
+let similarity ?(config = default_config) ~left ~right () =
+  let lt = Array.of_list (Ontology.terms left) in
+  let rt = Array.of_list (Ontology.terms right) in
+  let nl = Array.length lt and nr = Array.length rt in
+  let index_of terms =
+    let h = Hashtbl.create 64 in
+    Array.iteri (fun i t -> Hashtbl.replace h t i) terms;
+    h
+  in
+  let li = index_of lt and ri = index_of rt in
+  let lg = Ontology.graph left and rg = Ontology.graph right in
+  (* Neighbour lists per node, per (label, direction). *)
+  let neighbours g node =
+    let outs =
+      List.map (fun (e : Digraph.edge) -> (e.label, true, e.dst)) (Digraph.out_edges g node)
+    in
+    let ins =
+      List.map (fun (e : Digraph.edge) -> (e.label, false, e.src)) (Digraph.in_edges g node)
+    in
+    outs @ ins
+  in
+  let lneigh = Array.map (neighbours lg) lt in
+  let rneigh = Array.map (neighbours rg) rt in
+  let seed = Array.make_matrix nl nr 0.0 in
+  for i = 0 to nl - 1 do
+    for j = 0 to nr - 1 do
+      seed.(i).(j) <- seed_score config.lexicon lt.(i) rt.(j)
+    done
+  done;
+  let current = Array.map Array.copy seed in
+  let next = Array.make_matrix nl nr 0.0 in
+  for _round = 1 to config.iterations do
+    let max_cell = ref 1e-9 in
+    for i = 0 to nl - 1 do
+      for j = 0 to nr - 1 do
+        (* For each (label, direction) class present on the left side,
+           take the best coupled neighbour-pair similarity; average the
+           classes.  Grouping by class (not by edge) keeps high-degree
+           nodes from diluting their own strong couplings. *)
+        let groups : (string * bool, float) Hashtbl.t = Hashtbl.create 8 in
+        List.iter
+          (fun (label, dir, ln) ->
+            List.iter
+              (fun (label', dir', rn) ->
+                if dir = dir' && String.equal label label' then begin
+                  match (Hashtbl.find_opt li ln, Hashtbl.find_opt ri rn) with
+                  | Some a, Some b ->
+                      let s = current.(a).(b) in
+                      let key = (label, dir) in
+                      let prev =
+                        match Hashtbl.find_opt groups key with
+                        | Some p -> p
+                        | None -> 0.0
+                      in
+                      if s > prev then Hashtbl.replace groups key s
+                      else if not (Hashtbl.mem groups key) then
+                        Hashtbl.replace groups key s
+                  | _ -> ()
+                end)
+              rneigh.(j))
+          lneigh.(i);
+        let structural =
+          if Hashtbl.length groups = 0 then 0.0
+          else
+            Hashtbl.fold (fun _ s acc -> acc +. s) groups 0.0
+            /. float_of_int (Hashtbl.length groups)
+        in
+        let v =
+          ((1.0 -. config.damping) *. seed.(i).(j))
+          +. (config.damping *. structural)
+        in
+        next.(i).(j) <- v;
+        if v > !max_cell then max_cell := v
+      done
+    done;
+    (* Normalize so scores stay comparable across rounds. *)
+    for i = 0 to nl - 1 do
+      for j = 0 to nr - 1 do
+        current.(i).(j) <- next.(i).(j) /. !max_cell
+      done
+    done
+  done;
+  let pairs = ref [] in
+  for i = 0 to nl - 1 do
+    for j = 0 to nr - 1 do
+      if current.(i).(j) > 0.0 then pairs := (lt.(i), rt.(j), current.(i).(j)) :: !pairs
+    done
+  done;
+  List.sort
+    (fun (l1, r1, s1) (l2, r2, s2) ->
+      match Float.compare s2 s1 with
+      | 0 -> ( match String.compare l1 l2 with 0 -> String.compare r1 r2 | c -> c)
+      | c -> c)
+    !pairs
+
+let suggest ?(config = default_config) ~left ~right () =
+  let lname = Ontology.name left and rname = Ontology.name right in
+  let sims = similarity ~config ~left ~right () in
+  (* Best partner per left term. *)
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun (l, r, s) ->
+      match Hashtbl.find_opt best l with
+      | Some (_, s') when s' >= s -> ()
+      | _ -> Hashtbl.replace best l (r, s))
+    sims;
+  Hashtbl.fold (fun l (r, s) acc -> (l, r, s) :: acc) best []
+  |> List.filter (fun (_, _, s) -> s >= config.min_score)
+  |> List.sort (fun (l1, r1, s1) (l2, r2, s2) ->
+         match Float.compare s2 s1 with
+         | 0 -> ( match String.compare l1 l2 with 0 -> String.compare r1 r2 | c -> c)
+         | c -> c)
+  |> (fun l ->
+       let rec take n = function
+         | [] -> []
+         | _ when n = 0 -> []
+         | x :: rest -> x :: take (n - 1) rest
+       in
+       take config.max_suggestions l)
+  |> List.map (fun (l, r, s) ->
+         let score = Float.min 1.0 s in
+         {
+           Skat.rule =
+             Rule.implies ~source:Rule.Skat ~confidence:score
+               (Term.make ~ontology:lname l)
+               (Term.make ~ontology:rname r);
+           score;
+           evidence = Printf.sprintf "structural similarity %.2f" s;
+         })
+
+let combined_suggest ?lexical ?structural ~left ~right () =
+  let lex = Skat.suggest ?config:lexical ~left ~right () in
+  let str = suggest ?config:structural ~left ~right () in
+  let key (s : Skat.suggestion) =
+    match s.Skat.rule.Rule.body with
+    | Rule.Implication (Rule.Term a, Rule.Term b) ->
+        Term.qualified a ^ "=>" ^ Term.qualified b
+    | _ -> Rule.to_string s.Skat.rule
+  in
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Skat.suggestion) ->
+      match Hashtbl.find_opt best (key s) with
+      | Some (prior : Skat.suggestion) when prior.Skat.score >= s.Skat.score -> ()
+      | _ -> Hashtbl.replace best (key s) s)
+    (lex @ str);
+  Hashtbl.fold (fun _ s acc -> s :: acc) best []
+  |> List.sort (fun (a : Skat.suggestion) (b : Skat.suggestion) ->
+         match Float.compare b.Skat.score a.Skat.score with
+         | 0 -> String.compare (Rule.to_string a.Skat.rule) (Rule.to_string b.Skat.rule)
+         | c -> c)

@@ -1,0 +1,54 @@
+(** Structural match propagation — the "better articulation" component the
+    paper leaves as future work (section 6: "How such components can use
+    external knowledge sources and lexicons to suggest a better
+    articulation is being currently investigated").
+
+    A similarity-flooding-style fixpoint: the similarity of a term pair is
+    seeded lexically and then reinforced by the similarity of its
+    neighbour pairs through {e matching relationship labels} — two terms
+    whose subclasses, superclasses and attributes align are probably the
+    same concept even when their own labels share nothing.
+
+    [sigma_0(a, b)] = lexical score; then for [iterations] rounds:
+
+    [sigma_{k+1}(a, b) = (1 - damping) * sigma_0(a, b)
+       + damping * mean over directions/labels of
+         (max over coupled neighbour pairs of sigma_k)]
+
+    normalized to the unit interval each round.  This is deliberately the
+    light cousin of Melnik et al.'s similarity flooding: good enough to
+    rescue alignments the lexicon misses, cheap enough to run inside the
+    interactive session loop on ontologies of a few hundred terms. *)
+
+type config = {
+  iterations : int;  (** Fixpoint rounds; default 4. *)
+  damping : float;  (** Structural weight in [0, 1); default 0.6. *)
+  lexicon : Lexicon.t;  (** For the lexical seed; default builtin. *)
+  min_score : float;  (** Suggestion threshold; default 0.5. *)
+  max_suggestions : int;  (** Default 200. *)
+}
+
+val default_config : config
+
+val similarity :
+  ?config:config -> left:Ontology.t -> right:Ontology.t -> unit ->
+  (string * string * float) list
+(** The converged similarity of every (left-term, right-term) pair with a
+    non-zero score, best first (ties broken lexicographically). *)
+
+val suggest :
+  ?config:config -> left:Ontology.t -> right:Ontology.t -> unit ->
+  Skat.suggestion list
+(** Ranked cross-ontology rules, evidence ["structural similarity s"].
+    One suggestion per left term (its best right partner), scores below
+    [min_score] dropped. *)
+
+val combined_suggest :
+  ?lexical:Skat.config ->
+  ?structural:config ->
+  left:Ontology.t ->
+  right:Ontology.t ->
+  unit ->
+  Skat.suggestion list
+(** Union of {!Skat.suggest} and {!suggest}, keeping the best score per
+    term pair; the ablation benchmark compares the three. *)

@@ -1,0 +1,155 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+(* Split a line into tokens.  Unquoted tokens run to whitespace; quoted
+   tokens may contain anything, with backslash escapes for the quote and the
+   backslash.  Comments start at an unquoted hash or semicolon. *)
+let tokenize line =
+  let n = String.length line in
+  let buf = Buffer.create 16 in
+  let rec skip_ws i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1) else i in
+  let rec quoted i =
+    if i >= n then Error "unterminated quoted token"
+    else
+      match line.[i] with
+      | '"' -> Ok (i + 1)
+      | '\\' ->
+          if i + 1 >= n then Error "dangling escape"
+          else begin
+            (match line.[i + 1] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'n' -> Buffer.add_char buf '\n'
+            | c ->
+                Buffer.add_char buf '\\';
+                Buffer.add_char buf c);
+            quoted (i + 2)
+          end
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  let rec bare i =
+    if i >= n then i
+    else
+      match line.[i] with
+      | ' ' | '\t' | '#' | ';' -> i
+      | c ->
+          Buffer.add_char buf c;
+          bare (i + 1)
+  in
+  let rec loop acc i =
+    let i = skip_ws i in
+    if i >= n then Ok (List.rev acc)
+    else
+      match line.[i] with
+      | '#' | ';' -> Ok (List.rev acc)
+      | '"' -> (
+          Buffer.clear buf;
+          match quoted (i + 1) with
+          | Error m -> Error m
+          | Ok j -> loop (Buffer.contents buf :: acc) j)
+      | _ ->
+          Buffer.clear buf;
+          let j = bare i in
+          loop (Buffer.contents buf :: acc) j
+  in
+  loop [] 0
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let g, errors, _ =
+    List.fold_left
+      (fun (g, errors, lineno) line ->
+        let fail message = (g, { line = lineno; message } :: errors, lineno + 1) in
+        match tokenize line with
+        | Error m -> fail m
+        | Ok [] -> (g, errors, lineno + 1)
+        | Ok ("node" :: rest) -> (
+            (* "node" is a keyword even in triple position. *)
+            match rest with
+            | [ name ] when name <> "" -> (Digraph.add_node g name, errors, lineno + 1)
+            | [ "" ] -> fail "empty node name"
+            | _ -> fail "'node' expects exactly one name")
+        | Ok ("edge" :: rest) -> (
+            match rest with
+            | [ src; label; dst ] when src <> "" && dst <> "" ->
+                (Digraph.add_edge g src label dst, errors, lineno + 1)
+            | [ _; _; _ ] -> fail "empty node name in edge"
+            | _ -> fail "'edge' expects exactly <src> <label> <dst>")
+        | Ok [ src; label; dst ] ->
+            if src = "" || dst = "" then fail "empty node name in edge"
+            else (Digraph.add_edge g src label dst, errors, lineno + 1)
+        | Ok toks ->
+            fail
+              (Printf.sprintf "expected 'node <n>' or '<src> <label> <dst>', got %d token(s)"
+                 (List.length toks)))
+      (Digraph.empty, [], 1) lines
+  in
+  if errors = [] then Ok g else Error (List.rev errors)
+
+let parse_exn text =
+  match parse text with
+  | Ok g -> g
+  | Error errors ->
+      let msg =
+        errors
+        |> List.map (fun e -> Format.asprintf "%a" pp_error e)
+        |> String.concat "; "
+      in
+      invalid_arg ("Adjacency.parse_exn: " ^ msg)
+
+let needs_quoting tok =
+  tok = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '\t' || c = '#' || c = ';' || c = '"' || c = '\\' || c = '\n')
+       tok
+
+let render_token tok =
+  if not (needs_quoting tok) then tok
+  else begin
+    let buf = Buffer.create (String.length tok + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      tok;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let print g =
+  let buf = Buffer.create 1024 in
+  (* Emit isolated nodes explicitly; nodes with edges are implied. *)
+  List.iter
+    (fun n ->
+      if Digraph.out_degree g n = 0 && Digraph.in_degree g n = 0 then
+        Buffer.add_string buf (Printf.sprintf "node %s\n" (render_token n)))
+    (Digraph.nodes g);
+  List.iter
+    (fun (e : Digraph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %s %s %s\n" (render_token e.src)
+           (render_token e.label) (render_token e.dst)))
+    (Digraph.edges g);
+  Buffer.contents buf
+
+let load_file path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse content
+
+let save_file path g =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (print g))

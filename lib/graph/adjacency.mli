@@ -1,0 +1,35 @@
+(** The simple adjacency-list text format, one of the three ingestion
+    formats named in section 2.1 of the paper (alongside XML documents and
+    IDL specifications).
+
+    Syntax (line oriented):
+    {v
+    # comment (also ';' comments); blank lines ignored
+    node <name>
+    edge <src> <label> <dst>
+    <src> <label> <dst>          # bare triple, same as 'edge'
+    v}
+
+    Tokens containing whitespace, hash, semicolon or double quotes must be
+    double-quoted; inside quotes a backslash escapes the quote and itself.
+    {!print} always produces a round-trippable document. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Digraph.t, error list) result
+(** Parse a whole document.  All lines are checked; every malformed line is
+    reported. *)
+
+val parse_exn : string -> Digraph.t
+(** @raise Invalid_argument with the rendered errors on malformed input. *)
+
+val print : Digraph.t -> string
+(** Deterministic (sorted) rendering; [parse (print g)] reconstructs [g]. *)
+
+val load_file : string -> (Digraph.t, error list) result
+(** Read and parse a file.
+    @raise Sys_error if the file cannot be read. *)
+
+val save_file : string -> Digraph.t -> unit

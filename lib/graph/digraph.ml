@@ -1,0 +1,228 @@
+(* Immutable directed labeled multigraph.
+
+   Representation: two adjacency maps (forward and reverse) from node to the
+   set of (edge-label, other-endpoint) pairs, plus the node set.  The reverse
+   map is maintained eagerly so that [pred] and [in_edges] are as cheap as
+   their forward counterparts; the articulation generator and the algebra
+   difference walk edges in both directions. *)
+
+type node = string
+
+type edge = { src : node; label : string; dst : node }
+
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+(* (label, endpoint) pairs attached to a node, ordered by label then node. *)
+module Lnset = Set.Make (struct
+  type t = string * string
+
+  let compare (l1, n1) (l2, n2) =
+    match String.compare l1 l2 with 0 -> String.compare n1 n2 | c -> c
+end)
+
+type t = {
+  node_set : Sset.t;
+  fwd : Lnset.t Smap.t; (* src -> {(label, dst)} *)
+  rev : Lnset.t Smap.t; (* dst -> {(label, src)} *)
+  size : int; (* number of edges *)
+}
+
+let empty = { node_set = Sset.empty; fwd = Smap.empty; rev = Smap.empty; size = 0 }
+
+let is_empty g = Sset.is_empty g.node_set
+
+let check_label n =
+  if String.length n = 0 then
+    invalid_arg "Digraph: node labels must be non-empty strings"
+
+let add_node g n =
+  check_label n;
+  if Sset.mem n g.node_set then g
+  else { g with node_set = Sset.add n g.node_set }
+
+let adj map n = match Smap.find_opt n map with Some s -> s | None -> Lnset.empty
+
+let mem_node g n = Sset.mem n g.node_set
+
+let mem_edge g src label dst = Lnset.mem (label, dst) (adj g.fwd src)
+
+let add_edge g src label dst =
+  check_label src;
+  check_label dst;
+  if mem_edge g src label dst then g
+  else
+    let node_set = Sset.add src (Sset.add dst g.node_set) in
+    let fwd = Smap.add src (Lnset.add (label, dst) (adj g.fwd src)) g.fwd in
+    let rev = Smap.add dst (Lnset.add (label, src) (adj g.rev dst)) g.rev in
+    { node_set; fwd; rev; size = g.size + 1 }
+
+let add_edge_e g e = add_edge g e.src e.label e.dst
+
+let remove_edge g src label dst =
+  if not (mem_edge g src label dst) then g
+  else
+    let shrink map key item =
+      let s = Lnset.remove item (adj map key) in
+      if Lnset.is_empty s then Smap.remove key map else Smap.add key s map
+    in
+    {
+      g with
+      fwd = shrink g.fwd src (label, dst);
+      rev = shrink g.rev dst (label, src);
+      size = g.size - 1;
+    }
+
+let remove_edge_e g e = remove_edge g e.src e.label e.dst
+
+let out_edges g n =
+  Lnset.fold (fun (label, dst) acc -> { src = n; label; dst } :: acc) (adj g.fwd n) []
+  |> List.rev
+
+let in_edges g n =
+  Lnset.fold (fun (label, src) acc -> { src; label; dst = n } :: acc) (adj g.rev n) []
+  |> List.rev
+
+let remove_node g n =
+  if not (mem_node g n) then g
+  else
+    let g = List.fold_left remove_edge_e g (out_edges g n) in
+    let g = List.fold_left remove_edge_e g (in_edges g n) in
+    { g with node_set = Sset.remove n g.node_set }
+
+let of_edges ?(nodes = []) es =
+  let g = List.fold_left add_edge_e empty es in
+  List.fold_left add_node g nodes
+
+let nb_nodes g = Sset.cardinal g.node_set
+
+let nb_edges g = g.size
+
+let nodes g = Sset.elements g.node_set
+
+let fold_edges f g acc =
+  Smap.fold
+    (fun src lns acc ->
+      Lnset.fold (fun (label, dst) acc -> f { src; label; dst } acc) lns acc)
+    g.fwd acc
+
+let edges g = List.rev (fold_edges (fun e acc -> e :: acc) g [])
+
+let fold_nodes f g acc = Sset.fold f g.node_set acc
+
+let iter_nodes f g = Sset.iter f g.node_set
+
+let iter_edges f g = fold_edges (fun e () -> f e) g ()
+
+let distinct_endpoints lns =
+  Lnset.fold (fun (_, n) acc -> Sset.add n acc) lns Sset.empty |> Sset.elements
+
+let succ g n = distinct_endpoints (adj g.fwd n)
+
+let pred g n = distinct_endpoints (adj g.rev n)
+
+let endpoints_by lns label =
+  Lnset.fold
+    (fun (l, n) acc -> if String.equal l label then Sset.add n acc else acc)
+    lns Sset.empty
+  |> Sset.elements
+
+let succ_by g n label = endpoints_by (adj g.fwd n) label
+
+let pred_by g n label = endpoints_by (adj g.rev n) label
+
+let out_degree g n = Lnset.cardinal (adj g.fwd n)
+
+let in_degree g n = Lnset.cardinal (adj g.rev n)
+
+let labels_between g src dst =
+  Lnset.fold
+    (fun (l, n) acc -> if String.equal n dst then l :: acc else acc)
+    (adj g.fwd src) []
+  |> List.sort String.compare
+
+let edge_labels g =
+  fold_edges (fun e acc -> Sset.add e.label acc) g Sset.empty |> Sset.elements
+
+let has_edge_label g label =
+  try
+    iter_edges (fun e -> if String.equal e.label label then raise Exit) g;
+    false
+  with Exit -> true
+
+let rename_node g old_name new_name =
+  if not (mem_node g old_name) then g
+  else if String.equal old_name new_name then g
+  else
+    let redirect n = if String.equal n old_name then new_name else n in
+    let outs = out_edges g old_name and ins = in_edges g old_name in
+    let g = remove_node g old_name in
+    let g = add_node g new_name in
+    let g =
+      List.fold_left
+        (fun g e -> add_edge g new_name e.label (redirect e.dst))
+        g outs
+    in
+    List.fold_left (fun g e -> add_edge g (redirect e.src) e.label new_name) g ins
+
+let filter_nodes keep g =
+  fold_nodes
+    (fun n acc -> if keep n then acc else remove_node acc n)
+    g g
+
+let filter_edges keep g =
+  fold_edges (fun e acc -> if keep e then acc else remove_edge_e acc e) g g
+
+let map_edge_labels f g =
+  let base =
+    fold_nodes (fun n acc -> add_node acc n) g empty
+  in
+  fold_edges (fun e acc -> add_edge acc e.src (f e.label) e.dst) g base
+
+let union g1 g2 =
+  (* Fold the smaller graph into the larger one. *)
+  let small, large = if nb_edges g1 + nb_nodes g1 <= nb_edges g2 + nb_nodes g2 then (g1, g2) else (g2, g1) in
+  let g = fold_nodes (fun n acc -> add_node acc n) small large in
+  fold_edges (fun e acc -> add_edge_e acc e) small g
+
+let inter g1 g2 =
+  let node_set = Sset.inter g1.node_set g2.node_set in
+  let base = Sset.fold (fun n acc -> add_node acc n) node_set empty in
+  fold_edges
+    (fun e acc -> if mem_edge g2 e.src e.label e.dst then add_edge_e acc e else acc)
+    g1 base
+
+let diff_edges g1 g2 =
+  fold_edges
+    (fun e acc ->
+      if mem_edge g2 e.src e.label e.dst then remove_edge_e acc e else acc)
+    g1 g1
+
+let subgraph g ns =
+  let wanted = List.fold_left (fun s n -> Sset.add n s) Sset.empty ns in
+  filter_nodes (fun n -> Sset.mem n wanted) g
+
+let compare_edge e1 e2 =
+  match String.compare e1.src e2.src with
+  | 0 -> (
+      match String.compare e1.label e2.label with
+      | 0 -> String.compare e1.dst e2.dst
+      | c -> c)
+  | c -> c
+
+let compare g1 g2 =
+  match Sset.compare g1.node_set g2.node_set with
+  | 0 -> List.compare compare_edge (edges g1) (edges g2)
+  | c -> c
+
+let equal g1 g2 = compare g1 g2 = 0
+
+let pp_edge ppf e = Format.fprintf ppf "%s -%s-> %s" e.src e.label e.dst
+
+let edge_to_string e = Format.asprintf "%a" pp_edge e
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph (%d nodes, %d edges)" (nb_nodes g) (nb_edges g);
+  List.iter (fun n -> Format.fprintf ppf "@,node %s" n) (nodes g);
+  List.iter (fun e -> Format.fprintf ppf "@,edge %a" pp_edge e) (edges g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,159 @@
+(** Directed labeled multigraphs: the representation substrate of the ONION
+    graph-oriented model (Mitra et al., EDBT 2000, section 3).
+
+    An ontology graph is [G = (N, E)] where [N] is a finite set of labeled
+    nodes and [E] a finite set of labeled edges [(n1, alpha, n2)].  Following
+    the paper's consistency assumption (one node per term in a consistent
+    ontology) a node {e is} its label: node identity and node label coincide.
+
+    Values of type {!t} are immutable; every operation returns a new graph.
+    Structural sharing through the underlying maps keeps updates cheap, which
+    the ONION algebra exploits (union / intersection / difference are computed
+    dynamically and never stored, section 5). *)
+
+type node = string
+(** A node, identified by its label (a non-empty string in well-formed
+    graphs; see {!val:add_node}). *)
+
+type edge = { src : node; label : string; dst : node }
+(** A directed labeled edge [(src, label, dst)].  Multiple edges with
+    distinct labels may connect the same node pair; duplicate
+    [(src, label, dst)] triples are collapsed (edge sets, not bags). *)
+
+type t
+(** An immutable directed labeled multigraph. *)
+
+val empty : t
+(** The graph with no nodes and no edges. *)
+
+val is_empty : t -> bool
+(** [is_empty g] is [true] iff [g] has no nodes (and hence no edges). *)
+
+(** {1 Construction} *)
+
+val add_node : t -> node -> t
+(** [add_node g n] adds the isolated node [n].  Idempotent.
+    @raise Invalid_argument if [n] is the empty string (the paper requires
+    node labels to map to non-null strings). *)
+
+val add_edge : t -> node -> string -> node -> t
+(** [add_edge g src label dst] adds the edge [(src, label, dst)], inserting
+    the endpoints if absent.  Idempotent.
+    @raise Invalid_argument on an empty node label. *)
+
+val add_edge_e : t -> edge -> t
+(** [add_edge_e g e] is [add_edge g e.src e.label e.dst]. *)
+
+val remove_node : t -> node -> t
+(** [remove_node g n] removes [n] and every edge incident with [n]
+    (the paper's node-deletion primitive ND).  Idempotent. *)
+
+val remove_edge : t -> node -> string -> node -> t
+(** [remove_edge g src label dst] removes exactly that edge, keeping the
+    endpoints.  Idempotent. *)
+
+val remove_edge_e : t -> edge -> t
+(** [remove_edge_e g e] is [remove_edge g e.src e.label e.dst]. *)
+
+val of_edges : ?nodes:node list -> edge list -> t
+(** [of_edges ~nodes es] builds a graph containing edges [es] plus the
+    (possibly isolated) nodes [nodes]. *)
+
+val rename_node : t -> node -> node -> t
+(** [rename_node g old_name new_name] replaces node [old_name] by
+    [new_name], redirecting all incident edges.  If [new_name] already
+    exists the two nodes are merged.  If [old_name] is absent, [g] is
+    returned unchanged. *)
+
+(** {1 Queries} *)
+
+val mem_node : t -> node -> bool
+val mem_edge : t -> node -> string -> node -> bool
+
+val nb_nodes : t -> int
+val nb_edges : t -> int
+
+val nodes : t -> node list
+(** Sorted list of all nodes. *)
+
+val edges : t -> edge list
+(** All edges, sorted by [(src, label, dst)]. *)
+
+val out_edges : t -> node -> edge list
+(** Edges leaving the node; empty if the node is absent. *)
+
+val in_edges : t -> node -> edge list
+(** Edges entering the node; empty if the node is absent. *)
+
+val succ : t -> node -> node list
+(** Distinct successor nodes, sorted. *)
+
+val pred : t -> node -> node list
+(** Distinct predecessor nodes, sorted. *)
+
+val succ_by : t -> node -> string -> node list
+(** [succ_by g n label] are the distinct successors of [n] reached through
+    an edge labeled [label], sorted. *)
+
+val pred_by : t -> node -> string -> node list
+(** [pred_by g n label] are the distinct predecessors of [n] through edges
+    labeled [label], sorted. *)
+
+val out_degree : t -> node -> int
+val in_degree : t -> node -> int
+
+val labels_between : t -> node -> node -> string list
+(** All edge labels on edges from the first node to the second, sorted. *)
+
+val edge_labels : t -> string list
+(** The distinct edge labels used anywhere in the graph, sorted. *)
+
+val has_edge_label : t -> string -> bool
+
+(** {1 Iteration} *)
+
+val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_nodes : (node -> unit) -> t -> unit
+val iter_edges : (edge -> unit) -> t -> unit
+
+val filter_nodes : (node -> bool) -> t -> t
+(** Induced subgraph on the nodes satisfying the predicate. *)
+
+val filter_edges : (edge -> bool) -> t -> t
+(** Same node set, only the edges satisfying the predicate. *)
+
+val map_edge_labels : (string -> string) -> t -> t
+(** Relabel every edge. *)
+
+(** {1 Whole-graph operations} *)
+
+val union : t -> t -> t
+(** Set union of nodes and edges. *)
+
+val inter : t -> t -> t
+(** Nodes present in both graphs and edges present in both. *)
+
+val diff_edges : t -> t -> t
+(** First graph's node set, minus the edges also present in the second
+    graph.  (The ontology-level difference with reachability semantics
+    lives in the algebra layer.) *)
+
+val subgraph : t -> node list -> t
+(** [subgraph g ns] is the subgraph induced by the nodes of [ns] that are
+    present in [g]. *)
+
+val equal : t -> t -> bool
+(** Structural equality of node and edge sets. *)
+
+val compare : t -> t -> int
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line rendering (one node or edge per line). *)
+
+val pp_edge : Format.formatter -> edge -> unit
+(** [src -label-> dst]. *)
+
+val edge_to_string : edge -> string

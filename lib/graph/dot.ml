@@ -1,0 +1,70 @@
+type style = {
+  rankdir : string;
+  edge_color : string -> string option;
+  node_shape : Digraph.node -> string option;
+}
+
+let default_style =
+  { rankdir = "TB"; edge_color = (fun _ -> None); node_shape = (fun _ -> None) }
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let node_line style buf indent n =
+  let attrs =
+    match style.node_shape n with
+    | Some shape -> Printf.sprintf " [shape=%s]" shape
+    | None -> ""
+  in
+  Buffer.add_string buf (Printf.sprintf "%s\"%s\"%s;\n" indent (escape n) attrs)
+
+let edge_line style buf indent (e : Digraph.edge) =
+  let color =
+    match style.edge_color e.label with
+    | Some c -> Printf.sprintf ", color=%s, fontcolor=%s" c c
+    | None -> ""
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%s\"%s\" -> \"%s\" [label=\"%s\"%s];\n" indent
+       (escape e.src) (escape e.dst) (escape e.label) color)
+
+let body style buf indent g =
+  List.iter (node_line style buf indent) (Digraph.nodes g);
+  List.iter (edge_line style buf indent) (Digraph.edges g)
+
+let to_dot ?(name = "ontology") ?(style = default_style) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf (Printf.sprintf "  rankdir=%s;\n" style.rankdir);
+  body style buf "  " g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+type cluster = { cluster_name : string; graph : Digraph.t }
+
+let clusters_to_dot ?(name = "unified") ?(style = default_style) ~clusters
+    ~bridge_edges () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf (Printf.sprintf "  rankdir=%s;\n" style.rankdir);
+  Buffer.add_string buf "  compound=true;\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string buf (Printf.sprintf "  subgraph cluster_%d {\n" i);
+      Buffer.add_string buf
+        (Printf.sprintf "    label=\"%s\";\n" (escape c.cluster_name));
+      body style buf "    " c.graph;
+      Buffer.add_string buf "  }\n")
+    clusters;
+  List.iter (edge_line style buf "  ") bridge_edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

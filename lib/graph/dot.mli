@@ -1,0 +1,35 @@
+(** Graphviz DOT export.
+
+    The ONION viewer is a GUI in the paper; this reproduction renders
+    ontology graphs, articulations and unified ontologies to DOT so that any
+    Graphviz installation can display them.  Clusters let a unified ontology
+    show each source ontology and the articulation ontology as separate
+    boxes, mirroring Fig. 2 of the paper. *)
+
+type style = {
+  rankdir : string;  (** e.g. ["TB"] or ["LR"]. *)
+  edge_color : string -> string option;
+      (** Optional color per edge label (e.g. highlight ["SIBridge"]). *)
+  node_shape : Digraph.node -> string option;
+      (** Optional shape per node. *)
+}
+
+val default_style : style
+
+val escape : string -> string
+(** Escape a string for use as a quoted DOT identifier. *)
+
+val to_dot : ?name:string -> ?style:style -> Digraph.t -> string
+(** Render one graph as a [digraph]. *)
+
+type cluster = { cluster_name : string; graph : Digraph.t }
+
+val clusters_to_dot :
+  ?name:string ->
+  ?style:style ->
+  clusters:cluster list ->
+  bridge_edges:Digraph.edge list ->
+  unit ->
+  string
+(** Render several graphs as subgraph clusters plus the inter-cluster
+    bridge edges — the shape of the paper's articulation figure. *)

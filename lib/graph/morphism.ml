@@ -1,0 +1,74 @@
+type compat = {
+  node_ok : Digraph.node -> Digraph.node -> bool;
+  edge_ok : string -> string -> bool;
+}
+
+let exact = { node_ok = String.equal; edge_ok = String.equal }
+
+type mapping = (Digraph.node * Digraph.node) list
+
+module Smap = Map.Make (String)
+
+(* Order pattern nodes so that nodes constrained by already-assigned
+   neighbours come early: simple static heuristic — descending total degree,
+   ties broken lexicographically.  Keeps the backtracking search shallow on
+   the sparse, tree-ish ontology graphs ONION manipulates. *)
+let search_order pattern =
+  Digraph.nodes pattern
+  |> List.map (fun n ->
+         (n, Digraph.out_degree pattern n + Digraph.in_degree pattern n))
+  |> List.sort (fun (n1, d1) (n2, d2) ->
+         match Stdlib.compare d2 d1 with 0 -> String.compare n1 n2 | c -> c)
+  |> List.map fst
+
+(* Check every pattern edge between already-assigned nodes. *)
+let edges_consistent compat pattern target assignment =
+  Digraph.fold_edges
+    (fun (e : Digraph.edge) ok ->
+      ok
+      &&
+      match (Smap.find_opt e.src assignment, Smap.find_opt e.dst assignment) with
+      | Some s, Some d ->
+          List.exists
+            (fun (te : Digraph.edge) ->
+              String.equal te.dst d && compat.edge_ok e.label te.label)
+            (Digraph.out_edges target s)
+      | _ -> true)
+    pattern true
+
+let enumerate ?(compat = exact) ?(limit = 1000) pattern target =
+  let order = search_order pattern in
+  let target_nodes = Digraph.nodes target in
+  let results = ref [] in
+  let count = ref 0 in
+  let rec assign assignment = function
+    | [] ->
+        if !count < limit then begin
+          incr count;
+          results := Smap.bindings assignment :: !results
+        end
+    | pn :: rest ->
+        if !count >= limit then ()
+        else
+          List.iter
+            (fun tn ->
+              if compat.node_ok pn tn then begin
+                let assignment' = Smap.add pn tn assignment in
+                if edges_consistent compat pattern target assignment' then
+                  assign assignment' rest
+              end)
+            target_nodes
+  in
+  assign Smap.empty order;
+  List.rev !results
+
+let find_all_mappings ?compat ?limit pattern target =
+  enumerate ?compat ?limit pattern target
+
+let find_mapping ?compat pattern target =
+  match enumerate ?compat ~limit:1 pattern target with
+  | [] -> None
+  | m :: _ -> Some m
+
+let matches_into ?compat pattern target =
+  find_mapping ?compat pattern target <> None

@@ -1,0 +1,41 @@
+(** Graph matching as defined in section 3 of the paper.
+
+    Graph [G1 = (N1, E1)] {e matches into} [G2 = (N2, E2)] if there is a
+    total mapping [f : N1 -> N2] such that
+
+    + every node keeps its label: [lambda1 n = lambda2 (f n)], and
+    + every edge is preserved: [(n1, alpha, n2) in E1] implies
+      [(f n1, alpha, f n2) in E2].
+
+    Because {!Digraph} identifies nodes with their labels, the exact-match
+    mapping is forced to be the identity; the machinery below is therefore
+    parameterised by node and edge-label compatibility predicates so the
+    domain expert's {e fuzzy} relaxations (synonym sets, label-insensitive
+    edges — section 3, "Graph Patterns") use the same matcher. *)
+
+type compat = {
+  node_ok : Digraph.node -> Digraph.node -> bool;
+      (** May a pattern node be mapped onto this target node? *)
+  edge_ok : string -> string -> bool;
+      (** May a pattern edge label be matched by this target edge label? *)
+}
+
+val exact : compat
+(** Strict matching: identical node labels, identical edge labels. *)
+
+type mapping = (Digraph.node * Digraph.node) list
+(** A total mapping from the nodes of the matched graph to nodes of the
+    target, as sorted association pairs. *)
+
+val matches_into : ?compat:compat -> Digraph.t -> Digraph.t -> bool
+(** [matches_into g1 g2]: does [g1] match into [g2]?  With {!exact}
+    compatibility this is the paper's definition verbatim. *)
+
+val find_mapping : ?compat:compat -> Digraph.t -> Digraph.t -> mapping option
+(** The first (lexicographically smallest) witness mapping, if any. *)
+
+val find_all_mappings :
+  ?compat:compat -> ?limit:int -> Digraph.t -> Digraph.t -> mapping list
+(** All witness mappings (up to [limit], default 1000), deterministic
+    order.  Distinct pattern nodes may map onto the same target node, as
+    the paper's total-mapping definition permits. *)

@@ -1,0 +1,83 @@
+type op =
+  | Add_node of Digraph.node * Digraph.edge list
+  | Delete_node of Digraph.node
+  | Add_edges of Digraph.edge list
+  | Delete_edges of Digraph.edge list
+
+let incident (e : Digraph.edge) n =
+  String.equal e.Digraph.src n || String.equal e.Digraph.dst n
+
+let apply g = function
+  | Add_node (n, es) ->
+      List.iter
+        (fun e ->
+          if not (incident e n) then
+            invalid_arg
+              (Printf.sprintf
+                 "Transform.apply: NA edge %s not incident with new node %s"
+                 (Digraph.edge_to_string e) n))
+        es;
+      List.fold_left Digraph.add_edge_e (Digraph.add_node g n) es
+  | Delete_node n -> Digraph.remove_node g n
+  | Add_edges es -> List.fold_left Digraph.add_edge_e g es
+  | Delete_edges es -> List.fold_left Digraph.remove_edge_e g es
+
+let apply_all g ops = List.fold_left apply g ops
+
+let invert g = function
+  | Add_node (n, _) ->
+      (* Undoing NA removes the node and whatever edges it carried. *)
+      Delete_node n
+  | Delete_node n ->
+      let incident_edges = Digraph.out_edges g n @ Digraph.in_edges g n in
+      (* Self-loops appear in both lists; Digraph edge sets absorb the
+         duplicate on re-addition. *)
+      Add_node (n, incident_edges)
+  | Add_edges es ->
+      (* Only the edges that were genuinely new must disappear on undo. *)
+      let fresh =
+        List.filter
+          (fun (e : Digraph.edge) ->
+            not (Digraph.mem_edge g e.src e.label e.dst))
+          es
+      in
+      Delete_edges fresh
+  | Delete_edges es ->
+      let present =
+        List.filter
+          (fun (e : Digraph.edge) -> Digraph.mem_edge g e.src e.label e.dst)
+          es
+      in
+      Add_edges present
+
+let pp ppf op =
+  let pp_edges ppf es =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+      Digraph.pp_edge ppf es
+  in
+  match op with
+  | Add_node (n, es) -> Format.fprintf ppf "@[<2>NA[%s;@ %a]@]" n pp_edges es
+  | Delete_node n -> Format.fprintf ppf "ND[%s]" n
+  | Add_edges es -> Format.fprintf ppf "@[<2>EA[%a]@]" pp_edges es
+  | Delete_edges es -> Format.fprintf ppf "@[<2>ED[%a]@]" pp_edges es
+
+let to_string op = Format.asprintf "%a" pp op
+
+(* A log stores (op, inverse) pairs, most recent first. *)
+type log = (op * op) list
+
+let log_empty = []
+
+let log_apply g log op =
+  let inverse = invert g op in
+  (apply g op, (op, inverse) :: log)
+
+let log_ops log = List.rev_map fst log
+
+let log_undo g log =
+  match log with
+  | [] -> None
+  | (_, inverse) :: rest -> Some (apply g inverse, rest)
+
+let replay base log = apply_all base (log_ops log)

@@ -1,0 +1,59 @@
+(** The four graph transformation primitives of the ONION model
+    (section 3 of the paper): node addition (NA), node deletion (ND),
+    edge addition (EA), and edge deletion (ED).
+
+    Addition primitives build articulations; deletion primitives update an
+    articulation when the underlying source ontologies change.  Operations
+    are first-class values so that the articulation generator can log, replay
+    and invert the transformation stream it produces. *)
+
+type op =
+  | Add_node of Digraph.node * Digraph.edge list
+      (** NA: add a node together with its adjacent edges.  Every edge in
+          the list must be incident with the new node. *)
+  | Delete_node of Digraph.node
+      (** ND: delete a node and all edges incident with it. *)
+  | Add_edges of Digraph.edge list  (** EA: add a set of edges. *)
+  | Delete_edges of Digraph.edge list  (** ED: delete a set of edges. *)
+
+val apply : Digraph.t -> op -> Digraph.t
+(** [apply g op] performs one primitive.
+    @raise Invalid_argument if an [Add_node] edge list contains an edge not
+    incident with the added node. *)
+
+val apply_all : Digraph.t -> op list -> Digraph.t
+(** Left-to-right application. *)
+
+val invert : Digraph.t -> op -> op
+(** [invert g op] is the primitive that undoes [op] when applied to
+    [apply g op].  The pre-state [g] is needed to record what a deletion
+    destroyed (e.g. the edges incident with a deleted node).  Exactness is
+    on the edge set: endpoint nodes implicitly created by an [Add_edges]
+    persist after its inversion, since [Delete_edges] cannot remove
+    nodes. *)
+
+val pp : Format.formatter -> op -> unit
+
+val to_string : op -> string
+
+(** {1 Logs}
+
+    A log is the reverse-chronological list of operations applied to a
+    graph, enabling replay (for articulation regeneration) and undo (for
+    the expert's interactive corrections, section 2.4). *)
+
+type log
+
+val log_empty : log
+
+val log_apply : Digraph.t -> log -> op -> Digraph.t * log
+(** Apply and record one primitive. *)
+
+val log_ops : log -> op list
+(** Chronological list of recorded operations. *)
+
+val log_undo : Digraph.t -> log -> (Digraph.t * log) option
+(** Undo the most recent operation; [None] on an empty log. *)
+
+val replay : Digraph.t -> log -> Digraph.t
+(** Re-apply a full log to a fresh base graph. *)

@@ -1,0 +1,264 @@
+module Sset = Set.Make (String)
+
+type label_filter = string -> bool
+
+let any_label = fun _ -> true
+
+let only labels =
+  let set = List.fold_left (fun s l -> Sset.add l s) Sset.empty labels in
+  fun l -> Sset.mem l set
+
+(* Successors of [n] through followed edges, sorted and distinct. *)
+let followed_succ follow g n =
+  List.fold_left
+    (fun acc (e : Digraph.edge) ->
+      if follow e.label then Sset.add e.dst acc else acc)
+    Sset.empty (Digraph.out_edges g n)
+  |> Sset.elements
+
+let followed_pred follow g n =
+  List.fold_left
+    (fun acc (e : Digraph.edge) ->
+      if follow e.label then Sset.add e.src acc else acc)
+    Sset.empty (Digraph.in_edges g n)
+  |> Sset.elements
+
+let bfs ?(follow = any_label) g source =
+  if not (Digraph.mem_node g source) then []
+  else
+    let rec loop visited order = function
+      | [] -> List.rev order
+      | n :: queue ->
+          let fresh =
+            List.filter (fun m -> not (Sset.mem m visited)) (followed_succ follow g n)
+          in
+          let visited = List.fold_left (fun s m -> Sset.add m s) visited fresh in
+          loop visited (List.rev_append fresh order) (queue @ fresh)
+    in
+    loop (Sset.singleton source) [ source ] [ source ]
+
+let dfs_preorder ?(follow = any_label) g source =
+  if not (Digraph.mem_node g source) then []
+  else
+    let rec visit (visited, order) n =
+      if Sset.mem n visited then (visited, order)
+      else
+        let visited = Sset.add n visited in
+        let order = n :: order in
+        List.fold_left visit (visited, order) (followed_succ follow g n)
+    in
+    let _, order = visit (Sset.empty, []) source in
+    List.rev order
+
+let dfs_postorder ?(follow = any_label) g source =
+  if not (Digraph.mem_node g source) then []
+  else
+    let rec visit (visited, order) n =
+      if Sset.mem n visited then (visited, order)
+      else
+        let visited = Sset.add n visited in
+        let visited, order =
+          List.fold_left visit (visited, order) (followed_succ follow g n)
+        in
+        (visited, n :: order)
+    in
+    let _, order = visit (Sset.empty, []) source in
+    List.rev order
+
+(* Set of nodes reachable through a non-empty path from any node in
+   [sources], as a string set. *)
+let reachable_from neighbours follow g sources =
+  let rec loop visited = function
+    | [] -> visited
+    | n :: stack ->
+        let fresh =
+          List.filter (fun m -> not (Sset.mem m visited)) (neighbours follow g n)
+        in
+        let visited = List.fold_left (fun s m -> Sset.add m s) visited fresh in
+        loop visited (List.rev_append fresh stack)
+  in
+  let frontier =
+    List.concat_map (fun n -> neighbours follow g n) sources
+    |> List.fold_left (fun s m -> Sset.add m s) Sset.empty
+  in
+  loop frontier (Sset.elements frontier)
+
+let reachable ?(follow = any_label) g source =
+  Sset.elements (reachable_from followed_succ follow g [ source ])
+
+let reachable_set ?(follow = any_label) g sources =
+  Sset.elements (reachable_from followed_succ follow g sources)
+
+let co_reachable ?(follow = any_label) g target =
+  Sset.elements (reachable_from followed_pred follow g [ target ])
+
+let path_exists ?(follow = any_label) g a b =
+  Sset.mem b (reachable_from followed_succ follow g [ a ])
+
+let shortest_path ?(follow = any_label) g source target =
+  if not (Digraph.mem_node g source && Digraph.mem_node g target) then None
+  else if String.equal source target then Some []
+  else
+    (* BFS recording the discovering edge of each node. *)
+    let rec loop visited parent = function
+      | [] -> None
+      | n :: queue ->
+          let followed =
+            List.filter (fun (e : Digraph.edge) -> follow e.label) (Digraph.out_edges g n)
+          in
+          let step (visited, parent, queue, found) (e : Digraph.edge) =
+            if found <> None || Sset.mem e.dst visited then (visited, parent, queue, found)
+            else
+              let visited = Sset.add e.dst visited in
+              let parent = (e.dst, e) :: parent in
+              if String.equal e.dst target then (visited, parent, queue, Some parent)
+              else (visited, parent, queue @ [ e.dst ], found)
+          in
+          let visited, parent, queue, found =
+            List.fold_left step (visited, parent, queue, None) followed
+          in
+          (match found with
+          | Some parent ->
+              let rec rebuild acc n =
+                if String.equal n source then Some acc
+                else
+                  match List.assoc_opt n parent with
+                  | None -> None
+                  | Some e -> rebuild (e :: acc) e.Digraph.src
+              in
+              rebuild [] target
+          | None -> loop visited parent queue)
+    in
+    loop (Sset.singleton source) [] [ source ]
+
+let transitive_closure ?(follow = any_label) ~close_label g =
+  Digraph.fold_nodes
+    (fun n acc ->
+      let targets = reachable_from followed_succ follow g [ n ] in
+      Sset.fold
+        (fun m acc ->
+          if String.equal n m then acc else Digraph.add_edge acc n close_label m)
+        targets acc)
+    g g
+
+let transitive_reduction_edges ~label g =
+  let follow = only [ label ] in
+  let redundant (e : Digraph.edge) =
+    (* Is there a path src ->* dst avoiding the direct edge e? *)
+    let without = Digraph.remove_edge_e g e in
+    path_exists ~follow without e.src e.dst
+  in
+  Digraph.fold_edges
+    (fun e acc -> if String.equal e.label label && redundant e then e :: acc else acc)
+    g []
+  |> List.rev
+
+let topological_sort ?(follow = any_label) g =
+  (* Kahn's algorithm with a sorted worklist for determinism. *)
+  let in_deg =
+    (* Distinct predecessors: parallel edges must count once, because a
+       processed node decrements each successor exactly once. *)
+    Digraph.fold_nodes
+      (fun n acc -> (n, List.length (followed_pred follow g n)) :: acc)
+      g []
+  in
+  let module Smap = Map.Make (String) in
+  let deg = List.fold_left (fun m (n, d) -> Smap.add n d m) Smap.empty in_deg in
+  let ready =
+    Smap.fold (fun n d acc -> if d = 0 then Sset.add n acc else acc) deg Sset.empty
+  in
+  let rec loop deg ready order count =
+    match Sset.min_elt_opt ready with
+    | None ->
+        if count = Digraph.nb_nodes g then Some (List.rev order) else None
+    | Some n ->
+        let ready = Sset.remove n ready in
+        let deg, ready =
+          List.fold_left
+            (fun (deg, ready) m ->
+              let d = Smap.find m deg - 1 in
+              let deg = Smap.add m d deg in
+              if d = 0 then (deg, Sset.add m ready) else (deg, ready))
+            (deg, ready)
+            (followed_succ follow g n)
+        in
+        loop deg ready (n :: order) (count + 1)
+  in
+  loop deg ready [] 0
+
+let strongly_connected_components ?(follow = any_label) g =
+  (* Iterative Tarjan. *)
+  let module Smap = Map.Make (String) in
+  let index = ref 0 in
+  let indices = ref Smap.empty in
+  let lowlinks = ref Smap.empty in
+  let on_stack = ref Sset.empty in
+  let stack = ref [] in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    indices := Smap.add v !index !indices;
+    lowlinks := Smap.add v !index !lowlinks;
+    incr index;
+    stack := v :: !stack;
+    on_stack := Sset.add v !on_stack;
+    List.iter
+      (fun w ->
+        if not (Smap.mem w !indices) then begin
+          strongconnect w;
+          lowlinks :=
+            Smap.add v
+              (min (Smap.find v !lowlinks) (Smap.find w !lowlinks))
+              !lowlinks
+        end
+        else if Sset.mem w !on_stack then
+          lowlinks :=
+            Smap.add v (min (Smap.find v !lowlinks) (Smap.find w !indices)) !lowlinks)
+      (followed_succ follow g v);
+    if Smap.find v !lowlinks = Smap.find v !indices then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack := Sset.remove w !on_stack;
+            if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Smap.mem v !indices) then strongconnect v) (Digraph.nodes g);
+  !sccs
+  |> List.map (List.sort String.compare)
+  |> List.sort (fun a b ->
+         match (a, b) with
+         | x :: _, y :: _ -> String.compare x y
+         | [], _ -> -1
+         | _, [] -> 1)
+
+let has_cycle ?(follow = any_label) g =
+  (* A cycle exists iff some SCC has >1 node or a node has a followed
+     self-loop. *)
+  let self_loop n =
+    List.exists
+      (fun (e : Digraph.edge) -> follow e.label && String.equal e.dst n)
+      (Digraph.out_edges g n)
+  in
+  List.exists (fun c -> List.length c > 1) (strongly_connected_components ~follow g)
+  || List.exists self_loop (Digraph.nodes g)
+
+let weakly_connected_components g =
+  let neighbours _follow g n =
+    List.sort_uniq String.compare (Digraph.succ g n @ Digraph.pred g n)
+  in
+  let rec collect seen acc = function
+    | [] -> List.rev acc
+    | n :: rest ->
+        if Sset.mem n seen then collect seen acc rest
+        else
+          let comp = Sset.add n (reachable_from neighbours any_label g [ n ]) in
+          (* Restrict to genuinely connected nodes: reachable_from through
+             symmetric neighbours already yields the whole component. *)
+          let seen = Sset.union seen comp in
+          collect seen (Sset.elements comp :: acc) rest
+  in
+  collect Sset.empty [] (Digraph.nodes g)

@@ -1,0 +1,83 @@
+(** Graph traversals and derived relations over {!Digraph}.
+
+    Several ONION components are built on reachability restricted to a set of
+    edge labels: transitive relations such as [SubclassOf] and
+    [SemanticImplication] are expanded by label-filtered transitive closure,
+    and the algebra's conservative difference (section 5.3) removes exactly
+    the nodes from which a path into the other ontology exists. *)
+
+type label_filter = string -> bool
+(** Which edge labels a traversal may follow.  [fun _ -> true] follows
+    every edge. *)
+
+val any_label : label_filter
+
+val only : string list -> label_filter
+(** [only labels] follows exactly the given labels. *)
+
+val bfs : ?follow:label_filter -> Digraph.t -> Digraph.node -> Digraph.node list
+(** Breadth-first order from the source (inclusive).  Nodes at equal depth
+    are visited in sorted order, so the result is deterministic. *)
+
+val dfs_preorder :
+  ?follow:label_filter -> Digraph.t -> Digraph.node -> Digraph.node list
+(** Depth-first preorder from the source (inclusive), deterministic. *)
+
+val dfs_postorder :
+  ?follow:label_filter -> Digraph.t -> Digraph.node -> Digraph.node list
+
+val reachable :
+  ?follow:label_filter -> Digraph.t -> Digraph.node -> Digraph.node list
+(** All nodes reachable from the source, {e excluding} the source itself
+    unless it lies on a cycle.  Sorted. *)
+
+val reachable_set :
+  ?follow:label_filter -> Digraph.t -> Digraph.node list -> Digraph.node list
+(** Union of {!reachable} over several sources, sorted. *)
+
+val co_reachable :
+  ?follow:label_filter -> Digraph.t -> Digraph.node -> Digraph.node list
+(** All nodes from which the given node is reachable (excluding itself
+    unless on a cycle).  Sorted. *)
+
+val path_exists :
+  ?follow:label_filter -> Digraph.t -> Digraph.node -> Digraph.node -> bool
+(** [path_exists g a b]: is there a non-empty directed path from [a] to
+    [b]?  ([a = b] requires a cycle through [a].) *)
+
+val shortest_path :
+  ?follow:label_filter ->
+  Digraph.t ->
+  Digraph.node ->
+  Digraph.node ->
+  Digraph.edge list option
+(** A minimum-hop directed path as its edge sequence; [None] if
+    unreachable.  The empty list is returned when source = target. *)
+
+val transitive_closure :
+  ?follow:label_filter -> close_label:string -> Digraph.t -> Digraph.t
+(** [transitive_closure ~follow ~close_label g] adds an edge
+    [(a, close_label, b)] for every pair with a non-empty [follow]-path
+    from [a] to [b].  Used to expand transitive ontology relations. *)
+
+val transitive_reduction_edges :
+  label:string -> Digraph.t -> Digraph.edge list
+(** Edges labeled [label] that are implied by other [label]-paths and can
+    therefore be hidden by the viewer (the paper keeps transitive semantic
+    implications undisplayed unless requested). *)
+
+val topological_sort :
+  ?follow:label_filter -> Digraph.t -> Digraph.node list option
+(** A topological order of all nodes w.r.t. the followed edges, or [None]
+    if those edges contain a cycle.  Deterministic (lexicographically
+    smallest order). *)
+
+val strongly_connected_components :
+  ?follow:label_filter -> Digraph.t -> Digraph.node list list
+(** Tarjan's SCCs over the followed edges; components and their members are
+    sorted for determinism. *)
+
+val has_cycle : ?follow:label_filter -> Digraph.t -> bool
+
+val weakly_connected_components : Digraph.t -> Digraph.node list list
+(** Components of the underlying undirected graph, sorted. *)

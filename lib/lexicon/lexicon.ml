@@ -1,0 +1,394 @@
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+type t = {
+  syn : Sset.t Smap.t; (* word -> its full synset (including itself) *)
+  hyper : Sset.t Smap.t; (* word -> direct hypernym words *)
+}
+
+let empty = { syn = Smap.empty; hyper = Smap.empty }
+
+let norm w = String.lowercase_ascii (String.trim w)
+
+let synset_of t w =
+  match Smap.find_opt w t.syn with Some s -> s | None -> Sset.singleton w
+
+let add_word t w =
+  if Smap.mem w t.syn then t else { t with syn = Smap.add w (Sset.singleton w) t.syn }
+
+let add_synset t words =
+  let words = List.map norm (List.filter (fun w -> String.trim w <> "") words) in
+  match words with
+  | [] -> t
+  | _ ->
+      let t = List.fold_left add_word t words in
+      let merged =
+        List.fold_left (fun acc w -> Sset.union acc (synset_of t w)) Sset.empty words
+      in
+      let syn = Sset.fold (fun w syn -> Smap.add w merged syn) merged t.syn in
+      { t with syn }
+
+let add_hypernym t ~specific ~general =
+  let specific = norm specific and general = norm general in
+  let t = add_word (add_word t specific) general in
+  let existing =
+    match Smap.find_opt specific t.hyper with Some s -> s | None -> Sset.empty
+  in
+  { t with hyper = Smap.add specific (Sset.add general existing) t.hyper }
+
+let union t1 t2 =
+  let t =
+    Smap.fold (fun _ synset acc -> add_synset acc (Sset.elements synset)) t2.syn t1
+  in
+  Smap.fold
+    (fun specific generals acc ->
+      Sset.fold (fun general acc -> add_hypernym acc ~specific ~general) generals acc)
+    t2.hyper t
+
+let size t = Smap.cardinal t.syn
+
+(* Resolve a surface form to a known lexicon word: exact normal form first,
+   stemmed form second. *)
+let resolve t w =
+  let n = norm w in
+  if Smap.mem n t.syn then Some n
+  else
+    let s = Stem.stem n in
+    if Smap.mem s t.syn then Some s else None
+
+let known t w = resolve t w <> None
+
+let synonyms t w =
+  match resolve t w with
+  | None -> []
+  | Some n -> Sset.elements (Sset.remove n (synset_of t n))
+
+let are_synonyms t a b =
+  let na = norm a and nb = norm b in
+  if String.equal na nb || String.equal (Stem.stem na) (Stem.stem nb) then true
+  else
+    match (resolve t a, resolve t b) with
+    | Some ra, Some rb -> Sset.mem rb (synset_of t ra)
+    | _ -> false
+
+let direct_hypernym_set t w =
+  (* Hypernyms of any synonym count as hypernyms of the word. *)
+  Sset.fold
+    (fun s acc ->
+      match Smap.find_opt s t.hyper with
+      | Some hs -> Sset.union hs acc
+      | None -> acc)
+    (synset_of t w) Sset.empty
+
+let direct_hypernyms t w =
+  match resolve t w with
+  | None -> []
+  | Some n -> Sset.elements (direct_hypernym_set t n)
+
+(* Transitive hypernym closure with distance; cycle-safe. *)
+let hypernym_distances t w =
+  match resolve t w with
+  | None -> Smap.empty
+  | Some n ->
+      let rec loop dist frontier acc =
+        if Sset.is_empty frontier then acc
+        else
+          let next =
+            Sset.fold
+              (fun x acc -> Sset.union (direct_hypernym_set t x) acc)
+              frontier Sset.empty
+          in
+          let fresh =
+            Sset.filter
+              (fun x -> (not (Smap.mem x acc)) && not (Sset.mem x (synset_of t n)))
+              next
+          in
+          let acc = Sset.fold (fun x acc -> Smap.add x dist acc) fresh acc in
+          loop (dist + 1) fresh acc
+      in
+      loop 1 (synset_of t n) Smap.empty
+
+let hypernyms t w =
+  hypernym_distances t w |> Smap.bindings |> List.map fst
+
+let is_a t ~specific ~general =
+  match resolve t general with
+  | None -> false
+  | Some g ->
+      let distances = hypernym_distances t specific in
+      Sset.exists (fun syn -> Smap.mem syn distances) (synset_of t g)
+
+let semantic_similarity t a b =
+  if are_synonyms t a b then 1.0
+  else
+    let step_score d = max 0.0 (0.8 -. (0.15 *. float_of_int (d - 1))) in
+    let da = hypernym_distances t a and db = hypernym_distances t b in
+    let score_via resolve_other distances =
+      match resolve_other with
+      | None -> 0.0
+      | Some other ->
+          Sset.fold
+            (fun syn acc ->
+              match Smap.find_opt syn distances with
+              | Some d -> max acc (step_score d)
+              | None -> acc)
+            (synset_of t other) 0.0
+    in
+    (* b above a, or a above b; common ancestors are not scored (keeps the
+       measure high-precision for bridge suggestions). *)
+    max (score_via (resolve t b) da) (score_via (resolve t a) db)
+
+let entries t =
+  Smap.bindings t.syn
+  |> List.map (fun (w, synset) ->
+         ( w,
+           Sset.elements (Sset.remove w synset),
+           Sset.elements
+             (match Smap.find_opt w t.hyper with Some s -> s | None -> Sset.empty) ))
+
+(* ------------------------------------------------------------------ *)
+(* Embedded mini-WordNet.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_synsets =
+  [
+    [ "car"; "automobile"; "auto"; "motorcar" ];
+    [ "truck"; "lorry" ];
+    [ "suv"; "sport utility vehicle" ];
+    [ "van"; "minivan" ];
+    [ "cab"; "taxi"; "taxicab" ];
+    [ "bus"; "coach"; "omnibus" ];
+    [ "motorcycle"; "motorbike"; "bike" ];
+    [ "ship"; "vessel" ];
+    [ "boat"; "watercraft" ];
+    [ "airplane"; "aeroplane"; "plane"; "aircraft" ];
+    [ "train"; "railcar" ];
+    [ "vehicle"; "conveyance" ];
+    [ "carrier"; "transporter"; "hauler" ];
+    [ "cargo"; "freight"; "load"; "shipment" ];
+    [ "goods"; "merchandise"; "commodity"; "ware" ];
+    [ "price"; "cost"; "charge" ];
+    [ "fee"; "fare"; "toll" ];
+    [ "amount"; "quantity"; "sum" ];
+    [ "owner"; "possessor"; "proprietor"; "holder" ];
+    [ "person"; "individual"; "human"; "somebody" ];
+    [ "driver"; "chauffeur"; "motorist" ];
+    [ "operator"; "handler" ];
+    [ "factory"; "plant"; "mill"; "manufactory" ];
+    [ "manufacturer"; "maker"; "producer" ];
+    [ "buyer"; "purchaser"; "vendee" ];
+    [ "customer"; "client"; "patron"; "shopper" ];
+    [ "seller"; "vendor"; "supplier"; "merchant" ];
+    [ "dealer"; "trader" ];
+    [ "model"; "variant" ];
+    [ "brand"; "make"; "marque" ];
+    [ "weight"; "mass" ];
+    [ "size"; "dimension" ];
+    [ "transport"; "transportation"; "transit"; "conveying" ];
+    [ "delivery"; "shipping"; "dispatch" ];
+    [ "order"; "purchase order" ];
+    [ "invoice"; "bill" ];
+    [ "payment"; "remittance" ];
+    [ "currency"; "money"; "tender" ];
+    [ "euro" ];
+    [ "guilder"; "florin"; "dutch guilder" ];
+    [ "sterling"; "pound"; "pound sterling"; "quid" ];
+    [ "dollar"; "buck" ];
+    [ "warehouse"; "depot"; "storehouse" ];
+    [ "store"; "shop"; "outlet" ];
+    [ "company"; "firm"; "corporation"; "business" ];
+    [ "employee"; "worker"; "staffer" ];
+    [ "address"; "location" ];
+    [ "route"; "itinerary"; "path" ];
+    [ "journey"; "trip"; "voyage" ];
+    [ "engine"; "motor" ];
+    [ "wheel" ];
+    [ "tire"; "tyre" ];
+    [ "fuel"; "petrol"; "gasoline"; "gas" ];
+    [ "product"; "article"; "item" ];
+    [ "catalog"; "catalogue"; "inventory" ];
+    [ "contract"; "agreement" ];
+    [ "insurance"; "coverage" ];
+    [ "tax"; "duty"; "levy" ];
+    [ "discount"; "rebate"; "reduction" ];
+    [ "profit"; "gain"; "earnings" ];
+    [ "salary"; "wage"; "pay" ];
+    [ "document"; "record"; "file" ];
+    [ "name"; "title"; "label" ];
+    [ "date"; "day" ];
+    [ "year" ];
+    [ "passenger"; "rider"; "traveler"; "traveller" ];
+    [ "pilot"; "aviator" ];
+    [ "captain"; "skipper" ];
+    [ "road"; "street"; "highway" ];
+    [ "harbor"; "harbour"; "port" ];
+    [ "airport"; "airfield"; "aerodrome" ];
+    [ "station"; "terminal"; "depot" ];
+    [ "laptop"; "notebook" ];
+    [ "monitor"; "display" ];
+    [ "phone"; "handset"; "mobile"; "cellphone" ];
+    [ "computer"; "pc" ];
+    [ "parcel"; "package" ];
+    [ "shipment"; "consignment" ];
+    [ "accessory"; "addon" ];
+    (* medical / clinical *)
+    [ "physician"; "doctor"; "medic" ];
+    [ "nurse" ];
+    [ "patient" ];
+    [ "medication"; "drug"; "medicine"; "pharmaceutical" ];
+    [ "procedure"; "operation" ];
+    [ "diagnosis"; "condition" ];
+    [ "treatment"; "therapy" ];
+    [ "hospital"; "clinic"; "infirmary" ];
+    [ "encounter"; "visit" ];
+    [ "claim"; "bill" ];
+    [ "dose"; "dosage"; "quantity" ];
+    [ "bodyweight"; "body weight" ];
+    [ "illness"; "disease"; "ailment"; "sickness" ];
+    [ "symptom"; "sign" ];
+    [ "ward"; "unit" ];
+    (* office / organization *)
+    [ "employee"; "worker"; "staffer" ];
+    [ "manager"; "supervisor"; "boss" ];
+    [ "department"; "division" ];
+    [ "meeting"; "appointment" ];
+    [ "report"; "memo" ];
+    [ "budget"; "allocation" ];
+    [ "project"; "initiative" ];
+    [ "task"; "assignment"; "job" ];
+    (* finance *)
+    [ "account"; "ledger" ];
+    [ "revenue"; "income"; "turnover" ];
+    [ "expense"; "expenditure"; "outlay" ];
+    [ "loan"; "credit" ];
+    [ "asset"; "holding" ];
+    [ "liability"; "debt"; "obligation" ];
+    [ "interest" ];
+    [ "deposit" ];
+    (* geography / logistics detail *)
+    [ "city"; "town"; "municipality" ];
+    [ "country"; "nation"; "state" ];
+    [ "region"; "area"; "zone" ];
+    [ "border"; "frontier" ];
+    [ "distance"; "range" ];
+    [ "map"; "chart" ];
+    (* food / agriculture *)
+    [ "food"; "nourishment"; "fare" ];
+    [ "grain"; "cereal" ];
+    [ "fruit" ];
+    [ "vegetable"; "produce" ];
+    [ "meat" ];
+    [ "dairy" ];
+    [ "crop"; "harvest" ];
+    [ "farm"; "ranch" ];
+    (* time *)
+    [ "month" ];
+    [ "week" ];
+    [ "hour" ];
+    [ "duration"; "span"; "interval" ];
+    [ "deadline"; "due date" ];
+  ]
+
+let builtin_hypernyms =
+  [
+    ("car", "vehicle");
+    ("truck", "vehicle");
+    ("suv", "car");
+    ("van", "vehicle");
+    ("cab", "car");
+    ("bus", "vehicle");
+    ("motorcycle", "vehicle");
+    ("ship", "vehicle");
+    ("boat", "vehicle");
+    ("airplane", "vehicle");
+    ("train", "vehicle");
+    ("vehicle", "transport");
+    ("sedan", "car");
+    ("coupe", "car");
+    ("driver", "person");
+    ("operator", "person");
+    ("owner", "person");
+    ("buyer", "customer");
+    ("customer", "person");
+    ("seller", "person");
+    ("dealer", "seller");
+    ("passenger", "person");
+    ("pilot", "person");
+    ("captain", "person");
+    ("employee", "person");
+    ("manufacturer", "company");
+    ("factory", "company");
+    ("warehouse", "building");
+    ("store", "building");
+    ("station", "building");
+    ("cargo", "goods");
+    ("product", "goods");
+    ("price", "amount");
+    ("fee", "amount");
+    ("weight", "amount");
+    ("tax", "amount");
+    ("discount", "amount");
+    ("profit", "amount");
+    ("salary", "amount");
+    ("euro", "currency");
+    ("guilder", "currency");
+    ("sterling", "currency");
+    ("dollar", "currency");
+    ("invoice", "document");
+    ("order", "document");
+    ("contract", "document");
+    ("catalog", "document");
+    ("delivery", "transport");
+    ("journey", "transport");
+    ("route", "path");
+    ("road", "path");
+    ("fuel", "goods");
+    ("engine", "part");
+    ("wheel", "part");
+    ("tire", "part");
+    ("part", "product");
+    ("harbor", "station");
+    ("airport", "station");
+    ("laptop", "computer");
+    ("phone", "device");
+    ("computer", "device");
+    ("monitor", "device");
+    ("parcel", "shipment");
+    (* medical *)
+    ("physician", "person");
+    ("nurse", "person");
+    ("patient", "person");
+    ("medication", "treatment");
+    ("procedure", "treatment");
+    ("bodyweight", "weight");
+    ("hospital", "building");
+    ("symptom", "sign");
+    (* office / finance *)
+    ("employee", "person");
+    ("manager", "employee");
+    ("revenue", "amount");
+    ("expense", "amount");
+    ("budget", "amount");
+    ("loan", "liability");
+    ("deposit", "asset");
+    (* geography *)
+    ("city", "region");
+    ("country", "region");
+    (* food *)
+    ("grain", "food");
+    ("fruit", "food");
+    ("vegetable", "food");
+    ("meat", "food");
+    ("dairy", "food");
+    (* time *)
+    ("month", "duration");
+    ("week", "duration");
+    ("hour", "duration");
+    ("day", "duration");
+  ]
+
+let builtin =
+  let t = List.fold_left add_synset empty builtin_synsets in
+  List.fold_left
+    (fun t (specific, general) -> add_hypernym t ~specific ~general)
+    t builtin_hypernyms

@@ -1,0 +1,61 @@
+(** A semantic lexicon: synonym sets and hypernym (is-a) links.
+
+    The paper integrates ONION with "public semantic dictionaries, like
+    WordNet".  WordNet itself is not available offline, so this module
+    provides the same query surface over an embedded mini-lexicon
+    ({!builtin}) covering the transportation / commerce vocabulary of the
+    paper's running example plus a generic upper layer.  SKAT consumes only
+    this interface, so a full WordNet could be dropped in unchanged.
+
+    Words are matched case-insensitively; inflected forms are reduced with
+    {!Stem.stem} when an exact entry is missing. *)
+
+type t
+
+val empty : t
+
+val add_synset : t -> string list -> t
+(** Declare the words as mutual synonyms.  Transitively merges with any
+    synset already containing one of them. *)
+
+val add_hypernym : t -> specific:string -> general:string -> t
+(** Declare an is-a link, e.g. [add_hypernym t ~specific:"car"
+    ~general:"vehicle"]. *)
+
+val union : t -> t -> t
+(** Merge two lexicons (synsets sharing a word are fused). *)
+
+val size : t -> int
+(** Number of known words. *)
+
+val known : t -> string -> bool
+
+val synonyms : t -> string -> string list
+(** All synonyms of the word (excluding the word's own normal form),
+    sorted.  Empty if unknown. *)
+
+val are_synonyms : t -> string -> string -> bool
+(** [true] also when the two words normalize (case / stem) to the same
+    form. *)
+
+val direct_hypernyms : t -> string -> string list
+
+val hypernyms : t -> string -> string list
+(** Transitive hypernyms, through synonym sets, sorted.  Cycle-safe. *)
+
+val is_a : t -> specific:string -> general:string -> bool
+(** Is [general] a (transitive) hypernym of [specific], or a synonym of
+    one?  Synonymous words are not [is_a]-related (use
+    {!are_synonyms}). *)
+
+val semantic_similarity : t -> string -> string -> float
+(** Graded relatedness used by SKAT for ranking: [1.0] synonyms, [0.8]
+    direct hypernym/hyponym, decaying by 0.15 per additional is-a step,
+    [0.0] when unrelated. *)
+
+val entries : t -> (string * string list * string list) list
+(** All words with their synonyms and direct hypernyms (for inspection),
+    sorted by word. *)
+
+val builtin : t
+(** The embedded mini-WordNet (transportation, commerce, generic). *)

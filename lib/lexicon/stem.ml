@@ -1,0 +1,60 @@
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.equal (String.sub s (ls - lx) lx) suffix
+
+let chop s n = String.sub s 0 (String.length s - n)
+
+let is_vowel c = c = 'a' || c = 'e' || c = 'i' || c = 'o' || c = 'u' || c = 'y'
+
+let has_vowel s = String.exists is_vowel s
+
+(* Apply the first matching rule whose result keeps >= 3 characters and
+   still contains a vowel. *)
+let rules =
+  [
+    (* (suffix, replacement) *)
+    ("sses", "ss");
+    ("ies", "y");
+    ("xes", "x");
+    ("ches", "ch");
+    ("shes", "sh");
+    ("ss", "ss");
+    (* keep: not a plural *)
+    ("s", "");
+    ("ing", "");
+    ("edly", "");
+    ("ed", "");
+    ("ly", "");
+  ]
+
+let stem word =
+  let word = String.lowercase_ascii word in
+  let try_rule acc (suffix, replacement) =
+    match acc with
+    | Some _ -> acc
+    | None ->
+        if ends_with ~suffix word then begin
+          let candidate = chop word (String.length suffix) ^ replacement in
+          if String.length candidate >= 3 && has_vowel candidate then Some candidate
+          else None
+        end
+        else None
+  in
+  match List.fold_left try_rule None rules with
+  | Some stemmed ->
+      (* Undouble trailing consonants produced by -ing / -ed stripping
+         (e.g. shipping -> shipp -> ship). *)
+      let n = String.length stemmed in
+      if
+        n >= 4
+        && stemmed.[n - 1] = stemmed.[n - 2]
+        && (not (is_vowel stemmed.[n - 1]))
+        && stemmed.[n - 1] <> 's'
+      then chop stemmed 1
+      else stemmed
+  | None -> word
+
+let stem_label label =
+  Strsim.split_words label |> List.map stem |> String.concat ""
+
+let equal_modulo_stem a b = String.equal (stem_label a) (stem_label b)

@@ -1,0 +1,17 @@
+(** A light English suffix stemmer.
+
+    SKAT compares term labels after stemming so that ["Cars"] / ["Car"] and
+    ["Carriers"] / ["Carrier"] line up.  This is a conservative subset of
+    the Porter rules: only high-precision suffix families are stripped, and
+    never below three characters of stem. *)
+
+val stem : string -> string
+(** Stem a single lowercase word.  Mixed-case input is lowercased first. *)
+
+val stem_label : string -> string
+(** Normalize an identifier label: split into words, stem each, re-join
+    with no separator (the comparable canonical form for compound labels
+    like ["CargoCarriers"]). *)
+
+val equal_modulo_stem : string -> string -> bool
+(** Do two labels coincide after {!stem_label}? *)

@@ -1,0 +1,149 @@
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    (* Two-row dynamic programming. *)
+    let prev = Array.init (lb + 1) Fun.id in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let levenshtein_similarity a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else 1.0 -. (float_of_int (levenshtein a b) /. float_of_int (max la lb))
+
+let jaro a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else if la = 0 || lb = 0 then 0.0
+  else begin
+    let window = max 0 ((max la lb / 2) - 1) in
+    let a_matched = Array.make la false and b_matched = Array.make lb false in
+    let matches = ref 0 in
+    for i = 0 to la - 1 do
+      let lo = max 0 (i - window) and hi = min (lb - 1) (i + window) in
+      let rec find j =
+        if j > hi then ()
+        else if (not b_matched.(j)) && a.[i] = b.[j] then begin
+          a_matched.(i) <- true;
+          b_matched.(j) <- true;
+          incr matches
+        end
+        else find (j + 1)
+      in
+      find lo
+    done;
+    if !matches = 0 then 0.0
+    else begin
+      (* Count transpositions among matched characters. *)
+      let transpositions = ref 0 in
+      let k = ref 0 in
+      for i = 0 to la - 1 do
+        if a_matched.(i) then begin
+          while not b_matched.(!k) do incr k done;
+          if a.[i] <> b.[!k] then incr transpositions;
+          incr k
+        end
+      done;
+      let m = float_of_int !matches in
+      let t = float_of_int (!transpositions / 2) in
+      ((m /. float_of_int la) +. (m /. float_of_int lb) +. ((m -. t) /. m)) /. 3.0
+    end
+  end
+
+let common_prefix_length a b =
+  let n = min (String.length a) (String.length b) in
+  let rec loop i = if i < n && a.[i] = b.[i] then loop (i + 1) else i in
+  loop 0
+
+let jaro_winkler ?(prefix_scale = 0.1) a b =
+  let j = jaro a b in
+  let prefix = min 4 (common_prefix_length a b) in
+  j +. (float_of_int prefix *. prefix_scale *. (1.0 -. j))
+
+let bigrams s =
+  let n = String.length s in
+  if n < 2 then []
+  else List.init (n - 1) (fun i -> String.sub s i 2)
+
+let bigram_dice a b =
+  if String.length a < 2 || String.length b < 2 then
+    if String.equal a b then 1.0 else 0.0
+  else begin
+    let ba = List.sort String.compare (bigrams a) in
+    let bb = List.sort String.compare (bigrams b) in
+    let rec overlap xs ys acc =
+      match (xs, ys) with
+      | [], _ | _, [] -> acc
+      | x :: xs', y :: ys' ->
+          let c = String.compare x y in
+          if c = 0 then overlap xs' ys' (acc + 1)
+          else if c < 0 then overlap xs' ys acc
+          else overlap xs ys' acc
+    in
+    let common = overlap ba bb 0 in
+    2.0 *. float_of_int common /. float_of_int (List.length ba + List.length bb)
+  end
+
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let normalize_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter (fun c -> if is_alnum c then Buffer.add_char buf (Char.lowercase_ascii c)) s;
+  Buffer.contents buf
+
+let split_words s =
+  let n = String.length s in
+  let words = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      words := String.lowercase_ascii (Buffer.contents buf) :: !words;
+      Buffer.clear buf
+    end
+  in
+  let is_upper c = c >= 'A' && c <= 'Z' in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if not (is_alnum c) then flush ()
+    else begin
+      (* Case boundary: lower/digit followed by upper, or upper followed by
+         upper-then-lower (handles acronym prefixes like XMLParser). *)
+      if
+        i > 0 && is_upper c
+        && (not (is_upper s.[i - 1]) && is_alnum s.[i - 1]
+           || (i + 1 < n && is_upper s.[i - 1] && is_alnum s.[i + 1] && not (is_upper s.[i + 1])))
+      then flush ();
+      Buffer.add_char buf c
+    end
+  done;
+  flush ();
+  List.rev !words
+
+let word_dice a b =
+  let wa = List.sort_uniq String.compare (split_words a) in
+  let wb = List.sort_uniq String.compare (split_words b) in
+  match (wa, wb) with
+  | [], [] -> 1.0
+  | [], _ | _, [] -> 0.0
+  | _ ->
+      let common = List.length (List.filter (fun w -> List.mem w wb) wa) in
+      2.0 *. float_of_int common /. float_of_int (List.length wa + List.length wb)
+
+let combined a b =
+  let na = normalize_label a and nb = normalize_label b in
+  if String.equal na nb && String.length na > 0 then 1.0
+  else
+    List.fold_left max 0.0
+      [ jaro_winkler na nb; bigram_dice na nb; word_dice a b ]

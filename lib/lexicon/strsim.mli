@@ -1,0 +1,43 @@
+(** String similarity measures.
+
+    SKAT (the articulation suggestion engine, section 2.4) proposes semantic
+    bridges from lexical evidence.  Besides the synonym lexicon these
+    surface-similarity measures catch spelling variants, compounding and
+    abbreviations between term labels of different ontologies.
+
+    All similarity functions return a score in [[0, 1]], where [1.0] means
+    identical under the measure. *)
+
+val levenshtein : string -> string -> int
+(** Edit distance (insertions, deletions, substitutions; unit costs). *)
+
+val levenshtein_similarity : string -> string -> float
+(** [1 - distance / max_length]; [1.0] for two empty strings. *)
+
+val jaro : string -> string -> float
+
+val jaro_winkler : ?prefix_scale:float -> string -> string -> float
+(** Jaro with the Winkler common-prefix bonus ([prefix_scale] defaults to
+    0.1, capped at 4 prefix characters). *)
+
+val bigram_dice : string -> string -> float
+(** Dice coefficient over character bigrams; robust to word reordering in
+    compound labels.  Strings shorter than 2 characters compare by
+    equality. *)
+
+val common_prefix_length : string -> string -> int
+
+val normalize_label : string -> string
+(** Lowercase and strip non-alphanumeric characters: the canonical form
+    compared by SKAT before any fuzzy measure (so that ["PassengerCar"],
+    ["passenger_car"] and ["Passenger Car"] coincide). *)
+
+val split_words : string -> string list
+(** Split an identifier into lowercase words at case boundaries,
+    underscores, dashes, dots and spaces (["CargoCarrierVehicle"] becomes
+    [["cargo"; "carrier"; "vehicle"]]). *)
+
+val combined : string -> string -> float
+(** The blended score SKAT uses for label evidence: max of normalized-label
+    equality, Jaro-Winkler and bigram Dice on normalized labels, and a
+    word-overlap Dice on {!split_words}. *)

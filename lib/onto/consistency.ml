@@ -1,0 +1,113 @@
+type severity = Error | Warning
+
+type issue = {
+  severity : severity;
+  code : string;
+  subject : string;
+  message : string;
+}
+
+let pp_issue ppf i =
+  Format.fprintf ppf "[%s] %s: %s (%s)"
+    (match i.severity with Error -> "error" | Warning -> "warning")
+    i.code i.message i.subject
+
+let issue severity code subject message = { severity; code; subject; message }
+
+let cycle_issues g ~label ~severity ~code ~message =
+  let follow = Traversal.only [ label ] in
+  let sccs = Traversal.strongly_connected_components ~follow g in
+  let multi = List.filter (fun c -> List.length c > 1) sccs in
+  let selfloops =
+    List.filter (fun n -> Digraph.mem_edge g n label n) (Digraph.nodes g)
+  in
+  List.map
+    (fun c -> issue severity code (String.concat ", " c) message)
+    multi
+  @ List.map (fun n -> issue severity code n (message ^ " (self-loop)")) selfloops
+
+let check ?(strict = false) o =
+  let g = Ontology.graph o in
+  let registry = Ontology.relations o in
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+
+  (* Taxonomy acyclicity. *)
+  List.iter add
+    (cycle_issues g ~label:Rel.subclass_of ~severity:Error ~code:"subclass-cycle"
+       ~message:"SubclassOf cycle: a class cannot be a proper subclass of itself");
+
+  (* SI cycles state equivalence; flag for the expert. *)
+  List.iter add
+    (cycle_issues g ~label:Rel.semantic_implication ~severity:Warning
+       ~code:"si-cycle"
+       ~message:"semantic-implication cycle: terms are mutually implied (equivalent)");
+
+  (* Attribute cycles. *)
+  List.iter add
+    (cycle_issues g ~label:Rel.attribute_of ~severity:Warning
+       ~code:"attribute-cycle" ~message:"AttributeOf cycle");
+
+  (* Category confusion. *)
+  let is_instance n = Digraph.succ_by g n Rel.instance_of <> [] in
+  let has_instances n = Digraph.pred_by g n Rel.instance_of <> [] in
+  let is_class n =
+    Digraph.succ_by g n Rel.subclass_of <> []
+    || Digraph.pred_by g n Rel.subclass_of <> []
+    || has_instances n
+  in
+  List.iter
+    (fun n ->
+      if is_instance n && has_instances n then
+        add
+          (issue Error "instance-of-instance" n
+             "term is an instance and simultaneously has instances");
+      if is_instance n && is_class n && not (has_instances n) then
+        add
+          (issue Warning "class-and-instance" n
+             "term participates in the taxonomy and is also an instance"))
+    (Digraph.nodes g);
+
+  (* Declaration sanity. *)
+  let declared_names = List.map fst (Rel.declared registry) in
+  List.iter
+    (fun (rel_name, props) ->
+      List.iter
+        (fun (p : Rel.property) ->
+          match p with
+          | Rel.Inverse_of other | Rel.Implies other ->
+              if not (List.mem other declared_names) then
+                add
+                  (issue Error "inverse-unknown" rel_name
+                     (Format.asprintf
+                        "property %a names undeclared relationship %s"
+                        Rel.pp_property p other))
+          | Rel.Transitive | Rel.Symmetric | Rel.Reflexive -> ())
+        props)
+    (Rel.declared registry);
+
+  (* Undeclared edge labels (strict mode). *)
+  if strict then
+    List.iter
+      (fun label ->
+        if (not (List.mem label declared_names)) && not (Rel.is_conversion_label label)
+        then
+          add
+            (issue Warning "undeclared-relationship" label
+               "edge label has no relationship declaration"))
+      (Digraph.edge_labels g);
+
+  let severity_rank = function Error -> 0 | Warning -> 1 in
+  List.stable_sort
+    (fun a b ->
+      match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> (
+          match String.compare a.code b.code with
+          | 0 -> String.compare a.subject b.subject
+          | c -> c)
+      | c -> c)
+    (List.rev !issues)
+
+let errors issues = List.filter (fun i -> i.severity = Error) issues
+let warnings issues = List.filter (fun i -> i.severity = Warning) issues
+let is_consistent o = errors (check o) = []

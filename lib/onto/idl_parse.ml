@@ -1,0 +1,213 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let has_type_label = "hasType"
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Semicolon
+  | Comma
+  | Eof
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Lbrace -> Format.pp_print_string ppf "'{'"
+  | Rbrace -> Format.pp_print_string ppf "'}'"
+  | Colon -> Format.pp_print_string ppf "':'"
+  | Semicolon -> Format.pp_print_string ppf "';'"
+  | Comma -> Format.pp_print_string ppf "','"
+  | Eof -> Format.pp_print_string ppf "end of input"
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let fail message = raise (Parse_error { line = !line; message }) in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail "unterminated block comment"
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      tokens := (Ident (String.sub src start (!i - start)), !line) :: !tokens
+    end
+    else begin
+      let tok =
+        match c with
+        | '{' -> Lbrace
+        | '}' -> Rbrace
+        | ':' -> Colon
+        | ';' -> Semicolon
+        | ',' -> Comma
+        | c -> fail (Printf.sprintf "unexpected character %C" c)
+      in
+      tokens := (tok, !line) :: !tokens;
+      incr i
+    end
+  done;
+  List.rev ((Eof, !line) :: !tokens)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : (token * int) list }
+
+let peek s = match s.toks with (t, l) :: _ -> (t, l) | [] -> (Eof, 0)
+
+let next s =
+  let t = peek s in
+  (match s.toks with [] -> () | _ :: rest -> s.toks <- rest);
+  t
+
+let fail_at line message = raise (Parse_error { line; message })
+
+let expect s want ~context =
+  let got, line = next s in
+  if got <> want then
+    fail_at line
+      (Format.asprintf "%s: expected %a, found %a" context pp_token want pp_token got)
+
+let expect_ident s ~context =
+  match next s with
+  | Ident id, _ -> id
+  | got, line ->
+      fail_at line
+        (Format.asprintf "%s: expected an identifier, found %a" context pp_token got)
+
+(* interface X [: Y, Z] { members };  — returns updated ontology *)
+let rec parse_interface s o =
+  let iface = expect_ident s ~context:"interface" in
+  let o = Ontology.add_term o iface in
+  let o =
+    match peek s with
+    | Colon, _ ->
+        ignore (next s);
+        let rec supers o =
+          let super = expect_ident s ~context:"interface supertypes" in
+          let o = Ontology.add_subclass o ~sub:iface ~super in
+          match peek s with
+          | Comma, _ ->
+              ignore (next s);
+              supers o
+          | _ -> o
+        in
+        supers o
+    | _ -> o
+  in
+  expect s Lbrace ~context:("interface " ^ iface);
+  let o = parse_members s o iface in
+  expect s Rbrace ~context:("interface " ^ iface);
+  expect s Semicolon ~context:("interface " ^ iface);
+  o
+
+and parse_members s o iface =
+  match peek s with
+  | Rbrace, _ -> o
+  | Ident "attribute", _ ->
+      ignore (next s);
+      let type_name = expect_ident s ~context:"attribute" in
+      let attr_name = expect_ident s ~context:"attribute" in
+      expect s Semicolon ~context:"attribute";
+      let o = Ontology.add_attribute o ~concept:iface ~attr:attr_name in
+      let o = Ontology.add_rel o attr_name has_type_label type_name in
+      parse_members s o iface
+  | Ident "relationship", _ ->
+      ignore (next s);
+      let target = expect_ident s ~context:"relationship" in
+      let rel_name = expect_ident s ~context:"relationship" in
+      expect s Semicolon ~context:"relationship";
+      let o = Ontology.add_rel o iface rel_name target in
+      parse_members s o iface
+  | got, line ->
+      fail_at line
+        (Format.asprintf "interface %s: expected 'attribute' or 'relationship', found %a"
+           iface pp_token got)
+
+let parse_toplevel s default_name =
+  match peek s with
+  | Ident "module", _ ->
+      ignore (next s);
+      let module_name = expect_ident s ~context:"module" in
+      expect s Lbrace ~context:("module " ^ module_name);
+      let rec interfaces o =
+        match peek s with
+        | Ident "interface", _ ->
+            ignore (next s);
+            interfaces (parse_interface s o)
+        | Rbrace, _ ->
+            ignore (next s);
+            o
+        | got, line ->
+            fail_at line
+              (Format.asprintf "module %s: expected 'interface', found %a" module_name
+                 pp_token got)
+      in
+      let o = interfaces (Ontology.create module_name) in
+      (match peek s with
+      | Semicolon, _ -> ignore (next s)
+      | _ -> ());
+      expect s Eof ~context:"module";
+      o
+  | Ident "interface", _ ->
+      let rec interfaces o =
+        match peek s with
+        | Ident "interface", _ ->
+            ignore (next s);
+            interfaces (parse_interface s o)
+        | Eof, _ -> o
+        | got, line ->
+            fail_at line
+              (Format.asprintf "expected 'interface' or end of input, found %a" pp_token
+                 got)
+      in
+      interfaces (Ontology.create default_name)
+  | got, line ->
+      fail_at line
+        (Format.asprintf "expected 'module' or 'interface', found %a" pp_token got)
+
+let parse_ontology ?(name = "idl") src =
+  try Ok (parse_toplevel { toks = tokenize src } name)
+  with Parse_error e -> Error e
+
+let parse_ontology_exn ?name src =
+  match parse_ontology ?name src with
+  | Ok o -> o
+  | Error e -> invalid_arg (Format.asprintf "Idl_parse: %a" pp_error e)

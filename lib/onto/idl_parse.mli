@@ -1,0 +1,37 @@
+(** IDL ingestion — the second structured source format of section 2.1.
+
+    A small ODMG-flavoured IDL subset is accepted:
+
+    {v
+    // carrier's export schema
+    module carrier {
+      interface Vehicle {
+        attribute float price;
+      };
+      interface Car : Vehicle {
+        attribute string owner;
+        relationship Driver drivenBy;
+      };
+    };
+    v}
+
+    [interface X : Y, Z] yields [X -SubclassOf-> Y] and [X -SubclassOf-> Z];
+    each [attribute <type> <name>;] yields [X -AttributeOf-> <name>] (the
+    declared type is recorded as a term related through the custom
+    [hasType] label); [relationship <Target> <name>;] yields an edge
+    labeled [<name>] from the interface to the target interface. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_ontology : ?name:string -> string -> (Ontology.t, error) result
+(** Parse a module (the module name becomes the ontology name) or, when
+    the document has only bare interfaces, an ontology named by [name]
+    (default ["idl"]). *)
+
+val parse_ontology_exn : ?name:string -> string -> Ontology.t
+(** @raise Invalid_argument on parse errors. *)
+
+val has_type_label : string
+(** The edge label relating an attribute to its declared IDL type. *)

@@ -1,0 +1,71 @@
+type format = Xml | Idl | Adjacency
+
+let format_of_path path =
+  match String.lowercase_ascii (Filename.extension path) with
+  | ".xml" -> Some Xml
+  | ".idl" -> Some Idl
+  | ".adj" | ".graph" | ".txt" -> Some Adjacency
+  | _ -> None
+
+let sniff content =
+  let trimmed = String.trim content in
+  if String.length trimmed > 0 && trimmed.[0] = '<' then Xml
+  else
+    let starts_with prefix =
+      String.length trimmed >= String.length prefix
+      && String.equal (String.sub trimmed 0 (String.length prefix)) prefix
+    in
+    if starts_with "module" || starts_with "interface" || starts_with "//" then Idl
+    else Adjacency
+
+let load_string ?format ?(name = "ontology") content =
+  let format = match format with Some f -> f | None -> sniff content in
+  match format with
+  | Xml -> Xml_parse.parse_ontology content
+  | Idl -> (
+      match Idl_parse.parse_ontology ~name content with
+      | Ok o -> Ok o
+      | Error e -> Error (Format.asprintf "IDL: %a" Idl_parse.pp_error e))
+  | Adjacency -> (
+      match Adjacency.parse content with
+      | Ok g -> Ok (Ontology.with_graph (Ontology.create name) g)
+      | Error errors ->
+          let msg =
+            errors
+            |> List.map (fun e -> Format.asprintf "%a" Adjacency.pp_error e)
+            |> String.concat "; "
+          in
+          Error ("adjacency: " ^ msg))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_file ?format ?name path =
+  let content = read_file path in
+  let format =
+    match format with
+    | Some f -> Some f
+    | None -> format_of_path path
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Filename.remove_extension (Filename.basename path)
+  in
+  load_string ?format ~name content
+
+let save_file o path =
+  let content =
+    match format_of_path path with
+    | Some Idl ->
+        invalid_arg "Loader.save_file: IDL export is not supported"
+    | Some Adjacency -> Adjacency.print (Ontology.graph o)
+    | Some Xml | None -> Xml_parse.to_string (Xml_parse.ontology_to_xml o)
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)

@@ -1,0 +1,29 @@
+(** Format-dispatching ontology loader (the "wrappers" feeding the ONION
+    data layer in Fig. 1).
+
+    Three concrete syntaxes are supported, as listed in section 2.1:
+    XML documents, IDL specifications, and simple adjacency lists. *)
+
+type format = Xml | Idl | Adjacency
+
+val format_of_path : string -> format option
+(** By extension: [.xml]; [.idl]; [.adj] / [.graph] / [.txt]. *)
+
+val sniff : string -> format
+(** Guess the format from document content (leading [<] means XML;
+    a leading [module] / [interface] keyword means IDL; otherwise
+    adjacency). *)
+
+val load_string :
+  ?format:format -> ?name:string -> string -> (Ontology.t, string) result
+(** Parse ontology text.  [format] defaults to {!sniff}.  [name] (default
+    ["ontology"]) names the ontology for formats that do not embed a name
+    (adjacency lists, bare-interface IDL). *)
+
+val load_file : ?format:format -> ?name:string -> string -> (Ontology.t, string) result
+(** Like {!load_string}, reading from a file; [format] defaults to
+    {!format_of_path}, then {!sniff}; [name] defaults to the file's
+    basename without extension. *)
+
+val save_file : Ontology.t -> string -> unit
+(** Write in the format implied by the path's extension (default XML). *)

@@ -1,0 +1,97 @@
+type t = {
+  terms : int;
+  relationships : int;
+  relation_labels : (string * int) list;
+  roots : int;
+  leaves : int;
+  max_depth : int;
+  avg_fanout : float;
+  attribute_terms : int;
+  instances : int;
+}
+
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+(* Longest SubclassOf chain, cycle-safe: depth over the label-filtered DAG
+   with memoization; nodes on a cycle fall back to the depth already on the
+   path. *)
+let max_depth g =
+  let memo = Hashtbl.create 64 in
+  let rec depth on_path n =
+    match Hashtbl.find_opt memo n with
+    | Some d -> d
+    | None ->
+        if Sset.mem n on_path then 0
+        else begin
+          let on_path = Sset.add n on_path in
+          let supers = Digraph.succ_by g n Rel.subclass_of in
+          let d =
+            match supers with
+            | [] -> 0
+            | _ -> 1 + List.fold_left (fun acc s -> max acc (depth on_path s)) 0 supers
+          in
+          Hashtbl.replace memo n d;
+          d
+        end
+  in
+  Digraph.fold_nodes (fun n acc -> max acc (depth Sset.empty n)) g 0
+
+let compute o =
+  let g = Ontology.graph o in
+  let relation_labels =
+    Digraph.fold_edges
+      (fun (e : Digraph.edge) acc ->
+        Smap.update e.label (function Some c -> Some (c + 1) | None -> Some 1) acc)
+      g Smap.empty
+    |> Smap.bindings
+  in
+  let fanouts =
+    Digraph.fold_nodes
+      (fun n acc ->
+        let subs = List.length (Digraph.pred_by g n Rel.subclass_of) in
+        if subs > 0 then subs :: acc else acc)
+      g []
+  in
+  let avg_fanout =
+    match fanouts with
+    | [] -> 0.0
+    | fs ->
+        float_of_int (List.fold_left ( + ) 0 fs) /. float_of_int (List.length fs)
+  in
+  let attribute_terms =
+    Digraph.fold_edges
+      (fun (e : Digraph.edge) acc ->
+        if String.equal e.label Rel.attribute_of then Sset.add e.dst acc else acc)
+      g Sset.empty
+    |> Sset.cardinal
+  in
+  let instances =
+    Digraph.fold_edges
+      (fun (e : Digraph.edge) acc ->
+        if String.equal e.label Rel.instance_of then Sset.add e.src acc else acc)
+      g Sset.empty
+    |> Sset.cardinal
+  in
+  {
+    terms = Ontology.nb_terms o;
+    relationships = Ontology.nb_relationships o;
+    relation_labels;
+    roots = List.length (Ontology.roots o);
+    leaves = List.length (Ontology.leaves o);
+    max_depth = max_depth g;
+    avg_fanout;
+    attribute_terms;
+    instances;
+  }
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>%d terms, %d relationships" m.terms m.relationships;
+  Format.fprintf ppf "@,taxonomy: %d roots, %d leaves, depth %d, fanout %.1f"
+    m.roots m.leaves m.max_depth m.avg_fanout;
+  Format.fprintf ppf "@,%d attribute terms, %d instances" m.attribute_terms
+    m.instances;
+  List.iter
+    (fun (label, count) -> Format.fprintf ppf "@,  %-16s %d" label count)
+    m.relation_labels;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,28 @@
+(** Descriptive metrics of an ontology.
+
+    The viewer and the workspace status report these so an expert can size
+    up an unfamiliar source before articulating against it, and the
+    workload generator's tests assert its output stays in realistic
+    shape. *)
+
+type t = {
+  terms : int;
+  relationships : int;
+  relation_labels : (string * int) list;
+      (** Edge count per relationship label, sorted by label. *)
+  roots : int;  (** Terms with no superclass. *)
+  leaves : int;  (** Terms with no subclass. *)
+  max_depth : int;
+      (** Longest [SubclassOf] chain (0 when there is no taxonomy).
+          Computed on the DAG; cycles contribute their longest acyclic
+          stretch. *)
+  avg_fanout : float;
+      (** Mean direct-subclass count over terms that have at least one. *)
+  attribute_terms : int;  (** Distinct targets of [AttributeOf] edges. *)
+  instances : int;  (** Distinct sources of [InstanceOf] edges. *)
+}
+
+val compute : Ontology.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable summary. *)

@@ -1,0 +1,113 @@
+let default_base = "urn:onion:"
+
+let unreserved c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '.' || c = '_' || c = '~' || c = ':' || c = '/'
+
+let encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if unreserved c && c <> '%' then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i >= n then ()
+    else if s.[i] = '%' && i + 2 < n then begin
+      match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+      | Some code when code >= 0 && code < 256 ->
+          Buffer.add_char buf (Char.chr code);
+          loop (i + 3)
+      | _ ->
+          Buffer.add_char buf '%';
+          loop (i + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+let isolated_rel = "rel/isolated"
+
+let of_graph ?(base = default_base) g =
+  let buf = Buffer.create 1024 in
+  let iri label = Printf.sprintf "<%s%s>" base (encode label) in
+  let rel label = Printf.sprintf "<%srel/%s>" base (encode label) in
+  List.iter
+    (fun n ->
+      if Digraph.out_degree g n = 0 && Digraph.in_degree g n = 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%s <%s%s> %s .\n" (iri n) base isolated_rel (iri n)))
+    (Digraph.nodes g);
+  List.iter
+    (fun (e : Digraph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s .\n" (iri e.src) (rel e.label) (iri e.dst)))
+    (Digraph.edges g);
+  Buffer.contents buf
+
+let of_ontology ?base o = of_graph ?base (Ontology.qualify o)
+
+let strip_iri ~base token =
+  let n = String.length token in
+  if n >= 2 && token.[0] = '<' && token.[n - 1] = '>' then begin
+    let inner = String.sub token 1 (n - 2) in
+    let lb = String.length base in
+    if String.length inner >= lb && String.equal (String.sub inner 0 lb) base then
+      Ok (String.sub inner lb (String.length inner - lb))
+    else Error (Printf.sprintf "IRI %s outside base %s" inner base)
+  end
+  else Error (Printf.sprintf "expected an IRI, got %s" token)
+
+let to_graph ?(base = default_base) text =
+  let lines = String.split_on_char '\n' text in
+  let rec process g lineno = function
+    | [] -> Ok g
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then process g (lineno + 1) rest
+        else begin
+          (* subject predicate object '.' — tokens are whitespace-separated
+             IRIs in our output; literals are rejected. *)
+          let tokens =
+            String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+          in
+          match tokens with
+          | [ s; p; o; "." ] -> (
+              let ( let* ) = Result.bind in
+              let result =
+                let* subject = strip_iri ~base s in
+                let* predicate = strip_iri ~base p in
+                let* obj = strip_iri ~base o in
+                let subject = decode subject and obj = decode obj in
+                if String.equal predicate isolated_rel then
+                  Ok (Digraph.add_node g subject)
+                else
+                  let lp = String.length "rel/" in
+                  if
+                    String.length predicate > lp
+                    && String.equal (String.sub predicate 0 lp) "rel/"
+                  then
+                    let label =
+                      decode (String.sub predicate lp (String.length predicate - lp))
+                    in
+                    Ok (Digraph.add_edge g subject label obj)
+                  else Error (Printf.sprintf "predicate %s is not rel/..." predicate)
+              in
+              match result with
+              | Ok g -> process g (lineno + 1) rest
+              | Error m -> Error (Printf.sprintf "line %d: %s" lineno m))
+          | _ -> Error (Printf.sprintf "line %d: malformed triple" lineno)
+        end
+  in
+  process Digraph.empty 1 lines

@@ -1,0 +1,32 @@
+(** N-Triples import/export.
+
+    The paper positions ONION in the emerging semantic-web stack (XML [1],
+    RDF [4]).  This module renders ontology graphs — including qualified
+    unified graphs with their bridges — as RDF N-Triples, so any RDF
+    tooling can consume an articulation, and reads them back.
+
+    Mapping: a node labeled [l] becomes the IRI [<base ^ encode l>]; an
+    edge label becomes [<base ^ "rel/" ^ encode label>].  Percent-encoding
+    covers characters outside the unreserved IRI set, so arbitrary term
+    labels round-trip. *)
+
+val default_base : string
+(** ["urn:onion:"]. *)
+
+val encode : string -> string
+(** Percent-encode a label for IRI use; decoded by {!decode}. *)
+
+val decode : string -> string
+
+val of_graph : ?base:string -> Digraph.t -> string
+(** One triple per edge, sorted; isolated nodes are emitted as
+    [<node> <base^"rel/isolated"> <node>] self-triples so the node set
+    round-trips. *)
+
+val of_ontology : ?base:string -> Ontology.t -> string
+(** The qualified graph of the ontology. *)
+
+val to_graph : ?base:string -> string -> (Digraph.t, string) result
+(** Parse N-Triples produced by {!of_graph} (and any plain N-Triples whose
+    subjects/objects are IRIs under [base]; literals are rejected).
+    [to_graph (of_graph g) = Ok g]. *)

@@ -1,0 +1,148 @@
+type t = { name : string; graph : Digraph.t; relations : Rel.registry }
+
+let create ?(relations = Rel.standard_registry) name =
+  if String.length name = 0 then invalid_arg "Ontology.create: empty name";
+  if String.contains name ':' then
+    invalid_arg "Ontology.create: ontology names must not contain ':'";
+  { name; graph = Digraph.empty; relations }
+
+let name o = o.name
+let graph o = o.graph
+let relations o = o.relations
+let with_graph o graph = { o with graph }
+
+let with_name o name =
+  if String.length name = 0 then invalid_arg "Ontology.with_name: empty name";
+  if String.contains name ':' then
+    invalid_arg "Ontology.with_name: ontology names must not contain ':'";
+  { o with name }
+
+let add_term o term = { o with graph = Digraph.add_node o.graph term }
+
+let add_rel o src relationship dst =
+  { o with graph = Digraph.add_edge o.graph src relationship dst }
+
+let add_subclass o ~sub ~super = add_rel o sub Rel.subclass_of super
+let add_attribute o ~concept ~attr = add_rel o concept Rel.attribute_of attr
+let add_instance o ~instance ~concept = add_rel o instance Rel.instance_of concept
+
+let add_implication o ~specific ~general =
+  add_rel o specific Rel.semantic_implication general
+
+let declare_relation o rel props =
+  { o with relations = Rel.declare o.relations rel props }
+
+let remove_term o term = { o with graph = Digraph.remove_node o.graph term }
+
+let remove_rel o src relationship dst =
+  { o with graph = Digraph.remove_edge o.graph src relationship dst }
+
+let has_term o term = Digraph.mem_node o.graph term
+let has_rel o src relationship dst = Digraph.mem_edge o.graph src relationship dst
+let terms o = Digraph.nodes o.graph
+let relationships o = Digraph.edges o.graph
+let nb_terms o = Digraph.nb_nodes o.graph
+let nb_relationships o = Digraph.nb_edges o.graph
+
+let subclasses o term = Digraph.pred_by o.graph term Rel.subclass_of
+let superclasses o term = Digraph.succ_by o.graph term Rel.subclass_of
+
+let follow_subclass = Traversal.only [ Rel.subclass_of ]
+
+let all_superclasses o term =
+  if Rel.is_transitive o.relations Rel.subclass_of then
+    Traversal.reachable ~follow:follow_subclass o.graph term
+  else superclasses o term
+
+let all_subclasses o term =
+  if Rel.is_transitive o.relations Rel.subclass_of then
+    Traversal.co_reachable ~follow:follow_subclass o.graph term
+  else subclasses o term
+
+let is_subclass o ~sub ~super =
+  (not (String.equal sub super)) && List.mem super (all_superclasses o sub)
+
+let own_attributes o term = Digraph.succ_by o.graph term Rel.attribute_of
+
+let attributes o term =
+  let inherited =
+    List.concat_map (fun super -> own_attributes o super) (all_superclasses o term)
+  in
+  List.sort_uniq String.compare (own_attributes o term @ inherited)
+
+let instances o term =
+  let of_concept c = Digraph.pred_by o.graph c Rel.instance_of in
+  List.sort_uniq String.compare
+    (of_concept term @ List.concat_map of_concept (all_subclasses o term))
+
+let roots o =
+  List.filter (fun t -> superclasses o t = []) (terms o)
+
+let leaves o =
+  List.filter (fun t -> subclasses o t = []) (terms o)
+
+(* Expand one round of property-derived edges; returns the enlarged graph. *)
+let expand_once relations g =
+  let expand_label g label =
+    let props = Rel.properties relations label in
+    List.fold_left
+      (fun g prop ->
+        match (prop : Rel.property) with
+        | Rel.Transitive ->
+            Traversal.transitive_closure ~follow:(Traversal.only [ label ])
+              ~close_label:label g
+        | Rel.Symmetric ->
+            Digraph.fold_edges
+              (fun (e : Digraph.edge) g ->
+                if String.equal e.label label then Digraph.add_edge g e.dst label e.src
+                else g)
+              g g
+        | Rel.Reflexive ->
+            Digraph.fold_nodes (fun n g -> Digraph.add_edge g n label n) g g
+        | Rel.Inverse_of other ->
+            Digraph.fold_edges
+              (fun (e : Digraph.edge) g ->
+                if String.equal e.label label then Digraph.add_edge g e.dst other e.src
+                else g)
+              g g
+        | Rel.Implies other ->
+            Digraph.fold_edges
+              (fun (e : Digraph.edge) g ->
+                if String.equal e.label label then Digraph.add_edge g e.src other e.dst
+                else g)
+              g g)
+      g props
+  in
+  List.fold_left expand_label g (List.map fst (Rel.declared relations))
+
+let closure o =
+  let rec fixpoint g iterations =
+    let g' = expand_once o.relations g in
+    if Digraph.nb_edges g' = Digraph.nb_edges g || iterations = 0 then g'
+    else fixpoint g' (iterations - 1)
+  in
+  (* Property interactions (Implies feeding Transitive, inverses feeding
+     implications) converge in very few rounds; the bound is a safety net
+     against pathological registries. *)
+  { o with graph = fixpoint o.graph 16 }
+
+let qualify o =
+  Digraph.fold_nodes
+    (fun n g -> Digraph.rename_node g n (o.name ^ ":" ^ n))
+    o.graph o.graph
+
+let restrict o keep =
+  { o with graph = Digraph.subgraph o.graph keep }
+
+let term_of o term_name = Term.make ~ontology:o.name term_name
+
+let equal o1 o2 = String.equal o1.name o2.name && Digraph.equal o1.graph o2.graph
+
+let pp ppf o =
+  Format.fprintf ppf "@[<v2>ontology %s (%d terms, %d relationships)" o.name
+    (nb_terms o) (nb_relationships o);
+  List.iter
+    (fun (e : Digraph.edge) ->
+      Format.fprintf ppf "@,%s -%s-> %s" e.src (Rel.short e.label) e.dst)
+    (relationships o);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,123 @@
+(** Ontologies: a named, directed labeled graph of terms plus the declared
+    properties of its relationships (section 2.1, "the ONION data layer").
+
+    A consistent ontology has one node per term, so terms are node labels.
+    Values are immutable. *)
+
+type t
+
+val create : ?relations:Rel.registry -> string -> t
+(** [create name] is an empty ontology.  [relations] defaults to
+    {!Rel.standard_registry}.
+    @raise Invalid_argument on an empty or colon-containing name (the name
+    is used as qualification prefix). *)
+
+val name : t -> string
+
+val graph : t -> Digraph.t
+
+val relations : t -> Rel.registry
+
+val with_graph : t -> Digraph.t -> t
+(** Replace the underlying graph, keeping name and relation registry. *)
+
+val with_name : t -> string -> t
+(** Rename the ontology (prefix used by {!qualify}). *)
+
+(** {1 Construction} *)
+
+val add_term : t -> string -> t
+
+val add_rel : t -> string -> string -> string -> t
+(** [add_rel o src relationship dst] adds one labeled edge, creating
+    endpoint terms as needed. *)
+
+val add_subclass : t -> sub:string -> super:string -> t
+(** Edge [sub -SubclassOf-> super]. *)
+
+val add_attribute : t -> concept:string -> attr:string -> t
+(** Edge [concept -AttributeOf-> attr]. *)
+
+val add_instance : t -> instance:string -> concept:string -> t
+(** Edge [instance -InstanceOf-> concept]. *)
+
+val add_implication : t -> specific:string -> general:string -> t
+(** Edge [specific -SI-> general] (intra-ontology semantic implication). *)
+
+val declare_relation : t -> string -> Rel.property list -> t
+
+val remove_term : t -> string -> t
+(** ND: removes the term and all incident relationships. *)
+
+val remove_rel : t -> string -> string -> string -> t
+
+(** {1 Queries} *)
+
+val has_term : t -> string -> bool
+
+val has_rel : t -> string -> string -> string -> bool
+
+val terms : t -> string list
+(** Sorted. *)
+
+val relationships : t -> Digraph.edge list
+
+val nb_terms : t -> int
+
+val nb_relationships : t -> int
+
+val subclasses : t -> string -> string list
+(** Direct subclasses (sorted). *)
+
+val superclasses : t -> string -> string list
+(** Direct superclasses (sorted). *)
+
+val all_subclasses : t -> string -> string list
+(** Transitive subclasses, honouring the [SubclassOf] transitivity
+    declaration; empty when the relation is not declared transitive and
+    there is no direct edge. *)
+
+val all_superclasses : t -> string -> string list
+
+val is_subclass : t -> sub:string -> super:string -> bool
+(** Transitive subclass test ([sub] is not its own subclass). *)
+
+val attributes : t -> string -> string list
+(** Attribute nodes of a concept, including those inherited from
+    transitive superclasses, sorted. *)
+
+val own_attributes : t -> string -> string list
+(** Attribute nodes attached directly to the concept, sorted. *)
+
+val instances : t -> string -> string list
+(** Direct instances of a concept plus instances of its transitive
+    subclasses, sorted. *)
+
+val roots : t -> string list
+(** Terms with no outgoing [SubclassOf] edge, sorted: the top concepts. *)
+
+val leaves : t -> string list
+(** Terms with no incoming [SubclassOf] edge, sorted. *)
+
+(** {1 Derived views} *)
+
+val closure : t -> t
+(** Expand every declared relationship property (transitive closure,
+    symmetry, inverses, implications) to a fixpoint.  The result is a new
+    ontology; the original is untouched (the paper separates the inference
+    engine from the representation, section 2.1). *)
+
+val qualify : t -> Digraph.t
+(** The graph with every node renamed to its qualified form
+    ["name:term"] — the rendering used inside unified ontologies. *)
+
+val restrict : t -> string list -> t
+(** Sub-ontology induced by the given terms. *)
+
+val term_of : t -> string -> Term.t
+(** Qualify one term of this ontology. *)
+
+val equal : t -> t -> bool
+(** Same name, same graph.  Relation registries are not compared. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+let subclass_of = "SubclassOf"
+let attribute_of = "AttributeOf"
+let instance_of = "InstanceOf"
+let semantic_implication = "SI"
+let si_bridge = "SIBridge"
+
+let short = function
+  | "SubclassOf" -> "S"
+  | "AttributeOf" -> "A"
+  | "InstanceOf" -> "I"
+  | "SI" -> "SI"
+  | "SIBridge" -> "SIB"
+  | other -> other
+
+let of_short = function
+  | "S" -> subclass_of
+  | "A" -> attribute_of
+  | "I" -> instance_of
+  | "SI" -> semantic_implication
+  | "SIB" -> si_bridge
+  | other -> other
+
+let is_conversion_label label =
+  let n = String.length label in
+  n > 2 && String.equal (String.sub label (n - 2) 2) "()"
+
+let conversion_label name = name ^ "()"
+
+let conversion_name label =
+  if is_conversion_label label then
+    Some (String.sub label 0 (String.length label - 2))
+  else None
+
+type property =
+  | Transitive
+  | Symmetric
+  | Reflexive
+  | Inverse_of of string
+  | Implies of string
+
+let equal_property p1 p2 =
+  match (p1, p2) with
+  | Transitive, Transitive | Symmetric, Symmetric | Reflexive, Reflexive -> true
+  | Inverse_of a, Inverse_of b | Implies a, Implies b -> String.equal a b
+  | (Transitive | Symmetric | Reflexive | Inverse_of _ | Implies _), _ -> false
+
+let pp_property ppf = function
+  | Transitive -> Format.pp_print_string ppf "transitive"
+  | Symmetric -> Format.pp_print_string ppf "symmetric"
+  | Reflexive -> Format.pp_print_string ppf "reflexive"
+  | Inverse_of r -> Format.fprintf ppf "inverse-of(%s)" r
+  | Implies r -> Format.fprintf ppf "implies(%s)" r
+
+module Smap = Map.Make (String)
+
+type registry = property list Smap.t
+
+let empty_registry = Smap.empty
+
+let declare registry name props =
+  let existing = match Smap.find_opt name registry with Some l -> l | None -> [] in
+  let add acc p = if List.exists (equal_property p) acc then acc else acc @ [ p ] in
+  Smap.add name (List.fold_left add existing props) registry
+
+let standard_registry =
+  empty_registry
+  |> fun r ->
+  declare r subclass_of [ Transitive ] |> fun r ->
+  declare r semantic_implication [ Transitive ] |> fun r ->
+  declare r attribute_of [] |> fun r ->
+  declare r instance_of [] |> fun r -> declare r si_bridge []
+
+let properties registry name =
+  match Smap.find_opt name registry with Some l -> l | None -> []
+
+let has_property registry name p =
+  List.exists (equal_property p) (properties registry name)
+
+let is_transitive registry name = has_property registry name Transitive
+
+let declared registry = Smap.bindings registry
+
+let merge r1 r2 = Smap.fold (fun name props acc -> declare acc name props) r2 r1

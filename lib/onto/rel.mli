@@ -1,0 +1,87 @@
+(** Semantic relationships and their algebraic properties.
+
+    Ontology graphs label edges with either pre-defined semantic
+    relationships — [SubclassOf], [AttributeOf], [InstanceOf], semantic
+    implication — or free natural-language verbs.  The paper requires each
+    ontology to carry "rules that define the properties of each
+    relationship, e.g. ... the transitive nature of the SubclassOf
+    relationship" (section 2.5); those property declarations live here and
+    drive the inference engine. *)
+
+(** {1 Standard relationship labels}
+
+    Canonical edge-label strings.  Fig. 2 abbreviates them S / A / I / SI;
+    {!short} maps to those display forms. *)
+
+val subclass_of : string
+(** ["SubclassOf"] — displayed [S]. *)
+
+val attribute_of : string
+(** ["AttributeOf"] — displayed [A].  Directed from the concept to its
+    attribute node, matching the pattern notation [truck(O: owner, model)]
+    which reads attributes off outgoing edges. *)
+
+val instance_of : string
+(** ["InstanceOf"] — displayed [I]. *)
+
+val semantic_implication : string
+(** ["SI"] — semantic implication inside one ontology. *)
+
+val si_bridge : string
+(** ["SIBridge"] — the semantic-bridge label connecting a source-ontology
+    term to an articulation-ontology term (section 4.1). *)
+
+val short : string -> string
+(** Display abbreviation (["S"], ["A"], ["I"], ["SI"], ["SIB"]); other
+    labels render unchanged. *)
+
+val of_short : string -> string
+(** Inverse of {!short} on the standard abbreviations; other strings are
+    returned unchanged. *)
+
+val is_conversion_label : string -> bool
+(** Functional-rule edges are labeled with the converter name followed by
+    ["()"], e.g. ["DGToEuroFn()"] (section 4.1, Functional Rules). *)
+
+val conversion_label : string -> string
+(** [conversion_label "DGToEuroFn"] is ["DGToEuroFn()"]. *)
+
+val conversion_name : string -> string option
+(** [conversion_name "DGToEuroFn()"] is [Some "DGToEuroFn"]. *)
+
+(** {1 Property declarations} *)
+
+type property =
+  | Transitive  (** a R b, b R c |- a R c *)
+  | Symmetric  (** a R b |- b R a *)
+  | Reflexive  (** a R a for every term (used by consistency checks only) *)
+  | Inverse_of of string  (** a R b |- b R' a *)
+  | Implies of string  (** a R b |- a R' b (e.g. InstanceOf implies membership) *)
+
+val equal_property : property -> property -> bool
+
+val pp_property : Format.formatter -> property -> unit
+
+type registry
+(** Relationship-name -> property set, the per-ontology rule store. *)
+
+val empty_registry : registry
+
+val standard_registry : registry
+(** [SubclassOf] transitive; [SI] transitive; [SIBridge] carries no closure
+    property (bridges compose through the articulation ontology, not by
+    raw transitivity); [AttributeOf] and [InstanceOf] plain. *)
+
+val declare : registry -> string -> property list -> registry
+(** Add properties to a relationship (cumulative, duplicate-free). *)
+
+val properties : registry -> string -> property list
+
+val has_property : registry -> string -> property -> bool
+
+val is_transitive : registry -> string -> bool
+
+val declared : registry -> (string * property list) list
+(** All declarations, sorted by relationship name. *)
+
+val merge : registry -> registry -> registry

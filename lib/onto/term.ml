@@ -1,0 +1,31 @@
+type t = { ontology : string; name : string }
+
+let make ~ontology name =
+  if String.length ontology = 0 then invalid_arg "Term.make: empty ontology name";
+  if String.length name = 0 then invalid_arg "Term.make: empty term name";
+  { ontology; name }
+
+let qualified t = t.ontology ^ ":" ^ t.name
+
+let of_qualified s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+      let ontology = String.sub s 0 i in
+      let name = String.sub s (i + 1) (String.length s - i - 1) in
+      if ontology = "" || name = "" then None else Some { ontology; name }
+
+let of_string ~default_ontology s =
+  match of_qualified s with
+  | Some t -> t
+  | None -> make ~ontology:default_ontology s
+
+let equal t1 t2 =
+  String.equal t1.ontology t2.ontology && String.equal t1.name t2.name
+
+let compare t1 t2 =
+  match String.compare t1.ontology t2.ontology with
+  | 0 -> String.compare t1.name t2.name
+  | c -> c
+
+let pp ppf t = Format.pp_print_string ppf (qualified t)

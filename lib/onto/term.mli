@@ -1,0 +1,29 @@
+(** Qualified ontology terms.
+
+    Within one (consistent) ontology a term is just its label; across
+    ontologies the paper prefixes terms with their ontology, as in
+    [carrier:Car] (section 4.1).  Unified-ontology graphs use this
+    qualified rendering as node labels, which keeps same-named terms of
+    different sources distinct. *)
+
+type t = { ontology : string; name : string }
+
+val make : ontology:string -> string -> t
+(** @raise Invalid_argument on an empty ontology or term name. *)
+
+val qualified : t -> string
+(** ["carrier:Car"]. *)
+
+val of_qualified : string -> t option
+(** Parse ["onto:name"]; [None] if there is no colon or a side is empty.
+    Only the first colon separates, so names may contain colons. *)
+
+val of_string : default_ontology:string -> string -> t
+(** Parse ["onto:name"], or attribute a bare ["name"] to the default
+    ontology. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,456 @@
+type xml =
+  | Element of string * (string * string) list * xml list
+  | Text of string
+
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+(* ------------------------------------------------------------------ *)
+(* Generic parser                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int; mutable line : int }
+
+let fail cur message = raise (Parse_error { line = cur.line; message })
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur =
+  (match peek cur with Some '\n' -> cur.line <- cur.line + 1 | _ -> ());
+  cur.pos <- cur.pos + 1
+
+let looking_at cur s =
+  let n = String.length s in
+  cur.pos + n <= String.length cur.src && String.equal (String.sub cur.src cur.pos n) s
+
+let skip_string cur s = String.iter (fun _ -> advance cur) s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws cur =
+  let rec loop () =
+    match peek cur with
+    | Some c when is_space c ->
+        advance cur;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name cur =
+  let start = cur.pos in
+  let rec loop () =
+    match peek cur with
+    | Some c when is_name_char c ->
+        advance cur;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  if cur.pos = start then fail cur "expected a name";
+  String.sub cur.src start (cur.pos - start)
+
+let decode_entities cur s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i >= n then ()
+    else if s.[i] = '&' then begin
+      match String.index_from_opt s i ';' with
+      | None -> fail cur "unterminated entity reference"
+      | Some j ->
+          let entity = String.sub s (i + 1) (j - i - 1) in
+          (match entity with
+          | "amp" -> Buffer.add_char buf '&'
+          | "lt" -> Buffer.add_char buf '<'
+          | "gt" -> Buffer.add_char buf '>'
+          | "quot" -> Buffer.add_char buf '"'
+          | "apos" -> Buffer.add_char buf '\''
+          | e when String.length e > 1 && e.[0] = '#' -> (
+              let code =
+                if e.[1] = 'x' || e.[1] = 'X' then
+                  int_of_string_opt ("0x" ^ String.sub e 2 (String.length e - 2))
+                else int_of_string_opt (String.sub e 1 (String.length e - 1))
+              in
+              match code with
+              | Some c when c >= 0 && c < 128 -> Buffer.add_char buf (Char.chr c)
+              | Some _ -> fail cur "non-ASCII character reference unsupported"
+              | None -> fail cur ("bad character reference &" ^ e ^ ";"))
+          | e -> fail cur ("unknown entity &" ^ e ^ ";"));
+          loop (j + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+let read_attr_value cur =
+  match peek cur with
+  | Some (('"' | '\'') as quote) ->
+      advance cur;
+      let start = cur.pos in
+      let rec loop () =
+        match peek cur with
+        | Some c when c = quote -> ()
+        | Some _ ->
+            advance cur;
+            loop ()
+        | None -> fail cur "unterminated attribute value"
+      in
+      loop ();
+      let raw = String.sub cur.src start (cur.pos - start) in
+      advance cur;
+      decode_entities cur raw
+  | _ -> fail cur "expected quoted attribute value"
+
+let read_attributes cur =
+  let rec loop acc =
+    skip_ws cur;
+    match peek cur with
+    | Some ('>' | '/' | '?') -> List.rev acc
+    | Some _ ->
+        let attr_name = read_name cur in
+        skip_ws cur;
+        (match peek cur with
+        | Some '=' -> advance cur
+        | _ -> fail cur ("expected '=' after attribute " ^ attr_name));
+        skip_ws cur;
+        let value = read_attr_value cur in
+        loop ((attr_name, value) :: acc)
+    | None -> fail cur "unexpected end of input in tag"
+  in
+  loop []
+
+let skip_comment cur =
+  skip_string cur "<!--";
+  let rec loop () =
+    if looking_at cur "-->" then skip_string cur "-->"
+    else if peek cur = None then fail cur "unterminated comment"
+    else begin
+      advance cur;
+      loop ()
+    end
+  in
+  loop ()
+
+let skip_prolog_or_doctype cur =
+  (* <?xml ... ?> or <!DOCTYPE ... > (no internal subset) *)
+  if looking_at cur "<?" then begin
+    let rec loop () =
+      if looking_at cur "?>" then skip_string cur "?>"
+      else if peek cur = None then fail cur "unterminated processing instruction"
+      else begin
+        advance cur;
+        loop ()
+      end
+    in
+    loop ()
+  end
+  else begin
+    let rec loop () =
+      match peek cur with
+      | Some '>' -> advance cur
+      | Some _ ->
+          advance cur;
+          loop ()
+      | None -> fail cur "unterminated declaration"
+    in
+    loop ()
+  end
+
+let rec parse_element cur =
+  (* cur is at '<' of a start tag *)
+  advance cur;
+  let tag = read_name cur in
+  let attrs = read_attributes cur in
+  skip_ws cur;
+  if looking_at cur "/>" then begin
+    skip_string cur "/>";
+    Element (tag, attrs, [])
+  end
+  else begin
+    (match peek cur with
+    | Some '>' -> advance cur
+    | _ -> fail cur ("malformed start tag <" ^ tag));
+    let children = parse_content cur tag in
+    Element (tag, attrs, children)
+  end
+
+and parse_content cur tag =
+  let items = ref [] in
+  let buf = Buffer.create 64 in
+  let flush_text () =
+    let text = Buffer.contents buf in
+    Buffer.clear buf;
+    if String.exists (fun c -> not (is_space c)) text then
+      items := Text (decode_entities cur text) :: !items
+  in
+  let rec loop () =
+    match peek cur with
+    | None -> fail cur ("unterminated element <" ^ tag ^ ">")
+    | Some '<' ->
+        if looking_at cur "<!--" then begin
+          flush_text ();
+          skip_comment cur;
+          loop ()
+        end
+        else if looking_at cur "</" then begin
+          flush_text ();
+          skip_string cur "</";
+          let closing = read_name cur in
+          skip_ws cur;
+          (match peek cur with
+          | Some '>' -> advance cur
+          | _ -> fail cur ("malformed end tag </" ^ closing));
+          if not (String.equal closing tag) then
+            fail cur
+              (Printf.sprintf "mismatched end tag: expected </%s>, got </%s>" tag
+                 closing)
+        end
+        else begin
+          flush_text ();
+          items := parse_element cur :: !items;
+          loop ()
+        end
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cur;
+        loop ()
+  in
+  loop ();
+  List.rev !items
+
+let parse_document src =
+  let cur = { src; pos = 0; line = 1 } in
+  try
+    let rec find_root () =
+      skip_ws cur;
+      match peek cur with
+      | None -> fail cur "no root element"
+      | Some '<' ->
+          if looking_at cur "<!--" then begin
+            skip_comment cur;
+            find_root ()
+          end
+          else if looking_at cur "<?" || looking_at cur "<!" then begin
+            skip_prolog_or_doctype cur;
+            find_root ()
+          end
+          else parse_element cur
+      | Some c -> fail cur (Printf.sprintf "unexpected character %C before root" c)
+    in
+    let root = find_root () in
+    skip_ws cur;
+    (* allow trailing comments *)
+    let rec trailing () =
+      skip_ws cur;
+      if looking_at cur "<!--" then begin
+        skip_comment cur;
+        trailing ()
+      end
+      else
+        match peek cur with
+        | None -> ()
+        | Some c -> fail cur (Printf.sprintf "trailing content %C after root" c)
+    in
+    trailing ();
+    Ok root
+  with Parse_error e -> Error e
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string xml =
+  let buf = Buffer.create 1024 in
+  let rec emit indent = function
+    | Text t -> Buffer.add_string buf (indent ^ escape_text t ^ "\n")
+    | Element (tag, attrs, children) ->
+        let attrs_s =
+          attrs
+          |> List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape_text v))
+          |> String.concat ""
+        in
+        if children = [] then
+          Buffer.add_string buf (Printf.sprintf "%s<%s%s/>\n" indent tag attrs_s)
+        else begin
+          Buffer.add_string buf (Printf.sprintf "%s<%s%s>\n" indent tag attrs_s);
+          List.iter (emit (indent ^ "  ")) children;
+          Buffer.add_string buf (Printf.sprintf "%s</%s>\n" indent tag)
+        end
+  in
+  emit "" xml;
+  Buffer.contents buf
+
+let attr xml attr_name =
+  match xml with
+  | Element (_, attrs, _) -> List.assoc_opt attr_name attrs
+  | Text _ -> None
+
+let children_named xml tag =
+  match xml with
+  | Element (_, _, children) ->
+      List.filter
+        (function Element (t, _, _) -> String.equal t tag | Text _ -> false)
+        children
+  | Text _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Ontology layer                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let require_attr xml attr_name ~context =
+  match attr xml attr_name with
+  | Some v when v <> "" -> Ok v
+  | Some _ -> Error (Printf.sprintf "%s: empty attribute %S" context attr_name)
+  | None -> Error (Printf.sprintf "%s: missing attribute %S" context attr_name)
+
+let ( let* ) = Result.bind
+
+let bool_attr xml attr_name =
+  match attr xml attr_name with
+  | Some "true" | Some "1" | Some "yes" -> true
+  | _ -> false
+
+let interpret_relation o node =
+  let* rel_name = require_attr node "name" ~context:"<relation>" in
+  let props = ref [] in
+  if bool_attr node "transitive" then props := Rel.Transitive :: !props;
+  if bool_attr node "symmetric" then props := Rel.Symmetric :: !props;
+  if bool_attr node "reflexive" then props := Rel.Reflexive :: !props;
+  (match attr node "inverse-of" with
+  | Some r when r <> "" -> props := Rel.Inverse_of r :: !props
+  | _ -> ());
+  (match attr node "implies" with
+  | Some r when r <> "" -> props := Rel.Implies r :: !props
+  | _ -> ());
+  Ok (Ontology.declare_relation o rel_name (List.rev !props))
+
+let interpret_term o node =
+  let* term_name = require_attr node "name" ~context:"<term>" in
+  let o = Ontology.add_term o term_name in
+  let children = match node with Element (_, _, c) -> c | Text _ -> [] in
+  List.fold_left
+    (fun acc child ->
+      let* o = acc in
+      match child with
+      | Element ("subclassOf", _, _) ->
+          let* super = require_attr child "term" ~context:"<subclassOf>" in
+          Ok (Ontology.add_subclass o ~sub:term_name ~super)
+      | Element ("attribute", _, _) ->
+          let* attr_term = require_attr child "term" ~context:"<attribute>" in
+          Ok (Ontology.add_attribute o ~concept:term_name ~attr:attr_term)
+      | Element ("instanceOf", _, _) ->
+          let* concept = require_attr child "term" ~context:"<instanceOf>" in
+          Ok (Ontology.add_instance o ~instance:term_name ~concept)
+      | Element ("implies", _, _) ->
+          let* general = require_attr child "term" ~context:"<implies>" in
+          Ok (Ontology.add_implication o ~specific:term_name ~general)
+      | Element ("rel", _, _) ->
+          let* label = require_attr child "label" ~context:"<rel>" in
+          let* target = require_attr child "term" ~context:"<rel>" in
+          Ok (Ontology.add_rel o term_name label target)
+      | Element (tag, _, _) ->
+          Error (Printf.sprintf "unknown element <%s> inside <term name=%S>" tag term_name)
+      | Text _ -> Ok o)
+    (Ok o) children
+
+let ontology_of_xml root =
+  match root with
+  | Text _ -> Error "expected an <ontology> element"
+  | Element (tag, _, children) when String.equal tag "ontology" ->
+      let* onto_name = require_attr root "name" ~context:"<ontology>" in
+      if String.contains onto_name ':' then
+        Error "<ontology>: name must not contain ':'"
+      else
+        List.fold_left
+          (fun acc child ->
+            let* o = acc in
+            match child with
+            | Element ("relation", _, _) -> interpret_relation o child
+            | Element ("term", _, _) -> interpret_term o child
+            | Element ("instance", _, _) ->
+                let* inst = require_attr child "name" ~context:"<instance>" in
+                let* concept = require_attr child "of" ~context:"<instance>" in
+                Ok (Ontology.add_instance o ~instance:inst ~concept)
+            | Element ("edge", _, _) ->
+                let* src = require_attr child "src" ~context:"<edge>" in
+                let* label = require_attr child "label" ~context:"<edge>" in
+                let* dst = require_attr child "dst" ~context:"<edge>" in
+                Ok (Ontology.add_rel o src (Rel.of_short label) dst)
+            | Element (tag, _, _) ->
+                Error (Printf.sprintf "unknown element <%s> inside <ontology>" tag)
+            | Text _ -> Ok o)
+          (Ok (Ontology.create onto_name))
+          children
+  | Element (tag, _, _) ->
+      Error (Printf.sprintf "expected <ontology>, found <%s>" tag)
+
+let ontology_to_xml o =
+  let g = Ontology.graph o in
+  let term_element term_name =
+    let outs = Digraph.out_edges g term_name in
+    let children =
+      List.map
+        (fun (e : Digraph.edge) ->
+          if String.equal e.label Rel.subclass_of then
+            Element ("subclassOf", [ ("term", e.dst) ], [])
+          else if String.equal e.label Rel.attribute_of then
+            Element ("attribute", [ ("term", e.dst) ], [])
+          else if String.equal e.label Rel.instance_of then
+            Element ("instanceOf", [ ("term", e.dst) ], [])
+          else if String.equal e.label Rel.semantic_implication then
+            Element ("implies", [ ("term", e.dst) ], [])
+          else Element ("rel", [ ("label", e.label); ("term", e.dst) ], []))
+        outs
+    in
+    Element ("term", [ ("name", term_name) ], children)
+  in
+  let relation_elements =
+    Rel.declared (Ontology.relations o)
+    |> List.filter_map (fun (rel_name, props) ->
+           if props = [] then None
+           else
+             let attrs =
+               List.filter_map
+                 (fun (p : Rel.property) ->
+                   match p with
+                   | Rel.Transitive -> Some ("transitive", "true")
+                   | Rel.Symmetric -> Some ("symmetric", "true")
+                   | Rel.Reflexive -> Some ("reflexive", "true")
+                   | Rel.Inverse_of r -> Some ("inverse-of", r)
+                   | Rel.Implies r -> Some ("implies", r))
+                 props
+             in
+             Some (Element ("relation", ("name", rel_name) :: attrs, [])))
+  in
+  Element
+    ( "ontology",
+      [ ("name", Ontology.name o) ],
+      relation_elements @ List.map term_element (Ontology.terms o) )
+
+let parse_ontology src =
+  match parse_document src with
+  | Error e -> Error (Format.asprintf "%a" pp_error e)
+  | Ok root -> ontology_of_xml root

@@ -1,0 +1,57 @@
+(** XML ingestion — hand-written parser for the XML subset ONION accepts
+    (section 2.1: "we accept ontologies based on IDL specifications and
+    XML-based documents, as well as simple adjacency list representations").
+
+    The generic layer parses well-formed element trees (attributes,
+    self-closing tags, comments, character data, the five predefined
+    entities).  The ontology layer interprets documents of the shape:
+
+    {v
+    <ontology name="carrier">
+      <relation name="drives" transitive="true"/>
+      <term name="Car">
+        <subclassOf term="Vehicle"/>
+        <attribute term="Price"/>
+        <rel label="drives" term="Road"/>
+      </term>
+      <instance name="MyCar" of="Car"/>
+      <edge src="Car" label="SI" dst="Transport"/>
+    </ontology>
+    v} *)
+
+type xml =
+  | Element of string * (string * string) list * xml list
+      (** tag, attributes (document order), children *)
+  | Text of string
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Generic layer} *)
+
+val parse_document : string -> (xml, error) result
+(** Parse one root element (prolog and comments allowed around it).
+    Whitespace-only text nodes are dropped. *)
+
+val to_string : xml -> string
+(** Serialize (entities re-escaped); inverse of {!parse_document} up to
+    insignificant whitespace. *)
+
+val attr : xml -> string -> string option
+(** Attribute lookup on an [Element]; [None] on [Text] or when absent. *)
+
+val children_named : xml -> string -> xml list
+(** Child elements with the given tag, in document order. *)
+
+(** {1 Ontology layer} *)
+
+val ontology_of_xml : xml -> (Ontology.t, string) result
+(** Interpret a parsed [<ontology>] document. *)
+
+val ontology_to_xml : Ontology.t -> xml
+(** Render an ontology as a [<term>]-oriented document; round-trips
+    through {!ontology_of_xml}. *)
+
+val parse_ontology : string -> (Ontology.t, string) result
+(** [parse_document] followed by [ontology_of_xml]. *)

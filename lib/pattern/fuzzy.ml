@@ -1,0 +1,65 @@
+type policy = {
+  case_insensitive : bool;
+  stemming : bool;
+  synonyms : Lexicon.t option;
+  similarity_threshold : float option;
+  ignore_edge_labels : bool;
+  extra_edge_pairs : (string * string) list;
+}
+
+let exact =
+  {
+    case_insensitive = false;
+    stemming = false;
+    synonyms = None;
+    similarity_threshold = None;
+    ignore_edge_labels = false;
+    extra_edge_pairs = [];
+  }
+
+let with_synonyms lexicon = { exact with synonyms = Some lexicon; stemming = true }
+
+let lenient lexicon =
+  {
+    case_insensitive = true;
+    stemming = true;
+    synonyms = Some lexicon;
+    similarity_threshold = Some 0.85;
+    ignore_edge_labels = false;
+    extra_edge_pairs = [];
+  }
+
+(* Strip an ontology qualification for lexical comparison: the fuzzy
+   relaxations are about the term's surface form, not its source. *)
+let local_name label =
+  match Term.of_qualified label with Some t -> t.Term.name | None -> label
+
+let node_compatible policy a b =
+  String.equal a b
+  || begin
+       let a = local_name a and b = local_name b in
+       String.equal a b
+       || (policy.case_insensitive
+          && String.equal (String.lowercase_ascii a) (String.lowercase_ascii b))
+       || (policy.stemming && Stem.equal_modulo_stem a b)
+       || (match policy.synonyms with
+          | Some lexicon -> Lexicon.are_synonyms lexicon a b
+          | None -> false)
+       || (match policy.similarity_threshold with
+          | Some threshold -> Strsim.combined a b >= threshold
+          | None -> false)
+     end
+
+let edge_compatible policy a b =
+  policy.ignore_edge_labels || String.equal a b
+  || List.exists
+       (fun (x, y) ->
+         (String.equal x a && String.equal y b)
+         || (String.equal x b && String.equal y a))
+       policy.extra_edge_pairs
+
+let to_morphism_compat policy =
+  {
+    Morphism.node_ok = node_compatible policy;
+    edge_ok = edge_compatible policy;
+  }

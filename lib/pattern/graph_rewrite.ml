@@ -1,0 +1,117 @@
+type node_ref =
+  | Matched of string
+  | Literal of string
+  | Fresh of string
+
+type action =
+  | Add_edge of node_ref * string * node_ref
+  | Delete_edge of node_ref * string * node_ref
+  | Add_node of node_ref
+  | Delete_node of node_ref
+
+type rule = {
+  name : string;
+  pattern : Pattern.t;
+  policy : Fuzzy.policy;
+  actions : action list;
+}
+
+let rule ?(policy = Fuzzy.exact) ~name ~pattern actions =
+  { name; pattern; policy; actions }
+
+(* Substitute $<pattern-id> occurrences; longest ids are substituted first
+   so that "$10" never matches as "$1" followed by "0". *)
+let substitute (m : Matcher.match_result) template =
+  let bindings =
+    List.sort
+      (fun (a, _) (b, _) -> compare (String.length b) (String.length a))
+      m.Matcher.assignment
+  in
+  let replace_all text ~needle ~replacement =
+    let ln = String.length needle in
+    let buf = Buffer.create (String.length text) in
+    let rec go i =
+      if i >= String.length text then Buffer.contents buf
+      else if
+        i + ln <= String.length text && String.equal (String.sub text i ln) needle
+      then begin
+        Buffer.add_string buf replacement;
+        go (i + ln)
+      end
+      else begin
+        Buffer.add_char buf text.[i];
+        go (i + 1)
+      end
+    in
+    go 0
+  in
+  List.fold_left
+    (fun acc (pid, node) -> replace_all acc ~needle:("$" ^ pid) ~replacement:node)
+    template bindings
+
+let resolve (m : Matcher.match_result) = function
+  | Literal l -> if l = "" then Error "empty literal label" else Ok l
+  | Matched pid -> (
+      match List.assoc_opt pid m.Matcher.assignment with
+      | Some node -> Ok node
+      | None -> Error (Printf.sprintf "unknown pattern node id %S" pid))
+  | Fresh template ->
+      let resolved = substitute m template in
+      if resolved = "" then Error "fresh template resolved to the empty label"
+      else Ok resolved
+
+let apply_match g rule m =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc action ->
+      let* g = acc in
+      match action with
+      | Add_edge (s, label, d) ->
+          let* s = resolve m s in
+          let* d = resolve m d in
+          Ok (Digraph.add_edge g s label d)
+      | Delete_edge (s, label, d) ->
+          let* s = resolve m s in
+          let* d = resolve m d in
+          Ok (Digraph.remove_edge g s label d)
+      | Add_node r ->
+          let* n = resolve m r in
+          Ok (Digraph.add_node g n)
+      | Delete_node r ->
+          let* n = resolve m r in
+          Ok (Digraph.remove_node g n))
+    (Ok g) rule.actions
+
+let apply_all g rule =
+  let matches = Matcher.find ~policy:rule.policy ~limit:100_000 rule.pattern g in
+  let ( let* ) = Result.bind in
+  let* g' =
+    List.fold_left
+      (fun acc m ->
+        let* g = acc in
+        apply_match g rule m)
+      (Ok g) matches
+  in
+  Ok (g', List.length matches)
+
+let fixpoint ?(max_rounds = 100) g rules =
+  let ( let* ) = Result.bind in
+  let rec loop g rounds =
+    if rounds >= max_rounds then
+      Error
+        (Printf.sprintf "Graph_rewrite.fixpoint: no convergence after %d rounds"
+           max_rounds)
+    else begin
+      let* g', changed =
+        List.fold_left
+          (fun acc rule ->
+            let* g, changed = acc in
+            let* g', _ = apply_all g rule in
+            Ok (g', changed || not (Digraph.equal g g')))
+          (Ok (g, false))
+          rules
+      in
+      if changed then loop g' (rounds + 1) else Ok (g', rounds)
+    end
+  in
+  loop g 0

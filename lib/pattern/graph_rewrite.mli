@@ -1,0 +1,59 @@
+(** Pattern-driven graph rewriting — the GOOD heritage of the ONION model.
+
+    The paper anchors its graphical scheme in the GOOD object-database
+    model (reference [15]), whose operations are {e pattern-directed}:
+    match a pattern, then add/delete nodes and edges described relative to
+    the match.  Section 4.1 puts articulation rules in exactly this form
+    ("articulation rules take the form P => Q where P, Q are complex graph
+    patterns"); this module supplies the general machinery, usable for
+    source-ontology restructuring, enrichment passes, and experiments with
+    rule forms beyond the ones {!Generator} hard-codes.
+
+    A rewrite rule is a {!Pattern.t} plus actions whose node references are
+    resolved against each match:
+
+    - [Matched id] — the graph node the pattern node [id] matched;
+    - [Literal l] — the fixed label [l];
+    - [Fresh template] — a label built from the match, [$id] substrings
+      replaced by the matched node's label (e.g. [Fresh "$0/x_copy"]). *)
+
+type node_ref =
+  | Matched of string  (** A pattern-node id. *)
+  | Literal of string
+  | Fresh of string  (** Template with [$id] substitution. *)
+
+type action =
+  | Add_edge of node_ref * string * node_ref
+      (** Endpoints are created if absent. *)
+  | Delete_edge of node_ref * string * node_ref
+  | Add_node of node_ref
+  | Delete_node of node_ref  (** Removes incident edges too. *)
+
+type rule = {
+  name : string;
+  pattern : Pattern.t;
+  policy : Fuzzy.policy;  (** Matching policy; {!Fuzzy.exact} by default. *)
+  actions : action list;
+}
+
+val rule : ?policy:Fuzzy.policy -> name:string -> pattern:Pattern.t -> action list -> rule
+
+val resolve : Matcher.match_result -> node_ref -> (string, string) result
+(** Resolve one reference against a match; [Error] on an unknown pattern id
+    or an empty resolved label. *)
+
+val apply_match :
+  Digraph.t -> rule -> Matcher.match_result -> (Digraph.t, string) result
+(** Apply the rule's actions for one match. *)
+
+val apply_all : Digraph.t -> rule -> (Digraph.t * int, string) result
+(** Apply the rule once for {e every} match of the current graph (matches
+    are computed up front, then actions applied in order), returning the
+    new graph and the number of matches rewritten. *)
+
+val fixpoint :
+  ?max_rounds:int -> Digraph.t -> rule list -> (Digraph.t * int, string) result
+(** Round-robin {!apply_all} over the rules until a round changes nothing.
+    Returns the rounds used.  [max_rounds] (default 100) bounds divergent
+    rule sets (e.g. [Fresh] templates that keep minting nodes); hitting the
+    bound is reported as an [Error]. *)

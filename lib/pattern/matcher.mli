@@ -1,0 +1,52 @@
+(** Pattern matching against ontology graphs.
+
+    A pattern [P = (N', E')] matches into a graph [G] through a total
+    mapping of pattern nodes to graph nodes that respects label constraints
+    and edge existence — the section-3 definition, generalized with binders
+    and the {!Fuzzy} relaxations.  The matcher backtracks over pattern
+    nodes, most-constrained first; on the sparse, forest-like graphs of
+    ontologies the search is near-linear. *)
+
+type match_result = {
+  assignment : (string * Digraph.node) list;
+      (** pattern-node id -> matched graph node, sorted by id. *)
+  bindings : (string * Digraph.node) list;
+      (** variable -> matched graph node, sorted by variable. *)
+}
+
+val find :
+  ?policy:Fuzzy.policy ->
+  ?injective:bool ->
+  ?limit:int ->
+  ?node_order:[ `Most_constrained | `Declaration ] ->
+  Pattern.t ->
+  Digraph.t ->
+  match_result list
+(** All matches, deterministic order, up to [limit] (default 1000).
+    [injective] (default [false], per the paper's total-mapping
+    definition) forbids two pattern nodes sharing a graph node.
+    [node_order] picks the backtracking order: [`Most_constrained] (the
+    default: labeled, high-degree pattern nodes first) or [`Declaration]
+    (pattern order as written) — kept for the ablation benchmark that
+    justifies the heuristic. *)
+
+val matches : ?policy:Fuzzy.policy -> Pattern.t -> Digraph.t -> bool
+
+val find_in_ontology :
+  ?policy:Fuzzy.policy ->
+  ?injective:bool ->
+  ?limit:int ->
+  Pattern.t ->
+  Ontology.t ->
+  match_result list
+(** Match against an ontology's graph.  If the pattern carries an
+    {!Pattern.ontology_hint} naming a different ontology, the result is
+    empty. *)
+
+val matched_subgraph : Digraph.t -> Pattern.t -> match_result -> Digraph.t
+(** The portion of the graph covered by one match: matched nodes plus, for
+    every pattern edge, one witnessing graph edge.  This powers the
+    algebra's unary operators (select/project analogues, section 5). *)
+
+val binding : match_result -> string -> Digraph.node option
+(** Look up one variable. *)

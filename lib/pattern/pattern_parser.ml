@@ -1,0 +1,410 @@
+type error = { position : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "at %d: %s" e.position e.message
+
+exception Fail of error
+
+let fail position message = raise (Fail { position; message })
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tident of string
+  | Tquoted of string
+  | Tcolon
+  | Tcomma
+  | Tlpar
+  | Trpar
+  | Tlbrace
+  | Trbrace
+  | Tarrow of string (* -[label]-> *)
+  | Twild
+  | Tquestion of string (* ?X *)
+
+let pp_token ppf = function
+  | Tident s -> Format.fprintf ppf "%S" s
+  | Tquoted s -> Format.fprintf ppf "quoted %S" s
+  | Tcolon -> Format.pp_print_string ppf "':'"
+  | Tcomma -> Format.pp_print_string ppf "','"
+  | Tlpar -> Format.pp_print_string ppf "'('"
+  | Trpar -> Format.pp_print_string ppf "')'"
+  | Tlbrace -> Format.pp_print_string ppf "'{'"
+  | Trbrace -> Format.pp_print_string ppf "'}'"
+  | Tarrow l -> Format.fprintf ppf "'-[%s]->'" l
+  | Twild -> Format.pp_print_string ppf "'_'"
+  | Tquestion v -> Format.fprintf ppf "'?%s'"v
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '\''
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ':' then begin
+      toks := (Tcolon, !i) :: !toks;
+      incr i
+    end
+    else if c = ',' then begin
+      toks := (Tcomma, !i) :: !toks;
+      incr i
+    end
+    else if c = '(' then begin
+      toks := (Tlpar, !i) :: !toks;
+      incr i
+    end
+    else if c = ')' then begin
+      toks := (Trpar, !i) :: !toks;
+      incr i
+    end
+    else if c = '{' then begin
+      toks := (Tlbrace, !i) :: !toks;
+      incr i
+    end
+    else if c = '}' then begin
+      toks := (Trbrace, !i) :: !toks;
+      incr i
+    end
+    else if c = '"' then begin
+      (* Double-quoted node label: may contain any character (including
+         ':' for qualified terms); backslash escapes the quote. *)
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        if src.[!j] = '\\' && !j + 1 < n then begin
+          Buffer.add_char buf src.[!j + 1];
+          j := !j + 2
+        end
+        else if src.[!j] = '"' then closed := true
+        else begin
+          Buffer.add_char buf src.[!j];
+          incr j
+        end
+      done;
+      if not !closed then fail !i "unterminated quoted label";
+      if Buffer.length buf = 0 then fail !i "empty quoted label";
+      toks := (Tquoted (Buffer.contents buf), !i) :: !toks;
+      i := !j + 1
+    end
+    else if c = '?' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      if !j = start then fail !i "expected a variable name after '?'";
+      toks := (Tquestion (String.sub src start (!j - start)), !i) :: !toks;
+      i := !j
+    end
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '[' then begin
+      let start = !i + 2 in
+      match String.index_from_opt src start ']' with
+      | None -> fail !i "unterminated '-[' edge label"
+      | Some close ->
+          if close + 2 >= n || src.[close + 1] <> '-' || src.[close + 2] <> '>' then
+            fail close "expected ']->' to close the edge label"
+          else begin
+            let label = String.trim (String.sub src start (close - start)) in
+            if label = "" then fail start "empty edge label";
+            toks := (Tarrow label, !i) :: !toks;
+            i := close + 3
+          end
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      let j = ref start in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      let word = String.sub src start (!j - start) in
+      if String.equal word "_" then toks := (Twild, start) :: !toks
+      else toks := (Tident word, start) :: !toks;
+      i := !j
+    end
+    else fail !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Node-expression tree prior to flattening. *)
+type nexpr = {
+  name : string option; (* None = wildcard *)
+  binder : string option;
+  literal : bool; (* quoted: never an ontology prefix *)
+  args : nexpr list; (* AttributeOf children *)
+  subs : nexpr list; (* SubclassOf children *)
+}
+
+type link = Any | Lab of string
+
+type stream = { mutable toks : (token * int) list; len : int }
+
+let peek s = match s.toks with t :: _ -> Some t | [] -> None
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let parse src =
+  let all = tokenize src in
+  let s = { toks = all; len = String.length src } in
+  let rec parse_node () =
+    (* optional binder: IDENT ':' when followed by a node start and we are
+       inside args/subs — handled by caller passing allow_binder. *)
+    parse_node_inner ()
+  and parse_node_inner () =
+    match peek s with
+    | Some (Tident name, _) ->
+        advance s;
+        let args, subs = parse_suffix () in
+        { name = Some name; binder = None; literal = false; args; subs }
+    | Some (Tquoted name, _) ->
+        advance s;
+        let args, subs = parse_suffix () in
+        { name = Some name; binder = None; literal = true; args; subs }
+    | Some (Twild, _) ->
+        advance s;
+        let args, subs = parse_suffix () in
+        { name = None; binder = None; literal = false; args; subs }
+    | Some (Tquestion v, _) ->
+        advance s;
+        let args, subs = parse_suffix () in
+        { name = None; binder = Some v; literal = false; args; subs }
+    | Some (tok, pos) ->
+        fail pos (Format.asprintf "expected a node, found %a" pp_token tok)
+    | None -> fail s.len "expected a node, found end of input"
+  and parse_suffix () =
+    let args =
+      match peek s with
+      | Some (Tlpar, _) ->
+          advance s;
+          let items = parse_list Trpar in
+          items
+      | _ -> []
+    in
+    let subs =
+      match peek s with
+      | Some (Tlbrace, _) ->
+          advance s;
+          let items = parse_list Trbrace in
+          items
+      | _ -> []
+    in
+    (args, subs)
+  and parse_list closer =
+    (* arg := [ binder ':' ] node *)
+    let parse_arg () =
+      match s.toks with
+      | (Tident b, _) :: (Tcolon, _) :: _ ->
+          advance s;
+          advance s;
+          let node = parse_node () in
+          { node with binder = Some b }
+      | _ -> parse_node ()
+    in
+    let rec loop acc =
+      let item = parse_arg () in
+      match peek s with
+      | Some (Tcomma, _) ->
+          advance s;
+          loop (item :: acc)
+      | Some (t, _) when t = closer ->
+          advance s;
+          List.rev (item :: acc)
+      | Some (tok, pos) ->
+          fail pos
+            (Format.asprintf "expected ',' or %a in list, found %a" pp_token closer
+               pp_token tok)
+      | None -> fail s.len "unterminated list"
+    in
+    loop []
+  in
+  let rec parse_chain acc =
+    let node = parse_node () in
+    match peek s with
+    | Some (Tcolon, _) ->
+        advance s;
+        parse_chain ((node, Any) :: acc)
+    | Some (Tarrow l, _) ->
+        advance s;
+        parse_chain ((node, Lab l) :: acc)
+    | Some (tok, pos) ->
+        fail pos (Format.asprintf "unexpected %a after node" pp_token tok)
+    | None -> List.rev ((node, Any) :: acc)
+    (* the link paired with the last node is ignored *)
+  in
+  parse_chain []
+
+(* Flatten a chain into Pattern.t. *)
+let flatten ?ontologies chain =
+  let ontologies = Option.value ontologies ~default:[] in
+  (* Ontology-prefix rule: first chain item is a bare named node linked by
+     ':' and either the chain has >= 3 items or the name is a known
+     ontology. *)
+  let ontology, chain =
+    match chain with
+    | ({ name = Some first; binder = None; literal = false; args = []; subs = [] }, Any)
+      :: rest
+      when rest <> []
+           && (List.length chain >= 3 || List.mem first ontologies) ->
+        (Some first, rest)
+    | _ -> (None, chain)
+  in
+  if chain = [] then fail 0 "pattern reduced to an ontology prefix only";
+  let counter = ref 0 in
+  let nodes = ref [] and edges = ref [] in
+  let fresh label =
+    let id =
+      Printf.sprintf "%d/%s" !counter (Option.value label ~default:"_")
+    in
+    incr counter;
+    id
+  in
+  let rec emit (ne : nexpr) =
+    let id = fresh ne.name in
+    nodes := { Pattern.id; label = ne.name; binder = ne.binder } :: !nodes;
+    List.iter
+      (fun child ->
+        let cid = emit child in
+        edges :=
+          { Pattern.src = id; elabel = Some Rel.attribute_of; dst = cid } :: !edges)
+      ne.args;
+    List.iter
+      (fun child ->
+        let cid = emit child in
+        edges :=
+          { Pattern.src = cid; elabel = Some Rel.subclass_of; dst = id } :: !edges)
+      ne.subs;
+    id
+  in
+  let rec chain_loop prev = function
+    | [] -> ()
+    | (ne, link) :: rest ->
+        let id = emit ne in
+        (match prev with
+        | Some (pid, plink) ->
+            let elabel = match plink with Any -> None | Lab l -> Some l in
+            edges := { Pattern.src = pid; elabel; dst = id } :: !edges
+        | None -> ());
+        chain_loop (Some (id, link)) rest
+  in
+  chain_loop None chain;
+  Pattern.create ?ontology ~nodes:(List.rev !nodes) ~edges:(List.rev !edges) ()
+
+let parse ?ontologies src =
+  match parse src with
+  | exception Fail e -> Error e
+  | chain -> ( try Ok (flatten ?ontologies chain) with Fail e -> Error e)
+
+let parse_exn ?ontologies src =
+  match parse ?ontologies src with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "Pattern_parser: %a" pp_error e)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Unrenderable
+
+let to_string p =
+  let pnodes = Pattern.nodes p and pedges = Pattern.edges p in
+  let out_of id = List.filter (fun (e : Pattern.edge) -> e.src = id) pedges in
+  let in_of id = List.filter (fun (e : Pattern.edge) -> e.dst = id) pedges in
+  let visited = Hashtbl.create 16 in
+  let node id =
+    match Pattern.node_by_id p id with Some n -> n | None -> raise Unrenderable
+  in
+  let quote_if_needed l =
+    let plain =
+      l <> "" && l <> "_" && String.for_all is_ident_char l
+    in
+    if plain then l
+    else begin
+      let buf = Buffer.create (String.length l + 2) in
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+          Buffer.add_char buf c)
+        l;
+      Buffer.add_char buf '"';
+      Buffer.contents buf
+    end
+  in
+  let name_of (n : Pattern.node) =
+    match (n.label, n.binder) with
+    | Some l, None -> quote_if_needed l
+    | Some l, Some b -> b ^ ": " ^ quote_if_needed l
+    | None, Some b -> "?" ^ b
+    | None, None -> "_"
+  in
+  (* Render a node with its attribute / subclass tree; chain links are
+     handled by the caller.  A node may be rendered only once. *)
+  let rec render_tree id =
+    if Hashtbl.mem visited id then raise Unrenderable;
+    Hashtbl.add visited id ();
+    let n = node id in
+    let attrs =
+      out_of id
+      |> List.filter (fun (e : Pattern.edge) -> e.elabel = Some Rel.attribute_of)
+      |> List.map (fun (e : Pattern.edge) -> render_tree e.dst)
+    in
+    let subs =
+      in_of id
+      |> List.filter (fun (e : Pattern.edge) -> e.elabel = Some Rel.subclass_of)
+      |> List.map (fun (e : Pattern.edge) -> render_tree e.src)
+    in
+    let base = name_of n in
+    let base = if attrs = [] then base else base ^ "(" ^ String.concat ", " attrs ^ ")" in
+    if subs = [] then base else base ^ "{" ^ String.concat ", " subs ^ "}"
+  in
+  let is_tree_edge (e : Pattern.edge) =
+    e.elabel = Some Rel.attribute_of || e.elabel = Some Rel.subclass_of
+  in
+  let chain_edges = List.filter (fun e -> not (is_tree_edge e)) pedges in
+  (* The chain root: a node that is not the target of a chain edge and not
+     an attribute/subclass child. *)
+  let is_child id =
+    List.exists
+      (fun (e : Pattern.edge) ->
+        (e.elabel = Some Rel.attribute_of && e.dst = id)
+        || (e.elabel = Some Rel.subclass_of && e.src = id))
+      pedges
+  in
+  try
+    let roots =
+      pnodes
+      |> List.filter (fun (n : Pattern.node) ->
+             (not (is_child n.id))
+             && not
+                  (List.exists (fun (e : Pattern.edge) -> e.dst = n.id) chain_edges))
+    in
+    match roots with
+    | [ root ] ->
+        let buf = Buffer.create 64 in
+        (match Pattern.ontology_hint p with
+        | Some o -> Buffer.add_string buf (o ^ ":")
+        | None -> ());
+        let rec follow id =
+          Buffer.add_string buf (render_tree id);
+          match List.filter (fun (e : Pattern.edge) -> e.src = id) chain_edges with
+          | [] -> ()
+          | [ e ] ->
+              (match e.elabel with
+              | None -> Buffer.add_string buf ":"
+              | Some l -> Buffer.add_string buf (Printf.sprintf " -[%s]-> " l));
+              follow e.dst
+          | _ -> raise Unrenderable
+        in
+        follow root.id;
+        if Hashtbl.length visited <> List.length pnodes then raise Unrenderable;
+        Buffer.contents buf
+    | _ -> raise Unrenderable
+  with Unrenderable -> Format.asprintf "%a" Pattern.pp p

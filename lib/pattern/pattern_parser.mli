@@ -1,0 +1,48 @@
+(** The textual pattern notation of section 3: "For the textual interface
+    we use a simple notation with (curly) brackets to denote hierarchical
+    objects.  Variables are indicated with bounded terms."
+
+    Grammar:
+    {v
+    pattern   ::= [ ontology ':' ] chain
+    chain     ::= node ( link node )*
+    link      ::= ':'                    any-relationship edge
+                | '-[' label ']->'       edge with that relationship
+    node      ::= name [ '(' args ')' ] [ '{' subs '}' ]
+    args      ::= arg ( ',' arg )*       AttributeOf children
+    subs      ::= arg ( ',' arg )*       SubclassOf children (child -S-> head)
+    arg       ::= [ binder ':' ] node
+    name      ::= ident | '_' | '?'ident
+    v}
+
+    - [carrier:car:driver] — in ontology [carrier], a node [car] with an
+      (any-label) edge to [driver].  A leading segment counts as ontology
+      prefix when the chain has three or more segments or when it appears
+      in [~ontologies].
+    - [truck(O: owner, model)] — a node [truck] with [AttributeOf] edges to
+      [owner] and [model]; variable [O] binds the owner node.
+    - [vehicle{car, truck}] — [car] and [truck] are [SubclassOf] children
+      of [vehicle].
+    - ['_'] is an unconstrained node; [?X] is unconstrained and bound to
+      [X];
+    - a double-quoted label matches verbatim and is never an ontology
+      prefix or chain separator — the way to target qualified terms in a
+      unified graph: ["carrier:Cars" -[SIBridge]-> "transport:Vehicle"]
+      (backslash escapes the quote). *)
+
+type error = { position : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : ?ontologies:string list -> string -> (Pattern.t, error) result
+(** [ontologies] are names recognized as ontology prefixes in two-segment
+    chains. *)
+
+val parse_exn : ?ontologies:string list -> string -> Pattern.t
+(** @raise Invalid_argument on malformed input. *)
+
+val to_string : Pattern.t -> string
+(** Render a pattern back to the notation when its shape permits (chains
+    of attribute/subclass trees); falls back to an explicit
+    node/edge listing otherwise.  [parse (to_string p)] re-reads renderable
+    patterns. *)

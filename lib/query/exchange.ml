@@ -1,0 +1,148 @@
+type outcome = {
+  instance : Kb.instance;
+  target_concept_path : string list;
+  untranslated : string list;
+}
+
+let strip_prefix source qualified =
+  let p = source ^ ":" in
+  let lp = String.length p in
+  if String.length qualified > lp && String.equal (String.sub qualified 0 lp) p
+  then Some (String.sub qualified lp (String.length qualified - lp))
+  else None
+
+let concept_target (space : Federation.t) ~from ~to_ c =
+  let g = space.Federation.graph in
+  let start = from ^ ":" ^ c in
+  if not (Digraph.mem_node g start) then None
+  else begin
+    let reachable =
+      (* The zero-length path is sound: translating into the concept's own
+         ontology may keep the concept. *)
+      start :: Traversal.reachable ~follow:Rewrite.semantic_follow g start
+    in
+    let candidates =
+      List.filter_map (strip_prefix to_) reachable
+      |> List.sort_uniq String.compare
+    in
+    match candidates with
+    | [] -> None
+    | _ ->
+        (* Most specific: drop any candidate that another candidate
+           specializes (a semantic path from the other into it). *)
+        let specializes a b =
+          (not (String.equal a b))
+          && Traversal.path_exists ~follow:Rewrite.semantic_follow g
+               (to_ ^ ":" ^ a) (to_ ^ ":" ^ b)
+        in
+        let minimal =
+          List.filter
+            (fun t -> not (List.exists (fun t' -> specializes t' t) candidates))
+            candidates
+        in
+        (match minimal with [] -> List.nth_opt candidates 0 | m :: _ -> Some m)
+  end
+
+(* The articulation attribute a source attribute lifts into: a conversion or
+   SIBridge edge out of the qualified attribute node, or the attribute's own
+   name when no edge renames it. *)
+let articulation_view (space : Federation.t) ~source attr =
+  let g = space.Federation.graph in
+  let qualified = source ^ ":" ^ attr in
+  let renamed =
+    if not (Digraph.mem_node g qualified) then None
+    else
+      Digraph.out_edges g qualified
+      |> List.find_map (fun (e : Digraph.edge) ->
+             let target_art =
+               List.find_map
+                 (fun art_name -> strip_prefix art_name e.dst)
+                 space.Federation.articulation_names
+             in
+             match target_art with
+             | Some art_attr when Rel.is_conversion_label e.label ->
+                 Some (art_attr, Rel.conversion_name e.label)
+             | Some art_attr when String.equal e.label Rel.si_bridge ->
+                 Some (art_attr, None)
+             | _ -> None)
+  in
+  match renamed with
+  | Some (art_attr, lift) -> (art_attr, lift)
+  | None -> (attr, None)
+
+let attr_route (space : Federation.t) ~conversions ~from ~to_ attr =
+  let art_attr, lift = articulation_view space ~source:from attr in
+  match Rewrite.attr_binding space ~conversions ~source:to_ art_attr with
+  | None -> None
+  | Some binding ->
+      let lower =
+        (* The target stores values the articulation lifts through
+           [to_articulation]; lowering therefore uses its declared
+           inverse. *)
+        match binding.Plan.to_articulation with
+        | None -> None
+        | Some fn_t -> (
+            match binding.Plan.from_articulation with
+            | Some inv -> Some inv
+            | None -> Conversion.inverse_name conversions fn_t)
+      in
+      (* Refuse the route if the target needs a lowering step we cannot
+         perform. *)
+      if binding.Plan.to_articulation <> None && lower = None then None
+      else begin
+        let convert v =
+          let ( let* ) = Result.bind in
+          let* lifted =
+            match lift with
+            | None -> Ok v
+            | Some fn -> Conversion.apply conversions fn v
+          in
+          match lower with
+          | None -> Ok lifted
+          | Some fn -> Conversion.apply conversions fn lifted
+        in
+        Some (binding.Plan.source_attr, convert)
+      end
+
+let translate (space : Federation.t) ~conversions ~from ~to_
+    (inst : Kb.instance) =
+  match concept_target space ~from ~to_ inst.Kb.concept with
+  | None ->
+      Error
+        (Printf.sprintf "no semantic path from %s:%s into %s" from
+           inst.Kb.concept to_)
+  | Some target_concept ->
+      let path =
+        match
+          Traversal.shortest_path ~follow:Rewrite.semantic_follow
+            space.Federation.graph
+            (from ^ ":" ^ inst.Kb.concept)
+            (to_ ^ ":" ^ target_concept)
+        with
+        | Some edges ->
+            (from ^ ":" ^ inst.Kb.concept)
+            :: List.map (fun (e : Digraph.edge) -> e.dst) edges
+        | None -> [ from ^ ":" ^ inst.Kb.concept; to_ ^ ":" ^ target_concept ]
+      in
+      let translated, untranslated =
+        List.fold_left
+          (fun (ok, failed) (a, v) ->
+            match attr_route space ~conversions ~from ~to_ a with
+            | None -> (ok, a :: failed)
+            | Some (target_attr, convert) -> (
+                match convert v with
+                | Ok v' -> ((target_attr, v') :: ok, failed)
+                | Error _ -> (ok, a :: failed)))
+          ([], []) inst.Kb.attrs
+      in
+      Ok
+        {
+          instance =
+            {
+              Kb.id = inst.Kb.id;
+              concept = target_concept;
+              attrs = List.sort (fun (a, _) (b, _) -> String.compare a b) translated;
+            };
+          target_concept_path = path;
+          untranslated = List.sort String.compare untranslated;
+        }

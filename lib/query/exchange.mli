@@ -1,0 +1,59 @@
+(** Instance exchange between sources.
+
+    Section 2.3 names two uses of interoperation: "querying their
+    semantically meaningful intersection or {e exchanging information
+    between the underlying sources}".  This module is the second: it
+    translates a knowledge-base instance from one source's vocabulary into
+    another's, routing concept and attributes through the articulation —
+    the OEM-style object exchange of the paper's reference [18].
+
+    Translation of an instance of [from]-concept [c]:
+
+    - the {e concept} maps to the most specific [target]-concept reachable
+      from [c] through the semantic bridges (via the articulation); if the
+      bridges only warrant a more general concept, that is what you get —
+      translation is semantically sound, never inventing specificity;
+    - each {e attribute} routes through its articulation binding: lifted by
+      the [from]-side conversion function, then lowered by the
+      [target]-side one (e.g. guilders → euro → pounds sterling);
+      attributes with no path are reported untranslated. *)
+
+type outcome = {
+  instance : Kb.instance;  (** In target vocabulary. *)
+  target_concept_path : string list;
+      (** The qualified semantic path that justified the concept mapping,
+          from the source concept to the target concept. *)
+  untranslated : string list;
+      (** Source attribute names that found no target binding, sorted. *)
+}
+
+val concept_target :
+  Federation.t -> from:string -> to_:string -> string -> string option
+(** [concept_target space ~from ~to_ c]: the most specific concept of
+    ontology [to_] reachable from [from:c] through semantic edges
+    ([SIBridge] / [SI] / [SubclassOf]); [None] when the articulation does
+    not connect them.  "Most specific" = a reachable target concept none of
+    whose own (transitive) subclasses is also reachable; ties break
+    lexicographically. *)
+
+val attr_route :
+  Federation.t ->
+  conversions:Conversion.t ->
+  from:string ->
+  to_:string ->
+  string ->
+  (string * (Conversion.value -> (Conversion.value, string) result)) option
+(** [attr_route space ~conversions ~from ~to_ a]: the target attribute
+    name for [from]-attribute [a] and the value converter (possibly the
+    identity, possibly a two-hop conversion through articulation space). *)
+
+val translate :
+  Federation.t ->
+  conversions:Conversion.t ->
+  from:string ->
+  to_:string ->
+  Kb.instance ->
+  (outcome, string) result
+(** Translate one instance.  [Error] when the concept cannot be mapped;
+    attribute failures are partial (reported in [untranslated], and in
+    the instance the attribute is dropped). *)

@@ -1,0 +1,50 @@
+type t = {
+  graph : Digraph.t;
+  sources : Ontology.t list;
+  articulation_names : string list;
+}
+
+let of_unified (u : Algebra.unified) =
+  {
+    graph = u.Algebra.graph;
+    sources = [ u.Algebra.left; u.Algebra.right ];
+    articulation_names = [ Articulation.name u.Algebra.articulation ];
+  }
+
+let of_parts ~sources ~articulations =
+  let source_names = List.map Ontology.name sources in
+  List.iter
+    (fun a ->
+      if List.mem (Articulation.name a) source_names then
+        invalid_arg
+          (Printf.sprintf
+             "Federation.of_parts: articulation %s shares a source's name"
+             (Articulation.name a)))
+    articulations;
+  let graph =
+    List.fold_left
+      (fun g o -> Digraph.union g (Ontology.qualify o))
+      Digraph.empty sources
+  in
+  let graph =
+    List.fold_left
+      (fun g a ->
+        let g = Digraph.union g (Ontology.qualify (Articulation.ontology a)) in
+        List.fold_left Digraph.add_edge_e g (Articulation.bridge_edges a))
+      graph articulations
+  in
+  {
+    graph;
+    sources;
+    articulation_names =
+      List.sort_uniq String.compare (List.map Articulation.name articulations);
+  }
+
+let source_names t =
+  List.sort String.compare (List.map Ontology.name t.sources)
+
+let source t name =
+  List.find_opt (fun o -> String.equal (Ontology.name o) name) t.sources
+
+let primary_articulation t =
+  match List.rev t.articulation_names with [] -> None | n :: _ -> Some n

@@ -1,0 +1,41 @@
+(** Query spaces over any number of sources.
+
+    The pairwise {!Algebra.unified} covers two sources; real federations
+    grow by composition (section 4.2): an articulation tower spans three
+    or more.  A {e space} is the query-time view of any such construction:
+    the merged qualified graph, the participating source ontologies, and
+    the names of the articulation ontologies whose vocabulary queries are
+    phrased in.  {!Rewrite} and {!Mediator} operate on spaces; the
+    two-source entry points wrap their input into one. *)
+
+type t = {
+  graph : Digraph.t;
+      (** Qualified union of every source, every articulation ontology and
+          all bridges. *)
+  sources : Ontology.t list;  (** The underlying source ontologies. *)
+  articulation_names : string list;
+      (** Ontology names whose terms are articulation vocabulary, sorted.
+          Attribute bindings look for conversion / bridge edges into any
+          of them. *)
+}
+
+val of_unified : Algebra.unified -> t
+(** The two-source space. *)
+
+val of_parts :
+  sources:Ontology.t list -> articulations:Articulation.t list -> t
+(** A space from explicitly enumerated parts: the graph is the union of
+    all qualified sources, all qualified articulation ontologies and all
+    bridges.  This covers any tower or mesh of articulations.
+    @raise Invalid_argument if an articulation ontology shares a name
+    with a source. *)
+
+val source_names : t -> string list
+(** Sorted. *)
+
+val source : t -> string -> Ontology.t option
+
+val primary_articulation : t -> string option
+(** The default vocabulary for bare query concepts: the articulation whose
+    name sorts last (the most recently layered one in towers built through
+    {!of_parts}), if any. *)

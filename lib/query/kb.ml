@@ -1,0 +1,79 @@
+type instance = {
+  id : string;
+  concept : string;
+  attrs : (string * Conversion.value) list;
+}
+
+module Smap = Map.Make (String)
+
+type t = { name : string; ontology : Ontology.t; store : instance Smap.t }
+
+let create ~ontology name = { name; ontology; store = Smap.empty }
+
+let name kb = kb.name
+
+let ontology kb = kb.ontology
+
+let add kb ~concept ~id attrs =
+  if not (Ontology.has_term kb.ontology concept) then
+    invalid_arg
+      (Printf.sprintf "Kb.add: %s is not a term of ontology %s" concept
+         (Ontology.name kb.ontology));
+  let attrs = List.sort (fun (a, _) (b, _) -> String.compare a b) attrs in
+  { kb with store = Smap.add id { id; concept; attrs } kb.store }
+
+let remove kb ~id = { kb with store = Smap.remove id kb.store }
+
+let get kb ~id = Smap.find_opt id kb.store
+
+let attr_value inst attr = List.assoc_opt attr inst.attrs
+
+let size kb = Smap.cardinal kb.store
+
+let instances kb = List.map snd (Smap.bindings kb.store)
+
+let instances_of ?(transitive = true) kb ~concept =
+  let wanted =
+    if transitive then concept :: Ontology.all_subclasses kb.ontology concept
+    else [ concept ]
+  in
+  List.filter (fun i -> List.mem i.concept wanted) (instances kb)
+
+let concepts kb =
+  instances kb |> List.map (fun i -> i.concept) |> List.sort_uniq String.compare
+
+let parse_value s =
+  match float_of_string_opt s with
+  | Some f -> Conversion.Num f
+  | None -> (
+      match bool_of_string_opt s with
+      | Some b -> Conversion.Bool b
+      | None -> Conversion.Str s)
+
+let of_ontology_instances ~ontology kb_name =
+  let g = Ontology.graph ontology in
+  let kb = create ~ontology kb_name in
+  Digraph.fold_edges
+    (fun (e : Digraph.edge) kb ->
+      if String.equal e.label Rel.instance_of then begin
+        (* Attribute values: custom verb edges out of the instance whose
+           target has no further structure (a leaf literal node). *)
+        let attrs =
+          Digraph.out_edges g e.src
+          |> List.filter_map (fun (a : Digraph.edge) ->
+                 let standard =
+                   List.mem a.label
+                     [
+                       Rel.instance_of;
+                       Rel.subclass_of;
+                       Rel.attribute_of;
+                       Rel.semantic_implication;
+                     ]
+                 in
+                 if standard || Digraph.out_degree g a.dst > 0 then None
+                 else Some (a.label, parse_value a.dst))
+        in
+        add kb ~concept:e.dst ~id:e.src attrs
+      end
+      else kb)
+    g kb

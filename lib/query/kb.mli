@@ -1,0 +1,54 @@
+(** In-memory knowledge bases — the instance stores behind the wrappers of
+    Fig. 1 (KB1, KB2, KB3).
+
+    Each knowledge base commits to one source ontology: its instances
+    belong to that ontology's concepts and their attribute values are in
+    that ontology's local conventions (e.g. carrier prices in guilders).
+    The query system converts values when crossing into the articulation
+    space. *)
+
+type instance = {
+  id : string;
+  concept : string;  (** Term of the backing ontology. *)
+  attrs : (string * Conversion.value) list;  (** Sorted by attribute name. *)
+}
+
+type t
+
+val create : ontology:Ontology.t -> string -> t
+(** [create ~ontology name] is an empty knowledge base named [name] over
+    the given ontology. *)
+
+val name : t -> string
+
+val ontology : t -> Ontology.t
+
+val add :
+  t -> concept:string -> id:string -> (string * Conversion.value) list -> t
+(** Insert (or replace) an instance.
+    @raise Invalid_argument if the concept is not a term of the backing
+    ontology. *)
+
+val remove : t -> id:string -> t
+
+val get : t -> id:string -> instance option
+
+val attr_value : instance -> string -> Conversion.value option
+
+val size : t -> int
+
+val instances : t -> instance list
+(** All instances, ordered by id. *)
+
+val instances_of : ?transitive:bool -> t -> concept:string -> instance list
+(** Instances of the concept; with [transitive] (default [true]) also of
+    its transitive subclasses. *)
+
+val concepts : t -> string list
+(** Concepts with at least one instance, sorted. *)
+
+val of_ontology_instances : ontology:Ontology.t -> string -> t
+(** Bootstrap a knowledge base from the [InstanceOf] edges already present
+    in an ontology graph (each instance term becomes an instance; custom
+    verb edges to leaf nodes become attribute values, numeric when they
+    parse as such). *)

@@ -1,0 +1,124 @@
+type mediator = {
+  per_source : (string * string) list;
+  merge_program : string;
+}
+
+let string_of_op = function
+  | Query.Eq -> "="
+  | Query.Neq -> "!="
+  | Query.Lt -> "<"
+  | Query.Le -> "<="
+  | Query.Gt -> ">"
+  | Query.Ge -> ">="
+
+let string_of_value = function
+  | Conversion.Num f -> Format.asprintf "%g" f
+  | Conversion.Str s -> "\"" ^ s ^ "\""
+  | Conversion.Bool b -> string_of_bool b
+
+(* Rewrite one pushable predicate into source vocabulary; None when the
+   constant cannot cross (falls back to the merge program). *)
+let push_predicate ~conversions (sp : Plan.source_plan) (p : Query.predicate) =
+  match
+    List.find_opt
+      (fun (b : Plan.attr_binding) -> String.equal b.Plan.art_attr p.Query.attr)
+      sp.Plan.attrs
+  with
+  | None -> None
+  | Some binding -> (
+      match binding.Plan.to_articulation with
+      | None ->
+          Some
+            (Printf.sprintf "x.%s %s %s" binding.Plan.source_attr
+               (string_of_op p.Query.op)
+               (string_of_value p.Query.value))
+      | Some _ -> (
+          match binding.Plan.from_articulation with
+          | None -> None
+          | Some inverse -> (
+              match Conversion.apply conversions inverse p.Query.value with
+              | Ok local_value ->
+                  Some
+                    (Printf.sprintf "x.%s %s %s /* %s applied to constant */"
+                       binding.Plan.source_attr
+                       (string_of_op p.Query.op)
+                       (string_of_value local_value) inverse)
+              | Error _ -> None)))
+
+let source_oql ~conversions (sp : Plan.source_plan) =
+  let buf = Buffer.create 256 in
+  let attrs =
+    match sp.Plan.attrs with
+    | [] -> "x"
+    | attrs ->
+        attrs
+        |> List.map (fun (b : Plan.attr_binding) ->
+               Printf.sprintf "x.%s" b.Plan.source_attr)
+        |> String.concat ", "
+  in
+  let pushed = List.filter_map (push_predicate ~conversions sp) sp.Plan.pushable in
+  List.iteri
+    (fun i concept ->
+      if i > 0 then Buffer.add_string buf "union\n";
+      Buffer.add_string buf (Printf.sprintf "select %s\nfrom x in %s\n" attrs concept);
+      (match pushed with
+      | [] -> ()
+      | preds ->
+          Buffer.add_string buf
+            (Printf.sprintf "where %s\n" (String.concat " and " preds)));
+      ())
+    sp.Plan.concepts;
+  Buffer.contents buf
+
+let merge_program ~conversions (plan : Plan.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "merge program:\n";
+  List.iter
+    (fun (sp : Plan.source_plan) ->
+      List.iter
+        (fun (b : Plan.attr_binding) ->
+          match b.Plan.to_articulation with
+          | Some fn ->
+              Buffer.add_string buf
+                (Printf.sprintf "  lift %s.%s through %s() as %s\n" sp.Plan.source
+                   b.Plan.source_attr fn b.Plan.art_attr)
+          | None ->
+              if not (String.equal b.Plan.source_attr b.Plan.art_attr) then
+                Buffer.add_string buf
+                  (Printf.sprintf "  rename %s.%s as %s\n" sp.Plan.source
+                     b.Plan.source_attr b.Plan.art_attr))
+        sp.Plan.attrs;
+      let unpushed =
+        List.filter
+          (fun p -> push_predicate ~conversions sp p = None)
+          sp.Plan.pushable
+        @ sp.Plan.residual
+      in
+      List.iter
+        (fun (p : Query.predicate) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  filter %s tuples: %s %s %s (articulation space)\n"
+               sp.Plan.source p.Query.attr (string_of_op p.Query.op)
+               (string_of_value p.Query.value)))
+        unpushed)
+    plan.Plan.sources;
+  Buffer.add_string buf "  union all lifted tuples, ordered by (source, id)\n";
+  Buffer.contents buf
+
+let of_plan ~conversions (plan : Plan.t) =
+  let per_source =
+    plan.Plan.sources
+    |> List.map (fun sp -> (sp.Plan.source, source_oql ~conversions sp))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { per_source; merge_program = merge_program ~conversions plan }
+
+let to_string m =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (source, oql) ->
+      Buffer.add_string buf (Printf.sprintf "-- mediator sub-query for %s\n" source);
+      Buffer.add_string buf oql)
+    m.per_source;
+  Buffer.add_string buf m.merge_program;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** ODMG mediator generation.
+
+    The paper promises that the framework "will derive ODMG-compliant
+    mediators automatically" (section 1).  This module derives, from a
+    reformulated {!Plan}, the textual mediator: one OQL query per source
+    (phrased in that source's own vocabulary, with pushable predicates
+    rewritten through the inverse conversion functions) plus the merge
+    program that lifts results into articulation space.
+
+    The emitted OQL targets the ODMG 2.0 surface: [select .. from .. in
+    <extent> where ..]; extents are the source concepts, unioned. *)
+
+type mediator = {
+  per_source : (string * string) list;
+      (** (source ontology, OQL text), sorted by source. *)
+  merge_program : string;
+      (** Human-readable post-processing description: conversions applied
+          per attribute and residual predicates evaluated after merge. *)
+}
+
+val of_plan : conversions:Conversion.t -> Plan.t -> mediator
+(** Pushable predicate constants are rewritten into source space through
+    the binding's [from_articulation] function; predicates that cannot be
+    pushed (or whose constant the converter rejects) are listed in the
+    merge program instead. *)
+
+val to_string : mediator -> string
+(** The full mediator listing, stable across runs. *)

@@ -1,0 +1,69 @@
+type attr_binding = {
+  art_attr : string;
+  source_attr : string;
+  to_articulation : string option;
+  from_articulation : string option;
+}
+
+type source_plan = {
+  source : string;
+  concepts : string list;
+  attrs : attr_binding list;
+  pushable : Query.predicate list;
+  residual : Query.predicate list;
+}
+
+type t = { query : Query.t; sources : source_plan list }
+
+let involved_sources plan = List.map (fun s -> s.source) plan.sources
+
+let explain plan =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "query: %s\n" (Query.to_string plan.query));
+  List.iter
+    (fun sp ->
+      Buffer.add_string buf (Printf.sprintf "source %s:\n" sp.source);
+      Buffer.add_string buf
+        (Printf.sprintf "  scan: %s\n" (String.concat ", " sp.concepts));
+      List.iter
+        (fun b ->
+          let conv =
+            match b.to_articulation with
+            | Some fn -> Printf.sprintf " via %s()" fn
+            | None -> ""
+          in
+          let back =
+            match b.from_articulation with
+            | Some fn -> Printf.sprintf " (inverse %s())" fn
+            | None -> ""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  attr %s <- %s%s%s\n" b.art_attr b.source_attr conv
+               back))
+        sp.attrs;
+      let fmt_pred (p : Query.predicate) =
+        Printf.sprintf "%s %s %s" p.attr
+          (match p.op with
+          | Query.Eq -> "="
+          | Query.Neq -> "!="
+          | Query.Lt -> "<"
+          | Query.Le -> "<="
+          | Query.Gt -> ">"
+          | Query.Ge -> ">=")
+          (match p.value with
+          | Conversion.Num f -> Format.asprintf "%g" f
+          | Conversion.Str s -> "'" ^ s ^ "'"
+          | Conversion.Bool b -> string_of_bool b)
+      in
+      if sp.pushable <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "  pushable: %s\n"
+             (String.concat " AND " (List.map fmt_pred sp.pushable)));
+      if sp.residual <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "  residual: %s\n"
+             (String.concat " AND " (List.map fmt_pred sp.residual))))
+    plan.sources;
+  Buffer.contents buf
+
+let pp ppf plan = Format.pp_print_string ppf (explain plan)

@@ -1,0 +1,39 @@
+(** Query execution plans.
+
+    The query processor "derives an execution plan against the sources
+    involved" (section 2.3).  A plan names, per source ontology, the
+    concepts to scan, how each requested articulation attribute maps onto
+    a source attribute (possibly through a conversion function), and which
+    predicates a mediator could push down to that source. *)
+
+type attr_binding = {
+  art_attr : string;  (** Attribute name in articulation vocabulary. *)
+  source_attr : string;  (** Attribute name at the source. *)
+  to_articulation : string option;
+      (** Conversion-function name lifting source values into articulation
+          space ([None] = identity). *)
+  from_articulation : string option;
+      (** Inverse direction, when available — what makes a predicate
+          pushable. *)
+}
+
+type source_plan = {
+  source : string;  (** Source ontology name. *)
+  concepts : string list;
+      (** Source concepts whose instances answer the query, sorted. *)
+  attrs : attr_binding list;  (** Sorted by [art_attr]. *)
+  pushable : Query.predicate list;
+      (** Predicates expressible in source vocabulary (advisory: the
+          in-memory executor evaluates every predicate in articulation
+          space, which is semantically identical). *)
+  residual : Query.predicate list;
+}
+
+type t = { query : Query.t; sources : source_plan list }
+
+val involved_sources : t -> string list
+
+val explain : t -> string
+(** Multi-line human-readable plan, stable across runs. *)
+
+val pp : Format.formatter -> t -> unit

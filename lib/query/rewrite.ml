@@ -1,0 +1,189 @@
+let semantic_follow =
+  Traversal.only [ Rel.si_bridge; Rel.semantic_implication; Rel.subclass_of ]
+
+let prefixed source name = source ^ ":" ^ name
+
+let strip_prefix source qualified =
+  let p = source ^ ":" in
+  let lp = String.length p in
+  if String.length qualified > lp && String.equal (String.sub qualified 0 lp) p
+  then Some (String.sub qualified lp (String.length qualified - lp))
+  else None
+
+let source_concepts (space : Federation.t) ~source concept =
+  let g = space.Federation.graph in
+  let target = Term.qualified concept in
+  if not (Digraph.mem_node g target) then []
+  else begin
+    let specializations = Traversal.co_reachable ~follow:semantic_follow g target in
+    let candidates = target :: specializations in
+    candidates
+    |> List.filter_map (strip_prefix source)
+    |> List.sort_uniq String.compare
+  end
+
+(* Conversion edges between a source attribute node and an articulation
+   attribute node, in either direction; the articulation node is searched
+   under each articulation name in sorted order. *)
+let conversion_binding_under (space : Federation.t) ~conversions ~source
+    ~art_name attr =
+  let g = space.Federation.graph in
+  let art_node = prefixed art_name attr in
+  if not (Digraph.mem_node g art_node) then None
+  else begin
+    let forward =
+      Digraph.in_edges g art_node
+      |> List.find_map (fun (e : Digraph.edge) ->
+             match (Rel.conversion_name e.label, strip_prefix source e.src) with
+             | Some fn, Some local -> Some (local, fn)
+             | _ -> None)
+    in
+    match forward with
+    | Some (local, fn) ->
+        let back =
+          Digraph.out_edges g art_node
+          |> List.find_map (fun (e : Digraph.edge) ->
+                 match (Rel.conversion_name e.label, strip_prefix source e.dst) with
+                 | Some fn2, Some local2 when String.equal local2 local -> Some fn2
+                 | _ -> None)
+        in
+        let back =
+          match back with
+          | Some _ -> back
+          | None -> Conversion.inverse_name conversions fn
+        in
+        Some
+          {
+            Plan.art_attr = attr;
+            source_attr = local;
+            to_articulation = Some fn;
+            from_articulation = back;
+          }
+    | None ->
+        (* An SIBridge between attribute terms: source attr ~ articulation
+           attr with identical semantics, no conversion. *)
+        Digraph.in_edges g art_node
+        |> List.find_map (fun (e : Digraph.edge) ->
+               if String.equal e.label Rel.si_bridge then strip_prefix source e.src
+               else None)
+        |> Option.map (fun local ->
+               {
+                 Plan.art_attr = attr;
+                 source_attr = local;
+                 to_articulation = None;
+                 from_articulation = None;
+               })
+  end
+
+let attr_binding (space : Federation.t) ~conversions ~source attr =
+  let via_articulations =
+    List.find_map
+      (fun art_name ->
+        conversion_binding_under space ~conversions ~source ~art_name attr)
+      space.Federation.articulation_names
+  in
+  match via_articulations with
+  | Some b -> Some b
+  | None -> (
+      (* Identity: the source uses the same attribute name. *)
+      match Federation.source space source with
+      | Some o when Ontology.has_term o attr ->
+          Some
+            {
+              Plan.art_attr = attr;
+              source_attr = attr;
+              to_articulation = None;
+              from_articulation = None;
+            }
+      | _ -> None)
+
+(* Attribute names the source can surface, in articulation vocabulary:
+   used for SELECT *. *)
+let visible_attrs (space : Federation.t) ~conversions ~source concepts =
+  match Federation.source space source with
+  | None -> []
+  | Some source_ontology ->
+      let g = space.Federation.graph in
+      let own =
+        List.concat_map (fun c -> Ontology.attributes source_ontology c) concepts
+        |> List.sort_uniq String.compare
+      in
+      List.map
+        (fun local ->
+          (* Does a conversion / bridge edge rename this attribute? *)
+          let qualified = prefixed source local in
+          let renamed =
+            Digraph.out_edges g qualified
+            |> List.find_map (fun (e : Digraph.edge) ->
+                   if
+                     Rel.is_conversion_label e.label
+                     || String.equal e.label Rel.si_bridge
+                   then
+                     List.find_map
+                       (fun art_name -> strip_prefix art_name e.dst)
+                       space.Federation.articulation_names
+                   else None)
+          in
+          match renamed with Some art -> art | None -> local)
+        own
+      |> List.sort_uniq String.compare
+      |> List.filter_map (fun attr -> attr_binding space ~conversions ~source attr)
+
+let plan (space : Federation.t) ~conversions (q : Query.t) =
+  let source_plans =
+    List.filter_map
+      (fun source ->
+        let concepts = source_concepts space ~source q.Query.concept in
+        if concepts = [] then None
+        else begin
+          (* Bindings must cover everything the query evaluates, not just
+             its output: WHERE attributes, aggregate arguments and the
+             ORDER BY key all need source attributes. *)
+          let evaluated =
+            List.map (fun (p : Query.predicate) -> p.Query.attr) q.Query.where
+            @ List.filter_map Query.aggregate_attr q.Query.aggregates
+            @ (match q.Query.order_by with Some (a, _) -> [ a ] | None -> [])
+          in
+          let attrs =
+            match (q.Query.select, q.Query.aggregates) with
+            | [], [] ->
+                let visible = visible_attrs space ~conversions ~source concepts in
+                let visible_names =
+                  List.map (fun (b : Plan.attr_binding) -> b.Plan.art_attr) visible
+                in
+                visible
+                @ List.filter_map
+                    (fun attr ->
+                      if List.mem attr visible_names then None
+                      else attr_binding space ~conversions ~source attr)
+                    (List.sort_uniq String.compare evaluated)
+            | selected, _ ->
+                List.filter_map
+                  (fun attr -> attr_binding space ~conversions ~source attr)
+                  (List.sort_uniq String.compare (selected @ evaluated))
+          in
+          let binding_of attr =
+            List.find_opt
+              (fun (b : Plan.attr_binding) -> String.equal b.Plan.art_attr attr)
+              attrs
+          in
+          let pushable, residual =
+            List.partition
+              (fun (p : Query.predicate) ->
+                match binding_of p.Query.attr with
+                | Some b ->
+                    b.Plan.to_articulation = None || b.Plan.from_articulation <> None
+                | None -> false)
+              q.Query.where
+          in
+          Some { Plan.source; concepts; attrs; pushable; residual }
+        end)
+      (Federation.source_names space)
+  in
+  if source_plans = [] then
+    Error
+      (Printf.sprintf "no source can answer concept %s"
+         (Term.qualified q.Query.concept))
+  else Ok { Plan.query = q; sources = source_plans }
+
+let plan_unified u ~conversions q = plan (Federation.of_unified u) ~conversions q

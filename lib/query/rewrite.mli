@@ -1,0 +1,46 @@
+(** Query reformulation across semantic bridges (sections 2.3 and 4.1):
+    "the query processor will utilize these normalization functions to
+    transform terms to and from the articulation ontology in order to
+    answer queries involving the prices of vehicles."
+
+    Reformulation runs against a {!Federation.t} query space — two sources
+    under one articulation, or any tower of compositions.  Per source it
+    finds:
+
+    - the {e concepts} whose instances answer the query: source terms with
+      a semantic path ([SIBridge] / [SI] / [SubclassOf] edges) into the
+      query concept;
+    - the {e attribute bindings}: identical names, [SIBridge]-linked
+      attribute terms, or conversion-function edges (which carry the
+      converter to apply);
+    - the predicate split: a predicate is pushable when its attribute's
+      binding is invertible (identity or has a registered inverse). *)
+
+val semantic_follow : Traversal.label_filter
+(** [SIBridge], [SI], [SubclassOf]. *)
+
+val source_concepts : Federation.t -> source:string -> Term.t -> string list
+(** Concepts of the named source answering a query on the given term,
+    sorted.  For a term qualified with the source's own name, the term
+    itself (when present). *)
+
+val attr_binding :
+  Federation.t ->
+  conversions:Conversion.t ->
+  source:string ->
+  string ->
+  Plan.attr_binding option
+(** How the named articulation attribute is obtained from the source;
+    [None] when no binding exists (the source cannot supply it).
+    Articulation attribute nodes are searched in every articulation of
+    the space, in sorted name order. *)
+
+val plan :
+  Federation.t -> conversions:Conversion.t -> Query.t -> (Plan.t, string) result
+(** Full reformulation.  Bindings cover the selected attributes plus
+    everything the query evaluates (WHERE, aggregates, ORDER BY).
+    [Error] when no source can answer the concept at all. *)
+
+val plan_unified :
+  Algebra.unified -> conversions:Conversion.t -> Query.t -> (Plan.t, string) result
+(** Two-source convenience wrapper over {!plan}. *)

@@ -1,0 +1,56 @@
+(** Detection of errors in articulation rule sets.
+
+    The paper's model is "rich enough to provide a basis for the logical
+    inference necessary ... for the detection of errors in the articulation
+    rules" (section 1); the expert "is responsible to correct
+    inconsistencies in the suggested articulation" (section 2.4).  These
+    checks surface the inconsistencies for that review. *)
+
+type severity = Fatal | Suspicious
+
+type conflict = {
+  severity : severity;
+  code : string;
+  subject : string;
+  detail : string;
+  rules_involved : string list;  (** Rule names, sorted. *)
+}
+
+val pp_conflict : Format.formatter -> conflict -> unit
+
+val check :
+  ?conversions:Conversion.t ->
+  ontologies:Ontology.t list ->
+  Rule.t list ->
+  conflict list
+(** Checks performed (codes):
+
+    Fatal:
+    - [disjoint-implication] — a (transitive) implication path connects two
+      terms a [Disjoint] rule separates;
+    - [disjoint-overlap] — some term implies both sides of a [Disjoint]
+      rule, forcing it to be empty;
+    - [functional-clash] — two functional rules convert the same term pair
+      through different functions;
+    - [self-implication] — a rule implies a term by itself.
+
+    Suspicious:
+    - [duplicate-rule] — two rules with identical bodies;
+    - [roundtrip-drift] — a registered conversion function whose declared
+      inverse does not invert it (relative error above 1e-6 on a probe
+      value);
+    - [unknown-converter] — a functional rule naming a function absent
+      from the registry (only when [conversions] is given);
+    - [unknown-term] — a rule mentioning a term absent from its source
+      ontology (articulation-ontology terms, which rules are allowed to
+      introduce, are exempt: only terms attributed to one of the supplied
+      [ontologies] are checked).
+
+    The implication paths are computed from atomic [Term => Term] rules
+    plus the [SubclassOf] / [SI] edges of the supplied ontologies
+    (qualified).  Conjunctions and disjunctions are deliberately not
+    expanded: [(A & B) => C] does not entail [A => C]. *)
+
+val fatal : conflict list -> conflict list
+
+val suspicious : conflict list -> conflict list

@@ -1,0 +1,89 @@
+type value = Num of float | Str of string | Bool of bool
+
+let pp_value ppf = function
+  | Num f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let equal_value v1 v2 =
+  match (v1, v2) with
+  | Num a, Num b ->
+      let scale = max 1.0 (max (Float.abs a) (Float.abs b)) in
+      Float.abs (a -. b) <= 1e-9 *. scale
+  | Str a, Str b -> String.equal a b
+  | Bool a, Bool b -> Bool.equal a b
+  | (Num _ | Str _ | Bool _), _ -> false
+
+type fn = value -> (value, string) result
+
+module Smap = Map.Make (String)
+
+type entry = { fn : fn; inverse : string option }
+
+type t = entry Smap.t
+
+let empty = Smap.empty
+
+let register t ~name ?inverse fn = Smap.add name { fn; inverse } t
+
+let numeric name k = function
+  | Num v -> Ok (Num (k v))
+  | v ->
+      Error
+        (Format.asprintf "converter %s expects a numeric value, got %a" name
+           pp_value v)
+
+let register_linear t ~name ?inverse ~factor ?(offset = 0.0) () =
+  register t ~name ?inverse (numeric name (fun v -> (v *. factor) +. offset))
+
+let mem t name = Smap.mem name t
+
+let names t = List.map fst (Smap.bindings t)
+
+let inverse_name t name =
+  match Smap.find_opt name t with Some e -> e.inverse | None -> None
+
+let apply t name v =
+  match Smap.find_opt name t with
+  | Some e -> e.fn v
+  | None -> Error (Printf.sprintf "unknown conversion function %s" name)
+
+let apply_label t label v =
+  match Rel.conversion_name label with
+  | Some name -> apply t name v
+  | None -> Error (Printf.sprintf "edge label %S is not a conversion label" label)
+
+let roundtrip_error t name v =
+  match (v, inverse_name t name) with
+  | Num original, Some inv -> (
+      match apply t name v with
+      | Ok converted -> (
+          match apply t inv converted with
+          | Ok (Num back) ->
+              let scale = max 1.0 (Float.abs original) in
+              Some (Float.abs (back -. original) /. scale)
+          | Ok _ | Error _ -> None)
+      | Error _ -> None)
+  | _ -> None
+
+let pair t ~a ~b ~factor =
+  (* a -> b multiplies by factor; b -> a divides. *)
+  let t = register_linear t ~name:a ~inverse:b ~factor () in
+  register_linear t ~name:b ~inverse:a ~factor:(1.0 /. factor) ()
+
+let builtin =
+  let t = empty in
+  (* 1 EUR = 2.20371 NLG (the fixed conversion rate). *)
+  let t = pair t ~a:"DGToEuroFn" ~b:"EuroToDGFn" ~factor:(1.0 /. 2.20371) in
+  (* Synthetic fixed rate: 1 EUR = 0.60 GBP. *)
+  let t = pair t ~a:"PSToEuroFn" ~b:"EuroToPSFn" ~factor:(1.0 /. 0.6) in
+  (* Synthetic fixed rate: 1 EUR = 1.10 USD. *)
+  let t = pair t ~a:"USDToEuroFn" ~b:"EuroToUSDFn" ~factor:(1.0 /. 1.1) in
+  let t = pair t ~a:"KgToLbFn" ~b:"LbToKgFn" ~factor:2.20462 in
+  let t = pair t ~a:"MileToKmFn" ~b:"KmToMileFn" ~factor:1.609344 in
+  let t =
+    register t ~name:"CelsiusToFFn" ~inverse:"FToCelsiusFn"
+      (numeric "CelsiusToFFn" (fun c -> (c *. 9.0 /. 5.0) +. 32.0))
+  in
+  register t ~name:"FToCelsiusFn" ~inverse:"CelsiusToFFn"
+    (numeric "FToCelsiusFn" (fun f -> (f -. 32.0) *. 5.0 /. 9.0))

@@ -1,0 +1,61 @@
+(** Conversion ("normalization") functions for functional rules
+    (section 4.1, Functional Rules).
+
+    "Different ontologies often contain terms that represent the same
+    concept, but are expressed in a different metric space.  Normalization
+    functions, that take in a set of input parameters and perform the
+    desired conversion, are written in a standard programming language and
+    provided by the expert" — here, OCaml closures registered by name.
+    The query processor applies them when moving values to and from the
+    articulation ontology. *)
+
+(** Runtime values flowing through conversions and the query layer. *)
+type value = Num of float | Str of string | Bool of bool
+
+val pp_value : Format.formatter -> value -> unit
+
+val equal_value : value -> value -> bool
+(** Numeric comparison uses a 1e-9 relative tolerance. *)
+
+type fn = value -> (value, string) result
+
+type t
+(** A registry of named converters with optional declared inverses. *)
+
+val empty : t
+
+val register : t -> name:string -> ?inverse:string -> fn -> t
+(** [register t ~name ~inverse f] adds converter [name].  Declaring
+    [inverse] only records the name; the inverse function must be
+    registered separately (the paper expects the expert "to also supply
+    the functions to perform the conversions both ways"). *)
+
+val register_linear : t -> name:string -> ?inverse:string -> factor:float -> ?offset:float -> unit -> t
+(** Numeric converter [v -> v *. factor +. offset] (offset defaults to 0);
+    rejects non-numeric values. *)
+
+val mem : t -> string -> bool
+
+val names : t -> string list
+
+val inverse_name : t -> string -> string option
+
+val apply : t -> string -> value -> (value, string) result
+(** Apply a converter by name; [Error] on unknown names, and whatever the
+    converter itself rejects. *)
+
+val apply_label : t -> string -> value -> (value, string) result
+(** Apply a converter designated by its edge label, e.g.
+    ["DGToEuroFn()"]. *)
+
+val roundtrip_error : t -> string -> value -> float option
+(** For a numeric value: convert forth and back through the declared
+    inverse; returns the relative error, or [None] when no inverse is
+    declared / a conversion fails.  Used by the rule-conflict checks. *)
+
+val builtin : t
+(** The currency and unit converters exercised by the paper's example:
+    [DGToEuroFn] / [EuroToDGFn] (Dutch guilder, fixed 2.20371 rate),
+    [PSToEuroFn] / [EuroToPSFn] (pound sterling, 0.6 rate as a synthetic
+    constant), [USDToEuroFn] / [EuroToUSDFn], [KgToLbFn] / [LbToKgFn],
+    [MileToKmFn] / [KmToMileFn], [CelsiusToFFn] / [FToCelsiusFn]. *)

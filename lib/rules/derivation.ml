@@ -1,0 +1,58 @@
+type proof =
+  | Fact of Digraph.edge
+  | Derived of { edge : Digraph.edge; rule : string; premises : proof list }
+
+let explain (result : Infer.result) edge =
+  if not (Digraph.mem_edge result.graph edge.Digraph.src edge.label edge.dst) then
+    None
+  else
+    let rec build path e =
+      match Infer.provenance_of result e with
+      | None -> Fact e
+      | Some _ when List.mem e path ->
+          (* Provenance loops can arise when an edge is re-derivable from
+             edges it helped derive; cut the tree at the loop. *)
+          Fact e
+      | Some p ->
+          Derived
+            {
+              edge = e;
+              rule = p.rule;
+              premises = List.map (build (e :: path)) p.premises;
+            }
+    in
+    Some (build [] edge)
+
+let conclusion = function Fact e -> e | Derived { edge; _ } -> edge
+
+let rec depth = function
+  | Fact _ -> 0
+  | Derived { premises; _ } ->
+      1 + List.fold_left (fun acc p -> max acc (depth p)) 0 premises
+
+let facts proof =
+  let rec collect acc = function
+    | Fact e -> e :: acc
+    | Derived { premises; _ } -> List.fold_left collect acc premises
+  in
+  collect [] proof |> List.sort_uniq Stdlib.compare
+
+let rules_used proof =
+  let rec collect acc = function
+    | Fact _ -> acc
+    | Derived { rule; premises; _ } ->
+        List.fold_left collect (rule :: acc) premises
+  in
+  collect [] proof |> List.sort_uniq String.compare
+
+let pp ppf proof =
+  let rec emit indent = function
+    | Fact e ->
+        Format.fprintf ppf "%s%a   [fact]@," indent Digraph.pp_edge e
+    | Derived { edge; rule; premises } ->
+        Format.fprintf ppf "%s%a   [by %s]@," indent Digraph.pp_edge edge rule;
+        List.iter (emit (indent ^ "  ")) premises
+  in
+  Format.fprintf ppf "@[<v>";
+  emit "" proof;
+  Format.fprintf ppf "@]"

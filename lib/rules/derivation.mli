@@ -1,0 +1,37 @@
+(** Proof trees over {!Infer} results.
+
+    The articulation generator must justify suggested bridges to the
+    expert; a proof tree unwinds a derived edge back to base facts through
+    the Horn rules that produced it. *)
+
+type proof =
+  | Fact of Digraph.edge  (** Present in the base graph. *)
+  | Derived of {
+      edge : Digraph.edge;
+      rule : string;
+      premises : proof list;
+    }
+
+val explain : Infer.result -> Digraph.edge -> proof option
+(** [None] when the edge is not in the result graph.  Base edges yield
+    [Fact]; derived edges recurse through their recorded premises
+    (cycle-safe: a premise already on the path renders as [Fact]). *)
+
+val conclusion : proof -> Digraph.edge
+
+val depth : proof -> int
+(** [Fact] has depth 0. *)
+
+val facts : proof -> Digraph.edge list
+(** The leaves supporting the conclusion, deduplicated and sorted. *)
+
+val rules_used : proof -> string list
+(** Distinct rule names in the tree, sorted. *)
+
+val pp : Format.formatter -> proof -> unit
+(** Indented rendering:
+    {v
+    carrier:Car -SI-> factory:Vehicle   [by si-transitive]
+      carrier:Car -SI-> transport:Vehicle   [fact]
+      transport:Vehicle -SI-> factory:Vehicle   [fact]
+    v} *)

@@ -1,0 +1,237 @@
+type vterm = Var of string | Const of string
+
+type atom = { rel : string; src : vterm; dst : vterm }
+
+type horn = { rule_name : string; head : atom; body : atom list }
+
+let atom rel src dst = { rel; src; dst }
+
+let vars_of a =
+  (match a.src with Var v -> [ v ] | Const _ -> [])
+  @ (match a.dst with Var v -> [ v ] | Const _ -> [])
+
+let horn ~name ~head ~body =
+  if body = [] then invalid_arg "Infer.horn: empty body";
+  let body_vars = List.concat_map vars_of body in
+  List.iter
+    (fun v ->
+      if not (List.mem v body_vars) then
+        invalid_arg
+          (Printf.sprintf "Infer.horn %s: head variable %s not bound in body" name v))
+    (vars_of head);
+  { rule_name = name; head; body }
+
+let pp_vterm ppf = function
+  | Var v -> Format.fprintf ppf "?%s" v
+  | Const c -> Format.pp_print_string ppf c
+
+let pp_atom ppf a =
+  Format.fprintf ppf "%s(%a, %a)" a.rel pp_vterm a.src pp_vterm a.dst
+
+let pp_horn ppf h =
+  Format.fprintf ppf "%s: %a :- %a" h.rule_name pp_atom h.head
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_atom)
+    h.body
+
+let x = Var "X"
+let y = Var "Y"
+let z = Var "Z"
+
+let default_rules =
+  [
+    horn ~name:"subclass-transitive"
+      ~head:(atom Rel.subclass_of x z)
+      ~body:[ atom Rel.subclass_of x y; atom Rel.subclass_of y z ];
+    horn ~name:"si-transitive"
+      ~head:(atom Rel.semantic_implication x z)
+      ~body:
+        [ atom Rel.semantic_implication x y; atom Rel.semantic_implication y z ];
+    horn ~name:"subclass-implies-si"
+      ~head:(atom Rel.semantic_implication x y)
+      ~body:[ atom Rel.subclass_of x y ];
+    horn ~name:"instance-inheritance"
+      ~head:(atom Rel.instance_of x z)
+      ~body:[ atom Rel.instance_of x y; atom Rel.subclass_of y z ];
+    horn ~name:"attribute-inheritance"
+      ~head:(atom Rel.attribute_of x z)
+      ~body:[ atom Rel.subclass_of x y; atom Rel.attribute_of y z ];
+    horn ~name:"bridge-widening"
+      ~head:(atom Rel.si_bridge x z)
+      ~body:[ atom Rel.semantic_implication x y; atom Rel.si_bridge y z ];
+  ]
+
+let of_registry registry =
+  List.concat_map
+    (fun (rel_name, props) ->
+      List.filter_map
+        (fun (p : Rel.property) ->
+          match p with
+          | Rel.Transitive ->
+              Some
+                (horn
+                   ~name:(rel_name ^ "-transitive")
+                   ~head:(atom rel_name x z)
+                   ~body:[ atom rel_name x y; atom rel_name y z ])
+          | Rel.Symmetric ->
+              Some
+                (horn
+                   ~name:(rel_name ^ "-symmetric")
+                   ~head:(atom rel_name y x)
+                   ~body:[ atom rel_name x y ])
+          | Rel.Inverse_of other ->
+              Some
+                (horn
+                   ~name:(rel_name ^ "-inverse")
+                   ~head:(atom other y x)
+                   ~body:[ atom rel_name x y ])
+          | Rel.Implies other ->
+              Some
+                (horn
+                   ~name:(rel_name ^ "-implies")
+                   ~head:(atom other x y)
+                   ~body:[ atom rel_name x y ])
+          | Rel.Reflexive -> None)
+        props)
+    (Rel.declared registry)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type provenance = {
+  edge : Digraph.edge;
+  rule : string;
+  premises : Digraph.edge list;
+}
+
+type result = { graph : Digraph.t; derived : provenance list; rounds : int }
+
+module Smap = Map.Make (String)
+
+(* Substitutions. *)
+let subst env = function
+  | Const c -> Some c
+  | Var v -> Smap.find_opt v env
+
+let unify env vt node =
+  match vt with
+  | Const c -> if String.equal c node then Some env else None
+  | Var v -> (
+      match Smap.find_opt v env with
+      | Some bound -> if String.equal bound node then Some env else None
+      | None -> Some (Smap.add v node env))
+
+(* Match one atom against a set of edges indexed by relation, under an
+   environment; call k for each extension (env, matched edge). *)
+let match_atom index a env k =
+  match Smap.find_opt a.rel index with
+  | None -> ()
+  | Some edges ->
+      let try_edge (e : Digraph.edge) =
+        match unify env a.src e.src with
+        | None -> ()
+        | Some env1 -> (
+            match unify env1 a.dst e.dst with
+            | None -> ()
+            | Some env2 -> k env2 e)
+      in
+      (* Narrow by bound endpoints when possible. *)
+      (match (subst env a.src, subst env a.dst) with
+      | Some s, _ ->
+          List.iter
+            (fun (e : Digraph.edge) -> if String.equal e.src s then try_edge e)
+            edges
+      | None, Some d ->
+          List.iter
+            (fun (e : Digraph.edge) -> if String.equal e.dst d then try_edge e)
+            edges
+      | None, None -> List.iter try_edge edges)
+
+let index_edges edges =
+  List.fold_left
+    (fun idx (e : Digraph.edge) ->
+      let existing = match Smap.find_opt e.label idx with Some l -> l | None -> [] in
+      Smap.add e.label (e :: existing) idx)
+    Smap.empty edges
+
+let run ?(max_rounds = 10_000) ?(strategy = `Semi_naive) ~rules g =
+  (* Semi-naive: each round, every rule must use at least one delta edge. *)
+  let full_index = ref (index_edges (Digraph.edges g)) in
+  let graph = ref g in
+  let derived = ref [] in
+  let round = ref 0 in
+  let delta = ref (Digraph.edges g) in
+  let continue = ref true in
+  while !continue && !round < max_rounds do
+    incr round;
+    let delta_index =
+      match strategy with
+      | `Semi_naive -> index_edges !delta
+      | `Naive -> !full_index
+    in
+    let new_edges = ref [] in
+    let fire (rule : horn) =
+      (* For each body position i: atom i from delta, the rest from full.
+         Under the naive strategy delta = full, so one pass suffices. *)
+      let n = List.length rule.body in
+      let passes = match strategy with `Semi_naive -> n | `Naive -> 1 in
+      for delta_pos = 0 to passes - 1 do
+        let rec go i env premises atoms =
+          match atoms with
+          | [] ->
+              let head_src = subst env rule.head.src
+              and head_dst = subst env rule.head.dst in
+              (match (head_src, head_dst) with
+              | Some s, Some d ->
+                  if not (Digraph.mem_edge !graph s rule.head.rel d) then begin
+                    let e = { Digraph.src = s; label = rule.head.rel; dst = d } in
+                    (* Avoid duplicates within the same round. *)
+                    if
+                      not
+                        (List.exists
+                           (fun (p : provenance) -> p.edge = e)
+                           !new_edges)
+                    then
+                      new_edges :=
+                        {
+                          edge = e;
+                          rule = rule.rule_name;
+                          premises = List.rev premises;
+                        }
+                        :: !new_edges
+                  end
+              | _ -> (* unreachable thanks to range restriction *) ())
+          | a :: rest ->
+              let idx = if i = delta_pos then delta_index else !full_index in
+              match_atom idx a env (fun env' e -> go (i + 1) env' (e :: premises) rest)
+        in
+        go 0 Smap.empty [] rule.body
+      done
+    in
+    List.iter fire rules;
+    if !new_edges = [] then continue := false
+    else begin
+      let fresh = List.rev !new_edges in
+      derived := List.rev_append !new_edges !derived;
+      graph :=
+        List.fold_left (fun g (p : provenance) -> Digraph.add_edge_e g p.edge) !graph fresh;
+      let fresh_edges = List.map (fun (p : provenance) -> p.edge) fresh in
+      full_index :=
+        List.fold_left
+          (fun idx (e : Digraph.edge) ->
+            let existing =
+              match Smap.find_opt e.label idx with Some l -> l | None -> []
+            in
+            Smap.add e.label (e :: existing) idx)
+          !full_index fresh_edges;
+      delta := fresh_edges
+    end
+  done;
+  { graph = !graph; derived = List.rev !derived; rounds = !round }
+
+let derived_edges r = List.map (fun p -> p.edge) r.derived
+
+let provenance_of r edge =
+  List.find_opt (fun (p : provenance) -> p.edge = edge) r.derived

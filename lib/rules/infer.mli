@@ -1,0 +1,78 @@
+(** A Horn-clause inference engine over ontology graphs.
+
+    Section 4.1: "Since inference engines for full first-order systems tend
+    not to scale up to large knowledge bases, for performance reasons, we
+    envisage that for a lot of applications we will use simple Horn Clauses
+    to represent articulation rules.  The modular design of the ONION
+    system implies that we can then plug in a much lighter (and faster)
+    inference engine."
+
+    This is that lighter engine: binary-predicate Datalog with semi-naive
+    forward chaining.  Facts are graph edges [rel(src, dst)]; rules derive
+    new edges.  The engine is decoupled from the ontology representation
+    (section 2.1): it consumes and produces plain {!Digraph} values. *)
+
+type vterm = Var of string | Const of string
+
+type atom = { rel : string; src : vterm; dst : vterm }
+(** [rel(src, dst)], e.g. [SubclassOf(X, Y)]. *)
+
+type horn = {
+  rule_name : string;
+  head : atom;
+  body : atom list;  (** Non-empty; variables in the head must occur in
+                         the body (range restriction). *)
+}
+
+val atom : string -> vterm -> vterm -> atom
+
+val horn : name:string -> head:atom -> body:atom list -> horn
+(** @raise Invalid_argument on an empty body or an unrestricted head
+    variable. *)
+
+val pp_horn : Format.formatter -> horn -> unit
+
+(** {1 Stock rule sets} *)
+
+val default_rules : horn list
+(** The rules the paper's examples rely on:
+    transitivity of [SubclassOf] and [SI]; [SubclassOf] implies [SI];
+    instance inheritance ([InstanceOf(i, c), SubclassOf(c, d) |-
+    InstanceOf(i, d)]); attribute inheritance along [SubclassOf]; and
+    bridge widening ([SI(a, b), SIBridge(b, m) |- SIBridge(a, m)]). *)
+
+val of_registry : Rel.registry -> horn list
+(** Compile relationship property declarations (transitive, symmetric,
+    inverse, implies) into Horn rules. *)
+
+(** {1 Running} *)
+
+type provenance = {
+  edge : Digraph.edge;
+  rule : string;
+  premises : Digraph.edge list;
+}
+(** How a derived edge was first produced. *)
+
+type result = {
+  graph : Digraph.t;  (** Input graph plus all derived edges. *)
+  derived : provenance list;  (** In derivation order. *)
+  rounds : int;  (** Fixpoint iterations used. *)
+}
+
+val run :
+  ?max_rounds:int ->
+  ?strategy:[ `Semi_naive | `Naive ] ->
+  rules:horn list ->
+  Digraph.t ->
+  result
+(** Evaluation to fixpoint (or [max_rounds], default 10_000 — effectively
+    unbounded).  [`Semi_naive] (the default) requires each rule firing to
+    use at least one edge derived in the previous round; [`Naive] rejoins
+    everything every round — same fixpoint, more work; kept for the
+    ablation benchmark that justifies the strategy choice. *)
+
+val derived_edges : result -> Digraph.edge list
+
+val provenance_of : result -> Digraph.edge -> provenance option
+(** [None] for base facts and unknown edges. *)

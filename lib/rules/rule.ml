@@ -1,0 +1,139 @@
+type operand =
+  | Term of Term.t
+  | Conj of operand list
+  | Disj of operand list
+  | Patt of Pattern.t
+
+type body =
+  | Implication of operand * operand
+  | Functional of { fn : string; src : Term.t; dst : Term.t }
+  | Disjoint of Term.t * Term.t
+
+type source = Expert | Skat | Inferred | Imported
+
+type t = {
+  name : string;
+  body : body;
+  source : source;
+  confidence : float;
+  alias : string option;
+}
+
+let counter = ref 0
+
+let rec check_operand = function
+  | Term _ -> ()
+  | Patt _ -> ()
+  | Conj ops | Disj ops ->
+      if List.length ops < 2 then
+        invalid_arg "Rule: conjunction/disjunction needs at least two operands";
+      List.iter check_operand ops
+
+let rec pp_operand ppf = function
+  | Term t -> Term.pp ppf t
+  | Conj ops ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+           pp_operand)
+        ops
+  | Disj ops ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+           pp_operand)
+        ops
+  | Patt p -> Format.fprintf ppf "pattern<%s>" (Pattern_parser.to_string p)
+
+let pp_body ppf = function
+  | Implication (lhs, rhs) ->
+      Format.fprintf ppf "%a => %a" pp_operand lhs pp_operand rhs
+  | Functional { fn; src; dst } ->
+      Format.fprintf ppf "%s() : %a => %a" fn Term.pp src Term.pp dst
+  | Disjoint (a, b) -> Format.fprintf ppf "disjoint %a, %a" Term.pp a Term.pp b
+
+let v ?name ?(source = Expert) ?(confidence = 1.0) ?alias body =
+  if not (confidence >= 0.0 && confidence <= 1.0) then
+    invalid_arg "Rule.v: confidence must lie in [0, 1]";
+  (match body with
+  | Implication (lhs, rhs) ->
+      check_operand lhs;
+      check_operand rhs
+  | Functional _ | Disjoint _ -> ());
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        incr counter;
+        Printf.sprintf "r%d" !counter
+  in
+  { name; body; source; confidence; alias = (match alias with Some "" -> None | a -> a) }
+
+let implies ?name ?source ?confidence lhs rhs =
+  v ?name ?source ?confidence (Implication (Term lhs, Term rhs))
+
+let functional ?name ~fn ~src ~dst () = v ?name (Functional { fn; src; dst })
+
+let disjoint ?name a b = v ?name (Disjoint (a, b))
+
+let cascade ?name ?source terms =
+  if List.length terms < 2 then
+    invalid_arg "Rule.cascade: needs at least two terms";
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  List.mapi
+    (fun i (a, b) ->
+      let name = Option.map (fun n -> Printf.sprintf "%s.%d" n (i + 1)) name in
+      implies ?name ?source a b)
+    (pairs terms)
+
+let rec operand_terms = function
+  | Term t -> [ t ]
+  | Conj ops | Disj ops -> List.concat_map operand_terms ops
+  | Patt p -> (
+      (* A pattern contributes its labeled nodes, qualified by its
+         ontology hint when present. *)
+      match Pattern.ontology_hint p with
+      | Some onto ->
+          List.filter_map
+            (fun (n : Pattern.node) ->
+              Option.map (fun l -> Term.make ~ontology:onto l) n.label)
+            (Pattern.nodes p)
+      | None -> [])
+
+let terms rule =
+  match rule.body with
+  | Implication (lhs, rhs) -> operand_terms lhs @ operand_terms rhs
+  | Functional { src; dst; _ } -> [ src; dst ]
+  | Disjoint (a, b) -> [ a; b ]
+
+let ontologies rule =
+  terms rule
+  |> List.map (fun (t : Term.t) -> t.Term.ontology)
+  |> List.sort_uniq String.compare
+
+let is_cross_ontology rule =
+  match rule.body with
+  | Implication _ -> List.length (ontologies rule) >= 2
+  | Functional { src; dst; _ } ->
+      not (String.equal src.Term.ontology dst.Term.ontology)
+  | Disjoint _ -> false
+
+let pp ppf r =
+  Format.fprintf ppf "%s: %a" r.name pp_body r.body;
+  (match r.alias with Some a -> Format.fprintf ppf " as %s" a | None -> ());
+  if r.confidence < 1.0 then Format.fprintf ppf " [%.2f]" r.confidence
+
+let to_string r = Format.asprintf "%a" pp r
+
+let equal_body b1 b2 =
+  match (b1, b2) with
+  | Implication (l1, r1), Implication (l2, r2) -> l1 = l2 && r1 = r2
+  | Functional f1, Functional f2 ->
+      String.equal f1.fn f2.fn && Term.equal f1.src f2.src && Term.equal f1.dst f2.dst
+  | Disjoint (a1, b1), Disjoint (a2, b2) ->
+      (Term.equal a1 a2 && Term.equal b1 b2)
+      || (Term.equal a1 b2 && Term.equal b1 a2)
+  | (Implication _ | Functional _ | Disjoint _), _ -> false

@@ -1,0 +1,90 @@
+(** Articulation rules (section 4.1).
+
+    Rules "take a term from O{_i} and map it into a term of O{_j} using a
+    semantically meaningful label".  The forms found in the paper:
+
+    - simple semantic implication: [carrier:Car => factory:Vehicle];
+    - cascades introducing articulation terms:
+      [carrier:Car => transport:PassengerCar => factory:Vehicle]
+      (desugared by the parser into atomic implications);
+    - conjunctions: [(factory:CargoCarrier & factory:Vehicle) =>
+      carrier:Trucks], which make the generator introduce a class node;
+    - disjunctions: [factory:Vehicle => (carrier:Cars | carrier:Trucks)];
+    - intra-ontology structuring: [transport:Owner => transport:Person];
+    - functional rules carrying conversion functions:
+      [DGToEuroFn() : carrier:DutchGuilders => transport:Euro];
+    - graph-pattern operands (section 4.1 generalization).
+
+    [Disjoint] is a reproduction extension used by {!Conflict} to give the
+    error-detection machinery something to detect, as the paper's
+    "detection of errors in the articulation rules" requires. *)
+
+type operand =
+  | Term of Term.t
+  | Conj of operand list  (** length >= 2 *)
+  | Disj of operand list  (** length >= 2 *)
+  | Patt of Pattern.t
+      (** Matches of the pattern stand in for the operand term; the
+          pattern's first node is the representative that gets bridged. *)
+
+type body =
+  | Implication of operand * operand  (** lhs semantically implies rhs. *)
+  | Functional of { fn : string; src : Term.t; dst : Term.t }
+  | Disjoint of Term.t * Term.t
+
+type source = Expert | Skat | Inferred | Imported
+
+type t = {
+  name : string;  (** Unique within a rule set; auto-generated if absent. *)
+  body : body;
+  source : source;
+  confidence : float;  (** SKAT suggestions carry scores < 1.0. *)
+  alias : string option;
+      (** Expert-chosen label for the class node a conjunction /
+          disjunction introduces ("overruled by the user using a more
+          concise and appropriate name", section 4.1). *)
+}
+
+val v :
+  ?name:string ->
+  ?source:source ->
+  ?confidence:float ->
+  ?alias:string ->
+  body ->
+  t
+(** Smart constructor; defaults: generated name, [Expert] source,
+    confidence [1.0].
+    @raise Invalid_argument on confidence outside [0,1], or [Conj] /
+    [Disj] with fewer than two operands. *)
+
+val implies : ?name:string -> ?source:source -> ?confidence:float -> Term.t -> Term.t -> t
+(** Atomic [Term => Term] implication. *)
+
+val functional : ?name:string -> fn:string -> src:Term.t -> dst:Term.t -> unit -> t
+
+val disjoint : ?name:string -> Term.t -> Term.t -> t
+
+val cascade : ?name:string -> ?source:source -> Term.t list -> t list
+(** [cascade [a; b; c]] desugars the multi-term implication into
+    [[a => b; b => c]].
+    @raise Invalid_argument on fewer than two terms. *)
+
+val operand_terms : operand -> Term.t list
+(** All [Term] leaves, in order. *)
+
+val terms : t -> Term.t list
+(** All terms the rule mentions. *)
+
+val ontologies : t -> string list
+(** Distinct ontology names mentioned, sorted. *)
+
+val is_cross_ontology : t -> bool
+(** Does an implication connect at least two different ontologies? *)
+
+val pp_operand : Format.formatter -> operand -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal_body : body -> body -> bool

@@ -1,0 +1,335 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Fail of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Fail m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tident of string
+  | Tcolon
+  | Timplies (* => *)
+  | Tand (* & or ^ *)
+  | Tor (* | *)
+  | Tlpar
+  | Trpar
+  | Tlbracket
+  | Trbracket
+  | Tcomma
+  | Tunit (* () *)
+  | Tpattern of string (* pat< ... > payload *)
+
+let pp_token ppf = function
+  | Tident s -> Format.fprintf ppf "%S" s
+  | Tcolon -> Format.pp_print_string ppf "':'"
+  | Timplies -> Format.pp_print_string ppf "'=>'"
+  | Tand -> Format.pp_print_string ppf "'&'"
+  | Tor -> Format.pp_print_string ppf "'|'"
+  | Tlpar -> Format.pp_print_string ppf "'('"
+  | Trpar -> Format.pp_print_string ppf "')'"
+  | Tlbracket -> Format.pp_print_string ppf "'['"
+  | Trbracket -> Format.pp_print_string ppf "']'"
+  | Tcomma -> Format.pp_print_string ppf "','"
+  | Tunit -> Format.pp_print_string ppf "'()'"
+  | Tpattern _ -> Format.pp_print_string ppf "pattern atom"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '\''
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then i := n
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then i := n
+    else if c = '=' && !i + 1 < n && src.[!i + 1] = '>' then begin
+      push Timplies;
+      i := !i + 2
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = ')' then begin
+      push Tunit;
+      i := !i + 2
+    end
+    else begin
+      match c with
+      | ':' ->
+          push Tcolon;
+          incr i
+      | '&' | '^' ->
+          push Tand;
+          incr i
+      | '|' ->
+          push Tor;
+          incr i
+      | '(' ->
+          push Tlpar;
+          incr i
+      | ')' ->
+          push Trpar;
+          incr i
+      | '[' ->
+          push Tlbracket;
+          incr i
+      | ']' ->
+          push Trbracket;
+          incr i
+      | ',' ->
+          push Tcomma;
+          incr i
+      | c when is_ident_char c ->
+          let start = !i in
+          while !i < n && is_ident_char src.[!i] do incr i done;
+          let word = String.sub src start (!i - start) in
+          if String.equal word "pat" && !i < n && src.[!i] = '<' then begin
+            (* pat< ... > pattern atom; '>' terminates (the pattern
+               notation itself contains '->' arrows, so scan for a '>'
+               not preceded by '-'). *)
+            let j = ref (!i + 1) in
+            let close = ref (-1) in
+            while !close < 0 && !j < n do
+              if src.[!j] = '>' && src.[!j - 1] <> '-' then close := !j else incr j
+            done;
+            if !close < 0 then fail "unterminated pat< ... > atom";
+            push (Tpattern (String.sub src (!i + 1) (!close - !i - 1)));
+            i := !close + 1
+          end
+          else push (Tident word)
+      | c -> fail "unexpected character %C" c
+    end
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with t :: _ -> Some t | [] -> None
+
+let peek2 s = match s.toks with _ :: t :: _ -> Some t | _ -> None
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect s want =
+  match peek s with
+  | Some t when t = want -> advance s
+  | Some t -> fail "expected %a, found %a" pp_token want pp_token t
+  | None -> fail "expected %a, found end of rule" pp_token want
+
+let parse_term s ~default_ontology =
+  match peek s with
+  | Some (Tident a) -> (
+      advance s;
+      match (peek s, peek2 s) with
+      | Some Tcolon, Some (Tident b) ->
+          advance s;
+          advance s;
+          Term.make ~ontology:a b
+      | _ -> Term.make ~ontology:default_ontology a)
+  | Some t -> fail "expected a term, found %a" pp_token t
+  | None -> fail "expected a term, found end of rule"
+
+let rec parse_expr s ~default_ontology =
+  let first = parse_conj s ~default_ontology in
+  let rec loop acc =
+    match peek s with
+    | Some Tor ->
+        advance s;
+        loop (parse_conj s ~default_ontology :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [ first ] with
+  | [ one ] -> one
+  | several -> Rule.Disj several
+
+and parse_conj s ~default_ontology =
+  let first = parse_atom s ~default_ontology in
+  let rec loop acc =
+    match peek s with
+    | Some Tand ->
+        advance s;
+        loop (parse_atom s ~default_ontology :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [ first ] with
+  | [ one ] -> one
+  | several -> Rule.Conj several
+
+and parse_atom s ~default_ontology =
+  match peek s with
+  | Some Tlpar ->
+      advance s;
+      let e = parse_expr s ~default_ontology in
+      expect s Trpar;
+      e
+  | Some (Tpattern payload) -> (
+      advance s;
+      match Pattern_parser.parse payload with
+      | Ok p -> Rule.Patt p
+      | Error e ->
+          fail "bad pattern atom: %a" Pattern_parser.pp_error e)
+  | _ -> Rule.Term (parse_term s ~default_ontology)
+
+(* Trailing 'as ident' alias. *)
+let parse_alias s =
+  match (peek s, peek2 s) with
+  | Some (Tident "as"), Some (Tident alias) ->
+      advance s;
+      advance s;
+      Some alias
+  | _ -> None
+
+let finish s =
+  match peek s with
+  | None -> ()
+  | Some t -> fail "unexpected %a at end of rule" pp_token t
+
+(* Strip one layer of outer parentheses when they wrap the entire token
+   list (the paper typesets rules inside parens). *)
+let strip_outer toks =
+  match toks with
+  | Tlpar :: rest -> (
+      (* wrapping iff the matching ')' is the final token *)
+      let rec scan depth acc = function
+        | [] -> None
+        | [ Trpar ] when depth = 0 -> Some (List.rev acc)
+        | Trpar :: rest when depth = 0 -> ignore rest; None
+        | Trpar :: rest -> scan (depth - 1) (Trpar :: acc) rest
+        | Tlpar :: rest -> scan (depth + 1) (Tlpar :: acc) rest
+        | t :: rest -> scan depth (t :: acc) rest
+      in
+      match scan 0 [] rest with Some inner -> inner | None -> toks)
+  | _ -> toks
+
+let parse_clause ?(default_ontology = "local") ?source toks =
+  let s = { toks = strip_outer toks } in
+  (* Optional [name] prefix. *)
+  let name =
+    match (peek s, peek2 s) with
+    | Some Tlbracket, Some (Tident n) ->
+        advance s;
+        advance s;
+        expect s Trbracket;
+        Some n
+    | _ -> None
+  in
+  match s.toks with
+  | Tident "disjoint" :: _ ->
+      advance s;
+      let a = parse_term s ~default_ontology in
+      expect s Tcomma;
+      let b = parse_term s ~default_ontology in
+      finish s;
+      [ Rule.v ?name ?source (Rule.Disjoint (a, b)) ]
+  | Tident fn :: Tunit :: _ ->
+      advance s;
+      advance s;
+      expect s Tcolon;
+      let src = parse_term s ~default_ontology in
+      expect s Timplies;
+      let dst = parse_term s ~default_ontology in
+      finish s;
+      [ Rule.v ?name ?source (Rule.Functional { fn; src; dst }) ]
+  | _ ->
+      let first = parse_expr s ~default_ontology in
+      let rec chain acc =
+        match peek s with
+        | Some Timplies ->
+            advance s;
+            chain (parse_expr s ~default_ontology :: acc)
+        | _ -> List.rev acc
+      in
+      let exprs = chain [ first ] in
+      let alias = parse_alias s in
+      finish s;
+      (match exprs with
+      | [] | [ _ ] -> fail "a rule needs at least one '=>'"
+      | _ ->
+          let rec pairs = function
+            | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+            | _ -> []
+          in
+          let steps = pairs exprs in
+          List.mapi
+            (fun idx (lhs, rhs) ->
+              let name =
+                match (name, List.length steps) with
+                | Some n, 1 -> Some n
+                | Some n, _ -> Some (Printf.sprintf "%s.%d" n (idx + 1))
+                | None, _ -> None
+              in
+              Rule.v ?name ?source ?alias (Rule.Implication (lhs, rhs)))
+            steps)
+
+let parse_rule ?default_ontology ?source text =
+  match tokenize text with
+  | exception Fail m -> Error m
+  | [] -> Ok []
+  | toks -> (
+      match parse_clause ?default_ontology ?source toks with
+      | rules -> Ok rules
+      | exception Fail m -> Error m
+      | exception Invalid_argument m -> Error m)
+
+let parse ?default_ontology ?source text =
+  let lines = String.split_on_char '\n' text in
+  let lines = List.concat_map (String.split_on_char ';') lines in
+  let rules, errors, _ =
+    List.fold_left
+      (fun (rules, errors, lineno) line ->
+        match parse_rule ?default_ontology ?source line with
+        | Ok rs -> (rules @ rs, errors, lineno + 1)
+        | Error message -> (rules, { line = lineno; message } :: errors, lineno + 1))
+      ([], [], 1) lines
+  in
+  if errors = [] then Ok rules else Error (List.rev errors)
+
+let parse_exn ?default_ontology ?source text =
+  match parse ?default_ontology ?source text with
+  | Ok rules -> rules
+  | Error errors ->
+      let msg =
+        errors
+        |> List.map (fun e -> Format.asprintf "%a" pp_error e)
+        |> String.concat "; "
+      in
+      invalid_arg ("Rule_parser.parse_exn: " ^ msg)
+
+let print_operand = Format.asprintf "%a" Rule.pp_operand
+
+let print rules =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (r : Rule.t) ->
+      Buffer.add_string buf (Printf.sprintf "[%s] " r.Rule.name);
+      (match r.Rule.body with
+      | Rule.Implication (lhs, rhs) ->
+          Buffer.add_string buf (print_operand lhs);
+          Buffer.add_string buf " => ";
+          Buffer.add_string buf (print_operand rhs)
+      | Rule.Functional { fn; src; dst } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s() : %s => %s" fn (Term.qualified src)
+               (Term.qualified dst))
+      | Rule.Disjoint (a, b) ->
+          Buffer.add_string buf
+            (Printf.sprintf "disjoint %s, %s" (Term.qualified a) (Term.qualified b)));
+      (match r.Rule.alias with
+      | Some a -> Buffer.add_string buf (" as " ^ a)
+      | None -> ());
+      Buffer.add_char buf '\n')
+    rules;
+  Buffer.contents buf

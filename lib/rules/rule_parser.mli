@@ -1,0 +1,52 @@
+(** Textual articulation-rule language.
+
+    One rule per line (or [;]-separated); [#] and [//] start comments.
+    Lines may be wrapped in one pair of outer parentheses, as the paper
+    typesets its rules.
+
+    {v
+    rule   ::= [ '[' name ']' ] clause [ 'as' ident ]
+    clause ::= 'disjoint' term ',' term
+             | ident '()' ':' term '=>' term      (functional rule)
+             | expr ( '=>' expr )+                (cascades desugared)
+    expr   ::= conj ( '|' conj )*
+    conj   ::= atom ( ('&' | '^') atom )*
+    atom   ::= term | '(' expr ')' | 'pat<' pattern-notation '>'
+    term   ::= ident ':' ident | ident            (bare names take the
+                                                   default ontology)
+    v}
+
+    Examples from the paper:
+    {v
+    carrier:Car => factory:Vehicle
+    carrier:Car => transport:PassengerCar => factory:Vehicle
+    (factory:CargoCarrier & factory:Vehicle) => carrier:Trucks as CargoCarrierVehicle
+    factory:Vehicle => (carrier:Cars | carrier:Trucks) as CarsTrucks
+    DGToEuroFn() : carrier:DutchGuilders => transport:Euro
+    v} *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_rule :
+  ?default_ontology:string -> ?source:Rule.source -> string -> (Rule.t list, string) result
+(** Parse a single rule text.  Returns a list because cascades desugar
+    into several atomic rules.  [default_ontology] (default ["local"])
+    qualifies bare term names. *)
+
+val parse :
+  ?default_ontology:string ->
+  ?source:Rule.source ->
+  string ->
+  (Rule.t list, error list) result
+(** Parse a whole document; reports every malformed line. *)
+
+val parse_exn :
+  ?default_ontology:string -> ?source:Rule.source -> string -> Rule.t list
+(** @raise Invalid_argument on errors. *)
+
+val print : Rule.t list -> string
+(** Render rules in the textual language, one per line.  Pattern operands
+    render through {!Pattern_parser.to_string}.  [parse (print rules)]
+    reconstructs rules whose operands are pattern-free. *)

@@ -1,0 +1,233 @@
+type t = { root : string }
+
+let marker = "onion.workspace"
+let marker_content = "onion workspace, format 1\n"
+
+let ( let* ) = Result.bind
+
+let ( / ) = Filename.concat
+
+let root t = t.root
+
+let sources_dir t = t.root / "sources"
+let articulations_dir t = t.root / "articulations"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let is_workspace dir = Sys.file_exists (dir / marker)
+
+let mkdir_if_missing dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let init dir =
+  if is_workspace dir then
+    Error (Printf.sprintf "%s is already a workspace" dir)
+  else begin
+    try
+      mkdir_if_missing dir;
+      mkdir_if_missing (dir / "sources");
+      mkdir_if_missing (dir / "articulations");
+      write_file (dir / marker) marker_content;
+      Ok { root = dir }
+    with Sys_error m -> Error m
+  end
+
+let open_ dir =
+  if is_workspace dir then Ok { root = dir }
+  else Error (Printf.sprintf "%s is not an onion workspace (missing %s)" dir marker)
+
+(* Source files keep their original extension so the loader's format
+   dispatch still applies; the registered name is the ontology's own. *)
+let source_file t name =
+  let candidates =
+    [ name ^ ".xml"; name ^ ".idl"; name ^ ".adj"; name ^ ".graph"; name ^ ".txt" ]
+  in
+  List.find_map
+    (fun f ->
+      let path = sources_dir t / f in
+      if Sys.file_exists path then Some path else None)
+    candidates
+
+let add_source t ~path =
+  match Loader.load_file path with
+  | Error m -> Error (Printf.sprintf "cannot register %s: %s" path m)
+  | Ok o ->
+      let name = Ontology.name o in
+      let ext =
+        match String.lowercase_ascii (Filename.extension path) with
+        | "" -> ".xml"
+        | e -> e
+      in
+      (* Drop any previously registered file for this name (possibly under
+         another extension). *)
+      (match source_file t name with
+      | Some old -> (try Sys.remove old with Sys_error _ -> ())
+      | None -> ());
+      (try
+         write_file (sources_dir t / (name ^ ext)) (read_file path);
+         Ok name
+       with Sys_error m -> Error m)
+
+let remove_source t name =
+  match source_file t name with
+  | Some path ->
+      (try
+         Sys.remove path;
+         Ok ()
+       with Sys_error m -> Error m)
+  | None -> Error (Printf.sprintf "no source named %s" name)
+
+let source_names t =
+  if not (Sys.file_exists (sources_dir t)) then []
+  else
+    Sys.readdir (sources_dir t)
+    |> Array.to_list
+    |> List.map Filename.remove_extension
+    |> List.sort_uniq String.compare
+
+let load_source t name =
+  match source_file t name with
+  | None -> Error (Printf.sprintf "no source named %s" name)
+  | Some path -> (
+      match Loader.load_file path with
+      | Ok o -> Ok o
+      | Error m -> Error (Printf.sprintf "source %s: %s" name m))
+
+let load_sources t =
+  List.fold_left
+    (fun acc name ->
+      let* sources = acc in
+      let* o = load_source t name in
+      Ok (sources @ [ o ]))
+    (Ok []) (source_names t)
+
+let articulation_file t name = articulations_dir t / (name ^ ".articulation.xml")
+
+let store_articulation t articulation =
+  Articulation_io.save_file articulation
+    (articulation_file t (Articulation.name articulation))
+
+let articulation_names t =
+  if not (Sys.file_exists (articulations_dir t)) then []
+  else
+    Sys.readdir (articulations_dir t)
+    |> Array.to_list
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".articulation.xml" then
+             Some (Filename.chop_suffix f ".articulation.xml")
+           else None)
+    |> List.sort String.compare
+
+let load_articulation t name =
+  let path = articulation_file t name in
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no articulation named %s" name)
+  else Articulation_io.load_file path
+
+let remove_articulation t name =
+  let path = articulation_file t name in
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no articulation named %s" name)
+  else
+    try
+      Sys.remove path;
+      Ok ()
+    with Sys_error m -> Error m
+
+let articulate ?conversions t ~left ~right ~name ~rules =
+  let* left_o = load_source t left in
+  let* right_o = load_source t right in
+  match
+    Generator.generate ?conversions ~articulation_name:name ~left:left_o
+      ~right:right_o rules
+  with
+  | exception Invalid_argument m -> Error m
+  | r ->
+      store_articulation t r.Generator.articulation;
+      Ok (r.Generator.articulation, r.Generator.warnings)
+
+let load_articulations t =
+  List.fold_left
+    (fun acc name ->
+      let* arts = acc in
+      let* a = load_articulation t name in
+      Ok (arts @ [ a ]))
+    (Ok [])
+    (articulation_names t)
+
+let space t =
+  let* sources = load_sources t in
+  let* articulations = load_articulations t in
+  match Federation.of_parts ~sources ~articulations with
+  | space -> Ok space
+  | exception Invalid_argument m -> Error m
+
+let stale_bridges t =
+  let* sources = load_sources t in
+  let* articulations = load_articulations t in
+  let has_term onto_name term =
+    match List.find_opt (fun o -> Ontology.name o = onto_name) sources with
+    | Some o -> Ontology.has_term o term
+    | None -> true (* not a workspace source: cannot judge *)
+  in
+  Ok
+    (List.concat_map
+       (fun a ->
+         let art_name = Articulation.name a in
+         Articulation.bridges a
+         |> List.filter (fun (b : Bridge.t) ->
+                let endpoint_stale (term : Term.t) =
+                  (not (String.equal term.Term.ontology art_name))
+                  && not (has_term term.Term.ontology term.Term.name)
+                in
+                endpoint_stale b.Bridge.src || endpoint_stale b.Bridge.dst)
+         |> List.map (fun b -> (art_name, b)))
+       articulations)
+
+let status t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "workspace %s\n" t.root);
+  Buffer.add_string buf "sources:\n";
+  List.iter
+    (fun name ->
+      match load_source t name with
+      | Ok o ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-20s %4d terms, %4d relationships\n" name
+               (Ontology.nb_terms o)
+               (Ontology.nb_relationships o))
+      | Error m -> Buffer.add_string buf (Printf.sprintf "  %-20s ERROR: %s\n" name m))
+    (source_names t);
+  Buffer.add_string buf "articulations:\n";
+  List.iter
+    (fun name ->
+      match load_articulation t name with
+      | Ok a ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-20s %s <-> %s, %d bridges\n" name
+               (Articulation.left a) (Articulation.right a)
+               (Articulation.nb_bridges a))
+      | Error m -> Buffer.add_string buf (Printf.sprintf "  %-20s ERROR: %s\n" name m))
+    (articulation_names t);
+  (match stale_bridges t with
+  | Ok [] -> ()
+  | Ok stale ->
+      Buffer.add_string buf
+        (Printf.sprintf "stale bridges (%d) — source terms vanished:\n"
+           (List.length stale));
+      List.iter
+        (fun (art, b) ->
+          Buffer.add_string buf (Format.asprintf "  [%s] %a\n" art Bridge.pp b))
+        stale
+  | Error m -> Buffer.add_string buf (Printf.sprintf "stale check failed: %s\n" m));
+  Buffer.contents buf

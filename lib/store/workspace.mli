@@ -1,0 +1,80 @@
+(** The ONION data layer as an on-disk workspace (Fig. 1).
+
+    A workspace is a directory holding the registered source-ontology
+    files and the stored articulations — nothing else, because "the source
+    ontologies are independently maintained and the articulation is the
+    only thing that is physically stored" (section 2):
+
+    {v
+    <root>/
+      onion.workspace        marker + format version
+      sources/               registered ontology files (xml / idl / adj)
+      articulations/         <name>.articulation.xml (Articulation_io)
+    v}
+
+    All operations re-read from disk: external edits to a source file are
+    picked up on the next call, which is the point — sources evolve
+    independently. *)
+
+type t
+
+val init : string -> (t, string) result
+(** Create the directory layout (the root may already exist but must not
+    already be a workspace). *)
+
+val open_ : string -> (t, string) result
+(** Open an existing workspace ([Error] when the marker is missing). *)
+
+val root : t -> string
+
+(** {1 Sources} *)
+
+val add_source : t -> path:string -> (string, string) result
+(** Copy an ontology file into the workspace and return the registered
+    name (the ontology's own name).  The file must parse; re-adding a
+    source with the same name replaces it. *)
+
+val remove_source : t -> string -> (unit, string) result
+
+val source_names : t -> string list
+(** Sorted. *)
+
+val load_source : t -> string -> (Ontology.t, string) result
+
+val load_sources : t -> (Ontology.t list, string) result
+(** All sources; the first parse failure aborts. *)
+
+(** {1 Articulations} *)
+
+val store_articulation : t -> Articulation.t -> unit
+
+val articulation_names : t -> string list
+
+val load_articulation : t -> string -> (Articulation.t, string) result
+
+val remove_articulation : t -> string -> (unit, string) result
+
+val articulate :
+  ?conversions:Conversion.t ->
+  t ->
+  left:string ->
+  right:string ->
+  name:string ->
+  rules:Rule.t list ->
+  (Articulation.t * Generator.warning list, string) result
+(** Generate from the workspace's current source files and store the
+    result. *)
+
+(** {1 Federation} *)
+
+val space : t -> (Federation.t, string) result
+(** The query space over every source and every stored articulation. *)
+
+val status : t -> string
+(** Human-readable overview: sources with term counts, articulations with
+    bridge counts, and stale articulations (bridges naming source terms
+    that no longer exist — the maintenance signal of section 5.3). *)
+
+val stale_bridges : t -> ((string * Bridge.t) list, string) result
+(** (articulation name, bridge) pairs whose source-side term has vanished
+    from the current source file. *)

@@ -1,0 +1,128 @@
+let ontology_tree ?(show_instances = true) o =
+  let buf = Buffer.create 1024 in
+  let visited = Hashtbl.create 64 in
+  let line prefix text = Buffer.add_string buf (prefix ^ text ^ "\n") in
+  let decorate term =
+    let attrs = Ontology.own_attributes o term in
+    if attrs = [] then term
+    else term ^ "  [" ^ String.concat ", " attrs ^ "]"
+  in
+  let rec emit prefix child_prefix term =
+    if Hashtbl.mem visited term then line prefix (term ^ " (see above)")
+    else begin
+      Hashtbl.add visited term ();
+      line prefix (decorate term);
+      if show_instances then
+        List.iter
+          (fun i -> line (child_prefix ^ "  \xe2\x97\x8f ") i)
+          (Digraph.pred_by (Ontology.graph o) term Rel.instance_of);
+      let children = Ontology.subclasses o term in
+      let n = List.length children in
+      List.iteri
+        (fun i child ->
+          let last = i = n - 1 in
+          let branch = if last then "\xe2\x94\x94\xe2\x94\x80 " else "\xe2\x94\x9c\xe2\x94\x80 " in
+          let cont = if last then "   " else "\xe2\x94\x82  " in
+          emit (child_prefix ^ branch) (child_prefix ^ cont) child)
+        children
+    end
+  in
+  let is_attr_or_instance term =
+    let g = Ontology.graph o in
+    Digraph.pred_by g term Rel.attribute_of <> []
+    || Digraph.succ_by g term Rel.instance_of <> []
+  in
+  let roots =
+    List.filter
+      (fun t -> Ontology.superclasses o t = [] && not (is_attr_or_instance t))
+      (Ontology.terms o)
+  in
+  Buffer.add_string buf (Printf.sprintf "ontology %s\n" (Ontology.name o));
+  List.iter (fun r -> emit "" "" r) roots;
+  let leftovers =
+    List.filter
+      (fun t -> not (Hashtbl.mem visited t || is_attr_or_instance t))
+      (Ontology.terms o)
+  in
+  if leftovers <> [] then begin
+    Buffer.add_string buf "(other terms)\n";
+    List.iter (fun t -> line "  " (decorate t)) leftovers
+  end;
+  Buffer.contents buf
+
+let articulation_summary a =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "articulation %s between %s and %s\n" (Articulation.name a)
+       (Articulation.left a) (Articulation.right a));
+  Buffer.add_string buf (ontology_tree (Articulation.ontology a));
+  List.iter
+    (fun source ->
+      let bridges = Articulation.bridges_with a source in
+      let own =
+        List.filter
+          (fun (b : Bridge.t) ->
+            String.equal b.Bridge.src.Term.ontology source
+            || String.equal b.Bridge.dst.Term.ontology source)
+          bridges
+      in
+      if own <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "bridges with %s:\n" source);
+        List.iter
+          (fun b -> Buffer.add_string buf (Format.asprintf "  %a\n" Bridge.pp b))
+          own
+      end)
+    [ Articulation.left a; Articulation.right a ];
+  Buffer.contents buf
+
+let unified_overview (u : Algebra.unified) =
+  let buf = Buffer.create 512 in
+  let art = u.Algebra.articulation in
+  Buffer.add_string buf
+    (Printf.sprintf "unified ontology: %d nodes, %d edges\n"
+       (Digraph.nb_nodes u.Algebra.graph)
+       (Digraph.nb_edges u.Algebra.graph));
+  List.iter
+    (fun (name, terms) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s (%d): %s\n" name (List.length terms)
+           (String.concat ", " terms)))
+    [
+      (Ontology.name u.Algebra.left, Ontology.terms u.Algebra.left);
+      (Ontology.name u.Algebra.right, Ontology.terms u.Algebra.right);
+      (Articulation.name art, Ontology.terms (Articulation.ontology art));
+    ];
+  Buffer.add_string buf
+    (Printf.sprintf "  bridges: %d\n" (Articulation.nb_bridges art));
+  Buffer.contents buf
+
+let suggestions_table suggestions =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-6s %-50s %s\n" "score" "suggested rule" "evidence");
+  List.iter
+    (fun (s : Skat.suggestion) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-6.2f %-50s %s\n" s.Skat.score
+           (Rule.to_string s.Skat.rule)
+           s.Skat.evidence))
+    suggestions;
+  Buffer.contents buf
+
+let transcript events =
+  events
+  |> List.map (Format.asprintf "%a" Session.pp_event)
+  |> String.concat "\n"
+  |> fun s -> s ^ "\n"
+
+let rules_listing rules =
+  rules |> List.map Rule.to_string |> String.concat "\n" |> fun s -> s ^ "\n"
+
+let conflicts_listing conflicts =
+  match conflicts with
+  | [] -> "no conflicts\n"
+  | cs ->
+      cs
+      |> List.map (fun c -> Format.asprintf "%a" Conflict.pp_conflict c)
+      |> String.concat "\n"
+      |> fun s -> s ^ "\n"

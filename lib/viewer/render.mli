@@ -1,0 +1,37 @@
+(** Text rendering for the onion viewer (section 2.2).
+
+    The paper's viewer is a GUI; this reproduction renders the same
+    information as text: the subclass tree of an ontology with attributes
+    inline, articulation summaries with their bridges grouped by source,
+    and suggestion tables for the expert loop.  Graphviz output lives in
+    {!Dot}. *)
+
+val ontology_tree : ?show_instances:bool -> Ontology.t -> string
+(** Indented subclass forest:
+    {v
+    Carrier
+    ├─ Cars  [Driver, Model, Owner, Price]
+    │   ● MyCar
+    └─ Trucks  [Owner, Price]
+    v}
+    Attributes in brackets; instances as bullet lines when
+    [show_instances] (default [true]).  Terms outside the subclass forest
+    are listed under a trailing ["(other terms)"] header.  Cycle-safe. *)
+
+val articulation_summary : Articulation.t -> string
+(** The articulation ontology tree plus bridges grouped per source
+    ontology. *)
+
+val unified_overview : Algebra.unified -> string
+(** Counts and per-ontology term lists of a unified ontology. *)
+
+val suggestions_table : Skat.suggestion list -> string
+(** Fixed-width table: score, rule, evidence. *)
+
+val rules_listing : Rule.t list -> string
+
+val transcript : Session.event list -> string
+(** One line per session event (round markers, suggestions, decisions,
+    generations). *)
+
+val conflicts_listing : Conflict.conflict list -> string

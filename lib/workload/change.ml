@@ -1,0 +1,100 @@
+type op =
+  | Add_term of { term : string; superclass : string option }
+  | Remove_term of string
+  | Add_attribute of { concept : string; attr : string }
+  | Add_subclass of { sub : string; super : string }
+  | Remove_rel of { src : string; label : string; dst : string }
+  | Rename_term of { old_name : string; new_name : string }
+
+let pp_op ppf = function
+  | Add_term { term; superclass = Some s } ->
+      Format.fprintf ppf "add %s < %s" term s
+  | Add_term { term; superclass = None } -> Format.fprintf ppf "add %s" term
+  | Remove_term t -> Format.fprintf ppf "remove %s" t
+  | Add_attribute { concept; attr } ->
+      Format.fprintf ppf "attr %s += %s" concept attr
+  | Add_subclass { sub; super } -> Format.fprintf ppf "link %s < %s" sub super
+  | Remove_rel { src; label; dst } ->
+      Format.fprintf ppf "unlink %s -%s-> %s" src label dst
+  | Rename_term { old_name; new_name } ->
+      Format.fprintf ppf "rename %s -> %s" old_name new_name
+
+let apply o = function
+  | Add_term { term; superclass = None } -> Ontology.add_term o term
+  | Add_term { term; superclass = Some super } ->
+      Ontology.add_subclass o ~sub:term ~super
+  | Remove_term t -> Ontology.remove_term o t
+  | Add_attribute { concept; attr } -> Ontology.add_attribute o ~concept ~attr
+  | Add_subclass { sub; super } -> Ontology.add_subclass o ~sub ~super
+  | Remove_rel { src; label; dst } -> Ontology.remove_rel o src label dst
+  | Rename_term { old_name; new_name } ->
+      Ontology.with_graph o
+        (Digraph.rename_node (Ontology.graph o) old_name new_name)
+
+let apply_all o ops = List.fold_left apply o ops
+
+let touched_terms = function
+  | Add_term { term; superclass = Some s } -> [ term; s ]
+  | Add_term { term; superclass = None } -> [ term ]
+  | Remove_term t -> [ t ]
+  | Add_attribute { concept; attr } -> [ concept; attr ]
+  | Add_subclass { sub; super } -> [ sub; super ]
+  | Remove_rel { src; dst; _ } -> [ src; dst ]
+  | Rename_term { old_name; new_name } -> [ old_name; new_name ]
+
+let fresh_name rng = Printf.sprintf "New%c%d"
+    (Char.chr (Char.code 'A' + Prng.int rng 26))
+    (Prng.int rng 10_000)
+
+let random_on rng ~removal_rate ~rename_rate terms =
+  let roll = Prng.float rng in
+  if terms = [] then Add_term { term = fresh_name rng; superclass = None }
+  else if roll < removal_rate then Remove_term (Prng.pick rng terms)
+  else if roll < removal_rate +. rename_rate then
+    Rename_term { old_name = Prng.pick rng terms; new_name = fresh_name rng }
+  else begin
+    match Prng.int rng 3 with
+    | 0 ->
+        Add_term
+          { term = fresh_name rng; superclass = Some (Prng.pick rng terms) }
+    | 1 ->
+        Add_attribute
+          { concept = Prng.pick rng terms; attr = Prng.pick rng Gen.attr_pool }
+    | _ ->
+        let sub = Prng.pick rng terms and super = Prng.pick rng terms in
+        if String.equal sub super then
+          Add_term { term = fresh_name rng; superclass = Some super }
+        else Add_subclass { sub; super }
+  end
+
+let random_script ~seed ?(removal_rate = 0.2) ?(rename_rate = 0.1) ~count o =
+  let rng = Prng.create seed in
+  let rec loop o acc n =
+    if n = 0 then List.rev acc
+    else
+      let op = random_on rng ~removal_rate ~rename_rate (Ontology.terms o) in
+      loop (apply o op) (op :: acc) (n - 1)
+  in
+  loop o [] count
+
+let script_in_region ~seed ~count ~region o =
+  ignore o;
+  let rng = Prng.create seed in
+  (* Every touched term must lie inside the region (or be a fresh name),
+     so even attribute targets are drawn from the region or freshly
+     created — that is what "confined" means for the maintenance claim. *)
+  List.init count (fun _ ->
+      if region = [] then Add_term { term = fresh_name rng; superclass = None }
+      else
+        match Prng.int rng 3 with
+        | 0 ->
+            Add_term
+              { term = fresh_name rng; superclass = Some (Prng.pick rng region) }
+        | 1 ->
+            Add_attribute
+              { concept = Prng.pick rng region; attr = fresh_name rng }
+        | _ ->
+            let sub = Prng.pick rng region and super = Prng.pick rng region in
+            if String.equal sub super then
+              Add_attribute { concept = sub; attr = fresh_name rng }
+            else Add_subclass { sub; super })

@@ -1,0 +1,42 @@
+(** Source-ontology change workloads.
+
+    The paper's central maintainability claim (sections 1 and 5.3): when a
+    source changes inside its {e difference} with the other sources, "no
+    change needs to occur in any of the articulation ontologies"; a global
+    unified schema, by contrast, must absorb every change.  These edit
+    scripts drive that comparison. *)
+
+type op =
+  | Add_term of { term : string; superclass : string option }
+  | Remove_term of string
+  | Add_attribute of { concept : string; attr : string }
+  | Add_subclass of { sub : string; super : string }
+  | Remove_rel of { src : string; label : string; dst : string }
+  | Rename_term of { old_name : string; new_name : string }
+
+val pp_op : Format.formatter -> op -> unit
+
+val apply : Ontology.t -> op -> Ontology.t
+(** Apply one edit; unknown terms are created (additions) or ignored
+    (removals), so scripts never fail. *)
+
+val apply_all : Ontology.t -> op list -> Ontology.t
+
+val touched_terms : op -> string list
+(** Terms the edit reads or writes (new names included). *)
+
+val random_script :
+  seed:int ->
+  ?removal_rate:float ->
+  ?rename_rate:float ->
+  count:int ->
+  Ontology.t ->
+  op list
+(** A deterministic random edit script against the ontology's current
+    terms.  [removal_rate] (default 0.2) and [rename_rate] (default 0.1)
+    carve out the destructive share; the rest are additions. *)
+
+val script_in_region :
+  seed:int -> count:int -> region:string list -> Ontology.t -> op list
+(** Edits confined to the given terms (e.g. the articulation-independent
+    region from {!Algebra.difference}, or its complement). *)

@@ -1,0 +1,226 @@
+type profile = {
+  n_terms : int;
+  max_fanout : int;
+  attr_ratio : float;
+  instance_ratio : float;
+  verb_ratio : float;
+}
+
+let default_profile =
+  {
+    n_terms = 100;
+    max_fanout = 4;
+    attr_ratio = 0.5;
+    instance_ratio = 0.3;
+    verb_ratio = 0.1;
+  }
+
+let nouns =
+  [
+    "Car"; "Truck"; "Ship"; "Plane"; "Train"; "Engine"; "Wheel"; "Cargo";
+    "Goods"; "Order"; "Invoice"; "Payment"; "Customer"; "Vendor"; "Factory";
+    "Warehouse"; "Route"; "Driver"; "Pilot"; "Port"; "Station"; "Contract";
+    "Product"; "Part"; "Catalog"; "Price"; "Tax"; "Fee"; "Account"; "Person";
+    "Company"; "Depot"; "Fleet"; "Journey"; "Ticket"; "Crate"; "Pallet";
+    "Container"; "Manifest"; "Schedule";
+  ]
+
+let modifiers =
+  [
+    ""; "Electric"; "Heavy"; "Light"; "Cargo"; "Passenger"; "Express";
+    "Regional"; "Global"; "Urban"; "Rural"; "Bulk"; "Liquid"; "Frozen";
+    "Priority"; "Standard"; "Premium"; "Budget"; "Rental"; "Leased";
+    "Certified"; "Insured"; "Tracked"; "Sealed"; "Registered";
+  ]
+
+let concept_pool n =
+  let rec build acc i =
+    if List.length acc >= n then List.rev acc
+    else
+      let noun = List.nth nouns (i mod List.length nouns) in
+      let tier = i / List.length nouns in
+      let name =
+        if tier = 0 then noun
+        else if tier <= List.length modifiers - 1 then
+          List.nth modifiers tier ^ noun
+        else Printf.sprintf "%s%d" noun tier
+      in
+      build (name :: acc) (i + 1)
+  in
+  build [] 0
+
+let attr_pool =
+  [
+    "Price"; "Weight"; "Color"; "Status"; "Capacity"; "Length"; "Width";
+    "Height"; "Speed"; "Owner"; "Serial"; "Origin"; "Destination"; "Volume";
+    "Grade"; "Label";
+  ]
+
+let verb_pool = [ "uses"; "partOf"; "locatedIn"; "producedBy"; "managedBy" ]
+
+(* Build a subclass forest over the given concept names, then sprinkle
+   attributes, instances and verb edges. *)
+let build_ontology rng profile name concepts =
+  let o = Ontology.create name in
+  let child_count = Hashtbl.create 64 in
+  let placed = ref [] in
+  let o =
+    List.fold_left
+      (fun o concept ->
+        let o = Ontology.add_term o concept in
+        let candidates =
+          List.filter
+            (fun p ->
+              (match Hashtbl.find_opt child_count p with Some c -> c | None -> 0)
+              < profile.max_fanout)
+            !placed
+        in
+        let o =
+          (* A few roots: skip attaching with small probability, or when
+             nothing can accept children. *)
+          if candidates = [] || Prng.bool rng 0.05 then o
+          else begin
+            let parent = Prng.pick rng candidates in
+            Hashtbl.replace child_count parent
+              (1
+              +
+              match Hashtbl.find_opt child_count parent with
+              | Some c -> c
+              | None -> 0);
+            Ontology.add_subclass o ~sub:concept ~super:parent
+          end
+        in
+        placed := concept :: !placed;
+        o)
+      o concepts
+  in
+  (* Attributes: shared vocabulary nodes. *)
+  let o =
+    List.fold_left
+      (fun o concept ->
+        if Prng.bool rng profile.attr_ratio then
+          let attr = Prng.pick rng attr_pool in
+          Ontology.add_attribute o ~concept ~attr
+        else o)
+      o concepts
+  in
+  (* Instances on leaves. *)
+  let o =
+    List.fold_left
+      (fun o concept ->
+        if Ontology.subclasses o concept = [] && Prng.bool rng profile.instance_ratio
+        then
+          Ontology.add_instance o
+            ~instance:(Printf.sprintf "%s_i%d" concept (Prng.int rng 1000))
+            ~concept
+        else o)
+      o concepts
+  in
+  (* Custom-verb noise edges between concepts. *)
+  List.fold_left
+    (fun o concept ->
+      if Prng.bool rng profile.verb_ratio then
+        let target = Prng.pick rng concepts in
+        if String.equal target concept then o
+        else Ontology.add_rel o concept (Prng.pick rng verb_pool) target
+      else o)
+    o concepts
+
+let ontology ?(profile = default_profile) ~seed ~name () =
+  let rng = Prng.create (seed lxor Hashtbl.hash name) in
+  let concepts = Prng.shuffle rng (concept_pool profile.n_terms) in
+  build_ontology rng profile name concepts
+
+(* Rename a concept for the right-hand ontology: replace its last word by
+   a lexicon synonym when one exists, otherwise suffix it. *)
+let synonym_rename rng name =
+  let words = Strsim.split_words name in
+  match List.rev words with
+  | [] -> name ^ "Alt"
+  | last :: _ -> (
+      match Lexicon.synonyms Lexicon.builtin last with
+      | [] -> name ^ "Alt"
+      | syns ->
+          let syn = Prng.pick rng syns in
+          let capitalize s = String.capitalize_ascii s in
+          let prefix_len = String.length name - String.length last in
+          (* Reconstruct: original prefix (camel case preserved) + the
+             capitalized synonym (multi-word synonyms camel-cased). *)
+          let syn_camel =
+            Strsim.split_words syn |> List.map capitalize |> String.concat ""
+          in
+          if prefix_len > 0 then String.sub name 0 prefix_len ^ syn_camel
+          else syn_camel)
+
+type pair = {
+  left : Ontology.t;
+  right : Ontology.t;
+  ground_truth : Rule.t list;
+  shared_concepts : int;
+}
+
+let overlapping_pair ?(profile = default_profile) ?(synonym_rate = 0.3) ~overlap
+    ~seed ~left_name ~right_name () =
+  if not (overlap >= 0.0 && overlap <= 1.0) then
+    invalid_arg "Gen.overlapping_pair: overlap must lie in [0, 1]";
+  let rng = Prng.create seed in
+  let shared_n =
+    int_of_float (Float.round (overlap *. float_of_int profile.n_terms))
+  in
+  let solo_n = profile.n_terms - shared_n in
+  (* One big pool: shared slice, then left-only, then right-only. *)
+  let pool = concept_pool (shared_n + (2 * solo_n)) in
+  let rec split3 i (shared, l, r) = function
+    | [] -> (List.rev shared, List.rev l, List.rev r)
+    | x :: rest ->
+        if i < shared_n then split3 (i + 1) (x :: shared, l, r) rest
+        else if i < shared_n + solo_n then split3 (i + 1) (shared, x :: l, r) rest
+        else split3 (i + 1) (shared, l, x :: r) rest
+  in
+  let shared, left_only, right_only = split3 0 ([], [], []) pool in
+  (* Right-side renaming of shared concepts. *)
+  let renaming =
+    List.map
+      (fun c ->
+        if Prng.bool rng synonym_rate then (c, synonym_rename rng c) else (c, c))
+      shared
+  in
+  let left_concepts = Prng.shuffle rng (shared @ left_only) in
+  let right_concepts =
+    Prng.shuffle rng (List.map snd renaming @ right_only)
+  in
+  let left =
+    build_ontology (Prng.split rng) profile left_name left_concepts
+  in
+  let right =
+    build_ontology (Prng.split rng) profile right_name right_concepts
+  in
+  let ground_truth =
+    List.map
+      (fun (lc, rc) ->
+        Rule.implies
+          (Term.make ~ontology:left_name lc)
+          (Term.make ~ontology:right_name rc))
+      renaming
+  in
+  { left; right; ground_truth; shared_concepts = shared_n }
+
+let family ?(profile = default_profile) ?(overlap = 0.2) ~n ~seed ~prefix () =
+  if n < 1 then invalid_arg "Gen.family: n must be at least 1";
+  let rng = Prng.create seed in
+  let shared_n =
+    int_of_float (Float.round (overlap *. float_of_int profile.n_terms))
+  in
+  let solo_n = profile.n_terms - shared_n in
+  let pool = concept_pool (shared_n + (n * solo_n)) in
+  let shared = List.filteri (fun i _ -> i < shared_n) pool in
+  let solo_for k =
+    List.filteri
+      (fun i _ ->
+        i >= shared_n + (k * solo_n) && i < shared_n + ((k + 1) * solo_n))
+      pool
+  in
+  List.init n (fun k ->
+      let name = Printf.sprintf "%s%d" prefix k in
+      let concepts = Prng.shuffle rng (shared @ solo_for k) in
+      build_ontology (Prng.split rng) profile name concepts)

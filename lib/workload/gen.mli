@@ -1,0 +1,72 @@
+(** Synthetic ontology generator.
+
+    The paper has no quantitative evaluation; the benchmarks need
+    controllable workloads.  Generated ontologies mimic the shape of
+    real-world domain ontologies: a subclass forest with bounded fan-out,
+    attribute nodes drawn from a shared vocabulary pool, a sprinkle of
+    instances, and custom verb edges for noise.
+
+    {!overlapping_pair} grows two ontologies over one hidden concept
+    space: a configurable fraction of concepts occurs in both (possibly
+    renamed through synonym substitution), which yields a {e ground-truth
+    alignment} — the rule set a perfect articulation session should
+    recover.  That drives the SKAT precision/recall and
+    articulation-vs-global-schema experiments. *)
+
+type profile = {
+  n_terms : int;  (** Concept count (attribute nodes come on top). *)
+  max_fanout : int;  (** Max subclasses per concept; default 4. *)
+  attr_ratio : float;  (** Attribute nodes per concept; default 0.5. *)
+  instance_ratio : float;  (** Instances per leaf concept; default 0.3. *)
+  verb_ratio : float;  (** Extra custom-verb edges per concept; default 0.1. *)
+}
+
+val default_profile : profile
+(** 100 concepts, fan-out 4, the ratios above. *)
+
+val ontology : ?profile:profile -> seed:int -> name:string -> unit -> Ontology.t
+(** Deterministic in [(profile, seed, name)]. *)
+
+type pair = {
+  left : Ontology.t;
+  right : Ontology.t;
+  ground_truth : Rule.t list;
+      (** One [left-term => right-term] implication per shared concept. *)
+  shared_concepts : int;
+}
+
+val overlapping_pair :
+  ?profile:profile ->
+  ?synonym_rate:float ->
+  overlap:float ->
+  seed:int ->
+  left_name:string ->
+  right_name:string ->
+  unit ->
+  pair
+(** [overlap] is the fraction (in [[0, 1]]) of each ontology's concepts
+    drawn from the shared space.  [synonym_rate] (default 0.3) is the
+    probability that a shared concept is renamed on the right side using
+    {!Lexicon.builtin} synonyms (falling back to a suffixed alias, which
+    only an oracle expert can still align). *)
+
+val family :
+  ?profile:profile ->
+  ?overlap:float ->
+  n:int ->
+  seed:int ->
+  prefix:string ->
+  unit ->
+  Ontology.t list
+(** [n] ontologies over one shared concept space — the multi-source
+    scalability workload. *)
+
+val concept_pool : int -> string list
+(** The deterministic concept-name pool used by the generators (exposed
+    for tests). *)
+
+val attr_pool : string list
+(** The shared attribute vocabulary. *)
+
+val verb_pool : string list
+(** The custom-verb labels used for noise edges. *)

@@ -1,0 +1,28 @@
+(** A small deterministic PRNG (splitmix64-style) so every workload,
+    change script and noisy expert replays identically across runs and
+    platforms.  Not cryptographic; not the stdlib [Random] (whose sequence
+    may change between OCaml releases). *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal sequences. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element.
+    @raise Invalid_argument on an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val split : t -> t
+(** Derive an independent generator (for parallel sub-streams). *)

@@ -1,0 +1,49 @@
+let queries ~seed ~count (u : Algebra.unified) =
+  let rng = Prng.create seed in
+  let art = Articulation.ontology u.Algebra.articulation in
+  let art_name = Articulation.name u.Algebra.articulation in
+  let concepts =
+    match Ontology.terms art with
+    | [] ->
+        List.map
+          (fun t -> Term.make ~ontology:(Ontology.name u.Algebra.left) t)
+          (Ontology.terms u.Algebra.left)
+    | terms -> List.map (fun t -> Term.make ~ontology:art_name t) terms
+  in
+  List.init count (fun _ ->
+      let concept = Prng.pick rng concepts in
+      let select =
+        if Prng.bool rng 0.3 then []
+        else
+          List.filter (fun _ -> Prng.bool rng 0.3) Gen.attr_pool
+          |> fun l -> if l = [] then [ "Price" ] else l
+      in
+      let where =
+        List.init (Prng.int rng 3) (fun _ ->
+            {
+              Query.attr = Prng.pick rng [ "Price"; "Weight"; "Capacity" ];
+              op = Prng.pick rng [ Query.Lt; Query.Le; Query.Gt; Query.Ge ];
+              value = Conversion.Num (float_of_int (100 + Prng.int rng 40_000));
+            })
+      in
+      Query.v ~select ~where concept)
+
+let instances_for ~seed ~per_concept ontology ~kb_name =
+  let rng = Prng.create seed in
+  let kb = Kb.create ~ontology kb_name in
+  let leaves = Ontology.leaves ontology in
+  List.fold_left
+    (fun kb concept ->
+      let rec add kb k =
+        if k = 0 then kb
+        else
+          let id = Printf.sprintf "%s#%d" concept k in
+          let attrs =
+            List.filter (fun _ -> Prng.bool rng 0.5) Gen.attr_pool
+            |> List.map (fun a ->
+                   (a, Conversion.Num (float_of_int (Prng.int rng 50_000))))
+          in
+          add (Kb.add kb ~concept ~id attrs) (k - 1)
+      in
+      add kb per_concept)
+    kb leaves

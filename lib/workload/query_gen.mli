@@ -1,0 +1,21 @@
+(** Random query workloads over a unified ontology. *)
+
+val queries :
+  seed:int ->
+  count:int ->
+  Algebra.unified ->
+  Query.t list
+(** Deterministic random queries phrased against the articulation
+    ontology: a random articulation concept, a random subset of the
+    attribute vocabulary, and 0–2 numeric predicates.  Falls back to
+    source-qualified concepts when the articulation ontology is empty. *)
+
+val instances_for :
+  seed:int ->
+  per_concept:int ->
+  Ontology.t ->
+  kb_name:string ->
+  Kb.t
+(** Populate a knowledge base with [per_concept] instances on each leaf
+    concept, with numeric [Price] / [Weight]-style attributes drawn from
+    {!Gen.attr_pool}. *)

@@ -1,0 +1,54 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+      sqrt var
+
+let sorted xs = List.sort Float.compare xs
+
+let percentile p xs =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Stats.percentile: p must lie in [0, 1]";
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+      let n = List.length s in
+      let rank =
+        min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1))))
+      in
+      List.nth s rank
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+      let n = List.length s in
+      if n mod 2 = 1 then List.nth s (n / 2)
+      else (List.nth s ((n / 2) - 1) +. List.nth s (n / 2)) /. 2.0
+
+let minimum = function [] -> 0.0 | xs -> List.fold_left Float.min Float.max_float xs
+let maximum = function [] -> 0.0 | xs -> List.fold_left Float.max Float.min_float xs
+
+let summary xs =
+  Printf.sprintf "mean=%.2f sd=%.2f med=%.2f min=%.2f max=%.2f" (mean xs)
+    (stddev xs) (median xs) (minimum xs) (maximum xs)
+
+type confusion = { tp : int; fp : int; fn : int }
+
+let precision c =
+  if c.tp + c.fp = 0 then 1.0
+  else float_of_int c.tp /. float_of_int (c.tp + c.fp)
+
+let recall c =
+  if c.tp + c.fn = 0 then 1.0
+  else float_of_int c.tp /. float_of_int (c.tp + c.fn)
+
+let f1 c =
+  let p = precision c and r = recall c in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)

@@ -1,0 +1,33 @@
+(** Small descriptive-statistics helpers for the benchmark harness. *)
+
+val mean : float list -> float
+(** 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val median : float list -> float
+(** Middle element; the mean of the central pair on even lengths. *)
+
+val percentile : float -> float list -> float
+(** [percentile 0.95 xs] by nearest-rank; 0 on the empty list.
+    @raise Invalid_argument outside [0, 1]. *)
+
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+val summary : float list -> string
+(** ["mean=… sd=… med=… min=… max=…"] with 2 decimals. *)
+
+(** {1 Classifier counts} *)
+
+type confusion = { tp : int; fp : int; fn : int }
+
+val precision : confusion -> float
+(** 1.0 when nothing was predicted. *)
+
+val recall : confusion -> float
+(** 1.0 when nothing was relevant. *)
+
+val f1 : confusion -> float

@@ -1,0 +1,268 @@
+(* End-to-end integration tests of the onion command-line binary: every
+   subcommand is exercised against the shipped sample data (data/), and
+   exit codes plus key output fragments are asserted. *)
+
+let cli = ref "onion"
+
+let data file = Filename.concat "../../data" file
+
+(* Run the binary, capture combined output, return (exit_code, output). *)
+let run args =
+  let out = Filename.temp_file "onion-cli" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1"
+      (Filename.quote !cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove out;
+  (code, content)
+
+let run_with_stdin input args =
+  let out = Filename.temp_file "onion-cli" ".out" in
+  let inp = Filename.temp_file "onion-cli" ".in" in
+  let oc = open_out_bin inp in
+  output_string oc input;
+  close_out oc;
+  let cmd =
+    Printf.sprintf "%s %s < %s > %s 2>&1"
+      (Filename.quote !cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote inp) (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove out;
+  Sys.remove inp;
+  (code, content)
+
+let contains ~affix s =
+  let la = String.length affix and ls = String.length s in
+  let rec scan i =
+    if i + la > ls then false
+    else if String.equal (String.sub s i la) affix then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_validate_ok () =
+  let code, out = run [ "validate"; data "carrier.xml" ] in
+  check_int "exit 0" 0 code;
+  check_bool "reports counts" true (contains ~affix:"carrier:" out)
+
+let test_validate_catches_cycle () =
+  let path = Filename.temp_file "cyclic" ".adj" in
+  let oc = open_out path in
+  output_string oc "A SubclassOf B\nB SubclassOf A\n";
+  close_out oc;
+  let code, out = run [ "validate"; path ] in
+  Sys.remove path;
+  check_int "exit 1" 1 code;
+  check_bool "names the cycle" true (contains ~affix:"subclass-cycle" out)
+
+let test_show_tree () =
+  let code, out = run [ "show"; data "factory.xml" ] in
+  check_int "exit 0" 0 code;
+  check_bool "tree branches" true (contains ~affix:"GoodsVehicle" out)
+
+let test_show_idl () =
+  let code, out = run [ "show"; data "vehicle.idl" ] in
+  check_int "exit 0" 0 code;
+  check_bool "module name used" true (contains ~affix:"ontology garage" out)
+
+let test_show_adjacency () =
+  let code, out = run [ "show"; data "simple.adj" ] in
+  check_int "exit 0" 0 code;
+  check_bool "orphan listed" true (contains ~affix:"Orphan" out)
+
+let test_articulate () =
+  let code, out =
+    run
+      [ "articulate"; data "carrier.xml"; data "factory.xml";
+        data "transport-rules.txt"; "--name"; "transport" ]
+  in
+  check_int "exit 0" 0 code;
+  check_bool "bridge printed" true
+    (contains ~affix:"carrier:Cars =[SIBridge]=> transport:Vehicle" out);
+  check_bool "no warnings" false (contains ~affix:"warning:" out)
+
+let test_articulate_dot_output () =
+  let dot = Filename.temp_file "art" ".dot" in
+  let code, _ =
+    run
+      [ "articulate"; data "carrier.xml"; data "factory.xml";
+        data "transport-rules.txt"; "--name"; "transport"; "--dot"; dot ]
+  in
+  check_int "exit 0" 0 code;
+  let ic = open_in dot in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove dot;
+  check_bool "clusters present" true (contains ~affix:"subgraph cluster_" content)
+
+let test_algebra_difference () =
+  let code, out =
+    run
+      [ "algebra"; "difference"; data "carrier.xml"; data "factory.xml";
+        data "transport-rules.txt"; "--name"; "transport" ]
+  in
+  check_int "exit 0" 0 code;
+  check_bool "independent region survives" true (contains ~affix:"Model" out);
+  check_bool "bridged terms gone" false (contains ~affix:"Cars" out)
+
+let test_query () =
+  let code, out =
+    run
+      [ "query"; data "carrier.xml"; data "factory.xml";
+        data "transport-rules.txt"; "--name"; "transport";
+        "SELECT Price FROM Vehicle WHERE Price < 5000" ]
+  in
+  check_int "exit 0" 0 code;
+  (* MyCar's embedded 2000-guilder price converts to 907.56 euro. *)
+  check_bool "converted price" true (contains ~affix:"907.56" out)
+
+let test_oql () =
+  let code, out =
+    run
+      [ "oql"; data "carrier.xml"; data "factory.xml";
+        data "transport-rules.txt"; "--name"; "transport";
+        "SELECT Price FROM Vehicle WHERE Price < 5000" ]
+  in
+  check_int "exit 0" 0 code;
+  check_bool "per-source subquery" true (contains ~affix:"from x in Cars" out);
+  check_bool "constant crossed" true (contains ~affix:"11018.6" out)
+
+let test_rdf () =
+  let code, out = run [ "rdf"; data "carrier.xml" ] in
+  check_int "exit 0" 0 code;
+  check_bool "triples" true
+    (contains
+       ~affix:"<urn:onion:carrier:Cars> <urn:onion:rel/SubclassOf> <urn:onion:carrier:Carrier> ."
+       out)
+
+let test_suggest () =
+  let code, out = run [ "suggest"; data "carrier.xml"; data "factory.xml" ] in
+  check_int "exit 0" 0 code;
+  check_bool "table header" true (contains ~affix:"score" out);
+  check_bool "price match suggested" true
+    (contains ~affix:"carrier:Price => factory:Price" out)
+
+let test_demo () =
+  let code, out = run [ "demo" ] in
+  check_int "exit 0" 0 code;
+  check_bool "unified overview" true (contains ~affix:"unified ontology" out)
+
+let test_session_scripted () =
+  let script = "suggest\naccept 0\ngen\nconflicts\nquit\n" in
+  let code, out =
+    run_with_stdin script
+      [ "session"; data "carrier.xml"; data "factory.xml"; "--name"; "mid" ]
+  in
+  check_int "exit 0" 0 code;
+  check_bool "suggestions shown" true (contains ~affix:"0." out);
+  check_bool "acceptance echoed" true (contains ~affix:"accepted" out);
+  check_bool "clean goodbye" true (contains ~affix:"bye" out)
+
+let test_workspace_lifecycle () =
+  let dir = Filename.temp_file "ws" "" in
+  Sys.remove dir;
+  let code, _ = run [ "workspace"; "init"; dir ] in
+  check_int "init" 0 code;
+  let code, _ = run [ "workspace"; "add"; dir; data "carrier.xml" ] in
+  check_int "add carrier" 0 code;
+  let code, _ = run [ "workspace"; "add"; dir; data "factory.xml" ] in
+  check_int "add factory" 0 code;
+  let code, out =
+    run
+      [ "workspace"; "articulate"; dir; "carrier"; "factory";
+        data "transport-rules.txt"; "--name"; "transport" ]
+  in
+  check_int "articulate" 0 code;
+  check_bool "bridges stored" true (contains ~affix:"17 bridges" out);
+  let code, out = run [ "workspace"; "status"; dir ] in
+  check_int "status" 0 code;
+  check_bool "lists articulation" true (contains ~affix:"carrier <-> factory" out);
+  let code, out =
+    run [ "workspace"; "query"; dir; "SELECT Price FROM Vehicle WHERE Price < 5000" ]
+  in
+  check_int "query" 0 code;
+  check_bool "mediated answer" true (contains ~affix:"907.56" out);
+  (* cleanup *)
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  rm dir
+
+let test_translate () =
+  let code, out =
+    run
+      [ "translate"; data "carrier.xml"; data "factory.xml";
+        data "transport-rules.txt"; "--name"; "transport"; "--from"; "carrier";
+        "--to"; "factory"; "MyCar" ]
+  in
+  check_int "exit 0" 0 code;
+  check_bool "lands on Vehicle" true (contains ~affix:"factory:Vehicle" out);
+  (* 2000 NLG -> 907.56 EUR -> 544.54 GBP. *)
+  check_bool "two-hop conversion" true (contains ~affix:"544.5" out)
+
+let test_missing_file_fails () =
+  let code, _ = run [ "validate"; "no-such-file.xml" ] in
+  check_bool "nonzero exit" true (code <> 0)
+
+let test_bad_query_fails () =
+  let code, out =
+    run
+      [ "query"; data "carrier.xml"; data "factory.xml";
+        data "transport-rules.txt"; "--name"; "transport"; "SELEKT nope" ]
+  in
+  check_bool "nonzero exit" true (code <> 0);
+  check_bool "reports query error" true (contains ~affix:"query error" out)
+
+let () =
+  (match Array.to_list Sys.argv with
+  | _ :: exe :: _ -> cli := exe
+  | _ -> prerr_endline "usage: test_cli <path-to-onion-cli>");
+  (* Alcotest must not try to parse the binary-path argument. *)
+  Alcotest.run ~argv:[| "test_cli" |] "onion-cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "validate cycle" `Quick test_validate_catches_cycle;
+          Alcotest.test_case "show xml" `Quick test_show_tree;
+          Alcotest.test_case "show idl" `Quick test_show_idl;
+          Alcotest.test_case "show adjacency" `Quick test_show_adjacency;
+          Alcotest.test_case "articulate" `Quick test_articulate;
+          Alcotest.test_case "articulate dot" `Quick test_articulate_dot_output;
+          Alcotest.test_case "algebra difference" `Quick test_algebra_difference;
+          Alcotest.test_case "query" `Quick test_query;
+          Alcotest.test_case "oql" `Quick test_oql;
+          Alcotest.test_case "rdf" `Quick test_rdf;
+          Alcotest.test_case "suggest" `Quick test_suggest;
+          Alcotest.test_case "demo" `Quick test_demo;
+          Alcotest.test_case "session scripted" `Quick test_session_scripted;
+          Alcotest.test_case "workspace lifecycle" `Quick test_workspace_lifecycle;
+          Alcotest.test_case "translate" `Quick test_translate;
+          Alcotest.test_case "missing file" `Quick test_missing_file_fails;
+          Alcotest.test_case "bad query" `Quick test_bad_query_fails;
+        ] );
+    ]

@@ -1,0 +1,74 @@
+(* Shared alcotest testables and fixture builders. *)
+
+let digraph = Alcotest.testable Digraph.pp Digraph.equal
+
+let edge =
+  Alcotest.testable Digraph.pp_edge (fun (a : Digraph.edge) b -> a = b)
+
+let term = Alcotest.testable Term.pp Term.equal
+
+let bridge = Alcotest.testable Bridge.pp Bridge.equal
+
+let value =
+  Alcotest.testable Conversion.pp_value Conversion.equal_value
+
+let ontology = Alcotest.testable Ontology.pp Ontology.equal
+
+let e src label dst = { Digraph.src; label; dst }
+
+(* A small diamond: a -S-> b, a -S-> c, b -S-> d, c -S-> d plus one
+   attribute and one instance. *)
+let diamond () =
+  Digraph.empty
+  |> fun g -> Digraph.add_edge g "a" "S" "b"
+  |> fun g -> Digraph.add_edge g "a" "S" "c"
+  |> fun g -> Digraph.add_edge g "b" "S" "d"
+  |> fun g -> Digraph.add_edge g "c" "S" "d"
+  |> fun g -> Digraph.add_edge g "a" "A" "p"
+  |> fun g -> Digraph.add_edge g "i" "I" "a"
+
+(* Tiny two-ontology fixture with one obvious correspondence. *)
+let left_right () =
+  let left =
+    Ontology.create "l"
+    |> fun o -> Ontology.add_subclass o ~sub:"Car" ~super:"Vehicle"
+    |> fun o -> Ontology.add_attribute o ~concept:"Car" ~attr:"Price"
+  in
+  let right =
+    Ontology.create "r"
+    |> fun o -> Ontology.add_subclass o ~sub:"Auto" ~super:"Machine"
+    |> fun o -> Ontology.add_attribute o ~concept:"Auto" ~attr:"Cost"
+  in
+  (left, right)
+
+let check_sorted_strings msg expected actual =
+  Alcotest.(check (list string)) msg (List.sort String.compare expected) actual
+
+(* QCheck generator for small labeled graphs. *)
+let arbitrary_graph =
+  let open QCheck in
+  let node_gen = Gen.oneofl [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ] in
+  let label_gen = Gen.oneofl [ "S"; "A"; "I"; "SI"; "x" ] in
+  let edge_gen =
+    Gen.map3 (fun s l d -> e s l d) node_gen label_gen node_gen
+  in
+  let graph_gen =
+    Gen.map
+      (fun edges -> Digraph.of_edges edges)
+      (Gen.list_size (Gen.int_range 0 25) edge_gen)
+  in
+  make
+    ~print:(fun g -> Format.asprintf "%a" Digraph.pp g)
+    graph_gen
+
+let contains ~affix s =
+  let la = String.length affix and ls = String.length s in
+  let rec scan i =
+    if i + la > ls then false
+    else if String.equal (String.sub s i la) affix then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let qtest ?(count = 200) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)

@@ -1,0 +1,95 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+
+let test_parse_basic () =
+  let doc = "# comment\nnode Solo\nedge A S B\nB S C\n\n; another comment\n" in
+  match Adjacency.parse doc with
+  | Ok g ->
+      check_bool "solo node" true (Digraph.mem_node g "Solo");
+      check_bool "edge form" true (Digraph.mem_edge g "A" "S" "B");
+      check_bool "bare triple" true (Digraph.mem_edge g "B" "S" "C");
+      Alcotest.(check int) "A, B, C + solo" 4 (Digraph.nb_nodes g)
+  | Error _ -> Alcotest.fail "expected parse success"
+
+let test_parse_quoted () =
+  let doc = "edge \"New York\" \"connected to\" Boston\n" in
+  match Adjacency.parse doc with
+  | Ok g ->
+      check_bool "quoted tokens" true
+        (Digraph.mem_edge g "New York" "connected to" "Boston")
+  | Error _ -> Alcotest.fail "expected parse success"
+
+let test_parse_escapes () =
+  let doc = "node \"a\\\"b\"\n" in
+  match Adjacency.parse doc with
+  | Ok g -> check_bool "escaped quote" true (Digraph.mem_node g "a\"b")
+  | Error _ -> Alcotest.fail "expected parse success"
+
+let test_parse_inline_comment () =
+  match Adjacency.parse "A S B # trailing\n" with
+  | Ok g -> check_bool "comment stripped" true (Digraph.mem_edge g "A" "S" "B")
+  | Error _ -> Alcotest.fail "expected parse success"
+
+let test_parse_errors_reported_with_lines () =
+  let doc = "A S B\nnode\nX Y\n" in
+  match Adjacency.parse doc with
+  | Ok _ -> Alcotest.fail "expected errors"
+  | Error errors ->
+      Alcotest.(check (list int)) "line numbers" [ 2; 3 ]
+        (List.map (fun (er : Adjacency.error) -> er.Adjacency.line) errors)
+
+let test_parse_unterminated_quote () =
+  match Adjacency.parse "node \"oops\n" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error [ er ] ->
+      check_bool "message mentions quote" true
+        (String.length er.Adjacency.message > 0)
+  | Error _ -> Alcotest.fail "expected exactly one error"
+
+let test_parse_exn () =
+  Alcotest.check_raises "parse_exn raises"
+    (Invalid_argument "Adjacency.parse_exn: line 1: 'node' expects exactly one name")
+    (fun () -> ignore (Adjacency.parse_exn "node a b\n"))
+
+let test_print_isolated_nodes () =
+  let g = Digraph.of_edges ~nodes:[ "Solo" ] [ e "a" "S" "b" ] in
+  let doc = Adjacency.print g in
+  check_bool "mentions solo" true (contains ~affix:"node Solo" doc)
+
+let test_roundtrip_quoting () =
+  let g = Digraph.of_edges [ e "has space" "label#hash" "plain" ] in
+  Alcotest.check digraph "quoting roundtrip" g
+    (Adjacency.parse_exn (Adjacency.print g))
+
+let test_file_io () =
+  let path = Filename.temp_file "onion" ".adj" in
+  let g = diamond () in
+  Adjacency.save_file path g;
+  (match Adjacency.load_file path with
+  | Ok g' -> Alcotest.check digraph "file roundtrip" g g'
+  | Error _ -> Alcotest.fail "expected load success");
+  Sys.remove path
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"print/parse roundtrip"
+    arbitrary_graph
+    (fun g -> Digraph.equal g (Adjacency.parse_exn (Adjacency.print g)))
+
+let suite =
+  [
+    ( "adjacency",
+      [
+        Alcotest.test_case "basic" `Quick test_parse_basic;
+        Alcotest.test_case "quoted" `Quick test_parse_quoted;
+        Alcotest.test_case "escapes" `Quick test_parse_escapes;
+        Alcotest.test_case "inline comment" `Quick test_parse_inline_comment;
+        Alcotest.test_case "error lines" `Quick test_parse_errors_reported_with_lines;
+        Alcotest.test_case "unterminated quote" `Quick test_parse_unterminated_quote;
+        Alcotest.test_case "parse_exn" `Quick test_parse_exn;
+        Alcotest.test_case "isolated nodes printed" `Quick test_print_isolated_nodes;
+        Alcotest.test_case "quoting roundtrip" `Quick test_roundtrip_quoting;
+        Alcotest.test_case "file io" `Quick test_file_io;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+      ] );
+  ]

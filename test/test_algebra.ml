@@ -1,0 +1,214 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let t o n = Term.make ~ontology:o n
+
+(* The paper's difference scenario: only rule r1 exists. *)
+let only_r1 () =
+  Generator.generate ~articulation_name:"transport"
+    ~left:Paper_example.carrier ~right:Paper_example.factory
+    [ Rule.implies (t "carrier" "Cars") (t "factory" "Vehicle") ]
+
+let full () = Paper_example.articulation ()
+
+let test_union_counts () =
+  let r = full () in
+  let u =
+    Algebra.union ~left:r.Generator.updated_left ~right:r.Generator.updated_right
+      r.Generator.articulation
+  in
+  let nl = Ontology.nb_terms r.Generator.updated_left in
+  let nr = Ontology.nb_terms r.Generator.updated_right in
+  let na = Ontology.nb_terms (Articulation.ontology r.Generator.articulation) in
+  check_int "N = N1 + N2 + NA (disjoint by qualification)" (nl + nr + na)
+    (Digraph.nb_nodes u.Algebra.graph);
+  let el = Ontology.nb_relationships r.Generator.updated_left in
+  let er = Ontology.nb_relationships r.Generator.updated_right in
+  let ea = Ontology.nb_relationships (Articulation.ontology r.Generator.articulation) in
+  let eb = List.length (Articulation.bridge_edges r.Generator.articulation) in
+  check_int "E = E1 + E2 + EA + bridges" (el + er + ea + eb)
+    (Digraph.nb_edges u.Algebra.graph)
+
+let test_union_contains_bridges () =
+  let r = full () in
+  let u =
+    Algebra.union ~left:r.Generator.updated_left ~right:r.Generator.updated_right
+      r.Generator.articulation
+  in
+  check_bool "bridge edge present" true
+    (Digraph.mem_edge u.Algebra.graph "carrier:Cars" Rel.si_bridge "transport:Vehicle");
+  check_bool "source edge qualified" true
+    (Digraph.mem_edge u.Algebra.graph "factory:Truck" Rel.subclass_of "factory:GoodsVehicle")
+
+let test_union_name_check () =
+  let r = full () in
+  check_bool "wrong sources rejected" true
+    (try
+       ignore
+         (Algebra.union ~left:(Ontology.create "x") ~right:(Ontology.create "y")
+            r.Generator.articulation);
+       false
+     with Invalid_argument _ -> true)
+
+let test_union_ontology () =
+  let r = full () in
+  let u =
+    Algebra.union ~left:r.Generator.updated_left ~right:r.Generator.updated_right
+      r.Generator.articulation
+  in
+  let o = Algebra.union_ontology u in
+  Alcotest.(check string) "name" "carrier+factory+transport" (Ontology.name o);
+  check_int "graph carried" (Digraph.nb_nodes u.Algebra.graph) (Ontology.nb_terms o)
+
+let test_intersection_is_articulation_ontology () =
+  let r = full () in
+  let i = Algebra.intersection r.Generator.articulation in
+  Alcotest.(check string) "named transport" "transport" (Ontology.name i);
+  check_bool "has articulation terms" true
+    (Ontology.has_term i "Vehicle" && Ontology.has_term i "CarsTrucks");
+  check_bool "no source terms" false (Ontology.has_term i "SUV");
+  (* "The intersection ... produces an ontology that can be further
+     composed": its edges stay within the articulation term set. *)
+  List.iter
+    (fun (ed : Digraph.edge) ->
+      check_bool "edge endpoints internal" true
+        (Ontology.has_term i ed.src && Ontology.has_term i ed.dst))
+    (Ontology.relationships i)
+
+let test_paper_difference_carrier_minus_factory () =
+  (* Under only r1: Cars is deleted (its bridge reaches factory:Vehicle). *)
+  let r = only_r1 () in
+  let d =
+    Algebra.difference ~minuend:r.Generator.updated_left
+      ~subtrahend:r.Generator.updated_right r.Generator.articulation
+  in
+  check_bool "Cars deleted" false (Ontology.has_term d "Cars");
+  check_bool "MyCar deleted (reaches factory through Cars)" false
+    (Ontology.has_term d "MyCar");
+  check_bool "Trucks kept" true (Ontology.has_term d "Trucks");
+  check_bool "Carrier kept" true (Ontology.has_term d "Carrier")
+
+let test_paper_difference_factory_minus_carrier () =
+  (* "the node Vehicle is not deleted": equivalence only points back into
+     factory, never into carrier. *)
+  let r = only_r1 () in
+  let d =
+    Algebra.difference ~minuend:r.Generator.updated_right
+      ~subtrahend:r.Generator.updated_left r.Generator.articulation
+  in
+  check_bool "Vehicle retained" true (Ontology.has_term d "Vehicle");
+  check_bool "Truck retained" true (Ontology.has_term d "Truck");
+  (* Person exists in both vocabularies: the name-membership condition
+     (n not in N2) removes it. *)
+  check_bool "shared name removed" false (Ontology.has_term d "Person")
+
+let test_difference_keeps_minuend_name_and_edges () =
+  let r = only_r1 () in
+  let d =
+    Algebra.difference ~minuend:r.Generator.updated_left
+      ~subtrahend:r.Generator.updated_right r.Generator.articulation
+  in
+  Alcotest.(check string) "still carrier" "carrier" (Ontology.name d);
+  check_bool "surviving edge" true
+    (Ontology.has_rel d "Trucks" Rel.subclass_of "Carrier");
+  check_bool "edge to dead node dropped" false
+    (Ontology.has_rel d "MyCar" Rel.instance_of "Cars")
+
+let test_difference_prune_orphans () =
+  (* x -> dead, dead is excluded; y is reachable only from dead: pruned
+     under ~prune_orphans, kept otherwise. *)
+  let left =
+    Ontology.create "l"
+    |> fun o -> Ontology.add_rel o "dead" "uses" "orphan"
+    |> fun o -> Ontology.add_term o "free"
+  in
+  let right = Ontology.add_term (Ontology.create "r") "Target" in
+  let rules = [ Rule.implies (t "l" "dead") (t "r" "Target") ] in
+  let g = Generator.generate ~articulation_name:"m" ~left ~right rules in
+  let art = g.Generator.articulation in
+  let d = Algebra.difference ~minuend:g.Generator.updated_left ~subtrahend:right art in
+  check_bool "orphan kept by formal definition" true (Ontology.has_term d "orphan");
+  let dp =
+    Algebra.difference ~prune_orphans:true ~minuend:g.Generator.updated_left
+      ~subtrahend:right art
+  in
+  check_bool "orphan pruned" false (Ontology.has_term dp "orphan");
+  check_bool "free survives both" true
+    (Ontology.has_term d "free" && Ontology.has_term dp "free")
+
+let test_prune_keeps_shared_descendants () =
+  (* y reachable from dead AND from alive: must survive pruning. *)
+  let left =
+    Ontology.create "l"
+    |> fun o -> Ontology.add_rel o "dead" "uses" "shared"
+    |> fun o -> Ontology.add_rel o "alive" "uses" "shared"
+  in
+  let right = Ontology.add_term (Ontology.create "r") "Target" in
+  let rules = [ Rule.implies (t "l" "dead") (t "r" "Target") ] in
+  let g = Generator.generate ~articulation_name:"m" ~left ~right rules in
+  let dp =
+    Algebra.difference ~prune_orphans:true ~minuend:g.Generator.updated_left
+      ~subtrahend:right g.Generator.articulation
+  in
+  check_bool "shared survives" true (Ontology.has_term dp "shared");
+  check_bool "alive survives" true (Ontology.has_term dp "alive")
+
+let test_difference_with_no_rules_is_name_difference () =
+  let r =
+    Generator.generate ~articulation_name:"transport"
+      ~left:Paper_example.carrier ~right:Paper_example.factory []
+  in
+  let d =
+    Algebra.difference ~minuend:Paper_example.carrier
+      ~subtrahend:Paper_example.factory r.Generator.articulation
+  in
+  (* Only shared names (Person, Price) go. *)
+  check_bool "Person removed" false (Ontology.has_term d "Person");
+  check_bool "Price removed" false (Ontology.has_term d "Price");
+  check_bool "Cars kept" true (Ontology.has_term d "Cars")
+
+let test_is_independent () =
+  let r = only_r1 () in
+  let art = r.Generator.articulation in
+  let left = r.Generator.updated_left in
+  check_bool "bridged term dependent" false
+    (Algebra.is_independent ~of_:left ~term:"Cars" art);
+  check_bool "instance of bridged dependent" false
+    (Algebra.is_independent ~of_:left ~term:"MyCar" art);
+  check_bool "unrelated term independent" true
+    (Algebra.is_independent ~of_:left ~term:"Carrier" art)
+
+let test_difference_full_rules_conversion_paths_count () =
+  (* With the full rule set, factory:Vehicle reaches carrier:Price through
+     Price conversion edges, so it is excluded — paths follow every edge
+     label (section 5.3 formal definition). *)
+  let r = full () in
+  let d =
+    Algebra.difference ~minuend:r.Generator.updated_right
+      ~subtrahend:r.Generator.updated_left r.Generator.articulation
+  in
+  check_bool "Vehicle excluded under full rules" false (Ontology.has_term d "Vehicle")
+
+let suite =
+  [
+    ( "algebra",
+      [
+        Alcotest.test_case "union counts" `Quick test_union_counts;
+        Alcotest.test_case "union bridges" `Quick test_union_contains_bridges;
+        Alcotest.test_case "union name check" `Quick test_union_name_check;
+        Alcotest.test_case "union ontology" `Quick test_union_ontology;
+        Alcotest.test_case "intersection" `Quick test_intersection_is_articulation_ontology;
+        Alcotest.test_case "difference carrier-factory (paper)" `Quick
+          test_paper_difference_carrier_minus_factory;
+        Alcotest.test_case "difference factory-carrier (paper)" `Quick
+          test_paper_difference_factory_minus_carrier;
+        Alcotest.test_case "difference is a view" `Quick
+          test_difference_keeps_minuend_name_and_edges;
+        Alcotest.test_case "prune orphans" `Quick test_difference_prune_orphans;
+        Alcotest.test_case "prune keeps shared" `Quick test_prune_keeps_shared_descendants;
+        Alcotest.test_case "no rules" `Quick test_difference_with_no_rules_is_name_difference;
+        Alcotest.test_case "is_independent" `Quick test_is_independent;
+        Alcotest.test_case "conversion paths count" `Quick
+          test_difference_full_rules_conversion_paths_count;
+      ] );
+  ]

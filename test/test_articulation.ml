@@ -1,0 +1,88 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let art_term n = Term.make ~ontology:"transport" n
+let carrier_term n = Term.make ~ontology:"carrier" n
+let factory_term n = Term.make ~ontology:"factory" n
+
+let fixture () =
+  let ontology =
+    Ontology.add_term (Ontology.create "transport") "Vehicle"
+  in
+  Articulation.create ~ontology ~left:"carrier" ~right:"factory"
+    [
+      Bridge.si (carrier_term "Cars") (art_term "Vehicle");
+      Bridge.si (factory_term "Vehicle") (art_term "Vehicle");
+      Bridge.si (art_term "Vehicle") (factory_term "Vehicle");
+    ]
+
+let test_create_validation () =
+  let ontology = Ontology.create "carrier" in
+  check_bool "name clash rejected" true
+    (try
+       ignore (Articulation.create ~ontology ~left:"carrier" ~right:"factory" []);
+       false
+     with Invalid_argument _ -> true);
+  let ontology = Ontology.create "transport" in
+  check_bool "alien bridge rejected" true
+    (try
+       ignore
+         (Articulation.create ~ontology ~left:"carrier" ~right:"factory"
+            [ Bridge.si (Term.make ~ontology:"x" "A") (Term.make ~ontology:"y" "B") ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_accessors () =
+  let a = fixture () in
+  Alcotest.(check string) "name" "transport" (Articulation.name a);
+  Alcotest.(check string) "left" "carrier" (Articulation.left a);
+  check_int "bridges" 3 (Articulation.nb_bridges a)
+
+let test_bridges_deduplicated_and_sorted () =
+  let ontology = Ontology.create "transport" in
+  let b = Bridge.si (carrier_term "Cars") (art_term "Vehicle") in
+  let a = Articulation.create ~ontology ~left:"carrier" ~right:"factory" [ b; b ] in
+  check_int "dedup" 1 (Articulation.nb_bridges a)
+
+let test_bridges_with () =
+  let a = fixture () in
+  check_int "carrier side" 1 (List.length (Articulation.bridges_with a "carrier"));
+  check_int "factory side" 2 (List.length (Articulation.bridges_with a "factory"))
+
+let test_bridged_terms () =
+  let a = fixture () in
+  check_sorted_strings "carrier" [ "Cars" ] (Articulation.bridged_terms a "carrier");
+  check_sorted_strings "factory" [ "Vehicle" ] (Articulation.bridged_terms a "factory")
+
+let test_add_and_remove () =
+  let a = fixture () in
+  let extra = Bridge.si (carrier_term "Trucks") (art_term "Vehicle") in
+  let a2 = Articulation.add_bridge a extra in
+  check_int "added" 4 (Articulation.nb_bridges a2);
+  check_int "add idempotent" 4
+    (Articulation.nb_bridges (Articulation.add_bridge a2 extra));
+  let a3 = Articulation.remove_bridges_touching a2 (factory_term "Vehicle") in
+  check_int "both directions dropped" 2 (Articulation.nb_bridges a3)
+
+let test_bridge_edges_qualified () =
+  let a = fixture () in
+  check_bool "qualified rendering" true
+    (List.mem
+       (e "carrier:Cars" Rel.si_bridge "transport:Vehicle")
+       (Articulation.bridge_edges a))
+
+let suite =
+  [
+    ( "articulation",
+      [
+        Alcotest.test_case "validation" `Quick test_create_validation;
+        Alcotest.test_case "accessors" `Quick test_accessors;
+        Alcotest.test_case "dedup" `Quick test_bridges_deduplicated_and_sorted;
+        Alcotest.test_case "bridges_with" `Quick test_bridges_with;
+        Alcotest.test_case "bridged_terms" `Quick test_bridged_terms;
+        Alcotest.test_case "add/remove" `Quick test_add_and_remove;
+        Alcotest.test_case "edges qualified" `Quick test_bridge_edges_qualified;
+      ] );
+  ]

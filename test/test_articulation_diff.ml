@@ -1,0 +1,80 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let t o n = Term.make ~ontology:o n
+
+let base () =
+  let r = Paper_example.articulation () in
+  r.Generator.articulation
+
+let test_self_diff_empty () =
+  let art = base () in
+  let d = Articulation_diff.diff ~previous:art ~current:art in
+  check_bool "empty" true (Articulation_diff.is_empty d);
+  check_int "size 0" 0 (Articulation_diff.size d);
+  Alcotest.(check string) "pp" "no articulation changes"
+    (Format.asprintf "%a" Articulation_diff.pp d)
+
+let test_added_bridge () =
+  let art = base () in
+  let extra = Bridge.si (t "carrier" "Trucks") (t "transport" "Vehicle") in
+  let current = Articulation.add_bridge art extra in
+  let d = Articulation_diff.diff ~previous:art ~current in
+  check_int "one item" 1 (Articulation_diff.size d);
+  check_bool "listed as added" true
+    (List.exists (Bridge.equal extra) d.Articulation_diff.added_bridges);
+  (* Reverse orientation swaps the lists. *)
+  let d' = Articulation_diff.diff ~previous:current ~current:art in
+  check_bool "listed as removed" true
+    (List.exists (Bridge.equal extra) d'.Articulation_diff.removed_bridges)
+
+let test_term_and_edge_changes () =
+  let art = base () in
+  let ontology =
+    Articulation.ontology art
+    |> fun o -> Ontology.add_subclass o ~sub:"Bicycle" ~super:"Vehicle"
+  in
+  let current = Articulation.with_ontology art ontology in
+  let d = Articulation_diff.diff ~previous:art ~current in
+  Alcotest.(check (list string)) "new term" [ "Bicycle" ] d.Articulation_diff.added_terms;
+  check_int "new edge" 1 (List.length d.Articulation_diff.added_edges);
+  check_bool "nothing removed" true
+    (d.Articulation_diff.removed_terms = [] && d.Articulation_diff.removed_edges = [])
+
+let test_independent_change_leaves_no_diff () =
+  (* Regenerating after an independent-region edit reproduces the same
+     articulation — the review delta the expert sees is empty. *)
+  let r = Paper_example.articulation () in
+  let left' = Ontology.add_term r.Generator.updated_left "BrandNewThing" in
+  let r' =
+    Generator.generate ~conversions:Conversion.builtin
+      ~articulation_name:"transport" ~left:left'
+      ~right:r.Generator.updated_right Paper_example.rules
+  in
+  let d =
+    Articulation_diff.diff ~previous:r.Generator.articulation
+      ~current:r'.Generator.articulation
+  in
+  check_bool "no changes to review" true (Articulation_diff.is_empty d)
+
+let test_pp_renders_signs () =
+  let art = base () in
+  let extra = Bridge.si (t "carrier" "Trucks") (t "transport" "Vehicle") in
+  let current = Articulation.add_bridge art extra in
+  let s =
+    Format.asprintf "%a" Articulation_diff.pp
+      (Articulation_diff.diff ~previous:art ~current)
+  in
+  check_bool "plus sign" true (Helpers.contains ~affix:"+ bridge" s)
+
+let suite =
+  [
+    ( "articulation-diff",
+      [
+        Alcotest.test_case "self diff" `Quick test_self_diff_empty;
+        Alcotest.test_case "added bridge" `Quick test_added_bridge;
+        Alcotest.test_case "terms and edges" `Quick test_term_and_edge_changes;
+        Alcotest.test_case "independent change" `Quick test_independent_change_leaves_no_diff;
+        Alcotest.test_case "pp" `Quick test_pp_renders_signs;
+      ] );
+  ]

@@ -1,0 +1,128 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let t o n = Term.make ~ontology:o n
+
+let left =
+  Ontology.create "l"
+  |> fun o -> Ontology.add_subclass o ~sub:"Car" ~super:"Vehicle"
+  |> fun o -> Ontology.add_attribute o ~concept:"Car" ~attr:"Price"
+
+let right =
+  Ontology.create "r"
+  |> fun o -> Ontology.add_subclass o ~sub:"Automobile" ~super:"Machine"
+  |> fun o -> Ontology.add_attribute o ~concept:"Automobile" ~attr:"Cost"
+
+let test_integrate_merges_synonyms () =
+  let g = Global_schema.integrate ~name:"global" [ left; right ] in
+  (* car ~ automobile and price ~ cost through the lexicon. *)
+  let car_global = Global_schema.global_term g (t "l" "Car") in
+  let auto_global = Global_schema.global_term g (t "r" "Automobile") in
+  check_bool "merged" true (car_global = auto_global && car_global <> None);
+  check_bool "price merged with cost" true
+    (Global_schema.global_term g (t "l" "Price") = Global_schema.global_term g (t "r" "Cost"))
+
+let test_integrate_preserves_structure () =
+  let g = Global_schema.integrate ~name:"global" [ left; right ] in
+  let schema = g.Global_schema.schema in
+  (* Car subclass Vehicle survives under the merged names. *)
+  let gname term = Option.get (Global_schema.global_term g term) in
+  check_bool "left edge" true
+    (Ontology.has_rel schema (gname (t "l" "Car")) Rel.subclass_of (gname (t "l" "Vehicle")));
+  check_bool "right edge" true
+    (Ontology.has_rel schema (gname (t "r" "Automobile")) Rel.subclass_of (gname (t "r" "Machine")))
+
+let test_comparisons_quadratic () =
+  let g = Global_schema.integrate ~name:"global" [ left; right ] in
+  check_int "|L| * |R| comparisons"
+    (Ontology.nb_terms left * Ontology.nb_terms right)
+    g.Global_schema.comparisons;
+  (* Three sources: all pairs. *)
+  let third = Ontology.add_term (Ontology.create "t3") "Widget" in
+  let g3 = Global_schema.integrate ~name:"global" [ left; right; third ] in
+  check_int "pairwise sum"
+    ((Ontology.nb_terms left * Ontology.nb_terms right)
+    + (Ontology.nb_terms left * Ontology.nb_terms third)
+    + (Ontology.nb_terms right * Ontology.nb_terms third))
+    g3.Global_schema.comparisons
+
+let test_source_terms_inverse () =
+  let g = Global_schema.integrate ~name:"global" [ left; right ] in
+  let car_global = Option.get (Global_schema.global_term g (t "l" "Car")) in
+  let sources = Global_schema.source_terms g car_global in
+  check_bool "both sides listed" true
+    (List.exists (Term.equal (t "l" "Car")) sources
+    && List.exists (Term.equal (t "r" "Automobile")) sources)
+
+let test_name_collision_disambiguated () =
+  (* Same label, disjoint semantics forced by an empty lexicon. *)
+  let a = Ontology.add_term (Ontology.create "a") "Widget" in
+  let b = Ontology.add_term (Ontology.create "b") "Widget" in
+  let g = Global_schema.integrate ~lexicon:Lexicon.empty ~name:"global" [ a; b ] in
+  (* Identical normalized labels still merge (consistent-vocabulary
+     reading), so we get one global term. *)
+  check_int "merged by label" 1 (Ontology.nb_terms g.Global_schema.schema)
+
+let test_rebuild () =
+  let g = Global_schema.integrate ~name:"global" [ left; right ] in
+  let changed = Ontology.add_term left "Spoiler" in
+  let g2 = Global_schema.rebuild g ~changed ~others:[ right ] in
+  check_bool "new term present" true
+    (Global_schema.global_term g2 (t "l" "Spoiler") <> None);
+  check_bool "rebuild pays comparisons" true (g2.Global_schema.comparisons > 0)
+
+let test_maintenance_costs () =
+  let rules = [ Rule.implies (t "l" "Car") (t "r" "Automobile") ] in
+  let gen = Generator.generate ~articulation_name:"m" ~left ~right rules in
+  let articulation = gen.Generator.articulation in
+  let left = gen.Generator.updated_left in
+  (* An edit in the independent region is free for articulation. *)
+  check_int "independent edit free" 0
+    (Maintenance.articulation_op_cost articulation ~source:left
+       (Change.Add_attribute { concept = "Vehicle"; attr = "Weight" }));
+  (* Touching the bridged term costs at least the bridge. *)
+  check_bool "bridged edit costs" true
+    (Maintenance.articulation_op_cost articulation ~source:left
+       (Change.Remove_term "Car")
+    > 0)
+
+let test_simulate_report () =
+  let rules = [ Rule.implies (t "l" "Car") (t "r" "Automobile") ] in
+  let gen = Generator.generate ~articulation_name:"m" ~left ~right rules in
+  let articulation = gen.Generator.articulation in
+  let left = gen.Generator.updated_left and right = gen.Generator.updated_right in
+  let script =
+    [
+      Change.Add_attribute { concept = "Vehicle"; attr = "Weight" };
+      Change.Add_term { term = "Wing"; superclass = Some "Car" };
+      Change.Remove_term "Car";
+    ]
+  in
+  let report = Maintenance.simulate ~articulation ~left ~right ~change_left:script () in
+  check_int "ops" 3 report.Maintenance.ops;
+  (* Vehicle edit free; Wing under Car touches bridged Car; removal too. *)
+  check_int "touched" 2 report.Maintenance.articulation_touched_ops;
+  check_bool "global always pays" true
+    (report.Maintenance.global_cost >= 3 * Ontology.nb_terms right);
+  (* Batching rebuilds lowers global cost. *)
+  let batched =
+    Maintenance.simulate ~rebuild_batch:3 ~articulation ~left ~right
+      ~change_left:script ()
+  in
+  check_bool "batching cheaper" true
+    (batched.Maintenance.global_cost < report.Maintenance.global_cost)
+
+let suite =
+  [
+    ( "baseline",
+      [
+        Alcotest.test_case "synonym merge" `Quick test_integrate_merges_synonyms;
+        Alcotest.test_case "structure preserved" `Quick test_integrate_preserves_structure;
+        Alcotest.test_case "quadratic comparisons" `Quick test_comparisons_quadratic;
+        Alcotest.test_case "source terms" `Quick test_source_terms_inverse;
+        Alcotest.test_case "label merge" `Quick test_name_collision_disambiguated;
+        Alcotest.test_case "rebuild" `Quick test_rebuild;
+        Alcotest.test_case "op costs" `Quick test_maintenance_costs;
+        Alcotest.test_case "simulate" `Quick test_simulate_report;
+      ] );
+  ]

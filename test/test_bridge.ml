@@ -1,0 +1,58 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+
+let car = Term.make ~ontology:"carrier" "Car"
+let veh = Term.make ~ontology:"transport" "Vehicle"
+
+let test_si () =
+  let b = Bridge.si car veh in
+  Alcotest.(check string) "label" Rel.si_bridge b.Bridge.label;
+  check_bool "not conversion" false (Bridge.is_conversion b)
+
+let test_conversion () =
+  let b = Bridge.conversion ~fn:"DGToEuroFn" car veh in
+  Alcotest.(check string) "label" "DGToEuroFn()" b.Bridge.label;
+  check_bool "is conversion" true (Bridge.is_conversion b)
+
+let test_to_edge () =
+  let b = Bridge.si car veh in
+  Alcotest.check edge "edge"
+    (e "carrier:Car" Rel.si_bridge "transport:Vehicle")
+    (Bridge.to_edge b)
+
+let test_of_edge () =
+  (match Bridge.of_edge (e "carrier:Car" "SIBridge" "transport:Vehicle") with
+  | Some b -> Alcotest.check bridge "roundtrip" (Bridge.si car veh) b
+  | None -> Alcotest.fail "expected a bridge");
+  check_bool "unqualified rejected" true
+    (Bridge.of_edge (e "Car" "SIBridge" "transport:Vehicle") = None)
+
+let test_involves_and_other_side () =
+  let b = Bridge.si car veh in
+  check_bool "involves carrier" true (Bridge.involves b "carrier");
+  check_bool "involves transport" true (Bridge.involves b "transport");
+  check_bool "not factory" false (Bridge.involves b "factory");
+  Alcotest.(check (option term)) "other side of carrier" (Some veh)
+    (Bridge.other_side b "carrier");
+  Alcotest.(check (option term)) "other of unrelated" None
+    (Bridge.other_side b "factory")
+
+let test_ordering () =
+  let b1 = Bridge.si car veh in
+  let b2 = Bridge.si veh car in
+  check_bool "distinct directions" false (Bridge.equal b1 b2);
+  check_bool "total order" true (Bridge.compare b1 b2 <> 0)
+
+let suite =
+  [
+    ( "bridge",
+      [
+        Alcotest.test_case "si" `Quick test_si;
+        Alcotest.test_case "conversion" `Quick test_conversion;
+        Alcotest.test_case "to_edge" `Quick test_to_edge;
+        Alcotest.test_case "of_edge" `Quick test_of_edge;
+        Alcotest.test_case "involves" `Quick test_involves_and_other_side;
+        Alcotest.test_case "ordering" `Quick test_ordering;
+      ] );
+  ]

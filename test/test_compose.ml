@@ -1,0 +1,91 @@
+let check_bool = Alcotest.(check bool)
+
+let t o n = Term.make ~ontology:o n
+
+let base_articulation () =
+  let r = Paper_example.articulation () in
+  r.Generator.articulation
+
+let third =
+  Ontology.create "customs"
+  |> fun o -> Ontology.add_subclass o ~sub:"ImportedVehicle" ~super:"Import"
+  |> fun o -> Ontology.add_attribute o ~concept:"ImportedVehicle" ~attr:"Duty"
+
+let compose_rules =
+  [
+    Rule.implies (t "transport" "Vehicle") (t "customs" "ImportedVehicle");
+    Rule.implies (t "customs" "Import") (t "trade" "TradeGood");
+  ]
+
+let test_compose_builds_tower () =
+  let tower =
+    Compose.compose ~articulation_name:"trade" ~base:(base_articulation ())
+      ~third compose_rules
+  in
+  Alcotest.(check string) "upper name" "trade" (Articulation.name tower.Compose.upper);
+  Alcotest.(check string) "upper left is base articulation" "transport"
+    (Articulation.left tower.Compose.upper);
+  check_bool "bridge from articulation term" true
+    (List.exists
+       (fun (b : Bridge.t) ->
+         String.equal b.Bridge.src.Term.ontology "transport")
+       (Articulation.bridges tower.Compose.upper))
+
+let test_base_untouched () =
+  let base = base_articulation () in
+  let before = Articulation.nb_bridges base in
+  let _tower = Compose.compose ~articulation_name:"trade" ~base ~third compose_rules in
+  Alcotest.(check int) "base unchanged" before (Articulation.nb_bridges base)
+
+let test_spanning_graph () =
+  let tower =
+    Compose.compose ~articulation_name:"trade" ~base:(base_articulation ())
+      ~third compose_rules
+  in
+  let g =
+    Compose.spanning_graph ~left:Paper_example.carrier ~right:Paper_example.factory
+      ~third tower
+  in
+  check_bool "has carrier node" true (Digraph.mem_node g "carrier:Cars");
+  check_bool "has customs node" true (Digraph.mem_node g "customs:ImportedVehicle");
+  check_bool "has upper articulation node" true (Digraph.mem_node g "trade:ImportedVehicle");
+  check_bool "upper bridge present" true
+    (Digraph.mem_edge g "transport:Vehicle" Rel.si_bridge "trade:ImportedVehicle")
+
+let test_reachability_spans_three_sources () =
+  let tower =
+    Compose.compose ~articulation_name:"trade" ~base:(base_articulation ())
+      ~third compose_rules
+  in
+  let reachable =
+    Compose.reachable_terms ~left:Paper_example.carrier ~right:Paper_example.factory
+      ~third tower ~from:(t "carrier" "Cars")
+  in
+  check_bool "reaches factory" true
+    (List.exists (fun (x : Term.t) -> x.Term.ontology = "factory") reachable);
+  check_bool "reaches customs through the tower" true
+    (List.exists (Term.equal (t "customs" "ImportedVehicle")) reachable);
+  check_bool "never reports its own ontology" true
+    (List.for_all (fun (x : Term.t) -> x.Term.ontology <> "carrier") reachable)
+
+let test_compose_session () =
+  let expert = Expert.threshold 0.99 in
+  let tower, outcome =
+    Compose.compose_session ~articulation_name:"trade"
+      ~seed_rules:compose_rules ~expert ~base:(base_articulation ()) ~third ()
+  in
+  check_bool "tower built" true (Articulation.nb_bridges tower.Compose.upper > 0);
+  check_bool "outcome consistent" true
+    (Articulation.name outcome.Session.articulation = "trade")
+
+let suite =
+  [
+    ( "compose",
+      [
+        Alcotest.test_case "tower" `Quick test_compose_builds_tower;
+        Alcotest.test_case "base untouched" `Quick test_base_untouched;
+        Alcotest.test_case "spanning graph" `Quick test_spanning_graph;
+        Alcotest.test_case "three-source reach" `Quick test_reachability_spans_three_sources;
+        Alcotest.test_case "session" `Quick test_compose_session;
+      ] );
+  ]

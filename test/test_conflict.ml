@@ -1,0 +1,148 @@
+let check_bool = Alcotest.(check bool)
+
+let t o n = Term.make ~ontology:o n
+
+let codes conflicts = List.map (fun c -> c.Conflict.code) conflicts
+
+let two_sources () =
+  let a =
+    Ontology.create "a"
+    |> fun o -> Ontology.add_subclass o ~sub:"Car" ~super:"Vehicle"
+    |> fun o -> Ontology.add_term o "Bike"
+  in
+  let b =
+    Ontology.create "b"
+    |> fun o -> Ontology.add_subclass o ~sub:"Sedan" ~super:"Auto"
+    |> fun o -> Ontology.add_term o "Boat"
+  in
+  (a, b)
+
+let test_clean_rules () =
+  let a, b = two_sources () in
+  let rules = [ Rule.implies (t "a" "Car") (t "b" "Auto") ] in
+  Alcotest.(check (list string)) "no conflicts" []
+    (codes (Conflict.check ~ontologies:[ a; b ] rules))
+
+let test_disjoint_implication () =
+  let a, b = two_sources () in
+  let rules =
+    [
+      Rule.implies ~name:"i" (t "a" "Car") (t "b" "Boat");
+      Rule.disjoint ~name:"d" (t "a" "Car") (t "b" "Boat");
+    ]
+  in
+  let cs = Conflict.check ~ontologies:[ a; b ] rules in
+  check_bool "flagged" true (List.mem "disjoint-implication" (codes cs));
+  check_bool "fatal" true (Conflict.fatal cs <> [])
+
+let test_disjoint_implication_transitive () =
+  let a, b = two_sources () in
+  let rules =
+    [
+      Rule.implies ~name:"i1" (t "a" "Car") (t "b" "Auto");
+      Rule.implies ~name:"i2" (t "b" "Auto") (t "b" "Boat");
+      Rule.disjoint ~name:"d" (t "a" "Car") (t "b" "Boat");
+    ]
+  in
+  check_bool "path through middle" true
+    (List.mem "disjoint-implication"
+       (codes (Conflict.check ~ontologies:[ a; b ] rules)))
+
+let test_disjoint_overlap () =
+  let a, b = two_sources () in
+  (* Sedan flows into both Auto and Boat which are disjoint. *)
+  let rules =
+    [
+      Rule.implies ~name:"i1" (t "b" "Sedan") (t "b" "Boat");
+      Rule.disjoint ~name:"d" (t "b" "Auto") (t "b" "Boat");
+    ]
+  in
+  (* Sedan -S-> Auto comes from the source ontology itself. *)
+  check_bool "overlap" true
+    (List.mem "disjoint-overlap" (codes (Conflict.check ~ontologies:[ a; b ] rules)))
+
+let test_self_implication () =
+  let a, b = two_sources () in
+  let rules = [ Rule.implies ~name:"s" (t "a" "Car") (t "a" "Car") ] in
+  check_bool "self" true
+    (List.mem "self-implication" (codes (Conflict.check ~ontologies:[ a; b ] rules)))
+
+let test_functional_clash () =
+  let a, b = two_sources () in
+  let rules =
+    [
+      Rule.functional ~name:"f1" ~fn:"AFn" ~src:(t "a" "Car") ~dst:(t "b" "Auto") ();
+      Rule.functional ~name:"f2" ~fn:"BFn" ~src:(t "a" "Car") ~dst:(t "b" "Auto") ();
+    ]
+  in
+  check_bool "clash" true
+    (List.mem "functional-clash" (codes (Conflict.check ~ontologies:[ a; b ] rules)))
+
+let test_duplicate_rule () =
+  let a, b = two_sources () in
+  let rules =
+    [
+      Rule.implies ~name:"r1" (t "a" "Car") (t "b" "Auto");
+      Rule.implies ~name:"r2" (t "a" "Car") (t "b" "Auto");
+    ]
+  in
+  check_bool "dup" true
+    (List.mem "duplicate-rule" (codes (Conflict.check ~ontologies:[ a; b ] rules)))
+
+let test_unknown_converter_and_drift () =
+  let a, b = two_sources () in
+  let rules =
+    [ Rule.functional ~name:"f" ~fn:"MissingFn" ~src:(t "a" "Car") ~dst:(t "b" "Auto") () ]
+  in
+  let cs = Conflict.check ~conversions:Conversion.builtin ~ontologies:[ a; b ] rules in
+  check_bool "unknown" true (List.mem "unknown-converter" (codes cs));
+  (* A bad inverse pair drifts. *)
+  let registry =
+    Conversion.register_linear Conversion.empty ~name:"BadFn" ~inverse:"BadInvFn" ~factor:2.0 ()
+    |> fun r -> Conversion.register_linear r ~name:"BadInvFn" ~factor:0.3 ()
+  in
+  let rules2 =
+    [ Rule.functional ~name:"f2" ~fn:"BadFn" ~src:(t "a" "Car") ~dst:(t "b" "Auto") () ]
+  in
+  check_bool "drift" true
+    (List.mem "roundtrip-drift"
+       (codes (Conflict.check ~conversions:registry ~ontologies:[ a; b ] rules2)))
+
+let test_unknown_term () =
+  let a, b = two_sources () in
+  let rules = [ Rule.implies ~name:"u" (t "a" "Spaceship") (t "b" "Auto") ] in
+  let cs = Conflict.check ~ontologies:[ a; b ] rules in
+  check_bool "unknown term" true (List.mem "unknown-term" (codes cs));
+  (* Articulation terms are exempt: their ontology is not in the list. *)
+  let rules2 = [ Rule.implies ~name:"ok" (t "art" "Anything") (t "b" "Auto") ] in
+  check_bool "articulation exempt" false
+    (List.mem "unknown-term" (codes (Conflict.check ~ontologies:[ a; b ] rules2)))
+
+let test_fatal_sorted_first () =
+  let a, b = two_sources () in
+  let rules =
+    [
+      Rule.implies ~name:"r1" (t "a" "Ghost") (t "b" "Auto");
+      Rule.implies ~name:"s" (t "a" "Car") (t "a" "Car");
+    ]
+  in
+  match Conflict.check ~ontologies:[ a; b ] rules with
+  | first :: _ -> Alcotest.(check string) "fatal first" "self-implication" first.Conflict.code
+  | [] -> Alcotest.fail "expected conflicts"
+
+let suite =
+  [
+    ( "conflict",
+      [
+        Alcotest.test_case "clean" `Quick test_clean_rules;
+        Alcotest.test_case "disjoint implication" `Quick test_disjoint_implication;
+        Alcotest.test_case "disjoint transitive" `Quick test_disjoint_implication_transitive;
+        Alcotest.test_case "disjoint overlap" `Quick test_disjoint_overlap;
+        Alcotest.test_case "self implication" `Quick test_self_implication;
+        Alcotest.test_case "functional clash" `Quick test_functional_clash;
+        Alcotest.test_case "duplicate" `Quick test_duplicate_rule;
+        Alcotest.test_case "converter checks" `Quick test_unknown_converter_and_drift;
+        Alcotest.test_case "unknown term" `Quick test_unknown_term;
+        Alcotest.test_case "fatal first" `Quick test_fatal_sorted_first;
+      ] );
+  ]

@@ -1,0 +1,108 @@
+let check_bool = Alcotest.(check bool)
+
+let codes issues = List.map (fun i -> i.Consistency.code) issues
+
+let test_clean_ontology () =
+  check_bool "paper carrier consistent" true
+    (Consistency.is_consistent Paper_example.carrier);
+  check_bool "paper factory consistent" true
+    (Consistency.is_consistent Paper_example.factory)
+
+let test_subclass_cycle () =
+  let o =
+    Ontology.create "o"
+    |> fun o -> Ontology.add_subclass o ~sub:"a" ~super:"b"
+    |> fun o -> Ontology.add_subclass o ~sub:"b" ~super:"a"
+  in
+  let issues = Consistency.check o in
+  check_bool "cycle is error" true (List.mem "subclass-cycle" (codes issues));
+  check_bool "inconsistent" false (Consistency.is_consistent o)
+
+let test_subclass_self_loop () =
+  let o = Ontology.add_subclass (Ontology.create "o") ~sub:"a" ~super:"a" in
+  check_bool "self loop is error" false (Consistency.is_consistent o)
+
+let test_si_cycle_is_warning () =
+  let o =
+    Ontology.create "o"
+    |> fun o -> Ontology.add_implication o ~specific:"a" ~general:"b"
+    |> fun o -> Ontology.add_implication o ~specific:"b" ~general:"a"
+  in
+  let issues = Consistency.check o in
+  check_bool "flagged" true (List.mem "si-cycle" (codes issues));
+  check_bool "but consistent" true (Consistency.is_consistent o)
+
+let test_instance_of_instance () =
+  let o =
+    Ontology.create "o"
+    |> fun o -> Ontology.add_instance o ~instance:"a" ~concept:"b"
+    |> fun o -> Ontology.add_instance o ~instance:"b" ~concept:"c"
+  in
+  let issues = Consistency.check o in
+  check_bool "error" true (List.mem "instance-of-instance" (codes issues))
+
+let test_class_and_instance_warning () =
+  let o =
+    Ontology.create "o"
+    |> fun o -> Ontology.add_instance o ~instance:"x" ~concept:"c"
+    |> fun o -> Ontology.add_subclass o ~sub:"x" ~super:"s"
+  in
+  let issues = Consistency.check o in
+  check_bool "warning" true (List.mem "class-and-instance" (codes issues));
+  check_bool "still consistent" true (Consistency.is_consistent o)
+
+let test_bad_inverse_declaration () =
+  let relations =
+    Rel.declare Rel.empty_registry "owns" [ Rel.Inverse_of "missing" ]
+  in
+  let o = Ontology.create ~relations "o" in
+  let issues = Consistency.check o in
+  check_bool "error" true (List.mem "inverse-unknown" (codes issues))
+
+let test_strict_undeclared () =
+  let o = Ontology.add_rel (Ontology.create "o") "a" "exoticVerb" "b" in
+  let lax = Consistency.check o in
+  check_bool "lax ignores" false (List.mem "undeclared-relationship" (codes lax));
+  let strict = Consistency.check ~strict:true o in
+  check_bool "strict flags" true (List.mem "undeclared-relationship" (codes strict));
+  (* Conversion labels are exempt even in strict mode. *)
+  let o2 = Ontology.add_rel (Ontology.create "o") "a" "FnX()" "b" in
+  check_bool "conversion exempt" false
+    (List.mem "undeclared-relationship" (codes (Consistency.check ~strict:true o2)))
+
+let test_errors_sorted_first () =
+  let o =
+    Ontology.create "o"
+    |> fun o -> Ontology.add_implication o ~specific:"a" ~general:"b"
+    |> fun o -> Ontology.add_implication o ~specific:"b" ~general:"a"
+    |> fun o -> Ontology.add_subclass o ~sub:"x" ~super:"x"
+  in
+  match Consistency.check o with
+  | first :: _ -> Alcotest.(check string) "error first" "subclass-cycle" first.Consistency.code
+  | [] -> Alcotest.fail "expected issues"
+
+let test_attribute_cycle () =
+  let o =
+    Ontology.create "o"
+    |> fun o -> Ontology.add_attribute o ~concept:"a" ~attr:"b"
+    |> fun o -> Ontology.add_attribute o ~concept:"b" ~attr:"a"
+  in
+  check_bool "warning" true
+    (List.mem "attribute-cycle" (codes (Consistency.check o)))
+
+let suite =
+  [
+    ( "consistency",
+      [
+        Alcotest.test_case "clean" `Quick test_clean_ontology;
+        Alcotest.test_case "subclass cycle" `Quick test_subclass_cycle;
+        Alcotest.test_case "self loop" `Quick test_subclass_self_loop;
+        Alcotest.test_case "si cycle" `Quick test_si_cycle_is_warning;
+        Alcotest.test_case "instance of instance" `Quick test_instance_of_instance;
+        Alcotest.test_case "class and instance" `Quick test_class_and_instance_warning;
+        Alcotest.test_case "bad inverse" `Quick test_bad_inverse_declaration;
+        Alcotest.test_case "strict mode" `Quick test_strict_undeclared;
+        Alcotest.test_case "errors first" `Quick test_errors_sorted_first;
+        Alcotest.test_case "attribute cycle" `Quick test_attribute_cycle;
+      ] );
+  ]

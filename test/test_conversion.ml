@@ -1,0 +1,90 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+
+let num f = Conversion.Num f
+
+let apply_ok registry name v =
+  match Conversion.apply registry name v with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s failed: %s" name m
+
+let test_builtin_guilder () =
+  (* 1 EUR = 2.20371 NLG: 2000 guilders ~ 907.56 euro. *)
+  match apply_ok Conversion.builtin "DGToEuroFn" (num 2000.0) with
+  | Conversion.Num e -> check_bool "rate" true (Float.abs (e -. 907.56) < 0.01)
+  | _ -> Alcotest.fail "expected a number"
+
+let test_builtin_sterling () =
+  match apply_ok Conversion.builtin "PSToEuroFn" (num 3000.0) with
+  | Conversion.Num e -> Alcotest.(check (float 1e-6)) "0.6 rate" 5000.0 e
+  | _ -> Alcotest.fail "expected a number"
+
+let test_celsius () =
+  Alcotest.check value "boiling" (num 212.0)
+    (apply_ok Conversion.builtin "CelsiusToFFn" (num 100.0));
+  Alcotest.check value "back" (num 100.0)
+    (apply_ok Conversion.builtin "FToCelsiusFn" (num 212.0))
+
+let test_roundtrips () =
+  List.iter
+    (fun name ->
+      match Conversion.roundtrip_error Conversion.builtin name (num 123.45) with
+      | Some err -> check_bool (name ^ " inverse exact") true (err < 1e-9)
+      | None -> Alcotest.failf "%s has no usable inverse" name)
+    [ "DGToEuroFn"; "PSToEuroFn"; "USDToEuroFn"; "KgToLbFn"; "MileToKmFn"; "CelsiusToFFn" ]
+
+let test_unknown_function () =
+  check_bool "unknown" true
+    (Result.is_error (Conversion.apply Conversion.builtin "NopeFn" (num 1.0)))
+
+let test_type_mismatch () =
+  check_bool "string rejected" true
+    (Result.is_error (Conversion.apply Conversion.builtin "DGToEuroFn" (Conversion.Str "x")))
+
+let test_apply_label () =
+  Alcotest.check value "via label" (num 5000.0)
+    (match Conversion.apply_label Conversion.builtin "PSToEuroFn()" (num 3000.0) with
+    | Ok v -> v
+    | Error m -> Alcotest.failf "label apply: %s" m);
+  check_bool "non-label rejected" true
+    (Result.is_error (Conversion.apply_label Conversion.builtin "SubclassOf" (num 1.0)))
+
+let test_register_custom () =
+  let registry =
+    Conversion.register Conversion.empty ~name:"UpFn" (function
+      | Conversion.Str s -> Ok (Conversion.Str (String.uppercase_ascii s))
+      | v -> Error (Format.asprintf "not a string: %a" Conversion.pp_value v))
+  in
+  Alcotest.check value "custom" (Conversion.Str "ABC")
+    (apply_ok registry "UpFn" (Conversion.Str "abc"));
+  check_bool "names" true (Conversion.names registry = [ "UpFn" ]);
+  check_bool "no inverse" true (Conversion.inverse_name registry "UpFn" = None)
+
+let test_register_linear () =
+  let registry =
+    Conversion.register_linear Conversion.empty ~name:"CtoK" ~factor:1.0 ~offset:273.15 ()
+  in
+  Alcotest.check value "offset" (num 273.15) (apply_ok registry "CtoK" (num 0.0))
+
+let test_value_equality () =
+  check_bool "tolerant" true (Conversion.equal_value (num 1.0) (num (1.0 +. 1e-12)));
+  check_bool "distinct" false (Conversion.equal_value (num 1.0) (num 1.1));
+  check_bool "types differ" false (Conversion.equal_value (num 1.0) (Conversion.Str "1"))
+
+let suite =
+  [
+    ( "conversion",
+      [
+        Alcotest.test_case "guilder" `Quick test_builtin_guilder;
+        Alcotest.test_case "sterling" `Quick test_builtin_sterling;
+        Alcotest.test_case "celsius" `Quick test_celsius;
+        Alcotest.test_case "roundtrips" `Quick test_roundtrips;
+        Alcotest.test_case "unknown fn" `Quick test_unknown_function;
+        Alcotest.test_case "type mismatch" `Quick test_type_mismatch;
+        Alcotest.test_case "apply label" `Quick test_apply_label;
+        Alcotest.test_case "custom" `Quick test_register_custom;
+        Alcotest.test_case "linear" `Quick test_register_linear;
+        Alcotest.test_case "value equality" `Quick test_value_equality;
+      ] );
+  ]

@@ -1,0 +1,77 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fixture () =
+  let g =
+    Digraph.of_edges
+      [ e "a" "SubclassOf" "b"; e "b" "SubclassOf" "c"; e "c" "SubclassOf" "d" ]
+  in
+  Infer.run ~rules:Infer.default_rules g
+
+let test_fact_proof () =
+  let r = fixture () in
+  match Derivation.explain r (e "a" "SubclassOf" "b") with
+  | Some (Derivation.Fact _) -> ()
+  | Some _ -> Alcotest.fail "expected a Fact leaf"
+  | None -> Alcotest.fail "expected a proof"
+
+let test_derived_proof_depth () =
+  let r = fixture () in
+  match Derivation.explain r (e "a" "SubclassOf" "d") with
+  | Some proof ->
+      check_bool "depth >= 1" true (Derivation.depth proof >= 1);
+      Alcotest.check edge "conclusion" (e "a" "SubclassOf" "d")
+        (Derivation.conclusion proof);
+      let leaves = Derivation.facts proof in
+      check_bool "leaves are base edges" true
+        (List.for_all
+           (fun (l : Digraph.edge) -> Infer.provenance_of r l = None)
+           leaves);
+      check_bool "uses transitivity" true
+        (List.mem "subclass-transitive" (Derivation.rules_used proof))
+  | None -> Alcotest.fail "expected a proof"
+
+let test_unknown_edge () =
+  let r = fixture () in
+  check_bool "absent edge has no proof" true
+    (Derivation.explain r (e "x" "SubclassOf" "y") = None)
+
+let test_cycle_proof_terminates () =
+  let g = Digraph.of_edges [ e "a" "SI" "b"; e "b" "SI" "a" ] in
+  let r = Infer.run ~rules:Infer.default_rules g in
+  match Derivation.explain r (e "a" "SI" "a") with
+  | Some proof -> check_bool "finite" true (Derivation.depth proof < 10)
+  | None -> Alcotest.fail "expected a proof"
+
+let test_pp_renders () =
+  let r = fixture () in
+  match Derivation.explain r (e "a" "SubclassOf" "c") with
+  | Some proof ->
+      let s = Format.asprintf "%a" Derivation.pp proof in
+      check_bool "mentions rule" true (contains ~affix:"subclass-transitive" s);
+      check_bool "mentions fact" true (contains ~affix:"[fact]" s)
+  | None -> Alcotest.fail "expected a proof"
+
+let test_facts_deduplicated () =
+  let g = Digraph.of_edges [ e "a" "SubclassOf" "b"; e "b" "SubclassOf" "c" ] in
+  let r = Infer.run ~rules:Infer.default_rules g in
+  match Derivation.explain r (e "a" "SI" "c") with
+  | Some proof ->
+      let leaves = Derivation.facts proof in
+      check_int "two distinct base facts" 2 (List.length leaves)
+  | None -> Alcotest.fail "expected proof"
+
+let suite =
+  [
+    ( "derivation",
+      [
+        Alcotest.test_case "fact" `Quick test_fact_proof;
+        Alcotest.test_case "derived depth" `Quick test_derived_proof_depth;
+        Alcotest.test_case "unknown edge" `Quick test_unknown_edge;
+        Alcotest.test_case "cycle terminates" `Quick test_cycle_proof_terminates;
+        Alcotest.test_case "pp" `Quick test_pp_renders;
+        Alcotest.test_case "facts dedup" `Quick test_facts_deduplicated;
+      ] );
+  ]

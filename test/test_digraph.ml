@@ -1,0 +1,246 @@
+open Helpers
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_strings = Alcotest.(check (list string))
+
+let test_empty () =
+  check_bool "empty is empty" true (Digraph.is_empty Digraph.empty);
+  check_int "no nodes" 0 (Digraph.nb_nodes Digraph.empty);
+  check_int "no edges" 0 (Digraph.nb_edges Digraph.empty)
+
+let test_add_node () =
+  let g = Digraph.add_node Digraph.empty "a" in
+  check_bool "mem" true (Digraph.mem_node g "a");
+  check_bool "not empty" false (Digraph.is_empty g);
+  let g2 = Digraph.add_node g "a" in
+  check_int "idempotent" 1 (Digraph.nb_nodes g2)
+
+let test_add_node_empty_label () =
+  Alcotest.check_raises "empty label rejected"
+    (Invalid_argument "Digraph: node labels must be non-empty strings")
+    (fun () -> ignore (Digraph.add_node Digraph.empty ""))
+
+let test_add_edge () =
+  let g = Digraph.add_edge Digraph.empty "a" "S" "b" in
+  check_bool "edge" true (Digraph.mem_edge g "a" "S" "b");
+  check_bool "endpoints implied" true
+    (Digraph.mem_node g "a" && Digraph.mem_node g "b");
+  check_int "one edge" 1 (Digraph.nb_edges g);
+  let g2 = Digraph.add_edge g "a" "S" "b" in
+  check_int "edge set, not bag" 1 (Digraph.nb_edges g2)
+
+let test_multigraph_labels () =
+  let g = Digraph.of_edges [ e "a" "S" "b"; e "a" "A" "b"; e "a" "x" "b" ] in
+  check_int "three parallel edges" 3 (Digraph.nb_edges g);
+  check_strings "labels sorted" [ "A"; "S"; "x" ] (Digraph.labels_between g "a" "b")
+
+let test_remove_edge () =
+  let g = Digraph.of_edges [ e "a" "S" "b"; e "a" "A" "b" ] in
+  let g = Digraph.remove_edge g "a" "S" "b" in
+  check_bool "removed" false (Digraph.mem_edge g "a" "S" "b");
+  check_bool "sibling kept" true (Digraph.mem_edge g "a" "A" "b");
+  check_bool "nodes kept" true (Digraph.mem_node g "a");
+  let g2 = Digraph.remove_edge g "a" "S" "b" in
+  check_int "idempotent" 1 (Digraph.nb_edges g2)
+
+let test_remove_node_removes_incident () =
+  let g = diamond () in
+  let g = Digraph.remove_node g "b" in
+  check_bool "gone" false (Digraph.mem_node g "b");
+  check_bool "in-edge gone" false (Digraph.mem_edge g "a" "S" "b");
+  check_bool "out-edge gone" false (Digraph.mem_edge g "b" "S" "d");
+  check_bool "unrelated kept" true (Digraph.mem_edge g "c" "S" "d")
+
+let test_self_loop () =
+  let g = Digraph.add_edge Digraph.empty "a" "S" "a" in
+  check_int "one node" 1 (Digraph.nb_nodes g);
+  check_int "one edge" 1 (Digraph.nb_edges g);
+  let g = Digraph.remove_node g "a" in
+  check_bool "clean removal" true (Digraph.is_empty g)
+
+let test_succ_pred () =
+  let g = diamond () in
+  check_strings "succ a" [ "b"; "c"; "p" ] (Digraph.succ g "a");
+  check_strings "pred d" [ "b"; "c" ] (Digraph.pred g "d");
+  check_strings "succ_by S" [ "b"; "c" ] (Digraph.succ_by g "a" "S");
+  check_strings "succ_by A" [ "p" ] (Digraph.succ_by g "a" "A");
+  check_strings "pred_by I" [ "i" ] (Digraph.pred_by g "a" "I");
+  check_strings "missing node" [] (Digraph.succ g "zz")
+
+let test_degrees () =
+  let g = diamond () in
+  check_int "out a" 3 (Digraph.out_degree g "a");
+  check_int "in a" 1 (Digraph.in_degree g "a");
+  check_int "in d" 2 (Digraph.in_degree g "d");
+  check_int "out d" 0 (Digraph.out_degree g "d")
+
+let test_edges_sorted () =
+  let g = Digraph.of_edges [ e "b" "S" "c"; e "a" "S" "b"; e "a" "A" "b" ] in
+  let got = List.map Digraph.edge_to_string (Digraph.edges g) in
+  check_strings "deterministic order"
+    [ "a -A-> b"; "a -S-> b"; "b -S-> c" ]
+    got
+
+let test_rename_node () =
+  let g = diamond () in
+  let g = Digraph.rename_node g "a" "alpha" in
+  check_bool "old gone" false (Digraph.mem_node g "a");
+  check_bool "edges redirected" true (Digraph.mem_edge g "alpha" "S" "b");
+  check_bool "in-edges redirected" true (Digraph.mem_edge g "i" "I" "alpha")
+
+let test_rename_merge () =
+  let g = Digraph.of_edges [ e "a" "S" "c"; e "b" "A" "c" ] in
+  let g = Digraph.rename_node g "a" "b" in
+  check_int "merged nodes" 2 (Digraph.nb_nodes g);
+  check_bool "b kept both edges" true
+    (Digraph.mem_edge g "b" "S" "c" && Digraph.mem_edge g "b" "A" "c")
+
+let test_rename_self_loop () =
+  let g = Digraph.add_edge Digraph.empty "a" "S" "a" in
+  let g = Digraph.rename_node g "a" "b" in
+  check_bool "loop follows rename" true (Digraph.mem_edge g "b" "S" "b")
+
+let test_rename_missing () =
+  let g = diamond () in
+  Alcotest.check digraph "no-op" g (Digraph.rename_node g "zz" "yy")
+
+let test_union () =
+  let g1 = Digraph.of_edges [ e "a" "S" "b" ] in
+  let g2 = Digraph.of_edges ~nodes:[ "solo" ] [ e "b" "S" "c" ] in
+  let u = Digraph.union g1 g2 in
+  check_int "nodes" 4 (Digraph.nb_nodes u);
+  check_int "edges" 2 (Digraph.nb_edges u);
+  check_bool "isolated kept" true (Digraph.mem_node u "solo")
+
+let test_inter () =
+  let g1 = Digraph.of_edges [ e "a" "S" "b"; e "b" "S" "c" ] in
+  let g2 = Digraph.of_edges [ e "a" "S" "b"; e "b" "A" "c" ] in
+  let i = Digraph.inter g1 g2 in
+  check_bool "common edge" true (Digraph.mem_edge i "a" "S" "b");
+  check_int "only common edges" 1 (Digraph.nb_edges i);
+  check_int "common nodes" 3 (Digraph.nb_nodes i)
+
+let test_diff_edges () =
+  let g1 = Digraph.of_edges [ e "a" "S" "b"; e "b" "S" "c" ] in
+  let g2 = Digraph.of_edges [ e "a" "S" "b" ] in
+  let d = Digraph.diff_edges g1 g2 in
+  check_bool "removed shared" false (Digraph.mem_edge d "a" "S" "b");
+  check_bool "kept own" true (Digraph.mem_edge d "b" "S" "c");
+  check_int "nodes preserved" 3 (Digraph.nb_nodes d)
+
+let test_subgraph () =
+  let g = diamond () in
+  let s = Digraph.subgraph g [ "a"; "b"; "d"; "zz" ] in
+  check_strings "induced nodes" [ "a"; "b"; "d" ] (Digraph.nodes s);
+  check_bool "induced edge" true (Digraph.mem_edge s "a" "S" "b");
+  check_bool "outside edge dropped" false (Digraph.mem_edge s "c" "S" "d")
+
+let test_filter_nodes () =
+  let g = diamond () in
+  let s = Digraph.filter_nodes (fun n -> n <> "p" && n <> "i") g in
+  check_int "nodes" 4 (Digraph.nb_nodes s);
+  check_bool "attr edge gone" false (Digraph.mem_edge s "a" "A" "p")
+
+let test_filter_edges () =
+  let g = diamond () in
+  let s = Digraph.filter_edges (fun (ed : Digraph.edge) -> ed.label = "S") g in
+  check_int "edges" 4 (Digraph.nb_edges s);
+  check_int "nodes untouched" (Digraph.nb_nodes g) (Digraph.nb_nodes s)
+
+let test_map_edge_labels () =
+  let g = diamond () in
+  let s = Digraph.map_edge_labels (fun l -> if l = "S" then "SubclassOf" else l) g in
+  check_bool "relabeled" true (Digraph.mem_edge s "a" "SubclassOf" "b");
+  check_bool "others kept" true (Digraph.mem_edge s "a" "A" "p");
+  check_int "same count" (Digraph.nb_edges g) (Digraph.nb_edges s)
+
+let test_edge_labels () =
+  let g = diamond () in
+  check_strings "distinct labels" [ "A"; "I"; "S" ] (Digraph.edge_labels g);
+  check_bool "has S" true (Digraph.has_edge_label g "S");
+  check_bool "no x" false (Digraph.has_edge_label g "x")
+
+let test_equal_compare () =
+  let g1 = Digraph.of_edges [ e "a" "S" "b"; e "b" "S" "c" ] in
+  let g2 = Digraph.of_edges [ e "b" "S" "c"; e "a" "S" "b" ] in
+  check_bool "insertion order irrelevant" true (Digraph.equal g1 g2);
+  let g3 = Digraph.add_node g1 "zzz" in
+  check_bool "node sets matter" false (Digraph.equal g1 g3)
+
+(* ------------------------- properties ------------------------- *)
+
+let prop_union_commutative =
+  QCheck.Test.make ~count:200 ~name:"union commutative"
+    (QCheck.pair arbitrary_graph arbitrary_graph)
+    (fun (g1, g2) -> Digraph.equal (Digraph.union g1 g2) (Digraph.union g2 g1))
+
+let prop_union_idempotent =
+  QCheck.Test.make ~count:200 ~name:"union idempotent"
+    arbitrary_graph
+    (fun g -> Digraph.equal (Digraph.union g g) g)
+
+let prop_inter_subset =
+  QCheck.Test.make ~count:200 ~name:"intersection is a subgraph of both"
+    (QCheck.pair arbitrary_graph arbitrary_graph)
+    (fun (g1, g2) ->
+      let i = Digraph.inter g1 g2 in
+      Digraph.fold_edges
+        (fun (ed : Digraph.edge) ok ->
+          ok
+          && Digraph.mem_edge g1 ed.src ed.label ed.dst
+          && Digraph.mem_edge g2 ed.src ed.label ed.dst)
+        i true)
+
+let prop_remove_then_absent =
+  QCheck.Test.make ~count:200 ~name:"remove_node leaves no incident edges"
+    arbitrary_graph
+    (fun g ->
+      match Digraph.nodes g with
+      | [] -> true
+      | n :: _ ->
+          let g' = Digraph.remove_node g n in
+          Digraph.fold_edges
+            (fun (ed : Digraph.edge) ok -> ok && ed.src <> n && ed.dst <> n)
+            g' true)
+
+let prop_edge_count_consistent =
+  QCheck.Test.make ~count:200 ~name:"nb_edges = |edges|"
+    arbitrary_graph
+    (fun g -> Digraph.nb_edges g = List.length (Digraph.edges g))
+
+let suite =
+  [
+    ( "digraph",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "add node" `Quick test_add_node;
+        Alcotest.test_case "empty label" `Quick test_add_node_empty_label;
+        Alcotest.test_case "add edge" `Quick test_add_edge;
+        Alcotest.test_case "parallel labels" `Quick test_multigraph_labels;
+        Alcotest.test_case "remove edge" `Quick test_remove_edge;
+        Alcotest.test_case "remove node" `Quick test_remove_node_removes_incident;
+        Alcotest.test_case "self loop" `Quick test_self_loop;
+        Alcotest.test_case "succ/pred" `Quick test_succ_pred;
+        Alcotest.test_case "degrees" `Quick test_degrees;
+        Alcotest.test_case "edges sorted" `Quick test_edges_sorted;
+        Alcotest.test_case "rename" `Quick test_rename_node;
+        Alcotest.test_case "rename merge" `Quick test_rename_merge;
+        Alcotest.test_case "rename self-loop" `Quick test_rename_self_loop;
+        Alcotest.test_case "rename missing" `Quick test_rename_missing;
+        Alcotest.test_case "union" `Quick test_union;
+        Alcotest.test_case "inter" `Quick test_inter;
+        Alcotest.test_case "diff edges" `Quick test_diff_edges;
+        Alcotest.test_case "subgraph" `Quick test_subgraph;
+        Alcotest.test_case "filter nodes" `Quick test_filter_nodes;
+        Alcotest.test_case "filter edges" `Quick test_filter_edges;
+        Alcotest.test_case "map labels" `Quick test_map_edge_labels;
+        Alcotest.test_case "edge labels" `Quick test_edge_labels;
+        Alcotest.test_case "equal" `Quick test_equal_compare;
+        QCheck_alcotest.to_alcotest prop_union_commutative;
+        QCheck_alcotest.to_alcotest prop_union_idempotent;
+        QCheck_alcotest.to_alcotest prop_inter_subset;
+        QCheck_alcotest.to_alcotest prop_remove_then_absent;
+        QCheck_alcotest.to_alcotest prop_edge_count_consistent;
+      ] );
+  ]

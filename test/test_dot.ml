@@ -1,0 +1,66 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+
+let test_basic_render () =
+  let g = Digraph.of_edges [ e "Car" "S" "Vehicle" ] in
+  let dot = Dot.to_dot ~name:"test" g in
+  check_bool "digraph header" true (contains ~affix:"digraph \"test\"" dot);
+  check_bool "edge present" true
+    (contains ~affix:"\"Car\" -> \"Vehicle\" [label=\"S\"]" dot);
+  check_bool "nodes declared" true (contains ~affix:"\"Car\";" dot)
+
+let test_escaping () =
+  let g = Digraph.of_edges [ e "a\"b" "l" "c\\d" ] in
+  let dot = Dot.to_dot g in
+  check_bool "quote escaped" true (contains ~affix:"a\\\"b" dot);
+  check_bool "backslash escaped" true (contains ~affix:"c\\\\d" dot)
+
+let test_style_hooks () =
+  let style =
+    {
+      Dot.default_style with
+      Dot.edge_color = (fun l -> if l = "SIBridge" then Some "red" else None);
+      node_shape = (fun n -> if n = "Car" then Some "box" else None);
+    }
+  in
+  let g = Digraph.of_edges [ e "Car" "SIBridge" "Vehicle"; e "Car" "S" "X" ] in
+  let dot = Dot.to_dot ~style g in
+  check_bool "bridge colored" true (contains ~affix:"color=red" dot);
+  check_bool "shape applied" true (contains ~affix:"[shape=box]" dot);
+  check_bool "plain edge uncolored" true
+    (contains ~affix:"\"Car\" -> \"X\" [label=\"S\"];" dot)
+
+let test_clusters () =
+  let dot =
+    Dot.clusters_to_dot ~name:"unified"
+      ~clusters:
+        [
+          { Dot.cluster_name = "carrier"; graph = Digraph.of_edges [ e "c:A" "S" "c:B" ] };
+          { Dot.cluster_name = "factory"; graph = Digraph.of_edges [ e "f:X" "S" "f:Y" ] };
+        ]
+      ~bridge_edges:[ e "c:A" "SIBridge" "f:X" ]
+      ()
+  in
+  check_bool "cluster 0" true (contains ~affix:"subgraph cluster_0" dot);
+  check_bool "cluster 1" true (contains ~affix:"subgraph cluster_1" dot);
+  check_bool "cluster label" true (contains ~affix:"label=\"carrier\"" dot);
+  check_bool "bridge edge outside clusters" true
+    (contains ~affix:"\"c:A\" -> \"f:X\" [label=\"SIBridge\"]" dot)
+
+let test_rankdir () =
+  let style = { Dot.default_style with Dot.rankdir = "LR" } in
+  let dot = Dot.to_dot ~style Digraph.empty in
+  check_bool "rankdir" true (contains ~affix:"rankdir=LR" dot)
+
+let suite =
+  [
+    ( "dot",
+      [
+        Alcotest.test_case "basic" `Quick test_basic_render;
+        Alcotest.test_case "escaping" `Quick test_escaping;
+        Alcotest.test_case "style hooks" `Quick test_style_hooks;
+        Alcotest.test_case "clusters" `Quick test_clusters;
+        Alcotest.test_case "rankdir" `Quick test_rankdir;
+      ] );
+  ]

@@ -1,0 +1,293 @@
+(* Edge-case battery: distinct behaviours at module boundaries that the
+   mainline suites do not reach. *)
+
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let t o n = Term.make ~ontology:o n
+
+(* ---------------- graph layer ---------------- *)
+
+let test_rename_to_same_name () =
+  let g = diamond () in
+  Alcotest.check digraph "no-op" g (Digraph.rename_node g "a" "a")
+
+let test_labels_between_missing () =
+  Alcotest.(check (list string)) "empty" []
+    (Digraph.labels_between Digraph.empty "a" "b")
+
+let test_shortest_path_label_filtered_out () =
+  let g = Digraph.of_edges [ e "a" "S" "b" ] in
+  check_bool "no A-path" true
+    (Traversal.shortest_path ~follow:(Traversal.only [ "A" ]) g "a" "b" = None)
+
+let test_bfs_self_loop () =
+  let g = Digraph.of_edges [ e "a" "S" "a" ] in
+  Alcotest.(check (list string)) "single visit" [ "a" ] (Traversal.bfs g "a")
+
+let test_transitive_closure_other_labels_untouched () =
+  let g = Digraph.of_edges [ e "a" "S" "b"; e "b" "A" "c" ] in
+  let c =
+    Traversal.transitive_closure ~follow:(Traversal.only [ "S" ]) ~close_label:"S" g
+  in
+  check_int "no new edges" 2 (Digraph.nb_edges c)
+
+(* ---------------- ontology layer ---------------- *)
+
+let test_attributes_of_missing_term () =
+  Alcotest.(check (list string)) "empty" []
+    (Ontology.attributes Paper_example.factory "Ghost")
+
+let test_closure_with_empty_registry () =
+  let o =
+    Ontology.create ~relations:Rel.empty_registry "o"
+    |> fun o -> Ontology.add_subclass o ~sub:"a" ~super:"b"
+    |> fun o -> Ontology.add_subclass o ~sub:"b" ~super:"c"
+  in
+  let c = Ontology.closure o in
+  check_bool "nothing derived" false (Ontology.has_rel c "a" Rel.subclass_of "c")
+
+let test_restrict_to_nothing () =
+  check_int "empty" 0 (Ontology.nb_terms (Ontology.restrict Paper_example.factory []))
+
+let test_xml_instance_with_attribute_children () =
+  (* <term> carrying instanceOf plus other members. *)
+  let src =
+    {|<ontology name="o"><term name="m1"><instanceOf term="C"/><rel label="v" term="x"/></term></ontology>|}
+  in
+  match Xml_parse.parse_ontology src with
+  | Ok o ->
+      check_bool "instance edge" true (Ontology.has_rel o "m1" Rel.instance_of "C");
+      check_bool "verb edge" true (Ontology.has_rel o "m1" "v" "x")
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+(* ---------------- generator / algebra ---------------- *)
+
+let test_functional_rule_both_sides_unknown () =
+  let r =
+    Generator.generate ~articulation_name:"m" ~left:(Ontology.create "a")
+      ~right:(Ontology.create "b")
+      [ Rule.functional ~fn:"F" ~src:(t "x" "P") ~dst:(t "y" "Q") () ]
+  in
+  check_int "no bridges" 0 (Articulation.nb_bridges r.Generator.articulation);
+  check_bool "warned" true (r.Generator.warnings <> [])
+
+let test_disjunction_default_label () =
+  let rule =
+    Rule.v
+      (Rule.Implication
+         ( Rule.Term (t "factory" "Vehicle"),
+           Rule.Disj [ Rule.Term (t "carrier" "Cars"); Rule.Term (t "carrier" "Trucks") ] ))
+  in
+  let r =
+    Generator.generate ~articulation_name:"transport" ~left:Paper_example.carrier
+      ~right:Paper_example.factory [ rule ]
+  in
+  check_bool "predicate-text default" true
+    (Ontology.has_term (Articulation.ontology r.Generator.articulation) "CarsOrTrucks")
+
+let test_union_accepts_swapped_sources () =
+  let r = Paper_example.articulation () in
+  (* The articulation names (carrier, factory); passing them swapped must
+     still validate. *)
+  let u =
+    Algebra.union ~left:r.Generator.updated_right ~right:r.Generator.updated_left
+      r.Generator.articulation
+  in
+  check_bool "same node set" true
+    (Digraph.nb_nodes u.Algebra.graph = 28)
+
+let test_difference_against_empty_subtrahend () =
+  let empty = Ontology.create "factory" in
+  let r =
+    Generator.generate ~articulation_name:"transport" ~left:Paper_example.carrier
+      ~right:empty []
+  in
+  let d =
+    Algebra.difference ~minuend:Paper_example.carrier ~subtrahend:empty
+      r.Generator.articulation
+  in
+  check_int "everything survives" (Ontology.nb_terms Paper_example.carrier)
+    (Ontology.nb_terms d)
+
+(* ---------------- session / skat ---------------- *)
+
+let test_session_max_rounds_cap () =
+  (* An expert that accepts a nonsense modification every round never
+     converges; the cap must stop it. *)
+  let left = Ontology.add_term (Ontology.create "a") "X" in
+  let right = Ontology.add_term (Ontology.create "b") "X" in
+  let counter = ref 0 in
+  let expert _ =
+    incr counter;
+    Expert.Modify
+      (Rule.implies (t "a" "X") (Term.make ~ontology:"b" (Printf.sprintf "Y%d" !counter)))
+  in
+  let outcome =
+    Session.run ~articulation_name:"m" ~expert ~left ~right ~max_rounds:3 ()
+  in
+  check_int "capped" 3 outcome.Session.rounds
+
+let test_skat_focus_left () =
+  let config =
+    { Skat.default_config with Skat.focus_left = Some [ "Price" ] }
+  in
+  let suggs =
+    Skat.suggest ~config ~left:Paper_example.carrier ~right:Paper_example.factory ()
+  in
+  check_bool "only Price-rooted suggestions" true
+    (List.for_all
+       (fun (s : Skat.suggestion) ->
+         List.exists
+           (fun (term : Term.t) ->
+             term.Term.ontology = "carrier" && term.Term.name = "Price")
+           (Rule.terms s.Skat.rule))
+       suggs);
+  check_bool "still finds Price=Price" true (suggs <> [])
+
+let test_skat_empty_ontologies () =
+  Alcotest.(check int) "no suggestions" 0
+    (List.length
+       (Skat.suggest ~left:(Ontology.create "a") ~right:(Ontology.create "b") ()))
+
+(* ---------------- query / mediator ---------------- *)
+
+let setup_env () =
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let u = Algebra.union ~left ~right r.Generator.articulation in
+  (left, right, u)
+
+let test_two_kbs_same_source () =
+  let left, _, u = setup_env () in
+  let kb1 =
+    Kb.add (Kb.create ~ontology:left "fleet-a") ~concept:"Cars" ~id:"a1"
+      [ ("Price", Conversion.Num 1000.0) ]
+  in
+  let kb2 =
+    Kb.add (Kb.create ~ontology:left "fleet-b") ~concept:"Cars" ~id:"b1"
+      [ ("Price", Conversion.Num 2000.0) ]
+  in
+  let env = Mediator.env ~kbs:[ kb1; kb2 ] ~unified:u () in
+  match Mediator.run_text env "SELECT Price FROM carrier:Cars" with
+  | Ok r ->
+      Alcotest.(check (list string)) "both KBs answer" [ "a1"; "b1" ]
+        (List.map (fun tup -> tup.Mediator.instance) r.Mediator.tuples)
+  | Error m -> Alcotest.failf "query failed: %s" m
+
+let test_order_by_unbound_attr_keeps_all () =
+  let left, _, u = setup_env () in
+  let kb =
+    Kb.add (Kb.create ~ontology:left "kb") ~concept:"Cars" ~id:"x" []
+  in
+  let env = Mediator.env ~kbs:[ kb ] ~unified:u () in
+  match Mediator.run_text env "SELECT Price FROM carrier:Cars ORDER BY Nonsense" with
+  | Ok r -> check_int "tuple kept" 1 (List.length r.Mediator.tuples)
+  | Error m -> Alcotest.failf "query failed: %s" m
+
+let test_oql_for_aggregate_query () =
+  let _, _, u = setup_env () in
+  let q = Query.parse_exn "SELECT COUNT(*), AVG(Price) FROM Vehicle" in
+  match Rewrite.plan (Federation.of_unified u) ~conversions:Conversion.builtin q with
+  | Ok plan ->
+      let m = Oql.of_plan ~conversions:Conversion.builtin plan in
+      (* Aggregate arguments still need the source attribute in the
+         sub-query. *)
+      check_bool "price selected per source" true
+        (Helpers.contains ~affix:"x.Price" (Oql.to_string m))
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let test_query_dotted_identifiers () =
+  match Query.parse "SELECT v1.2 FROM transport:Vehicle" with
+  | Ok q -> Alcotest.(check (list string)) "dotted attr" [ "v1.2" ] q.Query.select
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+(* ---------------- workspace ---------------- *)
+
+let test_workspace_idl_source () =
+  let dir = Filename.temp_file "ws" "" in
+  Sys.remove dir;
+  let ws = Result.get_ok (Workspace.init dir) in
+  let path = Filename.temp_file "src" ".idl" in
+  let oc = open_out path in
+  output_string oc "module garage { interface Car { attribute float price; }; };";
+  close_out oc;
+  (match Workspace.add_source ws ~path with
+  | Ok name -> Alcotest.(check string) "idl registered" "garage" name
+  | Error m -> Alcotest.failf "add failed: %s" m);
+  Sys.remove path;
+  (match Workspace.load_source ws "garage" with
+  | Ok o -> check_bool "loads back as idl" true (Ontology.has_term o "Car")
+  | Error m -> Alcotest.failf "load failed: %s" m);
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  rm dir
+
+let test_workspace_articulate_missing_source () =
+  let dir = Filename.temp_file "ws" "" in
+  Sys.remove dir;
+  let ws = Result.get_ok (Workspace.init dir) in
+  check_bool "missing source error" true
+    (Result.is_error
+       (Workspace.articulate ws ~left:"nope" ~right:"nada" ~name:"m" ~rules:[]));
+  Sys.rmdir (Filename.concat dir "sources");
+  Sys.rmdir (Filename.concat dir "articulations");
+  Sys.remove (Filename.concat dir "onion.workspace");
+  Sys.rmdir dir
+
+(* ---------------- lexicon / misc ---------------- *)
+
+let test_lexicon_union_idempotent () =
+  let u = Lexicon.union Lexicon.builtin Lexicon.builtin in
+  check_int "same size" (Lexicon.size Lexicon.builtin) (Lexicon.size u)
+
+let test_conversion_registry_isolated () =
+  (* register returns a new registry; the original is unaffected. *)
+  let r2 = Conversion.register_linear Conversion.empty ~name:"F" ~factor:2.0 () in
+  check_bool "new has it" true (Conversion.mem r2 "F");
+  check_bool "empty unchanged" false (Conversion.mem Conversion.empty "F")
+
+let test_prng_split_streams_differ () =
+  let rng = Prng.create 5 in
+  let a = Prng.split rng and b = Prng.split rng in
+  let seq r = List.init 10 (fun _ -> Prng.int r 1_000_000) in
+  check_bool "different streams" true (seq a <> seq b)
+
+let suite =
+  [
+    ( "edge-cases",
+      [
+        Alcotest.test_case "rename same" `Quick test_rename_to_same_name;
+        Alcotest.test_case "labels_between missing" `Quick test_labels_between_missing;
+        Alcotest.test_case "filtered shortest path" `Quick test_shortest_path_label_filtered_out;
+        Alcotest.test_case "bfs self loop" `Quick test_bfs_self_loop;
+        Alcotest.test_case "closure label isolation" `Quick test_transitive_closure_other_labels_untouched;
+        Alcotest.test_case "attributes missing term" `Quick test_attributes_of_missing_term;
+        Alcotest.test_case "closure empty registry" `Quick test_closure_with_empty_registry;
+        Alcotest.test_case "restrict nothing" `Quick test_restrict_to_nothing;
+        Alcotest.test_case "xml mixed term" `Quick test_xml_instance_with_attribute_children;
+        Alcotest.test_case "functional unknown sides" `Quick test_functional_rule_both_sides_unknown;
+        Alcotest.test_case "disjunction default label" `Quick test_disjunction_default_label;
+        Alcotest.test_case "union swapped" `Quick test_union_accepts_swapped_sources;
+        Alcotest.test_case "difference empty subtrahend" `Quick test_difference_against_empty_subtrahend;
+        Alcotest.test_case "session cap" `Quick test_session_max_rounds_cap;
+        Alcotest.test_case "skat focus" `Quick test_skat_focus_left;
+        Alcotest.test_case "skat empty" `Quick test_skat_empty_ontologies;
+        Alcotest.test_case "two KBs one source" `Quick test_two_kbs_same_source;
+        Alcotest.test_case "order by unbound" `Quick test_order_by_unbound_attr_keeps_all;
+        Alcotest.test_case "oql aggregates" `Quick test_oql_for_aggregate_query;
+        Alcotest.test_case "dotted identifiers" `Quick test_query_dotted_identifiers;
+        Alcotest.test_case "workspace idl" `Quick test_workspace_idl_source;
+        Alcotest.test_case "workspace missing source" `Quick test_workspace_articulate_missing_source;
+        Alcotest.test_case "lexicon union idempotent" `Quick test_lexicon_union_idempotent;
+        Alcotest.test_case "conversion isolation" `Quick test_conversion_registry_isolated;
+        Alcotest.test_case "prng split" `Quick test_prng_split_streams_differ;
+      ] );
+  ]

@@ -1,0 +1,188 @@
+(* Second edge-case battery: paths the first battery left untested. *)
+
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Infer with a 3-atom body: grandparent chains within one rule. *)
+let test_infer_three_atom_body () =
+  let rule =
+    Infer.horn ~name:"great"
+      ~head:(Infer.atom "greatgrand" (Infer.Var "A") (Infer.Var "D"))
+      ~body:
+        [
+          Infer.atom "parent" (Infer.Var "A") (Infer.Var "B");
+          Infer.atom "parent" (Infer.Var "B") (Infer.Var "C");
+          Infer.atom "parent" (Infer.Var "C") (Infer.Var "D");
+        ]
+  in
+  let g =
+    Digraph.of_edges
+      [ e "a" "parent" "b"; e "b" "parent" "c"; e "c" "parent" "d";
+        e "b" "parent" "x" ]
+  in
+  let r = Infer.run ~rules:[ rule ] g in
+  check_bool "three-hop derived" true
+    (Digraph.mem_edge r.Infer.graph "a" "greatgrand" "d");
+  check_bool "no spurious" false (Digraph.mem_edge r.Infer.graph "a" "greatgrand" "x");
+  (* exactly one derivable triple ends at d plus none elsewhere *)
+  check_int "derived count" 1 (List.length r.Infer.derived)
+
+let test_infer_same_variable_twice () =
+  (* R(X, X) matches only self-loops. *)
+  let rule =
+    Infer.horn ~name:"selfy"
+      ~head:(Infer.atom "self" (Infer.Var "X") (Infer.Const "yes"))
+      ~body:[ Infer.atom "R" (Infer.Var "X") (Infer.Var "X") ]
+  in
+  let g = Digraph.of_edges [ e "a" "R" "a"; e "a" "R" "b" ] in
+  let r = Infer.run ~rules:[ rule ] g in
+  check_bool "self-loop tagged" true (Digraph.mem_edge r.Infer.graph "a" "self" "yes");
+  check_int "only one" 1 (List.length r.Infer.derived)
+
+(* Graph_rewrite Delete_edge action. *)
+let test_rewrite_delete_edge () =
+  let g = Digraph.of_edges [ e "a" "tmp" "b"; e "a" "keep" "b" ] in
+  let r =
+    Graph_rewrite.rule ~name:"strip"
+      ~pattern:(Pattern_parser.parse_exn "?X -[tmp]-> ?Y")
+      [
+        Graph_rewrite.Delete_edge
+          (Graph_rewrite.Matched "0/_", "tmp", Graph_rewrite.Matched "1/_");
+      ]
+  in
+  match Graph_rewrite.apply_all g r with
+  | Ok (g', n) ->
+      check_int "one match" 1 n;
+      check_bool "tmp gone" false (Digraph.mem_edge g' "a" "tmp" "b");
+      check_bool "keep kept" true (Digraph.mem_edge g' "a" "keep" "b")
+  | Error m -> Alcotest.failf "rewrite failed: %s" m
+
+(* Filter on a qualified unified graph: qualified labels contain ':', which
+   the textual notation splits on, so the pattern is built
+   programmatically. *)
+let test_filter_on_unified () =
+  let u = Paper_example.unified () in
+  let o = Algebra.union_ontology u in
+  let p =
+    Pattern.create
+      ~nodes:
+        [
+          { Pattern.id = "s"; label = Some "carrier:Cars"; binder = None };
+          { Pattern.id = "d"; label = Some "transport:Vehicle"; binder = None };
+        ]
+      ~edges:[ { Pattern.src = "s"; elabel = Some Rel.si_bridge; dst = "d" } ]
+      ()
+  in
+  let f = Filter_extract.filter o p in
+  check_sorted_strings "exact bridge selected"
+    [ "carrier:Cars"; "transport:Vehicle" ]
+    (Ontology.terms f)
+
+(* Compose a tower of three articulations (four sources). *)
+let test_tower_of_four_sources () =
+  let s k =
+    Ontology.add_term (Ontology.create (Printf.sprintf "s%d" k)) "Shared"
+  in
+  let t o n = Term.make ~ontology:o n in
+  let a01 =
+    Session.articulate ~articulation_name:"a01" ~left:(s 0) ~right:(s 1)
+      [ Rule.implies (t "s0" "Shared") (t "s1" "Shared") ]
+  in
+  let a2 =
+    Compose.compose ~articulation_name:"a012" ~base:a01 ~third:(s 2)
+      [ Rule.implies (t "a01" "Shared") (t "s2" "Shared") ]
+  in
+  let a3 =
+    Compose.compose ~articulation_name:"a0123" ~base:a2.Compose.upper
+      ~third:(s 3)
+      [ Rule.implies (t "a012" "Shared") (t "s3" "Shared") ]
+  in
+  let space =
+    Federation.of_parts
+      ~sources:[ s 0; s 1; s 2; s 3 ]
+      ~articulations:[ a01; a2.Compose.upper; a3.Compose.upper ]
+  in
+  (* s0's Shared reaches the top articulation through three layers. *)
+  check_bool "reaches the top" true
+    (Traversal.path_exists
+       ~follow:Rewrite.semantic_follow space.Federation.graph "s0:Shared"
+       "a0123:Shared");
+  Alcotest.(check (list string)) "s3 answers a query on the top term"
+    [ "Shared" ]
+    (Rewrite.source_concepts space ~source:"s3"
+       (Term.make ~ontology:"a0123" "Shared"))
+
+let test_stats_summary_format () =
+  let s = Stats.summary [ 1.0; 2.0; 3.0 ] in
+  check_bool "mean shown" true (contains ~affix:"mean=2.00" s);
+  check_bool "max shown" true (contains ~affix:"max=3.00" s)
+
+let test_loader_sniff_idl_comment () =
+  check_bool "leading comment still idl" true
+    (Loader.sniff "// schema\ninterface A { };" = Loader.Idl)
+
+let test_dot_unstyled_has_no_color () =
+  let g = Digraph.of_edges [ e "a" "S" "b" ] in
+  check_bool "no color attr" false (contains ~affix:"color=" (Dot.to_dot g))
+
+let test_term_of_string_colon_name () =
+  (* Extra colons belong to the name. *)
+  let t = Term.of_string ~default_ontology:"d" "o:a:b" in
+  Alcotest.(check string) "ontology" "o" t.Term.ontology;
+  Alcotest.(check string) "name" "a:b" t.Term.name
+
+let test_mediator_limit_before_aggregate_is_not_applied () =
+  (* Aggregates run over all matching tuples; LIMIT applies to the tuple
+     listing only. *)
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let u = Algebra.union ~left ~right r.Generator.articulation in
+  let kb =
+    List.fold_left
+      (fun kb i ->
+        Kb.add kb ~concept:"Cars" ~id:(Printf.sprintf "c%d" i)
+          [ ("Price", Conversion.Num (float_of_int (1000 * i))) ])
+      (Kb.create ~ontology:left "kb")
+      [ 1; 2; 3; 4 ]
+  in
+  let env = Mediator.env ~kbs:[ kb ] ~unified:u () in
+  match Mediator.run_text env "SELECT COUNT(*) FROM carrier:Cars LIMIT 2" with
+  | Ok rep ->
+      check_bool "count covers all" true
+        (List.assoc "COUNT(*)" rep.Mediator.aggregates = Conversion.Num 4.0);
+      check_int "listing limited" 2 (List.length rep.Mediator.tuples)
+  | Error m -> Alcotest.failf "query failed: %s" m
+
+let test_evolve_rename_onto_existing_bridged_name () =
+  (* Renaming a term onto a name that already carries bridges merges the
+     endpoints without duplicating bridges. *)
+  let r = Paper_example.articulation () in
+  let art = r.Generator.articulation in
+  let op = Change.Rename_term { old_name = "Cars"; new_name = "Trucks" } in
+  let left' = Change.apply r.Generator.updated_left op in
+  let res = Evolve.apply art ~source:left' ~other:r.Generator.updated_right op in
+  check_bool "no Cars endpoints remain" true
+    (List.for_all
+       (fun (b : Bridge.t) ->
+         b.Bridge.src.Term.name <> "Cars" && b.Bridge.dst.Term.name <> "Cars")
+       (Articulation.bridges res.Evolve.articulation))
+
+let suite =
+  [
+    ( "edge-cases-2",
+      [
+        Alcotest.test_case "3-atom horn body" `Quick test_infer_three_atom_body;
+        Alcotest.test_case "repeated variable" `Quick test_infer_same_variable_twice;
+        Alcotest.test_case "rewrite delete edge" `Quick test_rewrite_delete_edge;
+        Alcotest.test_case "filter unified" `Quick test_filter_on_unified;
+        Alcotest.test_case "four-source tower" `Quick test_tower_of_four_sources;
+        Alcotest.test_case "stats summary" `Quick test_stats_summary_format;
+        Alcotest.test_case "sniff idl comment" `Quick test_loader_sniff_idl_comment;
+        Alcotest.test_case "dot unstyled" `Quick test_dot_unstyled_has_no_color;
+        Alcotest.test_case "term colon name" `Quick test_term_of_string_colon_name;
+        Alcotest.test_case "limit vs aggregate" `Quick test_mediator_limit_before_aggregate_is_not_applied;
+        Alcotest.test_case "rename onto bridged" `Quick test_evolve_rename_onto_existing_bridged_name;
+      ] );
+  ]

@@ -1,0 +1,156 @@
+(* Incremental articulation repair under source edits. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let t o n = Term.make ~ontology:o n
+
+let setup () =
+  let r = Paper_example.articulation () in
+  (r.Generator.articulation, r.Generator.updated_left, r.Generator.updated_right)
+
+let test_remove_bridged_term_drops_bridges () =
+  let art, left, right = setup () in
+  let left' = Change.apply left (Change.Remove_term "Cars") in
+  let r = Evolve.apply art ~source:left' ~other:right (Change.Remove_term "Cars") in
+  check_bool "not free" false r.Evolve.free;
+  (* carrier:Cars had three bridges (Vehicle, PassengerCar, CarsTrucks). *)
+  let dropped =
+    List.filter (function Evolve.Dropped_bridge _ -> true | _ -> false) r.Evolve.repairs
+  in
+  check_int "three bridges dropped" 3 (List.length dropped);
+  check_bool "bridges really gone" true
+    (Articulation.bridges_with r.Evolve.articulation "carrier"
+    |> List.for_all (fun (b : Bridge.t) ->
+           not
+             (Term.equal b.Bridge.src (t "carrier" "Cars")
+             || Term.equal b.Bridge.dst (t "carrier" "Cars"))));
+  (* The stored rules referencing Cars are flagged for the expert. *)
+  check_bool "rules flagged" true
+    (List.exists (function Evolve.Flagged_rule _ -> true | _ -> false) r.Evolve.repairs)
+
+let test_remove_independent_term_is_free () =
+  let art, left, right = setup () in
+  let left' = Change.apply left (Change.Remove_term "Model") in
+  let r = Evolve.apply art ~source:left' ~other:right (Change.Remove_term "Model") in
+  check_bool "free" true r.Evolve.free;
+  check_int "same articulation" (Articulation.nb_bridges art)
+    (Articulation.nb_bridges r.Evolve.articulation)
+
+let test_rename_follows () =
+  let art, left, right = setup () in
+  let op = Change.Rename_term { old_name = "Cars"; new_name = "Autos" } in
+  let left' = Change.apply left op in
+  let r = Evolve.apply art ~source:left' ~other:right op in
+  check_bool "not free" false r.Evolve.free;
+  check_bool "old endpoint gone" true
+    (List.for_all
+       (fun (b : Bridge.t) ->
+         not
+           (Term.equal b.Bridge.src (t "carrier" "Cars")
+           || Term.equal b.Bridge.dst (t "carrier" "Cars")))
+       (Articulation.bridges r.Evolve.articulation));
+  check_bool "new endpoint present" true
+    (List.exists
+       (fun (b : Bridge.t) -> Term.equal b.Bridge.src (t "carrier" "Autos"))
+       (Articulation.bridges r.Evolve.articulation));
+  check_int "bridge count preserved" (Articulation.nb_bridges art)
+    (Articulation.nb_bridges r.Evolve.articulation)
+
+let test_addition_suggests_for_new_vocabulary () =
+  let art, left, right = setup () in
+  (* A new carrier term whose label matches factory vocabulary. *)
+  let op = Change.Add_term { term = "Weight"; superclass = None } in
+  let left' = Change.apply left op in
+  let r = Evolve.apply art ~source:left' ~other:right op in
+  check_bool "suggestion produced" true
+    (List.exists
+       (function
+         | Evolve.Suggested s ->
+             List.exists (Term.equal (t "carrier" "Weight")) (Rule.terms s.Skat.rule)
+         | _ -> false)
+       r.Evolve.repairs);
+  (* Suggestions never mutate the articulation without the expert. *)
+  check_int "articulation untouched" (Articulation.nb_bridges art)
+    (Articulation.nb_bridges r.Evolve.articulation)
+
+let test_addition_of_unrelated_term_quiet () =
+  let art, left, right = setup () in
+  let op = Change.Add_term { term = "Zorkmid"; superclass = None } in
+  let left' = Change.apply left op in
+  let r = Evolve.apply art ~source:left' ~other:right op in
+  check_bool "free (nothing to suggest)" true r.Evolve.free
+
+let test_script_fold () =
+  let art, left, right = setup () in
+  let script =
+    [
+      Change.Add_term { term = "Weight"; superclass = None };
+      Change.Rename_term { old_name = "Trucks"; new_name = "Lorries" };
+      Change.Remove_term "Cars";
+    ]
+  in
+  let art', source', repairs =
+    Evolve.apply_script art ~source:left ~other:right script
+  in
+  check_bool "source evolved" true
+    (Ontology.has_term source' "Lorries" && not (Ontology.has_term source' "Cars"));
+  check_bool "lorries bridged" true
+    (List.exists
+       (fun (b : Bridge.t) -> Term.equal b.Bridge.src (t "carrier" "Lorries"))
+       (Articulation.bridges art'));
+  check_bool "cars unbridged" true
+    (List.for_all
+       (fun (b : Bridge.t) -> not (Term.equal b.Bridge.src (t "carrier" "Cars")))
+       (Articulation.bridges art'));
+  check_bool "repairs accumulated" true (List.length repairs >= 4)
+
+let test_incremental_vs_regeneration_for_deletion () =
+  (* Incremental repair follows the paper's ND semantics: only edges
+     incident with the deleted node disappear.  Rule-level regeneration is
+     coarser — dropping every rule that mentions the dead term also loses
+     the bridges that rule gave to *other* terms (e.g. r5 puts both Cars
+     and Trucks under CarsTrucks).  So regeneration's bridges must be a
+     subset of the incremental repair's — never the other way around. *)
+  let art, left, right = setup () in
+  let left' = Change.apply left (Change.Remove_term "Cars") in
+  let r = Evolve.apply art ~source:left' ~other:right (Change.Remove_term "Cars") in
+  let incremental = Articulation.bridges r.Evolve.articulation in
+  let surviving_rules =
+    List.filter
+      (fun (rule : Rule.t) ->
+        not (List.exists (Term.equal (t "carrier" "Cars")) (Rule.terms rule)))
+      Paper_example.rules
+  in
+  let regen =
+    Generator.generate ~conversions:Conversion.builtin ~articulation_name:"transport"
+      ~left:left' ~right surviving_rules
+  in
+  let regenerated = Articulation.bridges regen.Generator.articulation in
+  List.iter
+    (fun (b : Bridge.t) ->
+      check_bool
+        (Format.asprintf "regenerated bridge %a kept by incremental repair"
+           Bridge.pp b)
+        true
+        (List.exists (Bridge.equal b) incremental))
+    regenerated;
+  (* And the repair retains strictly more here (the Trucks/CarsTrucks
+     bridge from r5). *)
+  check_bool "ND is finer than rule-level regeneration" true
+    (List.length incremental > List.length regenerated)
+
+let suite =
+  [
+    ( "evolve",
+      [
+        Alcotest.test_case "remove bridged" `Quick test_remove_bridged_term_drops_bridges;
+        Alcotest.test_case "remove independent" `Quick test_remove_independent_term_is_free;
+        Alcotest.test_case "rename follows" `Quick test_rename_follows;
+        Alcotest.test_case "addition suggests" `Quick test_addition_suggests_for_new_vocabulary;
+        Alcotest.test_case "unrelated addition" `Quick test_addition_of_unrelated_term_quiet;
+        Alcotest.test_case "script fold" `Quick test_script_fold;
+        Alcotest.test_case "matches regeneration" `Quick
+          test_incremental_vs_regeneration_for_deletion;
+      ] );
+  ]

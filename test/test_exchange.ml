@@ -1,0 +1,114 @@
+(* Instance exchange across the paper-example articulation. *)
+
+let check_bool = Alcotest.(check bool)
+
+let num f = Conversion.Num f
+
+let space () =
+  let r = Paper_example.articulation () in
+  Federation.of_unified
+    (Algebra.union ~left:r.Generator.updated_left
+       ~right:r.Generator.updated_right r.Generator.articulation)
+
+let test_concept_mapping_cars_to_vehicle () =
+  (* carrier:Cars -SIB-> transport:Vehicle <-SIB-> factory:Vehicle. *)
+  Alcotest.(check (option string)) "Cars lands on factory Vehicle"
+    (Some "Vehicle")
+    (Exchange.concept_target (space ()) ~from:"carrier" ~to_:"factory" "Cars")
+
+let test_concept_mapping_generalizes_soundly () =
+  (* factory:SUV has no bridge of its own; it generalizes through Vehicle
+     into carrier CarsTrucks members...  SUV -S-> Vehicle -SIB->
+     transport:CarsTrucks has no path back down into carrier, so the only
+     carrier concepts reachable are none — translation must refuse rather
+     than invent. *)
+  Alcotest.(check (option string)) "SUV finds no carrier concept" None
+    (Exchange.concept_target (space ()) ~from:"factory" ~to_:"carrier" "SUV")
+
+let test_concept_mapping_picks_most_specific () =
+  (* Within factory: GoodsVehicle reaches Vehicle, CargoCarrier and
+     Transportation; the most specific reachable "target" when translating
+     into factory itself is GoodsVehicle (identity-ish). *)
+  Alcotest.(check (option string)) "identity stays specific"
+    (Some "GoodsVehicle")
+    (Exchange.concept_target (space ()) ~from:"factory" ~to_:"factory"
+       "GoodsVehicle")
+
+let test_attr_route_currency_composition () =
+  (* carrier Price (guilders) -> euro -> factory Price (sterling):
+     2203.71 NLG = 1000 EUR = 600 GBP. *)
+  match
+    Exchange.attr_route (space ()) ~conversions:Conversion.builtin
+      ~from:"carrier" ~to_:"factory" "Price"
+  with
+  | Some (target_attr, convert) -> (
+      Alcotest.(check string) "lands on factory Price" "Price" target_attr;
+      match convert (num 2203.71) with
+      | Ok (Conversion.Num gbp) ->
+          check_bool "two-hop conversion" true (Float.abs (gbp -. 600.0) < 1e-6)
+      | Ok _ -> Alcotest.fail "expected a number"
+      | Error m -> Alcotest.failf "conversion failed: %s" m)
+  | None -> Alcotest.fail "expected a route"
+
+let test_translate_full_instance () =
+  let inst =
+    { Kb.id = "MyCar"; concept = "Cars";
+      attrs = [ ("Model", Conversion.Str "polo"); ("Price", num 2203.71) ] }
+  in
+  match
+    Exchange.translate (space ()) ~conversions:Conversion.builtin
+      ~from:"carrier" ~to_:"factory" inst
+  with
+  | Ok outcome ->
+      Alcotest.(check string) "concept" "Vehicle" outcome.Exchange.instance.Kb.concept;
+      Alcotest.(check string) "id preserved" "MyCar" outcome.Exchange.instance.Kb.id;
+      check_bool "price converted" true
+        (match Kb.attr_value outcome.Exchange.instance "Price" with
+        | Some (Conversion.Num gbp) -> Float.abs (gbp -. 600.0) < 1e-6
+        | _ -> false);
+      (* Model has no factory binding: reported untranslated. *)
+      Alcotest.(check (list string)) "untranslated" [ "Model" ]
+        outcome.Exchange.untranslated;
+      check_bool "path starts and ends right" true
+        (List.hd outcome.Exchange.target_concept_path = "carrier:Cars"
+        && List.hd (List.rev outcome.Exchange.target_concept_path)
+           = "factory:Vehicle")
+  | Error m -> Alcotest.failf "translate failed: %s" m
+
+let test_translate_unmappable_concept () =
+  let inst = { Kb.id = "x"; concept = "Model"; attrs = [] } in
+  check_bool "refuses" true
+    (Result.is_error
+       (Exchange.translate (space ()) ~conversions:Conversion.builtin
+          ~from:"carrier" ~to_:"factory" inst))
+
+let test_roundtrip_price_value () =
+  (* carrier -> factory -> carrier composes the four conversions and must
+     return the original value. *)
+  let s = space () in
+  match
+    ( Exchange.attr_route s ~conversions:Conversion.builtin ~from:"carrier"
+        ~to_:"factory" "Price",
+      Exchange.attr_route s ~conversions:Conversion.builtin ~from:"factory"
+        ~to_:"carrier" "Price" )
+  with
+  | Some (_, forth), Some (_, back) -> (
+      match Result.bind (forth (num 1234.5)) back with
+      | Ok (Conversion.Num v) ->
+          check_bool "roundtrip exact" true (Float.abs (v -. 1234.5) < 1e-6)
+      | _ -> Alcotest.fail "roundtrip failed")
+  | _ -> Alcotest.fail "expected both routes"
+
+let suite =
+  [
+    ( "exchange",
+      [
+        Alcotest.test_case "concept mapping" `Quick test_concept_mapping_cars_to_vehicle;
+        Alcotest.test_case "sound refusal" `Quick test_concept_mapping_generalizes_soundly;
+        Alcotest.test_case "most specific" `Quick test_concept_mapping_picks_most_specific;
+        Alcotest.test_case "currency composition" `Quick test_attr_route_currency_composition;
+        Alcotest.test_case "full instance" `Quick test_translate_full_instance;
+        Alcotest.test_case "unmappable" `Quick test_translate_unmappable_concept;
+        Alcotest.test_case "value roundtrip" `Quick test_roundtrip_price_value;
+      ] );
+  ]

@@ -1,0 +1,176 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let t o n = Term.make ~ontology:o n
+
+let left =
+  Ontology.create "shop"
+  |> fun o -> Ontology.add_subclass o ~sub:"Car" ~super:"Product"
+  |> fun o -> Ontology.add_term o "Customer"
+
+let right =
+  Ontology.create "dealer"
+  |> fun o -> Ontology.add_subclass o ~sub:"Automobile" ~super:"Goods"
+  |> fun o -> Ontology.add_term o "Client"
+
+let ground_truth =
+  [
+    Rule.implies (t "shop" "Car") (t "dealer" "Automobile");
+    Rule.implies (t "shop" "Customer") (t "dealer" "Client");
+  ]
+
+let dummy_suggestion score =
+  {
+    Skat.rule = Rule.implies ~confidence:score (t "shop" "Car") (t "dealer" "Automobile");
+    score;
+    evidence = "test";
+  }
+
+let test_threshold_expert () =
+  let e = Expert.threshold 0.8 in
+  check_bool "accepts high" true (e (dummy_suggestion 0.9) = Expert.Accept);
+  check_bool "rejects low" true (e (dummy_suggestion 0.5) = Expert.Reject)
+
+let test_oracle () =
+  let e = Expert.oracle ~ground_truth in
+  check_bool "accepts true pair" true (e (dummy_suggestion 0.9) = Expert.Accept);
+  let wrong =
+    {
+      Skat.rule = Rule.implies (t "shop" "Car") (t "dealer" "Client");
+      score = 0.9;
+      evidence = "test";
+    }
+  in
+  check_bool "rejects wrong pair" true (e wrong = Expert.Reject)
+
+let test_noisy_oracle_deterministic () =
+  let run () =
+    let e =
+      Expert.noisy_oracle ~seed:42 ~false_accept:0.3 ~false_reject:0.3 ~ground_truth
+    in
+    List.init 20 (fun i -> e (dummy_suggestion (0.5 +. (0.01 *. float_of_int i))))
+  in
+  check_bool "replayable" true (run () = run ())
+
+let test_scripted_cycles () =
+  let e = Expert.scripted [ Expert.Accept; Expert.Reject ] in
+  check_bool "first" true (e (dummy_suggestion 0.9) = Expert.Accept);
+  check_bool "second" true (e (dummy_suggestion 0.9) = Expert.Reject);
+  check_bool "wraps" true (e (dummy_suggestion 0.9) = Expert.Accept)
+
+let test_counted () =
+  let stats = Expert.new_stats () in
+  let e = Expert.counted stats (Expert.threshold 0.8) in
+  ignore (e (dummy_suggestion 0.9));
+  ignore (e (dummy_suggestion 0.5));
+  check_int "decisions" 2 stats.Expert.decisions;
+  check_int "accepted" 1 stats.Expert.accepted;
+  check_int "rejected" 1 stats.Expert.rejected
+
+let test_session_with_oracle () =
+  let outcome =
+    Session.run ~articulation_name:"market" ~expert:(Expert.oracle ~ground_truth)
+      ~left ~right ()
+  in
+  check_bool "found the alignment" true
+    (List.exists
+       (fun (r : Rule.t) ->
+         Rule.equal_body r.Rule.body
+           (Rule.Implication (Rule.Term (t "shop" "Car"), Rule.Term (t "dealer" "Automobile"))))
+       outcome.Session.accepted);
+  check_bool "bridges generated" true
+    (Articulation.nb_bridges outcome.Session.articulation > 0);
+  check_bool "terminates before cap" true (outcome.Session.rounds < 10);
+  check_bool "decisions counted" true
+    (outcome.Session.expert_stats.Expert.decisions > 0)
+
+let test_session_reject_all_accepts_nothing () =
+  let outcome =
+    Session.run ~articulation_name:"market" ~expert:Expert.reject_all ~left ~right ()
+  in
+  check_int "nothing accepted" 0 (List.length outcome.Session.accepted);
+  check_int "no bridges" 0 (Articulation.nb_bridges outcome.Session.articulation);
+  check_bool "everything rejected" true (outcome.Session.rejected <> [])
+
+let test_session_not_reconsulted_on_decided () =
+  (* Under accept_all the second round proposes nothing new, so decisions
+     equal the number of distinct suggestions. *)
+  let outcome =
+    Session.run ~articulation_name:"market" ~expert:Expert.accept_all ~left ~right ()
+  in
+  let distinct =
+    List.sort_uniq
+      (fun (a : Rule.t) (b : Rule.t) -> compare a.Rule.body b.Rule.body)
+      outcome.Session.accepted
+  in
+  check_int "each suggestion decided once"
+    (List.length distinct)
+    outcome.Session.expert_stats.Expert.decisions
+
+let test_session_seed_rules () =
+  let seed = [ Rule.implies (t "shop" "Product") (t "dealer" "Goods") ] in
+  let outcome =
+    Session.run ~articulation_name:"market" ~seed_rules:seed
+      ~expert:Expert.reject_all ~left ~right ()
+  in
+  check_bool "seed in accepted" true
+    (List.exists
+       (fun (r : Rule.t) ->
+         Rule.equal_body r.Rule.body (List.hd seed).Rule.body)
+       outcome.Session.accepted);
+  check_bool "seed compiled" true
+    (Articulation.nb_bridges outcome.Session.articulation > 0)
+
+let test_session_conflicts_surfaced () =
+  let seed =
+    [
+      Rule.implies ~name:"i" (t "shop" "Car") (t "dealer" "Automobile");
+      Rule.disjoint ~name:"d" (t "shop" "Car") (t "dealer" "Automobile");
+    ]
+  in
+  let outcome =
+    Session.run ~articulation_name:"market" ~seed_rules:seed
+      ~expert:Expert.reject_all ~left ~right ()
+  in
+  check_bool "conflict detected" true
+    (List.exists
+       (fun c -> c.Conflict.code = "disjoint-implication")
+       outcome.Session.conflicts)
+
+let test_articulate_one_shot () =
+  let art =
+    Session.articulate ~articulation_name:"market" ~left ~right
+      [ Rule.implies (t "shop" "Car") (t "dealer" "Automobile") ]
+  in
+  Alcotest.(check int) "three bridges" 3 (Articulation.nb_bridges art)
+
+let test_modify_decision () =
+  (* The expert replaces every suggestion with a fixed correction. *)
+  let replacement = Rule.implies (t "shop" "Product") (t "dealer" "Goods") in
+  let expert _ = Expert.Modify replacement in
+  let outcome =
+    Session.run ~articulation_name:"market" ~expert ~left ~right ~max_rounds:2 ()
+  in
+  check_bool "replacement adopted" true
+    (List.exists
+       (fun (r : Rule.t) -> Rule.equal_body r.Rule.body replacement.Rule.body)
+       outcome.Session.accepted)
+
+let suite =
+  [
+    ( "expert-session",
+      [
+        Alcotest.test_case "threshold" `Quick test_threshold_expert;
+        Alcotest.test_case "oracle" `Quick test_oracle;
+        Alcotest.test_case "noisy deterministic" `Quick test_noisy_oracle_deterministic;
+        Alcotest.test_case "scripted" `Quick test_scripted_cycles;
+        Alcotest.test_case "counted" `Quick test_counted;
+        Alcotest.test_case "session oracle" `Quick test_session_with_oracle;
+        Alcotest.test_case "session reject-all" `Quick test_session_reject_all_accepts_nothing;
+        Alcotest.test_case "decide once" `Quick test_session_not_reconsulted_on_decided;
+        Alcotest.test_case "seed rules" `Quick test_session_seed_rules;
+        Alcotest.test_case "conflicts surfaced" `Quick test_session_conflicts_surfaced;
+        Alcotest.test_case "one-shot" `Quick test_articulate_one_shot;
+        Alcotest.test_case "modify" `Quick test_modify_decision;
+      ] );
+  ]

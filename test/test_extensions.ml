@@ -1,0 +1,251 @@
+(* Tests for the extension layer: articulation persistence, OQL mediator
+   generation, predicate pushdown, the structural matcher, and the
+   ablation knobs (naive inference, matcher ordering, semantic
+   difference). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let t o n = Term.make ~ontology:o n
+
+(* ---------------- articulation persistence ---------------- *)
+
+let test_articulation_roundtrip () =
+  let r = Paper_example.articulation () in
+  let art = r.Generator.articulation in
+  match Articulation_io.of_string (Articulation_io.to_string art) with
+  | Ok art2 ->
+      Alcotest.(check string) "name" (Articulation.name art) (Articulation.name art2);
+      Alcotest.(check string) "left" (Articulation.left art) (Articulation.left art2);
+      check_bool "ontology graph equal" true
+        (Digraph.equal
+           (Ontology.graph (Articulation.ontology art))
+           (Ontology.graph (Articulation.ontology art2)));
+      check_int "bridges" (Articulation.nb_bridges art) (Articulation.nb_bridges art2);
+      check_bool "bridges equal" true
+        (List.for_all2 Bridge.equal (Articulation.bridges art) (Articulation.bridges art2));
+      check_int "rules survive" (List.length (Articulation.rules art))
+        (List.length (Articulation.rules art2));
+      List.iter2
+        (fun (a : Rule.t) (b : Rule.t) ->
+          check_bool "rule body survives" true (Rule.equal_body a.Rule.body b.Rule.body))
+        (Articulation.rules art) (Articulation.rules art2)
+  | Error m -> Alcotest.failf "reload failed: %s" m
+
+let test_articulation_file_io () =
+  let r = Paper_example.articulation () in
+  let path = Filename.temp_file "onion" ".articulation.xml" in
+  Articulation_io.save_file r.Generator.articulation path;
+  (match Articulation_io.load_file path with
+  | Ok art ->
+      check_int "bridges" 17 (Articulation.nb_bridges art);
+      (* A reloaded articulation still drives the algebra. *)
+      let u =
+        Algebra.union ~left:r.Generator.updated_left
+          ~right:r.Generator.updated_right art
+      in
+      check_int "union intact" 40 (Digraph.nb_edges u.Algebra.graph)
+  | Error m -> Alcotest.failf "load failed: %s" m);
+  Sys.remove path
+
+let test_articulation_io_errors () =
+  check_bool "wrong root" true
+    (Result.is_error (Articulation_io.of_string "<ontology name=\"x\"/>"));
+  check_bool "missing attrs" true
+    (Result.is_error (Articulation_io.of_string "<articulation name=\"a\"/>"));
+  check_bool "bad bridge" true
+    (Result.is_error
+       (Articulation_io.of_string
+          "<articulation name=\"m\" left=\"l\" right=\"r\"><ontology \
+           name=\"m\"/><bridge src=\"noqual\" label=\"SIBridge\" \
+           dst=\"m:X\"/></articulation>"))
+
+(* ---------------- OQL emission ---------------- *)
+
+let plan_for query =
+  let r = Paper_example.articulation () in
+  let u =
+    Algebra.union ~left:r.Generator.updated_left ~right:r.Generator.updated_right
+      r.Generator.articulation
+  in
+  match Rewrite.plan (Federation.of_unified u) ~conversions:Conversion.builtin (Query.parse_exn query) with
+  | Ok plan -> plan
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let test_oql_emission () =
+  let plan = plan_for "SELECT Price FROM Vehicle WHERE Price < 5000" in
+  let mediator = Oql.of_plan ~conversions:Conversion.builtin plan in
+  check_int "two sub-queries" 2 (List.length mediator.Oql.per_source);
+  let carrier_oql = List.assoc "carrier" mediator.Oql.per_source in
+  check_bool "scans Cars extent" true (Helpers.contains ~affix:"from x in Cars" carrier_oql);
+  (* The euro constant 5000 crosses into guilders via EuroToDGFn: 11018.55. *)
+  check_bool "constant crossed to source space" true
+    (Helpers.contains ~affix:"x.Price < 11018.6" carrier_oql);
+  check_bool "merge lifts through converter" true
+    (Helpers.contains ~affix:"lift carrier.Price through DGToEuroFn()"
+       mediator.Oql.merge_program)
+
+let test_oql_union_extents () =
+  let plan = plan_for "SELECT Price FROM CarsTrucks" in
+  let mediator = Oql.of_plan ~conversions:Conversion.builtin plan in
+  let carrier_oql = List.assoc "carrier" mediator.Oql.per_source in
+  check_bool "extent union" true (Helpers.contains ~affix:"union" carrier_oql);
+  Alcotest.(check string) "stable output"
+    (Oql.to_string mediator)
+    (Oql.to_string (Oql.of_plan ~conversions:Conversion.builtin plan))
+
+(* ---------------- pushdown ---------------- *)
+
+let pushdown_env () =
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let u = Algebra.union ~left ~right r.Generator.articulation in
+  let kb1 =
+    Kb.create ~ontology:left "kb1"
+    |> fun kb -> Kb.add kb ~concept:"Cars" ~id:"cheap" [ ("Price", Conversion.Num 2000.0) ]
+    |> fun kb -> Kb.add kb ~concept:"Cars" ~id:"pricey" [ ("Price", Conversion.Num 44000.0) ]
+  in
+  let kb2 =
+    Kb.create ~ontology:right "kb2"
+    |> fun kb -> Kb.add kb ~concept:"Truck" ~id:"t" [ ("Price", Conversion.Num 3000.0) ]
+  in
+  Mediator.env ~kbs:[ kb1; kb2 ] ~unified:u ()
+
+let test_pushdown_same_answers () =
+  let env = pushdown_env () in
+  let q = "SELECT Price FROM Vehicle WHERE Price < 6000" in
+  match (Mediator.run_text env q, Mediator.run_text ~pushdown:true env q) with
+  | Ok plain, Ok pushed ->
+      let ids r = List.map (fun t -> t.Mediator.instance) r.Mediator.tuples in
+      Alcotest.(check (list string)) "identical answers" (ids plain) (ids pushed);
+      check_int "plain transfers everything" plain.Mediator.scanned
+        plain.Mediator.transferred;
+      check_bool "pushdown transfers less" true
+        (pushed.Mediator.transferred < pushed.Mediator.scanned);
+      check_int "only survivors transferred" 2 pushed.Mediator.transferred
+  | Error m, _ | _, Error m -> Alcotest.failf "query failed: %s" m
+
+let test_pushdown_residual_still_applied () =
+  (* Owner has no inverse conversion issue (identity binding) — pushable;
+     a predicate on a missing attribute still fails the tuple. *)
+  let env = pushdown_env () in
+  match Mediator.run_text ~pushdown:true env "SELECT Price FROM Vehicle WHERE Owner = 'x'" with
+  | Ok r -> check_int "nobody has Owner" 0 (List.length r.Mediator.tuples)
+  | Error m -> Alcotest.failf "query failed: %s" m
+
+(* ---------------- structural matcher ---------------- *)
+
+(* Two ontologies with disjoint vocabularies but identical shapes: only
+   structure can align the inner nodes. *)
+let structural_pair () =
+  let build name root mid leaf attr =
+    Ontology.create name
+    |> fun o -> Ontology.add_subclass o ~sub:mid ~super:root
+    |> fun o -> Ontology.add_subclass o ~sub:leaf ~super:mid
+    |> fun o -> Ontology.add_attribute o ~concept:mid ~attr
+  in
+  (* Roots share a label to seed the flooding. *)
+  ( build "a" "Entity" "Zorgle" "Blib" "Quux",
+    build "b" "Entity" "Florp" "Nang" "Wizz" )
+
+let test_structural_aligns_by_shape () =
+  let left, right = structural_pair () in
+  let sims = Skat_structural.similarity ~left ~right () in
+  let score l r =
+    match List.find_opt (fun (a, b, _) -> a = l && b = r) sims with
+    | Some (_, _, s) -> s
+    | None -> 0.0
+  in
+  (* Zorgle and Florp occupy the same position under the shared root. *)
+  check_bool "structural pair beats cross pair" true
+    (score "Zorgle" "Florp" > score "Zorgle" "Wizz");
+  check_bool "leaf alignment too" true (score "Blib" "Nang" > score "Blib" "Florp")
+
+let test_structural_suggest_threshold () =
+  let left, right = structural_pair () in
+  let config = { Skat_structural.default_config with Skat_structural.min_score = 0.99 } in
+  let suggs = Skat_structural.suggest ~config ~left ~right () in
+  check_bool "only near-perfect survive" true
+    (List.for_all (fun (s : Skat.suggestion) -> s.Skat.score >= 0.99) suggs)
+
+let test_combined_subsumes_lexical () =
+  let left, right = structural_pair () in
+  let lex = Skat.suggest ~left ~right () in
+  let combined = Skat_structural.combined_suggest ~left ~right () in
+  check_bool "combined at least as many" true
+    (List.length combined >= List.length lex);
+  (* Entity=Entity exact hit must be present in both. *)
+  let has_entity suggs =
+    List.exists
+      (fun (s : Skat.suggestion) ->
+        Rule.equal_body s.Skat.rule.Rule.body
+          (Rule.Implication (Rule.Term (t "a" "Entity"), Rule.Term (t "b" "Entity"))))
+      suggs
+  in
+  check_bool "lexical hit kept" true (has_entity combined)
+
+let test_structural_deterministic () =
+  let left, right = structural_pair () in
+  let s1 = Skat_structural.similarity ~left ~right () in
+  let s2 = Skat_structural.similarity ~left ~right () in
+  check_bool "deterministic" true (s1 = s2)
+
+(* ---------------- ablation knobs ---------------- *)
+
+let test_naive_inference_same_fixpoint () =
+  let g = Ontology.qualify (Gen.ontology ~profile:{ Gen.default_profile with Gen.n_terms = 40 } ~seed:3 ~name:"x" ()) in
+  let semi = Infer.run ~rules:Infer.default_rules g in
+  let naive = Infer.run ~strategy:`Naive ~rules:Infer.default_rules g in
+  check_bool "same closure" true (Digraph.equal semi.Infer.graph naive.Infer.graph)
+
+let test_matcher_order_same_matches () =
+  let g = Ontology.graph Paper_example.factory in
+  let p = Pattern_parser.parse_exn "?X -[SubclassOf]-> ?Y -[SubclassOf]-> ?Z" in
+  let a = Matcher.find p g in
+  let b = Matcher.find ~node_order:`Declaration p g in
+  let norm (ms : Matcher.match_result list) =
+    List.sort compare (List.map (fun m -> m.Matcher.assignment) ms)
+  in
+  check_bool "order-independent result set" true (norm a = norm b)
+
+let test_semantic_difference_keeps_vehicle () =
+  (* Under the full rule set the all-edges difference loses factory:Vehicle
+     through the Price conversion chain; the semantic reading keeps it. *)
+  let r = Paper_example.articulation () in
+  let semantic =
+    Traversal.only [ Rel.si_bridge; Rel.semantic_implication; Rel.subclass_of ]
+  in
+  let d_all =
+    Algebra.difference ~minuend:r.Generator.updated_right
+      ~subtrahend:r.Generator.updated_left r.Generator.articulation
+  in
+  let d_sem =
+    Algebra.difference ~follow:semantic ~minuend:r.Generator.updated_right
+      ~subtrahend:r.Generator.updated_left r.Generator.articulation
+  in
+  check_bool "all-edges excludes Vehicle" false (Ontology.has_term d_all "Vehicle");
+  check_bool "semantic keeps Vehicle" true (Ontology.has_term d_sem "Vehicle");
+  (* The semantic difference is never smaller than the all-edges one. *)
+  check_bool "semantic superset" true
+    (List.for_all (fun x -> Ontology.has_term d_sem x) (Ontology.terms d_all))
+
+let suite =
+  [
+    ( "extensions",
+      [
+        Alcotest.test_case "articulation roundtrip" `Quick test_articulation_roundtrip;
+        Alcotest.test_case "articulation file io" `Quick test_articulation_file_io;
+        Alcotest.test_case "articulation io errors" `Quick test_articulation_io_errors;
+        Alcotest.test_case "oql emission" `Quick test_oql_emission;
+        Alcotest.test_case "oql union extents" `Quick test_oql_union_extents;
+        Alcotest.test_case "pushdown answers" `Quick test_pushdown_same_answers;
+        Alcotest.test_case "pushdown residual" `Quick test_pushdown_residual_still_applied;
+        Alcotest.test_case "structural shape" `Quick test_structural_aligns_by_shape;
+        Alcotest.test_case "structural threshold" `Quick test_structural_suggest_threshold;
+        Alcotest.test_case "combined suggest" `Quick test_combined_subsumes_lexical;
+        Alcotest.test_case "structural deterministic" `Quick test_structural_deterministic;
+        Alcotest.test_case "naive = semi-naive" `Quick test_naive_inference_same_fixpoint;
+        Alcotest.test_case "matcher order ablation" `Quick test_matcher_order_same_matches;
+        Alcotest.test_case "semantic difference" `Quick test_semantic_difference_keeps_vehicle;
+      ] );
+  ]

@@ -1,0 +1,147 @@
+(* Federated queries across three sources through a composition tower. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let t o n = Term.make ~ontology:o n
+
+let num f = Conversion.Num f
+
+(* carrier/factory under "transport", composed with a customs source under
+   "trade". *)
+let tower_setup () =
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let customs =
+    Ontology.create "customs"
+    |> fun o -> Ontology.add_subclass o ~sub:"ImportedVehicle" ~super:"Import"
+    |> fun o -> Ontology.add_attribute o ~concept:"ImportedVehicle" ~attr:"Duty"
+  in
+  let compose_rules =
+    [
+      Rule.implies (t "customs" "ImportedVehicle") (t "trade" "TradeVehicle");
+      Rule.implies (t "transport" "Vehicle") (t "trade" "TradeVehicle");
+    ]
+  in
+  let tower =
+    Compose.compose ~articulation_name:"trade" ~base:r.Generator.articulation
+      ~third:customs compose_rules
+  in
+  let space =
+    Federation.of_parts ~sources:[ left; right; customs ]
+      ~articulations:[ tower.Compose.base; tower.Compose.upper ]
+  in
+  (left, right, customs, space)
+
+let test_of_parts_validation () =
+  let r = Paper_example.articulation () in
+  check_bool "source/articulation name clash rejected" true
+    (try
+       ignore
+         (Federation.of_parts
+            ~sources:[ Ontology.create "transport" ]
+            ~articulations:[ r.Generator.articulation ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_space_shape () =
+  let _, _, _, space = tower_setup () in
+  Alcotest.(check (list string)) "sources" [ "carrier"; "customs"; "factory" ]
+    (Federation.source_names space);
+  Alcotest.(check (list string)) "articulations" [ "trade"; "transport" ]
+    space.Federation.articulation_names;
+  check_bool "primary is the top of the tower" true
+    (Federation.primary_articulation space = Some "transport");
+  check_bool "graph spans all parts" true
+    (Digraph.mem_node space.Federation.graph "carrier:Cars"
+    && Digraph.mem_node space.Federation.graph "customs:Duty"
+    && Digraph.mem_node space.Federation.graph "trade:TradeVehicle")
+
+let test_three_source_concepts () =
+  let _, _, _, space = tower_setup () in
+  (* trade:TradeVehicle is answered by all three sources: customs directly,
+     carrier and factory through the transport articulation (its Vehicle
+     node is bridged into trade). *)
+  Alcotest.(check (list string)) "customs" [ "ImportedVehicle" ]
+    (Rewrite.source_concepts space ~source:"customs" (t "trade" "TradeVehicle"));
+  Alcotest.(check (list string)) "carrier" [ "Cars" ]
+    (Rewrite.source_concepts space ~source:"carrier" (t "trade" "TradeVehicle"));
+  check_bool "factory vehicles included" true
+    (List.mem "Vehicle"
+       (Rewrite.source_concepts space ~source:"factory" (t "trade" "TradeVehicle")))
+
+let test_three_source_query () =
+  let left, right, customs, space = tower_setup () in
+  let kb1 =
+    Kb.add (Kb.create ~ontology:left "kb-carrier") ~concept:"Cars" ~id:"MyCar"
+      [ ("Price", num 2000.0) ]
+  in
+  let kb2 =
+    Kb.add (Kb.create ~ontology:right "kb-factory") ~concept:"Truck" ~id:"t9"
+      [ ("Price", num 3000.0) ]
+  in
+  let kb3 =
+    Kb.add
+      (Kb.create ~ontology:customs "kb-customs")
+      ~concept:"ImportedVehicle" ~id:"imp1"
+      [ ("Duty", num 150.0) ]
+  in
+  let env = Mediator.env_federated ~kbs:[ kb1; kb2; kb3 ] ~space () in
+  match Mediator.run_text env "SELECT COUNT(*) FROM trade:TradeVehicle" with
+  | Ok report ->
+      check_bool "all three sources answered" true
+        (List.assoc "COUNT(*)" report.Mediator.aggregates = num 3.0);
+      check_int "three tuples" 3 (List.length report.Mediator.tuples)
+  | Error m -> Alcotest.failf "query failed: %s" m
+
+let test_conversions_still_apply_in_tower () =
+  let left, right, customs, space = tower_setup () in
+  let kb1 =
+    Kb.add (Kb.create ~ontology:left "kb-carrier") ~concept:"Cars" ~id:"MyCar"
+      [ ("Price", num 2000.0) ]
+  in
+  let kb2 =
+    Kb.add (Kb.create ~ontology:right "kb-factory") ~concept:"Truck" ~id:"t9"
+      [ ("Price", num 3000.0) ]
+  in
+  let kb3 = Kb.create ~ontology:customs "kb-customs" in
+  let env = Mediator.env_federated ~kbs:[ kb1; kb2; kb3 ] ~space () in
+  (* Price lives in the transport articulation; the guilder conversion
+     applies even when querying through the tower's base vocabulary. *)
+  match Mediator.run_text env "SELECT Price FROM transport:Vehicle WHERE Price < 1000" with
+  | Ok report -> (
+      match report.Mediator.tuples with
+      | [ tup ] -> (
+          Alcotest.(check string) "the guilder car" "MyCar" tup.Mediator.instance;
+          match Mediator.tuple_value tup "Price" with
+          | Some (Conversion.Num e) ->
+              check_bool "euros" true (Float.abs (e -. 907.56) < 0.01)
+          | _ -> Alcotest.fail "expected numeric price")
+      | other -> Alcotest.failf "expected 1 tuple, got %d" (List.length other))
+  | Error m -> Alcotest.failf "query failed: %s" m
+
+let test_default_ontology_is_primary () =
+  let left, right, customs, space = tower_setup () in
+  let env =
+    Mediator.env_federated
+      ~kbs:[ Kb.create ~ontology:left "a"; Kb.create ~ontology:right "b";
+             Kb.create ~ontology:customs "c" ]
+      ~space ()
+  in
+  (* Bare "Vehicle" resolves against the primary articulation, transport. *)
+  match Mediator.run_text env "SELECT COUNT(*) FROM Vehicle" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "expected primary-articulation resolution: %s" m
+
+let suite =
+  [
+    ( "federation",
+      [
+        Alcotest.test_case "of_parts validation" `Quick test_of_parts_validation;
+        Alcotest.test_case "space shape" `Quick test_space_shape;
+        Alcotest.test_case "3-source concepts" `Quick test_three_source_concepts;
+        Alcotest.test_case "3-source query" `Quick test_three_source_query;
+        Alcotest.test_case "tower conversions" `Quick test_conversions_still_apply_in_tower;
+        Alcotest.test_case "primary default" `Quick test_default_ontology_is_primary;
+      ] );
+  ]

@@ -1,0 +1,72 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+
+let o = Paper_example.factory
+
+let test_filter_selects_matched_portion () =
+  let p = Pattern_parser.parse_exn "Truck -[SubclassOf]-> GoodsVehicle" in
+  let f = Filter_extract.filter o p in
+  check_sorted_strings "exact nodes" [ "GoodsVehicle"; "Truck" ] (Ontology.terms f);
+  check_bool "witnessed edge" true
+    (Ontology.has_rel f "Truck" Rel.subclass_of "GoodsVehicle");
+  Alcotest.(check string) "keeps name" "factory" (Ontology.name f)
+
+let test_filter_union_of_matches () =
+  let p = Pattern_parser.parse_exn "?X -[SubclassOf]-> Vehicle" in
+  let f = Filter_extract.filter o p in
+  check_sorted_strings "all matches unioned" [ "GoodsVehicle"; "SUV"; "Vehicle" ]
+    (Ontology.terms f)
+
+let test_filter_no_match_empty () =
+  let p = Pattern_parser.parse_exn "Spaceship" in
+  Alcotest.(check int) "empty" 0 (Ontology.nb_terms (Filter_extract.filter o p))
+
+let test_filter_terms () =
+  check_sorted_strings "term list" [ "GoodsVehicle"; "SUV"; "Vehicle" ]
+    (Filter_extract.filter_terms o (Pattern_parser.parse_exn "?X -[SubclassOf]-> Vehicle"))
+
+let test_extract_includes_attributes_and_subclasses () =
+  let p = Pattern_parser.parse_exn "Vehicle" in
+  let ex = Filter_extract.extract o p in
+  check_bool "head" true (Ontology.has_term ex "Vehicle");
+  check_bool "attribute closure" true (Ontology.has_term ex "Price");
+  check_bool "subclasses" true (Ontology.has_term ex "Truck" && Ontology.has_term ex "SUV");
+  check_bool "unrelated omitted" false (Ontology.has_term ex "Factory");
+  check_bool "induced edges" true (Ontology.has_rel ex "SUV" Rel.subclass_of "Vehicle")
+
+let test_extract_without_subclasses () =
+  let p = Pattern_parser.parse_exn "Vehicle" in
+  let ex = Filter_extract.extract ~include_subclasses:false o p in
+  check_bool "no subclasses" false (Ontology.has_term ex "SUV");
+  check_bool "attributes still there" true (Ontology.has_term ex "Price")
+
+let test_extract_custom_follow () =
+  let p = Pattern_parser.parse_exn "GoodsVehicle" in
+  let ex =
+    Filter_extract.extract ~follow:[ Rel.subclass_of ] ~include_subclasses:false o p
+  in
+  check_bool "follows subclass upward" true
+    (Ontology.has_term ex "Vehicle" && Ontology.has_term ex "CargoCarrier");
+  check_bool "attributes not followed" false (Ontology.has_term ex "Weight")
+
+let test_extract_fuzzy () =
+  let policy = Fuzzy.with_synonyms Lexicon.builtin in
+  let p = Pattern_parser.parse_exn "Lorry" in
+  let ex = Filter_extract.extract ~policy o p in
+  check_bool "synonym matched Truck" true (Ontology.has_term ex "Truck")
+
+let suite =
+  [
+    ( "filter-extract",
+      [
+        Alcotest.test_case "filter portion" `Quick test_filter_selects_matched_portion;
+        Alcotest.test_case "filter union" `Quick test_filter_union_of_matches;
+        Alcotest.test_case "filter empty" `Quick test_filter_no_match_empty;
+        Alcotest.test_case "filter_terms" `Quick test_filter_terms;
+        Alcotest.test_case "extract closure" `Quick test_extract_includes_attributes_and_subclasses;
+        Alcotest.test_case "extract no subclasses" `Quick test_extract_without_subclasses;
+        Alcotest.test_case "extract follow" `Quick test_extract_custom_follow;
+        Alcotest.test_case "extract fuzzy" `Quick test_extract_fuzzy;
+      ] );
+  ]

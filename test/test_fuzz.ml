@@ -1,0 +1,79 @@
+(* Robustness fuzzing: every parser's [Result]-returning entry point must
+   return [Error] — never raise — on arbitrary input, including inputs
+   biased toward each grammar's own token vocabulary (which reach much
+   deeper than uniform noise). *)
+
+let no_exception name parse =
+  let gen_string =
+    (* QCheck.Gen exports its own [printable]; use it directly. *)
+    QCheck.Gen.(string_size ~gen:printable (int_range 0 120))
+  in
+  QCheck.Test.make ~count:500 ~name:(name ^ " never raises on noise")
+    (QCheck.make ~print:(Printf.sprintf "%S") gen_string)
+    (fun s ->
+      match parse s with _ -> true | exception _ -> false)
+
+(* Grammar-biased fuzz: shuffle fragments of valid documents. *)
+let fragments_fuzz name fragments parse =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun picks -> String.concat " " picks)
+        (list_size (int_range 0 25) (oneofl fragments)))
+  in
+  QCheck.Test.make ~count:500 ~name:(name ^ " never raises on token soup")
+    (QCheck.make ~print:(Printf.sprintf "%S") gen)
+    (fun s -> match parse s with _ -> true | exception _ -> false)
+
+let xml_fragments =
+  [ "<ontology"; "name="; "\"carrier\""; ">"; "</ontology>"; "<term"; "/>";
+    "<subclassOf"; "term=\"X\""; "<!--"; "-->"; "&amp;"; "&#65;"; "<"; ">";
+    "<?xml"; "?>"; "\""; "=" ]
+
+let idl_fragments =
+  [ "module"; "interface"; "attribute"; "relationship"; "{"; "}"; ":"; ";";
+    ","; "float"; "Car"; "Vehicle"; "//x"; "/*"; "*/" ]
+
+let rule_fragments =
+  [ "carrier:Car"; "=>"; "&"; "|"; "("; ")"; "["; "]"; "as"; "disjoint";
+    "DGToEuroFn()"; ":"; ","; "pat<"; ">"; "x" ]
+
+let query_fragments =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "ORDER"; "BY"; "LIMIT"; "COUNT"; "(";
+    ")"; "*"; ","; "Price"; "<"; ">="; "5000"; "'gio'"; "transport:Vehicle";
+    "DESC"; "true" ]
+
+let pattern_fragments =
+  [ "carrier"; ":"; "car"; "("; ")"; "{"; "}"; ","; "?X"; "_"; "-["; "]->";
+    "SubclassOf" ]
+
+let adjacency_fragments =
+  [ "node"; "edge"; "A"; "S"; "B"; "\""; "\\"; "#"; "\n"; "x y z" ]
+
+let ntriples_fragments =
+  [ "<urn:onion:a>"; "<urn:onion:rel/S>"; "."; "\"lit\""; "<http://x>"; "%41";
+    "#c"; "\n" ]
+
+let suite =
+  [
+    ( "fuzz",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          no_exception "xml" Xml_parse.parse_ontology;
+          fragments_fuzz "xml" xml_fragments Xml_parse.parse_ontology;
+          no_exception "idl" (Idl_parse.parse_ontology ~name:"f");
+          fragments_fuzz "idl" idl_fragments (Idl_parse.parse_ontology ~name:"f");
+          no_exception "adjacency" Adjacency.parse;
+          fragments_fuzz "adjacency" adjacency_fragments Adjacency.parse;
+          no_exception "rules" (Rule_parser.parse ~default_ontology:"d");
+          fragments_fuzz "rules" rule_fragments (Rule_parser.parse ~default_ontology:"d");
+          no_exception "query" (Query.parse ~default_ontology:"d");
+          fragments_fuzz "query" query_fragments (Query.parse ~default_ontology:"d");
+          no_exception "pattern" Pattern_parser.parse;
+          fragments_fuzz "pattern" pattern_fragments Pattern_parser.parse;
+          no_exception "ntriples" Ntriples.to_graph;
+          fragments_fuzz "ntriples" ntriples_fragments Ntriples.to_graph;
+          no_exception "loader" (fun s -> Loader.load_string s);
+          no_exception "articulation store" Articulation_io.of_string;
+        ] );
+  ]

@@ -1,0 +1,66 @@
+let check_bool = Alcotest.(check bool)
+
+let test_exact () =
+  check_bool "identical" true (Fuzzy.node_compatible Fuzzy.exact "Car" "Car");
+  check_bool "case differs" false (Fuzzy.node_compatible Fuzzy.exact "car" "Car");
+  check_bool "edges strict" false (Fuzzy.edge_compatible Fuzzy.exact "S" "A")
+
+let test_case_insensitive () =
+  let p = { Fuzzy.exact with Fuzzy.case_insensitive = true } in
+  check_bool "case folded" true (Fuzzy.node_compatible p "CAR" "car")
+
+let test_stemming () =
+  let p = { Fuzzy.exact with Fuzzy.stemming = true } in
+  check_bool "plural" true (Fuzzy.node_compatible p "Cars" "Car");
+  check_bool "different stems" false (Fuzzy.node_compatible p "Cars" "Trucks")
+
+let test_synonyms () =
+  let p = Fuzzy.with_synonyms Lexicon.builtin in
+  check_bool "synonym" true (Fuzzy.node_compatible p "Car" "Automobile");
+  check_bool "not synonym" false (Fuzzy.node_compatible p "Car" "Invoice")
+
+let test_similarity_threshold () =
+  let p = { Fuzzy.exact with Fuzzy.similarity_threshold = Some 0.85 } in
+  check_bool "close spellings" true (Fuzzy.node_compatible p "Colour" "Color");
+  check_bool "far labels" false (Fuzzy.node_compatible p "Wheel" "Invoice")
+
+let test_qualified_labels_compared_locally () =
+  let p = Fuzzy.with_synonyms Lexicon.builtin in
+  check_bool "prefix stripped" true
+    (Fuzzy.node_compatible p "Car" "carrier:Automobile");
+  check_bool "both prefixed" true
+    (Fuzzy.node_compatible p "factory:Car" "carrier:Car")
+
+let test_edge_relaxations () =
+  let ignore_policy = { Fuzzy.exact with Fuzzy.ignore_edge_labels = true } in
+  check_bool "ignored" true (Fuzzy.edge_compatible ignore_policy "S" "A");
+  let pairs = { Fuzzy.exact with Fuzzy.extra_edge_pairs = [ ("S", "SI") ] } in
+  check_bool "declared pair" true (Fuzzy.edge_compatible pairs "S" "SI");
+  check_bool "order-insensitive" true (Fuzzy.edge_compatible pairs "SI" "S");
+  check_bool "undeclared pair" false (Fuzzy.edge_compatible pairs "S" "A")
+
+let test_lenient () =
+  let p = Fuzzy.lenient Lexicon.builtin in
+  check_bool "synonym" true (Fuzzy.node_compatible p "price" "Cost");
+  check_bool "similar" true (Fuzzy.node_compatible p "Organisation" "Organization")
+
+let test_to_morphism_compat () =
+  let compat = Fuzzy.to_morphism_compat (Fuzzy.with_synonyms Lexicon.builtin) in
+  check_bool "node hook" true (compat.Morphism.node_ok "Car" "Auto");
+  check_bool "edge hook" true (compat.Morphism.edge_ok "S" "S")
+
+let suite =
+  [
+    ( "fuzzy",
+      [
+        Alcotest.test_case "exact" `Quick test_exact;
+        Alcotest.test_case "case" `Quick test_case_insensitive;
+        Alcotest.test_case "stemming" `Quick test_stemming;
+        Alcotest.test_case "synonyms" `Quick test_synonyms;
+        Alcotest.test_case "similarity" `Quick test_similarity_threshold;
+        Alcotest.test_case "qualified labels" `Quick test_qualified_labels_compared_locally;
+        Alcotest.test_case "edge relaxations" `Quick test_edge_relaxations;
+        Alcotest.test_case "lenient" `Quick test_lenient;
+        Alcotest.test_case "morphism compat" `Quick test_to_morphism_compat;
+      ] );
+  ]

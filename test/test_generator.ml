@@ -1,0 +1,275 @@
+(* The section 4.1 rule translations, checked edge-for-edge against the
+   paper's worked examples. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let t o n = Term.make ~ontology:o n
+
+let generate ?conversions rules =
+  Generator.generate ?conversions ~articulation_name:"transport"
+    ~left:Paper_example.carrier ~right:Paper_example.factory rules
+
+let has_bridge r src label dst =
+  List.exists
+    (fun (b : Bridge.t) ->
+      Term.equal b.Bridge.src src
+      && String.equal b.Bridge.label label
+      && Term.equal b.Bridge.dst dst)
+    (Articulation.bridges r.Generator.articulation)
+
+let test_simple_si_bridge () =
+  (* "(carrier:Car => factory:Vehicle) is translated to
+     EA[(carrier:Car, SIBridge, transport:Vehicle);
+        (factory:Vehicle, SIBridge, transport:Vehicle);
+        (transport:Vehicle, SIBridge, factory:Vehicle)]" *)
+  let r = generate [ Rule.implies (t "carrier" "Cars") (t "factory" "Vehicle") ] in
+  check_bool "lhs specialization" true
+    (has_bridge r (t "carrier" "Cars") Rel.si_bridge (t "transport" "Vehicle"));
+  check_bool "rhs equivalence ->" true
+    (has_bridge r (t "factory" "Vehicle") Rel.si_bridge (t "transport" "Vehicle"));
+  check_bool "rhs equivalence <-" true
+    (has_bridge r (t "transport" "Vehicle") Rel.si_bridge (t "factory" "Vehicle"));
+  check_int "exactly three bridges" 3
+    (Articulation.nb_bridges r.Generator.articulation);
+  check_bool "articulation node introduced" true
+    (Ontology.has_term (Articulation.ontology r.Generator.articulation) "Vehicle")
+
+let test_cascade () =
+  (* "(carrier:Car => transport:PassengerCar => factory:Vehicle) ... adds a
+     node PassengerCar ... then adds the edges
+     (carrier:Car, SIBridge, transport:PassengerCar) and
+     (transport:PassengerCar, SIBridge, factory:Vehicle)" *)
+  let rules =
+    Rule.cascade [ t "carrier" "Cars"; t "transport" "PassengerCar"; t "factory" "Vehicle" ]
+  in
+  let r = generate rules in
+  check_bool "node added" true
+    (Ontology.has_term (Articulation.ontology r.Generator.articulation) "PassengerCar");
+  check_bool "first edge" true
+    (has_bridge r (t "carrier" "Cars") Rel.si_bridge (t "transport" "PassengerCar"));
+  check_bool "second edge" true
+    (has_bridge r (t "transport" "PassengerCar") Rel.si_bridge (t "factory" "Vehicle"));
+  check_int "exactly two bridges" 2 (Articulation.nb_bridges r.Generator.articulation)
+
+let test_intra_articulation_subclass () =
+  (* "(transport:Owner => transport:Person) results in the addition of an
+     edge ... indicating that the class Owner is a subclass of the class
+     Person." *)
+  let r = generate [ Rule.implies (t "transport" "Owner") (t "transport" "Person") ] in
+  let art = Articulation.ontology r.Generator.articulation in
+  check_bool "subclass edge inside articulation" true
+    (Ontology.has_rel art "Owner" Rel.subclass_of "Person");
+  check_int "no bridges" 0 (Articulation.nb_bridges r.Generator.articulation)
+
+let test_intra_source_structuring () =
+  let r = generate [ Rule.implies (t "carrier" "Trucks") (t "carrier" "Carrier") ] in
+  check_bool "SI added to source copy" true
+    (Ontology.has_rel r.Generator.updated_left "Trucks" Rel.semantic_implication "Carrier");
+  check_bool "original untouched" false
+    (Ontology.has_rel Paper_example.carrier "Trucks" Rel.semantic_implication "Carrier")
+
+let test_conjunction () =
+  (* "((factory:CargoCarrier ∧ factory:Vehicle) => carrier:Trucks) is
+     modeled by adding a node ... CargoCarrierVehicle and edges to indicate
+     that this is a subclass of the classes Vehicle, CargoCarrier and
+     Trucks.  Furthermore, all subclasses of Vehicle that are also
+     subclasses of CargoCarrier, e.g. Truck, are made subclasses of
+     CargoCarrierVehicle." *)
+  let rule =
+    Rule.v ~alias:"CargoCarrierVehicle"
+      (Rule.Implication
+         ( Rule.Conj [ Rule.Term (t "factory" "CargoCarrier"); Rule.Term (t "factory" "Vehicle") ],
+           Rule.Term (t "carrier" "Trucks") ))
+  in
+  let r = generate [ rule ] in
+  let n = t "transport" "CargoCarrierVehicle" in
+  check_bool "node added" true
+    (Ontology.has_term (Articulation.ontology r.Generator.articulation) "CargoCarrierVehicle");
+  check_bool "under CargoCarrier" true
+    (has_bridge r n Rel.si_bridge (t "factory" "CargoCarrier"));
+  check_bool "under Vehicle" true (has_bridge r n Rel.si_bridge (t "factory" "Vehicle"));
+  check_bool "under Trucks (rhs)" true (has_bridge r n Rel.si_bridge (t "carrier" "Trucks"));
+  check_bool "Truck propagated" true
+    (has_bridge r (t "factory" "Truck") Rel.si_bridge n);
+  check_bool "GoodsVehicle propagated" true
+    (has_bridge r (t "factory" "GoodsVehicle") Rel.si_bridge n);
+  check_bool "SUV not propagated" false
+    (has_bridge r (t "factory" "SUV") Rel.si_bridge n)
+
+let test_conjunction_default_name () =
+  let rule =
+    Rule.v
+      (Rule.Implication
+         ( Rule.Conj [ Rule.Term (t "factory" "CargoCarrier"); Rule.Term (t "factory" "Vehicle") ],
+           Rule.Term (t "carrier" "Trucks") ))
+  in
+  let r = generate [ rule ] in
+  check_bool "predicate-text default label" true
+    (Ontology.has_term
+       (Articulation.ontology r.Generator.articulation)
+       "CargoCarrierAndVehicle")
+
+let test_disjunction () =
+  (* "(factory:Vehicle => (carrier:Cars ∨ carrier:Trucks)) ... adding a new
+     node labelled CarsTrucks and edges that indicate that the classes
+     carrier:Cars, carrier:Trucks and factory:Vehicle are subclasses of
+     transport:CarsTrucks." *)
+  let rule =
+    Rule.v ~alias:"CarsTrucks"
+      (Rule.Implication
+         ( Rule.Term (t "factory" "Vehicle"),
+           Rule.Disj [ Rule.Term (t "carrier" "Cars"); Rule.Term (t "carrier" "Trucks") ] ))
+  in
+  let r = generate [ rule ] in
+  let d = t "transport" "CarsTrucks" in
+  check_bool "Cars under" true (has_bridge r (t "carrier" "Cars") Rel.si_bridge d);
+  check_bool "Trucks under" true (has_bridge r (t "carrier" "Trucks") Rel.si_bridge d);
+  check_bool "Vehicle under" true (has_bridge r (t "factory" "Vehicle") Rel.si_bridge d);
+  check_int "exactly three bridges" 3 (Articulation.nb_bridges r.Generator.articulation)
+
+let test_functional_rule () =
+  (* "(DGToEuroFn() : carrier:DutchGuilders => transport:Euro) ... we create
+     an edge (carrier:DutchGuilders, "DGToEuroFn()", transport:Euro)" *)
+  let rule =
+    Rule.functional ~fn:"DGToEuroFn" ~src:(t "carrier" "Price") ~dst:(t "transport" "Price") ()
+  in
+  let r = generate ~conversions:Conversion.builtin [ rule ] in
+  check_bool "conversion bridge" true
+    (has_bridge r (t "carrier" "Price") "DGToEuroFn()" (t "transport" "Price"));
+  Alcotest.(check (list string)) "no warnings" []
+    (List.map (fun w -> w.Generator.message) r.Generator.warnings)
+
+let test_functional_unknown_converter_warns () =
+  let rule =
+    Rule.functional ~fn:"NopeFn" ~src:(t "carrier" "Price") ~dst:(t "transport" "Price") ()
+  in
+  let r = generate ~conversions:Conversion.builtin [ rule ] in
+  check_bool "warned" true
+    (List.exists
+       (fun w -> w.Generator.message = "conversion function NopeFn is not registered")
+       r.Generator.warnings)
+
+let test_unknown_ontology_warns_and_skips () =
+  let r = generate [ Rule.implies (t "mystery" "X") (t "factory" "Vehicle") ] in
+  check_int "no bridges" 0 (Articulation.nb_bridges r.Generator.articulation);
+  check_bool "warned" true (r.Generator.warnings <> [])
+
+let test_missing_term_created_with_warning () =
+  let r = generate [ Rule.implies (t "carrier" "Hovercraft") (t "factory" "Vehicle") ] in
+  check_bool "created in source copy" true
+    (Ontology.has_term r.Generator.updated_left "Hovercraft");
+  check_bool "warned" true
+    (List.exists
+       (fun w -> Helpers.contains ~affix:"Hovercraft" w.Generator.message)
+       r.Generator.warnings)
+
+let test_disjunctive_lhs_desugars () =
+  (* (A | B) => C  ==  A => C and B => C. *)
+  let rule =
+    Rule.v
+      (Rule.Implication
+         ( Rule.Disj [ Rule.Term (t "carrier" "Cars"); Rule.Term (t "carrier" "Trucks") ],
+           Rule.Term (t "factory" "Vehicle") ))
+  in
+  let r = generate [ rule ] in
+  check_bool "Cars => Vehicle" true
+    (has_bridge r (t "carrier" "Cars") Rel.si_bridge (t "transport" "Vehicle"));
+  check_bool "Trucks => Vehicle" true
+    (has_bridge r (t "carrier" "Trucks") Rel.si_bridge (t "transport" "Vehicle"))
+
+let test_conjunctive_rhs_desugars () =
+  let rule =
+    Rule.v
+      (Rule.Implication
+         ( Rule.Term (t "carrier" "Cars"),
+           Rule.Conj [ Rule.Term (t "factory" "Vehicle"); Rule.Term (t "factory" "Transportation") ] ))
+  in
+  let r = generate [ rule ] in
+  check_bool "first conjunct" true
+    (has_bridge r (t "carrier" "Cars") Rel.si_bridge (t "transport" "Vehicle"));
+  check_bool "second conjunct" true
+    (has_bridge r (t "carrier" "Cars") Rel.si_bridge (t "transport" "Transportation"))
+
+let test_pattern_operand_resolution () =
+  (* Every direct subclass of factory:Vehicle (via a pattern operand)
+     implies carrier:Carrier.  The pattern's first node (the wildcard)
+     is the representative; it matches GoodsVehicle and SUV, and the
+     resulting disjunctive lhs desugars into one cross rule each. *)
+  let p =
+    Pattern_parser.parse_exn ~ontologies:[ "factory" ]
+      "factory:?X -[SubclassOf]-> Vehicle"
+  in
+  let rule = Rule.v (Rule.Implication (Rule.Patt p, Rule.Term (t "carrier" "Carrier"))) in
+  let r = generate [ rule ] in
+  check_bool "GoodsVehicle bridged" true
+    (has_bridge r (t "factory" "GoodsVehicle") Rel.si_bridge (t "transport" "Carrier"));
+  check_bool "SUV bridged" true
+    (has_bridge r (t "factory" "SUV") Rel.si_bridge (t "transport" "Carrier"));
+  check_bool "rhs equivalence" true
+    (has_bridge r (t "transport" "Carrier") Rel.si_bridge (t "carrier" "Carrier"))
+
+let test_ops_log_replays () =
+  let r = generate Paper_example.rules in
+  (* Replaying the op log on the initial unified graph must reproduce the
+     final unified graph. *)
+  let initial =
+    Digraph.union
+      (Ontology.qualify Paper_example.carrier)
+      (Ontology.qualify Paper_example.factory)
+  in
+  let replayed = Transform.apply_all initial r.Generator.ops in
+  let u =
+    Algebra.union ~left:r.Generator.updated_left ~right:r.Generator.updated_right
+      r.Generator.articulation
+  in
+  check_bool "op log reproduces unified graph" true
+    (Digraph.equal replayed u.Algebra.graph)
+
+let test_generation_idempotent () =
+  let r1 = generate Paper_example.rules in
+  let r2 = generate (Paper_example.rules @ Paper_example.rules) in
+  check_int "same bridges" (Articulation.nb_bridges r1.Generator.articulation)
+    (Articulation.nb_bridges r2.Generator.articulation)
+
+let test_articulation_name_clash () =
+  check_bool "rejected" true
+    (try
+       ignore
+         (Generator.generate ~articulation_name:"carrier"
+            ~left:Paper_example.carrier ~right:Paper_example.factory []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_node_names () =
+  Alcotest.(check string) "conj alias" "N"
+    (Generator.conj_node_name ~alias:(Some "N") [ t "a" "X" ]);
+  Alcotest.(check string) "conj default" "XAndY"
+    (Generator.conj_node_name ~alias:None [ t "a" "X"; t "b" "Y" ]);
+  Alcotest.(check string) "disj default" "XOrY"
+    (Generator.disj_node_name ~alias:None [ t "a" "X"; t "b" "Y" ])
+
+let suite =
+  [
+    ( "generator",
+      [
+        Alcotest.test_case "simple SI bridge (paper)" `Quick test_simple_si_bridge;
+        Alcotest.test_case "cascade (paper)" `Quick test_cascade;
+        Alcotest.test_case "intra-articulation (paper)" `Quick test_intra_articulation_subclass;
+        Alcotest.test_case "intra-source" `Quick test_intra_source_structuring;
+        Alcotest.test_case "conjunction (paper)" `Quick test_conjunction;
+        Alcotest.test_case "conjunction default name" `Quick test_conjunction_default_name;
+        Alcotest.test_case "disjunction (paper)" `Quick test_disjunction;
+        Alcotest.test_case "functional (paper)" `Quick test_functional_rule;
+        Alcotest.test_case "unknown converter" `Quick test_functional_unknown_converter_warns;
+        Alcotest.test_case "unknown ontology" `Quick test_unknown_ontology_warns_and_skips;
+        Alcotest.test_case "missing term" `Quick test_missing_term_created_with_warning;
+        Alcotest.test_case "disjunctive lhs" `Quick test_disjunctive_lhs_desugars;
+        Alcotest.test_case "conjunctive rhs" `Quick test_conjunctive_rhs_desugars;
+        Alcotest.test_case "pattern operand" `Quick test_pattern_operand_resolution;
+        Alcotest.test_case "op log replay" `Quick test_ops_log_replays;
+        Alcotest.test_case "idempotent" `Quick test_generation_idempotent;
+        Alcotest.test_case "name clash" `Quick test_articulation_name_clash;
+        Alcotest.test_case "node names" `Quick test_node_names;
+      ] );
+  ]

@@ -1,0 +1,134 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let taxonomy () =
+  Digraph.of_edges
+    [ e "Car" "SubclassOf" "Vehicle"; e "Truck" "SubclassOf" "Vehicle";
+      e "i1" "InstanceOf" "Car" ]
+
+let pat s = Pattern_parser.parse_exn s
+
+let test_enrichment_rule () =
+  (* Every subclass of Vehicle gains a Wheels attribute. *)
+  let r =
+    Graph_rewrite.rule ~name:"wheels"
+      ~pattern:(pat "?X -[SubclassOf]-> Vehicle")
+      [ Graph_rewrite.Add_edge (Graph_rewrite.Matched "0/_", "AttributeOf",
+                                Graph_rewrite.Literal "Wheels") ]
+  in
+  match Graph_rewrite.apply_all (taxonomy ()) r with
+  | Ok (g, n) ->
+      check_int "two matches" 2 n;
+      check_bool "car wheels" true (Digraph.mem_edge g "Car" "AttributeOf" "Wheels");
+      check_bool "truck wheels" true (Digraph.mem_edge g "Truck" "AttributeOf" "Wheels")
+  | Error m -> Alcotest.failf "rewrite failed: %s" m
+
+let test_fresh_template () =
+  (* Each subclass spawns a shadow node named after it. *)
+  let r =
+    Graph_rewrite.rule ~name:"shadow"
+      ~pattern:(pat "?X -[SubclassOf]-> Vehicle")
+      [ Graph_rewrite.Add_edge (Graph_rewrite.Fresh "$0/__shadow",
+                                "shadows", Graph_rewrite.Matched "0/_") ]
+  in
+  match Graph_rewrite.apply_all (taxonomy ()) r with
+  | Ok (g, _) ->
+      check_bool "car shadow" true (Digraph.mem_edge g "Car_shadow" "shadows" "Car");
+      check_bool "truck shadow" true (Digraph.mem_edge g "Truck_shadow" "shadows" "Truck")
+  | Error m -> Alcotest.failf "rewrite failed: %s" m
+
+let test_delete_actions () =
+  let r =
+    Graph_rewrite.rule ~name:"drop-instances"
+      ~pattern:(pat "?I -[InstanceOf]-> ?C")
+      [ Graph_rewrite.Delete_node (Graph_rewrite.Matched "0/_") ]
+  in
+  match Graph_rewrite.apply_all (taxonomy ()) r with
+  | Ok (g, n) ->
+      check_int "one instance" 1 n;
+      check_bool "instance gone" false (Digraph.mem_node g "i1")
+  | Error m -> Alcotest.failf "rewrite failed: %s" m
+
+let test_unknown_pattern_id () =
+  let r =
+    Graph_rewrite.rule ~name:"bad" ~pattern:(pat "Car")
+      [ Graph_rewrite.Delete_node (Graph_rewrite.Matched "nope") ]
+  in
+  check_bool "error surfaces" true
+    (Result.is_error (Graph_rewrite.apply_all (taxonomy ()) r))
+
+let test_fixpoint_transitivity () =
+  (* Express SubclassOf transitivity as a rewrite rule and close a chain. *)
+  let chain =
+    Digraph.of_edges
+      [ e "a" "SubclassOf" "b"; e "b" "SubclassOf" "c"; e "c" "SubclassOf" "d" ]
+  in
+  let r =
+    Graph_rewrite.rule ~name:"trans"
+      ~pattern:(pat "?X -[SubclassOf]-> ?Y -[SubclassOf]-> ?Z")
+      [ Graph_rewrite.Add_edge (Graph_rewrite.Matched "0/_", "SubclassOf",
+                                Graph_rewrite.Matched "2/_") ]
+  in
+  match Graph_rewrite.fixpoint chain [ r ] with
+  | Ok (g, rounds) ->
+      check_bool "closed" true (Digraph.mem_edge g "a" "SubclassOf" "d");
+      check_int "six edges total" 6 (Digraph.nb_edges g);
+      check_bool "few rounds" true (rounds <= 3)
+  | Error m -> Alcotest.failf "fixpoint failed: %s" m
+
+let test_fixpoint_divergence_detected () =
+  (* A rule that keeps minting fresh nodes never converges. *)
+  let r =
+    Graph_rewrite.rule ~name:"mint"
+      ~pattern:(pat "?X -[SubclassOf]-> ?Y")
+      [ Graph_rewrite.Add_edge (Graph_rewrite.Fresh "$0/_x", "SubclassOf",
+                                Graph_rewrite.Matched "1/_") ]
+  in
+  check_bool "divergence reported" true
+    (Result.is_error (Graph_rewrite.fixpoint ~max_rounds:5 (taxonomy ()) [ r ]))
+
+let test_fuzzy_policy_rule () =
+  let r =
+    Graph_rewrite.rule ~name:"syn" ~policy:(Fuzzy.with_synonyms Lexicon.builtin)
+      ~pattern:(pat "Automobile")
+      [ Graph_rewrite.Add_edge (Graph_rewrite.Matched "0/Automobile", "tagged",
+                                Graph_rewrite.Literal "synonym_hit") ]
+  in
+  match Graph_rewrite.apply_all (taxonomy ()) r with
+  | Ok (g, n) ->
+      check_int "Car matched via synonym" 1 n;
+      check_bool "edge added to Car" true (Digraph.mem_edge g "Car" "tagged" "synonym_hit")
+  | Error m -> Alcotest.failf "rewrite failed: %s" m
+
+let test_pattern_directed_grouping () =
+  (* GOOD-style abstraction: introduce one group node per (class with an
+     instance) pair. *)
+  let r =
+    Graph_rewrite.rule ~name:"group"
+      ~pattern:(pat "?I -[InstanceOf]-> ?C")
+      [
+        Graph_rewrite.Add_edge (Graph_rewrite.Fresh "Group_$1/_",
+                                "contains", Graph_rewrite.Matched "0/_");
+      ]
+  in
+  match Graph_rewrite.apply_all (taxonomy ()) r with
+  | Ok (g, _) ->
+      check_bool "group node" true (Digraph.mem_edge g "Group_Car" "contains" "i1")
+  | Error m -> Alcotest.failf "rewrite failed: %s" m
+
+let suite =
+  [
+    ( "graph-rewrite",
+      [
+        Alcotest.test_case "enrichment" `Quick test_enrichment_rule;
+        Alcotest.test_case "fresh template" `Quick test_fresh_template;
+        Alcotest.test_case "delete" `Quick test_delete_actions;
+        Alcotest.test_case "unknown id" `Quick test_unknown_pattern_id;
+        Alcotest.test_case "fixpoint transitivity" `Quick test_fixpoint_transitivity;
+        Alcotest.test_case "divergence" `Quick test_fixpoint_divergence_detected;
+        Alcotest.test_case "fuzzy policy" `Quick test_fuzzy_policy_rule;
+        Alcotest.test_case "grouping" `Quick test_pattern_directed_grouping;
+      ] );
+  ]

@@ -1,0 +1,90 @@
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let carrier_idl =
+  {|// carrier export schema
+module carrier {
+  interface Vehicle {
+    attribute float price;
+  };
+  /* multi-line
+     comment */
+  interface Car : Vehicle {
+    attribute string owner;
+    relationship Driver drivenBy;
+  };
+  interface Truck : Vehicle, CargoCarrier {
+  };
+};|}
+
+let parse_ok ?name src =
+  match Idl_parse.parse_ontology ?name src with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "parse failed: %s" (Format.asprintf "%a" Idl_parse.pp_error e)
+
+let test_module_parse () =
+  let o = parse_ok carrier_idl in
+  check_str "module names ontology" "carrier" (Ontology.name o);
+  check_bool "subclass" true (Ontology.has_rel o "Car" Rel.subclass_of "Vehicle");
+  check_bool "multi supertypes" true
+    (Ontology.has_rel o "Truck" Rel.subclass_of "Vehicle"
+    && Ontology.has_rel o "Truck" Rel.subclass_of "CargoCarrier");
+  check_bool "attribute" true (Ontology.has_rel o "Car" Rel.attribute_of "owner");
+  check_bool "attribute type recorded" true
+    (Ontology.has_rel o "owner" Idl_parse.has_type_label "string");
+  check_bool "relationship" true (Ontology.has_rel o "Car" "drivenBy" "Driver")
+
+let test_bare_interfaces () =
+  let o = parse_ok ~name:"bare" "interface A { };\ninterface B : A { };" in
+  check_str "fallback name" "bare" (Ontology.name o);
+  check_bool "subclass" true (Ontology.has_rel o "B" Rel.subclass_of "A")
+
+let test_error_reports_line () =
+  match Idl_parse.parse_ontology "module m {\n  interface A {\n    bogus x;\n  };\n};" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> Alcotest.(check int) "line" 3 e.Idl_parse.line
+
+let test_unterminated_comment () =
+  check_bool "error" true
+    (Result.is_error (Idl_parse.parse_ontology "module m { /* oops };"))
+
+let test_missing_semicolon () =
+  check_bool "error" true
+    (Result.is_error
+       (Idl_parse.parse_ontology "module m { interface A { attribute int x } };"))
+
+let test_trailing_garbage () =
+  check_bool "error" true
+    (Result.is_error (Idl_parse.parse_ontology "module m { }; extra"))
+
+let test_empty_module () =
+  let o = parse_ok "module empty { };" in
+  Alcotest.(check int) "no terms" 0 (Ontology.nb_terms o)
+
+let test_parse_exn () =
+  check_bool "raises" true
+    (try
+       ignore (Idl_parse.parse_ontology_exn "garbage");
+       false
+     with Invalid_argument _ -> true)
+
+let test_consistent_result () =
+  check_bool "fixture consistent" true
+    (Consistency.is_consistent (parse_ok carrier_idl))
+
+let suite =
+  [
+    ( "idl",
+      [
+        Alcotest.test_case "module" `Quick test_module_parse;
+        Alcotest.test_case "bare interfaces" `Quick test_bare_interfaces;
+        Alcotest.test_case "error line" `Quick test_error_reports_line;
+        Alcotest.test_case "unterminated comment" `Quick test_unterminated_comment;
+        Alcotest.test_case "missing semicolon" `Quick test_missing_semicolon;
+        Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage;
+        Alcotest.test_case "empty module" `Quick test_empty_module;
+        Alcotest.test_case "parse_exn" `Quick test_parse_exn;
+        Alcotest.test_case "consistency" `Quick test_consistent_result;
+      ] );
+  ]

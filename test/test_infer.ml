@@ -1,0 +1,147 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run ?rules g =
+  Infer.run ~rules:(Option.value rules ~default:Infer.default_rules) g
+
+let test_subclass_transitivity () =
+  let g = Digraph.of_edges [ e "a" "SubclassOf" "b"; e "b" "SubclassOf" "c" ] in
+  let r = run g in
+  check_bool "derived" true (Digraph.mem_edge r.Infer.graph "a" "SubclassOf" "c")
+
+let test_subclass_implies_si () =
+  let g = Digraph.of_edges [ e "a" "SubclassOf" "b" ] in
+  let r = run g in
+  check_bool "SI derived" true (Digraph.mem_edge r.Infer.graph "a" "SI" "b")
+
+let test_instance_inheritance () =
+  let g = Digraph.of_edges [ e "i" "InstanceOf" "c"; e "c" "SubclassOf" "d" ] in
+  let r = run g in
+  check_bool "lifted" true (Digraph.mem_edge r.Infer.graph "i" "InstanceOf" "d")
+
+let test_attribute_inheritance () =
+  let g = Digraph.of_edges [ e "c" "SubclassOf" "d"; e "d" "AttributeOf" "p" ] in
+  let r = run g in
+  check_bool "inherited" true (Digraph.mem_edge r.Infer.graph "c" "AttributeOf" "p")
+
+let test_bridge_widening () =
+  let g = Digraph.of_edges [ e "x" "SI" "y"; e "y" "SIBridge" "m" ] in
+  let r = run g in
+  check_bool "widened" true (Digraph.mem_edge r.Infer.graph "x" "SIBridge" "m")
+
+let test_long_chain_closure () =
+  let n = 30 in
+  let edges =
+    List.init (n - 1) (fun i ->
+        e (Printf.sprintf "n%d" i) "SubclassOf" (Printf.sprintf "n%d" (i + 1)))
+  in
+  let r = run (Digraph.of_edges edges) in
+  check_bool "ends connected" true
+    (Digraph.mem_edge r.Infer.graph "n0" "SubclassOf" (Printf.sprintf "n%d" (n - 1)));
+  (* n*(n-1)/2 subclass pairs total. *)
+  let subclass_edges =
+    List.filter
+      (fun (ed : Digraph.edge) -> ed.label = "SubclassOf")
+      (Digraph.edges r.Infer.graph)
+  in
+  check_int "full closure" (n * (n - 1) / 2) (List.length subclass_edges)
+
+let test_cycle_terminates () =
+  let g = Digraph.of_edges [ e "a" "SI" "b"; e "b" "SI" "a" ] in
+  let r = run g in
+  check_bool "self edges appear" true
+    (Digraph.mem_edge r.Infer.graph "a" "SI" "a");
+  check_bool "bounded rounds" true (r.Infer.rounds < 10)
+
+let test_provenance_recorded () =
+  let g = Digraph.of_edges [ e "a" "SubclassOf" "b"; e "b" "SubclassOf" "c" ] in
+  let r = run g in
+  match Infer.provenance_of r (e "a" "SubclassOf" "c") with
+  | Some p ->
+      Alcotest.(check string) "rule" "subclass-transitive" p.Infer.rule;
+      check_int "two premises" 2 (List.length p.Infer.premises)
+  | None -> Alcotest.fail "expected provenance"
+
+let test_base_facts_have_no_provenance () =
+  let g = Digraph.of_edges [ e "a" "SubclassOf" "b" ] in
+  let r = run g in
+  check_bool "base fact" true (Infer.provenance_of r (e "a" "SubclassOf" "b") = None)
+
+let test_of_registry () =
+  let registry =
+    Rel.empty_registry
+    |> fun r -> Rel.declare r "near" [ Rel.Symmetric ]
+    |> fun r -> Rel.declare r "contains" [ Rel.Transitive; Rel.Inverse_of "within" ]
+    |> fun r -> Rel.declare r "within" []
+  in
+  let rules = Infer.of_registry registry in
+  let g = Digraph.of_edges [ e "a" "near" "b"; e "x" "contains" "y"; e "y" "contains" "z" ] in
+  let r = run ~rules g in
+  check_bool "symmetric" true (Digraph.mem_edge r.Infer.graph "b" "near" "a");
+  check_bool "transitive" true (Digraph.mem_edge r.Infer.graph "x" "contains" "z");
+  check_bool "inverse" true (Digraph.mem_edge r.Infer.graph "y" "within" "x");
+  (* Inverse of a derived edge also appears (fixpoint interaction). *)
+  check_bool "inverse of derived" true (Digraph.mem_edge r.Infer.graph "z" "within" "x")
+
+let test_horn_validation () =
+  check_bool "empty body" true
+    (try
+       ignore (Infer.horn ~name:"bad" ~head:(Infer.atom "R" (Infer.Var "X") (Infer.Var "Y")) ~body:[]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "unbound head var" true
+    (try
+       ignore
+         (Infer.horn ~name:"bad"
+            ~head:(Infer.atom "R" (Infer.Var "X") (Infer.Var "Z"))
+            ~body:[ Infer.atom "R" (Infer.Var "X") (Infer.Var "Y") ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_constants_in_rules () =
+  let rule =
+    Infer.horn ~name:"vehicles-only"
+      ~head:(Infer.atom "IsVehicle" (Infer.Var "X") (Infer.Const "yes"))
+      ~body:[ Infer.atom "SubclassOf" (Infer.Var "X") (Infer.Const "Vehicle") ]
+  in
+  let g = Digraph.of_edges [ e "Car" "SubclassOf" "Vehicle"; e "Desk" "SubclassOf" "Furniture" ] in
+  let r = run ~rules:[ rule ] g in
+  check_bool "car tagged" true (Digraph.mem_edge r.Infer.graph "Car" "IsVehicle" "yes");
+  check_bool "desk not tagged" false (Digraph.mem_edge r.Infer.graph "Desk" "IsVehicle" "yes")
+
+let test_max_rounds_cap () =
+  let g = Digraph.of_edges (List.init 20 (fun i ->
+      e (Printf.sprintf "n%d" i) "SubclassOf" (Printf.sprintf "n%d" (i + 1)))) in
+  let r = Infer.run ~max_rounds:1 ~rules:Infer.default_rules g in
+  check_int "capped" 1 r.Infer.rounds;
+  check_bool "incomplete closure" false
+    (Digraph.mem_edge r.Infer.graph "n0" "SubclassOf" "n20")
+
+let test_derived_edges_listed () =
+  let g = Digraph.of_edges [ e "a" "SubclassOf" "b" ] in
+  let r = run g in
+  check_bool "SI listed" true
+    (List.mem (e "a" "SI" "b") (Infer.derived_edges r))
+
+let suite =
+  [
+    ( "infer",
+      [
+        Alcotest.test_case "subclass transitive" `Quick test_subclass_transitivity;
+        Alcotest.test_case "subclass=>SI" `Quick test_subclass_implies_si;
+        Alcotest.test_case "instance inheritance" `Quick test_instance_inheritance;
+        Alcotest.test_case "attribute inheritance" `Quick test_attribute_inheritance;
+        Alcotest.test_case "bridge widening" `Quick test_bridge_widening;
+        Alcotest.test_case "long chain" `Quick test_long_chain_closure;
+        Alcotest.test_case "cycles terminate" `Quick test_cycle_terminates;
+        Alcotest.test_case "provenance" `Quick test_provenance_recorded;
+        Alcotest.test_case "base facts" `Quick test_base_facts_have_no_provenance;
+        Alcotest.test_case "of_registry" `Quick test_of_registry;
+        Alcotest.test_case "horn validation" `Quick test_horn_validation;
+        Alcotest.test_case "constants" `Quick test_constants_in_rules;
+        Alcotest.test_case "max rounds" `Quick test_max_rounds_cap;
+        Alcotest.test_case "derived list" `Quick test_derived_edges_listed;
+      ] );
+  ]

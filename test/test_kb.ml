@@ -1,0 +1,82 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let num f = Conversion.Num f
+
+let kb () =
+  Kb.create ~ontology:Paper_example.factory "kb-f"
+  |> fun kb -> Kb.add kb ~concept:"SUV" ~id:"s1" [ ("Price", num 100.0) ]
+  |> fun kb -> Kb.add kb ~concept:"Truck" ~id:"t1" [ ("Price", num 200.0); ("Weight", num 9.0) ]
+  |> fun kb -> Kb.add kb ~concept:"Vehicle" ~id:"v1" []
+
+let test_add_and_get () =
+  let kb = kb () in
+  check_int "size" 3 (Kb.size kb);
+  (match Kb.get kb ~id:"t1" with
+  | Some i ->
+      Alcotest.(check string) "concept" "Truck" i.Kb.concept;
+      check_bool "attr" true (Kb.attr_value i "Weight" = Some (num 9.0));
+      check_bool "missing attr" true (Kb.attr_value i "Color" = None)
+  | None -> Alcotest.fail "expected instance");
+  check_bool "unknown id" true (Kb.get kb ~id:"zz" = None)
+
+let test_add_validates_concept () =
+  check_bool "alien concept rejected" true
+    (try
+       ignore (Kb.add (kb ()) ~concept:"Spaceship" ~id:"x" []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_replace_same_id () =
+  let kb = Kb.add (kb ()) ~concept:"SUV" ~id:"s1" [ ("Price", num 999.0) ] in
+  check_int "no duplicate" 3 (Kb.size kb);
+  match Kb.get kb ~id:"s1" with
+  | Some i -> check_bool "updated" true (Kb.attr_value i "Price" = Some (num 999.0))
+  | None -> Alcotest.fail "expected instance"
+
+let test_remove () =
+  let kb = Kb.remove (kb ()) ~id:"s1" in
+  check_int "smaller" 2 (Kb.size kb)
+
+let test_instances_of_transitive () =
+  let kb = kb () in
+  check_int "direct only" 1 (List.length (Kb.instances_of ~transitive:false kb ~concept:"Vehicle"));
+  (* SUV and Truck are transitive subclasses of Vehicle in factory. *)
+  check_int "with subclasses" 3 (List.length (Kb.instances_of kb ~concept:"Vehicle"));
+  check_int "CargoCarrier side" 1 (List.length (Kb.instances_of kb ~concept:"CargoCarrier"))
+
+let test_concepts () =
+  Alcotest.(check (list string)) "concepts" [ "SUV"; "Truck"; "Vehicle" ]
+    (Kb.concepts (kb ()))
+
+let test_attrs_sorted () =
+  let kb = Kb.add (kb ()) ~concept:"SUV" ~id:"z" [ ("Z", num 1.0); ("A", num 2.0) ] in
+  match Kb.get kb ~id:"z" with
+  | Some i -> Alcotest.(check (list string)) "sorted" [ "A"; "Z" ] (List.map fst i.Kb.attrs)
+  | None -> Alcotest.fail "expected instance"
+
+let test_of_ontology_instances () =
+  (* carrier embeds MyCar -I-> Cars with a Price verb edge to node 2000. *)
+  let kb = Kb.of_ontology_instances ~ontology:Paper_example.carrier "boot" in
+  check_int "one instance" 1 (Kb.size kb);
+  match Kb.get kb ~id:"MyCar" with
+  | Some i ->
+      Alcotest.(check string) "concept" "Cars" i.Kb.concept;
+      check_bool "numeric literal parsed" true
+        (Kb.attr_value i "Price" = Some (num 2000.0))
+  | None -> Alcotest.fail "expected MyCar"
+
+let suite =
+  [
+    ( "kb",
+      [
+        Alcotest.test_case "add/get" `Quick test_add_and_get;
+        Alcotest.test_case "concept validation" `Quick test_add_validates_concept;
+        Alcotest.test_case "replace" `Quick test_replace_same_id;
+        Alcotest.test_case "remove" `Quick test_remove;
+        Alcotest.test_case "transitive instances" `Quick test_instances_of_transitive;
+        Alcotest.test_case "concepts" `Quick test_concepts;
+        Alcotest.test_case "attrs sorted" `Quick test_attrs_sorted;
+        Alcotest.test_case "bootstrap" `Quick test_of_ontology_instances;
+      ] );
+  ]

@@ -1,0 +1,98 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+
+let test_builtin_synonyms () =
+  let t = Lexicon.builtin in
+  check_bool "car ~ automobile" true (Lexicon.are_synonyms t "car" "automobile");
+  check_bool "case insensitive" true (Lexicon.are_synonyms t "Car" "AUTOMOBILE");
+  check_bool "truck ~ lorry" true (Lexicon.are_synonyms t "truck" "lorry");
+  check_bool "price ~ cost" true (Lexicon.are_synonyms t "price" "cost");
+  check_bool "car !~ truck" false (Lexicon.are_synonyms t "car" "truck")
+
+let test_stemmed_lookup () =
+  let t = Lexicon.builtin in
+  check_bool "plural resolves" true (Lexicon.are_synonyms t "cars" "automobile");
+  check_bool "same stem trivially synonym" true (Lexicon.are_synonyms t "cars" "car")
+
+let test_unknown_words () =
+  let t = Lexicon.builtin in
+  check_bool "unknown not synonym" false (Lexicon.are_synonyms t "zorp" "car");
+  Alcotest.(check (list string)) "unknown empty" [] (Lexicon.synonyms t "zorp");
+  check_bool "known" true (Lexicon.known t "car");
+  check_bool "not known" false (Lexicon.known t "zorp")
+
+let test_synonyms_exclude_self () =
+  let syns = Lexicon.synonyms Lexicon.builtin "car" in
+  check_bool "contains automobile" true (List.mem "automobile" syns);
+  check_bool "excludes itself" false (List.mem "car" syns)
+
+let test_hypernyms () =
+  let t = Lexicon.builtin in
+  check_sorted_strings "direct" [ "vehicle" ] (Lexicon.direct_hypernyms t "car");
+  check_bool "transitive" true (List.mem "transport" (Lexicon.hypernyms t "car"));
+  check_bool "is_a direct" true (Lexicon.is_a t ~specific:"car" ~general:"vehicle");
+  check_bool "is_a transitive" true (Lexicon.is_a t ~specific:"suv" ~general:"vehicle");
+  check_bool "is_a via synonym" true
+    (Lexicon.is_a t ~specific:"automobile" ~general:"conveyance");
+  check_bool "not is_a reversed" false (Lexicon.is_a t ~specific:"vehicle" ~general:"car")
+
+let test_semantic_similarity () =
+  let t = Lexicon.builtin in
+  Alcotest.(check (float 1e-9)) "synonyms" 1.0 (Lexicon.semantic_similarity t "car" "auto");
+  Alcotest.(check (float 1e-9)) "direct hypernym" 0.8
+    (Lexicon.semantic_similarity t "car" "vehicle");
+  check_bool "two steps decay" true
+    (Lexicon.semantic_similarity t "suv" "vehicle" < 0.8
+    && Lexicon.semantic_similarity t "suv" "vehicle" > 0.0);
+  Alcotest.(check (float 1e-9)) "unrelated" 0.0
+    (Lexicon.semantic_similarity t "car" "invoice")
+
+let test_add_and_merge_synsets () =
+  let t = Lexicon.empty in
+  let t = Lexicon.add_synset t [ "a"; "b" ] in
+  let t = Lexicon.add_synset t [ "b"; "c" ] in
+  check_bool "transitively merged" true (Lexicon.are_synonyms t "a" "c");
+  Alcotest.(check int) "3 words" 3 (Lexicon.size t)
+
+let test_union () =
+  let t1 = Lexicon.add_synset Lexicon.empty [ "x"; "y" ] in
+  let t2 =
+    Lexicon.add_hypernym (Lexicon.add_synset Lexicon.empty [ "y"; "z" ])
+      ~specific:"z" ~general:"w"
+  in
+  let u = Lexicon.union t1 t2 in
+  check_bool "merged across" true (Lexicon.are_synonyms u "x" "z");
+  check_bool "hypernym via synonym" true (Lexicon.is_a u ~specific:"x" ~general:"w")
+
+let test_cycle_safety () =
+  let t =
+    Lexicon.empty
+    |> fun t -> Lexicon.add_hypernym t ~specific:"a" ~general:"b"
+    |> fun t -> Lexicon.add_hypernym t ~specific:"b" ~general:"a"
+  in
+  (* Must terminate. *)
+  check_bool "cyclic is_a" true (Lexicon.is_a t ~specific:"a" ~general:"b")
+
+let test_entries () =
+  let t = Lexicon.add_synset Lexicon.empty [ "m"; "n" ] in
+  match Lexicon.entries t with
+  | [ ("m", [ "n" ], []); ("n", [ "m" ], []) ] -> ()
+  | _ -> Alcotest.fail "unexpected entries shape"
+
+let suite =
+  [
+    ( "lexicon",
+      [
+        Alcotest.test_case "builtin synonyms" `Quick test_builtin_synonyms;
+        Alcotest.test_case "stemmed lookup" `Quick test_stemmed_lookup;
+        Alcotest.test_case "unknown words" `Quick test_unknown_words;
+        Alcotest.test_case "self-exclusion" `Quick test_synonyms_exclude_self;
+        Alcotest.test_case "hypernyms" `Quick test_hypernyms;
+        Alcotest.test_case "similarity" `Quick test_semantic_similarity;
+        Alcotest.test_case "synset merge" `Quick test_add_and_merge_synsets;
+        Alcotest.test_case "union" `Quick test_union;
+        Alcotest.test_case "cycle safety" `Quick test_cycle_safety;
+        Alcotest.test_case "entries" `Quick test_entries;
+      ] );
+  ]

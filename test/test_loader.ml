@@ -1,0 +1,74 @@
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_sniff () =
+  check_bool "xml" true (Loader.sniff "  <ontology name=\"x\"/>" = Loader.Xml);
+  check_bool "idl module" true (Loader.sniff "module m { };" = Loader.Idl);
+  check_bool "idl comment" true (Loader.sniff "// hi\nmodule m { };" = Loader.Idl);
+  check_bool "adjacency" true (Loader.sniff "a S b\n" = Loader.Adjacency)
+
+let test_format_of_path () =
+  check_bool "xml ext" true (Loader.format_of_path "x/y.xml" = Some Loader.Xml);
+  check_bool "idl ext" true (Loader.format_of_path "y.IDL" = Some Loader.Idl);
+  check_bool "adj ext" true (Loader.format_of_path "y.adj" = Some Loader.Adjacency);
+  check_bool "unknown" true (Loader.format_of_path "y.bin" = None)
+
+let test_load_string_each_format () =
+  (match Loader.load_string "<ontology name=\"o\"><term name=\"T\"/></ontology>" with
+  | Ok o -> check_bool "xml term" true (Ontology.has_term o "T")
+  | Error m -> Alcotest.failf "xml: %s" m);
+  (match Loader.load_string ~name:"i" "interface A { };" with
+  | Ok o ->
+      check_str "idl name" "i" (Ontology.name o);
+      check_bool "idl term" true (Ontology.has_term o "A")
+  | Error m -> Alcotest.failf "idl: %s" m);
+  match Loader.load_string ~name:"adj" "A SubclassOf B\n" with
+  | Ok o ->
+      check_str "adjacency name" "adj" (Ontology.name o);
+      check_bool "edge" true (Ontology.has_rel o "A" Rel.subclass_of "B")
+  | Error m -> Alcotest.failf "adjacency: %s" m
+
+let test_load_errors_are_results () =
+  check_bool "bad xml" true (Result.is_error (Loader.load_string "<broken"));
+  check_bool "bad idl" true
+    (Result.is_error (Loader.load_string ~format:Loader.Idl "module {"));
+  check_bool "bad adjacency" true
+    (Result.is_error (Loader.load_string ~format:Loader.Adjacency "a b\n"))
+
+let test_file_roundtrip_xml () =
+  let path = Filename.temp_file "onion" ".xml" in
+  Loader.save_file Paper_example.factory path;
+  (match Loader.load_file path with
+  | Ok o -> check_bool "same graph" true (Digraph.equal (Ontology.graph o) (Ontology.graph Paper_example.factory))
+  | Error m -> Alcotest.failf "load: %s" m);
+  Sys.remove path
+
+let test_file_roundtrip_adjacency () =
+  let path = Filename.temp_file "onion" ".adj" in
+  Loader.save_file Paper_example.carrier path;
+  (match Loader.load_file path with
+  | Ok o ->
+      check_str "name from basename" (Filename.remove_extension (Filename.basename path)) (Ontology.name o);
+      check_bool "same graph" true
+        (Digraph.equal (Ontology.graph o) (Ontology.graph Paper_example.carrier))
+  | Error m -> Alcotest.failf "load: %s" m);
+  Sys.remove path
+
+let test_name_defaulting () =
+  match Loader.load_string "x y z\n" with
+  | Ok o -> check_str "default name" "ontology" (Ontology.name o)
+  | Error m -> Alcotest.failf "load: %s" m
+
+let suite =
+  [
+    ( "loader",
+      [
+        Alcotest.test_case "sniff" `Quick test_sniff;
+        Alcotest.test_case "format of path" `Quick test_format_of_path;
+        Alcotest.test_case "each format" `Quick test_load_string_each_format;
+        Alcotest.test_case "errors" `Quick test_load_errors_are_results;
+        Alcotest.test_case "xml file roundtrip" `Quick test_file_roundtrip_xml;
+        Alcotest.test_case "adj file roundtrip" `Quick test_file_roundtrip_adjacency;
+        Alcotest.test_case "name default" `Quick test_name_defaulting;
+      ] );
+  ]

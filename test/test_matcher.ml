@@ -1,0 +1,127 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let graph () = Ontology.graph Paper_example.factory
+
+let parse p = Pattern_parser.parse_exn p
+
+let test_single_term () =
+  check_bool "Vehicle present" true (Matcher.matches (parse "Vehicle") (graph ()));
+  check_bool "absent term" false (Matcher.matches (parse "Spaceship") (graph ()))
+
+let test_labeled_edge () =
+  check_bool "Truck under GoodsVehicle" true
+    (Matcher.matches (parse "Truck -[SubclassOf]-> GoodsVehicle") (graph ()));
+  check_bool "wrong direction" false
+    (Matcher.matches (parse "GoodsVehicle -[SubclassOf]-> Truck") (graph ()))
+
+let test_any_edge_path () =
+  check_bool "Vehicle:Price through any label" true
+    (Matcher.matches (parse "Vehicle:Price") (graph ()))
+
+let test_wildcard_counts () =
+  (* ?X -[SubclassOf]-> Vehicle: GoodsVehicle and SUV directly. *)
+  let ms = Matcher.find (parse "?X -[SubclassOf]-> Vehicle") (graph ()) in
+  check_int "two matches" 2 (List.length ms);
+  let bound =
+    List.filter_map (fun m -> Matcher.binding m "X") ms
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string)) "bindings" [ "GoodsVehicle"; "SUV" ] bound
+
+let test_attribute_pattern_with_binder () =
+  let ms = Matcher.find (parse "Vehicle(P: Price)") (graph ()) in
+  check_int "one match" 1 (List.length ms);
+  match ms with
+  | [ m ] -> Alcotest.(check (option string)) "binder" (Some "Price") (Matcher.binding m "P")
+  | _ -> assert false
+
+let test_injective_flag () =
+  (* Two pattern nodes constrained to the same graph node. *)
+  let pat =
+    Pattern.create
+      ~nodes:
+        [
+          { Pattern.id = "1"; label = Some "Truck"; binder = None };
+          { Pattern.id = "2"; label = Some "Truck"; binder = None };
+        ]
+      ~edges:[] ()
+  in
+  check_bool "non-injective default" true (Matcher.matches pat (graph ()));
+  check_bool "injective forbids sharing" true
+    (Matcher.find ~injective:true pat (graph ()) = [])
+
+let test_limit () =
+  let pat = Pattern.var "X" in
+  let n = Digraph.nb_nodes (graph ()) in
+  check_int "all nodes" n (List.length (Matcher.find pat (graph ())));
+  check_int "limited" 3 (List.length (Matcher.find ~limit:3 pat (graph ())))
+
+let test_fuzzy_synonym_match () =
+  let policy = Fuzzy.with_synonyms Lexicon.builtin in
+  (* carrier has "Cars"; pattern says "automobile". *)
+  let g = Ontology.graph Paper_example.carrier in
+  check_bool "exact fails" false (Matcher.matches (parse "Automobile") g);
+  check_bool "synonym+stem matches Cars" true
+    (Matcher.matches ~policy (parse "Automobile") g)
+
+let test_fuzzy_ignores_qualification () =
+  let policy = Fuzzy.with_synonyms Lexicon.builtin in
+  let g = Ontology.qualify Paper_example.carrier in
+  check_bool "qualified graph still matches" true
+    (Matcher.matches ~policy (parse "Automobile") g)
+
+let test_matched_subgraph () =
+  let p = parse "Truck -[SubclassOf]-> GoodsVehicle" in
+  match Matcher.find p (graph ()) with
+  | [ m ] ->
+      let sub = Matcher.matched_subgraph (graph ()) p m in
+      check_int "two nodes" 2 (Digraph.nb_nodes sub);
+      check_bool "edge kept" true
+        (Digraph.mem_edge sub "Truck" Rel.subclass_of "GoodsVehicle")
+  | _ -> Alcotest.fail "expected exactly one match"
+
+let test_find_in_ontology_hint () =
+  let p = Pattern_parser.parse_exn "factory:Vehicle:Price" in
+  check_bool "right ontology" true
+    (Matcher.find_in_ontology p Paper_example.factory <> []);
+  check_bool "wrong ontology filtered" true
+    (Matcher.find_in_ontology p Paper_example.carrier = [])
+
+let test_cycle_pattern () =
+  let g = Digraph.of_edges [ { Digraph.src = "a"; label = "SI"; dst = "b" };
+                             { Digraph.src = "b"; label = "SI"; dst = "a" } ] in
+  let p =
+    Pattern.create
+      ~nodes:
+        [
+          { Pattern.id = "x"; label = None; binder = Some "X" };
+          { Pattern.id = "y"; label = None; binder = Some "Y" };
+        ]
+      ~edges:
+        [
+          { Pattern.src = "x"; elabel = Some "SI"; dst = "y" };
+          { Pattern.src = "y"; elabel = Some "SI"; dst = "x" };
+        ]
+      ()
+  in
+  check_int "both rotations" 2 (List.length (Matcher.find p g))
+
+let suite =
+  [
+    ( "matcher",
+      [
+        Alcotest.test_case "single term" `Quick test_single_term;
+        Alcotest.test_case "labeled edge" `Quick test_labeled_edge;
+        Alcotest.test_case "any-edge path" `Quick test_any_edge_path;
+        Alcotest.test_case "wildcards" `Quick test_wildcard_counts;
+        Alcotest.test_case "binder" `Quick test_attribute_pattern_with_binder;
+        Alcotest.test_case "injective" `Quick test_injective_flag;
+        Alcotest.test_case "limit" `Quick test_limit;
+        Alcotest.test_case "fuzzy synonym" `Quick test_fuzzy_synonym_match;
+        Alcotest.test_case "fuzzy qualified" `Quick test_fuzzy_ignores_qualification;
+        Alcotest.test_case "matched subgraph" `Quick test_matched_subgraph;
+        Alcotest.test_case "ontology hint" `Quick test_find_in_ontology_hint;
+        Alcotest.test_case "cycle pattern" `Quick test_cycle_pattern;
+      ] );
+  ]

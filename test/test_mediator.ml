@@ -1,0 +1,131 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let num f = Conversion.Num f
+
+let setup () =
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let u = Algebra.union ~left ~right r.Generator.articulation in
+  let kb_carrier =
+    Kb.create ~ontology:left "kb-carrier"
+    |> fun kb ->
+    Kb.add kb ~concept:"Cars" ~id:"MyCar"
+      [ ("Price", num 2000.0); ("Owner", Conversion.Str "gio") ]
+    |> fun kb -> Kb.add kb ~concept:"Trucks" ~id:"BigRig" [ ("Price", num 44000.0) ]
+  in
+  let kb_factory =
+    Kb.create ~ontology:right "kb-factory"
+    |> fun kb -> Kb.add kb ~concept:"SUV" ~id:"suv1" [ ("Price", num 18000.0) ]
+    |> fun kb -> Kb.add kb ~concept:"Truck" ~id:"t9" [ ("Price", num 3000.0) ]
+  in
+  Mediator.env ~kbs:[ kb_carrier; kb_factory ] ~unified:u ()
+
+let run_ok env q =
+  match Mediator.run_text env q with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "query %S failed: %s" q m
+
+let ids r = List.map (fun t -> t.Mediator.instance) r.Mediator.tuples
+
+let test_cross_source_price_filter () =
+  (* 2000 NLG ~ 907.56 EUR and 3000 GBP = 5000 EUR pass; 18000 GBP and
+     44000 NLG do not. *)
+  let r = run_ok (setup ()) "SELECT Price FROM Vehicle WHERE Price < 6000" in
+  Alcotest.(check (list string)) "selected" [ "MyCar"; "t9" ] (ids r);
+  check_int "scanned carrier Cars + factory vehicles" 3 r.Mediator.scanned
+
+let test_values_in_articulation_space () =
+  let r = run_ok (setup ()) "SELECT Price FROM Vehicle WHERE Price < 6000" in
+  let mycar = List.find (fun t -> t.Mediator.instance = "MyCar") r.Mediator.tuples in
+  (match Mediator.tuple_value mycar "Price" with
+  | Some (Conversion.Num e) -> check_bool "euros" true (Float.abs (e -. 907.56) < 0.01)
+  | _ -> Alcotest.fail "expected numeric price");
+  Alcotest.(check string) "kb recorded" "kb-carrier" mycar.Mediator.kb;
+  Alcotest.(check string) "source recorded" "carrier" mycar.Mediator.source
+
+let test_carstrucks_union_concept () =
+  let r = run_ok (setup ()) "SELECT Price FROM CarsTrucks" in
+  Alcotest.(check (list string)) "all four" [ "BigRig"; "MyCar"; "suv1"; "t9" ] (ids r)
+
+let test_missing_attr_fails_predicate () =
+  (* Owner only exists on MyCar; the predicate drops everything else. *)
+  let r = run_ok (setup ()) "SELECT Owner FROM CarsTrucks WHERE Owner = 'gio'" in
+  Alcotest.(check (list string)) "only MyCar" [ "MyCar" ] (ids r)
+
+let test_source_qualified_query () =
+  let r = run_ok (setup ()) "SELECT Price FROM carrier:Cars" in
+  Alcotest.(check (list string)) "carrier only" [ "MyCar" ] (ids r);
+  (* Direct source query still lifts into articulation space (the Price
+     binding carries the conversion). *)
+  let mycar = List.hd r.Mediator.tuples in
+  match Mediator.tuple_value mycar "Price" with
+  | Some (Conversion.Num e) -> check_bool "converted" true (Float.abs (e -. 907.56) < 0.01)
+  | _ -> Alcotest.fail "expected price"
+
+let test_unanswerable_concept () =
+  check_bool "error" true
+    (Result.is_error (Mediator.run_text (setup ()) "SELECT * FROM Ghost"))
+
+let test_parse_error_propagates () =
+  check_bool "error" true
+    (Result.is_error (Mediator.run_text (setup ()) "SELEKT oops"))
+
+let test_select_star () =
+  let r = run_ok (setup ()) "SELECT * FROM Vehicle WHERE Price > 10000" in
+  Alcotest.(check (list string)) "expensive SUV" [ "suv1" ] (ids r)
+
+let test_empty_kb_env () =
+  let r = Paper_example.articulation () in
+  let u =
+    Algebra.union ~left:r.Generator.updated_left ~right:r.Generator.updated_right
+      r.Generator.articulation
+  in
+  let env = Mediator.env ~kbs:[] ~unified:u () in
+  let rep = run_ok env "SELECT * FROM Vehicle" in
+  check_int "no tuples" 0 (List.length rep.Mediator.tuples);
+  check_int "nothing scanned" 0 rep.Mediator.scanned
+
+let test_conversion_failure_reported () =
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left in
+  let u =
+    Algebra.union ~left ~right:r.Generator.updated_right r.Generator.articulation
+  in
+  let kb =
+    Kb.add
+      (Kb.create ~ontology:left "kb")
+      ~concept:"Cars" ~id:"odd"
+      [ ("Price", Conversion.Str "not-a-number") ]
+  in
+  let env = Mediator.env ~kbs:[ kb ] ~unified:u () in
+  let rep = run_ok env "SELECT Price FROM Vehicle" in
+  check_bool "failure recorded" true
+    (List.exists (fun (id, _) -> id = "odd") rep.Mediator.conversion_failures);
+  (* The instance survives with the attribute absent; no predicate, so it
+     is still returned. *)
+  Alcotest.(check (list string)) "tuple kept" [ "odd" ] (ids rep)
+
+let test_report_printing () =
+  let r = run_ok (setup ()) "SELECT Price FROM Vehicle WHERE Price < 6000" in
+  let s = Format.asprintf "%a" Mediator.pp_report r in
+  check_bool "mentions plan" true (Helpers.contains ~affix:"source carrier" s);
+  check_bool "mentions tuples" true (Helpers.contains ~affix:"MyCar" s)
+
+let suite =
+  [
+    ( "mediator",
+      [
+        Alcotest.test_case "cross-source filter" `Quick test_cross_source_price_filter;
+        Alcotest.test_case "articulation space" `Quick test_values_in_articulation_space;
+        Alcotest.test_case "CarsTrucks" `Quick test_carstrucks_union_concept;
+        Alcotest.test_case "missing attr" `Quick test_missing_attr_fails_predicate;
+        Alcotest.test_case "source-qualified" `Quick test_source_qualified_query;
+        Alcotest.test_case "unanswerable" `Quick test_unanswerable_concept;
+        Alcotest.test_case "parse error" `Quick test_parse_error_propagates;
+        Alcotest.test_case "select star" `Quick test_select_star;
+        Alcotest.test_case "empty env" `Quick test_empty_kb_env;
+        Alcotest.test_case "conversion failure" `Quick test_conversion_failure_reported;
+        Alcotest.test_case "report print" `Quick test_report_printing;
+      ] );
+  ]

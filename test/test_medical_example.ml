@@ -1,0 +1,124 @@
+(* The second worked domain (clinic / insurer under the "care"
+   articulation): SKAT quality on a lexicon-heavy alignment, the kg/lb
+   functional bridge, and cross-vocabulary queries. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let num f = Conversion.Num f
+
+let test_sources_consistent () =
+  check_bool "clinic" true (Consistency.is_consistent Medical_example.clinic);
+  check_bool "insurer" true (Consistency.is_consistent Medical_example.insurer)
+
+let test_rules_generate_cleanly () =
+  let r = Medical_example.articulation () in
+  Alcotest.(check (list string)) "no warnings" []
+    (List.map (fun w -> w.Generator.message) r.Generator.warnings);
+  let art = r.Generator.articulation in
+  check_bool "claims bridged" true
+    (List.exists
+       (fun (b : Bridge.t) ->
+         Term.qualified b.Bridge.src = "clinic:Encounter"
+         && Term.qualified b.Bridge.dst = "care:Claim")
+       (Articulation.bridges art));
+  (* m10 restructures the articulation itself. *)
+  check_bool "articulation taxonomy" true
+    (Ontology.has_rel (Articulation.ontology art) "Hospitalization"
+       Rel.subclass_of "Claim")
+
+let test_no_conflicts () =
+  let r = Medical_example.articulation () in
+  Alcotest.(check (list string)) "clean" []
+    (List.map
+       (fun c -> c.Conflict.code)
+       (Conflict.check ~conversions:Conversion.builtin
+          ~ontologies:[ r.Generator.updated_left; r.Generator.updated_right ]
+          Medical_example.rules))
+
+let test_skat_with_lexicon_recall () =
+  (* The alignment is mostly synonym-driven (Physician/Provider is the only
+     rule SKAT cannot see lexically...).  Measure recall of combined
+     evidence against the ground truth. *)
+  let suggestions =
+    Skat_structural.combined_suggest ~left:Medical_example.clinic
+      ~right:Medical_example.insurer ()
+  in
+  let suggested = List.map (fun (s : Skat.suggestion) -> s.Skat.rule.Rule.body) suggestions in
+  let truth = List.map (fun (r : Rule.t) -> r.Rule.body) Medical_example.ground_truth_alignment in
+  let tp =
+    List.length
+      (List.filter (fun b -> List.exists (Rule.equal_body b) truth) suggested)
+  in
+  let recall = float_of_int tp /. float_of_int (List.length truth) in
+  check_bool "recall above 0.5 on a lexicon-heavy alignment" true (recall >= 0.5)
+
+let test_weight_conversion_query () =
+  let r = Medical_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let u = Algebra.union ~left ~right r.Generator.articulation in
+  let kb_clinic =
+    Kb.create ~ontology:left "clinic-db"
+    |> fun kb -> Kb.add kb ~concept:"Patient" ~id:"p001" [ ("BodyWeight", num 70.0) ]
+    |> fun kb -> Kb.add kb ~concept:"Patient" ~id:"p002" [ ("BodyWeight", num 92.5) ]
+  in
+  let kb_insurer =
+    Kb.add
+      (Kb.create ~ontology:right "insurer-db")
+      ~concept:"Member" ~id:"m77" [ ("Weight", num 180.0) ]
+  in
+  let env = Mediator.env ~kbs:[ kb_clinic; kb_insurer ] ~unified:u () in
+  (* Weight in articulation space is pounds: 70 kg = 154.3 lb. *)
+  match Mediator.run_text env "SELECT Weight FROM Member WHERE Weight < 170" with
+  | Ok report -> (
+      Alcotest.(check (list string)) "only the 70 kg patient"
+        [ "p001" ]
+        (List.map (fun t -> t.Mediator.instance) report.Mediator.tuples);
+      match Mediator.tuple_value (List.hd report.Mediator.tuples) "Weight" with
+      | Some (Conversion.Num lb) ->
+          check_bool "converted to pounds" true (Float.abs (lb -. 154.3234) < 0.01)
+      | _ -> Alcotest.fail "expected numeric weight")
+  | Error m -> Alcotest.failf "query failed: %s" m
+
+let test_instance_exchange_kg_to_lb () =
+  let r = Medical_example.articulation () in
+  let u =
+    Algebra.union ~left:r.Generator.updated_left ~right:r.Generator.updated_right
+      r.Generator.articulation
+  in
+  let space = Federation.of_unified u in
+  let inst =
+    { Kb.id = "p001"; concept = "Patient"; attrs = [ ("BodyWeight", num 70.0) ] }
+  in
+  match
+    Exchange.translate space ~conversions:Conversion.builtin ~from:"clinic"
+      ~to_:"insurer" inst
+  with
+  | Ok outcome ->
+      Alcotest.(check string) "concept" "Member" outcome.Exchange.instance.Kb.concept;
+      check_bool "weight in pounds" true
+        (match Kb.attr_value outcome.Exchange.instance "Weight" with
+        | Some (Conversion.Num lb) -> Float.abs (lb -. 154.3234) < 0.01
+        | _ -> false)
+  | Error m -> Alcotest.failf "translate failed: %s" m
+
+let test_embedded_instances () =
+  let kb = Kb.of_ontology_instances ~ontology:Medical_example.clinic "boot" in
+  check_int "two patients" 2 (Kb.size kb);
+  match Kb.get kb ~id:"p002" with
+  | Some i -> check_bool "weight parsed" true (Kb.attr_value i "BodyWeight" = Some (num 92.5))
+  | None -> Alcotest.fail "expected p002"
+
+let suite =
+  [
+    ( "medical-example",
+      [
+        Alcotest.test_case "consistency" `Quick test_sources_consistent;
+        Alcotest.test_case "generation" `Quick test_rules_generate_cleanly;
+        Alcotest.test_case "no conflicts" `Quick test_no_conflicts;
+        Alcotest.test_case "skat recall" `Quick test_skat_with_lexicon_recall;
+        Alcotest.test_case "kg/lb query" `Quick test_weight_conversion_query;
+        Alcotest.test_case "kg/lb exchange" `Quick test_instance_exchange_kg_to_lb;
+        Alcotest.test_case "embedded instances" `Quick test_embedded_instances;
+      ] );
+  ]

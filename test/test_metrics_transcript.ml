@@ -1,0 +1,103 @@
+(* Ontology metrics and session transcripts. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_metrics_factory () =
+  let m = Metrics.compute Paper_example.factory in
+  check_int "terms" 11 m.Metrics.terms;
+  check_int "roots include Transportation" 5 m.Metrics.roots;
+  (* Truck -> GoodsVehicle -> Vehicle -> Transportation. *)
+  check_int "depth" 3 m.Metrics.max_depth;
+  check_bool "fanout sane" true (m.Metrics.avg_fanout >= 1.0);
+  check_int "attribute terms" 3 m.Metrics.attribute_terms;
+  check_int "no instances" 0 m.Metrics.instances;
+  check_bool "label histogram has SubclassOf" true
+    (List.mem_assoc Rel.subclass_of m.Metrics.relation_labels)
+
+let test_metrics_carrier_instances () =
+  let m = Metrics.compute Paper_example.carrier in
+  check_int "one instance" 1 m.Metrics.instances;
+  (* The carrier taxonomy is flat: Cars -> Carrier and Driver -> Person are
+     both single steps. *)
+  check_int "depth" 1 m.Metrics.max_depth
+
+let test_metrics_empty () =
+  let m = Metrics.compute (Ontology.create "empty") in
+  check_int "terms" 0 m.Metrics.terms;
+  check_int "depth" 0 m.Metrics.max_depth;
+  Alcotest.(check (float 1e-9)) "fanout" 0.0 m.Metrics.avg_fanout
+
+let test_metrics_cycle_safe () =
+  let o =
+    Ontology.create "c"
+    |> fun o -> Ontology.add_subclass o ~sub:"a" ~super:"b"
+    |> fun o -> Ontology.add_subclass o ~sub:"b" ~super:"a"
+  in
+  (* Must terminate; the depth of the cyclic pair is bounded. *)
+  check_bool "terminates" true ((Metrics.compute o).Metrics.max_depth >= 0)
+
+let test_metrics_pp () =
+  let s = Format.asprintf "%a" Metrics.pp (Metrics.compute Paper_example.factory) in
+  check_bool "mentions taxonomy" true (Helpers.contains ~affix:"taxonomy:" s);
+  check_bool "label counts" true (Helpers.contains ~affix:"SubclassOf" s)
+
+let test_transcript_records_loop () =
+  let left =
+    Ontology.create "shop"
+    |> fun o -> Ontology.add_subclass o ~sub:"Car" ~super:"Product"
+  in
+  let right =
+    Ontology.create "dealer"
+    |> fun o -> Ontology.add_subclass o ~sub:"Automobile" ~super:"Goods"
+  in
+  let outcome =
+    Session.run ~articulation_name:"m" ~expert:Expert.accept_all ~left ~right ()
+  in
+  let t = outcome.Session.transcript in
+  check_bool "non-empty" true (t <> []);
+  (* Starts with a round marker. *)
+  (match t with
+  | Session.Round_started 1 :: _ -> ()
+  | _ -> Alcotest.fail "expected Round_started 1 first");
+  let suggested =
+    List.length
+      (List.filter (function Session.Suggested _ -> true | _ -> false) t)
+  in
+  let decided =
+    List.length
+      (List.filter (function Session.Decided _ -> true | _ -> false) t)
+  in
+  check_int "every suggestion decided" suggested decided;
+  check_int "decisions match stats" outcome.Session.expert_stats.Expert.decisions
+    decided;
+  check_bool "generation logged" true
+    (List.exists (function Session.Generated _ -> true | _ -> false) t)
+
+let test_transcript_renderable () =
+  let left = Ontology.add_term (Ontology.create "a") "X" in
+  let right = Ontology.add_term (Ontology.create "b") "X" in
+  let outcome =
+    Session.run ~articulation_name:"m" ~expert:Expert.accept_all ~left ~right ()
+  in
+  let rendered =
+    outcome.Session.transcript
+    |> List.map (Format.asprintf "%a" Session.pp_event)
+    |> String.concat "\n"
+  in
+  check_bool "accept lines" true (Helpers.contains ~affix:"ACCEPT" rendered);
+  check_bool "round marker" true (Helpers.contains ~affix:"-- round 1" rendered)
+
+let suite =
+  [
+    ( "metrics-transcript",
+      [
+        Alcotest.test_case "factory metrics" `Quick test_metrics_factory;
+        Alcotest.test_case "carrier metrics" `Quick test_metrics_carrier_instances;
+        Alcotest.test_case "empty" `Quick test_metrics_empty;
+        Alcotest.test_case "cycle safe" `Quick test_metrics_cycle_safe;
+        Alcotest.test_case "pp" `Quick test_metrics_pp;
+        Alcotest.test_case "transcript loop" `Quick test_transcript_records_loop;
+        Alcotest.test_case "transcript render" `Quick test_transcript_renderable;
+      ] );
+  ]

@@ -1,0 +1,85 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+
+let target () =
+  Digraph.of_edges
+    [ e "Car" "S" "Vehicle"; e "Truck" "S" "Vehicle"; e "Car" "A" "Price" ]
+
+let test_exact_match_subgraph () =
+  let pattern = Digraph.of_edges [ e "Car" "S" "Vehicle" ] in
+  check_bool "subgraph matches" true (Morphism.matches_into pattern (target ()));
+  check_bool "full graph matches itself" true
+    (Morphism.matches_into (target ()) (target ()))
+
+let test_exact_no_match_on_label () =
+  let pattern = Digraph.of_edges [ e "Car" "A" "Vehicle" ] in
+  check_bool "edge label mismatch" false (Morphism.matches_into pattern (target ()))
+
+let test_exact_no_match_missing_node () =
+  let pattern = Digraph.of_edges [ e "Bus" "S" "Vehicle" ] in
+  check_bool "unknown node" false (Morphism.matches_into pattern (target ()))
+
+let test_mapping_is_identity_under_exact () =
+  let pattern = Digraph.of_edges [ e "Car" "S" "Vehicle" ] in
+  match Morphism.find_mapping pattern (target ()) with
+  | Some mapping ->
+      List.iter
+        (fun (p, t) -> Alcotest.(check string) "identity" p t)
+        mapping
+  | None -> Alcotest.fail "expected a mapping"
+
+let test_fuzzy_node_compat () =
+  let compat =
+    {
+      Morphism.node_ok =
+        (fun a b ->
+          String.equal (String.lowercase_ascii a) (String.lowercase_ascii b));
+      edge_ok = String.equal;
+    }
+  in
+  let pattern = Digraph.of_edges [ e "car" "S" "vehicle" ] in
+  check_bool "case-insensitive nodes" true
+    (Morphism.matches_into ~compat pattern (target ()))
+
+let test_fuzzy_edge_compat () =
+  let compat = { Morphism.exact with Morphism.edge_ok = (fun _ _ -> true) } in
+  let pattern = Digraph.of_edges [ e "Car" "anything" "Vehicle" ] in
+  check_bool "edge labels relaxed" true
+    (Morphism.matches_into ~compat pattern (target ()))
+
+let test_all_mappings_wildcard () =
+  (* Two wildcard-compatible isolated pattern nodes over a 2-node target:
+     the total-mapping definition permits non-injective maps, 4 total. *)
+  let compat = { Morphism.exact with Morphism.node_ok = (fun _ _ -> true) } in
+  let pattern = Digraph.of_edges ~nodes:[ "x"; "y" ] [] in
+  let target = Digraph.of_edges ~nodes:[ "a"; "b" ] [] in
+  Alcotest.(check int) "4 mappings" 4
+    (List.length (Morphism.find_all_mappings ~compat pattern target))
+
+let test_limit () =
+  let compat = { Morphism.exact with Morphism.node_ok = (fun _ _ -> true) } in
+  let pattern = Digraph.of_edges ~nodes:[ "x"; "y" ] [] in
+  let target = Digraph.of_edges ~nodes:[ "a"; "b"; "c" ] [] in
+  Alcotest.(check int) "limit respected" 5
+    (List.length (Morphism.find_all_mappings ~compat ~limit:5 pattern target))
+
+let test_empty_pattern_matches () =
+  check_bool "empty pattern matches anything" true
+    (Morphism.matches_into Digraph.empty (target ()))
+
+let suite =
+  [
+    ( "morphism",
+      [
+        Alcotest.test_case "exact subgraph" `Quick test_exact_match_subgraph;
+        Alcotest.test_case "label mismatch" `Quick test_exact_no_match_on_label;
+        Alcotest.test_case "missing node" `Quick test_exact_no_match_missing_node;
+        Alcotest.test_case "identity mapping" `Quick test_mapping_is_identity_under_exact;
+        Alcotest.test_case "fuzzy nodes" `Quick test_fuzzy_node_compat;
+        Alcotest.test_case "fuzzy edges" `Quick test_fuzzy_edge_compat;
+        Alcotest.test_case "all mappings" `Quick test_all_mappings_wildcard;
+        Alcotest.test_case "limit" `Quick test_limit;
+        Alcotest.test_case "empty pattern" `Quick test_empty_pattern_matches;
+      ] );
+  ]

@@ -1,0 +1,78 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+
+let test_export_shape () =
+  let text = Ntriples.of_ontology Paper_example.carrier in
+  check_bool "triple form" true
+    (contains
+       ~affix:
+         "<urn:onion:carrier:Cars> <urn:onion:rel/SubclassOf> \
+          <urn:onion:carrier:Carrier> ."
+       text);
+  (* Every line ends with " ." *)
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun l ->
+         check_bool "terminated" true
+           (String.length l > 2 && String.sub l (String.length l - 2) 2 = " ."))
+
+let test_roundtrip_graph () =
+  let g = Ontology.qualify Paper_example.factory in
+  match Ntriples.to_graph (Ntriples.of_graph g) with
+  | Ok g2 -> Alcotest.check digraph "roundtrip" g g2
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_isolated_nodes_roundtrip () =
+  let g = Digraph.of_edges ~nodes:[ "Lonely" ] [ e "a" "S" "b" ] in
+  match Ntriples.to_graph (Ntriples.of_graph g) with
+  | Ok g2 ->
+      check_bool "isolated kept" true (Digraph.mem_node g2 "Lonely");
+      Alcotest.check digraph "roundtrip" g g2
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_encoding_special_chars () =
+  let g = Digraph.of_edges [ e "A B" "has value" "x<y>" ] in
+  let text = Ntriples.of_graph g in
+  check_bool "space encoded" true (contains ~affix:"A%20B" text);
+  match Ntriples.to_graph text with
+  | Ok g2 -> Alcotest.check digraph "roundtrip with escapes" g g2
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_custom_base () =
+  let g = Digraph.of_edges [ e "a" "S" "b" ] in
+  let text = Ntriples.of_graph ~base:"http://example.org/" g in
+  check_bool "base used" true (contains ~affix:"<http://example.org/a>" text);
+  match Ntriples.to_graph ~base:"http://example.org/" text with
+  | Ok g2 -> Alcotest.check digraph "roundtrip" g g2
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_parse_errors () =
+  check_bool "literal rejected" true
+    (Result.is_error (Ntriples.to_graph "<urn:onion:a> <urn:onion:rel/x> \"lit\" ."));
+  check_bool "foreign base rejected" true
+    (Result.is_error (Ntriples.to_graph "<http://other/a> <urn:onion:rel/x> <urn:onion:b> ."));
+  check_bool "malformed" true (Result.is_error (Ntriples.to_graph "not a triple"));
+  check_bool "comments fine" true (Ntriples.to_graph "# comment\n\n" = Ok Digraph.empty)
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"ntriples roundtrip"
+    arbitrary_graph
+    (fun g ->
+      match Ntriples.to_graph (Ntriples.of_graph g) with
+      | Ok g2 -> Digraph.equal g g2
+      | Error _ -> false)
+
+let suite =
+  [
+    ( "ntriples",
+      [
+        Alcotest.test_case "export shape" `Quick test_export_shape;
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip_graph;
+        Alcotest.test_case "isolated nodes" `Quick test_isolated_nodes_roundtrip;
+        Alcotest.test_case "special chars" `Quick test_encoding_special_chars;
+        Alcotest.test_case "custom base" `Quick test_custom_base;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+      ] );
+  ]

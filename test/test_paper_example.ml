@@ -1,0 +1,107 @@
+(* FIG2: the reproduction checks for the paper's running example.  See
+   EXPERIMENTS.md. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_sources_shape () =
+  check_bool "carrier consistent" true (Consistency.is_consistent Paper_example.carrier);
+  check_bool "factory consistent" true (Consistency.is_consistent Paper_example.factory);
+  check_bool "Cars under Carrier" true
+    (Ontology.is_subclass Paper_example.carrier ~sub:"Cars" ~super:"Carrier");
+  check_bool "Truck doubly inherits" true
+    (Ontology.is_subclass Paper_example.factory ~sub:"Truck" ~super:"Vehicle"
+    && Ontology.is_subclass Paper_example.factory ~sub:"Truck" ~super:"CargoCarrier");
+  check_bool "MyCar instance" true
+    (List.mem "MyCar" (Ontology.instances Paper_example.carrier "Cars"))
+
+let test_rules_parse () =
+  check_int "nine rule lines, ten atomic rules" 10 (List.length Paper_example.rules)
+(* r2 is a cascade and desugars into two implications. *)
+
+let test_articulation_nodes () =
+  let r = Paper_example.articulation () in
+  let art = Articulation.ontology r.Generator.articulation in
+  List.iter
+    (fun term -> check_bool (term ^ " present") true (Ontology.has_term art term))
+    [ "Vehicle"; "PassengerCar"; "Owner"; "Person"; "CargoCarrierVehicle"; "CarsTrucks"; "Price" ];
+  check_bool "Owner subclass Person (r3)" true
+    (Ontology.has_rel art "Owner" Rel.subclass_of "Person")
+
+let test_articulation_bridge_count () =
+  let r = Paper_example.articulation () in
+  check_int "17 bridges" 17 (Articulation.nb_bridges r.Generator.articulation);
+  Alcotest.(check (list string)) "no generator warnings" []
+    (List.map (fun w -> w.Generator.message) r.Generator.warnings)
+
+let test_unified_counts () =
+  let u = Paper_example.unified () in
+  check_int "28 nodes" 28 (Digraph.nb_nodes u.Algebra.graph);
+  check_int "40 edges" 40 (Digraph.nb_edges u.Algebra.graph)
+
+let test_conversion_bridges_both_ways () =
+  let r = Paper_example.articulation () in
+  let bridges = Articulation.bridges r.Generator.articulation in
+  let has src label dst =
+    List.exists
+      (fun (b : Bridge.t) ->
+        Term.qualified b.Bridge.src = src
+        && b.Bridge.label = label
+        && Term.qualified b.Bridge.dst = dst)
+      bridges
+  in
+  check_bool "guilders in" true (has "carrier:Price" "DGToEuroFn()" "transport:Price");
+  check_bool "guilders out" true (has "transport:Price" "EuroToDGFn()" "carrier:Price");
+  check_bool "sterling in" true (has "factory:Price" "PSToEuroFn()" "transport:Price");
+  check_bool "sterling out" true (has "transport:Price" "EuroToPSFn()" "factory:Price")
+
+let test_rules_have_no_conflicts () =
+  let r = Paper_example.articulation () in
+  let conflicts =
+    Conflict.check ~conversions:Conversion.builtin
+      ~ontologies:[ r.Generator.updated_left; r.Generator.updated_right ]
+      Paper_example.rules
+  in
+  Alcotest.(check (list string)) "clean" []
+    (List.map (fun c -> c.Conflict.code) conflicts)
+
+let test_inference_connects_mycar_to_vehicle () =
+  (* MyCar -I-> Cars -SIB-> transport:Vehicle: bridge widening lifts the
+     instance's class across the gap. *)
+  let u = Paper_example.unified () in
+  let inferred = Infer.run ~rules:Infer.default_rules u.Algebra.graph in
+  check_bool "Cars semantically implies factory Vehicle" true
+    (Digraph.mem_edge inferred.Infer.graph "carrier:Cars" Rel.si_bridge
+       "transport:Vehicle");
+  check_bool "derivations exist" true (inferred.Infer.derived <> [])
+
+let test_ground_truth_alignment_is_cross () =
+  List.iter
+    (fun (r : Rule.t) -> check_bool "cross rule" true (Rule.is_cross_ontology r))
+    Paper_example.ground_truth_alignment
+
+let test_skat_finds_some_ground_truth () =
+  let suggs =
+    Skat.suggest ~left:Paper_example.carrier ~right:Paper_example.factory ()
+  in
+  (* Price=Price and Person=Person are exact-label hits at minimum. *)
+  check_bool "some suggestions" true (List.length suggs >= 2);
+  check_bool "exact hit present" true
+    (List.exists (fun (s : Skat.suggestion) -> s.Skat.score >= 1.0 -. 1e-9) suggs)
+
+let suite =
+  [
+    ( "paper-example",
+      [
+        Alcotest.test_case "sources" `Quick test_sources_shape;
+        Alcotest.test_case "rules parse" `Quick test_rules_parse;
+        Alcotest.test_case "articulation nodes" `Quick test_articulation_nodes;
+        Alcotest.test_case "bridge count" `Quick test_articulation_bridge_count;
+        Alcotest.test_case "unified counts" `Quick test_unified_counts;
+        Alcotest.test_case "conversion bridges" `Quick test_conversion_bridges_both_ways;
+        Alcotest.test_case "no conflicts" `Quick test_rules_have_no_conflicts;
+        Alcotest.test_case "inference" `Quick test_inference_connects_mycar_to_vehicle;
+        Alcotest.test_case "ground truth" `Quick test_ground_truth_alignment_is_cross;
+        Alcotest.test_case "skat baseline" `Quick test_skat_finds_some_ground_truth;
+      ] );
+  ]

@@ -1,0 +1,100 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_term_pattern () =
+  let p = Pattern.term "Car" in
+  check_int "one node" 1 (Pattern.size p);
+  match Pattern.nodes p with
+  | [ n ] ->
+      check_bool "labeled" true (n.Pattern.label = Some "Car");
+      check_bool "no binder" true (n.Pattern.binder = None)
+  | _ -> Alcotest.fail "expected one node"
+
+let test_var_pattern () =
+  let p = Pattern.var "X" in
+  match Pattern.nodes p with
+  | [ n ] ->
+      check_bool "wildcard" true (n.Pattern.label = None);
+      check_bool "bound" true (n.Pattern.binder = Some "X");
+      Alcotest.(check (list string)) "binders" [ "X" ] (Pattern.binders p)
+  | _ -> Alcotest.fail "expected one node"
+
+let test_path_pattern () =
+  let p = Pattern.path ~ontology:"carrier" [ "car"; "driver" ] in
+  check_int "two nodes" 2 (Pattern.size p);
+  check_bool "hint" true (Pattern.ontology_hint p = Some "carrier");
+  (match Pattern.edges p with
+  | [ e ] -> check_bool "wildcard edge" true (e.Pattern.elabel = None)
+  | _ -> Alcotest.fail "expected one edge");
+  (* Repeated labels along a path stay distinct. *)
+  let p2 = Pattern.path [ "a"; "b"; "a" ] in
+  check_int "three nodes" 3 (Pattern.size p2)
+
+let test_with_attributes () =
+  let p =
+    Pattern.with_attributes "truck" [ (Some "O", "owner"); (None, "model") ]
+  in
+  check_int "three nodes" 3 (Pattern.size p);
+  Alcotest.(check (list string)) "binders" [ "O" ] (Pattern.binders p);
+  check_bool "attribute edges" true
+    (List.for_all
+       (fun e -> e.Pattern.elabel = Some Rel.attribute_of)
+       (Pattern.edges p))
+
+let test_validation () =
+  let n id = { Pattern.id; label = None; binder = None } in
+  check_bool "empty rejected" true
+    (try
+       ignore (Pattern.create ~nodes:[] ~edges:[] ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "dup ids rejected" true
+    (try
+       ignore (Pattern.create ~nodes:[ n "x"; n "x" ] ~edges:[] ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "dangling edge rejected" true
+    (try
+       ignore
+         (Pattern.create ~nodes:[ n "x" ]
+            ~edges:[ { Pattern.src = "x"; elabel = None; dst = "y" } ]
+            ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "dup binders rejected" true
+    (try
+       ignore
+         (Pattern.create
+            ~nodes:
+              [
+                { Pattern.id = "a"; label = None; binder = Some "V" };
+                { Pattern.id = "b"; label = None; binder = Some "V" };
+              ]
+            ~edges:[] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_to_digraph () =
+  let p = Pattern.path [ "a"; "b" ] in
+  let g = Pattern.to_digraph p in
+  Alcotest.(check int) "nodes" 2 (Digraph.nb_nodes g);
+  check_bool "wildcard rendered" true (Digraph.has_edge_label g "*")
+
+let test_node_by_id () =
+  let p = Pattern.term "Car" in
+  check_bool "found" true (Pattern.node_by_id p "Car" <> None);
+  check_bool "missing" true (Pattern.node_by_id p "zz" = None)
+
+let suite =
+  [
+    ( "pattern",
+      [
+        Alcotest.test_case "term" `Quick test_term_pattern;
+        Alcotest.test_case "var" `Quick test_var_pattern;
+        Alcotest.test_case "path" `Quick test_path_pattern;
+        Alcotest.test_case "with_attributes" `Quick test_with_attributes;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "to_digraph" `Quick test_to_digraph;
+        Alcotest.test_case "node_by_id" `Quick test_node_by_id;
+      ] );
+  ]

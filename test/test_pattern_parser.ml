@@ -1,0 +1,179 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse_ok ?ontologies s =
+  match Pattern_parser.parse ?ontologies s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse %S failed: %s" s (Format.asprintf "%a" Pattern_parser.pp_error e)
+
+let label_of p id =
+  match Pattern.node_by_id p id with
+  | Some n -> n.Pattern.label
+  | None -> None
+
+let labels p =
+  Pattern.nodes p |> List.filter_map (fun n -> n.Pattern.label) |> List.sort String.compare
+
+let test_paper_path_example () =
+  (* carrier:car:driver — three segments: first is the ontology. *)
+  let p = parse_ok "carrier:car:driver" in
+  check_bool "ontology" true (Pattern.ontology_hint p = Some "carrier");
+  check_int "two nodes" 2 (Pattern.size p);
+  Alcotest.(check (list string)) "labels" [ "car"; "driver" ] (labels p);
+  match Pattern.edges p with
+  | [ e ] -> check_bool "any-label link" true (e.Pattern.elabel = None)
+  | _ -> Alcotest.fail "expected one edge"
+
+let test_paper_attribute_example () =
+  (* truck(O: owner, model) *)
+  let p = parse_ok "truck(O: owner, model)" in
+  check_int "three nodes" 3 (Pattern.size p);
+  Alcotest.(check (list string)) "binders" [ "O" ] (Pattern.binders p);
+  check_bool "attribute edges" true
+    (List.for_all (fun e -> e.Pattern.elabel = Some Rel.attribute_of) (Pattern.edges p));
+  (* The binder O sits on the owner node. *)
+  let owner_node =
+    List.find
+      (fun n -> n.Pattern.label = Some "owner")
+      (Pattern.nodes p)
+  in
+  check_bool "O binds owner" true (owner_node.Pattern.binder = Some "O")
+
+let test_two_segments_without_known_ontology () =
+  let p = parse_ok "car:driver" in
+  check_bool "no hint" true (Pattern.ontology_hint p = None);
+  check_int "two nodes" 2 (Pattern.size p)
+
+let test_two_segments_with_known_ontology () =
+  let p = parse_ok ~ontologies:[ "carrier" ] "carrier:driver" in
+  check_bool "hint recognized" true (Pattern.ontology_hint p = Some "carrier");
+  check_int "one node" 1 (Pattern.size p)
+
+let test_subclass_braces () =
+  let p = parse_ok "vehicle{car, truck}" in
+  check_int "three nodes" 3 (Pattern.size p);
+  check_bool "subclass edges toward head" true
+    (List.for_all
+       (fun e ->
+         e.Pattern.elabel = Some Rel.subclass_of
+         && label_of p e.Pattern.dst = Some "vehicle")
+       (Pattern.edges p))
+
+let test_labeled_arrow () =
+  let p = parse_ok "car -[InstanceOf]-> cars" in
+  match Pattern.edges p with
+  | [ e ] -> check_bool "explicit label" true (e.Pattern.elabel = Some "InstanceOf")
+  | _ -> Alcotest.fail "expected one edge"
+
+let test_wildcards_and_variables () =
+  let p = parse_ok "_ -[SubclassOf]-> vehicle" in
+  check_bool "wildcard node" true
+    (List.exists (fun n -> n.Pattern.label = None) (Pattern.nodes p));
+  let p2 = parse_ok "?X -[SubclassOf]-> vehicle" in
+  Alcotest.(check (list string)) "binder" [ "X" ] (Pattern.binders p2)
+
+let test_nested () =
+  (* Two segments: the prefix is only an ontology when declared. *)
+  let p = parse_ok ~ontologies:[ "factory" ] "factory:vehicle(price){truck(owner), car}" in
+  check_bool "hint" true (Pattern.ontology_hint p = Some "factory");
+  check_int "five nodes" 5 (Pattern.size p);
+  check_int "four edges" 4 (List.length (Pattern.edges p))
+
+let test_errors () =
+  check_bool "dangling colon" true (Result.is_error (Pattern_parser.parse "a:"));
+  check_bool "unclosed paren" true (Result.is_error (Pattern_parser.parse "a(b"));
+  check_bool "empty" true (Result.is_error (Pattern_parser.parse ""));
+  check_bool "bad arrow" true (Result.is_error (Pattern_parser.parse "a -[x> b"));
+  check_bool "lone ?" true (Result.is_error (Pattern_parser.parse "? : x"))
+
+(* Structural comparison up to node-id renaming: labels/binders and edges
+   over (label, binder) endpoints.  to_string may canonicalize (an explicit
+   SubclassOf arrow renders as braces), so ids shift. *)
+let structure p =
+  let key id =
+    match Pattern.node_by_id p id with
+    | Some n -> (n.Pattern.label, n.Pattern.binder)
+    | None -> (None, None)
+  in
+  let nodes =
+    Pattern.nodes p
+    |> List.map (fun n -> (n.Pattern.label, n.Pattern.binder))
+    |> List.sort Stdlib.compare
+  in
+  let edges =
+    Pattern.edges p
+    |> List.map (fun e -> (key e.Pattern.src, e.Pattern.elabel, key e.Pattern.dst))
+    |> List.sort Stdlib.compare
+  in
+  (Pattern.ontology_hint p, nodes, edges)
+
+let test_to_string_roundtrip () =
+  let ontologies = [ "carrier"; "factory" ] in
+  List.iter
+    (fun src ->
+      let p = parse_ok ~ontologies src in
+      let rendered = Pattern_parser.to_string p in
+      let p2 = parse_ok ~ontologies rendered in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %S via %S" src rendered)
+        true
+        (structure p = structure p2))
+    [
+      "carrier:car:driver";
+      "truck(O: owner, model)";
+      "vehicle{car, truck}";
+      "a -[SubclassOf]-> b";
+      "factory:vehicle(price){truck(owner), car}";
+      "?X";
+      "_:driver";
+    ]
+
+let test_quoted_labels () =
+  let p = parse_ok "\"carrier:Cars\" -[SIBridge]-> \"transport:Vehicle\"" in
+  check_int "two nodes" 2 (Pattern.size p);
+  check_bool "no ontology hint" true (Pattern.ontology_hint p = None);
+  Alcotest.(check (list string)) "verbatim labels"
+    [ "carrier:Cars"; "transport:Vehicle" ]
+    (labels p);
+  (* A quoted label actually matches qualified nodes. *)
+  let u = Paper_example.unified () in
+  check_bool "matches unified graph" true (Matcher.matches p u.Algebra.graph);
+  (* Escapes. *)
+  let p2 = parse_ok "\"a\\\"b\"" in
+  Alcotest.(check (list string)) "escaped quote" [ "a\"b" ] (labels p2);
+  (* Errors. *)
+  check_bool "unterminated" true (Result.is_error (Pattern_parser.parse "\"oops"));
+  check_bool "empty quoted" true (Result.is_error (Pattern_parser.parse "\"\""))
+
+let test_quoted_roundtrip () =
+  let p = parse_ok "\"carrier:Cars\" -[SIBridge]-> \"transport:Vehicle\"" in
+  let rendered = Pattern_parser.to_string p in
+  let p2 = parse_ok rendered in
+  check_bool "roundtrip" true (structure p = structure p2)
+
+let test_parse_exn () =
+  check_bool "raises" true
+    (try
+       ignore (Pattern_parser.parse_exn "a(");
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "pattern-parser",
+      [
+        Alcotest.test_case "paper path" `Quick test_paper_path_example;
+        Alcotest.test_case "paper attributes" `Quick test_paper_attribute_example;
+        Alcotest.test_case "two segments" `Quick test_two_segments_without_known_ontology;
+        Alcotest.test_case "known ontology" `Quick test_two_segments_with_known_ontology;
+        Alcotest.test_case "braces" `Quick test_subclass_braces;
+        Alcotest.test_case "labeled arrow" `Quick test_labeled_arrow;
+        Alcotest.test_case "wildcards" `Quick test_wildcards_and_variables;
+        Alcotest.test_case "nested" `Quick test_nested;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip;
+        Alcotest.test_case "quoted labels" `Quick test_quoted_labels;
+        Alcotest.test_case "quoted roundtrip" `Quick test_quoted_roundtrip;
+        Alcotest.test_case "parse_exn" `Quick test_parse_exn;
+      ] );
+  ]

@@ -1,0 +1,295 @@
+(* Cross-module property tests: invariants of the articulation generator,
+   the algebra and the ingestion formats over randomized workloads. *)
+
+(* Arbitrary overlapping ontology pairs, specified by (seed, overlap%) and
+   realized deterministically through the workload generator. *)
+let arbitrary_pair =
+  QCheck.make
+    ~print:(fun (seed, overlap) -> Printf.sprintf "seed=%d overlap=%d%%" seed overlap)
+    QCheck.Gen.(pair (int_range 0 10_000) (int_range 0 60))
+
+let pair_of (seed, overlap_pct) =
+  Gen.overlapping_pair
+    ~profile:{ Gen.default_profile with Gen.n_terms = 30 }
+    ~overlap:(float_of_int overlap_pct /. 100.0)
+    ~seed ~left_name:"l" ~right_name:"r" ()
+
+let generate (p : Gen.pair) =
+  Generator.generate ~articulation_name:"m" ~left:p.Gen.left ~right:p.Gen.right
+    p.Gen.ground_truth
+
+let prop_bridges_touch_articulation =
+  QCheck.Test.make ~count:60 ~name:"every bridge touches the articulation or a source"
+    arbitrary_pair
+    (fun spec ->
+      let r = generate (pair_of spec) in
+      List.for_all
+        (fun (b : Bridge.t) ->
+          List.exists (Bridge.involves b) [ "m"; "l"; "r" ])
+        (Articulation.bridges r.Generator.articulation))
+
+let prop_generator_idempotent =
+  QCheck.Test.make ~count:40 ~name:"replaying the rule set changes nothing"
+    arbitrary_pair
+    (fun spec ->
+      let p = pair_of spec in
+      let r1 = generate p in
+      let r2 =
+        Generator.generate ~articulation_name:"m" ~left:p.Gen.left
+          ~right:p.Gen.right (p.Gen.ground_truth @ p.Gen.ground_truth)
+      in
+      Articulation.nb_bridges r1.Generator.articulation
+      = Articulation.nb_bridges r2.Generator.articulation
+      && Digraph.equal
+           (Ontology.graph (Articulation.ontology r1.Generator.articulation))
+           (Ontology.graph (Articulation.ontology r2.Generator.articulation)))
+
+let prop_oplog_replay =
+  QCheck.Test.make ~count:40 ~name:"the NA/EA op log reproduces the unified graph"
+    arbitrary_pair
+    (fun spec ->
+      let p = pair_of spec in
+      let r = generate p in
+      let initial =
+        Digraph.union (Ontology.qualify p.Gen.left) (Ontology.qualify p.Gen.right)
+      in
+      let replayed = Transform.apply_all initial r.Generator.ops in
+      let u =
+        Algebra.union ~left:r.Generator.updated_left
+          ~right:r.Generator.updated_right r.Generator.articulation
+      in
+      Digraph.equal replayed u.Algebra.graph)
+
+let prop_difference_subset =
+  QCheck.Test.make ~count:60 ~name:"difference terms form a subset of the minuend"
+    arbitrary_pair
+    (fun spec ->
+      let p = pair_of spec in
+      let r = generate p in
+      let d =
+        Algebra.difference ~minuend:r.Generator.updated_left
+          ~subtrahend:r.Generator.updated_right r.Generator.articulation
+      in
+      List.for_all
+        (fun t -> Ontology.has_term r.Generator.updated_left t)
+        (Ontology.terms d))
+
+let prop_difference_excludes_bridged_reach =
+  QCheck.Test.make ~count:40
+    ~name:"no surviving difference term reaches the other source"
+    arbitrary_pair
+    (fun spec ->
+      let p = pair_of spec in
+      let r = generate p in
+      let art = r.Generator.articulation in
+      let d =
+        Algebra.difference ~minuend:r.Generator.updated_left
+          ~subtrahend:r.Generator.updated_right art
+      in
+      let u =
+        Algebra.union ~left:r.Generator.updated_left
+          ~right:r.Generator.updated_right art
+      in
+      List.for_all
+        (fun t ->
+          let reach = Traversal.reachable u.Algebra.graph ("l:" ^ t) in
+          not
+            (List.exists
+               (fun n -> String.length n > 2 && String.sub n 0 2 = "r:")
+               reach))
+        (Ontology.terms d))
+
+let prop_semantic_difference_superset =
+  QCheck.Test.make ~count:40
+    ~name:"semantic difference keeps at least the all-edges difference"
+    arbitrary_pair
+    (fun spec ->
+      let p = pair_of spec in
+      let r = generate p in
+      let art = r.Generator.articulation in
+      let d_all =
+        Algebra.difference ~minuend:r.Generator.updated_left
+          ~subtrahend:r.Generator.updated_right art
+      in
+      let d_sem =
+        Algebra.difference
+          ~follow:(Traversal.only [ Rel.si_bridge; Rel.semantic_implication; Rel.subclass_of ])
+          ~minuend:r.Generator.updated_left ~subtrahend:r.Generator.updated_right art
+      in
+      List.for_all (fun t -> Ontology.has_term d_sem t) (Ontology.terms d_all))
+
+let prop_union_embeds_sources =
+  QCheck.Test.make ~count:40 ~name:"the union embeds both qualified sources"
+    arbitrary_pair
+    (fun spec ->
+      let p = pair_of spec in
+      let r = generate p in
+      let u =
+        Algebra.union ~left:r.Generator.updated_left
+          ~right:r.Generator.updated_right r.Generator.articulation
+      in
+      let embedded o =
+        Digraph.fold_edges
+          (fun (e : Digraph.edge) ok ->
+            ok && Digraph.mem_edge u.Algebra.graph e.src e.label e.dst)
+          (Ontology.qualify o) true
+      in
+      embedded r.Generator.updated_left && embedded r.Generator.updated_right)
+
+let prop_xml_roundtrip_generated =
+  QCheck.Test.make ~count:40 ~name:"generated ontologies roundtrip through XML"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 10_000))
+    (fun seed ->
+      let o =
+        Gen.ontology ~profile:{ Gen.default_profile with Gen.n_terms = 25 }
+          ~seed ~name:"s" ()
+      in
+      match Xml_parse.parse_ontology (Xml_parse.to_string (Xml_parse.ontology_to_xml o)) with
+      | Ok o2 -> Digraph.equal (Ontology.graph o) (Ontology.graph o2)
+      | Error _ -> false)
+
+let prop_adjacency_roundtrip_generated =
+  QCheck.Test.make ~count:40 ~name:"generated ontologies roundtrip through adjacency"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 10_000))
+    (fun seed ->
+      let o =
+        Gen.ontology ~profile:{ Gen.default_profile with Gen.n_terms = 25 }
+          ~seed ~name:"s" ()
+      in
+      let g = Ontology.graph o in
+      match Adjacency.parse (Adjacency.print g) with
+      | Ok g2 -> Digraph.equal g g2
+      | Error _ -> false)
+
+let prop_articulation_io_roundtrip =
+  QCheck.Test.make ~count:30 ~name:"articulations roundtrip through the XML store"
+    arbitrary_pair
+    (fun spec ->
+      let r = generate (pair_of spec) in
+      let art = r.Generator.articulation in
+      match Articulation_io.of_string (Articulation_io.to_string art) with
+      | Ok art2 ->
+          Articulation.nb_bridges art = Articulation.nb_bridges art2
+          && List.for_all2 Bridge.equal (Articulation.bridges art)
+               (Articulation.bridges art2)
+          && Digraph.equal
+               (Ontology.graph (Articulation.ontology art))
+               (Ontology.graph (Articulation.ontology art2))
+      | Error _ -> false)
+
+let prop_session_deterministic =
+  QCheck.Test.make ~count:15 ~name:"oracle sessions are deterministic"
+    arbitrary_pair
+    (fun spec ->
+      let p = pair_of spec in
+      let run () =
+        let o =
+          Session.run ~articulation_name:"m"
+            ~expert:(Expert.oracle ~ground_truth:p.Gen.ground_truth)
+            ~left:p.Gen.left ~right:p.Gen.right ()
+        in
+        (* Rule names are gensym'd, so compare bodies and structure. *)
+        ( List.map (fun (r : Rule.t) -> r.Rule.body) o.Session.accepted,
+          Articulation.nb_bridges o.Session.articulation )
+      in
+      let a1, n1 = run () and a2, n2 = run () in
+      n1 = n2
+      && List.length a1 = List.length a2
+      && List.for_all2 Rule.equal_body a1 a2)
+
+let prop_conversion_roundtrip_random =
+  QCheck.Test.make ~count:200 ~name:"builtin converters invert on random values"
+    QCheck.(make ~print:string_of_float Gen.(float_bound_inclusive 1_000_000.0))
+    (fun v ->
+      List.for_all
+        (fun name ->
+          match Conversion.roundtrip_error Conversion.builtin name (Conversion.Num v) with
+          | Some err -> err < 1e-9
+          | None -> false)
+        [ "DGToEuroFn"; "PSToEuroFn"; "USDToEuroFn"; "KgToLbFn"; "MileToKmFn" ])
+
+let prop_pushdown_equivalence =
+  QCheck.Test.make ~count:20 ~name:"pushdown never changes query answers"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 1_000))
+    (fun seed ->
+      let r = Paper_example.articulation () in
+      let left = r.Generator.updated_left and right = r.Generator.updated_right in
+      let u = Algebra.union ~left ~right r.Generator.articulation in
+      let kb1 = Query_gen.instances_for ~seed ~per_concept:20 left ~kb_name:"kb1" in
+      let kb2 = Query_gen.instances_for ~seed:(seed + 1) ~per_concept:20 right ~kb_name:"kb2" in
+      let env = Mediator.env ~kbs:[ kb1; kb2 ] ~unified:u () in
+      let q =
+        Query.parse_exn
+          (Printf.sprintf "SELECT Price FROM Vehicle WHERE Price < %d"
+             (1000 + (seed * 37 mod 40_000)))
+      in
+      match (Mediator.run env q, Mediator.run ~pushdown:true env q) with
+      | Ok a, Ok b ->
+          List.map (fun t -> t.Mediator.instance) a.Mediator.tuples
+          = List.map (fun t -> t.Mediator.instance) b.Mediator.tuples
+      | _ -> false)
+
+let prop_evolve_removal_clean =
+  QCheck.Test.make ~count:30
+    ~name:"after repair, no bridge touches the removed term"
+    arbitrary_pair
+    (fun spec ->
+      let p = pair_of spec in
+      let r = generate p in
+      let art = r.Generator.articulation in
+      match Ontology.terms r.Generator.updated_left with
+      | [] -> true
+      | victim :: _ ->
+          let op = Change.Remove_term victim in
+          let source = Change.apply r.Generator.updated_left op in
+          let res =
+            Evolve.apply art ~source ~other:r.Generator.updated_right op
+          in
+          List.for_all
+            (fun (b : Bridge.t) ->
+              let hits (t : Term.t) =
+                t.Term.ontology = "l" && t.Term.name = victim
+              in
+              not (hits b.Bridge.src || hits b.Bridge.dst))
+            (Articulation.bridges res.Evolve.articulation))
+
+let prop_evolve_rename_preserves_count =
+  QCheck.Test.make ~count:30 ~name:"rename repair preserves bridge count"
+    arbitrary_pair
+    (fun spec ->
+      let p = pair_of spec in
+      let r = generate p in
+      let art = r.Generator.articulation in
+      match Ontology.terms r.Generator.updated_left with
+      | [] -> true
+      | victim :: _ ->
+          let op =
+            Change.Rename_term { old_name = victim; new_name = victim ^ "Q" }
+          in
+          let source = Change.apply r.Generator.updated_left op in
+          let res = Evolve.apply art ~source ~other:r.Generator.updated_right op in
+          Articulation.nb_bridges res.Evolve.articulation
+          = Articulation.nb_bridges art)
+
+let suite =
+  [
+    ( "properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_evolve_removal_clean;
+          prop_evolve_rename_preserves_count;
+          prop_bridges_touch_articulation;
+          prop_generator_idempotent;
+          prop_oplog_replay;
+          prop_difference_subset;
+          prop_difference_excludes_bridged_reach;
+          prop_semantic_difference_superset;
+          prop_union_embeds_sources;
+          prop_xml_roundtrip_generated;
+          prop_adjacency_roundtrip_generated;
+          prop_articulation_io_roundtrip;
+          prop_session_deterministic;
+          prop_conversion_roundtrip_random;
+          prop_pushdown_equivalence;
+        ] );
+  ]

@@ -1,0 +1,173 @@
+(* Aggregates, ORDER BY / LIMIT, and source-outage handling. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let num f = Conversion.Num f
+
+let setup () =
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let u = Algebra.union ~left ~right r.Generator.articulation in
+  let kb_carrier =
+    Kb.create ~ontology:left "kb-carrier"
+    |> fun kb -> Kb.add kb ~concept:"Cars" ~id:"MyCar" [ ("Price", num 2000.0) ]
+    |> fun kb -> Kb.add kb ~concept:"Trucks" ~id:"BigRig" [ ("Price", num 44000.0) ]
+  in
+  let kb_factory =
+    Kb.create ~ontology:right "kb-factory"
+    |> fun kb -> Kb.add kb ~concept:"SUV" ~id:"suv1" [ ("Price", num 18000.0) ]
+    |> fun kb -> Kb.add kb ~concept:"Truck" ~id:"t9" [ ("Price", num 3000.0) ]
+  in
+  Mediator.env ~kbs:[ kb_carrier; kb_factory ] ~unified:u ()
+
+let run_ok env q =
+  match Mediator.run_text env q with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "query %S failed: %s" q m
+
+let ids r = List.map (fun t -> t.Mediator.instance) r.Mediator.tuples
+
+(* ------------- parsing ------------- *)
+
+let test_parse_aggregates () =
+  let q = Query.parse_exn "SELECT COUNT(*), AVG(Price), MAX(Price) FROM Vehicle" in
+  check_int "three aggregates" 3 (List.length q.Query.aggregates);
+  check_bool "no plain attrs" true (q.Query.select = []);
+  check_bool "labels" true
+    (List.map Query.aggregate_label q.Query.aggregates
+    = [ "COUNT(*)"; "AVG(Price)"; "MAX(Price)" ])
+
+let test_parse_order_limit () =
+  let q = Query.parse_exn "SELECT Price FROM Vehicle ORDER BY Price DESC LIMIT 2" in
+  check_bool "order" true (q.Query.order_by = Some ("Price", Query.Desc));
+  check_bool "limit" true (q.Query.limit = Some 2);
+  let q2 = Query.parse_exn "SELECT Price FROM Vehicle ORDER BY Price" in
+  check_bool "asc default" true (q2.Query.order_by = Some ("Price", Query.Asc))
+
+let test_parse_rejections () =
+  check_bool "mixing attrs and aggregates" true
+    (Result.is_error (Query.parse "SELECT Price, COUNT(*) FROM V"));
+  check_bool "unknown aggregate" true
+    (Result.is_error (Query.parse "SELECT MEDIAN(Price) FROM V"));
+  check_bool "sum of star" true (Result.is_error (Query.parse "SELECT SUM(*) FROM V"));
+  check_bool "negative limit" true
+    (Result.is_error (Query.parse "SELECT * FROM V LIMIT -1"));
+  check_bool "fractional limit" true
+    (Result.is_error (Query.parse "SELECT * FROM V LIMIT 1.5"))
+
+let test_roundtrip_extended () =
+  List.iter
+    (fun src ->
+      let q = Query.parse_exn src in
+      check_bool ("roundtrip " ^ src) true (Query.parse_exn (Query.to_string q) = q))
+    [
+      "SELECT COUNT(*), AVG(Price) FROM transport:Vehicle WHERE Price < 5000";
+      "SELECT Price FROM transport:Vehicle ORDER BY Price DESC LIMIT 3";
+      "SELECT * FROM transport:CarsTrucks ORDER BY Owner ASC";
+    ]
+
+(* ------------- execution ------------- *)
+
+let test_count_and_avg () =
+  let r = run_ok (setup ()) "SELECT COUNT(*), AVG(Price) FROM Vehicle" in
+  (* carrier Cars: MyCar (907.56 EUR); factory: suv1 30000, t9 5000 EUR. *)
+  check_bool "count" true
+    (List.assoc "COUNT(*)" r.Mediator.aggregates = num 3.0);
+  (match List.assoc "AVG(Price)" r.Mediator.aggregates with
+  | Conversion.Num avg -> check_bool "avg in articulation space" true
+      (Float.abs (avg -. ((907.5637 +. 30000.0 +. 5000.0) /. 3.0)) < 0.01)
+  | _ -> Alcotest.fail "expected numeric avg")
+
+let test_min_max_sum () =
+  let r = run_ok (setup ()) "SELECT MIN(Price), MAX(Price), SUM(Price) FROM Vehicle WHERE Price > 1000" in
+  check_bool "min" true
+    (Conversion.equal_value (List.assoc "MIN(Price)" r.Mediator.aggregates) (num 5000.0));
+  check_bool "max" true
+    (Conversion.equal_value (List.assoc "MAX(Price)" r.Mediator.aggregates) (num 30000.0));
+  check_bool "sum" true
+    (Conversion.equal_value (List.assoc "SUM(Price)" r.Mediator.aggregates) (num 35000.0))
+
+let test_aggregate_skips_missing () =
+  (* Owner exists nowhere in the KBs: numeric aggregates are absent,
+     count still reports. *)
+  let r = run_ok (setup ()) "SELECT COUNT(*), AVG(Owner) FROM Vehicle" in
+  check_bool "count present" true (List.mem_assoc "COUNT(*)" r.Mediator.aggregates);
+  check_bool "avg absent" false (List.mem_assoc "AVG(Owner)" r.Mediator.aggregates)
+
+let test_order_by_desc_limit () =
+  let r = run_ok (setup ()) "SELECT Price FROM CarsTrucks ORDER BY Price DESC LIMIT 2" in
+  (* Euro prices: BigRig 19966, suv1 30000, t9 5000, MyCar 907. *)
+  Alcotest.(check (list string)) "top two" [ "suv1"; "BigRig" ] (ids r)
+
+let test_order_by_asc () =
+  let r = run_ok (setup ()) "SELECT Price FROM CarsTrucks ORDER BY Price" in
+  Alcotest.(check (list string)) "ascending" [ "MyCar"; "t9"; "BigRig"; "suv1" ] (ids r)
+
+let test_order_missing_values_last () =
+  let env = setup () in
+  (* Owner is absent everywhere; ordering by it must not drop tuples. *)
+  let r = run_ok env "SELECT Price FROM CarsTrucks ORDER BY Owner" in
+  check_int "all four kept" 4 (List.length r.Mediator.tuples)
+
+let test_limit_zero () =
+  let r = run_ok (setup ()) "SELECT Price FROM CarsTrucks LIMIT 0" in
+  check_int "empty" 0 (List.length r.Mediator.tuples)
+
+let test_where_on_unselected_attr () =
+  (* The WHERE attribute is bound even though only Price is selected. *)
+  let env = setup () in
+  let r = run_ok env "SELECT Price FROM CarsTrucks WHERE Weight > 0" in
+  check_int "no instance has Weight" 0 (List.length r.Mediator.tuples)
+
+(* ------------- outages ------------- *)
+
+let test_outage_partial_answers () =
+  let env = Mediator.with_outage (setup ()) [ "kb-factory" ] in
+  let r = run_ok env "SELECT Price FROM CarsTrucks" in
+  Alcotest.(check (list string)) "carrier only" [ "BigRig"; "MyCar" ] (ids r);
+  Alcotest.(check (list string)) "skip reported" [ "kb-factory" ] r.Mediator.skipped_kbs
+
+let test_outage_everything_down () =
+  let env = Mediator.with_outage (setup ()) [ "kb-factory"; "kb-carrier" ] in
+  let r = run_ok env "SELECT Price FROM CarsTrucks" in
+  check_int "no tuples" 0 (List.length r.Mediator.tuples);
+  check_int "both reported" 2 (List.length r.Mediator.skipped_kbs)
+
+let test_outage_irrelevant_kb_not_reported () =
+  let env = Mediator.with_outage (setup ()) [ "kb-factory" ] in
+  (* A carrier-only query never consults kb-factory... but factory is an
+     involved source for CarsTrucks; use a source-qualified query. *)
+  let r = run_ok env "SELECT Price FROM carrier:Cars" in
+  Alcotest.(check (list string)) "no skip for uninvolved source" []
+    r.Mediator.skipped_kbs
+
+let test_report_rendering () =
+  let env = Mediator.with_outage (setup ()) [ "kb-factory" ] in
+  let r = run_ok env "SELECT COUNT(*) FROM CarsTrucks" in
+  let s = Format.asprintf "%a" Mediator.pp_report r in
+  check_bool "mentions outage" true (Helpers.contains ~affix:"offline, skipped: kb-factory" s);
+  check_bool "mentions aggregate" true (Helpers.contains ~affix:"COUNT(*) = 2" s)
+
+let suite =
+  [
+    ( "query-extensions",
+      [
+        Alcotest.test_case "parse aggregates" `Quick test_parse_aggregates;
+        Alcotest.test_case "parse order/limit" `Quick test_parse_order_limit;
+        Alcotest.test_case "parse rejections" `Quick test_parse_rejections;
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip_extended;
+        Alcotest.test_case "count/avg" `Quick test_count_and_avg;
+        Alcotest.test_case "min/max/sum" `Quick test_min_max_sum;
+        Alcotest.test_case "aggregate missing attr" `Quick test_aggregate_skips_missing;
+        Alcotest.test_case "order desc limit" `Quick test_order_by_desc_limit;
+        Alcotest.test_case "order asc" `Quick test_order_by_asc;
+        Alcotest.test_case "order missing last" `Quick test_order_missing_values_last;
+        Alcotest.test_case "limit zero" `Quick test_limit_zero;
+        Alcotest.test_case "where unselected" `Quick test_where_on_unselected_attr;
+        Alcotest.test_case "outage partial" `Quick test_outage_partial_answers;
+        Alcotest.test_case "outage total" `Quick test_outage_everything_down;
+        Alcotest.test_case "outage uninvolved" `Quick test_outage_irrelevant_kb_not_reported;
+        Alcotest.test_case "report rendering" `Quick test_report_rendering;
+      ] );
+  ]

@@ -1,0 +1,74 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+
+let test_ontology_tree () =
+  let s = Render.ontology_tree Paper_example.carrier in
+  check_bool "header" true (contains ~affix:"ontology carrier" s);
+  check_bool "taxonomy" true (contains ~affix:"Cars" s);
+  check_bool "attributes inline" true (contains ~affix:"[Driver, Model, Owner, Price]" s);
+  check_bool "instances" true (contains ~affix:"MyCar" s);
+  let no_inst = Render.ontology_tree ~show_instances:false Paper_example.carrier in
+  check_bool "instances suppressed" false (contains ~affix:"\xe2\x97\x8f MyCar" no_inst)
+
+let test_tree_cycle_safe () =
+  let o =
+    Ontology.create "c"
+    |> fun o -> Ontology.add_subclass o ~sub:"a" ~super:"b"
+    |> fun o -> Ontology.add_subclass o ~sub:"b" ~super:"a"
+  in
+  (* Both nodes sit on a cycle (no root): they land under "(other terms)". *)
+  let s = Render.ontology_tree o in
+  check_bool "terminates and lists" true (contains ~affix:"other terms" s)
+
+let test_articulation_summary () =
+  let r = Paper_example.articulation () in
+  let s = Render.articulation_summary r.Generator.articulation in
+  check_bool "title" true
+    (contains ~affix:"articulation transport between carrier and factory" s);
+  check_bool "groups by source" true (contains ~affix:"bridges with carrier:" s);
+  check_bool "bridge rendered" true
+    (contains ~affix:"carrier:Cars =[SIBridge]=> transport:Vehicle" s)
+
+let test_unified_overview () =
+  let u = Paper_example.unified () in
+  let s = Render.unified_overview u in
+  check_bool "counts" true (contains ~affix:"28 nodes, 40 edges" s);
+  check_bool "per-ontology lists" true (contains ~affix:"transport (" s)
+
+let test_suggestions_table () =
+  let suggestions =
+    Skat.suggest ~left:Paper_example.carrier ~right:Paper_example.factory ()
+  in
+  let s = Render.suggestions_table suggestions in
+  check_bool "header" true (contains ~affix:"score" s);
+  check_bool "has rows" true (contains ~affix:"=>" s)
+
+let test_transcript_render () =
+  let left = Ontology.add_term (Ontology.create "a") "X" in
+  let right = Ontology.add_term (Ontology.create "b") "X" in
+  let outcome =
+    Session.run ~articulation_name:"m" ~expert:Expert.accept_all ~left ~right ()
+  in
+  let s = Render.transcript outcome.Session.transcript in
+  check_bool "round marker" true (contains ~affix:"-- round 1" s);
+  check_bool "decision lines" true (contains ~affix:"ACCEPT" s)
+
+let test_listings () =
+  let s = Render.rules_listing Paper_example.rules in
+  check_bool "rules listed" true (contains ~affix:"carrier:Cars => factory:Vehicle" s);
+  Alcotest.(check string) "no conflicts text" "no conflicts\n" (Render.conflicts_listing [])
+
+let suite =
+  [
+    ( "render",
+      [
+        Alcotest.test_case "ontology tree" `Quick test_ontology_tree;
+        Alcotest.test_case "cycle safe" `Quick test_tree_cycle_safe;
+        Alcotest.test_case "articulation" `Quick test_articulation_summary;
+        Alcotest.test_case "unified" `Quick test_unified_overview;
+        Alcotest.test_case "suggestions" `Quick test_suggestions_table;
+        Alcotest.test_case "transcript" `Quick test_transcript_render;
+        Alcotest.test_case "listings" `Quick test_listings;
+      ] );
+  ]

@@ -1,0 +1,153 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+
+let t o n = Term.make ~ontology:o n
+
+let setup () =
+  let r = Paper_example.articulation () in
+  Federation.of_unified
+    (Algebra.union ~left:r.Generator.updated_left
+       ~right:r.Generator.updated_right r.Generator.articulation)
+
+let test_source_concepts_vehicle () =
+  let u = setup () in
+  check_sorted_strings "carrier side" [ "Cars" ]
+    (Rewrite.source_concepts u ~source:"carrier" (t "transport" "Vehicle"));
+  (* factory:Vehicle is equivalent; subclasses come along through S edges. *)
+  check_sorted_strings "factory side" [ "GoodsVehicle"; "SUV"; "Truck"; "Vehicle" ]
+    (Rewrite.source_concepts u ~source:"factory" (t "transport" "Vehicle"))
+
+let test_source_concepts_carstrucks () =
+  let u = setup () in
+  check_sorted_strings "carrier side" [ "Cars"; "Trucks" ]
+    (Rewrite.source_concepts u ~source:"carrier" (t "transport" "CarsTrucks"))
+
+let test_source_concepts_direct_source_query () =
+  let u = setup () in
+  check_bool "source-qualified concept" true
+    (List.mem "Cars" (Rewrite.source_concepts u ~source:"carrier" (t "carrier" "Cars")));
+  check_sorted_strings "other source empty" []
+    (Rewrite.source_concepts u ~source:"factory" (t "carrier" "Cars"))
+
+let test_unknown_concept () =
+  let u = setup () in
+  check_sorted_strings "nothing" []
+    (Rewrite.source_concepts u ~source:"carrier" (t "transport" "Ghost"))
+
+let test_attr_binding_conversion () =
+  let u = setup () in
+  match
+    Rewrite.attr_binding u ~conversions:Conversion.builtin ~source:"carrier"
+      "Price"
+  with
+  | Some b ->
+      Alcotest.(check string) "source attr" "Price" b.Plan.source_attr;
+      check_bool "converter" true (b.Plan.to_articulation = Some "DGToEuroFn");
+      check_bool "inverse" true (b.Plan.from_articulation = Some "EuroToDGFn")
+  | None -> Alcotest.fail "expected binding"
+
+let test_attr_binding_identity () =
+  let u = setup () in
+  match
+    Rewrite.attr_binding u ~conversions:Conversion.builtin ~source:"carrier"
+      "Owner"
+  with
+  | Some b ->
+      check_bool "identity" true
+        (b.Plan.to_articulation = None && b.Plan.source_attr = "Owner")
+  | None -> Alcotest.fail "expected binding"
+
+let test_attr_binding_missing () =
+  let u = setup () in
+  check_bool "no binding for alien attr" true
+    (Rewrite.attr_binding u ~conversions:Conversion.builtin ~source:"carrier"
+       "Wingspan"
+    = None)
+
+let test_plan_partitions_predicates () =
+  let u = setup () in
+  let q = Query.parse_exn "SELECT Price FROM Vehicle WHERE Price < 5000" in
+  match Rewrite.plan u ~conversions:Conversion.builtin q with
+  | Ok plan ->
+      Alcotest.(check (list string)) "both sources" [ "carrier"; "factory" ]
+        (Plan.involved_sources plan);
+      List.iter
+        (fun sp ->
+          check_bool "price pushable (invertible converter)" true
+            (List.length sp.Plan.pushable = 1 && sp.Plan.residual = []))
+        plan.Plan.sources
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let test_plan_residual_without_inverse () =
+  (* A converter without inverse makes the predicate residual. *)
+  let registry =
+    Conversion.register_linear Conversion.empty ~name:"OneWayFn" ~factor:2.0 ()
+  in
+  let left = Ontology.add_attribute (Ontology.create "l") ~concept:"Thing" ~attr:"Val" in
+  let right = Ontology.add_term (Ontology.create "r") "Item" in
+  let rules =
+    [
+      Rule.implies (t "l" "Thing") (t "r" "Item");
+      Rule.functional ~fn:"OneWayFn" ~src:(t "l" "Val") ~dst:(t "m" "Val") ();
+    ]
+  in
+  let g = Generator.generate ~conversions:registry ~articulation_name:"m" ~left ~right rules in
+  let u =
+    Federation.of_unified
+      (Algebra.union ~left:g.Generator.updated_left
+         ~right:g.Generator.updated_right g.Generator.articulation)
+  in
+  let q = Query.parse_exn ~default_ontology:"m" "SELECT Val FROM Item WHERE Val > 1" in
+  match Rewrite.plan u ~conversions:registry q with
+  | Ok plan ->
+      let lplan = List.find (fun sp -> sp.Plan.source = "l") plan.Plan.sources in
+      check_bool "residual" true
+        (lplan.Plan.pushable = [] && List.length lplan.Plan.residual = 1)
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let test_plan_error_on_unanswerable () =
+  let u = setup () in
+  let q = Query.parse_exn "SELECT * FROM Ghost" in
+  check_bool "error" true (Result.is_error (Rewrite.plan u ~conversions:Conversion.builtin q))
+
+let test_select_star_visible_attrs () =
+  let u = setup () in
+  let q = Query.parse_exn "SELECT * FROM Vehicle" in
+  match Rewrite.plan u ~conversions:Conversion.builtin q with
+  | Ok plan ->
+      let fplan = List.find (fun sp -> sp.Plan.source = "factory") plan.Plan.sources in
+      let attrs = List.map (fun b -> b.Plan.art_attr) fplan.Plan.attrs in
+      check_bool "price surfaced" true (List.mem "Price" attrs);
+      check_bool "weight surfaced" true (List.mem "Weight" attrs)
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let test_explain_stable () =
+  let u = setup () in
+  let q = Query.parse_exn "SELECT Price FROM Vehicle WHERE Price < 5000" in
+  match Rewrite.plan u ~conversions:Conversion.builtin q with
+  | Ok plan ->
+      let s = Plan.explain plan in
+      check_bool "mentions scan" true (contains ~affix:"scan: Cars" s);
+      check_bool "mentions converter" true (contains ~affix:"via DGToEuroFn()" s);
+      Alcotest.(check string) "deterministic" s (Plan.explain plan)
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let suite =
+  [
+    ( "rewrite-plan",
+      [
+        Alcotest.test_case "concepts for Vehicle" `Quick test_source_concepts_vehicle;
+        Alcotest.test_case "concepts for CarsTrucks" `Quick test_source_concepts_carstrucks;
+        Alcotest.test_case "direct source query" `Quick test_source_concepts_direct_source_query;
+        Alcotest.test_case "unknown concept" `Quick test_unknown_concept;
+        Alcotest.test_case "conversion binding" `Quick test_attr_binding_conversion;
+        Alcotest.test_case "identity binding" `Quick test_attr_binding_identity;
+        Alcotest.test_case "missing binding" `Quick test_attr_binding_missing;
+        Alcotest.test_case "predicate partition" `Quick test_plan_partitions_predicates;
+        Alcotest.test_case "residual" `Quick test_plan_residual_without_inverse;
+        Alcotest.test_case "unanswerable" `Quick test_plan_error_on_unanswerable;
+        Alcotest.test_case "select star" `Quick test_select_star_visible_attrs;
+        Alcotest.test_case "explain" `Quick test_explain_stable;
+      ] );
+  ]

@@ -1,0 +1,112 @@
+let check_bool = Alcotest.(check bool)
+
+let t o n = Term.make ~ontology:o n
+
+let test_implies () =
+  let r = Rule.implies (t "a" "X") (t "b" "Y") in
+  check_bool "cross" true (Rule.is_cross_ontology r);
+  Alcotest.(check (list string)) "ontologies" [ "a"; "b" ] (Rule.ontologies r);
+  match r.Rule.body with
+  | Rule.Implication (Rule.Term l, Rule.Term rr) ->
+      check_bool "lhs" true (Term.equal l (t "a" "X"));
+      check_bool "rhs" true (Term.equal rr (t "b" "Y"))
+  | _ -> Alcotest.fail "unexpected body"
+
+let test_intra_not_cross () =
+  check_bool "same ontology" false
+    (Rule.is_cross_ontology (Rule.implies (t "a" "X") (t "a" "Y")))
+
+let test_confidence_validation () =
+  check_bool "rejects > 1" true
+    (try
+       ignore (Rule.implies ~confidence:1.5 (t "a" "X") (t "b" "Y"));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "rejects nan" true
+    (try
+       ignore (Rule.implies ~confidence:Float.nan (t "a" "X") (t "b" "Y"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_operand_arity () =
+  check_bool "singleton conj rejected" true
+    (try
+       ignore (Rule.v (Rule.Implication (Rule.Conj [ Rule.Term (t "a" "X") ], Rule.Term (t "b" "Y"))));
+       false
+     with Invalid_argument _ -> true)
+
+let test_unique_names () =
+  let r1 = Rule.implies (t "a" "X") (t "b" "Y") in
+  let r2 = Rule.implies (t "a" "X") (t "b" "Y") in
+  check_bool "auto names differ" true (not (String.equal r1.Rule.name r2.Rule.name))
+
+let test_cascade () =
+  let rules = Rule.cascade ~name:"c" [ t "a" "X"; t "art" "M"; t "b" "Y" ] in
+  Alcotest.(check int) "two steps" 2 (List.length rules);
+  Alcotest.(check (list string)) "step names" [ "c.1"; "c.2" ]
+    (List.map (fun (r : Rule.t) -> r.Rule.name) rules);
+  check_bool "cascade arity" true
+    (try
+       ignore (Rule.cascade [ t "a" "X" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_terms_collects_leaves () =
+  let body =
+    Rule.Implication
+      ( Rule.Conj [ Rule.Term (t "f" "A"); Rule.Term (t "f" "B") ],
+        Rule.Disj [ Rule.Term (t "c" "C"); Rule.Term (t "c" "D") ] )
+  in
+  let r = Rule.v body in
+  Alcotest.(check int) "four terms" 4 (List.length (Rule.terms r));
+  Alcotest.(check (list string)) "ontologies" [ "c"; "f" ] (Rule.ontologies r)
+
+let test_functional () =
+  let r = Rule.functional ~fn:"DGToEuroFn" ~src:(t "carrier" "Price") ~dst:(t "transport" "Price") () in
+  check_bool "cross" true (Rule.is_cross_ontology r);
+  Alcotest.(check int) "two terms" 2 (List.length (Rule.terms r))
+
+let test_disjoint_symmetric_equality () =
+  let r1 = Rule.disjoint (t "a" "X") (t "b" "Y") in
+  let r2 = Rule.disjoint (t "b" "Y") (t "a" "X") in
+  check_bool "order-insensitive" true (Rule.equal_body r1.Rule.body r2.Rule.body)
+
+let test_alias () =
+  let r = Rule.v ~alias:"NodeName" (Rule.Implication (Rule.Term (t "a" "X"), Rule.Term (t "b" "Y"))) in
+  check_bool "alias stored" true (r.Rule.alias = Some "NodeName");
+  let r2 = Rule.v ~alias:"" (Rule.Implication (Rule.Term (t "a" "X"), Rule.Term (t "b" "Y"))) in
+  check_bool "empty alias dropped" true (r2.Rule.alias = None)
+
+let test_to_string () =
+  let r =
+    Rule.v ~name:"r9"
+      (Rule.Implication (Rule.Term (t "carrier" "Cars"), Rule.Term (t "factory" "Vehicle")))
+  in
+  Alcotest.(check string) "render" "r9: carrier:Cars => factory:Vehicle"
+    (Rule.to_string r)
+
+let test_pattern_operand_terms () =
+  let p = Pattern_parser.parse_exn "carrier:car:driver" in
+  let r = Rule.v (Rule.Implication (Rule.Patt p, Rule.Term (t "b" "Y"))) in
+  let terms = Rule.terms r in
+  check_bool "pattern contributes qualified labels" true
+    (List.exists (Term.equal (t "carrier" "car")) terms)
+
+let suite =
+  [
+    ( "rule",
+      [
+        Alcotest.test_case "implies" `Quick test_implies;
+        Alcotest.test_case "intra" `Quick test_intra_not_cross;
+        Alcotest.test_case "confidence" `Quick test_confidence_validation;
+        Alcotest.test_case "operand arity" `Quick test_operand_arity;
+        Alcotest.test_case "unique names" `Quick test_unique_names;
+        Alcotest.test_case "cascade" `Quick test_cascade;
+        Alcotest.test_case "terms" `Quick test_terms_collects_leaves;
+        Alcotest.test_case "functional" `Quick test_functional;
+        Alcotest.test_case "disjoint equality" `Quick test_disjoint_symmetric_equality;
+        Alcotest.test_case "alias" `Quick test_alias;
+        Alcotest.test_case "to_string" `Quick test_to_string;
+        Alcotest.test_case "pattern terms" `Quick test_pattern_operand_terms;
+      ] );
+  ]

@@ -1,0 +1,172 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse_one ?default_ontology s =
+  match Rule_parser.parse_rule ?default_ontology s with
+  | Ok rules -> rules
+  | Error m -> Alcotest.failf "parse %S failed: %s" s m
+
+let t o n = Term.make ~ontology:o n
+
+let test_simple_implication () =
+  match parse_one "carrier:Car => factory:Vehicle" with
+  | [ r ] -> (
+      match r.Rule.body with
+      | Rule.Implication (Rule.Term l, Rule.Term rr) ->
+          check_bool "lhs" true (Term.equal l (t "carrier" "Car"));
+          check_bool "rhs" true (Term.equal rr (t "factory" "Vehicle"))
+      | _ -> Alcotest.fail "unexpected body")
+  | rules -> Alcotest.failf "expected 1 rule, got %d" (List.length rules)
+
+let test_outer_parens () =
+  check_int "paper style parens" 1
+    (List.length (parse_one "(carrier:Car => factory:Vehicle)"))
+
+let test_named_rule () =
+  match parse_one "[r1] a:X => b:Y" with
+  | [ r ] -> Alcotest.(check string) "name" "r1" r.Rule.name
+  | _ -> Alcotest.fail "expected 1 rule"
+
+let test_cascade_desugars () =
+  match parse_one "[r2] carrier:Car => transport:PassengerCar => factory:Vehicle" with
+  | [ r1; r2 ] ->
+      Alcotest.(check string) "step 1 name" "r2.1" r1.Rule.name;
+      Alcotest.(check string) "step 2 name" "r2.2" r2.Rule.name;
+      (match (r1.Rule.body, r2.Rule.body) with
+      | Rule.Implication (Rule.Term a, Rule.Term b), Rule.Implication (Rule.Term c, Rule.Term d) ->
+          check_bool "chain" true
+            (Term.equal a (t "carrier" "Car")
+            && Term.equal b (t "transport" "PassengerCar")
+            && Term.equal c (t "transport" "PassengerCar")
+            && Term.equal d (t "factory" "Vehicle"))
+      | _ -> Alcotest.fail "unexpected bodies")
+  | rules -> Alcotest.failf "expected 2 rules, got %d" (List.length rules)
+
+let test_conjunction_with_alias () =
+  match parse_one "(factory:CargoCarrier & factory:Vehicle) => carrier:Trucks as CargoCarrierVehicle" with
+  | [ r ] ->
+      check_bool "alias" true (r.Rule.alias = Some "CargoCarrierVehicle");
+      (match r.Rule.body with
+      | Rule.Implication (Rule.Conj [ Rule.Term a; Rule.Term b ], Rule.Term c) ->
+          check_bool "members" true
+            (Term.equal a (t "factory" "CargoCarrier")
+            && Term.equal b (t "factory" "Vehicle")
+            && Term.equal c (t "carrier" "Trucks"))
+      | _ -> Alcotest.fail "unexpected body")
+  | _ -> Alcotest.fail "expected 1 rule"
+
+let test_caret_as_and () =
+  match parse_one "(a:X ^ a:Y) => b:Z" with
+  | [ r ] -> (
+      match r.Rule.body with
+      | Rule.Implication (Rule.Conj _, _) -> ()
+      | _ -> Alcotest.fail "expected conjunction")
+  | _ -> Alcotest.fail "expected 1 rule"
+
+let test_disjunction () =
+  match parse_one "factory:Vehicle => (carrier:Cars | carrier:Trucks) as CarsTrucks" with
+  | [ r ] -> (
+      match r.Rule.body with
+      | Rule.Implication (Rule.Term _, Rule.Disj [ Rule.Term _; Rule.Term _ ]) ->
+          check_bool "alias" true (r.Rule.alias = Some "CarsTrucks")
+      | _ -> Alcotest.fail "unexpected body")
+  | _ -> Alcotest.fail "expected 1 rule"
+
+let test_functional_rule () =
+  match parse_one "DGToEuroFn() : carrier:DutchGuilders => transport:Euro" with
+  | [ r ] -> (
+      match r.Rule.body with
+      | Rule.Functional { fn; src; dst } ->
+          Alcotest.(check string) "fn" "DGToEuroFn" fn;
+          check_bool "terms" true
+            (Term.equal src (t "carrier" "DutchGuilders")
+            && Term.equal dst (t "transport" "Euro"))
+      | _ -> Alcotest.fail "expected functional")
+  | _ -> Alcotest.fail "expected 1 rule"
+
+let test_disjoint_rule () =
+  match parse_one "disjoint a:X, b:Y" with
+  | [ r ] -> (
+      match r.Rule.body with
+      | Rule.Disjoint (x, y) ->
+          check_bool "terms" true (Term.equal x (t "a" "X") && Term.equal y (t "b" "Y"))
+      | _ -> Alcotest.fail "expected disjoint")
+  | _ -> Alcotest.fail "expected 1 rule"
+
+let test_default_ontology () =
+  match parse_one ~default_ontology:"transport" "Owner => Person" with
+  | [ r ] -> (
+      match r.Rule.body with
+      | Rule.Implication (Rule.Term l, Rule.Term rr) ->
+          check_bool "qualified with default" true
+            (Term.equal l (t "transport" "Owner") && Term.equal rr (t "transport" "Person"))
+      | _ -> Alcotest.fail "unexpected body")
+  | _ -> Alcotest.fail "expected 1 rule"
+
+let test_pattern_atom () =
+  match parse_one "pat<carrier:car:driver> => b:Y" with
+  | [ r ] -> (
+      match r.Rule.body with
+      | Rule.Implication (Rule.Patt p, Rule.Term _) ->
+          check_bool "pattern ontology" true (Pattern.ontology_hint p = Some "carrier")
+      | _ -> Alcotest.fail "expected pattern operand")
+  | _ -> Alcotest.fail "expected 1 rule"
+
+let test_comments_and_blanks () =
+  match Rule_parser.parse "# comment\n\na:X => b:Y // trailing\n\n" with
+  | Ok rules -> check_int "one rule" 1 (List.length rules)
+  | Error _ -> Alcotest.fail "expected success"
+
+let test_semicolon_separated () =
+  match Rule_parser.parse "a:X => b:Y; a:Z => b:W" with
+  | Ok rules -> check_int "two rules" 2 (List.length rules)
+  | Error _ -> Alcotest.fail "expected success"
+
+let test_error_reporting () =
+  match Rule_parser.parse "a:X => b:Y\nbroken =>\nc:X => d:Y" with
+  | Ok _ -> Alcotest.fail "expected errors"
+  | Error [ e ] -> check_int "line 2" 2 e.Rule_parser.line
+  | Error es -> Alcotest.failf "expected 1 error, got %d" (List.length es)
+
+let test_no_implication_is_error () =
+  check_bool "bare term" true (Result.is_error (Rule_parser.parse_rule "a:X"));
+  check_bool "trailing garbage" true
+    (Result.is_error (Rule_parser.parse_rule "a:X => b:Y extra"))
+
+let test_print_parse_roundtrip () =
+  let original =
+    Rule_parser.parse_exn ~default_ontology:"transport" Paper_example.rules_text
+  in
+  let reparsed =
+    Rule_parser.parse_exn ~default_ontology:"transport" (Rule_parser.print original)
+  in
+  check_int "same count" (List.length original) (List.length reparsed);
+  List.iter2
+    (fun (a : Rule.t) (b : Rule.t) ->
+      check_bool ("body preserved: " ^ Rule.to_string a) true
+        (Rule.equal_body a.Rule.body b.Rule.body);
+      check_bool "alias preserved" true (a.Rule.alias = b.Rule.alias))
+    original reparsed
+
+let suite =
+  [
+    ( "rule-parser",
+      [
+        Alcotest.test_case "simple" `Quick test_simple_implication;
+        Alcotest.test_case "outer parens" `Quick test_outer_parens;
+        Alcotest.test_case "named" `Quick test_named_rule;
+        Alcotest.test_case "cascade" `Quick test_cascade_desugars;
+        Alcotest.test_case "conjunction+alias" `Quick test_conjunction_with_alias;
+        Alcotest.test_case "caret" `Quick test_caret_as_and;
+        Alcotest.test_case "disjunction" `Quick test_disjunction;
+        Alcotest.test_case "functional" `Quick test_functional_rule;
+        Alcotest.test_case "disjoint" `Quick test_disjoint_rule;
+        Alcotest.test_case "default ontology" `Quick test_default_ontology;
+        Alcotest.test_case "pattern atom" `Quick test_pattern_atom;
+        Alcotest.test_case "comments" `Quick test_comments_and_blanks;
+        Alcotest.test_case "semicolons" `Quick test_semicolon_separated;
+        Alcotest.test_case "error lines" `Quick test_error_reporting;
+        Alcotest.test_case "malformed" `Quick test_no_implication_is_error;
+        Alcotest.test_case "print roundtrip" `Quick test_print_parse_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,57 @@
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let test_plurals () =
+  check_str "cars" "car" (Stem.stem "cars");
+  check_str "trucks" "truck" (Stem.stem "trucks");
+  check_str "carriers" "carrier" (Stem.stem "carriers");
+  check_str "boxes" "box" (Stem.stem "boxes");
+  check_str "churches" "church" (Stem.stem "churches");
+  check_str "wishes" "wish" (Stem.stem "wishes");
+  check_str "companies" "company" (Stem.stem "companies")
+
+let test_keeps_ss () =
+  check_str "class stays" "class" (Stem.stem "class");
+  check_str "address stays" "address" (Stem.stem "address")
+
+let test_ing_ed () =
+  check_str "shipping" "ship" (Stem.stem "shipping");
+  check_str "shipped" "ship" (Stem.stem "shipped");
+  check_str "loading" "load" (Stem.stem "loading")
+
+let test_short_words_safe () =
+  check_str "bus unchanged" "bus" (Stem.stem "bus");
+  check_str "is unchanged" "is" (Stem.stem "is");
+  check_str "gas unchanged" "gas" (Stem.stem "gas")
+
+let test_case_insensitive () =
+  check_str "uppercase input" "car" (Stem.stem "CARS")
+
+let test_vowel_guard () =
+  (* Stripping must not produce vowel-less stems. *)
+  check_str "sds stays" "sds" (Stem.stem "sds")
+
+let test_stem_label () =
+  check_str "compound" "cargocarrier" (Stem.stem_label "CargoCarriers");
+  check_str "snake" "cargocarrier" (Stem.stem_label "cargo_carriers")
+
+let test_equal_modulo_stem () =
+  check_bool "Cars ~ Car" true (Stem.equal_modulo_stem "Cars" "Car");
+  check_bool "CargoCarriers ~ cargo_carrier" true
+    (Stem.equal_modulo_stem "CargoCarriers" "cargo_carrier");
+  check_bool "Car !~ Truck" false (Stem.equal_modulo_stem "Car" "Truck")
+
+let suite =
+  [
+    ( "stem",
+      [
+        Alcotest.test_case "plurals" `Quick test_plurals;
+        Alcotest.test_case "keeps -ss" `Quick test_keeps_ss;
+        Alcotest.test_case "-ing/-ed" `Quick test_ing_ed;
+        Alcotest.test_case "short words" `Quick test_short_words_safe;
+        Alcotest.test_case "case" `Quick test_case_insensitive;
+        Alcotest.test_case "vowel guard" `Quick test_vowel_guard;
+        Alcotest.test_case "stem_label" `Quick test_stem_label;
+        Alcotest.test_case "equal modulo stem" `Quick test_equal_modulo_stem;
+      ] );
+  ]

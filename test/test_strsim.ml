@@ -1,0 +1,94 @@
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float msg = Alcotest.(check (float 1e-9)) msg
+
+let test_levenshtein () =
+  check_int "identical" 0 (Strsim.levenshtein "car" "car");
+  check_int "kitten/sitting" 3 (Strsim.levenshtein "kitten" "sitting");
+  check_int "empty left" 3 (Strsim.levenshtein "" "abc");
+  check_int "empty right" 3 (Strsim.levenshtein "abc" "");
+  check_int "substitution" 1 (Strsim.levenshtein "cars" "card")
+
+let test_levenshtein_similarity () =
+  check_float "identical" 1.0 (Strsim.levenshtein_similarity "car" "car");
+  check_float "empty pair" 1.0 (Strsim.levenshtein_similarity "" "");
+  check_float "disjoint" 0.0 (Strsim.levenshtein_similarity "abc" "xyz")
+
+let test_jaro () =
+  check_float "identical" 1.0 (Strsim.jaro "martha" "martha");
+  check_bool "classic pair high" true (Strsim.jaro "martha" "marhta" > 0.94);
+  check_float "no common" 0.0 (Strsim.jaro "abc" "xyz");
+  check_float "one empty" 0.0 (Strsim.jaro "" "abc")
+
+let test_jaro_winkler_prefix_bonus () =
+  let j = Strsim.jaro "prefixes" "prefixed" in
+  let jw = Strsim.jaro_winkler "prefixes" "prefixed" in
+  check_bool "winkler boosts shared prefix" true (jw > j);
+  check_float "identical still 1" 1.0 (Strsim.jaro_winkler "x" "x")
+
+let test_bigram_dice () =
+  check_float "identical" 1.0 (Strsim.bigram_dice "night" "night");
+  check_bool "overlapping" true (Strsim.bigram_dice "night" "nacht" > 0.2);
+  check_float "short strings equal" 1.0 (Strsim.bigram_dice "a" "a");
+  check_float "short strings differ" 0.0 (Strsim.bigram_dice "a" "b")
+
+let test_common_prefix () =
+  check_int "prefix" 3 (Strsim.common_prefix_length "carpet" "cargo");
+  check_int "none" 0 (Strsim.common_prefix_length "x" "y")
+
+let test_normalize_label () =
+  Alcotest.(check string) "strip & lowercase" "passengercar"
+    (Strsim.normalize_label "Passenger_Car");
+  Alcotest.(check string) "spaces" "newyork" (Strsim.normalize_label "New York")
+
+let test_split_words () =
+  Alcotest.(check (list string)) "camel" [ "cargo"; "carrier"; "vehicle" ]
+    (Strsim.split_words "CargoCarrierVehicle");
+  Alcotest.(check (list string)) "snake" [ "cargo"; "carrier" ]
+    (Strsim.split_words "cargo_carrier");
+  Alcotest.(check (list string)) "acronym boundary" [ "xml"; "parser" ]
+    (Strsim.split_words "XMLParser");
+  Alcotest.(check (list string)) "digits stay" [ "car2" ]
+    (Strsim.split_words "Car2")
+
+let test_combined () =
+  check_float "normalized equality" 1.0 (Strsim.combined "Passenger_Car" "PassengerCar");
+  check_bool "word overlap counts" true (Strsim.combined "CarPrice" "PriceOfCar" > 0.5);
+  check_bool "unrelated low" true (Strsim.combined "Invoice" "Wheel" < 0.6)
+
+let prop_levenshtein_symmetric =
+  QCheck.Test.make ~count:200 ~name:"levenshtein symmetric"
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 12)) (string_of_size (QCheck.Gen.int_range 0 12)))
+    (fun (a, b) -> Strsim.levenshtein a b = Strsim.levenshtein b a)
+
+let prop_levenshtein_triangle =
+  QCheck.Test.make ~count:200 ~name:"levenshtein triangle inequality"
+    QCheck.(triple (string_of_size (QCheck.Gen.int_range 0 8)) (string_of_size (QCheck.Gen.int_range 0 8)) (string_of_size (QCheck.Gen.int_range 0 8)))
+    (fun (a, b, c) ->
+      Strsim.levenshtein a c <= Strsim.levenshtein a b + Strsim.levenshtein b c)
+
+let prop_jaro_range =
+  QCheck.Test.make ~count:200 ~name:"jaro in [0,1]"
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 12)) (string_of_size (QCheck.Gen.int_range 0 12)))
+    (fun (a, b) ->
+      let j = Strsim.jaro a b in
+      j >= 0.0 && j <= 1.0)
+
+let suite =
+  [
+    ( "strsim",
+      [
+        Alcotest.test_case "levenshtein" `Quick test_levenshtein;
+        Alcotest.test_case "lev similarity" `Quick test_levenshtein_similarity;
+        Alcotest.test_case "jaro" `Quick test_jaro;
+        Alcotest.test_case "jaro-winkler" `Quick test_jaro_winkler_prefix_bonus;
+        Alcotest.test_case "bigram dice" `Quick test_bigram_dice;
+        Alcotest.test_case "common prefix" `Quick test_common_prefix;
+        Alcotest.test_case "normalize" `Quick test_normalize_label;
+        Alcotest.test_case "split words" `Quick test_split_words;
+        Alcotest.test_case "combined" `Quick test_combined;
+        QCheck_alcotest.to_alcotest prop_levenshtein_symmetric;
+        QCheck_alcotest.to_alcotest prop_levenshtein_triangle;
+        QCheck_alcotest.to_alcotest prop_jaro_range;
+      ] );
+  ]

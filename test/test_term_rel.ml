@@ -1,0 +1,99 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_term_make_and_qualified () =
+  let t = Term.make ~ontology:"carrier" "Car" in
+  check_str "qualified" "carrier:Car" (Term.qualified t);
+  Alcotest.check_raises "empty ontology"
+    (Invalid_argument "Term.make: empty ontology name") (fun () ->
+      ignore (Term.make ~ontology:"" "Car"));
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Term.make: empty term name") (fun () ->
+      ignore (Term.make ~ontology:"carrier" ""))
+
+let test_term_of_qualified () =
+  (match Term.of_qualified "carrier:Car" with
+  | Some t -> Alcotest.check term "parsed" (Term.make ~ontology:"carrier" "Car") t
+  | None -> Alcotest.fail "expected Some");
+  check_bool "no colon" true (Term.of_qualified "Car" = None);
+  check_bool "empty side" true (Term.of_qualified ":Car" = None);
+  check_bool "empty name side" true (Term.of_qualified "carrier:" = None);
+  (* First colon splits; the name may contain colons. *)
+  match Term.of_qualified "o:a:b" with
+  | Some t -> check_str "name keeps colon" "a:b" t.Term.name
+  | None -> Alcotest.fail "expected Some"
+
+let test_term_of_string_default () =
+  let t = Term.of_string ~default_ontology:"art" "Owner" in
+  check_str "defaulted" "art:Owner" (Term.qualified t);
+  let t2 = Term.of_string ~default_ontology:"art" "carrier:Car" in
+  check_str "explicit kept" "carrier:Car" (Term.qualified t2)
+
+let test_term_ordering () =
+  let a = Term.make ~ontology:"a" "x" and b = Term.make ~ontology:"b" "a" in
+  check_bool "ontology major" true (Term.compare a b < 0);
+  check_bool "equal" true (Term.equal a (Term.make ~ontology:"a" "x"))
+
+let test_rel_short_roundtrip () =
+  List.iter
+    (fun rel ->
+      check_str "of_short . short = id" rel (Rel.of_short (Rel.short rel)))
+    [ Rel.subclass_of; Rel.attribute_of; Rel.instance_of;
+      Rel.semantic_implication; Rel.si_bridge ];
+  check_str "custom verbs unchanged" "drives" (Rel.short "drives");
+  check_str "S expands" "SubclassOf" (Rel.of_short "S")
+
+let test_conversion_labels () =
+  check_bool "label form" true (Rel.is_conversion_label "DGToEuroFn()");
+  check_bool "plain not" false (Rel.is_conversion_label "SubclassOf");
+  check_bool "bare parens not" false (Rel.is_conversion_label "()");
+  check_str "make label" "F()" (Rel.conversion_label "F");
+  check_bool "extract" true (Rel.conversion_name "F()" = Some "F");
+  check_bool "extract none" true (Rel.conversion_name "F" = None)
+
+let test_registry_declare () =
+  let r = Rel.declare Rel.empty_registry "follows" [ Rel.Transitive ] in
+  check_bool "declared" true (Rel.is_transitive r "follows");
+  check_bool "undeclared" false (Rel.is_transitive r "other");
+  (* Cumulative, duplicate-free. *)
+  let r = Rel.declare r "follows" [ Rel.Transitive; Rel.Symmetric ] in
+  Alcotest.(check int) "two props" 2 (List.length (Rel.properties r "follows"))
+
+let test_standard_registry () =
+  let r = Rel.standard_registry in
+  check_bool "SubclassOf transitive" true (Rel.is_transitive r Rel.subclass_of);
+  check_bool "SI transitive" true (Rel.is_transitive r Rel.semantic_implication);
+  check_bool "AttributeOf plain" false (Rel.is_transitive r Rel.attribute_of);
+  check_bool "SIBridge has no closure" false (Rel.is_transitive r Rel.si_bridge)
+
+let test_registry_merge () =
+  let r1 = Rel.declare Rel.empty_registry "a" [ Rel.Transitive ] in
+  let r2 = Rel.declare Rel.empty_registry "b" [ Rel.Symmetric ] in
+  let m = Rel.merge r1 r2 in
+  check_bool "both present" true
+    (Rel.is_transitive m "a" && Rel.has_property m "b" Rel.Symmetric)
+
+let test_property_equal () =
+  check_bool "inverse equality" true
+    (Rel.equal_property (Rel.Inverse_of "x") (Rel.Inverse_of "x"));
+  check_bool "inverse vs implies" false
+    (Rel.equal_property (Rel.Inverse_of "x") (Rel.Implies "x"))
+
+let suite =
+  [
+    ( "term-rel",
+      [
+        Alcotest.test_case "term make" `Quick test_term_make_and_qualified;
+        Alcotest.test_case "of_qualified" `Quick test_term_of_qualified;
+        Alcotest.test_case "of_string" `Quick test_term_of_string_default;
+        Alcotest.test_case "ordering" `Quick test_term_ordering;
+        Alcotest.test_case "short labels" `Quick test_rel_short_roundtrip;
+        Alcotest.test_case "conversion labels" `Quick test_conversion_labels;
+        Alcotest.test_case "registry declare" `Quick test_registry_declare;
+        Alcotest.test_case "standard registry" `Quick test_standard_registry;
+        Alcotest.test_case "registry merge" `Quick test_registry_merge;
+        Alcotest.test_case "property equality" `Quick test_property_equal;
+      ] );
+  ]

@@ -1,0 +1,129 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_na () =
+  let g =
+    Transform.apply Digraph.empty
+      (Transform.Add_node ("a", [ e "a" "S" "b"; e "c" "A" "a" ]))
+  in
+  check_bool "node" true (Digraph.mem_node g "a");
+  check_bool "out edge" true (Digraph.mem_edge g "a" "S" "b");
+  check_bool "in edge" true (Digraph.mem_edge g "c" "A" "a")
+
+let test_na_rejects_foreign_edge () =
+  Alcotest.check_raises "non-incident edge"
+    (Invalid_argument
+       "Transform.apply: NA edge x -S-> y not incident with new node a")
+    (fun () ->
+      ignore (Transform.apply Digraph.empty (Transform.Add_node ("a", [ e "x" "S" "y" ]))))
+
+let test_nd () =
+  let g = diamond () in
+  let g = Transform.apply g (Transform.Delete_node "b") in
+  check_bool "gone" false (Digraph.mem_node g "b");
+  check_bool "incident gone" false (Digraph.mem_edge g "a" "S" "b")
+
+let test_ea_ed () =
+  let g = Transform.apply Digraph.empty (Transform.Add_edges [ e "a" "S" "b"; e "b" "S" "c" ]) in
+  check_int "added" 2 (Digraph.nb_edges g);
+  let g = Transform.apply g (Transform.Delete_edges [ e "a" "S" "b" ]) in
+  check_int "deleted" 1 (Digraph.nb_edges g)
+
+let test_apply_all_order () =
+  let ops =
+    [
+      Transform.Add_edges [ e "a" "S" "b" ];
+      Transform.Delete_node "a";
+      Transform.Add_edges [ e "b" "S" "c" ];
+    ]
+  in
+  let g = Transform.apply_all Digraph.empty ops in
+  check_bool "a deleted after insertion" false (Digraph.mem_node g "a");
+  check_bool "later op applied" true (Digraph.mem_edge g "b" "S" "c")
+
+let test_invert_na () =
+  let g = diamond () in
+  let op = Transform.Add_node ("z", [ e "z" "S" "a" ]) in
+  let g' = Transform.apply g op in
+  let undone = Transform.apply g' (Transform.invert g op) in
+  Alcotest.check digraph "NA inverted" g undone
+
+let test_invert_nd_restores_edges () =
+  let g = diamond () in
+  let op = Transform.Delete_node "a" in
+  let g' = Transform.apply g op in
+  let undone = Transform.apply g' (Transform.invert g op) in
+  Alcotest.check digraph "ND inverted restores incident edges" g undone
+
+let test_invert_ea_only_fresh () =
+  (* Undoing an EA that re-added an existing edge must not delete it.  The
+     edge set is restored exactly; endpoint nodes EA implicitly created
+     persist (ED cannot delete nodes). *)
+  let g = Digraph.of_edges [ e "a" "S" "b" ] in
+  let op = Transform.Add_edges [ e "a" "S" "b"; e "b" "S" "c" ] in
+  let g' = Transform.apply g op in
+  let undone = Transform.apply g' (Transform.invert g op) in
+  Alcotest.(check (list string)) "edge set restored"
+    (List.map Digraph.edge_to_string (Digraph.edges g))
+    (List.map Digraph.edge_to_string (Digraph.edges undone));
+  check_bool "implicit endpoint persists" true (Digraph.mem_node undone "c")
+
+let test_invert_ed_only_present () =
+  let g = Digraph.of_edges [ e "a" "S" "b" ] in
+  let op = Transform.Delete_edges [ e "a" "S" "b"; e "x" "S" "y" ] in
+  let g' = Transform.apply g op in
+  let undone = Transform.apply g' (Transform.invert g op) in
+  Alcotest.check digraph "only actually-deleted edges return" g undone
+
+let test_log_roundtrip () =
+  let ops =
+    [
+      Transform.Add_node ("a", []);
+      Transform.Add_edges [ e "a" "S" "b" ];
+      Transform.Add_edges [ e "b" "S" "c" ];
+      Transform.Delete_edges [ e "a" "S" "b" ];
+    ]
+  in
+  let g, log =
+    List.fold_left
+      (fun (g, log) op -> Transform.log_apply g log op)
+      (Digraph.empty, Transform.log_empty)
+      ops
+  in
+  Alcotest.(check int) "log length" 4 (List.length (Transform.log_ops log));
+  Alcotest.check digraph "replay reproduces" g
+    (Transform.replay Digraph.empty log)
+
+let test_log_undo () =
+  let g0 = diamond () in
+  let g1, log = Transform.log_apply g0 Transform.log_empty (Transform.Delete_node "a") in
+  (match Transform.log_undo g1 log with
+  | Some (g2, log') ->
+      Alcotest.check digraph "undo restores" g0 g2;
+      check_bool "log emptied" true (Transform.log_ops log' = [])
+  | None -> Alcotest.fail "expected undo");
+  check_bool "empty log undo" true (Transform.log_undo g0 Transform.log_empty = None)
+
+let test_to_string () =
+  Alcotest.(check string) "render" "ND[x]" (Transform.to_string (Transform.Delete_node "x"))
+
+let suite =
+  [
+    ( "transform",
+      [
+        Alcotest.test_case "NA" `Quick test_na;
+        Alcotest.test_case "NA incident check" `Quick test_na_rejects_foreign_edge;
+        Alcotest.test_case "ND" `Quick test_nd;
+        Alcotest.test_case "EA/ED" `Quick test_ea_ed;
+        Alcotest.test_case "apply_all order" `Quick test_apply_all_order;
+        Alcotest.test_case "invert NA" `Quick test_invert_na;
+        Alcotest.test_case "invert ND" `Quick test_invert_nd_restores_edges;
+        Alcotest.test_case "invert EA freshness" `Quick test_invert_ea_only_fresh;
+        Alcotest.test_case "invert ED presence" `Quick test_invert_ed_only_present;
+        Alcotest.test_case "log replay" `Quick test_log_roundtrip;
+        Alcotest.test_case "log undo" `Quick test_log_undo;
+        Alcotest.test_case "to_string" `Quick test_to_string;
+      ] );
+  ]

@@ -1,0 +1,174 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_strings = Alcotest.(check (list string))
+
+(* a -> b -> c -> d, plus a side edge b -A-> x and a cycle e <-> f *)
+let chain_graph () =
+  Digraph.of_edges
+    [ e "a" "S" "b"; e "b" "S" "c"; e "c" "S" "d"; e "b" "A" "x";
+      e "e" "S" "f"; e "f" "S" "e" ]
+
+let test_bfs () =
+  check_strings "bfs order" [ "a"; "b"; "c"; "x"; "d" ]
+    (Traversal.bfs (chain_graph ()) "a");
+  check_strings "bfs filtered" [ "a"; "b"; "c"; "d" ]
+    (Traversal.bfs ~follow:(Traversal.only [ "S" ]) (chain_graph ()) "a");
+  check_strings "bfs missing source" [] (Traversal.bfs (chain_graph ()) "zz")
+
+let test_dfs () =
+  check_strings "preorder" [ "a"; "b"; "c"; "d"; "x" ]
+    (Traversal.dfs_preorder (chain_graph ()) "a");
+  check_strings "postorder" [ "d"; "c"; "x"; "b"; "a" ]
+    (Traversal.dfs_postorder (chain_graph ()) "a")
+
+let test_reachable () =
+  check_strings "reachable excludes source" [ "b"; "c"; "d"; "x" ]
+    (Traversal.reachable (chain_graph ()) "a");
+  check_strings "cycle includes source" [ "e"; "f" ]
+    (Traversal.reachable (chain_graph ()) "e");
+  check_strings "multi-source" [ "b"; "c"; "d"; "e"; "f"; "x" ]
+    (Traversal.reachable_set (chain_graph ()) [ "a"; "e" ])
+
+let test_co_reachable () =
+  check_strings "ancestors of d" [ "a"; "b"; "c" ]
+    (Traversal.co_reachable (chain_graph ()) "d");
+  check_strings "label filtered" [ "a"; "b" ]
+    (Traversal.co_reachable ~follow:(Traversal.only [ "S" ]) (chain_graph ()) "c")
+
+let test_path_exists () =
+  let g = chain_graph () in
+  check_bool "a to d" true (Traversal.path_exists g "a" "d");
+  check_bool "d to a" false (Traversal.path_exists g "d" "a");
+  check_bool "self needs cycle" false (Traversal.path_exists g "a" "a");
+  check_bool "cycle self" true (Traversal.path_exists g "e" "e")
+
+let test_shortest_path () =
+  let g =
+    Digraph.of_edges
+      [ e "a" "S" "b"; e "b" "S" "d"; e "a" "A" "c"; e "c" "A" "d"; e "a" "x" "d" ]
+  in
+  (match Traversal.shortest_path g "a" "d" with
+  | Some [ one ] -> Alcotest.check edge "direct hop" (e "a" "x" "d") one
+  | Some p -> Alcotest.failf "expected 1 hop, got %d" (List.length p)
+  | None -> Alcotest.fail "expected a path");
+  (match Traversal.shortest_path ~follow:(Traversal.only [ "S" ]) g "a" "d" with
+  | Some p -> Alcotest.(check int) "S path length" 2 (List.length p)
+  | None -> Alcotest.fail "expected S path");
+  check_bool "unreachable" true (Traversal.shortest_path g "d" "a" = None);
+  check_bool "trivial" true (Traversal.shortest_path g "a" "a" = Some [])
+
+let test_transitive_closure () =
+  let g = Digraph.of_edges [ e "a" "S" "b"; e "b" "S" "c" ] in
+  let c = Traversal.transitive_closure ~follow:(Traversal.only [ "S" ]) ~close_label:"S" g in
+  check_bool "closed" true (Digraph.mem_edge c "a" "S" "c");
+  Alcotest.(check int) "exactly one new edge" 3 (Digraph.nb_edges c);
+  (* No self edges from cycles in different label spaces. *)
+  let g2 = Digraph.of_edges [ e "a" "S" "b"; e "b" "S" "a" ] in
+  let c2 = Traversal.transitive_closure ~follow:(Traversal.only [ "S" ]) ~close_label:"S" g2 in
+  check_bool "no self loop added" false (Digraph.mem_edge c2 "a" "S" "a")
+
+let test_transitive_reduction_edges () =
+  let g = Digraph.of_edges [ e "a" "S" "b"; e "b" "S" "c"; e "a" "S" "c" ] in
+  (match Traversal.transitive_reduction_edges ~label:"S" g with
+  | [ redundant ] -> Alcotest.check edge "shortcut found" (e "a" "S" "c") redundant
+  | other -> Alcotest.failf "expected 1 redundant edge, got %d" (List.length other))
+
+let test_topological_sort () =
+  let g = Digraph.of_edges [ e "a" "S" "b"; e "b" "S" "c"; e "a" "S" "c" ] in
+  (match Traversal.topological_sort g with
+  | Some [ "a"; "b"; "c" ] -> ()
+  | Some order -> Alcotest.failf "bad order: %s" (String.concat "," order)
+  | None -> Alcotest.fail "expected a sort");
+  let cyclic = Digraph.of_edges [ e "a" "S" "b"; e "b" "S" "a" ] in
+  check_bool "cycle rejected" true (Traversal.topological_sort cyclic = None);
+  (* A cycle in an ignored label space is fine. *)
+  check_bool "filtered sort" true
+    (Traversal.topological_sort ~follow:(Traversal.only [ "A" ]) cyclic <> None)
+
+let test_scc () =
+  let g = chain_graph () in
+  let sccs = Traversal.strongly_connected_components g in
+  check_bool "e-f component" true (List.mem [ "e"; "f" ] sccs);
+  Alcotest.(check int) "component count" 6 (List.length sccs)
+
+let test_has_cycle () =
+  check_bool "chain has cycle (e,f)" true (Traversal.has_cycle (chain_graph ()));
+  let acyclic = Digraph.of_edges [ e "a" "S" "b" ] in
+  check_bool "acyclic" false (Traversal.has_cycle acyclic);
+  let selfloop = Digraph.of_edges [ e "a" "S" "a" ] in
+  check_bool "self loop" true (Traversal.has_cycle selfloop);
+  check_bool "self loop filtered out" false
+    (Traversal.has_cycle ~follow:(Traversal.only [ "A" ]) selfloop)
+
+let test_weakly_connected () =
+  let comps = Traversal.weakly_connected_components (chain_graph ()) in
+  Alcotest.(check int) "two components" 2 (List.length comps);
+  check_bool "abcdx together" true
+    (List.mem [ "a"; "b"; "c"; "d"; "x" ] comps);
+  check_bool "ef together" true (List.mem [ "e"; "f" ] comps)
+
+let prop_reachable_closed =
+  QCheck.Test.make ~count:100 ~name:"reachability is transitively closed"
+    arbitrary_graph
+    (fun g ->
+      match Digraph.nodes g with
+      | [] -> true
+      | n :: _ ->
+          let r = Traversal.reachable g n in
+          List.for_all
+            (fun m ->
+              List.for_all
+                (fun m' -> List.mem m' r)
+                (Traversal.reachable g m))
+            r)
+
+let prop_scc_partition =
+  QCheck.Test.make ~count:100 ~name:"SCCs partition the node set"
+    arbitrary_graph
+    (fun g ->
+      let sccs = Traversal.strongly_connected_components g in
+      let flat = List.concat sccs in
+      List.sort String.compare flat = Digraph.nodes g
+      && List.length flat = List.length (List.sort_uniq String.compare flat))
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~count:100 ~name:"topological order respects edges"
+    arbitrary_graph
+    (fun g ->
+      match Traversal.topological_sort g with
+      | None -> Traversal.has_cycle g
+      | Some order ->
+          let index n =
+            let rec find i = function
+              | [] -> -1
+              | x :: rest -> if String.equal x n then i else find (i + 1) rest
+            in
+            find 0 order
+          in
+          Digraph.fold_edges
+            (fun (ed : Digraph.edge) ok ->
+              ok && (String.equal ed.src ed.dst || index ed.src < index ed.dst))
+            g true)
+
+let suite =
+  [
+    ( "traversal",
+      [
+        Alcotest.test_case "bfs" `Quick test_bfs;
+        Alcotest.test_case "dfs" `Quick test_dfs;
+        Alcotest.test_case "reachable" `Quick test_reachable;
+        Alcotest.test_case "co-reachable" `Quick test_co_reachable;
+        Alcotest.test_case "path exists" `Quick test_path_exists;
+        Alcotest.test_case "shortest path" `Quick test_shortest_path;
+        Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+        Alcotest.test_case "transitive reduction" `Quick test_transitive_reduction_edges;
+        Alcotest.test_case "topological sort" `Quick test_topological_sort;
+        Alcotest.test_case "scc" `Quick test_scc;
+        Alcotest.test_case "has cycle" `Quick test_has_cycle;
+        Alcotest.test_case "weak components" `Quick test_weakly_connected;
+        QCheck_alcotest.to_alcotest prop_reachable_closed;
+        QCheck_alcotest.to_alcotest prop_scc_partition;
+        QCheck_alcotest.to_alcotest prop_topo_respects_edges;
+      ] );
+  ]

@@ -1,0 +1,195 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------- prng ---------------- *)
+
+let test_prng_deterministic () =
+  let seq seed = List.init 20 (fun _ -> Prng.int (Prng.create seed) 1000) in
+  ignore (seq 1);
+  let a = Prng.create 7 and b = Prng.create 7 in
+  check_bool "same stream" true
+    (List.init 50 (fun _ -> Prng.int a 100) = List.init 50 (fun _ -> Prng.int b 100))
+
+let test_prng_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    check_bool "in range" true (v >= 0 && v < 7)
+  done;
+  for _ = 1 to 1000 do
+    let f = Prng.float rng in
+    check_bool "unit range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_helpers () =
+  let rng = Prng.create 11 in
+  check_bool "pick member" true (List.mem (Prng.pick rng [ 1; 2; 3 ]) [ 1; 2; 3 ]);
+  let shuffled = Prng.shuffle rng [ 1; 2; 3; 4; 5 ] in
+  check_bool "permutation" true (List.sort compare shuffled = [ 1; 2; 3; 4; 5 ]);
+  check_bool "split independent" true
+    (let a = Prng.split rng in
+     Prng.int a 1000 >= 0)
+
+(* ---------------- gen ---------------- *)
+
+let test_concept_pool () =
+  let pool = Gen.concept_pool 500 in
+  check_int "size" 500 (List.length pool);
+  check_int "distinct" 500 (List.length (List.sort_uniq String.compare pool))
+
+let test_ontology_shape () =
+  let o =
+    Gen.ontology ~profile:{ Gen.default_profile with Gen.n_terms = 80 } ~seed:5
+      ~name:"synth" ()
+  in
+  check_bool "term count >= concepts" true (Ontology.nb_terms o >= 80);
+  check_bool "consistent" true (Consistency.is_consistent o);
+  check_bool "has subclass structure" true
+    (List.exists
+       (fun (e : Digraph.edge) -> e.label = Rel.subclass_of)
+       (Ontology.relationships o))
+
+let test_ontology_deterministic () =
+  let o1 = Gen.ontology ~seed:9 ~name:"x" () in
+  let o2 = Gen.ontology ~seed:9 ~name:"x" () in
+  check_bool "same" true (Ontology.equal o1 o2);
+  let o3 = Gen.ontology ~seed:10 ~name:"x" () in
+  check_bool "seed matters" false (Ontology.equal o1 o3)
+
+let test_overlapping_pair () =
+  let p =
+    Gen.overlapping_pair
+      ~profile:{ Gen.default_profile with Gen.n_terms = 60 }
+      ~overlap:0.3 ~seed:21 ~left_name:"a" ~right_name:"b" ()
+  in
+  check_int "shared" 18 p.Gen.shared_concepts;
+  check_int "ground truth size" 18 (List.length p.Gen.ground_truth);
+  (* Every ground-truth rule references existing terms. *)
+  List.iter
+    (fun (r : Rule.t) ->
+      match r.Rule.body with
+      | Rule.Implication (Rule.Term l, Rule.Term rr) ->
+          check_bool "left term exists" true (Ontology.has_term p.Gen.left l.Term.name);
+          check_bool "right term exists" true (Ontology.has_term p.Gen.right rr.Term.name)
+      | _ -> Alcotest.fail "expected atomic rule")
+    p.Gen.ground_truth
+
+let test_overlap_zero_and_full () =
+  let z =
+    Gen.overlapping_pair ~profile:{ Gen.default_profile with Gen.n_terms = 20 }
+      ~overlap:0.0 ~seed:1 ~left_name:"a" ~right_name:"b" ()
+  in
+  check_int "no shared" 0 z.Gen.shared_concepts;
+  let f =
+    Gen.overlapping_pair ~profile:{ Gen.default_profile with Gen.n_terms = 20 }
+      ~overlap:1.0 ~seed:1 ~left_name:"a" ~right_name:"b" ()
+  in
+  check_int "all shared" 20 f.Gen.shared_concepts
+
+let test_synonym_renaming_alignable () =
+  let p =
+    Gen.overlapping_pair ~profile:{ Gen.default_profile with Gen.n_terms = 40 }
+      ~synonym_rate:1.0 ~overlap:0.5 ~seed:33 ~left_name:"a" ~right_name:"b" ()
+  in
+  (* With rate 1.0 every shared concept is renamed; some renames are real
+     synonyms the lexicon can recover. *)
+  let renamed =
+    List.filter
+      (fun (r : Rule.t) ->
+        match r.Rule.body with
+        | Rule.Implication (Rule.Term l, Rule.Term rr) ->
+            not (String.equal l.Term.name rr.Term.name)
+        | _ -> false)
+      p.Gen.ground_truth
+  in
+  check_bool "renaming happened" true (renamed <> [])
+
+let test_family () =
+  let family = Gen.family ~n:4 ~seed:3 ~prefix:"src" () in
+  check_int "four sources" 4 (List.length family);
+  let names = List.map Ontology.name family in
+  Alcotest.(check (list string)) "names" [ "src0"; "src1"; "src2"; "src3" ] names
+
+(* ---------------- change ---------------- *)
+
+let test_change_apply () =
+  let o = Paper_example.carrier in
+  let o1 = Change.apply o (Change.Add_term { term = "Bus"; superclass = Some "Carrier" }) in
+  check_bool "added" true (Ontology.is_subclass o1 ~sub:"Bus" ~super:"Carrier");
+  let o2 = Change.apply o (Change.Remove_term "Cars") in
+  check_bool "removed" false (Ontology.has_term o2 "Cars");
+  let o3 = Change.apply o (Change.Rename_term { old_name = "Cars"; new_name = "Autos" }) in
+  check_bool "renamed" true (Ontology.has_term o3 "Autos")
+
+let test_change_script_deterministic () =
+  let s1 = Change.random_script ~seed:5 ~count:20 Paper_example.factory in
+  let s2 = Change.random_script ~seed:5 ~count:20 Paper_example.factory in
+  check_bool "same" true (s1 = s2);
+  check_int "length" 20 (List.length s1);
+  (* Applying never raises. *)
+  ignore (Change.apply_all Paper_example.factory s1)
+
+let test_change_in_region () =
+  let script =
+    Change.script_in_region ~seed:2 ~count:15 ~region:[ "Cars"; "Trucks" ]
+      Paper_example.carrier
+  in
+  List.iter
+    (fun op ->
+      let touched = Change.touched_terms op in
+      check_bool "stays in region (plus fresh names)" true
+        (List.for_all
+           (fun t ->
+             List.mem t [ "Cars"; "Trucks" ]
+             || String.length t > 3 && String.sub t 0 3 = "New"
+             || List.mem t Gen.attr_pool)
+           touched))
+    script
+
+(* ---------------- stats ---------------- *)
+
+let test_stats_basic () =
+  let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 (Stats.stddev xs);
+  Alcotest.(check (float 1e-9)) "median" 4.5 (Stats.median [ 2.0; 4.0; 5.0; 9.0 ]);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.minimum xs);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.maximum xs);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Stats.mean [])
+
+let test_stats_percentile () =
+  let xs = List.init 101 float_of_int in
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (Stats.percentile 0.95 xs);
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile 1.0 xs)
+
+let test_stats_confusion () =
+  let c = { Stats.tp = 8; fp = 2; fn = 2 } in
+  Alcotest.(check (float 1e-9)) "precision" 0.8 (Stats.precision c);
+  Alcotest.(check (float 1e-9)) "recall" 0.8 (Stats.recall c);
+  Alcotest.(check (float 1e-9)) "f1" 0.8 (Stats.f1 c);
+  Alcotest.(check (float 1e-9)) "empty precision" 1.0
+    (Stats.precision { Stats.tp = 0; fp = 0; fn = 5 })
+
+let suite =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+        Alcotest.test_case "prng helpers" `Quick test_prng_helpers;
+        Alcotest.test_case "concept pool" `Quick test_concept_pool;
+        Alcotest.test_case "ontology shape" `Quick test_ontology_shape;
+        Alcotest.test_case "ontology deterministic" `Quick test_ontology_deterministic;
+        Alcotest.test_case "overlapping pair" `Quick test_overlapping_pair;
+        Alcotest.test_case "overlap extremes" `Quick test_overlap_zero_and_full;
+        Alcotest.test_case "synonym renaming" `Quick test_synonym_renaming_alignable;
+        Alcotest.test_case "family" `Quick test_family;
+        Alcotest.test_case "change apply" `Quick test_change_apply;
+        Alcotest.test_case "change deterministic" `Quick test_change_script_deterministic;
+        Alcotest.test_case "change region" `Quick test_change_in_region;
+        Alcotest.test_case "stats basic" `Quick test_stats_basic;
+        Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "stats confusion" `Quick test_stats_confusion;
+      ] );
+  ]

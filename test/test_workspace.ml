@@ -1,0 +1,186 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let t o n = Term.make ~ontology:o n
+
+let with_workspace f =
+  let dir = Filename.temp_file "onion-ws" "" in
+  Sys.remove dir;
+  let ws =
+    match Workspace.init dir with
+    | Ok ws -> ws
+    | Error m -> Alcotest.failf "init failed: %s" m
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      if Sys.file_exists dir then rm dir)
+    (fun () -> f ws)
+
+let write_source ws name content =
+  let path = Filename.temp_file "src" ".xml" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  let r = Workspace.add_source ws ~path in
+  Sys.remove path;
+  match r with
+  | Ok registered -> Alcotest.(check string) "registered name" name registered
+  | Error m -> Alcotest.failf "add_source failed: %s" m
+
+let carrier_xml =
+  {|<ontology name="carrier">
+  <term name="Cars"><subclassOf term="Carrier"/><attribute term="Price"/></term>
+  <instance name="MyCar" of="Cars"/>
+</ontology>|}
+
+let factory_xml =
+  {|<ontology name="factory">
+  <term name="Vehicle"><subclassOf term="Transportation"/><attribute term="Price"/></term>
+</ontology>|}
+
+let test_init_and_reopen () =
+  with_workspace (fun ws ->
+      check_bool "reopen works" true (Result.is_ok (Workspace.open_ (Workspace.root ws)));
+      check_bool "double init refused" true
+        (Result.is_error (Workspace.init (Workspace.root ws)));
+      check_bool "open of non-workspace refused" true
+        (Result.is_error (Workspace.open_ "/tmp")))
+
+let test_add_and_load_sources () =
+  with_workspace (fun ws ->
+      write_source ws "carrier" carrier_xml;
+      write_source ws "factory" factory_xml;
+      Alcotest.(check (list string)) "names" [ "carrier"; "factory" ]
+        (Workspace.source_names ws);
+      (match Workspace.load_source ws "carrier" with
+      | Ok o -> check_bool "terms" true (Ontology.has_term o "Cars")
+      | Error m -> Alcotest.failf "load failed: %s" m);
+      check_bool "missing source" true
+        (Result.is_error (Workspace.load_source ws "nope")))
+
+let test_add_replaces () =
+  with_workspace (fun ws ->
+      write_source ws "carrier" carrier_xml;
+      write_source ws "carrier"
+        {|<ontology name="carrier"><term name="Boats"/></ontology>|};
+      Alcotest.(check (list string)) "still one" [ "carrier" ]
+        (Workspace.source_names ws);
+      match Workspace.load_source ws "carrier" with
+      | Ok o ->
+          check_bool "replaced" true (Ontology.has_term o "Boats");
+          check_bool "old gone" false (Ontology.has_term o "Cars")
+      | Error m -> Alcotest.failf "load failed: %s" m)
+
+let test_add_rejects_garbage () =
+  with_workspace (fun ws ->
+      let path = Filename.temp_file "bad" ".xml" in
+      let oc = open_out path in
+      output_string oc "<broken";
+      close_out oc;
+      let r = Workspace.add_source ws ~path in
+      Sys.remove path;
+      check_bool "rejected" true (Result.is_error r))
+
+let test_articulate_and_reload () =
+  with_workspace (fun ws ->
+      write_source ws "carrier" carrier_xml;
+      write_source ws "factory" factory_xml;
+      let rules = [ Rule.implies (t "carrier" "Cars") (t "factory" "Vehicle") ] in
+      (match
+         Workspace.articulate ws ~left:"carrier" ~right:"factory"
+           ~name:"transport" ~rules
+       with
+      | Ok (art, warnings) ->
+          check_int "bridges" 3 (Articulation.nb_bridges art);
+          check_bool "no warnings" true (warnings = [])
+      | Error m -> Alcotest.failf "articulate failed: %s" m);
+      Alcotest.(check (list string)) "stored" [ "transport" ]
+        (Workspace.articulation_names ws);
+      match Workspace.load_articulation ws "transport" with
+      | Ok art -> check_int "reloaded bridges" 3 (Articulation.nb_bridges art)
+      | Error m -> Alcotest.failf "reload failed: %s" m)
+
+let test_space_and_query () =
+  with_workspace (fun ws ->
+      write_source ws "carrier" carrier_xml;
+      write_source ws "factory" factory_xml;
+      let rules =
+        [
+          Rule.implies (t "carrier" "Cars") (t "factory" "Vehicle");
+          Rule.functional ~fn:"DGToEuroFn" ~src:(t "carrier" "Price")
+            ~dst:(t "transport" "Price") ();
+        ]
+      in
+      (match
+         Workspace.articulate ~conversions:Conversion.builtin ws ~left:"carrier"
+           ~right:"factory" ~name:"transport" ~rules
+       with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "articulate failed: %s" m);
+      match Workspace.space ws with
+      | Ok space ->
+          check_bool "spans both sources" true
+            (Federation.source_names space = [ "carrier"; "factory" ]);
+          check_bool "graph carries bridge" true
+            (Digraph.mem_edge space.Federation.graph "carrier:Cars" Rel.si_bridge
+               "transport:Vehicle")
+      | Error m -> Alcotest.failf "space failed: %s" m)
+
+let test_stale_bridges () =
+  with_workspace (fun ws ->
+      write_source ws "carrier" carrier_xml;
+      write_source ws "factory" factory_xml;
+      let rules = [ Rule.implies (t "carrier" "Cars") (t "factory" "Vehicle") ] in
+      (match
+         Workspace.articulate ws ~left:"carrier" ~right:"factory"
+           ~name:"transport" ~rules
+       with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "articulate failed: %s" m);
+      (match Workspace.stale_bridges ws with
+      | Ok [] -> ()
+      | Ok _ -> Alcotest.fail "expected no staleness yet"
+      | Error m -> Alcotest.failf "stale check failed: %s" m);
+      (* The carrier drops Cars: bridges referencing it become stale. *)
+      write_source ws "carrier"
+        {|<ontology name="carrier"><term name="Boats"/></ontology>|};
+      match Workspace.stale_bridges ws with
+      | Ok stale ->
+          check_bool "stale detected" true (stale <> []);
+          check_bool "names the articulation" true
+            (List.for_all (fun (a, _) -> a = "transport") stale);
+          check_bool "status mentions it" true
+            (Helpers.contains ~affix:"stale bridges" (Workspace.status ws))
+      | Error m -> Alcotest.failf "stale check failed: %s" m)
+
+let test_remove () =
+  with_workspace (fun ws ->
+      write_source ws "carrier" carrier_xml;
+      (match Workspace.remove_source ws "carrier" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "remove failed: %s" m);
+      Alcotest.(check (list string)) "gone" [] (Workspace.source_names ws);
+      check_bool "double remove fails" true
+        (Result.is_error (Workspace.remove_source ws "carrier")))
+
+let suite =
+  [
+    ( "workspace",
+      [
+        Alcotest.test_case "init/reopen" `Quick test_init_and_reopen;
+        Alcotest.test_case "add/load" `Quick test_add_and_load_sources;
+        Alcotest.test_case "replace" `Quick test_add_replaces;
+        Alcotest.test_case "garbage rejected" `Quick test_add_rejects_garbage;
+        Alcotest.test_case "articulate+reload" `Quick test_articulate_and_reload;
+        Alcotest.test_case "space+query" `Quick test_space_and_query;
+        Alcotest.test_case "stale bridges" `Quick test_stale_bridges;
+        Alcotest.test_case "remove" `Quick test_remove;
+      ] );
+  ]

@@ -1,0 +1,135 @@
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let carrier_xml =
+  {|<?xml version="1.0"?>
+<!-- the carrier export -->
+<ontology name="carrier">
+  <relation name="drives" transitive="true"/>
+  <term name="Cars">
+    <subclassOf term="Carrier"/>
+    <attribute term="Price"/>
+    <rel label="drives" term="Road"/>
+  </term>
+  <term name="Trucks">
+    <subclassOf term="Carrier"/>
+  </term>
+  <instance name="MyCar" of="Cars"/>
+  <edge src="Cars" label="SI" dst="Transport"/>
+</ontology>|}
+
+let parse_ok src =
+  match Xml_parse.parse_ontology src with
+  | Ok o -> o
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_parse_ontology () =
+  let o = parse_ok carrier_xml in
+  check_str "name" "carrier" (Ontology.name o);
+  check_bool "subclass" true (Ontology.has_rel o "Cars" Rel.subclass_of "Carrier");
+  check_bool "attribute" true (Ontology.has_rel o "Cars" Rel.attribute_of "Price");
+  check_bool "custom rel" true (Ontology.has_rel o "Cars" "drives" "Road");
+  check_bool "instance" true (Ontology.has_rel o "MyCar" Rel.instance_of "Cars");
+  check_bool "edge with short label" true
+    (Ontology.has_rel o "Cars" Rel.semantic_implication "Transport");
+  check_bool "relation declared" true
+    (Rel.is_transitive (Ontology.relations o) "drives")
+
+let test_entities () =
+  let o = parse_ok {|<ontology name="o"><term name="A&amp;B"/></ontology>|} in
+  check_bool "decoded" true (Ontology.has_term o "A&B")
+
+let test_numeric_entity () =
+  match Xml_parse.parse_document "<x a=\"&#65;\"/>" with
+  | Ok el -> check_bool "char ref" true (Xml_parse.attr el "a" = Some "A")
+  | Error _ -> Alcotest.fail "expected parse"
+
+let test_comments_and_whitespace () =
+  let o =
+    parse_ok
+      "<ontology name=\"o\">\n  <!-- c1 -->\n  <term name=\"T\"/>\n  <!-- c2 -->\n</ontology>"
+  in
+  check_bool "term found" true (Ontology.has_term o "T")
+
+let test_mismatched_tags () =
+  match Xml_parse.parse_document "<a><b></a></b>" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> check_bool "mentions mismatch" true (contains ~affix:"mismatched" e.Xml_parse.message)
+
+let test_unterminated () =
+  check_bool "unterminated element" true
+    (Result.is_error (Xml_parse.parse_document "<a><b/>"));
+  check_bool "unterminated comment" true
+    (Result.is_error (Xml_parse.parse_document "<!-- oops"));
+  check_bool "garbage after root" true
+    (Result.is_error (Xml_parse.parse_document "<a/><b/>"))
+
+let test_error_line_numbers () =
+  match Xml_parse.parse_document "<a>\n<b>\n</c>\n</a>" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> Alcotest.(check int) "line" 3 e.Xml_parse.line
+
+let test_missing_attributes () =
+  check_bool "missing ontology name" true
+    (Result.is_error (Xml_parse.parse_ontology "<ontology><term name=\"x\"/></ontology>"));
+  check_bool "missing term name" true
+    (Result.is_error (Xml_parse.parse_ontology "<ontology name=\"o\"><term/></ontology>"));
+  check_bool "unknown element" true
+    (Result.is_error (Xml_parse.parse_ontology "<ontology name=\"o\"><zap/></ontology>"))
+
+let test_wrong_root () =
+  match Xml_parse.parse_ontology "<schema name=\"o\"/>" with
+  | Error m -> check_bool "message" true (contains ~affix:"expected <ontology>" m)
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_roundtrip () =
+  let o = parse_ok carrier_xml in
+  let o2 = parse_ok (Xml_parse.to_string (Xml_parse.ontology_to_xml o)) in
+  Alcotest.check ontology "xml roundtrip" o o2
+
+let test_roundtrip_paper_example () =
+  let o = Paper_example.factory in
+  let o2 = parse_ok (Xml_parse.to_string (Xml_parse.ontology_to_xml o)) in
+  Alcotest.check ontology "factory roundtrip" o o2
+
+let test_escaping_in_output () =
+  let o = Ontology.add_term (Ontology.create "o") "A&B<C" in
+  let rendered = Xml_parse.to_string (Xml_parse.ontology_to_xml o) in
+  check_bool "escaped" true (contains ~affix:"A&amp;B&lt;C" rendered);
+  let o2 = parse_ok rendered in
+  check_bool "decodes back" true (Ontology.has_term o2 "A&B<C")
+
+let test_children_named () =
+  match Xml_parse.parse_document "<r><a/><b/><a/></r>" with
+  | Ok el -> Alcotest.(check int) "two a" 2 (List.length (Xml_parse.children_named el "a"))
+  | Error _ -> Alcotest.fail "expected parse"
+
+let test_quoted_attr_variants () =
+  match Xml_parse.parse_document "<x a='single' b=\"double\"/>" with
+  | Ok el ->
+      check_bool "single quotes" true (Xml_parse.attr el "a" = Some "single");
+      check_bool "double quotes" true (Xml_parse.attr el "b" = Some "double")
+  | Error _ -> Alcotest.fail "expected parse"
+
+let suite =
+  [
+    ( "xml",
+      [
+        Alcotest.test_case "parse ontology" `Quick test_parse_ontology;
+        Alcotest.test_case "entities" `Quick test_entities;
+        Alcotest.test_case "numeric entity" `Quick test_numeric_entity;
+        Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
+        Alcotest.test_case "mismatched tags" `Quick test_mismatched_tags;
+        Alcotest.test_case "unterminated" `Quick test_unterminated;
+        Alcotest.test_case "error lines" `Quick test_error_line_numbers;
+        Alcotest.test_case "missing attrs" `Quick test_missing_attributes;
+        Alcotest.test_case "wrong root" `Quick test_wrong_root;
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "roundtrip factory" `Quick test_roundtrip_paper_example;
+        Alcotest.test_case "escaping" `Quick test_escaping_in_output;
+        Alcotest.test_case "children_named" `Quick test_children_named;
+        Alcotest.test_case "quote variants" `Quick test_quoted_attr_variants;
+      ] );
+  ]
