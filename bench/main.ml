@@ -32,15 +32,11 @@ let pp_time ppf ns =
   else if ns < 1_000_000_000.0 then Format.fprintf ppf "%8.2f ms" (ns /. 1_000_000.0)
   else Format.fprintf ppf "%8.2f s " (ns /. 1_000_000_000.0)
 
-let print_timings title tests =
+(* (name, ns/run) estimates for a group, sorted by name. *)
+let ols_estimates tests =
   let results = benchmark_group tests in
-  Format.printf "  %-46s %12s@." (title ^ " (time/run)") "";
-  let rows =
-    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  List.iter
-    (fun (name, ols) ->
+  Hashtbl.fold
+    (fun name ols acc ->
       let estimate =
         match Analyze.OLS.estimates ols with
         | Some (e :: _) -> e
@@ -52,8 +48,16 @@ let print_timings title tests =
         | Some i -> String.sub name (i + 1) (String.length name - i - 1)
         | None -> name
       in
+      (name, estimate) :: acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let print_timings title tests =
+  Format.printf "  %-46s %12s@." (title ^ " (time/run)") "";
+  List.iter
+    (fun (name, estimate) ->
       Format.printf "    %-44s %a@." name pp_time estimate)
-    rows
+    (ols_estimates tests)
 
 let section id title =
   Format.printf "@.== %s — %s ==@." id title
@@ -687,17 +691,169 @@ let fed () =
         (Staged.stage translate_all);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* CACHE — revision-stamped result caches: cold vs warm                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.1f" x else "0.0"
+
+(* BENCH_cache.json: one entry per operation with OLS ns/run cold and
+   warm, plus the final per-cache counter snapshots.  Hand-rolled JSON —
+   the shape is flat and the toolchain carries no JSON library. *)
+let emit_cache_json ~path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let result_objs =
+        List.map
+          (fun (op, cold, warm, speedup) ->
+            Printf.sprintf
+              "    { \"op\": \"%s\", \"cold_ns\": %s, \"warm_ns\": %s, \
+               \"speedup\": %s }"
+              (json_escape op) (json_float cold) (json_float warm)
+              (json_float speedup))
+          rows
+      in
+      let cache_objs =
+        List.map
+          (fun (name, (s : Cache_stats.snapshot)) ->
+            Printf.sprintf
+              "    { \"name\": \"%s\", \"hits\": %d, \"misses\": %d, \
+               \"evictions\": %d, \"entries\": %d, \"capacity\": %d }"
+              (json_escape name) s.Cache_stats.hits s.Cache_stats.misses
+              s.Cache_stats.evictions s.Cache_stats.entries
+              s.Cache_stats.capacity)
+          (Cache_stats.all ())
+      in
+      output_string oc "{\n  \"benchmark\": \"cache\",\n  \"results\": [\n";
+      output_string oc (String.concat ",\n" result_objs);
+      output_string oc "\n  ],\n  \"caches\": [\n";
+      output_string oc (String.concat ",\n" cache_objs);
+      output_string oc "\n  ]\n}\n")
+
+let cache () =
+  section "CACHE"
+    "revision-stamped result caches: cold (caches cleared every run) vs \
+     warm (repeat query, unchanged ontologies)";
+  let o = Gen.ontology ~profile:(profile 600) ~seed:17 ~name:"g" () in
+  let g = Ontology.graph o in
+  let p3 = Pattern_parser.parse_exn "?X -[SubclassOf]-> ?Y -[SubclassOf]-> ?Z" in
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let art = r.Generator.articulation in
+  let u = Algebra.union ~left ~right art in
+  let fed = Federation.of_unified u in
+  let q = Query.parse_exn "SELECT Price FROM Vehicle WHERE Price < 20000" in
+  let ops =
+    [
+      ( "matcher.find (3-node chain, n=600)",
+        fun () -> ignore (Matcher.find ~limit:100 p3 g) );
+      ( "filter_extract.filter (n=600)",
+        fun () -> ignore (Filter_extract.filter o p3) );
+      ( "algebra.union (paper pair)",
+        fun () -> ignore (Algebra.union ~left ~right art) );
+      ( "algebra.difference (paper pair)",
+        fun () -> ignore (Algebra.difference ~minuend:left ~subtrahend:right art) );
+      ( "rewrite.plan (paper federation)",
+        fun () ->
+          ignore (Rewrite.plan fed ~conversions:Conversion.builtin q) );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, op) ->
+        (* Cold: every run starts from empty caches, so the clear is part
+           of the measured thunk (it is microseconds against the
+           millisecond-scale recomputation it forces). *)
+        let cold =
+          match
+            ols_estimates
+              [
+                Test.make ~name:"cold"
+                  (Staged.stage (fun () ->
+                       Cache_stats.clear_all ();
+                       op ()));
+              ]
+          with
+          | [ (_, e) ] -> e
+          | _ -> Float.nan
+        in
+        (* Warm: populate once, then every measured run hits. *)
+        Cache_stats.clear_all ();
+        op ();
+        let warm =
+          match ols_estimates [ Test.make ~name:"warm" (Staged.stage op) ] with
+          | [ (_, e) ] -> e
+          | _ -> Float.nan
+        in
+        let speedup = cold /. warm in
+        row "%-38s cold %a  warm %a  speedup %6.0fx" name pp_time cold pp_time
+          warm speedup;
+        (name, cold, warm, speedup))
+      ops
+  in
+  row "cache state after the warm runs:";
+  List.iter
+    (fun (name, s) ->
+      row "  %-24s %a" name Cache_stats.pp_snapshot s)
+    (Cache_stats.all ());
+  emit_cache_json ~path:"BENCH_cache.json" rows;
+  row "wrote BENCH_cache.json";
+  let worst =
+    List.fold_left (fun acc (_, _, _, s) -> Float.min acc s) Float.infinity rows
+  in
+  row "minimum warm speedup across operations: %.0fx %s" worst
+    (if worst >= 5.0 then "(>= 5x: PASS)" else "(< 5x: FAIL)")
+
+let sections_by_id =
+  [
+    ("fig2", fig2);
+    ("alg", alg);
+    ("scale-art", scale_art);
+    ("maint", maint);
+    ("skat", skat);
+    ("qry", qry);
+    ("pat", pat);
+    ("inf", inf);
+    ("abl", abl);
+    ("med", med);
+    ("fed", fed);
+    ("cache", cache);
+  ]
+
 let () =
   Format.printf "ONION benchmark harness — one section per DESIGN.md experiment id@.";
-  fig2 ();
-  alg ();
-  scale_art ();
-  maint ();
-  skat ();
-  qry ();
-  pat ();
-  inf ();
-  abl ();
-  med ();
-  fed ();
+  (* With no arguments every section runs; otherwise each argument names a
+     section id (case-insensitive), e.g. `dune exec bench/main.exe cache`. *)
+  let requested =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> List.map fst sections_by_id
+    | args -> List.map String.lowercase_ascii args
+  in
+  List.iter
+    (fun id ->
+      if not (List.mem_assoc id sections_by_id) then begin
+        Format.eprintf "unknown section %s (known: %s)@." id
+          (String.concat ", " (List.map fst sections_by_id));
+        exit 2
+      end)
+    requested;
+  List.iter
+    (fun (id, f) -> if List.mem id requested then f ())
+    sections_by_id;
   Format.printf "@.done.@."

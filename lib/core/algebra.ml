@@ -21,8 +21,26 @@ let check_names ~left ~right articulation =
          (Articulation.right articulation)
          l r)
 
+(* The binary operators are memoized on the revision stamps of their
+   operands (see Digraph.revision): a repeated union or difference over
+   unchanged ontologies and articulation is a table lookup, any mutation
+   refreshes a stamp and recomputes.  Intersection needs no cache — it is
+   a field access.  Difference with a [~follow] label filter bypasses the
+   cache: closures cannot be compared, so such calls always recompute. *)
+
+let union_cache : (int * int * int, unified) Lru.t =
+  Lru.create ~name:"algebra.union" ~capacity:128 ()
+
+let difference_cache : (bool * int * int * int, Ontology.t) Lru.t =
+  Lru.create ~name:"algebra.difference" ~capacity:128 ()
+
 let union ~left ~right articulation =
   check_names ~left ~right articulation;
+  Lru.find_or_compute union_cache
+    ( Ontology.revision left,
+      Ontology.revision right,
+      Articulation.revision articulation )
+  @@ fun () ->
   let g = Digraph.union (Ontology.qualify left) (Ontology.qualify right) in
   let g = Digraph.union g (Ontology.qualify (Articulation.ontology articulation)) in
   let graph =
@@ -64,7 +82,7 @@ let co_reachable_set ?follow g targets =
   let reach = Traversal.reachable_set ?follow reversed targets in
   List.fold_left (fun s n -> Sset.add n s) Sset.empty (targets @ reach)
 
-let difference ?(prune_orphans = false) ?follow ~minuend ~subtrahend
+let difference_uncached ?(prune_orphans = false) ?follow ~minuend ~subtrahend
     articulation =
   check_names ~left:minuend ~right:subtrahend articulation;
   let u = union ~left:minuend ~right:subtrahend articulation in
@@ -110,6 +128,21 @@ let difference ?(prune_orphans = false) ?follow ~minuend ~subtrahend
     end
   in
   Ontology.restrict minuend survivors
+
+let difference ?(prune_orphans = false) ?follow ~minuend ~subtrahend
+    articulation =
+  match follow with
+  | Some follow ->
+      difference_uncached ~prune_orphans ~follow ~minuend ~subtrahend
+        articulation
+  | None ->
+      Lru.find_or_compute difference_cache
+        ( prune_orphans,
+          Ontology.revision minuend,
+          Ontology.revision subtrahend,
+          Articulation.revision articulation )
+        (fun () ->
+          difference_uncached ~prune_orphans ~minuend ~subtrahend articulation)
 
 let is_independent ~of_ ~term articulation =
   let onto_name = Ontology.name of_ in

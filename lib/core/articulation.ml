@@ -4,6 +4,10 @@ type t = {
   right : string;
   bridges : Bridge.t list; (* sorted, unique *)
   rules : Rule.t list;
+  revision : int;
+      (* Fresh Revision stamp on construction and on every change; equal
+         revisions imply the very same articulation value (same ontology,
+         bridges and rules), so algebra caches key on this alone. *)
 }
 
 let normalize_bridges bridges = List.sort_uniq Bridge.compare bridges
@@ -26,7 +30,14 @@ let create ?(rules = []) ~ontology ~left ~right bridges =
              "Articulation.create: bridge %a touches neither %s, %s nor %s"
              Bridge.pp b art_name left right))
     bridges;
-  { ontology; left; right; bridges = normalize_bridges bridges; rules }
+  {
+    ontology;
+    left;
+    right;
+    bridges = normalize_bridges bridges;
+    rules;
+    revision = Revision.fresh ();
+  }
 
 let ontology a = a.ontology
 let name a = Ontology.name a.ontology
@@ -48,7 +59,8 @@ let bridged_terms a onto =
            [ b.Bridge.src; b.Bridge.dst ])
   |> List.sort_uniq String.compare
 
-let add_bridge a b = { a with bridges = normalize_bridges (b :: a.bridges) }
+let add_bridge a b =
+  { a with bridges = normalize_bridges (b :: a.bridges); revision = Revision.fresh () }
 
 let remove_bridges_touching a term =
   {
@@ -58,10 +70,12 @@ let remove_bridges_touching a term =
         (fun (b : Bridge.t) ->
           not (Term.equal b.Bridge.src term || Term.equal b.Bridge.dst term))
         a.bridges;
+    revision = Revision.fresh ();
   }
 
-let with_ontology a ontology = { a with ontology }
-let with_rules a rules = { a with rules }
+let with_ontology a ontology = { a with ontology; revision = Revision.fresh () }
+let with_rules a rules = { a with rules; revision = Revision.fresh () }
+let revision a = a.revision
 let nb_bridges a = List.length a.bridges
 
 let pp ppf a =

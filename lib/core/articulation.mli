@@ -37,6 +37,13 @@ val bridges : t -> Bridge.t list
 
 val rules : t -> Rule.t list
 
+val revision : t -> int
+(** The articulation's {!Revision} stamp: refreshed by {!create},
+    {!add_bridge}, {!remove_bridges_touching}, {!with_ontology} and
+    {!with_rules}.  Equal revisions imply the very same articulation
+    value — the invariant behind the algebra result caches (see
+    {!Digraph.revision}). *)
+
 val bridge_edges : t -> Digraph.edge list
 (** Bridges as qualified-graph edges. *)
 

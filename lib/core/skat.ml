@@ -92,7 +92,19 @@ let decided_pairs rules =
       | _ -> [])
     rules
 
+(* A SKAT scan is a pure function of the configuration and the two source
+   ontologies, so it is memoized on (config, left revision, right
+   revision).  The config is closure-free — a lexicon map, thresholds,
+   decided rules and focus lists — so structural key comparison is exact.
+   Re-suggesting after an expert accepts a rule changes [config.exclude]
+   and therefore misses, as it must. *)
+let suggest_cache : (config * int * int, suggestion list) Lru.t =
+  Lru.create ~name:"skat.suggest" ~capacity:64 ()
+
 let suggest ?(config = default_config) ~left ~right () =
+  Lru.find_or_compute suggest_cache
+    (config, Ontology.revision left, Ontology.revision right)
+  @@ fun () ->
   let lname = Ontology.name left and rname = Ontology.name right in
   let decided = decided_pairs config.exclude in
   let is_decided lt rt =

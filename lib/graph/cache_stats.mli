@@ -1,0 +1,60 @@
+(** Registry and counters for every revision-keyed result cache.
+
+    Each {!Lru} cache registers itself here under a stable name
+    (["matcher.find"], ["algebra.union"], ["rewrite.plan"], ...), so the
+    toolkit, the benchmarks and the tests can inspect hit/miss behaviour,
+    clear everything between cold and warm runs, and switch caching off
+    wholesale to prove it is semantically invisible. *)
+
+type snapshot = {
+  hits : int;  (** Lookups answered from the cache. *)
+  misses : int;  (** Lookups that fell through to recomputation. *)
+  evictions : int;  (** Entries dropped by the LRU bound. *)
+  entries : int;  (** Current population. *)
+  capacity : int;  (** The LRU bound. *)
+}
+
+val hit_rate : snapshot -> float
+(** Hits over total lookups; [0.] before any lookup. *)
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+(** Caching is on by default. *)
+
+val set_enabled : bool -> unit
+(** While disabled, every cache computes directly: no lookups, no
+    insertions, no counter movement.  Existing entries are kept (they
+    become visible again when re-enabled and are still revision-correct,
+    since revisions never lie). *)
+
+val with_disabled : (unit -> 'a) -> 'a
+(** Run a thunk with caching off — the cold path used by the equivalence
+    property tests and the benchmarks.  Restores the previous state even
+    on exceptions. *)
+
+(** {1 Registry} *)
+
+val register :
+  name:string -> snapshot:(unit -> snapshot) -> clear:(unit -> unit) -> unit
+(** Called by {!Lru.create}; cache names must be unique.
+    @raise Invalid_argument on a duplicate name. *)
+
+val names : unit -> string list
+(** Registered cache names, sorted. *)
+
+val get : string -> snapshot option
+
+val all : unit -> (string * snapshot) list
+(** Every cache with its snapshot, sorted by name. *)
+
+val clear : string -> bool
+(** Empty one cache (counters reset too); [false] if unknown. *)
+
+val clear_all : unit -> unit
+(** Empty every registered cache — the benchmarks' cold start. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+val pp : Format.formatter -> unit -> unit
+(** All caches, one line each. *)

@@ -26,9 +26,16 @@ type t = {
   fwd : Lnset.t Smap.t; (* src -> {(label, dst)} *)
   rev : Lnset.t Smap.t; (* dst -> {(label, src)} *)
   size : int; (* number of edges *)
+  revision : int;
+      (* Fresh Revision stamp on every structural change; equal revisions
+         imply the very same value (no-op mutations return the input).
+         Result caches key on this instead of hashing the structure. *)
 }
 
-let empty = { node_set = Sset.empty; fwd = Smap.empty; rev = Smap.empty; size = 0 }
+let empty =
+  { node_set = Sset.empty; fwd = Smap.empty; rev = Smap.empty; size = 0; revision = 0 }
+
+let revision g = g.revision
 
 let is_empty g = Sset.is_empty g.node_set
 
@@ -39,7 +46,7 @@ let check_label n =
 let add_node g n =
   check_label n;
   if Sset.mem n g.node_set then g
-  else { g with node_set = Sset.add n g.node_set }
+  else { g with node_set = Sset.add n g.node_set; revision = Revision.fresh () }
 
 let adj map n = match Smap.find_opt n map with Some s -> s | None -> Lnset.empty
 
@@ -55,7 +62,7 @@ let add_edge g src label dst =
     let node_set = Sset.add src (Sset.add dst g.node_set) in
     let fwd = Smap.add src (Lnset.add (label, dst) (adj g.fwd src)) g.fwd in
     let rev = Smap.add dst (Lnset.add (label, src) (adj g.rev dst)) g.rev in
-    { node_set; fwd; rev; size = g.size + 1 }
+    { node_set; fwd; rev; size = g.size + 1; revision = Revision.fresh () }
 
 let add_edge_e g e = add_edge g e.src e.label e.dst
 
@@ -71,6 +78,7 @@ let remove_edge g src label dst =
       fwd = shrink g.fwd src (label, dst);
       rev = shrink g.rev dst (label, src);
       size = g.size - 1;
+      revision = Revision.fresh ();
     }
 
 let remove_edge_e g e = remove_edge g e.src e.label e.dst
@@ -88,7 +96,7 @@ let remove_node g n =
   else
     let g = List.fold_left remove_edge_e g (out_edges g n) in
     let g = List.fold_left remove_edge_e g (in_edges g n) in
-    { g with node_set = Sset.remove n g.node_set }
+    { g with node_set = Sset.remove n g.node_set; revision = Revision.fresh () }
 
 let of_edges ?(nodes = []) es =
   let g = List.fold_left add_edge_e empty es in

@@ -24,7 +24,16 @@ type t
 (** An immutable directed labeled multigraph. *)
 
 val empty : t
-(** The graph with no nodes and no edges. *)
+(** The graph with no nodes and no edges (revision 0). *)
+
+val revision : t -> int
+(** The graph's {!Revision} stamp.  Every mutating primitive (the paper's
+    NA / ND / EA / ED) that actually changes the structure returns a graph
+    carrying a fresh stamp from the process-wide sequence; no-op mutations
+    return the input unchanged.  Equal revisions therefore imply the very
+    same graph — the key invariant behind the result caches ({!Lru},
+    {!Cache_stats}).  Structural equality of distinct revisions is
+    possible (and harmless: it only costs a cache miss). *)
 
 val is_empty : t -> bool
 (** [is_empty g] is [true] iff [g] has no nodes (and hence no edges). *)

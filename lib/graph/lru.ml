@@ -1,0 +1,118 @@
+(* A bounded memo table with least-recently-used eviction.
+
+   Keys are compared with structural equality (polymorphic [=], the
+   default Hashtbl behaviour), which is exact — hash collisions are
+   resolved by full comparison, so a hit can never return the result of a
+   different key.  Keys must therefore be closure-free data; every cache
+   in the tree keys on (operation parameters, revision stamps), both plain
+   data.
+
+   Recency is a per-entry tick from a shared counter; eviction scans for
+   the minimum.  With the small capacities used here (hundreds of
+   entries) the O(n) scan is noise next to the recomputation a single hit
+   saves. *)
+
+type ('k, 'v) t = {
+  name : string;
+  capacity : int;
+  tbl : ('k, 'v entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+and 'v entry = { value : 'v; mutable last_used : int }
+
+let snapshot c =
+  {
+    Cache_stats.hits = c.hits;
+    misses = c.misses;
+    evictions = c.evictions;
+    entries = Hashtbl.length c.tbl;
+    capacity = c.capacity;
+  }
+
+let clear c =
+  Hashtbl.reset c.tbl;
+  c.tick <- 0;
+  c.hits <- 0;
+  c.misses <- 0;
+  c.evictions <- 0
+
+let create ~name ~capacity () =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  let c =
+    {
+      name;
+      capacity;
+      tbl = Hashtbl.create (min capacity 64);
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+  in
+  Cache_stats.register ~name
+    ~snapshot:(fun () -> snapshot c)
+    ~clear:(fun () -> clear c);
+  c
+
+let name c = c.name
+
+let capacity c = c.capacity
+
+let length c = Hashtbl.length c.tbl
+
+let touch c entry =
+  c.tick <- c.tick + 1;
+  entry.last_used <- c.tick
+
+let evict_lru c =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best <= e.last_used -> acc
+        | _ -> Some (k, e.last_used))
+      c.tbl None
+  in
+  match victim with
+  | Some (k, _) ->
+      Hashtbl.remove c.tbl k;
+      c.evictions <- c.evictions + 1
+  | None -> ()
+
+let insert c key value =
+  if Hashtbl.length c.tbl >= c.capacity then evict_lru c;
+  let entry = { value; last_used = 0 } in
+  touch c entry;
+  Hashtbl.replace c.tbl key entry
+
+let find_opt c key =
+  if not (Cache_stats.enabled ()) then None
+  else
+    match Hashtbl.find_opt c.tbl key with
+    | Some entry ->
+        touch c entry;
+        c.hits <- c.hits + 1;
+        Some entry.value
+    | None ->
+        c.misses <- c.misses + 1;
+        None
+
+let find_or_compute c key f =
+  if not (Cache_stats.enabled ()) then f ()
+  else
+    match Hashtbl.find_opt c.tbl key with
+    | Some entry ->
+        touch c entry;
+        c.hits <- c.hits + 1;
+        entry.value
+    | None ->
+        c.misses <- c.misses + 1;
+        let value = f () in
+        insert c key value;
+        value
+
+let mem c key = Hashtbl.mem c.tbl key

@@ -1,0 +1,15 @@
+(* One process-wide monotonic counter.  Every structure that wants
+   revision-stamped values (Digraph, Ontology, Articulation) draws from the
+   same sequence, so a revision number identifies at most one value of any
+   stamped type: equal revisions imply the very same value, distinct
+   revisions say nothing (two structurally equal graphs built separately
+   carry distinct stamps, which can only cost a cache miss, never a wrong
+   hit). *)
+
+let counter = ref 0
+
+let fresh () =
+  incr counter;
+  !counter
+
+let current () = !counter

@@ -1,0 +1,23 @@
+(** The process-wide revision sequence behind result caching.
+
+    The paper computes algebra results dynamically rather than storing
+    them (section 5), which makes re-matching and re-composition the hot
+    path of a mediator under repeated query traffic.  To memoize those
+    results safely, every mutating primitive (NA / ND / EA / ED and their
+    ontology-level counterparts) stamps the value it produces with a fresh
+    number from this single monotonic sequence.
+
+    Invariant relied upon by every cache keyed on revisions: {e equal
+    revisions imply physically identical values}.  A no-op mutation
+    (adding an existing edge, removing an absent node) returns its input
+    unchanged and therefore keeps its stamp — cached results stay valid.
+    Distinct revisions carry no information: structurally equal values
+    built independently get distinct stamps, costing at worst a cache
+    miss. *)
+
+val fresh : unit -> int
+(** The next revision number (strictly increasing, starting at 1; 0 is
+    reserved for the empty graph). *)
+
+val current : unit -> int
+(** The last revision handed out (0 before any). *)

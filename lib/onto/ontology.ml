@@ -1,26 +1,42 @@
-type t = { name : string; graph : Digraph.t; relations : Rel.registry }
+type t = {
+  name : string;
+  graph : Digraph.t;
+  relations : Rel.registry;
+  revision : int;
+      (* Fresh Revision stamp on any change to name, graph or registry;
+         no-op graph mutations keep the stamp.  Equal revisions imply the
+         very same ontology value, so result caches key on this alone. *)
+}
 
 let create ?(relations = Rel.standard_registry) name =
   if String.length name = 0 then invalid_arg "Ontology.create: empty name";
   if String.contains name ':' then
     invalid_arg "Ontology.create: ontology names must not contain ':'";
-  { name; graph = Digraph.empty; relations }
+  { name; graph = Digraph.empty; relations; revision = Revision.fresh () }
 
 let name o = o.name
 let graph o = o.graph
 let relations o = o.relations
-let with_graph o graph = { o with graph }
+let revision o = o.revision
+
+(* Route every graph replacement through here: an unchanged graph (no-op
+   mutation) keeps the ontology — and its revision — intact. *)
+let update_graph o graph =
+  if graph == o.graph then o
+  else { o with graph; revision = Revision.fresh () }
+
+let with_graph o graph = update_graph o graph
 
 let with_name o name =
   if String.length name = 0 then invalid_arg "Ontology.with_name: empty name";
   if String.contains name ':' then
     invalid_arg "Ontology.with_name: ontology names must not contain ':'";
-  { o with name }
+  { o with name; revision = Revision.fresh () }
 
-let add_term o term = { o with graph = Digraph.add_node o.graph term }
+let add_term o term = update_graph o (Digraph.add_node o.graph term)
 
 let add_rel o src relationship dst =
-  { o with graph = Digraph.add_edge o.graph src relationship dst }
+  update_graph o (Digraph.add_edge o.graph src relationship dst)
 
 let add_subclass o ~sub ~super = add_rel o sub Rel.subclass_of super
 let add_attribute o ~concept ~attr = add_rel o concept Rel.attribute_of attr
@@ -30,12 +46,12 @@ let add_implication o ~specific ~general =
   add_rel o specific Rel.semantic_implication general
 
 let declare_relation o rel props =
-  { o with relations = Rel.declare o.relations rel props }
+  { o with relations = Rel.declare o.relations rel props; revision = Revision.fresh () }
 
-let remove_term o term = { o with graph = Digraph.remove_node o.graph term }
+let remove_term o term = update_graph o (Digraph.remove_node o.graph term)
 
 let remove_rel o src relationship dst =
-  { o with graph = Digraph.remove_edge o.graph src relationship dst }
+  update_graph o (Digraph.remove_edge o.graph src relationship dst)
 
 let has_term o term = Digraph.mem_node o.graph term
 let has_rel o src relationship dst = Digraph.mem_edge o.graph src relationship dst
@@ -124,15 +140,14 @@ let closure o =
   (* Property interactions (Implies feeding Transitive, inverses feeding
      implications) converge in very few rounds; the bound is a safety net
      against pathological registries. *)
-  { o with graph = fixpoint o.graph 16 }
+  update_graph o (fixpoint o.graph 16)
 
 let qualify o =
   Digraph.fold_nodes
     (fun n g -> Digraph.rename_node g n (o.name ^ ":" ^ n))
     o.graph o.graph
 
-let restrict o keep =
-  { o with graph = Digraph.subgraph o.graph keep }
+let restrict o keep = update_graph o (Digraph.subgraph o.graph keep)
 
 let term_of o term_name = Term.make ~ontology:o.name term_name
 

@@ -24,6 +24,12 @@ val with_graph : t -> Digraph.t -> t
 val with_name : t -> string -> t
 (** Rename the ontology (prefix used by {!qualify}). *)
 
+val revision : t -> int
+(** The ontology's {!Revision} stamp: refreshed by any change to the
+    name, graph or relation registry; kept by no-op mutations (adding an
+    existing term, removing an absent relationship).  Equal revisions
+    imply the very same ontology value — see {!Digraph.revision}. *)
+
 (** {1 Construction} *)
 
 val add_term : t -> string -> t

@@ -43,8 +43,23 @@ let edges_ok policy pattern g assignment =
       | _ -> true)
     (Pattern.edges pattern)
 
+(* Memoized matching: keyed on every parameter that shapes the result plus
+   the graph's revision stamp.  The key is closure-free data (the policy's
+   lexicon is a pure map), compared structurally, so hits are exact; a
+   mutated graph carries a new revision and misses.  The search itself is
+   unchanged — the cache is semantically invisible (proved by the qcheck
+   equivalence property in test/test_cache_equiv.ml). *)
+let cache :
+    ( Fuzzy.policy * bool * int * [ `Most_constrained | `Declaration ] * Pattern.t * int,
+      match_result list )
+    Lru.t =
+  Lru.create ~name:"matcher.find" ~capacity:512 ()
+
 let find ?(policy = Fuzzy.exact) ?(injective = false) ?(limit = 1000)
     ?(node_order = `Most_constrained) pattern g =
+  Lru.find_or_compute cache
+    (policy, injective, limit, node_order, pattern, Digraph.revision g)
+  @@ fun () ->
   let order =
     match node_order with
     | `Most_constrained -> search_order pattern

@@ -32,8 +32,17 @@ let size kb = Smap.cardinal kb.store
 
 let instances kb = List.map snd (Smap.bindings kb.store)
 
+(* The subclass closure of a concept depends only on the ontology, not on
+   the instance store, so it is memoized on the ontology's revision stamp;
+   the per-instance filter below always runs against the live store. *)
+let wanted_cache : (int * string * bool, string list) Lru.t =
+  Lru.create ~name:"kb.instances_of" ~capacity:512 ()
+
 let instances_of ?(transitive = true) kb ~concept =
   let wanted =
+    Lru.find_or_compute wanted_cache
+      (Ontology.revision kb.ontology, concept, transitive)
+    @@ fun () ->
     if transitive then concept :: Ontology.all_subclasses kb.ontology concept
     else [ concept ]
   in

@@ -129,7 +129,28 @@ let visible_attrs (space : Federation.t) ~conversions ~source concepts =
       |> List.sort_uniq String.compare
       |> List.filter_map (fun attr -> attr_binding space ~conversions ~source attr)
 
+(* Reformulation is memoized on the revision stamps of everything a plan
+   depends on: the space's merged graph, each source ontology (by name so
+   that renames miss), the articulation vocabulary, the set of registered
+   converter names (bindings only consult names, never the closures) and
+   the query itself.  Repeated queries against an unchanged federation
+   are a table lookup. *)
+let plan_cache :
+    ( int * (string * int) list * string list * string list * Query.t,
+      (Plan.t, string) result )
+    Lru.t =
+  Lru.create ~name:"rewrite.plan" ~capacity:256 ()
+
 let plan (space : Federation.t) ~conversions (q : Query.t) =
+  Lru.find_or_compute plan_cache
+    ( Digraph.revision space.Federation.graph,
+      List.map
+        (fun o -> (Ontology.name o, Ontology.revision o))
+        space.Federation.sources,
+      space.Federation.articulation_names,
+      Conversion.names conversions,
+      q )
+  @@ fun () ->
   let source_plans =
     List.filter_map
       (fun source ->

@@ -1,4 +1,12 @@
-type t = { root : string }
+type t = {
+  root : string;
+  mutable space_memo : (string * (Federation.t, string) result) option;
+      (* Last computed query space paired with the disk fingerprint it was
+         built from: while the files under sources/ and articulations/ are
+         byte-identical, [space] answers from the memo instead of
+         re-parsing and re-merging everything.  Honours the global
+         Cache_stats.enabled switch like every other cache. *)
+}
 
 let marker = "onion.workspace"
 let marker_content = "onion workspace, format 1\n"
@@ -38,12 +46,12 @@ let init dir =
       mkdir_if_missing (dir / "sources");
       mkdir_if_missing (dir / "articulations");
       write_file (dir / marker) marker_content;
-      Ok { root = dir }
+      Ok { root = dir; space_memo = None }
     with Sys_error m -> Error m
   end
 
 let open_ dir =
-  if is_workspace dir then Ok { root = dir }
+  if is_workspace dir then Ok { root = dir; space_memo = None }
   else Error (Printf.sprintf "%s is not an onion workspace (missing %s)" dir marker)
 
 (* Source files keep their original extension so the loader's format
@@ -165,12 +173,43 @@ let load_articulations t =
     (Ok [])
     (articulation_names t)
 
-let space t =
+(* Content fingerprint of a directory: sorted file names, each with the
+   MD5 of its bytes.  Content-based rather than mtime-based, so a file
+   rewritten with identical contents still hits and a touch-only change
+   never causes a stale answer. *)
+let dir_fingerprint dir =
+  if not (Sys.file_exists dir) then "<absent>"
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.map (fun f ->
+           let path = dir / f in
+           let digest =
+             try Digest.to_hex (Digest.file path) with Sys_error _ -> "?"
+           in
+           f ^ "=" ^ digest)
+    |> String.concat ";"
+
+let fingerprint t =
+  dir_fingerprint (sources_dir t) ^ "|" ^ dir_fingerprint (articulations_dir t)
+
+let compute_space t =
   let* sources = load_sources t in
   let* articulations = load_articulations t in
   match Federation.of_parts ~sources ~articulations with
   | space -> Ok space
   | exception Invalid_argument m -> Error m
+
+let space t =
+  if not (Cache_stats.enabled ()) then compute_space t
+  else begin
+    let fp = fingerprint t in
+    match t.space_memo with
+    | Some (fp', result) when String.equal fp fp' -> result
+    | _ ->
+        let result = compute_space t in
+        t.space_memo <- Some (fp, result);
+        result
+  end
 
 let stale_bridges t =
   let* sources = load_sources t in

@@ -237,6 +237,90 @@ let test_bad_query_fails () =
   check_bool "nonzero exit" true (code <> 0);
   check_bool "reports query error" true (contains ~affix:"query error" out)
 
+(* Golden outputs: the full load -> articulate -> algebra pipeline over
+   the shipped carrier/factory data, pinned byte-for-byte.  Any change to
+   the loader, the generator, the algebra or the renderer that alters
+   what the user sees fails here first. *)
+
+let golden_pipeline_args cmd =
+  cmd
+  @ [
+      data "carrier.xml"; data "factory.xml"; data "transport-rules.txt";
+      "--name"; "transport";
+    ]
+
+let check_golden name args expected =
+  let code, out = run args in
+  check_int (name ^ ": exit 0") 0 code;
+  Alcotest.(check string) (name ^ ": exact output") expected out
+
+let test_golden_articulate () =
+  check_golden "articulate"
+    (golden_pipeline_args [ "articulate" ])
+    {|articulation transport between carrier and factory
+ontology transport
+CargoCarrierVehicle
+CarsTrucks
+PassengerCar
+Person
+└─ Owner
+Price
+Vehicle
+bridges with carrier:
+  carrier:Cars =[SIBridge]=> transport:CarsTrucks
+  carrier:Cars =[SIBridge]=> transport:PassengerCar
+  carrier:Cars =[SIBridge]=> transport:Vehicle
+  carrier:Price =[DGToEuroFn()]=> transport:Price
+  carrier:Trucks =[SIBridge]=> transport:CarsTrucks
+  transport:CargoCarrierVehicle =[SIBridge]=> carrier:Trucks
+  transport:Price =[EuroToDGFn()]=> carrier:Price
+bridges with factory:
+  factory:GoodsVehicle =[SIBridge]=> transport:CargoCarrierVehicle
+  factory:Price =[PSToEuroFn()]=> transport:Price
+  factory:Truck =[SIBridge]=> transport:CargoCarrierVehicle
+  factory:Vehicle =[SIBridge]=> transport:CarsTrucks
+  factory:Vehicle =[SIBridge]=> transport:Vehicle
+  transport:CargoCarrierVehicle =[SIBridge]=> factory:CargoCarrier
+  transport:CargoCarrierVehicle =[SIBridge]=> factory:Vehicle
+  transport:PassengerCar =[SIBridge]=> factory:Vehicle
+  transport:Price =[EuroToPSFn()]=> factory:Price
+  transport:Vehicle =[SIBridge]=> factory:Vehicle
+|}
+
+let test_golden_union () =
+  check_golden "algebra union"
+    (golden_pipeline_args [ "algebra"; "union" ])
+    {|unified ontology: 28 nodes, 40 edges
+  carrier (10): 2000, Carrier, Cars, Driver, Model, MyCar, Owner, Person, Price, Trucks
+  factory (11): Buyer, CargoCarrier, Factory, GoodsVehicle, Person, Price, SUV, Transportation, Truck, Vehicle, Weight
+  transport (7): CargoCarrierVehicle, CarsTrucks, Owner, PassengerCar, Person, Price, Vehicle
+  bridges: 17
+|}
+
+let test_golden_intersection () =
+  check_golden "algebra intersection"
+    (golden_pipeline_args [ "algebra"; "intersection" ])
+    {|ontology transport
+CargoCarrierVehicle
+CarsTrucks
+PassengerCar
+Person
+└─ Owner
+Price
+Vehicle
+|}
+
+let test_golden_difference () =
+  check_golden "algebra difference"
+    (golden_pipeline_args [ "algebra"; "difference" ])
+    {|ontology carrier
+2000
+Carrier
+Driver
+Model
+Owner
+|}
+
 let () =
   (match Array.to_list Sys.argv with
   | _ :: exe :: _ -> cli := exe
@@ -264,5 +348,10 @@ let () =
           Alcotest.test_case "translate" `Quick test_translate;
           Alcotest.test_case "missing file" `Quick test_missing_file_fails;
           Alcotest.test_case "bad query" `Quick test_bad_query_fails;
+          Alcotest.test_case "golden articulate" `Quick test_golden_articulate;
+          Alcotest.test_case "golden union" `Quick test_golden_union;
+          Alcotest.test_case "golden intersection" `Quick
+            test_golden_intersection;
+          Alcotest.test_case "golden difference" `Quick test_golden_difference;
         ] );
     ]

@@ -1,0 +1,245 @@
+(* The revision/cache layer: Revision stamps on Digraph / Ontology /
+   Articulation, the Lru store, the Cache_stats registry, and the
+   observable hit/miss behaviour of the memoized operators. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Revision stamps                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_revision_monotonic () =
+  let a = Revision.fresh () in
+  let b = Revision.fresh () in
+  check_bool "strictly increasing" true (b > a);
+  check_bool "current is the last issued" true (Revision.current () = b)
+
+let test_digraph_stamps () =
+  let g0 = Digraph.empty in
+  let g1 = Digraph.add_node g0 "a" in
+  let g2 = Digraph.add_edge g1 "a" "S" "b" in
+  let g3 = Digraph.remove_edge g2 "a" "S" "b" in
+  let g4 = Digraph.remove_node g3 "a" in
+  let revs =
+    List.map Digraph.revision [ g0; g1; g2; g3; g4 ]
+  in
+  check_bool "every mutation refreshes the stamp" true
+    (List.length (List.sort_uniq compare revs) = 5)
+
+let test_digraph_noop_keeps_stamp () =
+  let g = Digraph.add_edge Digraph.empty "a" "S" "b" in
+  check_bool "re-adding an edge is a no-op" true
+    (Digraph.add_edge g "a" "S" "b" == g);
+  check_bool "re-adding a node is a no-op" true (Digraph.add_node g "a" == g);
+  check_bool "removing an absent edge is a no-op" true
+    (Digraph.remove_edge g "a" "X" "b" == g);
+  check_bool "removing an absent node is a no-op" true
+    (Digraph.remove_node g "zz" == g)
+
+let test_ontology_stamps () =
+  let o = Ontology.create "o" in
+  let o1 = Ontology.add_term o "Car" in
+  let o2 = Ontology.add_subclass o1 ~sub:"Car" ~super:"Vehicle" in
+  let o3 = Ontology.remove_rel o2 "Car" Rel.subclass_of "Vehicle" in
+  let o4 = Ontology.remove_term o3 "Car" in
+  let revs = List.map Ontology.revision [ o; o1; o2; o3; o4 ] in
+  check_bool "every mutation refreshes the stamp" true
+    (List.length (List.sort_uniq compare revs) = 5);
+  check_bool "identity with_graph keeps the stamp" true
+    (Ontology.revision (Ontology.with_graph o4 (Ontology.graph o4))
+    = Ontology.revision o4)
+
+let test_articulation_stamps () =
+  let art_o = Ontology.add_term (Ontology.create "m") "Thing" in
+  let a =
+    Articulation.create ~ontology:art_o ~left:"l" ~right:"r"
+      [ Bridge.si (Term.make ~ontology:"l" "Car") (Term.make ~ontology:"m" "Thing") ]
+  in
+  let b =
+    Articulation.add_bridge a
+      (Bridge.si (Term.make ~ontology:"r" "Auto") (Term.make ~ontology:"m" "Thing"))
+  in
+  let c = Articulation.remove_bridges_touching b (Term.make ~ontology:"r" "Auto") in
+  let revs = List.map Articulation.revision [ a; b; c ] in
+  check_bool "every mutation refreshes the stamp" true
+    (List.length (List.sort_uniq compare revs) = 3)
+
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_basics () =
+  let c = Lru.create ~name:"test.basics" ~capacity:2 () in
+  let calls = ref 0 in
+  let compute k =
+    Lru.find_or_compute c k (fun () ->
+        incr calls;
+        k * 10)
+  in
+  check_int "computed" 10 (compute 1);
+  check_int "cached" 10 (compute 1);
+  check_int "one computation" 1 !calls;
+  let s = Lru.snapshot c in
+  check_int "one hit" 1 s.Cache_stats.hits;
+  check_int "one miss" 1 s.Cache_stats.misses;
+  check_bool "hit rate" true (Cache_stats.hit_rate s = 0.5)
+
+let test_lru_eviction () =
+  let c = Lru.create ~name:"test.eviction" ~capacity:2 () in
+  let compute k = Lru.find_or_compute c k (fun () -> k) in
+  ignore (compute 1);
+  ignore (compute 2);
+  (* Touch 1 so that 2 is the least recently used entry. *)
+  ignore (compute 1);
+  ignore (compute 3);
+  check_int "bound respected" 2 (Lru.length c);
+  check_bool "LRU entry evicted" true (not (Lru.mem c 2));
+  check_bool "recently used entry kept" true (Lru.mem c 1);
+  check_int "one eviction counted" 1 (Lru.snapshot c).Cache_stats.evictions
+
+let test_lru_clear () =
+  let c = Lru.create ~name:"test.clear" ~capacity:4 () in
+  ignore (Lru.find_or_compute c "k" (fun () -> 1));
+  Lru.clear c;
+  check_int "emptied" 0 (Lru.length c);
+  let s = Lru.snapshot c in
+  check_int "counters reset" 0 (s.Cache_stats.hits + s.Cache_stats.misses)
+
+let test_lru_disabled () =
+  let c = Lru.create ~name:"test.disabled" ~capacity:4 () in
+  let calls = ref 0 in
+  let compute () =
+    Lru.find_or_compute c "k" (fun () ->
+        incr calls;
+        !calls)
+  in
+  let first = Cache_stats.with_disabled compute in
+  let second = Cache_stats.with_disabled compute in
+  check_int "recomputed every time" 2 (first + second - 1);
+  check_int "nothing stored" 0 (Lru.length c);
+  let s = Lru.snapshot c in
+  check_int "no counter movement" 0 (s.Cache_stats.hits + s.Cache_stats.misses);
+  check_bool "flag restored" true (Cache_stats.enabled ())
+
+let test_duplicate_name_rejected () =
+  ignore (Lru.create ~name:"test.dup" ~capacity:1 ());
+  Alcotest.check_raises "duplicate registration"
+    (Invalid_argument "Cache_stats.register: duplicate cache name test.dup")
+    (fun () -> ignore (Lru.create ~name:"test.dup" ~capacity:1 ()))
+
+let test_registry () =
+  check_bool "matcher cache registered" true
+    (List.mem "matcher.find" (Cache_stats.names ()));
+  check_bool "algebra caches registered" true
+    (List.mem "algebra.union" (Cache_stats.names ())
+    && List.mem "algebra.difference" (Cache_stats.names ()));
+  check_bool "plan cache registered" true
+    (List.mem "rewrite.plan" (Cache_stats.names ()));
+  check_bool "unknown clear reports false" true
+    (not (Cache_stats.clear "no.such.cache"))
+
+(* ------------------------------------------------------------------ *)
+(* Memoized operators: observable hits and revision-driven misses     *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_of name =
+  match Cache_stats.get name with
+  | Some s -> s
+  | None -> Alcotest.failf "cache %s not registered" name
+
+let test_matcher_hits_and_misses () =
+  ignore (Cache_stats.clear "matcher.find");
+  let g = Ontology.graph Paper_example.factory in
+  let p = Pattern_parser.parse_exn "?X -[SubclassOf]-> Vehicle" in
+  let r1 = Matcher.find p g in
+  let r2 = Matcher.find p g in
+  check_bool "warm result is the cached value" true (r1 == r2);
+  let s = snapshot_of "matcher.find" in
+  check_int "one miss" 1 s.Cache_stats.misses;
+  check_int "one hit" 1 s.Cache_stats.hits;
+  (* A mutation refreshes the revision: same pattern now misses. *)
+  let g' = Digraph.add_edge g "Submarine" Rel.subclass_of "Vehicle" in
+  let r3 = Matcher.find p g' in
+  check_int "mutated graph misses" 2 (snapshot_of "matcher.find").Cache_stats.misses;
+  check_int "and sees the new node" (List.length r1 + 1) (List.length r3)
+
+let test_union_cache_hits () =
+  ignore (Cache_stats.clear "algebra.union");
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let art = r.Generator.articulation in
+  let u1 = Algebra.union ~left ~right art in
+  let u2 = Algebra.union ~left ~right art in
+  check_bool "warm union is the cached value" true (u1 == u2);
+  let left' = Ontology.add_term left "Hovercraft" in
+  let u3 = Algebra.union ~left:left' ~right art in
+  check_bool "mutated operand recomputes" true (u1 != u3);
+  check_int "two misses, one hit"
+    2 (snapshot_of "algebra.union").Cache_stats.misses
+
+let test_workspace_space_memo () =
+  let dir = Filename.temp_file "onion-cache-ws" "" in
+  Sys.remove dir;
+  let ws =
+    match Workspace.init dir with
+    | Ok ws -> ws
+    | Error m -> Alcotest.failf "init failed: %s" m
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      if Sys.file_exists dir then rm dir)
+  @@ fun () ->
+  let add name body =
+    let path = Filename.temp_file "src" ".xml" in
+    let oc = open_out path in
+    output_string oc body;
+    close_out oc;
+    let r = Workspace.add_source ws ~path in
+    Sys.remove path;
+    match r with
+    | Ok _ -> ()
+    | Error m -> Alcotest.failf "add_source %s failed: %s" name m
+  in
+  add "a"
+    {|<ontology name="a"><term name="Car"><subclassOf term="Vehicle"/></term></ontology>|};
+  let s1 = Workspace.space ws in
+  let s2 = Workspace.space ws in
+  check_bool "unchanged disk answers from the memo" true (s1 == s2);
+  check_bool "disabled caching bypasses the memo" true
+    (Cache_stats.with_disabled (fun () -> Workspace.space ws) != s1);
+  add "b"
+    {|<ontology name="b"><term name="Auto"><subclassOf term="Machine"/></term></ontology>|};
+  let s3 = Workspace.space ws in
+  check_bool "changed disk recomputes" true (s2 != s3);
+  match s3 with
+  | Ok space -> check_int "both sources present" 2 (List.length space.Federation.sources)
+  | Error m -> Alcotest.failf "space failed: %s" m
+
+let suite =
+  [
+    ( "cache",
+      [
+        Alcotest.test_case "revision monotonic" `Quick test_revision_monotonic;
+        Alcotest.test_case "digraph stamps" `Quick test_digraph_stamps;
+        Alcotest.test_case "digraph no-ops" `Quick test_digraph_noop_keeps_stamp;
+        Alcotest.test_case "ontology stamps" `Quick test_ontology_stamps;
+        Alcotest.test_case "articulation stamps" `Quick test_articulation_stamps;
+        Alcotest.test_case "lru basics" `Quick test_lru_basics;
+        Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+        Alcotest.test_case "lru clear" `Quick test_lru_clear;
+        Alcotest.test_case "lru disabled" `Quick test_lru_disabled;
+        Alcotest.test_case "duplicate name" `Quick test_duplicate_name_rejected;
+        Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "matcher hits/misses" `Quick test_matcher_hits_and_misses;
+        Alcotest.test_case "union cache" `Quick test_union_cache_hits;
+        Alcotest.test_case "workspace memo" `Quick test_workspace_space_memo;
+      ] );
+  ]

@@ -1,0 +1,207 @@
+(* The cache-is-semantically-invisible property: over random graphs,
+   patterns and interleaved NA/ND/EA/ED mutation scripts, every memoized
+   operator must return exactly what a cold recomputation (caching
+   globally disabled via Cache_stats.with_disabled) returns.  Together
+   the properties run well over 500 random cases. *)
+
+let node_pool = [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ]
+let label_pool = [ "S"; "A"; "I"; "SI"; "x" ]
+
+type op =
+  | Add_node of string
+  | Remove_node of string
+  | Add_edge of string * string * string
+  | Remove_edge of string * string * string
+
+let pp_op = function
+  | Add_node n -> Printf.sprintf "NA %s" n
+  | Remove_node n -> Printf.sprintf "ND %s" n
+  | Add_edge (s, l, d) -> Printf.sprintf "EA %s-%s->%s" s l d
+  | Remove_edge (s, l, d) -> Printf.sprintf "ED %s-%s->%s" s l d
+
+let apply g = function
+  | Add_node n -> Digraph.add_node g n
+  | Remove_node n -> Digraph.remove_node g n
+  | Add_edge (s, l, d) -> Digraph.add_edge g s l d
+  | Remove_edge (s, l, d) -> Digraph.remove_edge g s l d
+
+let op_gen =
+  let open QCheck.Gen in
+  let node = oneofl node_pool in
+  let label = oneofl label_pool in
+  oneof
+    [
+      map (fun n -> Add_node n) node;
+      map (fun n -> Remove_node n) node;
+      map3 (fun s l d -> Add_edge (s, l, d)) node label node;
+      map3 (fun s l d -> Remove_edge (s, l, d)) node label node;
+    ]
+
+let edge_gen =
+  let open QCheck.Gen in
+  map3
+    (fun s l d -> { Digraph.src = s; label = l; dst = d })
+    (oneofl node_pool) (oneofl label_pool) (oneofl node_pool)
+
+(* Patterns of 1-3 nodes (labeled or wildcard) chained by optional-label
+   edges; ids are distinct by construction. *)
+let pattern_gen =
+  let open QCheck.Gen in
+  let pnode i =
+    map
+      (fun label ->
+        { Pattern.id = Printf.sprintf "p%d" i; label; binder = None })
+      (oneof [ return None; map (fun n -> Some n) (oneofl node_pool) ])
+  in
+  let pedge i =
+    map
+      (fun elabel ->
+        {
+          Pattern.src = Printf.sprintf "p%d" i;
+          elabel;
+          dst = Printf.sprintf "p%d" (i + 1);
+        })
+      (oneof [ return None; map (fun l -> Some l) (oneofl label_pool) ])
+  in
+  int_range 1 3 >>= fun n ->
+  let rec nodes i = if i >= n then return [] else
+    nodes (i + 1) >>= fun rest -> pnode i >>= fun nd -> return (nd :: rest)
+  in
+  let rec edges i = if i >= n - 1 then return [] else
+    edges (i + 1) >>= fun rest -> pedge i >>= fun ed -> return (ed :: rest)
+  in
+  nodes 0 >>= fun ns ->
+  edges 0 >>= fun es -> return (Pattern.create ~nodes:ns ~edges:es ())
+
+let matcher_case =
+  let open QCheck.Gen in
+  let g =
+    quad
+      (list_size (int_range 0 20) edge_gen)
+      (list_size (int_range 1 12) op_gen)
+      pattern_gen bool
+  in
+  QCheck.make
+    ~print:(fun (edges, ops, pattern, injective) ->
+      Format.asprintf "@[<v>edges=%a@ ops=%s@ pattern=%a@ injective=%b@]"
+        Digraph.pp (Digraph.of_edges edges)
+        (String.concat "; " (List.map pp_op ops))
+        Pattern.pp pattern injective)
+    g
+
+(* After every mutation the cached find must equal the cold find — same
+   matches in the same order (the search is deterministic).  Each query
+   runs twice so both the miss path and the hit path are checked. *)
+let prop_matcher_equivalence =
+  QCheck.Test.make ~count:300
+    ~name:"cached Matcher.find = cold recomputation under NA/ND/EA/ED"
+    matcher_case
+    (fun (edges, ops, pattern, injective) ->
+      let check g =
+        let cached1 = Matcher.find ~injective ~limit:50 pattern g in
+        let cached2 = Matcher.find ~injective ~limit:50 pattern g in
+        let cold =
+          Cache_stats.with_disabled (fun () ->
+              Matcher.find ~injective ~limit:50 pattern g)
+        in
+        cached1 = cold && cached2 = cold
+      in
+      let g0 = Digraph.of_edges edges in
+      check g0
+      && snd
+           (List.fold_left
+              (fun (g, ok) op ->
+                let g = apply g op in
+                (g, ok && check g))
+              (g0, true) ops))
+
+(* Algebra over a generated overlapping pair whose left source is mutated
+   between queries: union graphs and difference ontologies must agree
+   with the cold recomputation at every step. *)
+let algebra_case =
+  QCheck.make
+    ~print:(fun (seed, overlap, script_seed) ->
+      Printf.sprintf "seed=%d overlap=%d%% script_seed=%d" seed overlap
+        script_seed)
+    QCheck.Gen.(triple (int_range 0 10_000) (int_range 0 60) (int_range 0 1_000))
+
+let prop_algebra_equivalence =
+  QCheck.Test.make ~count:150
+    ~name:"cached union/intersection/difference = cold recomputation"
+    algebra_case
+    (fun (seed, overlap, script_seed) ->
+      let p =
+        Gen.overlapping_pair
+          ~profile:{ Gen.default_profile with Gen.n_terms = 20 }
+          ~overlap:(float_of_int overlap /. 100.0)
+          ~seed ~left_name:"l" ~right_name:"r" ()
+      in
+      let r =
+        Generator.generate ~articulation_name:"m" ~left:p.Gen.left
+          ~right:p.Gen.right p.Gen.ground_truth
+      in
+      let art = r.Generator.articulation in
+      let right = r.Generator.updated_right in
+      let check left =
+        let warm_union = Algebra.union ~left ~right art in
+        let warm_diff = Algebra.difference ~minuend:left ~subtrahend:right art in
+        let warm_inter = Algebra.intersection art in
+        Cache_stats.with_disabled (fun () ->
+            let cold_union = Algebra.union ~left ~right art in
+            let cold_diff =
+              Algebra.difference ~minuend:left ~subtrahend:right art
+            in
+            Digraph.equal warm_union.Algebra.graph cold_union.Algebra.graph
+            && Ontology.equal warm_diff cold_diff
+            && Ontology.equal warm_inter (Algebra.intersection art))
+      in
+      let script =
+        Change.random_script ~seed:script_seed ~count:5 r.Generator.updated_left
+      in
+      check r.Generator.updated_left
+      && snd
+           (List.fold_left
+              (fun (left, ok) change ->
+                let left = Change.apply left change in
+                (left, ok && check left))
+              (r.Generator.updated_left, true)
+              script))
+
+(* Filter / extract with mutations to the ontology between queries. *)
+let prop_filter_extract_equivalence =
+  QCheck.Test.make ~count:100
+    ~name:"cached filter/extract = cold recomputation under term churn"
+    (QCheck.make
+       ~print:(fun (seed, n) -> Printf.sprintf "seed=%d extra=%d" seed n)
+       QCheck.Gen.(pair (int_range 0 10_000) (int_range 0 5)))
+    (fun (seed, extra) ->
+      let o = Gen.ontology
+          ~profile:{ Gen.default_profile with Gen.n_terms = 25 }
+          ~seed ~name:"g" ()
+      in
+      let pattern = Pattern_parser.parse_exn "?X -[SubclassOf]-> ?Y" in
+      let check o =
+        let warm_f = Filter_extract.filter o pattern in
+        let warm_e = Filter_extract.extract o pattern in
+        Cache_stats.with_disabled (fun () ->
+            Ontology.equal warm_f (Filter_extract.filter o pattern)
+            && Ontology.equal warm_e (Filter_extract.extract o pattern))
+      in
+      let rec churn i o ok =
+        if i >= extra then ok
+        else
+          let o = Ontology.add_term o (Printf.sprintf "Extra%d" i) in
+          churn (i + 1) o (ok && check o)
+      in
+      check o && churn 0 o true)
+
+let suite =
+  [
+    ( "cache-equivalence",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_matcher_equivalence;
+          prop_algebra_equivalence;
+          prop_filter_extract_equivalence;
+        ] );
+  ]

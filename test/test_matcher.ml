@@ -107,6 +107,59 @@ let test_cycle_pattern () =
   in
   check_int "both rotations" 2 (List.length (Matcher.find p g))
 
+let test_injective_distinct_wildcards () =
+  (* Two wildcards over a 2-node graph: 4 assignments normally, only the
+     2 permutations under ~injective:true. *)
+  let g = Digraph.of_edges [ { Digraph.src = "a"; label = "S"; dst = "b" } ] in
+  let pat =
+    Pattern.create
+      ~nodes:
+        [
+          { Pattern.id = "x"; label = None; binder = Some "X" };
+          { Pattern.id = "y"; label = None; binder = Some "Y" };
+        ]
+      ~edges:[] ()
+  in
+  check_int "free assignment" 4 (List.length (Matcher.find pat g));
+  let inj = Matcher.find ~injective:true pat g in
+  check_int "injective keeps permutations" 2 (List.length inj);
+  check_bool "no shared endpoints" true
+    (List.for_all
+       (fun (m : Matcher.match_result) ->
+         match m.Matcher.assignment with
+         | [ (_, n1); (_, n2) ] -> not (String.equal n1 n2)
+         | _ -> false)
+       inj)
+
+let test_declaration_order_same_matches () =
+  (* Node order is a search strategy, not a semantics: `Declaration must
+     return the same match set as `Most_constrained (sorted for
+     comparison; each match's assignment list is already sorted by id). *)
+  let g = graph () in
+  let p = parse "?X -[SubclassOf]-> ?Y -[SubclassOf]-> ?Z" in
+  let sort ms = List.sort compare ms in
+  Alcotest.(check bool) "same matches under both orders" true
+    (sort (Matcher.find ~limit:10_000 p g)
+    = sort (Matcher.find ~limit:10_000 ~node_order:`Declaration p g))
+
+let test_limit_truncation_deterministic () =
+  (* Truncation must be a prefix of the full enumeration, stable across
+     repeated calls — the cache may only ever return what a fresh search
+     would. *)
+  let g = graph () in
+  let p = Pattern.var "X" in
+  let full = Matcher.find ~limit:10_000 p g in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  List.iter
+    (fun k ->
+      let truncated = Matcher.find ~limit:k p g in
+      check_bool
+        (Printf.sprintf "limit %d is a stable prefix" k)
+        true
+        (truncated = take k full
+        && truncated = Matcher.find ~limit:k p g))
+    [ 1; 3; 7 ]
+
 let suite =
   [
     ( "matcher",
@@ -123,5 +176,11 @@ let suite =
         Alcotest.test_case "matched subgraph" `Quick test_matched_subgraph;
         Alcotest.test_case "ontology hint" `Quick test_find_in_ontology_hint;
         Alcotest.test_case "cycle pattern" `Quick test_cycle_pattern;
+        Alcotest.test_case "injective wildcards" `Quick
+          test_injective_distinct_wildcards;
+        Alcotest.test_case "declaration order" `Quick
+          test_declaration_order_same_matches;
+        Alcotest.test_case "limit determinism" `Quick
+          test_limit_truncation_deterministic;
       ] );
   ]
