@@ -820,6 +820,136 @@ let cache () =
   row "minimum warm speedup across operations: %.0fx %s" worst
     (if worst >= 5.0 then "(>= 5x: PASS)" else "(< 5x: FAIL)")
 
+(* ------------------------------------------------------------------ *)
+(* FAULT — durable storage: atomic writes, verified reads, fsck        *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_fault.json: ns/run per durable-IO operation plus the
+   transient-noise soak tally.  Hand-rolled JSON like BENCH_cache. *)
+let emit_fault_json ~path rows ~soak_writes ~soak_survived ~soak_rate =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let result_objs =
+        List.map
+          (fun (op, ns) ->
+            Printf.sprintf "    { \"op\": \"%s\", \"ns_per_run\": %s }"
+              (json_escape op) (json_float ns))
+          rows
+      in
+      output_string oc "{\n  \"benchmark\": \"fault\",\n  \"results\": [\n";
+      output_string oc (String.concat ",\n" result_objs);
+      output_string oc "\n  ],\n";
+      output_string oc
+        (Printf.sprintf
+           "  \"soak\": { \"writes\": %d, \"survived\": %d, \"rate\": %.2f }\n"
+           soak_writes soak_survived soak_rate);
+      output_string oc "}\n")
+
+let fault () =
+  section "FAULT"
+    "durable storage: atomic+stamped writes vs bare writes, verified \
+     reads, fsck scans, and a transient-fault soak";
+  let payload =
+    String.concat "\n"
+      (List.init 1000 (fun i -> Printf.sprintf "term-%04d Attr value-%04d" i i))
+  in
+  let dir = Filename.temp_file "onion-bench-fault" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Durable_io.clear_faults ();
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+      in
+      if Sys.file_exists dir then rm dir)
+  @@ fun () ->
+  let bare path content =
+    let oc = open_out_bin path in
+    output_string oc content;
+    close_out oc
+  in
+  let p_bare = Filename.concat dir "bare.dat" in
+  let p_durable = Filename.concat dir "durable.dat" in
+  (match Durable_io.write ~backoff_ms:0.0 ~path:p_durable payload with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  (* A populated workspace for the scan benchmarks. *)
+  let ws_dir = Filename.concat dir "ws" in
+  let ws =
+    match Workspace.init ws_dir with Ok w -> w | Error m -> failwith m
+  in
+  for i = 0 to 14 do
+    let o =
+      Gen.ontology ~profile:(profile 120) ~seed:(100 + i)
+        ~name:(Printf.sprintf "src%02d" i) ()
+    in
+    let path = Filename.concat dir (Printf.sprintf "src%02d.xml" i) in
+    Loader.save_file o path;
+    match Workspace.add_source ws ~path with
+    | Ok _ -> ()
+    | Error m -> failwith m
+  done;
+  let tests =
+    [
+      ((Printf.sprintf "bare write (%d KiB)" (String.length payload / 1024)),
+        fun () -> bare p_bare payload);
+      ( "durable write (fsync + rename + stamp)",
+        fun () ->
+          match Durable_io.write ~backoff_ms:0.0 ~path:p_durable payload with
+          | Ok () -> ()
+          | Error m -> failwith m );
+      ("crc32 digest", fun () -> ignore (Crc32.digest payload));
+      ( "plain read",
+        fun () ->
+          match Durable_io.read ~path:p_durable with
+          | Ok _ -> ()
+          | Error m -> failwith m );
+      ( "verified read (read + crc check)",
+        fun () ->
+          match Durable_io.read_verified ~path:p_durable with
+          | Ok _ -> ()
+          | Error m -> failwith m );
+      ( "workspace health scan (15 sources)",
+        fun () -> ignore (Workspace.health ws) );
+      ("workspace fsck, clean (15 sources)", fun () -> ignore (Workspace.fsck ws));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, op) ->
+        let ns =
+          match ols_estimates [ Test.make ~name:"op" (Staged.stage op) ] with
+          | [ (_, e) ] -> e
+          | _ -> Float.nan
+        in
+        row "%-40s %a" name pp_time ns;
+        (name, ns))
+      tests
+  in
+  (* Soak: deterministic ENOSPC noise at 5% per protected op; the retry
+     layer must absorb essentially all of it. *)
+  let soak_writes = 200 and soak_rate = 0.05 in
+  Durable_io.inject_transient ~seed:42 ~rate:soak_rate;
+  let survived = ref 0 in
+  for _ = 1 to soak_writes do
+    match Durable_io.write ~backoff_ms:0.0 ~path:p_durable payload with
+    | Ok () -> incr survived
+    | Error _ -> ()
+  done;
+  Durable_io.clear_faults ();
+  row "transient soak: %d/%d durable writes survived rate-%.2f noise"
+    !survived soak_writes soak_rate;
+  emit_fault_json ~path:"BENCH_fault.json" rows ~soak_writes
+    ~soak_survived:!survived ~soak_rate;
+  row "wrote BENCH_fault.json"
+
 let sections_by_id =
   [
     ("fig2", fig2);
@@ -834,6 +964,7 @@ let sections_by_id =
     ("med", med);
     ("fed", fed);
     ("cache", cache);
+    ("fault", fault);
   ]
 
 let () =

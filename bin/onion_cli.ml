@@ -480,7 +480,9 @@ let ws_add_cmd =
   let run dir path =
     let ws = open_workspace_or_die dir in
     match Workspace.add_source ws ~path with
-    | Ok name -> Printf.printf "registered source %s\n" name
+    | Ok (name, warnings) ->
+        List.iter (fun w -> Printf.eprintf "warning: %s\n" w) warnings;
+        Printf.printf "registered source %s\n" name
     | Error m ->
         Printf.eprintf "error: %s\n" m;
         exit 1
@@ -533,15 +535,15 @@ let ws_query_cmd =
     | Error m ->
         Printf.eprintf "error: %s\n" m;
         exit 1
-    | Ok space -> (
+    | Ok (space, health) -> (
+        if not (Health.ok health) then
+          Format.eprintf "%a@." Health.pp health;
+        let sources, _ = Workspace.load_sources ws in
         let kbs =
-          match Workspace.load_sources ws with
-          | Ok sources ->
-              List.map
-                (fun o ->
-                  Kb.of_ontology_instances ~ontology:o ("kb-" ^ Ontology.name o))
-                sources
-          | Error _ -> []
+          List.map
+            (fun o ->
+              Kb.of_ontology_instances ~ontology:o ("kb-" ^ Ontology.name o))
+            sources
         in
         let env = Mediator.env_federated ~kbs ~space () in
         match Mediator.run_text env query_text with
@@ -643,14 +645,44 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Run the paper's carrier/factory example end to end.")
     Term.(const run $ const ())
 
+let fsck_cmd =
+  let run dir check_only =
+    let ws = open_workspace_or_die dir in
+    if check_only then begin
+      let health = Workspace.health ws in
+      Format.printf "%a@." Health.pp health;
+      if Health.degraded health then exit 1
+    end
+    else begin
+      let report = Workspace.fsck ws in
+      Format.printf "%a@." Workspace.pp_fsck_report report;
+      if Health.degraded report.Workspace.health then exit 1
+    end
+  in
+  let check_only =
+    Arg.(
+      value & flag
+      & info [ "n"; "check-only" ]
+          ~doc:"Report health without repairing anything.")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check and repair a workspace: quarantine torn or unparseable \
+          files, drop orphan checksum sidecars, re-stamp externally edited \
+          sources.  Exits non-zero when the federation stays degraded.")
+    Term.(const run $ workspace_arg 0 $ check_only)
+
 let main =
   let doc = "ONION: graph-oriented articulation of ontology interdependencies" in
   Cmd.group
     (Cmd.info "onion" ~version:"1.0.0" ~doc)
     [
       validate_cmd; show_cmd; dot_cmd; articulate_cmd; suggest_cmd; algebra_cmd;
-      query_cmd; session_cmd; oql_cmd; rdf_cmd; workspace_cmd; translate_cmd;
-      demo_cmd;
+      query_cmd; session_cmd; oql_cmd; rdf_cmd; workspace_cmd; fsck_cmd;
+      translate_cmd; demo_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  Durable_io.install_env_faults ();
+  exit (Cmd.eval main)

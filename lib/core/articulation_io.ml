@@ -103,11 +103,7 @@ let of_string text =
   | Error e -> Error (Format.asprintf "%a" Xml_parse.pp_error e)
   | Ok root -> of_xml root
 
-let save_file articulation path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string articulation))
+let save_file articulation path = Atomic_io.write path (to_string articulation)
 
 let load_file path =
   let ic = open_in_bin path in

@@ -1,0 +1,126 @@
+type step = Write | Rename | Read | Remove
+
+type action =
+  | Proceed
+  | Crash of string
+  | Torn of float
+  | Fail of string
+  | Corrupt
+
+exception Crashed of string
+
+let counter = ref 0
+let hook : (op:int -> step:step -> path:string -> action) option ref = ref None
+let protected_depth = ref 0
+
+let set_hook h = hook := h
+let ops () = !counter
+let reset_ops () = counter := 0
+let in_protected () = !protected_depth > 0
+
+let protect f =
+  incr protected_depth;
+  Fun.protect ~finally:(fun () -> decr protected_depth) f
+
+(* Every primitive step passes through here: the counter always advances
+   (so harnesses can measure an operation's IO footprint with no hook
+   installed), and the hook, when present, rules on the step. *)
+let consult step path =
+  let op = !counter in
+  incr counter;
+  match !hook with None -> Proceed | Some f -> f ~op ~step ~path
+
+let tmp_suffix = ".onion-tmp"
+let is_tmp path = Filename.check_suffix path tmp_suffix
+
+(* Unix-level writes so the payload can be fsynced before the rename
+   makes it visible. *)
+let write_raw path content =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let n = String.length content in
+      let written = ref 0 in
+      while !written < n do
+        written :=
+          !written + Unix.write_substring fd content !written (n - !written)
+      done;
+      Unix.fsync fd)
+
+(* Directory fsync makes the rename durable; not every filesystem allows
+   opening a directory, so failures here are ignored. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let wrap_unix path f =
+  try f ()
+  with Unix.Unix_error (e, _, _) ->
+    raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+let write path content =
+  let tmp = path ^ tmp_suffix in
+  (match consult Write tmp with
+  | Proceed -> wrap_unix tmp (fun () -> write_raw tmp content)
+  | Torn fraction ->
+      let keep =
+        let f = Float.max 0.0 (Float.min 1.0 fraction) in
+        int_of_float (f *. float_of_int (String.length content))
+      in
+      wrap_unix tmp (fun () -> write_raw tmp (String.sub content 0 keep));
+      raise (Crashed (Printf.sprintf "torn write of %s" tmp))
+  | Crash m -> raise (Crashed m)
+  | Fail m -> raise (Sys_error (Printf.sprintf "%s: %s" tmp m))
+  | Corrupt -> wrap_unix tmp (fun () -> write_raw tmp content));
+  match consult Rename path with
+  | Proceed | Corrupt ->
+      wrap_unix path (fun () -> Unix.rename tmp path);
+      fsync_dir (Filename.dirname path)
+  | Crash m ->
+      (* Tmp is fully written but never published: the torn-state the
+         protocol is designed to survive. *)
+      raise (Crashed m)
+  | Torn _ -> raise (Crashed ("crash before rename of " ^ path))
+  | Fail m ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise (Sys_error (Printf.sprintf "%s: %s" path m))
+
+let read path =
+  let plain () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match consult Read path with
+  | Proceed -> plain ()
+  | Crash m -> raise (Crashed m)
+  | Fail m -> raise (Sys_error (Printf.sprintf "%s: %s" path m))
+  | Corrupt ->
+      let content = plain () in
+      if String.length content = 0 then content
+      else begin
+        let b = Bytes.of_string content in
+        let i = Bytes.length b / 2 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+        Bytes.to_string b
+      end
+  | Torn fraction ->
+      let content = plain () in
+      let keep =
+        let f = Float.max 0.0 (Float.min 1.0 fraction) in
+        int_of_float (f *. float_of_int (String.length content))
+      in
+      String.sub content 0 keep
+
+let remove path =
+  match consult Remove path with
+  | Crash m -> raise (Crashed m)
+  | Fail m -> raise (Sys_error (Printf.sprintf "%s: %s" path m))
+  | Proceed | Torn _ | Corrupt -> Sys.remove path

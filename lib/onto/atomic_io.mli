@@ -1,0 +1,82 @@
+(** Crash-safe primitive file IO, with an injectable fault surface.
+
+    Every byte the toolkit persists (registered sources, stored
+    articulations, exported files) funnels through this module, which
+    implements the classic atomic-publish protocol:
+
+    {v
+    write <path>.onion-tmp   (full payload)
+    fsync                    (payload durable before it is visible)
+    rename -> <path>         (atomic on POSIX: readers see old or new)
+    fsync <dir>              (the rename itself is durable)
+    v}
+
+    A crash at any point leaves either the previous committed file or a
+    stray [*.onion-tmp] — never a torn committed file.  Stray tmp files
+    are quarantined by {!Workspace.fsck}.
+
+    The module also hosts the {e mechanism} half of fault injection: a
+    single pluggable hook consulted before every primitive step, plus a
+    monotonically increasing operation counter so harnesses can address
+    "the Nth IO operation".  The {e policy} half (fault plans, seeding,
+    retry) lives in [Durable_io] in the store layer. *)
+
+type step =
+  | Write  (** Writing the payload into the tmp file (incl. fsync). *)
+  | Rename  (** Publishing the tmp file over the destination. *)
+  | Read  (** Reading a whole file. *)
+  | Remove  (** Unlinking a file. *)
+
+type action =
+  | Proceed  (** Execute the step normally. *)
+  | Crash of string
+      (** Simulated process death before the step executes: raises
+          {!Crashed}.  Whatever is on disk stays on disk. *)
+  | Torn of float
+      (** Only meaningful at {!Write}: persist just that fraction of the
+          payload bytes into the tmp file, then die ({!Crashed}). *)
+  | Fail of string
+      (** Transient environment failure ([ENOSPC], [EINTR]-ish): the step
+          does not happen and [Sys_error] is raised.  A supervisor may
+          retry. *)
+  | Corrupt
+      (** Only meaningful at {!Read}: return the file's content with one
+          byte flipped (silent media corruption). *)
+
+exception Crashed of string
+(** Simulated process death.  Test harnesses catch this where a real
+    deployment would restart the process. *)
+
+val set_hook : (op:int -> step:step -> path:string -> action) option -> unit
+(** Install (or clear) the fault hook.  The hook sees the global op index
+    and decides the action; [None] (the default) means all ops proceed. *)
+
+val ops : unit -> int
+(** Primitive IO steps executed since the last {!reset_ops}. *)
+
+val reset_ops : unit -> unit
+
+val protect : (unit -> 'a) -> 'a
+(** Mark a retry-supervised region: probabilistic transient-fault noise
+    (CI's [ONION_FAULT_SEED] mode) only fires inside such regions, so
+    unsupervised writers are never handed failures nobody retries. *)
+
+val in_protected : unit -> bool
+
+val tmp_suffix : string
+(** [".onion-tmp"] — the in-flight suffix the protocol uses; anything
+    carrying it after a restart is a torn write. *)
+
+val is_tmp : string -> bool
+
+val write : string -> string -> unit
+(** [write path content]: the atomic protocol above.
+    @raise Sys_error on real or injected environment failure.
+    @raise Crashed on injected crashes. *)
+
+val read : string -> string
+(** Whole-file read.
+    @raise Sys_error / {!Crashed} as above. *)
+
+val remove : string -> unit
+(** Unlink through the fault surface. *)

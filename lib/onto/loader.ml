@@ -65,7 +65,4 @@ let save_file o path =
     | Some Adjacency -> Adjacency.print (Ontology.graph o)
     | Some Xml | None -> Xml_parse.to_string (Xml_parse.ontology_to_xml o)
   in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc content)
+  Atomic_io.write path content

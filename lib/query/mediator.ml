@@ -95,30 +95,29 @@ let compute_aggregates (q : Query.t) tuples =
   List.filter_map
     (fun agg ->
       let label = Query.aggregate_label agg in
+      (* Numeric attribute values for one aggregated attribute; non-numeric
+         and missing values do not contribute (SQL-style NULL skipping). *)
+      let numeric_values a =
+        List.filter_map
+          (fun t ->
+            match tuple_value t a with
+            | Some (Conversion.Num f) -> Some f
+            | _ -> None)
+          tuples
+      in
+      let over a reduce =
+        match numeric_values a with
+        | [] -> None
+        | vs -> Some (label, Conversion.Num (reduce vs))
+      in
       match agg with
       | Query.Count -> Some (label, Conversion.Num (float_of_int (List.length tuples)))
-      | Query.Sum a | Query.Avg a | Query.Min a | Query.Max a -> (
-          let values =
-            List.filter_map
-              (fun t ->
-                match tuple_value t a with
-                | Some (Conversion.Num f) -> Some f
-                | _ -> None)
-              tuples
-          in
-          match values with
-          | [] -> None
-          | vs -> (
-              let sum = List.fold_left ( +. ) 0.0 vs in
-              match agg with
-              | Query.Sum _ -> Some (label, Conversion.Num sum)
-              | Query.Avg _ ->
-                  Some (label, Conversion.Num (sum /. float_of_int (List.length vs)))
-              | Query.Min _ ->
-                  Some (label, Conversion.Num (List.fold_left Float.min Float.max_float vs))
-              | Query.Max _ ->
-                  Some (label, Conversion.Num (List.fold_left Float.max (-.Float.max_float) vs))
-              | Query.Count -> assert false)))
+      | Query.Sum a -> over a (List.fold_left ( +. ) 0.0)
+      | Query.Avg a ->
+          over a (fun vs ->
+              List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs))
+      | Query.Min a -> over a (List.fold_left Float.min Float.max_float)
+      | Query.Max a -> over a (List.fold_left Float.max (-.Float.max_float)))
     q.Query.aggregates
 
 (* A predicate compiled for source-side evaluation: the attribute in source

@@ -30,20 +30,25 @@ let compare_values v1 v2 =
   | Conversion.Bool a, Conversion.Bool b -> Some (Bool.compare a b)
   | _ -> None
 
+(* Ordering predicates only; Eq/Neq are handled structurally in [holds]
+   (they also apply to values that do not order, e.g. booleans vs nums). *)
+let ordered_holds op c =
+  match op with
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+  | Eq -> c = 0
+  | Neq -> c <> 0
+
 let holds p actual =
   match p.op with
   | Eq -> Conversion.equal_value actual p.value
   | Neq -> not (Conversion.equal_value actual p.value)
-  | Lt | Le | Gt | Ge -> (
+  | (Lt | Le | Gt | Ge) as op -> (
       match compare_values actual p.value with
       | None -> false
-      | Some c -> (
-          match p.op with
-          | Lt -> c < 0
-          | Le -> c <= 0
-          | Gt -> c > 0
-          | Ge -> c >= 0
-          | Eq | Neq -> assert false))
+      | Some c -> ordered_holds op c)
 
 let aggregate_attr = function
   | Count -> None
@@ -355,11 +360,11 @@ let string_of_value = function
 
 let to_string q =
   let items =
+    (* [v] rejects mixing select attributes and aggregates, but records can
+       be built by hand, so render the mixed case instead of crashing. *)
     match (q.select, q.aggregates) with
     | [], [] -> "*"
-    | attrs, [] -> String.concat ", " attrs
-    | [], aggs -> String.concat ", " (List.map aggregate_label aggs)
-    | _ -> assert false
+    | attrs, aggs -> String.concat ", " (attrs @ List.map aggregate_label aggs)
   in
   let buf = Buffer.create 64 in
   Buffer.add_string buf

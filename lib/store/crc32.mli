@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over strings.
+
+    Used by {!Durable_io} to stamp every payload the workspace writes, so
+    silent media corruption is detected on read instead of surfacing as a
+    confusing parse error (or worse, parsing successfully).  Not a
+    cryptographic digest — it guards against bit rot and truncation, not
+    adversaries. *)
+
+val digest : string -> int32
+(** CRC-32 of the whole string.  [digest "123456789" = 0xCBF43926l]. *)
+
+val to_hex : int32 -> string
+(** Lower-case, zero-padded, 8 chars. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] on malformed input. *)

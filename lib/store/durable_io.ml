@@ -1,0 +1,173 @@
+exception Crashed = Atomic_io.Crashed
+
+(* ------------------------------------------------------------------ *)
+(* Sidecars                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sidecar_suffix = ".crc32"
+let sidecar_path path = path ^ sidecar_suffix
+let is_sidecar path = Filename.check_suffix path sidecar_suffix
+
+let payload_of_sidecar path = Filename.chop_suffix path sidecar_suffix
+
+let stamp_line content =
+  Printf.sprintf "crc32 %s size %d\n"
+    (Crc32.to_hex (Crc32.digest content))
+    (String.length content)
+
+(* "crc32 <hex> size <n>" -> (hex, n) *)
+let parse_stamp line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "crc32"; hex; "size"; n ] -> (
+      match (Crc32.of_hex hex, int_of_string_opt n) with
+      | Some _, Some size -> Some (hex, size)
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type fault = Crash_before_rename | Torn_write | Enospc | Corrupt_read
+
+let action_of_fault ~step fault =
+  match (fault, (step : Atomic_io.step)) with
+  | Crash_before_rename, _ -> Atomic_io.Crash "injected crash"
+  | Torn_write, Atomic_io.Write -> Atomic_io.Torn 0.5
+  | Torn_write, _ -> Atomic_io.Crash "injected crash (torn)"
+  | Enospc, _ -> Atomic_io.Fail "No space left on device (injected)"
+  | Corrupt_read, Atomic_io.Read -> Atomic_io.Corrupt
+  | Corrupt_read, _ -> Atomic_io.Proceed
+
+let inject plan =
+  Atomic_io.reset_ops ();
+  Atomic_io.set_hook
+    (Some
+       (fun ~op ~step ~path:_ ->
+         match List.assoc_opt op plan with
+         | None -> Atomic_io.Proceed
+         | Some fault -> action_of_fault ~step fault))
+
+let inject_random ~seed ~faults ~ops =
+  let rng = Prng.create seed in
+  let kinds = [ Crash_before_rename; Torn_write; Enospc; Corrupt_read ] in
+  let rec draw acc n =
+    if n = 0 || List.length acc >= ops then acc
+    else
+      let i = Prng.int rng (max 1 ops) in
+      if List.mem_assoc i acc then draw acc n
+      else draw ((i, Prng.pick rng kinds) :: acc) (n - 1)
+  in
+  let plan = List.sort compare (draw [] (max 0 faults)) in
+  inject plan;
+  plan
+
+let inject_transient ~seed ~rate =
+  let rng = Prng.create seed in
+  Atomic_io.reset_ops ();
+  Atomic_io.set_hook
+    (Some
+       (fun ~op:_ ~step:_ ~path:_ ->
+         if Atomic_io.in_protected () && Prng.bool rng rate then
+           Atomic_io.Fail "No space left on device (injected transient)"
+         else Atomic_io.Proceed))
+
+let install_env_faults () =
+  match Sys.getenv_opt "ONION_FAULT_SEED" with
+  | None -> ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | None -> ()
+      | Some seed ->
+          let rate =
+            match Sys.getenv_opt "ONION_FAULT_RATE" with
+            | Some r -> (
+                match float_of_string_opt (String.trim r) with
+                | Some f when f >= 0.0 && f <= 1.0 -> f
+                | _ -> 0.02)
+            | None -> 0.02
+          in
+          inject_transient ~seed ~rate)
+
+let clear_faults () = Atomic_io.set_hook None
+
+let ops = Atomic_io.ops
+let reset_ops = Atomic_io.reset_ops
+
+(* ------------------------------------------------------------------ *)
+(* Durable operations                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded retry for transient Sys_errors.  Crashed is never caught: a
+   simulated process death must behave like one. *)
+let with_retries ~retries ~backoff_ms f =
+  let rec go attempt =
+    match f () with
+    | v -> Ok v
+    | exception Sys_error m ->
+        if attempt >= retries then Error m
+        else begin
+          if backoff_ms > 0.0 then
+            Unix.sleepf (backoff_ms *. (2.0 ** float_of_int attempt) /. 1000.0);
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+let write ?(retries = 3) ?(backoff_ms = 1.0) ~path content =
+  with_retries ~retries ~backoff_ms (fun () ->
+      Atomic_io.protect (fun () ->
+          (* Payload first, sidecar second: a crash in between leaves a
+             committed-but-unstamped payload, which readers trust and
+             fsck adopts.  The reverse order could pair a fresh sidecar
+             with a stale payload and cry corruption. *)
+          Atomic_io.write path content;
+          Atomic_io.write (sidecar_path path) (stamp_line content)))
+
+let read ~path =
+  match Atomic_io.read path with
+  | content -> Ok content
+  | exception Sys_error m -> Error m
+
+type verdict =
+  | Verified
+  | Unstamped
+  | Mismatch of { expected : string; actual : string }
+
+let read_verified ~path =
+  match Atomic_io.read path with
+  | exception Sys_error m -> Error m
+  | content -> (
+      let sc = sidecar_path path in
+      if not (Sys.file_exists sc) then Ok (content, Unstamped)
+      else
+        match Atomic_io.read sc with
+        | exception Sys_error _ -> Ok (content, Unstamped)
+        | line -> (
+            match parse_stamp line with
+            | None -> Ok (content, Unstamped)
+            | Some (expected, size) ->
+                let actual = Crc32.to_hex (Crc32.digest content) in
+                if String.equal expected actual && size = String.length content
+                then Ok (content, Verified)
+                else Ok (content, Mismatch { expected; actual })))
+
+let stamp ?(retries = 3) ?(backoff_ms = 1.0) path =
+  match Atomic_io.read path with
+  | exception Sys_error m -> Error m
+  | content ->
+      with_retries ~retries ~backoff_ms (fun () ->
+          Atomic_io.protect (fun () ->
+              Atomic_io.write (sidecar_path path) (stamp_line content)))
+
+let remove ~path =
+  match Atomic_io.remove path with
+  | exception Sys_error m -> Error m
+  | () ->
+      let sc = sidecar_path path in
+      if Sys.file_exists sc then
+        match Atomic_io.remove sc with
+        | exception Sys_error m ->
+            Error (Printf.sprintf "removed %s but not its sidecar: %s" path m)
+        | () -> Ok ()
+      else Ok ()

@@ -1,0 +1,106 @@
+(** Durable, checksummed, fault-injectable storage for the workspace.
+
+    "The articulation is the only thing that is physically stored"
+    (section 2) — which makes the workspace's files the single point of
+    durability failure for the whole federation.  This module is the
+    policy layer over {!Atomic_io}'s atomic-publish mechanism:
+
+    - {b atomic writes}: tmp file + fsync + rename, so a crash never
+      leaves a torn committed file;
+    - {b CRC-32 stamps}: every payload gets a [<file>.crc32] sidecar
+      ([crc32 <hex> size <bytes>]) written after the payload commits, so
+      silent corruption is detected on read.  A payload without a sidecar
+      is merely {e unstamped} (externally added or crashed between the
+      two writes) — still trusted, and adopted by fsck;
+    - {b bounded retry with backoff} for transient environment failures
+      (ENOSPC-style [Sys_error]s), exponential from [backoff_ms];
+    - {b fault injection}: deterministic per-op fault plans and
+      Prng-seeded random/transient schedules, addressed by
+      {!Atomic_io.ops} index, to drive crash-matrix and soak tests.
+
+    Simulated crashes ({!Crashed}) are deliberately {e not} retried or
+    converted to [Error]: a crash kills the process, and the harness
+    catches it where production would restart. *)
+
+exception Crashed of string
+(** Alias of {!Atomic_io.Crashed}. *)
+
+(** {1 Durable operations} *)
+
+val write :
+  ?retries:int -> ?backoff_ms:float -> path:string -> string -> (unit, string) result
+(** Atomically publish [content] at [path] and stamp its sidecar.
+    Transient [Sys_error]s are retried up to [retries] (default 3) times
+    with exponential backoff starting at [backoff_ms] (default 1.0;
+    pass [0.] in tests).  [Error] carries the last failure. *)
+
+val read : path:string -> (string, string) result
+(** Whole-file read, [Sys_error] as [Error]. *)
+
+type verdict =
+  | Verified  (** Sidecar present and the checksum matches. *)
+  | Unstamped  (** No sidecar: externally created or pre-durability. *)
+  | Mismatch of { expected : string; actual : string }
+      (** Sidecar disagrees with the payload: silent corruption, a torn
+          sidecar update, or a legitimate external edit.  Callers decide
+          (the workspace treats parseable mismatches as external edits
+          and re-stamps them in fsck). *)
+
+val read_verified : path:string -> (string * verdict, string) result
+
+val stamp : ?retries:int -> ?backoff_ms:float -> string -> (unit, string) result
+(** (Re)write the sidecar for the payload currently at the path. *)
+
+val remove : path:string -> (unit, string) result
+(** Unlink the payload and its sidecar (if any). *)
+
+(** {1 Sidecars} *)
+
+val sidecar_suffix : string
+(** [".crc32"] *)
+
+val sidecar_path : string -> string
+val is_sidecar : string -> bool
+
+val payload_of_sidecar : string -> string
+(** Inverse of {!sidecar_path}. *)
+
+(** {1 Fault injection} *)
+
+type fault =
+  | Crash_before_rename
+      (** Die at the step: for writes the tmp file is fully written but
+          never published. *)
+  | Torn_write  (** Persist only half the payload bytes, then die. *)
+  | Enospc  (** Transient [Sys_error] — recoverable via {!write}'s retry. *)
+  | Corrupt_read  (** The read at that op returns a bit-flipped payload. *)
+
+val inject : (int * fault) list -> unit
+(** Arm a deterministic plan: fault [f] fires when the global IO-op
+    counter reaches index [i] (the counter is reset).  Ops not listed
+    proceed normally.  Replaces any armed schedule. *)
+
+val inject_random : seed:int -> faults:int -> ops:int -> (int * fault) list
+(** A reproducible random plan: [faults] distinct op indices in
+    [\[0, ops)] with random fault kinds, drawn from {!Prng} at [seed].
+    Returns the plan (also armed) so harnesses can log it. *)
+
+val inject_transient : seed:int -> rate:float -> unit
+(** Arm probabilistic ENOSPC noise: each IO op inside a retry-supervised
+    region ({!Atomic_io.protect}) fails with probability [rate], drawn
+    deterministically from [seed].  Ops outside supervised regions are
+    never failed.  This is the CI soak mode: the suite must pass with it
+    armed, proving the retry layer absorbs transient faults. *)
+
+val install_env_faults : unit -> unit
+(** Arm {!inject_transient} from [ONION_FAULT_SEED] (int) and
+    [ONION_FAULT_RATE] (float, default 0.02) when the seed variable is
+    set; no-op otherwise.  Called by the test binaries and the CLI. *)
+
+val clear_faults : unit -> unit
+(** Disarm everything (the op counter keeps running). *)
+
+val ops : unit -> int
+(** Re-export of {!Atomic_io.ops}. *)
+
+val reset_ops : unit -> unit

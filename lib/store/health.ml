@@ -1,0 +1,61 @@
+type part = Source | Articulation | Store
+
+type kind =
+  | Torn
+  | Unreadable
+  | Unparseable
+  | Checksum_mismatch
+  | Orphan_sidecar
+
+type issue = {
+  part : part;
+  name : string;
+  file : string;
+  kind : kind;
+  detail : string;
+}
+
+type t = {
+  sources_ok : string list;
+  articulations_ok : string list;
+  issues : issue list;
+}
+
+let empty = { sources_ok = []; articulations_ok = []; issues = [] }
+
+let is_failure i = match i.kind with Checksum_mismatch -> false | _ -> true
+
+let ok t = t.issues = []
+let degraded t = List.exists is_failure t.issues
+let failures t = List.filter is_failure t.issues
+let warnings t = List.filter (fun i -> not (is_failure i)) t.issues
+
+let string_of_part = function
+  | Source -> "source"
+  | Articulation -> "articulation"
+  | Store -> "store"
+
+let string_of_kind = function
+  | Torn -> "torn-write"
+  | Unreadable -> "unreadable"
+  | Unparseable -> "unparseable"
+  | Checksum_mismatch -> "checksum-mismatch"
+  | Orphan_sidecar -> "orphan-sidecar"
+
+let pp_issue ppf i =
+  Format.fprintf ppf "%s %s [%s] %s: %s"
+    (if is_failure i then "FAIL" else "WARN")
+    (string_of_part i.part) (string_of_kind i.kind) i.name i.detail
+
+let pp ppf t =
+  if ok t then
+    Format.fprintf ppf "health: OK (%d sources, %d articulations)"
+      (List.length t.sources_ok)
+      (List.length t.articulations_ok)
+  else begin
+    Format.fprintf ppf "health: %s (%d sources, %d articulations serving)"
+      (if degraded t then "DEGRADED" else "OK with warnings")
+      (List.length t.sources_ok)
+      (List.length t.articulations_ok);
+    List.iter (fun i -> Format.fprintf ppf "@,  %a" pp_issue i) t.issues
+  end

@@ -1,0 +1,59 @@
+(** Federation health: which parts of a workspace serve, and which fail.
+
+    Networks of ontologies assume the query space survives partial
+    failure of individual sources: one corrupt file must degrade the
+    federation, not take it down.  A [Health.t] is the structured account
+    of one workspace scan — every healthy source and articulation by
+    name, plus one {!issue} per file that could not be fully trusted.
+
+    Issues split into {e failures} (the file is excluded from the query
+    space) and {e warnings} (the file serves, but something is off —
+    e.g. a checksum stamp that no longer matches a parseable payload,
+    the signature of an external edit). *)
+
+type part = Source | Articulation | Store
+
+type kind =
+  | Torn  (** A stray in-flight tmp file: a write died before publishing. *)
+  | Unreadable  (** IO error reading the payload. *)
+  | Unparseable  (** Payload read but does not parse. *)
+  | Checksum_mismatch
+      (** Payload parses but its CRC stamp disagrees: external edit or
+          silent corruption that still parses.  Warning — the file
+          serves. *)
+  | Orphan_sidecar  (** A CRC sidecar with no payload. *)
+
+type issue = {
+  part : part;
+  name : string;  (** Registered name, or the file name for strays. *)
+  file : string;  (** Path relative to the workspace root. *)
+  kind : kind;
+  detail : string;
+}
+
+type t = {
+  sources_ok : string list;  (** Sorted names serving queries. *)
+  articulations_ok : string list;  (** Sorted. *)
+  issues : issue list;
+}
+
+val empty : t
+
+val is_failure : issue -> bool
+(** [true] unless the issue is a warning ({!Checksum_mismatch}). *)
+
+val ok : t -> bool
+(** No issues at all. *)
+
+val degraded : t -> bool
+(** At least one {e failure}: something is excluded from the space. *)
+
+val failures : t -> issue list
+val warnings : t -> issue list
+
+val string_of_kind : kind -> string
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human summary, as shown by [onion fsck] and [status]. *)

@@ -1,6 +1,8 @@
+type space_result = (Federation.t * Health.t, string) result
+
 type t = {
   root : string;
-  mutable space_memo : (string * (Federation.t, string) result) option;
+  mutable space_memo : (string * space_result) option;
       (* Last computed query space paired with the disk fingerprint it was
          built from: while the files under sources/ and articulations/ are
          byte-identical, [space] answers from the memo instead of
@@ -19,18 +21,7 @@ let root t = t.root
 
 let sources_dir t = t.root / "sources"
 let articulations_dir t = t.root / "articulations"
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let write_file path content =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc content)
+let quarantine_dir t = t.root / "quarantine"
 
 let is_workspace dir = Sys.file_exists (dir / marker)
 
@@ -45,7 +36,7 @@ let init dir =
       mkdir_if_missing dir;
       mkdir_if_missing (dir / "sources");
       mkdir_if_missing (dir / "articulations");
-      write_file (dir / marker) marker_content;
+      Atomic_io.write (dir / marker) marker_content;
       Ok { root = dir; space_memo = None }
     with Sys_error m -> Error m
   end
@@ -53,6 +44,16 @@ let init dir =
 let open_ dir =
   if is_workspace dir then Ok { root = dir; space_memo = None }
   else Error (Printf.sprintf "%s is not an onion workspace (missing %s)" dir marker)
+
+(* Payload files only: in-flight tmp files and checksum sidecars are
+   protocol artefacts, not registered content. *)
+let payload_files dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir
+    |> Array.to_list
+    |> List.filter (fun f ->
+           not (Atomic_io.is_tmp f) && not (Durable_io.is_sidecar f))
 
 (* Source files keep their original extension so the loader's format
    dispatch still applies; the registered name is the ontology's own. *)
@@ -69,39 +70,47 @@ let source_file t name =
 let add_source t ~path =
   match Loader.load_file path with
   | Error m -> Error (Printf.sprintf "cannot register %s: %s" path m)
-  | Ok o ->
+  | Ok o -> (
       let name = Ontology.name o in
       let ext =
         match String.lowercase_ascii (Filename.extension path) with
         | "" -> ".xml"
         | e -> e
       in
-      (* Drop any previously registered file for this name (possibly under
-         another extension). *)
-      (match source_file t name with
-      | Some old -> (try Sys.remove old with Sys_error _ -> ())
-      | None -> ());
-      (try
-         write_file (sources_dir t / (name ^ ext)) (read_file path);
-         Ok name
-       with Sys_error m -> Error m)
+      let target = sources_dir t / (name ^ ext) in
+      (* Drop any previously registered file for this name under another
+         extension (same-extension re-adds are atomically overwritten by
+         the rename, no removal needed).  A failure here must not be
+         swallowed: the stale file would keep shadowing or duplicating
+         the source, so it is surfaced as a warning. *)
+      let warnings =
+        match source_file t name with
+        | Some old when not (String.equal old target) -> (
+            match Durable_io.remove ~path:old with
+            | Ok () -> []
+            | Error m ->
+                [
+                  Printf.sprintf
+                    "could not remove previously registered %s: %s" old m;
+                ])
+        | _ -> []
+      in
+      match Durable_io.read ~path with
+      | Error m -> Error m
+      | Ok content -> (
+          match Durable_io.write ~path:target content with
+          | Ok () -> Ok (name, warnings)
+          | Error m -> Error m))
 
 let remove_source t name =
   match source_file t name with
-  | Some path ->
-      (try
-         Sys.remove path;
-         Ok ()
-       with Sys_error m -> Error m)
+  | Some path -> Durable_io.remove ~path
   | None -> Error (Printf.sprintf "no source named %s" name)
 
 let source_names t =
-  if not (Sys.file_exists (sources_dir t)) then []
-  else
-    Sys.readdir (sources_dir t)
-    |> Array.to_list
-    |> List.map Filename.remove_extension
-    |> List.sort_uniq String.compare
+  payload_files (sources_dir t)
+  |> List.map Filename.remove_extension
+  |> List.sort_uniq String.compare
 
 let load_source t name =
   match source_file t name with
@@ -111,30 +120,100 @@ let load_source t name =
       | Ok o -> Ok o
       | Error m -> Error (Printf.sprintf "source %s: %s" name m))
 
+let rel_file t path =
+  let prefix = t.root / "" in
+  let lp = String.length prefix in
+  if String.length path > lp && String.equal (String.sub path 0 lp) prefix then
+    String.sub path lp (String.length path - lp)
+  else path
+
+(* Degraded load of one source: IO errors, parse failures and checksum
+   verdicts become Health issues instead of aborting the federation. *)
+let classify_source t name =
+  match source_file t name with
+  | None ->
+      Error
+        {
+          Health.part = Health.Source;
+          name;
+          file = "sources/" ^ name;
+          kind = Health.Unreadable;
+          detail = "registered file disappeared";
+        }
+  | Some path -> (
+      let file = rel_file t path in
+      match Durable_io.read_verified ~path with
+      | Error m ->
+          Error
+            {
+              Health.part = Health.Source;
+              name;
+              file;
+              kind = Health.Unreadable;
+              detail = m;
+            }
+      | Ok (content, verdict) -> (
+          let format = Loader.format_of_path path in
+          match Loader.load_string ?format ~name content with
+          | Error m ->
+              let detail =
+                match verdict with
+                | Durable_io.Mismatch { expected; actual } ->
+                    Printf.sprintf
+                      "%s (checksum mismatch: stamped %s, payload %s)" m
+                      expected actual
+                | _ -> m
+              in
+              Error
+                {
+                  Health.part = Health.Source;
+                  name;
+                  file;
+                  kind = Health.Unparseable;
+                  detail;
+                }
+          | Ok o -> (
+              match verdict with
+              | Durable_io.Mismatch { expected; actual } ->
+                  Ok
+                    ( o,
+                      [
+                        {
+                          Health.part = Health.Source;
+                          name;
+                          file;
+                          kind = Health.Checksum_mismatch;
+                          detail =
+                            Printf.sprintf
+                              "stamped %s, payload %s — external edit or \
+                               silent corruption (fsck re-stamps)"
+                              expected actual;
+                        };
+                      ] )
+              | _ -> Ok (o, []))))
+
 let load_sources t =
   List.fold_left
-    (fun acc name ->
-      let* sources = acc in
-      let* o = load_source t name in
-      Ok (sources @ [ o ]))
-    (Ok []) (source_names t)
+    (fun (sources, issues) name ->
+      match classify_source t name with
+      | Ok (o, warns) -> (sources @ [ o ], issues @ warns)
+      | Error issue -> (sources, issues @ [ issue ]))
+    ([], []) (source_names t)
 
 let articulation_file t name = articulations_dir t / (name ^ ".articulation.xml")
 
 let store_articulation t articulation =
-  Articulation_io.save_file articulation
-    (articulation_file t (Articulation.name articulation))
+  Durable_io.write
+    ~path:(articulation_file t (Articulation.name articulation))
+    (Articulation_io.to_string articulation)
 
 let articulation_names t =
-  if not (Sys.file_exists (articulations_dir t)) then []
-  else
-    Sys.readdir (articulations_dir t)
-    |> Array.to_list
-    |> List.filter_map (fun f ->
-           if Filename.check_suffix f ".articulation.xml" then
-             Some (Filename.chop_suffix f ".articulation.xml")
-           else None)
-    |> List.sort String.compare
+  payload_files (articulations_dir t)
+  |> List.filter_map (fun f ->
+         if Filename.check_suffix f ".articulation.xml" then
+           Some (Filename.chop_suffix f ".articulation.xml")
+         else None)
+  |> List.sort String.compare
 
 let load_articulation t name =
   let path = articulation_file t name in
@@ -146,11 +225,67 @@ let remove_articulation t name =
   let path = articulation_file t name in
   if not (Sys.file_exists path) then
     Error (Printf.sprintf "no articulation named %s" name)
-  else
-    try
-      Sys.remove path;
-      Ok ()
-    with Sys_error m -> Error m
+  else Durable_io.remove ~path
+
+let classify_articulation t name =
+  let path = articulation_file t name in
+  let file = rel_file t path in
+  match Durable_io.read_verified ~path with
+  | Error m ->
+      Error
+        {
+          Health.part = Health.Articulation;
+          name;
+          file;
+          kind = Health.Unreadable;
+          detail = m;
+        }
+  | Ok (content, verdict) -> (
+      match Articulation_io.of_string content with
+      | Error m ->
+          let detail =
+            match verdict with
+            | Durable_io.Mismatch { expected; actual } ->
+                Printf.sprintf "%s (checksum mismatch: stamped %s, payload %s)"
+                  m expected actual
+            | _ -> m
+          in
+          Error
+            {
+              Health.part = Health.Articulation;
+              name;
+              file;
+              kind = Health.Unparseable;
+              detail;
+            }
+      | Ok a -> (
+          match verdict with
+          | Durable_io.Mismatch { expected; actual } ->
+              Ok
+                ( a,
+                  [
+                    {
+                      Health.part = Health.Articulation;
+                      name;
+                      file;
+                      kind = Health.Checksum_mismatch;
+                      detail =
+                        Printf.sprintf
+                          "stamped %s, payload %s — external edit or silent \
+                           corruption (fsck re-stamps)"
+                          expected actual;
+                    };
+                  ] )
+          | _ -> Ok (a, [])))
+
+let load_articulations t =
+  List.fold_left
+    (fun (arts, issues) name ->
+      match classify_articulation t name with
+      | Ok (a, warns) -> (arts @ [ a ], issues @ warns)
+      | Error issue -> (arts, issues @ [ issue ]))
+    ([], [])
+    (articulation_names t)
 
 let articulate ?conversions t ~left ~right ~name ~rules =
   let* left_o = load_source t left in
@@ -161,17 +296,53 @@ let articulate ?conversions t ~left ~right ~name ~rules =
   with
   | exception Invalid_argument m -> Error m
   | r ->
-      store_articulation t r.Generator.articulation;
+      let* () = store_articulation t r.Generator.articulation in
       Ok (r.Generator.articulation, r.Generator.warnings)
 
-let load_articulations t =
-  List.fold_left
-    (fun acc name ->
-      let* arts = acc in
-      let* a = load_articulation t name in
-      Ok (arts @ [ a ]))
-    (Ok [])
-    (articulation_names t)
+(* Protocol debris in a directory: stray tmp files (torn writes) and
+   sidecars whose payload is gone. *)
+let stray_issues_in t part dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.filter_map (fun f ->
+           let path = dir / f in
+           if Atomic_io.is_tmp f then
+             Some
+               {
+                 Health.part;
+                 name = f;
+                 file = rel_file t path;
+                 kind = Health.Torn;
+                 detail = "in-flight tmp file left by an interrupted write";
+               }
+           else if
+             Durable_io.is_sidecar f
+             && not (Sys.file_exists (dir / Durable_io.payload_of_sidecar f))
+           then
+             Some
+               {
+                 Health.part;
+                 name = f;
+                 file = rel_file t path;
+                 kind = Health.Orphan_sidecar;
+                 detail = "checksum sidecar without a payload";
+               }
+           else None)
+
+let stray_issues t =
+  stray_issues_in t Health.Source (sources_dir t)
+  @ stray_issues_in t Health.Articulation (articulations_dir t)
+
+let health t =
+  let sources, s_issues = load_sources t in
+  let articulations, a_issues = load_articulations t in
+  {
+    Health.sources_ok = List.map Ontology.name sources;
+    articulations_ok =
+      List.sort String.compare (List.map Articulation.name articulations);
+    issues = stray_issues t @ s_issues @ a_issues;
+  }
 
 (* Content fingerprint of a directory: sorted file names, each with the
    MD5 of its bytes.  Content-based rather than mtime-based, so a file
@@ -192,11 +363,21 @@ let dir_fingerprint dir =
 let fingerprint t =
   dir_fingerprint (sources_dir t) ^ "|" ^ dir_fingerprint (articulations_dir t)
 
+(* The degraded federation: every healthy source and articulation serves;
+   everything else is accounted for in the Health record. *)
 let compute_space t =
-  let* sources = load_sources t in
-  let* articulations = load_articulations t in
+  let sources, s_issues = load_sources t in
+  let articulations, a_issues = load_articulations t in
+  let health =
+    {
+      Health.sources_ok = List.map Ontology.name sources;
+      articulations_ok =
+        List.sort String.compare (List.map Articulation.name articulations);
+      issues = stray_issues t @ s_issues @ a_issues;
+    }
+  in
   match Federation.of_parts ~sources ~articulations with
-  | space -> Ok space
+  | space -> Ok (space, health)
   | exception Invalid_argument m -> Error m
 
 let space t =
@@ -212,8 +393,8 @@ let space t =
   end
 
 let stale_bridges t =
-  let* sources = load_sources t in
-  let* articulations = load_articulations t in
+  let sources, _ = load_sources t in
+  let articulations, _ = load_articulations t in
   let has_term onto_name term =
     match List.find_opt (fun o -> Ontology.name o = onto_name) sources with
     | Some o -> Ontology.has_term o term
@@ -232,6 +413,175 @@ let stale_bridges t =
                 endpoint_stale b.Bridge.src || endpoint_stale b.Bridge.dst)
          |> List.map (fun b -> (art_name, b)))
        articulations)
+
+(* ------------------------------------------------------------------ *)
+(* fsck                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type repair =
+  | Quarantined of { file : string; to_ : string; reason : string }
+  | Restamped of { file : string; reason : string }
+  | Removed_orphan of { file : string }
+
+type fsck_report = { repairs : repair list; health : Health.t }
+
+let pp_repair ppf = function
+  | Quarantined { file; to_; reason } ->
+      Format.fprintf ppf "quarantined %s -> %s (%s)" file to_ reason
+  | Restamped { file; reason } ->
+      Format.fprintf ppf "re-stamped %s (%s)" file reason
+  | Removed_orphan { file } ->
+      Format.fprintf ppf "removed orphan sidecar %s" file
+
+let pp_fsck_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  if r.repairs = [] then Format.fprintf ppf "nothing to repair@,"
+  else
+    List.iter (fun a -> Format.fprintf ppf "%a@," pp_repair a) r.repairs;
+  Format.fprintf ppf "%a@]" Health.pp r.health
+
+(* Move a file into <root>/quarantine, never overwriting earlier
+   evidence. *)
+let quarantine t path =
+  mkdir_if_missing (quarantine_dir t);
+  let base = Filename.basename path in
+  let rec dest i =
+    let candidate =
+      if i = 0 then quarantine_dir t / base
+      else quarantine_dir t / (base ^ "." ^ string_of_int i)
+    in
+    if Sys.file_exists candidate then dest (i + 1) else candidate
+  in
+  let d = dest 0 in
+  match Sys.rename path d with
+  | () -> Ok d
+  | exception Sys_error m -> Error m
+
+let quarantine_with_sidecar t path ~reason repairs =
+  let repairs =
+    match quarantine t path with
+    | Ok d ->
+        Quarantined { file = rel_file t path; to_ = rel_file t d; reason }
+        :: repairs
+    | Error _ -> repairs
+  in
+  let sc = Durable_io.sidecar_path path in
+  if Sys.file_exists sc then
+    match quarantine t sc with
+    | Ok d ->
+        Quarantined
+          { file = rel_file t sc; to_ = rel_file t d; reason = "sidecar of " ^ Filename.basename path }
+        :: repairs
+    | Error _ -> repairs
+  else repairs
+
+let fsck_dir t part dir parse repairs =
+  if not (Sys.file_exists dir) then repairs
+  else begin
+    let files = Sys.readdir dir |> Array.to_list |> List.sort String.compare in
+    (* 1. Torn writes: stray tmp files are quarantined as evidence. *)
+    let repairs =
+      List.fold_left
+        (fun repairs f ->
+          let path = dir / f in
+          if Atomic_io.is_tmp f then
+            match quarantine t path with
+            | Ok d ->
+                Quarantined
+                  {
+                    file = rel_file t path;
+                    to_ = rel_file t d;
+                    reason = "torn write (crash before rename)";
+                  }
+                :: repairs
+            | Error _ -> repairs
+          else repairs)
+        repairs files
+    in
+    (* 2. Orphan sidecars. *)
+    let repairs =
+      List.fold_left
+        (fun repairs f ->
+          let path = dir / f in
+          if
+            Durable_io.is_sidecar f
+            && not (Sys.file_exists (dir / Durable_io.payload_of_sidecar f))
+          then
+            match Atomic_io.remove path with
+            | () -> Removed_orphan { file = rel_file t path } :: repairs
+            | exception Sys_error _ -> repairs
+          else repairs)
+        repairs files
+    in
+    ignore part;
+    (* 3. Payloads: unparseable files are quarantined; parseable files
+       whose stamp is stale or missing are re-stamped. *)
+    List.fold_left
+      (fun repairs f ->
+        let path = dir / f in
+        if Atomic_io.is_tmp f || Durable_io.is_sidecar f || not (Sys.file_exists path)
+        then repairs
+        else
+          match Durable_io.read_verified ~path with
+          | Error m ->
+              quarantine_with_sidecar t path ~reason:("unreadable: " ^ m) repairs
+          | Ok (content, verdict) -> (
+              match parse ~file:f content with
+              | Error m ->
+                  quarantine_with_sidecar t path ~reason:("unparseable: " ^ m)
+                    repairs
+              | Ok () -> (
+                  match verdict with
+                  | Durable_io.Verified -> repairs
+                  | Durable_io.Unstamped -> (
+                      match Durable_io.stamp path with
+                      | Ok () ->
+                          Restamped
+                            { file = rel_file t path; reason = "no stamp: adopted" }
+                          :: repairs
+                      | Error _ -> repairs)
+                  | Durable_io.Mismatch _ -> (
+                      match Durable_io.stamp path with
+                      | Ok () ->
+                          Restamped
+                            {
+                              file = rel_file t path;
+                              reason = "stale stamp: accepted external edit";
+                            }
+                          :: repairs
+                      | Error _ -> repairs))))
+      repairs files
+  end
+
+let fsck t =
+  let parse_source ~file content =
+    let format = Loader.format_of_path file in
+    match Loader.load_string ?format ~name:(Filename.remove_extension file) content with
+    | Ok _ -> Ok ()
+    | Error m -> Error m
+  in
+  let parse_articulation ~file:_ content =
+    match Articulation_io.of_string content with Ok _ -> Ok () | Error m -> Error m
+  in
+  let repairs =
+    []
+    |> fsck_dir t Health.Source (sources_dir t) parse_source
+    |> fsck_dir t Health.Articulation (articulations_dir t) parse_articulation
+    |> List.rev
+  in
+  (* Anything repaired invalidates every derived result: the space memo
+     is fingerprint-keyed (so already safe), but the global result caches
+     may hold entries computed from pre-repair revisions of ontologies
+     that no longer exist on disk. *)
+  if repairs <> [] then begin
+    Cache_stats.clear_all ();
+    t.space_memo <- None
+  end;
+  { repairs; health = health t }
+
+(* ------------------------------------------------------------------ *)
+(* status                                                             *)
+(* ------------------------------------------------------------------ *)
 
 let status t =
   let buf = Buffer.create 512 in
@@ -269,4 +619,5 @@ let status t =
           Buffer.add_string buf (Format.asprintf "  [%s] %a\n" art Bridge.pp b))
         stale
   | Error m -> Buffer.add_string buf (Printf.sprintf "stale check failed: %s\n" m));
+  Buffer.add_string buf (Format.asprintf "%a\n" Health.pp (health t));
   Buffer.contents buf

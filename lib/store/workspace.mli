@@ -9,12 +9,26 @@
     <root>/
       onion.workspace        marker + format version
       sources/               registered ontology files (xml / idl / adj)
+                             + <file>.crc32 checksum sidecars
       articulations/         <name>.articulation.xml (Articulation_io)
+      quarantine/            files set aside by fsck (created on demand)
     v}
 
     All operations re-read from disk: external edits to a source file are
     picked up on the next call, which is the point — sources evolve
-    independently. *)
+    independently.
+
+    {b Durability.}  Every write goes through {!Durable_io}: atomic
+    publish (tmp + fsync + rename), CRC-32 sidecar stamps, bounded retry
+    for transient failures.  A crash can therefore never tear a committed
+    file; at worst it leaves a stray [*.onion-tmp] or an unstamped
+    payload, both of which {!fsck} repairs.
+
+    {b Degraded federation.}  Loading is per-file fault-isolated: a
+    corrupt or unparseable source is excluded from the query space and
+    reported in {!Health.t} while every healthy part keeps serving.  A
+    parseable payload whose stamp disagrees is treated as an external
+    edit (a feature, per the paper) and reported as a warning only. *)
 
 type t
 
@@ -29,30 +43,38 @@ val root : t -> string
 
 (** {1 Sources} *)
 
-val add_source : t -> path:string -> (string, string) result
-(** Copy an ontology file into the workspace and return the registered
-    name (the ontology's own name).  The file must parse; re-adding a
-    source with the same name replaces it. *)
+val add_source : t -> path:string -> (string * string list, string) result
+(** Copy an ontology file into the workspace (atomically, stamped) and
+    return the registered name (the ontology's own name) plus any
+    non-fatal warnings — e.g. a previously registered file under another
+    extension that could not be removed.  The file must parse; re-adding
+    a source with the same name replaces it. *)
 
 val remove_source : t -> string -> (unit, string) result
+(** Unlink the registered file and its checksum sidecar. *)
 
 val source_names : t -> string list
-(** Sorted. *)
+(** Sorted; in-flight tmp files and sidecars are not sources. *)
 
 val load_source : t -> string -> (Ontology.t, string) result
 
-val load_sources : t -> (Ontology.t list, string) result
-(** All sources; the first parse failure aborts. *)
+val load_sources : t -> Ontology.t list * Health.issue list
+(** Degraded load: every source that reads and parses, in name order,
+    plus one issue per source that did not (failures) or that parses
+    with a stale checksum stamp (warnings). *)
 
 (** {1 Articulations} *)
 
-val store_articulation : t -> Articulation.t -> unit
+val store_articulation : t -> Articulation.t -> (unit, string) result
 
 val articulation_names : t -> string list
 
 val load_articulation : t -> string -> (Articulation.t, string) result
 
 val remove_articulation : t -> string -> (unit, string) result
+
+val load_articulations : t -> Articulation.t list * Health.issue list
+(** Degraded load, mirroring {!load_sources}. *)
 
 val articulate :
   ?conversions:Conversion.t ->
@@ -63,18 +85,53 @@ val articulate :
   rules:Rule.t list ->
   (Articulation.t * Generator.warning list, string) result
 (** Generate from the workspace's current source files and store the
-    result. *)
+    result (durably). *)
 
 (** {1 Federation} *)
 
-val space : t -> (Federation.t, string) result
-(** The query space over every source and every stored articulation. *)
+val space : t -> (Federation.t * Health.t, string) result
+(** The query space over every {e healthy} source and stored
+    articulation, paired with the health account of the scan.  [Error]
+    only when the surviving parts cannot form a federation at all.
+    Memoised on a content fingerprint of the workspace files (honours
+    [Cache_stats.enabled]). *)
+
+val health : t -> Health.t
+(** Read-only scan: healthy parts, load failures, stray tmp files and
+    orphan sidecars.  Repairs nothing. *)
 
 val status : t -> string
 (** Human-readable overview: sources with term counts, articulations with
-    bridge counts, and stale articulations (bridges naming source terms
-    that no longer exist — the maintenance signal of section 5.3). *)
+    bridge counts, stale articulations (bridges naming source terms that
+    no longer exist — the maintenance signal of section 5.3), and the
+    health summary. *)
 
 val stale_bridges : t -> ((string * Bridge.t) list, string) result
 (** (articulation name, bridge) pairs whose source-side term has vanished
-    from the current source file. *)
+    from the current source file.  Computed over the healthy parts. *)
+
+(** {1 fsck} *)
+
+type repair =
+  | Quarantined of { file : string; to_ : string; reason : string }
+      (** Moved into [quarantine/] (torn tmp files, unreadable or
+          unparseable payloads and their sidecars).  Quarantine preserves
+          evidence; nothing is ever deleted outright except orphan
+          sidecars. *)
+  | Restamped of { file : string; reason : string }
+      (** A parseable payload with a missing or stale stamp got a fresh
+          sidecar (adoption of external files / edits). *)
+  | Removed_orphan of { file : string }  (** Sidecar without a payload. *)
+
+type fsck_report = { repairs : repair list; health : Health.t }
+(** [health] is the post-repair state. *)
+
+val fsck : t -> fsck_report
+(** Detect and repair: quarantine torn tmp files and unparseable
+    payloads, drop orphan sidecars, re-stamp parseable files.  Any
+    repair invalidates the global result caches ([Cache_stats.clear_all])
+    and this workspace's space memo, since cached results may refer to
+    pre-repair revisions. *)
+
+val pp_repair : Format.formatter -> repair -> unit
+val pp_fsck_report : Format.formatter -> fsck_report -> unit

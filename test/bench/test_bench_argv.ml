@@ -1,0 +1,72 @@
+(* Regression tests for the benchmark harness's argv handling: unknown
+   section names must be rejected up front (exit 2, naming the known
+   ids) before any section runs — a typo'd overnight `bench cache`
+   must not silently benchmark nothing. *)
+
+let bench = ref "bench"
+
+let run args =
+  let out = Filename.temp_file "onion-bench" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1"
+      (Filename.quote !bench)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove out;
+  (code, content)
+
+let contains ~affix s =
+  let la = String.length affix and ls = String.length s in
+  let rec scan i =
+    if i + la > ls then false
+    else if String.equal (String.sub s i la) affix then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_unknown_section_rejected () =
+  let code, out = run [ "no-such-section" ] in
+  check_int "exit code" 2 code;
+  check_bool "names the offender" true (contains ~affix:"no-such-section" out);
+  check_bool "lists known ids" true (contains ~affix:"cache" out);
+  check_bool "lists the fault section" true (contains ~affix:"fault" out)
+
+let test_unknown_rejected_before_running_anything () =
+  (* A known section followed by a typo: validation must fire before the
+     known section executes, so nothing is benchmarked. *)
+  let code, out = run [ "cache"; "no-such-section" ] in
+  check_int "exit code" 2 code;
+  check_bool "known section did not run" false (contains ~affix:"== CACHE" out)
+
+let test_case_insensitive () =
+  let code, out = run [ "NO-SUCH-SECTION" ] in
+  check_int "exit code" 2 code;
+  check_bool "lowercased in the message" true
+    (contains ~affix:"no-such-section" out)
+
+let () =
+  (match Array.to_list Sys.argv with
+  | _ :: path :: _ -> bench := path
+  | _ -> prerr_endline "usage: test_bench_argv <path-to-bench-main>");
+  (* Alcotest must not try to parse the binary-path argument. *)
+  Alcotest.run ~argv:[| "test_bench_argv" |] "bench-argv"
+    [
+      ( "argv",
+        [
+          Alcotest.test_case "unknown section" `Quick test_unknown_section_rejected;
+          Alcotest.test_case "rejected before running" `Quick
+            test_unknown_rejected_before_running_anything;
+          Alcotest.test_case "case insensitive" `Quick test_case_insensitive;
+        ] );
+    ]

@@ -212,6 +212,54 @@ let test_workspace_lifecycle () =
   in
   rm dir
 
+let test_fsck () =
+  let dir = Filename.temp_file "ws" "" in
+  Sys.remove dir;
+  let code, _ = run [ "workspace"; "init"; dir ] in
+  check_int "init" 0 code;
+  let code, _ = run [ "workspace"; "add"; dir; data "carrier.xml" ] in
+  check_int "add carrier" 0 code;
+  (* Clean workspace: fsck has nothing to do and reports health OK. *)
+  let code, out = run [ "fsck"; dir ] in
+  check_int "clean fsck" 0 code;
+  check_bool "nothing to repair" true (contains ~affix:"nothing to repair" out);
+  check_bool "health ok" true (contains ~affix:"health: OK" out);
+  (* Plant debris: an unparseable source and a torn tmp file. *)
+  let sources = Filename.concat dir "sources" in
+  let plant name content =
+    let oc = open_out_bin (Filename.concat sources name) in
+    output_string oc content;
+    close_out oc
+  in
+  plant "junk.xml" "<broken";
+  plant "x.xml.onion-tmp" "half-written";
+  (* Check-only mode reports the degradation without touching anything. *)
+  let code, out = run [ "fsck"; "-n"; dir ] in
+  check_int "check-only exits nonzero" 1 code;
+  check_bool "reports degraded" true (contains ~affix:"DEGRADED" out);
+  check_bool "check-only repairs nothing" true
+    (Sys.file_exists (Filename.concat sources "junk.xml"));
+  (* Repair mode quarantines both and ends healthy. *)
+  let code, out = run [ "fsck"; dir ] in
+  check_int "repair fsck" 0 code;
+  check_bool "quarantined junk" true (contains ~affix:"quarantined" out);
+  check_bool "junk moved out" false
+    (Sys.file_exists (Filename.concat sources "junk.xml"));
+  check_bool "tmp moved out" false
+    (Sys.file_exists (Filename.concat sources "x.xml.onion-tmp"));
+  check_bool "healthy after repair" true (contains ~affix:"health: OK" out);
+  (* The surviving source still answers queries. *)
+  let code, _ = run [ "workspace"; "status"; dir ] in
+  check_int "status after fsck" 0 code;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  rm dir
+
 let test_translate () =
   let code, out =
     run
@@ -345,6 +393,7 @@ let () =
           Alcotest.test_case "demo" `Quick test_demo;
           Alcotest.test_case "session scripted" `Quick test_session_scripted;
           Alcotest.test_case "workspace lifecycle" `Quick test_workspace_lifecycle;
+          Alcotest.test_case "fsck" `Quick test_fsck;
           Alcotest.test_case "translate" `Quick test_translate;
           Alcotest.test_case "missing file" `Quick test_missing_file_fails;
           Alcotest.test_case "bad query" `Quick test_bad_query_fails;

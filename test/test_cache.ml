@@ -220,7 +220,8 @@ let test_workspace_space_memo () =
   let s3 = Workspace.space ws in
   check_bool "changed disk recomputes" true (s2 != s3);
   match s3 with
-  | Ok space -> check_int "both sources present" 2 (List.length space.Federation.sources)
+  | Ok (space, _) ->
+      check_int "both sources present" 2 (List.length space.Federation.sources)
   | Error m -> Alcotest.failf "space failed: %s" m
 
 let suite =

@@ -1,0 +1,240 @@
+(* The crash matrix: for every workspace operation, measure its IO-op
+   footprint, then re-run it on a fresh workspace with a crash injected
+   at each op index in turn.  After every crash the workspace is
+   reopened, fsck'd, and the durability invariants checked:
+
+   - no previously committed source or articulation is ever lost;
+   - no torn file is ever parsed (everything that serves, parses);
+   - fsck leaves the federation un-degraded (debris quarantined). *)
+
+let check_bool = Alcotest.(check bool)
+
+let carrier_xml =
+  {|<ontology name="carrier">
+  <term name="Cars"><subclassOf term="Carrier"/><attribute term="Price"/></term>
+</ontology>|}
+
+let carrier_v2_xml = {|<ontology name="carrier"><term name="Boats"/></ontology>|}
+
+let factory_xml =
+  {|<ontology name="factory">
+  <term name="Vehicle"><subclassOf term="Transportation"/><attribute term="Price"/></term>
+</ontology>|}
+
+let raw_write path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let with_fresh_ws f =
+  let dir = Filename.temp_file "onion-matrix" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Durable_io.clear_faults ();
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      if Sys.file_exists dir then rm dir)
+    (fun () ->
+      match Workspace.init dir with
+      | Ok ws -> f dir ws
+      | Error m -> Alcotest.failf "init: %s" m)
+
+let add ws dir name content =
+  let path = Filename.concat dir (name ^ ".xml") in
+  raw_write path content;
+  match Workspace.add_source ws ~path with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "setup add %s: %s" name m
+
+let store_articulation ws ~left ~right ~name =
+  let t o n = Term.make ~ontology:o n in
+  match
+    Workspace.articulate ws ~left ~right ~name
+      ~rules:[ Rule.implies (t left "Cars") (t right "Vehicle") ]
+  with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "setup articulate: %s" m
+
+(* One matrix scenario: [setup] commits the protected state, [op] is the
+   operation under test, [committed] lists what must survive any crash. *)
+type scenario = {
+  label : string;
+  setup : string -> Workspace.t -> unit;
+  op : string -> Workspace.t -> unit;
+  committed_sources : string list;
+  committed_articulations : string list;
+}
+
+(* [op] runs under injection, so any result (including Error from an
+   injected failure) is acceptable; only [Crashed] is the simulated
+   death the matrix is about. *)
+let run_op scenario dir ws =
+  match scenario.op dir ws with
+  | () -> ()
+  | exception Durable_io.Crashed _ -> ()
+
+let footprint scenario =
+  with_fresh_ws (fun dir ws ->
+      scenario.setup dir ws;
+      Durable_io.clear_faults ();
+      Durable_io.reset_ops ();
+      run_op scenario dir ws;
+      Durable_io.ops ())
+
+let check_invariants scenario ~fault ~at ws =
+  let ctx m = Printf.sprintf "%s [%s@%d]: %s" scenario.label fault at m in
+  (* Every committed source still loads and parses. *)
+  List.iter
+    (fun name ->
+      match Workspace.load_source ws name with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "%s" (ctx ("lost source " ^ name ^ ": " ^ m)))
+    scenario.committed_sources;
+  List.iter
+    (fun name ->
+      match Workspace.load_articulation ws name with
+      | Ok _ -> ()
+      | Error m ->
+          Alcotest.failf "%s" (ctx ("lost articulation " ^ name ^ ": " ^ m)))
+    scenario.committed_articulations;
+  (* Whatever else survived the crash must parse too: anything listed as
+     a source either loads or was quarantined by fsck. *)
+  List.iter
+    (fun name ->
+      match Workspace.load_source ws name with
+      | Ok _ -> ()
+      | Error m ->
+          Alcotest.failf "%s" (ctx ("torn file served as " ^ name ^ ": " ^ m)))
+    (Workspace.source_names ws);
+  (* fsck quarantined all debris: the federation is not degraded. *)
+  let health = Workspace.health ws in
+  if Health.degraded health then
+    Alcotest.failf "%s"
+      (ctx (Format.asprintf "still degraded: %a" Health.pp health))
+
+let run_matrix scenario fault_kind fault_label =
+  let ops = footprint scenario in
+  check_bool
+    (Printf.sprintf "%s touches the disk" scenario.label)
+    true (ops > 0);
+  for i = 0 to ops - 1 do
+    with_fresh_ws (fun dir ws ->
+        scenario.setup dir ws;
+        Durable_io.inject [ (i, fault_kind) ];
+        run_op scenario dir ws;
+        Durable_io.clear_faults ();
+        (* The process "restarts": reopen from disk and repair. *)
+        match Workspace.open_ (Workspace.root ws) with
+        | Error m -> Alcotest.failf "%s: reopen failed: %s" scenario.label m
+        | Ok ws2 ->
+            let _report = Workspace.fsck ws2 in
+            check_invariants scenario ~fault:fault_label ~at:i ws2)
+  done
+
+let scenarios =
+  [
+    {
+      label = "add fresh source";
+      setup = (fun dir ws -> add ws dir "carrier" carrier_xml);
+      op = (fun dir ws -> add ws dir "factory" factory_xml);
+      committed_sources = [ "carrier" ];
+      committed_articulations = [];
+    };
+    {
+      label = "replace source same extension";
+      setup = (fun dir ws -> add ws dir "carrier" carrier_xml);
+      op =
+        (fun dir ws ->
+          let path = Filename.concat dir "carrier2.xml" in
+          raw_write path carrier_v2_xml;
+          match Workspace.add_source ws ~path with Ok _ | Error _ -> ());
+      committed_sources = [ "carrier" ];
+      committed_articulations = [];
+    };
+    {
+      label = "store articulation";
+      setup =
+        (fun dir ws ->
+          add ws dir "carrier" carrier_xml;
+          add ws dir "factory" factory_xml;
+          store_articulation ws ~left:"carrier" ~right:"factory" ~name:"transport");
+      op =
+        (fun _dir ws ->
+          store_articulation ws ~left:"carrier" ~right:"factory" ~name:"transport2");
+      committed_sources = [ "carrier"; "factory" ];
+      committed_articulations = [ "transport" ];
+    };
+    {
+      label = "remove source";
+      setup =
+        (fun dir ws ->
+          add ws dir "carrier" carrier_xml;
+          add ws dir "factory" factory_xml);
+      op =
+        (fun _dir ws ->
+          match Workspace.remove_source ws "factory" with Ok _ | Error _ -> ());
+      committed_sources = [ "carrier" ];
+      committed_articulations = [];
+    };
+    {
+      label = "remove articulation";
+      setup =
+        (fun dir ws ->
+          add ws dir "carrier" carrier_xml;
+          add ws dir "factory" factory_xml;
+          store_articulation ws ~left:"carrier" ~right:"factory" ~name:"transport");
+      op =
+        (fun _dir ws ->
+          match Workspace.remove_articulation ws "transport" with
+          | Ok _ | Error _ -> ());
+      committed_sources = [ "carrier"; "factory" ];
+      committed_articulations = [];
+    };
+  ]
+
+let test_crash_matrix () =
+  List.iter
+    (fun s -> run_matrix s Durable_io.Crash_before_rename "crash")
+    scenarios
+
+let test_torn_matrix () =
+  List.iter (fun s -> run_matrix s Durable_io.Torn_write "torn") scenarios
+
+(* The replace scenario's stronger invariant: after a crash at any point,
+   the carrier is either fully v1 or fully v2 — never a blend. *)
+let test_replace_is_atomic () =
+  let scenario = List.nth scenarios 1 in
+  let ops = footprint scenario in
+  for i = 0 to ops - 1 do
+    with_fresh_ws (fun dir ws ->
+        scenario.setup dir ws;
+        Durable_io.inject [ (i, Durable_io.Crash_before_rename) ];
+        run_op scenario dir ws;
+        Durable_io.clear_faults ();
+        let ws2 = Result.get_ok (Workspace.open_ (Workspace.root ws)) in
+        ignore (Workspace.fsck ws2);
+        match Workspace.load_source ws2 "carrier" with
+        | Error m -> Alcotest.failf "carrier lost at op %d: %s" i m
+        | Ok o ->
+            let v1 = Ontology.has_term o "Cars" in
+            let v2 = Ontology.has_term o "Boats" in
+            check_bool
+              (Printf.sprintf "exactly one version at op %d" i)
+              true (v1 <> v2))
+  done
+
+let suite =
+  [
+    ( "crash-matrix",
+      [
+        Alcotest.test_case "crash at every op" `Quick test_crash_matrix;
+        Alcotest.test_case "torn write at every op" `Quick test_torn_matrix;
+        Alcotest.test_case "replace all-or-nothing" `Quick test_replace_is_atomic;
+      ] );
+  ]

@@ -1,0 +1,411 @@
+(* The durable storage layer: CRC-32 vectors, the atomic-publish
+   protocol, the fault-injection surface, and the workspace's degraded
+   federation + fsck built on top of them. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let with_dir f =
+  let dir = Filename.temp_file "onion-dur" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Durable_io.clear_faults ();
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let raw path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let raw_write path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let tmp_files dir =
+  Sys.readdir dir |> Array.to_list |> List.filter Atomic_io.is_tmp
+
+(* ---------------- crc32 ---------------- *)
+
+let test_crc32_vectors () =
+  (* The standard IEEE 802.3 check value. *)
+  check_str "check value" "cbf43926" (Crc32.to_hex (Crc32.digest "123456789"));
+  check_str "empty" "00000000" (Crc32.to_hex (Crc32.digest ""));
+  check_bool "one bit flips the digest" true
+    (Crc32.digest "onion" <> Crc32.digest "onioM");
+  (match Crc32.of_hex "cbf43926" with
+  | Some v -> check_bool "hex roundtrip" true (v = Crc32.digest "123456789")
+  | None -> Alcotest.fail "of_hex rejected valid hex");
+  check_bool "bad hex" true (Crc32.of_hex "xyz" = None);
+  check_bool "short hex" true (Crc32.of_hex "abc" = None)
+
+(* ---------------- atomic protocol ---------------- *)
+
+let test_write_and_verify () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "f.txt" in
+      (match Durable_io.write ~backoff_ms:0.0 ~path "hello" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "write: %s" m);
+      check_str "content" "hello" (raw path);
+      check_bool "sidecar exists" true
+        (Sys.file_exists (Durable_io.sidecar_path path));
+      check_bool "no tmp debris" true (tmp_files dir = []);
+      (match Durable_io.read_verified ~path with
+      | Ok ("hello", Durable_io.Verified) -> ()
+      | Ok _ -> Alcotest.fail "expected Verified"
+      | Error m -> Alcotest.failf "read_verified: %s" m);
+      (* Overwrite is atomic too. *)
+      (match Durable_io.write ~backoff_ms:0.0 ~path "world" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "rewrite: %s" m);
+      check_str "replaced" "world" (raw path);
+      match Durable_io.read_verified ~path with
+      | Ok ("world", Durable_io.Verified) -> ()
+      | _ -> Alcotest.fail "expected Verified after rewrite")
+
+let test_sidecar_names () =
+  check_str "sidecar path" "a/b.xml.crc32" (Durable_io.sidecar_path "a/b.xml");
+  check_bool "is_sidecar" true (Durable_io.is_sidecar "b.xml.crc32");
+  check_bool "not sidecar" false (Durable_io.is_sidecar "b.xml");
+  check_str "payload of sidecar" "b.xml" (Durable_io.payload_of_sidecar "b.xml.crc32")
+
+let test_crash_before_rename_preserves_old () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "f.txt" in
+      (match Durable_io.write ~backoff_ms:0.0 ~path "v1" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "seed write: %s" m);
+      (* Op 0 = payload tmp write, op 1 = payload rename. *)
+      Durable_io.inject [ (1, Durable_io.Crash_before_rename) ];
+      (match Durable_io.write ~backoff_ms:0.0 ~path "v2" with
+      | exception Durable_io.Crashed _ -> ()
+      | Ok () -> Alcotest.fail "expected a crash"
+      | Error m -> Alcotest.failf "expected a crash, got Error %s" m);
+      Durable_io.clear_faults ();
+      check_str "old content intact" "v1" (raw path);
+      check_bool "stray tmp left behind" true (tmp_files dir <> []);
+      check_bool "stray tmp holds the new bytes" true
+        (List.exists
+           (fun f -> raw (Filename.concat dir f) = "v2")
+           (tmp_files dir));
+      (* The committed payload still verifies against its sidecar. *)
+      match Durable_io.read_verified ~path with
+      | Ok ("v1", Durable_io.Verified) -> ()
+      | _ -> Alcotest.fail "expected v1/Verified")
+
+let test_torn_write_never_commits () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "f.txt" in
+      (match Durable_io.write ~backoff_ms:0.0 ~path "committed-v1" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "seed write: %s" m);
+      Durable_io.inject [ (0, Durable_io.Torn_write) ];
+      (match Durable_io.write ~backoff_ms:0.0 ~path "a-longer-second-version" with
+      | exception Durable_io.Crashed _ -> ()
+      | _ -> Alcotest.fail "expected a crash");
+      Durable_io.clear_faults ();
+      (* The torn bytes landed only in the tmp file. *)
+      check_str "committed file untouched" "committed-v1" (raw path);
+      match tmp_files dir with
+      | [ t ] ->
+          let torn = raw (Filename.concat dir t) in
+          check_bool "tmp is a strict prefix" true
+            (String.length torn < String.length "a-longer-second-version")
+      | _ -> Alcotest.fail "expected exactly one tmp file")
+
+let test_crash_between_payload_and_sidecar () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "f.txt" in
+      (* Op 2 = sidecar tmp write: payload already committed. *)
+      Durable_io.inject [ (2, Durable_io.Crash_before_rename) ];
+      (match Durable_io.write ~backoff_ms:0.0 ~path "payload" with
+      | exception Durable_io.Crashed _ -> ()
+      | _ -> Alcotest.fail "expected a crash");
+      Durable_io.clear_faults ();
+      check_str "payload committed" "payload" (raw path);
+      (* Unstamped, not Mismatch: the payload is trusted. *)
+      (match Durable_io.read_verified ~path with
+      | Ok ("payload", Durable_io.Unstamped) -> ()
+      | _ -> Alcotest.fail "expected Unstamped");
+      (* stamp adopts it. *)
+      (match Durable_io.stamp ~backoff_ms:0.0 path with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "stamp: %s" m);
+      match Durable_io.read_verified ~path with
+      | Ok ("payload", Durable_io.Verified) -> ()
+      | _ -> Alcotest.fail "expected Verified after stamp")
+
+let test_enospc_retry () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "f.txt" in
+      (* One transient failure: absorbed by the retry loop. *)
+      Durable_io.inject [ (0, Durable_io.Enospc) ];
+      (match Durable_io.write ~backoff_ms:0.0 ~path "v" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "retry should absorb one ENOSPC: %s" m
+      | exception Durable_io.Crashed m -> Alcotest.failf "crashed: %s" m);
+      Durable_io.clear_faults ();
+      check_str "written" "v" (raw path);
+      (* Persistent failure: retries exhausted, surfaced as Error. *)
+      let forever = List.init 64 (fun i -> (i, Durable_io.Enospc)) in
+      Durable_io.inject forever;
+      (match Durable_io.write ~retries:2 ~backoff_ms:0.0 ~path "w" with
+      | Error m -> check_bool "names the device" true (m <> "")
+      | Ok () -> Alcotest.fail "expected exhaustion"
+      | exception Durable_io.Crashed m -> Alcotest.failf "crashed: %s" m);
+      Durable_io.clear_faults ();
+      check_str "old content preserved" "v" (raw path))
+
+let test_corrupt_read_detected () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "f.txt" in
+      (match Durable_io.write ~backoff_ms:0.0 ~path "precious bytes" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "write: %s" m);
+      Durable_io.inject [ (0, Durable_io.Corrupt_read) ];
+      (match Durable_io.read_verified ~path with
+      | Ok (_, Durable_io.Mismatch _) -> ()
+      | Ok (_, Durable_io.Verified) -> Alcotest.fail "corruption went undetected"
+      | Ok (_, Durable_io.Unstamped) -> Alcotest.fail "sidecar vanished?"
+      | Error m -> Alcotest.failf "read: %s" m);
+      Durable_io.clear_faults ())
+
+let test_remove_takes_sidecar () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "f.txt" in
+      (match Durable_io.write ~backoff_ms:0.0 ~path "v" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "write: %s" m);
+      (match Durable_io.remove ~path with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "remove: %s" m);
+      check_bool "payload gone" false (Sys.file_exists path);
+      check_bool "sidecar gone" false
+        (Sys.file_exists (Durable_io.sidecar_path path)))
+
+let test_inject_random_deterministic () =
+  let p1 = Durable_io.inject_random ~seed:7 ~faults:4 ~ops:32 in
+  let p2 = Durable_io.inject_random ~seed:7 ~faults:4 ~ops:32 in
+  Durable_io.clear_faults ();
+  check_bool "same seed, same plan" true (p1 = p2);
+  check_bool "bounded" true (List.length p1 <= 4);
+  check_bool "indices in range" true
+    (List.for_all (fun (i, _) -> i >= 0 && i < 32) p1);
+  let p3 = Durable_io.inject_random ~seed:8 ~faults:4 ~ops:32 in
+  Durable_io.clear_faults ();
+  check_bool "different seed, different plan" true (p1 <> p3)
+
+let test_transient_noise_gated_to_protected () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "f.txt" in
+      (match Durable_io.write ~backoff_ms:0.0 ~path "v" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "write: %s" m);
+      (* Rate 1.0: every op inside a protected region fails... *)
+      Durable_io.inject_transient ~seed:3 ~rate:1.0;
+      (match Durable_io.write ~retries:2 ~backoff_ms:0.0 ~path "w" with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "rate-1.0 noise should defeat any retry"
+      | exception Durable_io.Crashed m -> Alcotest.failf "crashed: %s" m);
+      (* ...but unsupervised reads are never handed failures. *)
+      (match Durable_io.read ~path with
+      | Ok "v" -> ()
+      | Ok other -> Alcotest.failf "read got %S" other
+      | Error m -> Alcotest.failf "unprotected read failed: %s" m);
+      Durable_io.clear_faults ())
+
+(* ---------------- workspace: degraded federation + fsck ------------- *)
+
+let carrier_xml =
+  {|<ontology name="carrier">
+  <term name="Cars"><subclassOf term="Carrier"/><attribute term="Price"/></term>
+</ontology>|}
+
+let factory_xml =
+  {|<ontology name="factory">
+  <term name="Vehicle"><subclassOf term="Transportation"/><attribute term="Price"/></term>
+</ontology>|}
+
+let with_ws f =
+  with_dir (fun dir ->
+      let ws_dir = Filename.concat dir "ws" in
+      match Workspace.init ws_dir with
+      | Ok ws -> f dir ws
+      | Error m -> Alcotest.failf "init: %s" m)
+
+let add ws dir name content =
+  let path = Filename.concat dir (name ^ ".xml") in
+  raw_write path content;
+  match Workspace.add_source ws ~path with
+  | Ok (registered, _) -> check_str "registered" name registered
+  | Error m -> Alcotest.failf "add_source %s: %s" name m
+
+let source_path ws name =
+  Filename.concat (Filename.concat (Workspace.root ws) "sources") (name ^ ".xml")
+
+let test_degraded_federation () =
+  with_ws (fun dir ws ->
+      add ws dir "carrier" carrier_xml;
+      add ws dir "factory" factory_xml;
+      (* Corrupt factory in place: the payload no longer parses. *)
+      raw_write (source_path ws "factory") "<ontology name=\"factory\"><term";
+      let sources, issues = Workspace.load_sources ws in
+      check_int "one healthy source" 1 (List.length sources);
+      check_str "the healthy one" "carrier" (Ontology.name (List.hd sources));
+      check_int "one issue" 1 (List.length issues);
+      (match issues with
+      | [ i ] ->
+          check_bool "unparseable" true (i.Health.kind = Health.Unparseable);
+          check_str "names the source" "factory" i.Health.name;
+          check_bool "counts as failure" true (Health.is_failure i)
+      | _ -> Alcotest.fail "expected one issue");
+      (* The federation still answers from the healthy part. *)
+      match Workspace.space ws with
+      | Ok (space, health) ->
+          check_bool "carrier serves" true
+            (Federation.source_names space = [ "carrier" ]);
+          check_bool "degraded" true (Health.degraded health);
+          check_bool "factory listed" true
+            (List.exists
+               (fun i -> i.Health.name = "factory")
+               (Health.failures health))
+      | Error m -> Alcotest.failf "space: %s" m)
+
+let test_external_edit_is_warning () =
+  with_ws (fun dir ws ->
+      add ws dir "carrier" carrier_xml;
+      (* Edit the registered file externally: parseable, but the stamp is
+         now stale.  Sources evolve independently — this must only warn. *)
+      raw_write (source_path ws "carrier")
+        {|<ontology name="carrier"><term name="Boats"/></ontology>|};
+      let sources, issues = Workspace.load_sources ws in
+      check_int "still serves" 1 (List.length sources);
+      (match issues with
+      | [ i ] ->
+          check_bool "mismatch kind" true (i.Health.kind = Health.Checksum_mismatch);
+          check_bool "not a failure" false (Health.is_failure i)
+      | _ -> Alcotest.fail "expected exactly one warning");
+      let health = Workspace.health ws in
+      check_bool "not degraded" false (Health.degraded health);
+      (* fsck accepts the edit by re-stamping. *)
+      let report = Workspace.fsck ws in
+      check_bool "restamped" true
+        (List.exists
+           (function Workspace.Restamped _ -> true | _ -> false)
+           report.Workspace.repairs);
+      check_bool "clean afterwards" true (Health.ok report.Workspace.health))
+
+let test_fsck_quarantines () =
+  with_ws (fun dir ws ->
+      add ws dir "carrier" carrier_xml;
+      let sdir = Filename.concat (Workspace.root ws) "sources" in
+      (* A torn write, an unparseable payload, and an orphan sidecar. *)
+      raw_write (Filename.concat sdir ("x.xml" ^ Atomic_io.tmp_suffix)) "<half";
+      raw_write (Filename.concat sdir "junk.xml") "\x00\xffnot an ontology";
+      raw_write (Filename.concat sdir "ghost.xml.crc32") "crc32 00000000 size 0\n";
+      let health = Workspace.health ws in
+      check_bool "torn detected" true
+        (List.exists (fun i -> i.Health.kind = Health.Torn) health.Health.issues);
+      check_bool "orphan detected" true
+        (List.exists
+           (fun i -> i.Health.kind = Health.Orphan_sidecar)
+           health.Health.issues);
+      check_bool "junk detected" true
+        (List.exists
+           (fun i -> i.Health.kind = Health.Unparseable)
+           health.Health.issues);
+      let report = Workspace.fsck ws in
+      check_bool "something repaired" true (report.Workspace.repairs <> []);
+      check_bool "clean afterwards" true (Health.ok report.Workspace.health);
+      check_str "healthy source survives" "carrier"
+        (String.concat "," (Workspace.source_names ws));
+      (* Quarantine preserves the evidence bytes. *)
+      let qdir = Filename.concat (Workspace.root ws) "quarantine" in
+      check_bool "quarantine dir created" true (Sys.file_exists qdir);
+      check_bool "junk moved, not lost" true
+        (Array.exists
+           (fun f -> raw (Filename.concat qdir f) = "\x00\xffnot an ontology")
+           (Sys.readdir qdir));
+      check_bool "orphan sidecar dropped" false
+        (Sys.file_exists (Filename.concat sdir "ghost.xml.crc32"));
+      (* Idempotent: a second fsck has nothing to do. *)
+      let again = Workspace.fsck ws in
+      check_bool "idempotent" true (again.Workspace.repairs = []))
+
+let test_fsck_invalidates_memo () =
+  with_ws (fun dir ws ->
+      add ws dir "carrier" carrier_xml;
+      let sdir = Filename.concat (Workspace.root ws) "sources" in
+      raw_write (Filename.concat sdir "junk.xml") "garbage here extra";
+      let s1 = Workspace.space ws in
+      let report = Workspace.fsck ws in
+      check_bool "repaired" true (report.Workspace.repairs <> []);
+      let s2 = Workspace.space ws in
+      check_bool "memo invalidated by repair" true (s1 != s2);
+      match s2 with
+      | Ok (_, health) -> check_bool "healthy now" true (Health.ok health)
+      | Error m -> Alcotest.failf "space: %s" m)
+
+let test_add_source_warns_on_stuck_replace () =
+  with_ws (fun dir ws ->
+      (* Register carrier as .xml, then re-register the same ontology from
+         an .idl file: the old .xml must be removed, and a failure to do
+         so must surface as a warning (it is exercised here via the happy
+         path — the removal succeeds and there is no warning — plus the
+         cross-extension replacement semantics). *)
+      add ws dir "garage" {|<ontology name="garage"><term name="Car"/></ontology>|};
+      let idl = Filename.concat dir "garage.idl" in
+      raw_write idl "module garage { interface Bike { }; };";
+      (match Workspace.add_source ws ~path:idl with
+      | Ok ("garage", warnings) ->
+          check_bool "no warnings on clean replace" true (warnings = [])
+      | Ok (other, _) -> Alcotest.failf "registered %s" other
+      | Error m -> Alcotest.failf "add: %s" m);
+      check_bool "old xml gone" false (Sys.file_exists (source_path ws "garage"));
+      match Workspace.load_source ws "garage" with
+      | Ok o -> check_bool "idl version serves" true (Ontology.has_term o "Bike")
+      | Error m -> Alcotest.failf "load: %s" m)
+
+let suite =
+  [
+    ( "durable-io",
+      [
+        Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+        Alcotest.test_case "write+verify" `Quick test_write_and_verify;
+        Alcotest.test_case "sidecar names" `Quick test_sidecar_names;
+        Alcotest.test_case "crash before rename" `Quick
+          test_crash_before_rename_preserves_old;
+        Alcotest.test_case "torn write" `Quick test_torn_write_never_commits;
+        Alcotest.test_case "crash between payload+sidecar" `Quick
+          test_crash_between_payload_and_sidecar;
+        Alcotest.test_case "enospc retry" `Quick test_enospc_retry;
+        Alcotest.test_case "corrupt read" `Quick test_corrupt_read_detected;
+        Alcotest.test_case "remove takes sidecar" `Quick test_remove_takes_sidecar;
+        Alcotest.test_case "random plans deterministic" `Quick
+          test_inject_random_deterministic;
+        Alcotest.test_case "noise gated to protected" `Quick
+          test_transient_noise_gated_to_protected;
+      ] );
+    ( "degraded-federation",
+      [
+        Alcotest.test_case "corrupt source excluded" `Quick test_degraded_federation;
+        Alcotest.test_case "external edit warns" `Quick test_external_edit_is_warning;
+        Alcotest.test_case "fsck quarantines" `Quick test_fsck_quarantines;
+        Alcotest.test_case "fsck invalidates memo" `Quick test_fsck_invalidates_memo;
+        Alcotest.test_case "cross-extension replace" `Quick
+          test_add_source_warns_on_stuck_replace;
+      ] );
+  ]

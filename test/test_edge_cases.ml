@@ -215,7 +215,7 @@ let test_workspace_idl_source () =
   output_string oc "module garage { interface Car { attribute float price; }; };";
   close_out oc;
   (match Workspace.add_source ws ~path with
-  | Ok name -> Alcotest.(check string) "idl registered" "garage" name
+  | Ok (name, _) -> Alcotest.(check string) "idl registered" "garage" name
   | Error m -> Alcotest.failf "add failed: %s" m);
   Sys.remove path;
   (match Workspace.load_source ws "garage" with

@@ -59,6 +59,38 @@ let test_name_defaulting () =
   | Ok o -> check_str "default name" "ontology" (Ontology.name o)
   | Error m -> Alcotest.failf "load: %s" m
 
+(* Adversarial inputs: whatever bytes arrive (a torn download, a binary
+   file registered by mistake), sniff must classify and load_string must
+   return a result — never raise. *)
+let test_adversarial_inputs () =
+  check_bool "empty sniffs adjacency" true (Loader.sniff "" = Loader.Adjacency);
+  check_bool "whitespace sniffs adjacency" true
+    (Loader.sniff "   \n\t  " = Loader.Adjacency);
+  check_bool "binary sniffs adjacency" true
+    (Loader.sniff "\x00\xffPK\x03\x04" = Loader.Adjacency);
+  check_bool "truncated xml still sniffs xml" true
+    (Loader.sniff "  <ontology name=\"x\"><term" = Loader.Xml);
+  (* Empty and whitespace-only inputs are valid, empty adjacency lists. *)
+  (match Loader.load_string "" with
+  | Ok o -> Alcotest.(check int) "empty => no terms" 0 (Ontology.nb_terms o)
+  | Error m -> Alcotest.failf "empty: %s" m);
+  (match Loader.load_string "   \n\t  \n" with
+  | Ok o -> Alcotest.(check int) "blank => no terms" 0 (Ontology.nb_terms o)
+  | Error m -> Alcotest.failf "blank: %s" m);
+  (* Truncated XML and binary garbage fail as Error, in every format. *)
+  check_bool "truncated xml" true
+    (Result.is_error (Loader.load_string "<ontology name=\"x\"><term name=\"T\""));
+  check_bool "truncated xml attr" true
+    (Result.is_error (Loader.load_string "<ontology name=\"x"));
+  let binary = "\x00\xff\x01PK\x03\x04\xdeonion\x00garbage" in
+  check_bool "binary via sniff" true (Result.is_error (Loader.load_string binary));
+  check_bool "binary as xml" true
+    (Result.is_error (Loader.load_string ~format:Loader.Xml binary));
+  check_bool "binary as idl" true
+    (Result.is_error (Loader.load_string ~format:Loader.Idl binary));
+  check_bool "binary as adjacency" true
+    (Result.is_error (Loader.load_string ~format:Loader.Adjacency binary))
+
 let suite =
   [
     ( "loader",
@@ -70,5 +102,6 @@ let suite =
         Alcotest.test_case "xml file roundtrip" `Quick test_file_roundtrip_xml;
         Alcotest.test_case "adj file roundtrip" `Quick test_file_roundtrip_adjacency;
         Alcotest.test_case "name default" `Quick test_name_defaulting;
+        Alcotest.test_case "adversarial inputs" `Quick test_adversarial_inputs;
       ] );
   ]

@@ -31,7 +31,9 @@ let write_source ws name content =
   let r = Workspace.add_source ws ~path in
   Sys.remove path;
   match r with
-  | Ok registered -> Alcotest.(check string) "registered name" name registered
+  | Ok (registered, warnings) ->
+      Alcotest.(check string) "registered name" name registered;
+      Alcotest.(check (list string)) "no warnings" [] warnings
   | Error m -> Alcotest.failf "add_source failed: %s" m
 
 let carrier_xml =
@@ -125,12 +127,13 @@ let test_space_and_query () =
       | Ok _ -> ()
       | Error m -> Alcotest.failf "articulate failed: %s" m);
       match Workspace.space ws with
-      | Ok space ->
+      | Ok (space, health) ->
           check_bool "spans both sources" true
             (Federation.source_names space = [ "carrier"; "factory" ]);
           check_bool "graph carries bridge" true
             (Digraph.mem_edge space.Federation.graph "carrier:Cars" Rel.si_bridge
-               "transport:Vehicle")
+               "transport:Vehicle");
+          check_bool "healthy" true (Health.ok health)
       | Error m -> Alcotest.failf "space failed: %s" m)
 
 let test_stale_bridges () =
