@@ -821,6 +821,164 @@ let cache () =
     (if worst >= 5.0 then "(>= 5x: PASS)" else "(< 5x: FAIL)")
 
 (* ------------------------------------------------------------------ *)
+(* MATCH — indexed cold-path matching vs the naive reference;          *)
+(*         multicore federation fan-out                                *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_match.json: per-operation cold timings of the pre-index naive
+   matcher (Matcher_reference) against the indexed matcher with every
+   cache cleared each run, plus the federation fan-out at 1 vs N
+   domains.  Hand-rolled JSON like BENCH_cache. *)
+let emit_match_json ~path rows ~domains ~fanout_seq ~fanout_par =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let result_objs =
+        List.map
+          (fun (op, reference, indexed, speedup) ->
+            Printf.sprintf
+              "    { \"op\": \"%s\", \"reference_ns\": %s, \"indexed_ns\": %s, \
+               \"speedup\": %s }"
+              (json_escape op) (json_float reference) (json_float indexed)
+              (json_float speedup))
+          rows
+      in
+      output_string oc "{\n  \"benchmark\": \"match\",\n  \"results\": [\n";
+      output_string oc (String.concat ",\n" result_objs);
+      output_string oc "\n  ],\n";
+      output_string oc
+        (Printf.sprintf
+           "  \"fanout\": { \"domains\": %d, \"sequential_ns\": %s, \
+            \"parallel_ns\": %s, \"speedup\": %s }\n"
+           domains (json_float fanout_seq) (json_float fanout_par)
+           (json_float (fanout_seq /. fanout_par)));
+      output_string oc "}\n")
+
+let match_ () =
+  section "MATCH"
+    "cold-path matching: naive whole-graph scan (pre-index reference) vs \
+     index-anchored search, caches cleared every run; federation fan-out \
+     at 1 vs N domains";
+  let chain = Pattern_parser.parse_exn "?X -[SubclassOf]-> ?Y -[SubclassOf]-> ?Z" in
+  let pair = Pattern_parser.parse_exn "?X -[SubclassOf]-> ?Y" in
+  let cold_ns op =
+    match
+      ols_estimates
+        [
+          Test.make ~name:"op"
+            (Staged.stage (fun () ->
+                 Cache_stats.clear_all ();
+                 op ()));
+        ]
+    with
+    | [ (_, e) ] -> e
+    | _ -> Float.nan
+  in
+  let plain_ns op =
+    match ols_estimates [ Test.make ~name:"op" (Staged.stage op) ] with
+    | [ (_, e) ] -> e
+    | _ -> Float.nan
+  in
+  let measure name ~reference ~indexed =
+    let r = plain_ns reference in
+    let i = cold_ns indexed in
+    let speedup = r /. i in
+    row "%-42s naive %a  indexed %a  speedup %6.1fx" name pp_time r pp_time i
+      speedup;
+    (name, r, i, speedup)
+  in
+  let per_size n =
+    let o = Gen.ontology ~profile:(profile n) ~seed:17 ~name:"g" () in
+    let g = Ontology.graph o in
+    (* A labeled anchor that exists in this graph: the source of some
+       SubclassOf edge, linked to a wildcard neighbour. *)
+    let anchor =
+      match
+        List.find_opt
+          (fun (e : Digraph.edge) -> String.equal e.label Rel.subclass_of)
+          (Digraph.edges g)
+      with
+      | Some e -> e.src
+      | None -> List.hd (Digraph.nodes g)
+    in
+    let labeled =
+      Pattern.create
+        ~nodes:
+          [
+            { Pattern.id = "a"; label = Some anchor; binder = None };
+            { Pattern.id = "b"; label = None; binder = Some "Y" };
+          ]
+        ~edges:[ { Pattern.src = "a"; elabel = Some Rel.subclass_of; dst = "b" } ]
+        ()
+    in
+    [
+      measure (Printf.sprintf "matcher.find wildcard-pair n=%d" n)
+        ~reference:(fun () -> ignore (Matcher_reference.find ~limit:100 pair g))
+        ~indexed:(fun () -> ignore (Matcher.find ~limit:100 pair g));
+      measure (Printf.sprintf "matcher.find wildcard-chain n=%d" n)
+        ~reference:(fun () -> ignore (Matcher_reference.find ~limit:100 chain g))
+        ~indexed:(fun () -> ignore (Matcher.find ~limit:100 chain g));
+      measure (Printf.sprintf "matcher.find labeled-anchor n=%d" n)
+        ~reference:(fun () -> ignore (Matcher_reference.find labeled g))
+        ~indexed:(fun () -> ignore (Matcher.find labeled g));
+    ]
+  in
+  let rows = List.concat_map per_size [ 200; 600; 2000 ] in
+  (* Filter at n=600: the unary operator end to end, reference replicating
+     the pre-index implementation (naive find + subgraph union). *)
+  let o600 = Gen.ontology ~profile:(profile 600) ~seed:17 ~name:"g" () in
+  let g600 = Ontology.graph o600 in
+  let reference_filter () =
+    let matches = Matcher_reference.find ~limit:100_000 chain g600 in
+    ignore
+      (List.fold_left
+         (fun acc m -> Digraph.union acc (Matcher.matched_subgraph g600 chain m))
+         Digraph.empty matches)
+  in
+  let rows =
+    rows
+    @ [
+        measure "filter_extract.filter n=600"
+          ~reference:reference_filter
+          ~indexed:(fun () -> ignore (Filter_extract.filter o600 chain));
+      ]
+  in
+  (* Federation fan-out: qualifying and unioning K mid-size sources,
+     sequential (pool size 1) vs the domain pool. *)
+  let fed_sources =
+    Gen.family ~profile:(profile 400) ~n:8 ~seed:7 ~prefix:"fed" ()
+  in
+  let domains = max 2 (Domain_pool.size ()) in
+  let fanout_at k =
+    plain_ns (fun () ->
+        Domain_pool.with_size k (fun () ->
+            ignore (Federation.of_parts ~sources:fed_sources ~articulations:[])))
+  in
+  let fanout_seq = fanout_at 1 in
+  let fanout_par = fanout_at domains in
+  row "federation.of_parts (8 x 400 terms): 1 domain %a, %d domains %a (%.2fx)"
+    pp_time fanout_seq domains pp_time fanout_par
+    (fanout_seq /. fanout_par);
+  emit_match_json ~path:"BENCH_match.json" rows ~domains ~fanout_seq ~fanout_par;
+  row "wrote BENCH_match.json";
+  let lookup op =
+    List.find_map
+      (fun (name, _, _, s) -> if String.equal name op then Some s else None)
+      rows
+  in
+  (match lookup "matcher.find wildcard-chain n=600" with
+  | Some s ->
+      row "wildcard-chain n=600 speedup: %.1fx %s" s
+        (if s >= 10.0 then "(>= 10x: PASS)" else "(< 10x: FAIL)")
+  | None -> ());
+  match lookup "filter_extract.filter n=600" with
+  | Some s ->
+      row "filter n=600 speedup: %.1fx %s" s
+        (if s >= 5.0 then "(>= 5x: PASS)" else "(< 5x: FAIL)")
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* FAULT — durable storage: atomic writes, verified reads, fsck        *)
 (* ------------------------------------------------------------------ *)
 
@@ -964,6 +1122,7 @@ let sections_by_id =
     ("med", med);
     ("fed", fed);
     ("cache", cache);
+    ("match", match_);
     ("fault", fault);
   ]
 
@@ -984,7 +1143,13 @@ let () =
         exit 2
       end)
     requested;
+  (* Each section starts from zeroed counters so the BENCH_*.json hit/miss
+     figures reflect that section's work alone, not whatever ran before. *)
   List.iter
-    (fun (id, f) -> if List.mem id requested then f ())
+    (fun (id, f) ->
+      if List.mem id requested then begin
+        Cache_stats.clear_all ();
+        f ()
+      end)
     sections_by_id;
   Format.printf "@.done.@."

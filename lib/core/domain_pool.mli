@@ -1,0 +1,44 @@
+(** A bounded [Domain]-based work pool for query fan-out.
+
+    The ROADMAP's "fast as the hardware allows" goal meets OCaml 5
+    multicore here: per-source work in {!Mediator}, {!Federation} and
+    {!Kb}, and per-pattern batches in {!Filter_extract}, fan out across
+    domains while every result keeps its input position — callers observe
+    exactly the sequential order, whatever the pool size.
+
+    The pool size comes from the [ONION_DOMAINS] environment variable
+    when set (clamped to at least 1), and from
+    [Domain.recommended_domain_count] otherwise.  Size 1 is the
+    sequential fallback: no domain is ever spawned and every combinator
+    degenerates to its [List] counterpart.  Nested use from inside a
+    worker also runs sequentially instead of over-subscribing the
+    machine.
+
+    Tasks run under the shared result caches; {!Lru} is mutex-guarded
+    and {!Revision} atomic precisely so that workers may allocate graphs
+    and consult caches concurrently. *)
+
+val size : unit -> int
+(** The current pool size (>= 1). *)
+
+val set_size : int -> unit
+(** Override the pool size (clamped to at least 1).  Intended for tests
+    and benchmarks; production code should configure [ONION_DOMAINS]. *)
+
+val with_size : int -> (unit -> 'a) -> 'a
+(** Run the thunk with the pool size temporarily overridden, restoring
+    the previous size afterwards (also on exceptions). *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] is [List.map f xs], computed on up to {!size} domains.
+    Results keep their input order.  If any task raises, the exception of
+    the earliest-positioned failing task is re-raised after all workers
+    have drained. *)
+
+val concat_map : ('a -> 'b list) -> 'a list -> 'b list
+(** [concat_map f xs] is [List.concat_map f xs] with {!map}'s
+    parallelism and ordering guarantees. *)
+
+val filter : ('a -> bool) -> 'a list -> 'a list
+(** [filter p xs] is [List.filter p xs], with the predicate evaluated in
+    parallel. *)

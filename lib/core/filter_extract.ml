@@ -27,6 +27,14 @@ let filter ?policy o pattern =
 let filter_terms ?policy o pattern =
   Digraph.nodes (Ontology.graph (filter ?policy o pattern))
 
+(* Batched unary operators: one result per pattern, in pattern order,
+   computed across the domain pool.  Each task lands in the same
+   per-(pattern, revision) caches as the scalar entry points — the
+   caches are domain-safe — so a batch warms the cache for later scalar
+   calls and vice versa. *)
+let filter_batch ?policy o patterns =
+  Domain_pool.map (fun p -> filter ?policy o p) patterns
+
 let extract ?policy ?(follow = [ Rel.attribute_of ]) ?(include_subclasses = true)
     o pattern =
   Lru.find_or_compute extract_cache
@@ -52,3 +60,8 @@ let extract ?policy ?(follow = [ Rel.attribute_of ]) ?(include_subclasses = true
   in
   let keep = List.sort_uniq String.compare (with_subclasses @ closure) in
   Ontology.restrict o keep
+
+let extract_batch ?policy ?follow ?include_subclasses o patterns =
+  Domain_pool.map
+    (fun p -> extract ?policy ?follow ?include_subclasses o p)
+    patterns

@@ -1,0 +1,117 @@
+(* One O(N + E) pass over the graph builds four hash tables; everything
+   the matcher's candidate generation needs afterwards is a constant-time
+   lookup.  The tables are write-once: after [build] returns they are
+   only ever read, so a memoized index can be shared freely across
+   domains (Hashtbl reads do not mutate). *)
+
+module Sset = Set.Make (String)
+
+module Pair = struct
+  type t = string * string
+
+  let compare (a1, b1) (a2, b2) =
+    match String.compare a1 a2 with 0 -> String.compare b1 b2 | c -> c
+end
+
+module Pset = Set.Make (Pair)
+
+type t = {
+  revision : int;
+  nodes : Digraph.node list; (* sorted, computed once *)
+  node_tbl : (Digraph.node, unit) Hashtbl.t;
+  by_edge_label : (string, (Digraph.node * Digraph.node) list) Hashtbl.t;
+      (* label -> sorted (src, dst) bucket *)
+  srcs_by_label : (string, Digraph.node list) Hashtbl.t; (* distinct, sorted *)
+  dsts_by_label : (string, Digraph.node list) Hashtbl.t;
+  out_by_label : (Digraph.node * string, int) Hashtbl.t;
+  in_by_label : (Digraph.node * string, int) Hashtbl.t;
+  out_deg : (Digraph.node, int) Hashtbl.t;
+  in_deg : (Digraph.node, int) Hashtbl.t;
+}
+
+let bump tbl key =
+  let n = match Hashtbl.find_opt tbl key with Some n -> n | None -> 0 in
+  Hashtbl.replace tbl key (n + 1)
+
+let build g =
+  let nodes = Digraph.nodes g in
+  let node_tbl = Hashtbl.create (List.length nodes) in
+  List.iter (fun n -> Hashtbl.replace node_tbl n ()) nodes;
+  let n_edges = Digraph.nb_edges g in
+  let buckets : (string, Pset.t) Hashtbl.t = Hashtbl.create 16 in
+  let out_by_label = Hashtbl.create n_edges in
+  let in_by_label = Hashtbl.create n_edges in
+  let out_deg = Hashtbl.create (List.length nodes) in
+  let in_deg = Hashtbl.create (List.length nodes) in
+  Digraph.iter_edges
+    (fun (e : Digraph.edge) ->
+      let prev =
+        match Hashtbl.find_opt buckets e.label with
+        | Some s -> s
+        | None -> Pset.empty
+      in
+      Hashtbl.replace buckets e.label (Pset.add (e.src, e.dst) prev);
+      bump out_by_label (e.src, e.label);
+      bump in_by_label (e.dst, e.label);
+      bump out_deg e.src;
+      bump in_deg e.dst)
+    g;
+  let by_edge_label = Hashtbl.create (Hashtbl.length buckets) in
+  let srcs_by_label = Hashtbl.create (Hashtbl.length buckets) in
+  let dsts_by_label = Hashtbl.create (Hashtbl.length buckets) in
+  Hashtbl.iter
+    (fun label pairs ->
+      Hashtbl.replace by_edge_label label (Pset.elements pairs);
+      let srcs, dsts =
+        Pset.fold
+          (fun (s, d) (ss, ds) -> (Sset.add s ss, Sset.add d ds))
+          pairs (Sset.empty, Sset.empty)
+      in
+      Hashtbl.replace srcs_by_label label (Sset.elements srcs);
+      Hashtbl.replace dsts_by_label label (Sset.elements dsts))
+    buckets;
+  {
+    revision = Digraph.revision g;
+    nodes;
+    node_tbl;
+    by_edge_label;
+    srcs_by_label;
+    dsts_by_label;
+    out_by_label;
+    in_by_label;
+    out_deg;
+    in_deg;
+  }
+
+(* Memoized per revision: equal revisions imply the very same graph, so
+   the revision alone is a sound key.  Capacity covers the working set of
+   graphs a query session touches simultaneously. *)
+let cache : (int, t) Lru.t =
+  Lru.create ~name:"graph.label_index" ~capacity:64 ()
+
+let of_graph g = Lru.find_or_compute cache (Digraph.revision g) (fun () -> build g)
+
+let revision idx = idx.revision
+
+let nodes idx = idx.nodes
+
+let mem_label idx label = Hashtbl.mem idx.node_tbl label
+
+let bucket tbl label =
+  match Hashtbl.find_opt tbl label with Some xs -> xs | None -> []
+
+let edges_with idx label = bucket idx.by_edge_label label
+
+let sources_with idx label = bucket idx.srcs_by_label label
+
+let targets_with idx label = bucket idx.dsts_by_label label
+
+let count tbl key = match Hashtbl.find_opt tbl key with Some n -> n | None -> 0
+
+let out_label_degree idx n label = count idx.out_by_label (n, label)
+
+let in_label_degree idx n label = count idx.in_by_label (n, label)
+
+let out_degree idx n = count idx.out_deg n
+
+let in_degree idx n = count idx.in_deg n

@@ -10,12 +10,23 @@
    Recency is a per-entry tick from a shared counter; eviction scans for
    the minimum.  With the small capacities used here (hundreds of
    entries) the O(n) scan is noise next to the recomputation a single hit
-   saves. *)
+   saves.
+
+   Domain safety: every access to the table and the counters happens
+   under the cache's mutex, so {!Domain_pool} workers can share the
+   process-wide caches.  [find_or_compute] deliberately runs the compute
+   function *outside* the lock — holding it would serialize every worker
+   on the slowest computation and deadlock on reentrant cache use (a
+   cached filter calling the cached matcher calling the cached index).
+   Two workers missing on the same key may therefore both compute it;
+   they compute the same pure function of the same key, so the duplicate
+   insert is idempotent — wasted work at worst, never a wrong answer. *)
 
 type ('k, 'v) t = {
   name : string;
   capacity : int;
   tbl : ('k, 'v entry) Hashtbl.t;
+  lock : Mutex.t;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -24,7 +35,12 @@ type ('k, 'v) t = {
 
 and 'v entry = { value : 'v; mutable last_used : int }
 
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
 let snapshot c =
+  locked c @@ fun () ->
   {
     Cache_stats.hits = c.hits;
     misses = c.misses;
@@ -34,6 +50,7 @@ let snapshot c =
   }
 
 let clear c =
+  locked c @@ fun () ->
   Hashtbl.reset c.tbl;
   c.tick <- 0;
   c.hits <- 0;
@@ -47,6 +64,7 @@ let create ~name ~capacity () =
       name;
       capacity;
       tbl = Hashtbl.create (min capacity 64);
+      lock = Mutex.create ();
       tick = 0;
       hits = 0;
       misses = 0;
@@ -62,7 +80,7 @@ let name c = c.name
 
 let capacity c = c.capacity
 
-let length c = Hashtbl.length c.tbl
+let length c = locked c @@ fun () -> Hashtbl.length c.tbl
 
 let touch c entry =
   c.tick <- c.tick + 1;
@@ -83,15 +101,21 @@ let evict_lru c =
       c.evictions <- c.evictions + 1
   | None -> ()
 
-let insert c key value =
-  if Hashtbl.length c.tbl >= c.capacity then evict_lru c;
-  let entry = { value; last_used = 0 } in
-  touch c entry;
-  Hashtbl.replace c.tbl key entry
+(* Caller must hold the lock. *)
+let insert_locked c key value =
+  if not (Hashtbl.mem c.tbl key) then begin
+    if Hashtbl.length c.tbl >= c.capacity then evict_lru c;
+    let entry = { value; last_used = 0 } in
+    touch c entry;
+    Hashtbl.replace c.tbl key entry
+  end
+
+let insert c key value = locked c @@ fun () -> insert_locked c key value
 
 let find_opt c key =
   if not (Cache_stats.enabled ()) then None
   else
+    locked c @@ fun () ->
     match Hashtbl.find_opt c.tbl key with
     | Some entry ->
         touch c entry;
@@ -104,15 +128,22 @@ let find_opt c key =
 let find_or_compute c key f =
   if not (Cache_stats.enabled ()) then f ()
   else
-    match Hashtbl.find_opt c.tbl key with
-    | Some entry ->
-        touch c entry;
-        c.hits <- c.hits + 1;
-        entry.value
+    let cached =
+      locked c @@ fun () ->
+      match Hashtbl.find_opt c.tbl key with
+      | Some entry ->
+          touch c entry;
+          c.hits <- c.hits + 1;
+          Some entry.value
+      | None ->
+          c.misses <- c.misses + 1;
+          None
+    in
+    match cached with
+    | Some value -> value
     | None ->
-        c.misses <- c.misses + 1;
         let value = f () in
         insert c key value;
         value
 
-let mem c key = Hashtbl.mem c.tbl key
+let mem c key = locked c @@ fun () -> Hashtbl.mem c.tbl key

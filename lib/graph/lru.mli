@@ -8,7 +8,13 @@
     itself with {!Cache_stats} at creation and honours the global
     {!Cache_stats.enabled} switch: while caching is disabled,
     {!find_or_compute} calls the supplied thunk directly and neither
-    reads nor writes the table. *)
+    reads nor writes the table.
+
+    Caches are domain-safe: all table and counter access is mutex-guarded,
+    so {!Domain_pool} workers share them freely.  {!find_or_compute} runs
+    the compute thunk outside the lock; concurrent misses on one key may
+    compute it twice (same key, same pure function — idempotent), which
+    costs duplicated work, never a wrong answer. *)
 
 type ('k, 'v) t
 

@@ -4,12 +4,15 @@
    stamped type: equal revisions imply the very same value, distinct
    revisions say nothing (two structurally equal graphs built separately
    carry distinct stamps, which can only cost a cache miss, never a wrong
-   hit). *)
+   hit).
 
-let counter = ref 0
+   The counter is an [Atomic] so that graphs built concurrently on
+   {!Domain_pool} workers still draw distinct stamps — a torn increment
+   handing the same revision to two different graphs would silently
+   poison every revision-keyed cache. *)
 
-let fresh () =
-  incr counter;
-  !counter
+let counter = Atomic.make 0
 
-let current () = !counter
+let fresh () = Atomic.fetch_and_add counter 1 + 1
+
+let current () = Atomic.get counter

@@ -4,6 +4,7 @@ type match_result = {
 }
 
 module Smap = Map.Make (String)
+module Sset = Set.Make (String)
 
 (* Pattern nodes ordered most-constrained-first: labeled before wildcard,
    then by pattern degree (descending), then by id. *)
@@ -26,35 +27,53 @@ let search_order pattern =
          | c -> c)
   |> List.map (fun (n, _, _) -> n)
 
-(* Are all pattern edges with both endpoints assigned witnessed in g? *)
-let edges_ok policy pattern g assignment =
-  List.for_all
-    (fun (e : Pattern.edge) ->
-      match (Smap.find_opt e.src assignment, Smap.find_opt e.dst assignment) with
-      | Some s, Some d ->
-          List.exists
-            (fun (ge : Digraph.edge) ->
-              String.equal ge.dst d
-              &&
-              match e.elabel with
-              | None -> true
-              | Some want -> Fuzzy.edge_compatible policy want ge.label)
-            (Digraph.out_edges g s)
-      | _ -> true)
-    (Pattern.edges pattern)
+(* A policy whose edge condition is the strict label equality of the
+   paper's definition: a pattern edge labeled [l] is witnessed exactly by
+   a graph edge labeled [l], so index buckets and [succ_by]/[pred_by] are
+   sound candidate sources.  Relaxed policies fall back to any-label
+   adjacency (still a sound superset — the incremental edge check keeps
+   the final say). *)
+let edge_labels_exact (policy : Fuzzy.policy) =
+  (not policy.Fuzzy.ignore_edge_labels) && policy.Fuzzy.extra_edge_pairs = []
 
 (* Memoized matching: keyed on every parameter that shapes the result plus
    the graph's revision stamp.  The key is closure-free data (the policy's
    lexicon is a pure map), compared structurally, so hits are exact; a
-   mutated graph carries a new revision and misses.  The search itself is
-   unchanged — the cache is semantically invisible (proved by the qcheck
-   equivalence property in test/test_cache_equiv.ml). *)
+   mutated graph carries a new revision and misses.  The cache is
+   semantically invisible (proved by the qcheck equivalence property in
+   test/test_cache_equiv.ml); the indexed search below is itself proved
+   equivalent to the naive Matcher_reference by
+   test/test_matcher_equiv.ml. *)
 let cache :
     ( Fuzzy.policy * bool * int * [ `Most_constrained | `Declaration ] * Pattern.t * int,
       match_result list )
     Lru.t =
   Lru.create ~name:"matcher.find" ~capacity:512 ()
 
+(* The indexed cold path.
+
+   Equivalence with the naive search (Matcher_reference) rests on three
+   observations, each preserving the backtracking order:
+
+   - Candidate sets shrink only by necessary conditions.  An anchored set
+     (succ_by/pred_by of an already-bound pattern neighbour) or a degree
+     feasibility filter removes exactly candidates whose subtree the
+     naive search would enter and exhaust without emitting a match;
+     [limit] counts complete matches, so pruning dead subtrees can never
+     change which matches are found or in which order.
+
+   - Every candidate source ({!Digraph.nodes}, [succ]/[pred],
+     [succ_by]/[pred_by], index buckets) is sorted ascending and
+     distinct, and filters preserve order — so surviving candidates are
+     visited in exactly the order the naive scan of the full node list
+     visits them.
+
+   - The incremental edge check validates each pattern edge precisely
+     when its second endpoint is assigned.  The naive search re-validates
+     all fully-assigned edges at every step, but an edge once witnessed
+     stays witnessed (the graph does not change mid-search), so checking
+     each edge once at completion time accepts exactly the same partial
+     assignments. *)
 let find ?(policy = Fuzzy.exact) ?(injective = false) ?(limit = 1000)
     ?(node_order = `Most_constrained) pattern g =
   Lru.find_or_compute cache
@@ -65,15 +84,110 @@ let find ?(policy = Fuzzy.exact) ?(injective = false) ?(limit = 1000)
     | `Most_constrained -> search_order pattern
     | `Declaration -> Pattern.nodes pattern
   in
-  let all_nodes = Digraph.nodes g in
-  let candidates (pn : Pattern.node) =
+  let idx = Label_index.of_graph g in
+  let all_nodes = Label_index.nodes idx in
+  let exact_edges = edge_labels_exact policy in
+  (* Pattern edges incident to each pattern node, precomputed once. *)
+  let incident : (string, Pattern.edge list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Pattern.edge) ->
+      let push id =
+        Hashtbl.replace incident id
+          (e :: (Option.value (Hashtbl.find_opt incident id) ~default:[]))
+      in
+      push e.src;
+      if not (String.equal e.src e.dst) then push e.dst)
+    (Pattern.edges pattern);
+  let incident_to id = Option.value (Hashtbl.find_opt incident id) ~default:[] in
+  (* Necessary degree conditions from the index summaries: a candidate
+     must be able to emit/absorb every pattern edge incident to this
+     pattern node. *)
+  let degree_feasible pid candidate =
+    List.for_all
+      (fun (e : Pattern.edge) ->
+        (if String.equal e.src pid then
+           match e.elabel with
+           | Some l when exact_edges -> Label_index.out_label_degree idx candidate l >= 1
+           | _ -> Label_index.out_degree idx candidate >= 1
+         else true)
+        &&
+        if String.equal e.dst pid then
+          match e.elabel with
+          | Some l when exact_edges -> Label_index.in_label_degree idx candidate l >= 1
+          | _ -> Label_index.in_degree idx candidate >= 1
+        else true)
+      (incident_to pid)
+  in
+  (* Is the pattern edge (now fully assigned) witnessed in g? *)
+  let edge_witnessed assignment (e : Pattern.edge) =
+    let s = Smap.find e.src assignment and d = Smap.find e.dst assignment in
+    match e.elabel with
+    | Some l when exact_edges -> Digraph.mem_edge g s l d
+    | None -> Digraph.labels_between g s d <> []
+    | Some l ->
+        List.exists
+          (fun gl -> Fuzzy.edge_compatible policy l gl)
+          (Digraph.labels_between g s d)
+  in
+  (* Candidates for [pn] given the partial [assignment], anchored on an
+     already-bound pattern neighbour whenever one exists. *)
+  let candidates (pn : Pattern.node) assignment =
     match pn.label with
-    | Some want ->
+    | Some want when policy = Fuzzy.exact ->
         (* Fast path: under a fully exact policy the only candidate is the
            identically-labeled node. *)
-        if policy = Fuzzy.exact then if Digraph.mem_node g want then [ want ] else []
-        else List.filter (fun n -> Fuzzy.node_compatible policy want n) all_nodes
-    | None -> all_nodes
+        if Label_index.mem_label idx want then [ want ] else []
+    | _ ->
+        let anchored =
+          List.find_map
+            (fun (e : Pattern.edge) ->
+              if String.equal e.src pn.id then
+                match Smap.find_opt e.dst assignment with
+                | Some b -> (
+                    (* candidate --elabel--> bound *)
+                    match e.elabel with
+                    | Some l when exact_edges -> Some (Digraph.pred_by g b l)
+                    | _ -> Some (Digraph.pred g b))
+                | None -> None
+              else
+                match Smap.find_opt e.src assignment with
+                | Some b -> (
+                    (* bound --elabel--> candidate *)
+                    match e.elabel with
+                    | Some l when exact_edges -> Some (Digraph.succ_by g b l)
+                    | _ -> Some (Digraph.succ g b))
+                | None -> None)
+            (incident_to pn.id)
+        in
+        let base =
+          match anchored with
+          | Some c -> c
+          | None -> (
+              (* No bound neighbour yet: seed from the edge-label bucket of
+                 an incident exactly-labeled pattern edge when possible,
+                 the whole node set otherwise. *)
+              let seed =
+                if not exact_edges then None
+                else
+                  List.find_map
+                    (fun (e : Pattern.edge) ->
+                      match e.elabel with
+                      | Some l when String.equal e.src pn.id ->
+                          Some (Label_index.sources_with idx l)
+                      | Some l when String.equal e.dst pn.id ->
+                          Some (Label_index.targets_with idx l)
+                      | _ -> None)
+                    (incident_to pn.id)
+              in
+              match seed with Some s -> s | None -> all_nodes)
+        in
+        let base =
+          match pn.label with
+          | None -> base
+          | Some want ->
+              List.filter (fun n -> Fuzzy.node_compatible policy want n) base
+        in
+        List.filter (degree_feasible pn.id) base
   in
   let results = ref [] in
   let count = ref 0 in
@@ -97,14 +211,20 @@ let find ?(policy = Fuzzy.exact) ?(injective = false) ?(limit = 1000)
         else
           List.iter
             (fun candidate ->
-              if not (injective && List.mem candidate used) then begin
+              if not (injective && Sset.mem candidate used) then begin
                 let assignment' = Smap.add pn.id candidate assignment in
-                if edges_ok policy pattern g assignment' then
-                  assign assignment' (candidate :: used) rest
+                let ok =
+                  List.for_all
+                    (fun (e : Pattern.edge) ->
+                      (not (Smap.mem e.src assignment' && Smap.mem e.dst assignment'))
+                      || edge_witnessed assignment' e)
+                    (incident_to pn.id)
+                in
+                if ok then assign assignment' (Sset.add candidate used) rest
               end)
-            (candidates pn)
+            (candidates pn assignment)
   in
-  assign Smap.empty [] order;
+  assign Smap.empty Sset.empty order;
   List.rev !results
 
 let matches ?policy pattern g = find ?policy ~limit:1 pattern g <> []
@@ -115,7 +235,16 @@ let find_in_ontology ?policy ?injective ?limit pattern o =
   | _ -> find ?policy ?injective ?limit pattern (Ontology.graph o)
 
 let matched_subgraph g pattern m =
-  let lookup id = List.assoc id m.assignment in
+  let lookup id =
+    match List.assoc_opt id m.assignment with
+    | Some n -> n
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Matcher.matched_subgraph: pattern node %s is not bound in this \
+              match"
+             id)
+  in
   let base =
     List.fold_left
       (fun acc (_, node) -> Digraph.add_node acc node)

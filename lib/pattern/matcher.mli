@@ -4,8 +4,13 @@
     mapping of pattern nodes to graph nodes that respects label constraints
     and edge existence — the section-3 definition, generalized with binders
     and the {!Fuzzy} relaxations.  The matcher backtracks over pattern
-    nodes, most-constrained first; on the sparse, forest-like graphs of
-    ontologies the search is near-linear. *)
+    nodes, most-constrained first, drawing candidates from the
+    {!Label_index} of the graph: a pattern node with an already-bound
+    neighbour enumerates only that neighbour's [succ_by]/[pred_by]
+    adjacency, and index degree summaries prune candidates that cannot
+    satisfy their incident pattern edges.  Results are bit-for-bit those
+    of the naive whole-graph scan ({!Matcher_reference}), proven by the
+    qcheck equivalence property in [test/test_matcher_equiv.ml]. *)
 
 type match_result = {
   assignment : (string * Digraph.node) list;
@@ -46,7 +51,10 @@ val find_in_ontology :
 val matched_subgraph : Digraph.t -> Pattern.t -> match_result -> Digraph.t
 (** The portion of the graph covered by one match: matched nodes plus, for
     every pattern edge, one witnessing graph edge.  This powers the
-    algebra's unary operators (select/project analogues, section 5). *)
+    algebra's unary operators (select/project analogues, section 5).
+    @raise Invalid_argument naming the offending pattern-node id if the
+    match does not bind every endpoint the pattern's edges mention (a
+    match produced from a different pattern). *)
 
 val binding : match_result -> string -> Digraph.node option
 (** Look up one variable. *)

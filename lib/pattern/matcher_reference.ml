@@ -1,0 +1,91 @@
+(* The pre-index cold path, preserved as an executable specification.
+   Any behavioural divergence between this and Matcher.find is a bug in
+   the indexed matcher (see test/test_matcher_equiv.ml). *)
+
+module Smap = Map.Make (String)
+
+(* Pattern nodes ordered most-constrained-first: labeled before wildcard,
+   then by pattern degree (descending), then by id. *)
+let search_order pattern =
+  let pedges = Pattern.edges pattern in
+  let degree id =
+    List.length
+      (List.filter (fun (e : Pattern.edge) -> e.src = id || e.dst = id) pedges)
+  in
+  Pattern.nodes pattern
+  |> List.map (fun (n : Pattern.node) ->
+         let labeled = match n.label with Some _ -> 0 | None -> 1 in
+         (n, labeled, degree n.id))
+  |> List.sort (fun (n1, l1, d1) (n2, l2, d2) ->
+         match Stdlib.compare l1 l2 with
+         | 0 -> (
+             match Stdlib.compare d2 d1 with
+             | 0 -> String.compare n1.Pattern.id n2.Pattern.id
+             | c -> c)
+         | c -> c)
+  |> List.map (fun (n, _, _) -> n)
+
+(* Are all pattern edges with both endpoints assigned witnessed in g? *)
+let edges_ok policy pattern g assignment =
+  List.for_all
+    (fun (e : Pattern.edge) ->
+      match (Smap.find_opt e.src assignment, Smap.find_opt e.dst assignment) with
+      | Some s, Some d ->
+          List.exists
+            (fun (ge : Digraph.edge) ->
+              String.equal ge.dst d
+              &&
+              match e.elabel with
+              | None -> true
+              | Some want -> Fuzzy.edge_compatible policy want ge.label)
+            (Digraph.out_edges g s)
+      | _ -> true)
+    (Pattern.edges pattern)
+
+let find ?(policy = Fuzzy.exact) ?(injective = false) ?(limit = 1000)
+    ?(node_order = `Most_constrained) pattern g =
+  let order =
+    match node_order with
+    | `Most_constrained -> search_order pattern
+    | `Declaration -> Pattern.nodes pattern
+  in
+  let all_nodes = Digraph.nodes g in
+  let candidates (pn : Pattern.node) =
+    match pn.label with
+    | Some want ->
+        if policy = Fuzzy.exact then if Digraph.mem_node g want then [ want ] else []
+        else List.filter (fun n -> Fuzzy.node_compatible policy want n) all_nodes
+    | None -> all_nodes
+  in
+  let results = ref [] in
+  let count = ref 0 in
+  let rec assign assignment used = function
+    | [] ->
+        if !count < limit then begin
+          incr count;
+          let assignment_list = Smap.bindings assignment in
+          let bindings =
+            Pattern.nodes pattern
+            |> List.filter_map (fun (n : Pattern.node) ->
+                   match n.binder with
+                   | Some v -> Some (v, Smap.find n.id assignment)
+                   | None -> None)
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          in
+          results :=
+            { Matcher.assignment = assignment_list; bindings } :: !results
+        end
+    | (pn : Pattern.node) :: rest ->
+        if !count >= limit then ()
+        else
+          List.iter
+            (fun candidate ->
+              if not (injective && List.mem candidate used) then begin
+                let assignment' = Smap.add pn.id candidate assignment in
+                if edges_ok policy pattern g assignment' then
+                  assign assignment' (candidate :: used) rest
+              end)
+            (candidates pn)
+  in
+  assign Smap.empty [] order;
+  List.rev !results

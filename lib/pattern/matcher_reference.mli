@@ -1,0 +1,21 @@
+(** The naive backtracking matcher, kept verbatim as the oracle for the
+    indexed {!Matcher}.
+
+    This is the direct transcription of the paper's section-3 match
+    definition: every unlabeled pattern node draws its candidates from
+    the whole node set and every partial extension re-validates every
+    fully-assigned pattern edge.  It is deliberately uncached and
+    unoptimized — its only uses are the qcheck equivalence property
+    (indexed [find] must reproduce its results bit-for-bit: same matches,
+    same order, same bindings) and the bench `match` section's
+    pre-index baseline.  Production code must call {!Matcher}. *)
+
+val find :
+  ?policy:Fuzzy.policy ->
+  ?injective:bool ->
+  ?limit:int ->
+  ?node_order:[ `Most_constrained | `Declaration ] ->
+  Pattern.t ->
+  Digraph.t ->
+  Matcher.match_result list
+(** Exactly {!Matcher.find}'s contract, computed the slow way. *)

@@ -11,27 +11,43 @@ let of_unified (u : Algebra.unified) =
     articulation_names = [ Articulation.name u.Algebra.articulation ];
   }
 
+module Sset = Set.Make (String)
+
 let of_parts ~sources ~articulations =
-  let source_names = List.map Ontology.name sources in
+  (* One set built once: membership is O(log n) per articulation instead
+     of a List.mem rescan of every source name. *)
+  let source_names =
+    List.fold_left
+      (fun s o -> Sset.add (Ontology.name o) s)
+      Sset.empty sources
+  in
   List.iter
     (fun a ->
-      if List.mem (Articulation.name a) source_names then
+      if Sset.mem (Articulation.name a) source_names then
         invalid_arg
           (Printf.sprintf
              "Federation.of_parts: articulation %s shares a source's name"
              (Articulation.name a)))
     articulations;
+  (* Qualifying each part is independent per-source work — the fan-out
+     runs on the domain pool; the unions stay sequential (cheap thanks to
+     structural sharing) and in declaration order, so the space is
+     deterministic at any pool size. *)
+  let qualified_sources = Domain_pool.map Ontology.qualify sources in
+  let qualified_articulations =
+    Domain_pool.map
+      (fun a -> (Ontology.qualify (Articulation.ontology a), Articulation.bridge_edges a))
+      articulations
+  in
   let graph =
-    List.fold_left
-      (fun g o -> Digraph.union g (Ontology.qualify o))
-      Digraph.empty sources
+    List.fold_left Digraph.union Digraph.empty qualified_sources
   in
   let graph =
     List.fold_left
-      (fun g a ->
-        let g = Digraph.union g (Ontology.qualify (Articulation.ontology a)) in
-        List.fold_left Digraph.add_edge_e g (Articulation.bridge_edges a))
-      graph articulations
+      (fun g (qualified, bridges) ->
+        let g = Digraph.union g qualified in
+        List.fold_left Digraph.add_edge_e g bridges)
+      graph qualified_articulations
   in
   {
     graph;

@@ -168,10 +168,15 @@ let run ?(pushdown = false) e (q : Query.t) =
   match Rewrite.plan e.space ~conversions:e.conversions q with
   | Error m -> Error m
   | Ok plan ->
-      let scanned = ref 0 in
-      let transferred = ref 0 in
-      let failures = ref [] in
+      (* Each source plan is evaluated independently (its own counters and
+         failure log) so the per-source fan-out can run on the domain
+         pool; the per-source results are folded back together in plan
+         order, which keeps every output field identical to the
+         sequential evaluation at any pool size. *)
       let run_source (sp : Plan.source_plan) =
+        let scanned = ref 0 in
+        let transferred = ref 0 in
+        let failures = ref [] in
         let source_side, remaining =
           if pushdown then begin
             let compiled = compile_pushdown e sp in
@@ -192,8 +197,9 @@ let run ?(pushdown = false) e (q : Query.t) =
               && not (List.mem (Kb.name kb) e.unavailable))
             e.kbs
         in
-        List.concat_map
-          (fun kb ->
+        let tuples =
+          List.concat_map
+            (fun kb ->
             (* The concept list already contains subclasses (they reach the
                query concept through their own semantic path), so scan each
                non-transitively and deduplicate ids. *)
@@ -252,11 +258,21 @@ let run ?(pushdown = false) e (q : Query.t) =
                            else None
                          end
                        end))
-              sp.Plan.concepts)
-          kbs
+                sp.Plan.concepts)
+            kbs
+        in
+        (tuples, !scanned, !transferred, List.rev !failures)
       in
+      let per_source = Domain_pool.map run_source plan.Plan.sources in
+      let scanned =
+        List.fold_left (fun acc (_, s, _, _) -> acc + s) 0 per_source
+      in
+      let transferred =
+        List.fold_left (fun acc (_, _, t, _) -> acc + t) 0 per_source
+      in
+      let failures = List.concat_map (fun (_, _, _, f) -> f) per_source in
       let tuples =
-        List.concat_map run_source plan.Plan.sources
+        List.concat_map (fun (ts, _, _, _) -> ts) per_source
         |> List.sort (fun t1 t2 ->
                match String.compare t1.kb t2.kb with
                | 0 -> String.compare t1.instance t2.instance
@@ -283,9 +299,9 @@ let run ?(pushdown = false) e (q : Query.t) =
           plan;
           tuples;
           aggregates;
-          scanned = !scanned;
-          transferred = !transferred;
-          conversion_failures = List.rev !failures;
+          scanned;
+          transferred;
+          conversion_failures = failures;
           skipped_kbs;
         }
 

@@ -1,0 +1,120 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+let test_size_floor () =
+  Domain_pool.with_size 0 (fun () ->
+      check_int "clamped to 1" 1 (Domain_pool.size ()));
+  Domain_pool.with_size (-3) (fun () ->
+      check_int "clamped to 1" 1 (Domain_pool.size ()))
+
+let test_with_size_restores () =
+  let before = Domain_pool.size () in
+  Domain_pool.with_size (before + 7) (fun () ->
+      check_int "inside override" (before + 7) (Domain_pool.size ()));
+  check_int "restored" before (Domain_pool.size ());
+  (try
+     Domain_pool.with_size (before + 9) (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check_int "restored after exception" before (Domain_pool.size ())
+
+let test_map_order () =
+  List.iter
+    (fun k ->
+      Domain_pool.with_size k (fun () ->
+          let input = List.init 101 Fun.id in
+          check_ints
+            (Printf.sprintf "map preserves order at size %d" k)
+            (List.map (fun x -> x * x) input)
+            (Domain_pool.map (fun x -> x * x) input);
+          check_ints
+            (Printf.sprintf "concat_map at size %d" k)
+            (List.concat_map (fun x -> [ x; -x ]) input)
+            (Domain_pool.concat_map (fun x -> [ x; -x ]) input);
+          check_ints
+            (Printf.sprintf "filter at size %d" k)
+            (List.filter (fun x -> x mod 3 = 0) input)
+            (Domain_pool.filter (fun x -> x mod 3 = 0) input)))
+    [ 1; 2; 4; 8 ]
+
+let test_map_empty_and_singleton () =
+  Domain_pool.with_size 4 (fun () ->
+      check_ints "empty" [] (Domain_pool.map succ []);
+      check_ints "singleton" [ 42 ] (Domain_pool.map succ [ 41 ]))
+
+let test_exception_propagates () =
+  Domain_pool.with_size 4 (fun () ->
+      let r =
+        try
+          ignore
+            (Domain_pool.map
+               (fun x -> if x = 57 then failwith "task 57" else x)
+               (List.init 100 Fun.id));
+          None
+        with Failure m -> Some m
+      in
+      Alcotest.(check (option string)) "first failure surfaces"
+        (Some "task 57") r)
+
+let test_parallel_graph_building () =
+  (* Graphs built concurrently must draw distinct revision stamps: equal
+     revisions imply the very same value is the cache-soundness
+     invariant. *)
+  Domain_pool.with_size 4 (fun () ->
+      let graphs =
+        Domain_pool.map
+          (fun i ->
+            List.fold_left
+              (fun g j ->
+                Digraph.add_edge g
+                  (Printf.sprintf "n%d-%d" i j)
+                  "S"
+                  (Printf.sprintf "n%d-%d" i (j + 1)))
+              Digraph.empty (List.init 50 Fun.id))
+          (List.init 8 Fun.id)
+      in
+      let revisions = List.map Digraph.revision graphs in
+      check_int "distinct revisions" (List.length revisions)
+        (List.length (List.sort_uniq compare revisions));
+      check_bool "all graphs complete" true
+        (List.for_all (fun g -> Digraph.nb_edges g = 50) graphs))
+
+let test_concurrent_cache_traffic () =
+  (* Hammer one shared Lru from every worker: no crash, exact results.
+     (The interesting assertion is the absence of a segfault/corruption;
+     the value check guards against torn reads.) *)
+  Domain_pool.with_size 4 (fun () ->
+      let g =
+        List.fold_left
+          (fun g i ->
+            Digraph.add_edge g (Printf.sprintf "c%d" i) "S"
+              (Printf.sprintf "c%d" (i + 1)))
+          Digraph.empty (List.init 30 Fun.id)
+      in
+      let p = Pattern_parser.parse_exn "?X -[S]-> ?Y" in
+      let expected = List.length (Matcher.find ~limit:1000 p g) in
+      let counts =
+        Domain_pool.map
+          (fun _ -> List.length (Matcher.find ~limit:1000 p g))
+          (List.init 32 Fun.id)
+      in
+      check_bool "all workers agree" true
+        (List.for_all (fun c -> c = expected) counts))
+
+let suite =
+  [
+    ( "domain-pool",
+      [
+        Alcotest.test_case "size floor" `Quick test_size_floor;
+        Alcotest.test_case "with_size restores" `Quick test_with_size_restores;
+        Alcotest.test_case "map/concat_map/filter order" `Quick test_map_order;
+        Alcotest.test_case "empty and singleton" `Quick
+          test_map_empty_and_singleton;
+        Alcotest.test_case "exception propagation" `Quick
+          test_exception_propagates;
+        Alcotest.test_case "parallel graph building" `Quick
+          test_parallel_graph_building;
+        Alcotest.test_case "concurrent cache traffic" `Quick
+          test_concurrent_cache_traffic;
+      ] );
+  ]

@@ -1,0 +1,241 @@
+(* The indexed-matcher-is-the-naive-matcher property: over random graphs
+   and patterns, Matcher.find (index-anchored candidates, incremental
+   edge checks, degree pruning) must return exactly what the preserved
+   naive search Matcher_reference.find returns — same matches, same
+   order, same bindings — across exact and fuzzy policies, injective on
+   and off, and both node orders.  Together the properties run well over
+   500 random cases.
+
+   A second family checks that the Domain_pool fan-out is invisible:
+   Filter_extract batches, Federation.of_parts and Mediator.run must
+   produce identical results at pool size 1 (sequential fallback) and
+   pool size 4. *)
+
+let node_pool = [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h"; "cars"; "auto" ]
+let label_pool = [ "S"; "A"; "I"; "SI"; "x" ]
+
+let edge_gen =
+  let open QCheck.Gen in
+  map3
+    (fun s l d -> { Digraph.src = s; label = l; dst = d })
+    (oneofl node_pool) (oneofl label_pool) (oneofl node_pool)
+
+(* Patterns of 1-4 nodes (labeled or wildcard, occasionally bound) with
+   random edges between any two pattern positions — chains, forks,
+   diamonds and self-loops all occur. *)
+let pattern_gen =
+  let open QCheck.Gen in
+  int_range 1 4 >>= fun n ->
+  let pnode i =
+    pair
+      (oneof [ return None; map (fun l -> Some l) (oneofl node_pool) ])
+      (oneof [ return None; return (Some (Printf.sprintf "V%d" i)) ])
+    >>= fun (label, binder) ->
+    return { Pattern.id = Printf.sprintf "p%d" i; label; binder }
+  in
+  let pedge =
+    map3
+      (fun s d elabel ->
+        {
+          Pattern.src = Printf.sprintf "p%d" (s mod n);
+          elabel;
+          dst = Printf.sprintf "p%d" (d mod n);
+        })
+      (int_range 0 (n - 1))
+      (int_range 0 (n - 1))
+      (oneof [ return None; map (fun l -> Some l) (oneofl label_pool) ])
+  in
+  let rec gen_nodes i =
+    if i >= n then return []
+    else
+      pnode i >>= fun nd ->
+      gen_nodes (i + 1) >>= fun rest -> return (nd :: rest)
+  in
+  gen_nodes 0 >>= fun nodes ->
+  list_size (int_range 0 (n + 1)) pedge >>= fun edges ->
+  (* Duplicate pattern edges are legal; Pattern.create validates ids. *)
+  return (Pattern.create ~nodes ~edges ())
+
+(* 0 = exact, 1 = synonyms+stemming, 2 = edge labels ignored,
+   3 = extra edge pair (S ~ SI). *)
+let policy_of_tag = function
+  | 0 -> Fuzzy.exact
+  | 1 -> Fuzzy.with_synonyms Lexicon.builtin
+  | 2 -> { Fuzzy.exact with Fuzzy.ignore_edge_labels = true }
+  | _ -> { Fuzzy.exact with Fuzzy.extra_edge_pairs = [ ("S", "SI") ] }
+
+let policy_name = function
+  | 0 -> "exact"
+  | 1 -> "synonyms"
+  | 2 -> "ignore-edges"
+  | _ -> "extra-pairs"
+
+let case =
+  let open QCheck.Gen in
+  let g =
+    pattern_gen >>= fun pattern ->
+    list_size (int_range 0 25) edge_gen >>= fun edges ->
+    int_range 0 3 >>= fun policy_tag ->
+    bool >>= fun injective ->
+    bool >>= fun declaration_order ->
+    int_range 1 60 >>= fun limit ->
+    return (edges, pattern, policy_tag, injective, declaration_order, limit)
+  in
+  QCheck.make
+    ~print:(fun (edges, pattern, tag, injective, decl, limit) ->
+      Format.asprintf
+        "@[<v>graph=%a@ pattern=%a@ policy=%s injective=%b order=%s limit=%d@]"
+        Digraph.pp (Digraph.of_edges edges) Pattern.pp pattern
+        (policy_name tag) injective
+        (if decl then "declaration" else "most-constrained")
+        limit)
+    g
+
+let prop_indexed_equals_reference =
+  QCheck.Test.make ~count:600
+    ~name:"indexed Matcher.find = naive Matcher_reference.find"
+    case
+    (fun (edges, pattern, tag, injective, decl, limit) ->
+      let g = Digraph.of_edges edges in
+      let policy = policy_of_tag tag in
+      let node_order = if decl then `Declaration else `Most_constrained in
+      let reference =
+        Matcher_reference.find ~policy ~injective ~limit ~node_order pattern g
+      in
+      (* Compare both the cold compute (caches disabled) and the cached
+         path: the indexed search and its memoization must each be
+         invisible. *)
+      let indexed_cold =
+        Cache_stats.with_disabled (fun () ->
+            Matcher.find ~policy ~injective ~limit ~node_order pattern g)
+      in
+      let indexed_warm =
+        Matcher.find ~policy ~injective ~limit ~node_order pattern g
+      in
+      indexed_cold = reference && indexed_warm = reference)
+
+(* Matcher determinism under pool sizes: the matcher itself is
+   sequential, but everything feeding it (index build, cache traffic from
+   concurrent batch operators) must leave results untouched.  Run the
+   same filter batch at ONION_DOMAINS-equivalent sizes 1 and 4 and
+   demand identical ontologies in identical order. *)
+let prop_pool_size_invisible =
+  QCheck.Test.make ~count:60
+    ~name:"Filter_extract.filter_batch: pool size 1 = pool size 4"
+    (QCheck.make
+       ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+       QCheck.Gen.(int_range 0 5_000))
+    (fun seed ->
+      let o =
+        Gen.ontology
+          ~profile:{ Gen.default_profile with Gen.n_terms = 40 }
+          ~seed ~name:"g" ()
+      in
+      let patterns =
+        [
+          Pattern_parser.parse_exn "?X -[SubclassOf]-> ?Y";
+          Pattern_parser.parse_exn "?X -[SubclassOf]-> ?Y -[SubclassOf]-> ?Z";
+          Pattern_parser.parse_exn "?X :?Y";
+          Pattern.term (List.hd (Ontology.terms o));
+        ]
+      in
+      let seq =
+        Domain_pool.with_size 1 (fun () ->
+            Cache_stats.with_disabled (fun () ->
+                Filter_extract.filter_batch o patterns))
+      in
+      let par =
+        Domain_pool.with_size 4 (fun () ->
+            Cache_stats.with_disabled (fun () ->
+                Filter_extract.filter_batch o patterns))
+      in
+      List.for_all2 Ontology.equal seq par)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Federation and mediation fan-out: identical query spaces and reports
+   at pool sizes 1 and 4. *)
+let test_federation_pool_sizes () =
+  let sources =
+    List.init 5 (fun i ->
+        Gen.ontology
+          ~profile:{ Gen.default_profile with Gen.n_terms = 60 }
+          ~seed:(50 + i)
+          ~name:(Printf.sprintf "src%d" i)
+          ())
+  in
+  let space_at n =
+    Domain_pool.with_size n (fun () ->
+        Federation.of_parts ~sources ~articulations:[])
+  in
+  let f1 = space_at 1 and f4 = space_at 4 in
+  check_bool "same federation graph" true
+    (Digraph.equal f1.Federation.graph f4.Federation.graph);
+  Alcotest.(check (list string))
+    "same source names"
+    (Federation.source_names f1)
+    (Federation.source_names f4)
+
+let test_mediator_pool_sizes () =
+  let r = Paper_example.articulation () in
+  let left = r.Generator.updated_left and right = r.Generator.updated_right in
+  let u = Algebra.union ~left ~right r.Generator.articulation in
+  let kb1 = Query_gen.instances_for ~seed:3 ~per_concept:40 left ~kb_name:"kb1" in
+  let kb2 = Query_gen.instances_for ~seed:4 ~per_concept:40 right ~kb_name:"kb2" in
+  let env = Mediator.env ~kbs:[ kb1; kb2 ] ~unified:u () in
+  let q = Query.parse_exn "SELECT Price FROM Vehicle WHERE Price < 20000" in
+  let run_at n =
+    Domain_pool.with_size n (fun () ->
+        match Mediator.run ~pushdown:true env q with
+        | Ok report -> report
+        | Error m -> Alcotest.failf "mediator failed: %s" m)
+  in
+  let r1 = run_at 1 and r4 = run_at 4 in
+  check_int "same tuple count" (List.length r1.Mediator.tuples)
+    (List.length r4.Mediator.tuples);
+  check_bool "same tuples" true (r1.Mediator.tuples = r4.Mediator.tuples);
+  check_int "same scanned" r1.Mediator.scanned r4.Mediator.scanned;
+  check_int "same transferred" r1.Mediator.transferred r4.Mediator.transferred;
+  check_bool "same failures" true
+    (r1.Mediator.conversion_failures = r4.Mediator.conversion_failures)
+
+let test_matched_subgraph_total () =
+  let g = Digraph.of_edges [ { Digraph.src = "a"; label = "S"; dst = "b" } ] in
+  let p = Pattern_parser.parse_exn "a -[S]-> b" in
+  match Matcher.find p g with
+  | [ m ] -> (
+      (* A match from a different pattern misses this pattern's ids: the
+         lookup must fail loudly, naming the missing id, not raise a bare
+         Not_found. *)
+      let other =
+        Pattern.create
+          ~nodes:[ { Pattern.id = "zz"; label = None; binder = None } ]
+          ~edges:[ { Pattern.src = "zz"; elabel = None; dst = "zz" } ]
+          ()
+      in
+      let contains ~sub s =
+        let n = String.length sub and m = String.length s in
+        let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+        at 0
+      in
+      match Matcher.matched_subgraph g other m with
+      | exception Invalid_argument msg ->
+          check_bool "names the missing id" true (contains ~sub:"zz" msg)
+      | _ -> Alcotest.fail "expected Invalid_argument")
+  | _ -> Alcotest.fail "expected exactly one match"
+
+let suite =
+  [
+    ( "matcher-equivalence",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_indexed_equals_reference; prop_pool_size_invisible ] );
+    ( "multicore-determinism",
+      [
+        Alcotest.test_case "federation pool sizes" `Quick
+          test_federation_pool_sizes;
+        Alcotest.test_case "mediator pool sizes" `Quick test_mediator_pool_sizes;
+        Alcotest.test_case "matched_subgraph total" `Quick
+          test_matched_subgraph_total;
+      ] );
+  ]
