@@ -1108,6 +1108,232 @@ let fault () =
     ~soak_survived:!survived ~soak_rate;
   row "wrote BENCH_fault.json"
 
+(* ------------------------------------------------------------------ *)
+(* SERVE — the warm daemon vs the per-request CLI process              *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_serve.json: warm-daemon round-trip latency (p50/p99 over the
+   wire), the cold per-request cost (one CLI process per query when the
+   binary is on disk, otherwise an in-process cold simulation — the
+   [cold_mode] field says which), and throughput at 1/4/8 concurrent
+   clients.  Hand-rolled JSON like BENCH_cache. *)
+let emit_serve_json ~path ~cold_mode ~warm_p50 ~warm_p99 ~warm_mean ~cold_ns
+    ~speedup ~throughput =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let tp_objs =
+        List.map
+          (fun (clients, requests, seconds, rps) ->
+            Printf.sprintf
+              "    { \"clients\": %d, \"requests\": %d, \"seconds\": %.3f, \
+               \"rps\": %.1f }"
+              clients requests seconds rps)
+          throughput
+      in
+      output_string oc "{\n  \"benchmark\": \"serve\",\n";
+      output_string oc
+        (Printf.sprintf
+           "  \"warm\": { \"p50_ns\": %s, \"p99_ns\": %s, \"mean_ns\": %s },\n"
+           (json_float warm_p50) (json_float warm_p99) (json_float warm_mean));
+      output_string oc
+        (Printf.sprintf
+           "  \"cold\": { \"mode\": \"%s\", \"ns_per_request\": %s },\n"
+           (json_escape cold_mode) (json_float cold_ns));
+      output_string oc
+        (Printf.sprintf "  \"speedup\": %s,\n" (json_float speedup));
+      output_string oc "  \"throughput\": [\n";
+      output_string oc (String.concat ",\n" tp_objs);
+      output_string oc "\n  ]\n}\n")
+
+let serve () =
+  section "SERVE"
+    "warm daemon (persistent caches, admission queue) vs the cold \
+     per-request CLI path; throughput at 1/4/8 clients";
+  let dir = Filename.temp_file "onion-bench-serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let socket_path = Filename.concat dir "serve.sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+      in
+      if Sys.file_exists dir then rm dir)
+  @@ fun () ->
+  (* The paper's carrier/factory pair as a real on-disk workspace. *)
+  let ws_dir = Filename.concat dir "ws" in
+  let ws =
+    match Workspace.init ws_dir with Ok w -> w | Error m -> failwith m
+  in
+  List.iter
+    (fun o ->
+      let path =
+        Filename.concat dir (Ontology.name o ^ ".xml")
+      in
+      Loader.save_file o path;
+      match Workspace.add_source ws ~path with
+      | Ok _ -> ()
+      | Error m -> failwith m)
+    [ Paper_example.carrier; Paper_example.factory ];
+  (match
+     Workspace.articulate ~conversions:Conversion.builtin ws ~left:"carrier"
+       ~right:"factory" ~name:Paper_example.articulation_name
+       ~rules:Paper_example.rules
+   with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  let query_text = "SELECT Price FROM Vehicle WHERE Price < 5000" in
+  let config =
+    { Server.default_config with Server.unix_path = Some socket_path }
+  in
+  let server =
+    match Server.create config ws with Ok s -> s | Error m -> failwith m
+  in
+  let serve_thread = Thread.create Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join serve_thread)
+  @@ fun () ->
+  let address = Client.Unix_socket socket_path in
+  let query_over c =
+    match Client.request c ~op:"query" ~arg:query_text with
+    | Ok { Protocol.status = Protocol.Ok; _ } -> ()
+    | Ok _ -> failwith "serve bench: non-ok reply"
+    | Error m -> failwith ("serve bench: " ^ m)
+  in
+  (* Warm: one connection, many round-trips, exact percentiles. *)
+  let warm_rounds = 300 in
+  let latencies =
+    match
+      Client.with_connection address (fun c ->
+          (* A few throwaway rounds settle the caches and the allocator. *)
+          for _ = 1 to 20 do
+            query_over c
+          done;
+          Ok
+            (Array.init warm_rounds (fun _ ->
+                 let t0 = Unix.gettimeofday () in
+                 query_over c;
+                 (Unix.gettimeofday () -. t0) *. 1e9)))
+    with
+    | Ok l -> l
+    | Error m -> failwith ("serve bench: " ^ m)
+  in
+  Array.sort Float.compare latencies;
+  let pct q =
+    latencies.(min (warm_rounds - 1) (int_of_float (q *. float_of_int warm_rounds)))
+  in
+  let warm_p50 = pct 0.50 and warm_p99 = pct 0.99 in
+  let warm_mean =
+    Array.fold_left ( +. ) 0.0 latencies /. float_of_int warm_rounds
+  in
+  row "warm daemon round-trip: p50 %a  p99 %a  mean %a" pp_time warm_p50
+    pp_time warm_p99 pp_time warm_mean;
+  (* Cold: what each request costs without the daemon.  Preferred: spawn
+     the actual CLI binary per request.  When the binary is not where the
+     build puts it (e.g. the bench runs from an install), fall back to an
+     in-process simulation that re-opens the workspace and clears every
+     cache per request. *)
+  let cli_path =
+    match Sys.getenv_opt "ONION_CLI" with
+    | Some p -> p
+    | None -> Filename.concat (Sys.getcwd ()) "_build/default/bin/onion_cli.exe"
+  in
+  let cold_rounds = 12 in
+  let cold_mode, cold_ns =
+    if Sys.file_exists cli_path then begin
+      let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let one () =
+        let pid =
+          Unix.create_process cli_path
+            [| cli_path; "workspace"; "query"; ws_dir; query_text |]
+            Unix.stdin null null
+        in
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _ -> failwith "serve bench: cold CLI query failed"
+      in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to cold_rounds do
+        one ()
+      done;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Unix.close null;
+      ("cli-process", elapsed *. 1e9 /. float_of_int cold_rounds)
+    end
+    else begin
+      let one () =
+        Cache_stats.clear_all ();
+        let ws =
+          match Workspace.open_ ws_dir with Ok w -> w | Error m -> failwith m
+        in
+        match Workspace.space ws with
+        | Error m -> failwith m
+        | Ok (space, _) -> (
+            let kbs =
+              List.map
+                (fun o ->
+                  Kb.of_ontology_instances ~ontology:o
+                    ("kb-" ^ Ontology.name o))
+                space.Federation.sources
+            in
+            let env = Mediator.env_federated ~kbs ~space () in
+            match Mediator.run_text env query_text with
+            | Ok _ -> ()
+            | Error m -> failwith m)
+      in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to cold_rounds do
+        one ()
+      done;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Cache_stats.clear_all ();
+      ("in-process-cold", elapsed *. 1e9 /. float_of_int cold_rounds)
+    end
+  in
+  let speedup = cold_ns /. warm_p50 in
+  row "cold per-request cost (%s): %a  -> warm-p50 speedup %.0fx %s" cold_mode
+    pp_time cold_ns speedup
+    (if speedup >= 5.0 then "(>= 5x: PASS)" else "(< 5x: FAIL)");
+  (* Throughput: N client threads, each its own connection, hammering the
+     same mediated query. *)
+  let throughput =
+    List.map
+      (fun clients ->
+        let per_client = 60 in
+        let t0 = Unix.gettimeofday () in
+        let worker () =
+          match
+            Client.with_connection address (fun c ->
+                for _ = 1 to per_client do
+                  query_over c
+                done;
+                Ok ())
+          with
+          | Ok () -> ()
+          | Error m -> failwith ("serve bench: " ^ m)
+        in
+        let threads = List.init clients (fun _ -> Thread.create worker ()) in
+        List.iter Thread.join threads;
+        let seconds = Unix.gettimeofday () -. t0 in
+        let requests = clients * per_client in
+        let rps = float_of_int requests /. seconds in
+        row "throughput %d client(s): %d requests in %.3fs = %.0f req/s"
+          clients requests seconds rps;
+        (clients, requests, seconds, rps))
+      [ 1; 4; 8 ]
+  in
+  emit_serve_json ~path:"BENCH_serve.json" ~cold_mode ~warm_p50 ~warm_p99
+    ~warm_mean ~cold_ns ~speedup ~throughput;
+  row "wrote BENCH_serve.json"
+
 let sections_by_id =
   [
     ("fig2", fig2);
@@ -1124,6 +1350,7 @@ let sections_by_id =
     ("cache", cache);
     ("match", match_);
     ("fault", fault);
+    ("serve", serve);
   ]
 
 let () =

@@ -225,6 +225,9 @@ let query_cmd =
       Generator.generate ~conversions:Conversion.builtin ~articulation_name:name
         ~left ~right rules
     in
+    List.iter
+      (fun w -> Printf.eprintf "warning: %s\n" (Format.asprintf "%a" Generator.pp_warning w))
+      r.Generator.warnings;
     let left = r.Generator.updated_left and right = r.Generator.updated_right in
     let u = Algebra.union ~left ~right r.Generator.articulation in
     let kbs =
@@ -412,6 +415,9 @@ let oql_cmd =
       Generator.generate ~conversions:Conversion.builtin ~articulation_name:name
         ~left ~right rules
     in
+    List.iter
+      (fun w -> Printf.eprintf "warning: %s\n" (Format.asprintf "%a" Generator.pp_warning w))
+      r.Generator.warnings;
     let u =
       Algebra.union ~left:r.Generator.updated_left
         ~right:r.Generator.updated_right r.Generator.articulation
@@ -495,10 +501,22 @@ let ws_add_cmd =
     Term.(const run $ workspace_arg 0 $ path)
 
 let ws_status_cmd =
-  let run dir = print_string (Workspace.status (open_workspace_or_die dir)) in
+  let run dir json =
+    let ws = open_workspace_or_die dir in
+    if json then print_string (Status_json.workspace ws)
+    else print_string (Workspace.status ws)
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the status as JSON (sources, articulations, staleness, \
+             health) — the same document the server's status op returns.")
+  in
   Cmd.v
     (Cmd.info "status" ~doc:"Show sources, articulations and staleness.")
-    Term.(const run $ workspace_arg 0)
+    Term.(const run $ workspace_arg 0 $ json)
 
 let ws_articulate_cmd =
   let run dir left right rules_path name =
@@ -568,6 +586,190 @@ let workspace_cmd =
     (Cmd.info "workspace"
        ~doc:"Manage an on-disk workspace of sources and stored articulations.")
     [ ws_init_cmd; ws_add_cmd; ws_status_cmd; ws_articulate_cmd; ws_query_cmd ]
+
+(* ---------------- serve / client ---------------- *)
+
+let serve_cmd =
+  let run dir host port socket queue workers =
+    let ws = open_workspace_or_die dir in
+    (* Warm the federation before accepting traffic, and surface a
+       degraded workspace on stderr the way [workspace query] does. *)
+    (match Workspace.space ws with
+    | Ok (_, health) ->
+        if not (Health.ok health) then Format.eprintf "%a@." Health.pp health
+    | Error m -> Printf.eprintf "warning: federation unavailable: %s\n%!" m);
+    let config =
+      {
+        Server.default_config with
+        Server.tcp = Option.map (fun p -> (host, p)) port;
+        unix_path = socket;
+        queue_capacity = queue;
+        workers;
+      }
+    in
+    match Server.create config ws with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok server ->
+        let stop _ = Server.stop server in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        List.iter
+          (fun a -> Printf.printf "listening on %s\n%!" a)
+          (Server.addresses server);
+        Server.serve server
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"TCP bind address.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"Listen on TCP $(docv) (0 picks an ephemeral port).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.queue_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue bound; a full queue sheds with busy replies.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Request worker threads.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a workspace as a long-lived query daemon (TCP and/or \
+          Unix-domain socket).  SIGTERM or the shutdown op drains in-flight \
+          requests and exits 0.")
+    Term.(const run $ workspace_arg 0 $ host $ port $ socket $ queue $ workers)
+
+let client_cmd =
+  let print_reply (reply : Protocol.reply) =
+    List.iter (fun w -> Printf.eprintf "warning: %s\n" w) reply.Protocol.warnings;
+    match reply.Protocol.status with
+    | Protocol.Ok ->
+        print_string reply.Protocol.body;
+        flush stdout;
+        true
+    | Protocol.Error ->
+        Printf.eprintf "error: %s\n" (String.trim reply.Protocol.body);
+        false
+    | Protocol.Busy { depth; retry_ms } ->
+        Printf.eprintf "busy: %d requests queued, retry in ~%dms\n" depth
+          retry_ms;
+        false
+    | Protocol.Draining ->
+        Printf.eprintf "draining: server is shutting down\n";
+        false
+  in
+  let run socket host port from_stdin op rest =
+    let address =
+      match (socket, port) with
+      | Some path, _ -> Client.Unix_socket path
+      | None, Some p -> Client.Tcp { host; port = p }
+      | None, None ->
+          Printf.eprintf "error: pass --socket PATH or --port PORT\n";
+          exit 2
+    in
+    let outcome =
+      Client.with_connection address (fun c ->
+          if from_stdin then begin
+            (* Batch mode: one request per non-blank stdin line; bodies go
+               to stdout, warnings and failures to stderr, and a failed
+               request does not stop the batch. *)
+            let rec loop all_ok =
+              match In_channel.input_line stdin with
+              | None -> Result.Ok all_ok
+              | Some line ->
+                  let line = String.trim line in
+                  if line = "" then loop all_ok
+                  else begin
+                    match Client.request_line c line with
+                    | Error _ as e -> e
+                    | Ok reply -> loop (print_reply reply && all_ok)
+                  end
+            in
+            loop true
+          end
+          else
+            match op with
+            | None ->
+                Printf.eprintf
+                  "error: pass an op (query|algebra|status|health|stats|ping|shutdown) \
+                   or --stdin\n";
+                exit 2
+            | Some op -> (
+                match Client.request c ~op ~arg:(String.concat " " rest) with
+                | Error _ as e -> e
+                | Ok reply -> Result.Ok (print_reply reply)))
+    in
+    match outcome with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    | Ok true -> ()
+    | Ok false -> exit 1
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to a Unix-domain socket.")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"TCP host to connect to.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port"; "p" ] ~docv:"PORT" ~doc:"TCP port to connect to.")
+  in
+  let from_stdin =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:
+            "Batch mode: read one 'op arg' request per stdin line over a \
+             single connection.")
+  in
+  let op =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"OP" ~doc:"query, algebra, status, health, stats, ping or shutdown.")
+  in
+  let rest =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"ARG" ~doc:"Argument for the op (joined with spaces).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running onion serve daemon.  Exit 0 on success, 1 if any \
+          request was refused or failed, 2 on transport errors.")
+    Term.(const run $ socket $ host $ port $ from_stdin $ op $ rest)
 
 let translate_cmd =
   let run left_path right_path rules_path name from_name to_name instance_id =
@@ -680,7 +882,7 @@ let main =
     [
       validate_cmd; show_cmd; dot_cmd; articulate_cmd; suggest_cmd; algebra_cmd;
       query_cmd; session_cmd; oql_cmd; rdf_cmd; workspace_cmd; fsck_cmd;
-      translate_cmd; demo_cmd;
+      serve_cmd; client_cmd; translate_cmd; demo_cmd;
     ]
 
 let () =

@@ -1,0 +1,103 @@
+type t = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (** Signals workers: job queued or stopping. *)
+  idle : Condition.t;  (** Signals drainers: queue empty and nothing runs. *)
+  jobs : (unit -> unit) Queue.t;
+  capacity : int;
+  mutable in_flight : int;
+  mutable draining : bool;
+  mutable stopped : bool;
+  mutable threads : Thread.t list;
+}
+
+type verdict = Accepted | Shed of { depth : int } | Draining
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec await () =
+      if Queue.is_empty t.jobs && not t.stopped then begin
+        Condition.wait t.work_ready t.mutex;
+        await ()
+      end
+    in
+    await ();
+    match Queue.take_opt t.jobs with
+    | None ->
+        (* Stopped and empty. *)
+        Mutex.unlock t.mutex;
+        ()
+    | Some job ->
+        t.in_flight <- t.in_flight + 1;
+        Mutex.unlock t.mutex;
+        (try job () with _ -> ());
+        Mutex.lock t.mutex;
+        t.in_flight <- t.in_flight - 1;
+        if Queue.is_empty t.jobs && t.in_flight = 0 then
+          Condition.broadcast t.idle;
+        Mutex.unlock t.mutex;
+        loop ()
+  in
+  loop ()
+
+let create ~capacity ~workers =
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      idle = Condition.create ();
+      jobs = Queue.create ();
+      capacity = max 0 capacity;
+      in_flight = 0;
+      draining = false;
+      stopped = false;
+      threads = [];
+    }
+  in
+  t.threads <- List.init (max 1 workers) (fun _ -> Thread.create worker t);
+  t
+
+let submit t job =
+  Mutex.lock t.mutex;
+  let verdict =
+    if t.draining || t.stopped then Draining
+    else if Queue.length t.jobs >= t.capacity then
+      Shed { depth = Queue.length t.jobs }
+    else begin
+      Queue.add job t.jobs;
+      Condition.signal t.work_ready;
+      Accepted
+    end
+  in
+  Mutex.unlock t.mutex;
+  verdict
+
+let depth t =
+  Mutex.lock t.mutex;
+  let d = Queue.length t.jobs in
+  Mutex.unlock t.mutex;
+  d
+
+let in_flight t =
+  Mutex.lock t.mutex;
+  let n = t.in_flight in
+  Mutex.unlock t.mutex;
+  n
+
+let drain t =
+  Mutex.lock t.mutex;
+  t.draining <- true;
+  while not (Queue.is_empty t.jobs && t.in_flight = 0) do
+    Condition.wait t.idle t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  drain t;
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  Condition.broadcast t.work_ready;
+  let threads = t.threads in
+  t.threads <- [];
+  Mutex.unlock t.mutex;
+  List.iter Thread.join threads

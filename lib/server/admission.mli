@@ -1,0 +1,39 @@
+(** Bounded admission control for the query daemon.
+
+    Connection threads do not execute workload requests themselves: they
+    submit thunks here, and a fixed crew of worker threads executes them
+    (the compute inside each thunk fans out further through
+    {!Domain_pool}).  The queue is {e bounded}: when it is full the
+    submit is refused immediately with the current depth, and the caller
+    answers the client with an explicit [busy] reply instead of letting
+    fan-in collapse the daemon.  When the daemon is draining, submits
+    are refused with [`Draining] while already-queued and in-flight work
+    runs to completion. *)
+
+type t
+
+val create : capacity:int -> workers:int -> t
+(** Spawn [workers] (>= 1) worker threads over a queue bounded at
+    [capacity] (>= 0; zero refuses every submit — useful for tests). *)
+
+type verdict =
+  | Accepted  (** The thunk will run; completion is the thunk's business. *)
+  | Shed of { depth : int }  (** Queue full: answer [busy]. *)
+  | Draining  (** Shutting down: answer [draining]. *)
+
+val submit : t -> (unit -> unit) -> verdict
+(** Exceptions escaping the thunk are caught and dropped by the worker:
+    a thunk must deliver its outcome through its own closure. *)
+
+val depth : t -> int
+(** Jobs queued and not yet picked up. *)
+
+val in_flight : t -> int
+(** Jobs currently executing on a worker. *)
+
+val drain : t -> unit
+(** Refuse new submits, then block until the queue is empty and every
+    in-flight job has finished.  Idempotent. *)
+
+val shutdown : t -> unit
+(** {!drain}, then stop and join the worker threads. *)

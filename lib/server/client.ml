@@ -1,0 +1,56 @@
+type address = Tcp of { host : string; port : int } | Unix_socket of string
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+let connect address =
+  match
+    match address with
+    | Unix_socket path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+    | Tcp { host; port } ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (inet, port));
+        fd
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "connect: %s" (Unix.error_message e))
+  | exception Not_found -> Error "connect: unknown host"
+  | fd ->
+      Ok
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+        }
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let send_payload t payload =
+  match Protocol.write_frame t.oc payload with
+  | () -> (
+      match Protocol.read_frame t.ic with
+      | Error e -> Error (Protocol.read_error_message e)
+      | Ok reply_payload -> Protocol.decode_reply reply_payload)
+  | exception Sys_error m -> Error ("send: " ^ m)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("send: " ^ Unix.error_message e)
+
+let request t ~op ~arg =
+  send_payload t (Protocol.encode_request { Protocol.op; arg })
+
+let request_line t line = send_payload t (String.trim line)
+
+let with_connection address f =
+  match connect address with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

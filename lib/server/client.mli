@@ -1,0 +1,30 @@
+(** Client side of the {!Protocol}: one connection, request/reply.
+
+    Backs the [onion client] subcommand, the serve test suites and the
+    bench harness.  A connection is not itself thread-safe; concurrent
+    callers open their own connections (the server handles each on its
+    own thread). *)
+
+type address =
+  | Tcp of { host : string; port : int }
+  | Unix_socket of string
+
+type t
+
+val connect : address -> (t, string) result
+
+val close : t -> unit
+
+val request :
+  t -> op:string -> arg:string -> (Protocol.reply, string) result
+(** Send one request and wait for its reply.  [Error] is a transport or
+    framing failure (the connection should be abandoned); server-side
+    failures arrive as replies with [Error]/[Busy]/[Draining] status. *)
+
+val request_line : t -> string -> (Protocol.reply, string) result
+(** [request_line c "query SELECT ..."]: the raw [op arg] form used by
+    the [--stdin] batch mode. *)
+
+val with_connection :
+  address -> (t -> ('a, string) result) -> ('a, string) result
+(** Connect, run, close (also on exceptions). *)

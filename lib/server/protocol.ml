@@ -1,0 +1,181 @@
+let default_max_frame = 4 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type read_error = Eof | Garbage of string | Oversized of int | Truncated
+
+let read_error_message = function
+  | Eof -> "end of stream"
+  | Garbage line ->
+      Printf.sprintf "bad frame header %S (want a decimal length)" line
+  | Oversized n -> Printf.sprintf "frame of %d bytes exceeds the limit" n
+  | Truncated -> "stream ended inside a frame payload"
+
+let connection_survives = function
+  | Garbage _ | Oversized _ -> true
+  | Eof | Truncated -> false
+
+let write_frame oc payload =
+  output_string oc (string_of_int (String.length payload));
+  output_char oc '\n';
+  output_string oc payload;
+  flush oc
+
+let is_length_line line =
+  line <> "" && String.length line <= 9
+  && String.for_all (fun c -> c >= '0' && c <= '9') line
+
+(* Discard exactly [n] payload bytes so the stream stays framed. *)
+let drain ic n =
+  let chunk = Bytes.create 8192 in
+  let rec go remaining =
+    if remaining > 0 then begin
+      let k = input ic chunk 0 (min remaining (Bytes.length chunk)) in
+      if k = 0 then raise End_of_file;
+      go (remaining - k)
+    end
+  in
+  go n
+
+let read_frame ?(max = default_max_frame) ic =
+  match input_line ic with
+  | exception End_of_file -> Result.Error Eof
+  | line ->
+      if not (is_length_line line) then Result.Error (Garbage line)
+      else begin
+        let n = int_of_string line in
+        if n > max then
+          match drain ic n with
+          | () -> Result.Error (Oversized n)
+          | exception End_of_file -> Result.Error Truncated
+        else
+          match really_input_string ic n with
+          | payload -> Result.Ok payload
+          | exception End_of_file -> Result.Error Truncated
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type request = { op : string; arg : string }
+
+let encode_request { op; arg } = if arg = "" then op else op ^ " " ^ arg
+
+let decode_request payload =
+  let payload = String.trim payload in
+  match String.index_opt payload ' ' with
+  | None -> { op = String.lowercase_ascii payload; arg = "" }
+  | Some i ->
+      {
+        op = String.lowercase_ascii (String.sub payload 0 i);
+        arg =
+          String.trim
+            (String.sub payload (i + 1) (String.length payload - i - 1));
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type status =
+  | Ok
+  | Error
+  | Busy of { depth : int; retry_ms : int }
+  | Draining
+
+type reply = { status : status; warnings : string list; body : string }
+
+let ok ?(warnings = []) body = { status = Ok; warnings; body }
+let error message = { status = Error; warnings = []; body = message }
+
+let status_to_string = function
+  | Ok -> "ok"
+  | Error -> "error"
+  | Busy { depth; retry_ms } ->
+      Printf.sprintf "busy depth=%d retry-ms=%d" depth retry_ms
+  | Draining -> "draining"
+
+(* Warnings are one-per-line fields: embedded newlines would desync the
+   count, so they are squashed to spaces. *)
+let one_line s = String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let encode_reply { status; warnings; body } =
+  let buf = Buffer.create (128 + String.length body) in
+  Buffer.add_string buf (status_to_string status);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "warnings %d\n" (List.length warnings));
+  List.iter
+    (fun w ->
+      Buffer.add_string buf (one_line w);
+      Buffer.add_char buf '\n')
+    warnings;
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let status_of_string line =
+  match String.split_on_char ' ' line with
+  | [ "ok" ] -> Result.Ok Ok
+  | [ "error" ] -> Result.Ok Error
+  | [ "draining" ] -> Result.Ok Draining
+  | "busy" :: fields ->
+      let lookup key =
+        List.find_map
+          (fun f ->
+            match String.split_on_char '=' f with
+            | [ k; v ] when String.equal k key -> int_of_string_opt v
+            | _ -> None)
+          fields
+      in
+      (match (lookup "depth", lookup "retry-ms") with
+      | Some depth, Some retry_ms -> Result.Ok (Busy { depth; retry_ms })
+      | _ -> Result.Error (Printf.sprintf "malformed busy status %S" line))
+  | _ -> Result.Error (Printf.sprintf "unknown reply status %S" line)
+
+(* Split one line off [payload] at [from]; the empty remainder yields
+   None so a missing field is distinguishable from an empty line. *)
+let next_line payload from =
+  if from >= String.length payload then None
+  else
+    match String.index_from_opt payload from '\n' with
+    | Some i -> Some (String.sub payload from (i - from), i + 1)
+    | None ->
+        Some (String.sub payload from (String.length payload - from),
+              String.length payload)
+
+let decode_reply payload =
+  match next_line payload 0 with
+  | None -> Result.Error "empty reply payload"
+  | Some (status_line, pos) -> (
+      match status_of_string status_line with
+      | Result.Error _ as e -> e
+      | Result.Ok status -> (
+          match next_line payload pos with
+          | None -> Result.Ok { status; warnings = []; body = "" }
+          | Some (warnings_line, pos) -> (
+              let count =
+                match String.split_on_char ' ' warnings_line with
+                | [ "warnings"; n ] -> int_of_string_opt n
+                | _ -> None
+              in
+              match count with
+              | None ->
+                  Result.Error
+                    (Printf.sprintf "malformed warnings field %S" warnings_line)
+              | Some count ->
+                  let rec take k pos acc =
+                    if k = 0 then Result.Ok (List.rev acc, pos)
+                    else
+                      match next_line payload pos with
+                      | None -> Result.Error "truncated warnings field"
+                      | Some (w, pos) -> take (k - 1) pos (w :: acc)
+                  in
+                  (match take count pos [] with
+                  | Result.Error _ as e -> e
+                  | Result.Ok (warnings, pos) ->
+                      let body =
+                        String.sub payload pos (String.length payload - pos)
+                      in
+                      Result.Ok { status; warnings; body }))))

@@ -1,0 +1,89 @@
+(** The onion wire protocol: length-prefixed frames over a byte stream.
+
+    A {e frame} is the decimal byte-length of the payload, a newline,
+    then exactly that many payload bytes:
+
+    {v
+    frame   ::= length '\n' payload
+    length  ::= [0-9]{1,9}          (at most 9 digits)
+    v}
+
+    Both requests and replies travel as frames, so the stream never
+    needs escaping and a reader always knows exactly how many bytes to
+    consume.  A malformed header resynchronises at the next newline: the
+    connection survives garbage and oversized frames (the oversized
+    payload is drained and discarded), and only an EOF in the middle of
+    a payload is fatal to the connection.
+
+    {b Request payload}: one line, [op] then an optional argument
+    separated by a single space — e.g. ["query SELECT Price FROM
+    Vehicle"], ["algebra union transport"], ["status"].
+
+    {b Reply payload}:
+
+    {v
+    reply    ::= status-line '\n' 'warnings ' count '\n' warning* body
+    status   ::= 'ok' | 'error' | 'draining'
+               | 'busy depth=' int ' retry-ms=' int
+    warning  ::= one line per warning (newlines squashed to spaces)
+    body     ::= the remaining payload bytes, verbatim
+    v}
+
+    Warnings ride in their own field so piped bodies stay
+    machine-parseable; [error] replies carry the message as the body. *)
+
+val default_max_frame : int
+(** 4 MiB: the largest payload either side accepts by default. *)
+
+(** {1 Frames} *)
+
+type read_error =
+  | Eof  (** Clean end of stream before a header. *)
+  | Garbage of string  (** Header line is not a decimal length. *)
+  | Oversized of int
+      (** Declared length exceeds the limit; the payload was drained so
+          the stream is still in sync. *)
+  | Truncated  (** EOF inside a payload: the stream is unusable. *)
+
+val read_error_message : read_error -> string
+
+val connection_survives : read_error -> bool
+(** [true] for {!Garbage} and {!Oversized}: the reader may send an error
+    reply and keep going.  [false] for {!Eof} and {!Truncated}. *)
+
+val write_frame : out_channel -> string -> unit
+(** Write one frame and flush. *)
+
+val read_frame : ?max:int -> in_channel -> (string, read_error) result
+(** Read one frame ([max] defaults to {!default_max_frame}). *)
+
+(** {1 Requests} *)
+
+type request = { op : string; arg : string }
+
+val encode_request : request -> string
+val decode_request : string -> request
+(** The first whitespace-separated token is the op (lowercased); the
+    rest, trimmed, is the argument. *)
+
+(** {1 Replies} *)
+
+type status =
+  | Ok
+  | Error
+  | Busy of { depth : int; retry_ms : int }
+      (** Admission queue full: [depth] jobs queued; try again in about
+          [retry_ms] milliseconds. *)
+  | Draining  (** The server is shutting down and refuses new work. *)
+
+type reply = { status : status; warnings : string list; body : string }
+
+val ok : ?warnings:string list -> string -> reply
+val error : string -> reply
+
+val encode_reply : reply -> string
+
+val decode_reply : string -> (reply, string) result
+(** [Error] on a malformed reply payload. *)
+
+val status_to_string : status -> string

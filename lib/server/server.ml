@@ -1,0 +1,373 @@
+type config = {
+  tcp : (string * int) option;
+  unix_path : string option;
+  queue_capacity : int;
+  workers : int;
+  max_frame : int;
+}
+
+let default_config =
+  {
+    tcp = None;
+    unix_path = None;
+    queue_capacity = 64;
+    workers = 4;
+    max_frame = Protocol.default_max_frame;
+  }
+
+type t = {
+  config : config;
+  ws : Workspace.t;
+  admission : Admission.t;
+  stats : Server_stats.t;
+  listeners : Unix.file_descr list;
+  tcp_port : int option;
+  unix_path : string option;
+  stop_flag : bool Atomic.t;
+  (* Live client connections, so shutdown can disconnect lingerers. *)
+  conn_mutex : Mutex.t;
+  mutable conn_fds : Unix.file_descr list;
+  mutable conn_threads : Thread.t list;
+  (* The mediator environment for the current federation value: rebuilt
+     only when the workspace space memo rolls over (physical equality —
+     Workspace.space returns the identical value while the on-disk
+     fingerprint is unchanged), so a warm daemon skips the per-request
+     KB extraction the CLI pays every time. *)
+  env_mutex : Mutex.t;
+  mutable env_memo : (Federation.t * Mediator.env) option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Listeners                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let listen_tcp host port =
+  let inet =
+    try Unix.inet_addr_of_string host
+    with _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with _ -> raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host)))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (inet, port));
+  Unix.listen fd 128;
+  let actual_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (fd, actual_port)
+
+let listen_unix path =
+  if Sys.file_exists path then Unix.unlink path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 128;
+  fd
+
+let create config ws =
+  if config.tcp = None && config.unix_path = None then
+    Error "serve: configure a TCP port and/or a Unix socket path"
+  else begin
+    (* A peer vanishing mid-reply must not kill the daemon. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+    match
+      let tcp_listener =
+        Option.map (fun (host, port) -> listen_tcp host port) config.tcp
+      in
+      let unix_listener = Option.map listen_unix config.unix_path in
+      (tcp_listener, unix_listener)
+    with
+    | exception Unix.Unix_error (e, fn, arg) ->
+        Error
+          (Printf.sprintf "serve: cannot listen (%s %s: %s)" fn arg
+             (Unix.error_message e))
+    | tcp_listener, unix_listener ->
+        Ok
+          {
+            config;
+            ws;
+            admission =
+              Admission.create ~capacity:config.queue_capacity
+                ~workers:config.workers;
+            stats = Server_stats.create ();
+            listeners =
+              List.filter_map Fun.id
+                [ Option.map fst tcp_listener; unix_listener ];
+            tcp_port = Option.map snd tcp_listener;
+            unix_path = config.unix_path;
+            stop_flag = Atomic.make false;
+            conn_mutex = Mutex.create ();
+            conn_fds = [];
+            conn_threads = [];
+            env_mutex = Mutex.create ();
+            env_memo = None;
+          }
+  end
+
+let stop t = Atomic.set t.stop_flag true
+let stats t = t.stats
+let port t = t.tcp_port
+
+let addresses t =
+  (match (t.config.tcp, t.tcp_port) with
+  | Some (host, _), Some port -> [ Printf.sprintf "tcp://%s:%d" host port ]
+  | _ -> [])
+  @
+  match t.unix_path with
+  | Some path -> [ Printf.sprintf "unix://%s" path ]
+  | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let env_for t space =
+  Mutex.lock t.env_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.env_mutex)
+    (fun () ->
+      match t.env_memo with
+      | Some (s, env) when s == space -> env
+      | _ ->
+          let kbs =
+            List.map
+              (fun o ->
+                Kb.of_ontology_instances ~ontology:o
+                  ("kb-" ^ Ontology.name o))
+              space.Federation.sources
+          in
+          let env = Mediator.env_federated ~kbs ~space () in
+          t.env_memo <- Some (space, env);
+          env)
+
+let health_warnings health =
+  if Health.ok health then []
+  else
+    List.map
+      (fun i -> Format.asprintf "%a" Health.pp_issue i)
+      health.Health.issues
+
+let run_query t text =
+  if String.trim text = "" then Protocol.error "query: empty query text"
+  else
+    match Workspace.space t.ws with
+    | Error m -> Protocol.error ("workspace: " ^ m)
+    | Ok (space, health) -> (
+        let env = env_for t space in
+        match Mediator.run_text env text with
+        | Ok report ->
+            Protocol.ok
+              ~warnings:(health_warnings health)
+              (Format.asprintf "%a" Mediator.pp_report report ^ "\n")
+        | Error m -> Protocol.error ("query error: " ^ m))
+
+let run_algebra t arg =
+  let op, name =
+    match String.index_opt arg ' ' with
+    | None -> (arg, "")
+    | Some i ->
+        ( String.sub arg 0 i,
+          String.trim (String.sub arg (i + 1) (String.length arg - i - 1)) )
+  in
+  let op = String.lowercase_ascii op in
+  if name = "" then
+    Protocol.error "algebra: usage: algebra union|intersection|difference <articulation>"
+  else
+    match Workspace.load_articulation t.ws name with
+    | Error m -> Protocol.error ("algebra: " ^ m)
+    | Ok art -> (
+        let sources () =
+          match
+            ( Workspace.load_source t.ws (Articulation.left art),
+              Workspace.load_source t.ws (Articulation.right art) )
+          with
+          | Ok l, Ok r -> Ok (l, r)
+          | Error m, _ | _, Error m -> Error m
+        in
+        match op with
+        | "intersection" ->
+            Protocol.ok (Render.ontology_tree (Algebra.intersection art))
+        | "union" -> (
+            match sources () with
+            | Error m -> Protocol.error ("algebra: " ^ m)
+            | Ok (left, right) ->
+                Protocol.ok
+                  (Render.unified_overview (Algebra.union ~left ~right art)))
+        | "difference" -> (
+            match sources () with
+            | Error m -> Protocol.error ("algebra: " ^ m)
+            | Ok (left, right) ->
+                Protocol.ok
+                  (Render.ontology_tree
+                     (Algebra.difference ~minuend:left ~subtrahend:right art)))
+        | other ->
+            Protocol.error
+              (Printf.sprintf
+                 "algebra: unknown operator %s (union|intersection|difference)"
+                 other))
+
+let run_workload t (req : Protocol.request) =
+  match req.Protocol.op with
+  | "query" -> run_query t req.Protocol.arg
+  | "algebra" -> run_algebra t req.Protocol.arg
+  | "status" -> Protocol.ok (Status_json.workspace t.ws)
+  | "health" -> Protocol.ok (Status_json.health (Workspace.health t.ws))
+  | op -> Protocol.error (Printf.sprintf "unknown op %S" op)
+
+let is_workload op =
+  match op with
+  | "query" | "algebra" | "status" | "health" -> true
+  | _ -> false
+
+(* The retry hint scales with how backed up the queue is; shedding at
+   depth 0 (capacity 0, the test configuration) still suggests a pause. *)
+let retry_ms_for depth = min 1000 (25 * (depth + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let forget_connection t fd =
+  Mutex.lock t.conn_mutex;
+  t.conn_fds <- List.filter (fun f -> f != fd) t.conn_fds;
+  Mutex.unlock t.conn_mutex
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e9)
+
+(* Execute one admitted workload request: the connection thread parks on
+   a cell the admission worker fills. *)
+let execute_admitted t req =
+  let cell = ref None in
+  let m = Mutex.create () in
+  let ready = Condition.create () in
+  let job () =
+    let reply =
+      try run_workload t req
+      with e ->
+        Protocol.error ("internal error: " ^ Printexc.to_string e)
+    in
+    Mutex.lock m;
+    cell := Some reply;
+    Condition.signal ready;
+    Mutex.unlock m
+  in
+  match Admission.submit t.admission job with
+  | Admission.Shed { depth } ->
+      Server_stats.shed t.stats;
+      {
+        Protocol.status =
+          Protocol.Busy { depth; retry_ms = retry_ms_for depth };
+        warnings = [];
+        body = "";
+      }
+  | Admission.Draining ->
+      Server_stats.refused_draining t.stats;
+      { Protocol.status = Protocol.Draining; warnings = []; body = "" }
+  | Admission.Accepted ->
+      Mutex.lock m;
+      while !cell = None do
+        Condition.wait ready m
+      done;
+      let reply = Option.get !cell in
+      Mutex.unlock m;
+      reply
+
+let handle_request t (req : Protocol.request) =
+  (* Snapshot before the gauge ticks up: a lone stats probe reads the
+     daemon as idle rather than counting itself in flight. *)
+  let stats_body =
+    if req.Protocol.op = "stats" then Some (Server_stats.to_json t.stats)
+    else None
+  in
+  Server_stats.incr_in_flight t.stats;
+  Fun.protect
+    ~finally:(fun () -> Server_stats.decr_in_flight t.stats)
+    (fun () ->
+      let reply, ns =
+        timed (fun () ->
+            match req.Protocol.op with
+            | "ping" -> Protocol.ok "pong\n"
+            | "stats" -> Protocol.ok (Option.get stats_body)
+            | "shutdown" ->
+                stop t;
+                Protocol.ok "draining, then exiting\n"
+            | op when is_workload op -> execute_admitted t req
+            | op -> Protocol.error (Printf.sprintf "unknown op %S" op))
+      in
+      (match reply.Protocol.status with
+      | Protocol.Ok | Protocol.Error ->
+          Server_stats.record t.stats ~op:req.Protocol.op
+            ~ok:(reply.Protocol.status = Protocol.Ok)
+            ~ns
+      | Protocol.Busy _ | Protocol.Draining -> ());
+      reply)
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send reply = Protocol.write_frame oc (Protocol.encode_reply reply) in
+  let rec loop () =
+    match Protocol.read_frame ~max:t.config.max_frame ic with
+    | Error e when Protocol.connection_survives e ->
+        Server_stats.protocol_error t.stats;
+        send (Protocol.error (Protocol.read_error_message e));
+        loop ()
+    | Error _ -> () (* EOF or truncated payload: the stream is done. *)
+    | Ok payload ->
+        let req = Protocol.decode_request payload in
+        if req.Protocol.op = "" then begin
+          Server_stats.protocol_error t.stats;
+          send (Protocol.error "empty request")
+        end
+        else send (handle_request t req);
+        loop ()
+  in
+  (try loop () with _ -> ());
+  forget_connection t fd;
+  (try Unix.close fd with _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and graceful shutdown                                  *)
+(* ------------------------------------------------------------------ *)
+
+let accept_ready t lfd =
+  match Unix.accept ~cloexec:true lfd with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ ->
+      Mutex.lock t.conn_mutex;
+      t.conn_fds <- fd :: t.conn_fds;
+      t.conn_threads <-
+        Thread.create (fun () -> handle_connection t fd) () :: t.conn_threads;
+      Mutex.unlock t.conn_mutex
+
+let serve t =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select t.listeners [] [] 0.1 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ -> List.iter (accept_ready t) ready
+  done;
+  (* 1. Refuse new connections. *)
+  List.iter (fun fd -> try Unix.close fd with _ -> ()) t.listeners;
+  (match t.unix_path with
+  | Some path -> ( try Unix.unlink path with _ -> ())
+  | None -> ());
+  (* 2. Drain: queued and in-flight requests complete and their replies
+     are written by the connection threads; new submits get [draining]. *)
+  Admission.drain t.admission;
+  (* 3. The final account, logged where the operator is watching. *)
+  Format.eprintf "%a@." Server_stats.pp t.stats;
+  (* 4. Disconnect lingering clients and collect every thread. *)
+  Mutex.lock t.conn_mutex;
+  let fds = t.conn_fds and threads = t.conn_threads in
+  t.conn_threads <- [];
+  Mutex.unlock t.conn_mutex;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+    fds;
+  List.iter Thread.join threads;
+  Admission.shutdown t.admission

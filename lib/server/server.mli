@@ -1,0 +1,66 @@
+(** [onion serve]: the long-lived query daemon.
+
+    The CLI answers one question per process, re-opening the workspace
+    and re-warming every cache each time.  The daemon opens the
+    workspace once and answers questions over TCP and/or Unix-domain
+    sockets using the {!Protocol} framing, keeping the revision caches,
+    {!Label_index}es and the workspace space memo warm across requests —
+    the long-lived mediator process the paper's derived-mediator story
+    presumes.
+
+    {b Ops.}  [query <text>] (mediated OQL over the workspace
+    federation, body identical to the CLI's report), [algebra
+    union|intersection|difference <articulation>] (over the stored
+    articulation and the current source files), [status] / [health]
+    ({!Status_json} documents — degraded federation stays visible to
+    clients), [stats] ({!Server_stats} as JSON), [ping], and [shutdown]
+    (graceful drain, then the daemon exits).
+
+    {b Concurrency.}  One reader thread per connection; workload ops
+    ([query], [algebra], [status], [health]) are submitted to the
+    bounded {!Admission} queue and executed by its worker crew (compute
+    fans out further through {!Domain_pool}); control ops ([ping],
+    [stats], [shutdown]) answer inline so the daemon stays observable
+    and stoppable under saturation.  A full queue sheds load with an
+    explicit [busy] reply carrying the queue depth and a retry hint.
+
+    {b Shutdown.}  {!stop} (SIGTERM in the CLI, or the [shutdown] op)
+    stops the accept loop, closes the listeners, drains queued and
+    in-flight requests (new ones get [draining]), logs the final
+    {!Server_stats} to stderr, then disconnects lingering clients and
+    returns from {!serve} — the CLI then exits 0. *)
+
+type config = {
+  tcp : (string * int) option;  (** Bind host and port ([0] = ephemeral). *)
+  unix_path : string option;  (** Unix-domain socket path. *)
+  queue_capacity : int;  (** Admission queue bound. *)
+  workers : int;  (** Admission worker threads. *)
+  max_frame : int;  (** Largest accepted request frame. *)
+}
+
+val default_config : config
+(** No listeners configured, queue 64, workers 4,
+    [max_frame = Protocol.default_max_frame]. *)
+
+type t
+
+val create : config -> Workspace.t -> (t, string) result
+(** Bind and listen on every configured address (at least one of [tcp] /
+    [unix_path] is required).  The sockets are live when this returns,
+    so callers may connect before {!serve} starts accepting. *)
+
+val serve : t -> unit
+(** Accept loop; blocks until {!stop}, then performs the graceful
+    shutdown described above and returns. *)
+
+val stop : t -> unit
+(** Request shutdown.  Async-signal-safe and idempotent: just flips an
+    atomic flag the accept loop polls. *)
+
+val stats : t -> Server_stats.t
+
+val port : t -> int option
+(** The actual TCP port after binding (useful with port [0]). *)
+
+val addresses : t -> string list
+(** Human-readable listen addresses ([tcp://...], [unix://...]). *)

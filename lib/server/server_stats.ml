@@ -1,0 +1,231 @@
+(* Latencies land in 40 power-of-two buckets: bucket i counts requests
+   with latency in [2^i, 2^(i+1)) ns, so the histogram is bounded however
+   many requests the daemon serves, and percentile estimates are exact to
+   within a factor of two (reported as the bucket's upper bound). *)
+let n_buckets = 40
+
+type hist = {
+  buckets : int array;
+  mutable count : int;
+  mutable ok : int;
+  mutable errors : int;
+  mutable max_ns : float;
+  mutable total_ns : float;
+}
+
+let new_hist () =
+  {
+    buckets = Array.make n_buckets 0;
+    count = 0;
+    ok = 0;
+    errors = 0;
+    max_ns = 0.0;
+    total_ns = 0.0;
+  }
+
+let bucket_of_ns ns =
+  if ns < 1.0 then 0
+  else min (n_buckets - 1) (int_of_float (Float.log2 ns))
+
+let bucket_upper_ns i = Float.of_int 2 ** Float.of_int (i + 1)
+
+let percentile h q =
+  if h.count = 0 then 0.0
+  else begin
+    let target = Float.max 1.0 (Float.round (q *. float_of_int h.count)) in
+    let rec scan i seen =
+      if i >= n_buckets then h.max_ns
+      else begin
+        let seen = seen + h.buckets.(i) in
+        if float_of_int seen >= target then
+          Float.min (bucket_upper_ns i) h.max_ns
+        else scan (i + 1) seen
+      end
+    in
+    scan 0 0
+  end
+
+type t = {
+  mutex : Mutex.t;
+  started_at : float;
+  per_op : (string, hist) Hashtbl.t;
+  mutable in_flight : int;
+  mutable accepted : int;
+  mutable shed_busy : int;
+  mutable refused_draining : int;
+  mutable protocol_errors : int;
+  cache_baseline : (string * Cache_stats.snapshot) list;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    per_op = Hashtbl.create 8;
+    in_flight = 0;
+    accepted = 0;
+    shed_busy = 0;
+    refused_draining = 0;
+    protocol_errors = 0;
+    cache_baseline = Cache_stats.all ();
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr_in_flight t = locked t (fun () -> t.in_flight <- t.in_flight + 1)
+let decr_in_flight t = locked t (fun () -> t.in_flight <- t.in_flight - 1)
+let shed t = locked t (fun () -> t.shed_busy <- t.shed_busy + 1)
+
+let refused_draining t =
+  locked t (fun () -> t.refused_draining <- t.refused_draining + 1)
+
+let protocol_error t =
+  locked t (fun () -> t.protocol_errors <- t.protocol_errors + 1)
+
+let record t ~op ~ok ~ns =
+  locked t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.per_op op with
+        | Some h -> h
+        | None ->
+            let h = new_hist () in
+            Hashtbl.add t.per_op op h;
+            h
+      in
+      t.accepted <- t.accepted + 1;
+      h.count <- h.count + 1;
+      if ok then h.ok <- h.ok + 1 else h.errors <- h.errors + 1;
+      h.buckets.(bucket_of_ns ns) <- h.buckets.(bucket_of_ns ns) + 1;
+      h.max_ns <- Float.max h.max_ns ns;
+      h.total_ns <- h.total_ns +. ns)
+
+type op_stats = {
+  op : string;
+  ok : int;
+  errors : int;
+  p50_ns : float;
+  p99_ns : float;
+  max_ns : float;
+  total_ns : float;
+}
+
+type snapshot = {
+  uptime_s : float;
+  in_flight : int;
+  accepted : int;
+  shed_busy : int;
+  refused_draining : int;
+  protocol_errors : int;
+  ops : op_stats list;
+  cache_deltas : (string * Cache_stats.snapshot) list;
+}
+
+let cache_deltas baseline =
+  List.map
+    (fun (name, (now : Cache_stats.snapshot)) ->
+      let base =
+        match List.assoc_opt name baseline with
+        | Some (b : Cache_stats.snapshot) -> b
+        | None ->
+            { Cache_stats.hits = 0; misses = 0; evictions = 0;
+              entries = 0; capacity = 0 }
+      in
+      ( name,
+        {
+          Cache_stats.hits = now.Cache_stats.hits - base.Cache_stats.hits;
+          misses = now.Cache_stats.misses - base.Cache_stats.misses;
+          evictions = now.Cache_stats.evictions - base.Cache_stats.evictions;
+          entries = now.Cache_stats.entries;
+          capacity = now.Cache_stats.capacity;
+        } ))
+    (Cache_stats.all ())
+
+let snapshot t =
+  locked t (fun () ->
+      let ops =
+        Hashtbl.fold
+          (fun op (h : hist) acc ->
+            {
+              op;
+              ok = h.ok;
+              errors = h.errors;
+              p50_ns = percentile h 0.50;
+              p99_ns = percentile h 0.99;
+              max_ns = h.max_ns;
+              total_ns = h.total_ns;
+            }
+            :: acc)
+          t.per_op []
+        |> List.sort (fun a b -> String.compare a.op b.op)
+      in
+      {
+        uptime_s = Unix.gettimeofday () -. t.started_at;
+        in_flight = t.in_flight;
+        accepted = t.accepted;
+        shed_busy = t.shed_busy;
+        refused_draining = t.refused_draining;
+        protocol_errors = t.protocol_errors;
+        ops;
+        cache_deltas = cache_deltas t.cache_baseline;
+      })
+
+let in_flight t = locked t (fun () -> t.in_flight)
+
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.1f" x else "0.0"
+
+let to_json t =
+  let s = snapshot t in
+  let str x = "\"" ^ Status_json.escape x ^ "\"" in
+  let op_obj (o : op_stats) =
+    Printf.sprintf
+      "{ \"op\": %s, \"ok\": %d, \"errors\": %d, \"p50_ns\": %s, \
+       \"p99_ns\": %s, \"max_ns\": %s, \"total_ns\": %s }"
+      (str o.op) o.ok o.errors (json_float o.p50_ns) (json_float o.p99_ns)
+      (json_float o.max_ns) (json_float o.total_ns)
+  in
+  let cache_obj (name, (c : Cache_stats.snapshot)) =
+    Printf.sprintf
+      "{ \"name\": %s, \"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+       \"entries\": %d, \"capacity\": %d }"
+      (str name) c.Cache_stats.hits c.Cache_stats.misses
+      c.Cache_stats.evictions c.Cache_stats.entries c.Cache_stats.capacity
+  in
+  Printf.sprintf
+    "{ \"uptime_s\": %.3f, \"in_flight\": %d, \"accepted\": %d, \
+     \"shed_busy\": %d, \"refused_draining\": %d, \"protocol_errors\": %d, \
+     \"ops\": [%s], \"cache_deltas\": [%s] }\n"
+    s.uptime_s s.in_flight s.accepted s.shed_busy s.refused_draining
+    s.protocol_errors
+    (String.concat ", " (List.map op_obj s.ops))
+    (String.concat ", " (List.map cache_obj s.cache_deltas))
+
+let pp_ns ppf ns =
+  if ns < 1_000.0 then Format.fprintf ppf "%.0fns" ns
+  else if ns < 1_000_000.0 then Format.fprintf ppf "%.1fus" (ns /. 1_000.0)
+  else if ns < 1_000_000_000.0 then
+    Format.fprintf ppf "%.1fms" (ns /. 1_000_000.0)
+  else Format.fprintf ppf "%.2fs" (ns /. 1_000_000_000.0)
+
+let pp ppf t =
+  let s = snapshot t in
+  Format.fprintf ppf
+    "@[<v>server stats: uptime %.1fs, %d accepted, %d in flight, %d shed \
+     busy, %d refused draining, %d protocol errors@,"
+    s.uptime_s s.accepted s.in_flight s.shed_busy s.refused_draining
+    s.protocol_errors;
+  List.iter
+    (fun (o : op_stats) ->
+      Format.fprintf ppf "  %-10s ok %6d  err %4d  p50 %a  p99 %a  max %a@,"
+        o.op o.ok o.errors pp_ns o.p50_ns pp_ns o.p99_ns pp_ns o.max_ns)
+    s.ops;
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) (_, (c : Cache_stats.snapshot)) ->
+        (h + c.Cache_stats.hits, m + c.Cache_stats.misses))
+      (0, 0) s.cache_deltas
+  in
+  Format.fprintf ppf "  result caches since start: %d hits, %d misses@]" hits
+    misses

@@ -1,0 +1,104 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+let arr items = "[" ^ String.concat ", " items ^ "]"
+
+let obj fields =
+  "{ "
+  ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields)
+  ^ " }"
+
+let string_of_part = function
+  | Health.Source -> "source"
+  | Health.Articulation -> "articulation"
+  | Health.Store -> "store"
+
+let issue (i : Health.issue) =
+  obj
+    [
+      ("part", str (string_of_part i.Health.part));
+      ("name", str i.Health.name);
+      ("file", str i.Health.file);
+      ("kind", str (Health.string_of_kind i.Health.kind));
+      ( "severity",
+        str (if Health.is_failure i then "failure" else "warning") );
+      ("detail", str i.Health.detail);
+    ]
+
+let health_obj (h : Health.t) =
+  obj
+    [
+      ("ok", string_of_bool (Health.ok h));
+      ("degraded", string_of_bool (Health.degraded h));
+      ("sources_ok", arr (List.map str h.Health.sources_ok));
+      ("articulations_ok", arr (List.map str h.Health.articulations_ok));
+      ("issues", arr (List.map issue h.Health.issues));
+    ]
+
+let health h = health_obj h ^ "\n"
+
+let workspace ws =
+  let sources =
+    List.map
+      (fun name ->
+        match Workspace.load_source ws name with
+        | Ok o ->
+            obj
+              [
+                ("name", str name);
+                ("terms", string_of_int (Ontology.nb_terms o));
+                ("relationships", string_of_int (Ontology.nb_relationships o));
+              ]
+        | Error m -> obj [ ("name", str name); ("error", str m) ])
+      (Workspace.source_names ws)
+  in
+  let articulations =
+    List.map
+      (fun name ->
+        match Workspace.load_articulation ws name with
+        | Ok a ->
+            obj
+              [
+                ("name", str name);
+                ("left", str (Articulation.left a));
+                ("right", str (Articulation.right a));
+                ("bridges", string_of_int (Articulation.nb_bridges a));
+              ]
+        | Error m -> obj [ ("name", str name); ("error", str m) ])
+      (Workspace.articulation_names ws)
+  in
+  let stale =
+    match Workspace.stale_bridges ws with
+    | Error m -> [ obj [ ("error", str m) ] ]
+    | Ok stale ->
+        List.map
+          (fun (art, b) ->
+            obj
+              [
+                ("articulation", str art);
+                ("bridge", str (Format.asprintf "%a" Bridge.pp b));
+              ])
+          stale
+  in
+  obj
+    [
+      ("workspace", str (Workspace.root ws));
+      ("sources", arr sources);
+      ("articulations", arr articulations);
+      ("stale_bridges", arr stale);
+      ("health", health_obj (Workspace.health ws));
+    ]
+  ^ "\n"

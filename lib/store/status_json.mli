@@ -1,0 +1,26 @@
+(** Machine-readable workspace status.
+
+    One serializer, two consumers: [onion workspace status --json] and
+    the server's [status] / [health] protocol replies — so scripts stop
+    screen-scraping the human rendering and both surfaces can never
+    drift apart.
+
+    The toolchain carries no JSON library; the shape is flat enough that
+    the documents are assembled by hand (same approach as the
+    [BENCH_*.json] emitters). *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control chars). *)
+
+val health : Health.t -> string
+(** One health scan:
+    {v
+    { "ok": bool, "degraded": bool,
+      "sources_ok": [..], "articulations_ok": [..],
+      "issues": [ { "part", "name", "file", "kind", "severity", "detail" } ] }
+    v} *)
+
+val workspace : Workspace.t -> string
+(** The full status document: workspace root, per-source term /
+    relationship counts (or a load error), per-articulation endpoints
+    and bridge counts, stale bridges, and the {!health} object. *)

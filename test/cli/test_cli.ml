@@ -48,6 +48,29 @@ let run_with_stdin input args =
   Sys.remove inp;
   (code, content)
 
+(* Run the binary capturing stdout and stderr separately, for the tests
+   that assert the split (answers on stdout, diagnostics on stderr). *)
+let run_split args =
+  let out = Filename.temp_file "onion-cli" ".out" in
+  let err = Filename.temp_file "onion-cli" ".err" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s"
+      (Filename.quote !cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let slurp path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let stdout_s = slurp out and stderr_s = slurp err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout_s, stderr_s)
+
 let contains ~affix s =
   let la = String.length affix and ls = String.length s in
   let rec scan i =
@@ -260,6 +283,137 @@ let test_fsck () =
   in
   rm dir
 
+let test_status_json () =
+  let dir = Filename.temp_file "ws" "" in
+  Sys.remove dir;
+  ignore (run [ "workspace"; "init"; dir ]);
+  ignore (run [ "workspace"; "add"; dir; data "carrier.xml" ]);
+  ignore (run [ "workspace"; "add"; dir; data "factory.xml" ]);
+  ignore
+    (run
+       [ "workspace"; "articulate"; dir; "carrier"; "factory";
+         data "transport-rules.txt"; "--name"; "transport" ]);
+  let code, out = run [ "workspace"; "status"; "--json"; dir ] in
+  check_int "status --json exit 0" 0 code;
+  check_bool "json object" true (String.length out > 0 && out.[0] = '{');
+  check_bool "sources listed" true (contains ~affix:"\"sources\":" out);
+  check_bool "carrier present" true (contains ~affix:"\"name\": \"carrier\"" out);
+  check_bool "articulations listed" true
+    (contains ~affix:"\"articulations\":" out);
+  check_bool "health embedded" true (contains ~affix:"\"health\":" out);
+  check_bool "health ok" true (contains ~affix:"\"ok\": true" out);
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  rm dir
+
+let test_query_warnings_on_stderr () =
+  (* A rule naming a phantom term warns; the warning must ride stderr
+     while the query answer stays alone on stdout. *)
+  let rules = Filename.temp_file "warn" ".rules" in
+  let oc = open_out rules in
+  output_string oc
+    "[r1] carrier:Cars => factory:Vehicle\n[r2] carrier:Phantom => factory:Vehicle\n";
+  close_out oc;
+  let code, stdout_s, stderr_s =
+    run_split
+      [ "query"; data "carrier.xml"; data "factory.xml"; rules;
+        "--name"; "transport"; "SELECT Price FROM Vehicle" ]
+  in
+  Sys.remove rules;
+  check_int "exit 0" 0 code;
+  check_bool "warning on stderr" true (contains ~affix:"warning:" stderr_s);
+  check_bool "stdout free of warnings" false (contains ~affix:"warning:" stdout_s);
+  check_bool "answer on stdout" true (contains ~affix:"tuple(s)" stdout_s)
+
+(* The daemon end to end through the real binary: spawn [onion serve] on
+   a Unix socket, talk to it with [onion client], then SIGTERM it and
+   insist on a clean drain (exit 0). *)
+let test_serve_daemon_sigterm () =
+  let dir = Filename.temp_file "ws" "" in
+  Sys.remove dir;
+  ignore (run [ "workspace"; "init"; dir ]);
+  ignore (run [ "workspace"; "add"; dir; data "carrier.xml" ]);
+  ignore (run [ "workspace"; "add"; dir; data "factory.xml" ]);
+  ignore
+    (run
+       [ "workspace"; "articulate"; dir; "carrier"; "factory";
+         data "transport-rules.txt"; "--name"; "transport" ]);
+  let sock = Filename.temp_file "onion" ".sock" in
+  Sys.remove sock;
+  let log = Filename.temp_file "serve" ".log" in
+  let log_fd =
+    Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let pid =
+    Unix.create_process !cli
+      [| !cli; "serve"; dir; "--socket"; sock |]
+      Unix.stdin log_fd log_fd
+  in
+  Unix.close log_fd;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with _ -> ());
+      (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid) with _ -> ());
+      if Sys.file_exists sock then Sys.remove sock;
+      if Sys.file_exists log then Sys.remove log;
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      if Sys.file_exists dir then rm dir)
+  @@ fun () ->
+  (* Wait for the listener to come up. *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    (not (Sys.file_exists sock)) && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.05
+  done;
+  check_bool "daemon came up" true (Sys.file_exists sock);
+  let code, out = run [ "client"; "--socket"; sock; "ping" ] in
+  check_int "ping exit 0" 0 code;
+  check_bool "pong" true (contains ~affix:"pong" out);
+  let code, out =
+    run
+      [ "client"; "--socket"; sock; "query";
+        "SELECT Price FROM Vehicle WHERE Price < 5000" ]
+  in
+  check_int "query exit 0" 0 code;
+  check_bool "mediated answer over the wire" true (contains ~affix:"907.56" out);
+  let code, out =
+    run_with_stdin
+      "ping\nstatus\nquery SELECT Price FROM Vehicle WHERE Price < 5000\n"
+      [ "client"; "--socket"; sock; "--stdin" ]
+  in
+  check_int "batch exit 0" 0 code;
+  check_bool "batch answered the query" true (contains ~affix:"907.56" out);
+  check_bool "batch answered status" true (contains ~affix:"\"sources\":" out);
+  let code, out = run [ "client"; "--socket"; sock; "stats" ] in
+  check_int "stats exit 0" 0 code;
+  check_bool "stats counted the traffic" true (contains ~affix:"\"accepted\":" out);
+  let code, _ = run [ "client"; "--socket"; sock; "bogus-op" ] in
+  check_int "error reply exits 1" 1 code;
+  (* SIGTERM: graceful drain, exit 0. *)
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "daemon exited %d" n
+  | Unix.WSIGNALED n -> Alcotest.failf "daemon killed by signal %d" n
+  | Unix.WSTOPPED n -> Alcotest.failf "daemon stopped by signal %d" n);
+  check_bool "socket unlinked on drain" false (Sys.file_exists sock);
+  (* A dead daemon is a transport error for the client. *)
+  let code, _ = run [ "client"; "--socket"; sock; "ping" ] in
+  check_int "transport error exits 2" 2 code
+
 let test_translate () =
   let code, out =
     run
@@ -394,6 +548,11 @@ let () =
           Alcotest.test_case "session scripted" `Quick test_session_scripted;
           Alcotest.test_case "workspace lifecycle" `Quick test_workspace_lifecycle;
           Alcotest.test_case "fsck" `Quick test_fsck;
+          Alcotest.test_case "status json" `Quick test_status_json;
+          Alcotest.test_case "query warnings on stderr" `Quick
+            test_query_warnings_on_stderr;
+          Alcotest.test_case "serve daemon sigterm" `Quick
+            test_serve_daemon_sigterm;
           Alcotest.test_case "translate" `Quick test_translate;
           Alcotest.test_case "missing file" `Quick test_missing_file_fails;
           Alcotest.test_case "bad query" `Quick test_bad_query_fails;
