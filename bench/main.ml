@@ -1334,6 +1334,105 @@ let serve () =
     ~warm_mean ~cold_ns ~speedup ~throughput;
   row "wrote BENCH_serve.json"
 
+(* ------------------------------------------------------------------ *)
+(* LINT — whole-workspace static analysis: cold vs warm re-lint        *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_lint.json: OLS ns/run for a full lint of an unchanged view,
+   cold (caches cleared inside every measured run) vs warm (revision
+   memos populated), per-pass wall-clock splits from the engine's own
+   timings, and the diagnostic counts.  Hand-rolled JSON like
+   BENCH_cache. *)
+let emit_lint_json ~path ~cold ~warm ~speedup ~passes ~diagnostics ~errors
+    ~warnings =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let pass_objs =
+        List.map
+          (fun (pass, cold_ns, warm_ns) ->
+            Printf.sprintf
+              "    { \"pass\": \"%s\", \"cold_ns\": %d, \"warm_ns\": %d }"
+              (json_escape pass) cold_ns warm_ns)
+          passes
+      in
+      output_string oc "{\n  \"benchmark\": \"lint\",\n";
+      output_string oc
+        (Printf.sprintf
+           "  \"cold_ns\": %s,\n  \"warm_ns\": %s,\n  \"speedup\": %s,\n"
+           (json_float cold) (json_float warm) (json_float speedup));
+      output_string oc
+        (Printf.sprintf
+           "  \"diagnostics\": %d,\n  \"errors\": %d,\n  \"warnings\": %d,\n"
+           diagnostics errors warnings);
+      output_string oc "  \"passes\": [\n";
+      output_string oc (String.concat ",\n" pass_objs);
+      output_string oc "\n  ]\n}\n")
+
+let lint_bench () =
+  section "LINT"
+    "whole-workspace static analysis: cold (caches cleared every run) vs \
+     warm (unchanged view, revision memos hit)";
+  let p = pair_of_size 400 in
+  let r = articulate_pair p in
+  let view =
+    Lint.view ~conversions:Conversion.builtin
+      ~articulations:[ Lint.articulation r.Generator.articulation ]
+      [ Lint.source p.Gen.left; Lint.source p.Gen.right ]
+  in
+  let cold =
+    match
+      ols_estimates
+        [
+          Test.make ~name:"cold"
+            (Staged.stage (fun () ->
+                 Cache_stats.clear_all ();
+                 ignore (Lint.run view)));
+        ]
+    with
+    | [ (_, e) ] -> e
+    | _ -> Float.nan
+  in
+  (* One instrumented cold run and one warm run for the per-pass split,
+     then the warm OLS estimate over the populated memos. *)
+  Cache_stats.clear_all ();
+  let cold_report = Lint.run view in
+  let warm_report = Lint.run view in
+  let warm =
+    match
+      ols_estimates
+        [ Test.make ~name:"warm" (Staged.stage (fun () -> ignore (Lint.run view))) ]
+    with
+    | [ (_, e) ] -> e
+    | _ -> Float.nan
+  in
+  let speedup = cold /. warm in
+  row "full lint: cold %a  warm %a  speedup %6.0fx %s" pp_time cold pp_time
+    warm speedup
+    (if speedup >= 5.0 then "(>= 5x: PASS)" else "(< 5x: FAIL)");
+  let passes =
+    List.map2
+      (fun (c : Lint.timing) (w : Lint.timing) -> (c.Lint.pass, c.Lint.ns, w.Lint.ns))
+      cold_report.Lint.timings warm_report.Lint.timings
+  in
+  List.iter
+    (fun (pass, c, w) ->
+      row "  pass %-14s cold %a  warm %a" pass pp_time (float_of_int c)
+        pp_time (float_of_int w))
+    passes;
+  let ds =
+    Diagnostic.apply_config Diagnostic.default_config
+      cold_report.Lint.diagnostics
+  in
+  let errors = List.length (Diagnostic.errors ds) in
+  let warnings = List.length (Diagnostic.warnings ds) in
+  row "diagnostics on the generated pair: %d (%d error(s), %d warning(s))"
+    (List.length ds) errors warnings;
+  emit_lint_json ~path:"BENCH_lint.json" ~cold ~warm ~speedup ~passes
+    ~diagnostics:(List.length ds) ~errors ~warnings;
+  row "wrote BENCH_lint.json"
+
 let sections_by_id =
   [
     ("fig2", fig2);
@@ -1351,6 +1450,7 @@ let sections_by_id =
     ("match", match_);
     ("fault", fault);
     ("serve", serve);
+    ("lint", lint_bench);
   ]
 
 let () =

@@ -875,14 +875,100 @@ let fsck_cmd =
           sources.  Exits non-zero when the federation stays degraded.")
     Term.(const run $ workspace_arg 0 $ check_only)
 
+let lint_cmd =
+  let run dir json baseline write_baseline enable disable as_error as_warning =
+    let ws = open_workspace_or_die dir in
+    let report = Workspace.lint ws in
+    let cfg = { Diagnostic.enable; disable; as_error; as_warning } in
+    let ds = Diagnostic.apply_config cfg report.Lint.diagnostics in
+    match write_baseline with
+    | Some path -> (
+        let b = Lint_baseline.of_diagnostics ds in
+        match Lint_baseline.save path b with
+        | Ok () ->
+            Printf.printf "wrote baseline %s (%d fingerprints)\n" path
+              (Lint_baseline.size b)
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            exit 1)
+    | None ->
+        let ds, suppressed =
+          match baseline with
+          | None -> (ds, 0)
+          | Some path -> (
+              match Lint_baseline.load path with
+              | Ok b -> Lint_baseline.filter b ds
+              | Error m ->
+                  Printf.eprintf "error: cannot load baseline %s: %s\n" path m;
+                  exit 1)
+        in
+        if json then
+          print_string
+            (Lint.report_json ~suppressed ~diagnostics:ds
+               ~timings:report.Lint.timings ())
+        else begin
+          List.iter (fun d -> Format.printf "%a@." Diagnostic.pp d) ds;
+          Format.printf "%d error(s), %d warning(s)%s@."
+            (List.length (Diagnostic.errors ds))
+            (List.length (Diagnostic.warnings ds))
+            (if suppressed > 0 then
+               Printf.sprintf ", %d baselined" suppressed
+             else "")
+        end;
+        exit (Diagnostic.exit_code ds)
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the report as SARIF-shaped JSON (stable rule ids, \
+             file/region provenance, per-pass timings).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Suppress findings whose fingerprint is listed in $(docv).")
+  in
+  let write_baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:
+            "Accept the current findings: write their fingerprints to \
+             $(docv) and exit 0 without reporting.")
+  in
+  let code_list names doc =
+    Arg.(value & opt_all string [] & info names ~docv:"CODE" ~doc)
+  in
+  let enable = code_list [ "enable" ] "Enable a default-disabled check." in
+  let disable = code_list [ "disable" ] "Disable a check." in
+  let as_error = code_list [ "error" ] "Report $(docv) findings as errors." in
+  let as_warning =
+    code_list [ "warn" ] "Report $(docv) findings as warnings."
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Whole-workspace static analysis: consistency and conflict checks \
+          with file/line provenance, dead and shadowed rules, dangling \
+          bridges, Horn-rule stratification, conversion round-trips, and \
+          storage health.  Exits 0 when clean, 1 on warnings, 2 on errors.")
+    Term.(
+      const run $ workspace_arg 0 $ json $ baseline $ write_baseline $ enable
+      $ disable $ as_error $ as_warning)
+
 let main =
   let doc = "ONION: graph-oriented articulation of ontology interdependencies" in
   Cmd.group
     (Cmd.info "onion" ~version:"1.0.0" ~doc)
     [
       validate_cmd; show_cmd; dot_cmd; articulate_cmd; suggest_cmd; algebra_cmd;
-      query_cmd; session_cmd; oql_cmd; rdf_cmd; workspace_cmd; fsck_cmd;
-      serve_cmd; client_cmd; translate_cmd; demo_cmd;
+      query_cmd; session_cmd; oql_cmd; rdf_cmd; workspace_cmd; lint_cmd;
+      fsck_cmd; serve_cmd; client_cmd; translate_cmd; demo_cmd;
     ]
 
 let () =

@@ -1,0 +1,265 @@
+type severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  pass : string;
+  file : string option;
+  span : Loc.span option;
+  subject : string option;
+  related : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Check catalog                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type check = {
+  check_code : string;
+  check_pass : string;
+  default_severity : severity;
+  default_enabled : bool;
+  summary : string;
+}
+
+let c ?(enabled = true) pass code severity summary =
+  {
+    check_code = code;
+    check_pass = pass;
+    default_severity = severity;
+    default_enabled = enabled;
+    summary;
+  }
+
+let catalog =
+  [
+    (* Per-ontology structural consistency (Consistency.check). *)
+    c "consistency" "subclass-cycle" Error
+      "a class is a proper subclass of itself";
+    c "consistency" "si-cycle" Warning
+      "semantic-implication cycle: terms are mutually implied";
+    c "consistency" "attribute-cycle" Warning "AttributeOf cycle";
+    c "consistency" "instance-of-instance" Error
+      "a term is an instance and simultaneously has instances";
+    c "consistency" "class-and-instance" Warning
+      "a term participates in the taxonomy and is also an instance";
+    c "consistency" "inverse-unknown" Error
+      "a relationship property names an undeclared relationship";
+    c ~enabled:false "consistency" "undeclared-relationship" Warning
+      "an edge label has no relationship declaration (strict)";
+    (* Per-articulation rule conflicts (Conflict.check). *)
+    c "conflict" "disjoint-implication" Error
+      "an implication path connects terms declared disjoint";
+    c "conflict" "disjoint-overlap" Error
+      "a term implies both sides of a disjointness declaration";
+    c "conflict" "self-implication" Error "a rule implies a term by itself";
+    c "conflict" "functional-clash" Error
+      "two functional rules convert the same pair with different functions";
+    c "conflict" "duplicate-rule" Warning "two rules have the same body";
+    c "conflict" "unknown-term" Warning
+      "a rule names a term absent from its source ontology";
+    (* Whole-workspace rule analysis. *)
+    c "rules" "dead-rule" Warning
+      "a pattern operand's label/degree signature cannot match any source";
+    c "rules" "one-sided-variable" Warning
+      "a pattern variable not on the representative node never affects \
+       generation";
+    c "rules" "shadowed-rule" Warning
+      "the rule is derivable from the remaining rules and taxonomy";
+    (* Articulation network. *)
+    c "bridges" "dangling-bridge" Error
+      "a bridge endpoint names a term absent from its source ontology";
+    (* Horn-rule sets. *)
+    c "horn" "unstratified-horn" Warning
+      "relation-property Horn rules form a derivation cycle across \
+       distinct relations";
+    (* Conversion registry. *)
+    c "conversions" "unknown-converter" Error
+      "a functional rule names an unregistered conversion function";
+    c "conversions" "missing-inverse" Warning
+      "a conversion used by a bridge declares no inverse";
+    c "conversions" "roundtrip-drift" Warning
+      "a conversion's declared inverse drifts on probe values";
+    (* Storage-layer findings mapped from Health. *)
+    c "io" "torn-write" Error "an in-flight tmp file from an interrupted write";
+    c "io" "unreadable" Error "a registered file cannot be read";
+    c "io" "unparseable" Error "a registered file does not parse";
+    c "io" "checksum-mismatch" Warning
+      "a payload parses but its checksum stamp disagrees";
+    c "io" "orphan-sidecar" Error "a checksum sidecar without a payload";
+  ]
+
+let find_check code =
+  List.find_opt (fun ck -> String.equal ck.check_code code) catalog
+
+let v ?severity ?file ?span ?subject ?(related = []) ~code ~pass message =
+  let severity =
+    match severity with
+    | Some s -> s
+    | None -> (
+        match find_check code with
+        | Some ck -> ck.default_severity
+        | None -> Warning)
+  in
+  { code; severity; message; pass; file; span; subject; related }
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  enable : string list;
+  disable : string list;
+  as_error : string list;
+  as_warning : string list;
+}
+
+let default_config = { enable = []; disable = []; as_error = []; as_warning = [] }
+
+let mem code codes = List.exists (String.equal code) codes
+
+let code_enabled cfg code =
+  if mem code cfg.disable then false
+  else if mem code cfg.enable then true
+  else match find_check code with Some ck -> ck.default_enabled | None -> true
+
+let apply_config cfg ds =
+  List.filter_map
+    (fun d ->
+      if not (code_enabled cfg d.code) then None
+      else if mem d.code cfg.as_error then Some { d with severity = Error }
+      else if mem d.code cfg.as_warning then Some { d with severity = Warning }
+      else Some d)
+    ds
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let severity_rank = function Error -> 0 | Warning -> 1
+
+let compare_opt cmp a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some a, Some b -> cmp a b
+
+let order a b =
+  let ( <?> ) c next = if c <> 0 then c else next () in
+  Int.compare (severity_rank a.severity) (severity_rank b.severity) <?> fun () ->
+  compare_opt String.compare a.file b.file <?> fun () ->
+  compare_opt
+    (fun (s1 : Loc.span) s2 -> Loc.compare_pos s1.Loc.start s2.Loc.start)
+    a.span b.span
+  <?> fun () ->
+  String.compare a.code b.code <?> fun () ->
+  compare_opt String.compare a.subject b.subject <?> fun () ->
+  String.compare a.message b.message
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let exit_code ds =
+  if errors ds <> [] then 2 else if warnings ds <> [] then 1 else 0
+
+let fingerprint d =
+  String.concat "|"
+    [
+      d.code;
+      Option.value d.file ~default:"";
+      (match d.subject with Some s -> s | None -> d.message);
+    ]
+
+let pp ppf d =
+  (match (d.file, d.span) with
+  | Some f, Some s -> Format.fprintf ppf "%s:%a: " f Loc.pp_pos s.Loc.start
+  | Some f, None -> Format.fprintf ppf "%s: " f
+  | None, _ -> ());
+  Format.fprintf ppf "%s[%s] %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.code d.message;
+  (match d.subject with
+  | Some s -> Format.fprintf ppf " (%s)" s
+  | None -> ());
+  if d.related <> [] then
+    Format.fprintf ppf " (rules: %s)" (String.concat ", " d.related)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  let escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | ch when Char.code ch < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+        | ch -> Buffer.add_char buf ch)
+      s;
+    Buffer.contents buf
+
+  let str s = "\"" ^ escape s ^ "\""
+
+  let arr items = "[" ^ String.concat ", " items ^ "]"
+
+  let obj fields =
+    "{ "
+    ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields)
+    ^ " }"
+end
+
+let to_json d =
+  let open Json in
+  let locations =
+    match d.file with
+    | None -> []
+    | Some f ->
+        let region =
+          match d.span with
+          | None -> []
+          | Some s ->
+              [
+                ( "region",
+                  obj
+                    [
+                      ("startLine", string_of_int s.Loc.start.Loc.line);
+                      ("startColumn", string_of_int s.Loc.start.Loc.col);
+                      ("endLine", string_of_int s.Loc.stop.Loc.line);
+                      ("endColumn", string_of_int s.Loc.stop.Loc.col);
+                    ] );
+              ]
+        in
+        [
+          obj
+            [
+              ( "physicalLocation",
+                obj
+                  (("artifactLocation", obj [ ("uri", str f) ]) :: region) );
+            ];
+        ]
+  in
+  let properties =
+    [ ("pass", str d.pass) ]
+    @ (match d.subject with Some s -> [ ("subject", str s) ] | None -> [])
+    @
+    if d.related = [] then []
+    else [ ("related", arr (List.map str d.related)) ]
+  in
+  obj
+    [
+      ("ruleId", str d.code);
+      ( "level",
+        str (match d.severity with Error -> "error" | Warning -> "warning") );
+      ("message", obj [ ("text", str d.message) ]);
+      ("locations", arr locations);
+      ("fingerprint", str (fingerprint d));
+      ("properties", obj properties);
+    ]

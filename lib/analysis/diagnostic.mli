@@ -1,0 +1,112 @@
+(** Provenance-tracked lint diagnostics.
+
+    Every finding the static-analysis layer produces is one {!t}: a
+    stable machine-readable code drawn from the {!catalog}, a severity,
+    a human message, and provenance — the workspace-relative source file
+    with a {!Loc.span} when the finding maps to a place in a text, or a
+    graph {e subject} (term, rule or relation name) when it does not.
+
+    Codes are stable API: scripts key baselines and CI gates on them, so
+    renaming one is a breaking change.  The catalog records each code's
+    pass, default severity and default-enabled flag; a {!config} can
+    disable codes, re-enable default-off ones, and override severities
+    per code. *)
+
+type severity = Error | Warning
+
+type t = {
+  code : string;  (** Stable code, e.g. ["dead-rule"]. *)
+  severity : severity;
+  message : string;
+  pass : string;  (** The pass that produced it, e.g. ["consistency"]. *)
+  file : string option;  (** Workspace-relative source file. *)
+  span : Loc.span option;  (** Position inside [file], when recovered. *)
+  subject : string option;  (** Graph subject: term, rule, label... *)
+  related : string list;  (** E.g. the names of the rules involved. *)
+}
+
+val v :
+  ?severity:severity ->
+  ?file:string ->
+  ?span:Loc.span ->
+  ?subject:string ->
+  ?related:string list ->
+  code:string ->
+  pass:string ->
+  string ->
+  t
+(** [v ~code ~pass message].  [severity] defaults to the catalog's
+    default for [code] (and to [Warning] for uncatalogued codes, which
+    only tests construct). *)
+
+(** {1 The check catalog} *)
+
+type check = {
+  check_code : string;
+  check_pass : string;
+  default_severity : severity;
+  default_enabled : bool;
+      (** Default-off checks (only ["undeclared-relationship"]) run only
+          when a config enables them. *)
+  summary : string;
+}
+
+val catalog : check list
+(** Every code [onion lint] can emit, grouped by pass, sorted by
+    (pass, code).  See DESIGN.md §12 for the prose catalog. *)
+
+val find_check : string -> check option
+
+(** {1 Configuration} *)
+
+type config = {
+  enable : string list;  (** Codes forced on (default-off checks). *)
+  disable : string list;  (** Codes dropped from the report. *)
+  as_error : string list;  (** Codes promoted to [Error]. *)
+  as_warning : string list;  (** Codes demoted to [Warning]. *)
+}
+
+val default_config : config
+
+val code_enabled : config -> string -> bool
+(** [disable] wins over [enable]; otherwise the catalog's
+    [default_enabled] (uncatalogued codes count as enabled). *)
+
+val apply_config : config -> t list -> t list
+(** Drop disabled diagnostics and apply severity overrides. *)
+
+(** {1 Reporting} *)
+
+val order : t -> t -> int
+(** Deterministic report order: errors first, then by file, span,
+    code, subject. *)
+
+val errors : t list -> t list
+
+val warnings : t list -> t list
+
+val exit_code : t list -> int
+(** CI gate: [2] when any error remains, [1] when only warnings, [0]
+    when clean. *)
+
+val fingerprint : t -> string
+(** [code|file|subject] — deliberately line-independent, so baselines
+    survive unrelated edits that shift line numbers. *)
+
+val pp : Format.formatter -> t -> unit
+(** One human line: [file:line:col: severity[code] message (subject)]. *)
+
+val to_json : t -> string
+(** One SARIF-shaped result object ([ruleId], [level], [message.text],
+    [locations[].physicalLocation]), with [fingerprint] and the
+    pass/subject/related extras under [properties]. *)
+
+(** Hand-rolled JSON assembly, shared with the report serializer (the
+    toolchain carries no JSON library; same approach as [Status_json]
+    and the [BENCH_*.json] emitters). *)
+module Json : sig
+  val escape : string -> string
+  val str : string -> string
+  val arr : string list -> string
+  val obj : (string * string) list -> string
+end

@@ -1,0 +1,683 @@
+type source = {
+  ontology : Ontology.t;
+  file : string option;
+  text : string option;
+}
+
+type articulation = {
+  articulation : Articulation.t;
+  art_file : string option;
+  art_text : string option;
+}
+
+type view = {
+  sources : source list;
+  articulations : articulation list;
+  conversions : Conversion.t option;
+}
+
+let source ?file ?text ontology = { ontology; file; text }
+
+let articulation ?file ?text articulation =
+  { articulation; art_file = file; art_text = text }
+
+let view ?conversions ?(articulations = []) sources =
+  { sources; articulations; conversions }
+
+type timing = { pass : string; ns : int }
+
+type report = { diagnostics : Diagnostic.t list; timings : timing list }
+
+let pass_names =
+  [ "consistency"; "conflict"; "rules"; "bridges"; "horn"; "conversions" ]
+
+(* ------------------------------------------------------------------ *)
+(* Span recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Subjects arrive as identifiers, qualified terms or comma-joined cycle
+   lists; the span points at the first identifier that occurs in the
+   text. *)
+let first_word s =
+  let is_word_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  let n = String.length s in
+  let start = ref 0 in
+  while !start < n && not (is_word_char s.[!start]) do incr start done;
+  let stop = ref !start in
+  while !stop < n && is_word_char s.[!stop] do incr stop done;
+  if !stop > !start then Some (String.sub s !start (!stop - !start)) else None
+
+let locate text needle =
+  match text with None -> None | Some t -> Loc.find_word t needle
+
+let locate_subject text subject =
+  match first_word subject with None -> None | Some w -> locate text w
+
+(* A term as it appears in an articulation XML file: prefer the
+   qualified rendering, fall back to the bare name. *)
+let locate_term text (t : Term.t) =
+  match locate text (Term.qualified t) with
+  | Some s -> Some s
+  | None -> locate text t.Term.name
+
+(* Rules print as "[name] lhs => rhs", so the name is the anchor. *)
+let locate_rule text (r : Rule.t) = locate text r.Rule.name
+
+(* ------------------------------------------------------------------ *)
+(* Revision-stamped pass memos                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Keyed on Revision stamps (equal stamps imply the very same parsed
+   value, hence the same source text) plus the file attribution, so a
+   re-lint of unchanged parts answers from the table.  All caches honour
+   Cache_stats.enabled and are domain-safe for the pool fan-out. *)
+let consistency_memo : (int * string option, Diagnostic.t list) Lru.t =
+  Lru.create ~name:"lint.consistency" ~capacity:256 ()
+
+let conflict_memo : (int * int list * string option, Diagnostic.t list) Lru.t =
+  Lru.create ~name:"lint.conflict" ~capacity:256 ()
+
+let rules_memo : (int * int list * string option, Diagnostic.t list) Lru.t =
+  Lru.create ~name:"lint.rules" ~capacity:256 ()
+
+let bridges_memo : (int * int list * string option, Diagnostic.t list) Lru.t =
+  Lru.create ~name:"lint.bridges" ~capacity:256 ()
+
+let horn_memo : (int * string option, Diagnostic.t list) Lru.t =
+  Lru.create ~name:"lint.horn" ~capacity:256 ()
+
+let source_revisions v =
+  List.map (fun s -> Ontology.revision s.ontology) v.sources
+
+(* ------------------------------------------------------------------ *)
+(* consistency: the per-ontology point checker, with provenance       *)
+(* ------------------------------------------------------------------ *)
+
+(* Sources and articulation ontologies are checked alike. *)
+let ontology_parts v =
+  List.map (fun s -> (s.ontology, s.file, s.text)) v.sources
+  @ List.map
+      (fun a -> (Articulation.ontology a.articulation, a.art_file, a.art_text))
+      v.articulations
+
+let consistency_pass v =
+  Domain_pool.concat_map
+    (fun (o, file, text) ->
+      Lru.find_or_compute consistency_memo (Ontology.revision o, file) (fun () ->
+          Consistency.check ~strict:true o
+          |> List.map (fun (i : Consistency.issue) ->
+                 Diagnostic.v
+                   ~severity:
+                     (match i.Consistency.severity with
+                     | Consistency.Error -> Diagnostic.Error
+                     | Consistency.Warning -> Diagnostic.Warning)
+                   ?file
+                   ?span:(locate_subject text i.Consistency.subject)
+                   ~subject:i.Consistency.subject ~code:i.Consistency.code
+                   ~pass:"consistency" i.Consistency.message)))
+    (ontology_parts v)
+
+(* ------------------------------------------------------------------ *)
+(* conflict: the per-rule-set point checker, with provenance          *)
+(* ------------------------------------------------------------------ *)
+
+let conflict_pass v =
+  let ontologies = List.map (fun s -> s.ontology) v.sources in
+  let revs = source_revisions v in
+  Domain_pool.concat_map
+    (fun a ->
+      let art = a.articulation in
+      Lru.find_or_compute conflict_memo
+        (Articulation.revision art, revs, a.art_file)
+        (fun () ->
+          (* The conversion-registry checks are the conversions pass's
+             job (multi-probe, inverse coverage), so the point checker
+             runs without a registry here. *)
+          Conflict.check ~ontologies (Articulation.rules art)
+          |> List.map (fun (cf : Conflict.conflict) ->
+                 let span =
+                   match cf.Conflict.rules_involved with
+                   | rule :: _ when locate a.art_text rule <> None ->
+                       locate a.art_text rule
+                   | _ -> locate_subject a.art_text cf.Conflict.subject
+                 in
+                 Diagnostic.v
+                   ~severity:
+                     (match cf.Conflict.severity with
+                     | Conflict.Fatal -> Diagnostic.Error
+                     | Conflict.Suspicious -> Diagnostic.Warning)
+                   ?file:a.art_file ?span ~subject:cf.Conflict.subject
+                   ~related:cf.Conflict.rules_involved ~code:cf.Conflict.code
+                   ~pass:"conflict" cf.Conflict.detail)))
+    v.articulations
+
+(* ------------------------------------------------------------------ *)
+(* rules: dead patterns, inert variables, shadowed rules              *)
+(* ------------------------------------------------------------------ *)
+
+let rec patterns_of_operand = function
+  | Rule.Term _ -> []
+  | Rule.Conj ops | Rule.Disj ops -> List.concat_map patterns_of_operand ops
+  | Rule.Patt p -> [ p ]
+
+let rule_patterns (r : Rule.t) =
+  match r.Rule.body with
+  | Rule.Implication (lhs, rhs) ->
+      patterns_of_operand lhs @ patterns_of_operand rhs
+  | Rule.Functional _ | Rule.Disjoint _ -> []
+
+(* Label/degree feasibility of a pattern against one source's index:
+   every labeled pattern node must exist, every labeled pattern edge's
+   label must occur, and each labeled node must offer the in/out degree
+   its incident pattern edges demand.  Sound for the generator's exact
+   matching policy (node identity and label coincide in consistent
+   ontologies). *)
+let pattern_feasible_in idx p =
+  let nodes = Pattern.nodes p and edges = Pattern.edges p in
+  let node_ok (n : Pattern.node) =
+    match n.Pattern.label with
+    | None -> true
+    | Some l -> Label_index.mem_label idx l
+  in
+  let edge_ok (e : Pattern.edge) =
+    match e.Pattern.elabel with
+    | None -> true
+    | Some l -> Label_index.edges_with idx l <> []
+  in
+  let degree_ok (n : Pattern.node) =
+    match n.Pattern.label with
+    | None -> true
+    | Some l ->
+        let outs =
+          List.filter
+            (fun (e : Pattern.edge) -> String.equal e.Pattern.src n.Pattern.id)
+            edges
+        and ins =
+          List.filter
+            (fun (e : Pattern.edge) -> String.equal e.Pattern.dst n.Pattern.id)
+            edges
+        in
+        let demand dir_edges degree_fn =
+          List.for_all
+            (fun (e : Pattern.edge) ->
+              match e.Pattern.elabel with
+              | None -> true
+              | Some el ->
+                  let wanted =
+                    List.length
+                      (List.filter
+                         (fun (e2 : Pattern.edge) ->
+                           e2.Pattern.elabel = Some el)
+                         dir_edges)
+                  in
+                  degree_fn idx l el >= wanted)
+            dir_edges
+        in
+        Label_index.out_degree idx l >= List.length outs
+        && Label_index.in_degree idx l >= List.length ins
+        && demand outs Label_index.out_label_degree
+        && demand ins Label_index.in_label_degree
+  in
+  List.for_all node_ok nodes
+  && List.for_all edge_ok edges
+  && List.for_all degree_ok nodes
+
+let dead_rule_diags v a =
+  let sources = v.sources in
+  List.concat_map
+    (fun (r : Rule.t) ->
+      List.filter_map
+        (fun p ->
+          let candidates =
+            match Pattern.ontology_hint p with
+            | Some hint ->
+                List.filter
+                  (fun s -> String.equal (Ontology.name s.ontology) hint)
+                  sources
+            | None -> sources
+          in
+          (* A hint naming no loaded source (e.g. the articulation
+             ontology itself) is outside this workspace's jurisdiction. *)
+          if candidates = [] then None
+          else if
+            List.exists
+              (fun s ->
+                pattern_feasible_in
+                  (Label_index.of_graph (Ontology.graph s.ontology))
+                  p)
+              candidates
+          then None
+          else
+            Some
+              (Diagnostic.v ?file:a.art_file
+                 ?span:(locate_rule a.art_text r)
+                 ~subject:r.Rule.name ~related:[ r.Rule.name ]
+                 ~code:"dead-rule" ~pass:"rules"
+                 (Printf.sprintf
+                    "pattern %s cannot match any loaded source: its \
+                     label/degree signature has no counterpart"
+                    (Pattern_parser.to_string p))))
+        (rule_patterns r))
+    (Articulation.rules a.articulation)
+
+(* The generator bridges only the representative (first) node of a
+   pattern operand, so a variable bound anywhere else can never reach
+   the articulation: flag it as inert. *)
+let one_sided_variable_diags a =
+  List.concat_map
+    (fun (r : Rule.t) ->
+      List.concat_map
+        (fun p ->
+          match Pattern.nodes p with
+          | [] -> []
+          | representative :: rest ->
+              List.filter_map
+                (fun (n : Pattern.node) ->
+                  match n.Pattern.binder with
+                  | Some var ->
+                      Some
+                        (Diagnostic.v ?file:a.art_file
+                           ?span:(locate a.art_text var)
+                           ~subject:var ~related:[ r.Rule.name ]
+                           ~code:"one-sided-variable" ~pass:"rules"
+                           (Printf.sprintf
+                              "variable %s binds pattern node %s, not the \
+                               representative %s; its binding cannot reach \
+                               the generated articulation"
+                              var n.Pattern.id representative.Pattern.id))
+                  | None -> None)
+                rest)
+        (rule_patterns r))
+    (Articulation.rules a.articulation)
+
+(* Structural embedding of p1 into p2: every label constraint of p1
+   appears in p2 (nodes by label; edges by (src-label, label, dst-label)
+   for fully labeled edges).  Then every match of p2 contains a match of
+   p1, so with equal right-hand sides the p2 rule is subsumed. *)
+let pattern_embeds p1 p2 =
+  let labels p =
+    List.filter_map (fun (n : Pattern.node) -> n.Pattern.label) (Pattern.nodes p)
+  in
+  let label_of p id =
+    Option.bind (Pattern.node_by_id p id) (fun n -> n.Pattern.label)
+  in
+  let triples p =
+    List.filter_map
+      (fun (e : Pattern.edge) ->
+        match (label_of p e.Pattern.src, label_of p e.Pattern.dst) with
+        | Some a, Some b -> Some (a, e.Pattern.elabel, b)
+        | _ -> None)
+      (Pattern.edges p)
+  in
+  let hint_ok =
+    match (Pattern.ontology_hint p1, Pattern.ontology_hint p2) with
+    | None, _ -> true
+    | Some h1, Some h2 -> String.equal h1 h2
+    | Some _, None -> false
+  in
+  hint_ok
+  && Pattern.size p1 <= Pattern.size p2
+  && List.for_all (fun l -> List.mem l (labels p2)) (labels p1)
+  && List.for_all (fun t -> List.mem t (triples p2)) (triples p1)
+
+let shadowed_rule_diags v a =
+  let rules = Articulation.rules a.articulation in
+  (* Implication graph over qualified terms: taxonomy + every atomic
+     Term => Term rule. *)
+  let base =
+    List.fold_left
+      (fun g s ->
+        Digraph.fold_edges
+          (fun (e : Digraph.edge) g ->
+            if
+              String.equal e.Digraph.label Rel.subclass_of
+              || String.equal e.Digraph.label Rel.semantic_implication
+            then Digraph.add_edge g e.Digraph.src "implies" e.Digraph.dst
+            else g)
+          (Ontology.qualify s.ontology) g)
+      Digraph.empty v.sources
+  in
+  let term_rules =
+    List.filter_map
+      (fun (r : Rule.t) ->
+        match r.Rule.body with
+        | Rule.Implication (Rule.Term lhs, Rule.Term rhs)
+          when not (Term.equal lhs rhs) ->
+            Some (r, Term.qualified lhs, Term.qualified rhs)
+        | _ -> None)
+      rules
+  in
+  let full =
+    List.fold_left
+      (fun g (_, qa, qb) -> Digraph.add_edge g qa "implies" qb)
+      base term_rules
+  in
+  let reach_shadowed =
+    List.filter_map
+      (fun ((r : Rule.t), qa, qb) ->
+        (* Drop the rule's own direct edge (shared duplicates are the
+           duplicate-rule code's business) and ask whether the network
+           still derives it. *)
+        let without = Digraph.remove_edge full qa "implies" qb in
+        if Traversal.path_exists without qa qb then
+          Some
+            (Diagnostic.v ?file:a.art_file
+               ?span:(locate_rule a.art_text r)
+               ~subject:r.Rule.name ~related:[ r.Rule.name ]
+               ~code:"shadowed-rule" ~pass:"rules"
+               (Printf.sprintf
+                  "%s => %s is already derivable from the taxonomy and the \
+                   remaining rules"
+                  qa qb))
+        else None)
+      term_rules
+  in
+  let patt_rules =
+    List.filter_map
+      (fun (r : Rule.t) ->
+        match r.Rule.body with
+        | Rule.Implication (Rule.Patt p, rhs) -> Some (r, p, rhs)
+        | _ -> None)
+      rules
+  in
+  let embed_shadowed =
+    List.concat_map
+      (fun ((r2 : Rule.t), p2, rhs2) ->
+        List.filter_map
+          (fun ((r1 : Rule.t), p1, rhs1) ->
+            if
+              (not (String.equal r1.Rule.name r2.Rule.name))
+              && rhs1 = rhs2
+              && pattern_embeds p1 p2
+              && ((not (pattern_embeds p2 p1))
+                 || String.compare r1.Rule.name r2.Rule.name < 0)
+            then
+              Some
+                (Diagnostic.v ?file:a.art_file
+                   ?span:(locate_rule a.art_text r2)
+                   ~subject:r2.Rule.name
+                   ~related:[ r1.Rule.name; r2.Rule.name ]
+                   ~code:"shadowed-rule" ~pass:"rules"
+                   (Printf.sprintf
+                      "rule %s's pattern embeds in this rule's pattern with \
+                       the same right-hand side"
+                      r1.Rule.name))
+            else None)
+          patt_rules)
+      patt_rules
+  in
+  reach_shadowed @ embed_shadowed
+
+let rules_pass v =
+  let revs = source_revisions v in
+  Domain_pool.concat_map
+    (fun a ->
+      Lru.find_or_compute rules_memo
+        (Articulation.revision a.articulation, revs, a.art_file)
+        (fun () ->
+          dead_rule_diags v a @ one_sided_variable_diags a
+          @ shadowed_rule_diags v a))
+    v.articulations
+
+(* ------------------------------------------------------------------ *)
+(* bridges: dangling endpoints                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bridges_pass v =
+  let revs = source_revisions v in
+  let find_source name =
+    List.find_opt
+      (fun s -> String.equal (Ontology.name s.ontology) name)
+      v.sources
+  in
+  Domain_pool.concat_map
+    (fun a ->
+      let art = a.articulation in
+      Lru.find_or_compute bridges_memo
+        (Articulation.revision art, revs, a.art_file)
+        (fun () ->
+          let art_name = Articulation.name art in
+          List.concat_map
+            (fun (b : Bridge.t) ->
+              List.filter_map
+                (fun (t : Term.t) ->
+                  if String.equal t.Term.ontology art_name then None
+                  else
+                    match find_source t.Term.ontology with
+                    | None -> None (* not a workspace source: cannot judge *)
+                    | Some s ->
+                        if Ontology.has_term s.ontology t.Term.name then None
+                        else
+                          Some
+                            (Diagnostic.v ?file:a.art_file
+                               ?span:(locate_term a.art_text t)
+                               ~subject:(Term.qualified t)
+                               ~code:"dangling-bridge" ~pass:"bridges"
+                               (Printf.sprintf
+                                  "bridge endpoint %s names a term %s no \
+                                   longer has"
+                                  (Term.qualified t) t.Term.ontology)))
+                [ b.Bridge.src; b.Bridge.dst ])
+            (Articulation.bridges art)))
+    v.articulations
+
+(* ------------------------------------------------------------------ *)
+(* horn: stratification of the relation-property rule sets            *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile each part's relation registry to its Horn rules and look for
+   derivation cycles across distinct relations (mutual Implies chains):
+   evaluation still terminates — Datalog has no negation — but the
+   fixpoint equates the relations, which is virtually always a
+   declaration slip.  Declared inverse pairs are exempt: flowing both
+   ways is their meaning. *)
+let horn_diags o file text =
+  let registry = Ontology.relations o in
+  let horns = Infer.of_registry registry in
+  let deps =
+    List.concat_map
+      (fun (h : Infer.horn) ->
+        List.filter_map
+          (fun (b : Infer.atom) ->
+            if String.equal b.Infer.rel h.Infer.head.Infer.rel then None
+            else Some (b.Infer.rel, h.Infer.head.Infer.rel))
+          h.Infer.body)
+      horns
+  in
+  let inverse_pair a b =
+    Rel.has_property registry a (Rel.Inverse_of b)
+    || Rel.has_property registry b (Rel.Inverse_of a)
+  in
+  let g =
+    List.fold_left
+      (fun g (a, b) ->
+        if inverse_pair a b then g else Digraph.add_edge g a "dep" b)
+      Digraph.empty deps
+  in
+  Traversal.strongly_connected_components ~follow:(Traversal.only [ "dep" ]) g
+  |> List.filter (fun scc -> List.length scc > 1)
+  |> List.map (fun scc ->
+         let subject = String.concat ", " scc in
+         Diagnostic.v ?file
+           ?span:(locate_subject text subject)
+           ~subject ~code:"unstratified-horn" ~pass:"horn"
+           (Printf.sprintf
+              "relation properties derive a cycle over %s: the Horn fixpoint \
+               equates these relations"
+              subject))
+
+let horn_pass v =
+  Domain_pool.concat_map
+    (fun (o, file, text) ->
+      Lru.find_or_compute horn_memo (Ontology.revision o, file) (fun () ->
+          horn_diags o file text))
+    (ontology_parts v)
+
+(* ------------------------------------------------------------------ *)
+(* conversions: registry coverage and round-trips                     *)
+(* ------------------------------------------------------------------ *)
+
+let probe_values = [ 1.0; 100.0; 12345.678 ]
+
+let conversions_pass v =
+  match v.conversions with
+  | None -> []
+  | Some registry ->
+      List.concat_map
+        (fun a ->
+          Articulation.rules a.articulation
+          |> List.filter_map (fun (r : Rule.t) ->
+                 match r.Rule.body with
+                 | Rule.Functional { fn; src; dst } -> Some (r, fn, src, dst)
+                 | Rule.Implication _ | Rule.Disjoint _ -> None)
+          |> List.filter_map (fun ((r : Rule.t), fn, src, dst) ->
+                 let pair =
+                   Term.qualified src ^ " => " ^ Term.qualified dst
+                 in
+                 let span =
+                   match locate a.art_text fn with
+                   | Some s -> Some s
+                   | None -> locate_rule a.art_text r
+                 in
+                 if not (Conversion.mem registry fn) then
+                   Some
+                     (Diagnostic.v ?file:a.art_file ?span ~subject:fn
+                        ~related:[ r.Rule.name ] ~code:"unknown-converter"
+                        ~pass:"conversions"
+                        (Printf.sprintf
+                           "function %s (bridging %s) is not registered" fn
+                           pair))
+                 else
+                   match Conversion.inverse_name registry fn with
+                   | None ->
+                       Some
+                         (Diagnostic.v ?file:a.art_file ?span ~subject:fn
+                            ~related:[ r.Rule.name ] ~code:"missing-inverse"
+                            ~pass:"conversions"
+                            (Printf.sprintf
+                               "%s declares no inverse: values bridged over \
+                                %s cannot travel back"
+                               fn pair))
+                   | Some _ ->
+                       let drift =
+                         List.fold_left
+                           (fun acc probe ->
+                             match
+                               Conversion.roundtrip_error registry fn
+                                 (Conversion.Num probe)
+                             with
+                             | Some err -> Float.max acc err
+                             | None -> acc)
+                           0.0 probe_values
+                       in
+                       if drift > 1e-6 then
+                         Some
+                           (Diagnostic.v ?file:a.art_file ?span ~subject:fn
+                              ~related:[ r.Rule.name ] ~code:"roundtrip-drift"
+                              ~pass:"conversions"
+                              (Printf.sprintf
+                                 "declared inverse drifts by %.2e across \
+                                  probe values"
+                                 drift))
+                       else None))
+        v.articulations
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run v =
+  let timings = ref [] in
+  let timed pass f =
+    let t0 = Unix.gettimeofday () in
+    let result = f v in
+    let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    timings := { pass; ns } :: !timings;
+    result
+  in
+  (* Explicit lets: list elements evaluate right-to-left, which would
+     invert the pass order (and the timings). *)
+  let consistency = timed "consistency" consistency_pass in
+  let conflict = timed "conflict" conflict_pass in
+  let rules = timed "rules" rules_pass in
+  let bridges = timed "bridges" bridges_pass in
+  let horn = timed "horn" horn_pass in
+  let conversions = timed "conversions" conversions_pass in
+  let diagnostics =
+    List.concat [ consistency; conflict; rules; bridges; horn; conversions ]
+  in
+  {
+    diagnostics = List.stable_sort Diagnostic.order diagnostics;
+    timings = List.rev !timings;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Report document                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let report_json ?(suppressed = 0) ~diagnostics ~timings () =
+  let open Diagnostic.Json in
+  let rules =
+    List.map
+      (fun (ck : Diagnostic.check) ->
+        obj
+          [
+            ("id", str ck.Diagnostic.check_code);
+            ( "shortDescription",
+              obj [ ("text", str ck.Diagnostic.summary) ] );
+            ( "defaultConfiguration",
+              obj
+                [
+                  ( "level",
+                    str
+                      (match ck.Diagnostic.default_severity with
+                      | Diagnostic.Error -> "error"
+                      | Diagnostic.Warning -> "warning") );
+                  ("enabled", string_of_bool ck.Diagnostic.default_enabled);
+                ] );
+            ("pass", str ck.Diagnostic.check_pass);
+          ])
+      Diagnostic.catalog
+  in
+  let run_obj =
+    obj
+      [
+        ( "tool",
+          obj
+            [
+              ( "driver",
+                obj
+                  [
+                    ("name", str "onion lint");
+                    ("rules", arr rules);
+                  ] );
+            ] );
+        ("results", arr (List.map Diagnostic.to_json diagnostics));
+      ]
+  in
+  obj
+    [
+      ("version", str "2.1.0");
+      ("runs", arr [ run_obj ]);
+      ( "summary",
+        obj
+          [
+            ("errors", string_of_int (List.length (Diagnostic.errors diagnostics)));
+            ( "warnings",
+              string_of_int (List.length (Diagnostic.warnings diagnostics)) );
+            ("suppressed", string_of_int suppressed);
+            ("exit_code", string_of_int (Diagnostic.exit_code diagnostics));
+          ] );
+      ( "timings",
+        arr
+          (List.map
+             (fun t ->
+               obj [ ("pass", str t.pass); ("ns", string_of_int t.ns) ])
+             timings) );
+    ]
+  ^ "\n"

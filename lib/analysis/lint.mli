@@ -1,0 +1,70 @@
+(** Whole-workspace static analysis (the [onion lint] engine).
+
+    The point checkers ({!Consistency} on one ontology, {!Conflict} on
+    one rule set) see one part at a time; this driver sees the network —
+    every source, every stored articulation, the conversion registry —
+    and runs the passes only that view makes possible: dead rules whose
+    pattern signature cannot match any loaded source, bridges whose
+    endpoints vanished, rules derivable from the remaining network,
+    Horn-rule derivation cycles, conversion round-trips.  The point
+    checkers are adapted into the same {!Diagnostic.t} stream, with
+    source provenance recovered from the original file texts.
+
+    Per-part passes fan out on {!Domain_pool} and memoize per
+    {!Revision} stamp in {!Lru} caches (honouring
+    [Cache_stats.enabled]), so re-linting an unchanged part is a table
+    lookup — the workspace layer adds a fingerprint-keyed memo over the
+    whole report on top. *)
+
+type source = {
+  ontology : Ontology.t;
+  file : string option;  (** Workspace-relative, for provenance. *)
+  text : string option;  (** Raw file text, for span recovery. *)
+}
+
+type articulation = {
+  articulation : Articulation.t;
+  art_file : string option;
+  art_text : string option;
+}
+
+type view = {
+  sources : source list;
+  articulations : articulation list;
+  conversions : Conversion.t option;
+      (** Registry for the conversion pass; [None] skips it. *)
+}
+
+val source : ?file:string -> ?text:string -> Ontology.t -> source
+
+val articulation : ?file:string -> ?text:string -> Articulation.t -> articulation
+
+val view :
+  ?conversions:Conversion.t ->
+  ?articulations:articulation list ->
+  source list ->
+  view
+
+type timing = { pass : string; ns : int }
+
+type report = {
+  diagnostics : Diagnostic.t list;  (** In {!Diagnostic.order}. *)
+  timings : timing list;  (** One entry per pass, in run order. *)
+}
+
+val run : view -> report
+(** The raw report: every pass, every code (including default-disabled
+    ones) — apply {!Diagnostic.apply_config} and a {!Lint_baseline} to
+    the result.  Consistency runs in strict mode; the
+    [undeclared-relationship] findings it yields are dropped by the
+    default config downstream. *)
+
+val pass_names : string list
+(** The passes {!run} executes, in order. *)
+
+val report_json :
+  ?suppressed:int -> diagnostics:Diagnostic.t list -> timings:timing list -> unit -> string
+(** The stable SARIF-shaped document: [version], one run with the tool's
+    rule catalog and one result object per diagnostic, a [summary]
+    (error/warning/suppressed counts and the {!Diagnostic.exit_code}),
+    and per-pass [timings]. *)

@@ -1,0 +1,38 @@
+type t = string list (* sorted, distinct fingerprints *)
+
+let empty = []
+
+let of_diagnostics ds =
+  List.sort_uniq String.compare (List.map Diagnostic.fingerprint ds)
+
+let size = List.length
+
+let mem t d =
+  let fp = Diagnostic.fingerprint d in
+  List.exists (String.equal fp) t
+
+let filter t ds =
+  let kept, suppressed =
+    List.partition (fun d -> not (mem t d)) ds
+  in
+  (kept, List.length suppressed)
+
+let header = "# onion lint baseline, format 1: one code|file|subject per line"
+
+let to_string t = String.concat "\n" ((header :: t) @ [ "" ])
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | content ->
+      Ok
+        (String.split_on_char '\n' content
+        |> List.filter_map (fun line ->
+               let line = String.trim line in
+               if line = "" || line.[0] = '#' then None else Some line)
+        |> List.sort_uniq String.compare)
+
+let save path t =
+  match Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string t)) with
+  | () -> Ok ()
+  | exception Sys_error m -> Error m

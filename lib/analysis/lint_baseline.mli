@@ -1,0 +1,32 @@
+(** Baseline files: accepted findings that [onion lint] stops reporting.
+
+    A baseline is a plain text file with one {!Diagnostic.fingerprint}
+    per line ([code|file|subject], [#] comments allowed).  Fingerprints
+    are line-independent, so a baseline survives edits that merely move
+    the accepted finding around its file.  Typical flow: run
+    [onion lint --write-baseline lint.baseline] once to accept the
+    current findings, commit the file, and from then on only {e new}
+    findings fail CI. *)
+
+type t
+
+val empty : t
+
+val of_diagnostics : Diagnostic.t list -> t
+
+val size : t -> int
+
+val mem : t -> Diagnostic.t -> bool
+
+val filter : t -> Diagnostic.t list -> Diagnostic.t list * int
+(** The diagnostics not covered by the baseline, and how many were
+    suppressed. *)
+
+val load : string -> (t, string) result
+(** [Error] on unreadable files; unknown lines are kept verbatim (they
+    still match nothing), so baselines are forward-compatible. *)
+
+val save : string -> t -> (unit, string) result
+(** Sorted, with a header comment; overwrites. *)
+
+val to_string : t -> string

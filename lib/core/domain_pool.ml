@@ -76,10 +76,22 @@ let map f xs =
     (* Re-raise the earliest failure; otherwise collect in order. *)
     Array.iter (function Failed e -> raise e | _ -> ()) results;
     Array.to_list
-      (Array.map
-         (function
+      (Array.mapi
+         (fun i result ->
+           match result with
            | Done v -> v
-           | Pending | Failed _ -> assert false (* all claimed, none failed *))
+           | Pending ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Domain_pool.map: result slot %d of %d was never \
+                     claimed — work-distribution invariant broken"
+                    i n)
+           | Failed _ ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Domain_pool.map: slot %d failure escaped the re-raise \
+                     scan"
+                    i))
          results)
   end
 

@@ -290,11 +290,56 @@ let canonical_members st rule_name ~context op =
       leaves
   | Rule.Patt _ -> []
 
+(* Dispatch guards: [generate] routes each rule to the compiler matching
+   its body, so a mismatched body here means a caller bypassed the
+   dispatch.  Raising [Invalid_argument] with the rule's name turns that
+   programming error into a diagnosable report instead of [assert
+   false]'s anonymous crash. *)
+let require_implication (rule : Rule.t) =
+  match rule.Rule.body with
+  | Rule.Implication _ -> ()
+  | Rule.Functional _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Generator.compile_implication: rule %s has a functional body"
+           rule.Rule.name)
+  | Rule.Disjoint _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Generator.compile_implication: rule %s has a disjointness body"
+           rule.Rule.name)
+
+let require_functional (rule : Rule.t) =
+  match rule.Rule.body with
+  | Rule.Functional _ -> ()
+  | Rule.Implication _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Generator.compile_functional: rule %s has an implication body"
+           rule.Rule.name)
+  | Rule.Disjoint _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Generator.compile_functional: rule %s has a disjointness body"
+           rule.Rule.name)
+
+let require_resolved ~rule op =
+  match op with
+  | Rule.Patt p ->
+      invalid_arg
+        (Printf.sprintf
+           "Generator: rule %s still carries pattern operand %s after \
+            resolution"
+           rule
+           (Pattern_parser.to_string p))
+  | Rule.Term _ | Rule.Conj _ | Rule.Disj _ -> ()
+
 let compile_implication st policy rule =
   let rule_name = rule.Rule.name in
   let alias = rule.Rule.alias in
   match rule.Rule.body with
-  | Rule.Functional _ | Rule.Disjoint _ -> assert false
+  | Rule.Functional _ | Rule.Disjoint _ ->
+      require_implication rule (* raises, naming the rule *)
   | Rule.Implication (lhs0, rhs0) -> (
       match
         ( resolve_operand st policy rule_name lhs0,
@@ -371,9 +416,10 @@ let compile_implication st policy rule =
                   (canonical_members st rule_name ~context:"rhs" rhs)
               in
               add_art_edge st n Rel.subclass_of d
-          | Rule.Patt _, _ | _, Rule.Patt _ ->
+          | (Rule.Patt _ as l), r | l, (Rule.Patt _ as r) ->
               (* resolve_operand eliminated patterns *)
-              assert false))
+              require_resolved ~rule:rule_name l;
+              require_resolved ~rule:rule_name r))
 
 let compile_functional st conversions rule =
   match rule.Rule.body with
@@ -396,7 +442,8 @@ let compile_functional st conversions rule =
       in
       if classify st src = Unknown || classify st dst = Unknown then ()
       else add_bridge st (Bridge.conversion ~fn (qualify src) (qualify dst))
-  | Rule.Implication _ | Rule.Disjoint _ -> assert false
+  | Rule.Implication _ | Rule.Disjoint _ ->
+      require_functional rule (* raises, naming the rule *)
 
 let generate ?conversions ?(policy = Fuzzy.exact) ~articulation_name ~left
     ~right rules =

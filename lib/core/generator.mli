@@ -56,6 +56,21 @@ val generate :
     {!Fuzzy.exact}).
     @raise Invalid_argument if [articulation_name] equals a source name. *)
 
+val require_implication : Rule.t -> unit
+(** Dispatch guard: no-op on implication rules.
+    @raise Invalid_argument (naming the rule) on functional or
+    disjointness bodies — the compilers use this instead of asserting so
+    a bypassed dispatch fails with a diagnosable message. *)
+
+val require_functional : Rule.t -> unit
+(** Dispatch guard: no-op on functional rules.
+    @raise Invalid_argument (naming the rule) otherwise. *)
+
+val require_resolved : rule:string -> Rule.operand -> unit
+(** Resolution guard: no-op on term/connective operands.
+    @raise Invalid_argument (naming the rule) on a pattern operand,
+    which resolution should have eliminated. *)
+
 val conj_node_name : alias:string option -> Term.t list -> string
 (** The label of the class node introduced for a conjunction: the alias
     when given, otherwise the operand local names joined with ["And"]. *)

@@ -1,6 +1,6 @@
-type error = { line : int; message : string }
+type error = { line : int; col : int; message : string }
 
-let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+let pp_error ppf e = Format.fprintf ppf "line %d, col %d: %s" e.line e.col e.message
 
 exception Parse_error of error
 
@@ -32,19 +32,23 @@ let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
   let line = ref 1 in
-  let fail message = raise (Parse_error { line = !line; message }) in
+  let bol = ref 0 in
+  (* offset of the current line's first byte, for columns *)
+  let i = ref 0 in
+  let pos_at off = { Loc.line = !line; col = off - !bol + 1 } in
+  let fail message = raise (Parse_error { line = !line; col = !i - !bol + 1; message }) in
   let is_ident_char c =
     (c >= 'a' && c <= 'z')
     || (c >= 'A' && c <= 'Z')
     || (c >= '0' && c <= '9')
     || c = '_'
   in
-  let i = ref 0 in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
@@ -54,7 +58,10 @@ let tokenize src =
       i := !i + 2;
       let closed = ref false in
       while (not !closed) && !i < n do
-        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '\n' then begin
+          incr line;
+          bol := !i + 1
+        end;
         if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = '/' then begin
           closed := true;
           i := !i + 2
@@ -66,7 +73,7 @@ let tokenize src =
     else if is_ident_char c then begin
       let start = !i in
       while !i < n && is_ident_char src.[!i] do incr i done;
-      tokens := (Ident (String.sub src start (!i - start)), !line) :: !tokens
+      tokens := (Ident (String.sub src start (!i - start)), pos_at start) :: !tokens
     end
     else begin
       let tok =
@@ -78,26 +85,30 @@ let tokenize src =
         | ',' -> Comma
         | c -> fail (Printf.sprintf "unexpected character %C" c)
       in
-      tokens := (tok, !line) :: !tokens;
+      tokens := (tok, pos_at !i) :: !tokens;
       incr i
     end
   done;
-  List.rev ((Eof, !line) :: !tokens)
+  List.rev ((Eof, pos_at !i) :: !tokens)
 
 (* ------------------------------------------------------------------ *)
 (* Parser                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type stream = { mutable toks : (token * int) list }
+type stream = { mutable toks : (token * Loc.pos) list }
 
-let peek s = match s.toks with (t, l) :: _ -> (t, l) | [] -> (Eof, 0)
+let peek s =
+  match s.toks with
+  | (t, p) :: _ -> (t, p)
+  | [] -> (Eof, { Loc.line = 1; col = 1 })
 
 let next s =
   let t = peek s in
   (match s.toks with [] -> () | _ :: rest -> s.toks <- rest);
   t
 
-let fail_at line message = raise (Parse_error { line; message })
+let fail_at (p : Loc.pos) message =
+  raise (Parse_error { line = p.Loc.line; col = p.Loc.col; message })
 
 let expect s want ~context =
   let got, line = next s in

@@ -21,7 +21,8 @@
     [hasType] label); [relationship <Target> <name>;] yields an edge
     labeled [<name>] from the interface to the target interface. *)
 
-type error = { line : int; message : string }
+type error = { line : int; col : int; message : string }
+(** 1-based line and column of the offending token (see {!Loc}). *)
 
 val pp_error : Format.formatter -> error -> unit
 

@@ -1,0 +1,46 @@
+(** Source locations for diagnostics.
+
+    The ingestion formats (XML, IDL, adjacency lists, the rule and
+    pattern notations) are all plain text, and the lint layer wants every
+    finding to point at [file:line:col].  This module is the shared
+    vocabulary: 1-based positions, half-open spans, and the two ways the
+    tree recovers positions after the fact — mapping a byte offset back
+    to line/col, and locating the first whole-word occurrence of a term
+    or rule name inside a source text. *)
+
+type pos = { line : int; col : int }
+(** 1-based line and column (columns count bytes, which coincides with
+    characters for the ASCII notations used throughout). *)
+
+type span = { start : pos; stop : pos }
+(** [stop] is exclusive on the column: the span of ["abc"] at the start
+    of a file is [{1,1}–{1,4}]. *)
+
+val pos : line:int -> col:int -> pos
+(** @raise Invalid_argument on non-positive line or column. *)
+
+val span : pos -> pos -> span
+
+val line_span : string -> int -> span
+(** The span covering (the non-empty part of) the 1-based line number in
+    the text; a span at the text's last line when the number overshoots. *)
+
+val of_offset : string -> int -> pos
+(** Map a byte offset into the text to its position (clamped to the
+    text's end for overshooting offsets). *)
+
+val find_word : string -> string -> span option
+(** [find_word text needle] is the span of the first occurrence of
+    [needle] in [text] that is not embedded in a longer identifier
+    (neighbouring characters are not letters, digits, [_] or [']).
+    [None] when absent or [needle] is empty. *)
+
+val compare_pos : pos -> pos -> int
+
+val pp_pos : Format.formatter -> pos -> unit
+(** [line:col]. *)
+
+val pp_span : Format.formatter -> span -> unit
+(** [line:col-line:col], collapsed to [line:col] for empty spans. *)
+
+val to_string : span -> string

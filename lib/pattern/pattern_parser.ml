@@ -2,6 +2,8 @@ type error = { position : int; message : string }
 
 let pp_error ppf e = Format.fprintf ppf "at %d: %s" e.position e.message
 
+let error_pos ~src e = Loc.of_offset src e.position
+
 exception Fail of error
 
 let fail position message = raise (Fail { position; message })

@@ -34,6 +34,11 @@ type error = { position : int; message : string }
 
 val pp_error : Format.formatter -> error -> unit
 
+val error_pos : src:string -> error -> Loc.pos
+(** Resolve the error's byte [position] within the source text it was
+    parsed from to a 1-based line/column — the form lint diagnostics
+    report. *)
+
 val parse : ?ontologies:string list -> string -> (Pattern.t, error) result
 (** [ontologies] are names recognized as ontology prefixes in two-segment
     chains. *)

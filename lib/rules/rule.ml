@@ -17,6 +17,7 @@ type t = {
   source : source;
   confidence : float;
   alias : string option;
+  loc : Loc.span option;
 }
 
 let counter = ref 0
@@ -52,7 +53,7 @@ let pp_body ppf = function
       Format.fprintf ppf "%s() : %a => %a" fn Term.pp src Term.pp dst
   | Disjoint (a, b) -> Format.fprintf ppf "disjoint %a, %a" Term.pp a Term.pp b
 
-let v ?name ?(source = Expert) ?(confidence = 1.0) ?alias body =
+let v ?name ?(source = Expert) ?(confidence = 1.0) ?alias ?loc body =
   if not (confidence >= 0.0 && confidence <= 1.0) then
     invalid_arg "Rule.v: confidence must lie in [0, 1]";
   (match body with
@@ -67,7 +68,14 @@ let v ?name ?(source = Expert) ?(confidence = 1.0) ?alias body =
         incr counter;
         Printf.sprintf "r%d" !counter
   in
-  { name; body; source; confidence; alias = (match alias with Some "" -> None | a -> a) }
+  {
+    name;
+    body;
+    source;
+    confidence;
+    alias = (match alias with Some "" -> None | a -> a);
+    loc;
+  }
 
 let implies ?name ?source ?confidence lhs rhs =
   v ?name ?source ?confidence (Implication (Term lhs, Term rhs))

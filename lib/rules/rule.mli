@@ -43,6 +43,9 @@ type t = {
       (** Expert-chosen label for the class node a conjunction /
           disjunction introduces ("overruled by the user using a more
           concise and appropriate name", section 4.1). *)
+  loc : Loc.span option;
+      (** Where the rule was written in its source text, when it came
+          from {!Rule_parser} — the provenance the lint layer reports. *)
 }
 
 val v :
@@ -50,6 +53,7 @@ val v :
   ?source:source ->
   ?confidence:float ->
   ?alias:string ->
+  ?loc:Loc.span ->
   body ->
   t
 (** Smart constructor; defaults: generated name, [Expert] source,

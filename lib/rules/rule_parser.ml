@@ -92,7 +92,11 @@ let tokenize src =
           let start = !i in
           while !i < n && is_ident_char src.[!i] do incr i done;
           let word = String.sub src start (!i - start) in
-          if String.equal word "pat" && !i < n && src.[!i] = '<' then begin
+          if
+            (String.equal word "pat" || String.equal word "pattern")
+            && !i < n
+            && src.[!i] = '<'
+          then begin
             (* pat< ... > pattern atom; '>' terminates (the pattern
                notation itself contains '->' arrows, so scan for a '>'
                not preceded by '-'). *)
@@ -214,7 +218,7 @@ let strip_outer toks =
       match scan 0 [] rest with Some inner -> inner | None -> toks)
   | _ -> toks
 
-let parse_clause ?(default_ontology = "local") ?source toks =
+let parse_clause ?(default_ontology = "local") ?source ?loc toks =
   let s = { toks = strip_outer toks } in
   (* Optional [name] prefix. *)
   let name =
@@ -233,7 +237,7 @@ let parse_clause ?(default_ontology = "local") ?source toks =
       expect s Tcomma;
       let b = parse_term s ~default_ontology in
       finish s;
-      [ Rule.v ?name ?source (Rule.Disjoint (a, b)) ]
+      [ Rule.v ?name ?source ?loc (Rule.Disjoint (a, b)) ]
   | Tident fn :: Tunit :: _ ->
       advance s;
       advance s;
@@ -242,7 +246,7 @@ let parse_clause ?(default_ontology = "local") ?source toks =
       expect s Timplies;
       let dst = parse_term s ~default_ontology in
       finish s;
-      [ Rule.v ?name ?source (Rule.Functional { fn; src; dst }) ]
+      [ Rule.v ?name ?source ?loc (Rule.Functional { fn; src; dst }) ]
   | _ ->
       let first = parse_expr s ~default_ontology in
       let rec chain acc =
@@ -271,29 +275,51 @@ let parse_clause ?(default_ontology = "local") ?source toks =
                 | Some n, _ -> Some (Printf.sprintf "%s.%d" n (idx + 1))
                 | None, _ -> None
               in
-              Rule.v ?name ?source ?alias (Rule.Implication (lhs, rhs)))
+              Rule.v ?name ?source ?alias ?loc (Rule.Implication (lhs, rhs)))
             steps)
 
-let parse_rule ?default_ontology ?source text =
+let parse_fragment ?default_ontology ?source ?loc text =
   match tokenize text with
   | exception Fail m -> Error m
   | [] -> Ok []
   | toks -> (
-      match parse_clause ?default_ontology ?source toks with
+      match parse_clause ?default_ontology ?source ?loc toks with
       | rules -> Ok rules
       | exception Fail m -> Error m
       | exception Invalid_argument m -> Error m)
 
+let parse_rule ?default_ontology ?source text =
+  parse_fragment ?default_ontology ?source text
+
+(* One parse unit per ';'-separated fragment of each physical line, each
+   carrying the 1-based line number and the column where it starts, so
+   every rule it yields can be stamped with its span. *)
+let fragments text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.concat_map (fun (lineno, line) ->
+         let parts = String.split_on_char ';' line in
+         let _, frags =
+           List.fold_left
+             (fun (col, acc) part ->
+               (col + String.length part + 1, (lineno, col, part) :: acc))
+             (1, []) parts
+         in
+         List.rev frags)
+
 let parse ?default_ontology ?source text =
-  let lines = String.split_on_char '\n' text in
-  let lines = List.concat_map (String.split_on_char ';') lines in
-  let rules, errors, _ =
+  let rules, errors =
     List.fold_left
-      (fun (rules, errors, lineno) line ->
-        match parse_rule ?default_ontology ?source line with
-        | Ok rs -> (rules @ rs, errors, lineno + 1)
-        | Error message -> (rules, { line = lineno; message } :: errors, lineno + 1))
-      ([], [], 1) lines
+      (fun (rules, errors) (lineno, col, fragment) ->
+        let loc =
+          Loc.span
+            { Loc.line = lineno; col }
+            { Loc.line = lineno; col = col + String.length fragment }
+        in
+        match parse_fragment ?default_ontology ?source ~loc fragment with
+        | Ok rs -> (rules @ rs, errors)
+        | Error message -> (rules, { line = lineno; message } :: errors))
+      ([], []) (fragments text)
   in
   if errors = [] then Ok rules else Error (List.rev errors)
 

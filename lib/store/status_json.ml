@@ -93,12 +93,26 @@ let workspace ws =
               ])
           stale
   in
+  let lint_summary =
+    let report = Workspace.lint ws in
+    let ds =
+      Diagnostic.apply_config Diagnostic.default_config
+        report.Lint.diagnostics
+    in
+    obj
+      [
+        ("errors", string_of_int (List.length (Diagnostic.errors ds)));
+        ("warnings", string_of_int (List.length (Diagnostic.warnings ds)));
+        ("exit_code", string_of_int (Diagnostic.exit_code ds));
+      ]
+  in
   obj
     [
       ("workspace", str (Workspace.root ws));
       ("sources", arr sources);
       ("articulations", arr articulations);
       ("stale_bridges", arr stale);
+      ("lint", lint_summary);
       ("health", health_obj (Workspace.health ws));
     ]
   ^ "\n"

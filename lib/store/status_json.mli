@@ -23,4 +23,6 @@ val health : Health.t -> string
 val workspace : Workspace.t -> string
 (** The full status document: workspace root, per-source term /
     relationship counts (or a load error), per-articulation endpoints
-    and bridge counts, stale bridges, and the {!health} object. *)
+    and bridge counts, stale bridges, a lint summary (error / warning
+    counts and exit code under the default {!Diagnostic.config}), and
+    the {!health} object. *)

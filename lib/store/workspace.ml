@@ -8,6 +8,9 @@ type t = {
          byte-identical, [space] answers from the memo instead of
          re-parsing and re-merging everything.  Honours the global
          Cache_stats.enabled switch like every other cache. *)
+  mutable lint_memo : (string * Lint.report) option;
+      (* Same scheme for the whole lint report: byte-identical workspace
+         files mean byte-identical findings. *)
 }
 
 let marker = "onion.workspace"
@@ -37,12 +40,12 @@ let init dir =
       mkdir_if_missing (dir / "sources");
       mkdir_if_missing (dir / "articulations");
       Atomic_io.write (dir / marker) marker_content;
-      Ok { root = dir; space_memo = None }
+      Ok { root = dir; space_memo = None; lint_memo = None }
     with Sys_error m -> Error m
   end
 
 let open_ dir =
-  if is_workspace dir then Ok { root = dir; space_memo = None }
+  if is_workspace dir then Ok { root = dir; space_memo = None; lint_memo = None }
   else Error (Printf.sprintf "%s is not an onion workspace (missing %s)" dir marker)
 
 (* Payload files only: in-flight tmp files and checksum sidecars are
@@ -415,6 +418,80 @@ let stale_bridges t =
        articulations)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Storage-layer findings enter the same diagnostic stream as the
+   analysis passes, under the "io" pass. *)
+let io_diagnostic (i : Health.issue) =
+  let code =
+    match i.Health.kind with
+    | Health.Torn -> "torn-write"
+    | Health.Unreadable -> "unreadable"
+    | Health.Unparseable -> "unparseable"
+    | Health.Checksum_mismatch -> "checksum-mismatch"
+    | Health.Orphan_sidecar -> "orphan-sidecar"
+  in
+  Diagnostic.v ~file:i.Health.file ~subject:i.Health.name ~code ~pass:"io"
+    i.Health.detail
+
+(* The lint view keeps the raw file texts alongside the parsed parts so
+   the analysis passes can recover line/column spans. *)
+let read_text path =
+  match Durable_io.read ~path with Ok c -> Some c | Error _ -> None
+
+let compute_lint ~conversions t =
+  let sources, s_diags =
+    List.fold_left
+      (fun (ss, ds) name ->
+        match classify_source t name with
+        | Error issue -> (ss, ds @ [ issue ])
+        | Ok (o, warns) ->
+            let path = source_file t name in
+            let file = Option.map (rel_file t) path in
+            let text = Option.bind path read_text in
+            (ss @ [ Lint.source ?file ?text o ], ds @ warns))
+      ([], []) (source_names t)
+  in
+  let articulations, a_diags =
+    List.fold_left
+      (fun (aa, ds) name ->
+        match classify_articulation t name with
+        | Error issue -> (aa, ds @ [ issue ])
+        | Ok (a, warns) ->
+            let path = articulation_file t name in
+            (aa @ [ Lint.articulation ~file:(rel_file t path) ?text:(read_text path) a ],
+             ds @ warns))
+      ([], [])
+      (articulation_names t)
+  in
+  let view = Lint.view ~conversions ~articulations sources in
+  let report = Lint.run view in
+  let io_diags =
+    List.map io_diagnostic (stray_issues t @ s_diags @ a_diags)
+  in
+  {
+    report with
+    Lint.diagnostics =
+      List.stable_sort Diagnostic.order (io_diags @ report.Lint.diagnostics);
+  }
+
+let lint ?(conversions = Conversion.builtin) t =
+  (* The memo key is the file fingerprint only, so it is valid only for
+     the default registry; a custom registry bypasses it. *)
+  if (not (Cache_stats.enabled ())) || conversions != Conversion.builtin then
+    compute_lint ~conversions t
+  else begin
+    let fp = fingerprint t in
+    match t.lint_memo with
+    | Some (fp', report) when String.equal fp fp' -> report
+    | _ ->
+        let report = compute_lint ~conversions t in
+        t.lint_memo <- Some (fp, report);
+        report
+  end
+
+(* ------------------------------------------------------------------ *)
 (* fsck                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -575,7 +652,8 @@ let fsck t =
      that no longer exist on disk. *)
   if repairs <> [] then begin
     Cache_stats.clear_all ();
-    t.space_memo <- None
+    t.space_memo <- None;
+    t.lint_memo <- None
   end;
   { repairs; health = health t }
 

@@ -110,6 +110,18 @@ val stale_bridges : t -> ((string * Bridge.t) list, string) result
 (** (articulation name, bridge) pairs whose source-side term has vanished
     from the current source file.  Computed over the healthy parts. *)
 
+val lint : ?conversions:Conversion.t -> t -> Lint.report
+(** The whole-workspace static analysis: every {!Lint} pass over the
+    healthy parts (with raw file texts for span provenance), plus one
+    ["io"]-pass diagnostic per {!Health} finding (torn writes, unreadable
+    or unparseable files, checksum mismatches, orphan sidecars), merged
+    in {!Diagnostic.order}.  The report is {e raw} — apply
+    {!Diagnostic.apply_config} and a baseline downstream.  Memoised on
+    the workspace content fingerprint (honours [Cache_stats.enabled]),
+    on top of the per-part revision memos inside {!Lint}; a custom
+    [conversions] registry (default {!Conversion.builtin}) bypasses the
+    whole-report memo. *)
+
 (** {1 fsck} *)
 
 type repair =

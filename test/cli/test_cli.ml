@@ -311,6 +311,55 @@ let test_status_json () =
   in
   rm dir
 
+let test_lint () =
+  let dir = Filename.temp_file "ws" "" in
+  Sys.remove dir;
+  ignore (run [ "workspace"; "init"; dir ]);
+  ignore (run [ "workspace"; "add"; dir; data "carrier.xml" ]);
+  (* Carrier alone is clean: lint exits 0. *)
+  let code, out = run [ "lint"; dir ] in
+  check_int "clean lint exits 0" 0 code;
+  check_bool "says clean" true (contains ~affix:"0 error(s), 0 warning(s)" out);
+  ignore (run [ "workspace"; "add"; dir; data "factory.xml" ]);
+  ignore
+    (run
+       [ "workspace"; "articulate"; dir; "carrier"; "factory";
+         data "transport-rules.txt"; "--name"; "transport" ]);
+  (* The shipped rule set carries one genuinely redundant rule. *)
+  let code, out = run [ "lint"; dir ] in
+  check_int "warnings exit 1" 1 code;
+  check_bool "shadowed rule found" true (contains ~affix:"shadowed-rule" out);
+  check_bool "provenance printed" true
+    (contains ~affix:"articulations/transport.articulation.xml:" out);
+  (* JSON is SARIF-shaped and carries the summary. *)
+  let code, out = run [ "lint"; "--json"; dir ] in
+  check_int "json exit 1" 1 code;
+  check_bool "sarif version" true (contains ~affix:"\"version\": \"2.1.0\"" out);
+  check_bool "result present" true
+    (contains ~affix:"\"ruleId\": \"shadowed-rule\"" out);
+  check_bool "summary present" true (contains ~affix:"\"exit_code\": 1" out);
+  (* Severity override escalates to exit 2. *)
+  let code, _ = run [ "lint"; dir; "--error"; "shadowed-rule" ] in
+  check_int "escalated exit 2" 2 code;
+  (* Disabling the code brings the workspace back to clean. *)
+  let code, _ = run [ "lint"; dir; "--disable"; "shadowed-rule" ] in
+  check_int "disabled exits 0" 0 code;
+  (* Baseline flow: accept the findings once, then lint clean. *)
+  let baseline = Filename.concat dir "lint.baseline" in
+  let code, _ = run [ "lint"; dir; "--write-baseline"; baseline ] in
+  check_int "write-baseline exits 0" 0 code;
+  let code, out = run [ "lint"; dir; "--baseline"; baseline ] in
+  check_int "baselined exits 0" 0 code;
+  check_bool "suppression counted" true (contains ~affix:"baselined" out);
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  rm dir
+
 let test_query_warnings_on_stderr () =
   (* A rule naming a phantom term warns; the warning must ride stderr
      while the query answer stays alone on stdout. *)
@@ -549,6 +598,7 @@ let () =
           Alcotest.test_case "workspace lifecycle" `Quick test_workspace_lifecycle;
           Alcotest.test_case "fsck" `Quick test_fsck;
           Alcotest.test_case "status json" `Quick test_status_json;
+          Alcotest.test_case "lint" `Quick test_lint;
           Alcotest.test_case "query warnings on stderr" `Quick
             test_query_warnings_on_stderr;
           Alcotest.test_case "serve daemon sigterm" `Quick

@@ -1,0 +1,520 @@
+(* The lint stack: Diagnostic catalog/config, Loc spans, baselines, the
+   Lint passes over a fixture workspace that trips every catalogued
+   code, the generator dispatch guards, and a qcheck property that
+   generated clean workspaces lint without errors. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let t o n = Term.make ~ontology:o n
+
+(* ------------------------------------------------------------------ *)
+(* Loc                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_loc_find_word () =
+  let text = "alpha beta\ngamma alphabet alpha" in
+  (match Loc.find_word text "alpha" with
+  | Some s ->
+      check_int "line" 1 s.Loc.start.Loc.line;
+      check_int "col" 1 s.Loc.start.Loc.col;
+      check_int "stop col" 6 s.Loc.stop.Loc.col
+  | None -> Alcotest.fail "alpha not found");
+  (match Loc.find_word text "gamma" with
+  | Some s ->
+      check_int "line 2" 2 s.Loc.start.Loc.line;
+      check_int "col 1" 1 s.Loc.start.Loc.col
+  | None -> Alcotest.fail "gamma not found");
+  (* Whole-word: "alphabet" must not match a search for "alpha" twice;
+     the second standalone occurrence is on line 2. *)
+  (match Loc.find_word "alphabet alpha" "alpha" with
+  | Some s -> check_int "skips prefix hit" 10 s.Loc.start.Loc.col
+  | None -> Alcotest.fail "standalone alpha not found");
+  check_bool "missing word" true (Loc.find_word text "delta" = None)
+
+let test_loc_of_offset () =
+  let text = "ab\ncd\nef" in
+  let p = Loc.of_offset text 4 in
+  check_int "line" 2 p.Loc.line;
+  check_int "col" 2 p.Loc.col;
+  let clamped = Loc.of_offset text 1000 in
+  check_int "clamped line" 3 clamped.Loc.line
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic catalog, config, ordering                               *)
+(* ------------------------------------------------------------------ *)
+
+let diag ?severity ?file ?subject code =
+  Diagnostic.v ?severity ?file ?subject ~code ~pass:"test" "msg"
+
+let test_catalog_defaults () =
+  (* Codes default to their catalogued severity. *)
+  let d = diag "subclass-cycle" in
+  check_bool "error default" true (d.Diagnostic.severity = Diagnostic.Error);
+  let w = diag "duplicate-rule" in
+  check_bool "warning default" true (w.Diagnostic.severity = Diagnostic.Warning);
+  (* Catalogued codes are unique. *)
+  let codes =
+    List.map (fun c -> c.Diagnostic.check_code) Diagnostic.catalog
+  in
+  check_int "codes distinct" (List.length codes)
+    (List.length (List.sort_uniq String.compare codes))
+
+let test_config () =
+  let open Diagnostic in
+  let ds =
+    [ diag "undeclared-relationship"; diag "duplicate-rule"; diag "dead-rule" ]
+  in
+  (* undeclared-relationship is default-disabled. *)
+  let kept = apply_config default_config ds in
+  check_int "default drops disabled" 2 (List.length kept);
+  let kept =
+    apply_config
+      { default_config with enable = [ "undeclared-relationship" ] }
+      ds
+  in
+  check_int "enable restores" 3 (List.length kept);
+  let kept =
+    apply_config { default_config with disable = [ "duplicate-rule" ] } ds
+  in
+  check_int "disable drops" 1 (List.length kept);
+  let escalated =
+    apply_config { default_config with as_error = [ "dead-rule" ] } ds
+  in
+  check_bool "as_error escalates" true
+    (List.exists
+       (fun d -> d.code = "dead-rule" && d.severity = Error)
+       escalated)
+
+let test_exit_codes () =
+  let open Diagnostic in
+  check_int "clean" 0 (exit_code []);
+  check_int "warnings" 1 (exit_code [ diag "duplicate-rule" ]);
+  check_int "errors" 2 (exit_code [ diag "duplicate-rule"; diag "subclass-cycle" ])
+
+let test_order () =
+  let open Diagnostic in
+  let ds =
+    [
+      diag ~file:"b" "duplicate-rule";
+      diag ~file:"a" "duplicate-rule";
+      diag ~file:"z" "subclass-cycle";
+    ]
+  in
+  match List.stable_sort order ds with
+  | [ first; second; third ] ->
+      check_bool "errors first" true (first.severity = Error);
+      check_string "file order" "a" (Option.get second.file);
+      check_string "file order 2" "b" (Option.get third.file)
+  | _ -> Alcotest.fail "sort changed length"
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_baseline_roundtrip () =
+  let ds = [ diag ~file:"f.xml" ~subject:"r1" "duplicate-rule"; diag "dead-rule" ] in
+  let b = Lint_baseline.of_diagnostics ds in
+  check_int "size" 2 (Lint_baseline.size b);
+  let kept, suppressed = Lint_baseline.filter b ds in
+  check_int "all suppressed" 0 (List.length kept);
+  check_int "count" 2 suppressed;
+  let fresh = diag ~file:"g.xml" ~subject:"r9" "duplicate-rule" in
+  let kept, suppressed = Lint_baseline.filter b [ fresh ] in
+  check_int "fresh kept" 1 (List.length kept);
+  check_int "fresh not counted" 0 suppressed;
+  (* File round-trip, with comments and blank lines. *)
+  let path = Filename.temp_file "lint" ".baseline" in
+  (match Lint_baseline.save path b with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "save: %s" m);
+  (match Lint_baseline.load path with
+  | Ok b' -> check_string "roundtrip" (Lint_baseline.to_string b) (Lint_baseline.to_string b')
+  | Error m -> Alcotest.failf "load: %s" m);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Fixture workspace: every catalogued code                           *)
+(* ------------------------------------------------------------------ *)
+
+let with_workspace f =
+  let dir = Filename.temp_file "onion-lint-ws" "" in
+  Sys.remove dir;
+  let ws =
+    match Workspace.init dir with
+    | Ok ws -> ws
+    | Error m -> Alcotest.failf "init failed: %s" m
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      if Sys.file_exists dir then rm dir)
+    (fun () -> f ws)
+
+let add_source_text ws ~ext content =
+  let path = Filename.temp_file "src" ext in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  let r = Workspace.add_source ws ~path in
+  Sys.remove path;
+  match r with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "add_source failed: %s" m
+
+let alpha_xml =
+  {|<ontology name="alpha">
+  <term name="Animal"/>
+  <term name="Dog"><subclassOf term="Animal"/><attribute term="Tail"/></term>
+  <term name="Cat"><subclassOf term="Animal"/></term>
+  <term name="Puppy"><subclassOf term="Dog"/></term>
+  <term name="Fish"/>
+  <term name="Price"/>
+  <term name="Weight"/>
+  <term name="Size"/>
+  <term name="Age"/>
+</ontology>|}
+
+let beta_xml =
+  {|<ontology name="beta">
+  <term name="Hound"/>
+  <term name="Price"/>
+  <term name="Weight"/>
+  <term name="Size"/>
+  <term name="Age"/>
+</ontology>|}
+
+(* Every consistency code plus a Horn derivation cycle in one file. *)
+let messy_xml =
+  {|<ontology name="messy">
+  <relation name="badinv" inverse-of="nosuch"/>
+  <relation name="pickup" implies="deliver"/>
+  <relation name="deliver" implies="pickup"/>
+  <term name="A"><subclassOf term="B"/></term>
+  <term name="B"><subclassOf term="A"/></term>
+  <term name="C"><implies term="D"/></term>
+  <term name="D"><implies term="C"/></term>
+  <term name="E"><attribute term="F"/></term>
+  <term name="F"><attribute term="E"/></term>
+  <instance name="I2" of="K"/>
+  <instance name="I1" of="I2"/>
+  <term name="L"><subclassOf term="M"/></term>
+  <instance name="L" of="N"/>
+</ontology>|}
+
+(* An undeclared custom relationship (strict consistency). *)
+let strange_adj = "Widget CustomRel Gadget\n"
+
+let fixture_rules_text =
+  String.concat "\n"
+    [
+      "[ca] alpha:Dog => alpha:Cat";
+      "[cb] alpha:Puppy => alpha:Dog";
+      "[cc] alpha:Puppy => alpha:Cat";
+      "[cd] alpha:Fish => alpha:Fish";
+      "[ce] alpha:Dog => beta:Hound";
+      "[cf] alpha:Dog => beta:Hound";
+      "[cg] alpha:Unicorn => beta:Hound";
+      "[sa] alpha:Puppy => alpha:Animal";
+      "[dx] disjoint alpha:Dog, alpha:Cat";
+      "[dr] pat<ghost:phantom> => beta:Hound";
+      "[ov] pat<Dog(V: Tail)> => beta:Hound";
+      "[f1] F1Fn() : alpha:Price => beta:Price";
+      "[f2] F2Fn() : alpha:Price => beta:Price";
+      "[uc] NoSuchFn() : alpha:Weight => beta:Weight";
+      "[mi] HalfFn() : alpha:Size => beta:Size";
+      "[rd] LossyFn() : alpha:Age => beta:Age";
+    ]
+
+let num f = function
+  | Conversion.Num x -> Ok (Conversion.Num (f x))
+  | v -> Ok v
+
+(* HalfFn has no inverse; LossyFn's declared inverse drifts by 1.0. *)
+let fixture_registry =
+  Conversion.builtin
+  |> (fun r -> Conversion.register r ~name:"F1Fn" ~inverse:"F2Fn" (num (fun x -> x *. 2.0)))
+  |> (fun r -> Conversion.register r ~name:"F2Fn" ~inverse:"F1Fn" (num (fun x -> x /. 2.0)))
+  |> (fun r -> Conversion.register r ~name:"HalfFn" (num (fun x -> x /. 2.0)))
+  |> (fun r ->
+       Conversion.register r ~name:"LossyFn" ~inverse:"UnLossyFn"
+         (num (fun x -> x *. 3.0)))
+  |> fun r ->
+  Conversion.register r ~name:"UnLossyFn" ~inverse:"LossyFn"
+    (num (fun x -> (x /. 3.0) +. 1.0))
+
+let build_fixture ws =
+  add_source_text ws ~ext:".xml" alpha_xml;
+  add_source_text ws ~ext:".xml" beta_xml;
+  add_source_text ws ~ext:".xml" messy_xml;
+  add_source_text ws ~ext:".adj" strange_adj;
+  let rules =
+    match Rule_parser.parse ~default_ontology:"bad" fixture_rules_text with
+    | Ok rules -> rules
+    | Error (e :: _) -> Alcotest.failf "fixture rules: %a" Rule_parser.pp_error e
+    | Error [] -> Alcotest.fail "fixture rules: unknown parse error"
+  in
+  let art_onto = Ontology.add_term (Ontology.create "bad") "Thing" in
+  let art =
+    Articulation.create ~rules ~ontology:art_onto ~left:"alpha" ~right:"beta"
+      [ Bridge.si (t "alpha" "Vanished") (t "bad" "Thing") ]
+  in
+  (match Workspace.store_articulation ws art with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "store_articulation: %s" m);
+  (* Storage debris for the io pass. *)
+  let root = Workspace.root ws in
+  let plant path content =
+    let oc = open_out_bin (Filename.concat root path) in
+    output_string oc content;
+    close_out oc
+  in
+  plant "sources/torn.onion-tmp" "half-written";
+  plant "sources/broken.xml" "<broken";
+  plant "sources/ghost.xml.crc32" "00000000";
+  (* Parseable external edit: bytes change, stamp goes stale. *)
+  let beta_path = Filename.concat root "sources/beta.xml" in
+  let oc = open_out_gen [ Open_append ] 0o644 beta_path in
+  output_string oc "\n";
+  close_out oc;
+  (* A directory where a payload should be: read fails even for root. *)
+  Sys.mkdir (Filename.concat root "articulations/dir.articulation.xml") 0o755
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let find_code ds code =
+  List.filter (fun d -> d.Diagnostic.code = code) ds
+
+let test_fixture_all_codes () =
+  with_workspace (fun ws ->
+      build_fixture ws;
+      let report = Workspace.lint ~conversions:fixture_registry ws in
+      let ds = report.Lint.diagnostics in
+      (* The raw report covers the entire catalog. *)
+      List.iter
+        (fun (ck : Diagnostic.check) ->
+          check_bool
+            (Printf.sprintf "code %s reported" ck.Diagnostic.check_code)
+            true
+            (find_code ds ck.Diagnostic.check_code <> []))
+        Diagnostic.catalog;
+      (* Every pass produced a timing. *)
+      check_int "timings" (List.length Lint.pass_names)
+        (List.length report.Lint.timings);
+      List.iter2
+        (fun name (tm : Lint.timing) -> check_string "pass order" name tm.Lint.pass)
+        Lint.pass_names report.Lint.timings;
+      (* The report is raw: default config drops the strict-only code. *)
+      let kept = Diagnostic.apply_config Diagnostic.default_config ds in
+      check_bool "undeclared-relationship dropped by default" true
+        (find_code kept "undeclared-relationship" = []);
+      check_int "fixture exits 2" 2 (Diagnostic.exit_code kept))
+
+(* Exact provenance for the satellite codes: file plus the span of the
+   anchoring word in the stored text. *)
+let test_fixture_spans () =
+  with_workspace (fun ws ->
+      build_fixture ws;
+      let root = Workspace.root ws in
+      let art_file = "articulations/bad.articulation.xml" in
+      let art_text = read_file (Filename.concat root art_file) in
+      let messy_text = read_file (Filename.concat root "sources/messy.xml") in
+      let ds = (Workspace.lint ~conversions:fixture_registry ws).Lint.diagnostics in
+      let the ?subject code =
+        let hits = find_code ds code in
+        let hits =
+          match subject with
+          | None -> hits
+          | Some s ->
+              List.filter (fun d -> d.Diagnostic.subject = Some s) hits
+        in
+        match hits with
+        | d :: _ -> d
+        | [] -> Alcotest.failf "%s missing" code
+      in
+      let check_span ?subject code ~file ~anchor text =
+        let d = the ?subject code in
+        check_string (code ^ " file") file (Option.get d.Diagnostic.file);
+        let expected =
+          match Loc.find_word text anchor with
+          | Some s -> s
+          | None -> Alcotest.failf "anchor %s not in %s" anchor file
+        in
+        match d.Diagnostic.span with
+        | None -> Alcotest.failf "%s has no span" code
+        | Some s ->
+            check_int (code ^ " line") expected.Loc.start.Loc.line
+              s.Loc.start.Loc.line;
+            check_int (code ^ " col") expected.Loc.start.Loc.col
+              s.Loc.start.Loc.col
+      in
+      check_span "dead-rule" ~file:art_file ~anchor:"dr" art_text;
+      check_span ~subject:"sa" "shadowed-rule" ~file:art_file ~anchor:"sa"
+        art_text;
+      check_span "dangling-bridge" ~file:art_file ~anchor:"alpha:Vanished"
+        art_text;
+      check_span "roundtrip-drift" ~file:art_file ~anchor:"LossyFn" art_text;
+      let horn = the "unstratified-horn" in
+      check_string "horn file" "sources/messy.xml"
+        (Option.get horn.Diagnostic.file);
+      let first_member =
+        String.trim
+          (List.hd
+             (String.split_on_char ','
+                (Option.get horn.Diagnostic.subject)))
+      in
+      check_bool "horn members" true
+        (List.mem first_member [ "pickup"; "deliver" ]);
+      (match (horn.Diagnostic.span, Loc.find_word messy_text first_member) with
+      | Some got, Some expected ->
+          check_int "horn line" expected.Loc.start.Loc.line
+            got.Loc.start.Loc.line
+      | _ -> Alcotest.fail "horn span missing");
+      (* The shadowed-rule verdict itself: [sa] rides the taxonomy, and so
+         does [cc] (Puppy subclasses Dog, which [ca] maps to Cat). *)
+      let shadowed =
+        List.filter_map (fun d -> d.Diagnostic.subject)
+          (find_code ds "shadowed-rule")
+      in
+      check_bool "cc also shadowed" true (List.mem "cc" shadowed))
+
+let test_fixture_json_and_baseline () =
+  with_workspace (fun ws ->
+      build_fixture ws;
+      let report = Workspace.lint ~conversions:fixture_registry ws in
+      let ds =
+        Diagnostic.apply_config Diagnostic.default_config
+          report.Lint.diagnostics
+      in
+      let json =
+        Lint.report_json ~diagnostics:ds ~timings:report.Lint.timings ()
+      in
+      let contains affix =
+        let n = String.length json and m = String.length affix in
+        let rec go i = i + m <= n && (String.sub json i m = affix || go (i + 1)) in
+        go 0
+      in
+      check_bool "sarif version" true (contains {|"version": "2.1.0"|});
+      check_bool "results present" true (contains {|"ruleId": "dead-rule"|});
+      check_bool "region present" true (contains {|"startLine"|});
+      check_bool "summary exit" true (contains {|"exit_code": 2|});
+      List.iter
+        (fun (ck : Diagnostic.check) ->
+          check_bool
+            (Printf.sprintf "rule %s catalogued in driver" ck.Diagnostic.check_code)
+            true
+            (contains (Printf.sprintf {|"id": "%s"|} ck.Diagnostic.check_code)))
+        Diagnostic.catalog;
+      (* Baselining the whole report suppresses the whole report. *)
+      let b = Lint_baseline.of_diagnostics ds in
+      let kept, suppressed = Lint_baseline.filter b ds in
+      check_int "baseline suppresses all" 0 (List.length kept);
+      check_bool "suppressed counted" true (suppressed = List.length ds))
+
+let test_lint_memo () =
+  with_workspace (fun ws ->
+      build_fixture ws;
+      if Cache_stats.enabled () then begin
+        let r1 = Workspace.lint ws in
+        let r2 = Workspace.lint ws in
+        check_bool "memoized report is shared" true (r1 == r2);
+        (* A custom registry bypasses the fingerprint memo. *)
+        let r3 = Workspace.lint ~conversions:fixture_registry ws in
+        check_bool "custom registry recomputes" true (r3 != r1)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Generator dispatch guards                                          *)
+(* ------------------------------------------------------------------ *)
+
+let invalid_arg_naming name f =
+  match f () with
+  | () -> Alcotest.failf "expected Invalid_argument naming %s" name
+  | exception Invalid_argument m ->
+      let contains =
+        let n = String.length m and k = String.length name in
+        let rec go i = i + k <= n && (String.sub m i k = name || go (i + 1)) in
+        go 0
+      in
+      check_bool (Printf.sprintf "message %S names %s" m name) true contains
+
+let test_generator_guards () =
+  let func =
+    Rule.v ~name:"fun-rule"
+      (Rule.Functional { fn = "FooFn"; src = t "a" "X"; dst = t "b" "Y" })
+  in
+  let disj = Rule.v ~name:"dis-rule" (Rule.Disjoint (t "a" "X", t "b" "Y")) in
+  let impl =
+    Rule.v ~name:"imp-rule"
+      (Rule.Implication (Rule.Term (t "a" "X"), Rule.Term (t "b" "Y")))
+  in
+  (* Mismatched bodies raise, naming the rule. *)
+  invalid_arg_naming "fun-rule" (fun () -> Generator.require_implication func);
+  invalid_arg_naming "dis-rule" (fun () -> Generator.require_implication disj);
+  invalid_arg_naming "imp-rule" (fun () -> Generator.require_functional impl);
+  invalid_arg_naming "dis-rule" (fun () -> Generator.require_functional disj);
+  invalid_arg_naming "pat-rule" (fun () ->
+      Generator.require_resolved ~rule:"pat-rule"
+        (Rule.Patt (Pattern_parser.parse_exn "ghost:phantom")));
+  (* Matching bodies pass through. *)
+  Generator.require_implication impl;
+  Generator.require_functional func;
+  Generator.require_resolved ~rule:"ok" (Rule.Term (t "a" "X"))
+
+(* ------------------------------------------------------------------ *)
+(* Clean generated workspaces lint without errors                     *)
+(* ------------------------------------------------------------------ *)
+
+let clean_lint_property =
+  QCheck.Test.make ~count:20 ~name:"generated clean workspaces have no lint errors"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let profile = { Gen.default_profile with Gen.n_terms = 25 } in
+      let pair =
+        Gen.overlapping_pair ~profile ~overlap:0.5 ~seed ~left_name:"gl"
+          ~right_name:"gr" ()
+      in
+      let result =
+        Generator.generate ~conversions:Conversion.builtin
+          ~articulation_name:"gart" ~left:pair.Gen.left ~right:pair.Gen.right
+          pair.Gen.ground_truth
+      in
+      let view =
+        Lint.view ~conversions:Conversion.builtin
+          ~articulations:[ Lint.articulation result.Generator.articulation ]
+          [ Lint.source pair.Gen.left; Lint.source pair.Gen.right ]
+      in
+      let report = Lint.run view in
+      let kept =
+        Diagnostic.apply_config Diagnostic.default_config
+          report.Lint.diagnostics
+      in
+      Diagnostic.errors kept = [])
+
+let suite =
+  [
+    ( "analysis",
+      [
+        Alcotest.test_case "loc find_word" `Quick test_loc_find_word;
+        Alcotest.test_case "loc of_offset" `Quick test_loc_of_offset;
+        Alcotest.test_case "catalog defaults" `Quick test_catalog_defaults;
+        Alcotest.test_case "config" `Quick test_config;
+        Alcotest.test_case "exit codes" `Quick test_exit_codes;
+        Alcotest.test_case "ordering" `Quick test_order;
+        Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
+        Alcotest.test_case "fixture all codes" `Quick test_fixture_all_codes;
+        Alcotest.test_case "fixture spans" `Quick test_fixture_spans;
+        Alcotest.test_case "fixture json + baseline" `Quick
+          test_fixture_json_and_baseline;
+        Alcotest.test_case "lint memo" `Quick test_lint_memo;
+        Alcotest.test_case "generator guards" `Quick test_generator_guards;
+        QCheck_alcotest.to_alcotest clean_lint_property;
+      ] );
+  ]
