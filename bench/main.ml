@@ -826,10 +826,13 @@ let cache () =
 (* ------------------------------------------------------------------ *)
 
 (* BENCH_match.json: per-operation cold timings of the pre-index naive
-   matcher (Matcher_reference) against the indexed matcher with every
-   cache cleared each run, plus the federation fan-out at 1 vs N
-   domains.  Hand-rolled JSON like BENCH_cache. *)
-let emit_match_json ~path rows ~domains ~fanout_seq ~fanout_par =
+   matcher (Matcher_reference) against the adaptive matcher with every
+   cache cleared each run; the adaptive never-worse families (naive /
+   indexed / adaptive timings plus the plan the cost model picked); and
+   the federation fan-out at 1 domain, forced-parallel, and adaptive.
+   Hand-rolled JSON like BENCH_cache. *)
+let emit_match_json ~path rows ~families ~domains ~fanout_seq ~fanout_par
+    ~fanout_adaptive ~fanout_plan =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -844,15 +847,35 @@ let emit_match_json ~path rows ~domains ~fanout_seq ~fanout_par =
               (json_float speedup))
           rows
       in
+      let family_objs =
+        List.map
+          (fun (name, reference, naive, indexed, adaptive, plan) ->
+            let best = Float.min naive indexed in
+            Printf.sprintf
+              "    { \"family\": \"%s\", \"reference_ns\": %s, \"naive_ns\": \
+               %s, \"indexed_ns\": %s, \"adaptive_ns\": %s, \
+               \"best_fixed_ns\": %s, \"adaptive_over_best\": %s, \
+               \"vs_naive\": %s, \"plan\": \"%s\" }"
+              (json_escape name) (json_float reference) (json_float naive)
+              (json_float indexed) (json_float adaptive) (json_float best)
+              (json_float (adaptive /. best))
+              (json_float (reference /. adaptive))
+              (json_escape plan))
+          families
+      in
       output_string oc "{\n  \"benchmark\": \"match\",\n  \"results\": [\n";
       output_string oc (String.concat ",\n" result_objs);
+      output_string oc "\n  ],\n  \"families\": [\n";
+      output_string oc (String.concat ",\n" family_objs);
       output_string oc "\n  ],\n";
       output_string oc
         (Printf.sprintf
            "  \"fanout\": { \"domains\": %d, \"sequential_ns\": %s, \
-            \"parallel_ns\": %s, \"speedup\": %s }\n"
+            \"parallel_ns\": %s, \"speedup\": %s, \"adaptive_ns\": %s, \
+            \"plan\": \"%s\" }\n"
            domains (json_float fanout_seq) (json_float fanout_par)
-           (json_float (fanout_seq /. fanout_par)));
+           (json_float (fanout_seq /. fanout_par))
+           (json_float fanout_adaptive) (json_escape fanout_plan));
       output_string oc "}\n")
 
 let match_ () =
@@ -944,23 +967,140 @@ let match_ () =
           ~indexed:(fun () -> ignore (Filter_extract.filter o600 chain));
       ]
   in
-  (* Federation fan-out: qualifying and unioning K mid-size sources,
-     sequential (pool size 1) vs the domain pool. *)
+  (* Adaptive never-worse families: for each pattern family, time both
+     fixed strategies and the planner-driven find, all equally cold
+     (clear_all inside every thunk), and record the plan the cost model
+     picks.  The gate: adaptive <= 1.15x the best fixed strategy.
+
+     The families run in microseconds, where a single OLS estimate can
+     drift 20% with scheduler noise; each op therefore takes the minimum
+     of three independent estimates (the classic noise-robust floor),
+     so the gate compares true costs, not jitter. *)
+  let cold_ns_min op =
+    List.fold_left Float.min Float.infinity
+      (List.init 3 (fun _ -> cold_ns op))
+  in
+  let family name ?(limit = 100) pattern graph =
+    let fixed strategy () =
+      ignore (Matcher.find_fixed ~strategy ~limit pattern graph)
+    in
+    let reference =
+      cold_ns_min (fun () ->
+          ignore (Matcher_reference.find ~limit pattern graph))
+    in
+    let naive = cold_ns_min (fixed Plan_cost.Naive) in
+    let indexed = cold_ns_min (fixed Plan_cost.Indexed) in
+    let adaptive =
+      cold_ns_min (fun () -> ignore (Matcher.find ~limit pattern graph))
+    in
+    Cache_stats.clear_all ();
+    let plan =
+      Plan_cost.strategy_name
+        (Plan_cost.plan ~limit pattern graph).Plan_cost.strategy
+    in
+    row
+      "family %-16s ref %a  naive %a  indexed %a  adaptive %a  plan=%s \
+       (%.2fx best)"
+      name pp_time reference pp_time naive pp_time indexed pp_time adaptive
+      plan
+      (adaptive /. Float.min naive indexed);
+    (name, reference, naive, indexed, adaptive, plan)
+  in
+  let o2000 = Gen.ontology ~profile:(profile 2000) ~seed:17 ~name:"g" () in
+  let g2000 = Ontology.graph o2000 in
+  let labeled2000 =
+    let anchor =
+      match
+        List.find_opt
+          (fun (e : Digraph.edge) -> String.equal e.label Rel.subclass_of)
+          (Digraph.edges g2000)
+      with
+      | Some e -> e.src
+      | None -> List.hd (Digraph.nodes g2000)
+    in
+    Pattern.create
+      ~nodes:
+        [
+          { Pattern.id = "a"; label = Some anchor; binder = None };
+          { Pattern.id = "b"; label = None; binder = Some "Y" };
+        ]
+      ~edges:
+        [ { Pattern.src = "a"; elabel = Some Rel.subclass_of; dst = "b" } ]
+      ()
+  in
+  (* Dense mesh: 60 nodes, 5 out-edges each, one label — the worst case
+     for label-based anchoring, best case for plain enumeration. *)
+  let mesh =
+    Digraph.of_edges
+      (List.concat_map
+         (fun i ->
+           List.map
+             (fun k ->
+               {
+                 Digraph.src = Printf.sprintf "m%d" i;
+                 label = "R";
+                 dst = Printf.sprintf "m%d" ((i + k) mod 60);
+               })
+             [ 1; 2; 3; 4; 5 ])
+         (List.init 60 Fun.id))
+  in
+  let triangle =
+    let wild id binder = { Pattern.id; label = None; binder = Some binder } in
+    Pattern.create
+      ~nodes:[ wild "a" "A"; wild "b" "B"; wild "c" "C" ]
+      ~edges:
+        [
+          { Pattern.src = "a"; elabel = Some "R"; dst = "b" };
+          { Pattern.src = "b"; elabel = Some "R"; dst = "c" };
+          { Pattern.src = "a"; elabel = Some "R"; dst = "c" };
+        ]
+      ()
+  in
+  let families =
+    [
+      family "labeled-anchor" labeled2000 g2000;
+      family "wildcard-chain" chain g600;
+      (* The matching work inside Filter_extract.filter: unlimited chain. *)
+      family "filter" ~limit:100_000 chain g600;
+      family "dense-mesh" triangle mesh;
+    ]
+  in
+  (* Federation fan-out: qualifying and unioning K mid-size sources —
+     sequential (pool size 1), forced parallel (gate off), and adaptive
+     (the cost gate decides). *)
   let fed_sources =
     Gen.family ~profile:(profile 400) ~n:8 ~seed:7 ~prefix:"fed" ()
   in
   let domains = max 2 (Domain_pool.size ()) in
-  let fanout_at k =
-    plain_ns (fun () ->
-        Domain_pool.with_size k (fun () ->
-            ignore (Federation.of_parts ~sources:fed_sources ~articulations:[])))
+  let fanout_run () =
+    ignore (Federation.of_parts ~sources:fed_sources ~articulations:[])
   in
-  let fanout_seq = fanout_at 1 in
-  let fanout_par = fanout_at domains in
-  row "federation.of_parts (8 x 400 terms): 1 domain %a, %d domains %a (%.2fx)"
+  let fanout_seq = plain_ns (fun () -> Domain_pool.with_size 1 fanout_run) in
+  let fanout_par =
+    plain_ns (fun () ->
+        Domain_pool.with_size domains (fun () ->
+            Domain_pool.with_gating false fanout_run))
+  in
+  let fanout_adaptive =
+    plain_ns (fun () -> Domain_pool.with_size domains fanout_run)
+  in
+  let fanout_plan =
+    Cache_stats.reset_plans ();
+    Domain_pool.with_size domains fanout_run;
+    let parallel =
+      try List.assoc "pool.parallel" (Cache_stats.plan_counts ())
+      with Not_found -> 0
+    in
+    if parallel > 0 then "parallel" else "sequential"
+  in
+  row
+    "federation.of_parts (8 x 400 terms): 1 domain %a, %d domains forced %a \
+     (%.2fx), adaptive %a plan=%s"
     pp_time fanout_seq domains pp_time fanout_par
-    (fanout_seq /. fanout_par);
-  emit_match_json ~path:"BENCH_match.json" rows ~domains ~fanout_seq ~fanout_par;
+    (fanout_seq /. fanout_par)
+    pp_time fanout_adaptive fanout_plan;
+  emit_match_json ~path:"BENCH_match.json" rows ~families ~domains ~fanout_seq
+    ~fanout_par ~fanout_adaptive ~fanout_plan;
   row "wrote BENCH_match.json";
   let lookup op =
     List.find_map
@@ -972,10 +1112,24 @@ let match_ () =
       row "wildcard-chain n=600 speedup: %.1fx %s" s
         (if s >= 10.0 then "(>= 10x: PASS)" else "(< 10x: FAIL)")
   | None -> ());
-  match lookup "filter_extract.filter n=600" with
+  (match lookup "filter_extract.filter n=600" with
   | Some s ->
       row "filter n=600 speedup: %.1fx %s" s
         (if s >= 5.0 then "(>= 5x: PASS)" else "(< 5x: FAIL)")
+  | None -> ());
+  List.iter
+    (fun (name, _ref, naive, indexed, adaptive, _plan) ->
+      let r = adaptive /. Float.min naive indexed in
+      row "family %-16s adaptive/best-fixed: %.2fx %s" name r
+        (if r <= 1.15 then "(<= 1.15x: PASS)" else "(> 1.15x: FAIL)"))
+    families;
+  match
+    List.find_opt (fun (n, _, _, _, _, _) -> n = "labeled-anchor") families
+  with
+  | Some (_, reference, _, _, adaptive, _) ->
+      let s = reference /. adaptive in
+      row "labeled-anchor adaptive vs naive reference: %.2fx %s" s
+        (if s >= 1.0 then "(>= 1.0x: PASS)" else "(< 1.0x: FAIL)")
   | None -> ()
 
 (* ------------------------------------------------------------------ *)

@@ -217,8 +217,30 @@ let algebra_cmd =
       const run $ op $ ontology_arg 1 "LEFT" $ ontology_arg 2 "RIGHT"
       $ rules_arg 3 $ name_arg)
 
+(* Shared rendering for mediated-query reports.  --explain prints the
+   executed fan-out plan as one stable line (deterministic in the
+   environment and query, so it can be golden-tested); with --json the
+   same line rides along as an "explain" field instead. *)
+let print_report ~json ~explain report =
+  if json then print_endline (Mediator.report_json ~explain report)
+  else begin
+    if explain then print_endline (Mediator.explain_fanout report);
+    print_endline (Format.asprintf "%a" Mediator.pp_report report)
+  end
+
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"Print the adaptive execution plan (one line) with the results.")
+
+let query_json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the report as a JSON object on stdout.")
+
 let query_cmd =
-  let run left_path right_path rules_path name query_text =
+  let run left_path right_path rules_path name query_text explain json =
     let left = load_or_die left_path and right = load_or_die right_path in
     let rules = load_rules ~default_ontology:name rules_path in
     let r =
@@ -238,7 +260,7 @@ let query_cmd =
     in
     let env = Mediator.env ~kbs ~unified:u () in
     match Mediator.run_text env query_text with
-    | Ok report -> print_endline (Format.asprintf "%a" Mediator.pp_report report)
+    | Ok report -> print_report ~json ~explain report
     | Error m ->
         Printf.eprintf "query error: %s\n" m;
         exit 1
@@ -256,7 +278,7 @@ let query_cmd =
           instances embedded in them.")
     Term.(
       const run $ ontology_arg 0 "LEFT" $ ontology_arg 1 "RIGHT" $ rules_arg 2
-      $ name_arg $ query_text)
+      $ name_arg $ query_text $ explain_flag $ query_json_flag)
 
 (* Interactive articulation session (section 2.2's viewer loop, textual):
    SKAT proposes, the user rules on suggestions, the generator recompiles,
@@ -547,7 +569,7 @@ let ws_articulate_cmd =
       $ rules_arg 3 $ name_arg)
 
 let ws_query_cmd =
-  let run dir query_text =
+  let run dir query_text explain json =
     let ws = open_workspace_or_die dir in
     match Workspace.space ws with
     | Error m ->
@@ -565,7 +587,7 @@ let ws_query_cmd =
         in
         let env = Mediator.env_federated ~kbs ~space () in
         match Mediator.run_text env query_text with
-        | Ok report -> print_endline (Format.asprintf "%a" Mediator.pp_report report)
+        | Ok report -> print_report ~json ~explain report
         | Error m ->
             Printf.eprintf "query error: %s\n" m;
             exit 1)
@@ -579,7 +601,7 @@ let ws_query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Run a federated query over every source and articulation.")
-    Term.(const run $ workspace_arg 0 $ query_text)
+    Term.(const run $ workspace_arg 0 $ query_text $ explain_flag $ query_json_flag)
 
 let workspace_cmd =
   Cmd.group

@@ -105,8 +105,33 @@ let ontology_parts v =
       (fun a -> (Articulation.ontology a.articulation, a.art_file, a.art_text))
       v.articulations
 
+(* Per-part cost estimates for the pool's fan-out gate: each lint pass
+   walks its part's graph a small constant number of times (closures,
+   SCCs, per-edge point checks), so work scales with terms + edges.
+   Small workspaces — where domain spawns cost more than the passes —
+   stay sequential. *)
+let lint_cost_per_elem = 20.0
+
+let ontology_elems o = Ontology.nb_terms o + Ontology.nb_relationships o
+
+let parts_cost parts =
+  match parts with
+  | [] -> 0.0
+  | _ ->
+      let total =
+        List.fold_left (fun acc (o, _, _) -> acc + ontology_elems o) 0 parts
+      in
+      lint_cost_per_elem *. float_of_int total
+      /. float_of_int (List.length parts)
+
+(* The articulation-centric passes re-examine every source per item. *)
+let articulation_item_cost v =
+  lint_cost_per_elem
+  *. float_of_int
+       (List.fold_left (fun acc s -> acc + ontology_elems s.ontology) 1 v.sources)
+
 let consistency_pass v =
-  Domain_pool.concat_map
+  Domain_pool.concat_map ~cost:(parts_cost (ontology_parts v))
     (fun (o, file, text) ->
       Lru.find_or_compute consistency_memo (Ontology.revision o, file) (fun () ->
           Consistency.check ~strict:true o
@@ -129,7 +154,7 @@ let consistency_pass v =
 let conflict_pass v =
   let ontologies = List.map (fun s -> s.ontology) v.sources in
   let revs = source_revisions v in
-  Domain_pool.concat_map
+  Domain_pool.concat_map ~cost:(articulation_item_cost v)
     (fun a ->
       let art = a.articulation in
       Lru.find_or_compute conflict_memo
@@ -415,7 +440,7 @@ let shadowed_rule_diags v a =
 
 let rules_pass v =
   let revs = source_revisions v in
-  Domain_pool.concat_map
+  Domain_pool.concat_map ~cost:(articulation_item_cost v)
     (fun a ->
       Lru.find_or_compute rules_memo
         (Articulation.revision a.articulation, revs, a.art_file)
@@ -435,7 +460,7 @@ let bridges_pass v =
       (fun s -> String.equal (Ontology.name s.ontology) name)
       v.sources
   in
-  Domain_pool.concat_map
+  Domain_pool.concat_map ~cost:(articulation_item_cost v)
     (fun a ->
       let art = a.articulation in
       Lru.find_or_compute bridges_memo
@@ -512,7 +537,7 @@ let horn_diags o file text =
               subject))
 
 let horn_pass v =
-  Domain_pool.concat_map
+  Domain_pool.concat_map ~cost:(parts_cost (ontology_parts v))
     (fun (o, file, text) ->
       Lru.find_or_compute horn_memo (Ontology.revision o, file) (fun () ->
           horn_diags o file text))

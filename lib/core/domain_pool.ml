@@ -43,9 +43,37 @@ let with_size n f =
    rather than spawning domains from domains. *)
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
+(* Cost-based fan-out gating.  A caller that can estimate its per-item
+   work (in Plan_cost units) passes [?cost]; the pool then fans out only
+   when {!Plan_cost.batch} says the saved wall-clock covers the domain
+   spawns — the benchmarks showed small batches (eight ~400-term
+   qualifications) LOSING at two domains, and the floor keeps those
+   sequential.  [with_gating false] restores unconditional fan-out so the
+   benches can time the forced-parallel shape the gate avoids. *)
+let gating = ref true
+
+let with_gating b f =
+  let saved = !gating in
+  gating := b;
+  Fun.protect ~finally:(fun () -> gating := saved) f
+
+let batch_plan ~items ~per_item_cost =
+  let domains = size () in
+  if !gating then Plan_cost.batch ~domains ~items ~per_item_cost
+  else
+    (* Gating off: every multi-item batch takes the parallel shape. *)
+    let k = max 1 (min domains items) in
+    {
+      Plan_cost.batch_strategy =
+        (if k <= 1 then Plan_cost.Sequential else Plan_cost.Parallel k);
+      items;
+      per_item_cost;
+      domains;
+    }
+
 type 'b slot = Pending | Done of 'b | Failed of exn
 
-let map f xs =
+let map_parallel f xs =
   let n = List.length xs in
   let k = min (size ()) n in
   if k <= 1 || n <= 1 || Domain.DLS.get in_worker then List.map f xs
@@ -95,10 +123,29 @@ let map f xs =
          results)
   end
 
-let concat_map f xs = List.concat (map f xs)
+(* With a [?cost] hint the batch is planned and the decision recorded
+   (["pool.sequential"] / ["pool.parallel"] in Cache_stats); without one
+   the legacy always-fan-out behaviour is kept and nothing is recorded —
+   no planning decision was made.  Worker-nested calls stay sequential
+   either way and record nothing: the enclosing call already planned. *)
+let map ?cost f xs =
+  match cost with
+  | None -> map_parallel f xs
+  | Some _ when Domain.DLS.get in_worker -> List.map f xs
+  | Some per_item_cost -> (
+      let plan = batch_plan ~items:(List.length xs) ~per_item_cost in
+      match plan.Plan_cost.batch_strategy with
+      | Plan_cost.Sequential ->
+          Cache_stats.record_plan "pool.sequential";
+          List.map f xs
+      | Plan_cost.Parallel _ ->
+          Cache_stats.record_plan "pool.parallel";
+          map_parallel f xs)
 
-let filter p xs =
-  let keep = map p xs in
+let concat_map ?cost f xs = List.concat (map ?cost f xs)
+
+let filter ?cost p xs =
+  let keep = map ?cost p xs in
   List.filter_map
     (fun (x, k) -> if k then Some x else None)
     (List.combine xs keep)

@@ -29,16 +29,42 @@ val with_size : int -> (unit -> 'a) -> 'a
 (** Run the thunk with the pool size temporarily overridden, restoring
     the previous size afterwards (also on exceptions). *)
 
-val map : ('a -> 'b) -> 'a list -> 'b list
+(** {1 Cost-gated fan-out}
+
+    Callers that can estimate their per-item work (in {!Plan_cost}
+    units; one unit is roughly one elementary list/compare step) pass
+    [?cost] to the combinators.  The pool then consults
+    {!Plan_cost.batch} and fans out only when the wall-clock saved by
+    splitting the batch covers the domain spawns with margin — small
+    batches run sequentially instead of paying the 2-domain penalty the
+    benchmarks exposed.  Every gated decision is recorded in
+    {!Cache_stats} plan counters (["pool.sequential"] /
+    ["pool.parallel"]).  Without [?cost] the combinators keep the legacy
+    always-fan-out behaviour and record nothing. *)
+
+val batch_plan : items:int -> per_item_cost:float -> Plan_cost.batch
+(** The fan-out plan for a batch at the current {!size}, honouring
+    {!with_gating}: with gating off, every multi-item batch takes the
+    parallel shape.  Exposed so callers (e.g. the mediator's report and
+    [--explain]) can show the decision they are about to execute. *)
+
+val with_gating : bool -> (unit -> 'a) -> 'a
+(** Run the thunk with cost gating switched on/off, restoring the
+    previous state afterwards (also on exceptions).  [with_gating false]
+    forces the parallel shape for any [?cost] — the benchmarks use it to
+    time forced fan-out against the gate's choice. *)
+
+val map : ?cost:float -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] is [List.map f xs], computed on up to {!size} domains.
     Results keep their input order.  If any task raises, the exception of
     the earliest-positioned failing task is re-raised after all workers
-    have drained. *)
+    have drained.  [?cost] is the estimated per-item work enabling the
+    gate above. *)
 
-val concat_map : ('a -> 'b list) -> 'a list -> 'b list
+val concat_map : ?cost:float -> ('a -> 'b list) -> 'a list -> 'b list
 (** [concat_map f xs] is [List.concat_map f xs] with {!map}'s
-    parallelism and ordering guarantees. *)
+    parallelism, ordering and gating guarantees. *)
 
-val filter : ('a -> bool) -> 'a list -> 'a list
+val filter : ?cost:float -> ('a -> bool) -> 'a list -> 'a list
 (** [filter p xs] is [List.filter p xs], with the predicate evaluated in
-    parallel. *)
+    parallel (subject to the same gate). *)

@@ -50,6 +50,32 @@ let clear name =
 
 let clear_all () = List.iter (fun (_, r) -> r.clear ()) !registry
 
+(* Plan-strategy counters: one bump per planning decision, keyed on a
+   stable strategy name ("match.naive", "pool.parallel", ...).  Guarded
+   by a mutex because Domain_pool workers plan concurrently.  Separate
+   from the cache registry on purpose: [clear_all] models a cold cache,
+   not an amnesiac planner, so the distribution survives it. *)
+let plan_mutex = Mutex.create ()
+
+let plan_tbl : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let record_plan name =
+  Mutex.lock plan_mutex;
+  let n = Option.value (Hashtbl.find_opt plan_tbl name) ~default:0 in
+  Hashtbl.replace plan_tbl name (n + 1);
+  Mutex.unlock plan_mutex
+
+let plan_counts () =
+  Mutex.lock plan_mutex;
+  let counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) plan_tbl [] in
+  Mutex.unlock plan_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) counts
+
+let reset_plans () =
+  Mutex.lock plan_mutex;
+  Hashtbl.reset plan_tbl;
+  Mutex.unlock plan_mutex
+
 let pp_snapshot ppf s =
   Format.fprintf ppf "%d/%d entries, %d hits, %d misses, %d evictions (%.0f%% hit)"
     s.entries s.capacity s.hits s.misses s.evictions (100.0 *. hit_rate s)

@@ -54,6 +54,26 @@ val clear : string -> bool
 val clear_all : unit -> unit
 (** Empty every registered cache — the benchmarks' cold start. *)
 
+(** {1 Plan-strategy counters}
+
+    The adaptive planners ({!Plan_cost} driving {!Matcher.find},
+    {!Domain_pool} fan-out gating) record every decision here under a
+    stable strategy name (["match.naive"], ["match.indexed"],
+    ["pool.sequential"], ["pool.parallel"]), so the benchmarks and the
+    daemon's status op can report the plan distribution.  Counters are
+    mutex-guarded (planning happens on pool workers) and deliberately
+    survive {!clear_all}: clearing caches models a cold start, not an
+    amnesiac planner. *)
+
+val record_plan : string -> unit
+(** Bump the counter for one strategy name. *)
+
+val plan_counts : unit -> (string * int) list
+(** Every recorded strategy with its count, sorted by name. *)
+
+val reset_plans : unit -> unit
+(** Zero all plan counters (tests and bench sections start fresh). *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
 val pp : Format.formatter -> unit -> unit

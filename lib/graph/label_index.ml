@@ -91,6 +91,8 @@ let cache : (int, t) Lru.t =
 
 let of_graph g = Lru.find_or_compute cache (Digraph.revision g) (fun () -> build g)
 
+let cached g = Lru.mem cache (Digraph.revision g)
+
 let revision idx = idx.revision
 
 let nodes idx = idx.nodes

@@ -19,6 +19,12 @@ val of_graph : Digraph.t -> t
 (** The index for this graph, built on first request per revision and
     answered from a process-wide memo afterwards. *)
 
+val cached : Digraph.t -> bool
+(** Is the index for this graph's revision already memoized?  A pure
+    probe (no counter movement, no build): the cost planner uses it to
+    decide whether an indexed search would pay the [O(N + E)] build or
+    start from a warm index. *)
+
 val revision : t -> int
 (** The {!Digraph.revision} of the indexed graph. *)
 

@@ -58,6 +58,13 @@ let edge_compatible policy a b =
          || (String.equal x b && String.equal y a))
        policy.extra_edge_pairs
 
+(* A policy whose edge condition is the strict label equality of the
+   paper's definition: a pattern edge labeled [l] is witnessed exactly by
+   a graph edge labeled [l], so index buckets and label-directed
+   adjacency are sound candidate sources. *)
+let edge_labels_exact policy =
+  (not policy.ignore_edge_labels) && policy.extra_edge_pairs = []
+
 let to_morphism_compat policy =
   {
     Morphism.node_ok = node_compatible policy;

@@ -41,4 +41,11 @@ val node_compatible : policy -> string -> string -> bool
 
 val edge_compatible : policy -> string -> string -> bool
 
+val edge_labels_exact : policy -> bool
+(** Does the policy witness a pattern edge labeled [l] exactly by graph
+    edges labeled [l]?  True for {!exact} and any policy that neither
+    ignores edge labels nor declares extra interchangeable pairs; when
+    true, label-keyed index buckets and label-directed adjacency are
+    sound candidate sources for the matcher and the cost planner. *)
+
 val to_morphism_compat : policy -> Morphism.compat

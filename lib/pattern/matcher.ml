@@ -6,189 +6,62 @@ type match_result = {
 module Smap = Map.Make (String)
 module Sset = Set.Make (String)
 
-(* Pattern nodes ordered most-constrained-first: labeled before wildcard,
-   then by pattern degree (descending), then by id. *)
-let search_order pattern =
-  let pedges = Pattern.edges pattern in
-  let degree id =
-    List.length
-      (List.filter (fun (e : Pattern.edge) -> e.src = id || e.dst = id) pedges)
-  in
-  Pattern.nodes pattern
-  |> List.map (fun (n : Pattern.node) ->
-         let labeled = match n.label with Some _ -> 0 | None -> 1 in
-         (n, labeled, degree n.id))
-  |> List.sort (fun (n1, l1, d1) (n2, l2, d2) ->
-         match Stdlib.compare l1 l2 with
-         | 0 -> (
-             match Stdlib.compare d2 d1 with
-             | 0 -> String.compare n1.Pattern.id n2.Pattern.id
-             | c -> c)
-         | c -> c)
-  |> List.map (fun (n, _, _) -> n)
-
-(* A policy whose edge condition is the strict label equality of the
-   paper's definition: a pattern edge labeled [l] is witnessed exactly by
-   a graph edge labeled [l], so index buckets and [succ_by]/[pred_by] are
-   sound candidate sources.  Relaxed policies fall back to any-label
-   adjacency (still a sound superset — the incremental edge check keeps
-   the final say). *)
-let edge_labels_exact (policy : Fuzzy.policy) =
-  (not policy.Fuzzy.ignore_edge_labels) && policy.Fuzzy.extra_edge_pairs = []
-
 (* Memoized matching: keyed on every parameter that shapes the result plus
    the graph's revision stamp.  The key is closure-free data (the policy's
    lexicon is a pure map), compared structurally, so hits are exact; a
    mutated graph carries a new revision and misses.  The cache is
    semantically invisible (proved by the qcheck equivalence property in
-   test/test_cache_equiv.ml); the indexed search below is itself proved
-   equivalent to the naive Matcher_reference by
-   test/test_matcher_equiv.ml. *)
+   test/test_cache_equiv.ml); both execution strategies below are proved
+   equivalent to the naive Matcher_reference by test/test_matcher_equiv.ml
+   and test/test_plan_cost.ml. *)
 let cache :
     ( Fuzzy.policy * bool * int * [ `Most_constrained | `Declaration ] * Pattern.t * int,
       match_result list )
     Lru.t =
   Lru.create ~name:"matcher.find" ~capacity:512 ()
 
-(* The indexed cold path.
-
-   Equivalence with the naive search (Matcher_reference) rests on three
-   observations, each preserving the backtracking order:
-
-   - Candidate sets shrink only by necessary conditions.  An anchored set
-     (succ_by/pred_by of an already-bound pattern neighbour) or a degree
-     feasibility filter removes exactly candidates whose subtree the
-     naive search would enter and exhaust without emitting a match;
-     [limit] counts complete matches, so pruning dead subtrees can never
-     change which matches are found or in which order.
-
-   - Every candidate source ({!Digraph.nodes}, [succ]/[pred],
-     [succ_by]/[pred_by], index buckets) is sorted ascending and
-     distinct, and filters preserve order — so surviving candidates are
-     visited in exactly the order the naive scan of the full node list
-     visits them.
-
-   - The incremental edge check validates each pattern edge precisely
-     when its second endpoint is assigned.  The naive search re-validates
-     all fully-assigned edges at every step, but an edge once witnessed
-     stays witnessed (the graph does not change mid-search), so checking
-     each edge once at completion time accepts exactly the same partial
-     assignments. *)
-let find ?(policy = Fuzzy.exact) ?(injective = false) ?(limit = 1000)
-    ?(node_order = `Most_constrained) pattern g =
-  Lru.find_or_compute cache
-    (policy, injective, limit, node_order, pattern, Digraph.revision g)
-  @@ fun () ->
-  let order =
-    match node_order with
-    | `Most_constrained -> search_order pattern
-    | `Declaration -> Pattern.nodes pattern
-  in
-  let idx = Label_index.of_graph g in
-  let all_nodes = Label_index.nodes idx in
-  let exact_edges = edge_labels_exact policy in
-  (* Pattern edges incident to each pattern node, precomputed once. *)
-  let incident : (string, Pattern.edge list) Hashtbl.t = Hashtbl.create 8 in
+(* Pattern edges incident to each pattern node, precomputed once per
+   search; shared by candidate generation and the incremental edge
+   check. *)
+let incident_table pattern =
+  let tbl : (string, Pattern.edge list) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun (e : Pattern.edge) ->
       let push id =
-        Hashtbl.replace incident id
-          (e :: (Option.value (Hashtbl.find_opt incident id) ~default:[]))
+        Hashtbl.replace tbl id
+          (e :: Option.value (Hashtbl.find_opt tbl id) ~default:[])
       in
       push e.src;
       if not (String.equal e.src e.dst) then push e.dst)
     (Pattern.edges pattern);
-  let incident_to id = Option.value (Hashtbl.find_opt incident id) ~default:[] in
-  (* Necessary degree conditions from the index summaries: a candidate
-     must be able to emit/absorb every pattern edge incident to this
-     pattern node. *)
-  let degree_feasible pid candidate =
-    List.for_all
-      (fun (e : Pattern.edge) ->
-        (if String.equal e.src pid then
-           match e.elabel with
-           | Some l when exact_edges -> Label_index.out_label_degree idx candidate l >= 1
-           | _ -> Label_index.out_degree idx candidate >= 1
-         else true)
-        &&
-        if String.equal e.dst pid then
-          match e.elabel with
-          | Some l when exact_edges -> Label_index.in_label_degree idx candidate l >= 1
-          | _ -> Label_index.in_degree idx candidate >= 1
-        else true)
-      (incident_to pid)
-  in
-  (* Is the pattern edge (now fully assigned) witnessed in g? *)
-  let edge_witnessed assignment (e : Pattern.edge) =
-    let s = Smap.find e.src assignment and d = Smap.find e.dst assignment in
-    match e.elabel with
-    | Some l when exact_edges -> Digraph.mem_edge g s l d
-    | None -> Digraph.labels_between g s d <> []
-    | Some l ->
-        List.exists
-          (fun gl -> Fuzzy.edge_compatible policy l gl)
-          (Digraph.labels_between g s d)
-  in
-  (* Candidates for [pn] given the partial [assignment], anchored on an
-     already-bound pattern neighbour whenever one exists. *)
-  let candidates (pn : Pattern.node) assignment =
-    match pn.label with
-    | Some want when policy = Fuzzy.exact ->
-        (* Fast path: under a fully exact policy the only candidate is the
-           identically-labeled node. *)
-        if Label_index.mem_label idx want then [ want ] else []
-    | _ ->
-        let anchored =
-          List.find_map
-            (fun (e : Pattern.edge) ->
-              if String.equal e.src pn.id then
-                match Smap.find_opt e.dst assignment with
-                | Some b -> (
-                    (* candidate --elabel--> bound *)
-                    match e.elabel with
-                    | Some l when exact_edges -> Some (Digraph.pred_by g b l)
-                    | _ -> Some (Digraph.pred g b))
-                | None -> None
-              else
-                match Smap.find_opt e.src assignment with
-                | Some b -> (
-                    (* bound --elabel--> candidate *)
-                    match e.elabel with
-                    | Some l when exact_edges -> Some (Digraph.succ_by g b l)
-                    | _ -> Some (Digraph.succ g b))
-                | None -> None)
-            (incident_to pn.id)
-        in
-        let base =
-          match anchored with
-          | Some c -> c
-          | None -> (
-              (* No bound neighbour yet: seed from the edge-label bucket of
-                 an incident exactly-labeled pattern edge when possible,
-                 the whole node set otherwise. *)
-              let seed =
-                if not exact_edges then None
-                else
-                  List.find_map
-                    (fun (e : Pattern.edge) ->
-                      match e.elabel with
-                      | Some l when String.equal e.src pn.id ->
-                          Some (Label_index.sources_with idx l)
-                      | Some l when String.equal e.dst pn.id ->
-                          Some (Label_index.targets_with idx l)
-                      | _ -> None)
-                    (incident_to pn.id)
-              in
-              match seed with Some s -> s | None -> all_nodes)
-        in
-        let base =
-          match pn.label with
-          | None -> base
-          | Some want ->
-              List.filter (fun n -> Fuzzy.node_compatible policy want n) base
-        in
-        List.filter (degree_feasible pn.id) base
-  in
+  fun id -> Option.value (Hashtbl.find_opt tbl id) ~default:[]
+
+(* Is the pattern edge (now fully assigned) witnessed in g?  One
+   mem_edge / labels_between probe — both strategies validate edges
+   incrementally, precisely when the second endpoint is assigned.  The
+   naive reference instead re-validates all assigned edges by rescanning
+   out_edges at every step; an edge once witnessed stays witnessed (the
+   graph does not change mid-search), so checking each edge once accepts
+   exactly the same partial assignments. *)
+let edge_witnessed g ~exact_edges policy assignment (e : Pattern.edge) =
+  let s = Smap.find e.src assignment and d = Smap.find e.dst assignment in
+  match e.elabel with
+  | Some l when exact_edges -> Digraph.mem_edge g s l d
+  | None -> Digraph.labels_between g s d <> []
+  | Some l ->
+      List.exists
+        (fun gl -> Fuzzy.edge_compatible policy l gl)
+        (Digraph.labels_between g s d)
+
+(* The backtracking engine shared by both executors.  Equivalence with
+   the naive search (Matcher_reference) rests on the candidate function
+   only ever shrinking candidate sets by necessary conditions while
+   preserving the sorted visit order: pruned candidates head subtrees the
+   naive search would enter and exhaust without emitting a match, and
+   [limit] counts complete matches, so pruning dead subtrees can never
+   change which matches are found or in which order. *)
+let run ~injective ~limit ~order ~pattern ~incident_to ~edge_witnessed
+    ~candidates =
   let results = ref [] in
   let count = ref 0 in
   let rec assign assignment used = function
@@ -216,7 +89,9 @@ let find ?(policy = Fuzzy.exact) ?(injective = false) ?(limit = 1000)
                 let ok =
                   List.for_all
                     (fun (e : Pattern.edge) ->
-                      (not (Smap.mem e.src assignment' && Smap.mem e.dst assignment'))
+                      (not
+                         (Smap.mem e.src assignment'
+                         && Smap.mem e.dst assignment'))
                       || edge_witnessed assignment' e)
                     (incident_to pn.id)
                 in
@@ -226,6 +101,183 @@ let find ?(policy = Fuzzy.exact) ?(injective = false) ?(limit = 1000)
   in
   assign Smap.empty Sset.empty order;
   List.rev !results
+
+(* Candidates for [pn] anchored on an already-bound pattern neighbour,
+   read straight off the graph's adjacency lists (sorted, distinct):
+   exactly the nodes that can witness the linking edge.  Adjacency is
+   not an index — it is the graph's own representation — so BOTH
+   executors may anchor; what separates them is the {!Label_index}
+   build the indexed executor pays for its label buckets. *)
+let anchored_candidates g ~exact_edges ~incident_to (pn : Pattern.node)
+    assignment =
+  List.find_map
+    (fun (e : Pattern.edge) ->
+      if String.equal e.src pn.id then
+        match Smap.find_opt e.dst assignment with
+        | Some b -> (
+            (* candidate --elabel--> bound *)
+            match e.elabel with
+            | Some l when exact_edges -> Some (Digraph.pred_by g b l)
+            | _ -> Some (Digraph.pred g b))
+        | None -> None
+      else
+        match Smap.find_opt e.src assignment with
+        | Some b -> (
+            (* bound --elabel--> candidate *)
+            match e.elabel with
+            | Some l when exact_edges -> Some (Digraph.succ_by g b l)
+            | _ -> Some (Digraph.succ g b))
+        | None -> None)
+    (incident_to pn.id)
+
+(* The naive executor: no index is consulted, so nothing is built.
+   Unanchored positions scan the graph's node list (the strategy of
+   Matcher_reference, with the engine's incremental edge checks in place
+   of the reference's whole-assignment rescans); anchored positions
+   enumerate the bound neighbour's adjacency instead of materializing
+   and filtering the whole node list — the regression fix: a selective
+   labeled anchor needs a handful of adjacency probes, not an O(N + E)
+   index build.  The planner picks this strategy when the pattern is
+   anchored or the graph small enough that a build would dominate. *)
+let find_scan ~policy ~injective ~limit ~order pattern g =
+  let exact_edges = Fuzzy.edge_labels_exact policy in
+  let all_nodes = Digraph.nodes g in
+  let incident_to = incident_table pattern in
+  let candidates (pn : Pattern.node) assignment =
+    match pn.label with
+    | Some want when policy = Fuzzy.exact ->
+        if Digraph.mem_node g want then [ want ] else []
+    | _ -> (
+        let base =
+          match
+            anchored_candidates g ~exact_edges ~incident_to pn assignment
+          with
+          | Some c -> c
+          | None -> all_nodes
+        in
+        match pn.label with
+        | None -> base
+        | Some want ->
+            List.filter (fun n -> Fuzzy.node_compatible policy want n) base)
+  in
+  run ~injective ~limit ~order ~pattern ~incident_to
+    ~edge_witnessed:(edge_witnessed g ~exact_edges policy)
+    ~candidates
+
+(* [exceeds xs k] is [List.length xs > k] without walking past [k+1]
+   elements. *)
+let rec exceeds xs k =
+  match xs with [] -> false | _ :: tl -> k = 0 || exceeds tl (k - 1)
+
+(* The indexed executor: anchored candidate generation over the
+   revision-memoized {!Label_index}. *)
+let find_indexed ~policy ~injective ~limit ~order pattern g =
+  let idx = Label_index.of_graph g in
+  let all_nodes = Label_index.nodes idx in
+  let exact_edges = Fuzzy.edge_labels_exact policy in
+  let incident_to = incident_table pattern in
+  (* Necessary degree conditions from the index summaries: a candidate
+     must be able to emit/absorb every pattern edge incident to this
+     pattern node. *)
+  let degree_feasible pid candidate =
+    List.for_all
+      (fun (e : Pattern.edge) ->
+        (if String.equal e.src pid then
+           match e.elabel with
+           | Some l when exact_edges ->
+               Label_index.out_label_degree idx candidate l >= 1
+           | _ -> Label_index.out_degree idx candidate >= 1
+         else true)
+        &&
+        if String.equal e.dst pid then
+          match e.elabel with
+          | Some l when exact_edges ->
+              Label_index.in_label_degree idx candidate l >= 1
+          | _ -> Label_index.in_degree idx candidate >= 1
+        else true)
+      (incident_to pid)
+  in
+  (* Degree filtering pays off only on selective candidate sets.  When a
+     set already covers more than half the graph the filter's per-node
+     index probes cost more than the dead subtrees they prune, so large
+     sets go to the engine unfiltered — a superset in the same sorted
+     order, hence the same results (the probes only remove candidates
+     whose subtree backtracking would exhaust anyway). *)
+  let degree_filter_threshold = Digraph.nb_nodes g / 2 in
+  let maybe_degree_filter pid base =
+    if exceeds base degree_filter_threshold then base
+    else List.filter (degree_feasible pid) base
+  in
+  (* Candidates for [pn] given the partial [assignment], anchored on an
+     already-bound pattern neighbour whenever one exists. *)
+  let candidates (pn : Pattern.node) assignment =
+    match pn.label with
+    | Some want when policy = Fuzzy.exact ->
+        (* Fast path: under a fully exact policy the only candidate is the
+           identically-labeled node. *)
+        if Label_index.mem_label idx want then [ want ] else []
+    | _ ->
+        let base =
+          match
+            anchored_candidates g ~exact_edges ~incident_to pn assignment
+          with
+          | Some c -> c
+          | None -> (
+              (* No bound neighbour yet: seed from the edge-label bucket of
+                 an incident exactly-labeled pattern edge when possible,
+                 the whole node set otherwise. *)
+              let seed =
+                if not exact_edges then None
+                else
+                  List.find_map
+                    (fun (e : Pattern.edge) ->
+                      match e.elabel with
+                      | Some l when String.equal e.src pn.id ->
+                          Some (Label_index.sources_with idx l)
+                      | Some l when String.equal e.dst pn.id ->
+                          Some (Label_index.targets_with idx l)
+                      | _ -> None)
+                    (incident_to pn.id)
+              in
+              match seed with Some s -> s | None -> all_nodes)
+        in
+        let base =
+          match pn.label with
+          | None -> base
+          | Some want ->
+              List.filter (fun n -> Fuzzy.node_compatible policy want n) base
+        in
+        maybe_degree_filter pn.id base
+  in
+  run ~injective ~limit ~order ~pattern ~incident_to
+    ~edge_witnessed:(edge_witnessed g ~exact_edges policy)
+    ~candidates
+
+let resolve_order node_order pattern =
+  match node_order with
+  | `Most_constrained -> Pattern.search_order pattern
+  | `Declaration -> Pattern.nodes pattern
+
+let find_fixed ~strategy ?(policy = Fuzzy.exact) ?(injective = false)
+    ?(limit = 1000) ?(node_order = `Most_constrained) pattern g =
+  let order = resolve_order node_order pattern in
+  match strategy with
+  | Plan_cost.Naive -> find_scan ~policy ~injective ~limit ~order pattern g
+  | Plan_cost.Indexed -> find_indexed ~policy ~injective ~limit ~order pattern g
+
+(* The adaptive entry point: consult the cost planner, record the
+   decision, execute.  Planning happens only on result-cache misses — a
+   hit already knows its answer and has nothing left to plan. *)
+let find ?(policy = Fuzzy.exact) ?(injective = false) ?(limit = 1000)
+    ?(node_order = `Most_constrained) pattern g =
+  Lru.find_or_compute cache
+    (policy, injective, limit, node_order, pattern, Digraph.revision g)
+  @@ fun () ->
+  let plan = Plan_cost.plan ~policy ~limit ~node_order pattern g in
+  Cache_stats.record_plan
+    ("match." ^ Plan_cost.strategy_name plan.Plan_cost.strategy);
+  find_fixed ~strategy:plan.Plan_cost.strategy ~policy ~injective ~limit
+    ~node_order pattern g
 
 let matches ?policy pattern g = find ?policy ~limit:1 pattern g <> []
 

@@ -4,13 +4,22 @@
     mapping of pattern nodes to graph nodes that respects label constraints
     and edge existence — the section-3 definition, generalized with binders
     and the {!Fuzzy} relaxations.  The matcher backtracks over pattern
-    nodes, most-constrained first, drawing candidates from the
-    {!Label_index} of the graph: a pattern node with an already-bound
-    neighbour enumerates only that neighbour's [succ_by]/[pred_by]
-    adjacency, and index degree summaries prune candidates that cannot
-    satisfy their incident pattern edges.  Results are bit-for-bit those
-    of the naive whole-graph scan ({!Matcher_reference}), proven by the
-    qcheck equivalence property in [test/test_matcher_equiv.ml]. *)
+    nodes, most-constrained first, choosing per query between two
+    executors under the {!Plan_cost} cost model:
+
+    - {e naive}: candidates straight from the graph's node list, nothing
+      built — cheapest when the pattern is selective (exact labels) or
+      the graph small, where a {!Label_index} build would dominate;
+    - {e indexed}: anchored candidate generation — a pattern node with
+      an already-bound neighbour enumerates only that neighbour's
+      [succ_by]/[pred_by] adjacency, and index degree summaries prune
+      candidates that cannot satisfy their incident pattern edges.
+
+    Either way, results are bit-for-bit those of the naive whole-graph
+    scan ({!Matcher_reference}), proven by the qcheck equivalence
+    properties in [test/test_matcher_equiv.ml] and
+    [test/test_plan_cost.ml].  Every planning decision is recorded in
+    {!Cache_stats} plan counters (["match.naive"] / ["match.indexed"]). *)
 
 type match_result = {
   assignment : (string * Digraph.node) list;
@@ -34,6 +43,20 @@ val find :
     default: labeled, high-degree pattern nodes first) or [`Declaration]
     (pattern order as written) — kept for the ablation benchmark that
     justifies the heuristic. *)
+
+val find_fixed :
+  strategy:Plan_cost.strategy ->
+  ?policy:Fuzzy.policy ->
+  ?injective:bool ->
+  ?limit:int ->
+  ?node_order:[ `Most_constrained | `Declaration ] ->
+  Pattern.t ->
+  Digraph.t ->
+  match_result list
+(** {!find} with the execution strategy pinned instead of planned, and
+    no result-cache participation: the hook the benchmarks and the
+    planner's never-worse harness use to time each strategy in
+    isolation.  Semantics are identical to {!find} for every strategy. *)
 
 val matches : ?policy:Fuzzy.policy -> Pattern.t -> Digraph.t -> bool
 

@@ -72,6 +72,27 @@ let with_attributes ?binder head attrs =
   in
   create ~nodes:(head_node :: attr_nodes) ~edges ()
 
+(* Pattern nodes ordered most-constrained-first: labeled before wildcard,
+   then by pattern degree (descending), then by id.  Shared by both
+   matcher implementations and the cost planner, so all three reason
+   about the same backtracking order. *)
+let search_order p =
+  let degree id =
+    List.length (List.filter (fun e -> e.src = id || e.dst = id) p.pedges)
+  in
+  p.pnodes
+  |> List.map (fun n ->
+         let labeled = match n.label with Some _ -> 0 | None -> 1 in
+         (n, labeled, degree n.id))
+  |> List.sort (fun (n1, l1, d1) (n2, l2, d2) ->
+         match Stdlib.compare l1 l2 with
+         | 0 -> (
+             match Stdlib.compare d2 d1 with
+             | 0 -> String.compare n1.id n2.id
+             | c -> c)
+         | c -> c)
+  |> List.map (fun (n, _, _) -> n)
+
 let node_by_id p id = List.find_opt (fun n -> String.equal n.id id) p.pnodes
 
 let binders p =

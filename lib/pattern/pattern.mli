@@ -62,6 +62,12 @@ val with_attributes :
     paper's [truck(O: owner, model)]: an [AttributeOf] edge from the head
     to each listed attribute node, with optional binders. *)
 
+val search_order : t -> node list
+(** Nodes in most-constrained-first backtracking order: labeled before
+    wildcard, then by pattern degree (descending), then by id.  The
+    canonical order shared by {!Matcher}, {!Matcher_reference} and
+    {!Plan_cost}. *)
+
 val node_by_id : t -> string -> node option
 
 val binders : t -> string list

@@ -1,0 +1,357 @@
+(* Cost-based strategy selection for pattern matching and pool fan-out.
+
+   The planner prices each strategy in abstract cost units (one unit is
+   roughly one elementary list/compare step) using only statistics that
+   are cheap to obtain without building anything: graph node and edge
+   counts are O(1) on {!Digraph}, the degree of an exactly-labeled
+   anchor node is one adjacency probe, and {!Label_index.cached} tells
+   us for free whether an indexed search would start warm or pay the
+   whole O(N + E) build.  Everything is deterministic arithmetic over
+   those numbers — the same workspace and query always produce the same
+   plan and the same {!explain} string, on any machine — which is what
+   makes the plans testable and the --explain output golden-stable.
+
+   The model walks the same most-constrained-first node order the
+   matchers use, tracking one estimated frontier of partial assignments
+   per strategy:
+
+   - both executors price anchored positions at the bound endpoint's
+     (label-)degree — adjacency is the graph's own representation, free
+     to either strategy;
+   - the naive scan prices every unanchored wildcard position at N
+     candidates;
+   - the indexed search seeds unanchored positions with exactly-labeled
+     incident edges from that label's bucket (its true size when the
+     index is warm, a min(N, E) bound when cold), but adds the index
+     build when {!Label_index.cached} says the revision is cold —
+     exactly the term that made the always-indexed matcher a 10x
+     regression on selective labeled-anchor patterns.
+
+   Plans are memoized per (parameters, revision, index-cached) in a
+   private table that survives {!Cache_stats.clear_all} — a cold result
+   cache is not an amnesiac planner — so a query session replans only
+   when the graph changes or the index goes from cold to warm. *)
+
+type strategy = Naive | Indexed
+
+let strategy_name = function Naive -> "naive" | Indexed -> "indexed"
+
+type t = {
+  strategy : strategy;
+  naive_cost : float;
+  indexed_cost : float;
+  index_cached : bool;
+  pattern_nodes : int;
+  pattern_edges : int;
+  graph_nodes : int;
+  graph_edges : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Calibration constants (cost units)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed overhead of a Label_index build: allocating seven hash tables,
+   memo-cache traffic, the revision probe.  Keeps tiny graphs (the
+   pinned 10-node chain) on the naive path even when the asymptotic term
+   is negligible. *)
+let index_build_base = 1200.0
+
+(* Per node-or-edge cost of the build: several hashtable inserts plus
+   log-factor set work per edge. *)
+let index_build_per_elem = 8.0
+
+(* One incremental edge check: a mem_edge / labels_between probe. *)
+let edge_check = 4.0
+
+(* Per-candidate degree-feasibility probes in the indexed search. *)
+let degree_probe = 2.0
+
+(* Extra per-candidate cost of a fuzzy node-label comparison. *)
+let fuzzy_node_check = 2.0
+
+(* ------------------------------------------------------------------ *)
+(* Match planning                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Estimated out/in fan-out of the bound endpoint of a pattern edge: the
+   real adjacency of an exactly-labeled endpoint (one cheap probe),
+   average degree otherwise. *)
+let endpoint_degree g ~exact_edges ~avg (endpoint : Pattern.node option) elabel
+    ~out =
+  match endpoint with
+  | Some { Pattern.label = Some l; _ } when Digraph.mem_node g l ->
+      let neighbours =
+        match elabel with
+        | Some lbl when exact_edges ->
+            if out then Digraph.succ_by g l lbl else Digraph.pred_by g l lbl
+        | _ -> if out then Digraph.succ g l else Digraph.pred g l
+      in
+      float_of_int (List.length neighbours)
+  | _ -> avg
+
+let compute ?(policy = Fuzzy.exact) ?(limit = 1000)
+    ?(node_order = `Most_constrained) pattern g ~index_cached =
+  (* A warm index is free to consult: [of_graph] is a memo hit, and its
+     label buckets give exact seed-candidate counts.  A cold one is
+     never touched — planning must not trigger the very build whose cost
+     it is weighing. *)
+  let idx = if index_cached then Some (Label_index.of_graph g) else None in
+  let n = float_of_int (Digraph.nb_nodes g) in
+  let e = float_of_int (Digraph.nb_edges g) in
+  let avg_deg = if n > 0.0 then e /. n else 0.0 in
+  let exact_policy = policy = Fuzzy.exact in
+  let exact_edges = Fuzzy.edge_labels_exact policy in
+  let limit_f = float_of_int (max 1 limit) in
+  let order =
+    match node_order with
+    | `Most_constrained -> Pattern.search_order pattern
+    | `Declaration -> Pattern.nodes pattern
+  in
+  let pedges = Pattern.edges pattern in
+  let incident id =
+    List.filter (fun (pe : Pattern.edge) -> pe.src = id || pe.dst = id) pedges
+  in
+  let naive = ref 0.0 and indexed = ref 0.0 in
+  (* Per-strategy frontiers of partial assignments: a selective seed
+     thins the indexed frontier without thinning the naive one. *)
+  let frontier_n = ref 1.0 and frontier_i = ref 1.0 in
+  let bound = Hashtbl.create 8 in
+  List.iter
+    (fun (pn : Pattern.node) ->
+      let inc = incident pn.id in
+      (* Pattern edges whose other endpoint is already placed: each costs
+         one incremental check per candidate and thins the frontier. *)
+      let links =
+        List.filter
+          (fun (pe : Pattern.edge) ->
+            let other = if pe.src = pn.id then pe.dst else pe.src in
+            other = pn.id || Hashtbl.mem bound other)
+          inc
+      in
+      let link_degree (pe : Pattern.edge) =
+        let src_node = Pattern.node_by_id pattern pe.src in
+        endpoint_degree g ~exact_edges ~avg:avg_deg src_node pe.elabel ~out:true
+      in
+      let check_cost =
+        1.0 +. (edge_check *. float_of_int (List.length links))
+      in
+      (* Both executors anchor on a bound neighbour's adjacency when a
+         linking edge exists; the anchored candidate count is that
+         endpoint's (label-)degree. *)
+      let anchored =
+        match links with
+        | pe :: _ -> Some (Float.max 1.0 (link_degree pe))
+        | [] -> None
+      in
+      (* Expected candidates surviving the node-label test. *)
+      let node_pass cands =
+        match pn.label with
+        | Some l when exact_policy ->
+            if Digraph.mem_node g l then Float.min cands 1.0 else 0.0
+        | Some _ -> Float.min cands 2.0
+        | None -> cands
+      in
+      (* ... and the linking-edge checks: each unsatisfied link is
+         witnessed between near-random endpoints with chance d/n.
+         Anchored candidates satisfy their anchoring link by
+         construction. *)
+      let edge_pass ~pre cands =
+        let rest = if pre then List.tl links else links in
+        List.fold_left
+          (fun acc pe ->
+            let d = Float.max (link_degree pe) 0.1 in
+            acc *. Float.min 1.0 (if n > 0.0 then d /. n else 1.0))
+          cands rest
+      in
+      (* Naive: the exactly-labeled fast path, else anchored adjacency,
+         else scan every node. *)
+      let cand_n, surv_n =
+        match pn.label with
+        | Some l when exact_policy ->
+            let c = if Digraph.mem_node g l then 1.0 else 0.0 in
+            (c, edge_pass ~pre:false c)
+        | _ -> (
+            match anchored with
+            | Some d -> (d, edge_pass ~pre:true (node_pass d))
+            | None -> (n, edge_pass ~pre:false (node_pass n)))
+      in
+      (* Indexed: ditto, except an unanchored position with an
+         exactly-labeled incident edge seeds from that label's bucket —
+         its true size when the index is warm, min(N, E) as the cold
+         bound. *)
+      let cand_i, surv_i =
+        match pn.label with
+        | Some l when exact_policy ->
+            let c = if Digraph.mem_node g l then 1.0 else 0.0 in
+            (c, edge_pass ~pre:false c)
+        | _ -> (
+            match anchored with
+            | Some d -> (d, edge_pass ~pre:true (node_pass d))
+            | None -> (
+                let seeded =
+                  if not exact_edges then None
+                  else
+                    List.find_map
+                      (fun (pe : Pattern.edge) ->
+                        match pe.elabel with
+                        | Some l when String.equal pe.src pn.id ->
+                            Some (`Out l)
+                        | Some l when String.equal pe.dst pn.id ->
+                            Some (`In l)
+                        | _ -> None)
+                      inc
+                in
+                match seeded with
+                | Some side ->
+                    let bucket =
+                      match (idx, side) with
+                      | Some idx, `Out l ->
+                          float_of_int
+                            (List.length (Label_index.sources_with idx l))
+                      | Some idx, `In l ->
+                          float_of_int
+                            (List.length (Label_index.targets_with idx l))
+                      | None, _ -> Float.min n (Float.max 1.0 e)
+                    in
+                    let bucket = Float.max 1.0 bucket in
+                    (bucket, edge_pass ~pre:false (node_pass bucket))
+                | None -> (n, edge_pass ~pre:false (node_pass n))))
+      in
+      naive :=
+        !naive
+        +. (!frontier_n *. cand_n
+           *. (check_cost
+              +. if (not exact_policy) && pn.label <> None then fuzzy_node_check
+                 else 0.0));
+      indexed :=
+        !indexed
+        +. (!frontier_i *. cand_i
+           *. (check_cost +. (degree_probe *. float_of_int (List.length inc))));
+      (* The search stops after [limit] complete matches, so deeper
+         levels never fan out from more than [limit] survivors. *)
+      frontier_n := Float.min (!frontier_n *. surv_n) limit_f;
+      frontier_i := Float.min (!frontier_i *. surv_i) limit_f;
+      Hashtbl.replace bound pn.id ())
+    order;
+  let indexed_total =
+    !indexed
+    +.
+    if index_cached then 0.0
+    else index_build_base +. (index_build_per_elem *. (n +. e))
+  in
+  {
+    strategy = (if !naive <= indexed_total then Naive else Indexed);
+    naive_cost = !naive;
+    indexed_cost = indexed_total;
+    index_cached;
+    pattern_nodes = Pattern.size pattern;
+    pattern_edges = List.length pedges;
+    graph_nodes = Digraph.nb_nodes g;
+    graph_edges = Digraph.nb_edges g;
+  }
+
+(* Memoized per revision (and per index-cached state, so a warming index
+   triggers exactly one replan).  Deliberately NOT an {!Lru} registered
+   with {!Cache_stats}: [Cache_stats.clear_all] models cold result
+   caches, not an amnesiac planner, and replanning an unchanged
+   (pattern, revision) must stay O(1) even right after a flush — the
+   statistics walk costs tens of microseconds, which would erase the
+   planner's wins on microsecond-scale anchored queries.  The revision
+   in the key makes stale hits impossible; the table is bounded by
+   wholesale reset, and bypassed (like every cache) while
+   {!Cache_stats.enabled} is off. *)
+let memo_capacity = 1024
+
+let memo :
+    ( Fuzzy.policy * int * [ `Most_constrained | `Declaration ] * Pattern.t
+      * int * bool,
+      t )
+    Hashtbl.t =
+  Hashtbl.create 64
+
+let memo_lock = Mutex.create ()
+
+let plan ?(policy = Fuzzy.exact) ?(limit = 1000)
+    ?(node_order = `Most_constrained) pattern g =
+  let index_cached = Label_index.cached g in
+  if not (Cache_stats.enabled ()) then
+    compute ~policy ~limit ~node_order pattern g ~index_cached
+  else begin
+    let key =
+      (policy, limit, node_order, pattern, Digraph.revision g, index_cached)
+    in
+    Mutex.lock memo_lock;
+    match Hashtbl.find_opt memo key with
+    | Some p ->
+        Mutex.unlock memo_lock;
+        p
+    | None ->
+        Mutex.unlock memo_lock;
+        (* Compute outside the lock, mirroring Lru.find_or_compute:
+           duplicated concurrent work on one key is idempotent. *)
+        let p = compute ~policy ~limit ~node_order pattern g ~index_cached in
+        Mutex.lock memo_lock;
+        if Hashtbl.length memo >= memo_capacity then Hashtbl.reset memo;
+        Hashtbl.replace memo key p;
+        Mutex.unlock memo_lock;
+        p
+  end
+
+let explain p =
+  Printf.sprintf
+    "match: pattern=%dn/%de graph=%dn/%de naive%s%.3g indexed%s%.3g index=%s \
+     strategy=%s"
+    p.pattern_nodes p.pattern_edges p.graph_nodes p.graph_edges "\xe2\x89\x88"
+    p.naive_cost "\xe2\x89\x88" p.indexed_cost
+    (if p.index_cached then "warm" else "cold")
+    (strategy_name p.strategy)
+
+(* ------------------------------------------------------------------ *)
+(* Batch (fan-out) planning                                           *)
+(* ------------------------------------------------------------------ *)
+
+type batch_strategy = Sequential | Parallel of int
+
+type batch = {
+  batch_strategy : batch_strategy;
+  items : int;
+  per_item_cost : float;
+  domains : int;
+}
+
+let batch_strategy_name = function
+  | Sequential -> "sequential"
+  | Parallel k -> Printf.sprintf "parallel(%d)" k
+
+(* Spawning and joining a domain costs real time (minor heap setup, the
+   join barrier, cross-domain cache traffic on the shared revision
+   counter).  Calibrated against BENCH_match.json's federation fan-out,
+   where eight ~400-term qualifications (~6e3 units each) measurably
+   LOSE at two domains: the floor keeps that shape sequential and lets
+   genuinely heavy batches fan out. *)
+let spawn_cost = 30_000.0
+
+(* Fan out only when the wall-clock saved by splitting the work across k
+   domains covers every extra spawn with a 2x margin. *)
+let spawn_margin = 2.0
+
+let batch ~domains ~items ~per_item_cost =
+  let k = max 1 (min domains items) in
+  let total = float_of_int (max 0 items) *. Float.max 0.0 per_item_cost in
+  let saved = total -. (total /. float_of_int k) in
+  let batch_strategy =
+    if k <= 1 then Sequential
+    else if saved >= spawn_margin *. float_of_int (k - 1) *. spawn_cost then
+      Parallel k
+    else Sequential
+  in
+  { batch_strategy; items; per_item_cost; domains }
+
+let explain_batch b =
+  Printf.sprintf "plan: items=%d per-item%s%.3g total%s%.3g floor%s%.3g \
+                  strategy=%s"
+    b.items "\xe2\x89\x88" b.per_item_cost "\xe2\x89\x88"
+    (float_of_int b.items *. b.per_item_cost)
+    "\xe2\x89\x88" (spawn_margin *. spawn_cost)
+    (batch_strategy_name b.batch_strategy)

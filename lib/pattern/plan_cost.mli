@@ -1,0 +1,91 @@
+(** Cost-based strategy selection for matching and fan-out.
+
+    The planner sits between {!Matcher} and its callers.  From statistics
+    that cost nothing to obtain — graph node/edge counts, the adjacency
+    of exactly-labeled anchors, whether the {!Label_index} for this
+    revision is already memoized, and (when it is) its exact label-bucket
+    sizes — it prices the index-free scan against the bucket-seeded
+    indexed search, and picks the cheaper.  The estimates are deterministic
+    arithmetic: the same pattern, graph and cache state always yield the
+    same plan and the same {!explain} line, which is what makes plans
+    unit-testable and [onion query --explain] output golden-stable.
+
+    A second, scalar model ({!batch}) prices {!Domain_pool} fan-out:
+    parallelism is chosen only when the work saved by splitting across
+    domains covers the spawn/join overhead with margin, so small batches
+    no longer pay the 2-domain penalty the benchmarks exposed.
+
+    Plans are memoized per {!Digraph.revision} (and per index-cached
+    state) in a private table that deliberately survives
+    {!Cache_stats.clear_all}: clearing models cold {e result} caches, not
+    an amnesiac planner, and the revision in the key already makes stale
+    hits impossible.  Disabling stats bypasses the memo entirely. *)
+
+(** How a single pattern match should execute. *)
+type strategy =
+  | Naive  (** Scan candidates from the node list; no index build. *)
+  | Indexed  (** Anchored search over the (possibly cold) {!Label_index}. *)
+
+val strategy_name : strategy -> string
+(** ["naive"] / ["indexed"] — stable names used in {!Cache_stats} plan
+    counters (prefixed ["match."]) and in BENCH_match.json. *)
+
+(** An explainable plan: the chosen strategy plus every number that went
+    into the choice. *)
+type t = {
+  strategy : strategy;
+  naive_cost : float;  (** Estimated cost units for the naive scan. *)
+  indexed_cost : float;
+      (** Estimated cost units for the indexed search, including the
+          [O(N + E)] index build when the index is cold. *)
+  index_cached : bool;  (** Was the label index warm at planning time? *)
+  pattern_nodes : int;
+  pattern_edges : int;
+  graph_nodes : int;
+  graph_edges : int;
+}
+
+val plan :
+  ?policy:Fuzzy.policy ->
+  ?limit:int ->
+  ?node_order:[ `Most_constrained | `Declaration ] ->
+  Pattern.t ->
+  Digraph.t ->
+  t
+(** The plan for matching [pattern] against [g] under the same defaults
+    as {!Matcher.find}.  Memoized per revision; never builds an index or
+    touches more than O(pattern size) adjacency lists. *)
+
+val explain : t -> string
+(** One stable line, e.g.
+    ["match: pattern=2n/1e graph=2000n/8000e naive\xe2\x89\x881.2e1 indexed\xe2\x89\x886.8e4 index=cold strategy=naive"]. *)
+
+(** {1 Batch (fan-out) planning} *)
+
+(** How a batch of independent items should execute on the pool. *)
+type batch_strategy =
+  | Sequential
+  | Parallel of int  (** Number of domains to fan out over. *)
+
+(** An explainable fan-out plan. *)
+type batch = {
+  batch_strategy : batch_strategy;
+  items : int;
+  per_item_cost : float;  (** Caller-estimated cost units per item. *)
+  domains : int;  (** Domains available at planning time. *)
+}
+
+val batch : domains:int -> items:int -> per_item_cost:float -> batch
+(** Fan out iff the wall-clock saved by splitting [items * per_item_cost]
+    across [min domains items] workers covers every extra domain spawn
+    with a calibrated margin; below the floor the batch stays
+    sequential.  Deterministic in its arguments (the caller passes
+    [domains] so this module stays below {!Domain_pool} in the dependency
+    order). *)
+
+val batch_strategy_name : batch_strategy -> string
+(** ["sequential"] / ["parallel(k)"]. *)
+
+val explain_batch : batch -> string
+(** One stable line, e.g.
+    ["plan: items=8 per-item\xe2\x89\x886e3 total\xe2\x89\x884.8e4 floor\xe2\x89\x886e4 strategy=sequential"]. *)

@@ -32,10 +32,27 @@ let of_parts ~sources ~articulations =
   (* Qualifying each part is independent per-source work — the fan-out
      runs on the domain pool; the unions stay sequential (cheap thanks to
      structural sharing) and in declaration order, so the space is
-     deterministic at any pool size. *)
-  let qualified_sources = Domain_pool.map Ontology.qualify sources in
+     deterministic at any pool size.  Qualification rebuilds each graph
+     node-by-node and edge-by-edge, so its cost scales with the part's
+     size; the gate keeps small federations (where 2-domain fan-out
+     measurably lost) sequential. *)
+  let qualify_cost os =
+    match os with
+    | [] -> 0.0
+    | _ ->
+        let total =
+          List.fold_left
+            (fun acc o -> acc + Ontology.nb_terms o + Ontology.nb_relationships o)
+            0 os
+        in
+        3.0 *. float_of_int total /. float_of_int (List.length os)
+  in
+  let qualified_sources =
+    Domain_pool.map ~cost:(qualify_cost sources) Ontology.qualify sources
+  in
   let qualified_articulations =
     Domain_pool.map
+      ~cost:(qualify_cost (List.map Articulation.ontology articulations))
       (fun a -> (Ontology.qualify (Articulation.ontology a), Articulation.bridge_edges a))
       articulations
   in

@@ -40,10 +40,12 @@ let wanted_cache : (int * string * bool, string list) Lru.t =
 
 module Cset = Set.Make (String)
 
-(* Below this store size the per-call cost of spawning domains exceeds
-   the scan itself; measured on the bench fixtures the crossover sits in
-   the low thousands of instances. *)
-let parallel_scan_threshold = 4096
+(* Estimated cost of filtering one instance: a set-membership probe plus
+   result-list consing.  Handing the estimate to the pool replaces the
+   old fixed 4096-instance threshold — the pool's calibrated spawn floor
+   now decides, so the crossover tracks the actual pool size instead of
+   a constant measured at one size. *)
+let scan_cost_per_instance = 5.0
 
 let instances_of ?(transitive = true) kb ~concept =
   let wanted =
@@ -56,9 +58,7 @@ let instances_of ?(transitive = true) kb ~concept =
   let wanted = Cset.of_list wanted in
   let insts = instances kb in
   let keep i = Cset.mem i.concept wanted in
-  if List.length insts >= parallel_scan_threshold then
-    Domain_pool.filter keep insts
-  else List.filter keep insts
+  Domain_pool.filter ~cost:scan_cost_per_instance keep insts
 
 let concepts kb =
   instances kb |> List.map (fun i -> i.concept) |> List.sort_uniq String.compare

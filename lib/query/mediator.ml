@@ -25,6 +25,7 @@ type tuple = {
 
 type report = {
   plan : Plan.t;
+  fanout : Plan_cost.batch;
   tuples : tuple list;
   aggregates : (string * Conversion.value) list;
   scanned : int;
@@ -32,6 +33,8 @@ type report = {
   conversion_failures : (string * string) list;
   skipped_kbs : string list;
 }
+
+let explain_fanout r = Plan_cost.explain_batch r.fanout
 
 let tuple_value t attr = List.assoc_opt attr t.values
 
@@ -59,6 +62,63 @@ let pp_report ppf r =
     List.iter (fun t -> Format.fprintf ppf "  %a@," pp_tuple t) r.tuples
   end;
   Format.fprintf ppf "@]"
+
+(* Minimal JSON rendering — kept local so onion_query stays free of a
+   dependency on the store layer's Status_json. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jarr items = "[" ^ String.concat ", " items ^ "]"
+
+let jobj fields =
+  "{ "
+  ^ String.concat ", " (List.map (fun (k, v) -> jstr k ^ ": " ^ v) fields)
+  ^ " }"
+
+let jvalue = function
+  | Conversion.Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.12g" f
+  | Conversion.Bool b -> string_of_bool b
+  | Conversion.Str s -> jstr s
+
+let report_json ?(explain = false) r =
+  let tuple t =
+    jobj
+      [
+        ("kb", jstr t.kb);
+        ("source", jstr t.source);
+        ("instance", jstr t.instance);
+        ("concept", jstr t.concept);
+        ("values", jobj (List.map (fun (a, v) -> (a, jvalue v)) t.values));
+      ]
+  in
+  let base =
+    [
+      ("tuples", jarr (List.map tuple r.tuples));
+      ("aggregates", jobj (List.map (fun (a, v) -> (a, jvalue v)) r.aggregates));
+      ("scanned", string_of_int r.scanned);
+      ("transferred", string_of_int r.transferred);
+      ("skipped_kbs", jarr (List.map jstr r.skipped_kbs));
+    ]
+  in
+  let fields =
+    if explain then ("explain", jstr (explain_fanout r)) :: base else base
+  in
+  jobj fields
 
 (* Post-processing: ORDER BY, LIMIT, aggregates. *)
 let order_and_limit (q : Query.t) tuples =
@@ -263,7 +323,25 @@ let run ?(pushdown = false) e (q : Query.t) =
         in
         (tuples, !scanned, !transferred, List.rev !failures)
       in
-      let per_source = Domain_pool.map run_source plan.Plan.sources in
+      (* Per-source work is dominated by scanning the stores: every
+         involved kb's instances are touched once, with constant-ish work
+         per instance (set probes, predicate checks, conversions).  The
+         estimate feeds both the pool's fan-out gate and the report's
+         explainable plan. *)
+      let total_instances =
+        List.fold_left (fun acc kb -> acc + Kb.size kb) 0 e.kbs
+      in
+      let num_sources = List.length plan.Plan.sources in
+      let per_source_cost =
+        10.0 *. float_of_int total_instances
+        /. float_of_int (max 1 num_sources)
+      in
+      let fanout =
+        Domain_pool.batch_plan ~items:num_sources ~per_item_cost:per_source_cost
+      in
+      let per_source =
+        Domain_pool.map ~cost:per_source_cost run_source plan.Plan.sources
+      in
       let scanned =
         List.fold_left (fun acc (_, s, _, _) -> acc + s) 0 per_source
       in
@@ -297,6 +375,7 @@ let run ?(pushdown = false) e (q : Query.t) =
       Ok
         {
           plan;
+          fanout;
           tuples;
           aggregates;
           scanned;

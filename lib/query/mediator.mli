@@ -54,6 +54,12 @@ type tuple = {
 
 type report = {
   plan : Plan.t;
+  fanout : Plan_cost.batch;
+      (** The fan-out plan the per-source evaluation executed under: how
+          many source plans, the estimated per-source work, and whether
+          the {!Domain_pool} gate chose sequential or parallel
+          execution.  Rendered by {!explain_fanout} for
+          [onion query --explain]. *)
   tuples : tuple list;
       (** Matching instances; ordered by the query's [ORDER BY] when
           present (instances lacking the key sort last), by
@@ -93,6 +99,17 @@ val run_text :
     space's {!Federation.primary_articulation}. *)
 
 val tuple_value : tuple -> string -> Conversion.value option
+
+val explain_fanout : report -> string
+(** One stable line describing the executed fan-out plan
+    (see {!Plan_cost.explain_batch}): deterministic in the environment
+    and query, so CLI output containing it can be golden-tested. *)
+
+val report_json : ?explain:bool -> report -> string
+(** The report as a single-line JSON object (tuples, aggregates,
+    counters, skipped kbs).  With [explain], an ["explain"] field
+    carries the {!explain_fanout} line — [--explain] composes with
+    [--json]. *)
 
 val pp_tuple : Format.formatter -> tuple -> unit
 

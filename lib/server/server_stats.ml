@@ -120,6 +120,7 @@ type snapshot = {
   protocol_errors : int;
   ops : op_stats list;
   cache_deltas : (string * Cache_stats.snapshot) list;
+  plans : (string * int) list;
 }
 
 let cache_deltas baseline =
@@ -169,6 +170,10 @@ let snapshot t =
         protocol_errors = t.protocol_errors;
         ops;
         cache_deltas = cache_deltas t.cache_baseline;
+        (* Not deltas: the planners' distribution is process-lifetime by
+           design (clear_all models a cold cache, not an amnesiac
+           planner), and the daemon is the process. *)
+        plans = Cache_stats.plan_counts ();
       })
 
 let in_flight t = locked t (fun () -> t.in_flight)
@@ -193,14 +198,16 @@ let to_json t =
       (str name) c.Cache_stats.hits c.Cache_stats.misses
       c.Cache_stats.evictions c.Cache_stats.entries c.Cache_stats.capacity
   in
+  let plan_field (name, count) = Printf.sprintf "%s: %d" (str name) count in
   Printf.sprintf
     "{ \"uptime_s\": %.3f, \"in_flight\": %d, \"accepted\": %d, \
      \"shed_busy\": %d, \"refused_draining\": %d, \"protocol_errors\": %d, \
-     \"ops\": [%s], \"cache_deltas\": [%s] }\n"
+     \"ops\": [%s], \"cache_deltas\": [%s], \"plans\": { %s } }\n"
     s.uptime_s s.in_flight s.accepted s.shed_busy s.refused_draining
     s.protocol_errors
     (String.concat ", " (List.map op_obj s.ops))
     (String.concat ", " (List.map cache_obj s.cache_deltas))
+    (String.concat ", " (List.map plan_field s.plans))
 
 let pp_ns ppf ns =
   if ns < 1_000.0 then Format.fprintf ppf "%.0fns" ns
@@ -227,5 +234,11 @@ let pp ppf t =
         (h + c.Cache_stats.hits, m + c.Cache_stats.misses))
       (0, 0) s.cache_deltas
   in
-  Format.fprintf ppf "  result caches since start: %d hits, %d misses@]" hits
-    misses
+  Format.fprintf ppf "  result caches since start: %d hits, %d misses@," hits
+    misses;
+  Format.fprintf ppf "  plans: %s@]"
+    (match s.plans with
+    | [] -> "(none yet)"
+    | ps ->
+        String.concat ", "
+          (List.map (fun (n, c) -> Printf.sprintf "%s=%d" n c) ps))

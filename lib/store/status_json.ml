@@ -106,6 +106,10 @@ let workspace ws =
         ("exit_code", string_of_int (Diagnostic.exit_code ds));
       ]
   in
+  (* No process-level counters here: status is a pure function of the
+     workspace (the daemon's concurrent soak asserts replies bit-for-bit
+     equal), so the adaptive planners' strategy distribution is reported
+     by the daemon's stats op instead, next to the cache counters. *)
   obj
     [
       ("workspace", str (Workspace.root ws));

@@ -159,6 +159,42 @@ let test_query () =
   (* MyCar's embedded 2000-guilder price converts to 907.56 euro. *)
   check_bool "converted price" true (contains ~affix:"907.56" out)
 
+let test_query_explain () =
+  let code, out =
+    run
+      [ "query"; data "carrier.xml"; data "factory.xml";
+        data "transport-rules.txt"; "--name"; "transport";
+        "SELECT Price FROM Vehicle WHERE Price < 5000"; "--explain" ]
+  in
+  check_int "exit 0" 0 code;
+  (* Golden: the plan is pure arithmetic over the two-source federation,
+     so the line is identical on every machine and every run. *)
+  check_bool "one-line plan precedes the report" true
+    (contains
+       ~affix:
+         "plan: items=2 per-item\xe2\x89\x885 total\xe2\x89\x8810 \
+          floor\xe2\x89\x886e+04 strategy=sequential\n"
+       out);
+  check_bool "answer still present" true (contains ~affix:"907.56" out)
+
+let test_query_explain_json () =
+  (* --explain must compose with --json: one JSON object carrying both
+     the plan and the answer. *)
+  let code, out =
+    run
+      [ "query"; data "carrier.xml"; data "factory.xml";
+        data "transport-rules.txt"; "--name"; "transport";
+        "SELECT Price FROM Vehicle WHERE Price < 5000"; "--explain";
+        "--json" ]
+  in
+  check_int "exit 0" 0 code;
+  check_bool "object opens" true (String.length out > 0 && out.[0] = '{');
+  check_bool "explain field" true
+    (contains ~affix:"\"explain\": \"plan: items=2" out);
+  check_bool "tuples field with the answer" true
+    (contains ~affix:"\"instance\": \"MyCar\"" out);
+  check_bool "converted price" true (contains ~affix:"907.56" out)
+
 let test_oql () =
   let code, out =
     run
@@ -590,6 +626,9 @@ let () =
           Alcotest.test_case "articulate dot" `Quick test_articulate_dot_output;
           Alcotest.test_case "algebra difference" `Quick test_algebra_difference;
           Alcotest.test_case "query" `Quick test_query;
+          Alcotest.test_case "query explain" `Quick test_query_explain;
+          Alcotest.test_case "query explain json" `Quick
+            test_query_explain_json;
           Alcotest.test_case "oql" `Quick test_oql;
           Alcotest.test_case "rdf" `Quick test_rdf;
           Alcotest.test_case "suggest" `Quick test_suggest;

@@ -1,6 +1,7 @@
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_ints = Alcotest.(check (list int))
+let check_string = Alcotest.(check string)
 
 let test_size_floor () =
   Domain_pool.with_size 0 (fun () ->
@@ -101,6 +102,76 @@ let test_concurrent_cache_traffic () =
       check_bool "all workers agree" true
         (List.for_all (fun c -> c = expected) counts))
 
+(* ------------------------------------------------------------------ *)
+(* Cost-gated fan-out                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let batch_name b = Plan_cost.batch_strategy_name b.Plan_cost.batch_strategy
+
+let test_batch_plan_gating () =
+  Domain_pool.with_size 4 (fun () ->
+      (* Eight small items: the saved wall-clock can't cover three extra
+         domain spawns, so the pool must stay sequential. *)
+      check_string "tiny batch stays sequential" "sequential"
+        (batch_name (Domain_pool.batch_plan ~items:8 ~per_item_cost:1000.0));
+      (* Heavy batch: fanning out to all four domains is pure profit. *)
+      check_string "heavy batch fans out" "parallel(4)"
+        (batch_name
+           (Domain_pool.batch_plan ~items:64 ~per_item_cost:100_000.0));
+      (* k is capped by the item count, not just the pool size. *)
+      check_string "k capped by items" "parallel(2)"
+        (batch_name
+           (Domain_pool.batch_plan ~items:2 ~per_item_cost:1_000_000.0)));
+  Domain_pool.with_size 1 (fun () ->
+      check_string "single domain is always sequential" "sequential"
+        (batch_name
+           (Domain_pool.batch_plan ~items:64 ~per_item_cost:100_000.0)))
+
+let test_with_gating_off_forces_parallel () =
+  Domain_pool.with_size 4 (fun () ->
+      Domain_pool.with_gating false (fun () ->
+          check_string "gating off forces the fan-out shape" "parallel(2)"
+            (batch_name (Domain_pool.batch_plan ~items:2 ~per_item_cost:1.0))));
+  (* Fun.protect restores gating even across exceptions. *)
+  (try
+     Domain_pool.with_gating false (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Domain_pool.with_size 4 (fun () ->
+      check_string "gating restored" "sequential"
+        (batch_name (Domain_pool.batch_plan ~items:2 ~per_item_cost:1.0)))
+
+let test_cost_gated_map_results () =
+  (* Whatever the gate decides, results are List.map's, in order. *)
+  let input = List.init 101 Fun.id in
+  List.iter
+    (fun cost ->
+      Domain_pool.with_size 4 (fun () ->
+          check_ints
+            (Printf.sprintf "map ~cost:%g = List.map" cost)
+            (List.map (fun x -> x * 3) input)
+            (Domain_pool.map ~cost (fun x -> x * 3) input);
+          check_ints
+            (Printf.sprintf "filter ~cost:%g = List.filter" cost)
+            (List.filter (fun x -> x mod 7 = 0) input)
+            (Domain_pool.filter ~cost (fun x -> x mod 7 = 0) input)))
+    [ 1.0; 100_000.0 ]
+
+let test_pool_plan_counters () =
+  Domain_pool.with_size 4 (fun () ->
+      Cache_stats.reset_plans ();
+      ignore (Domain_pool.map ~cost:1.0 succ (List.init 8 Fun.id));
+      ignore (Domain_pool.map ~cost:100_000.0 succ (List.init 64 Fun.id));
+      let counts = Cache_stats.plan_counts () in
+      check_int "one sequential decision" 1
+        (try List.assoc "pool.sequential" counts with Not_found -> 0);
+      check_int "one parallel decision" 1
+        (try List.assoc "pool.parallel" counts with Not_found -> 0);
+      (* clear_all models cold caches; the decision log is not a cache. *)
+      Cache_stats.clear_all ();
+      check_bool "counters survive clear_all" true
+        (Cache_stats.plan_counts () <> []);
+      Cache_stats.reset_plans ())
+
 let suite =
   [
     ( "domain-pool",
@@ -116,5 +187,12 @@ let suite =
           test_parallel_graph_building;
         Alcotest.test_case "concurrent cache traffic" `Quick
           test_concurrent_cache_traffic;
+        Alcotest.test_case "batch plan gating" `Quick test_batch_plan_gating;
+        Alcotest.test_case "gating override" `Quick
+          test_with_gating_off_forces_parallel;
+        Alcotest.test_case "cost-gated map equals List.map" `Quick
+          test_cost_gated_map_results;
+        Alcotest.test_case "pool plan counters" `Quick
+          test_pool_plan_counters;
       ] );
   ]

@@ -1,0 +1,363 @@
+(* The adaptive-planner harness.
+
+   Three layers of evidence that Plan_cost can never change what a query
+   means, only how fast it runs:
+
+   - a qcheck property (600 random cases, reusing the generators of
+     test_matcher_equiv.ml): the planner-driven Matcher.find, both
+     pinned strategies (find_fixed Naive / Indexed) and the preserved
+     naive specification Matcher_reference.find are bit-for-bit equal —
+     same matches, same order, same bindings — across policies,
+     injectivity, node orders and limits;
+
+   - pinned plan selections: the cost model must choose Naive for the
+     shapes where the index build was the measured 10x regression
+     (selective labeled anchors, tiny graphs, cold all-wildcard chains)
+     and Indexed where a warm label bucket beats scanning
+     (high-selectivity edge labels once the index exists);
+
+   - determinism: plans, results and --explain renderings are identical
+     at pool sizes 1 and 4 (the ONION_DOMAINS degrees of freedom),
+     batch explains differing only in the strategy field. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains ~sub s =
+  let sl = String.length sub and l = String.length s in
+  let rec go i = i + sl <= l && (String.sub s i sl = sub || go (i + 1)) in
+  go 0
+
+let profile n = { Gen.default_profile with Gen.n_terms = n }
+
+let strategy p = Plan_cost.strategy_name p.Plan_cost.strategy
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence: adaptive = both fixed strategies = reference           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_adaptive_equals_reference =
+  QCheck.Test.make ~count:600
+    ~name:"adaptive find = fixed naive = fixed indexed = reference"
+    Test_matcher_equiv.case
+    (fun (edges, pattern, tag, injective, decl, limit) ->
+      let g = Digraph.of_edges edges in
+      let policy = Test_matcher_equiv.policy_of_tag tag in
+      let node_order = if decl then `Declaration else `Most_constrained in
+      let reference =
+        Matcher_reference.find ~policy ~injective ~limit ~node_order pattern g
+      in
+      let naive =
+        Matcher.find_fixed ~strategy:Plan_cost.Naive ~policy ~injective ~limit
+          ~node_order pattern g
+      in
+      let indexed =
+        Matcher.find_fixed ~strategy:Plan_cost.Indexed ~policy ~injective
+          ~limit ~node_order pattern g
+      in
+      (* Adaptive, both with the planner forced to recompute cold and
+         through the caches: the plan itself must be invisible. *)
+      let adaptive_cold =
+        Cache_stats.with_disabled (fun () ->
+            Matcher.find ~policy ~injective ~limit ~node_order pattern g)
+      in
+      let adaptive_warm =
+        Matcher.find ~policy ~injective ~limit ~node_order pattern g
+      in
+      naive = reference && indexed = reference && adaptive_cold = reference
+      && adaptive_warm = reference)
+
+(* ------------------------------------------------------------------ *)
+(* Pinned plan selections                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* An unlabeled 3-node chain pattern. *)
+let chain3 =
+  let wild id = { Pattern.id; label = None; binder = None } in
+  Pattern.create
+    ~nodes:[ wild "x"; wild "y"; wild "z" ]
+    ~edges:
+      [
+        { Pattern.src = "x"; elabel = None; dst = "y" };
+        { Pattern.src = "y"; elabel = None; dst = "z" };
+      ]
+    ()
+
+(* The BENCH labeled-anchor family: an exactly-labeled anchor (the
+   source of some SubclassOf edge in this very graph) linked to one
+   wildcard neighbour — the shape whose indexed cold path was 10x
+   SLOWER than the naive scan before the planner existed. *)
+let labeled_anchor_pattern g =
+  let anchor =
+    match
+      List.find_opt
+        (fun (e : Digraph.edge) -> String.equal e.label Rel.subclass_of)
+        (Digraph.edges g)
+    with
+    | Some e -> e.src
+    | None -> List.hd (Digraph.nodes g)
+  in
+  Pattern.create
+    ~nodes:
+      [
+        { Pattern.id = "a"; label = Some anchor; binder = None };
+        { Pattern.id = "b"; label = None; binder = Some "Y" };
+      ]
+    ~edges:[ { Pattern.src = "a"; elabel = Some Rel.subclass_of; dst = "b" } ]
+    ()
+
+let test_pin_tiny_graph_naive () =
+  (* 10-node chain graph: any index build costs more than the whole
+     naive search. *)
+  let g =
+    Digraph.of_edges
+      (List.init 9 (fun i ->
+           {
+             Digraph.src = Printf.sprintf "n%d" i;
+             label = "R";
+             dst = Printf.sprintf "n%d" (i + 1);
+           }))
+  in
+  Cache_stats.clear_all ();
+  let p = Plan_cost.plan chain3 g in
+  check_string "tiny graph -> naive" "naive" (strategy p);
+  check_bool "index reported cold" false p.Plan_cost.index_cached;
+  check_bool "naive priced below indexed" true
+    (p.Plan_cost.naive_cost <= p.Plan_cost.indexed_cost)
+
+let test_pin_labeled_anchor_naive () =
+  (* The labeled anchor is self-anchoring: the exact label pins one node
+     and its neighbours come off the adjacency list — a handful of
+     probes.  An index adds nothing here, warm or cold, so the planner
+     must never pay for one (the erased 10x regression). *)
+  let o = Gen.ontology ~profile:(profile 2000) ~seed:17 ~name:"g" () in
+  let g = Ontology.graph o in
+  let labeled = labeled_anchor_pattern g in
+  Cache_stats.clear_all ();
+  let cold = Plan_cost.plan labeled g in
+  check_string "cold labeled anchor -> naive" "naive" (strategy cold);
+  check_bool "planner saw a cold index" false cold.Plan_cost.index_cached;
+  ignore (Label_index.of_graph g);
+  let warm = Plan_cost.plan labeled g in
+  check_string "warm labeled anchor -> still naive (self-anchoring)" "naive"
+    (strategy warm);
+  check_bool "planner saw a warm index" true warm.Plan_cost.index_cached
+
+let test_pin_high_selectivity_label_indexed () =
+  (* ISSUE pin: high-selectivity label => Indexed.  200 nodes chained
+     with a common label and ONE rare "R" edge; for [?X -[R]-> ?Y] a
+     warm index seeds from R's one-element bucket while the naive scan
+     walks all 200 nodes.  Cold the build still dominates — selectivity
+     pays once the index exists. *)
+  let g =
+    Digraph.of_edges
+      ({ Digraph.src = "rsrc"; label = "R"; dst = "rdst" }
+      :: List.init 199 (fun i ->
+             {
+               Digraph.src = Printf.sprintf "s%d" i;
+               label = "S";
+               dst = Printf.sprintf "s%d" (i + 1);
+             }))
+  in
+  let rare = Pattern_parser.parse_exn "?X -[R]-> ?Y" in
+  Cache_stats.clear_all ();
+  let cold = Plan_cost.plan rare g in
+  check_string "cold rare label -> naive (build dominates)" "naive"
+    (strategy cold);
+  ignore (Label_index.of_graph g);
+  let warm = Plan_cost.plan rare g in
+  check_string "warm high-selectivity label -> indexed" "indexed"
+    (strategy warm);
+  check_bool "warm indexed priced below naive" true
+    (warm.Plan_cost.indexed_cost < warm.Plan_cost.naive_cost);
+  (* And the plan is invisible: both strategies return the one match. *)
+  let reference = Matcher_reference.find rare g in
+  check_bool "strategies agree on the rare edge" true
+    (Matcher.find rare g = reference
+    && Matcher.find_fixed ~strategy:Plan_cost.Indexed rare g = reference)
+
+let test_pin_wildcard_chain_cold_naive () =
+  (* An all-wildcard chain has no label to seed from until the index is
+     warm; cold, anchored adjacency wins because it skips the build. *)
+  let o = Gen.ontology ~profile:(profile 600) ~seed:17 ~name:"g" () in
+  let g = Ontology.graph o in
+  let chain =
+    Pattern_parser.parse_exn "?X -[SubclassOf]-> ?Y -[SubclassOf]-> ?Z"
+  in
+  Cache_stats.clear_all ();
+  let p = Plan_cost.plan ~limit:100 chain g in
+  check_string "wildcard chain n=600 cold -> naive" "naive" (strategy p)
+
+(* ------------------------------------------------------------------ *)
+(* The labeled-anchor regression, end to end                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_labeled_anchor_regression_erased () =
+  (* The exact BENCH family at n=2000: adaptive must return the
+     reference's answer while never building an index (the root cause of
+     the 10x regression was the O(N + E) cold build). *)
+  let o = Gen.ontology ~profile:(profile 2000) ~seed:17 ~name:"g" () in
+  let g = Ontology.graph o in
+  let labeled = labeled_anchor_pattern g in
+  Cache_stats.clear_all ();
+  let reference = Matcher_reference.find labeled g in
+  let adaptive =
+    Cache_stats.with_disabled (fun () -> Matcher.find labeled g)
+  in
+  check_bool "same answer" true (adaptive = reference);
+  check_bool "at least one match (the anchor is real)" true (adaptive <> []);
+  Cache_stats.clear_all ();
+  ignore (Matcher.find labeled g);
+  check_bool "adaptive find left the label index unbuilt" false
+    (Label_index.cached g)
+
+let test_degree_filter_skip_equivalence () =
+  (* Satellite: when a candidate set exceeds half the graph the indexed
+     executor skips the per-candidate degree filter.  A wildcard pair on
+     a graph where most nodes are sinks exercises exactly that skip path
+     (all_nodes base, no anchor, no seed) — results must not move. *)
+  let edges =
+    List.init 30 (fun i ->
+        {
+          Digraph.src = "hub";
+          label = "R";
+          dst = Printf.sprintf "sink%d" i;
+        })
+  in
+  let g = Digraph.of_edges edges in
+  let pair =
+    let wild id = { Pattern.id; label = None; binder = None } in
+    Pattern.create
+      ~nodes:[ wild "x"; wild "y" ]
+      ~edges:[ { Pattern.src = "x"; elabel = None; dst = "y" } ]
+      ()
+  in
+  let reference = Matcher_reference.find pair g in
+  let indexed = Matcher.find_fixed ~strategy:Plan_cost.Indexed pair g in
+  check_bool "unfiltered superset changes nothing" true (indexed = reference);
+  check_int "all 30 edges matched" 30 (List.length indexed)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across pool sizes, results and explain output           *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything before the " strategy=" key — the part that must not vary
+   with the domain count. *)
+let strip_strategy s =
+  let marker = " strategy=" in
+  let ml = String.length marker in
+  let rec find i =
+    if i + ml > String.length s then s
+    else if String.equal (String.sub s i ml) marker then String.sub s 0 i
+    else find (i + 1)
+  in
+  find 0
+
+let test_explain_deterministic_across_domains () =
+  let o = Gen.ontology ~profile:(profile 200) ~seed:17 ~name:"g" () in
+  let g = Ontology.graph o in
+  let labeled = labeled_anchor_pattern g in
+  let at k =
+    Domain_pool.with_size k (fun () ->
+        Cache_stats.clear_all ();
+        let results = Matcher.find labeled g in
+        let explain = Plan_cost.explain (Plan_cost.plan labeled g) in
+        (results, explain))
+  in
+  let r1, e1 = at 1 in
+  let r4, e4 = at 4 in
+  (* The ambient size: whatever ONION_DOMAINS says, or the hardware
+     default when unset — the third leg of the {unset, 1, 4} triple. *)
+  let r0, e0 =
+    Cache_stats.clear_all ();
+    let results = Matcher.find labeled g in
+    (results, Plan_cost.explain (Plan_cost.plan labeled g))
+  in
+  check_bool "identical results at 1 and 4 domains" true (r1 = r4);
+  check_string "identical match explain at 1 and 4 domains" e1 e4;
+  check_bool "ambient pool size matches size 1" true (r0 = r1);
+  check_string "ambient explain matches size 1" e0 e1;
+  (* Batch plans may legitimately flip strategy with the domain count;
+     everything before the strategy field must be identical. *)
+  let b1 = Plan_cost.batch ~domains:1 ~items:8 ~per_item_cost:6000.0 in
+  let b4 = Plan_cost.batch ~domains:4 ~items:8 ~per_item_cost:6000.0 in
+  check_string "batch explain identical modulo strategy"
+    (strip_strategy (Plan_cost.explain_batch b1))
+    (strip_strategy (Plan_cost.explain_batch b4))
+
+let test_explain_shape () =
+  (* The one-line renderings are stable enough to golden-test: pure
+     arithmetic over deterministic statistics, no timing, no pointers. *)
+  let g =
+    Digraph.of_edges [ { Digraph.src = "a"; label = "R"; dst = "b" } ]
+  in
+  Cache_stats.clear_all ();
+  let e = Plan_cost.explain (Plan_cost.plan chain3 g) in
+  check_bool "names the sizes" true
+    (contains ~sub:"pattern=3n/2e" e
+    && contains ~sub:"graph=2n/1e" e);
+  check_bool "names the index state" true
+    (contains ~sub:"index=cold" e);
+  check_bool "names a strategy" true
+    (contains ~sub:"strategy=" e);
+  let b = Plan_cost.batch ~domains:4 ~items:3 ~per_item_cost:100.0 in
+  check_string "batch explain pinned"
+    "plan: items=3 per-item\xe2\x89\x88100 total\xe2\x89\x88300 \
+     floor\xe2\x89\x886e+04 strategy=sequential"
+    (Plan_cost.explain_batch b)
+
+(* ------------------------------------------------------------------ *)
+(* Plan counters                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_counters () =
+  Cache_stats.reset_plans ();
+  let o = Gen.ontology ~profile:(profile 200) ~seed:17 ~name:"g" () in
+  let g = Ontology.graph o in
+  Cache_stats.clear_all ();
+  ignore (Matcher.find (labeled_anchor_pattern g) g);
+  let counts = Cache_stats.plan_counts () in
+  check_bool "a match strategy was recorded" true
+    (List.exists
+       (fun (name, n) ->
+         n > 0
+         && (String.equal name "match.naive"
+            || String.equal name "match.indexed"))
+       counts);
+  (* clear_all models a cold cache, not an amnesiac planner. *)
+  Cache_stats.clear_all ();
+  check_bool "plan counters survive clear_all" true
+    (Cache_stats.plan_counts () <> []);
+  Cache_stats.reset_plans ();
+  check_int "reset empties the distribution" 0
+    (List.length (Cache_stats.plan_counts ()))
+
+let suite =
+  [
+    ( "plan-cost-equivalence",
+      List.map QCheck_alcotest.to_alcotest [ prop_adaptive_equals_reference ]
+    );
+    ( "plan-cost-selection",
+      [
+        Alcotest.test_case "tiny graph plans naive" `Quick
+          test_pin_tiny_graph_naive;
+        Alcotest.test_case "labeled anchor plans naive" `Quick
+          test_pin_labeled_anchor_naive;
+        Alcotest.test_case "high-selectivity label plans indexed" `Quick
+          test_pin_high_selectivity_label_indexed;
+        Alcotest.test_case "wildcard chain plans naive cold" `Quick
+          test_pin_wildcard_chain_cold_naive;
+        Alcotest.test_case "labeled-anchor regression erased" `Quick
+          test_labeled_anchor_regression_erased;
+        Alcotest.test_case "degree-filter skip is invisible" `Quick
+          test_degree_filter_skip_equivalence;
+      ] );
+    ( "plan-cost-determinism",
+      [
+        Alcotest.test_case "results and explain stable across domains" `Quick
+          test_explain_deterministic_across_domains;
+        Alcotest.test_case "explain shape" `Quick test_explain_shape;
+        Alcotest.test_case "plan counters" `Quick test_plan_counters;
+      ] );
+  ]
