@@ -1489,6 +1489,398 @@ let serve () =
   row "wrote BENCH_serve.json"
 
 (* ------------------------------------------------------------------ *)
+(* CHAOS — adversarial soak: the daemon under hostile clients          *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_chaos.json: the same healthy client fleet runs twice — once
+   quiet, once inside a storm of slow-loris writers, mid-frame
+   disconnects, garbage frames, a deadline-ms=1 request storm and a
+   corrupt source rewritten continuously so its circuit breaker trips —
+   and the two runs are compared.  The gates are the resilience
+   acceptance criteria: healthy success >= 99%, every request resolves,
+   storm p99 within 3x the quiet p99, and the daemon still answers
+   afterwards. *)
+type chaos_phase = {
+  ch_started : int;
+  ch_resolved : int;
+  ch_ok : int;
+  ch_timeout : int;
+  ch_busy : int;
+  ch_error : int;
+  ch_transport : int;
+  ch_lat : float array;  (** Per-request latency of the [Ok] replies. *)
+}
+
+let chaos () =
+  section "CHAOS"
+    "adversarial soak: slow-loris, torn frames, garbage, deadline storms \
+     and a flapping corrupt source against a live daemon";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let dir = Filename.temp_file "onion-bench-chaos" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let socket_path = Filename.concat dir "chaos.sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+      in
+      if Sys.file_exists dir then rm dir)
+  @@ fun () ->
+  let ws_dir = Filename.concat dir "ws" in
+  let ws =
+    match Workspace.init ws_dir with Ok w -> w | Error m -> failwith m
+  in
+  List.iter
+    (fun o ->
+      let path = Filename.concat dir (Ontology.name o ^ ".xml") in
+      Loader.save_file o path;
+      match Workspace.add_source ws ~path with
+      | Ok _ -> ()
+      | Error m -> failwith m)
+    [ Paper_example.carrier; Paper_example.factory ];
+  (match
+     Workspace.articulate ~conversions:Conversion.builtin ws ~left:"carrier"
+       ~right:"factory" ~name:Paper_example.articulation_name
+       ~rules:Paper_example.rules
+   with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  (* The third source is hostile: it never parses, and the mutator
+     rewrites it during the storm so every scan sees fresh bytes — the
+     space memo cannot shield the classifier, and the repeated failures
+     open its circuit breaker. *)
+  let flaky_path =
+    Filename.concat (Filename.concat ws_dir "sources") "flaky.xml"
+  in
+  let corrupt i =
+    let oc = open_out_bin flaky_path in
+    output_string oc (Printf.sprintf "<flaky revision %d" i);
+    close_out oc
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.unix_path = Some socket_path;
+      queue_capacity = 32;
+      workers = 4;
+      io_timeout_ms = 250;
+      conn_lifetime_ms = 60_000;
+      default_deadline_ms = 0;
+      grace_ms = 2_000;
+    }
+  in
+  let server =
+    match Server.create config ws with Ok s -> s | Error m -> failwith m
+  in
+  let serve_thread = Thread.create Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join serve_thread)
+  @@ fun () ->
+  let address = Client.Unix_socket socket_path in
+  let query_text = "SELECT Price FROM Vehicle WHERE Price < 5000" in
+  let pct arr q =
+    let a = Array.copy arr in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    if n = 0 then 0.0
+    else a.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  (* Shared mutex for every phase counter. *)
+  let m = Mutex.create () in
+  let locked f =
+    Mutex.lock m;
+    f ();
+    Mutex.unlock m
+  in
+  (* The healthy fleet: the same clients, rounds and op mix in both
+     phases, so the storm-vs-quiet p99 ratio isolates what the
+     adversaries cost polite clients. *)
+  let fleet = 6 and healthy_rounds = 50 in
+  let run_fleet () =
+    let started = ref 0
+    and resolved = ref 0
+    and ok = ref 0
+    and timeout = ref 0
+    and busy = ref 0
+    and error = ref 0
+    and transport = ref 0 in
+    let lats = ref [] in
+    let worker () =
+      let conn = ref None in
+      let get_conn () =
+        match !conn with
+        | Some c -> c
+        | None ->
+            let rec go tries =
+              match Client.connect ~io_timeout_ms:5000 address with
+              | Ok c -> c
+              | Error _ when tries < 50 ->
+                  Thread.delay 0.02;
+                  go (tries + 1)
+              | Error m -> failwith ("chaos bench: reconnect: " ^ m)
+            in
+            let c = go 0 in
+            conn := Some c;
+            c
+      in
+      let drop_conn () =
+        (match !conn with Some c -> Client.close c | None -> ());
+        conn := None
+      in
+      for i = 1 to healthy_rounds do
+        let op, arg =
+          if i mod 13 = 0 then ("status", "")
+          else if i mod 7 = 0 then ("health", "")
+          else ("query", query_text)
+        in
+        locked (fun () -> incr started);
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          Client.request_with_retry ~retries:3 ~deadline_ms:2000 (get_conn ())
+            ~op ~arg
+        in
+        let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+        locked (fun () ->
+            incr resolved;
+            match outcome with
+            | Ok { Protocol.status = Protocol.Ok; _ } ->
+                incr ok;
+                lats := dt :: !lats
+            | Ok { Protocol.status = Protocol.Timeout; _ } -> incr timeout
+            | Ok { Protocol.status = Protocol.Busy _; _ } -> incr busy
+            | Ok _ -> incr error
+            | Error _ -> incr transport);
+        match outcome with Error _ -> drop_conn () | Ok _ -> ()
+      done;
+      drop_conn ()
+    in
+    let threads = List.init fleet (fun _ -> Thread.create worker ()) in
+    List.iter Thread.join threads;
+    {
+      ch_started = !started;
+      ch_resolved = !resolved;
+      ch_ok = !ok;
+      ch_timeout = !timeout;
+      ch_busy = !busy;
+      ch_error = !error;
+      ch_transport = !transport;
+      ch_lat = Array.of_list !lats;
+    }
+  in
+  (* Quiet phase: settle the caches, then the fleet alone. *)
+  (match
+     Client.with_connection ~io_timeout_ms:5000 address (fun c ->
+         for _ = 1 to 20 do
+           ignore (Client.request c ~op:"query" ~arg:query_text)
+         done;
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error m -> failwith ("chaos bench: " ^ m));
+  let quiet = run_fleet () in
+  let quiet_p50 = pct quiet.ch_lat 0.50 and quiet_p99 = pct quiet.ch_lat 0.99 in
+  row "quiet fleet (%d clients x %d rounds): %d ok of %d, p50 %a  p99 %a"
+    fleet healthy_rounds quiet.ch_ok quiet.ch_started pp_time quiet_p50
+    pp_time quiet_p99;
+  (* Storm phase: the corrupt source appears now, and everything
+     adversarial loops until the fleet is done. *)
+  let stop = Atomic.make false in
+  let storm_started = ref 0 and storm_resolved = ref 0 in
+  let loris = ref 0 and torn = ref 0 and garbage = ref 0 in
+  corrupt 0;
+  (* Adversaries cycle three attacks: dribbling header bytes slower than
+     the frame budget (slow-loris), a declared-length frame cut off
+     mid-payload, and bytes that are not a frame at all. *)
+  let adversary seed () =
+    let i = ref seed in
+    while not (Atomic.get stop) do
+      incr i;
+      try
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with _ -> ())
+          (fun () ->
+            Unix.connect fd (Unix.ADDR_UNIX socket_path);
+            match !i mod 3 with
+            | 0 ->
+                locked (fun () -> incr loris);
+                let b = Bytes.make 1 '1' in
+                (try
+                   for _ = 1 to 6 do
+                     ignore (Unix.write fd b 0 1);
+                     Thread.delay 0.1
+                   done
+                 with _ -> ())
+            | 1 ->
+                locked (fun () -> incr torn);
+                let b = Bytes.of_string "64\nhalf a frame then gone" in
+                (try ignore (Unix.write fd b 0 (Bytes.length b)) with _ -> ())
+            | _ ->
+                locked (fun () -> incr garbage);
+                let b = Bytes.of_string "not-a-length\n\255\254garbage\n" in
+                (try ignore (Unix.write fd b 0 (Bytes.length b)) with _ -> ());
+                Thread.delay 0.02)
+      with _ -> ()
+    done
+  in
+  (* Deadline storm: bursts of deadline-ms=1 requests.  Every one of
+     them must still resolve — mostly as [timeout] replies shed from the
+     queue. *)
+  let deadline_storm () =
+    while not (Atomic.get stop) do
+      (match Client.connect ~io_timeout_ms:2000 address with
+      | Error _ -> Thread.delay 0.05
+      | Ok c ->
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              for _ = 1 to 10 do
+                if not (Atomic.get stop) then begin
+                  locked (fun () -> incr storm_started);
+                  ignore
+                    (Client.request ~deadline_ms:1 c ~op:"query"
+                       ~arg:query_text);
+                  locked (fun () -> incr storm_resolved)
+                end
+              done));
+      Thread.delay 0.03
+    done
+  in
+  let mutator () =
+    let i = ref 0 in
+    while not (Atomic.get stop) do
+      incr i;
+      (try corrupt !i with Sys_error _ -> ());
+      Thread.delay 0.03
+    done
+  in
+  let background =
+    [
+      Thread.create (adversary 0) ();
+      Thread.create (adversary 1) ();
+      Thread.create deadline_storm ();
+      Thread.create mutator ();
+    ]
+  in
+  let storm = run_fleet () in
+  Atomic.set stop true;
+  List.iter Thread.join background;
+  let unresolved =
+    quiet.ch_started - quiet.ch_resolved
+    + (storm.ch_started - storm.ch_resolved)
+    + (!storm_started - !storm_resolved)
+  in
+  let storm_p50 = pct storm.ch_lat 0.50 and storm_p99 = pct storm.ch_lat 0.99 in
+  (* Ratio against a floored baseline so a sub-millisecond quiet p99
+     does not turn scheduler noise into a failure. *)
+  let p99_ratio = storm_p99 /. Float.max quiet_p99 1e6 in
+  let success_rate =
+    if storm.ch_started = 0 then 0.0
+    else float_of_int storm.ch_ok /. float_of_int storm.ch_started
+  in
+  let breakers = Workspace.breakers ws in
+  let breaker_tripped =
+    List.exists
+      (fun (b : Breaker.info) ->
+        b.Breaker.info_state <> Breaker.Closed || b.Breaker.info_failures > 0)
+      breakers
+  in
+  (* Liveness: after the storm the daemon must still answer control and
+     workload ops on a fresh connection. *)
+  let live_after =
+    match
+      Client.with_connection ~io_timeout_ms:5000 address (fun c ->
+          Ok
+            (List.for_all
+               (function
+                 | Result.Ok { Protocol.status = Protocol.Ok; _ } -> true
+                 | _ -> false)
+               [
+                 Client.request c ~op:"ping" ~arg:"";
+                 Client.request c ~op:"status" ~arg:"";
+                 Client.request c ~op:"query" ~arg:query_text;
+               ]))
+    with
+    | Ok b -> b
+    | Error _ -> false
+  in
+  let gate_success = success_rate >= 0.99 in
+  let gate_p99 = p99_ratio <= 3.0 in
+  let gate_unresolved = unresolved = 0 in
+  let pass b = if b then "PASS" else "FAIL" in
+  row "storm fleet: %d requests, %d ok (%.2f%%), %d timeout, %d busy, %d \
+       error, %d transport (>= 99%%: %s)"
+    storm.ch_started storm.ch_ok (100. *. success_rate) storm.ch_timeout
+    storm.ch_busy storm.ch_error storm.ch_transport (pass gate_success);
+  row "storm success latency: p50 %a  p99 %a  (%.2fx quiet p99, <= 3x: %s)"
+    pp_time storm_p50 pp_time storm_p99 p99_ratio (pass gate_p99);
+  row "deadline storm: %d requests, all resolved: %s; unresolved total %d \
+       (%s)"
+    !storm_started
+    (if !storm_started = !storm_resolved then "yes" else "no")
+    unresolved (pass gate_unresolved);
+  row "adversarial: %d slow-loris, %d torn frames, %d garbage frames" !loris
+    !torn !garbage;
+  row "breaker tripped on the flapping source: %s"
+    (if breaker_tripped then "yes" else "no");
+  row "daemon alive after the storm: %s" (pass live_after);
+  let oc = open_out "BENCH_chaos.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let breaker_objs =
+        List.map
+          (fun (b : Breaker.info) ->
+            Printf.sprintf
+              "    { \"name\": \"%s\", \"state\": \"%s\", \"failures\": %d }"
+              (json_escape b.Breaker.name)
+              (Breaker.string_of_state b.Breaker.info_state)
+              b.Breaker.info_failures)
+          breakers
+      in
+      output_string oc "{\n  \"benchmark\": \"chaos\",\n";
+      output_string oc
+        (Printf.sprintf
+           "  \"quiet\": { \"total\": %d, \"ok\": %d, \"p50_ns\": %s, \
+            \"p99_ns\": %s },\n"
+           quiet.ch_started quiet.ch_ok (json_float quiet_p50)
+           (json_float quiet_p99));
+      output_string oc
+        (Printf.sprintf
+           "  \"storm\": { \"healthy_total\": %d, \"healthy_ok\": %d, \
+            \"success_rate\": %.4f, \"timeouts\": %d, \"busy\": %d, \
+            \"server_errors\": %d, \"transport_errors\": %d, \
+            \"unresolved\": %d, \"p50_ns\": %s, \"p99_ns\": %s, \
+            \"p99_ratio\": %.3f },\n"
+           storm.ch_started storm.ch_ok success_rate storm.ch_timeout
+           storm.ch_busy storm.ch_error storm.ch_transport unresolved
+           (json_float storm_p50) (json_float storm_p99) p99_ratio);
+      output_string oc
+        (Printf.sprintf
+           "  \"adversarial\": { \"slow_loris\": %d, \"torn_frames\": %d, \
+            \"garbage_frames\": %d, \"deadline_storm_requests\": %d },\n"
+           !loris !torn !garbage !storm_started);
+      output_string oc
+        (Printf.sprintf "  \"breaker_tripped\": %b,\n" breaker_tripped);
+      output_string oc "  \"breakers\": [\n";
+      output_string oc (String.concat ",\n" breaker_objs);
+      output_string oc "\n  ],\n";
+      output_string oc
+        (Printf.sprintf
+           "  \"gates\": { \"success_ge_99\": %b, \"p99_le_3x\": %b, \
+            \"unresolved_zero\": %b, \"live_after\": %b }\n"
+           gate_success gate_p99 gate_unresolved live_after);
+      output_string oc "}\n");
+  row "wrote BENCH_chaos.json"
+
+(* ------------------------------------------------------------------ *)
 (* LINT — whole-workspace static analysis: cold vs warm re-lint        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1604,6 +1996,7 @@ let sections_by_id =
     ("match", match_);
     ("fault", fault);
     ("serve", serve);
+    ("chaos", chaos);
     ("lint", lint_bench);
   ]
 

@@ -612,7 +612,8 @@ let workspace_cmd =
 (* ---------------- serve / client ---------------- *)
 
 let serve_cmd =
-  let run dir host port socket queue workers =
+  let run dir host port socket queue workers io_timeout conn_lifetime
+      default_deadline grace =
     let ws = open_workspace_or_die dir in
     (* Warm the federation before accepting traffic, and surface a
        degraded workspace on stderr the way [workspace query] does. *)
@@ -627,6 +628,10 @@ let serve_cmd =
         unix_path = socket;
         queue_capacity = queue;
         workers;
+        io_timeout_ms = io_timeout;
+        conn_lifetime_ms = conn_lifetime;
+        default_deadline_ms = default_deadline;
+        grace_ms = grace;
       }
     in
     match Server.create config ws with
@@ -674,13 +679,52 @@ let serve_cmd =
       & opt int Server.default_config.Server.workers
       & info [ "workers" ] ~docv:"N" ~doc:"Request worker threads.")
   in
+  let io_timeout =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.io_timeout_ms
+      & info [ "io-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Socket read/write timeout and whole-frame progress budget \
+             (slow-client defense; 0 disables).  Env: ONION_IO_TIMEOUT_MS.")
+  in
+  let conn_lifetime =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.conn_lifetime_ms
+      & info [ "conn-lifetime-ms" ] ~docv:"MS"
+          ~doc:
+            "Close each connection at the next frame boundary past this \
+             age (0 disables).  Env: ONION_CONN_LIFETIME_MS.")
+  in
+  let default_deadline =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.default_deadline_ms
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Deadline for requests without a deadline-ms= attribute (0 = \
+             none).  Env: ONION_DEFAULT_DEADLINE_MS.")
+  in
+  let grace =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.grace_ms
+      & info [ "grace-ms" ] ~docv:"MS"
+          ~doc:
+            "Shutdown grace: after this, queued requests are answered \
+             timeout and in-flight work is cancelled (0 = wait forever).  \
+             Env: ONION_GRACE_MS.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve a workspace as a long-lived query daemon (TCP and/or \
           Unix-domain socket).  SIGTERM or the shutdown op drains in-flight \
           requests and exits 0.")
-    Term.(const run $ workspace_arg 0 $ host $ port $ socket $ queue $ workers)
+    Term.(
+      const run $ workspace_arg 0 $ host $ port $ socket $ queue $ workers
+      $ io_timeout $ conn_lifetime $ default_deadline $ grace)
 
 let client_cmd =
   let print_reply (reply : Protocol.reply) =
@@ -700,8 +744,11 @@ let client_cmd =
     | Protocol.Draining ->
         Printf.eprintf "draining: server is shutting down\n";
         false
+    | Protocol.Timeout ->
+        Printf.eprintf "timeout: %s\n" (String.trim reply.Protocol.body);
+        false
   in
-  let run socket host port from_stdin op rest =
+  let run socket host port from_stdin op rest retries deadline_ms io_timeout =
     let address =
       match (socket, port) with
       | Some path, _ -> Client.Unix_socket path
@@ -711,7 +758,7 @@ let client_cmd =
           exit 2
     in
     let outcome =
-      Client.with_connection address (fun c ->
+      Client.with_connection ?io_timeout_ms:io_timeout address (fun c ->
           if from_stdin then begin
             (* Batch mode: one request per non-blank stdin line; bodies go
                to stdout, warnings and failures to stderr, and a failed
@@ -723,7 +770,10 @@ let client_cmd =
                   let line = String.trim line in
                   if line = "" then loop all_ok
                   else begin
-                    match Client.request_line c line with
+                    match
+                      Client.request_line_with_retry ~retries ?deadline_ms c
+                        line
+                    with
                     | Error _ as e -> e
                     | Ok reply -> loop (print_reply reply && all_ok)
                   end
@@ -738,7 +788,10 @@ let client_cmd =
                    or --stdin\n";
                 exit 2
             | Some op -> (
-                match Client.request c ~op ~arg:(String.concat " " rest) with
+                match
+                  Client.request_with_retry ~retries ?deadline_ms c ~op
+                    ~arg:(String.concat " " rest)
+                with
                 | Error _ as e -> e
                 | Ok reply -> Result.Ok (print_reply reply)))
     in
@@ -786,12 +839,41 @@ let client_cmd =
       value & pos_right 0 string []
       & info [] ~docv:"ARG" ~doc:"Argument for the op (joined with spaces).")
   in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts after a busy reply, honouring the server's \
+             retry hint with jittered exponential backoff (0 disables).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Attach a deadline-ms= attribute to each request; the server \
+             sheds or cancels the work once the budget is spent and \
+             answers timeout.  Also bounds client-side retry backoff.")
+  in
+  let io_timeout =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "io-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Socket read/write timeout: a wedged server surfaces as a \
+             transport error instead of blocking forever.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Talk to a running onion serve daemon.  Exit 0 on success, 1 if any \
           request was refused or failed, 2 on transport errors.")
-    Term.(const run $ socket $ host $ port $ from_stdin $ op $ rest)
+    Term.(
+      const run $ socket $ host $ port $ from_stdin $ op $ rest $ retries
+      $ deadline_ms $ io_timeout)
 
 let translate_cmd =
   let run left_path right_path rules_path name from_name to_name instance_id =

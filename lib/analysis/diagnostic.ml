@@ -88,6 +88,8 @@ let catalog =
     c "io" "checksum-mismatch" Warning
       "a payload parses but its checksum stamp disagrees";
     c "io" "orphan-sidecar" Error "a checksum sidecar without a payload";
+    c "io" "breaker-open" Error
+      "a part's circuit breaker is open after repeated load failures";
   ]
 
 let find_check code =

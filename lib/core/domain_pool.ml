@@ -81,17 +81,30 @@ let map_parallel f xs =
     let items = Array.of_list xs in
     let results = Array.make n Pending in
     let cursor = Atomic.make 0 in
+    (* Spawned domains have their own threads, so the caller's ambient
+       {!Deadline} does not follow them implicitly: capture it here and
+       re-install it inside each worker.  The per-item check turns a
+       blown budget into [Failed Expired] slots (never [Pending] — the
+       placement invariant below stays intact) and the earliest failure
+       re-raises as usual. *)
+    let deadline = Deadline.current () in
     let worker () =
       Domain.DLS.set in_worker true;
-      let rec loop () =
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < n then begin
-          (results.(i) <-
-             (match f items.(i) with v -> Done v | exception e -> Failed e));
-          loop ()
-        end
-      in
-      loop ()
+      Deadline.with_deadline deadline (fun () ->
+          let rec loop () =
+            let i = Atomic.fetch_and_add cursor 1 in
+            if i < n then begin
+              (results.(i) <-
+                 (match
+                    Deadline.check ();
+                    f items.(i)
+                  with
+                 | v -> Done v
+                 | exception e -> Failed e));
+              loop ()
+            end
+          in
+          loop ())
     in
     let domains = List.init (k - 1) (fun _ -> Domain.spawn worker) in
     (* The calling domain is the k-th worker (its in_worker flag is reset

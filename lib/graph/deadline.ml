@@ -1,0 +1,94 @@
+(* Wall-clock deadlines with ambient per-thread propagation.
+
+   A deadline is an absolute [Unix.gettimeofday] instant ([never] =
+   [infinity]).  The serving path installs one around each admitted
+   request with {!with_deadline}; deep loops (pattern matching, domain
+   fan-out, per-source federation work) call {!check} periodically and
+   get an {!Expired} exception when the budget is gone — cooperative
+   cancellation, no thread kills.
+
+   Ambient storage is a mutex-guarded table keyed by systhread id:
+   OCaml 5 sys-threads share their domain, so [Domain.DLS] cannot hold
+   per-request state (every admission worker would alias the same
+   slot).  The table is only consulted when at least one deadline is
+   installed — [check] is two atomic loads on the idle path, so
+   batch-CLI and deadline-free traffic pay nothing.
+
+   A process-wide hard stop ({!set_hard_stop}) caps *every* thread,
+   with or without an ambient deadline.  The daemon arms it with the
+   shutdown grace period before draining, so in-flight work that would
+   outlive the grace raises at its next check instead of wedging the
+   drain. *)
+
+type t = float
+
+exception Expired
+
+let never : t = infinity
+let now () = Unix.gettimeofday ()
+
+let after_ms ms =
+  if ms <= 0 then now () -. 1e-9 else now () +. (float_of_int ms /. 1000.)
+
+let of_ms_opt = function None -> never | Some ms -> after_ms ms
+let expired t = t < infinity && now () >= t
+
+let remaining_ms t =
+  if t = infinity then max_int
+  else int_of_float (Float.ceil ((t -. now ()) *. 1000.))
+
+(* ------------------------------------------------------------------ *)
+(* Ambient per-thread registry                                        *)
+(* ------------------------------------------------------------------ *)
+
+let active = Atomic.make 0
+let hard_stop = Atomic.make never
+let table : (int, float) Hashtbl.t = Hashtbl.create 64
+let table_mutex = Mutex.create ()
+let tid () = Thread.id (Thread.self ())
+
+let ambient () =
+  if Atomic.get active = 0 then never
+  else begin
+    Mutex.lock table_mutex;
+    let d =
+      match Hashtbl.find_opt table (tid ()) with Some d -> d | None -> never
+    in
+    Mutex.unlock table_mutex;
+    d
+  end
+
+let current () = Float.min (ambient ()) (Atomic.get hard_stop)
+
+let with_deadline d f =
+  if d = infinity then f ()
+  else begin
+    let id = tid () in
+    Mutex.lock table_mutex;
+    let prev = Hashtbl.find_opt table id in
+    (* A tighter enclosing deadline is never loosened by a nested one. *)
+    let eff = match prev with Some p -> Float.min p d | None -> d in
+    Hashtbl.replace table id eff;
+    Mutex.unlock table_mutex;
+    Atomic.incr active;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.decr active;
+        Mutex.lock table_mutex;
+        (match prev with
+        | Some p -> Hashtbl.replace table id p
+        | None -> Hashtbl.remove table id);
+        Mutex.unlock table_mutex)
+      f
+  end
+
+let check () =
+  if Atomic.get active > 0 || Atomic.get hard_stop < infinity then
+    if expired (current ()) then raise Expired
+
+let cancelled () =
+  (Atomic.get active > 0 || Atomic.get hard_stop < infinity)
+  && expired (current ())
+
+let set_hard_stop t = Atomic.set hard_stop t
+let clear_hard_stop () = Atomic.set hard_stop never

@@ -1,0 +1,71 @@
+(** Wall-clock deadlines with ambient per-thread propagation.
+
+    The daemon's resilience layer: a request's deadline is installed
+    with {!with_deadline} around its workload, deep loops ({!Matcher},
+    [Domain_pool], per-source federation work) call {!check}
+    periodically, and an exhausted budget surfaces as {!Expired} —
+    cooperative cancellation that unwinds cleanly through the
+    exception-safe caches ({!Lru.find_or_compute} never caches a raised
+    computation).
+
+    When no deadline is installed anywhere in the process, {!check} is
+    two atomic loads — batch CLI use and deadline-free traffic pay
+    nothing. *)
+
+type t = private float
+(** An absolute [Unix.gettimeofday] instant; [infinity] means never. *)
+
+exception Expired
+(** Raised by {!check} when the current thread's effective deadline
+    (ambient or process-wide hard stop) has passed. *)
+
+val never : t
+(** The absent deadline: never expires. *)
+
+val after_ms : int -> t
+(** [after_ms ms] is the instant [ms] milliseconds from now.  A
+    non-positive [ms] yields an already-expired deadline. *)
+
+val of_ms_opt : int option -> t
+(** [of_ms_opt None] is {!never}; [of_ms_opt (Some ms)] is
+    [after_ms ms]. *)
+
+val expired : t -> bool
+(** Has this instant passed?  Always [false] for {!never}. *)
+
+val remaining_ms : t -> int
+(** Milliseconds until expiry, rounded up; negative when expired,
+    [max_int] for {!never}. *)
+
+(** {1 Ambient propagation} *)
+
+val with_deadline : t -> (unit -> 'a) -> 'a
+(** [with_deadline d f] runs [f] with [d] installed as the calling
+    thread's ambient deadline, restoring the previous binding on exit
+    (also on exceptions).  Nested installs keep the tighter bound.
+    Installing {!never} is free: [f] runs unwrapped. *)
+
+val current : unit -> t
+(** The calling thread's effective deadline: the tighter of its ambient
+    binding and the process-wide hard stop ({!never} if neither is
+    set). *)
+
+val check : unit -> unit
+(** Raise {!Expired} iff the effective deadline has passed.  Cheap when
+    no deadline is installed anywhere in the process. *)
+
+val cancelled : unit -> bool
+(** [check] as a predicate, for loops that prefer to unwind manually. *)
+
+(** {1 Process-wide hard stop}
+
+    Used by the daemon's shutdown: arm the grace budget before draining
+    so every in-flight request — with or without its own deadline —
+    raises at its next {!check} once the grace is gone. *)
+
+val set_hard_stop : t -> unit
+(** Cap every thread's effective deadline at the given instant. *)
+
+val clear_hard_stop : unit -> unit
+(** Remove the process-wide cap (e.g. after an embedded server in a
+    test harness has shut down). *)

@@ -64,6 +64,11 @@ let run ~injective ~limit ~order ~pattern ~incident_to ~edge_witnessed
     ~candidates =
   let results = ref [] in
   let count = ref 0 in
+  (* Cooperative cancellation: consult the ambient {!Deadline} every
+     1024 assignment steps.  The mask keeps the check off the inner-loop
+     hot path; [Deadline.check] itself is two atomic loads when no
+     deadline is installed, so deadline-free matching is unaffected. *)
+  let steps = ref 0 in
   let rec assign assignment used = function
     | [] ->
         if !count < limit then begin
@@ -80,6 +85,8 @@ let run ~injective ~limit ~order ~pattern ~incident_to ~edge_witnessed
           results := { assignment = assignment_list; bindings } :: !results
         end
     | (pn : Pattern.node) :: rest ->
+        incr steps;
+        if !steps land 1023 = 0 then Deadline.check ();
         if !count >= limit then ()
         else
           List.iter
@@ -99,6 +106,9 @@ let run ~injective ~limit ~order ~pattern ~incident_to ~edge_witnessed
               end)
             (candidates pn assignment)
   in
+  (* An already-expired deadline must cancel even a search too small to
+     cross the step mask, so the entry check is unconditional. *)
+  Deadline.check ();
   assign Smap.empty Sset.empty order;
   List.rev !results
 

@@ -234,6 +234,10 @@ let run ?(pushdown = false) e (q : Query.t) =
          order, which keeps every output field identical to the
          sequential evaluation at any pool size. *)
       let run_source (sp : Plan.source_plan) =
+        (* Per-source cancellation point: a federated query that has
+           blown its deadline stops before scanning the next source's
+           stores (the matcher handles finer granularity below). *)
+        Deadline.check ();
         let scanned = ref 0 in
         let transferred = ref 0 in
         let failures = ref [] in

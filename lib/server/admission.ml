@@ -1,10 +1,13 @@
+type job = { run : unit -> unit; expire : unit -> unit; deadline : Deadline.t }
+
 type t = {
   mutex : Mutex.t;
   work_ready : Condition.t;  (** Signals workers: job queued or stopping. *)
   idle : Condition.t;  (** Signals drainers: queue empty and nothing runs. *)
-  jobs : (unit -> unit) Queue.t;
+  jobs : job Queue.t;
   capacity : int;
   mutable in_flight : int;
+  mutable expired : int;
   mutable draining : bool;
   mutable stopped : bool;
   mutable threads : Thread.t list;
@@ -29,8 +32,14 @@ let worker t =
         ()
     | Some job ->
         t.in_flight <- t.in_flight + 1;
+        (* A job whose deadline passed while it waited is resolved with
+           its expire callback instead of being run — the cheapest
+           possible disposition, and the client still gets an answer
+           (a timeout reply) rather than work it can no longer use. *)
+        let timed_out = Deadline.expired job.deadline in
+        if timed_out then t.expired <- t.expired + 1;
         Mutex.unlock t.mutex;
-        (try job () with _ -> ());
+        (try (if timed_out then job.expire else job.run) () with _ -> ());
         Mutex.lock t.mutex;
         t.in_flight <- t.in_flight - 1;
         if Queue.is_empty t.jobs && t.in_flight = 0 then
@@ -49,6 +58,7 @@ let create ~capacity ~workers =
       jobs = Queue.create ();
       capacity = max 0 capacity;
       in_flight = 0;
+      expired = 0;
       draining = false;
       stopped = false;
       threads = [];
@@ -57,19 +67,51 @@ let create ~capacity ~workers =
   t.threads <- List.init (max 1 workers) (fun _ -> Thread.create worker t);
   t
 
-let submit t job =
+(* Drop queued jobs whose deadline has passed; returns them so their
+   expire callbacks can run outside the lock. *)
+let purge_expired_locked t =
+  if Queue.is_empty t.jobs then []
+  else begin
+    let keep = Queue.create () in
+    let dropped = ref [] in
+    Queue.iter
+      (fun j ->
+        if Deadline.expired j.deadline then dropped := j :: !dropped
+        else Queue.add j keep)
+      t.jobs;
+    (match !dropped with
+    | [] -> ()
+    | ds ->
+        Queue.clear t.jobs;
+        Queue.transfer keep t.jobs;
+        t.expired <- t.expired + List.length ds);
+    List.rev !dropped
+  end
+
+let submit ?(deadline = Deadline.never) ?(on_expired = fun () -> ()) t run =
   Mutex.lock t.mutex;
+  let purged = ref [] in
   let verdict =
     if t.draining || t.stopped then Draining
-    else if Queue.length t.jobs >= t.capacity then
-      Shed { depth = Queue.length t.jobs }
     else begin
-      Queue.add job t.jobs;
-      Condition.signal t.work_ready;
-      Accepted
+      (* Deadline-aware shedding: a full queue first evicts queued jobs
+         that already expired — they can never do useful work — and
+         admits into the space reclaimed.  Under overload this beats
+         plain FIFO: fresh requests with live budgets displace corpses
+         instead of being shed behind them. *)
+      if Queue.length t.jobs >= t.capacity then
+        purged := purge_expired_locked t;
+      if Queue.length t.jobs >= t.capacity then
+        Shed { depth = Queue.length t.jobs }
+      else begin
+        Queue.add { run; expire = on_expired; deadline } t.jobs;
+        Condition.signal t.work_ready;
+        Accepted
+      end
     end
   in
   Mutex.unlock t.mutex;
+  List.iter (fun j -> try j.expire () with _ -> ()) !purged;
   verdict
 
 let depth t =
@@ -84,16 +126,54 @@ let in_flight t =
   Mutex.unlock t.mutex;
   n
 
-let drain t =
+let expired_total t =
   Mutex.lock t.mutex;
-  t.draining <- true;
-  while not (Queue.is_empty t.jobs && t.in_flight = 0) do
-    Condition.wait t.idle t.mutex
-  done;
-  Mutex.unlock t.mutex
+  let n = t.expired in
+  Mutex.unlock t.mutex;
+  n
 
-let shutdown t =
-  drain t;
+let drain ?deadline t =
+  match deadline with
+  | None ->
+      Mutex.lock t.mutex;
+      t.draining <- true;
+      while not (Queue.is_empty t.jobs && t.in_flight = 0) do
+        Condition.wait t.idle t.mutex
+      done;
+      Mutex.unlock t.mutex
+  | Some deadline ->
+      Mutex.lock t.mutex;
+      t.draining <- true;
+      Mutex.unlock t.mutex;
+      (* The stdlib Condition has no timed wait, so the bounded drain
+         polls.  When the grace deadline passes, every still-queued job
+         is resolved through its expire callback and the drain returns
+         even if in-flight jobs remain — the caller's hard stop makes
+         those raise at their next cooperative check, and [shutdown]'s
+         join collects the workers. *)
+      let rec wait () =
+        Mutex.lock t.mutex;
+        let idle = Queue.is_empty t.jobs && t.in_flight = 0 in
+        Mutex.unlock t.mutex;
+        if idle then ()
+        else if Deadline.expired deadline then begin
+          Mutex.lock t.mutex;
+          let dropped = ref [] in
+          Queue.iter (fun j -> dropped := j :: !dropped) t.jobs;
+          Queue.clear t.jobs;
+          t.expired <- t.expired + List.length !dropped;
+          Mutex.unlock t.mutex;
+          List.iter (fun j -> try j.expire () with _ -> ()) (List.rev !dropped)
+        end
+        else begin
+          Thread.delay 0.002;
+          wait ()
+        end
+      in
+      wait ()
+
+let shutdown ?deadline t =
+  drain ?deadline t;
   Mutex.lock t.mutex;
   t.stopped <- true;
   Condition.broadcast t.work_ready;

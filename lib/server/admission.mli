@@ -21,9 +21,19 @@ type verdict =
   | Shed of { depth : int }  (** Queue full: answer [busy]. *)
   | Draining  (** Shutting down: answer [draining]. *)
 
-val submit : t -> (unit -> unit) -> verdict
+val submit :
+  ?deadline:Deadline.t -> ?on_expired:(unit -> unit) -> t -> (unit -> unit) ->
+  verdict
 (** Exceptions escaping the thunk are caught and dropped by the worker:
-    a thunk must deliver its outcome through its own closure. *)
+    a thunk must deliver its outcome through its own closure.
+
+    [deadline] makes the job droppable: if it expires before a worker
+    picks the job up, [on_expired] runs instead of the thunk (the
+    caller answers the client with a [timeout] reply).  Shedding is
+    deadline-aware — a full queue first evicts already-expired queued
+    jobs (running their [on_expired]) and admits into the space
+    reclaimed, so under overload live budgets displace corpses instead
+    of being shed behind them. *)
 
 val depth : t -> int
 (** Jobs queued and not yet picked up. *)
@@ -31,9 +41,20 @@ val depth : t -> int
 val in_flight : t -> int
 (** Jobs currently executing on a worker. *)
 
-val drain : t -> unit
-(** Refuse new submits, then block until the queue is empty and every
-    in-flight job has finished.  Idempotent. *)
+val expired_total : t -> int
+(** Jobs resolved through [on_expired] (at pickup, during a purge, or
+    by a bounded drain) since creation. *)
 
-val shutdown : t -> unit
-(** {!drain}, then stop and join the worker threads. *)
+val drain : ?deadline:Deadline.t -> t -> unit
+(** Refuse new submits, then block until the queue is empty and every
+    in-flight job has finished.  Idempotent.
+
+    With [deadline], the drain is bounded: when the grace expires,
+    every still-queued job is resolved through its [on_expired] and the
+    drain returns even if in-flight jobs remain — pair with
+    {!Deadline.set_hard_stop} so those unwind at their next cooperative
+    check. *)
+
+val shutdown : ?deadline:Deadline.t -> t -> unit
+(** {!drain} (with the same bound), then stop and join the worker
+    threads. *)

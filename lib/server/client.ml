@@ -6,7 +6,7 @@ type t = {
   oc : out_channel;
 }
 
-let connect address =
+let connect ?io_timeout_ms address =
   match
     match address with
     | Unix_socket path ->
@@ -26,6 +26,12 @@ let connect address =
       Error (Printf.sprintf "connect: %s" (Unix.error_message e))
   | exception Not_found -> Error "connect: unknown host"
   | fd ->
+      (match io_timeout_ms with
+      | Some ms when ms > 0 ->
+          let s = float_of_int ms /. 1000. in
+          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with _ -> ());
+          (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s with _ -> ())
+      | _ -> ());
       Ok
         {
           fd;
@@ -45,12 +51,75 @@ let send_payload t payload =
   | exception Unix.Unix_error (e, _, _) ->
       Error ("send: " ^ Unix.error_message e)
 
-let request t ~op ~arg =
-  send_payload t (Protocol.encode_request { Protocol.op; arg })
+let request ?deadline_ms t ~op ~arg =
+  send_payload t (Protocol.encode_request { Protocol.op; arg; deadline_ms })
 
-let request_line t line = send_payload t (String.trim line)
+let request_line ?deadline_ms t line =
+  let line = String.trim line in
+  match deadline_ms with
+  | None -> send_payload t line
+  | Some _ ->
+      (* Re-encode so the flag-level deadline rides along; a deadline
+         already written in the line wins. *)
+      let req = Protocol.decode_request line in
+      let req =
+        if req.Protocol.deadline_ms = None then
+          { req with Protocol.deadline_ms }
+        else req
+      in
+      send_payload t (Protocol.encode_request req)
 
-let with_connection address f =
-  match connect address with
+(* ------------------------------------------------------------------ *)
+(* Retry                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rng = lazy (Random.State.make_self_init ())
+
+(* Exponential backoff seeded by the server's own retry hint, jittered
+   to 75%-125% so a crowd of shed clients does not reconverge on the
+   same instant. *)
+let backoff_delay_ms ~attempt retry_ms =
+  let base = float_of_int (max 1 retry_ms) *. (2. ** float_of_int attempt) in
+  base *. (0.75 +. Random.State.float (Lazy.force rng) 0.5)
+
+let request_with_retry ?(retries = 1) ?deadline_ms ?(sleep = Unix.sleepf) t
+    ~op ~arg =
+  let deadline = Deadline.of_ms_opt deadline_ms in
+  let rec go attempt =
+    (* Each attempt carries the budget still remaining, not the original
+       one — the server must not work past the client's own deadline. *)
+    let attempt_deadline_ms =
+      Option.map (fun _ -> max 0 (Deadline.remaining_ms deadline)) deadline_ms
+    in
+    match request ?deadline_ms:attempt_deadline_ms t ~op ~arg with
+    | Ok { Protocol.status = Protocol.Busy { retry_ms; _ }; _ } as reply
+      when attempt < retries -> (
+        let delay_ms = backoff_delay_ms ~attempt retry_ms in
+        let budget_allows =
+          match deadline_ms with
+          | None -> true
+          | Some _ -> float_of_int (Deadline.remaining_ms deadline) > delay_ms
+        in
+        match budget_allows with
+        | false -> reply
+        | true ->
+            sleep (delay_ms /. 1000.);
+            go (attempt + 1))
+    | reply -> reply
+  in
+  go 0
+
+let request_line_with_retry ?retries ?deadline_ms t line =
+  let req = Protocol.decode_request line in
+  let deadline_ms =
+    match req.Protocol.deadline_ms with
+    | Some _ as inline -> inline
+    | None -> deadline_ms
+  in
+  request_with_retry ?retries ?deadline_ms t ~op:req.Protocol.op
+    ~arg:req.Protocol.arg
+
+let with_connection ?io_timeout_ms address f =
+  match connect ?io_timeout_ms address with
   | Error _ as e -> e
   | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

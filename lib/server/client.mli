@@ -11,20 +11,45 @@ type address =
 
 type t
 
-val connect : address -> (t, string) result
+val connect : ?io_timeout_ms:int -> address -> (t, string) result
+(** [io_timeout_ms] arms socket read/write timeouts on the client side,
+    so a wedged or vanished server surfaces as a transport error instead
+    of blocking forever. *)
 
 val close : t -> unit
 
 val request :
-  t -> op:string -> arg:string -> (Protocol.reply, string) result
-(** Send one request and wait for its reply.  [Error] is a transport or
-    framing failure (the connection should be abandoned); server-side
-    failures arrive as replies with [Error]/[Busy]/[Draining] status. *)
+  ?deadline_ms:int -> t -> op:string -> arg:string ->
+  (Protocol.reply, string) result
+(** Send one request and wait for its reply.  [deadline_ms] rides along
+    as the request's [deadline-ms=] attribute — the server sheds or
+    cancels it once the budget is gone and answers [timeout].  [Error]
+    is a transport or framing failure (the connection should be
+    abandoned); server-side failures arrive as replies with
+    [Error]/[Busy]/[Draining]/[Timeout] status. *)
 
-val request_line : t -> string -> (Protocol.reply, string) result
+val request_line : ?deadline_ms:int -> t -> string -> (Protocol.reply, string) result
 (** [request_line c "query SELECT ..."]: the raw [op arg] form used by
-    the [--stdin] batch mode. *)
+    the [--stdin] batch mode.  [deadline_ms] is attached unless the line
+    already carries its own [deadline-ms=] attribute. *)
+
+val request_with_retry :
+  ?retries:int -> ?deadline_ms:int -> ?sleep:(float -> unit) ->
+  t -> op:string -> arg:string -> (Protocol.reply, string) result
+(** {!request}, honouring the server's [busy] backpressure: a [Busy]
+    reply is retried after its [retry_ms] hint, with exponential backoff
+    and 75-125% jitter, up to [retries] extra attempts (default 1 — the
+    hint is honoured even in single-shot mode).  A [deadline_ms] budget
+    bounds the whole exchange: each attempt carries only the remaining
+    budget, and no retry sleep is begun that the budget cannot cover.
+    [sleep] is injectable for tests. *)
+
+val request_line_with_retry :
+  ?retries:int -> ?deadline_ms:int -> t -> string ->
+  (Protocol.reply, string) result
+(** {!request_with_retry} over a raw request line. *)
 
 val with_connection :
+  ?io_timeout_ms:int ->
   address -> (t -> ('a, string) result) -> ('a, string) result
 (** Connect, run, close (also on exceptions). *)

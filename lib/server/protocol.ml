@@ -4,7 +4,13 @@ let default_max_frame = 4 * 1024 * 1024
 (* Frames                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type read_error = Eof | Garbage of string | Oversized of int | Truncated
+type read_error =
+  | Eof
+  | Garbage of string
+  | Oversized of int
+  | Truncated
+  | Stalled
+  | Refused of int
 
 let read_error_message = function
   | Eof -> "end of stream"
@@ -12,10 +18,13 @@ let read_error_message = function
       Printf.sprintf "bad frame header %S (want a decimal length)" line
   | Oversized n -> Printf.sprintf "frame of %d bytes exceeds the limit" n
   | Truncated -> "stream ended inside a frame payload"
+  | Stalled -> "frame transfer stalled past the io budget"
+  | Refused n ->
+      Printf.sprintf "frame of %d bytes refused (too large to drain)" n
 
 let connection_survives = function
   | Garbage _ | Oversized _ -> true
-  | Eof | Truncated -> false
+  | Eof | Truncated | Stalled | Refused _ -> false
 
 let write_frame oc payload =
   output_string oc (string_of_int (String.length payload));
@@ -27,54 +36,139 @@ let is_length_line line =
   line <> "" && String.length line <= 9
   && String.for_all (fun c -> c >= '0' && c <= '9') line
 
+(* Resyncing after an oversized frame means reading and discarding the
+   whole declared payload; past this multiple of the frame limit the
+   read is refused instead — draining hundreds of megabytes to keep a
+   connection that is already abusing the protocol is a losing trade. *)
+let drain_cap max = 8 * max
+
+(* Internal: a read exceeded the frame budget or the socket timeout. *)
+exception Stall
+
 (* Discard exactly [n] payload bytes so the stream stays framed. *)
-let drain ic n =
+let drain ?(deadline = Deadline.never) ic n =
   let chunk = Bytes.create 8192 in
   let rec go remaining =
     if remaining > 0 then begin
-      let k = input ic chunk 0 (min remaining (Bytes.length chunk)) in
+      if Deadline.expired deadline then raise Stall;
+      let k =
+        match input ic chunk 0 (min remaining (Bytes.length chunk)) with
+        | k -> k
+        (* A tripped SO_RCVTIMEO surfaces as [Sys_blocked_io] (EAGAIN on
+           a channel read), not [Sys_error]. *)
+        | exception (Sys_error _ | Sys_blocked_io) -> raise Stall
+      in
       if k = 0 then raise End_of_file;
       go (remaining - k)
     end
   in
   go n
 
-let read_frame ?(max = default_max_frame) ic =
-  match input_line ic with
+(* Bytes of an overlong header kept for the [Garbage] message; the rest
+   of the line is discarded unread so a hostile header cannot balloon
+   memory the way [input_line] would. *)
+let header_cap = 64
+
+(* Read [n] payload bytes.  [input] (not [really_input]) so every
+   partial read is a watchdog checkpoint: a dribbling sender trips the
+   budget even though each individual byte arrives inside the socket
+   timeout. *)
+let read_payload ic n deadline =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off >= n then Result.Ok (Bytes.unsafe_to_string buf)
+    else if Deadline.expired deadline then Result.Error Stalled
+    else
+      match input ic buf off (min 65536 (n - off)) with
+      | 0 -> Result.Error Truncated
+      | k -> go (off + k)
+      | exception (Sys_error _ | Sys_blocked_io) -> Result.Error Stalled
+  in
+  go 0
+
+let read_frame ?(max = default_max_frame) ?budget_ms ic =
+  (* The wait for the first byte is the idle gap between frames — it is
+     bounded by the socket receive timeout (surfacing as [Stalled]),
+     not by the frame budget. *)
+  match input_char ic with
   | exception End_of_file -> Result.Error Eof
-  | line ->
-      if not (is_length_line line) then Result.Error (Garbage line)
-      else begin
+  | exception (Sys_error _ | Sys_blocked_io) -> Result.Error Stalled
+  | first -> (
+      (* Transfer has begun: the watchdog budget runs from the first
+         header byte to the last payload byte, so a slow-loris dribble
+         is dropped however regularly it feeds bytes. *)
+      let deadline = Deadline.of_ms_opt budget_ms in
+      let buf = Buffer.create 16 in
+      let stalled = ref false in
+      (* Header bytes up to the newline; EOF ends the line the way
+         [input_line] would (the accumulated bytes are validated). *)
+      let rec header c =
+        match c with
+        | '\n' -> ()
+        | c -> (
+            if Buffer.length buf < header_cap then Buffer.add_char buf c;
+            if Deadline.expired deadline then stalled := true
+            else
+              match input_char ic with
+              | c -> header c
+              | exception End_of_file -> ()
+              | exception (Sys_error _ | Sys_blocked_io) -> stalled := true)
+      in
+      header first;
+      let line = Buffer.contents buf in
+      if !stalled then Result.Error Stalled
+      else if not (is_length_line line) then Result.Error (Garbage line)
+      else
+        (* Validate the declared length against both caps BEFORE any
+           payload buffer is allocated. *)
         let n = int_of_string line in
         if n > max then
-          match drain ic n with
-          | () -> Result.Error (Oversized n)
-          | exception End_of_file -> Result.Error Truncated
-        else
-          match really_input_string ic n with
-          | payload -> Result.Ok payload
-          | exception End_of_file -> Result.Error Truncated
-      end
+          if n > drain_cap max then Result.Error (Refused n)
+          else
+            match drain ~deadline ic n with
+            | () -> Result.Error (Oversized n)
+            | exception End_of_file -> Result.Error Truncated
+            | exception Stall -> Result.Error Stalled
+        else read_payload ic n deadline)
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                           *)
 (* ------------------------------------------------------------------ *)
 
-type request = { op : string; arg : string }
+type request = { op : string; arg : string; deadline_ms : int option }
 
-let encode_request { op; arg } = if arg = "" then op else op ^ " " ^ arg
+let deadline_attr = "deadline-ms="
+
+let encode_request { op; arg; deadline_ms } =
+  let base = if arg = "" then op else op ^ " " ^ arg in
+  match deadline_ms with
+  | None -> base
+  | Some ms -> Printf.sprintf "%s%d %s" deadline_attr ms base
+
+(* Split the first space-separated token off [s]. *)
+let split_token s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
 
 let decode_request payload =
   let payload = String.trim payload in
-  match String.index_opt payload ' ' with
-  | None -> { op = String.lowercase_ascii payload; arg = "" }
-  | Some i ->
-      {
-        op = String.lowercase_ascii (String.sub payload 0 i);
-        arg =
-          String.trim
-            (String.sub payload (i + 1) (String.length payload - i - 1));
-      }
+  (* An optional leading [deadline-ms=N] attribute; an unparseable value
+     falls through and the token is treated as the op (surfacing as an
+     unknown-op error rather than being silently dropped). *)
+  let deadline_ms, rest =
+    let tok, remainder = split_token payload in
+    let plen = String.length deadline_attr in
+    if String.length tok > plen && String.equal (String.sub tok 0 plen) deadline_attr
+    then
+      match int_of_string_opt (String.sub tok plen (String.length tok - plen)) with
+      | Some ms -> (Some ms, remainder)
+      | None -> (None, payload)
+    else (None, payload)
+  in
+  let op, arg = split_token rest in
+  { op = String.lowercase_ascii op; arg; deadline_ms }
 
 (* ------------------------------------------------------------------ *)
 (* Replies                                                            *)
@@ -85,11 +179,13 @@ type status =
   | Error
   | Busy of { depth : int; retry_ms : int }
   | Draining
+  | Timeout
 
 type reply = { status : status; warnings : string list; body : string }
 
 let ok ?(warnings = []) body = { status = Ok; warnings; body }
 let error message = { status = Error; warnings = []; body = message }
+let timeout message = { status = Timeout; warnings = []; body = message }
 
 let status_to_string = function
   | Ok -> "ok"
@@ -97,6 +193,7 @@ let status_to_string = function
   | Busy { depth; retry_ms } ->
       Printf.sprintf "busy depth=%d retry-ms=%d" depth retry_ms
   | Draining -> "draining"
+  | Timeout -> "timeout"
 
 (* Warnings are one-per-line fields: embedded newlines would desync the
    count, so they are squashed to spaces. *)
@@ -120,6 +217,7 @@ let status_of_string line =
   | [ "ok" ] -> Result.Ok Ok
   | [ "error" ] -> Result.Ok Error
   | [ "draining" ] -> Result.Ok Draining
+  | [ "timeout" ] -> Result.Ok Timeout
   | "busy" :: fields ->
       let lookup key =
         List.find_map

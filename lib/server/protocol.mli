@@ -23,7 +23,7 @@
 
     {v
     reply    ::= status-line '\n' 'warnings ' count '\n' warning* body
-    status   ::= 'ok' | 'error' | 'draining'
+    status   ::= 'ok' | 'error' | 'draining' | 'timeout'
                | 'busy depth=' int ' retry-ms=' int
     warning  ::= one line per warning (newlines squashed to spaces)
     body     ::= the remaining payload bytes, verbatim
@@ -39,32 +39,53 @@ val default_max_frame : int
 
 type read_error =
   | Eof  (** Clean end of stream before a header. *)
-  | Garbage of string  (** Header line is not a decimal length. *)
+  | Garbage of string
+      (** Header line is not a decimal length (kept to 64 bytes). *)
   | Oversized of int
       (** Declared length exceeds the limit; the payload was drained so
           the stream is still in sync. *)
   | Truncated  (** EOF inside a payload: the stream is unusable. *)
+  | Stalled
+      (** The transfer blew the frame budget or the socket timeout —
+          slow-loris defense; the connection must be dropped. *)
+  | Refused of int
+      (** Declared length exceeds even the drain cap (8× the frame
+          limit): nothing was read, the stream is out of sync. *)
 
 val read_error_message : read_error -> string
 
 val connection_survives : read_error -> bool
 (** [true] for {!Garbage} and {!Oversized}: the reader may send an error
-    reply and keep going.  [false] for {!Eof} and {!Truncated}. *)
+    reply and keep going.  [false] for {!Eof}, {!Truncated}, {!Stalled}
+    and {!Refused}. *)
 
 val write_frame : out_channel -> string -> unit
 (** Write one frame and flush. *)
 
-val read_frame : ?max:int -> in_channel -> (string, read_error) result
-(** Read one frame ([max] defaults to {!default_max_frame}). *)
+val read_frame :
+  ?max:int -> ?budget_ms:int -> in_channel -> (string, read_error) result
+(** Read one frame ([max] defaults to {!default_max_frame}).  The
+    declared length is validated against [max] (and the 8× drain cap)
+    {e before} any payload buffer is allocated.
+
+    [budget_ms] arms a progress watchdog: the budget runs from the
+    first header byte to the last payload byte, so a connection that
+    dribbles bytes (slow loris) surfaces as {!Stalled} instead of
+    pinning the reader.  The wait for the {e first} byte — the idle gap
+    between frames — is governed by the socket receive timeout, which
+    also surfaces as {!Stalled}. *)
 
 (** {1 Requests} *)
 
-type request = { op : string; arg : string }
+type request = { op : string; arg : string; deadline_ms : int option }
 
 val encode_request : request -> string
+
 val decode_request : string -> request
-(** The first whitespace-separated token is the op (lowercased); the
-    rest, trimmed, is the argument. *)
+(** An optional leading [deadline-ms=N] attribute, then the op (first
+    whitespace-separated token, lowercased); the rest, trimmed, is the
+    argument — e.g. ["deadline-ms=250 query SELECT Price FROM
+    Vehicle"]. *)
 
 (** {1 Replies} *)
 
@@ -75,11 +96,15 @@ type status =
       (** Admission queue full: [depth] jobs queued; try again in about
           [retry_ms] milliseconds. *)
   | Draining  (** The server is shutting down and refuses new work. *)
+  | Timeout
+      (** The request's deadline expired — while queued or
+          mid-execution; the body says which. *)
 
 type reply = { status : status; warnings : string list; body : string }
 
 val ok : ?warnings:string list -> string -> reply
 val error : string -> reply
+val timeout : string -> reply
 
 val encode_reply : reply -> string
 

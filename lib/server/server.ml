@@ -4,7 +4,19 @@ type config = {
   queue_capacity : int;
   workers : int;
   max_frame : int;
+  io_timeout_ms : int;
+  conn_lifetime_ms : int;
+  default_deadline_ms : int;
+  grace_ms : int;
 }
+
+let env_ms name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | _ -> default)
+  | None -> default
 
 let default_config =
   {
@@ -13,6 +25,10 @@ let default_config =
     queue_capacity = 64;
     workers = 4;
     max_frame = Protocol.default_max_frame;
+    io_timeout_ms = env_ms "ONION_IO_TIMEOUT_MS" 30_000;
+    conn_lifetime_ms = env_ms "ONION_CONN_LIFETIME_MS" 600_000;
+    default_deadline_ms = env_ms "ONION_DEFAULT_DEADLINE_MS" 0;
+    grace_ms = env_ms "ONION_GRACE_MS" 5_000;
   }
 
 type t = {
@@ -240,49 +256,96 @@ let timed f =
   (r, (Unix.gettimeofday () -. t0) *. 1e9)
 
 (* Execute one admitted workload request: the connection thread parks on
-   a cell the admission worker fills. *)
-let execute_admitted t req =
-  let cell = ref None in
-  let m = Mutex.create () in
-  let ready = Condition.create () in
-  let job () =
-    let reply =
-      try run_workload t req
-      with e ->
-        Protocol.error ("internal error: " ^ Printexc.to_string e)
-    in
-    Mutex.lock m;
-    cell := Some reply;
-    Condition.signal ready;
-    Mutex.unlock m
-  in
-  match Admission.submit t.admission job with
-  | Admission.Shed { depth } ->
-      Server_stats.shed t.stats;
-      {
-        Protocol.status =
-          Protocol.Busy { depth; retry_ms = retry_ms_for depth };
-        warnings = [];
-        body = "";
-      }
-  | Admission.Draining ->
-      Server_stats.refused_draining t.stats;
-      { Protocol.status = Protocol.Draining; warnings = []; body = "" }
-  | Admission.Accepted ->
+   a cell the admission worker fills.  The request's deadline rides
+   along: expiry while queued resolves the cell with a timeout reply
+   (so the connection thread never wedges), and expiry mid-execution
+   surfaces as Deadline.Expired from a cooperative check inside the
+   workload. *)
+let execute_admitted t req deadline =
+  if Deadline.expired deadline then begin
+    (* Dead on arrival (or deadline-ms <= 0): answer without queueing. *)
+    Server_stats.expired_in_queue t.stats;
+    Protocol.timeout "deadline expired while queued"
+  end
+  else begin
+    let cell = ref None in
+    let m = Mutex.create () in
+    let ready = Condition.create () in
+    let fill reply =
       Mutex.lock m;
-      while !cell = None do
-        Condition.wait ready m
-      done;
-      let reply = Option.get !cell in
-      Mutex.unlock m;
-      reply
+      cell := Some reply;
+      Condition.signal ready;
+      Mutex.unlock m
+    in
+    let job () =
+      let reply =
+        try Deadline.with_deadline deadline (fun () -> run_workload t req)
+        with
+        | Deadline.Expired ->
+            Server_stats.timeout t.stats;
+            Protocol.timeout "deadline expired during execution"
+        | e -> Protocol.error ("internal error: " ^ Printexc.to_string e)
+      in
+      fill reply
+    in
+    let on_expired () =
+      Server_stats.expired_in_queue t.stats;
+      fill (Protocol.timeout "deadline expired while queued")
+    in
+    match Admission.submit ~deadline ~on_expired t.admission job with
+    | Admission.Shed { depth } ->
+        Server_stats.shed t.stats;
+        {
+          Protocol.status =
+            Protocol.Busy { depth; retry_ms = retry_ms_for depth };
+          warnings = [];
+          body = "";
+        }
+    | Admission.Draining ->
+        Server_stats.refused_draining t.stats;
+        { Protocol.status = Protocol.Draining; warnings = []; body = "" }
+    | Admission.Accepted ->
+        Mutex.lock m;
+        while !cell = None do
+          Condition.wait ready m
+        done;
+        let reply = Option.get !cell in
+        Mutex.unlock m;
+        reply
+  end
+
+(* The workspace's circuit breakers, rendered for the stats body. *)
+let breakers_json t =
+  let str s = "\"" ^ Status_json.escape s ^ "\"" in
+  let one (b : Breaker.info) =
+    Printf.sprintf
+      "{ \"name\": %s, \"state\": %s, \"failures\": %d, \"cooldown_ms\": %d }"
+      (str b.Breaker.name)
+      (str (Breaker.string_of_state b.Breaker.info_state))
+      b.Breaker.info_failures b.Breaker.info_cooldown_ms
+  in
+  "[" ^ String.concat ", " (List.map one (Workspace.breakers t.ws)) ^ "]"
 
 let handle_request t (req : Protocol.request) =
   (* Snapshot before the gauge ticks up: a lone stats probe reads the
      daemon as idle rather than counting itself in flight. *)
   let stats_body =
-    if req.Protocol.op = "stats" then Some (Server_stats.to_json t.stats)
+    if req.Protocol.op = "stats" then
+      Some
+        (Server_stats.to_json
+           ~extra:[ ("breakers", breakers_json t) ]
+           t.stats)
     else None
+  in
+  (* The request's time budget: an explicit deadline-ms attribute wins;
+     otherwise the configured default (0 = none). *)
+  let deadline =
+    match req.Protocol.deadline_ms with
+    | Some ms -> Deadline.after_ms ms
+    | None ->
+        if t.config.default_deadline_ms > 0 then
+          Deadline.after_ms t.config.default_deadline_ms
+        else Deadline.never
   in
   Server_stats.incr_in_flight t.stats;
   Fun.protect
@@ -296,7 +359,7 @@ let handle_request t (req : Protocol.request) =
             | "shutdown" ->
                 stop t;
                 Protocol.ok "draining, then exiting\n"
-            | op when is_workload op -> execute_admitted t req
+            | op when is_workload op -> execute_admitted t req deadline
             | op -> Protocol.error (Printf.sprintf "unknown op %S" op))
       in
       (match reply.Protocol.status with
@@ -304,28 +367,60 @@ let handle_request t (req : Protocol.request) =
           Server_stats.record t.stats ~op:req.Protocol.op
             ~ok:(reply.Protocol.status = Protocol.Ok)
             ~ns
-      | Protocol.Busy _ | Protocol.Draining -> ());
+      | Protocol.Busy _ | Protocol.Draining | Protocol.Timeout -> ());
       reply)
 
 let handle_connection t fd =
+  (* Slow-client defense: reads and writes that make no progress for
+     io_timeout_ms fail (surfacing as Stalled) instead of pinning this
+     thread; the same budget bounds whole-frame progress inside
+     read_frame.  Socket options only exist on sockets — the raw-stream
+     unit tests drive this code over files, where setsockopt fails and
+     is ignored. *)
+  let io_ms = t.config.io_timeout_ms in
+  if io_ms > 0 then begin
+    let s = float_of_int io_ms /. 1000. in
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with _ -> ());
+    try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s with _ -> ()
+  end;
+  let budget_ms = if io_ms > 0 then Some io_ms else None in
+  let conn_deadline =
+    if t.config.conn_lifetime_ms > 0 then
+      Deadline.after_ms t.config.conn_lifetime_ms
+    else Deadline.never
+  in
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
-  let send reply = Protocol.write_frame oc (Protocol.encode_reply reply) in
+  let send reply =
+    try Protocol.write_frame oc (Protocol.encode_reply reply)
+    with _ ->
+      (* A write timeout means the peer stopped reading: drop it. *)
+      Server_stats.io_stall t.stats;
+      raise Exit
+  in
   let rec loop () =
-    match Protocol.read_frame ~max:t.config.max_frame ic with
-    | Error e when Protocol.connection_survives e ->
-        Server_stats.protocol_error t.stats;
-        send (Protocol.error (Protocol.read_error_message e));
-        loop ()
-    | Error _ -> () (* EOF or truncated payload: the stream is done. *)
-    | Ok payload ->
-        let req = Protocol.decode_request payload in
-        if req.Protocol.op = "" then begin
+    if Deadline.expired conn_deadline then Server_stats.conn_expired t.stats
+    else
+      match Protocol.read_frame ~max:t.config.max_frame ?budget_ms ic with
+      | Error Protocol.Stalled -> Server_stats.io_stall t.stats
+      | Error (Protocol.Refused _ as e) ->
+          (* Unrecoverable but polite: say why, then hang up. *)
           Server_stats.protocol_error t.stats;
-          send (Protocol.error "empty request")
-        end
-        else send (handle_request t req);
-        loop ()
+          (try send (Protocol.error (Protocol.read_error_message e))
+           with _ -> ())
+      | Error e when Protocol.connection_survives e ->
+          Server_stats.protocol_error t.stats;
+          send (Protocol.error (Protocol.read_error_message e));
+          loop ()
+      | Error _ -> () (* EOF or truncated payload: the stream is done. *)
+      | Ok payload ->
+          let req = Protocol.decode_request payload in
+          if req.Protocol.op = "" then begin
+            Server_stats.protocol_error t.stats;
+            send (Protocol.error "empty request")
+          end
+          else send (handle_request t req);
+          loop ()
   in
   (try loop () with _ -> ());
   forget_connection t fd;
@@ -356,9 +451,18 @@ let serve t =
   (match t.unix_path with
   | Some path -> ( try Unix.unlink path with _ -> ())
   | None -> ());
-  (* 2. Drain: queued and in-flight requests complete and their replies
-     are written by the connection threads; new submits get [draining]. *)
-  Admission.drain t.admission;
+  (* 2. Drain under the grace budget: queued and in-flight requests
+     complete and their replies are written by the connection threads;
+     new submits get [draining].  The hard stop is armed first so
+     in-flight work that would outlive the grace raises at its next
+     cooperative check instead of wedging the drain; when the grace
+     runs out, still-queued jobs are resolved with timeout replies. *)
+  let grace =
+    if t.config.grace_ms > 0 then Some (Deadline.after_ms t.config.grace_ms)
+    else None
+  in
+  (match grace with Some d -> Deadline.set_hard_stop d | None -> ());
+  Admission.drain ?deadline:grace t.admission;
   (* 3. The final account, logged where the operator is watching. *)
   Format.eprintf "%a@." Server_stats.pp t.stats;
   (* 4. Disconnect lingering clients and collect every thread. *)
@@ -370,4 +474,5 @@ let serve t =
     (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
     fds;
   List.iter Thread.join threads;
-  Admission.shutdown t.admission
+  Admission.shutdown t.admission;
+  Deadline.clear_hard_stop ()

@@ -36,11 +36,27 @@ type config = {
   queue_capacity : int;  (** Admission queue bound. *)
   workers : int;  (** Admission worker threads. *)
   max_frame : int;  (** Largest accepted request frame. *)
+  io_timeout_ms : int;
+      (** Socket read/write timeout and whole-frame progress budget
+          (slow-loris defense).  [0] disables. *)
+  conn_lifetime_ms : int;
+      (** Per-connection lifetime cap: the connection is closed at the
+          next frame boundary past this age.  [0] disables. *)
+  default_deadline_ms : int;
+      (** Deadline applied to workload requests that carry no
+          [deadline-ms=] attribute.  [0] = none. *)
+  grace_ms : int;
+      (** Shutdown grace: how long the drain waits before still-queued
+          requests are answered [timeout] and in-flight work is
+          hard-stopped.  [0] = wait forever (the old behaviour). *)
 }
 
 val default_config : config
 (** No listeners configured, queue 64, workers 4,
-    [max_frame = Protocol.default_max_frame]. *)
+    [max_frame = Protocol.default_max_frame].  The resilience knobs read
+    the environment once at startup: [ONION_IO_TIMEOUT_MS] (default
+    30000), [ONION_CONN_LIFETIME_MS] (600000), [ONION_DEFAULT_DEADLINE_MS]
+    (0 = none), [ONION_GRACE_MS] (5000). *)
 
 type t
 

@@ -54,6 +54,10 @@ type t = {
   mutable shed_busy : int;
   mutable refused_draining : int;
   mutable protocol_errors : int;
+  mutable timeouts : int;  (* deadline blew mid-execution *)
+  mutable expired_in_queue : int;  (* deadline blew while queued *)
+  mutable io_stalls : int;  (* slow/stalled connections dropped *)
+  mutable conns_expired : int;  (* per-connection lifetime cap hit *)
   cache_baseline : (string * Cache_stats.snapshot) list;
 }
 
@@ -67,6 +71,10 @@ let create () =
     shed_busy = 0;
     refused_draining = 0;
     protocol_errors = 0;
+    timeouts = 0;
+    expired_in_queue = 0;
+    io_stalls = 0;
+    conns_expired = 0;
     cache_baseline = Cache_stats.all ();
   }
 
@@ -83,6 +91,14 @@ let refused_draining t =
 
 let protocol_error t =
   locked t (fun () -> t.protocol_errors <- t.protocol_errors + 1)
+
+let timeout t = locked t (fun () -> t.timeouts <- t.timeouts + 1)
+
+let expired_in_queue t =
+  locked t (fun () -> t.expired_in_queue <- t.expired_in_queue + 1)
+
+let io_stall t = locked t (fun () -> t.io_stalls <- t.io_stalls + 1)
+let conn_expired t = locked t (fun () -> t.conns_expired <- t.conns_expired + 1)
 
 let record t ~op ~ok ~ns =
   locked t (fun () ->
@@ -118,6 +134,10 @@ type snapshot = {
   shed_busy : int;
   refused_draining : int;
   protocol_errors : int;
+  timeouts : int;
+  expired_in_queue : int;
+  io_stalls : int;
+  conns_expired : int;
   ops : op_stats list;
   cache_deltas : (string * Cache_stats.snapshot) list;
   plans : (string * int) list;
@@ -168,6 +188,10 @@ let snapshot t =
         shed_busy = t.shed_busy;
         refused_draining = t.refused_draining;
         protocol_errors = t.protocol_errors;
+        timeouts = t.timeouts;
+        expired_in_queue = t.expired_in_queue;
+        io_stalls = t.io_stalls;
+        conns_expired = t.conns_expired;
         ops;
         cache_deltas = cache_deltas t.cache_baseline;
         (* Not deltas: the planners' distribution is process-lifetime by
@@ -181,7 +205,7 @@ let in_flight t = locked t (fun () -> t.in_flight)
 let json_float x =
   if Float.is_finite x then Printf.sprintf "%.1f" x else "0.0"
 
-let to_json t =
+let to_json ?(extra = []) t =
   let s = snapshot t in
   let str x = "\"" ^ Status_json.escape x ^ "\"" in
   let op_obj (o : op_stats) =
@@ -199,15 +223,25 @@ let to_json t =
       c.Cache_stats.evictions c.Cache_stats.entries c.Cache_stats.capacity
   in
   let plan_field (name, count) = Printf.sprintf "%s: %d" (str name) count in
+  (* [extra] fields (pre-rendered JSON values, e.g. the breaker array)
+     are appended at the top level. *)
+  let extra_fields =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf ", %s: %s" (str k) v) extra)
+  in
   Printf.sprintf
     "{ \"uptime_s\": %.3f, \"in_flight\": %d, \"accepted\": %d, \
      \"shed_busy\": %d, \"refused_draining\": %d, \"protocol_errors\": %d, \
-     \"ops\": [%s], \"cache_deltas\": [%s], \"plans\": { %s } }\n"
+     \"timeouts\": %d, \"expired_in_queue\": %d, \"io_stalls\": %d, \
+     \"conns_expired\": %d, \"ops\": [%s], \"cache_deltas\": [%s], \
+     \"plans\": { %s }%s }\n"
     s.uptime_s s.in_flight s.accepted s.shed_busy s.refused_draining
-    s.protocol_errors
+    s.protocol_errors s.timeouts s.expired_in_queue s.io_stalls
+    s.conns_expired
     (String.concat ", " (List.map op_obj s.ops))
     (String.concat ", " (List.map cache_obj s.cache_deltas))
     (String.concat ", " (List.map plan_field s.plans))
+    extra_fields
 
 let pp_ns ppf ns =
   if ns < 1_000.0 then Format.fprintf ppf "%.0fns" ns
@@ -220,9 +254,11 @@ let pp ppf t =
   let s = snapshot t in
   Format.fprintf ppf
     "@[<v>server stats: uptime %.1fs, %d accepted, %d in flight, %d shed \
-     busy, %d refused draining, %d protocol errors@,"
+     busy, %d refused draining, %d protocol errors, %d timeouts, %d \
+     queue-expired, %d io stalls, %d conns expired@,"
     s.uptime_s s.accepted s.in_flight s.shed_busy s.refused_draining
-    s.protocol_errors;
+    s.protocol_errors s.timeouts s.expired_in_queue s.io_stalls
+    s.conns_expired;
   List.iter
     (fun (o : op_stats) ->
       Format.fprintf ppf "  %-10s ok %6d  err %4d  p50 %a  p99 %a  max %a@,"

@@ -34,6 +34,21 @@ val refused_draining : t -> unit
 val protocol_error : t -> unit
 (** One malformed frame answered with an error reply. *)
 
+val timeout : t -> unit
+(** One request whose deadline expired mid-execution (answered
+    [timeout]). *)
+
+val expired_in_queue : t -> unit
+(** One request whose deadline expired while queued (answered [timeout]
+    without running). *)
+
+val io_stall : t -> unit
+(** One connection dropped by the slow-client defense (socket timeout
+    or frame-progress watchdog). *)
+
+val conn_expired : t -> unit
+(** One connection closed by the per-connection lifetime cap. *)
+
 (** {1 Reading} *)
 
 type op_stats = {
@@ -53,6 +68,10 @@ type snapshot = {
   shed_busy : int;
   refused_draining : int;
   protocol_errors : int;
+  timeouts : int;  (** Deadlines blown mid-execution. *)
+  expired_in_queue : int;  (** Deadlines blown while queued. *)
+  io_stalls : int;  (** Connections dropped by the slow-client defense. *)
+  conns_expired : int;  (** Connections past the lifetime cap. *)
   ops : op_stats list;  (** Sorted by op name. *)
   cache_deltas : (string * Cache_stats.snapshot) list;
       (** Per-cache counter movement since {!create}: hits / misses /
@@ -71,8 +90,10 @@ val snapshot : t -> snapshot
 
 val in_flight : t -> int
 
-val to_json : t -> string
-(** The [stats] protocol reply body. *)
+val to_json : ?extra:(string * string) list -> t -> string
+(** The [stats] protocol reply body.  [extra] appends top-level fields
+    whose values are already-rendered JSON (the server passes the
+    workspace's circuit-breaker array). *)
 
 val pp : Format.formatter -> t -> unit
 (** Human rendering, logged when the daemon drains. *)

@@ -1,0 +1,173 @@
+(* Per-source circuit breakers for the degraded federation.
+
+   A source that fails to load (torn, unreadable, unparseable) costs a
+   full read + parse attempt on every workspace scan; a source that
+   keeps failing pays that cost forever while contributing nothing.
+   The breaker converts "keeps failing" into a state machine:
+
+     Closed    — loads are attempted; consecutive failures counted.
+     Open      — [threshold] consecutive failures reached: loads are
+                 skipped outright (the caller records a [Breaker_open]
+                 health issue) until the cooldown elapses.
+     Half_open — cooldown elapsed: the next load is allowed through as
+                 a probe.  Success closes the breaker; failure re-opens
+                 it with a doubled cooldown (capped at 8x).
+
+   The registry is keyed by an arbitrary string — the workspace uses
+   ["source:NAME"] / ["articulation:NAME"] — and is mutex-guarded: the
+   daemon's admission workers consult it concurrently. *)
+
+type config = { threshold : int; cooldown_ms : int }
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> default)
+  | None -> default
+
+let default_config () =
+  {
+    threshold = env_int "ONION_BREAKER_THRESHOLD" 3;
+    cooldown_ms = env_int "ONION_BREAKER_COOLDOWN_MS" 5000;
+  }
+
+type state = Closed | Open | Half_open
+
+type entry = {
+  mutable state : state;
+  mutable failures : int;  (* consecutive *)
+  mutable opened_at : float;
+  mutable reopens : int;  (* re-opens from Half_open: cooldown doubles *)
+  mutable last_detail : string;
+}
+
+type info = {
+  name : string;
+  info_state : state;
+  info_failures : int;
+  info_cooldown_ms : int;
+  info_detail : string;
+}
+
+type t = { config : config; mutex : Mutex.t; entries : (string, entry) Hashtbl.t }
+
+let create ?config () =
+  let config = match config with Some c -> c | None -> default_config () in
+  { config; mutex = Mutex.create (); entries = Hashtbl.create 8 }
+
+let now () = Unix.gettimeofday ()
+
+let entry_locked t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          state = Closed;
+          failures = 0;
+          opened_at = 0.;
+          reopens = 0;
+          last_detail = "";
+        }
+      in
+      Hashtbl.replace t.entries name e;
+      e
+
+let cooldown_ms t e = t.config.cooldown_ms * (1 lsl min 3 e.reopens)
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let should_skip t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | None -> false
+      | Some e -> (
+          match e.state with
+          | Closed | Half_open -> false
+          | Open ->
+              let elapsed_ms =
+                int_of_float ((now () -. e.opened_at) *. 1000.)
+              in
+              if elapsed_ms >= cooldown_ms t e then begin
+                (* Cooldown served: let the next load probe. *)
+                e.state <- Half_open;
+                false
+              end
+              else true))
+
+let record_failure t name ~detail =
+  locked t (fun () ->
+      let e = entry_locked t name in
+      e.last_detail <- detail;
+      match e.state with
+      | Open -> ()
+      | Half_open ->
+          (* The probe failed: re-open, backing the cooldown off. *)
+          e.state <- Open;
+          e.opened_at <- now ();
+          e.reopens <- e.reopens + 1
+      | Closed ->
+          e.failures <- e.failures + 1;
+          if e.failures >= t.config.threshold then begin
+            e.state <- Open;
+            e.opened_at <- now ()
+          end)
+
+let record_success t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | None -> ()
+      | Some e ->
+          e.state <- Closed;
+          e.failures <- 0;
+          e.reopens <- 0;
+          e.last_detail <- "")
+
+let state t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | None -> Closed
+      | Some e -> e.state)
+
+(* The open-circuit health detail.  Deliberately free of live-countdown
+   numbers: the status body must stay a pure function of (workspace
+   contents x breaker state), not of the wall clock. *)
+let skip_detail t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | None -> "circuit open"
+      | Some e ->
+          let base =
+            Printf.sprintf "circuit open after %d failures (cooldown %dms)"
+              (max e.failures t.config.threshold)
+              (cooldown_ms t e)
+          in
+          if e.last_detail = "" then base
+          else base ^ ": " ^ e.last_detail)
+
+let string_of_state = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+let snapshot t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name e acc ->
+          {
+            name;
+            info_state = e.state;
+            info_failures = e.failures;
+            info_cooldown_ms = cooldown_ms t e;
+            info_detail = e.last_detail;
+          }
+          :: acc)
+        t.entries [])
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let reset t =
+  locked t (fun () -> Hashtbl.reset t.entries)

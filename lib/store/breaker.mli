@@ -1,0 +1,62 @@
+(** Per-source circuit breakers for the degraded federation.
+
+    A repeatedly-failing source stops costing a load attempt per
+    workspace scan: after [threshold] consecutive failures its circuit
+    opens and loads are skipped (surfacing as a {!Health.Breaker_open}
+    issue) until the cooldown elapses, at which point one probe load is
+    let through — success closes the circuit, failure re-opens it with
+    a doubled cooldown (capped at 8x).
+
+    The registry is mutex-guarded; the daemon's admission workers
+    consult it concurrently. *)
+
+type config = { threshold : int; cooldown_ms : int }
+
+val default_config : unit -> config
+(** [ONION_BREAKER_THRESHOLD] (default 3) consecutive failures open the
+    circuit for [ONION_BREAKER_COOLDOWN_MS] (default 5000). *)
+
+type state = Closed | Open | Half_open
+
+type info = {
+  name : string;
+  info_state : state;
+  info_failures : int;  (** Consecutive failures while closed. *)
+  info_cooldown_ms : int;  (** Current (possibly backed-off) cooldown. *)
+  info_detail : string;  (** Last failure's detail, [""] if none. *)
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+(** An empty registry ([config] defaults to {!default_config}, i.e. the
+    environment). *)
+
+val should_skip : t -> string -> bool
+(** [true] iff the circuit is open and still cooling down.  An elapsed
+    cooldown flips the circuit to {!Half_open} and returns [false] —
+    the caller's load attempt is the probe. *)
+
+val record_failure : t -> string -> detail:string -> unit
+(** A load attempt failed.  Counts toward the threshold while closed;
+    re-opens (with backoff) from {!Half_open}. *)
+
+val record_success : t -> string -> unit
+(** A load attempt succeeded: the circuit closes and all counters
+    reset. *)
+
+val state : t -> string -> state
+(** {!Closed} for names never seen. *)
+
+val skip_detail : t -> string -> string
+(** Human detail for the {!Health.Breaker_open} issue.  Contains no
+    live countdown, so repeated [status] bodies stay byte-identical
+    while nothing changes. *)
+
+val string_of_state : state -> string
+
+val snapshot : t -> info list
+(** Every entry, sorted by name. *)
+
+val reset : t -> unit
+(** Forget all state — e.g. after [fsck] repaired the workspace. *)

@@ -6,6 +6,7 @@ type kind =
   | Unparseable
   | Checksum_mismatch
   | Orphan_sidecar
+  | Breaker_open
 
 type issue = {
   part : part;
@@ -41,6 +42,7 @@ let string_of_kind = function
   | Unparseable -> "unparseable"
   | Checksum_mismatch -> "checksum-mismatch"
   | Orphan_sidecar -> "orphan-sidecar"
+  | Breaker_open -> "breaker-open"
 
 let pp_issue ppf i =
   Format.fprintf ppf "%s %s [%s] %s: %s"

@@ -22,6 +22,9 @@ type kind =
           silent corruption that still parses.  Warning — the file
           serves. *)
   | Orphan_sidecar  (** A CRC sidecar with no payload. *)
+  | Breaker_open
+      (** The source's circuit breaker is open after repeated load
+          failures: the load was skipped, not re-attempted. *)
 
 type issue = {
   part : part;

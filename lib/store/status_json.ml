@@ -109,7 +109,20 @@ let workspace ws =
   (* No process-level counters here: status is a pure function of the
      workspace (the daemon's concurrent soak asserts replies bit-for-bit
      equal), so the adaptive planners' strategy distribution is reported
-     by the daemon's stats op instead, next to the cache counters. *)
+     by the daemon's stats op instead, next to the cache counters.
+     Breaker entries only exist once a load has failed, and their fields
+     carry no live countdowns, so an unchanging workspace keeps an
+     unchanging status body. *)
+  let breaker (b : Breaker.info) =
+    obj
+      [
+        ("name", str b.Breaker.name);
+        ("state", str (Breaker.string_of_state b.Breaker.info_state));
+        ("failures", string_of_int b.Breaker.info_failures);
+        ("cooldown_ms", string_of_int b.Breaker.info_cooldown_ms);
+        ("detail", str b.Breaker.info_detail);
+      ]
+  in
   obj
     [
       ("workspace", str (Workspace.root ws));
@@ -117,6 +130,7 @@ let workspace ws =
       ("articulations", arr articulations);
       ("stale_bridges", arr stale);
       ("lint", lint_summary);
+      ("breakers", arr (List.map breaker (Workspace.breakers ws)));
       ("health", health_obj (Workspace.health ws));
     ]
   ^ "\n"

@@ -11,6 +11,10 @@ type t = {
   mutable lint_memo : (string * Lint.report) option;
       (* Same scheme for the whole lint report: byte-identical workspace
          files mean byte-identical findings. *)
+  breaker : Breaker.t;
+      (* Per-source circuit breakers: a repeatedly-corrupt file is
+         skipped (Health.Breaker_open) instead of re-paying read+parse
+         on every scan until its cooldown elapses. *)
 }
 
 let marker = "onion.workspace"
@@ -40,12 +44,25 @@ let init dir =
       mkdir_if_missing (dir / "sources");
       mkdir_if_missing (dir / "articulations");
       Atomic_io.write (dir / marker) marker_content;
-      Ok { root = dir; space_memo = None; lint_memo = None }
+      Ok
+        {
+          root = dir;
+          space_memo = None;
+          lint_memo = None;
+          breaker = Breaker.create ();
+        }
     with Sys_error m -> Error m
   end
 
 let open_ dir =
-  if is_workspace dir then Ok { root = dir; space_memo = None; lint_memo = None }
+  if is_workspace dir then
+    Ok
+      {
+        root = dir;
+        space_memo = None;
+        lint_memo = None;
+        breaker = Breaker.create ();
+      }
   else Error (Printf.sprintf "%s is not an onion workspace (missing %s)" dir marker)
 
 (* Payload files only: in-flight tmp files and checksum sidecars are
@@ -132,7 +149,7 @@ let rel_file t path =
 
 (* Degraded load of one source: IO errors, parse failures and checksum
    verdicts become Health issues instead of aborting the federation. *)
-let classify_source t name =
+let classify_source_raw t name =
   match source_file t name with
   | None ->
       Error
@@ -195,6 +212,34 @@ let classify_source t name =
                       ] )
               | _ -> Ok (o, []))))
 
+(* Feed every load outcome to the part's circuit breaker; an open
+   circuit skips the load entirely and surfaces as Breaker_open. *)
+let classify_with_breaker t ~key ~skip_issue classify =
+  if Breaker.should_skip t.breaker key then Error (skip_issue ())
+  else
+    match classify () with
+    | Ok _ as ok ->
+        Breaker.record_success t.breaker key;
+        ok
+    | Error (issue : Health.issue) ->
+        Breaker.record_failure t.breaker key ~detail:issue.Health.detail;
+        Error issue
+
+let classify_source t name =
+  let key = "source:" ^ name in
+  classify_with_breaker t ~key
+    ~skip_issue:(fun () ->
+      {
+        Health.part = Health.Source;
+        name;
+        file = "sources/" ^ name;
+        kind = Health.Breaker_open;
+        detail = Breaker.skip_detail t.breaker key;
+      })
+    (fun () -> classify_source_raw t name)
+
+let breakers t = Breaker.snapshot t.breaker
+
 let load_sources t =
   List.fold_left
     (fun (sources, issues) name ->
@@ -230,7 +275,7 @@ let remove_articulation t name =
     Error (Printf.sprintf "no articulation named %s" name)
   else Durable_io.remove ~path
 
-let classify_articulation t name =
+let classify_articulation_raw t name =
   let path = articulation_file t name in
   let file = rel_file t path in
   match Durable_io.read_verified ~path with
@@ -280,6 +325,19 @@ let classify_articulation t name =
                     };
                   ] )
           | _ -> Ok (a, [])))
+
+let classify_articulation t name =
+  let key = "articulation:" ^ name in
+  classify_with_breaker t ~key
+    ~skip_issue:(fun () ->
+      {
+        Health.part = Health.Articulation;
+        name;
+        file = rel_file t (articulation_file t name);
+        kind = Health.Breaker_open;
+        detail = Breaker.skip_detail t.breaker key;
+      })
+    (fun () -> classify_articulation_raw t name)
 
 let load_articulations t =
   List.fold_left
@@ -431,6 +489,7 @@ let io_diagnostic (i : Health.issue) =
     | Health.Unparseable -> "unparseable"
     | Health.Checksum_mismatch -> "checksum-mismatch"
     | Health.Orphan_sidecar -> "orphan-sidecar"
+    | Health.Breaker_open -> "breaker-open"
   in
   Diagnostic.v ~file:i.Health.file ~subject:i.Health.name ~code ~pass:"io"
     i.Health.detail
@@ -440,11 +499,14 @@ let io_diagnostic (i : Health.issue) =
 let read_text path =
   match Durable_io.read ~path with Ok c -> Some c | Error _ -> None
 
+(* Lint is the offline full scan: it bypasses the circuit breakers so
+   the ground-truth failure is always reported, and instead surfaces any
+   breaker that the serving path has opened as its own diagnostic. *)
 let compute_lint ~conversions t =
   let sources, s_diags =
     List.fold_left
       (fun (ss, ds) name ->
-        match classify_source t name with
+        match classify_source_raw t name with
         | Error issue -> (ss, ds @ [ issue ])
         | Ok (o, warns) ->
             let path = source_file t name in
@@ -456,7 +518,7 @@ let compute_lint ~conversions t =
   let articulations, a_diags =
     List.fold_left
       (fun (aa, ds) name ->
-        match classify_articulation t name with
+        match classify_articulation_raw t name with
         | Error issue -> (aa, ds @ [ issue ])
         | Ok (a, warns) ->
             let path = articulation_file t name in
@@ -467,8 +529,21 @@ let compute_lint ~conversions t =
   in
   let view = Lint.view ~conversions ~articulations sources in
   let report = Lint.run view in
+  let breaker_diags =
+    List.filter_map
+      (fun (b : Breaker.info) ->
+        match b.Breaker.info_state with
+        | Breaker.Open | Breaker.Half_open ->
+            Some
+              (Diagnostic.v ~subject:b.Breaker.name ~code:"breaker-open"
+                 ~pass:"io"
+                 (Breaker.skip_detail t.breaker b.Breaker.name))
+        | Breaker.Closed -> None)
+      (Breaker.snapshot t.breaker)
+  in
   let io_diags =
     List.map io_diagnostic (stray_issues t @ s_diags @ a_diags)
+    @ breaker_diags
   in
   {
     report with
@@ -653,7 +728,10 @@ let fsck t =
   if repairs <> [] then begin
     Cache_stats.clear_all ();
     t.space_memo <- None;
-    t.lint_memo <- None
+    t.lint_memo <- None;
+    (* Repaired files deserve a fresh chance: open circuits would skip
+       the very loads the repair just fixed. *)
+    Breaker.reset t.breaker
   end;
   { repairs; health = health t }
 

@@ -96,6 +96,12 @@ val space : t -> (Federation.t * Health.t, string) result
     Memoised on a content fingerprint of the workspace files (honours
     [Cache_stats.enabled]). *)
 
+val breakers : t -> Breaker.info list
+(** The per-source circuit breakers' current state (empty until a load
+    has failed).  A source whose circuit is open surfaces in {!health}
+    as a {!Health.Breaker_open} failure and its load is skipped until
+    the cooldown elapses; {!fsck} repairs reset all circuits. *)
+
 val health : t -> Health.t
 (** Read-only scan: healthy parts, load failures, stray tmp files and
     orphan sidecars.  Repairs nothing. *)

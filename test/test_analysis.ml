@@ -295,6 +295,13 @@ let find_code ds code =
 let test_fixture_all_codes () =
   with_workspace (fun ws ->
       build_fixture ws;
+      (* Trip the circuit breakers: [health] classifies through the
+         breaker gate, so threshold-many scans open the circuit for each
+         failing part.  Lint itself scans raw (ground truth) and reports
+         the open breakers as their own [breaker-open] diagnostics. *)
+      for _ = 1 to (Breaker.default_config ()).Breaker.threshold do
+        ignore (Workspace.health ws)
+      done;
       let report = Workspace.lint ~conversions:fixture_registry ws in
       let ds = report.Lint.diagnostics in
       (* The raw report covers the entire catalog. *)

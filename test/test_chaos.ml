@@ -1,0 +1,678 @@
+(* The resilience layer: Deadline budgets and cooperative cancellation,
+   length validation before allocation, deadline-aware admission,
+   circuit breakers, and the daemon under hostile clients — slow-loris
+   writers, expired deadlines, lifetime caps — plus shutdown under load,
+   which must always complete within the grace budget. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---------------- deadline budgets ---------------- *)
+
+let test_deadline_basics () =
+  check_bool "never not expired" false (Deadline.expired Deadline.never);
+  check_bool "never has max budget" true
+    (Deadline.remaining_ms Deadline.never = max_int);
+  let d = Deadline.after_ms 0 in
+  check_bool "zero budget is already expired" true (Deadline.expired d);
+  check_bool "expired budget is non-positive" true (Deadline.remaining_ms d <= 0);
+  let d = Deadline.after_ms 60_000 in
+  check_bool "minute budget not expired" false (Deadline.expired d);
+  check_bool "minute budget remaining" true (Deadline.remaining_ms d > 59_000);
+  check_bool "of_ms_opt none" true (Deadline.of_ms_opt None = Deadline.never);
+  check_bool "of_ms_opt some not expired" false
+    (Deadline.expired (Deadline.of_ms_opt (Some 60_000)))
+
+let test_deadline_ambient () =
+  (* No ambient deadline: check is a no-op. *)
+  Deadline.check ();
+  check_bool "no ambient cancellation" false (Deadline.cancelled ());
+  (* An expired ambient deadline makes check raise — the cooperative
+     cancellation points in Matcher/Domain_pool rely on this. *)
+  check_bool "expired ambient raises" true
+    (Deadline.with_deadline (Deadline.after_ms 0) (fun () ->
+         Deadline.cancelled ()
+         &&
+         match Deadline.check () with
+         | () -> false
+         | exception Deadline.Expired -> true));
+  (* Nesting keeps the tighter budget. *)
+  Deadline.with_deadline (Deadline.after_ms 60_000) (fun () ->
+      check_bool "loose budget live" false (Deadline.cancelled ());
+      Deadline.with_deadline (Deadline.after_ms 0) (fun () ->
+          check_bool "tight budget wins" true (Deadline.cancelled ()));
+      check_bool "outer budget restored" false (Deadline.cancelled ()));
+  (* The registry is per-thread: an expired deadline on this thread does
+     not leak into a freshly spawned one. *)
+  Deadline.with_deadline (Deadline.after_ms 0) (fun () ->
+      let leaked = ref true in
+      let th = Thread.create (fun () -> leaked := Deadline.cancelled ()) () in
+      Thread.join th;
+      check_bool "no cross-thread leak" false !leaked)
+
+let test_deadline_hard_stop () =
+  check_bool "no hard stop yet" false (Deadline.cancelled ());
+  Deadline.set_hard_stop (Deadline.after_ms 0);
+  Fun.protect ~finally:Deadline.clear_hard_stop (fun () ->
+      check_bool "hard stop cancels everyone" true (Deadline.cancelled ());
+      let other = ref false in
+      let th = Thread.create (fun () -> other := Deadline.cancelled ()) () in
+      Thread.join th;
+      check_bool "hard stop reaches other threads" true !other);
+  check_bool "cleared" false (Deadline.cancelled ())
+
+let test_matcher_cancels () =
+  (* An expired ambient budget must abort pattern matching via its
+     cooperative check instead of running to completion.  A dense graph
+     of wildcard-matchable nodes gives the backtracker enough steps to
+     cross the check interval. *)
+  let g =
+    List.fold_left
+      (fun g i ->
+        Digraph.add_edge g
+          (Printf.sprintf "n%d" (i mod 80))
+          "edge"
+          (Printf.sprintf "n%d" ((i + 1) mod 80)))
+      Digraph.empty
+      (List.init 400 Fun.id)
+  in
+  let pat =
+    Pattern.create
+      ~nodes:
+        [
+          { Pattern.id = "a"; label = None; binder = Some "A" };
+          { Pattern.id = "b"; label = None; binder = Some "B" };
+          { Pattern.id = "c"; label = None; binder = Some "C" };
+        ]
+      ~edges:
+        [
+          { Pattern.src = "a"; elabel = None; dst = "b" };
+          { Pattern.src = "b"; elabel = None; dst = "c" };
+        ]
+      ()
+  in
+  match
+    Deadline.with_deadline (Deadline.after_ms 0) (fun () ->
+        Matcher.find ~limit:100_000 pat g)
+  with
+  | _ -> Alcotest.fail "matcher ignored an expired deadline"
+  | exception Deadline.Expired -> ()
+
+(* ---------------- frame length validation ---------------- *)
+
+let with_raw_stream bytes f =
+  let path = Filename.temp_file "onion-chaos-frame" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic))
+
+let test_frame_refuses_absurd_length () =
+  (* The declared length is validated BEFORE any payload buffer is
+     allocated: a length far past the drain cap is refused outright (no
+     multi-gigabyte Bytes.create, no drain) and kills the connection. *)
+  with_raw_stream "900000000\nirrelevant" (fun ic ->
+      match Protocol.read_frame ~max:1024 ic with
+      | Error (Protocol.Refused n as e) ->
+          check_int "declared length reported" 900_000_000 n;
+          check_bool "not survivable" false (Protocol.connection_survives e)
+      | Ok _ -> Alcotest.fail "absurd length accepted"
+      | Error e ->
+          Alcotest.failf "expected refused, got %s"
+            (Protocol.read_error_message e))
+
+let test_frame_negative_length_is_garbage () =
+  with_raw_stream "-12\nwhatever" (fun ic ->
+      match Protocol.read_frame ~max:1024 ic with
+      | Error (Protocol.Garbage _) -> ()
+      | _ -> Alcotest.fail "negative length must be garbage")
+
+let test_frame_header_flood_refused () =
+  (* A "header" that never ends (no newline within the cap) cannot make
+     the reader buffer unbounded garbage. *)
+  with_raw_stream (String.make 10_000 '9') (fun ic ->
+      match Protocol.read_frame ~max:1024 ic with
+      | Error (Protocol.Refused _ | Protocol.Garbage _) -> ()
+      | Ok _ -> Alcotest.fail "header flood accepted"
+      | Error e ->
+          Alcotest.failf "expected refused/garbage, got %s"
+            (Protocol.read_error_message e))
+
+let test_request_deadline_attr_codec () =
+  let r =
+    Protocol.encode_request
+      { Protocol.op = "query"; arg = "SELECT x"; deadline_ms = Some 250 }
+  in
+  let d = Protocol.decode_request r in
+  check_string "op survives" "query" d.Protocol.op;
+  check_string "arg survives" "SELECT x" d.Protocol.arg;
+  check_bool "deadline survives" true (d.Protocol.deadline_ms = Some 250);
+  let d = Protocol.decode_request "ping" in
+  check_bool "absent deadline decodes to none" true
+    (d.Protocol.deadline_ms = None);
+  (* An unparseable deadline value is not silently a deadline. *)
+  let d = Protocol.decode_request "deadline-ms=soon ping" in
+  check_bool "bad deadline value ignored" true (d.Protocol.deadline_ms = None);
+  (* The timeout status round-trips like the others. *)
+  match Protocol.decode_reply (Protocol.encode_reply (Protocol.timeout "late")) with
+  | Ok got ->
+      check_bool "timeout status survives" true
+        (got.Protocol.status = Protocol.Timeout);
+      check_string "timeout body survives" "late" got.Protocol.body
+  | Error m -> Alcotest.failf "timeout reply decode failed: %s" m
+
+(* ---------------- deadline-aware admission ---------------- *)
+
+let test_admission_expires_queued_jobs () =
+  (* One worker parked on a mutex; a job queued behind it with an
+     already-spent budget must run its expire continuation, not its
+     body. *)
+  let a = Admission.create ~capacity:4 ~workers:1 in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let started = Semaphore.Binary.make false in
+  (match
+     Admission.submit a (fun () ->
+         Semaphore.Binary.release started;
+         Mutex.lock gate;
+         Mutex.unlock gate)
+   with
+  | Admission.Accepted -> ()
+  | _ -> Alcotest.fail "blocker refused");
+  Semaphore.Binary.acquire started;
+  let ran = ref false and expired = ref false in
+  (match
+     Admission.submit a
+       ~deadline:(Deadline.after_ms 0)
+       ~on_expired:(fun () -> expired := true)
+       (fun () -> ran := true)
+   with
+  | Admission.Accepted -> ()
+  | _ -> Alcotest.fail "doomed job refused");
+  Mutex.unlock gate;
+  Admission.shutdown a;
+  check_bool "body never ran" false !ran;
+  check_bool "expire continuation ran" true !expired;
+  check_int "expiry counted" 1 (Admission.expired_total a)
+
+let test_admission_live_deadline_runs () =
+  let a = Admission.create ~capacity:4 ~workers:1 in
+  let ran = ref false and expired = ref false in
+  (match
+     Admission.submit a
+       ~deadline:(Deadline.after_ms 60_000)
+       ~on_expired:(fun () -> expired := true)
+       (fun () -> ran := true)
+   with
+  | Admission.Accepted -> ()
+  | _ -> Alcotest.fail "submit refused");
+  Admission.shutdown a;
+  check_bool "body ran" true !ran;
+  check_bool "no expiry" false !expired
+
+let test_admission_drain_deadline_bounded () =
+  (* A wedged worker must not hang the drain: with a drain budget the
+     queued jobs are expired and drain returns within the budget. *)
+  let a = Admission.create ~capacity:4 ~workers:1 in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let started = Semaphore.Binary.make false in
+  ignore
+    (Admission.submit a (fun () ->
+         Semaphore.Binary.release started;
+         Mutex.lock gate;
+         Mutex.unlock gate));
+  Semaphore.Binary.acquire started;
+  let expired = ref 0 in
+  let expired_mu = Mutex.create () in
+  for _ = 1 to 3 do
+    ignore
+      (Admission.submit a
+         ~on_expired:(fun () ->
+           Mutex.lock expired_mu;
+           incr expired;
+           Mutex.unlock expired_mu)
+         (fun () -> ()))
+  done;
+  let t0 = Unix.gettimeofday () in
+  Admission.drain ~deadline:(Deadline.after_ms 200) a;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check_bool "drain returned within its budget" true (elapsed < 2.0);
+  check_int "queued jobs expired, not run" 3 !expired;
+  (* Release the wedged worker so shutdown can join it. *)
+  Mutex.unlock gate;
+  Admission.shutdown a
+
+(* ---------------- circuit breaker ---------------- *)
+
+let test_breaker_state_machine () =
+  let b = Breaker.create ~config:{ Breaker.threshold = 2; cooldown_ms = 40 } () in
+  let k = "source:flaky" in
+  check_bool "starts closed" true (Breaker.state b k = Breaker.Closed);
+  check_bool "closed never skips" false (Breaker.should_skip b k);
+  Breaker.record_failure b k ~detail:"parse error";
+  check_bool "below threshold stays closed" true (Breaker.state b k = Breaker.Closed);
+  Breaker.record_failure b k ~detail:"parse error";
+  check_bool "threshold opens" true (Breaker.state b k = Breaker.Open);
+  check_bool "open skips" true (Breaker.should_skip b k);
+  check_bool "skip detail names the failure" true
+    (let d = Breaker.skip_detail b k in
+     String.length d > 0
+     &&
+     let rec find i =
+       i + 11 <= String.length d
+       && (String.sub d i 11 = "parse error" || find (i + 1))
+     in
+     find 0);
+  (* Cooldown elapses: the next probe is let through (half-open). *)
+  Thread.delay 0.06;
+  check_bool "cooldown elapsed lets a probe through" false
+    (Breaker.should_skip b k);
+  check_bool "half open" true (Breaker.state b k = Breaker.Half_open);
+  (* A failing probe re-opens with a doubled cooldown. *)
+  Breaker.record_failure b k ~detail:"still broken";
+  check_bool "probe failure re-opens" true (Breaker.state b k = Breaker.Open);
+  Thread.delay 0.06;
+  check_bool "doubled cooldown still skipping" true (Breaker.should_skip b k);
+  Thread.delay 0.06;
+  check_bool "after doubled cooldown probes again" false
+    (Breaker.should_skip b k);
+  (* A successful probe closes and resets. *)
+  Breaker.record_success b k;
+  check_bool "success closes" true (Breaker.state b k = Breaker.Closed);
+  match Breaker.snapshot b with
+  | [ info ] ->
+      check_string "snapshot keyed by name" k info.Breaker.name;
+      check_int "failures reset" 0 info.Breaker.info_failures
+  | l -> Alcotest.failf "expected one breaker, got %d" (List.length l)
+
+let test_breaker_shields_workspace () =
+  (* A corrupt source is classified through the breaker: after
+     threshold-many scans the issue becomes breaker-open and the
+     snapshot surfaces it; fsck repair resets the breaker. *)
+  let dir = Filename.temp_file "onion-chaos-ws" "" in
+  Sys.remove dir;
+  let ws =
+    match Workspace.init dir with
+    | Ok ws -> ws
+    | Error m -> Alcotest.failf "init failed: %s" m
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      if Sys.file_exists dir then rm dir)
+  @@ fun () ->
+  let oc = open_out_bin (Filename.concat dir "sources/flaky.xml") in
+  output_string oc "<flaky";
+  close_out oc;
+  let threshold = (Breaker.default_config ()).Breaker.threshold in
+  for _ = 1 to threshold do
+    ignore (Workspace.health ws)
+  done;
+  let h = Workspace.health ws in
+  check_bool "issue degraded to breaker-open" true
+    (List.exists
+       (fun (i : Health.issue) -> i.Health.kind = Health.Breaker_open)
+       h.Health.issues);
+  check_bool "snapshot shows the open breaker" true
+    (List.exists
+       (fun (b : Breaker.info) ->
+         b.Breaker.name = "source:flaky" && b.Breaker.info_state = Breaker.Open)
+       (Workspace.breakers ws));
+  (* fsck quarantines the corrupt payload and resets the breakers. *)
+  ignore (Workspace.fsck ws);
+  check_bool "breakers reset after repair" true
+    (List.for_all
+       (fun (b : Breaker.info) -> b.Breaker.info_state = Breaker.Closed)
+       (Workspace.breakers ws))
+
+(* ---------------- the daemon under hostile clients ---------------- *)
+
+let carrier_xml =
+  {|<ontology name="carrier">
+  <term name="Cars">
+    <subclassOf term="Carrier"/>
+    <attribute term="Price"/>
+  </term>
+  <instance name="MyCar" of="Cars"/>
+  <edge src="MyCar" label="Price" dst="2000"/>
+</ontology>|}
+
+let factory_xml =
+  {|<ontology name="factory">
+  <term name="Vehicle"><subclassOf term="Transportation"/><attribute term="Price"/></term>
+  <instance name="Van1" of="Vehicle"/>
+  <edge src="Van1" label="Price" dst="7000"/>
+</ontology>|}
+
+let rules_text = {|[r1] carrier:Cars => factory:Vehicle|}
+
+(* Like test_server's harness, with the resilience knobs exposed — and
+   the shutdown in [finally] is itself an assertion: it must finish
+   within a hard wall-clock budget no matter what the test left behind
+   (wedged clients, queued work), or satellite "shutdown under load"
+   fails. *)
+let with_chaos_server ?(queue = 16) ?(workers = 2) ?(io_timeout_ms = 0)
+    ?(conn_lifetime_ms = 0) ?(grace_ms = 2000) f =
+  let dir = Filename.temp_file "onion-chaos-serve" "" in
+  Sys.remove dir;
+  let ws =
+    match Workspace.init dir with
+    | Ok ws -> ws
+    | Error m -> Alcotest.failf "init failed: %s" m
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      if Sys.file_exists dir then rm dir)
+  @@ fun () ->
+  let add body =
+    let path = Filename.temp_file "src" ".xml" in
+    let oc = open_out path in
+    output_string oc body;
+    close_out oc;
+    let r = Workspace.add_source ws ~path in
+    Sys.remove path;
+    match r with
+    | Ok _ -> ()
+    | Error m -> Alcotest.failf "add_source failed: %s" m
+  in
+  add carrier_xml;
+  add factory_xml;
+  let rules =
+    match Rule_parser.parse ~default_ontology:"transport" rules_text with
+    | Ok rules -> rules
+    | Error _ -> Alcotest.fail "rules failed to parse"
+  in
+  (match
+     Workspace.articulate ~conversions:Conversion.builtin ws ~left:"carrier"
+       ~right:"factory" ~name:"transport" ~rules
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "articulate failed: %s" m);
+  let socket_path = Filename.temp_file "onion-chaos-sock" ".sock" in
+  Sys.remove socket_path;
+  let config =
+    {
+      Server.default_config with
+      Server.unix_path = Some socket_path;
+      queue_capacity = queue;
+      workers;
+      io_timeout_ms;
+      conn_lifetime_ms;
+      default_deadline_ms = 0;
+      grace_ms;
+    }
+  in
+  let server =
+    match Server.create config ws with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "server create failed: %s" m
+  in
+  let serve_thread = Thread.create Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      let joined = Atomic.make false in
+      ignore
+        (Thread.create
+           (fun () ->
+             Thread.join serve_thread;
+             Atomic.set joined true)
+           ());
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while (not (Atomic.get joined)) && Unix.gettimeofday () < deadline do
+        Thread.yield ();
+        Unix.sleepf 0.02
+      done;
+      if Sys.file_exists socket_path then Sys.remove socket_path;
+      if not (Atomic.get joined) then
+        Alcotest.fail "shutdown did not complete within its budget")
+    (fun () -> f server (Client.Unix_socket socket_path))
+
+let test_serve_expired_deadline_times_out () =
+  with_chaos_server (fun server address ->
+      match
+        Client.with_connection address (fun c ->
+            (* A spent budget: the request is shed from the queue with a
+               timeout reply, deterministically. *)
+            let doomed =
+              Client.request ~deadline_ms:0 c ~op:"query"
+                ~arg:"SELECT Price FROM Vehicle"
+            in
+            (* A generous budget: same connection, normal answer. *)
+            let fine =
+              Client.request ~deadline_ms:60_000 c ~op:"query"
+                ~arg:"SELECT Price FROM Vehicle"
+            in
+            Result.Ok (doomed, fine))
+      with
+      | Error m -> Alcotest.failf "transport error: %s" m
+      | Ok (doomed, fine) ->
+          (match doomed with
+          | Ok { Protocol.status = Protocol.Timeout; _ } -> ()
+          | Ok r ->
+              Alcotest.failf "expected timeout, got %s"
+                (Protocol.status_to_string r.Protocol.status)
+          | Error m -> Alcotest.failf "doomed request transport error: %s" m);
+          (match fine with
+          | Ok { Protocol.status = Protocol.Ok; _ } -> ()
+          | _ -> Alcotest.fail "in-budget request must succeed");
+          let s = Server_stats.snapshot (Server.stats server) in
+          check_bool "queue expiry counted" true
+            (s.Server_stats.expired_in_queue >= 1))
+
+let test_serve_drops_slow_loris () =
+  with_chaos_server ~io_timeout_ms:150 (fun server address ->
+      let socket_path =
+        match address with Client.Unix_socket p -> p | _ -> assert false
+      in
+      (* The attacker: one byte of header, then silence.  The frame
+         budget must cut it off instead of pinning a reader thread. *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+      @@ fun () ->
+      ignore (Unix.write fd (Bytes.of_string "1") 0 1);
+      (* Server must hang up on the loris within the budget (plus
+         margin): a blocking read on our side sees EOF. *)
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      let buf = Bytes.create 16 in
+      let dropped =
+        match Unix.read fd buf 0 16 with
+        | 0 -> true
+        | _ -> false
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            true
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            false
+      in
+      check_bool "loris dropped within the budget" true dropped;
+      let s = Server_stats.snapshot (Server.stats server) in
+      check_bool "stall counted" true (s.Server_stats.io_stalls >= 1);
+      (* And polite clients were never starved. *)
+      match
+        Client.with_connection address (fun c ->
+            Client.request c ~op:"ping" ~arg:"")
+      with
+      | Ok { Protocol.status = Protocol.Ok; _ } -> ()
+      | _ -> Alcotest.fail "healthy client starved by the loris")
+
+let test_serve_connection_lifetime_cap () =
+  with_chaos_server ~conn_lifetime_ms:150 (fun server address ->
+      match Client.connect address with
+      | Error m -> Alcotest.failf "connect: %s" m
+      | Ok c ->
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          (match Client.request c ~op:"ping" ~arg:"" with
+          | Ok { Protocol.status = Protocol.Ok; _ } -> ()
+          | _ -> Alcotest.fail "fresh connection must serve");
+          Thread.delay 0.25;
+          (* The cap is enforced at frame boundaries: within a few
+             requests past the lifetime the server must hang up. *)
+          let rec until_dropped tries =
+            if tries = 0 then
+              Alcotest.fail "connection outlived its lifetime cap"
+            else
+              match Client.request c ~op:"ping" ~arg:"" with
+              | Ok _ -> until_dropped (tries - 1)
+              | Error _ -> ()
+          in
+          until_dropped 3;
+          let s = Server_stats.snapshot (Server.stats server) in
+          check_bool "lifetime expiry counted" true
+            (s.Server_stats.conns_expired >= 1))
+
+let test_serve_shutdown_under_load () =
+  (* Slow clients, a loris mid-dribble and queued work at SIGTERM: the
+     harness' finally asserts the drain still completes within its
+     budget (grace 400ms; in-flight work is hard-stopped, queued work is
+     answered timeout). *)
+  let clients = ref [] in
+  let stop_loris = Atomic.make false in
+  with_chaos_server ~workers:1 ~queue:8 ~io_timeout_ms:300 ~grace_ms:400
+    (fun _server address ->
+      let socket_path =
+        match address with Client.Unix_socket p -> p | _ -> assert false
+      in
+      let loris () =
+        try
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+          @@ fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket_path);
+          let b = Bytes.of_string "9" in
+          while not (Atomic.get stop_loris) do
+            ignore (Unix.write fd b 0 1);
+            Thread.delay 0.05
+          done
+        with _ -> ()
+      in
+      let hammer () =
+        match Client.connect ~io_timeout_ms:2000 address with
+        | Error _ -> ()
+        | Ok c ->
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            (try
+               for _ = 1 to 100 do
+                 ignore
+                   (Client.request ~deadline_ms:1000 c ~op:"query"
+                      ~arg:"SELECT Price FROM Vehicle")
+               done
+             with _ -> ())
+      in
+      clients :=
+        Thread.create loris ()
+        :: List.init 4 (fun _ -> Thread.create hammer ());
+      (* Let the load build, then return — the harness pulls the plug
+         mid-storm. *)
+      Thread.delay 0.15);
+  Atomic.set stop_loris true;
+  List.iter Thread.join !clients
+
+let test_client_retries_honor_busy_hint () =
+  (* A zero-capacity queue sheds every workload op with busy; the retry
+     wrapper must keep trying on the server's own hint and stop at the
+     retry budget. *)
+  with_chaos_server ~queue:0 ~workers:1 (fun _server address ->
+      match Client.connect address with
+      | Error m -> Alcotest.failf "connect: %s" m
+      | Ok c ->
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let sleeps = ref [] in
+          let outcome =
+            Client.request_with_retry ~retries:3
+              ~sleep:(fun s -> sleeps := s :: !sleeps)
+              c ~op:"query" ~arg:"SELECT Price FROM Vehicle"
+          in
+          (match outcome with
+          | Ok { Protocol.status = Protocol.Busy _; _ } -> ()
+          | _ -> Alcotest.fail "saturated server must still answer busy");
+          check_int "one sleep per extra attempt" 3 (List.length !sleeps);
+          List.iter
+            (fun s -> check_bool "sleep is positive" true (s > 0.))
+            !sleeps;
+          (* Backoff grows: the last sleep (head) outweighs the first
+             even under 75-125% jitter, because the base doubles. *)
+          (match !sleeps with
+          | [ last; _; first ] ->
+              check_bool "exponential growth dominates jitter" true
+                (last > first)
+          | _ -> Alcotest.fail "expected three sleeps");
+          (* A spent budget suppresses retries entirely. *)
+          let sleeps = ref [] in
+          (match
+             Client.request_with_retry ~retries:3 ~deadline_ms:0
+               ~sleep:(fun s -> sleeps := s :: !sleeps)
+               c ~op:"query" ~arg:"SELECT Price FROM Vehicle"
+           with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "transport error: %s" m);
+          check_int "no sleep the budget cannot cover" 0 (List.length !sleeps))
+
+let suite =
+  [
+    ( "deadline",
+      [
+        Alcotest.test_case "basics" `Quick test_deadline_basics;
+        Alcotest.test_case "ambient registry" `Quick test_deadline_ambient;
+        Alcotest.test_case "hard stop" `Quick test_deadline_hard_stop;
+        Alcotest.test_case "matcher cancels" `Quick test_matcher_cancels;
+      ] );
+    ( "frame hardening",
+      [
+        Alcotest.test_case "absurd length refused" `Quick
+          test_frame_refuses_absurd_length;
+        Alcotest.test_case "negative length is garbage" `Quick
+          test_frame_negative_length_is_garbage;
+        Alcotest.test_case "header flood refused" `Quick
+          test_frame_header_flood_refused;
+        Alcotest.test_case "deadline attr codec" `Quick
+          test_request_deadline_attr_codec;
+      ] );
+    ( "deadline admission",
+      [
+        Alcotest.test_case "expires queued jobs" `Quick
+          test_admission_expires_queued_jobs;
+        Alcotest.test_case "live deadline runs" `Quick
+          test_admission_live_deadline_runs;
+        Alcotest.test_case "drain bounded by deadline" `Quick
+          test_admission_drain_deadline_bounded;
+      ] );
+    ( "circuit breaker",
+      [
+        Alcotest.test_case "state machine" `Quick test_breaker_state_machine;
+        Alcotest.test_case "shields workspace" `Quick
+          test_breaker_shields_workspace;
+      ] );
+    ( "daemon resilience",
+      [
+        Alcotest.test_case "expired deadline times out" `Quick
+          test_serve_expired_deadline_times_out;
+        Alcotest.test_case "drops slow loris" `Slow test_serve_drops_slow_loris;
+        Alcotest.test_case "connection lifetime cap" `Slow
+          test_serve_connection_lifetime_cap;
+        Alcotest.test_case "shutdown under load" `Slow
+          test_serve_shutdown_under_load;
+        Alcotest.test_case "client retries honor busy" `Quick
+          test_client_retries_honor_busy_hint;
+      ] );
+  ]
