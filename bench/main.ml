@@ -1269,24 +1269,30 @@ let fault () =
 (* BENCH_serve.json: warm-daemon round-trip latency (p50/p99 over the
    wire), the cold per-request cost (one CLI process per query when the
    binary is on disk, otherwise an in-process cold simulation — the
-   [cold_mode] field says which), and throughput at 1/4/8 concurrent
-   clients.  Hand-rolled JSON like BENCH_cache. *)
-let emit_serve_json ~path ~cold_mode ~warm_p50 ~warm_p99 ~warm_mean ~cold_ns
-    ~speedup ~throughput =
+   [cold_mode] field says which), fixed-window throughput at 1/4/8
+   concurrent clients (rps + per-request p50/p99, monotonic clock), and
+   the two-workspace tenancy soak.  Hand-rolled JSON like BENCH_cache. *)
+let emit_serve_json ~path ~domains_used ~cold_mode ~warm_p50 ~warm_p99
+    ~warm_mean ~cold_ns ~speedup ~throughput ~tenancy =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       let tp_objs =
         List.map
-          (fun (clients, requests, seconds, rps) ->
+          (fun (clients, requests, seconds, rps, p50, p99) ->
             Printf.sprintf
               "    { \"clients\": %d, \"requests\": %d, \"seconds\": %.3f, \
-               \"rps\": %.1f }"
-              clients requests seconds rps)
+               \"rps\": %.1f, \"p50_ns\": %s, \"p99_ns\": %s }"
+              clients requests seconds rps (json_float p50) (json_float p99))
           throughput
       in
+      let quiet_solo_p99, quiet_contended_p99, ratio, hot_clients, hot_rps =
+        tenancy
+      in
       output_string oc "{\n  \"benchmark\": \"serve\",\n";
+      output_string oc
+        (Printf.sprintf "  \"domains_used\": %d,\n" domains_used);
       output_string oc
         (Printf.sprintf
            "  \"warm\": { \"p50_ns\": %s, \"p99_ns\": %s, \"mean_ns\": %s },\n"
@@ -1299,7 +1305,17 @@ let emit_serve_json ~path ~cold_mode ~warm_p50 ~warm_p99 ~warm_mean ~cold_ns
         (Printf.sprintf "  \"speedup\": %s,\n" (json_float speedup));
       output_string oc "  \"throughput\": [\n";
       output_string oc (String.concat ",\n" tp_objs);
-      output_string oc "\n  ]\n}\n")
+      output_string oc "\n  ],\n";
+      output_string oc
+        (Printf.sprintf
+           "  \"tenancy\": { \"hot_clients\": %d, \"hot_rps\": %.1f, \
+            \"quiet_solo_p99_ns\": %s, \"quiet_contended_p99_ns\": %s, \
+            \"p99_ratio\": %s }\n"
+           hot_clients hot_rps
+           (json_float quiet_solo_p99)
+           (json_float quiet_contended_p99)
+           (json_float ratio));
+      output_string oc "}\n")
 
 let serve () =
   section "SERVE"
@@ -1320,34 +1336,50 @@ let serve () =
       in
       if Sys.file_exists dir then rm dir)
   @@ fun () ->
-  (* The paper's carrier/factory pair as a real on-disk workspace. *)
-  let ws_dir = Filename.concat dir "ws" in
-  let ws =
-    match Workspace.init ws_dir with Ok w -> w | Error m -> failwith m
+  (* The paper's carrier/factory pair as a real on-disk workspace; a
+     second identical workspace is the quiet tenant of the tenancy
+     soak. *)
+  let make_workspace name =
+    let ws_dir = Filename.concat dir name in
+    let ws =
+      match Workspace.init ws_dir with Ok w -> w | Error m -> failwith m
+    in
+    List.iter
+      (fun o ->
+        let path =
+          Filename.concat dir (name ^ "-" ^ Ontology.name o ^ ".xml")
+        in
+        Loader.save_file o path;
+        match Workspace.add_source ws ~path with
+        | Ok _ -> ()
+        | Error m -> failwith m)
+      [ Paper_example.carrier; Paper_example.factory ];
+    (match
+       Workspace.articulate ~conversions:Conversion.builtin ws ~left:"carrier"
+         ~right:"factory" ~name:Paper_example.articulation_name
+         ~rules:Paper_example.rules
+     with
+    | Ok _ -> ()
+    | Error m -> failwith m);
+    (ws_dir, ws)
   in
-  List.iter
-    (fun o ->
-      let path =
-        Filename.concat dir (Ontology.name o ^ ".xml")
-      in
-      Loader.save_file o path;
-      match Workspace.add_source ws ~path with
-      | Ok _ -> ()
-      | Error m -> failwith m)
-    [ Paper_example.carrier; Paper_example.factory ];
-  (match
-     Workspace.articulate ~conversions:Conversion.builtin ws ~left:"carrier"
-       ~right:"factory" ~name:Paper_example.articulation_name
-       ~rules:Paper_example.rules
-   with
-  | Ok _ -> ()
-  | Error m -> failwith m);
+  let ws_dir, ws = make_workspace "ws" in
+  let _quiet_dir, quiet_ws = make_workspace "ws-quiet" in
   let query_text = "SELECT Price FROM Vehicle WHERE Price < 5000" in
+  (* Request-executing worker domains track the configured pool size so
+     ONION_DOMAINS drives both compute and request parallelism. *)
+  let domains_used = Domain_pool.size () in
   let config =
-    { Server.default_config with Server.unix_path = Some socket_path }
+    {
+      Server.default_config with
+      Server.unix_path = Some socket_path;
+      workers = domains_used;
+    }
   in
   let server =
-    match Server.create config ws with Ok s -> s | Error m -> failwith m
+    match Server.create config [ ("default", ws); ("quiet", quiet_ws) ] with
+    | Ok s -> s
+    | Error m -> failwith m
   in
   let serve_thread = Thread.create Server.serve server in
   Fun.protect
@@ -1356,8 +1388,8 @@ let serve () =
       Thread.join serve_thread)
   @@ fun () ->
   let address = Client.Unix_socket socket_path in
-  let query_over c =
-    match Client.request c ~op:"query" ~arg:query_text with
+  let query_over ?workspace c =
+    match Client.request ?workspace c ~op:"query" ~arg:query_text with
     | Ok { Protocol.status = Protocol.Ok; _ } -> ()
     | Ok _ -> failwith "serve bench: non-ok reply"
     | Error m -> failwith ("serve bench: " ^ m)
@@ -1456,36 +1488,112 @@ let serve () =
   row "cold per-request cost (%s): %a  -> warm-p50 speedup %.0fx %s" cold_mode
     pp_time cold_ns speedup
     (if speedup >= 5.0 then "(>= 5x: PASS)" else "(< 5x: FAIL)");
-  (* Throughput: N client threads, each its own connection, hammering the
-     same mediated query. *)
+  (* Throughput: N client threads, each its own connection, hammering
+     the same mediated query for a fixed wall-clock window on the
+     monotonic clock — the old fixed-request-count runs completed in
+     single-digit milliseconds, so their rps was timer noise. *)
+  let window_s =
+    match Sys.getenv_opt "ONION_SERVE_WINDOW_S" with
+    | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some f when f > 0.0 -> f
+        | _ -> 2.0)
+    | None -> 2.0
+  in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  (* Drive [clients] closed-loop threads against [workspace] until
+     [stop_at] (monotonic seconds); returns (requests, seconds, rps,
+     latencies sorted ascending, in ns). *)
+  let drive ?workspace ~clients ~until:stop_at () =
+    let results = Array.make clients [||] in
+    let t_start = Monotonic.now_ns () in
+    let worker i () =
+      match
+        Client.with_connection address (fun c ->
+            let lats = ref [] in
+            while Monotonic.now_s () < stop_at do
+              let t0 = Monotonic.now_ns () in
+              query_over ?workspace c;
+              lats :=
+                Int64.to_float (Monotonic.elapsed_ns ~since:t0) :: !lats
+            done;
+            results.(i) <- Array.of_list !lats;
+            Ok ())
+      with
+      | Ok () -> ()
+      | Error m -> failwith ("serve bench: " ^ m)
+    in
+    let threads = List.init clients (fun i -> Thread.create (worker i) ()) in
+    List.iter Thread.join threads;
+    let seconds = Monotonic.elapsed_s ~since:t_start in
+    let lats = Array.concat (Array.to_list results) in
+    Array.sort Float.compare lats;
+    let requests = Array.length lats in
+    (requests, seconds, float_of_int requests /. seconds, lats)
+  in
   let throughput =
     List.map
       (fun clients ->
-        let per_client = 60 in
-        let t0 = Unix.gettimeofday () in
-        let worker () =
-          match
-            Client.with_connection address (fun c ->
-                for _ = 1 to per_client do
-                  query_over c
-                done;
-                Ok ())
-          with
-          | Ok () -> ()
-          | Error m -> failwith ("serve bench: " ^ m)
+        let requests, seconds, rps, lats =
+          drive ~clients ~until:(Monotonic.now_s () +. window_s) ()
         in
-        let threads = List.init clients (fun _ -> Thread.create worker ()) in
-        List.iter Thread.join threads;
-        let seconds = Unix.gettimeofday () -. t0 in
-        let requests = clients * per_client in
-        let rps = float_of_int requests /. seconds in
-        row "throughput %d client(s): %d requests in %.3fs = %.0f req/s"
-          clients requests seconds rps;
-        (clients, requests, seconds, rps))
+        let p50 = percentile lats 0.50 and p99 = percentile lats 0.99 in
+        row
+          "throughput %d client(s): %d requests in %.2fs window = %.0f \
+           req/s  p50 %a  p99 %a"
+          clients requests seconds rps pp_time p50 pp_time p99;
+        (clients, requests, seconds, rps, p50, p99))
       [ 1; 4; 8 ]
   in
-  emit_serve_json ~path:"BENCH_serve.json" ~cold_mode ~warm_p50 ~warm_p99
-    ~warm_mean ~cold_ns ~speedup ~throughput;
+  (* Tenancy soak: the quiet tenant's p99 alone, then again while the
+     hot tenant saturates the default workspace — fair-share admission
+     should keep the ratio small (the gate in ISSUE 8 is <= 3x). *)
+  let tenancy =
+    let _, _, _, solo_lats =
+      drive ~workspace:"quiet" ~clients:1
+        ~until:(Monotonic.now_s () +. window_s) ()
+    in
+    let quiet_solo_p99 = percentile solo_lats 0.99 in
+    let hot_clients = 8 in
+    let stop_at = Monotonic.now_s () +. window_s in
+    let hot_done = ref (0, 0.0) in
+    let hot_thread =
+      Thread.create
+        (fun () ->
+          let requests, seconds, _, _ =
+            drive ~clients:hot_clients ~until:stop_at ()
+          in
+          hot_done := (requests, seconds))
+        ()
+    in
+    let _, _, _, contended_lats =
+      drive ~workspace:"quiet" ~clients:1 ~until:stop_at ()
+    in
+    Thread.join hot_thread;
+    let hot_requests, hot_seconds = !hot_done in
+    let hot_rps =
+      if hot_seconds > 0.0 then float_of_int hot_requests /. hot_seconds
+      else 0.0
+    in
+    let quiet_contended_p99 = percentile contended_lats 0.99 in
+    let ratio =
+      if quiet_solo_p99 > 0.0 then quiet_contended_p99 /. quiet_solo_p99
+      else 0.0
+    in
+    row
+      "tenancy: quiet p99 solo %a, under %d hot clients (%.0f rps) %a = \
+       %.2fx %s"
+      pp_time quiet_solo_p99 hot_clients hot_rps pp_time quiet_contended_p99
+      ratio
+      (if ratio <= 3.0 then "(<= 3x: PASS)" else "(> 3x: FAIL)");
+    (quiet_solo_p99, quiet_contended_p99, ratio, hot_clients, hot_rps)
+  in
+  emit_serve_json ~path:"BENCH_serve.json" ~domains_used ~cold_mode ~warm_p50
+    ~warm_p99 ~warm_mean ~cold_ns ~speedup ~throughput ~tenancy;
   row "wrote BENCH_serve.json"
 
 (* ------------------------------------------------------------------ *)
@@ -1575,7 +1683,9 @@ let chaos () =
     }
   in
   let server =
-    match Server.create config ws with Ok s -> s | Error m -> failwith m
+    match Server.create config [ ("default", ws) ] with
+    | Ok s -> s
+    | Error m -> failwith m
   in
   let serve_thread = Thread.create Server.serve server in
   Fun.protect

@@ -612,15 +612,38 @@ let workspace_cmd =
 (* ---------------- serve / client ---------------- *)
 
 let serve_cmd =
-  let run dir host port socket queue workers io_timeout conn_lifetime
-      default_deadline grace =
-    let ws = open_workspace_or_die dir in
-    (* Warm the federation before accepting traffic, and surface a
+  let parse_tenant spec =
+    match String.index_opt spec '=' with
+    | Some i when i > 0 && i < String.length spec - 1 ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+    | _ ->
+        Printf.eprintf "error: --workspace expects NAME=DIR, got %S\n" spec;
+        exit 2
+  in
+  let run dir extra_tenants host port socket queue workers io_timeout
+      conn_lifetime default_deadline grace =
+    (* The positional DIR is the default tenant; each --workspace
+       NAME=DIR adds another, addressed by the request's [workspace=]
+       attribute. *)
+    let tenants =
+      ("default", dir) :: List.map parse_tenant extra_tenants
+    in
+    let tenants =
+      List.map (fun (n, d) -> (n, open_workspace_or_die d)) tenants
+    in
+    (* Warm every federation before accepting traffic, and surface a
        degraded workspace on stderr the way [workspace query] does. *)
-    (match Workspace.space ws with
-    | Ok (_, health) ->
-        if not (Health.ok health) then Format.eprintf "%a@." Health.pp health
-    | Error m -> Printf.eprintf "warning: federation unavailable: %s\n%!" m);
+    List.iter
+      (fun (name, ws) ->
+        match Workspace.space ws with
+        | Ok (_, health) ->
+            if not (Health.ok health) then
+              Format.eprintf "workspace %s: %a@." name Health.pp health
+        | Error m ->
+            Printf.eprintf "warning: workspace %s: federation unavailable: %s\n%!"
+              name m)
+      tenants;
     let config =
       {
         Server.default_config with
@@ -634,7 +657,7 @@ let serve_cmd =
         grace_ms = grace;
       }
     in
-    match Server.create config ws with
+    match Server.create config tenants with
     | Error m ->
         Printf.eprintf "error: %s\n" m;
         exit 1
@@ -677,7 +700,20 @@ let serve_cmd =
     Arg.(
       value
       & opt int Server.default_config.Server.workers
-      & info [ "workers" ] ~docv:"N" ~doc:"Request worker threads.")
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Request worker domains: N workers execute N requests in \
+             parallel on separate cores.")
+  in
+  let extra_tenants =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "workspace" ] ~docv:"NAME=DIR"
+          ~doc:
+            "Serve an additional workspace under $(i,NAME) (repeatable).  \
+             Clients route to it with the workspace= request attribute; \
+             admission quotas are fair-share per workspace.")
   in
   let io_timeout =
     Arg.(
@@ -719,12 +755,13 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve a workspace as a long-lived query daemon (TCP and/or \
-          Unix-domain socket).  SIGTERM or the shutdown op drains in-flight \
-          requests and exits 0.")
+         "Serve one or more workspaces as a long-lived query daemon (TCP \
+          and/or Unix-domain socket).  SIGTERM or the shutdown op drains \
+          in-flight requests and exits 0.")
     Term.(
-      const run $ workspace_arg 0 $ host $ port $ socket $ queue $ workers
-      $ io_timeout $ conn_lifetime $ default_deadline $ grace)
+      const run $ workspace_arg 0 $ extra_tenants $ host $ port $ socket
+      $ queue $ workers $ io_timeout $ conn_lifetime $ default_deadline
+      $ grace)
 
 let client_cmd =
   let print_reply (reply : Protocol.reply) =
@@ -748,7 +785,8 @@ let client_cmd =
         Printf.eprintf "timeout: %s\n" (String.trim reply.Protocol.body);
         false
   in
-  let run socket host port from_stdin op rest retries deadline_ms io_timeout =
+  let run socket host port from_stdin op rest retries deadline_ms workspace
+      io_timeout =
     let address =
       match (socket, port) with
       | Some path, _ -> Client.Unix_socket path
@@ -771,8 +809,8 @@ let client_cmd =
                   if line = "" then loop all_ok
                   else begin
                     match
-                      Client.request_line_with_retry ~retries ?deadline_ms c
-                        line
+                      Client.request_line_with_retry ~retries ?deadline_ms
+                        ?workspace c line
                     with
                     | Error _ as e -> e
                     | Ok reply -> loop (print_reply reply && all_ok)
@@ -789,8 +827,8 @@ let client_cmd =
                 exit 2
             | Some op -> (
                 match
-                  Client.request_with_retry ~retries ?deadline_ms c ~op
-                    ~arg:(String.concat " " rest)
+                  Client.request_with_retry ~retries ?deadline_ms ?workspace c
+                    ~op ~arg:(String.concat " " rest)
                 with
                 | Error _ as e -> e
                 | Ok reply -> Result.Ok (print_reply reply)))
@@ -857,6 +895,15 @@ let client_cmd =
              sheds or cancels the work once the budget is spent and \
              answers timeout.  Also bounds client-side retry backoff.")
   in
+  let workspace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workspace" ] ~docv:"NAME"
+          ~doc:
+            "Attach a workspace= attribute to each request, routing it to \
+             that tenant of a multi-workspace daemon.")
+  in
   let io_timeout =
     Arg.(
       value
@@ -873,7 +920,7 @@ let client_cmd =
           request was refused or failed, 2 on transport errors.")
     Term.(
       const run $ socket $ host $ port $ from_stdin $ op $ rest $ retries
-      $ deadline_ms $ io_timeout)
+      $ deadline_ms $ workspace $ io_timeout)
 
 let translate_cmd =
   let run left_path right_path rules_path name from_name to_name instance_id =

@@ -1,13 +1,27 @@
-(* Fork/join over OCaml 5 domains with deterministic result placement.
+(* Fork/join over a persistent, work-stealing pool of OCaml 5 domains.
 
-   Work distribution is a shared atomic cursor over the input array:
-   each worker repeatedly claims the next unclaimed index and writes its
-   result into that slot, so the output order is the input order no
-   matter which domain ran which item.  Domains are spawned per call —
-   at the fan-out granularity used here (per source ontology, per
-   pattern batch) the ~30us spawn cost is noise against the milliseconds
-   of matching or graph construction each task carries, and per-call
-   spawning keeps the pool free of shutdown/lifecycle state. *)
+   Work distribution inside one batch is a shared atomic cursor over the
+   input array: each participant repeatedly claims the next unclaimed
+   index and writes its result into that slot, so the output order is
+   the input order no matter which domain ran which item.
+
+   Domains are NOT spawned per call.  The pool is created lazily on
+   first parallel use (or explicitly at daemon start via
+   {!ensure_started}) and grows monotonically up to the requested size;
+   every subsequent batch re-uses the same workers, so the ~30us/domain
+   spawn cost disappears from the hot path — what Plan_cost.batch gates
+   against is now a queue push, not a spawn.
+
+   Deadlock freedom is by construction, not by luck: the caller of
+   [map] is always the batch's k-th worker and runs the same claiming
+   loop as the pooled domains.  Even if every pool worker is busy with
+   other batches (or the pool never picks the posted tasks up at all),
+   the caller alone drains the cursor and completes the batch.  Posted
+   tasks that arrive late find the cursor exhausted and return
+   immediately.  Nested calls from inside a worker additionally short
+   circuit to [List.map] via the [in_worker] DLS flag, so a lint pass
+   fanning out inside a pooled request neither deadlocks nor
+   oversubscribes the machine. *)
 
 let parse_size s =
   match int_of_string_opt (String.trim s) with
@@ -40,16 +54,163 @@ let with_size n f =
   Fun.protect ~finally:(fun () -> size_ref := saved) f
 
 (* True inside a worker task: nested combinator calls run sequentially
-   rather than spawning domains from domains. *)
+   rather than queueing work they would then wait on. *)
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
-(* Cost-based fan-out gating.  A caller that can estimate its per-item
-   work (in Plan_cost units) passes [?cost]; the pool then fans out only
-   when {!Plan_cost.batch} says the saved wall-clock covers the domain
-   spawns — the benchmarks showed small batches (eight ~400-term
-   qualifications) LOSING at two domains, and the floor keeps those
-   sequential.  [with_gating false] restores unconditional fan-out so the
-   benches can time the forced-parallel shape the gate avoids. *)
+(* ------------------------------------------------------------------ *)
+(* The persistent pool                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Hard ceiling on persistent workers, far above any sane ONION_DOMAINS:
+   the OCaml runtime caps live domains (128 on 64-bit), and the daemon's
+   admission crew needs headroom too. *)
+let max_workers = 64
+
+type worker_slot = {
+  queue : (unit -> unit) Queue.t;  (** guarded by [lock] — striped, one per worker *)
+  lock : Mutex.t;
+}
+
+type pool = {
+  slots : worker_slot array;  (* capacity [max_workers]; [spawned] are live *)
+  mutable spawned : int;  (* guarded by [bell_lock] *)
+  mutable domains : unit Domain.t list;  (* guarded by [bell_lock] *)
+  pending : int Atomic.t;  (* tasks posted and not yet picked up *)
+  rr : int Atomic.t;  (* round-robin submit cursor *)
+  stop : bool Atomic.t;
+  bell_lock : Mutex.t;
+  bell : Condition.t;  (* idle workers sleep here; submits ring it *)
+}
+
+let pool =
+  lazy
+    {
+      slots =
+        Array.init max_workers (fun _ ->
+            { queue = Queue.create (); lock = Mutex.create () });
+      spawned = 0;
+      domains = [];
+      pending = Atomic.make 0;
+      rr = Atomic.make 0;
+      stop = Atomic.make false;
+      bell_lock = Mutex.create ();
+      bell = Condition.create ();
+    }
+
+(* Pop from the worker's own shard, else sweep the others (a steal). *)
+let take_task p me =
+  let try_slot i =
+    let s = p.slots.(i) in
+    Mutex.lock s.lock;
+    let t = Queue.take_opt s.queue in
+    Mutex.unlock s.lock;
+    t
+  in
+  match try_slot me with
+  | Some t ->
+      Atomic.decr p.pending;
+      Some t
+  | None ->
+      let n = p.spawned in
+      let rec sweep k =
+        if k >= n then None
+        else
+          let i = (me + k) mod n in
+          if i = me then sweep (k + 1)
+          else
+            match try_slot i with
+            | Some t ->
+                Atomic.decr p.pending;
+                Cache_stats.record_plan "pool.steal";
+                Some t
+            | None -> sweep (k + 1)
+      in
+      sweep 1
+
+let worker_loop p me () =
+  (* Persistent workers only ever run pool tasks, so the nested-call
+     fallback flag is set once for the domain's lifetime. *)
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    match take_task p me with
+    | Some task ->
+        (try task () with _ -> ());
+        loop ()
+    | None ->
+        if not (Atomic.get p.stop) then begin
+          Mutex.lock p.bell_lock;
+          (* Re-check under the bell lock: a submit that raced the sweep
+             rang the bell before we got here, and [pending] says so. *)
+          if Atomic.get p.pending = 0 && not (Atomic.get p.stop) then
+            Condition.wait p.bell p.bell_lock;
+          Mutex.unlock p.bell_lock;
+          loop ()
+        end
+  in
+  loop ()
+
+let shutdown_registered = ref false
+
+let shutdown_pool () =
+  let p = Lazy.force pool in
+  Atomic.set p.stop true;
+  Mutex.lock p.bell_lock;
+  Condition.broadcast p.bell;
+  let ds = p.domains in
+  p.domains <- [];
+  Mutex.unlock p.bell_lock;
+  List.iter Domain.join ds
+
+(* Grow the pool to [want] persistent workers (monotonic, capped).
+   Returns how many workers are live after the call. *)
+let ensure_workers want =
+  let p = Lazy.force pool in
+  let want = min want max_workers in
+  if p.spawned >= want || Atomic.get p.stop then p.spawned
+  else begin
+    Mutex.lock p.bell_lock;
+    if not !shutdown_registered then begin
+      shutdown_registered := true;
+      at_exit shutdown_pool
+    end;
+    while p.spawned < want && not (Atomic.get p.stop) do
+      let me = p.spawned in
+      p.domains <- Domain.spawn (worker_loop p me) :: p.domains;
+      p.spawned <- p.spawned + 1;
+      Cache_stats.record_plan "pool.domains"
+    done;
+    let n = p.spawned in
+    Mutex.unlock p.bell_lock;
+    n
+  end
+
+let started () = (Lazy.force pool).spawned
+
+let ensure_started () = ignore (ensure_workers (size ()))
+
+let submit_task p task =
+  let n = max 1 p.spawned in
+  let i = Atomic.fetch_and_add p.rr 1 mod n in
+  let s = p.slots.(i) in
+  Mutex.lock s.lock;
+  Queue.add task s.queue;
+  Mutex.unlock s.lock;
+  Atomic.incr p.pending;
+  Mutex.lock p.bell_lock;
+  Condition.signal p.bell;
+  Mutex.unlock p.bell_lock
+
+(* ------------------------------------------------------------------ *)
+(* Cost-based fan-out gating                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A caller that can estimate its per-item work (in Plan_cost units)
+   passes [?cost]; the pool then fans out only when {!Plan_cost.batch}
+   says the saved wall-clock covers the dispatch overhead — the
+   benchmarks showed small batches (eight ~400-term qualifications)
+   LOSING at two domains, and the floor keeps those sequential.
+   [with_gating false] restores unconditional fan-out so the benches can
+   time the forced-parallel shape the gate avoids. *)
 let gating = ref true
 
 let with_gating b f =
@@ -71,6 +232,10 @@ let batch_plan ~items ~per_item_cost =
       domains;
     }
 
+(* ------------------------------------------------------------------ *)
+(* Combinators                                                        *)
+(* ------------------------------------------------------------------ *)
+
 type 'b slot = Pending | Done of 'b | Failed of exn
 
 let map_parallel f xs =
@@ -81,39 +246,62 @@ let map_parallel f xs =
     let items = Array.of_list xs in
     let results = Array.make n Pending in
     let cursor = Atomic.make 0 in
-    (* Spawned domains have their own threads, so the caller's ambient
+    let completed = Atomic.make 0 in
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    (* Pool domains have their own threads, so the caller's ambient
        {!Deadline} does not follow them implicitly: capture it here and
-       re-install it inside each worker.  The per-item check turns a
-       blown budget into [Failed Expired] slots (never [Pending] — the
+       re-install it inside each participant.  The per-item check turns
+       a blown budget into [Failed Expired] slots (never [Pending] — the
        placement invariant below stays intact) and the earliest failure
        re-raises as usual. *)
     let deadline = Deadline.current () in
-    let worker () =
-      Domain.DLS.set in_worker true;
-      Deadline.with_deadline deadline (fun () ->
-          let rec loop () =
-            let i = Atomic.fetch_and_add cursor 1 in
-            if i < n then begin
-              (results.(i) <-
-                 (match
-                    Deadline.check ();
-                    f items.(i)
-                  with
-                 | v -> Done v
-                 | exception e -> Failed e));
-              loop ()
-            end
-          in
-          loop ())
+    let claim_loop () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match
+                Deadline.check ();
+                f items.(i)
+              with
+             | v -> Done v
+             | exception e -> Failed e));
+          (* Publish completion before waking the caller: the slot write
+             above happens-before the increment, which happens-before
+             the caller's read of [completed] = n. *)
+          if Atomic.fetch_and_add completed 1 = n - 1 then begin
+            Mutex.lock done_lock;
+            Condition.broadcast done_cond;
+            Mutex.unlock done_lock
+          end;
+          loop ()
+        end
+      in
+      Deadline.with_deadline deadline loop
     in
-    let domains = List.init (k - 1) (fun _ -> Domain.spawn worker) in
-    (* The calling domain is the k-th worker (its in_worker flag is reset
-       by the join below, not leaked: DLS is per-domain and the spawned
-       domains die with their flag). *)
+    let p = Lazy.force pool in
+    let before = p.spawned in
+    let live = ensure_workers (k - 1) in
+    if live > 0 then begin
+      if live = before then Cache_stats.record_plan "pool.reuse_hits";
+      (* Post one claiming task per helper; a task that starts after the
+         caller finished the batch sees the cursor exhausted and exits. *)
+      for _ = 1 to min (k - 1) live do
+        submit_task p claim_loop
+      done
+    end;
+    (* The calling domain is the batch's last worker; it participates
+       under the nested-call flag, then waits for claimed-but-unfinished
+       slots held by pool workers. *)
     let saved = Domain.DLS.get in_worker in
-    worker ();
-    Domain.DLS.set in_worker saved;
-    List.iter Domain.join domains;
+    Domain.DLS.set in_worker true;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker saved) claim_loop;
+    Mutex.lock done_lock;
+    while Atomic.get completed < n do
+      Condition.wait done_cond done_lock
+    done;
+    Mutex.unlock done_lock;
     (* Re-raise the earliest failure; otherwise collect in order. *)
     Array.iter (function Failed e -> raise e | _ -> ()) results;
     Array.to_list

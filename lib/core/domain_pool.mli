@@ -1,4 +1,4 @@
-(** A bounded [Domain]-based work pool for query fan-out.
+(** A persistent, work-stealing [Domain] pool for query fan-out.
 
     The ROADMAP's "fast as the hardware allows" goal meets OCaml 5
     multicore here: per-source work in {!Mediator}, {!Federation} and
@@ -6,13 +6,26 @@
     domains while every result keeps its input position — callers observe
     exactly the sequential order, whatever the pool size.
 
+    Workers are {e persistent}: spawned lazily on first parallel use (or
+    eagerly via {!ensure_started} at daemon start), they live for the
+    process and serve every subsequent batch from striped per-worker
+    queues with work stealing — dispatch is a queue push, not a
+    ~30us [Domain.spawn].  The caller of every batch participates as its
+    last worker and can always drain the batch alone, so a saturated (or
+    never-started) pool delays work but can never deadlock it; calls
+    nested inside a worker short-circuit to their [List] counterparts.
+
     The pool size comes from the [ONION_DOMAINS] environment variable
     when set (clamped to at least 1), and from
     [Domain.recommended_domain_count] otherwise.  Size 1 is the
     sequential fallback: no domain is ever spawned and every combinator
-    degenerates to its [List] counterpart.  Nested use from inside a
-    worker also runs sequentially instead of over-subscribing the
-    machine.
+    degenerates to its [List] counterpart.
+
+    Pool telemetry lands in {!Cache_stats} plan counters (surviving
+    [Cache_stats.clear_all], like every planning counter):
+    ["pool.domains"] — persistent workers spawned, ["pool.steal"] —
+    tasks taken from another worker's queue, ["pool.reuse_hits"] —
+    batches dispatched entirely onto already-running workers.
 
     Tasks run under the shared result caches; {!Lru} is mutex-guarded
     and {!Revision} atomic precisely so that workers may allocate graphs
@@ -28,6 +41,16 @@ val set_size : int -> unit
 val with_size : int -> (unit -> 'a) -> 'a
 (** Run the thunk with the pool size temporarily overridden, restoring
     the previous size afterwards (also on exceptions). *)
+
+val ensure_started : unit -> unit
+(** Spawn the persistent workers up to {!size} now instead of on first
+    parallel use — the daemon calls this once at startup so no request
+    ever pays a spawn.  Idempotent; the pool only ever grows (bounded by
+    an internal ceiling) and is joined automatically at process exit. *)
+
+val started : unit -> int
+(** Persistent workers currently running (0 until the first parallel
+    batch or {!ensure_started}). *)
 
 (** {1 Cost-gated fan-out}
 

@@ -1,0 +1,5 @@
+external now_ns : unit -> int64 = "onion_monotonic_now_ns"
+
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+let elapsed_ns ~since = Int64.sub (now_ns ()) since
+let elapsed_s ~since = Int64.to_float (elapsed_ns ~since) /. 1e9

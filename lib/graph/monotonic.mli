@@ -1,0 +1,17 @@
+(** A monotonic clock ([clock_gettime(CLOCK_MONOTONIC)]).
+
+    Wall-clock time can step (NTP, manual adjustment), which corrupts
+    short measurement windows; every bench window and rate computation
+    should use this clock instead.  Readings are only meaningful as
+    differences. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin; never steps backwards. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds (float). *)
+
+val elapsed_ns : since:int64 -> int64
+(** [elapsed_ns ~since:(now_ns ())] measures an interval. *)
+
+val elapsed_s : since:int64 -> float

@@ -1,0 +1,21 @@
+/* CLOCK_MONOTONIC for the bench harness and deadline bookkeeping:
+   wall-clock (gettimeofday) can step backwards under NTP adjustment,
+   which turns short benchmark windows into nonsense.  No package
+   dependency — just clock_gettime from libc. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value onion_monotonic_now_ns(value unit)
+{
+    struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+#endif
+    {
+        /* Fallback for platforms without a monotonic clock. */
+        clock_gettime(CLOCK_REALTIME, &ts);
+    }
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -1,150 +1,405 @@
-type job = { run : unit -> unit; expire : unit -> unit; deadline : Deadline.t }
+(* Sharded, tenant-aware admission with domain workers.
+
+   PR 4's admission was one mutex-guarded FIFO drained by sys-threads —
+   every request executed inside the accept loop's domain, interleaving
+   under one runtime lock however many cores the machine had.  Here the
+   worker crew is [Domain.spawn]ed, so N workers execute N requests
+   truly in parallel, and the queue is striped: one shard per worker,
+   each with its own lock, submits distributed round-robin.  A worker
+   drains its own shard first and steals from the others when empty, so
+   handoff contention is per-shard, not global.
+
+   Within a shard, jobs are grouped per tenant and picked round-robin
+   across tenants: a tenant with one queued request waits behind at most
+   one job per busy tenant, not behind a hot tenant's whole backlog.
+   Shedding is fair-share aware: when the (global) queue is full, a
+   tenant still under its share [capacity / #tenants] displaces the
+   newest queued job of the most backed-up other tenant (answered
+   through [on_evicted], a busy reply) instead of being shed behind it.
+
+   The deadline semantics of PR 7 are preserved: a full queue first
+   evicts queued jobs whose deadline already passed, a job whose
+   deadline passes while queued is resolved through [on_expired] at
+   pickup, and a bounded drain resolves still-queued jobs the same way
+   when the grace runs out. *)
+
+type job = {
+  run : unit -> unit;
+  expire : unit -> unit;
+  evict : depth:int -> unit;
+  deadline : Deadline.t;
+  tenant : string;
+}
+
+type shard = {
+  s_lock : Mutex.t;
+  queues : (string, job Queue.t) Hashtbl.t;
+  mutable order : string list;  (** round-robin ring over tenants *)
+}
 
 type t = {
-  mutex : Mutex.t;
-  work_ready : Condition.t;  (** Signals workers: job queued or stopping. *)
-  idle : Condition.t;  (** Signals drainers: queue empty and nothing runs. *)
-  jobs : job Queue.t;
+  shards : shard array;
   capacity : int;
-  mutable in_flight : int;
-  mutable expired : int;
-  mutable draining : bool;
-  mutable stopped : bool;
-  mutable threads : Thread.t list;
+  tenants : string list;  (** registered; fair share = capacity / length *)
+  pending : int Atomic.t;  (** queued, not yet picked up *)
+  running : int Atomic.t;
+  rr : int Atomic.t;  (** round-robin submit cursor *)
+  counts_lock : Mutex.t;
+  queued_by_tenant : (string, int) Hashtbl.t;  (** under [counts_lock] *)
+  mutable expired : int;  (** under [counts_lock] *)
+  mutable evicted : int;  (** under [counts_lock] *)
+  mutable shed_by_tenant : (string * int) list;  (** under [counts_lock] *)
+  mutable draining : bool;  (** under [counts_lock] *)
+  stop_flag : bool Atomic.t;
+  bell_lock : Mutex.t;
+  bell : Condition.t;  (** idle workers sleep here; submits ring it *)
+  idle_lock : Mutex.t;
+  idle : Condition.t;  (** drainers sleep here; the last job rings it *)
+  mutable domains : unit Domain.t list;
 }
 
 type verdict = Accepted | Shed of { depth : int } | Draining
 
-let worker t =
+let default_tenant = "default"
+
+(* ------------------------------------------------------------------ *)
+(* Shard operations (caller holds nothing; each takes the shard lock) *)
+(* ------------------------------------------------------------------ *)
+
+let shard_push sh job =
+  Mutex.lock sh.s_lock;
+  (match Hashtbl.find_opt sh.queues job.tenant with
+  | Some q -> Queue.add job q
+  | None ->
+      let q = Queue.create () in
+      Queue.add job q;
+      Hashtbl.add sh.queues job.tenant q;
+      sh.order <- sh.order @ [ job.tenant ]);
+  Mutex.unlock sh.s_lock
+
+(* Round-robin across the shard's tenants: serve the first tenant in the
+   ring with work, then rotate it to the back so its neighbours go next. *)
+let shard_pop sh =
+  Mutex.lock sh.s_lock;
+  let rec go seen = function
+    | [] -> (None, List.rev seen)
+    | tn :: rest -> (
+        match Hashtbl.find_opt sh.queues tn with
+        | Some q when not (Queue.is_empty q) ->
+            (Some (Queue.take q), List.rev_append seen (rest @ [ tn ]))
+        | _ -> go (tn :: seen) rest)
+  in
+  let job, order = go [] sh.order in
+  sh.order <- order;
+  Mutex.unlock sh.s_lock;
+  job
+
+(* Drop queued jobs whose deadline has passed; returns them so their
+   expire callbacks can run outside the locks. *)
+let shard_purge_expired sh =
+  Mutex.lock sh.s_lock;
+  let dropped = ref [] in
+  Hashtbl.iter
+    (fun _ q ->
+      if not (Queue.is_empty q) then begin
+        let keep = Queue.create () in
+        Queue.iter
+          (fun j ->
+            if Deadline.expired j.deadline then dropped := j :: !dropped
+            else Queue.add j keep)
+          q;
+        if !dropped <> [] then begin
+          Queue.clear q;
+          Queue.transfer keep q
+        end
+      end)
+    sh.queues;
+  Mutex.unlock sh.s_lock;
+  !dropped
+
+(* Remove the newest queued job of [tenant] (the back of its longest
+   shard queue): the victim asked most recently, so displacing it keeps
+   per-tenant FIFO fairness. *)
+let steal_newest_of t tenant =
+  let best = ref None in
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.s_lock;
+      (match Hashtbl.find_opt sh.queues tenant with
+      | Some q ->
+          let len = Queue.length q in
+          let cur = match !best with Some (_, _, l) -> l | None -> 0 in
+          if len > cur then best := Some (sh, q, len)
+      | None -> ());
+      Mutex.unlock sh.s_lock)
+    t.shards;
+  match !best with
+  | None -> None
+  | Some (sh, q, _) ->
+      Mutex.lock sh.s_lock;
+      (* Re-validated under the lock: the queue may have drained since. *)
+      let victim =
+        if Queue.is_empty q then None
+        else begin
+          let keep = Queue.create () in
+          let n = Queue.length q in
+          for _ = 1 to n - 1 do
+            Queue.add (Queue.take q) keep
+          done;
+          let last = Queue.take q in
+          Queue.transfer keep q;
+          Some last
+        end
+      in
+      Mutex.unlock sh.s_lock;
+      victim
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tenant_queued_locked t tn =
+  Option.value (Hashtbl.find_opt t.queued_by_tenant tn) ~default:0
+
+let adjust_queued t tn delta =
+  Mutex.lock t.counts_lock;
+  Hashtbl.replace t.queued_by_tenant tn (tenant_queued_locked t tn + delta);
+  Mutex.unlock t.counts_lock
+
+let note_dropped t jobs =
+  if jobs <> [] then begin
+    Mutex.lock t.counts_lock;
+    List.iter
+      (fun j ->
+        Hashtbl.replace t.queued_by_tenant j.tenant
+          (tenant_queued_locked t j.tenant - 1))
+      jobs;
+    t.expired <- t.expired + List.length jobs;
+    Mutex.unlock t.counts_lock;
+    List.iter (fun _ -> Atomic.decr t.pending) jobs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let take_job t me =
+  match shard_pop t.shards.(me) with
+  | Some j -> Some j
+  | None ->
+      let n = Array.length t.shards in
+      let rec sweep k =
+        if k >= n then None
+        else
+          match shard_pop t.shards.((me + k) mod n) with
+          | Some j -> Some j
+          | None -> sweep (k + 1)
+      in
+      sweep 1
+
+let maybe_ring_idle t =
+  if Atomic.get t.pending = 0 && Atomic.get t.running = 0 then begin
+    Mutex.lock t.idle_lock;
+    Condition.broadcast t.idle;
+    Mutex.unlock t.idle_lock
+  end
+
+let worker t me () =
   let rec loop () =
-    Mutex.lock t.mutex;
-    let rec await () =
-      if Queue.is_empty t.jobs && not t.stopped then begin
-        Condition.wait t.work_ready t.mutex;
-        await ()
-      end
-    in
-    await ();
-    match Queue.take_opt t.jobs with
-    | None ->
-        (* Stopped and empty. *)
-        Mutex.unlock t.mutex;
-        ()
+    match take_job t me with
     | Some job ->
-        t.in_flight <- t.in_flight + 1;
+        Atomic.decr t.pending;
+        adjust_queued t job.tenant (-1);
         (* A job whose deadline passed while it waited is resolved with
            its expire callback instead of being run — the cheapest
            possible disposition, and the client still gets an answer
            (a timeout reply) rather than work it can no longer use. *)
         let timed_out = Deadline.expired job.deadline in
-        if timed_out then t.expired <- t.expired + 1;
-        Mutex.unlock t.mutex;
-        (try (if timed_out then job.expire else job.run) () with _ -> ());
-        Mutex.lock t.mutex;
-        t.in_flight <- t.in_flight - 1;
-        if Queue.is_empty t.jobs && t.in_flight = 0 then
-          Condition.broadcast t.idle;
-        Mutex.unlock t.mutex;
+        if timed_out then begin
+          Mutex.lock t.counts_lock;
+          t.expired <- t.expired + 1;
+          Mutex.unlock t.counts_lock;
+          (try job.expire () with _ -> ())
+        end
+        else begin
+          Atomic.incr t.running;
+          (try job.run () with _ -> ());
+          Atomic.decr t.running
+        end;
+        maybe_ring_idle t;
         loop ()
+    | None ->
+        if not (Atomic.get t.stop_flag) then begin
+          Mutex.lock t.bell_lock;
+          if Atomic.get t.pending = 0 && not (Atomic.get t.stop_flag) then
+            Condition.wait t.bell t.bell_lock;
+          Mutex.unlock t.bell_lock;
+          loop ()
+        end
   in
   loop ()
 
-let create ~capacity ~workers =
+let create ?(tenants = [ default_tenant ]) ~capacity ~workers () =
+  let workers = max 1 workers in
   let t =
     {
-      mutex = Mutex.create ();
-      work_ready = Condition.create ();
-      idle = Condition.create ();
-      jobs = Queue.create ();
+      shards =
+        Array.init workers (fun _ ->
+            { s_lock = Mutex.create (); queues = Hashtbl.create 4; order = [] });
       capacity = max 0 capacity;
-      in_flight = 0;
+      tenants = (if tenants = [] then [ default_tenant ] else tenants);
+      pending = Atomic.make 0;
+      running = Atomic.make 0;
+      rr = Atomic.make 0;
+      counts_lock = Mutex.create ();
+      queued_by_tenant = Hashtbl.create 4;
       expired = 0;
+      evicted = 0;
+      shed_by_tenant = [];
       draining = false;
-      stopped = false;
-      threads = [];
+      stop_flag = Atomic.make false;
+      bell_lock = Mutex.create ();
+      bell = Condition.create ();
+      idle_lock = Mutex.create ();
+      idle = Condition.create ();
+      domains = [];
     }
   in
-  t.threads <- List.init (max 1 workers) (fun _ -> Thread.create worker t);
+  t.domains <- List.init workers (fun i -> Domain.spawn (worker t i));
   t
 
-(* Drop queued jobs whose deadline has passed; returns them so their
-   expire callbacks can run outside the lock. *)
-let purge_expired_locked t =
-  if Queue.is_empty t.jobs then []
+let fair_share t =
+  t.capacity / max 1 (List.length t.tenants)
+
+let note_shed t tn =
+  Mutex.lock t.counts_lock;
+  t.shed_by_tenant <-
+    (let cur =
+       Option.value (List.assoc_opt tn t.shed_by_tenant) ~default:0
+     in
+     (tn, cur + 1) :: List.remove_assoc tn t.shed_by_tenant);
+  Mutex.unlock t.counts_lock
+
+let enqueue t job =
+  let i = Atomic.fetch_and_add t.rr 1 mod Array.length t.shards in
+  shard_push t.shards.(i) job;
+  Atomic.incr t.pending;
+  adjust_queued t job.tenant 1;
+  Mutex.lock t.bell_lock;
+  Condition.signal t.bell;
+  Mutex.unlock t.bell_lock
+
+let submit ?(tenant = default_tenant) ?(deadline = Deadline.never)
+    ?(on_expired = fun () -> ()) ?(on_evicted = fun ~depth:_ -> ()) t run =
+  let job =
+    { run; expire = on_expired; evict = on_evicted; deadline; tenant }
+  in
+  Mutex.lock t.counts_lock;
+  let draining = t.draining in
+  Mutex.unlock t.counts_lock;
+  if draining || Atomic.get t.stop_flag then Draining
+  else if Atomic.get t.pending < t.capacity then begin
+    enqueue t job;
+    Accepted
+  end
   else begin
-    let keep = Queue.create () in
-    let dropped = ref [] in
-    Queue.iter
-      (fun j ->
-        if Deadline.expired j.deadline then dropped := j :: !dropped
-        else Queue.add j keep)
-      t.jobs;
-    (match !dropped with
-    | [] -> ()
-    | ds ->
-        Queue.clear t.jobs;
-        Queue.transfer keep t.jobs;
-        t.expired <- t.expired + List.length ds);
-    List.rev !dropped
+    (* Deadline-aware shedding first: a full queue evicts queued jobs
+       that already expired — they can never do useful work — and
+       admits into the space reclaimed.  Under overload this beats
+       plain FIFO: fresh requests with live budgets displace corpses
+       instead of being shed behind them. *)
+    let purged =
+      List.concat_map shard_purge_expired (Array.to_list t.shards)
+    in
+    note_dropped t purged;
+    List.iter (fun j -> try j.expire () with _ -> ()) purged;
+    if Atomic.get t.pending < t.capacity then begin
+      enqueue t job;
+      Accepted
+    end
+    else begin
+      (* Fair-share arbitration: a tenant still under its share of the
+         queue displaces the newest job of the most backed-up other
+         tenant; a tenant at or over its share is shed itself. *)
+      let depth = Atomic.get t.pending in
+      Mutex.lock t.counts_lock;
+      let mine = tenant_queued_locked t tenant in
+      let hog =
+        Hashtbl.fold
+          (fun tn n best ->
+            if tn = tenant then best
+            else
+              match best with
+              | Some (_, bn) when bn >= n -> best
+              | _ when n > 0 -> Some (tn, n)
+              | _ -> best)
+          t.queued_by_tenant None
+      in
+      Mutex.unlock t.counts_lock;
+      match hog with
+      | Some (hog_tn, hog_n) when mine < fair_share t && hog_n > mine -> (
+          match steal_newest_of t hog_tn with
+          | Some victim ->
+              Atomic.decr t.pending;
+              adjust_queued t victim.tenant (-1);
+              Mutex.lock t.counts_lock;
+              t.evicted <- t.evicted + 1;
+              Mutex.unlock t.counts_lock;
+              note_shed t victim.tenant;
+              (try victim.evict ~depth with _ -> ());
+              enqueue t job;
+              Accepted
+          | None ->
+              note_shed t tenant;
+              Shed { depth })
+      | _ ->
+          note_shed t tenant;
+          Shed { depth }
+    end
   end
 
-let submit ?(deadline = Deadline.never) ?(on_expired = fun () -> ()) t run =
-  Mutex.lock t.mutex;
-  let purged = ref [] in
-  let verdict =
-    if t.draining || t.stopped then Draining
-    else begin
-      (* Deadline-aware shedding: a full queue first evicts queued jobs
-         that already expired — they can never do useful work — and
-         admits into the space reclaimed.  Under overload this beats
-         plain FIFO: fresh requests with live budgets displace corpses
-         instead of being shed behind them. *)
-      if Queue.length t.jobs >= t.capacity then
-        purged := purge_expired_locked t;
-      if Queue.length t.jobs >= t.capacity then
-        Shed { depth = Queue.length t.jobs }
-      else begin
-        Queue.add { run; expire = on_expired; deadline } t.jobs;
-        Condition.signal t.work_ready;
-        Accepted
-      end
-    end
-  in
-  Mutex.unlock t.mutex;
-  List.iter (fun j -> try j.expire () with _ -> ()) !purged;
-  verdict
+let depth t = Atomic.get t.pending
 
-let depth t =
-  Mutex.lock t.mutex;
-  let d = Queue.length t.jobs in
-  Mutex.unlock t.mutex;
-  d
-
-let in_flight t =
-  Mutex.lock t.mutex;
-  let n = t.in_flight in
-  Mutex.unlock t.mutex;
+let tenant_depth t tn =
+  Mutex.lock t.counts_lock;
+  let n = tenant_queued_locked t tn in
+  Mutex.unlock t.counts_lock;
   n
+
+let in_flight t = Atomic.get t.running
 
 let expired_total t =
-  Mutex.lock t.mutex;
+  Mutex.lock t.counts_lock;
   let n = t.expired in
-  Mutex.unlock t.mutex;
+  Mutex.unlock t.counts_lock;
   n
 
+let evicted_total t =
+  Mutex.lock t.counts_lock;
+  let n = t.evicted in
+  Mutex.unlock t.counts_lock;
+  n
+
+let shed_by_tenant t =
+  Mutex.lock t.counts_lock;
+  let l = List.sort (fun (a, _) (b, _) -> String.compare a b) t.shed_by_tenant in
+  Mutex.unlock t.counts_lock;
+  l
+
+let quiescent t = Atomic.get t.pending = 0 && Atomic.get t.running = 0
+
 let drain ?deadline t =
+  Mutex.lock t.counts_lock;
+  t.draining <- true;
+  Mutex.unlock t.counts_lock;
   match deadline with
   | None ->
-      Mutex.lock t.mutex;
-      t.draining <- true;
-      while not (Queue.is_empty t.jobs && t.in_flight = 0) do
-        Condition.wait t.idle t.mutex
+      Mutex.lock t.idle_lock;
+      while not (quiescent t) do
+        Condition.wait t.idle t.idle_lock
       done;
-      Mutex.unlock t.mutex
+      Mutex.unlock t.idle_lock
   | Some deadline ->
-      Mutex.lock t.mutex;
-      t.draining <- true;
-      Mutex.unlock t.mutex;
       (* The stdlib Condition has no timed wait, so the bounded drain
          polls.  When the grace deadline passes, every still-queued job
          is resolved through its expire callback and the drain returns
@@ -152,18 +407,23 @@ let drain ?deadline t =
          those raise at their next cooperative check, and [shutdown]'s
          join collects the workers. *)
       let rec wait () =
-        Mutex.lock t.mutex;
-        let idle = Queue.is_empty t.jobs && t.in_flight = 0 in
-        Mutex.unlock t.mutex;
-        if idle then ()
+        if quiescent t then ()
         else if Deadline.expired deadline then begin
-          Mutex.lock t.mutex;
-          let dropped = ref [] in
-          Queue.iter (fun j -> dropped := j :: !dropped) t.jobs;
-          Queue.clear t.jobs;
-          t.expired <- t.expired + List.length !dropped;
-          Mutex.unlock t.mutex;
-          List.iter (fun j -> try j.expire () with _ -> ()) (List.rev !dropped)
+          let dropped =
+            Array.to_list t.shards
+            |> List.concat_map (fun sh ->
+                   Mutex.lock sh.s_lock;
+                   let jobs = ref [] in
+                   Hashtbl.iter
+                     (fun _ q ->
+                       Queue.iter (fun j -> jobs := j :: !jobs) q;
+                       Queue.clear q)
+                     sh.queues;
+                   Mutex.unlock sh.s_lock;
+                   List.rev !jobs)
+          in
+          note_dropped t dropped;
+          List.iter (fun j -> try j.expire () with _ -> ()) dropped
         end
         else begin
           Thread.delay 0.002;
@@ -174,10 +434,10 @@ let drain ?deadline t =
 
 let shutdown ?deadline t =
   drain ?deadline t;
-  Mutex.lock t.mutex;
-  t.stopped <- true;
-  Condition.broadcast t.work_ready;
-  let threads = t.threads in
-  t.threads <- [];
-  Mutex.unlock t.mutex;
-  List.iter Thread.join threads
+  Atomic.set t.stop_flag true;
+  Mutex.lock t.bell_lock;
+  Condition.broadcast t.bell;
+  Mutex.unlock t.bell_lock;
+  let ds = t.domains in
+  t.domains <- [];
+  List.iter Domain.join ds

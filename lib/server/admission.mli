@@ -1,20 +1,40 @@
-(** Bounded admission control for the query daemon.
+(** Sharded, tenant-aware admission control for the query daemon.
 
     Connection threads do not execute workload requests themselves: they
-    submit thunks here, and a fixed crew of worker threads executes them
-    (the compute inside each thunk fans out further through
-    {!Domain_pool}).  The queue is {e bounded}: when it is full the
-    submit is refused immediately with the current depth, and the caller
-    answers the client with an explicit [busy] reply instead of letting
-    fan-in collapse the daemon.  When the daemon is draining, submits
-    are refused with [`Draining] while already-queued and in-flight work
-    runs to completion. *)
+    submit thunks here, and a fixed crew of {e worker domains} executes
+    them — N workers run N requests truly in parallel instead of
+    interleaving under one runtime lock (the compute inside each thunk
+    fans out further through {!Domain_pool}).  The queue is striped: one
+    shard per worker, each with its own mutex, submits distributed
+    round-robin; a worker drains its own shard first and steals from the
+    others, so handoff contention is per-shard, not global.
+
+    The queue is {e bounded}: when it is full the submit is refused
+    immediately with the current depth, and the caller answers the
+    client with an explicit [busy] reply instead of letting fan-in
+    collapse the daemon.  When the daemon is draining, submits are
+    refused with [Draining] while already-queued and in-flight work runs
+    to completion.
+
+    Multi-tenant fairness is built in.  Jobs carry a tenant label;
+    within a shard, pickup rotates round-robin across tenants, so a
+    quiet tenant's lone request waits behind at most one job per busy
+    tenant rather than behind a hot tenant's whole backlog.  When the
+    queue is full, a tenant still under its fair share
+    [capacity / #tenants] displaces the newest queued job of the most
+    backed-up other tenant (answered through [on_evicted]) instead of
+    being shed behind it; a tenant at or over its share is shed
+    itself. *)
 
 type t
 
-val create : capacity:int -> workers:int -> t
-(** Spawn [workers] (>= 1) worker threads over a queue bounded at
-    [capacity] (>= 0; zero refuses every submit — useful for tests). *)
+val create : ?tenants:string list -> capacity:int -> workers:int -> unit -> t
+(** Spawn [workers] (>= 1) worker domains over a queue bounded at
+    [capacity] (>= 0; zero refuses every submit — useful for tests).
+    [tenants] registers the tenant names used for the fair-share
+    computation; it defaults to the single tenant ["default"], which
+    makes the share the whole capacity — exactly the single-workspace
+    behaviour. *)
 
 type verdict =
   | Accepted  (** The thunk will run; completion is the thunk's business. *)
@@ -22,7 +42,12 @@ type verdict =
   | Draining  (** Shutting down: answer [draining]. *)
 
 val submit :
-  ?deadline:Deadline.t -> ?on_expired:(unit -> unit) -> t -> (unit -> unit) ->
+  ?tenant:string ->
+  ?deadline:Deadline.t ->
+  ?on_expired:(unit -> unit) ->
+  ?on_evicted:(depth:int -> unit) ->
+  t ->
+  (unit -> unit) ->
   verdict
 (** Exceptions escaping the thunk are caught and dropped by the worker:
     a thunk must deliver its outcome through its own closure.
@@ -33,10 +58,18 @@ val submit :
     deadline-aware — a full queue first evicts already-expired queued
     jobs (running their [on_expired]) and admits into the space
     reclaimed, so under overload live budgets displace corpses instead
-    of being shed behind them. *)
+    of being shed behind them.
+
+    [tenant] defaults to ["default"].  [on_evicted] runs if the job is
+    displaced from a full queue by an under-share tenant's submit (the
+    caller answers the client with a [busy] reply carrying the depth
+    passed to the callback). *)
 
 val depth : t -> int
 (** Jobs queued and not yet picked up. *)
+
+val tenant_depth : t -> string -> int
+(** Jobs queued for one tenant. *)
 
 val in_flight : t -> int
 (** Jobs currently executing on a worker. *)
@@ -44,6 +77,14 @@ val in_flight : t -> int
 val expired_total : t -> int
 (** Jobs resolved through [on_expired] (at pickup, during a purge, or
     by a bounded drain) since creation. *)
+
+val evicted_total : t -> int
+(** Jobs displaced through [on_evicted] by fair-share arbitration since
+    creation. *)
+
+val shed_by_tenant : t -> (string * int) list
+(** Per-tenant count of refusals (sheds and evictions), sorted by
+    tenant name. *)
 
 val drain : ?deadline:Deadline.t -> t -> unit
 (** Refuse new submits, then block until the queue is empty and every
@@ -57,4 +98,4 @@ val drain : ?deadline:Deadline.t -> t -> unit
 
 val shutdown : ?deadline:Deadline.t -> t -> unit
 (** {!drain} (with the same bound), then stop and join the worker
-    threads. *)
+    domains. *)

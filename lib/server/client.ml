@@ -51,20 +51,25 @@ let send_payload t payload =
   | exception Unix.Unix_error (e, _, _) ->
       Error ("send: " ^ Unix.error_message e)
 
-let request ?deadline_ms t ~op ~arg =
-  send_payload t (Protocol.encode_request { Protocol.op; arg; deadline_ms })
+let request ?deadline_ms ?workspace t ~op ~arg =
+  send_payload t
+    (Protocol.encode_request { Protocol.op; arg; deadline_ms; workspace })
 
-let request_line ?deadline_ms t line =
+let request_line ?deadline_ms ?workspace t line =
   let line = String.trim line in
-  match deadline_ms with
-  | None -> send_payload t line
-  | Some _ ->
-      (* Re-encode so the flag-level deadline rides along; a deadline
-         already written in the line wins. *)
+  match (deadline_ms, workspace) with
+  | None, None -> send_payload t line
+  | _ ->
+      (* Re-encode so the flag-level attributes ride along; attributes
+         already written in the line win. *)
       let req = Protocol.decode_request line in
       let req =
         if req.Protocol.deadline_ms = None then
           { req with Protocol.deadline_ms }
+        else req
+      in
+      let req =
+        if req.Protocol.workspace = None then { req with Protocol.workspace }
         else req
       in
       send_payload t (Protocol.encode_request req)
@@ -82,8 +87,8 @@ let backoff_delay_ms ~attempt retry_ms =
   let base = float_of_int (max 1 retry_ms) *. (2. ** float_of_int attempt) in
   base *. (0.75 +. Random.State.float (Lazy.force rng) 0.5)
 
-let request_with_retry ?(retries = 1) ?deadline_ms ?(sleep = Unix.sleepf) t
-    ~op ~arg =
+let request_with_retry ?(retries = 1) ?deadline_ms ?workspace
+    ?(sleep = Unix.sleepf) t ~op ~arg =
   let deadline = Deadline.of_ms_opt deadline_ms in
   let rec go attempt =
     (* Each attempt carries the budget still remaining, not the original
@@ -91,7 +96,7 @@ let request_with_retry ?(retries = 1) ?deadline_ms ?(sleep = Unix.sleepf) t
     let attempt_deadline_ms =
       Option.map (fun _ -> max 0 (Deadline.remaining_ms deadline)) deadline_ms
     in
-    match request ?deadline_ms:attempt_deadline_ms t ~op ~arg with
+    match request ?deadline_ms:attempt_deadline_ms ?workspace t ~op ~arg with
     | Ok { Protocol.status = Protocol.Busy { retry_ms; _ }; _ } as reply
       when attempt < retries -> (
         let delay_ms = backoff_delay_ms ~attempt retry_ms in
@@ -109,14 +114,19 @@ let request_with_retry ?(retries = 1) ?deadline_ms ?(sleep = Unix.sleepf) t
   in
   go 0
 
-let request_line_with_retry ?retries ?deadline_ms t line =
+let request_line_with_retry ?retries ?deadline_ms ?workspace t line =
   let req = Protocol.decode_request line in
   let deadline_ms =
     match req.Protocol.deadline_ms with
     | Some _ as inline -> inline
     | None -> deadline_ms
   in
-  request_with_retry ?retries ?deadline_ms t ~op:req.Protocol.op
+  let workspace =
+    match req.Protocol.workspace with
+    | Some _ as inline -> inline
+    | None -> workspace
+  in
+  request_with_retry ?retries ?deadline_ms ?workspace t ~op:req.Protocol.op
     ~arg:req.Protocol.arg
 
 let with_connection ?io_timeout_ms address f =

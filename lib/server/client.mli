@@ -19,22 +19,27 @@ val connect : ?io_timeout_ms:int -> address -> (t, string) result
 val close : t -> unit
 
 val request :
-  ?deadline_ms:int -> t -> op:string -> arg:string ->
+  ?deadline_ms:int -> ?workspace:string -> t -> op:string -> arg:string ->
   (Protocol.reply, string) result
 (** Send one request and wait for its reply.  [deadline_ms] rides along
     as the request's [deadline-ms=] attribute — the server sheds or
-    cancels it once the budget is gone and answers [timeout].  [Error]
-    is a transport or framing failure (the connection should be
-    abandoned); server-side failures arrive as replies with
+    cancels it once the budget is gone and answers [timeout].
+    [workspace] rides along as the [workspace=] attribute and routes the
+    request to that tenant of a multi-workspace daemon.  [Error] is a
+    transport or framing failure (the connection should be abandoned);
+    server-side failures arrive as replies with
     [Error]/[Busy]/[Draining]/[Timeout] status. *)
 
-val request_line : ?deadline_ms:int -> t -> string -> (Protocol.reply, string) result
+val request_line :
+  ?deadline_ms:int -> ?workspace:string -> t -> string ->
+  (Protocol.reply, string) result
 (** [request_line c "query SELECT ..."]: the raw [op arg] form used by
-    the [--stdin] batch mode.  [deadline_ms] is attached unless the line
-    already carries its own [deadline-ms=] attribute. *)
+    the [--stdin] batch mode.  [deadline_ms] / [workspace] are attached
+    unless the line already carries its own attributes. *)
 
 val request_with_retry :
-  ?retries:int -> ?deadline_ms:int -> ?sleep:(float -> unit) ->
+  ?retries:int -> ?deadline_ms:int -> ?workspace:string ->
+  ?sleep:(float -> unit) ->
   t -> op:string -> arg:string -> (Protocol.reply, string) result
 (** {!request}, honouring the server's [busy] backpressure: a [Busy]
     reply is retried after its [retry_ms] hint, with exponential backoff
@@ -45,7 +50,7 @@ val request_with_retry :
     [sleep] is injectable for tests. *)
 
 val request_line_with_retry :
-  ?retries:int -> ?deadline_ms:int -> t -> string ->
+  ?retries:int -> ?deadline_ms:int -> ?workspace:string -> t -> string ->
   (Protocol.reply, string) result
 (** {!request_with_retry} over a raw request line. *)
 

@@ -135,12 +135,23 @@ let read_frame ?(max = default_max_frame) ?budget_ms ic =
 (* Requests                                                           *)
 (* ------------------------------------------------------------------ *)
 
-type request = { op : string; arg : string; deadline_ms : int option }
+type request = {
+  op : string;
+  arg : string;
+  deadline_ms : int option;
+  workspace : string option;
+}
 
 let deadline_attr = "deadline-ms="
+let workspace_attr = "workspace="
 
-let encode_request { op; arg; deadline_ms } =
+let encode_request { op; arg; deadline_ms; workspace } =
   let base = if arg = "" then op else op ^ " " ^ arg in
+  let base =
+    match workspace with
+    | None -> base
+    | Some w -> workspace_attr ^ w ^ " " ^ base
+  in
   match deadline_ms with
   | None -> base
   | Some ms -> Printf.sprintf "%s%d %s" deadline_attr ms base
@@ -152,23 +163,33 @@ let split_token s =
   | Some i ->
       (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
 
+let strip_prefix prefix tok =
+  let plen = String.length prefix in
+  if String.length tok > plen && String.equal (String.sub tok 0 plen) prefix
+  then Some (String.sub tok plen (String.length tok - plen))
+  else None
+
 let decode_request payload =
   let payload = String.trim payload in
-  (* An optional leading [deadline-ms=N] attribute; an unparseable value
-     falls through and the token is treated as the op (surfacing as an
+  (* Optional leading attributes, in any order, each at most once:
+     [deadline-ms=N] and [workspace=NAME].  An unparseable value falls
+     through and the token is treated as the op (surfacing as an
      unknown-op error rather than being silently dropped). *)
-  let deadline_ms, rest =
-    let tok, remainder = split_token payload in
-    let plen = String.length deadline_attr in
-    if String.length tok > plen && String.equal (String.sub tok 0 plen) deadline_attr
-    then
-      match int_of_string_opt (String.sub tok plen (String.length tok - plen)) with
-      | Some ms -> (Some ms, remainder)
-      | None -> (None, payload)
-    else (None, payload)
+  let rec attrs deadline_ms workspace rest =
+    let tok, remainder = split_token rest in
+    match strip_prefix deadline_attr tok with
+    | Some v -> (
+        match (int_of_string_opt v, deadline_ms) with
+        | Some ms, None -> attrs (Some ms) workspace remainder
+        | _ -> (deadline_ms, workspace, rest))
+    | None -> (
+        match (strip_prefix workspace_attr tok, workspace) with
+        | Some w, None when w <> "" -> attrs deadline_ms (Some w) remainder
+        | _ -> (deadline_ms, workspace, rest))
   in
+  let deadline_ms, workspace, rest = attrs None None payload in
   let op, arg = split_token rest in
-  { op = String.lowercase_ascii op; arg; deadline_ms }
+  { op = String.lowercase_ascii op; arg; deadline_ms; workspace }
 
 (* ------------------------------------------------------------------ *)
 (* Replies                                                            *)

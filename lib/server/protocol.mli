@@ -77,14 +77,22 @@ val read_frame :
 
 (** {1 Requests} *)
 
-type request = { op : string; arg : string; deadline_ms : int option }
+type request = {
+  op : string;
+  arg : string;
+  deadline_ms : int option;
+  workspace : string option;
+      (** Tenant routing for a multi-workspace daemon; [None] targets
+          the default (first-configured) workspace. *)
+}
 
 val encode_request : request -> string
 
 val decode_request : string -> request
-(** An optional leading [deadline-ms=N] attribute, then the op (first
-    whitespace-separated token, lowercased); the rest, trimmed, is the
-    argument — e.g. ["deadline-ms=250 query SELECT Price FROM
+(** Optional leading attributes in any order — [deadline-ms=N] and
+    [workspace=NAME] — then the op (first whitespace-separated token,
+    lowercased); the rest, trimmed, is the argument — e.g.
+    ["deadline-ms=250 workspace=prod query SELECT Price FROM
     Vehicle"]. *)
 
 (** {1 Replies} *)

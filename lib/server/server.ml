@@ -33,7 +33,10 @@ let default_config =
 
 type t = {
   config : config;
-  ws : Workspace.t;
+  (* Workspaces served by this daemon, in configuration order; the first
+     is the default tenant (requests without a [workspace=] attribute).
+     Names are unique — [create] rejects duplicates. *)
+  tenants : (string * Workspace.t) list;
   admission : Admission.t;
   stats : Server_stats.t;
   listeners : Unix.file_descr list;
@@ -44,13 +47,6 @@ type t = {
   conn_mutex : Mutex.t;
   mutable conn_fds : Unix.file_descr list;
   mutable conn_threads : Thread.t list;
-  (* The mediator environment for the current federation value: rebuilt
-     only when the workspace space memo rolls over (physical equality —
-     Workspace.space returns the identical value while the on-disk
-     fingerprint is unchanged), so a warm daemon skips the per-request
-     KB extraction the CLI pays every time. *)
-  env_mutex : Mutex.t;
-  mutable env_memo : (Federation.t * Mediator.env) option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -82,45 +78,55 @@ let listen_unix path =
   Unix.listen fd 128;
   fd
 
-let create config ws =
+let rec find_dup = function
+  | [] -> None
+  | n :: rest -> if List.mem n rest then Some n else find_dup rest
+
+let create config tenants =
   if config.tcp = None && config.unix_path = None then
     Error "serve: configure a TCP port and/or a Unix socket path"
-  else begin
-    (* A peer vanishing mid-reply must not kill the daemon. *)
-    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
-    match
-      let tcp_listener =
-        Option.map (fun (host, port) -> listen_tcp host port) config.tcp
-      in
-      let unix_listener = Option.map listen_unix config.unix_path in
-      (tcp_listener, unix_listener)
-    with
-    | exception Unix.Unix_error (e, fn, arg) ->
-        Error
-          (Printf.sprintf "serve: cannot listen (%s %s: %s)" fn arg
-             (Unix.error_message e))
-    | tcp_listener, unix_listener ->
-        Ok
-          {
-            config;
-            ws;
-            admission =
-              Admission.create ~capacity:config.queue_capacity
-                ~workers:config.workers;
-            stats = Server_stats.create ();
-            listeners =
-              List.filter_map Fun.id
-                [ Option.map fst tcp_listener; unix_listener ];
-            tcp_port = Option.map snd tcp_listener;
-            unix_path = config.unix_path;
-            stop_flag = Atomic.make false;
-            conn_mutex = Mutex.create ();
-            conn_fds = [];
-            conn_threads = [];
-            env_mutex = Mutex.create ();
-            env_memo = None;
-          }
-  end
+  else if tenants = [] then Error "serve: configure at least one workspace"
+  else
+    match find_dup (List.map fst tenants) with
+    | Some n -> Error (Printf.sprintf "serve: duplicate workspace name %S" n)
+    | None -> begin
+        (* A peer vanishing mid-reply must not kill the daemon. *)
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+        (* Spawn the persistent compute pool now so no request pays a
+           domain spawn. *)
+        Domain_pool.ensure_started ();
+        match
+          let tcp_listener =
+            Option.map (fun (host, port) -> listen_tcp host port) config.tcp
+          in
+          let unix_listener = Option.map listen_unix config.unix_path in
+          (tcp_listener, unix_listener)
+        with
+        | exception Unix.Unix_error (e, fn, arg) ->
+            Error
+              (Printf.sprintf "serve: cannot listen (%s %s: %s)" fn arg
+                 (Unix.error_message e))
+        | tcp_listener, unix_listener ->
+            Ok
+              {
+                config;
+                tenants;
+                admission =
+                  Admission.create
+                    ~tenants:(List.map fst tenants)
+                    ~capacity:config.queue_capacity ~workers:config.workers ();
+                stats = Server_stats.create ();
+                listeners =
+                  List.filter_map Fun.id
+                    [ Option.map fst tcp_listener; unix_listener ];
+                tcp_port = Option.map snd tcp_listener;
+                unix_path = config.unix_path;
+                stop_flag = Atomic.make false;
+                conn_mutex = Mutex.create ();
+                conn_fds = [];
+                conn_threads = [];
+              }
+      end
 
 let stop t = Atomic.set t.stop_flag true
 let stats t = t.stats
@@ -135,28 +141,49 @@ let addresses t =
   | Some path -> [ Printf.sprintf "unix://%s" path ]
   | None -> []
 
+let default_tenant t = List.hd t.tenants
+
+let tenant_for t req =
+  match req.Protocol.workspace with
+  | None -> Ok (default_tenant t)
+  | Some name -> (
+      match List.assoc_opt name t.tenants with
+      | Some ws -> Ok (name, ws)
+      | None -> Error (Printf.sprintf "unknown workspace %S" name))
+
 (* ------------------------------------------------------------------ *)
 (* Request execution                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let env_for t space =
-  Mutex.lock t.env_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.env_mutex)
-    (fun () ->
-      match t.env_memo with
-      | Some (s, env) when s == space -> env
-      | _ ->
-          let kbs =
-            List.map
-              (fun o ->
-                Kb.of_ontology_instances ~ontology:o
-                  ("kb-" ^ Ontology.name o))
-              space.Federation.sources
-          in
-          let env = Mediator.env_federated ~kbs ~space () in
-          t.env_memo <- Some (space, env);
-          env)
+(* Per-DOMAIN mediator-environment memos, keyed by workspace root: the
+   admission workers are domains, so each one keeps its own memo table
+   and no lock is ever taken on the request path.  The revision check is
+   physical equality on the space value — Workspace.space returns the
+   identical value while the on-disk fingerprint is unchanged (its
+   rebuilds are serialised under the workspace memo lock), so a rolled
+   fingerprint changes the value and every domain rebuilds its env
+   lazily on next use.  N tenants x N domains idle envs are the price of
+   lock-free reads; envs are a few closures over the space, not copies
+   of the data. *)
+let env_memos :
+    (string, Federation.t * Mediator.env) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let env_for ws space =
+  let tbl = Domain.DLS.get env_memos in
+  let key = Workspace.root ws in
+  match Hashtbl.find_opt tbl key with
+  | Some (s, env) when s == space -> env
+  | _ ->
+      let kbs =
+        List.map
+          (fun o ->
+            Kb.of_ontology_instances ~ontology:o ("kb-" ^ Ontology.name o))
+          space.Federation.sources
+      in
+      let env = Mediator.env_federated ~kbs ~space () in
+      Hashtbl.replace tbl key (space, env);
+      env
 
 let health_warnings health =
   if Health.ok health then []
@@ -165,13 +192,13 @@ let health_warnings health =
       (fun i -> Format.asprintf "%a" Health.pp_issue i)
       health.Health.issues
 
-let run_query t text =
+let run_query ws text =
   if String.trim text = "" then Protocol.error "query: empty query text"
   else
-    match Workspace.space t.ws with
+    match Workspace.space ws with
     | Error m -> Protocol.error ("workspace: " ^ m)
     | Ok (space, health) -> (
-        let env = env_for t space in
+        let env = env_for ws space in
         match Mediator.run_text env text with
         | Ok report ->
             Protocol.ok
@@ -179,7 +206,7 @@ let run_query t text =
               (Format.asprintf "%a" Mediator.pp_report report ^ "\n")
         | Error m -> Protocol.error ("query error: " ^ m))
 
-let run_algebra t arg =
+let run_algebra ws arg =
   let op, name =
     match String.index_opt arg ' ' with
     | None -> (arg, "")
@@ -191,13 +218,13 @@ let run_algebra t arg =
   if name = "" then
     Protocol.error "algebra: usage: algebra union|intersection|difference <articulation>"
   else
-    match Workspace.load_articulation t.ws name with
+    match Workspace.load_articulation ws name with
     | Error m -> Protocol.error ("algebra: " ^ m)
     | Ok art -> (
         let sources () =
           match
-            ( Workspace.load_source t.ws (Articulation.left art),
-              Workspace.load_source t.ws (Articulation.right art) )
+            ( Workspace.load_source ws (Articulation.left art),
+              Workspace.load_source ws (Articulation.right art) )
           with
           | Ok l, Ok r -> Ok (l, r)
           | Error m, _ | _, Error m -> Error m
@@ -224,12 +251,12 @@ let run_algebra t arg =
                  "algebra: unknown operator %s (union|intersection|difference)"
                  other))
 
-let run_workload t (req : Protocol.request) =
+let run_workload ws (req : Protocol.request) =
   match req.Protocol.op with
-  | "query" -> run_query t req.Protocol.arg
-  | "algebra" -> run_algebra t req.Protocol.arg
-  | "status" -> Protocol.ok (Status_json.workspace t.ws)
-  | "health" -> Protocol.ok (Status_json.health (Workspace.health t.ws))
+  | "query" -> run_query ws req.Protocol.arg
+  | "algebra" -> run_algebra ws req.Protocol.arg
+  | "status" -> Protocol.ok (Status_json.workspace ws)
+  | "health" -> Protocol.ok (Status_json.health (Workspace.health ws))
   | op -> Protocol.error (Printf.sprintf "unknown op %S" op)
 
 let is_workload op =
@@ -255,13 +282,22 @@ let timed f =
   let r = f () in
   (r, (Unix.gettimeofday () -. t0) *. 1e9)
 
+let busy_reply depth =
+  {
+    Protocol.status = Protocol.Busy { depth; retry_ms = retry_ms_for depth };
+    warnings = [];
+    body = "";
+  }
+
 (* Execute one admitted workload request: the connection thread parks on
-   a cell the admission worker fills.  The request's deadline rides
-   along: expiry while queued resolves the cell with a timeout reply
-   (so the connection thread never wedges), and expiry mid-execution
-   surfaces as Deadline.Expired from a cooperative check inside the
-   workload. *)
-let execute_admitted t req deadline =
+   a cell an admission worker domain fills, then writes the reply back
+   itself — execution happens on the worker's domain, reply IO stays
+   with the owning connection.  The request's deadline rides along:
+   expiry while queued resolves the cell with a timeout reply (so the
+   connection thread never wedges), and expiry mid-execution surfaces as
+   Deadline.Expired from a cooperative check inside the workload.
+   Fair-share eviction resolves the cell with a busy reply. *)
+let execute_admitted t tenant ws req deadline =
   if Deadline.expired deadline then begin
     (* Dead on arrival (or deadline-ms <= 0): answer without queueing. *)
     Server_stats.expired_in_queue t.stats;
@@ -279,7 +315,7 @@ let execute_admitted t req deadline =
     in
     let job () =
       let reply =
-        try Deadline.with_deadline deadline (fun () -> run_workload t req)
+        try Deadline.with_deadline deadline (fun () -> run_workload ws req)
         with
         | Deadline.Expired ->
             Server_stats.timeout t.stats;
@@ -292,15 +328,17 @@ let execute_admitted t req deadline =
       Server_stats.expired_in_queue t.stats;
       fill (Protocol.timeout "deadline expired while queued")
     in
-    match Admission.submit ~deadline ~on_expired t.admission job with
+    let on_evicted ~depth =
+      Server_stats.shed t.stats;
+      fill (busy_reply depth)
+    in
+    match
+      Admission.submit ~tenant ~deadline ~on_expired ~on_evicted t.admission
+        job
+    with
     | Admission.Shed { depth } ->
         Server_stats.shed t.stats;
-        {
-          Protocol.status =
-            Protocol.Busy { depth; retry_ms = retry_ms_for depth };
-          warnings = [];
-          body = "";
-        }
+        busy_reply depth
     | Admission.Draining ->
         Server_stats.refused_draining t.stats;
         { Protocol.status = Protocol.Draining; warnings = []; body = "" }
@@ -314,8 +352,8 @@ let execute_admitted t req deadline =
         reply
   end
 
-(* The workspace's circuit breakers, rendered for the stats body. *)
-let breakers_json t =
+(* A workspace's circuit breakers, rendered for the stats body. *)
+let breakers_json ws =
   let str s = "\"" ^ Status_json.escape s ^ "\"" in
   let one (b : Breaker.info) =
     Printf.sprintf
@@ -324,7 +362,22 @@ let breakers_json t =
       (str (Breaker.string_of_state b.Breaker.info_state))
       b.Breaker.info_failures b.Breaker.info_cooldown_ms
   in
-  "[" ^ String.concat ", " (List.map one (Workspace.breakers t.ws)) ^ "]"
+  "[" ^ String.concat ", " (List.map one (Workspace.breakers ws)) ^ "]"
+
+(* Per-tenant view: admission pressure and breaker state, one object per
+   configured workspace. *)
+let workspaces_json t =
+  let str s = "\"" ^ Status_json.escape s ^ "\"" in
+  let shed = Admission.shed_by_tenant t.admission in
+  let one (name, ws) =
+    Printf.sprintf
+      "{ \"name\": %s, \"queued\": %d, \"shed\": %d, \"breakers\": %s }"
+      (str name)
+      (Admission.tenant_depth t.admission name)
+      (Option.value (List.assoc_opt name shed) ~default:0)
+      (breakers_json ws)
+  in
+  "[" ^ String.concat ", " (List.map one t.tenants) ^ "]"
 
 let handle_request t (req : Protocol.request) =
   (* Snapshot before the gauge ticks up: a lone stats probe reads the
@@ -333,7 +386,11 @@ let handle_request t (req : Protocol.request) =
     if req.Protocol.op = "stats" then
       Some
         (Server_stats.to_json
-           ~extra:[ ("breakers", breakers_json t) ]
+           ~extra:
+             [
+               ("breakers", breakers_json (snd (default_tenant t)));
+               ("workspaces", workspaces_json t);
+             ]
            t.stats)
     else None
   in
@@ -359,7 +416,11 @@ let handle_request t (req : Protocol.request) =
             | "shutdown" ->
                 stop t;
                 Protocol.ok "draining, then exiting\n"
-            | op when is_workload op -> execute_admitted t req deadline
+            | op when is_workload op -> (
+                match tenant_for t req with
+                | Error m -> Protocol.error m
+                | Ok (tenant, ws) ->
+                    execute_admitted t tenant ws req deadline)
             | op -> Protocol.error (Printf.sprintf "unknown op %S" op))
       in
       (match reply.Protocol.status with

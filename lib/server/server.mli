@@ -1,28 +1,43 @@
 (** [onion serve]: the long-lived query daemon.
 
     The CLI answers one question per process, re-opening the workspace
-    and re-warming every cache each time.  The daemon opens the
-    workspace once and answers questions over TCP and/or Unix-domain
+    and re-warming every cache each time.  The daemon opens its
+    workspaces once and answers questions over TCP and/or Unix-domain
     sockets using the {!Protocol} framing, keeping the revision caches,
-    {!Label_index}es and the workspace space memo warm across requests —
+    {!Label_index}es and the workspace space memos warm across requests —
     the long-lived mediator process the paper's derived-mediator story
     presumes.
+
+    {b Tenancy.}  One daemon serves N workspaces ([onion serve
+    --workspace NAME=DIR ...]).  Requests carry an optional [workspace=]
+    attribute routing them to a tenant; without one they target the
+    default (first-configured) workspace.  Admission is fair-share aware
+    per tenant — one hot workspace cannot starve another (see
+    {!Admission}) — and circuit-breaker/fsck state is per-workspace by
+    construction (it lives in each {!Workspace.t}).
 
     {b Ops.}  [query <text>] (mediated OQL over the workspace
     federation, body identical to the CLI's report), [algebra
     union|intersection|difference <articulation>] (over the stored
     articulation and the current source files), [status] / [health]
     ({!Status_json} documents — degraded federation stays visible to
-    clients), [stats] ({!Server_stats} as JSON), [ping], and [shutdown]
-    (graceful drain, then the daemon exits).
+    clients), [stats] ({!Server_stats} as JSON, plus per-workspace
+    admission and breaker state and the {!Domain_pool} counters inside
+    ["plans"]), [ping], and [shutdown] (graceful drain, then the daemon
+    exits).
 
     {b Concurrency.}  One reader thread per connection; workload ops
     ([query], [algebra], [status], [health]) are submitted to the
-    bounded {!Admission} queue and executed by its worker crew (compute
-    fans out further through {!Domain_pool}); control ops ([ping],
-    [stats], [shutdown]) answer inline so the daemon stays observable
-    and stoppable under saturation.  A full queue sheds load with an
-    explicit [busy] reply carrying the queue depth and a retry hint.
+    bounded {!Admission} queue and executed by its worker {e domains} —
+    N workers run N requests truly in parallel — while replies are
+    written back by the owning connection thread.  Request compute fans
+    out further through the persistent {!Domain_pool} (spawned eagerly
+    at {!create}).  Mediator environments are memoised {e per domain}
+    keyed on the workspace's space value, so the request path takes no
+    environment lock.  Control ops ([ping], [stats], [shutdown]) answer
+    inline so the daemon stays observable and stoppable under
+    saturation.  A full queue sheds load with an explicit [busy] reply
+    carrying the queue depth and a retry hint.
 
     {b Shutdown.}  {!stop} (SIGTERM in the CLI, or the [shutdown] op)
     stops the accept loop, closes the listeners, drains queued and
@@ -34,7 +49,7 @@ type config = {
   tcp : (string * int) option;  (** Bind host and port ([0] = ephemeral). *)
   unix_path : string option;  (** Unix-domain socket path. *)
   queue_capacity : int;  (** Admission queue bound. *)
-  workers : int;  (** Admission worker threads. *)
+  workers : int;  (** Admission worker domains. *)
   max_frame : int;  (** Largest accepted request frame. *)
   io_timeout_ms : int;
       (** Socket read/write timeout and whole-frame progress budget
@@ -60,10 +75,13 @@ val default_config : config
 
 type t
 
-val create : config -> Workspace.t -> (t, string) result
+val create : config -> (string * Workspace.t) list -> (t, string) result
 (** Bind and listen on every configured address (at least one of [tcp] /
-    [unix_path] is required).  The sockets are live when this returns,
-    so callers may connect before {!serve} starts accepting. *)
+    [unix_path] is required).  [tenants] is the non-empty list of
+    [(name, workspace)] pairs this daemon serves; the first is the
+    default tenant and names must be unique.  The sockets are live when
+    this returns, so callers may connect before {!serve} starts
+    accepting.  Also starts the persistent {!Domain_pool}. *)
 
 val serve : t -> unit
 (** Accept loop; blocks until {!stop}, then performs the graceful

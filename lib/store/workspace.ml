@@ -2,6 +2,13 @@ type space_result = (Federation.t * Health.t, string) result
 
 type t = {
   root : string;
+  memo_lock : Mutex.t;
+      (* Guards both memos: the daemon's admission workers are domains,
+         so concurrent requests against one workspace race on the memo
+         slots.  Rebuilds run under the lock — serialising them means
+         every domain observes the SAME physical space value for a given
+         fingerprint, which is what the per-domain env memos
+         revision-check against. *)
   mutable space_memo : (string * space_result) option;
       (* Last computed query space paired with the disk fingerprint it was
          built from: while the files under sources/ and articulations/ are
@@ -47,6 +54,7 @@ let init dir =
       Ok
         {
           root = dir;
+          memo_lock = Mutex.create ();
           space_memo = None;
           lint_memo = None;
           breaker = Breaker.create ();
@@ -59,6 +67,7 @@ let open_ dir =
     Ok
       {
         root = dir;
+        memo_lock = Mutex.create ();
         space_memo = None;
         lint_memo = None;
         breaker = Breaker.create ();
@@ -444,13 +453,21 @@ let compute_space t =
 let space t =
   if not (Cache_stats.enabled ()) then compute_space t
   else begin
+    (* Fingerprinting reads the disk and needs no lock; the memo check
+       and any rebuild run under it, so concurrent domains missing on
+       the same rollover compute the space once and all observe the
+       same physical value. *)
     let fp = fingerprint t in
-    match t.space_memo with
-    | Some (fp', result) when String.equal fp fp' -> result
-    | _ ->
-        let result = compute_space t in
-        t.space_memo <- Some (fp, result);
-        result
+    Mutex.lock t.memo_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.memo_lock)
+      (fun () ->
+        match t.space_memo with
+        | Some (fp', result) when String.equal fp fp' -> result
+        | _ ->
+            let result = compute_space t in
+            t.space_memo <- Some (fp, result);
+            result)
   end
 
 let stale_bridges t =
@@ -558,12 +575,16 @@ let lint ?(conversions = Conversion.builtin) t =
     compute_lint ~conversions t
   else begin
     let fp = fingerprint t in
-    match t.lint_memo with
-    | Some (fp', report) when String.equal fp fp' -> report
-    | _ ->
-        let report = compute_lint ~conversions t in
-        t.lint_memo <- Some (fp, report);
-        report
+    Mutex.lock t.memo_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.memo_lock)
+      (fun () ->
+        match t.lint_memo with
+        | Some (fp', report) when String.equal fp fp' -> report
+        | _ ->
+            let report = compute_lint ~conversions t in
+            t.lint_memo <- Some (fp, report);
+            report)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -727,8 +748,10 @@ let fsck t =
      that no longer exist on disk. *)
   if repairs <> [] then begin
     Cache_stats.clear_all ();
+    Mutex.lock t.memo_lock;
     t.space_memo <- None;
     t.lint_memo <- None;
+    Mutex.unlock t.memo_lock;
     (* Repaired files deserve a fresh chance: open circuits would skip
        the very loads the repair just fixed. *)
     Breaker.reset t.breaker

@@ -146,7 +146,12 @@ let test_frame_header_flood_refused () =
 let test_request_deadline_attr_codec () =
   let r =
     Protocol.encode_request
-      { Protocol.op = "query"; arg = "SELECT x"; deadline_ms = Some 250 }
+      {
+        Protocol.op = "query";
+        arg = "SELECT x";
+        deadline_ms = Some 250;
+        workspace = None;
+      }
   in
   let d = Protocol.decode_request r in
   check_string "op survives" "query" d.Protocol.op;
@@ -172,7 +177,7 @@ let test_admission_expires_queued_jobs () =
   (* One worker parked on a mutex; a job queued behind it with an
      already-spent budget must run its expire continuation, not its
      body. *)
-  let a = Admission.create ~capacity:4 ~workers:1 in
+  let a = Admission.create ~capacity:4 ~workers:1 () in
   let gate = Mutex.create () in
   Mutex.lock gate;
   let started = Semaphore.Binary.make false in
@@ -201,7 +206,7 @@ let test_admission_expires_queued_jobs () =
   check_int "expiry counted" 1 (Admission.expired_total a)
 
 let test_admission_live_deadline_runs () =
-  let a = Admission.create ~capacity:4 ~workers:1 in
+  let a = Admission.create ~capacity:4 ~workers:1 () in
   let ran = ref false and expired = ref false in
   (match
      Admission.submit a
@@ -218,7 +223,7 @@ let test_admission_live_deadline_runs () =
 let test_admission_drain_deadline_bounded () =
   (* A wedged worker must not hang the drain: with a drain budget the
      queued jobs are expired and drain returns within the budget. *)
-  let a = Admission.create ~capacity:4 ~workers:1 in
+  let a = Admission.create ~capacity:4 ~workers:1 () in
   let gate = Mutex.create () in
   Mutex.lock gate;
   let started = Semaphore.Binary.make false in
@@ -422,7 +427,7 @@ let with_chaos_server ?(queue = 16) ?(workers = 2) ?(io_timeout_ms = 0)
     }
   in
   let server =
-    match Server.create config ws with
+    match Server.create config [ ("default", ws) ] with
     | Ok s -> s
     | Error m -> Alcotest.failf "server create failed: %s" m
   in

@@ -172,6 +172,48 @@ let test_pool_plan_counters () =
         (Cache_stats.plan_counts () <> []);
       Cache_stats.reset_plans ())
 
+(* The persistent pool's nested-call fallback: a task running ON the
+   pool that itself calls a combinator must run it sequentially instead
+   of queueing work it would then wait on — a lint pass fanning out
+   inside a pooled request must neither deadlock nor oversubscribe.
+   With a per-call-spawn pool this held trivially; the regression guards
+   it for the persistent workers (whose [in_worker] flag is set once for
+   the domain's lifetime) AND for the caller-participant path. *)
+let test_pool_inside_pool () =
+  Domain_pool.with_size 4 (fun () ->
+      let input = List.init 12 Fun.id in
+      let expected =
+        List.map (fun x -> List.init 8 (fun i -> (100 * x) + i)) input
+      in
+      let got =
+        Domain_pool.map
+          (fun x ->
+            (* Inner fan-out from inside a pool task. *)
+            Domain_pool.map (fun i -> (100 * x) + i) (List.init 8 Fun.id))
+          input
+      in
+      Alcotest.(check (list (list int))) "pool-inside-pool results" expected
+        got)
+
+let test_persistent_pool_counters () =
+  Domain_pool.with_size 2 (fun () ->
+      Domain_pool.ensure_started ();
+      check_bool "workers persist" true (Domain_pool.started () >= 1);
+      Cache_stats.reset_plans ();
+      (* The pool is already running, so this batch spawns nothing and
+         must be counted as a reuse hit. *)
+      ignore (Domain_pool.map succ (List.init 16 Fun.id));
+      let reuse counts =
+        try List.assoc "pool.reuse_hits" counts with Not_found -> 0
+      in
+      check_bool "batch reused persistent workers" true
+        (reuse (Cache_stats.plan_counts ()) >= 1);
+      (* clear_all models cold caches; pool telemetry is not a cache. *)
+      Cache_stats.clear_all ();
+      check_bool "pool counters survive clear_all" true
+        (reuse (Cache_stats.plan_counts ()) >= 1);
+      Cache_stats.reset_plans ())
+
 let suite =
   [
     ( "domain-pool",
@@ -194,5 +236,8 @@ let suite =
           test_cost_gated_map_results;
         Alcotest.test_case "pool plan counters" `Quick
           test_pool_plan_counters;
+        Alcotest.test_case "pool inside pool" `Quick test_pool_inside_pool;
+        Alcotest.test_case "persistent pool counters" `Quick
+          test_persistent_pool_counters;
       ] );
   ]

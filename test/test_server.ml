@@ -114,12 +114,52 @@ let test_reply_codec () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "malformed reply must not decode"
 
+let test_request_codec_attributes () =
+  (* [workspace=] routes, [deadline-ms=] budgets; both optional, in any
+     order, each at most once. *)
+  let r =
+    Protocol.decode_request "workspace=quiet QUERY  SELECT Price FROM Cars"
+  in
+  check_string "op behind the attribute" "query" r.Protocol.op;
+  check_string "arg behind the attribute" "SELECT Price FROM Cars"
+    r.Protocol.arg;
+  Alcotest.(check (option string)) "workspace parsed" (Some "quiet")
+    r.Protocol.workspace;
+  Alcotest.(check (option int)) "no deadline" None r.Protocol.deadline_ms;
+  List.iter
+    (fun line ->
+      let r = Protocol.decode_request line in
+      check_string "op with both attrs" "ping" r.Protocol.op;
+      Alcotest.(check (option string)) "workspace with both attrs" (Some "b")
+        r.Protocol.workspace;
+      Alcotest.(check (option int)) "deadline with both attrs" (Some 250)
+        r.Protocol.deadline_ms)
+    [ "deadline-ms=250 workspace=b ping"; "workspace=b deadline-ms=250 ping" ];
+  (* Round-trip through the encoder. *)
+  let req =
+    { Protocol.op = "query"; arg = "SELECT Price FROM Vehicle";
+      deadline_ms = Some 100; workspace = Some "second" }
+  in
+  check_bool "encode/decode round-trips" true
+    (Protocol.decode_request (Protocol.encode_request req) = req);
+  (* An empty value does not parse as the attribute: the token surfaces
+     as the (unknown) op instead of vanishing silently. *)
+  let r = Protocol.decode_request "workspace= ping" in
+  check_string "empty value becomes the op" "workspace=" r.Protocol.op;
+  Alcotest.(check (option string)) "no workspace" None r.Protocol.workspace;
+  (* A duplicate attribute stops attribute parsing: the second copy is
+     the op (an unknown-op error downstream, not a silent override). *)
+  let r = Protocol.decode_request "workspace=a workspace=b ping" in
+  Alcotest.(check (option string)) "first copy wins" (Some "a")
+    r.Protocol.workspace;
+  check_string "duplicate surfaces as op" "workspace=b" r.Protocol.op
+
 (* ---------------- admission control ---------------- *)
 
 let test_admission_runs_jobs () =
   (* Capacity comfortably above the burst so no submit can race the
      workers into a momentary shed. *)
-  let a = Admission.create ~capacity:64 ~workers:2 in
+  let a = Admission.create ~capacity:64 ~workers:2 () in
   let counter = Atomic.make 0 in
   for _ = 1 to 20 do
     match Admission.submit a (fun () -> Atomic.incr counter) with
@@ -132,7 +172,7 @@ let test_admission_runs_jobs () =
 let test_admission_sheds_when_full () =
   (* One worker parked on a mutex we hold: the queue backs up behind it
      deterministically, so the capacity'th+1 submit must shed. *)
-  let a = Admission.create ~capacity:2 ~workers:1 in
+  let a = Admission.create ~capacity:2 ~workers:1 () in
   let gate = Mutex.create () in
   Mutex.lock gate;
   let started = Semaphore.Binary.make false in
@@ -158,14 +198,14 @@ let test_admission_sheds_when_full () =
   Admission.shutdown a
 
 let test_admission_capacity_zero_always_sheds () =
-  let a = Admission.create ~capacity:0 ~workers:1 in
+  let a = Admission.create ~capacity:0 ~workers:1 () in
   (match Admission.submit a (fun () -> ()) with
   | Admission.Shed { depth } -> check_int "empty queue" 0 depth
   | _ -> Alcotest.fail "capacity 0 must shed");
   Admission.shutdown a
 
 let test_admission_drain_refuses_then_completes () =
-  let a = Admission.create ~capacity:16 ~workers:2 in
+  let a = Admission.create ~capacity:16 ~workers:2 () in
   let counter = Atomic.make 0 in
   for _ = 1 to 10 do
     ignore (Admission.submit a (fun () -> Atomic.incr counter))
@@ -176,6 +216,107 @@ let test_admission_drain_refuses_then_completes () =
   | Admission.Draining -> ()
   | _ -> Alcotest.fail "post-drain submit must be refused");
   Admission.shutdown a
+
+let test_admission_fair_share () =
+  (* Two tenants, capacity 4, the one worker parked on a mutex: tenant
+     [a] fills the whole queue, so [a]'s next submit sheds while [b] —
+     still under its share of 2 — displaces [a]'s newest queued job. *)
+  let a = Admission.create ~tenants:[ "a"; "b" ] ~capacity:4 ~workers:1 () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let started = Semaphore.Binary.make false in
+  (match
+     Admission.submit a ~tenant:"a" (fun () ->
+         Semaphore.Binary.release started;
+         Mutex.lock gate;
+         Mutex.unlock gate)
+   with
+  | Admission.Accepted -> ()
+  | _ -> Alcotest.fail "blocker refused");
+  Semaphore.Binary.acquire started;
+  let ran_a = Atomic.make 0 and ran_b = Atomic.make 0 in
+  let evicted = Atomic.make 0 in
+  for _ = 1 to 4 do
+    match
+      Admission.submit a ~tenant:"a"
+        ~on_evicted:(fun ~depth:_ -> Atomic.incr evicted)
+        (fun () -> Atomic.incr ran_a)
+    with
+    | Admission.Accepted -> ()
+    | _ -> Alcotest.fail "queue slot refused"
+  done;
+  (* [a] holds the whole queue — at/over its share, so it is shed. *)
+  (match Admission.submit a ~tenant:"a" (fun () -> Atomic.incr ran_a) with
+  | Admission.Shed { depth } -> check_int "hog shed at capacity" 4 depth
+  | _ -> Alcotest.fail "expected shed for the hog");
+  (* [b] is under its share: its submit displaces [a]'s newest job. *)
+  (match Admission.submit a ~tenant:"b" (fun () -> Atomic.incr ran_b) with
+  | Admission.Accepted -> ()
+  | _ -> Alcotest.fail "under-share tenant must be admitted");
+  check_int "victim answered through on_evicted" 1 (Atomic.get evicted);
+  check_int "eviction counted" 1 (Admission.evicted_total a);
+  check_int "a keeps three queued" 3 (Admission.tenant_depth a "a");
+  check_int "b queued one" 1 (Admission.tenant_depth a "b");
+  (* Both refusals were [a]'s: one shed, one displaced victim. *)
+  check_int "refusals attributed to the hog" 2
+    (Option.value (List.assoc_opt "a" (Admission.shed_by_tenant a)) ~default:0);
+  check_int "no refusals for b" 0
+    (Option.value (List.assoc_opt "b" (Admission.shed_by_tenant a)) ~default:0);
+  Mutex.unlock gate;
+  Admission.shutdown a;
+  check_int "surviving a-jobs ran" 3 (Atomic.get ran_a);
+  check_int "b's job ran" 1 (Atomic.get ran_b)
+
+let test_admission_tenant_round_robin () =
+  (* One worker, a hot tenant's backlog of four, one quiet request
+     submitted last: round-robin pickup must serve the quiet tenant
+     after at most one more hog job, not behind the whole backlog. *)
+  let a =
+    Admission.create ~tenants:[ "hog"; "quiet" ] ~capacity:8 ~workers:1 ()
+  in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let started = Semaphore.Binary.make false in
+  (match
+     Admission.submit a ~tenant:"hog" (fun () ->
+         Semaphore.Binary.release started;
+         Mutex.lock gate;
+         Mutex.unlock gate)
+   with
+  | Admission.Accepted -> ()
+  | _ -> Alcotest.fail "blocker refused");
+  Semaphore.Binary.acquire started;
+  let order_lock = Mutex.create () in
+  let order = ref [] in
+  let note tag () =
+    Mutex.lock order_lock;
+    order := tag :: !order;
+    Mutex.unlock order_lock
+  in
+  for _ = 1 to 4 do
+    match Admission.submit a ~tenant:"hog" (note "hog") with
+    | Admission.Accepted -> ()
+    | _ -> Alcotest.fail "hog slot refused"
+  done;
+  (match Admission.submit a ~tenant:"quiet" (note "quiet") with
+  | Admission.Accepted -> ()
+  | _ -> Alcotest.fail "quiet submit refused");
+  Mutex.unlock gate;
+  Admission.shutdown a;
+  let executed = List.rev !order in
+  check_int "all five ran" 5 (List.length executed);
+  let quiet_pos =
+    let rec find i = function
+      | [] -> -1
+      | "quiet" :: _ -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 executed
+  in
+  check_bool
+    (Printf.sprintf "quiet served within one hog job (position %d)" quiet_pos)
+    true
+    (quiet_pos >= 0 && quiet_pos <= 1)
 
 (* ---------------- the daemon end to end ---------------- *)
 
@@ -204,7 +345,27 @@ let rules_text =
   {|[r1] carrier:Cars => factory:Vehicle
 [r2] factory:Vehicle => (carrier:Cars | carrier:Trucks) as CarsTrucks|}
 
-let with_served_workspace ?(queue = 64) ?(workers = 4) ?(max_frame = Protocol.default_max_frame) f =
+(* A second tenant's factory: same shape, observably different data
+   (Van1 at 3000 instead of 7000), so a misrouted request is caught by
+   a bit-for-bit body comparison. *)
+let factory_xml_b =
+  {|<ontology name="factory">
+  <term name="Vehicle"><subclassOf term="Transportation"/><attribute term="Price"/></term>
+  <instance name="Van1" of="Vehicle"/>
+  <edge src="Van1" label="Price" dst="3000"/>
+</ontology>|}
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* A throwaway workspace populated with the carrier/factory pair and the
+   transport articulation; [factory] varies the factory source so two
+   tenants can hold observably different data. *)
+let with_populated_workspace ?(factory = factory_xml) f =
   let dir = Filename.temp_file "onion-serve" "" in
   Sys.remove dir;
   let ws =
@@ -212,16 +373,7 @@ let with_served_workspace ?(queue = 64) ?(workers = 4) ?(max_frame = Protocol.de
     | Ok ws -> ws
     | Error m -> Alcotest.failf "init failed: %s" m
   in
-  Fun.protect
-    ~finally:(fun () ->
-      let rec rm path =
-        if Sys.is_directory path then begin
-          Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
-          Sys.rmdir path
-        end
-        else Sys.remove path
-      in
-      if Sys.file_exists dir then rm dir)
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
   @@ fun () ->
   let add body =
     let path = Filename.temp_file "src" ".xml" in
@@ -235,7 +387,7 @@ let with_served_workspace ?(queue = 64) ?(workers = 4) ?(max_frame = Protocol.de
     | Error m -> Alcotest.failf "add_source failed: %s" m
   in
   add carrier_xml;
-  add factory_xml;
+  add factory;
   let rules =
     match Rule_parser.parse ~default_ontology:"transport" rules_text with
     | Ok rules -> rules
@@ -247,6 +399,10 @@ let with_served_workspace ?(queue = 64) ?(workers = 4) ?(max_frame = Protocol.de
    with
   | Ok _ -> ()
   | Error m -> Alcotest.failf "articulate failed: %s" m);
+  f ws
+
+let with_server ?(queue = 64) ?(workers = 4)
+    ?(max_frame = Protocol.default_max_frame) tenants f =
   let socket_path = Filename.temp_file "onion-sock" ".sock" in
   Sys.remove socket_path;
   let config =
@@ -257,7 +413,7 @@ let with_served_workspace ?(queue = 64) ?(workers = 4) ?(max_frame = Protocol.de
       max_frame }
   in
   let server =
-    match Server.create config ws with
+    match Server.create config tenants with
     | Ok s -> s
     | Error m -> Alcotest.failf "server create failed: %s" m
   in
@@ -267,7 +423,20 @@ let with_served_workspace ?(queue = 64) ?(workers = 4) ?(max_frame = Protocol.de
       Server.stop server;
       Thread.join serve_thread;
       if Sys.file_exists socket_path then Sys.remove socket_path)
-    (fun () -> f ws server (Client.Unix_socket socket_path))
+    (fun () -> f server (Client.Unix_socket socket_path))
+
+let with_served_workspace ?queue ?workers ?max_frame f =
+  with_populated_workspace (fun ws ->
+      with_server ?queue ?workers ?max_frame
+        [ ("default", ws) ]
+        (fun server address -> f ws server address))
+
+let with_served_two_workspaces ?queue ?workers f =
+  with_populated_workspace (fun ws_a ->
+      with_populated_workspace ~factory:factory_xml_b (fun ws_b ->
+          with_server ?queue ?workers
+            [ ("default", ws_a); ("second", ws_b) ]
+            (fun server address -> f (ws_a, ws_b) server address)))
 
 let request_ok address ~op ~arg =
   match
@@ -472,6 +641,114 @@ let test_serve_shutdown_op_drains () =
       check_int "nothing left in flight" 0 s.Server_stats.in_flight;
       check_bool "work was accounted" true (s.Server_stats.accepted >= 2))
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_serve_two_workspaces_bit_for_bit () =
+  with_served_two_workspaces (fun (ws_a, ws_b) _server address ->
+      let q = "SELECT Price FROM Vehicle" in
+      let expected_a = direct_query_body ws_a q in
+      let expected_b = direct_query_body ws_b q in
+      check_bool "tenants hold observably different data" false
+        (String.equal expected_a expected_b);
+      (* Concurrent clients pinned to either tenant: every reply must be
+         bit-for-bit the single-workspace answer. *)
+      let failures = Atomic.make 0 in
+      let worker i () =
+        let workspace, expected =
+          if i mod 2 = 0 then (None, expected_a)
+          else (Some "second", expected_b)
+        in
+        match
+          Client.with_connection address (fun c ->
+              for _ = 1 to 20 do
+                match Client.request ?workspace c ~op:"query" ~arg:q with
+                | Ok { Protocol.status = Protocol.Ok; body; _ } ->
+                    if not (String.equal body expected) then
+                      Atomic.incr failures
+                | _ -> Atomic.incr failures
+              done;
+              Result.Ok ())
+        with
+        | Ok () -> ()
+        | Error _ -> Atomic.incr failures
+      in
+      let threads = List.init 6 (fun i -> Thread.create (worker i) ()) in
+      List.iter Thread.join threads;
+      check_int "every tenant-routed reply bit-for-bit" 0
+        (Atomic.get failures);
+      (* The explicit default tenant and the bare request agree. *)
+      match
+        Client.with_connection address (fun c ->
+            Client.request ~workspace:"default" c ~op:"query" ~arg:q)
+      with
+      | Ok r ->
+          check_string "workspace=default equals the bare form" expected_a
+            r.Protocol.body
+      | Error m -> Alcotest.failf "transport error: %s" m)
+
+let test_serve_unknown_workspace () =
+  with_served_two_workspaces (fun _ _server address ->
+      (match
+         Client.with_connection address (fun c ->
+             Client.request ~workspace:"nope" c ~op:"query"
+               ~arg:"SELECT Price FROM Vehicle")
+       with
+      | Ok r ->
+          check_bool "unknown workspace is an error reply" true
+            (r.Protocol.status = Protocol.Error);
+          check_bool "error names the problem" true
+            (contains r.Protocol.body "unknown workspace")
+      | Error m -> Alcotest.failf "transport error: %s" m);
+      (* The stats body lists both tenants for operators. *)
+      let r = request_ok address ~op:"stats" ~arg:"" in
+      check_bool "stats lists the tenants" true
+        (contains r.Protocol.body "\"workspaces\""
+        && contains r.Protocol.body "\"default\""
+        && contains r.Protocol.body "\"second\""))
+
+let test_serve_breaker_fsck_isolation () =
+  with_served_two_workspaces (fun (ws_a, ws_b) _server address ->
+      let q = "SELECT Price FROM Vehicle" in
+      let expected_a = direct_query_body ws_a q in
+      (* Corrupt the second tenant's factory source on disk and trip its
+         circuit: [health] classifies through the breaker gate, so
+         threshold-many scans open the circuit for the failing part. *)
+      let victim =
+        Filename.concat (Workspace.root ws_b) "sources/factory.xml"
+      in
+      let oc = open_out victim in
+      output_string oc "<broken";
+      close_out oc;
+      for _ = 1 to (Breaker.default_config ()).Breaker.threshold do
+        ignore (Workspace.health ws_b)
+      done;
+      check_bool "second tenant's circuit is open" true
+        (List.exists
+           (fun b -> b.Breaker.info_state = Breaker.Open)
+           (Workspace.breakers ws_b));
+      check_bool "first tenant's breakers untouched" true
+        (List.for_all
+           (fun b -> b.Breaker.info_state = Breaker.Closed)
+           (Workspace.breakers ws_a));
+      (* The healthy tenant still answers bit-for-bit through the
+         daemon while its neighbour is broken. *)
+      let r = request_ok address ~op:"query" ~arg:q in
+      check_string "healthy tenant unaffected" expected_a r.Protocol.body;
+      (* fsck repairs and resets circuits for the tenant it ran on —
+         and only that tenant. *)
+      let report = Workspace.fsck ws_b in
+      check_bool "fsck repaired the corrupt source" true
+        (report.Workspace.repairs <> []);
+      check_bool "second tenant's circuits reset" true
+        (Workspace.breakers ws_b = []);
+      check_bool "first tenant still clean" true
+        (List.for_all
+           (fun b -> b.Breaker.info_state = Breaker.Closed)
+           (Workspace.breakers ws_a)))
+
 let test_stats_histogram () =
   let s = Server_stats.create () in
   Server_stats.record s ~op:"query" ~ok:true ~ns:1_500.0;
@@ -499,6 +776,8 @@ let suite =
         Alcotest.test_case "oversized drains" `Quick test_frame_oversized_drains;
         Alcotest.test_case "truncated is fatal" `Quick test_frame_truncated_is_fatal;
         Alcotest.test_case "request codec" `Quick test_request_codec;
+        Alcotest.test_case "request attributes" `Quick
+          test_request_codec_attributes;
         Alcotest.test_case "reply codec" `Quick test_reply_codec;
       ] );
     ( "server admission",
@@ -507,6 +786,9 @@ let suite =
         Alcotest.test_case "sheds when full" `Quick test_admission_sheds_when_full;
         Alcotest.test_case "capacity zero sheds" `Quick test_admission_capacity_zero_always_sheds;
         Alcotest.test_case "drain refuses then completes" `Quick test_admission_drain_refuses_then_completes;
+        Alcotest.test_case "fair-share eviction" `Quick test_admission_fair_share;
+        Alcotest.test_case "tenant round-robin pickup" `Quick
+          test_admission_tenant_round_robin;
       ] );
     ( "server daemon",
       [
@@ -515,6 +797,12 @@ let suite =
         Alcotest.test_case "sheds with busy" `Quick test_serve_sheds_with_busy;
         Alcotest.test_case "concurrent soak" `Slow test_serve_concurrent_soak;
         Alcotest.test_case "shutdown drains" `Quick test_serve_shutdown_op_drains;
+        Alcotest.test_case "two workspaces bit-for-bit" `Slow
+          test_serve_two_workspaces_bit_for_bit;
+        Alcotest.test_case "unknown workspace" `Quick
+          test_serve_unknown_workspace;
+        Alcotest.test_case "breaker and fsck stay per-tenant" `Quick
+          test_serve_breaker_fsck_isolation;
         Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
       ] );
   ]
