@@ -2089,6 +2089,242 @@ let lint_bench () =
     ~diagnostics:(List.length ds) ~errors ~warnings;
   row "wrote BENCH_lint.json"
 
+(* ------------------------------------------------------------------ *)
+(* STORE — paged segment store: cold open + routed first query         *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot wall clock (not OLS): cold opens are single events whose
+   cost we want unamortised, and repeating them would warm the block
+   cache the measurement is about. *)
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let plan_count name =
+  Option.value ~default:0 (List.assoc_opt name (Cache_stats.plan_counts ()))
+
+type store_run = {
+  sr_n : int;
+  sr_islands : int;
+  sr_segments : int;
+  sr_generate_s : float;
+  sr_cold_ns : float;  (* open_ + first routed query, everything cold *)
+  sr_warm_ns : float;  (* same handle + query: route memo hit *)
+  sr_reopen_ns : float;  (* fresh handle, warm block cache *)
+  sr_second_ns : float;  (* different island on handle 1: cold group *)
+  sr_cold_loads : int;
+  sr_reopen_loads : int;
+  sr_block_hits : int;
+  sr_block_misses : int;
+  sr_paged_top : int;  (* top_heap_words after the paged phase *)
+  mutable sr_inmem_top : int;
+  mutable sr_inmem_open_s : float;
+}
+
+let emit_store_json ~path ~budget ~runs ~gate_scaling ~gate_heap ~gate_hits
+    ~scaling_ratio ~heap_ratio =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let size_objs =
+        List.map
+          (fun r ->
+            Printf.sprintf
+              "    { \"n\": %d, \"islands\": %d, \"segments\": %d, \
+               \"generate_s\": %.2f, \"cold_open_first_query_ns\": %s, \
+               \"warm_query_ns\": %s, \"reopen_query_ns\": %s, \
+               \"second_island_query_ns\": %s, \"cold_segment_loads\": %d, \
+               \"reopen_segment_loads\": %d, \"block_hits\": %d, \
+               \"block_misses\": %d, \"paged_top_heap_words\": %d, \
+               \"inmem_top_heap_words\": %d, \"inmem_open_s\": %.2f }"
+              r.sr_n r.sr_islands r.sr_segments r.sr_generate_s
+              (json_float r.sr_cold_ns) (json_float r.sr_warm_ns)
+              (json_float r.sr_reopen_ns) (json_float r.sr_second_ns)
+              r.sr_cold_loads r.sr_reopen_loads r.sr_block_hits
+              r.sr_block_misses r.sr_paged_top r.sr_inmem_top
+              r.sr_inmem_open_s)
+          runs
+      in
+      output_string oc "{\n  \"benchmark\": \"store\",\n";
+      output_string oc
+        (Printf.sprintf "  \"block_cache_budget_bytes\": %d,\n" budget);
+      output_string oc "  \"sizes\": [\n";
+      output_string oc (String.concat ",\n" size_objs);
+      output_string oc "\n  ],\n";
+      output_string oc
+        (Printf.sprintf
+           "  \"open_scaling_ratio\": %.3f,\n  \"paged_heap_ratio\": %.3f,\n"
+           scaling_ratio heap_ratio);
+      output_string oc
+        (Printf.sprintf
+           "  \"gates\": { \"open_scaling_le_20x\": %b, \
+            \"paged_heap_le_quarter\": %b, \"reopen_hits_cache\": %b }\n"
+           gate_scaling gate_heap gate_hits);
+      output_string oc "}\n")
+
+let store () =
+  section "STORE"
+    "paged segment store: cold open + routed first query vs federation \
+     size, block-cache reopen, and peak heap vs the in-memory backend";
+  let sizes =
+    match Sys.getenv_opt "ONION_BENCH_STORE_SIZES" with
+    | Some s ->
+        String.split_on_char ',' s
+        |> List.filter_map (fun tok -> int_of_string_opt (String.trim tok))
+        |> List.filter (fun n -> n > 0)
+    | None -> [ 10_000; 100_000; 1_000_000 ]
+  in
+  let sizes = List.sort_uniq compare sizes in
+  let dirs = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+      in
+      List.iter (fun d -> if Sys.file_exists d then rm d) !dirs)
+  @@ fun () ->
+  let ok = function Ok v -> v | Error m -> failwith ("store bench: " ^ m) in
+  let query k =
+    Printf.sprintf "SELECT * FROM %s:%s"
+      (Gen.federation_source_name "src" k)
+      (Gen.concept_name 17)
+  in
+  let run_query ws text =
+    let space, _health = ok (Workspace.query_space ws text) in
+    let kbs =
+      List.map
+        (fun o ->
+          Kb.of_ontology_instances ~ontology:o ("kb-" ^ Ontology.name o))
+        space.Federation.sources
+    in
+    let env = Mediator.env_federated ~kbs ~space () in
+    ignore
+      (ok
+         (Mediator.run_text
+            ?default_ontology:(Workspace.default_ontology ws)
+            env text))
+  in
+  (* Paged phase for every size FIRST: top_heap_words is monotone over
+     the process lifetime, so the paged numbers must be captured before
+     any in-memory open inflates the high-water mark. *)
+  let runs =
+    List.map
+      (fun n ->
+        let islands = max 2 (n / 1000) in
+        let terms = min n 1000 in
+        let dir = Filename.temp_file "onion-bench-store" "" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        dirs := dir :: !dirs;
+        let ws0 = ok (Workspace.init ~paged:true dir) in
+        let (), generate_s =
+          wall (fun () ->
+              let p = Workspace.publisher ws0 in
+              ok
+                (Gen.federation_stream ~islands ~terms ~seed:11 ~prefix:"src"
+                   ~emit_source:(fun o ->
+                     Workspace.publish_source p o ~ext:".adj"
+                       ~payload:(Adjacency.print (Ontology.graph o)))
+                   ~emit_articulation:(Workspace.publish_articulation p)
+                   ());
+              ok (Workspace.commit p))
+        in
+        let segments = islands + (islands / 2) in
+        Cache_stats.reset_plans ();
+        let ws1, cold_s =
+          wall (fun () ->
+              let ws = ok (Workspace.open_ dir) in
+              run_query ws (query 0);
+              ws)
+        in
+        let cold_loads = plan_count "store.segment_load" in
+        let misses = plan_count "store.block_miss" in
+        let (), warm_s = wall (fun () -> run_query ws1 (query 0)) in
+        let hits0 = plan_count "store.block_hit" in
+        let loads0 = plan_count "store.segment_load" in
+        let (), reopen_s =
+          wall (fun () ->
+              let ws = ok (Workspace.open_ dir) in
+              run_query ws (query 0))
+        in
+        let reopen_loads = plan_count "store.segment_load" - loads0 in
+        let hits = plan_count "store.block_hit" - hits0 in
+        let (), second_s =
+          wall (fun () ->
+              if islands >= 4 then run_query ws1 (query 2))
+        in
+        let paged_top = (Gc.quick_stat ()).Gc.top_heap_words in
+        row "n=%7d  islands %4d  generate %6.1fs  cold open+query %a  \
+             warm %a  reopen %a"
+          n islands generate_s pp_time (cold_s *. 1e9) pp_time
+          (warm_s *. 1e9) pp_time (reopen_s *. 1e9);
+        row "           cold loads %d  reopen loads %d (hits %d, misses \
+             %d)  paged top heap %d words"
+          cold_loads reopen_loads hits misses paged_top;
+        {
+          sr_n = n;
+          sr_islands = islands;
+          sr_segments = segments;
+          sr_generate_s = generate_s;
+          sr_cold_ns = cold_s *. 1e9;
+          sr_warm_ns = warm_s *. 1e9;
+          sr_reopen_ns = reopen_s *. 1e9;
+          sr_second_ns = second_s *. 1e9;
+          sr_cold_loads = cold_loads;
+          sr_reopen_loads = reopen_loads;
+          sr_block_hits = hits;
+          sr_block_misses = misses;
+          sr_paged_top = paged_top;
+          sr_inmem_top = 0;
+          sr_inmem_open_s = 0.0;
+        })
+      sizes
+  in
+  (* In-memory phase: force the FULL federation through the same paged
+     workspaces (Workspace.space materialises every part), so the heap
+     comparison is backend-vs-backend on identical data. *)
+  let dirs_asc = List.rev !dirs in
+  List.iteri
+    (fun i r ->
+      let dir = List.nth dirs_asc i in
+      let ws = ok (Workspace.open_ dir) in
+      let (), inmem_s = wall (fun () -> ignore (ok (Workspace.space ws))) in
+      r.sr_inmem_open_s <- inmem_s;
+      r.sr_inmem_top <- (Gc.quick_stat ()).Gc.top_heap_words;
+      row "n=%7d  in-memory full open %6.1fs  top heap %d words" r.sr_n
+        inmem_s r.sr_inmem_top)
+    runs;
+  let largest = List.nth runs (List.length runs - 1) in
+  let scaling_ratio, gate_scaling =
+    if List.length runs < 2 then (1.0, true)
+    else
+      let mid = List.nth runs (List.length runs - 2) in
+      let ratio = largest.sr_cold_ns /. mid.sr_cold_ns in
+      (ratio, ratio <= 20.0)
+  in
+  let heap_ratio =
+    float_of_int largest.sr_paged_top /. float_of_int largest.sr_inmem_top
+  in
+  let gate_heap = heap_ratio <= 0.25 in
+  let gate_hits = largest.sr_block_hits > 0 && largest.sr_reopen_loads = 0 in
+  row "gates: open scaling %.1fx (<= 20x: %s)  paged/inmem heap %.3f (<= \
+       0.25: %s)  reopen served from block cache: %s"
+    scaling_ratio
+    (if gate_scaling then "PASS" else "FAIL")
+    heap_ratio
+    (if gate_heap then "PASS" else "FAIL")
+    (if gate_hits then "PASS" else "FAIL");
+  emit_store_json ~path:"BENCH_store.json"
+    ~budget:(Workspace.block_cache_budget ())
+    ~runs ~gate_scaling ~gate_heap ~gate_hits ~scaling_ratio ~heap_ratio;
+  row "wrote BENCH_store.json"
+
 let sections_by_id =
   [
     ("fig2", fig2);
@@ -2108,6 +2344,7 @@ let sections_by_id =
     ("serve", serve);
     ("chaos", chaos);
     ("lint", lint_bench);
+    ("store", store);
   ]
 
 let () =

@@ -493,16 +493,30 @@ let open_workspace_or_die dir =
       exit 1
 
 let ws_init_cmd =
-  let run dir =
-    match Workspace.init dir with
-    | Ok _ -> Printf.printf "initialized workspace %s\n" dir
+  let run dir paged =
+    match Workspace.init ~paged dir with
+    | Ok _ ->
+        Printf.printf "initialized %sworkspace %s\n"
+          (if paged then "paged " else "")
+          dir
     | Error m ->
         Printf.eprintf "error: %s\n" m;
         exit 1
   in
+  let paged =
+    Arg.(
+      value & flag
+      & info [ "paged" ]
+          ~doc:
+            "Use the paged segment-store backend: parts live in \
+             content-fingerprinted immutable segments named by a manifest, \
+             are decoded on demand through a byte-budgeted block cache, and \
+             queries page in only the articulation group their anchor \
+             routes to — built for million-node federations.")
+  in
   Cmd.v
     (Cmd.info "init" ~doc:"Create a new onion workspace.")
-    Term.(const run $ workspace_arg 0)
+    Term.(const run $ workspace_arg 0 $ paged)
 
 let ws_add_cmd =
   let run dir path =
@@ -571,22 +585,31 @@ let ws_articulate_cmd =
 let ws_query_cmd =
   let run dir query_text explain json =
     let ws = open_workspace_or_die dir in
-    match Workspace.space ws with
+    (* query_space routes the anchor to its articulation group on a
+       paged workspace (decoding only those segments) and is the full
+       space on a flat one; the kbs come from the spaces's own sources
+       so they match what is actually being served.  The default
+       ontology must come from the full workspace, not the routed
+       slice, so bare concepts parse identically either way. *)
+    match Workspace.query_space ws query_text with
     | Error m ->
         Printf.eprintf "error: %s\n" m;
         exit 1
     | Ok (space, health) -> (
         if not (Health.ok health) then
           Format.eprintf "%a@." Health.pp health;
-        let sources, _ = Workspace.load_sources ws in
         let kbs =
           List.map
             (fun o ->
               Kb.of_ontology_instances ~ontology:o ("kb-" ^ Ontology.name o))
-            sources
+            space.Federation.sources
         in
         let env = Mediator.env_federated ~kbs ~space () in
-        match Mediator.run_text env query_text with
+        match
+          Mediator.run_text
+            ?default_ontology:(Workspace.default_ontology ws)
+            env query_text
+        with
         | Ok report -> print_report ~json ~explain report
         | Error m ->
             Printf.eprintf "query error: %s\n" m;
@@ -603,11 +626,87 @@ let ws_query_cmd =
        ~doc:"Run a federated query over every source and articulation.")
     Term.(const run $ workspace_arg 0 $ query_text $ explain_flag $ query_json_flag)
 
+let ws_gen_cmd =
+  let run dir islands terms seed shape prefix =
+    let ws = open_workspace_or_die dir in
+    let shape =
+      match shape with
+      | "scale-free" -> Gen.Islands_scale_free
+      | s when String.length s > 5 && String.sub s 0 5 = "deep:" -> (
+          match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+          | Some b when b >= 1 -> Gen.Islands_deep b
+          | _ ->
+              Printf.eprintf "error: bad shape %S (deep:<branch>)\n" s;
+              exit 1)
+      | s ->
+          Printf.eprintf
+            "error: unknown shape %S (scale-free | deep:<branch>)\n" s;
+          exit 1
+    in
+    let p = Workspace.publisher ws in
+    let emit_source o =
+      Workspace.publish_source p o ~ext:".adj"
+        ~payload:(Adjacency.print (Ontology.graph o))
+    in
+    let emit_articulation a = Workspace.publish_articulation p a in
+    let result =
+      Result.bind
+        (Gen.federation_stream ~shape ~islands ~terms ~seed ~prefix
+           ~emit_source ~emit_articulation ())
+        (fun () -> Workspace.commit p)
+    in
+    match result with
+    | Ok () ->
+        Printf.printf "generated %d sources x %d terms (%d articulations) in %s\n"
+          islands terms (islands / 2) dir
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+  in
+  let islands =
+    Arg.(
+      value & opt int 10
+      & info [ "islands" ] ~docv:"N" ~doc:"Number of source ontologies.")
+  in
+  let terms =
+    Arg.(
+      value & opt int 1000
+      & info [ "terms" ] ~docv:"N" ~doc:"Concepts per source.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let shape =
+    Arg.(
+      value & opt string "scale-free"
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:
+            "Island shape: $(b,scale-free) (preferential attachment) or \
+             $(b,deep:<branch>) (taxonomy with the given branching; 1 is a \
+             pure chain).")
+  in
+  let prefix =
+    Arg.(
+      value & opt string "src"
+      & info [ "prefix" ] ~docv:"PREFIX" ~doc:"Source-name prefix.")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Stream a synthetic island-structured federation into the \
+          workspace: N sources paired off by articulations — the scaling \
+          workload for the paged backend.  Parts are published one at a \
+          time, so million-node federations generate in bounded memory.")
+    Term.(const run $ workspace_arg 0 $ islands $ terms $ seed $ shape $ prefix)
+
 let workspace_cmd =
   Cmd.group
     (Cmd.info "workspace"
        ~doc:"Manage an on-disk workspace of sources and stored articulations.")
-    [ ws_init_cmd; ws_add_cmd; ws_status_cmd; ws_articulate_cmd; ws_query_cmd ]
+    [
+      ws_init_cmd; ws_add_cmd; ws_status_cmd; ws_articulate_cmd; ws_query_cmd;
+      ws_gen_cmd;
+    ]
 
 (* ---------------- serve / client ---------------- *)
 

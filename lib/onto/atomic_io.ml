@@ -119,6 +119,60 @@ let read path =
       in
       String.sub content 0 keep
 
+(* Chunked fold over a file's bytes: one IO op on the fault surface,
+   like [read].  The injected Corrupt/Torn actions need the whole
+   content to mutate, so those (test-only) branches fall back to
+   buffering; the Proceed path never holds more than [chunk_bytes]. *)
+let fold_file ?(chunk_bytes = 65536) path ~init ~f =
+  let chunk_bytes = max 1 chunk_bytes in
+  let feed_string content =
+    let n = String.length content in
+    let rec go acc pos =
+      if pos >= n then acc
+      else
+        let len = min chunk_bytes (n - pos) in
+        let buf = Bytes.of_string (String.sub content pos len) in
+        go (f acc buf len) (pos + len)
+    in
+    go init 0
+  in
+  let plain () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match consult Read path with
+  | Proceed ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let buf = Bytes.create chunk_bytes in
+          let rec go acc =
+            let len = input ic buf 0 chunk_bytes in
+            if len = 0 then acc else go (f acc buf len)
+          in
+          go init)
+  | Crash m -> raise (Crashed m)
+  | Fail m -> raise (Sys_error (Printf.sprintf "%s: %s" path m))
+  | Corrupt ->
+      let content = plain () in
+      if String.length content = 0 then feed_string content
+      else begin
+        let b = Bytes.of_string content in
+        let i = Bytes.length b / 2 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+        feed_string (Bytes.to_string b)
+      end
+  | Torn fraction ->
+      let content = plain () in
+      let keep =
+        let f = Float.max 0.0 (Float.min 1.0 fraction) in
+        int_of_float (f *. float_of_int (String.length content))
+      in
+      feed_string (String.sub content 0 keep)
+
 let remove path =
   match consult Remove path with
   | Crash m -> raise (Crashed m)

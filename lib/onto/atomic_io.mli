@@ -78,5 +78,15 @@ val read : string -> string
 (** Whole-file read.
     @raise Sys_error / {!Crashed} as above. *)
 
+val fold_file :
+  ?chunk_bytes:int -> string -> init:'a -> f:('a -> bytes -> int -> 'a) -> 'a
+(** [fold_file path ~init ~f] folds [f acc buf len] over the file's
+    bytes in chunks of at most [chunk_bytes] (default 64 KiB) without
+    buffering the whole file.  One op on the fault surface, same actions
+    as {!read} (the injected Corrupt/Torn branches buffer, as they must
+    mutate whole content).  [buf] is reused between calls: consume the
+    first [len] bytes before returning.
+    @raise Sys_error / {!Crashed} as above. *)
+
 val remove : string -> unit
 (** Unlink through the fault surface. *)

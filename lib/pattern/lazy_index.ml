@@ -1,0 +1,49 @@
+(* A registry of external index statistics, keyed by graph revision.
+
+   The paged segment store persists per-segment label histograms at
+   publish time.  When it assembles a routed query space, it registers
+   those statistics here, so Plan_cost can cost an index-seeded scan
+   from true bucket sizes without first paying a Label_index build —
+   the planner's estimates get "warm index" quality on a graph that was
+   just paged in cold.
+
+   Providers are hints, not indexes: they never change what an executor
+   computes, only the cost model's estimate.  A missing or stale
+   provider degrades to the conservative min(N, E) bound Plan_cost
+   already uses.
+
+   The table is revision-keyed like the Plan_cost memo: a revision
+   uniquely identifies a graph value, so a hit can never describe a
+   different graph.  Bounded by wholesale reset, mutex-guarded (routed
+   spaces are built on daemon worker domains). *)
+
+type provider = {
+  edge_bucket : [ `Out | `In ] -> string -> int option;
+      (* Estimated size of the source/target bucket for an edge label:
+         how many nodes have an incident edge so labeled.  An upper
+         bound (e.g. the label's edge count) is acceptable. *)
+}
+
+let capacity = 64
+let table : (int, provider) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let register g provider =
+  locked @@ fun () ->
+  if Hashtbl.length table >= capacity then Hashtbl.reset table;
+  Hashtbl.replace table (Digraph.revision g) provider
+
+let registered g =
+  locked @@ fun () -> Hashtbl.mem table (Digraph.revision g)
+
+let bucket g side label =
+  let provider = locked (fun () -> Hashtbl.find_opt table (Digraph.revision g)) in
+  match provider with
+  | None -> None
+  | Some p -> p.edge_bucket side label
+
+let clear () = locked @@ fun () -> Hashtbl.reset table

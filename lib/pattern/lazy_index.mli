@@ -1,0 +1,27 @@
+(** Externally supplied index statistics, keyed by graph revision.
+
+    The paged segment store persists label histograms next to each
+    segment and registers them here when it assembles a routed query
+    space; {!Plan_cost} then costs index-seeded scans from true bucket
+    sizes without paying a {!Label_index} build first.
+
+    Providers are {e hints}: they only sharpen cost estimates, never
+    change executor results.  Stale entries are impossible — the key is
+    the graph's revision stamp, which uniquely identifies the value. *)
+
+type provider = {
+  edge_bucket : [ `Out | `In ] -> string -> int option;
+      (** Estimated bucket size for an edge label (nodes with such an
+          outgoing/incoming edge).  Upper bounds are acceptable. *)
+}
+
+val register : Digraph.t -> provider -> unit
+
+val registered : Digraph.t -> bool
+
+val bucket : Digraph.t -> [ `Out | `In ] -> string -> int option
+(** [None] when no provider is registered or the provider has no
+    estimate for the label. *)
+
+val clear : unit -> unit
+(** Drop every provider (tests). *)

@@ -212,7 +212,17 @@ let compute ?(policy = Fuzzy.exact) ?(limit = 1000)
                       | Some idx, `In l ->
                           float_of_int
                             (List.length (Label_index.targets_with idx l))
-                      | None, _ -> Float.min n (Float.max 1.0 e)
+                      | None, (`Out l | `In l) -> (
+                          (* Cold index: a registered Lazy_index provider
+                             (persisted segment-store histograms) still
+                             knows the bucket size; otherwise the
+                             conservative min(N, E) bound. *)
+                          let lside =
+                            match side with `Out _ -> `Out | `In _ -> `In
+                          in
+                          match Lazy_index.bucket g lside l with
+                          | Some b -> Float.min n (float_of_int (max 1 b))
+                          | None -> Float.min n (Float.max 1.0 e))
                     in
                     let bucket = Float.max 1.0 bucket in
                     (bucket, edge_pass ~pre:false (node_pass bucket))
@@ -265,7 +275,7 @@ let memo_capacity = 1024
 
 let memo :
     ( Fuzzy.policy * int * [ `Most_constrained | `Declaration ] * Pattern.t
-      * int * bool,
+      * int * bool * bool,
       t )
     Hashtbl.t =
   Hashtbl.create 64
@@ -278,8 +288,17 @@ let plan ?(policy = Fuzzy.exact) ?(limit = 1000)
   if not (Cache_stats.enabled ()) then
     compute ~policy ~limit ~node_order pattern g ~index_cached
   else begin
+    (* A provider arriving between two plans sharpens estimates for the
+       same revision, so its presence is part of the key (like the
+       cold-to-warm index transition). *)
     let key =
-      (policy, limit, node_order, pattern, Digraph.revision g, index_cached)
+      ( policy,
+        limit,
+        node_order,
+        pattern,
+        Digraph.revision g,
+        index_cached,
+        Lazy_index.registered g )
     in
     Mutex.lock memo_lock;
     match Hashtbl.find_opt memo key with

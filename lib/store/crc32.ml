@@ -11,17 +11,33 @@ let table =
          done;
          !c))
 
-let digest s =
+(* The running state is the pre-inverted register, so [update] composes:
+   feeding a string in arbitrary chunk sizes lands on the same value as
+   one whole-string pass. *)
+type state = int32
+
+let init : state = 0xFFFFFFFFl
+
+let update_bytes (crc : state) buf len : state =
   let table = Lazy.force table in
-  let crc = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let idx =
-        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
-      in
-      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
-    s;
-  Int32.logxor !crc 0xFFFFFFFFl
+  let crc = ref crc in
+  for i = 0 to len - 1 do
+    let idx =
+      Int32.to_int
+        (Int32.logand
+           (Int32.logxor !crc (Int32.of_int (Char.code (Bytes.unsafe_get buf i))))
+           0xFFl)
+    in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  !crc
+
+let update (crc : state) s : state =
+  update_bytes crc (Bytes.unsafe_of_string s) (String.length s)
+
+let finish (crc : state) = Int32.logxor crc 0xFFFFFFFFl
+
+let digest s = finish (update init s)
 
 let to_hex crc = Printf.sprintf "%08lx" crc
 

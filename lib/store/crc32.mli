@@ -9,6 +9,25 @@
 val digest : string -> int32
 (** CRC-32 of the whole string.  [digest "123456789" = 0xCBF43926l]. *)
 
+(** {1 Streaming}
+
+    A decomposed fold so large files can be checksummed chunk by chunk
+    without buffering them ({!Durable_io.verify_file}).  Chunking is
+    associative: any split of the input yields the same digest as the
+    whole-string {!digest}. *)
+
+type state
+
+val init : state
+
+val update : state -> string -> state
+(** Fold a whole string into the state. *)
+
+val update_bytes : state -> bytes -> int -> state
+(** [update_bytes st buf len] folds the first [len] bytes of [buf]. *)
+
+val finish : state -> int32
+
 val to_hex : int32 -> string
 (** Lower-case, zero-padded, 8 chars. *)
 

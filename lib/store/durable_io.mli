@@ -48,6 +48,13 @@ type verdict =
 
 val read_verified : path:string -> (string * verdict, string) result
 
+val verify_file : ?chunk_bytes:int -> path:string -> unit -> (verdict, string) result
+(** Like {!read_verified} but never buffers the payload: the checksum is
+    folded over the file in [chunk_bytes]-sized chunks
+    ({!Atomic_io.fold_file}), so verifying a multi-hundred-MB segment
+    costs O(chunk) memory.  [Error] if the payload is missing or
+    unreadable. *)
+
 val stamp : ?retries:int -> ?backoff_ms:float -> string -> (unit, string) result
 (** (Re)write the sidecar for the payload currently at the path. *)
 

@@ -6,6 +6,7 @@ type kind =
   | Unparseable
   | Checksum_mismatch
   | Orphan_sidecar
+  | Orphan_segment
   | Breaker_open
 
 type issue = {
@@ -42,6 +43,7 @@ let string_of_kind = function
   | Unparseable -> "unparseable"
   | Checksum_mismatch -> "checksum-mismatch"
   | Orphan_sidecar -> "orphan-sidecar"
+  | Orphan_segment -> "orphan-segment"
   | Breaker_open -> "breaker-open"
 
 let pp_issue ppf i =

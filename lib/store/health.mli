@@ -22,6 +22,10 @@ type kind =
           silent corruption that still parses.  Warning — the file
           serves. *)
   | Orphan_sidecar  (** A CRC sidecar with no payload. *)
+  | Orphan_segment
+      (** A segment file no manifest entry references: debris from a
+          crash between segment write and manifest swap.  fsck removes
+          it. *)
   | Breaker_open
       (** The source's circuit breaker is open after repeated load
           failures: the load was skipped, not re-attempted. *)

@@ -113,6 +113,37 @@ let workspace ws =
      Breaker entries only exist once a load has failed, and their fields
      carry no live countdowns, so an unchanging workspace keeps an
      unchanging status body. *)
+  (* Pure workspace facts only (like everything else in this body):
+     the block-cache counters are process state and live in the daemon's
+     stats op. *)
+  let store_obj =
+    if not (Workspace.is_paged ws) then obj [ ("backend", str "flat") ]
+    else
+      let root = Workspace.root ws in
+      let entries =
+        match Segment.read_manifest root with Ok e -> e | Error _ -> []
+      in
+      let count k =
+        List.length
+          (List.filter (fun (e : Segment.entry) -> e.Segment.kind = k) entries)
+      in
+      let shard_files =
+        let dir = Segment.segments_dir root in
+        if Sys.file_exists dir then
+          Array.fold_left
+            (fun n f -> if Segment.is_shard f then n + 1 else n)
+            0 (Sys.readdir dir)
+        else 0
+      in
+      obj
+        [
+          ("backend", str "paged");
+          ("segments", string_of_int (List.length entries));
+          ("source_segments", string_of_int (count Segment.Source));
+          ("articulation_segments", string_of_int (count Segment.Articulation));
+          ("shards", string_of_int shard_files);
+        ]
+  in
   let breaker (b : Breaker.info) =
     obj
       [
@@ -126,6 +157,7 @@ let workspace ws =
   obj
     [
       ("workspace", str (Workspace.root ws));
+      ("store", store_obj);
       ("sources", arr sources);
       ("articulations", arr articulations);
       ("stale_bridges", arr stale);

@@ -1,7 +1,15 @@
 type space_result = (Federation.t * Health.t, string) result
 
+type backend = Flat | Paged
+
 type t = {
   root : string;
+  backend : backend;
+      (* Flat: one file per part under sources/ and articulations/ —
+         every open loads everything.  Paged: content-fingerprinted
+         immutable segments under segments/, named by a manifest; parts
+         are decoded on demand through the process-wide block cache, and
+         routed queries load only the anchor's articulation group. *)
   memo_lock : Mutex.t;
       (* Guards both memos: the daemon's admission workers are domains,
          so concurrent requests against one workspace race on the memo
@@ -22,7 +30,45 @@ type t = {
       (* Per-source circuit breakers: a repeatedly-corrupt file is
          skipped (Health.Breaker_open) instead of re-paying read+parse
          on every scan until its cooldown elapses. *)
+  manifest_lock : Mutex.t;
+      (* Guards [manifest_memo] only.  Separate from [memo_lock] because
+         space/lint/route rebuilds (which hold memo_lock) read the
+         manifest; the manifest section never takes memo_lock, so there
+         is no cycle. *)
+  mutable manifest_memo : (string * Segment.entry list) option;
+      (* Parsed manifest keyed by the manifest file's digest. *)
+  mutable route_memo : (string * (string, space_result) Hashtbl.t) option;
+      (* Routed group spaces keyed by (manifest digest, group
+         representative), guarded by [memo_lock].  Rebuilds are
+         serialised under the lock like the full space, so every domain
+         observes the same physical Federation.t per (digest, group) —
+         the invariant the daemon's per-domain env memos revalidate
+         against. *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Block cache (paged backend)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One process-wide cache of decoded segments, shared by every paged
+   workspace (the daemon serves several tenants from one budget).  Keys
+   are [root ^ "#" ^ fingerprint]: content-addressed, so entries can
+   never go stale — a changed part publishes a new fingerprint. *)
+type cached_part = {
+  cp_part :
+    [ `Source of Ontology.t | `Articulation of Articulation.t ];
+  cp_warns : Health.issue list;
+  cp_bytes : int;  (* payload bytes, the cache-budget charge *)
+}
+
+let block_cache : cached_part Block_cache.t =
+  Block_cache.create ~name:"store.block"
+    ~size_of:(fun p -> p.cp_bytes + 512)
+    ()
+
+let block_stats t = Block_cache.stats_for_group block_cache t.root
+let block_cache_resident () = Block_cache.bytes_resident block_cache
+let block_cache_budget () = Block_cache.budget block_cache
 
 let marker = "onion.workspace"
 let marker_content = "onion workspace, format 1\n"
@@ -38,41 +84,110 @@ let articulations_dir t = t.root / "articulations"
 let quarantine_dir t = t.root / "quarantine"
 
 let is_workspace dir = Sys.file_exists (dir / marker)
+let is_paged_dir dir = Sys.file_exists (dir / Segment.paged_marker)
 
 let mkdir_if_missing dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
-let init dir =
+let make ~backend dir =
+  {
+    root = dir;
+    backend;
+    memo_lock = Mutex.create ();
+    space_memo = None;
+    lint_memo = None;
+    breaker = Breaker.create ();
+    manifest_lock = Mutex.create ();
+    manifest_memo = None;
+    route_memo = None;
+  }
+
+let is_paged t = match t.backend with Paged -> true | Flat -> false
+
+let init ?(paged = false) dir =
   if is_workspace dir then
     Error (Printf.sprintf "%s is already a workspace" dir)
   else begin
     try
       mkdir_if_missing dir;
-      mkdir_if_missing (dir / "sources");
-      mkdir_if_missing (dir / "articulations");
-      Atomic_io.write (dir / marker) marker_content;
-      Ok
-        {
-          root = dir;
-          memo_lock = Mutex.create ();
-          space_memo = None;
-          lint_memo = None;
-          breaker = Breaker.create ();
-        }
+      if paged then begin
+        mkdir_if_missing (Segment.segments_dir dir);
+        match Segment.write_manifest dir [] with
+        | Error m -> Error m
+        | Ok () ->
+            Atomic_io.write (dir / Segment.paged_marker)
+              Segment.paged_marker_content;
+            Atomic_io.write (dir / marker) marker_content;
+            Ok (make ~backend:Paged dir)
+      end
+      else begin
+        mkdir_if_missing (dir / "sources");
+        mkdir_if_missing (dir / "articulations");
+        Atomic_io.write (dir / marker) marker_content;
+        Ok (make ~backend:Flat dir)
+      end
     with Sys_error m -> Error m
   end
 
-let open_ dir =
-  if is_workspace dir then
-    Ok
-      {
-        root = dir;
-        memo_lock = Mutex.create ();
-        space_memo = None;
-        lint_memo = None;
-        breaker = Breaker.create ();
-      }
-  else Error (Printf.sprintf "%s is not an onion workspace (missing %s)" dir marker)
+(* The backend is a property of the directory, auto-detected from the
+   onion.paged marker, so every existing caller (CLI, daemon tenants)
+   opens paged workspaces transparently.  [~paged] asserts the
+   expectation instead of switching behaviour. *)
+let open_ ?paged dir =
+  if not (is_workspace dir) then
+    Error (Printf.sprintf "%s is not an onion workspace (missing %s)" dir marker)
+  else
+    let actual = if is_paged_dir dir then Paged else Flat in
+    match (paged, actual) with
+    | Some true, Flat ->
+        Error (Printf.sprintf "%s is not a paged workspace (missing %s)" dir
+                 Segment.paged_marker)
+    | Some false, Paged ->
+        Error (Printf.sprintf "%s is a paged workspace (has %s)" dir
+                 Segment.paged_marker)
+    | _ -> Ok (make ~backend:actual dir)
+
+(* ------------------------------------------------------------------ *)
+(* Manifest access (paged backend)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Parsed manifest memoized on the manifest file's digest: the digest
+   read is one MD5 over a small file, so every paged operation starts by
+   revalidating against the bytes actually on disk. *)
+let manifest t =
+  match Segment.manifest_digest t.root with
+  | None -> Error "manifest missing"
+  | Some digest ->
+      Mutex.lock t.manifest_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.manifest_lock)
+        (fun () ->
+          match t.manifest_memo with
+          | Some (d, entries) when String.equal d digest -> Ok entries
+          | _ -> (
+              match Segment.read_manifest t.root with
+              | Error m -> Error m
+              | Ok entries ->
+                  t.manifest_memo <- Some (digest, entries);
+                  Ok entries))
+
+let manifest_entries t =
+  match manifest t with Ok entries -> entries | Error _ -> []
+
+let paged_entry t kind name =
+  List.find_opt
+    (fun (e : Segment.entry) ->
+      e.Segment.kind = kind && String.equal e.Segment.name name)
+    (manifest_entries t)
+
+(* Logical file name reported for a paged part: segment fingerprints
+   change on every edit, so diagnostics anchor to the stable name the
+   flat backend would use. *)
+let logical_file (e : Segment.entry) =
+  match e.Segment.kind with
+  | Segment.Source -> "sources/" ^ e.Segment.name ^ e.Segment.ext
+  | Segment.Articulation ->
+      "articulations/" ^ e.Segment.name ^ ".articulation.xml"
 
 (* Payload files only: in-flight tmp files and checksum sidecars are
    protocol artefacts, not registered content. *)
@@ -96,58 +211,326 @@ let source_file t name =
       if Sys.file_exists path then Some path else None)
     candidates
 
+let ext_of_path path =
+  match String.lowercase_ascii (Filename.extension path) with
+  | "" -> ".xml"
+  | e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Paged backend: loading through the block cache                     *)
+(* ------------------------------------------------------------------ *)
+
+let part_of_kind = function
+  | Segment.Source -> Health.Source
+  | Segment.Articulation -> Health.Articulation
+
+(* Decode one manifest entry, through the process-wide block cache.
+   Only clean decodes are cached (a warned or failed part re-reads, so
+   transient verdicts never stick); keys are content-addressed, so a hit
+   can never be stale. *)
+let paged_load t (e : Segment.entry) =
+  let file = logical_file e in
+  let issue kind detail =
+    { Health.part = part_of_kind e.Segment.kind; name = e.Segment.name; file;
+      kind; detail }
+  in
+  let key = t.root ^ "#" ^ e.Segment.fp in
+  match Block_cache.find_opt block_cache key with
+  | Some p -> Ok p
+  | None -> (
+      Cache_stats.record_plan "store.segment_load";
+      match Segment.read_segment t.root e.Segment.fp with
+      | Error m -> Error (issue Health.Unreadable m)
+      | Ok (decoded, verdict) -> (
+          let mismatch_note m =
+            match verdict with
+            | Durable_io.Mismatch { expected; actual } ->
+                Printf.sprintf "%s (checksum mismatch: stamped %s, payload %s)"
+                  m expected actual
+            | _ -> m
+          in
+          match decoded with
+          | Error m -> Error (issue Health.Unparseable (mismatch_note m))
+          | Ok (kind, name, _ext, payload) ->
+              if
+                kind <> e.Segment.kind
+                || not (String.equal name e.Segment.name)
+              then
+                Error
+                  (issue Health.Unparseable
+                     (mismatch_note "segment header disagrees with the manifest"))
+              else
+                let warns =
+                  match verdict with
+                  | Durable_io.Mismatch { expected; actual } ->
+                      [
+                        issue Health.Checksum_mismatch
+                          (Printf.sprintf
+                             "stamped %s, payload %s — external edit or \
+                              silent corruption (fsck quarantines)"
+                             expected actual);
+                      ]
+                  | _ -> []
+                in
+                let finish part =
+                  let p =
+                    { cp_part = part; cp_warns = warns;
+                      cp_bytes = String.length payload }
+                  in
+                  if warns = [] then
+                    Block_cache.insert block_cache ~group:t.root key p;
+                  Ok p
+                in
+                (match e.Segment.kind with
+                | Segment.Source -> (
+                    let format = Loader.format_of_path ("f" ^ e.Segment.ext) in
+                    match
+                      Loader.load_string ?format ~name:e.Segment.name payload
+                    with
+                    | Error m -> Error (issue Health.Unparseable (mismatch_note m))
+                    | Ok o -> finish (`Source o))
+                | Segment.Articulation -> (
+                    match Articulation_io.of_string payload with
+                    | Error m -> Error (issue Health.Unparseable (mismatch_note m))
+                    | Ok a -> finish (`Articulation a)))))
+
+(* Raw payload text of a paged part (the lint passes want the bytes the
+   diagnostics' spans refer to). *)
+let paged_text t (e : Segment.entry) =
+  match Segment.read_segment t.root e.Segment.fp with
+  | Ok (Ok (_, _, _, payload), _) -> Some payload
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Paged backend: publishing                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A part staged for publication. *)
+type staged = {
+  st_kind : Segment.kind;
+  st_name : string;
+  st_ext : string;
+  st_payload : string;
+  st_index : Segment.index;
+  st_links : string list;
+}
+
+let stage_source o ~ext ~payload =
+  {
+    st_kind = Segment.Source;
+    st_name = Ontology.name o;
+    st_ext = ext;
+    st_payload = payload;
+    st_index = Segment.index_of_source o;
+    st_links = [];
+  }
+
+let articulation_links a =
+  let endpoints =
+    List.concat_map
+      (fun (b : Bridge.t) ->
+        [ b.Bridge.src.Term.ontology; b.Bridge.dst.Term.ontology ])
+      (Articulation.bridges a)
+  in
+  List.sort_uniq String.compare
+    (Articulation.left a :: Articulation.right a :: endpoints)
+  |> List.filter (fun n -> not (String.equal n (Articulation.name a)))
+
+let stage_articulation a =
+  {
+    st_kind = Segment.Articulation;
+    st_name = Articulation.name a;
+    st_ext = "";
+    st_payload = Articulation_io.to_string a;
+    st_index = Segment.index_of_articulation a;
+    st_links = articulation_links a;
+  }
+
+(* One paged publish: write new segments + indexes, update the routing
+   shards, swap the manifest (the single commit point), then unlink
+   retired segment files.  A crash before the swap leaves the new files
+   as orphans; a crash after it leaves the retired ones — fsck removes
+   either, and readers only ever follow the manifest. *)
+let paged_publish t ~(add : staged list) ~(remove : (Segment.kind * string) list)
+    =
+  let* entries =
+    match manifest t with
+    | Ok entries -> Ok entries
+    | Error m -> Error ("manifest: " ^ m)
+  in
+  (* Stage every new segment on disk first. *)
+  let* added =
+    List.fold_left
+      (fun acc st ->
+        let* acc = acc in
+        let* fp =
+          Segment.write_segment t.root ~kind:st.st_kind ~name:st.st_name
+            ~ext:st.st_ext st.st_payload
+        in
+        let* () = Segment.write_index t.root fp st.st_index in
+        Ok ((st, fp) :: acc))
+      (Ok []) add
+    |> Result.map List.rev
+  in
+  let replaces (e : Segment.entry) =
+    List.exists
+      (fun (st, _) ->
+        st.st_kind = e.Segment.kind && String.equal st.st_name e.Segment.name)
+      added
+    || List.exists
+         (fun (k, n) -> k = e.Segment.kind && String.equal n e.Segment.name)
+         remove
+  in
+  let retired, kept = List.partition replaces entries in
+  let new_entries =
+    kept
+    @ List.map
+        (fun (st, fp) ->
+          {
+            Segment.kind = st.st_kind;
+            name = st.st_name;
+            ext = st.st_ext;
+            fp;
+            links = st.st_links;
+          })
+        added
+  in
+  (* Incremental shard maintenance; any trouble reading a retired index
+     falls back to a full rebuild from the new entry set. *)
+  let retired_indexes =
+    List.filter_map
+      (fun (e : Segment.entry) ->
+        (* A re-publish of identical bytes keeps the same fingerprint;
+           its labels must not be retired. *)
+        if List.exists (fun (_, fp) -> String.equal fp e.Segment.fp) added then
+          None
+        else
+          match Segment.read_index t.root e.Segment.fp with
+          | Ok idx -> Some (e.Segment.fp, idx)
+          | Error _ -> Some (e.Segment.fp, Segment.{ idx_nodes = []; idx_edges = []; idx_parents = [] }))
+      retired
+  in
+  let add_indexes =
+    List.filter_map
+      (fun (st, fp) ->
+        if List.exists (fun (e : Segment.entry) -> String.equal e.Segment.fp fp) entries
+        then None
+        else Some (fp, st.st_index))
+      added
+  in
+  let* () =
+    match
+      Segment.apply_shard_delta t.root ~remove:retired_indexes ~add:add_indexes
+    with
+    | Ok () -> Ok ()
+    | Error _ -> Segment.rebuild_shards t.root new_entries
+  in
+  (* The commit point. *)
+  let* () = Segment.write_manifest t.root new_entries in
+  (* Post-commit cleanup: retired fingerprints no longer referenced. *)
+  let still_referenced fp =
+    List.exists (fun (e : Segment.entry) -> String.equal e.Segment.fp fp)
+      new_entries
+  in
+  List.iter
+    (fun (e : Segment.entry) ->
+      if not (still_referenced e.Segment.fp) then begin
+        ignore (Durable_io.remove ~path:(Segment.seg_path t.root e.Segment.fp));
+        ignore (Durable_io.remove ~path:(Segment.idx_path t.root e.Segment.fp))
+      end)
+    retired;
+  Ok ()
+
+let add_source_flat t ~path ~name ~ext =
+  let target = sources_dir t / (name ^ ext) in
+  (* Drop any previously registered file for this name under another
+     extension (same-extension re-adds are atomically overwritten by
+     the rename, no removal needed).  A failure here must not be
+     swallowed: the stale file would keep shadowing or duplicating
+     the source, so it is surfaced as a warning. *)
+  let warnings =
+    match source_file t name with
+    | Some old when not (String.equal old target) -> (
+        match Durable_io.remove ~path:old with
+        | Ok () -> []
+        | Error m ->
+            [
+              Printf.sprintf "could not remove previously registered %s: %s"
+                old m;
+            ])
+    | _ -> []
+  in
+  match Durable_io.read ~path with
+  | Error m -> Error m
+  | Ok content -> (
+      match Durable_io.write ~path:target content with
+      | Ok () -> Ok (name, warnings)
+      | Error m -> Error m)
+
 let add_source t ~path =
   match Loader.load_file path with
   | Error m -> Error (Printf.sprintf "cannot register %s: %s" path m)
   | Ok o -> (
       let name = Ontology.name o in
-      let ext =
-        match String.lowercase_ascii (Filename.extension path) with
-        | "" -> ".xml"
-        | e -> e
-      in
-      let target = sources_dir t / (name ^ ext) in
-      (* Drop any previously registered file for this name under another
-         extension (same-extension re-adds are atomically overwritten by
-         the rename, no removal needed).  A failure here must not be
-         swallowed: the stale file would keep shadowing or duplicating
-         the source, so it is surfaced as a warning. *)
-      let warnings =
-        match source_file t name with
-        | Some old when not (String.equal old target) -> (
-            match Durable_io.remove ~path:old with
-            | Ok () -> []
-            | Error m ->
-                [
-                  Printf.sprintf
-                    "could not remove previously registered %s: %s" old m;
-                ])
-        | _ -> []
-      in
-      match Durable_io.read ~path with
-      | Error m -> Error m
-      | Ok content -> (
-          match Durable_io.write ~path:target content with
-          | Ok () -> Ok (name, warnings)
-          | Error m -> Error m))
+      let ext = ext_of_path path in
+      match t.backend with
+      | Flat -> add_source_flat t ~path ~name ~ext
+      | Paged -> (
+          match Durable_io.read ~path with
+          | Error m -> Error m
+          | Ok content -> (
+              match
+                paged_publish t
+                  ~add:[ stage_source o ~ext ~payload:content ]
+                  ~remove:[]
+              with
+              | Ok () -> Ok (name, [])
+              | Error m -> Error m)))
 
 let remove_source t name =
-  match source_file t name with
-  | Some path -> Durable_io.remove ~path
-  | None -> Error (Printf.sprintf "no source named %s" name)
+  match t.backend with
+  | Flat -> (
+      match source_file t name with
+      | Some path -> Durable_io.remove ~path
+      | None -> Error (Printf.sprintf "no source named %s" name))
+  | Paged -> (
+      match paged_entry t Segment.Source name with
+      | None -> Error (Printf.sprintf "no source named %s" name)
+      | Some _ -> paged_publish t ~add:[] ~remove:[ (Segment.Source, name) ])
 
 let source_names t =
-  payload_files (sources_dir t)
-  |> List.map Filename.remove_extension
-  |> List.sort_uniq String.compare
+  match t.backend with
+  | Flat ->
+      payload_files (sources_dir t)
+      |> List.map Filename.remove_extension
+      |> List.sort_uniq String.compare
+  | Paged ->
+      manifest_entries t
+      |> List.filter_map (fun (e : Segment.entry) ->
+             match e.Segment.kind with
+             | Segment.Source -> Some e.Segment.name
+             | Segment.Articulation -> None)
+      |> List.sort_uniq String.compare
 
 let load_source t name =
-  match source_file t name with
-  | None -> Error (Printf.sprintf "no source named %s" name)
-  | Some path -> (
-      match Loader.load_file path with
-      | Ok o -> Ok o
-      | Error m -> Error (Printf.sprintf "source %s: %s" name m))
+  match t.backend with
+  | Flat -> (
+      match source_file t name with
+      | None -> Error (Printf.sprintf "no source named %s" name)
+      | Some path -> (
+          match Loader.load_file path with
+          | Ok o -> Ok o
+          | Error m -> Error (Printf.sprintf "source %s: %s" name m)))
+  | Paged -> (
+      match paged_entry t Segment.Source name with
+      | None -> Error (Printf.sprintf "no source named %s" name)
+      | Some e -> (
+          match paged_load t e with
+          | Ok { cp_part = `Source o; _ } -> Ok o
+          | Ok _ ->
+              Error (Printf.sprintf "source %s: segment kind mismatch" name)
+          | Error issue ->
+              Error (Printf.sprintf "source %s: %s" name issue.Health.detail)))
 
 let rel_file t path =
   let prefix = t.root / "" in
@@ -156,9 +539,29 @@ let rel_file t path =
     String.sub path lp (String.length path - lp)
   else path
 
+let classify_paged_raw t kind name =
+  match paged_entry t kind name with
+  | None ->
+      Error
+        {
+          Health.part = part_of_kind kind;
+          name;
+          file =
+            (match kind with
+            | Segment.Source -> "sources/" ^ name
+            | Segment.Articulation ->
+                "articulations/" ^ name ^ ".articulation.xml");
+          kind = Health.Unreadable;
+          detail = "registered file disappeared";
+        }
+  | Some e -> (
+      match paged_load t e with
+      | Error issue -> Error issue
+      | Ok p -> Ok (p.cp_part, p.cp_warns))
+
 (* Degraded load of one source: IO errors, parse failures and checksum
    verdicts become Health issues instead of aborting the federation. *)
-let classify_source_raw t name =
+let classify_source_raw_flat t name =
   match source_file t name with
   | None ->
       Error
@@ -221,6 +624,23 @@ let classify_source_raw t name =
                       ] )
               | _ -> Ok (o, []))))
 
+let classify_source_raw t name =
+  match t.backend with
+  | Flat -> classify_source_raw_flat t name
+  | Paged -> (
+      match classify_paged_raw t Segment.Source name with
+      | Error issue -> Error issue
+      | Ok (`Source o, warns) -> Ok (o, warns)
+      | Ok (`Articulation _, _) ->
+          Error
+            {
+              Health.part = Health.Source;
+              name;
+              file = "sources/" ^ name;
+              kind = Health.Unparseable;
+              detail = "segment kind mismatch";
+            })
+
 (* Feed every load outcome to the part's circuit breaker; an open
    circuit skips the load entirely and surfaces as Breaker_open. *)
 let classify_with_breaker t ~key ~skip_issue classify =
@@ -260,31 +680,65 @@ let load_sources t =
 let articulation_file t name = articulations_dir t / (name ^ ".articulation.xml")
 
 let store_articulation t articulation =
-  Durable_io.write
-    ~path:(articulation_file t (Articulation.name articulation))
-    (Articulation_io.to_string articulation)
+  match t.backend with
+  | Flat ->
+      Durable_io.write
+        ~path:(articulation_file t (Articulation.name articulation))
+        (Articulation_io.to_string articulation)
+  | Paged -> paged_publish t ~add:[ stage_articulation articulation ] ~remove:[]
 
 let articulation_names t =
-  payload_files (articulations_dir t)
-  |> List.filter_map (fun f ->
-         if Filename.check_suffix f ".articulation.xml" then
-           Some (Filename.chop_suffix f ".articulation.xml")
-         else None)
-  |> List.sort String.compare
+  match t.backend with
+  | Flat ->
+      payload_files (articulations_dir t)
+      |> List.filter_map (fun f ->
+             if Filename.check_suffix f ".articulation.xml" then
+               Some (Filename.chop_suffix f ".articulation.xml")
+             else None)
+      |> List.sort String.compare
+  | Paged ->
+      manifest_entries t
+      |> List.filter_map (fun (e : Segment.entry) ->
+             match e.Segment.kind with
+             | Segment.Articulation -> Some e.Segment.name
+             | Segment.Source -> None)
+      |> List.sort_uniq String.compare
 
 let load_articulation t name =
-  let path = articulation_file t name in
-  if not (Sys.file_exists path) then
-    Error (Printf.sprintf "no articulation named %s" name)
-  else Articulation_io.load_file path
+  match t.backend with
+  | Flat ->
+      let path = articulation_file t name in
+      if not (Sys.file_exists path) then
+        Error (Printf.sprintf "no articulation named %s" name)
+      else Articulation_io.load_file path
+  | Paged -> (
+      match paged_entry t Segment.Articulation name with
+      | None -> Error (Printf.sprintf "no articulation named %s" name)
+      | Some e -> (
+          match paged_load t e with
+          | Ok { cp_part = `Articulation a; _ } -> Ok a
+          | Ok _ ->
+              Error
+                (Printf.sprintf "articulation %s: segment kind mismatch" name)
+          | Error issue ->
+              Error
+                (Printf.sprintf "articulation %s: %s" name issue.Health.detail)
+          ))
 
 let remove_articulation t name =
-  let path = articulation_file t name in
-  if not (Sys.file_exists path) then
-    Error (Printf.sprintf "no articulation named %s" name)
-  else Durable_io.remove ~path
+  match t.backend with
+  | Flat ->
+      let path = articulation_file t name in
+      if not (Sys.file_exists path) then
+        Error (Printf.sprintf "no articulation named %s" name)
+      else Durable_io.remove ~path
+  | Paged -> (
+      match paged_entry t Segment.Articulation name with
+      | None -> Error (Printf.sprintf "no articulation named %s" name)
+      | Some _ ->
+          paged_publish t ~add:[] ~remove:[ (Segment.Articulation, name) ])
 
-let classify_articulation_raw t name =
+let classify_articulation_raw_flat t name =
   let path = articulation_file t name in
   let file = rel_file t path in
   match Durable_io.read_verified ~path with
@@ -335,6 +789,23 @@ let classify_articulation_raw t name =
                   ] )
           | _ -> Ok (a, [])))
 
+let classify_articulation_raw t name =
+  match t.backend with
+  | Flat -> classify_articulation_raw_flat t name
+  | Paged -> (
+      match classify_paged_raw t Segment.Articulation name with
+      | Error issue -> Error issue
+      | Ok (`Articulation a, warns) -> Ok (a, warns)
+      | Ok (`Source _, _) ->
+          Error
+            {
+              Health.part = Health.Articulation;
+              name;
+              file = "articulations/" ^ name ^ ".articulation.xml";
+              kind = Health.Unparseable;
+              detail = "segment kind mismatch";
+            })
+
 let classify_articulation t name =
   let key = "articulation:" ^ name in
   classify_with_breaker t ~key
@@ -356,6 +827,79 @@ let load_articulations t =
       | Error issue -> (arts, issues @ [ issue ]))
     ([], [])
     (articulation_names t)
+
+(* ------------------------------------------------------------------ *)
+(* Bulk publish                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Streaming bulk publisher: parts are written as they arrive (bounded
+   memory — the workload generator feeds million-node federations
+   through this), and [commit] performs ONE shard rebuild and ONE
+   manifest swap instead of a rewrite per part.  On the flat backend
+   every part write is already durable and [commit] is a no-op.
+   Staged names are expected unique; a crash before [commit] leaves
+   only orphan segments, which fsck removes. *)
+type publisher = {
+  pub_ws : t;
+  mutable pub_entries : Segment.entry list;  (* reversed *)
+}
+
+let publisher t = { pub_ws = t; pub_entries = [] }
+
+let publish_staged p st =
+  let t = p.pub_ws in
+  match t.backend with
+  | Flat -> (
+      match st.st_kind with
+      | Segment.Source ->
+          Durable_io.write
+            ~path:(sources_dir t / (st.st_name ^ st.st_ext))
+            st.st_payload
+      | Segment.Articulation ->
+          Durable_io.write ~path:(articulation_file t st.st_name) st.st_payload)
+  | Paged ->
+      let* fp =
+        Segment.write_segment t.root ~kind:st.st_kind ~name:st.st_name
+          ~ext:st.st_ext st.st_payload
+      in
+      let* () = Segment.write_index t.root fp st.st_index in
+      p.pub_entries <-
+        {
+          Segment.kind = st.st_kind;
+          name = st.st_name;
+          ext = st.st_ext;
+          fp;
+          links = st.st_links;
+        }
+        :: p.pub_entries;
+      Ok ()
+
+let publish_source p o ~ext ~payload =
+  publish_staged p (stage_source o ~ext ~payload)
+
+let publish_articulation p a = publish_staged p (stage_articulation a)
+
+let commit p =
+  let t = p.pub_ws in
+  match t.backend with
+  | Flat -> Ok ()
+  | Paged ->
+      let* existing =
+        match manifest t with
+        | Ok entries -> Ok entries
+        | Error m -> Error ("manifest: " ^ m)
+      in
+      let staged = List.rev p.pub_entries in
+      let superseded (e : Segment.entry) =
+        List.exists
+          (fun (e' : Segment.entry) ->
+            e'.Segment.kind = e.Segment.kind
+            && String.equal e'.Segment.name e.Segment.name)
+          staged
+      in
+      let entries = List.filter (fun e -> not (superseded e)) existing @ staged in
+      let* () = Segment.rebuild_shards t.root entries in
+      Segment.write_manifest t.root entries
 
 let articulate ?conversions t ~left ~right ~name ~rules =
   let* left_o = load_source t left in
@@ -400,9 +944,76 @@ let stray_issues_in t part dir =
                }
            else None)
 
+(* Paged debris scan: tmp files and orphan sidecars like the flat
+   backend, plus orphan segments — .seg/.idx files no manifest entry
+   references, debris from a crash on either side of a manifest swap.
+   All degrade health until fsck sweeps them, mirroring Torn. *)
+let stray_issues_paged t =
+  let entries = manifest_entries t in
+  let referenced fp =
+    List.exists
+      (fun (e : Segment.entry) -> String.equal e.Segment.fp fp)
+      entries
+  in
+  let segs = Segment.segments_dir t.root in
+  let seg_issues =
+    if not (Sys.file_exists segs) then []
+    else
+      Sys.readdir segs |> Array.to_list |> List.sort String.compare
+      |> List.filter_map (fun f ->
+             let path = segs / f in
+             let issue kind detail =
+               Some
+                 {
+                   Health.part = Health.Store;
+                   name = f;
+                   file = rel_file t path;
+                   kind;
+                   detail;
+                 }
+             in
+             if Atomic_io.is_tmp f then
+               issue Health.Torn
+                 "in-flight tmp file left by an interrupted write"
+             else if
+               Durable_io.is_sidecar f
+               && not (Sys.file_exists (segs / Durable_io.payload_of_sidecar f))
+             then issue Health.Orphan_sidecar "checksum sidecar without a payload"
+             else if
+               (Segment.is_seg f || Segment.is_idx f)
+               && not (referenced (Filename.remove_extension f))
+             then
+               issue Health.Orphan_segment
+                 "segment no manifest entry references (interrupted publish)"
+             else None)
+  in
+  let manifest_tmp =
+    let dir = t.root and base = Filename.basename (Segment.manifest_path t.root) in
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.filter_map (fun f ->
+           if
+             Atomic_io.is_tmp f
+             && String.length f >= String.length base
+             && String.equal (String.sub f 0 (String.length base)) base
+           then
+             Some
+               {
+                 Health.part = Health.Store;
+                 name = f;
+                 file = rel_file t (dir / f);
+                 kind = Health.Torn;
+                 detail = "in-flight manifest swap left by a crash";
+               }
+           else None)
+  in
+  manifest_tmp @ seg_issues
+
 let stray_issues t =
-  stray_issues_in t Health.Source (sources_dir t)
-  @ stray_issues_in t Health.Articulation (articulations_dir t)
+  match t.backend with
+  | Flat ->
+      stray_issues_in t Health.Source (sources_dir t)
+      @ stray_issues_in t Health.Articulation (articulations_dir t)
+  | Paged -> stray_issues_paged t
 
 let health t =
   let sources, s_issues = load_sources t in
@@ -431,7 +1042,16 @@ let dir_fingerprint dir =
     |> String.concat ";"
 
 let fingerprint t =
-  dir_fingerprint (sources_dir t) ^ "|" ^ dir_fingerprint (articulations_dir t)
+  match t.backend with
+  | Flat ->
+      dir_fingerprint (sources_dir t) ^ "|"
+      ^ dir_fingerprint (articulations_dir t)
+  | Paged -> (
+      (* The manifest is the single commit point, so one small digest
+         covers the whole workspace — no directory walk. *)
+      match Segment.manifest_digest t.root with
+      | Some d -> "paged:" ^ d
+      | None -> "paged:<absent>")
 
 (* The degraded federation: every healthy source and articulation serves;
    everything else is accounted for in the Health record. *)
@@ -470,6 +1090,151 @@ let space t =
             result)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Routed queries (paged backend)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The ontology a bare query concept is qualified against.  Matches
+   [Federation.primary_articulation] of the FULL space — the routed
+   space restricts the federation, and the restriction must not change
+   how the query text parses. *)
+let default_ontology t =
+  match List.rev (articulation_names t) with [] -> None | n :: _ -> Some n
+
+(* The routed space for one articulation group: only the group's
+   sources and articulations are decoded and merged.  Health carries the
+   group's issues plus the store-level strays, so a reply still warns
+   about what it serves — parts of OTHER groups are not scanned (that
+   locality is the point of routing). *)
+let compute_routed_space t rep =
+  let entries = manifest_entries t in
+  let rep_of = Segment.groups entries in
+  let group =
+    List.filter
+      (fun (e : Segment.entry) -> String.equal (rep_of e.Segment.name) rep)
+      entries
+  in
+  let sources, s_issues =
+    List.fold_left
+      (fun (ss, is) (e : Segment.entry) ->
+        match e.Segment.kind with
+        | Segment.Articulation -> (ss, is)
+        | Segment.Source -> (
+            match classify_source t e.Segment.name with
+            | Ok (o, warns) -> (ss @ [ o ], is @ warns)
+            | Error issue -> (ss, is @ [ issue ])))
+      ([], []) group
+  in
+  let articulations, a_issues =
+    List.fold_left
+      (fun (aa, is) (e : Segment.entry) ->
+        match e.Segment.kind with
+        | Segment.Source -> (aa, is)
+        | Segment.Articulation -> (
+            match classify_articulation t e.Segment.name with
+            | Ok (a, warns) -> (aa @ [ a ], is @ warns)
+            | Error issue -> (aa, is @ [ issue ])))
+      ([], []) group
+  in
+  let health =
+    {
+      Health.sources_ok = List.map Ontology.name sources;
+      articulations_ok =
+        List.sort String.compare (List.map Articulation.name articulations);
+      issues = stray_issues t @ s_issues @ a_issues;
+    }
+  in
+  match Federation.of_parts ~sources ~articulations with
+  | space ->
+      (* Publish the persisted label histograms of the group's segments
+         as planner hints for the freshly merged graph: Plan_cost gets
+         warm-index bucket estimates on a graph paged in cold.  Hints
+         only sharpen cost estimates — executor results are unchanged. *)
+      let buckets = Hashtbl.create 64 in
+      List.iter
+        (fun (e : Segment.entry) ->
+          match Segment.read_index t.root e.Segment.fp with
+          | Error _ -> ()
+          | Ok idx ->
+              List.iter
+                (fun (label, n) ->
+                  let prev =
+                    Option.value ~default:0 (Hashtbl.find_opt buckets label)
+                  in
+                  Hashtbl.replace buckets label (prev + n))
+                idx.Segment.idx_edges)
+        group;
+      if Hashtbl.length buckets > 0 then
+        Lazy_index.register space.Federation.graph
+          { Lazy_index.edge_bucket = (fun _side l -> Hashtbl.find_opt buckets l) };
+      Ok (space, health)
+  | exception Invalid_argument m -> Error m
+
+let routed_space t rep =
+  if not (Cache_stats.enabled ()) then compute_routed_space t rep
+  else
+    match Segment.manifest_digest t.root with
+    | None -> compute_routed_space t rep
+    | Some digest ->
+        Mutex.lock t.memo_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.memo_lock)
+          (fun () ->
+            let table =
+              match t.route_memo with
+              | Some (d, table) when String.equal d digest -> table
+              | _ ->
+                  let table = Hashtbl.create 8 in
+                  t.route_memo <- Some (digest, table);
+                  table
+            in
+            match Hashtbl.find_opt table rep with
+            | Some result -> result
+            | None ->
+                let result = compute_routed_space t rep in
+                Hashtbl.add table rep result;
+                result)
+
+(* The space a query should run against.  Flat: the full federation.
+   Paged: parse the query, route its anchor label through the shards to
+   the one articulation group that can answer it, and page in only that
+   group.  Any routing miss (parse failure, unknown label, shards midway
+   through a crashed publish, a label spanning groups) falls back to the
+   full space — routing is an optimisation, never a filter. *)
+let query_space t text =
+  match t.backend with
+  | Flat -> space t
+  | Paged -> (
+      let fallback () = space t in
+      match Query.parse ?default_ontology:(default_ontology t) text with
+      | Error _ -> fallback ()
+      | Ok q -> (
+          let anchor = Term.qualified q.Query.concept in
+          match Segment.lookup_label t.root anchor with
+          | Error _ | Ok None -> fallback ()
+          | Ok (Some line) -> (
+              let entries = manifest_entries t in
+              (* Only manifest-referenced fingerprints count: a shard
+                 updated by a publish that crashed before its manifest
+                 swap must not route to orphan segments. *)
+              let owners =
+                List.filter
+                  (fun (e : Segment.entry) ->
+                    List.exists (String.equal e.Segment.fp) line.Segment.sl_fps)
+                  entries
+              in
+              if owners = [] then fallback ()
+              else
+                let rep_of = Segment.groups entries in
+                match
+                  List.sort_uniq String.compare
+                    (List.map
+                       (fun (e : Segment.entry) -> rep_of e.Segment.name)
+                       owners)
+                with
+                | [ rep ] -> routed_space t rep
+                | _ -> fallback ())))
+
 let stale_bridges t =
   let sources, _ = load_sources t in
   let articulations, _ = load_articulations t in
@@ -506,6 +1271,7 @@ let io_diagnostic (i : Health.issue) =
     | Health.Unparseable -> "unparseable"
     | Health.Checksum_mismatch -> "checksum-mismatch"
     | Health.Orphan_sidecar -> "orphan-sidecar"
+    | Health.Orphan_segment -> "orphan-segment"
     | Health.Breaker_open -> "breaker-open"
   in
   Diagnostic.v ~file:i.Health.file ~subject:i.Health.name ~code ~pass:"io"
@@ -526,9 +1292,15 @@ let compute_lint ~conversions t =
         match classify_source_raw t name with
         | Error issue -> (ss, ds @ [ issue ])
         | Ok (o, warns) ->
-            let path = source_file t name in
-            let file = Option.map (rel_file t) path in
-            let text = Option.bind path read_text in
+            let file, text =
+              match t.backend with
+              | Flat ->
+                  let path = source_file t name in
+                  (Option.map (rel_file t) path, Option.bind path read_text)
+              | Paged ->
+                  let e = paged_entry t Segment.Source name in
+                  (Option.map logical_file e, Option.bind e (paged_text t))
+            in
             (ss @ [ Lint.source ?file ?text o ], ds @ warns))
       ([], []) (source_names t)
   in
@@ -538,9 +1310,16 @@ let compute_lint ~conversions t =
         match classify_articulation_raw t name with
         | Error issue -> (aa, ds @ [ issue ])
         | Ok (a, warns) ->
-            let path = articulation_file t name in
-            (aa @ [ Lint.articulation ~file:(rel_file t path) ?text:(read_text path) a ],
-             ds @ warns))
+            let file, text =
+              match t.backend with
+              | Flat ->
+                  let path = articulation_file t name in
+                  (Some (rel_file t path), read_text path)
+              | Paged ->
+                  let e = paged_entry t Segment.Articulation name in
+                  (Option.map logical_file e, Option.bind e (paged_text t))
+            in
+            (aa @ [ Lint.articulation ?file ?text a ], ds @ warns))
       ([], [])
       (articulation_names t)
   in
@@ -595,6 +1374,9 @@ type repair =
   | Quarantined of { file : string; to_ : string; reason : string }
   | Restamped of { file : string; reason : string }
   | Removed_orphan of { file : string }
+  | Removed_orphan_segment of { file : string }
+  | Rebuilt_index of { file : string }
+  | Rebuilt_manifest of { reason : string }
 
 type fsck_report = { repairs : repair list; health : Health.t }
 
@@ -605,6 +1387,12 @@ let pp_repair ppf = function
       Format.fprintf ppf "re-stamped %s (%s)" file reason
   | Removed_orphan { file } ->
       Format.fprintf ppf "removed orphan sidecar %s" file
+  | Removed_orphan_segment { file } ->
+      Format.fprintf ppf "removed orphan segment %s" file
+  | Rebuilt_index { file } ->
+      Format.fprintf ppf "rebuilt segment index %s" file
+  | Rebuilt_manifest { reason } ->
+      Format.fprintf ppf "rebuilt manifest (%s)" reason
 
 let pp_fsck_report ppf r =
   Format.fprintf ppf "@[<v>";
@@ -726,21 +1514,257 @@ let fsck_dir t part dir parse repairs =
       repairs files
   end
 
+(* Paged fsck.  One deliberate difference from the flat backend: a
+   segment whose bytes no longer hash to its manifest fingerprint is
+   QUARANTINED, not re-stamped — the fingerprint is the name, so
+   "accepting the edit" would be filing corrupt bytes under a name that
+   promises different content.  Conversely a segment whose bytes DO
+   match its fingerprint is authentic whatever the CRC sidecar says, so
+   a stale or missing sidecar is re-stamped. *)
+let fsck_paged t =
+  let repairs = ref [] in
+  let push r = repairs := r :: !repairs in
+  let segs = Segment.segments_dir t.root in
+  mkdir_if_missing segs;
+  (* 1. Torn writes: stray tmp files (root-level manifest swaps and
+     segment publishes) are quarantined as evidence. *)
+  let sweep_tmp dir =
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.iter (fun f ->
+           let path = dir / f in
+           if Atomic_io.is_tmp f && Sys.file_exists path then
+             match quarantine t path with
+             | Ok d ->
+                 push
+                   (Quarantined
+                      {
+                        file = rel_file t path;
+                        to_ = rel_file t d;
+                        reason = "torn write (crash before rename)";
+                      })
+             | Error _ -> ())
+  in
+  sweep_tmp t.root;
+  sweep_tmp segs;
+  (* 2. Orphan sidecars. *)
+  Sys.readdir segs |> Array.to_list |> List.sort String.compare
+  |> List.iter (fun f ->
+         if
+           Durable_io.is_sidecar f
+           && not (Sys.file_exists (segs / Durable_io.payload_of_sidecar f))
+         then
+           match Atomic_io.remove (segs / f) with
+           | () -> push (Removed_orphan { file = rel_file t (segs / f) })
+           | exception Sys_error _ -> ());
+  (* 3. The manifest itself: unreadable or missing means reconstructing
+     the name map from the decodable segments on disk (first fingerprint
+     wins on a duplicate name — crash debris can leave two). *)
+  let entries0, manifest_rebuilt =
+    match Segment.read_manifest t.root with
+    | Ok entries -> (entries, false)
+    | Error m ->
+        let entries =
+          Sys.readdir segs |> Array.to_list |> List.sort String.compare
+          |> List.filter_map (fun f ->
+                 if not (Segment.is_seg f) then None
+                 else
+                   let fp = Filename.remove_extension f in
+                   match Segment.read_segment t.root fp with
+                   | Ok (Ok (kind, name, ext, payload), _) ->
+                       let links =
+                         match kind with
+                         | Segment.Source -> []
+                         | Segment.Articulation -> (
+                             match Articulation_io.of_string payload with
+                             | Ok a -> articulation_links a
+                             | Error _ -> [])
+                       in
+                       Some { Segment.kind; name; ext; fp; links }
+                   | _ -> None)
+          |> List.fold_left
+               (fun acc (e : Segment.entry) ->
+                 if
+                   List.exists
+                     (fun (e' : Segment.entry) ->
+                       e'.Segment.kind = e.Segment.kind
+                       && String.equal e'.Segment.name e.Segment.name)
+                     acc
+                 then acc
+                 else e :: acc)
+               []
+          |> List.rev
+        in
+        push (Rebuilt_manifest { reason = "manifest unreadable: " ^ m });
+        (entries, true)
+  in
+  (* 4. Every referenced segment: authentic (bytes hash to the
+     fingerprint), decodable, parseable, and indexed — or quarantined
+     and dropped from the manifest. *)
+  let drop_entry (e : Segment.entry) reason =
+    let seg = Segment.seg_path t.root e.Segment.fp in
+    List.iter push (List.rev (quarantine_with_sidecar t seg ~reason []));
+    let idx = Segment.idx_path t.root e.Segment.fp in
+    if Sys.file_exists idx then
+      List.iter push
+        (List.rev
+           (quarantine_with_sidecar t idx
+              ~reason:("index of " ^ Filename.basename seg)
+              []))
+  in
+  let keep =
+    List.filter
+      (fun (e : Segment.entry) ->
+        let seg = Segment.seg_path t.root e.Segment.fp in
+        let verdict =
+          match Durable_io.verify_file ~path:seg () with
+          | Error m -> Error ("unreadable: " ^ m)
+          | Ok v -> (
+              match Digest.to_hex (Digest.file seg) with
+              | exception Sys_error m -> Error ("unreadable: " ^ m)
+              | actual when not (String.equal actual e.Segment.fp) ->
+                  Error
+                    (Printf.sprintf
+                       "content digest %s does not match fingerprint" actual)
+              | _ -> Ok v)
+        in
+        match verdict with
+        | Error reason ->
+            drop_entry e reason;
+            false
+        | Ok v -> (
+            (match v with
+            | Durable_io.Verified -> ()
+            | Durable_io.Unstamped -> (
+                match Durable_io.stamp seg with
+                | Ok () ->
+                    push
+                      (Restamped
+                         { file = rel_file t seg; reason = "no stamp: adopted" })
+                | Error _ -> ())
+            | Durable_io.Mismatch _ -> (
+                match Durable_io.stamp seg with
+                | Ok () ->
+                    push
+                      (Restamped
+                         {
+                           file = rel_file t seg;
+                           reason = "stale stamp: fingerprint authenticates payload";
+                         })
+                | Error _ -> ()));
+            match Segment.read_segment t.root e.Segment.fp with
+            | Error m ->
+                drop_entry e ("unreadable: " ^ m);
+                false
+            | Ok (Error m, _) ->
+                drop_entry e ("unparseable: " ^ m);
+                false
+            | Ok (Ok (kind, name, _ext, payload), _) ->
+                if
+                  kind <> e.Segment.kind
+                  || not (String.equal name e.Segment.name)
+                then begin
+                  drop_entry e "segment header disagrees with the manifest";
+                  false
+                end
+                else
+                  let parsed =
+                    match kind with
+                    | Segment.Source -> (
+                        let format =
+                          Loader.format_of_path ("f" ^ e.Segment.ext)
+                        in
+                        match Loader.load_string ?format ~name payload with
+                        | Ok o -> Ok (Segment.index_of_source o)
+                        | Error m -> Error m)
+                    | Segment.Articulation -> (
+                        match Articulation_io.of_string payload with
+                        | Ok a -> Ok (Segment.index_of_articulation a)
+                        | Error m -> Error m)
+                  in
+                  (match parsed with
+                  | Error m ->
+                      drop_entry e ("unparseable: " ^ m);
+                      false
+                  | Ok fresh_idx -> (
+                      (match Segment.read_index t.root e.Segment.fp with
+                      | Ok _ -> ()
+                      | Error _ -> (
+                          match
+                            Segment.write_index t.root e.Segment.fp fresh_idx
+                          with
+                          | Ok () ->
+                              push
+                                (Rebuilt_index
+                                   {
+                                     file =
+                                       rel_file t
+                                         (Segment.idx_path t.root e.Segment.fp);
+                                   })
+                          | Error _ -> ()));
+                      true))))
+      entries0
+  in
+  (* 5. Orphan segments: .seg/.idx files no surviving entry references —
+     debris from a crash on either side of a manifest swap. *)
+  let referenced fp =
+    List.exists (fun (e : Segment.entry) -> String.equal e.Segment.fp fp) keep
+  in
+  Sys.readdir segs |> Array.to_list |> List.sort String.compare
+  |> List.iter (fun f ->
+         if
+           (Segment.is_seg f || Segment.is_idx f)
+           && (not (referenced (Filename.remove_extension f)))
+           && Sys.file_exists (segs / f)
+         then
+           match Durable_io.remove ~path:(segs / f) with
+           | Ok () ->
+               push (Removed_orphan_segment { file = rel_file t (segs / f) })
+           | Error _ -> ());
+  (* 6. Re-publish the manifest when its entry set changed, and rebuild
+     the routing shards from the survivors whenever anything was
+     repaired (stale shard references would otherwise linger until the
+     next publish). *)
+  let dropped = List.length entries0 - List.length keep in
+  if manifest_rebuilt || dropped > 0 then begin
+    match Segment.write_manifest t.root keep with
+    | Ok () ->
+        if (not manifest_rebuilt) && dropped > 0 then
+          push
+            (Rebuilt_manifest
+               {
+                 reason =
+                   Printf.sprintf "dropped %d quarantined entr%s" dropped
+                     (if dropped = 1 then "y" else "ies");
+               })
+    | Error _ -> ()
+  end;
+  if !repairs <> [] then ignore (Segment.rebuild_shards t.root keep);
+  List.rev !repairs
+
 let fsck t =
-  let parse_source ~file content =
-    let format = Loader.format_of_path file in
-    match Loader.load_string ?format ~name:(Filename.remove_extension file) content with
-    | Ok _ -> Ok ()
-    | Error m -> Error m
-  in
-  let parse_articulation ~file:_ content =
-    match Articulation_io.of_string content with Ok _ -> Ok () | Error m -> Error m
-  in
   let repairs =
-    []
-    |> fsck_dir t Health.Source (sources_dir t) parse_source
-    |> fsck_dir t Health.Articulation (articulations_dir t) parse_articulation
-    |> List.rev
+    match t.backend with
+    | Paged -> fsck_paged t
+    | Flat ->
+        let parse_source ~file content =
+          let format = Loader.format_of_path file in
+          match
+            Loader.load_string ?format ~name:(Filename.remove_extension file)
+              content
+          with
+          | Ok _ -> Ok ()
+          | Error m -> Error m
+        in
+        let parse_articulation ~file:_ content =
+          match Articulation_io.of_string content with
+          | Ok _ -> Ok ()
+          | Error m -> Error m
+        in
+        []
+        |> fsck_dir t Health.Source (sources_dir t) parse_source
+        |> fsck_dir t Health.Articulation (articulations_dir t)
+             parse_articulation
+        |> List.rev
   in
   (* Anything repaired invalidates every derived result: the space memo
      is fingerprint-keyed (so already safe), but the global result caches
@@ -751,7 +1775,14 @@ let fsck t =
     Mutex.lock t.memo_lock;
     t.space_memo <- None;
     t.lint_memo <- None;
+    t.route_memo <- None;
     Mutex.unlock t.memo_lock;
+    Mutex.lock t.manifest_lock;
+    t.manifest_memo <- None;
+    Mutex.unlock t.manifest_lock;
+    (* Decoded segments of quarantined fingerprints must not keep
+       serving from the block cache. *)
+    Block_cache.remove_group block_cache t.root;
     (* Repaired files deserve a fresh chance: open circuits would skip
        the very loads the repair just fixed. *)
     Breaker.reset t.breaker

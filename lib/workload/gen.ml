@@ -205,6 +205,130 @@ let overlapping_pair ?(profile = default_profile) ?(synonym_rate = 0.3) ~overlap
   in
   { left; right; ground_truth; shared_concepts = shared_n }
 
+(* ------------------------------------------------------------------ *)
+(* Scale-out synthetic federations                                    *)
+(* ------------------------------------------------------------------ *)
+
+let noun_arr = Array.of_list nouns
+let verb_arr = Array.of_list verb_pool
+
+(* O(1) unique concept name for any index — [concept_pool] is quadratic
+   in n (List.length per step) and unusable at 10^6 terms. *)
+let concept_name i =
+  let nn = Array.length noun_arr in
+  let noun = noun_arr.(i mod nn) in
+  let tier = i / nn in
+  if tier = 0 then noun else Printf.sprintf "%s%d" noun tier
+
+(* Scale-free subclass hierarchy by preferential attachment: [ends]
+   records both endpoints of every subclass edge, so a uniform pick from
+   it is a degree-proportional pick (the Barabási–Albert trick) — O(n)
+   total, deterministic under seed. *)
+let scale_free ~seed ~name ~n () =
+  if n < 1 then invalid_arg "Gen.scale_free: n must be at least 1";
+  let rng = Prng.create (seed lxor Hashtbl.hash name) in
+  let ends = Array.make (max 1 (2 * n)) 0 in
+  let filled = ref 0 in
+  let o = ref (Ontology.create name) in
+  for i = 0 to n - 1 do
+    o := Ontology.add_term !o (concept_name i);
+    if i > 0 then begin
+      let parent = if !filled = 0 then 0 else ends.(Prng.int rng !filled) in
+      o :=
+        Ontology.add_subclass !o ~sub:(concept_name i)
+          ~super:(concept_name parent);
+      ends.(!filled) <- parent;
+      incr filled;
+      ends.(!filled) <- i;
+      incr filled;
+      (* Light verb noise (one edge per ~8 nodes) so the graph is not a
+         pure tree; targets follow the same degree-biased pick. *)
+      if i > 1 && Prng.bool rng 0.125 then begin
+        let target = ends.(Prng.int rng !filled) in
+        if target <> i then
+          o :=
+            Ontology.add_rel !o (concept_name i)
+              verb_arr.(Prng.int rng (Array.length verb_arr))
+              (concept_name target)
+      end
+    end
+  done;
+  !o
+
+(* Deterministic taxonomy with parent(i) = (i-1)/branch: [branch = 1] is
+   a pure chain of depth n (the subclass-closure stress case), larger
+   branches give a complete branch-ary tree of depth log_branch n. *)
+let deep_taxonomy ~name ~n ~branch () =
+  if n < 1 then invalid_arg "Gen.deep_taxonomy: n must be at least 1";
+  if branch < 1 then invalid_arg "Gen.deep_taxonomy: branch must be at least 1";
+  let o = ref (Ontology.create name) in
+  for i = 0 to n - 1 do
+    o := Ontology.add_term !o (concept_name i);
+    if i > 0 then
+      o :=
+        Ontology.add_subclass !o ~sub:(concept_name i)
+          ~super:(concept_name ((i - 1) / branch))
+  done;
+  !o
+
+type island_shape = Islands_scale_free | Islands_deep of int
+
+let federation_source_name prefix k = Printf.sprintf "%s%04d" prefix k
+let federation_articulation_name prefix k = Printf.sprintf "%s_art%04d" prefix k
+
+(* Stream an island-structured federation: [islands] sources of [terms]
+   concepts each, paired off by small articulations (island 2k bridges
+   island 2k+1), giving ~islands/2 independent articulation groups — the
+   routing workload for the paged store.  Parts are handed to the emit
+   callbacks one at a time and never accumulated, so a million-node
+   federation streams through bounded memory. *)
+let federation_stream ?(shape = Islands_scale_free) ~islands ~terms ~seed
+    ~prefix ~emit_source ~emit_articulation () =
+  if islands < 1 then
+    invalid_arg "Gen.federation_stream: islands must be at least 1";
+  let ( let* ) = Result.bind in
+  let build k =
+    let name = federation_source_name prefix k in
+    match shape with
+    | Islands_scale_free -> scale_free ~seed:(seed + k) ~name ~n:terms ()
+    | Islands_deep branch -> deep_taxonomy ~name ~n:terms ~branch ()
+  in
+  let rec go k =
+    if k >= islands then Ok ()
+    else
+      let* () = emit_source (build k) in
+      if k + 1 >= islands then Ok ()
+      else
+        let* () = emit_source (build (k + 1)) in
+        let an = federation_articulation_name prefix (k / 2) in
+        let hub_terms = min 5 terms in
+        let ao = ref (Ontology.create an) in
+        let bridges = ref [] in
+        for j = hub_terms - 1 downto 0 do
+          let c = concept_name j in
+          ao := Ontology.add_term !ao c;
+          let hub = Term.make ~ontology:an c in
+          bridges :=
+            Bridge.si (Term.make ~ontology:(federation_source_name prefix k) c)
+              hub
+            :: Bridge.si
+                 (Term.make
+                    ~ontology:(federation_source_name prefix (k + 1))
+                    c)
+                 hub
+            :: !bridges
+        done;
+        let art =
+          Articulation.create ~ontology:!ao
+            ~left:(federation_source_name prefix k)
+            ~right:(federation_source_name prefix (k + 1))
+            !bridges
+        in
+        let* () = emit_articulation art in
+        go (k + 2)
+  in
+  go 0
+
 let family ?(profile = default_profile) ?(overlap = 0.2) ~n ~seed ~prefix () =
   if n < 1 then invalid_arg "Gen.family: n must be at least 1";
   let rng = Prng.create seed in

@@ -61,6 +61,48 @@ val family :
 (** [n] ontologies over one shared concept space — the multi-source
     scalability workload. *)
 
+(** {1 Scale-out federations}
+
+    The paged-store benchmarks need million-node federations; these
+    generators are O(n) per part and stream parts out one at a time, so
+    generation never holds the federation in memory whole. *)
+
+val concept_name : int -> string
+(** O(1) unique deterministic concept name for any index (the scale-out
+    replacement for {!concept_pool}, whose list building is quadratic). *)
+
+val scale_free : seed:int -> name:string -> n:int -> unit -> Ontology.t
+(** A scale-free subclass hierarchy by preferential attachment (degree-
+    proportional parent choice), with light custom-verb noise.  O(n),
+    deterministic in [(seed, name, n)]. *)
+
+val deep_taxonomy : name:string -> n:int -> branch:int -> unit -> Ontology.t
+(** Deterministic taxonomy with [parent(i) = (i-1)/branch]: [branch = 1]
+    is a pure chain of depth [n] (the subclass-closure stress case);
+    larger branches give a complete [branch]-ary tree. *)
+
+type island_shape = Islands_scale_free | Islands_deep of int
+
+val federation_source_name : string -> int -> string
+val federation_articulation_name : string -> int -> string
+
+val federation_stream :
+  ?shape:island_shape ->
+  islands:int ->
+  terms:int ->
+  seed:int ->
+  prefix:string ->
+  emit_source:(Ontology.t -> (unit, string) result) ->
+  emit_articulation:(Articulation.t -> (unit, string) result) ->
+  unit ->
+  (unit, string) result
+(** Stream an island-structured federation: [islands] sources of [terms]
+    concepts each, consecutive islands paired by a small articulation
+    (so the federation has ~[islands/2] independent articulation groups —
+    the paged store's routing workload).  Each part is handed to its
+    emit callback as soon as it is built; the first callback error
+    aborts the stream. *)
+
 val concept_pool : int -> string list
 (** The deterministic concept-name pool used by the generators (exposed
     for tests). *)

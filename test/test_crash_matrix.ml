@@ -26,7 +26,7 @@ let raw_write path content =
   output_string oc content;
   close_out oc
 
-let with_fresh_ws f =
+let with_fresh_ws ?(paged = false) f =
   let dir = Filename.temp_file "onion-matrix" "" in
   Sys.remove dir;
   Fun.protect
@@ -41,7 +41,7 @@ let with_fresh_ws f =
       in
       if Sys.file_exists dir then rm dir)
     (fun () ->
-      match Workspace.init dir with
+      match Workspace.init ~paged dir with
       | Ok ws -> f dir ws
       | Error m -> Alcotest.failf "init: %s" m)
 
@@ -79,8 +79,8 @@ let run_op scenario dir ws =
   | () -> ()
   | exception Durable_io.Crashed _ -> ()
 
-let footprint scenario =
-  with_fresh_ws (fun dir ws ->
+let footprint ?paged scenario =
+  with_fresh_ws ?paged (fun dir ws ->
       scenario.setup dir ws;
       Durable_io.clear_faults ();
       Durable_io.reset_ops ();
@@ -118,13 +118,13 @@ let check_invariants scenario ~fault ~at ws =
     Alcotest.failf "%s"
       (ctx (Format.asprintf "still degraded: %a" Health.pp health))
 
-let run_matrix scenario fault_kind fault_label =
-  let ops = footprint scenario in
+let run_matrix ?paged scenario fault_kind fault_label =
+  let ops = footprint ?paged scenario in
   check_bool
     (Printf.sprintf "%s touches the disk" scenario.label)
     true (ops > 0);
   for i = 0 to ops - 1 do
-    with_fresh_ws (fun dir ws ->
+    with_fresh_ws ?paged (fun dir ws ->
         scenario.setup dir ws;
         Durable_io.inject [ (i, fault_kind) ];
         run_op scenario dir ws;
@@ -198,6 +198,39 @@ let scenarios =
     };
   ]
 
+(* Paged-only scenario: a bulk publish through the staging publisher —
+   several segments then ONE manifest swap.  A crash anywhere before the
+   swap must leave the previously committed state intact; fsck must
+   clear whatever segment/shard debris the interrupted publish left
+   (Orphan_segment is a failure kind, so the non-degraded invariant
+   catches survivors). *)
+let bulk_publish_scenario =
+  {
+    label = "paged bulk publish";
+    setup =
+      (fun dir ws ->
+        add ws dir "carrier" carrier_xml;
+        add ws dir "factory" factory_xml);
+    op =
+      (fun _dir ws ->
+        let p = Workspace.publisher ws in
+        let stage name =
+          let o = Ontology.create name in
+          let o = Ontology.add_term o "Thing" in
+          match
+            Workspace.publish_source p o ~ext:".adj"
+              ~payload:(Adjacency.print (Ontology.graph o))
+          with
+          | Ok () -> ()
+          | Error _ -> ()
+        in
+        stage "bulk_a";
+        stage "bulk_b";
+        match Workspace.commit p with Ok _ | Error _ -> ());
+    committed_sources = [ "carrier"; "factory" ];
+    committed_articulations = [];
+  }
+
 let test_crash_matrix () =
   List.iter
     (fun s -> run_matrix s Durable_io.Crash_before_rename "crash")
@@ -206,13 +239,25 @@ let test_crash_matrix () =
 let test_torn_matrix () =
   List.iter (fun s -> run_matrix s Durable_io.Torn_write "torn") scenarios
 
+let paged_scenarios = scenarios @ [ bulk_publish_scenario ]
+
+let test_paged_crash_matrix () =
+  List.iter
+    (fun s -> run_matrix ~paged:true s Durable_io.Crash_before_rename "crash")
+    paged_scenarios
+
+let test_paged_torn_matrix () =
+  List.iter
+    (fun s -> run_matrix ~paged:true s Durable_io.Torn_write "torn")
+    paged_scenarios
+
 (* The replace scenario's stronger invariant: after a crash at any point,
    the carrier is either fully v1 or fully v2 — never a blend. *)
-let test_replace_is_atomic () =
+let replace_is_atomic ?paged () =
   let scenario = List.nth scenarios 1 in
-  let ops = footprint scenario in
+  let ops = footprint ?paged scenario in
   for i = 0 to ops - 1 do
-    with_fresh_ws (fun dir ws ->
+    with_fresh_ws ?paged (fun dir ws ->
         scenario.setup dir ws;
         Durable_io.inject [ (i, Durable_io.Crash_before_rename) ];
         run_op scenario dir ws;
@@ -235,6 +280,13 @@ let suite =
       [
         Alcotest.test_case "crash at every op" `Quick test_crash_matrix;
         Alcotest.test_case "torn write at every op" `Quick test_torn_matrix;
-        Alcotest.test_case "replace all-or-nothing" `Quick test_replace_is_atomic;
+        Alcotest.test_case "replace all-or-nothing" `Quick
+          (replace_is_atomic ?paged:None);
+        Alcotest.test_case "paged: crash at every op" `Quick
+          test_paged_crash_matrix;
+        Alcotest.test_case "paged: torn write at every op" `Quick
+          test_paged_torn_matrix;
+        Alcotest.test_case "paged: replace all-or-nothing" `Quick
+          (replace_is_atomic ~paged:true);
       ] );
   ]

@@ -1,0 +1,275 @@
+(* Paged ≡ in-memory equivalence: the paged segment store is a pure
+   storage backend, so every observable — the composed federation space,
+   query reports, lint verdicts, fsck cleanliness — must agree with the
+   flat backend on identical content.  Property-tested over generated
+   island federations; the corrupt-segment case checks the one place the
+   backends are ALLOWED to differ (repair policy) while both still
+   degrade rather than die. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rec rm path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let build ~paged ~islands ~terms ~seed =
+  let dir = Filename.temp_file "onion-pequiv" "" in
+  Sys.remove dir;
+  let ws =
+    match Workspace.init ~paged dir with
+    | Ok ws -> ws
+    | Error m -> Alcotest.failf "init: %s" m
+  in
+  let p = Workspace.publisher ws in
+  (match
+     Gen.federation_stream ~islands ~terms ~seed ~prefix:"src"
+       ~emit_source:(fun o ->
+         Workspace.publish_source p o ~ext:".adj"
+           ~payload:(Adjacency.print (Ontology.graph o)))
+       ~emit_articulation:(Workspace.publish_articulation p)
+       ()
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "stream: %s" m);
+  (match Workspace.commit p with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "commit: %s" m);
+  (dir, ws)
+
+let with_pair ~islands ~terms ~seed f =
+  let fdir, fws = build ~paged:false ~islands ~terms ~seed in
+  let pdir, pws = build ~paged:true ~islands ~terms ~seed in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists fdir then rm fdir;
+      if Sys.file_exists pdir then rm pdir)
+    (fun () -> f fws pws)
+
+let space_of ws =
+  match Workspace.space ws with
+  | Ok (space, health) -> (space, health)
+  | Error m -> Alcotest.failf "space: %s" m
+
+let report_string ws text =
+  match Workspace.query_space ws text with
+  | Error m -> Alcotest.failf "query_space: %s" m
+  | Ok (space, _health) -> (
+      let kbs =
+        List.map
+          (fun o ->
+            Kb.of_ontology_instances ~ontology:o ("kb-" ^ Ontology.name o))
+          space.Federation.sources
+      in
+      let env = Mediator.env_federated ~kbs ~space () in
+      match
+        Mediator.run_text
+          ?default_ontology:(Workspace.default_ontology ws)
+          env text
+      with
+      | Ok report -> Format.asprintf "%a" Mediator.pp_report report
+      | Error m -> "error: " ^ m)
+
+let params =
+  QCheck.make
+    ~print:(fun (islands, terms, seed) ->
+      Printf.sprintf "islands=%d terms=%d seed=%d" islands terms seed)
+    QCheck.Gen.(
+      triple (int_range 2 6) (int_range 6 30) (int_range 0 10_000))
+
+let prop_spaces_equal =
+  QCheck.Test.make ~count:15 ~name:"paged and flat compose the same space"
+    params
+    (fun (islands, terms, seed) ->
+      with_pair ~islands ~terms ~seed (fun fws pws ->
+          let fs, fh = space_of fws in
+          let ps, ph = space_of pws in
+          Health.ok fh && Health.ok ph
+          && Digraph.equal fs.Federation.graph ps.Federation.graph
+          && List.sort compare (List.map Ontology.name fs.Federation.sources)
+             = List.sort compare (List.map Ontology.name ps.Federation.sources)
+          && List.sort compare (Workspace.source_names fws)
+             = List.sort compare (Workspace.source_names pws)
+          && List.sort compare (Workspace.articulation_names fws)
+             = List.sort compare (Workspace.articulation_names pws)))
+
+let prop_query_reports_equal =
+  QCheck.Test.make ~count:15
+    ~name:"routed paged queries report byte-for-byte like flat" params
+    (fun (islands, terms, seed) ->
+      with_pair ~islands ~terms ~seed (fun fws pws ->
+          (* One anchor per island: the paged side routes each to its
+             articulation group; answers must not depend on that. *)
+          List.for_all
+            (fun k ->
+              let text =
+                Printf.sprintf "SELECT * FROM %s:%s"
+                  (Gen.federation_source_name "src" k)
+                  (Gen.concept_name (seed mod terms))
+              in
+              String.equal (report_string fws text) (report_string pws text))
+            (List.init islands Fun.id)))
+
+let prop_lint_equal =
+  QCheck.Test.make ~count:10 ~name:"lint verdicts agree across backends"
+    params
+    (fun (islands, terms, seed) ->
+      with_pair ~islands ~terms ~seed (fun fws pws ->
+          let counts ws =
+            let report = Workspace.lint ws in
+            let ds =
+              Diagnostic.apply_config Diagnostic.default_config
+                report.Lint.diagnostics
+            in
+            ( List.length (Diagnostic.errors ds),
+              List.length (Diagnostic.warnings ds),
+              Diagnostic.exit_code ds )
+          in
+          counts fws = counts pws))
+
+let prop_clean_fsck =
+  QCheck.Test.make ~count:10 ~name:"fsck of a clean workspace repairs nothing"
+    params
+    (fun (islands, terms, seed) ->
+      with_pair ~islands ~terms ~seed (fun fws pws ->
+          let fr = Workspace.fsck fws in
+          let pr = Workspace.fsck pws in
+          fr.Workspace.repairs = []
+          && pr.Workspace.repairs = []
+          && Health.ok fr.Workspace.health
+          && Health.ok pr.Workspace.health))
+
+(* Corruption: clobber one source's stored bytes in BOTH backends.  Both
+   must degrade (serve the rest, flag the loss) — dying or silently
+   serving garbage are the failure modes.  Repair policy then differs by
+   design: the paged store quarantines (content-addressing means the
+   edited payload can't be re-adopted), which must restore a clean
+   workspace minus the victim. *)
+let test_corrupt_segment_degrades () =
+  let islands = 4 and terms = 12 and seed = 3 in
+  let fdir, fws = build ~paged:false ~islands ~terms ~seed in
+  let pdir, pws = build ~paged:true ~islands ~terms ~seed in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists fdir then rm fdir;
+      if Sys.file_exists pdir then rm pdir)
+  @@ fun () ->
+  let victim = Gen.federation_source_name "src" 1 in
+  let clobber path =
+    let oc = open_out_bin path in
+    output_string oc "\xff\xfe not a segment \xff\xfe";
+    close_out oc
+  in
+  (* Flat: the registered file itself. *)
+  clobber (Filename.concat (Filename.concat fdir "sources") (victim ^ ".adj"));
+  (* Paged: the victim's content-addressed segment. *)
+  let entries =
+    match Segment.read_manifest pdir with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "manifest: %s" m
+  in
+  let fp =
+    match
+      List.find_opt
+        (fun (e : Segment.entry) ->
+          e.Segment.kind = Segment.Source && String.equal e.Segment.name victim)
+        entries
+    with
+    | Some e -> e.Segment.fp
+    | None -> Alcotest.failf "no manifest entry for %s" victim
+  in
+  clobber (Segment.seg_path pdir fp);
+  (* Fresh handles: the memoised spaces must not mask the corruption. *)
+  let fws2 = Result.get_ok (Workspace.open_ (Workspace.root fws)) in
+  let pws2 = Result.get_ok (Workspace.open_ (Workspace.root pws)) in
+  List.iter
+    (fun (label, ws) ->
+      let health = Workspace.health ws in
+      check_bool (label ^ " degrades") true (Health.degraded health);
+      check_bool
+        (label ^ " flags the victim") true
+        (List.exists
+           (fun (i : Health.issue) -> String.equal i.Health.name victim)
+           health.Health.issues);
+      check_bool
+        (label ^ " still serves the others") true
+        (List.for_all
+           (fun n ->
+             String.equal n victim
+             || Result.is_ok (Workspace.load_source ws n))
+           (Workspace.source_names ws)))
+    [ ("flat", fws2); ("paged", pws2) ];
+  (* Paged fsck: quarantine the victim, come back clean without it. *)
+  let report = Workspace.fsck pws2 in
+  check_bool "paged fsck repaired something" true
+    (report.Workspace.repairs <> []);
+  let health = Workspace.health pws2 in
+  check_bool "paged clean after fsck" false (Health.degraded health);
+  check_bool "victim quarantined" false
+    (List.mem victim (Workspace.source_names pws2));
+  check_int "survivors intact" (islands - 1)
+    (List.length (Workspace.source_names pws2))
+
+(* Satellite regression: the streaming CRC equals the one-shot digest,
+   and the streaming verifier agrees with the buffering reader. *)
+let test_crc_streaming () =
+  let payload = String.init 70_000 (fun i -> Char.chr (i * 31 mod 256)) in
+  let chunked =
+    let rec go st off =
+      if off >= String.length payload then Crc32.finish st
+      else
+        let len = min 4096 (String.length payload - off) in
+        go (Crc32.update st (String.sub payload off len)) (off + len)
+    in
+    go Crc32.init 0
+  in
+  check_bool "chunked = one-shot" true (chunked = Crc32.digest payload);
+  let dir = Filename.temp_file "onion-crcstream" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+  @@ fun () ->
+  let path = Filename.concat dir "payload.dat" in
+  (match Durable_io.write ~path payload with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "write: %s" m);
+  let verdict_of = function
+    | Ok (_, v) -> v
+    | Error m -> Alcotest.failf "read_verified: %s" m
+  in
+  let streamed = function
+    | Ok v -> v
+    | Error m -> Alcotest.failf "verify_file: %s" m
+  in
+  check_bool "clean file verdicts agree" true
+    (verdict_of (Durable_io.read_verified ~path)
+    = streamed (Durable_io.verify_file ~chunk_bytes:512 ~path ()));
+  (* Flip a byte: both paths must call it a mismatch, identically. *)
+  let fd = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+  seek_out fd (String.length payload / 2);
+  output_char fd '\x00';
+  close_out fd;
+  check_bool "corrupt file verdicts agree" true
+    (verdict_of (Durable_io.read_verified ~path)
+    = streamed (Durable_io.verify_file ~chunk_bytes:512 ~path ()))
+
+let suite =
+  [
+    ( "paged-equiv",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_spaces_equal;
+          prop_query_reports_equal;
+          prop_lint_equal;
+          prop_clean_fsck;
+        ]
+      @ [
+          Alcotest.test_case "corrupt segment degrades then quarantines"
+            `Quick test_corrupt_segment_degrades;
+          Alcotest.test_case "crc32 streaming = one-shot" `Quick
+            test_crc_streaming;
+        ] );
+  ]
