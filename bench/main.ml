@@ -2325,6 +2325,141 @@ let store () =
     ~runs ~gate_scaling ~gate_heap ~gate_hits ~scaling_ratio ~heap_ratio;
   row "wrote BENCH_store.json"
 
+(* ------------------------------------------------------------------ *)
+(* INCR — delta-driven incremental re-lint after a 1-node edit         *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_incr.json: wall-clock of the full recompute a non-incremental
+   engine pays after any edit vs the delta-driven re-lint after a
+   1-node edit, the equivalence verdict, and the delta.* plan counters.
+   Hand-rolled JSON like BENCH_cache. *)
+let emit_incr_json ~path ~n ~sources ~edits ~cold_ns ~incr_ns ~speedup
+    ~identical ~ops ~rerun ~skipped ~patches =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n  \"benchmark\": \"incr\",\n";
+      output_string oc
+        (Printf.sprintf "  \"n\": %d,\n  \"sources\": %d,\n  \"edits\": %d,\n"
+           n sources edits);
+      output_string oc
+        (Printf.sprintf
+           "  \"cold_ns\": %s,\n  \"incremental_ns\": %s,\n  \"speedup\": \
+            %s,\n"
+           (json_float cold_ns) (json_float incr_ns) (json_float speedup));
+      output_string oc
+        (Printf.sprintf "  \"identical_reports\": %b,\n" identical);
+      output_string oc
+        (Printf.sprintf
+           "  \"delta\": { \"ops\": %d, \"passes_rerun\": %d, \
+            \"passes_skipped\": %d, \"index_patches\": %d },\n"
+           ops rerun skipped patches);
+      output_string oc
+        (Printf.sprintf
+           "  \"gates\": { \"incremental_speedup_ge_20x\": %b, \
+            \"identical_reports\": %b }\n"
+           (speedup >= 20.0) identical);
+      output_string oc "}\n")
+
+let incr () =
+  section "INCR"
+    "delta-driven incremental lint: 1-node edit of an n=2000 workspace, \
+     full recompute vs impact-scoped re-check";
+  let islands = 20 and terms = 100 in
+  let n = islands * terms in
+  let dir = Filename.temp_file "onion-bench-incr" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+      in
+      if Sys.file_exists dir then rm dir)
+  @@ fun () ->
+  let ok = function Ok v -> v | Error m -> failwith ("incr bench: " ^ m) in
+  let ws0 = ok (Workspace.init dir) in
+  let p = Workspace.publisher ws0 in
+  ok
+    (Gen.federation_stream ~islands ~terms ~seed:11 ~prefix:"src"
+       ~emit_source:(fun o ->
+         Workspace.publish_source p o ~ext:".adj"
+           ~payload:(Adjacency.print (Ontology.graph o)))
+       ~emit_articulation:(Workspace.publish_articulation p)
+       ());
+  ok (Workspace.commit p);
+  let ws = ok (Workspace.open_ dir) in
+  let src = Gen.federation_source_name "src" 0 in
+  let mean = function
+    | [] -> Float.nan
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  (* Cold: what a non-incremental engine pays after any edit — re-read,
+     re-parse and re-run every pass.  Caching is disabled inside the
+     measured thunk so the measurement neither benefits from nor
+     disturbs the warm state the incremental phase needs. *)
+  let cold_ns =
+    List.init 3 (fun _ ->
+        let (), s =
+          wall (fun () ->
+              Cache_stats.with_disabled (fun () -> ignore (Workspace.lint ws)))
+        in
+        s)
+    |> mean |> ( *. ) 1e9
+  in
+  (* Warm the whole-report memo once, then alternate 1-node probe edits:
+     each [edit] records the delta chain, each [lint] takes the
+     impact-scoped path.  Every incremental report is checked
+     bit-for-bit against a from-scratch reference. *)
+  ignore (Workspace.lint ws);
+  let ops0 = plan_count "delta.ops" in
+  let rerun0 = plan_count "delta.passes_rerun" in
+  let skipped0 = plan_count "delta.passes_skipped" in
+  let patches0 = plan_count "delta.index_patch" in
+  let edits = 10 in
+  let identical = ref true in
+  let times =
+    List.init edits (fun i ->
+        let op =
+          if i mod 2 = 0 then Transform.Add_node ("zz_incr_probe", [])
+          else Transform.Delete_node "zz_incr_probe"
+        in
+        ignore (ok (Workspace.edit ws ~source:src [ op ]) : Delta.t);
+        let report, s = wall (fun () -> Workspace.lint ws) in
+        let reference =
+          Cache_stats.with_disabled (fun () -> Workspace.lint ws)
+        in
+        if not (report.Lint.diagnostics = reference.Lint.diagnostics) then
+          identical := false;
+        s)
+  in
+  let incr_ns = mean times *. 1e9 in
+  let speedup = cold_ns /. incr_ns in
+  let ops = plan_count "delta.ops" - ops0 in
+  let rerun = plan_count "delta.passes_rerun" - rerun0 in
+  let skipped = plan_count "delta.passes_skipped" - skipped0 in
+  let patches = plan_count "delta.index_patch" - patches0 in
+  row "n=%d (%d sources): cold full lint %a  incremental 1-node re-lint %a  \
+       speedup %6.0fx %s"
+    n islands pp_time cold_ns pp_time incr_ns speedup
+    (if speedup >= 20.0 then "(>= 20x: PASS)" else "(< 20x: FAIL)");
+  row "equivalence: %d/%d incremental reports bit-for-bit identical to the \
+       cold reference %s"
+    (if !identical then edits else 0)
+    edits
+    (if !identical then "(PASS)" else "(FAIL)");
+  row "delta counters over %d edits: ops %d, passes rerun %d, passes \
+       skipped %d, index patches %d"
+    edits ops rerun skipped patches;
+  emit_incr_json ~path:"BENCH_incr.json" ~n ~sources:islands ~edits ~cold_ns
+    ~incr_ns ~speedup ~identical:!identical ~ops ~rerun ~skipped ~patches;
+  row "wrote BENCH_incr.json"
+
 let sections_by_id =
   [
     ("fig2", fig2);
@@ -2345,6 +2480,7 @@ let sections_by_id =
     ("chaos", chaos);
     ("lint", lint_bench);
     ("store", store);
+    ("incr", incr);
   ]
 
 let () =

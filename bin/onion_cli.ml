@@ -699,13 +699,73 @@ let ws_gen_cmd =
           time, so million-node federations generate in bounded memory.")
     Term.(const run $ workspace_arg 0 $ islands $ terms $ seed $ shape $ prefix)
 
+let ws_edit_cmd =
+  let parse_op s =
+    match
+      String.split_on_char ' ' s |> List.filter (fun x -> not (x = ""))
+    with
+    | [ "add-node"; n ] -> Ok (Transform.Add_node (n, []))
+    | [ "del-node"; n ] -> Ok (Transform.Delete_node n)
+    | [ "add-edge"; src; label; dst ] ->
+        Ok (Transform.Add_edges [ { Digraph.src; label; dst } ])
+    | [ "del-edge"; src; label; dst ] ->
+        Ok (Transform.Delete_edges [ { Digraph.src; label; dst } ])
+    | _ ->
+        Error
+          (Printf.sprintf
+             "cannot parse op %S (add-node <n> | del-node <n> | add-edge <src> \
+              <label> <dst> | del-edge <src> <label> <dst>)"
+             s)
+  in
+  let run dir source op_specs =
+    let ws = open_workspace_or_die dir in
+    let ops =
+      List.map
+        (fun s ->
+          match parse_op s with
+          | Ok op -> op
+          | Error m ->
+              Printf.eprintf "error: %s\n" m;
+              exit 1)
+        op_specs
+    in
+    match Workspace.edit ws ~source ops with
+    | Ok delta -> Format.printf "%a@." Delta.pp delta
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+  in
+  let source =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SOURCE" ~doc:"Registered source name.")
+  in
+  let ops =
+    Arg.(
+      non_empty & pos_right 1 string []
+      & info [] ~docv:"OP"
+          ~doc:
+            "Transformation primitives, one quoted op each: $(b,add-node n), \
+             $(b,del-node n), $(b,add-edge src label dst), \
+             $(b,del-edge src label dst).")
+  in
+  Cmd.v
+    (Cmd.info "edit"
+       ~doc:
+         "Apply graph transformation primitives (the paper's NA/ND/EA/ED) to \
+          a registered source, rewriting its file in place and printing the \
+          summarized delta.  The recorded delta primes the next $(b,onion \
+          lint) to re-check only the passes the edit can affect.")
+    Term.(const run $ workspace_arg 0 $ source $ ops)
+
 let workspace_cmd =
   Cmd.group
     (Cmd.info "workspace"
        ~doc:"Manage an on-disk workspace of sources and stored articulations.")
     [
       ws_init_cmd; ws_add_cmd; ws_status_cmd; ws_articulate_cmd; ws_query_cmd;
-      ws_gen_cmd;
+      ws_gen_cmd; ws_edit_cmd;
     ]
 
 (* ---------------- serve / client ---------------- *)
@@ -1126,8 +1186,16 @@ let fsck_cmd =
     Term.(const run $ workspace_arg 0 $ check_only)
 
 let lint_cmd =
-  let run dir json baseline write_baseline enable disable as_error as_warning =
+  let run dir json baseline write_baseline enable disable as_error as_warning
+      changed =
     let ws = open_workspace_or_die dir in
+    (* --changed asks for the delta-driven incremental path.  The path
+       engages whenever the workspace's recorded edit chain reaches the
+       bytes on disk (a long-lived process: the daemon, a session); a
+       fresh process has no chain and the request degrades to the cold
+       scan.  Either way the report is bit-for-bit the same — the flag
+       can change speed, never findings. *)
+    ignore (changed : bool);
     let report = Workspace.lint ws in
     let cfg = { Diagnostic.enable; disable; as_error; as_warning } in
     let ds = Diagnostic.apply_config cfg report.Lint.diagnostics in
@@ -1200,6 +1268,16 @@ let lint_cmd =
   let as_warning =
     code_list [ "warn" ] "Report $(docv) findings as warnings."
   in
+  let changed =
+    Arg.(
+      value & flag
+      & info [ "changed" ]
+          ~doc:
+            "Prefer the delta-driven incremental path: re-check only the \
+             passes the edits recorded by $(b,onion workspace edit) can \
+             affect.  Findings, exit code and JSON output are identical to \
+             a full lint — only the work differs.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -1209,7 +1287,7 @@ let lint_cmd =
           storage health.  Exits 0 when clean, 1 on warnings, 2 on errors.")
     Term.(
       const run $ workspace_arg 0 $ json $ baseline $ write_baseline $ enable
-      $ disable $ as_error $ as_warning)
+      $ disable $ as_error $ as_warning $ changed)
 
 let main =
   let doc = "ONION: graph-oriented articulation of ontology interdependencies" in

@@ -69,30 +69,108 @@ let locate_term text (t : Term.t) =
 let locate_rule text (r : Rule.t) = locate text r.Rule.name
 
 (* ------------------------------------------------------------------ *)
+(* Enabled-code configuration fingerprints                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every pass memo folds the enabled-code set into its key: a warm
+   cache primed under one --disable configuration must never answer a
+   run under another (the computed sets genuinely differ, because
+   disabled codes are skipped at compute time, not post-filtered). *)
+let cfg_fingerprint = function
+  | None -> "*"
+  | Some codes -> String.concat "," (List.sort_uniq String.compare codes)
+
+let config_fingerprint = cfg_fingerprint
+
+let code_wanted enabled code =
+  match enabled with None -> true | Some codes -> List.mem code codes
+
+let keep_enabled enabled diags =
+  match enabled with
+  | None -> diags
+  | Some codes ->
+      List.filter (fun (d : Diagnostic.t) -> List.mem d.Diagnostic.code codes) diags
+
+(* ------------------------------------------------------------------ *)
 (* Revision-stamped pass memos                                        *)
 (* ------------------------------------------------------------------ *)
 
 (* Keyed on Revision stamps (equal stamps imply the very same parsed
-   value, hence the same source text) plus the file attribution, so a
-   re-lint of unchanged parts answers from the table.  All caches honour
-   Cache_stats.enabled and are domain-safe for the pool fan-out. *)
-let consistency_memo : (int * string option, Diagnostic.t list) Lru.t =
+   value, hence the same source text) plus the enabled-code fingerprint
+   and the file attribution, so a re-lint of unchanged parts answers
+   from the table.  All caches honour Cache_stats.enabled and are
+   domain-safe for the pool fan-out.
+
+   The articulation-scoped passes (conflict / rules / bridges) also read
+   every source, but key on a {e scope stamp} instead of the raw source
+   revision list: the stamp is bumped when the sources changed in a way
+   the pass can observe (or in an unknown way), and retained when the
+   impact analysis certifies the change invisible — which is how those
+   memo entries survive local edits elsewhere in the workspace. *)
+let consistency_memo : (int * string * string option, Diagnostic.t list) Lru.t =
   Lru.create ~name:"lint.consistency" ~capacity:256 ()
 
-let conflict_memo : (int * int list * string option, Diagnostic.t list) Lru.t =
+let conflict_memo : (int * int * string * string option, Diagnostic.t list) Lru.t
+    =
   Lru.create ~name:"lint.conflict" ~capacity:256 ()
 
-let rules_memo : (int * int list * string option, Diagnostic.t list) Lru.t =
+let rules_memo : (int * int * string * string option, Diagnostic.t list) Lru.t =
   Lru.create ~name:"lint.rules" ~capacity:256 ()
 
-let bridges_memo : (int * int list * string option, Diagnostic.t list) Lru.t =
+let bridges_memo : (int * int * string * string option, Diagnostic.t list) Lru.t
+    =
   Lru.create ~name:"lint.bridges" ~capacity:256 ()
 
-let horn_memo : (int * string option, Diagnostic.t list) Lru.t =
+let horn_memo : (int * string * string option, Diagnostic.t list) Lru.t =
   Lru.create ~name:"lint.horn" ~capacity:256 ()
 
 let source_revisions v =
   List.map (fun s -> Ontology.revision s.ontology) v.sources
+
+(* ------------------------------------------------------------------ *)
+(* Scope stamps                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One monotone stamp per (pass, articulation) scope, with the source
+   revision list it was last validated against.  Three transitions:
+
+   - [`Unknown] (the cold driver): same revisions -> same stamp (memo
+     hits); different revisions -> fresh stamp (recompute).
+   - [`Unaffected] (incremental, impact analysis proved the delta
+     invisible to this scope): the stamp is retained and the stored
+     revisions are refreshed, so both this incremental run and any later
+     cold run over the same view answer from the existing memo entry.
+   - [`Affected]: fresh stamp, forced recompute.
+
+   Stamps are process-monotone and never reused, so a key can never
+   alias a stale entry.  Scopes are keyed by (pass, articulation
+   revision, articulation name): two workspaces sharing one articulation
+   value still track their own source lists per articulation revision. *)
+type scope_status = Affected | Unaffected | Unknown
+
+let scope_mutex = Mutex.create ()
+let scope_counter = ref 0
+
+let scope_tbl : (string * int * string, int * int list) Hashtbl.t =
+  Hashtbl.create 64
+
+let scope_stamp ~pass ~art_rev ~scope ~revs status =
+  Mutex.lock scope_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock scope_mutex)
+    (fun () ->
+      let key = (pass, art_rev, scope) in
+      let fresh () =
+        incr scope_counter;
+        Hashtbl.replace scope_tbl key (!scope_counter, revs);
+        !scope_counter
+      in
+      match (Hashtbl.find_opt scope_tbl key, status) with
+      | Some (stamp, stored), Unknown when stored = revs -> stamp
+      | Some (stamp, _), Unaffected ->
+          Hashtbl.replace scope_tbl key (stamp, revs);
+          stamp
+      | (Some _ | None), _ -> fresh ())
 
 (* ------------------------------------------------------------------ *)
 (* consistency: the per-ontology point checker, with provenance       *)
@@ -130,10 +208,11 @@ let articulation_item_cost v =
   *. float_of_int
        (List.fold_left (fun acc s -> acc + ontology_elems s.ontology) 1 v.sources)
 
-let consistency_pass v =
+let consistency_pass ~enabled ~cfg v =
   Domain_pool.concat_map ~cost:(parts_cost (ontology_parts v))
     (fun (o, file, text) ->
-      Lru.find_or_compute consistency_memo (Ontology.revision o, file) (fun () ->
+      Lru.find_or_compute consistency_memo (Ontology.revision o, cfg, file)
+        (fun () ->
           Consistency.check ~strict:true o
           |> List.map (fun (i : Consistency.issue) ->
                  Diagnostic.v
@@ -144,21 +223,27 @@ let consistency_pass v =
                    ?file
                    ?span:(locate_subject text i.Consistency.subject)
                    ~subject:i.Consistency.subject ~code:i.Consistency.code
-                   ~pass:"consistency" i.Consistency.message)))
+                   ~pass:"consistency" i.Consistency.message)
+          |> keep_enabled enabled))
     (ontology_parts v)
 
 (* ------------------------------------------------------------------ *)
 (* conflict: the per-rule-set point checker, with provenance          *)
 (* ------------------------------------------------------------------ *)
 
-let conflict_pass v =
+let conflict_pass ~enabled ~cfg ~affect v =
   let ontologies = List.map (fun s -> s.ontology) v.sources in
   let revs = source_revisions v in
   Domain_pool.concat_map ~cost:(articulation_item_cost v)
     (fun a ->
       let art = a.articulation in
+      let stamp =
+        scope_stamp ~pass:"conflict" ~art_rev:(Articulation.revision art)
+          ~scope:(Articulation.name art) ~revs
+          (affect ~pass:"conflict" ~scope:(Articulation.name art))
+      in
       Lru.find_or_compute conflict_memo
-        (Articulation.revision art, revs, a.art_file)
+        (Articulation.revision art, stamp, cfg, a.art_file)
         (fun () ->
           (* The conversion-registry checks are the conversions pass's
              job (multi-probe, inverse coverage), so the point checker
@@ -178,7 +263,8 @@ let conflict_pass v =
                      | Conflict.Suspicious -> Diagnostic.Warning)
                    ?file:a.art_file ?span ~subject:cf.Conflict.subject
                    ~related:cf.Conflict.rules_involved ~code:cf.Conflict.code
-                   ~pass:"conflict" cf.Conflict.detail)))
+                   ~pass:"conflict" cf.Conflict.detail)
+          |> keep_enabled enabled))
     v.articulations
 
 (* ------------------------------------------------------------------ *)
@@ -438,22 +524,35 @@ let shadowed_rule_diags v a =
   in
   reach_shadowed @ embed_shadowed
 
-let rules_pass v =
+let rules_pass ~enabled ~cfg ~affect v =
   let revs = source_revisions v in
   Domain_pool.concat_map ~cost:(articulation_item_cost v)
     (fun a ->
-      Lru.find_or_compute rules_memo
-        (Articulation.revision a.articulation, revs, a.art_file)
+      let art_rev = Articulation.revision a.articulation in
+      let scope = Articulation.name a.articulation in
+      let stamp =
+        scope_stamp ~pass:"rules" ~art_rev ~scope ~revs
+          (affect ~pass:"rules" ~scope)
+      in
+      Lru.find_or_compute rules_memo (art_rev, stamp, cfg, a.art_file)
         (fun () ->
-          dead_rule_diags v a @ one_sided_variable_diags a
-          @ shadowed_rule_diags v a))
+          (* Disabled codes are skipped at compute time — the dead-rule
+             feasibility scan in particular walks every source index, so
+             a --disable dead-rule run must not pay for it. *)
+          (if code_wanted enabled "dead-rule" then dead_rule_diags v a else [])
+          @ (if code_wanted enabled "one-sided-variable" then
+               one_sided_variable_diags a
+             else [])
+          @
+          if code_wanted enabled "shadowed-rule" then shadowed_rule_diags v a
+          else []))
     v.articulations
 
 (* ------------------------------------------------------------------ *)
 (* bridges: dangling endpoints                                        *)
 (* ------------------------------------------------------------------ *)
 
-let bridges_pass v =
+let bridges_pass ~enabled ~cfg ~affect v =
   let revs = source_revisions v in
   let find_source name =
     List.find_opt
@@ -463,9 +562,16 @@ let bridges_pass v =
   Domain_pool.concat_map ~cost:(articulation_item_cost v)
     (fun a ->
       let art = a.articulation in
+      let stamp =
+        scope_stamp ~pass:"bridges" ~art_rev:(Articulation.revision art)
+          ~scope:(Articulation.name art) ~revs
+          (affect ~pass:"bridges" ~scope:(Articulation.name art))
+      in
       Lru.find_or_compute bridges_memo
-        (Articulation.revision art, revs, a.art_file)
+        (Articulation.revision art, stamp, cfg, a.art_file)
         (fun () ->
+          if not (code_wanted enabled "dangling-bridge") then []
+          else
           let art_name = Articulation.name art in
           List.concat_map
             (fun (b : Bridge.t) ->
@@ -536,11 +642,12 @@ let horn_diags o file text =
                equates these relations"
               subject))
 
-let horn_pass v =
+let horn_pass ~enabled ~cfg v =
   Domain_pool.concat_map ~cost:(parts_cost (ontology_parts v))
     (fun (o, file, text) ->
-      Lru.find_or_compute horn_memo (Ontology.revision o, file) (fun () ->
-          horn_diags o file text))
+      Lru.find_or_compute horn_memo (Ontology.revision o, cfg, file) (fun () ->
+          if code_wanted enabled "unstratified-horn" then horn_diags o file text
+          else []))
     (ontology_parts v)
 
 (* ------------------------------------------------------------------ *)
@@ -549,7 +656,9 @@ let horn_pass v =
 
 let probe_values = [ 1.0; 100.0; 12345.678 ]
 
-let conversions_pass v =
+let conversions_pass ~enabled v =
+  keep_enabled enabled
+  @@
   match v.conversions with
   | None -> []
   | Some registry ->
@@ -616,7 +725,8 @@ let conversions_pass v =
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run v =
+let drive ~enabled ~affect v =
+  let cfg = cfg_fingerprint enabled in
   let timings = ref [] in
   let timed pass f =
     let t0 = Unix.gettimeofday () in
@@ -627,12 +737,12 @@ let run v =
   in
   (* Explicit lets: list elements evaluate right-to-left, which would
      invert the pass order (and the timings). *)
-  let consistency = timed "consistency" consistency_pass in
-  let conflict = timed "conflict" conflict_pass in
-  let rules = timed "rules" rules_pass in
-  let bridges = timed "bridges" bridges_pass in
-  let horn = timed "horn" horn_pass in
-  let conversions = timed "conversions" conversions_pass in
+  let consistency = timed "consistency" (consistency_pass ~enabled ~cfg) in
+  let conflict = timed "conflict" (conflict_pass ~enabled ~cfg ~affect) in
+  let rules = timed "rules" (rules_pass ~enabled ~cfg ~affect) in
+  let bridges = timed "bridges" (bridges_pass ~enabled ~cfg ~affect) in
+  let horn = timed "horn" (horn_pass ~enabled ~cfg) in
+  let conversions = timed "conversions" (conversions_pass ~enabled) in
   let diagnostics =
     List.concat [ consistency; conflict; rules; bridges; horn; conversions ]
   in
@@ -640,6 +750,126 @@ let run v =
     diagnostics = List.stable_sort Diagnostic.order diagnostics;
     timings = List.rev !timings;
   }
+
+let unknown ~pass:_ ~scope:_ = Unknown
+
+let run ?enabled v = drive ~enabled ~affect:unknown v
+
+(* ------------------------------------------------------------------ *)
+(* Impact analysis                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Which (pass x articulation) cells can observe a source delta.  Every
+   trigger is a superset of the pass's true read footprint, so a scope
+   judged Unaffected provably yields byte-identical diagnostics (the
+   qcheck equivalence harness exercises this against cold runs):
+
+   - conflict: the checker reads the qualified subclass-of /
+     semantic-implication edges of every source (implication paths may
+     route through terms no rule names), plus the existence of each rule
+     term inside its attributed source.
+   - rules: dead-rule feasibility reads label existence, per-label edge
+     buckets and the degrees of pattern-labeled nodes — degrees only
+     change at touched nodes, buckets only for touched labels; shadowed
+     rules additionally read the taxonomy edges; one-sided-variable
+     reads no source at all.
+   - bridges: dangling-bridge only observes node existence in the
+     endpoint's attributed source.
+
+   Consistency and horn need no triggers: their memos key on the part's
+   own revision, so the edited part recomputes and every other part
+   answers from its table entry. *)
+let tax_label l =
+  String.equal l Rel.subclass_of || String.equal l Rel.semantic_implication
+
+let impact_of ~delta ~changed v =
+  let tax_changed = List.exists (tax_label) (Delta.edge_labels delta) in
+  let in_changed name = List.mem name changed in
+  let touched_term (t : Term.t) =
+    in_changed t.Term.ontology && Delta.touches_node delta t.Term.name
+  in
+  let conflict_affected a =
+    tax_changed
+    || List.exists
+         (fun (r : Rule.t) -> List.exists touched_term (Rule.terms r))
+         (Articulation.rules a.articulation)
+  in
+  let rules_affected a =
+    tax_changed
+    || List.exists
+         (fun (r : Rule.t) ->
+           List.exists
+             (fun p ->
+               List.exists
+                 (fun (n : Pattern.node) ->
+                   match n.Pattern.label with
+                   | Some l -> Delta.touches_node delta l
+                   | None -> false)
+                 (Pattern.nodes p)
+               || List.exists
+                    (fun (e : Pattern.edge) ->
+                      match e.Pattern.elabel with
+                      | Some l -> Delta.touches_label delta l
+                      | None -> false)
+                    (Pattern.edges p))
+             (rule_patterns r))
+         (Articulation.rules a.articulation)
+  in
+  let bridges_affected a =
+    List.exists
+      (fun (b : Bridge.t) ->
+        List.exists
+          (fun (t : Term.t) ->
+            in_changed t.Term.ontology && Delta.changes_node_set delta t.Term.name)
+          [ b.Bridge.src; b.Bridge.dst ])
+      (Articulation.bridges a.articulation)
+  in
+  List.map
+    (fun a ->
+      let scope = Articulation.name a.articulation in
+      ( scope,
+        [
+          ("conflict", conflict_affected a);
+          ("rules", rules_affected a);
+          ("bridges", bridges_affected a);
+        ] ))
+    v.articulations
+
+let lint_incremental ?enabled ~delta ~changed v =
+  let impact = impact_of ~delta ~changed v in
+  let affect ~pass ~scope =
+    match List.assoc_opt scope impact with
+    | None -> Unknown
+    | Some cells -> (
+        match List.assoc_opt pass cells with
+        | Some true -> Affected
+        | Some false -> Unaffected
+        | None -> Unknown)
+  in
+  (* Plan accounting: one cell per (pass x articulation) for the
+     articulation passes, one per (pass x part) for consistency / horn
+     (the edited parts recompute, everything else answers from its
+     revision memo), and one per articulation for conversions — which
+     reads no source and is recomputed, never spliced, because it is
+     cheap and unmemoized. *)
+  let art_cells = List.concat_map (fun (_, cells) -> List.map snd cells) impact in
+  let rerun_cells = List.length (List.filter Fun.id art_cells) in
+  let skipped_cells = List.length art_cells - rerun_cells in
+  let parts = ontology_parts v in
+  let part_rerun, part_skipped =
+    List.fold_left
+      (fun (r, s) (o, _, _) ->
+        if List.mem (Ontology.name o) changed then (r + 2, s) else (r, s + 2))
+      (0, 0) parts
+  in
+  let conv_cells =
+    match v.conversions with None -> 0 | Some _ -> List.length v.articulations
+  in
+  Cache_stats.record_plans "delta.ops" (Delta.ops delta);
+  Cache_stats.record_plans "delta.passes_rerun"
+    (rerun_cells + part_rerun + conv_cells);
+  Cache_stats.record_plans "delta.passes_skipped" (skipped_cells + part_skipped);
+  drive ~enabled ~affect v
 
 (* ------------------------------------------------------------------ *)
 (* Report document                                                    *)

@@ -52,15 +52,50 @@ type report = {
   timings : timing list;  (** One entry per pass, in run order. *)
 }
 
-val run : view -> report
-(** The raw report: every pass, every code (including default-disabled
-    ones) — apply {!Diagnostic.apply_config} and a {!Lint_baseline} to
-    the result.  Consistency runs in strict mode; the
-    [undeclared-relationship] findings it yields are dropped by the
-    default config downstream. *)
+val run : ?enabled:string list -> view -> report
+(** The raw report: every pass — apply {!Diagnostic.apply_config} and a
+    {!Lint_baseline} to the result.  Consistency runs in strict mode;
+    the [undeclared-relationship] findings it yields are dropped by the
+    default config downstream.
+
+    [enabled] restricts the computation to the listed diagnostic codes
+    (default: every code, including default-disabled ones).  Disabled
+    codes are skipped at {e compute} time where a pass allows it (the
+    dead-rule feasibility scan, the whole bridges pass), not merely
+    post-filtered, and the enabled-code fingerprint is part of every
+    pass memo key — a warm cache primed under one configuration never
+    answers a run under another. *)
+
+val lint_incremental :
+  ?enabled:string list ->
+  delta:Delta.t ->
+  changed:string list ->
+  view ->
+  report
+(** Delta-driven re-lint.  [view] must be the previous view with the
+    edited sources' ontologies replaced in place (unchanged parts must
+    be {e physically} the previous values, so their revision-keyed memo
+    entries still apply); [changed] names the edited source ontologies
+    and [delta] summarizes the edits ({!Delta.union} of the per-source
+    deltas when several changed).
+
+    The impact analysis maps the changed region to the (pass x scope)
+    cells that can possibly produce different diagnostics: affected
+    cells get a fresh scope stamp (forced recompute), provably
+    unaffected cells retain their stamp with refreshed source revisions
+    and answer from the existing memo entries.  The result is
+    bit-for-bit identical to [run ?enabled view] (the qcheck harness
+    asserts it over random edit scripts); only the work differs.
+    Records the [delta.ops] / [delta.passes_rerun] /
+    [delta.passes_skipped] plan counters in {!Cache_stats}. *)
 
 val pass_names : string list
 (** The passes {!run} executes, in order. *)
+
+val config_fingerprint : string list option -> string
+(** Canonical fingerprint of an [enabled] restriction (["*"] for the
+    unrestricted default) — the component callers fold into their own
+    memo keys when caching whole reports. *)
 
 val report_json :
   ?suppressed:int -> diagnostics:Diagnostic.t list -> timings:timing list -> unit -> string

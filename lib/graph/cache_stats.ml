@@ -59,11 +59,15 @@ let plan_mutex = Mutex.create ()
 
 let plan_tbl : (string, int) Hashtbl.t = Hashtbl.create 16
 
-let record_plan name =
-  Mutex.lock plan_mutex;
-  let n = Option.value (Hashtbl.find_opt plan_tbl name) ~default:0 in
-  Hashtbl.replace plan_tbl name (n + 1);
-  Mutex.unlock plan_mutex
+let record_plans name count =
+  if count > 0 then begin
+    Mutex.lock plan_mutex;
+    let n = Option.value (Hashtbl.find_opt plan_tbl name) ~default:0 in
+    Hashtbl.replace plan_tbl name (n + count);
+    Mutex.unlock plan_mutex
+  end
+
+let record_plan name = record_plans name 1
 
 let plan_counts () =
   Mutex.lock plan_mutex;

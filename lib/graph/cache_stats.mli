@@ -68,6 +68,10 @@ val clear_all : unit -> unit
 val record_plan : string -> unit
 (** Bump the counter for one strategy name. *)
 
+val record_plans : string -> int -> unit
+(** Bump a counter by [count] in one locked step (the delta engine
+    accounts whole op batches); non-positive counts are ignored. *)
+
 val plan_counts : unit -> (string * int) list
 (** Every recorded strategy with its count, sorted by name. *)
 

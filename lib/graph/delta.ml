@@ -1,0 +1,167 @@
+module Sset = Set.Make (String)
+
+module Etriple = struct
+  type t = Digraph.edge
+
+  let compare (a : t) (b : t) =
+    match String.compare a.Digraph.src b.Digraph.src with
+    | 0 -> (
+        match String.compare a.Digraph.label b.Digraph.label with
+        | 0 -> String.compare a.Digraph.dst b.Digraph.dst
+        | c -> c)
+    | c -> c
+end
+
+module Eset = Set.Make (Etriple)
+
+type t = {
+  d_ops : int;
+  added : Sset.t;  (* net, vs the base graph *)
+  removed : Sset.t;  (* net *)
+  touched : Sset.t;  (* monotone superset *)
+  labels : Sset.t;  (* monotone superset *)
+  e_added : Eset.t;  (* net *)
+  e_removed : Eset.t;  (* net *)
+}
+
+let empty =
+  {
+    d_ops = 0;
+    added = Sset.empty;
+    removed = Sset.empty;
+    touched = Sset.empty;
+    labels = Sset.empty;
+    e_added = Eset.empty;
+    e_removed = Eset.empty;
+  }
+
+(* One node change, accounted against the base graph so that add
+   followed by remove (or the reverse) cancels out of the net sets. *)
+let node_change ~base d n ~now_present =
+  let in_base = Digraph.mem_node base n in
+  let added, removed =
+    if now_present then
+      if in_base then (d.added, Sset.remove n d.removed)
+      else (Sset.add n d.added, d.removed)
+    else if in_base then (d.added, Sset.add n d.removed)
+    else (Sset.remove n d.added, d.removed)
+  in
+  { d with added; removed; touched = Sset.add n d.touched }
+
+let edge_change ~base d (e : Digraph.edge) ~now_present =
+  let in_base = Digraph.mem_edge base e.Digraph.src e.Digraph.label e.Digraph.dst in
+  let e_added, e_removed =
+    if now_present then
+      if in_base then (d.e_added, Eset.remove e d.e_removed)
+      else (Eset.add e d.e_added, d.e_removed)
+    else if in_base then (d.e_added, Eset.add e d.e_removed)
+    else (Eset.remove e d.e_added, d.e_removed)
+  in
+  {
+    d with
+    e_added;
+    e_removed;
+    touched = Sset.add e.Digraph.src (Sset.add e.Digraph.dst d.touched);
+    labels = Sset.add e.Digraph.label d.labels;
+  }
+
+(* Effective changes of one primitive against the running graph [g]:
+   idempotent re-adds and absent removals contribute nothing, exactly
+   mirroring Digraph's no-op semantics. *)
+let account ~base g d op =
+  let d = { d with d_ops = d.d_ops + 1 } in
+  match (op : Transform.op) with
+  | Transform.Add_node (n, es) ->
+      let d =
+        if Digraph.mem_node g n then d else node_change ~base d n ~now_present:true
+      in
+      List.fold_left
+        (fun d (e : Digraph.edge) ->
+          if Digraph.mem_edge g e.Digraph.src e.Digraph.label e.Digraph.dst then d
+          else
+            (* The NA edge list may implicitly create the far endpoint. *)
+            let d =
+              List.fold_left
+                (fun d endp ->
+                  if Digraph.mem_node g endp || String.equal endp n then d
+                  else node_change ~base d endp ~now_present:true)
+                d
+                [ e.Digraph.src; e.Digraph.dst ]
+            in
+            edge_change ~base d e ~now_present:true)
+        d es
+  | Transform.Delete_node n ->
+      if not (Digraph.mem_node g n) then d
+      else
+        let incident =
+          Eset.elements
+            (Eset.of_list (Digraph.out_edges g n @ Digraph.in_edges g n))
+        in
+        let d =
+          List.fold_left
+            (fun d e -> edge_change ~base d e ~now_present:false)
+            d incident
+        in
+        node_change ~base d n ~now_present:false
+  | Transform.Add_edges es ->
+      List.fold_left
+        (fun d (e : Digraph.edge) ->
+          if Digraph.mem_edge g e.Digraph.src e.Digraph.label e.Digraph.dst then d
+          else
+            let d =
+              List.fold_left
+                (fun d endp ->
+                  if Digraph.mem_node g endp then d
+                  else node_change ~base d endp ~now_present:true)
+                d
+                [ e.Digraph.src; e.Digraph.dst ]
+            in
+            edge_change ~base d e ~now_present:true)
+        d es
+  | Transform.Delete_edges es ->
+      List.fold_left
+        (fun d (e : Digraph.edge) ->
+          if not (Digraph.mem_edge g e.Digraph.src e.Digraph.label e.Digraph.dst)
+          then d
+          else edge_change ~base d e ~now_present:false)
+        d es
+
+let of_ops base ops =
+  List.fold_left
+    (fun (g, d) op ->
+      let d = account ~base g d op in
+      (Transform.apply g op, d))
+    (base, empty) ops
+
+let union a b =
+  {
+    d_ops = a.d_ops + b.d_ops;
+    added = Sset.union a.added b.added;
+    removed = Sset.union a.removed b.removed;
+    touched = Sset.union a.touched b.touched;
+    labels = Sset.union a.labels b.labels;
+    e_added = Eset.union a.e_added b.e_added;
+    e_removed = Eset.union a.e_removed b.e_removed;
+  }
+
+let ops d = d.d_ops
+
+let is_empty d = Sset.is_empty d.touched && Sset.is_empty d.labels
+
+let nodes_added d = Sset.elements d.added
+let nodes_removed d = Sset.elements d.removed
+let touched_nodes d = Sset.elements d.touched
+let edge_labels d = Sset.elements d.labels
+let edges_added d = Eset.elements d.e_added
+let edges_removed d = Eset.elements d.e_removed
+
+let touches_node d n = Sset.mem n d.touched
+let touches_label d l = Sset.mem l d.labels
+let changes_node_set d n = Sset.mem n d.added || Sset.mem n d.removed
+
+let pp ppf d =
+  Format.fprintf ppf
+    "delta(%d ops: +%d/-%d nodes, +%d/-%d edges, %d touched, %d labels)"
+    d.d_ops (Sset.cardinal d.added) (Sset.cardinal d.removed)
+    (Eset.cardinal d.e_added) (Eset.cardinal d.e_removed)
+    (Sset.cardinal d.touched) (Sset.cardinal d.labels)

@@ -1,0 +1,79 @@
+(** Changed-region summaries of {!Transform.op} streams (the paper's
+    NA / ND / EA / ED primitives, section 3).
+
+    The incremental-analysis layer needs to know, after a stream of
+    transformation primitives, {e what part of the graph can possibly
+    look different}: which nodes appeared or vanished, which nodes had
+    an incident edge change, and which edge labels were involved.  A
+    {!t} carries exactly that — the net node and edge set changes
+    relative to the pre-state, plus two monotone supersets (touched
+    nodes, touched edge labels) that the impact analysis intersects
+    with pass footprints to decide which lint scopes to re-check.
+
+    The net sets are {e exact}: an edge added and then deleted by the
+    same stream contributes nothing to {!edges_added}/{!edges_removed}
+    (and likewise for nodes), because every op is accounted against the
+    running graph and cancelled against the base.  The touched sets are
+    deliberately {e not} cancelled — a region that changed and changed
+    back was still touched, and re-checking it is sound while skipping
+    it would have to prove the round-trip was observationally silent. *)
+
+type t
+
+val empty : t
+(** The delta of the empty op stream. *)
+
+val of_ops : Digraph.t -> Transform.op list -> Digraph.t * t
+(** [of_ops g ops] applies the stream left-to-right (exactly
+    {!Transform.apply_all}) and summarizes it: the post-state graph
+    paired with the delta of the whole stream relative to [g].
+    @raise Invalid_argument as {!Transform.apply} does (an [Add_node]
+    edge not incident with its node). *)
+
+val union : t -> t -> t
+(** Summary union for impact analysis over edits to {e distinct}
+    graphs (e.g. two workspace sources edited before one re-lint): all
+    six sets united, op counts added.  Exactness of the net sets is
+    only meaningful per graph; the union is a sound trigger superset. *)
+
+val ops : t -> int
+(** Number of primitives consumed. *)
+
+val is_empty : t -> bool
+(** No net change {e and} nothing touched (the stream was empty or
+    all-no-op). *)
+
+val nodes_added : t -> Digraph.node list
+(** Net new nodes (absent in the pre-state, present after), sorted.
+    Includes endpoints implicitly created by [Add_edges]. *)
+
+val nodes_removed : t -> Digraph.node list
+(** Net removed nodes, sorted. *)
+
+val touched_nodes : t -> Digraph.node list
+(** Every node that appeared, vanished, or had an incident edge added
+    or removed at any point of the stream, sorted.  Superset of
+    {!nodes_added} and {!nodes_removed}. *)
+
+val edge_labels : t -> string list
+(** Labels of every edge added or removed at any point, sorted. *)
+
+val edges_added : t -> Digraph.edge list
+(** Net new edges, sorted by [(src, label, dst)]. *)
+
+val edges_removed : t -> Digraph.edge list
+(** Net removed edges, sorted by [(src, label, dst)]. *)
+
+val touches_node : t -> Digraph.node -> bool
+(** Membership in {!touched_nodes}. *)
+
+val touches_label : t -> string -> bool
+(** Membership in {!edge_labels}. *)
+
+val changes_node_set : t -> Digraph.node -> bool
+(** Membership in {!nodes_added} or {!nodes_removed} — the trigger for
+    checks that only observe node existence (e.g. dangling bridge
+    endpoints). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: op count and set cardinalities. *)

@@ -93,6 +93,114 @@ let of_graph g = Lru.find_or_compute cache (Digraph.revision g) (fun () -> build
 
 let cached g = Lru.mem cache (Digraph.revision g)
 
+(* ------------------------------------------------------------------ *)
+(* Delta maintenance                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let drop tbl key =
+  let n = match Hashtbl.find_opt tbl key with Some n -> n | None -> 0 in
+  if n <= 1 then Hashtbl.remove tbl key else Hashtbl.replace tbl key (n - 1)
+
+(* Rebuild one label's bucket triple from the old bucket plus the
+   delta's net edge changes carrying that label.  Bucket work is
+   proportional to the bucket size, not the graph. *)
+let patch_bucket ~by_edge_label ~srcs_by_label ~dsts_by_label label ~add ~remove
+    =
+  let old =
+    match Hashtbl.find_opt by_edge_label label with Some xs -> xs | None -> []
+  in
+  let pairs =
+    List.fold_left (fun s p -> Pset.remove p s)
+      (List.fold_left (fun s p -> Pset.add p s) (Pset.of_list old) add)
+      remove
+  in
+  if Pset.is_empty pairs then begin
+    Hashtbl.remove by_edge_label label;
+    Hashtbl.remove srcs_by_label label;
+    Hashtbl.remove dsts_by_label label
+  end
+  else begin
+    Hashtbl.replace by_edge_label label (Pset.elements pairs);
+    let srcs, dsts =
+      Pset.fold
+        (fun (s, d) (ss, ds) -> (Sset.add s ss, Sset.add d ds))
+        pairs (Sset.empty, Sset.empty)
+    in
+    Hashtbl.replace srcs_by_label label (Sset.elements srcs);
+    Hashtbl.replace dsts_by_label label (Sset.elements dsts)
+  end
+
+(* The patched index is built eagerly and memoized under the post-state
+   revision, so an [of_graph post] anywhere downstream answers from the
+   patch instead of paying the full rebuild. *)
+let update idx delta post =
+  let patch () =
+    Cache_stats.record_plan "delta.index_patch";
+    let node_tbl = Hashtbl.copy idx.node_tbl in
+    let by_edge_label = Hashtbl.copy idx.by_edge_label in
+    let srcs_by_label = Hashtbl.copy idx.srcs_by_label in
+    let dsts_by_label = Hashtbl.copy idx.dsts_by_label in
+    let out_by_label = Hashtbl.copy idx.out_by_label in
+    let in_by_label = Hashtbl.copy idx.in_by_label in
+    let out_deg = Hashtbl.copy idx.out_deg in
+    let in_deg = Hashtbl.copy idx.in_deg in
+    let added = Delta.nodes_added delta in
+    let removed = Delta.nodes_removed delta in
+    List.iter (fun n -> Hashtbl.replace node_tbl n ()) added;
+    List.iter (fun n -> Hashtbl.remove node_tbl n) removed;
+    let e_added = Delta.edges_added delta in
+    let e_removed = Delta.edges_removed delta in
+    List.iter
+      (fun (e : Digraph.edge) ->
+        bump out_by_label (e.src, e.label);
+        bump in_by_label (e.dst, e.label);
+        bump out_deg e.src;
+        bump in_deg e.dst)
+      e_added;
+    List.iter
+      (fun (e : Digraph.edge) ->
+        drop out_by_label (e.src, e.label);
+        drop in_by_label (e.dst, e.label);
+        drop out_deg e.src;
+        drop in_deg e.dst)
+      e_removed;
+    let changed_labels =
+      List.sort_uniq String.compare
+        (List.map (fun (e : Digraph.edge) -> e.label) (e_added @ e_removed))
+    in
+    List.iter
+      (fun label ->
+        let pairs_of es =
+          List.filter_map
+            (fun (e : Digraph.edge) ->
+              if String.equal e.label label then Some (e.src, e.dst) else None)
+            es
+        in
+        patch_bucket ~by_edge_label ~srcs_by_label ~dsts_by_label label
+          ~add:(pairs_of e_added) ~remove:(pairs_of e_removed))
+      changed_labels;
+    let nodes =
+      let kept =
+        if removed = [] then idx.nodes
+        else List.filter (fun n -> not (List.mem n removed)) idx.nodes
+      in
+      if added = [] then kept else List.merge String.compare kept added
+    in
+    {
+      revision = Digraph.revision post;
+      nodes;
+      node_tbl;
+      by_edge_label;
+      srcs_by_label;
+      dsts_by_label;
+      out_by_label;
+      in_by_label;
+      out_deg;
+      in_deg;
+    }
+  in
+  Lru.find_or_compute cache (Digraph.revision post) patch
+
 let revision idx = idx.revision
 
 let nodes idx = idx.nodes

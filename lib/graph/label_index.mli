@@ -19,6 +19,18 @@ val of_graph : Digraph.t -> t
 (** The index for this graph, built on first request per revision and
     answered from a process-wide memo afterwards. *)
 
+val update : t -> Delta.t -> Digraph.t -> t
+(** [update idx delta post] patches the index in [O(|delta|)] bucket
+    work (plus one linear merge of the sorted node list) instead of the
+    full [O(N + E)] rebuild: only the buckets and degree counters of
+    the delta's net edge changes are touched.  [idx] {e must} be the
+    index of the pre-state graph the delta was computed against, and
+    [post] the post-state; the result is observationally identical to
+    [of_graph post] (the qcheck equivalence harness proves it) and is
+    inserted into the per-revision memo, so a later [of_graph post]
+    answers from the patch.  Records one ["delta.index_patch"] plan
+    counter tick. *)
+
 val cached : Digraph.t -> bool
 (** Is the index for this graph's revision already memoized?  A pure
     probe (no counter movement, no build): the cost planner uses it to

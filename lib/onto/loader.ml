@@ -57,6 +57,12 @@ let load_file ?format ?name path =
   in
   load_string ?format ~name content
 
+let save_string ?(format = Xml) o =
+  match format with
+  | Idl -> Error "IDL export is not supported"
+  | Adjacency -> Ok (Adjacency.print (Ontology.graph o))
+  | Xml -> Ok (Xml_parse.to_string (Xml_parse.ontology_to_xml o))
+
 let save_file o path =
   let content =
     match format_of_path path with

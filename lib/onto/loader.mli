@@ -25,5 +25,12 @@ val load_file : ?format:format -> ?name:string -> string -> (Ontology.t, string)
     {!format_of_path}, then {!sniff}; [name] defaults to the file's
     basename without extension. *)
 
+val save_string : ?format:format -> Ontology.t -> (string, string) result
+(** Serialize to [format] (default [Xml]).  Adjacency rendering is the
+    deterministic {!Adjacency.print} (so [load_string] reconstructs the
+    very same graph); XML goes through {!Xml_parse.ontology_to_xml},
+    which is faithful including the relation registry.  IDL export is
+    not supported and yields [Error]. *)
+
 val save_file : Ontology.t -> string -> unit
 (** Write in the format implied by the path's extension (default XML). *)

@@ -423,6 +423,22 @@ let store_json () =
     (Workspace.block_cache_resident ())
     (Workspace.block_cache_budget ())
 
+(* Incremental-analysis plan counters: how much re-linting the delta
+   engine consumed, skipped and patched.  Like "store.*" and "pool.*"
+   these survive Cache_stats.clear_all — clearing caches models a cold
+   start, not an amnesiac planner. *)
+let delta_json () =
+  let count name =
+    Option.value ~default:0 (List.assoc_opt name (Cache_stats.plan_counts ()))
+  in
+  Printf.sprintf
+    "{ \"ops\": %d, \"passes_rerun\": %d, \"passes_skipped\": %d, \
+     \"index_patches\": %d }"
+    (count "delta.ops")
+    (count "delta.passes_rerun")
+    (count "delta.passes_skipped")
+    (count "delta.index_patch")
+
 let handle_request t (req : Protocol.request) =
   (* Snapshot before the gauge ticks up: a lone stats probe reads the
      daemon as idle rather than counting itself in flight. *)
@@ -435,6 +451,7 @@ let handle_request t (req : Protocol.request) =
                ("breakers", breakers_json (snd (default_tenant t)));
                ("workspaces", workspaces_json t);
                ("store", store_json ());
+               ("delta", delta_json ());
              ]
            t.stats)
     else None

@@ -2,6 +2,40 @@ type space_result = (Federation.t * Health.t, string) result
 
 type backend = Flat | Paged
 
+(* Everything the incremental lint path needs from the previous full
+   run: the parsed view (so unchanged parts stay physically shared and
+   keep answering from their revision-keyed memos), the storage-layer
+   diagnostics that were spliced into the report, and the enabled-code
+   fingerprint the report was computed under. *)
+type lint_state = {
+  ls_cfg : string;
+  ls_view : Lint.view;
+  ls_io : Diagnostic.t list;
+  ls_report : Lint.report;
+}
+
+(* One edited source in the pending chain.  [ec_delta] is the
+   {!Delta.union} of every edit since the memoized view — a sound
+   trigger superset even when later edits cancel earlier ones — and
+   [ec_ontology] is chained from the view's value, so the unchanged
+   sources of the substituted view are still the memoized ones. *)
+type edit_change = {
+  ec_name : string;
+  ec_delta : Delta.t;
+  ec_ontology : Ontology.t;
+  ec_payload : string;  (* serialized bytes now on disk *)
+  ec_file : string option;  (* logical file, for diagnostics *)
+}
+
+(* The chain of edits between two disk fingerprints: valid for the
+   incremental path exactly when the lint memo holds [p_from] and the
+   workspace currently fingerprints to [p_to]. *)
+type pending = {
+  p_from : string;
+  p_to : string;
+  p_changes : edit_change list;
+}
+
 type t = {
   root : string;
   backend : backend;
@@ -23,9 +57,16 @@ type t = {
          byte-identical, [space] answers from the memo instead of
          re-parsing and re-merging everything.  Honours the global
          Cache_stats.enabled switch like every other cache. *)
-  mutable lint_memo : (string * Lint.report) option;
+  mutable lint_memo : (string * lint_state) option;
       (* Same scheme for the whole lint report: byte-identical workspace
-         files mean byte-identical findings. *)
+         files mean byte-identical findings.  The state keeps the parsed
+         view alongside the report so [edit] can chain in-memory values
+         and the incremental path can substitute only what changed. *)
+  mutable pending_edits : pending option;
+      (* Edits applied through [edit] since the memoized lint, keyed by
+         the fingerprints they connect.  Any out-of-band change to the
+         workspace breaks the fingerprint chain and falls back to the
+         cold path — the chain can mislead no one. *)
   breaker : Breaker.t;
       (* Per-source circuit breakers: a repeatedly-corrupt file is
          skipped (Health.Breaker_open) instead of re-paying read+parse
@@ -96,6 +137,7 @@ let make ~backend dir =
     memo_lock = Mutex.create ();
     space_memo = None;
     lint_memo = None;
+    pending_edits = None;
     breaker = Breaker.create ();
     manifest_lock = Mutex.create ();
     manifest_memo = None;
@@ -1282,10 +1324,143 @@ let io_diagnostic (i : Health.issue) =
 let read_text path =
   match Durable_io.read ~path with Ok c -> Some c | Error _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* edit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply a transformation stream to one registered source: load, apply,
+   re-serialize in the file's own format, write through the durable
+   path (flat) or publish a fresh segment (paged).  Alongside the write
+   it maintains the incremental machinery: the pre-state label index is
+   patched in O(|delta|) when warm, and the (fingerprint-before,
+   fingerprint-after, delta) chain is recorded so the next [lint] can
+   take the delta-driven path instead of re-reading the world. *)
+let edit t ~source ops =
+  Mutex.lock t.memo_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.memo_lock)
+    (fun () ->
+      let fp_before = fingerprint t in
+      (* Does the incremental chain reach the bytes currently on disk? *)
+      let chain =
+        match (t.lint_memo, t.pending_edits) with
+        | Some (fp_memo, ls), None when String.equal fp_memo fp_before ->
+            Some (fp_memo, ls, [])
+        | Some (fp_memo, ls), Some p
+          when String.equal p.p_from fp_memo && String.equal p.p_to fp_before
+          ->
+            Some (fp_memo, ls, p.p_changes)
+        | _ -> None
+      in
+      (* The base ontology: continue from the chained in-memory value
+         when the chain holds (unchanged parts must stay physically the
+         memoized values), else re-load from disk. *)
+      let base =
+        match chain with
+        | None -> None
+        | Some (_, ls, changes) -> (
+            match
+              List.find_opt (fun c -> String.equal c.ec_name source) changes
+            with
+            | Some c -> Some (c.ec_ontology, Some c)
+            | None ->
+                Option.map
+                  (fun (s : Lint.source) -> (s.Lint.ontology, None))
+                  (List.find_opt
+                     (fun (s : Lint.source) ->
+                       String.equal (Ontology.name s.Lint.ontology) source)
+                     ls.ls_view.Lint.sources))
+      in
+      let* o, prev_change, chained =
+        match base with
+        | Some (o, c) -> Ok (o, c, true)
+        | None ->
+            let* o = load_source t source in
+            Ok (o, None, false)
+      in
+      let* target =
+        match t.backend with
+        | Flat -> (
+            match source_file t source with
+            | Some path -> Ok (`Flat path)
+            | None -> Error (Printf.sprintf "no source named %s" source))
+        | Paged -> (
+            match paged_entry t Segment.Source source with
+            | Some e -> Ok (`Paged e.Segment.ext)
+            | None -> Error (Printf.sprintf "no source named %s" source))
+      in
+      let ext =
+        match target with `Flat path -> ext_of_path path | `Paged ext -> ext
+      in
+      let* post, delta =
+        match Delta.of_ops (Ontology.graph o) ops with
+        | r -> Ok r
+        | exception Invalid_argument m -> Error m
+      in
+      let o' = Ontology.with_graph o post in
+      let* payload =
+        match
+          Loader.save_string ?format:(Loader.format_of_path ("f" ^ ext)) o'
+        with
+        | Ok p -> Ok p
+        | Error m -> Error (Printf.sprintf "source %s: %s" source m)
+      in
+      let* () =
+        match target with
+        | `Flat path -> Durable_io.write ~path payload
+        | `Paged _ ->
+            paged_publish t ~add:[ stage_source o' ~ext ~payload ] ~remove:[]
+      in
+      (* Keep the label index warm across the edit: the first edit of a
+         chain builds the pre-state index (one full O(N+E) pass), every
+         later one patches forward in O(|delta|) — so the feasibility
+         scans and the query planner never pay a rebuild after an
+         edit. *)
+      if Cache_stats.enabled () then
+        ignore
+          (Label_index.update (Label_index.of_graph (Ontology.graph o)) delta
+             post);
+      (match chain with
+      | Some (fp_memo, _, changes) when chained ->
+          let fp_after = fingerprint t in
+          let file =
+            match target with
+            | `Flat path -> Some (rel_file t path)
+            | `Paged ext -> Some ("sources/" ^ source ^ ext)
+          in
+          let change =
+            match prev_change with
+            | Some c ->
+                {
+                  c with
+                  ec_delta = Delta.union c.ec_delta delta;
+                  ec_ontology = o';
+                  ec_payload = payload;
+                }
+            | None ->
+                {
+                  ec_name = source;
+                  ec_delta = delta;
+                  ec_ontology = o';
+                  ec_payload = payload;
+                  ec_file = file;
+                }
+          in
+          let changes =
+            change
+            :: List.filter
+                 (fun c -> not (String.equal c.ec_name source))
+                 changes
+          in
+          t.pending_edits <-
+            Some { p_from = fp_memo; p_to = fp_after; p_changes = changes }
+      | _ -> t.pending_edits <- None);
+      Ok delta)
+
 (* Lint is the offline full scan: it bypasses the circuit breakers so
    the ground-truth failure is always reported, and instead surfaces any
    breaker that the serving path has opened as its own diagnostic. *)
-let compute_lint ~conversions t =
+let compute_lint ~conversions ?enabled t =
   let sources, s_diags =
     List.fold_left
       (fun (ss, ds) name ->
@@ -1324,7 +1499,7 @@ let compute_lint ~conversions t =
       (articulation_names t)
   in
   let view = Lint.view ~conversions ~articulations sources in
-  let report = Lint.run view in
+  let report = Lint.run ?enabled view in
   let breaker_diags =
     List.filter_map
       (fun (b : Breaker.info) ->
@@ -1341,29 +1516,91 @@ let compute_lint ~conversions t =
     List.map io_diagnostic (stray_issues t @ s_diags @ a_diags)
     @ breaker_diags
   in
-  {
-    report with
-    Lint.diagnostics =
-      List.stable_sort Diagnostic.order (io_diags @ report.Lint.diagnostics);
-  }
+  let full =
+    {
+      report with
+      Lint.diagnostics =
+        List.stable_sort Diagnostic.order (io_diags @ report.Lint.diagnostics);
+    }
+  in
+  (view, io_diags, full)
 
-let lint ?(conversions = Conversion.builtin) t =
+(* The delta-driven re-lint: substitute the edited ontologies into the
+   memoized view (everything else stays physically the previous value,
+   so its revision-keyed memo entries still answer), hand Lint the
+   summarized delta for impact analysis, and splice the storage-layer
+   diagnostics — the edited files were just rewritten by us, clean and
+   stamped, so their previous io findings are dropped and the rest
+   (whose files did not change) carried over. *)
+let incremental_lint ?enabled (ls : lint_state) (p : pending) =
+  let changed = List.map (fun c -> c.ec_name) p.p_changes in
+  let delta =
+    List.fold_left
+      (fun acc c -> Delta.union acc c.ec_delta)
+      Delta.empty p.p_changes
+  in
+  let sources =
+    List.map
+      (fun (s : Lint.source) ->
+        match
+          List.find_opt
+            (fun c -> String.equal c.ec_name (Ontology.name s.Lint.ontology))
+            p.p_changes
+        with
+        | Some c -> Lint.source ?file:c.ec_file ~text:c.ec_payload c.ec_ontology
+        | None -> s)
+      ls.ls_view.Lint.sources
+  in
+  let view = { ls.ls_view with Lint.sources } in
+  let report = Lint.lint_incremental ?enabled ~delta ~changed view in
+  let changed_files = List.filter_map (fun c -> c.ec_file) p.p_changes in
+  let io =
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        match d.Diagnostic.file with
+        | Some f -> not (List.mem f changed_files)
+        | None -> true)
+      ls.ls_io
+  in
+  let full =
+    {
+      report with
+      Lint.diagnostics =
+        List.stable_sort Diagnostic.order (io @ report.Lint.diagnostics);
+    }
+  in
+  (view, io, full)
+
+let lint ?(conversions = Conversion.builtin) ?enabled t =
   (* The memo key is the file fingerprint only, so it is valid only for
      the default registry; a custom registry bypasses it. *)
   if (not (Cache_stats.enabled ())) || conversions != Conversion.builtin then
-    compute_lint ~conversions t
+    let _, _, report = compute_lint ~conversions ?enabled t in
+    report
   else begin
     let fp = fingerprint t in
+    let cfg = Lint.config_fingerprint enabled in
     Mutex.lock t.memo_lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.memo_lock)
       (fun () ->
-        match t.lint_memo with
-        | Some (fp', report) when String.equal fp fp' -> report
-        | _ ->
-            let report = compute_lint ~conversions t in
-            t.lint_memo <- Some (fp, report);
-            report)
+        let store (view, io, report) =
+          t.lint_memo <-
+            Some (fp, { ls_cfg = cfg; ls_view = view; ls_io = io;
+                        ls_report = report });
+          t.pending_edits <- None;
+          report
+        in
+        match (t.lint_memo, t.pending_edits) with
+        | Some (fp', ls), _
+          when String.equal fp fp' && String.equal ls.ls_cfg cfg ->
+            ls.ls_report
+        | Some (fp_memo, ls), Some p
+          when String.equal p.p_from fp_memo
+               && String.equal p.p_to fp
+               && String.equal ls.ls_cfg cfg ->
+            store (incremental_lint ?enabled ls p)
+        | _ -> store (compute_lint ~conversions ?enabled t))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1775,6 +2012,7 @@ let fsck t =
     Mutex.lock t.memo_lock;
     t.space_memo <- None;
     t.lint_memo <- None;
+    t.pending_edits <- None;
     t.route_memo <- None;
     Mutex.unlock t.memo_lock;
     Mutex.lock t.manifest_lock;

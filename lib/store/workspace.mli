@@ -201,19 +201,45 @@ val stale_bridges : t -> ((string * Bridge.t) list, string) result
 (** (articulation name, bridge) pairs whose source-side term has vanished
     from the current source file.  Computed over the healthy parts. *)
 
-val lint : ?conversions:Conversion.t -> t -> Lint.report
+val edit : t -> source:string -> Transform.op list -> (Delta.t, string) result
+(** Apply a transformation stream (the paper's NA/ND/EA/ED primitives)
+    to one registered source and write the result back in the file's
+    own serialization (adjacency formats via the deterministic
+    {!Adjacency.print}, XML via the faithful round-trip; [.idl] sources
+    cannot be re-serialized and yield [Error]).  Flat: a durable
+    stamped rewrite of the registered file; paged: a fresh segment +
+    index publish with a manifest swap.
+
+    Returns the {!Delta.t} summarizing the edit's changed region.  On
+    the side, the pre-state {!Label_index} is patched forward in
+    O(|delta|) when warm, and the (fingerprint-before,
+    fingerprint-after, delta) chain is recorded so the next {!lint}
+    takes the delta-driven incremental path.  Any out-of-band change to
+    the workspace breaks the fingerprint chain, and lint falls back to
+    the cold scan — the chain is a pure optimisation. *)
+
+val lint : ?conversions:Conversion.t -> ?enabled:string list -> t -> Lint.report
 (** The whole-workspace static analysis: every {!Lint} pass over the
     healthy parts (with raw file texts for span provenance), plus one
     ["io"]-pass diagnostic per {!Health} finding (torn writes, unreadable
     or unparseable files, checksum mismatches, orphan sidecars and
     segments), merged in {!Diagnostic.order}.  The report is {e raw} —
     apply {!Diagnostic.apply_config} and a baseline downstream.
+    [enabled] restricts computation to the listed diagnostic codes and
+    is part of the memo key (see {!Lint.run}).
     Memoised on the workspace content fingerprint (honours
     [Cache_stats.enabled]), on top of the per-part revision memos inside
     {!Lint}; a custom [conversions] registry (default
     {!Conversion.builtin}) bypasses the whole-report memo.  Paged
     diagnostics anchor to the part's {e logical} file name
-    ([sources/<name><ext>]), not the segment fingerprint. *)
+    ([sources/<name><ext>]), not the segment fingerprint.
+
+    When the only changes since the memoized report came through
+    {!edit}, the rebuild is {e incremental}: {!Lint.lint_incremental}
+    re-checks only the (pass x scope) cells the recorded delta can
+    affect, unchanged parts answer from their revision-keyed memos, and
+    the storage-layer diagnostics of untouched files are spliced back
+    in.  The result is bit-for-bit identical to the cold scan. *)
 
 (** {1 fsck} *)
 
